@@ -1,0 +1,451 @@
+//! Join-based feature augmentation for machine learning (ARDA; Chepurko
+//! et al., VLDB 2020; tutorial §2.7).
+//!
+//! Given a base table with a join key and a prediction target, discover
+//! joinable lake tables, join their numeric columns in as candidate
+//! features, select the useful ones, and measure the downstream model's
+//! improvement. Selection follows ARDA's random-injection idea: inject
+//! synthetic noise features and keep only real features that outrank the
+//! noise.
+
+use crate::ml::{feature_target_correlation, r_squared, LinearModel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use td_table::{Column, ColumnRef, DataLake, Table, TableId};
+
+/// Augmentation parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct AugmentConfig {
+    /// Minimum containment of the base key in a candidate key column.
+    pub min_key_containment: f64,
+    /// Ridge regularization.
+    pub lambda: f64,
+    /// Noise features injected for selection.
+    pub noise_features: usize,
+    /// Train fraction of the base rows.
+    pub train_fraction: f64,
+    /// Seed for the split and noise.
+    pub seed: u64,
+}
+
+impl Default for AugmentConfig {
+    fn default() -> Self {
+        AugmentConfig {
+            min_key_containment: 0.5,
+            lambda: 1e-3,
+            noise_features: 5,
+            train_fraction: 0.7,
+            seed: 21,
+        }
+    }
+}
+
+/// One discovered candidate feature: a numeric lake column reachable
+/// through a key join.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CandidateFeature {
+    /// The numeric column.
+    pub column: ColumnRef,
+    /// Key column it joins through.
+    pub key_column: ColumnRef,
+    /// Containment of the base key in the candidate key.
+    pub key_containment: f64,
+    /// |correlation| with the target on the training split.
+    pub relevance: f64,
+    /// Whether selection kept it.
+    pub selected: bool,
+}
+
+/// Outcome of an augmentation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AugmentOutcome {
+    /// Test R² with base features only.
+    pub base_r2: f64,
+    /// Test R² with base + all joined features (no selection).
+    pub join_all_r2: f64,
+    /// Test R² with base + selected features.
+    pub selected_r2: f64,
+    /// Every discovered candidate with its selection verdict.
+    pub candidates: Vec<CandidateFeature>,
+}
+
+/// Map from join-key token to the (first) row holding it.
+fn key_index(key: &Column) -> HashMap<String, usize> {
+    let mut m = HashMap::new();
+    for (i, v) in key.values.iter().enumerate() {
+        if let Some(t) = v.join_token() {
+            m.entry(t).or_insert(i);
+        }
+    }
+    m
+}
+
+/// Mean of the non-None entries (0 if none).
+fn mean_of(values: &[Option<f64>]) -> f64 {
+    let (mut s, mut n) = (0.0, 0usize);
+    for v in values.iter().flatten() {
+        s += v;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        s / n as f64
+    }
+}
+
+/// Run ARDA-style augmentation for a regression task.
+///
+/// `base` must contain the join key at `key_col` and a numeric target at
+/// `target_col`; its other numeric columns are the base features.
+///
+/// # Panics
+/// Panics if the target column has non-numeric rows everywhere or the
+/// base table is too small to split.
+#[must_use]
+pub fn augment_regression(
+    lake: &DataLake,
+    base: &Table,
+    key_col: usize,
+    target_col: usize,
+    cfg: &AugmentConfig,
+) -> AugmentOutcome {
+    let n = base.num_rows();
+    assert!(n >= 10, "base table too small");
+    let key_tokens: Vec<Option<String>> = base.columns[key_col]
+        .values
+        .iter()
+        .map(td_table::Value::join_token)
+        .collect();
+    let base_key_set: std::collections::HashSet<&String> =
+        key_tokens.iter().flatten().collect();
+    let ys: Vec<f64> = base.columns[target_col]
+        .values
+        .iter()
+        .map(|v| v.as_f64().unwrap_or(0.0))
+        .collect();
+
+    // Base features: numeric columns other than key/target.
+    let mut features: Vec<(Option<ColumnRef>, Vec<Option<f64>>)> = Vec::new();
+    for (ci, col) in base.columns.iter().enumerate() {
+        if ci == key_col || ci == target_col || !col.is_numeric() {
+            continue;
+        }
+        features.push((None, col.values.iter().map(td_table::Value::as_f64).collect()));
+    }
+    let num_base_features = features.len();
+
+    // Discover joinable numeric features in the lake.
+    let mut discovered: Vec<(ColumnRef, ColumnRef, f64, Vec<Option<f64>>)> = Vec::new();
+    for (tid, table) in lake.iter() {
+        for (ki, kcol) in table.columns.iter().enumerate() {
+            if kcol.is_numeric() {
+                continue;
+            }
+            let ktokens = kcol.token_set();
+            if ktokens.is_empty() || base_key_set.is_empty() {
+                continue;
+            }
+            let cont = base_key_set
+                .iter()
+                .filter(|t| ktokens.contains(t.as_str()))
+                .count() as f64
+                / base_key_set.len() as f64;
+            if cont < cfg.min_key_containment {
+                continue;
+            }
+            let kidx = key_index(kcol);
+            for (ni, ncol) in table.columns.iter().enumerate() {
+                if ni == ki || !ncol.is_numeric() {
+                    continue;
+                }
+                let joined: Vec<Option<f64>> = key_tokens
+                    .iter()
+                    .map(|kt| {
+                        kt.as_ref()
+                            .and_then(|t| kidx.get(t))
+                            .and_then(|&row| ncol.values[row].as_f64())
+                    })
+                    .collect();
+                discovered.push((
+                    ColumnRef::new(tid, ni),
+                    ColumnRef::new(tid, ki),
+                    cont,
+                    joined,
+                ));
+            }
+        }
+    }
+
+    // Train/test split.
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut order: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        order.swap(i, rng.gen_range(0..=i));
+    }
+    let ntrain = ((n as f64) * cfg.train_fraction).round() as usize;
+    let (train_rows, test_rows) = order.split_at(ntrain.clamp(1, n - 1));
+
+    // Materialize a design matrix from a set of feature vectors with mean
+    // imputation (means from the training rows).
+    let materialize = |feats: &[&Vec<Option<f64>>], rows: &[usize], means: &[f64]| {
+        rows.iter()
+            .map(|&r| {
+                feats
+                    .iter()
+                    .enumerate()
+                    .map(|(fi, f)| f[r].unwrap_or(means[fi]))
+                    .collect::<Vec<f64>>()
+            })
+            .collect::<Vec<Vec<f64>>>()
+    };
+    let ys_of = |rows: &[usize]| rows.iter().map(|&r| ys[r]).collect::<Vec<f64>>();
+
+    let evaluate = |feats: Vec<&Vec<Option<f64>>>| -> f64 {
+        if feats.is_empty() {
+            // Mean-only model.
+            let mean = ys_of(train_rows).iter().sum::<f64>() / train_rows.len() as f64;
+            let m = LinearModel { weights: vec![], bias: mean };
+            let xs: Vec<Vec<f64>> = test_rows.iter().map(|_| vec![]).collect();
+            return r_squared(&m, &xs, &ys_of(test_rows));
+        }
+        let means: Vec<f64> = feats
+            .iter()
+            .map(|f| {
+                let train_vals: Vec<Option<f64>> =
+                    train_rows.iter().map(|&r| f[r]).collect();
+                mean_of(&train_vals)
+            })
+            .collect();
+        let xtr = materialize(&feats, train_rows, &means);
+        let xte = materialize(&feats, test_rows, &means);
+        match LinearModel::fit_ridge(&xtr, &ys_of(train_rows), cfg.lambda) {
+            Some(m) => r_squared(&m, &xte, &ys_of(test_rows)),
+            None => 0.0,
+        }
+    };
+
+    let base_feats: Vec<&Vec<Option<f64>>> =
+        features.iter().map(|(_, f)| f).collect();
+    let base_r2 = evaluate(base_feats.clone());
+
+    let mut all_feats = base_feats.clone();
+    for (_, _, _, f) in &discovered {
+        all_feats.push(f);
+    }
+    let join_all_r2 = evaluate(all_feats);
+
+    // Selection: rank joined features by |train correlation| against
+    // injected noise features; keep those beating the strongest noise.
+    let train_ys = ys_of(train_rows);
+    let corr_of = |f: &Vec<Option<f64>>| {
+        let m = mean_of(&train_rows.iter().map(|&r| f[r]).collect::<Vec<_>>());
+        let xs: Vec<Vec<f64>> = train_rows
+            .iter()
+            .map(|&r| vec![f[r].unwrap_or(m)])
+            .collect();
+        feature_target_correlation(&xs, &train_ys, 0).abs()
+    };
+    let noise_bar = (0..cfg.noise_features)
+        .map(|_| {
+            let f: Vec<Option<f64>> = (0..n).map(|_| Some(rng.gen::<f64>())).collect();
+            corr_of(&f)
+        })
+        .fold(0.0f64, f64::max);
+
+    let mut candidates = Vec::with_capacity(discovered.len());
+    let mut selected_feats = base_feats;
+    for (col, key, cont, f) in &discovered {
+        let rel = corr_of(f);
+        let selected = rel > noise_bar;
+        if selected {
+            selected_feats.push(f);
+        }
+        candidates.push(CandidateFeature {
+            column: *col,
+            key_column: *key,
+            key_containment: *cont,
+            relevance: rel,
+            selected,
+        });
+    }
+    let selected_r2 = evaluate(selected_feats);
+
+    let _ = num_base_features;
+    let _: Vec<TableId> = Vec::new();
+    AugmentOutcome { base_r2, join_all_r2, selected_r2, candidates }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_table::gen::domains::DomainRegistry;
+    use td_table::Value;
+
+    /// Benchmark: base(city, x0, y) where y = 2*f1 + 0.5*x0 - f2 + noise,
+    /// with f1 and f2 living in *separate lake tables* joined on city, plus
+    /// noise tables with junk numerics.
+    fn setup(n: usize) -> (DataLake, Table) {
+        let r = DomainRegistry::standard();
+        let city = r.id("city").unwrap();
+        let det = |i: usize, salt: u64| {
+            (td_sketch::hash::hash_u64(i as u64, salt) % 1000) as f64 / 500.0 - 1.0
+        };
+        let f1: Vec<f64> = (0..n).map(|i| det(i, 1)).collect();
+        let f2: Vec<f64> = (0..n).map(|i| det(i, 2)).collect();
+        let x0: Vec<f64> = (0..n).map(|i| det(i, 3)).collect();
+        let y: Vec<f64> = (0..n)
+            .map(|i| 2.0 * f1[i] + 0.5 * x0[i] - f2[i] + det(i, 4) * 0.05)
+            .collect();
+        let keys: Vec<Value> = (0..n as u64).map(|i| r.value(city, i)).collect();
+
+        let base = Table::new(
+            "base",
+            vec![
+                Column::new("city", keys.clone()),
+                Column::new("x0", x0.iter().map(|&v| Value::Float(v)).collect()),
+                Column::new("y", y.iter().map(|&v| Value::Float(v)).collect()),
+            ],
+        )
+        .unwrap();
+
+        let mut lake = DataLake::new();
+        lake.add(
+            Table::new(
+                "features1",
+                vec![
+                    Column::new("city", keys.clone()),
+                    Column::new("f1", f1.iter().map(|&v| Value::Float(v)).collect()),
+                ],
+            )
+            .unwrap(),
+        );
+        lake.add(
+            Table::new(
+                "features2",
+                vec![
+                    Column::new("city", keys.clone()),
+                    Column::new("f2", f2.iter().map(|&v| Value::Float(v)).collect()),
+                    Column::new(
+                        "junk",
+                        (0..n).map(|i| Value::Float(det(i, 99))).collect(),
+                    ),
+                ],
+            )
+            .unwrap(),
+        );
+        // Pure-noise joinable table.
+        lake.add(
+            Table::new(
+                "noise",
+                vec![
+                    Column::new("city", keys),
+                    Column::new(
+                        "n1",
+                        (0..n).map(|i| Value::Float(det(i, 7))).collect(),
+                    ),
+                    Column::new(
+                        "n2",
+                        (0..n).map(|i| Value::Float(det(i, 8))).collect(),
+                    ),
+                ],
+            )
+            .unwrap(),
+        );
+        // Unjoinable table (different domain).
+        let gene = r.id("gene").unwrap();
+        lake.add(
+            Table::new(
+                "unjoinable",
+                vec![
+                    Column::new("gene", (0..50u64).map(|i| r.value(gene, i)).collect()),
+                    Column::new("z", (0..50).map(|i| Value::Float(det(i, 9))).collect()),
+                ],
+            )
+            .unwrap(),
+        );
+        (lake, base)
+    }
+
+    #[test]
+    fn augmentation_improves_the_model() {
+        let (lake, base) = setup(200);
+        let out = augment_regression(&lake, &base, 0, 2, &AugmentConfig::default());
+        assert!(
+            out.selected_r2 > out.base_r2 + 0.2,
+            "selected {} vs base {}",
+            out.selected_r2,
+            out.base_r2
+        );
+        assert!(out.selected_r2 > 0.9, "selected R² {}", out.selected_r2);
+    }
+
+    #[test]
+    fn selection_keeps_signal_and_drops_noise() {
+        let (lake, base) = setup(200);
+        let out = augment_regression(&lake, &base, 0, 2, &AugmentConfig::default());
+        let by_name = |name: &str| {
+            out.candidates
+                .iter()
+                .filter(|c| {
+                    lake.table(c.column.table).columns[c.column.column as usize].name == name
+                })
+                .collect::<Vec<_>>()
+        };
+        assert!(by_name("f1")[0].selected, "f1 should be selected");
+        assert!(by_name("f2")[0].selected, "f2 should be selected");
+        let noise_selected = ["n1", "n2", "junk"]
+            .iter()
+            .filter(|n| by_name(n)[0].selected)
+            .count();
+        assert!(noise_selected <= 1, "{noise_selected} noise features survived");
+    }
+
+    #[test]
+    fn selection_is_no_worse_than_join_all() {
+        let (lake, base) = setup(200);
+        let out = augment_regression(&lake, &base, 0, 2, &AugmentConfig::default());
+        assert!(
+            out.selected_r2 >= out.join_all_r2 - 0.05,
+            "selected {} vs join-all {}",
+            out.selected_r2,
+            out.join_all_r2
+        );
+    }
+
+    #[test]
+    fn unjoinable_tables_contribute_no_candidates() {
+        let (lake, base) = setup(100);
+        let out = augment_regression(&lake, &base, 0, 2, &AugmentConfig::default());
+        let unjoinable = lake.get_by_name("unjoinable").unwrap().0;
+        assert!(out.candidates.iter().all(|c| c.column.table != unjoinable));
+    }
+
+    #[test]
+    fn partial_join_coverage_still_works() {
+        let (mut lake, base) = setup(150);
+        // A feature table covering only half the keys.
+        let r = DomainRegistry::standard();
+        let city = r.id("city").unwrap();
+        lake.add(
+            Table::new(
+                "half",
+                vec![
+                    Column::new("city", (0..75u64).map(|i| r.value(city, i)).collect()),
+                    Column::new(
+                        "h",
+                        (0..75).map(|i| Value::Float(i as f64)).collect(),
+                    ),
+                ],
+            )
+            .unwrap(),
+        );
+        let out = augment_regression(&lake, &base, 0, 2, &AugmentConfig::default());
+        assert!(out
+            .candidates
+            .iter()
+            .any(|c| (c.key_containment - 0.5).abs() < 0.01));
+    }
+}

@@ -1,0 +1,22 @@
+//! # td-apps — data-science applications of table discovery
+//!
+//! The tutorial's §2.7: discovery as a service to downstream tasks.
+//! [`augment`] reproduces ARDA-style join-based feature augmentation with
+//! noise-injection feature selection; [`trainset`] harvests labeled
+//! training examples from the lake by embedding similarity to seed
+//! classes; [`stitch`] unions web-table fragments and measures the
+//! knowledge-base completion boost stitching provides; [`ml`] supplies the
+//! dependency-free ridge/logistic models those experiments train.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod augment;
+pub mod ml;
+pub mod stitch;
+pub mod trainset;
+
+pub use augment::{augment_regression, AugmentConfig, AugmentOutcome, CandidateFeature};
+pub use ml::{accuracy, r_squared, LinearModel};
+pub use stitch::{kb_completion, stitch_group, stitchable_groups, CompletionReport};
+pub use trainset::{discover_training_set, HarvestedExample, TrainsetConfig};

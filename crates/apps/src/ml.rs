@@ -1,0 +1,282 @@
+//! Minimal learning machinery for the application experiments: ridge
+//! regression (normal equations + Gaussian elimination) and logistic
+//! regression (gradient descent), with train/test evaluation helpers.
+//!
+//! These are the "downstream models" whose improvement ARDA-style
+//! augmentation is measured by — deliberately simple, dependency-free,
+//! and deterministic.
+
+use serde::{Deserialize, Serialize};
+
+/// A fitted linear model `y = w · x + b`.
+/// ```
+/// use td_apps::LinearModel;
+///
+/// // y = 3x - 1
+/// let xs: Vec<Vec<f64>> = (0..50).map(|i| vec![f64::from(i)]).collect();
+/// let ys: Vec<f64> = (0..50).map(|i| 3.0 * f64::from(i) - 1.0).collect();
+/// let model = LinearModel::fit_ridge(&xs, &ys, 1e-9).unwrap();
+/// assert!((model.predict(&[100.0]) - 299.0).abs() < 0.1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearModel {
+    /// Feature weights.
+    pub weights: Vec<f64>,
+    /// Intercept.
+    pub bias: f64,
+}
+
+/// Solve `A x = b` by Gaussian elimination with partial pivoting.
+/// Returns `None` if the system is (numerically) singular.
+fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = a.len();
+    for col in 0..n {
+        // Pivot.
+        let pivot = (col..n).max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))?;
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        // Eliminate below.
+        for row in (col + 1)..n {
+            let f = a[row][col] / a[col][col];
+            let (pivot_rows, rest) = a.split_at_mut(row);
+            let pivot_row = &pivot_rows[col];
+            for (x, p) in rest[0].iter_mut().zip(pivot_row).skip(col) {
+                *x -= f * p;
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for col in (0..n).rev() {
+        let mut s = b[col];
+        for k in (col + 1)..n {
+            s -= a[col][k] * x[k];
+        }
+        x[col] = s / a[col][col];
+    }
+    Some(x)
+}
+
+impl LinearModel {
+    /// Fit ridge regression: minimize `Σ (y - w·x - b)² + λ‖w‖²`.
+    ///
+    /// Solved in closed form on the augmented design (bias unpenalized).
+    /// Returns `None` on empty input or a singular system.
+    #[must_use]
+    pub fn fit_ridge(xs: &[Vec<f64>], ys: &[f64], lambda: f64) -> Option<LinearModel> {
+        if xs.is_empty() || xs.len() != ys.len() {
+            return None;
+        }
+        let d = xs[0].len();
+        let da = d + 1; // augmented with bias column
+        let mut xtx = vec![vec![0.0f64; da]; da];
+        let mut xty = vec![0.0f64; da];
+        for (x, &y) in xs.iter().zip(ys) {
+            debug_assert_eq!(x.len(), d);
+            for i in 0..d {
+                for j in 0..d {
+                    xtx[i][j] += x[i] * x[j];
+                }
+                xtx[i][d] += x[i];
+                xtx[d][i] += x[i];
+                xty[i] += x[i] * y;
+            }
+            xtx[d][d] += 1.0;
+            xty[d] += y;
+        }
+        for (i, row) in xtx.iter_mut().enumerate().take(d) {
+            row[i] += lambda;
+        }
+        let w = solve(xtx, xty)?;
+        Some(LinearModel { weights: w[..d].to_vec(), bias: w[d] })
+    }
+
+    /// Fit logistic regression (labels in {0,1}) by full-batch gradient
+    /// descent with L2 regularization.
+    #[must_use]
+    pub fn fit_logistic(
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        lambda: f64,
+        lr: f64,
+        epochs: usize,
+    ) -> Option<LinearModel> {
+        if xs.is_empty() || xs.len() != ys.len() {
+            return None;
+        }
+        let d = xs[0].len();
+        let n = xs.len() as f64;
+        let mut w = vec![0.0f64; d];
+        let mut b = 0.0f64;
+        for _ in 0..epochs {
+            let mut gw = vec![0.0f64; d];
+            let mut gb = 0.0f64;
+            for (x, &y) in xs.iter().zip(ys) {
+                let z: f64 = x.iter().zip(&w).map(|(a, c)| a * c).sum::<f64>() + b;
+                let p = 1.0 / (1.0 + (-z).exp());
+                let err = p - y;
+                for (g, a) in gw.iter_mut().zip(x) {
+                    *g += err * a;
+                }
+                gb += err;
+            }
+            for (wi, g) in w.iter_mut().zip(&gw) {
+                *wi -= lr * (g / n + lambda * *wi);
+            }
+            b -= lr * gb / n;
+        }
+        Some(LinearModel { weights: w, bias: b })
+    }
+
+    /// Raw linear score `w · x + b`.
+    #[must_use]
+    pub fn score(&self, x: &[f64]) -> f64 {
+        self.weights.iter().zip(x).map(|(w, a)| w * a).sum::<f64>() + self.bias
+    }
+
+    /// Regression prediction.
+    #[must_use]
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        self.score(x)
+    }
+
+    /// Classification probability.
+    #[must_use]
+    pub fn predict_proba(&self, x: &[f64]) -> f64 {
+        1.0 / (1.0 + (-self.score(x)).exp())
+    }
+}
+
+/// Coefficient of determination R² of predictions against truth.
+#[must_use]
+pub fn r_squared(model: &LinearModel, xs: &[Vec<f64>], ys: &[f64]) -> f64 {
+    if ys.is_empty() {
+        return 0.0;
+    }
+    let mean = ys.iter().sum::<f64>() / ys.len() as f64;
+    let ss_tot: f64 = ys.iter().map(|y| (y - mean).powi(2)).sum();
+    let ss_res: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(x, y)| (y - model.predict(x)).powi(2))
+        .sum();
+    if ss_tot == 0.0 {
+        0.0
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+/// Classification accuracy at threshold 0.5.
+#[must_use]
+pub fn accuracy(model: &LinearModel, xs: &[Vec<f64>], ys: &[f64]) -> f64 {
+    if ys.is_empty() {
+        return 0.0;
+    }
+    let ok = xs
+        .iter()
+        .zip(ys)
+        .filter(|(x, &y)| (model.predict_proba(x) >= 0.5) == (y >= 0.5))
+        .count();
+    ok as f64 / ys.len() as f64
+}
+
+/// Pearson correlation of one feature with the target (feature ranking).
+#[must_use]
+pub fn feature_target_correlation(xs: &[Vec<f64>], ys: &[f64], feature: usize) -> f64 {
+    let col: Vec<f64> = xs.iter().map(|x| x[feature]).collect();
+    td_table::gen::bench_join::pearson(&col, ys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic_regression(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+        // y = 2 x0 - 3 x1 + 1 + tiny deterministic noise.
+        let mut xs = Vec::with_capacity(n);
+        let mut ys = Vec::with_capacity(n);
+        for i in 0..n {
+            let x0 = (i as f64 * 0.37).sin();
+            let x1 = (i as f64 * 0.11).cos();
+            let noise = ((i * 2_654_435_761) % 1000) as f64 / 1e5;
+            xs.push(vec![x0, x1]);
+            ys.push(2.0 * x0 - 3.0 * x1 + 1.0 + noise);
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn ridge_recovers_linear_coefficients() {
+        let (xs, ys) = synthetic_regression(200);
+        let m = LinearModel::fit_ridge(&xs, &ys, 1e-6).unwrap();
+        assert!((m.weights[0] - 2.0).abs() < 0.05, "w0 {}", m.weights[0]);
+        assert!((m.weights[1] + 3.0).abs() < 0.05, "w1 {}", m.weights[1]);
+        assert!((m.bias - 1.0).abs() < 0.05, "b {}", m.bias);
+        assert!(r_squared(&m, &xs, &ys) > 0.99);
+    }
+
+    #[test]
+    fn ridge_regularization_shrinks_weights() {
+        let (xs, ys) = synthetic_regression(100);
+        let loose = LinearModel::fit_ridge(&xs, &ys, 1e-6).unwrap();
+        let tight = LinearModel::fit_ridge(&xs, &ys, 100.0).unwrap();
+        let norm = |m: &LinearModel| m.weights.iter().map(|w| w * w).sum::<f64>();
+        assert!(norm(&tight) < norm(&loose));
+    }
+
+    #[test]
+    fn logistic_separates_linearly_separable_data() {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..100 {
+            let x = i as f64 / 50.0 - 1.0; // [-1, 1]
+            xs.push(vec![x]);
+            ys.push(if x > 0.1 { 1.0 } else { 0.0 });
+        }
+        let m = LinearModel::fit_logistic(&xs, &ys, 1e-4, 0.5, 2000).unwrap();
+        assert!(accuracy(&m, &xs, &ys) > 0.93, "acc {}", accuracy(&m, &xs, &ys));
+        assert!(m.predict_proba(&[1.0]) > 0.8);
+        assert!(m.predict_proba(&[-1.0]) < 0.2);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_handled() {
+        assert!(LinearModel::fit_ridge(&[], &[], 1.0).is_none());
+        // Constant feature + ridge still solves (regularized).
+        let xs = vec![vec![1.0], vec![1.0], vec![1.0]];
+        let ys = vec![2.0, 2.0, 2.0];
+        let m = LinearModel::fit_ridge(&xs, &ys, 0.1).unwrap();
+        assert!((m.predict(&[1.0]) - 2.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn r_squared_of_mean_model_is_zero() {
+        let ys = vec![1.0, 2.0, 3.0];
+        let xs = vec![vec![0.0], vec![0.0], vec![0.0]];
+        let m = LinearModel { weights: vec![0.0], bias: 2.0 };
+        assert!(r_squared(&m, &xs, &ys).abs() < 1e-12);
+    }
+
+    #[test]
+    fn feature_correlation_ranks_informative_features() {
+        let (xs, ys) = synthetic_regression(100);
+        // Add a noise feature.
+        let xs3: Vec<Vec<f64>> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| {
+                let mut v = x.clone();
+                v.push(((i * 7919) % 100) as f64 / 100.0);
+                v
+            })
+            .collect();
+        let c0 = feature_target_correlation(&xs3, &ys, 0).abs();
+        let c2 = feature_target_correlation(&xs3, &ys, 2).abs();
+        assert!(c0 > c2, "informative {c0} vs noise {c2}");
+    }
+}

@@ -1,0 +1,269 @@
+//! Table stitching for knowledge-base completion (Lehmberg & Bizer, VLDB
+//! 2017; Ling et al., IJCAI 2013; tutorial §2.7).
+//!
+//! Web tables arrive as many small fragments of one logical relation.
+//! *Stitching* unions fragments with semantically equivalent headers into
+//! one large table; the stitched table gives annotation enough evidence to
+//! identify the relation its column pair expresses, after which its rows
+//! can be matched against a knowledge base and the *missing* facts
+//! proposed as completions. Tiny fragments alone often fail annotation
+//! (too few KB-covered rows), which is exactly why stitching boosts
+//! completion — the effect experiment E16 measures.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+use td_table::{DataLake, Table, TableId};
+use td_understand::annotate::{annotate_table, AnnotateConfig};
+use td_understand::kb::KnowledgeBase;
+
+/// Normalize a header for schema-level matching.
+#[must_use]
+pub fn normalize_header(h: &str) -> String {
+    h.trim()
+        .to_lowercase()
+        .trim_end_matches(|c: char| c.is_ascii_digit() || c == '_')
+        .to_string()
+}
+
+/// Group tables whose normalized header sequences are identical — the
+/// stitchable groups.
+#[must_use]
+pub fn stitchable_groups(lake: &DataLake) -> Vec<Vec<TableId>> {
+    let mut groups: HashMap<Vec<String>, Vec<TableId>> = HashMap::new();
+    for (id, t) in lake.iter() {
+        let key: Vec<String> = t.headers().iter().map(|h| normalize_header(h)).collect();
+        groups.entry(key).or_default().push(id);
+    }
+    let mut out: Vec<Vec<TableId>> = groups.into_values().collect();
+    out.sort_by(|a, b| b.len().cmp(&a.len()).then(a.first().cmp(&b.first())));
+    out
+}
+
+/// Stitch a group of tables (same arity, matching normalized headers) into
+/// one union table.
+///
+/// # Panics
+/// Panics if the group is empty or arities differ.
+#[must_use]
+pub fn stitch_group(lake: &DataLake, group: &[TableId]) -> Table {
+    assert!(!group.is_empty(), "empty stitch group");
+    let first = lake.table(group[0]);
+    let mut acc = first.clone();
+    for &id in &group[1..] {
+        let t = lake.table(id);
+        assert_eq!(t.num_cols(), acc.num_cols(), "arity mismatch in stitch group");
+        let alignment: Vec<Option<usize>> = (0..acc.num_cols()).map(Some).collect();
+        acc = acc.union_with(t, &alignment);
+    }
+    acc.name = format!("stitched_{}", first.name);
+    acc
+}
+
+/// Completion report: facts proposed with and without stitching.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CompletionReport {
+    /// Distinct new facts proposed from individual fragments.
+    pub facts_from_fragments: usize,
+    /// Distinct new facts proposed from stitched tables.
+    pub facts_from_stitched: usize,
+    /// Fragments whose relation annotation succeeded.
+    pub fragments_annotated: usize,
+    /// Total fragments considered.
+    pub fragments_total: usize,
+    /// Stitched groups whose relation annotation succeeded.
+    pub stitched_annotated: usize,
+    /// Total stitched groups.
+    pub stitched_total: usize,
+}
+
+/// Facts (subject, object, relation) a table proposes: its annotated
+/// relation applied to rows whose pair the KB does *not* already assert.
+fn proposed_facts(
+    table: &Table,
+    kb: &KnowledgeBase,
+    cfg: &AnnotateConfig,
+) -> (bool, HashSet<(String, String, u32)>) {
+    let ann = annotate_table(table, kb, cfg);
+    let mut out = HashSet::new();
+    let mut annotated = false;
+    for rel in &ann.relations {
+        annotated = true;
+        for r in 0..table.num_rows() {
+            let (Some(s), Some(o)) = (
+                table.columns[rel.subject].values[r].as_text(),
+                table.columns[rel.object].values[r].as_text(),
+            ) else {
+                continue;
+            };
+            if kb.relations_of(&s, &o).contains(&rel.relation) {
+                continue; // already known
+            }
+            out.insert((s.to_lowercase(), o.to_lowercase(), rel.relation));
+        }
+    }
+    (annotated, out)
+}
+
+/// Run KB completion over a lake, both per-fragment and per stitched
+/// group, and report the coverage gain.
+#[must_use]
+pub fn kb_completion(
+    lake: &DataLake,
+    kb: &KnowledgeBase,
+    cfg: &AnnotateConfig,
+) -> CompletionReport {
+    let mut report = CompletionReport::default();
+    let mut frag_facts: HashSet<(String, String, u32)> = HashSet::new();
+    for (_, t) in lake.iter() {
+        report.fragments_total += 1;
+        let (ok, facts) = proposed_facts(t, kb, cfg);
+        if ok {
+            report.fragments_annotated += 1;
+        }
+        frag_facts.extend(facts);
+    }
+    let mut stitched_facts: HashSet<(String, String, u32)> = HashSet::new();
+    for group in stitchable_groups(lake) {
+        report.stitched_total += 1;
+        let stitched = stitch_group(lake, &group);
+        let (ok, facts) = proposed_facts(&stitched, kb, cfg);
+        if ok {
+            report.stitched_annotated += 1;
+        }
+        stitched_facts.extend(facts);
+    }
+    report.facts_from_fragments = frag_facts.len();
+    report.facts_from_stitched = stitched_facts.len();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_table::gen::bench_union::RelationSpec;
+    use td_table::gen::domains::DomainRegistry;
+    use td_table::Column;
+    use td_understand::kb::KbConfig;
+
+    /// Fragments of a (city → country) relation, 6 rows each, with KB
+    /// relation coverage 0.5 — each fragment alone sees ~3 covered rows.
+    fn setup(
+        fragment_rows: u64,
+        num_fragments: u64,
+        relation_coverage: f64,
+    ) -> (DataLake, KnowledgeBase, RelationSpec) {
+        let r = DomainRegistry::standard();
+        let spec = RelationSpec {
+            key_dom: r.id("city").unwrap(),
+            attr_dom: r.id("country").unwrap(),
+            rel_id: 6,
+        };
+        let kb = KnowledgeBase::build(
+            &r,
+            &[spec],
+            &KbConfig {
+                vocab_per_domain: 2_048,
+                facts_per_relation: 2_048,
+                type_coverage: 1.0,
+                relation_coverage,
+                ..Default::default()
+            },
+        );
+        let mut lake = DataLake::new();
+        for f in 0..num_fragments {
+            let lo = f * fragment_rows;
+            let t = Table::new(
+                format!("frag_{f:03}.csv"),
+                vec![
+                    Column::new(
+                        "city",
+                        (lo..lo + fragment_rows).map(|i| r.value(spec.key_dom, i)).collect(),
+                    ),
+                    Column::new(
+                        "country",
+                        (lo..lo + fragment_rows)
+                            .map(|i| r.value(spec.attr_dom, spec.attr_index(i)))
+                            .collect(),
+                    ),
+                ],
+            )
+            .unwrap();
+            lake.add(t);
+        }
+        (lake, kb, spec)
+    }
+
+    #[test]
+    fn fragments_group_into_one_stitchable_family() {
+        let (lake, _, _) = setup(6, 10, 0.5);
+        let groups = stitchable_groups(&lake);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].len(), 10);
+    }
+
+    #[test]
+    fn stitch_concatenates_rows() {
+        let (lake, _, _) = setup(6, 10, 0.5);
+        let groups = stitchable_groups(&lake);
+        let stitched = stitch_group(&lake, &groups[0]);
+        assert_eq!(stitched.num_rows(), 60);
+        assert_eq!(stitched.num_cols(), 2);
+    }
+
+    #[test]
+    fn normalized_headers_merge_suffixed_variants() {
+        assert_eq!(normalize_header("city_2"), "city");
+        assert_eq!(normalize_header("CITY"), "city");
+        assert_eq!(normalize_header(" country "), "country");
+    }
+
+    #[test]
+    fn stitching_boosts_kb_completion() {
+        // Tiny fragments + annotation demanding a decent support: alone
+        // they often fail to identify the relation; stitched they succeed.
+        let (lake, kb, _) = setup(4, 25, 0.35);
+        let cfg = AnnotateConfig {
+            min_relation_support: 0.25,
+            ..Default::default()
+        };
+        let report = kb_completion(&lake, &kb, &cfg);
+        assert!(
+            report.facts_from_stitched > report.facts_from_fragments,
+            "stitched {} vs fragments {}",
+            report.facts_from_stitched,
+            report.facts_from_fragments
+        );
+        assert!(
+            report.fragments_annotated < report.fragments_total,
+            "every fragment annotated — the premise didn't hold"
+        );
+        assert_eq!(report.stitched_annotated, report.stitched_total);
+    }
+
+    #[test]
+    fn proposed_facts_exclude_known_ones() {
+        let (lake, kb, spec) = setup(10, 2, 1.0);
+        // Full coverage: every pair already known → nothing to propose.
+        let report = kb_completion(&lake, &kb, &AnnotateConfig::default());
+        assert_eq!(report.facts_from_stitched, 0);
+        assert_eq!(report.facts_from_fragments, 0);
+        let _ = spec;
+    }
+
+    #[test]
+    fn completion_fills_exactly_the_uncovered_pairs() {
+        let (lake, kb, spec) = setup(10, 4, 0.5);
+        let report = kb_completion(&lake, &kb, &AnnotateConfig::default());
+        // Count uncovered pairs among the 40 rows.
+        let r = DomainRegistry::standard();
+        let mut uncovered = 0;
+        for i in 0..40u64 {
+            let s = r.value(spec.key_dom, i).to_string();
+            let o = r.value(spec.attr_dom, spec.attr_index(i)).to_string();
+            if !kb.relations_of(&s, &o).contains(&spec.rel_id) {
+                uncovered += 1;
+            }
+        }
+        assert_eq!(report.facts_from_stitched, uncovered);
+    }
+}

@@ -1,0 +1,104 @@
+//! Criterion microbenchmarks: index build and query across the families
+//! the tutorial's §3 compares (inverted lists, LSH, LSH Ensemble, HNSW,
+//! flat scan).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use td::embed::seeded_unit_vector;
+use td::index::{
+    FlatIndex, Hnsw, HnswParams, InvertedSetIndexBuilder, LshEnsemble, MinHashLsh,
+};
+use td::sketch::{MinHashSignature, MinHasher};
+
+fn random_sets(n: usize, avg: usize) -> Vec<Vec<String>> {
+    (0..n)
+        .map(|s| {
+            let len = avg / 2 + (td::sketch::hash_u64(s as u64, 1) as usize) % avg;
+            (0..len)
+                .map(|i| {
+                    format!("v{}", td::sketch::hash_u64((s * 1000 + i) as u64, 2) % 50_000)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn signatures(sets: &[Vec<String>], k: usize) -> (MinHasher, Vec<MinHashSignature>) {
+    let h = MinHasher::new(k, 1);
+    let sigs = sets
+        .iter()
+        .map(|s| h.sign(s.iter().map(String::as_str)))
+        .collect();
+    (h, sigs)
+}
+
+fn bench_inverted(c: &mut Criterion) {
+    let sets = random_sets(2_000, 60);
+    let mut b = InvertedSetIndexBuilder::new();
+    for s in &sets {
+        b.add_set(s.iter().map(String::as_str));
+    }
+    let idx = b.build();
+    let q = &sets[7];
+    let mut g = c.benchmark_group("inverted_topk");
+    g.bench_function("merge", |bch| {
+        bch.iter(|| idx.top_k_merge(q.iter().map(String::as_str), 10));
+    });
+    g.bench_function("probe", |bch| {
+        bch.iter(|| idx.top_k_probe(q.iter().map(String::as_str), 10));
+    });
+    g.bench_function("adaptive", |bch| {
+        bch.iter(|| idx.top_k_adaptive(q.iter().map(String::as_str), 10));
+    });
+    g.finish();
+}
+
+fn bench_lsh_vs_ensemble(c: &mut Criterion) {
+    let sets = random_sets(2_000, 60);
+    let (_, sigs) = signatures(&sets, 128);
+    let mut lsh = MinHashLsh::with_threshold(128, 0.5);
+    for (i, s) in sigs.iter().enumerate() {
+        lsh.insert(i as u32, s);
+    }
+    let ens = LshEnsemble::build(
+        sigs.iter().enumerate().map(|(i, s)| (i as u32, s.clone())).collect(),
+        8,
+    );
+    let q = &sigs[3];
+    let mut g = c.benchmark_group("lsh_query");
+    g.bench_function("minhash_lsh", |b| {
+        b.iter(|| black_box(lsh.query(q)));
+    });
+    g.bench_function("lsh_ensemble_t0.5", |b| {
+        b.iter(|| black_box(ens.query_containment(q, 0.5)));
+    });
+    g.finish();
+}
+
+fn bench_vector_indices(c: &mut Criterion) {
+    let dim = 64;
+    for &n in &[1_000usize, 10_000] {
+        let vecs: Vec<Vec<f32>> = (0..n as u64).map(|i| seeded_unit_vector(i, dim)).collect();
+        let mut flat = FlatIndex::new(dim);
+        let mut hnsw = Hnsw::new(dim, HnswParams::default());
+        for v in &vecs {
+            flat.insert(v.clone());
+            hnsw.insert(v.clone());
+        }
+        let q = seeded_unit_vector(999_999, dim);
+        let mut g = c.benchmark_group(format!("vector_query_n{n}"));
+        g.bench_with_input(BenchmarkId::new("flat", n), &n, |b, _| {
+            b.iter(|| black_box(flat.search(&q, 10)));
+        });
+        g.bench_with_input(BenchmarkId::new("hnsw_ef64", n), &n, |b, _| {
+            b.iter(|| black_box(hnsw.search(&q, 10, 64)));
+        });
+        g.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_inverted, bench_lsh_vs_ensemble, bench_vector_indices
+}
+criterion_main!(benches);

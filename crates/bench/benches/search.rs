@@ -1,0 +1,97 @@
+//! Criterion benchmarks: end-to-end search latency per discovery family
+//! over one shared synthetic lake.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use td::core::join::{ContainmentJoinSearch, ExactJoinSearch, ExactStrategy, MateSearch};
+use td::core::union::{
+    max_weight_matching, MeasureContext, StarmieConfig, StarmieSearch, TusSearch, UnionMeasure,
+    VectorBackend,
+};
+use td::core::{KeywordConfig, KeywordSearch};
+use td::embed::{ContextualEncoder, DomainEmbedder, NGramEmbedder};
+use td::table::gen::lakegen::{LakeGenConfig, LakeGenerator};
+
+fn bench_search_families(c: &mut Criterion) {
+    let gl = LakeGenerator::standard().generate(&LakeGenConfig {
+        num_tables: 300,
+        rows: (30, 120),
+        cols: (2, 5),
+        seed: 8,
+        ..Default::default()
+    });
+    let (_, qt) = gl.lake.iter().next().unwrap();
+    let qt = qt.clone();
+    let qcol = qt
+        .columns
+        .iter()
+        .find(|col| !col.is_numeric())
+        .cloned()
+        .expect("a textual query column");
+
+    let kw = KeywordSearch::build(&gl.lake, &KeywordConfig::default());
+    c.bench_function("keyword_search", |b| {
+        b.iter(|| black_box(kw.search("geography dataset records", 10)));
+    });
+
+    let exact = ExactJoinSearch::build(&gl.lake);
+    c.bench_function("exact_join_adaptive_top10", |b| {
+        b.iter(|| black_box(exact.search(&qcol, 10, ExactStrategy::Adaptive)));
+    });
+
+    let cont = ContainmentJoinSearch::build(&gl.lake, 128, 8);
+    c.bench_function("containment_top10", |b| {
+        b.iter(|| black_box(cont.top_k(&qcol, 10)));
+    });
+
+    let mate = MateSearch::build(&gl.lake);
+    c.bench_function("mate_composite_top10", |b| {
+        b.iter(|| black_box(mate.search(&qt, &[0, 1], 10)));
+    });
+
+    let tus = TusSearch::build(
+        &gl.lake,
+        MeasureContext {
+            domain_emb: DomainEmbedder::from_registry(&gl.registry, 2_048, 64, 0.4, 3),
+            ngram_emb: NGramEmbedder::new(64, 3, 3),
+            sample: 32,
+        },
+    );
+    c.bench_function("tus_ensemble_top10", |b| {
+        b.iter(|| black_box(tus.search(&qt, 10, UnionMeasure::Ensemble)));
+    });
+
+    let starmie = StarmieSearch::build(
+        &gl.lake,
+        DomainEmbedder::from_registry(&gl.registry, 2_048, 64, 0.4, 3),
+        StarmieConfig {
+            encoder: ContextualEncoder::default(),
+            backend: VectorBackend::Hnsw,
+            ..Default::default()
+        },
+    );
+    c.bench_function("starmie_hnsw_top10", |b| {
+        b.iter(|| black_box(starmie.search(&qt, 10)));
+    });
+}
+
+fn bench_matching(c: &mut Criterion) {
+    for &n in &[8usize, 32] {
+        let w: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                (0..n)
+                    .map(|j| ((td::sketch::hash_u64((i * n + j) as u64, 3) % 1000) as f64) / 1000.0)
+                    .collect()
+            })
+            .collect();
+        c.bench_function(&format!("hungarian_{n}x{n}"), |b| {
+            b.iter(|| black_box(max_weight_matching(&w)));
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_search_families, bench_matching
+}
+criterion_main!(benches);

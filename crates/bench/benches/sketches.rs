@@ -1,0 +1,80 @@
+//! Criterion microbenchmarks: sketch construction and comparison.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use td::sketch::{HyperLogLog, KmvSketch, MinHasher, QcrSketch};
+
+fn tokens(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("token-{i}")).collect()
+}
+
+fn bench_minhash(c: &mut Criterion) {
+    let mut g = c.benchmark_group("minhash_sign");
+    for &n in &[100usize, 1_000, 10_000] {
+        let toks = tokens(n);
+        let hasher = MinHasher::new(128, 1);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| hasher.sign(toks.iter().map(String::as_str)));
+        });
+    }
+    g.finish();
+
+    let hasher = MinHasher::new(128, 1);
+    let a = hasher.sign(tokens(5_000).iter().map(String::as_str));
+    let t2 = tokens(8_000);
+    let b2 = hasher.sign(t2.iter().map(String::as_str));
+    c.bench_function("minhash_jaccard_estimate", |b| {
+        b.iter(|| black_box(a.jaccard(&b2)));
+    });
+}
+
+fn bench_kmv(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kmv_build");
+    for &n in &[1_000usize, 10_000] {
+        let toks = tokens(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| KmvSketch::from_tokens(256, 1, toks.iter().map(String::as_str)));
+        });
+    }
+    g.finish();
+
+    let t1 = tokens(10_000);
+    let t2: Vec<String> = (5_000..15_000).map(|i| format!("token-{i}")).collect();
+    let a = KmvSketch::from_tokens(256, 1, t1.iter().map(String::as_str));
+    let b2 = KmvSketch::from_tokens(256, 1, t2.iter().map(String::as_str));
+    c.bench_function("kmv_containment_estimate", |b| {
+        b.iter(|| black_box(a.estimate_containment_in(&b2)));
+    });
+}
+
+fn bench_hll(c: &mut Criterion) {
+    let toks = tokens(10_000);
+    c.bench_function("hll_insert_10k", |b| {
+        b.iter(|| {
+            let mut h = HyperLogLog::new(12, 1);
+            for t in &toks {
+                h.insert(t);
+            }
+            black_box(h.estimate())
+        });
+    });
+}
+
+fn bench_qcr(c: &mut Criterion) {
+    let pairs: Vec<(String, f64)> = (0..5_000)
+        .map(|i| (format!("k{i}"), (i as f64 * 0.37).sin()))
+        .collect();
+    c.bench_function("qcr_build_5k", |b| {
+        b.iter(|| QcrSketch::build(512, 1, &pairs));
+    });
+    let a = QcrSketch::build(512, 1, &pairs);
+    let pairs2: Vec<(String, f64)> = (0..5_000)
+        .map(|i| (format!("k{i}"), (i as f64 * 0.37).cos()))
+        .collect();
+    let b2 = QcrSketch::build(512, 1, &pairs2);
+    c.bench_function("qcr_estimate", |b| {
+        b.iter(|| black_box(a.estimate_pearson(&b2)));
+    });
+}
+
+criterion_group!(benches, bench_minhash, bench_kmv, bench_hll, bench_qcr);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! E01 — Figure 1 end-to-end: every component of the discovery
+//! architecture exercised on one synthetic lake, with build times.
+//!
+//! Reproduces: the architecture diagram of the tutorial as a working
+//! system (the paper's only figure).
+
+use td::core::{DiscoveryPipeline, PipelineConfig};
+use td::embed::{ContextualEncoder, DomainEmbedder};
+use td::nav::{rank_homographs, HomographConfig, LinkageConfig, LinkageGraph, Organization,
+    OrganizeConfig};
+use td::table::gen::lakegen::{LakeGenConfig, LakeGenerator};
+use td::table::TableId;
+use td_bench::{ms, print_table, record, time};
+
+fn main() {
+    let (gl, t_gen) = time(|| {
+        LakeGenerator::standard().generate(&LakeGenConfig {
+            num_tables: 1000,
+            rows: (20, 150),
+            cols: (2, 6),
+            seed: 1,
+            ..Default::default()
+        })
+    });
+    println!(
+        "E01: end-to-end pipeline over {} tables / {} columns (generated in {} ms)",
+        gl.lake.len(),
+        gl.lake.num_columns(),
+        ms(t_gen)
+    );
+
+    let (pipeline, t_build) = time(|| {
+        DiscoveryPipeline::build(&gl.lake, &gl.registry, &[], &PipelineConfig::default())
+    });
+
+    let (graph, t_graph) = time(|| LinkageGraph::build(&gl.lake, &LinkageConfig::default()));
+    let emb = DomainEmbedder::from_registry(&gl.registry, 2_048, 64, 0.4, 5);
+    let enc = ContextualEncoder::default();
+    let (org, t_org) = time(|| {
+        let items: Vec<(TableId, Vec<f32>)> = gl
+            .lake
+            .iter()
+            .map(|(id, t)| (id, enc.encode_table_vector(&emb, t)))
+            .collect();
+        Organization::build(&items, &OrganizeConfig::default())
+    });
+    let (homographs, t_homo) =
+        time(|| rank_homographs(&gl.lake, &HomographConfig::default()));
+
+    let mut rows = vec![
+        vec!["offline pipeline (profile+understand+index)".into(), ms(t_build)],
+        vec!["linkage graph".into(), ms(t_graph)],
+        vec!["organization".into(), ms(t_org)],
+        vec!["homograph ranking".into(), ms(t_homo)],
+    ];
+
+    // Online queries.
+    let (_, qt) = gl.lake.iter().next().unwrap();
+    let qt = qt.clone();
+    let (kw, t_kw) = time(|| pipeline.search_keyword("geography dataset", 10));
+    rows.push(vec![format!("keyword query ({} hits)", kw.len()), ms(t_kw)]);
+    if let Some(ci) = qt.columns.iter().position(|c| !c.is_numeric()) {
+        let (join, t_join) = time(|| pipeline.search_joinable(&qt.columns[ci], 10));
+        rows.push(vec![format!("joinable query ({} hits)", join.len()), ms(t_join)]);
+    }
+    let (un, t_un) = time(|| pipeline.search_unionable(&qt, 10));
+    rows.push(vec![format!("unionable query ({} hits)", un.len()), ms(t_un)]);
+
+    print_table("component timings", &["component", "time (ms)"], &rows);
+    println!(
+        "\nlinkage edges: {}, organization nodes: {}, homograph candidates: {}",
+        graph.num_edges(),
+        org.num_nodes(),
+        homographs.len()
+    );
+    record("e01_pipeline", &serde_json::json!({
+        "tables": gl.lake.len(),
+        "columns": gl.lake.num_columns(),
+        "build_ms": t_build.as_secs_f64() * 1e3,
+        "linkage_edges": graph.num_edges(),
+        "org_nodes": org.num_nodes(),
+    }));
+}

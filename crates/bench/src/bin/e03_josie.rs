@@ -1,0 +1,102 @@
+//! E03 — JOSIE (Zhu et al., SIGMOD 2019): exact top-k overlap search and
+//! the cost-model ablation (merge vs probe vs adaptive).
+//!
+//! Two workloads expose both regimes of the trade-off JOSIE's cost model
+//! navigates:
+//!
+//! * **Zipf tokens** (web-table-like): a few tokens appear in most sets,
+//!   so full merging reads enormous posting lists — probing with exact
+//!   verification and early exit wins at small k.
+//! * **Near-disjoint tokens** (entity-id-like): posting lists are tiny,
+//!   so merging is almost free and probing's per-candidate verification
+//!   is pure overhead — merging wins.
+//!
+//! The adaptive strategy should track the cheaper regime in both, while
+//! all three return identical exact answers.
+
+use td::core::join::{ExactJoinSearch, ExactStrategy};
+use td::table::gen::lakegen::Zipf;
+use td::table::{Column, DataLake, Table, Value};
+use td_bench::{ms, print_table, record, time};
+
+/// Corpus whose sets draw tokens from a Zipf(s) vocabulary.
+fn zipf_lake(num_sets: usize, set_size: usize, vocab: usize, s: f64, seed: u64) -> DataLake {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let zipf = Zipf::new(vocab, s);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut lake = DataLake::new();
+    for t in 0..num_sets {
+        let values: Vec<Value> = (0..set_size)
+            .map(|_| Value::Text(format!("tok{}", zipf.sample(&mut rng))))
+            .collect();
+        lake.add(
+            Table::new(format!("set_{t:05}.csv"), vec![Column::new("v", values)])
+                .expect("one column"),
+        );
+    }
+    lake
+}
+
+fn run_workload(name: &str, lake: &DataLake, query: &Column) {
+    let (search, t_build) = time(|| ExactJoinSearch::build(lake));
+    println!(
+        "\n--- workload: {name} ({} sets, index in {} ms) ---",
+        search.len(),
+        ms(t_build)
+    );
+    let mut rows = Vec::new();
+    for &k in &[1usize, 5, 10, 20, 50] {
+        let mut cells = vec![k.to_string()];
+        let mut reference: Option<Vec<usize>> = None;
+        for (sname, strat) in [
+            ("merge", ExactStrategy::Merge),
+            ("probe", ExactStrategy::Probe),
+            ("adaptive", ExactStrategy::Adaptive),
+        ] {
+            let (out, t) = time(|| search.search(query, k, strat));
+            let (hits, stats) = out;
+            let overlaps: Vec<usize> = hits.iter().map(|h| h.overlap).collect();
+            match &reference {
+                None => reference = Some(overlaps),
+                Some(r) => {
+                    assert_eq!(r, &overlaps, "strategy {sname} disagreed at k={k}")
+                }
+            }
+            let cost = stats.postings_read + stats.verify_tokens_read;
+            cells.push(format!("{cost} ({} ms)", ms(t)));
+            record("e03_josie", &serde_json::json!({
+                "workload": name, "k": k, "strategy": sname,
+                "postings_read": stats.postings_read,
+                "sets_verified": stats.sets_verified,
+                "verify_tokens": stats.verify_tokens_read,
+                "total_cost": cost,
+                "ms": t.as_secs_f64() * 1e3,
+            }));
+        }
+        rows.push(cells);
+    }
+    print_table(
+        "total elements touched = postings read + verification tokens (time)",
+        &["k", "merge", "probe", "adaptive"],
+        &rows,
+    );
+}
+
+fn main() {
+    println!("E03: exact top-k overlap (JOSIE) — cost-model ablation");
+
+    // Web-table-like: heavy-hitter tokens shared by most sets.
+    let zl = zipf_lake(3_000, 80, 2_000, 1.1, 7);
+    let zq = zl.table(td::table::TableId(42)).columns[0].clone();
+    run_workload("zipf tokens (heavy posting lists)", &zl, &zq);
+
+    // Entity-id-like: wide vocabulary, almost disjoint sets.
+    let dl = zipf_lake(3_000, 80, 2_000_000, 0.0, 9);
+    let dq = dl.table(td::table::TableId(42)).columns[0].clone();
+    run_workload("near-disjoint tokens (short posting lists)", &dl, &dq);
+
+    println!("\nexpected shape: identical answers everywhere; under Zipf tokens");
+    println!("probe/adaptive touch far fewer elements than merge at small k;");
+    println!("under disjoint tokens merge is near-free and adaptive follows it.");
+}

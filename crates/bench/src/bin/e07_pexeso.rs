@@ -1,0 +1,184 @@
+//! E07 — PEXESO (Dong et al., ICDE 2021): embedding-predicate fuzzy joins
+//! and pivot-based filtering.
+//!
+//! Regenerates two shapes: (1) fuzzy join recall on dirty (typo'd) keys
+//! where exact equi-join finds nothing; (2) pivot filtering prunes value
+//! pairs without changing results, with more pivots pruning more.
+
+use td::core::join::FuzzyJoinSearch;
+use td::embed::NGramEmbedder;
+use td::table::gen::words::vocab_word;
+use td::table::{Column, DataLake, Table};
+use td_bench::{ms, print_table, record, time};
+
+/// Swap two interior characters (one deterministic typo).
+fn typo(s: &str, salt: u64) -> String {
+    let mut c: Vec<char> = s.chars().collect();
+    if c.len() >= 4 {
+        let i = 1 + (td::sketch::hash_u64(salt, 0x7E) as usize) % (c.len() - 2);
+        c.swap(i, i - 1);
+    }
+    c.into_iter().collect()
+}
+
+fn main() {
+    // Corpus: one dirty copy of the query values (every value typo'd),
+    // one half-dirty copy, and unrelated columns.
+    let n = 120u64;
+    let originals: Vec<String> = (0..n).map(|i| vocab_word(0xE7, i, 3)).collect();
+    let mut lake = DataLake::new();
+    let dirty: Vec<String> = originals
+        .iter()
+        .enumerate()
+        .map(|(i, s)| typo(s, i as u64))
+        .collect();
+    lake.add(Table::new("dirty_full.csv", vec![Column::from_strings("w", &dirty)]).unwrap());
+    let half: Vec<String> = originals
+        .iter()
+        .enumerate()
+        .map(|(i, s)| if i % 2 == 0 { typo(s, i as u64) } else { vocab_word(0xAB, i as u64 + 900, 3) })
+        .collect();
+    lake.add(Table::new("dirty_half.csv", vec![Column::from_strings("w", &half)]).unwrap());
+    for u in 0..4u64 {
+        let other: Vec<String> =
+            (0..n).map(|i| vocab_word(0x99 + u, i + 5_000, 3)).collect();
+        lake.add(
+            Table::new(format!("unrelated_{u}.csv"), vec![Column::from_strings("w", &other)])
+                .unwrap(),
+        );
+    }
+    let query = Column::from_strings("w", &originals);
+    println!("E07: fuzzy join over typo'd values, {} corpus columns", lake.num_columns());
+
+    // Exact equi-join baseline: zero overlap with the dirty copies.
+    let qset = query.token_set();
+    let exact_overlap = lake
+        .table(td::table::TableId(0))
+        .columns[0]
+        .token_set()
+        .intersection(&qset)
+        .count();
+    println!("exact equi-join overlap with the fully dirty copy: {exact_overlap}");
+
+    // --- Part 1: tau sweep -------------------------------------------------
+    let search = FuzzyJoinSearch::build(&lake, NGramEmbedder::new(64, 3, 7), 8, 128);
+    let mut rows = Vec::new();
+    for &tau in &[0.4f32, 0.5, 0.6, 0.7, 0.8] {
+        let (hits, _) = search.search(&query, tau, 6);
+        let score_of = |name: &str| {
+            hits.iter()
+                .find(|(c, _)| lake.table(c.table).name == name)
+                .map_or(0.0, |(_, s)| *s)
+        };
+        rows.push(vec![
+            format!("{tau:.1}"),
+            format!("{:.2}", score_of("dirty_full.csv")),
+            format!("{:.2}", score_of("dirty_half.csv")),
+            format!("{:.2}", score_of("unrelated_0.csv")),
+        ]);
+        record("e07_tau", &serde_json::json!({
+            "tau": tau,
+            "dirty_full": score_of("dirty_full.csv"),
+            "dirty_half": score_of("dirty_half.csv"),
+            "unrelated": score_of("unrelated_0.csv"),
+        }));
+    }
+    print_table(
+        "fuzzy containment by similarity threshold τ",
+        &["tau", "dirty_full", "dirty_half", "unrelated"],
+        &rows,
+    );
+
+    // --- Part 2: pivot-count ablation ---------------------------------------
+    let mut rows = Vec::new();
+    let mut reference: Option<Vec<String>> = None;
+    for &pivots in &[0usize, 2, 4, 8, 16] {
+        let s = FuzzyJoinSearch::build(&lake, NGramEmbedder::new(64, 3, 7), pivots, 128);
+        let (out, t) = time(|| s.search(&query, 0.6, 6));
+        let (hits, stats) = out;
+        let scores: Vec<String> = hits.iter().map(|(_, s)| format!("{s:.3}")).collect();
+        match &reference {
+            None => reference = Some(scores),
+            Some(r) => assert_eq!(r, &scores, "pivots changed results"),
+        }
+        let total = stats.pairs_verified + stats.pairs_pruned;
+        rows.push(vec![
+            pivots.to_string(),
+            stats.pairs_verified.to_string(),
+            stats.pairs_pruned.to_string(),
+            format!("{:.0}%", 100.0 * stats.pairs_pruned as f64 / total.max(1) as f64),
+            ms(t),
+        ]);
+        record("e07_pivots", &serde_json::json!({
+            "pivots": pivots,
+            "verified": stats.pairs_verified,
+            "pruned": stats.pairs_pruned,
+            "ms": t.as_secs_f64() * 1e3,
+        }));
+    }
+    print_table(
+        "pivot filtering at τ = 0.6, n-gram embeddings (identical results across rows)",
+        &["pivots", "pairs verified", "pairs pruned", "pruned %", "time (ms)"],
+        &rows,
+    );
+
+    // --- Part 3: pruning on clustered embeddings ----------------------------
+    // N-gram vectors barely cluster, so the triangle bound is loose. Real
+    // word embeddings cluster by semantic domain — PEXESO's regime — which
+    // the domain-anchored model reproduces: pruning becomes substantial.
+    use td::embed::DomainEmbedder;
+    use td::table::gen::domains::DomainRegistry;
+    let r = DomainRegistry::standard();
+    let mut clake = DataLake::new();
+    for (name, lo) in
+        [("city", 0u64), ("gene", 0), ("animal", 0), ("company", 0), ("city", 500)]
+    {
+        let d = r.id(name).unwrap();
+        let col = Column::new(
+            name,
+            (lo..lo + 100).map(|i| r.value(d, i)).collect::<Vec<_>>(),
+        );
+        clake.add(Table::new(format!("{name}_{lo}.csv"), vec![col]).unwrap());
+    }
+    let cquery = Column::new(
+        "q",
+        (200..300u64)
+            .map(|i| r.value(r.id("city").unwrap(), i))
+            .collect::<Vec<_>>(),
+    );
+    let mut rows = Vec::new();
+    let mut reference: Option<Vec<String>> = None;
+    for &pivots in &[0usize, 2, 4, 8, 16] {
+        let emb = DomainEmbedder::from_registry(&r, 2_048, 64, 0.3, 11);
+        let s = FuzzyJoinSearch::build(&clake, emb, pivots, 128);
+        let (out, t) = time(|| s.search(&cquery, 0.6, 5));
+        let (hits, stats) = out;
+        let scores: Vec<String> = hits.iter().map(|(_, s)| format!("{s:.3}")).collect();
+        match &reference {
+            None => reference = Some(scores),
+            Some(rf) => assert_eq!(rf, &scores, "pivots changed results"),
+        }
+        let total = stats.pairs_verified + stats.pairs_pruned;
+        rows.push(vec![
+            pivots.to_string(),
+            stats.pairs_verified.to_string(),
+            stats.pairs_pruned.to_string(),
+            format!("{:.0}%", 100.0 * stats.pairs_pruned as f64 / total.max(1) as f64),
+            ms(t),
+        ]);
+        record("e07_pivots_clustered", &serde_json::json!({
+            "pivots": pivots,
+            "verified": stats.pairs_verified,
+            "pruned": stats.pairs_pruned,
+            "ms": t.as_secs_f64() * 1e3,
+        }));
+    }
+    print_table(
+        "pivot filtering at τ = 0.6, clustered (domain) embeddings",
+        &["pivots", "pairs verified", "pairs pruned", "pruned %", "time (ms)"],
+        &rows,
+    );
+    println!("\nexpected shape: dirty_full ≈ 1.0 at moderate τ and falls as τ → 1;");
+    println!("dirty_half ≈ 0.5; unrelated ≈ 0; pruning grows with pivot count and");
+    println!("is far stronger on clustered embeddings (PEXESO's regime).");
+}

@@ -1,0 +1,115 @@
+//! E10 — Semantic type detection: Sherlock-style feature model vs
+//! Sato-style table-context model (Hulsebos et al. KDD 2019; Zhang et al.
+//! VLDB 2020).
+//!
+//! Regenerates the Sato shape: on columns whose surface format is
+//! distinctive, features alone suffice; on format-ambiguous columns
+//! (several domains rendering identically), accuracy collapses for the
+//! feature model and is restored by the type co-occurrence context.
+
+use td::table::gen::domains::DomainRegistry;
+use td::table::{Column, Table};
+use td::understand::types::ContextTypeClassifier;
+use td_bench::{print_table, record};
+
+fn domain_column(r: &DomainRegistry, name: &str, lo: u64, n: u64) -> Column {
+    let d = r.id(name).expect("standard domain");
+    Column::new(name, (lo..lo + n).map(|i| r.value(d, i)).collect())
+}
+
+/// Tables pairing each target domain with a context partner.
+fn world_tables(
+    r: &DomainRegistry,
+    worlds: &[(&str, &str)],
+    lo: u64,
+    reps: u64,
+) -> Vec<(Table, Vec<String>)> {
+    let mut out = Vec::new();
+    for rep in 0..reps {
+        for (target, ctx) in worlds {
+            let t = Table::new(
+                format!("{target}_{rep}"),
+                vec![
+                    domain_column(r, target, lo + rep * 40, 25),
+                    domain_column(r, ctx, lo + rep * 40, 25),
+                ],
+            )
+            .expect("equal len");
+            out.push((t, vec![(*target).to_string(), (*ctx).to_string()]));
+        }
+    }
+    out
+}
+
+fn accuracy_on(
+    clf: &ContextTypeClassifier,
+    test: &[(Table, Vec<String>)],
+    contextual: bool,
+) -> f64 {
+    let mut ok = 0usize;
+    let mut total = 0usize;
+    for (t, labels) in test {
+        let preds: Vec<String> = if contextual {
+            clf.predict_table_labels(t).iter().map(|s| (*s).to_string()).collect()
+        } else {
+            t.columns
+                .iter()
+                .map(|c| clf.base.predict_label(c).to_string())
+                .collect()
+        };
+        // Grade the first (target) column only.
+        total += 1;
+        if preds[0] == labels[0] {
+            ok += 1;
+        }
+    }
+    ok as f64 / total.max(1) as f64
+}
+
+fn main() {
+    let r = DomainRegistry::standard();
+    println!("E10: semantic type detection, feature model vs table context");
+
+    // Distinct-format targets: every format is unique → features suffice.
+    let distinct: [(&str, &str); 4] = [
+        ("email", "city"),
+        ("phone", "person"),
+        ("gene", "company"),
+        ("event_date", "product"),
+    ];
+    // Ambiguous targets: all four render as Proper{3} — identical features.
+    let ambiguous: [(&str, &str); 4] = [
+        ("country", "phone"),
+        ("company", "stock_ticker"),
+        ("movie", "person"),
+        ("book", "email"),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, worlds) in [("distinct formats", &distinct), ("ambiguous formats", &ambiguous)] {
+        let train = world_tables(&r, worlds, 0, 10);
+        let train_refs: Vec<(&Table, Vec<&str>)> = train
+            .iter()
+            .map(|(t, l)| (t, l.iter().map(String::as_str).collect()))
+            .collect();
+        let clf = ContextTypeClassifier::train(&train_refs, 4.0);
+        let test = world_tables(&r, worlds, 20_000, 10);
+        let feat_acc = accuracy_on(&clf, &test, false);
+        let ctx_acc = accuracy_on(&clf, &test, true);
+        rows.push(vec![
+            name.to_string(),
+            format!("{feat_acc:.2}"),
+            format!("{ctx_acc:.2}"),
+        ]);
+        record("e10_types", &serde_json::json!({
+            "setting": name, "feature_accuracy": feat_acc, "context_accuracy": ctx_acc,
+        }));
+    }
+    print_table(
+        "target-column accuracy (40 test tables each)",
+        &["setting", "features only (Sherlock-like)", "with context (Sato-like)"],
+        &rows,
+    );
+    println!("\nexpected shape: both near-perfect on distinct formats; on ambiguous");
+    println!("formats features ≈ random among 4 confusables, context recovers most.");
+}

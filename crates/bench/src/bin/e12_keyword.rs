@@ -1,0 +1,109 @@
+//! E12 — Keyword/metadata search and its failure mode (tutorial §2.1/2.3;
+//! Google Dataset Search's premise and the data-driven methods' motive).
+//!
+//! Regenerates the tutorial's motivating shape: BM25 over metadata works
+//! when metadata exists and degrades linearly as metadata goes missing or
+//! inconsistent — while a value-based (data-driven) search on the same
+//! queries is unaffected.
+
+use std::collections::HashSet;
+use td::core::join::ExactJoinSearch;
+use td::core::join::ExactStrategy;
+use td::core::{KeywordConfig, KeywordSearch};
+use td::table::gen::lakegen::{LakeGenConfig, LakeGenerator};
+use td::table::{DataLake, TableId, TableMeta};
+use td_bench::{print_table, record};
+
+fn main() {
+    let gl = LakeGenerator::standard().generate(&LakeGenConfig {
+        num_tables: 300,
+        rows: (30, 100),
+        cols: (2, 4),
+        missing_meta_rate: 0.0, // start complete; we corrupt explicitly
+        seed: 6,
+        ..Default::default()
+    });
+    println!("E12: metadata keyword search under metadata corruption, 300 tables");
+
+    // Queries: category names; relevant = tables of that category.
+    let categories = ["geography", "people", "business", "science", "culture"];
+    let relevant_of = |cat: &str| -> HashSet<TableId> {
+        gl.table_categories
+            .iter()
+            .filter(|(_, c)| c == &cat)
+            .map(|(t, _)| *t)
+            .collect()
+    };
+
+    let mut rows = Vec::new();
+    for &missing_pct in &[0usize, 20, 40, 60, 80, 100] {
+        // Corrupt: drop metadata of the first missing_pct% of tables.
+        let mut lake = DataLake::new();
+        for (i, (_, t)) in gl.lake.iter().enumerate() {
+            let mut t = t.clone();
+            if (i * 100) < missing_pct * gl.lake.len() {
+                t.meta = TableMeta::default();
+            }
+            lake.add(t);
+        }
+        let ks = KeywordSearch::build(
+            &lake,
+            &KeywordConfig { index_schema: false, ..Default::default() },
+        );
+        let mut recall_sum = 0.0;
+        for cat in categories {
+            let relevant = relevant_of(cat);
+            let k = relevant.len();
+            let hits: Vec<TableId> =
+                ks.search(cat, k).into_iter().map(|(t, _)| t).collect();
+            let found = hits.iter().filter(|t| relevant.contains(t)).count();
+            recall_sum += found as f64 / relevant.len().max(1) as f64;
+        }
+        let recall = recall_sum / categories.len() as f64;
+        rows.push(vec![format!("{missing_pct}%"), format!("{recall:.2}")]);
+        record("e12_keyword", &serde_json::json!({
+            "missing_pct": missing_pct, "recall_at_nrel": recall,
+        }));
+    }
+    print_table(
+        "metadata keyword search: recall@|relevant| vs missing metadata",
+        &["metadata missing", "mean recall"],
+        &rows,
+    );
+
+    // Data-driven contrast: value-overlap search is metadata-oblivious,
+    // schema-based joins (the InfoGather-era baseline) break with headers.
+    use td::core::join::{SchemaJoinConfig, SchemaJoinSearch};
+    let mut lake_nometa = DataLake::new();
+    for (_, t) in gl.lake.iter() {
+        let mut t = t.clone();
+        t.meta = TableMeta::default();
+        // Also corrupt every header.
+        for (i, c) in t.columns.iter_mut().enumerate() {
+            c.name = format!("col_{i}");
+        }
+        lake_nometa.add(t);
+    }
+    let join = ExactJoinSearch::build(&lake_nometa);
+    let schema = SchemaJoinSearch::build(&lake_nometa, SchemaJoinConfig::default());
+    let (qid, qt) = gl.lake.iter().next().unwrap();
+    if let Some(qcol) = qt.columns.iter().find(|c| !c.is_numeric()) {
+        let value_hit = join
+            .search_tables(qcol, 5, ExactStrategy::Adaptive)
+            .first()
+            .map(|(t, _)| *t == qid)
+            .unwrap_or(false);
+        let schema_hits = schema.search_tables(qcol, 5).len();
+        println!(
+            "\nzero metadata + corrupted headers: value-based self-join ranks #1: \
+             {value_hit}; schema-based join finds {schema_hits} tables"
+        );
+        record("e12_data_driven", &serde_json::json!({
+            "value_self_join_rank1": value_hit,
+            "schema_join_hits": schema_hits,
+        }));
+    }
+    println!("\nexpected shape: keyword recall falls roughly linearly to 0 as");
+    println!("metadata disappears; schema-based joins find nothing on corrupted");
+    println!("headers; value-based search is entirely unaffected.");
+}

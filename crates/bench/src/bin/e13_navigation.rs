@@ -1,0 +1,153 @@
+//! E13 — Data-lake organization and online exploration (Nargesian et al.
+//! SIGMOD 2020/TKDE 2023; RONIN, VLDB 2021).
+//!
+//! Regenerates the organization paper's shape: navigating a learned
+//! hierarchy gives a far higher expected probability of discovering a
+//! target table than uniform descent, with branching factor trading depth
+//! against per-node confusion; plus RONIN-style online grouping purity.
+
+use td::embed::{ContextualEncoder, DomainEmbedder};
+use td::nav::{group_results, Organization, OrganizeConfig, RoninConfig};
+use td::table::gen::lakegen::{LakeGenConfig, LakeGenerator};
+use td::table::TableId;
+use td_bench::{ms, print_table, record, time};
+
+fn main() {
+    let gl = LakeGenerator::standard().generate(&LakeGenConfig {
+        num_tables: 2_000,
+        rows: (20, 80),
+        cols: (2, 5),
+        topical_fraction: 0.85,
+        seed: 7,
+        ..Default::default()
+    });
+    let emb = DomainEmbedder::from_registry(&gl.registry, 2_048, 64, 0.4, 5);
+    let enc = ContextualEncoder::default();
+    let (items, t_embed) = time(|| {
+        gl.lake
+            .iter()
+            .map(|(id, t)| (id, enc.encode_table_vector(&emb, t)))
+            .collect::<Vec<(TableId, Vec<f32>)>>()
+    });
+    println!(
+        "E13: organization over {} tables (embedded in {} ms)",
+        items.len(),
+        ms(t_embed)
+    );
+
+    // --- Part 1: branching-factor sweep -------------------------------------
+    let mut rows = Vec::new();
+    for &branching in &[2usize, 4, 8, 16] {
+        let (org, t_build) = time(|| {
+            Organization::build(
+                &items,
+                &OrganizeConfig { branching, leaf_size: 8, ..Default::default() },
+            )
+        });
+        let sample: Vec<&(TableId, Vec<f32>)> = items.iter().step_by(10).collect();
+        let avg = |beta: f32| {
+            sample
+                .iter()
+                .map(|(t, v)| org.discovery_probability(*t, v, beta))
+                .sum::<f64>()
+                / sample.len() as f64
+        };
+        let informed = avg(8.0);
+        let uniform = avg(0.0);
+        rows.push(vec![
+            branching.to_string(),
+            org.num_nodes().to_string(),
+            format!("{informed:.3}"),
+            format!("{uniform:.3}"),
+            format!("{:.1}x", informed / uniform.max(1e-9)),
+            ms(t_build),
+        ]);
+        record("e13_branching", &serde_json::json!({
+            "branching": branching, "nodes": org.num_nodes(),
+            "informed": informed, "uniform": uniform,
+        }));
+    }
+    print_table(
+        "expected discovery probability by branching factor (200-table sample)",
+        &["branching", "nodes", "informed", "uniform descent", "gain", "build (ms)"],
+        &rows,
+    );
+
+    // --- Part 1b: local-search refinement ablation ---------------------------
+    let mut org = Organization::build(
+        &items,
+        &OrganizeConfig { branching: 4, leaf_size: 8, kmeans_iters: 1, ..Default::default() },
+    );
+    let sample: Vec<&(TableId, Vec<f32>)> = items.iter().step_by(10).collect();
+    let avg = |o: &Organization| {
+        sample
+            .iter()
+            .map(|(t, v)| o.discovery_probability(*t, v, 8.0))
+            .sum::<f64>()
+            / sample.len() as f64
+    };
+    let before = avg(&org);
+    let (moves, t_refine) = time(|| org.refine(&items, 5));
+    let after = avg(&org);
+    println!(
+        "\nlocal-search refinement (1-iteration build): discovery probability \
+         {before:.3} -> {after:.3} after {moves} moves ({} ms)",
+        ms(t_refine)
+    );
+    println!(
+        "(a near-null delta means the k-means construction already sits at a \
+         local optimum of the navigation objective — refinement is the safety \
+         net for degenerate builds, not a free win)"
+    );
+    record("e13_refine", &serde_json::json!({
+        "before": before, "after": after, "moves": moves,
+    }));
+
+    // --- Part 2: RONIN online grouping purity --------------------------------
+    // Result set: the first 40 tables from four ground-truth categories.
+    let mut result_set: Vec<(TableId, Vec<f32>)> = Vec::new();
+    for cat in ["geography", "science", "business", "culture"] {
+        let mut n = 0;
+        for (id, v) in &items {
+            if gl.table_categories.get(id).map(String::as_str) == Some(cat) && n < 10 {
+                result_set.push((*id, v.clone()));
+                n += 1;
+            }
+        }
+    }
+    let groups = group_results(
+        &gl.lake,
+        &result_set,
+        &RoninConfig { groups: 4, ..Default::default() },
+    );
+    let mut rows = Vec::new();
+    let mut purity_sum = 0.0;
+    for g in &groups {
+        // Majority category fraction.
+        let mut counts: std::collections::HashMap<&str, usize> = Default::default();
+        for t in &g.tables {
+            *counts
+                .entry(gl.table_categories.get(t).map(String::as_str).unwrap_or("?"))
+                .or_insert(0) += 1;
+        }
+        let (maj, n) = counts.iter().max_by_key(|(_, n)| **n).unwrap();
+        let purity = *n as f64 / g.tables.len() as f64;
+        purity_sum += purity * g.tables.len() as f64;
+        rows.push(vec![
+            g.label.clone(),
+            g.tables.len().to_string(),
+            (*maj).to_string(),
+            format!("{purity:.2}"),
+        ]);
+    }
+    let weighted_purity = purity_sum / result_set.len() as f64;
+    print_table(
+        "RONIN online groups over a 40-table result set",
+        &["group label", "size", "majority category", "purity"],
+        &rows,
+    );
+    println!("\nweighted purity: {weighted_purity:.2}");
+    record("e13_ronin", &serde_json::json!({ "weighted_purity": weighted_purity }));
+    println!("expected shape: informed navigation many times better than uniform;");
+    println!("online groups align with ground-truth topical categories.");
+}

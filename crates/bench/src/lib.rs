@@ -1,0 +1,85 @@
+//! Harness support for the experiment binaries: aligned-table printing,
+//! wall-clock timing, and JSON result records (consumed by EXPERIMENTS.md).
+
+#![warn(missing_docs)]
+
+use serde::Serialize;
+use std::time::{Duration, Instant};
+
+/// Print an aligned text table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n{title}");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::from("  ");
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:<w$}  ", c, w = widths.get(i).copied().unwrap_or(8)));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(&headers.iter().map(|h| (*h).to_string()).collect::<Vec<_>>());
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Time a closure.
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Milliseconds with two decimals.
+#[must_use]
+pub fn ms(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e3)
+}
+
+/// Append a JSON result record to `target/experiments.jsonl` (best-effort;
+/// printing remains the primary output).
+pub fn record<T: Serialize>(experiment: &str, payload: &T) {
+    #[derive(Serialize)]
+    struct Record<'a, T> {
+        experiment: &'a str,
+        payload: &'a T,
+    }
+    let rec = Record { experiment, payload };
+    if let Ok(json) = serde_json::to_string(&rec) {
+        let path = std::path::Path::new("target");
+        let _ = std::fs::create_dir_all(path);
+        use std::io::Write;
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path.join("experiments.jsonl"))
+        {
+            let _ = writeln!(f, "{json}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ms_formats() {
+        assert_eq!(ms(Duration::from_millis(1500)), "1500.00");
+    }
+
+    #[test]
+    fn time_returns_value() {
+        let (v, d) = time(|| 41 + 1);
+        assert_eq!(v, 42);
+        assert!(d.as_nanos() > 0);
+    }
+}

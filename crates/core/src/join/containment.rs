@@ -1,0 +1,168 @@
+//! Containment (domain) search via LSH Ensemble (tutorial §2.4).
+
+use crate::join::jaccard::JaccardJoinSearch;
+use td_index::ensemble::LshEnsemble;
+use td_table::{Column, ColumnRef, DataLake, TableId};
+
+/// Containment-threshold joinable search over all textual columns.
+#[derive(Debug, Clone)]
+pub struct ContainmentJoinSearch {
+    base: JaccardJoinSearch,
+    ensemble: LshEnsemble,
+}
+
+impl ContainmentJoinSearch {
+    /// Build with `k_hashes`-function signatures and `partitions`
+    /// cardinality partitions.
+    ///
+    /// # Panics
+    /// Panics if the lake has no indexable textual columns.
+    #[must_use]
+    pub fn build(lake: &DataLake, k_hashes: usize, partitions: usize) -> Self {
+        let base = JaccardJoinSearch::build(lake, k_hashes);
+        let ensemble = LshEnsemble::build(base.signatures(), partitions);
+        ContainmentJoinSearch { base, ensemble }
+    }
+
+    /// Number of indexed columns.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    /// True if nothing was indexed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.base.is_empty()
+    }
+
+    /// Number of cardinality partitions.
+    #[must_use]
+    pub fn num_partitions(&self) -> usize {
+        self.ensemble.num_partitions()
+    }
+
+    /// Columns whose estimated containment of the query reaches `t`.
+    #[must_use]
+    pub fn query_threshold(&self, query: &Column, t: f64) -> Vec<(ColumnRef, f64)> {
+        self.query_threshold_with_stats(query, t).0
+    }
+
+    /// Like [`Self::query_threshold`], also returning the raw candidate
+    /// count fetched before verification (the partitioning ablation's
+    /// cost metric).
+    #[must_use]
+    pub fn query_threshold_with_stats(
+        &self,
+        query: &Column,
+        t: f64,
+    ) -> (Vec<(ColumnRef, f64)>, usize) {
+        let q = self.base.sign(query);
+        let (hits, raw) = self.ensemble.query_containment_with_stats(&q, t);
+        (
+            hits.into_iter()
+                .map(|(id, est)| (self.base.column_ref(id), est))
+                .collect(),
+            raw,
+        )
+    }
+
+    /// Top-k columns by estimated containment.
+    #[must_use]
+    pub fn top_k(&self, query: &Column, k: usize) -> Vec<(ColumnRef, f64)> {
+        let q = self.base.sign(query);
+        self.ensemble
+            .top_k_containment(&q, k)
+            .into_iter()
+            .map(|(id, est)| (self.base.column_ref(id), est))
+            .collect()
+    }
+
+    /// Top-k *tables* by best-column containment.
+    #[must_use]
+    pub fn top_k_tables(&self, query: &Column, k: usize) -> Vec<(TableId, f64)> {
+        let mut best: Vec<(TableId, f64)> = Vec::new();
+        for (c, est) in self.top_k(query, k * 4 + 8) {
+            match best.iter_mut().find(|(t, _)| *t == c.table) {
+                Some((_, e)) => *e = e.max(est),
+                None => best.push((c.table, est)),
+            }
+        }
+        best.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        best.truncate(k);
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use td_table::gen::bench_join::{JoinBenchConfig, JoinBenchmark};
+
+    fn bench() -> JoinBenchmark {
+        JoinBenchmark::generate(&JoinBenchConfig {
+            query_size: 200,
+            num_relevant: 30,
+            num_noise: 15,
+            card_range: (40, 10_000),
+            seed: 9,
+            ..JoinBenchConfig::default()
+        })
+    }
+
+    #[test]
+    fn finds_high_containment_tables_at_threshold() {
+        let b = bench();
+        let s = ContainmentJoinSearch::build(&b.lake, 256, 8);
+        let hits = s.query_threshold(&b.query.columns[0], 0.7);
+        let got: HashSet<TableId> = hits.iter().map(|(c, _)| c.table).collect();
+        let should: Vec<TableId> = b
+            .truth
+            .iter()
+            .filter(|t| t.containment >= 0.8)
+            .map(|t| t.table)
+            .collect();
+        assert!(!should.is_empty());
+        let found = should.iter().filter(|t| got.contains(t)).count();
+        let recall = found as f64 / should.len() as f64;
+        assert!(recall >= 0.8, "recall {recall} over {} targets", should.len());
+    }
+
+    #[test]
+    fn low_containment_tables_are_filtered() {
+        let b = bench();
+        let s = ContainmentJoinSearch::build(&b.lake, 256, 8);
+        let hits = s.query_threshold(&b.query.columns[0], 0.7);
+        let low: HashSet<TableId> = b
+            .truth
+            .iter()
+            .filter(|t| t.containment < 0.4)
+            .map(|t| t.table)
+            .collect();
+        let leaked = hits.iter().filter(|(c, _)| low.contains(&c.table)).count();
+        // Estimation noise may leak a couple of borderline sets, not many.
+        assert!(leaked <= low.len() / 4 + 1, "{leaked} low-containment leaks");
+    }
+
+    #[test]
+    fn top_k_tables_are_ranked() {
+        let b = bench();
+        let s = ContainmentJoinSearch::build(&b.lake, 256, 8);
+        let top = s.top_k_tables(&b.query.columns[0], 5);
+        assert!(top.len() <= 5);
+        for w in top.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        // Best hit is truly high-containment.
+        let t0 = b.truth.iter().find(|t| t.table == top[0].0).unwrap();
+        assert!(t0.containment > 0.7, "top hit containment {}", t0.containment);
+    }
+
+    #[test]
+    fn partition_count_is_respected() {
+        let b = bench();
+        let s = ContainmentJoinSearch::build(&b.lake, 128, 4);
+        assert_eq!(s.num_partitions(), 4);
+    }
+}

@@ -1,0 +1,275 @@
+//! Correlated dataset search — QCR-sketch index (Santos et al., ICDE 2022;
+//! tutorial §2.4).
+//!
+//! Finds tables that are joinable with the query on a key column **and**
+//! whose numeric column correlates with a query numeric column, without
+//! executing any joins at query time: every (key column, numeric column)
+//! pair in the lake is summarized offline by a [`QcrSketch`], and query
+//! sketches are intersected with them.
+
+use serde::{Deserialize, Serialize};
+use td_index::topk::TopK;
+use td_sketch::qcr::QcrSketch;
+use td_table::gen::bench_join::pearson;
+use td_table::{Column, ColumnRef, DataLake};
+
+/// A correlated-column hit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CorrelatedHit {
+    /// The key column joined on.
+    pub key_column: ColumnRef,
+    /// The correlated numeric column.
+    pub numeric_column: ColumnRef,
+    /// Estimated Pearson correlation (via the QCR → Pearson transform).
+    pub estimated_correlation: f64,
+    /// Join-sample size behind the estimate.
+    pub shared_keys: usize,
+}
+
+/// QCR-sketch index over all (key, numeric) column pairs of a lake.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CorrelatedSearch {
+    sketches: Vec<(ColumnRef, ColumnRef, QcrSketch)>,
+    sketch_k: usize,
+}
+
+const QCR_SEED: u64 = 0xC0_44;
+
+/// Extract `(key token, numeric value)` row pairs from two columns.
+fn key_value_pairs(key: &Column, num: &Column) -> Vec<(String, f64)> {
+    key.values
+        .iter()
+        .zip(&num.values)
+        .filter_map(|(k, v)| Some((k.join_token()?, v.as_f64()?)))
+        .collect()
+}
+
+impl CorrelatedSearch {
+    /// Sketch every (textual key, numeric) column pair with budget
+    /// `sketch_k`.
+    #[must_use]
+    pub fn build(lake: &DataLake, sketch_k: usize) -> Self {
+        let mut sketches = Vec::new();
+        for (id, table) in lake.iter() {
+            for (ki, key) in table.columns.iter().enumerate() {
+                if key.is_numeric() || key.token_set().is_empty() {
+                    continue;
+                }
+                for (ni, num) in table.columns.iter().enumerate() {
+                    if ki == ni || !num.is_numeric() {
+                        continue;
+                    }
+                    let pairs = key_value_pairs(key, num);
+                    if pairs.len() < 2 {
+                        continue;
+                    }
+                    sketches.push((
+                        ColumnRef::new(id, ki),
+                        ColumnRef::new(id, ni),
+                        QcrSketch::build(sketch_k, QCR_SEED, &pairs),
+                    ));
+                }
+            }
+        }
+        CorrelatedSearch { sketches, sketch_k }
+    }
+
+    /// Number of sketched column pairs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sketches.len()
+    }
+
+    /// True if nothing was sketched.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sketches.is_empty()
+    }
+
+    /// Top-k column pairs by `|estimated correlation|` (both signs are
+    /// interesting), requiring at least `min_shared` shared sampled keys.
+    #[must_use]
+    pub fn search(
+        &self,
+        query_key: &Column,
+        query_num: &Column,
+        k: usize,
+        min_shared: usize,
+    ) -> Vec<CorrelatedHit> {
+        let pairs = key_value_pairs(query_key, query_num);
+        let qs = QcrSketch::build(self.sketch_k, QCR_SEED, &pairs);
+        let mut topk = TopK::new(k.max(1));
+        for (i, (_, _, sketch)) in self.sketches.iter().enumerate() {
+            let shared = qs.shared_keys(sketch);
+            if shared < min_shared {
+                continue;
+            }
+            let est = qs.estimate_pearson(sketch);
+            topk.push(est.abs(), i as u32);
+        }
+        topk.into_sorted()
+            .into_iter()
+            .map(|(_, i)| {
+                let (key, num, sketch) = &self.sketches[i as usize];
+                CorrelatedHit {
+                    key_column: *key,
+                    numeric_column: *num,
+                    estimated_correlation: qs.estimate_pearson(sketch),
+                    shared_keys: qs.shared_keys(sketch),
+                }
+            })
+            .collect()
+    }
+}
+
+/// Exact correlation of the query pair with a candidate pair via a hash
+/// join on key tokens — the ground truth the sketch estimates.
+#[must_use]
+pub fn exact_join_correlation(
+    query_key: &Column,
+    query_num: &Column,
+    cand_key: &Column,
+    cand_num: &Column,
+) -> Option<f64> {
+    let mut qmap = std::collections::HashMap::new();
+    for (k, v) in key_value_pairs(query_key, query_num) {
+        qmap.entry(k).or_insert(v);
+    }
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for (k, v) in key_value_pairs(cand_key, cand_num) {
+        if let Some(&x) = qmap.get(&k) {
+            xs.push(x);
+            ys.push(v);
+        }
+    }
+    if xs.len() < 2 {
+        None
+    } else {
+        Some(pearson(&xs, &ys))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_table::gen::bench_join::{CorrelationBenchmark, CorrelationConfig};
+
+    fn bench() -> CorrelationBenchmark {
+        CorrelationBenchmark::generate(&CorrelationConfig::default())
+    }
+
+    #[test]
+    fn ranks_by_absolute_correlation() {
+        let b = bench();
+        let s = CorrelatedSearch::build(&b.lake, 512);
+        let hits = s.search(&b.query.columns[0], &b.query.columns[1], 4, 20);
+        assert!(!hits.is_empty());
+        // Top hits should be the extreme-rho plants (|rho| 0.95).
+        let top_truth = b
+            .truth
+            .iter()
+            .find(|t| t.table == hits[0].numeric_column.table)
+            .unwrap();
+        assert!(
+            top_truth.rho.abs() >= 0.8,
+            "top hit planted rho {}",
+            top_truth.rho
+        );
+    }
+
+    #[test]
+    fn estimates_track_realized_correlation() {
+        let b = bench();
+        let s = CorrelatedSearch::build(&b.lake, 1024);
+        let hits = s.search(&b.query.columns[0], &b.query.columns[1], 10, 20);
+        for h in &hits {
+            let t = b
+                .truth
+                .iter()
+                .find(|t| t.table == h.numeric_column.table)
+                .unwrap();
+            assert!(
+                (h.estimated_correlation - t.realized_rho).abs() < 0.3,
+                "est {} vs realized {}",
+                h.estimated_correlation,
+                t.realized_rho
+            );
+        }
+    }
+
+    #[test]
+    fn sign_is_preserved() {
+        let b = bench();
+        let s = CorrelatedSearch::build(&b.lake, 1024);
+        let hits = s.search(&b.query.columns[0], &b.query.columns[1], 10, 20);
+        let mut checked = 0;
+        for h in &hits {
+            let t = b
+                .truth
+                .iter()
+                .find(|t| t.table == h.numeric_column.table)
+                .unwrap();
+            if t.realized_rho.abs() > 0.4 {
+                assert_eq!(
+                    h.estimated_correlation.signum(),
+                    t.realized_rho.signum(),
+                    "sign flip for rho {}",
+                    t.realized_rho
+                );
+                checked += 1;
+            }
+        }
+        assert!(checked >= 3);
+    }
+
+    #[test]
+    fn exact_join_correlation_matches_truth() {
+        let b = bench();
+        for t in &b.truth {
+            let cand = b.lake.table(t.table);
+            let rho = exact_join_correlation(
+                &b.query.columns[0],
+                &b.query.columns[1],
+                &cand.columns[0],
+                &cand.columns[1],
+            )
+            .unwrap();
+            assert!((rho - t.realized_rho).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn min_shared_filters_thin_joins() {
+        let b = bench();
+        let s = CorrelatedSearch::build(&b.lake, 256);
+        let all = s.search(&b.query.columns[0], &b.query.columns[1], 20, 1);
+        let strict = s.search(&b.query.columns[0], &b.query.columns[1], 20, 10_000);
+        assert!(strict.is_empty());
+        assert!(!all.is_empty());
+    }
+
+    #[test]
+    fn larger_sketches_estimate_better() {
+        let b = bench();
+        let err = |k: usize| {
+            let s = CorrelatedSearch::build(&b.lake, k);
+            let hits = s.search(&b.query.columns[0], &b.query.columns[1], 10, 5);
+            let mut e = 0.0;
+            let mut n = 0;
+            for h in hits {
+                let t = b
+                    .truth
+                    .iter()
+                    .find(|t| t.table == h.numeric_column.table)
+                    .unwrap();
+                e += (h.estimated_correlation - t.realized_rho).abs();
+                n += 1;
+            }
+            e / n.max(1) as f64
+        };
+        let small = err(32);
+        let large = err(2048);
+        assert!(large <= small + 0.05, "k=2048 err {large} vs k=32 err {small}");
+    }
+}

@@ -1,0 +1,338 @@
+//! Fuzzy (embedding-based) joinable search — PEXESO (Dong et al., ICDE
+//! 2021; tutorial §2.4).
+//!
+//! Equi-join search misses joins hidden behind typos, alias spellings, and
+//! formatting noise. PEXESO embeds column values into vectors and declares
+//! a value pair matched when their similarity clears a predicate threshold
+//! `τ`; a column is fuzzily joinable to the query in proportion to the
+//! query values that find at least one match. The quadratic value-pair cost
+//! is tamed with *pivot-based* filtering: precomputed angles to a few pivot
+//! vectors yield an upper bound on any pair's cosine (spherical triangle
+//! inequality), and pairs whose bound misses `τ` are pruned unverified.
+
+use serde::{Deserialize, Serialize};
+use td_embed::model::{seeded_unit_vector, Embedder};
+use td_embed::vector::dot;
+use td_index::topk::TopK;
+use td_table::{Column, ColumnRef, DataLake, TableId};
+
+/// Filtering statistics (experiment E07's pruning ablation).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FuzzyStats {
+    /// Value pairs whose cosine was actually computed.
+    pub pairs_verified: usize,
+    /// Value pairs pruned by the pivot bound.
+    pub pairs_pruned: usize,
+}
+
+/// A stored column: its distinct-value vectors and pivot angles.
+#[derive(Debug, Clone)]
+struct FuzzyColumn {
+    r: ColumnRef,
+    vectors: Vec<Vec<f32>>,
+    /// `angles[v][p]` = angle between value `v` and pivot `p` (radians).
+    angles: Vec<Vec<f32>>,
+}
+
+/// PEXESO-style fuzzy join search.
+pub struct FuzzyJoinSearch<E: Embedder> {
+    embedder: E,
+    pivots: Vec<Vec<f32>>,
+    columns: Vec<FuzzyColumn>,
+    /// Distinct values sampled per column.
+    sample: usize,
+}
+
+/// Angle between two unit vectors.
+fn angle(a: &[f32], b: &[f32]) -> f32 {
+    dot(a, b).clamp(-1.0, 1.0).acos()
+}
+
+impl<E: Embedder> FuzzyJoinSearch<E> {
+    /// Index every textual column of a lake, embedding up to `sample`
+    /// distinct values per column, with `num_pivots` pivot vectors.
+    ///
+    /// Pivots are chosen from the *data* by farthest-first traversal (one
+    /// pivot lands near each value cluster), which is what makes the
+    /// triangle-inequality bound tight enough to prune; random pivots in
+    /// high dimension see every vector at ~90° and prune nothing.
+    #[must_use]
+    pub fn build(lake: &DataLake, embedder: E, num_pivots: usize, sample: usize) -> Self {
+        let mut columns = Vec::new();
+        for (r, col) in lake.columns() {
+            if col.is_numeric() {
+                continue;
+            }
+            let vectors = embed_distinct(&embedder, col, sample);
+            if vectors.is_empty() {
+                continue;
+            }
+            columns.push(FuzzyColumn { r, vectors, angles: Vec::new() });
+        }
+        // Farthest-first pivot selection over a subsample of all vectors.
+        let pool: Vec<&Vec<f32>> = columns
+            .iter()
+            .flat_map(|c| c.vectors.iter())
+            .take(1024)
+            .collect();
+        let mut pivots: Vec<Vec<f32>> = Vec::with_capacity(num_pivots);
+        if num_pivots > 0 {
+            if let Some(first) = pool.first() {
+                pivots.push((*first).clone());
+                while pivots.len() < num_pivots {
+                    let far = pool
+                        .iter()
+                        .max_by(|a, b| {
+                            let da = pivots
+                                .iter()
+                                .map(|p| angle(a, p))
+                                .fold(f32::INFINITY, f32::min);
+                            let db = pivots
+                                .iter()
+                                .map(|p| angle(b, p))
+                                .fold(f32::INFINITY, f32::min);
+                            da.total_cmp(&db)
+                        })
+                        .copied();
+                    match far {
+                        Some(v) => pivots.push(v.clone()),
+                        None => break,
+                    }
+                }
+            } else {
+                // Empty lake: seed-derived pivots keep the struct usable.
+                pivots = (0..num_pivots as u64)
+                    .map(|i| seeded_unit_vector(0xFA20 + i, embedder.dim()))
+                    .collect();
+            }
+        }
+        for c in &mut columns {
+            c.angles = c
+                .vectors
+                .iter()
+                .map(|v| pivots.iter().map(|p| angle(v, p)).collect())
+                .collect();
+        }
+        FuzzyJoinSearch { embedder, pivots, columns, sample }
+    }
+
+    /// Number of indexed columns.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True if nothing was indexed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Fuzzy containment of the query column in every indexed column:
+    /// fraction of query values with at least one candidate value at
+    /// cosine ≥ `tau`. Returns top-k `(column, fuzzy containment)`.
+    #[must_use]
+    pub fn search(&self, query: &Column, tau: f32, k: usize) -> (Vec<(ColumnRef, f64)>, FuzzyStats) {
+        let qvecs = embed_distinct(&self.embedder, query, self.sample);
+        let qangles: Vec<Vec<f32>> = qvecs
+            .iter()
+            .map(|v| self.pivots.iter().map(|p| angle(v, p)).collect())
+            .collect();
+        let tau_angle = (tau.clamp(-1.0, 1.0)).acos();
+        let mut stats = FuzzyStats::default();
+        let mut topk = TopK::new(k.max(1));
+        for (ci, col) in self.columns.iter().enumerate() {
+            let mut matched = 0usize;
+            for (qi, qv) in qvecs.iter().enumerate() {
+                let mut hit = false;
+                for (vi, vv) in col.vectors.iter().enumerate() {
+                    // Pivot lower bound on the pair angle: the pair's angle
+                    // is at least |θ(q,p) − θ(v,p)| for every pivot p. If
+                    // that exceeds the τ angle, cosine < τ — prune.
+                    let mut prunable = false;
+                    for (p, qa) in qangles[qi].iter().enumerate() {
+                        if (qa - col.angles[vi][p]).abs() > tau_angle {
+                            prunable = true;
+                            break;
+                        }
+                    }
+                    if prunable {
+                        stats.pairs_pruned += 1;
+                        continue;
+                    }
+                    stats.pairs_verified += 1;
+                    if dot(qv, vv) >= tau {
+                        hit = true;
+                        break;
+                    }
+                }
+                if hit {
+                    matched += 1;
+                }
+            }
+            if !qvecs.is_empty() {
+                topk.push(matched as f64 / qvecs.len() as f64, ci as u32);
+            }
+        }
+        (
+            topk.into_sorted()
+                .into_iter()
+                .map(|(s, ci)| (self.columns[ci as usize].r, s))
+                .collect(),
+            stats,
+        )
+    }
+
+    /// Top-k tables by best-column fuzzy containment.
+    #[must_use]
+    pub fn search_tables(&self, query: &Column, tau: f32, k: usize) -> Vec<(TableId, f64)> {
+        let (hits, _) = self.search(query, tau, k * 4 + 8);
+        let mut best: Vec<(TableId, f64)> = Vec::new();
+        for (c, s) in hits {
+            match best.iter_mut().find(|(t, _)| *t == c.table) {
+                Some((_, e)) => *e = e.max(s),
+                None => best.push((c.table, s)),
+            }
+        }
+        best.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        best.truncate(k);
+        best
+    }
+}
+
+/// Embed up to `sample` distinct non-null values of a column (unit vectors).
+fn embed_distinct(embedder: &dyn Embedder, col: &Column, sample: usize) -> Vec<Vec<f32>> {
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for v in &col.values {
+        if out.len() >= sample {
+            break;
+        }
+        let Some(t) = v.join_token() else { continue };
+        if seen.insert(t.clone()) {
+            let mut e = embedder.embed(&t);
+            td_embed::vector::normalize(&mut e);
+            out.push(e);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_embed::model::NGramEmbedder;
+    use td_table::{Column, Table};
+
+    /// Introduce a deterministic typo into a word (swap one interior char).
+    fn typo(s: &str) -> String {
+        let mut c: Vec<char> = s.chars().collect();
+        if c.len() >= 4 {
+            let i = c.len() / 2;
+            c.swap(i, i - 1);
+        }
+        c.into_iter().collect()
+    }
+
+    fn word(i: u32) -> String {
+        td_table::gen::words::vocab_word(0xF0, i as u64, 3)
+    }
+
+    /// Lake: table 0 = typo'd copies of query values; table 1 = unrelated.
+    fn lake() -> (DataLake, Column) {
+        let originals: Vec<String> = (0..30).map(word).collect();
+        let dirty: Vec<String> = originals.iter().map(|s| typo(s)).collect();
+        let unrelated: Vec<String> = (1000..1030).map(word).collect();
+        let mut lake = DataLake::new();
+        lake.add(
+            Table::new("dirty.csv", vec![Column::from_strings("w", &dirty)]).unwrap(),
+        );
+        lake.add(
+            Table::new("other.csv", vec![Column::from_strings("w", &unrelated)]).unwrap(),
+        );
+        (lake, Column::from_strings("q", &originals))
+    }
+
+    fn search() -> (FuzzyJoinSearch<NGramEmbedder>, Column) {
+        let (lake, q) = lake();
+        (
+            FuzzyJoinSearch::build(&lake, NGramEmbedder::new(64, 3, 7), 8, 64),
+            q,
+        )
+    }
+
+    #[test]
+    fn finds_typo_joins_that_exact_match_misses() {
+        let (s, q) = search();
+        let (hits, _) = s.search(&q, 0.55, 2);
+        assert_eq!(hits[0].0.table, td_table::TableId(0));
+        assert!(hits[0].1 > 0.6, "fuzzy containment {}", hits[0].1);
+        // Exact match would find zero overlap:
+        let dirty_tokens = {
+            let (lake, _) = lake();
+            lake.table(td_table::TableId(0)).columns[0].token_set()
+        };
+        let q_tokens = q.token_set();
+        assert_eq!(q_tokens.intersection(&dirty_tokens).count(), 0);
+    }
+
+    #[test]
+    fn unrelated_columns_score_low() {
+        let (s, q) = search();
+        let (hits, _) = s.search(&q, 0.55, 2);
+        let unrelated = hits.iter().find(|(c, _)| c.table == td_table::TableId(1));
+        if let Some((_, score)) = unrelated {
+            assert!(*score < 0.3, "unrelated score {score}");
+        }
+    }
+
+    #[test]
+    fn pivot_pruning_skips_pairs_without_changing_results() {
+        // Clustered embeddings (domain anchors) are where pivot pruning
+        // bites: pivots land near cluster centers, and cross-cluster pairs
+        // are bounded away from the threshold.
+        use td_embed::model::DomainEmbedder;
+        use td_table::gen::domains::DomainRegistry;
+        use td_table::Table;
+        let r = DomainRegistry::standard();
+        let city = r.id("city").unwrap();
+        let gene = r.id("gene").unwrap();
+        let mut lake = DataLake::new();
+        for (name, d) in [("cities", city), ("genes", gene)] {
+            let col = Column::new(
+                name,
+                (0..40u64).map(|i| r.value(d, i)).collect::<Vec<_>>(),
+            );
+            lake.add(Table::new(format!("{name}.csv"), vec![col]).unwrap());
+        }
+        let q = Column::new(
+            "q",
+            (20..60u64).map(|i| r.value(city, i)).collect::<Vec<_>>(),
+        );
+        let emb = || DomainEmbedder::from_registry(&r, 200, 64, 0.3, 11);
+        let with_pivots = FuzzyJoinSearch::build(&lake, emb(), 6, 64);
+        let without = FuzzyJoinSearch::build(&lake, emb(), 0, 64);
+        let (h1, s1) = with_pivots.search(&q, 0.6, 2);
+        let (h2, s2) = without.search(&q, 0.6, 2);
+        let scores = |h: &[(ColumnRef, f64)]| h.iter().map(|x| x.1).collect::<Vec<_>>();
+        assert_eq!(scores(&h1), scores(&h2), "pruning changed scores");
+        assert!(s1.pairs_pruned > 0, "no pruning happened");
+        assert!(s1.pairs_verified < s2.pairs_verified);
+        assert_eq!(s2.pairs_pruned, 0);
+    }
+
+    #[test]
+    fn higher_tau_is_stricter() {
+        let (s, q) = search();
+        let (loose, _) = s.search(&q, 0.4, 1);
+        let (strict, _) = s.search(&q, 0.9, 1);
+        assert!(loose[0].1 >= strict[0].1);
+    }
+
+    #[test]
+    fn table_aggregation() {
+        let (s, q) = search();
+        let tables = s.search_tables(&q, 0.55, 2);
+        assert_eq!(tables[0].0, td_table::TableId(0));
+    }
+}

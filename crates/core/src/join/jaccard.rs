@@ -1,0 +1,226 @@
+//! Jaccard-based joinable search — the classic (and, under cardinality
+//! skew, biased) baseline the tutorial contrasts with containment search
+//! (§2.4; Agrawal et al.'s bias observation, LSH Ensemble's motivation).
+
+use td_index::lsh::MinHashLsh;
+use td_index::topk::TopK;
+use td_sketch::minhash::{MinHashSignature, MinHasher};
+use td_table::{Column, ColumnRef, DataLake};
+
+/// MinHash-signature store with Jaccard top-k and Jaccard-LSH retrieval.
+#[derive(Debug, Clone)]
+pub struct JaccardJoinSearch {
+    hasher: MinHasher,
+    signatures: Vec<MinHashSignature>,
+    refs: Vec<ColumnRef>,
+    k_hashes: usize,
+}
+
+const SIG_SEED: u64 = 0x1ACC;
+
+impl JaccardJoinSearch {
+    /// Index every textual column with `k_hashes`-function signatures.
+    #[must_use]
+    pub fn build(lake: &DataLake, k_hashes: usize) -> Self {
+        let hasher = MinHasher::new(k_hashes, SIG_SEED);
+        let mut signatures = Vec::new();
+        let mut refs = Vec::new();
+        for (r, col) in lake.columns() {
+            if col.is_numeric() {
+                continue;
+            }
+            let tokens = col.token_set();
+            if tokens.is_empty() {
+                continue;
+            }
+            signatures.push(hasher.sign(tokens.iter().map(String::as_str)));
+            refs.push(r);
+        }
+        JaccardJoinSearch { hasher, signatures, refs, k_hashes }
+    }
+
+    /// Signature of a query column, comparable with the stored ones.
+    #[must_use]
+    pub fn sign(&self, query: &Column) -> MinHashSignature {
+        let tokens = query.token_set();
+        self.hasher.sign(tokens.iter().map(String::as_str))
+    }
+
+    /// Number of indexed columns.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.refs.len()
+    }
+
+    /// True if nothing was indexed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.refs.is_empty()
+    }
+
+    /// All stored `(id, signature)` pairs (for building derived indices
+    /// such as an LSH Ensemble over the same corpus).
+    #[must_use]
+    pub fn signatures(&self) -> Vec<(u32, MinHashSignature)> {
+        self.signatures
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i as u32, s.clone()))
+            .collect()
+    }
+
+    /// Resolve an internal id to its column.
+    #[must_use]
+    pub fn column_ref(&self, id: u32) -> ColumnRef {
+        self.refs[id as usize]
+    }
+
+    /// Top-k columns by estimated Jaccard (linear scan over signatures).
+    #[must_use]
+    pub fn top_k_jaccard(&self, query: &Column, k: usize) -> Vec<(ColumnRef, f64)> {
+        let q = self.sign(query);
+        let mut topk = TopK::new(k.max(1));
+        for (i, sig) in self.signatures.iter().enumerate() {
+            topk.push(q.jaccard(sig), i as u32);
+        }
+        topk.into_sorted()
+            .into_iter()
+            .map(|(s, i)| (self.refs[i as usize], s))
+            .collect()
+    }
+
+    /// Top-k columns by estimated *containment* of the query (linear scan)
+    /// — the unbiased ranking the Jaccard one is compared against.
+    #[must_use]
+    pub fn top_k_containment(&self, query: &Column, k: usize) -> Vec<(ColumnRef, f64)> {
+        let q = self.sign(query);
+        let mut topk = TopK::new(k.max(1));
+        for (i, sig) in self.signatures.iter().enumerate() {
+            topk.push(q.containment_in(sig), i as u32);
+        }
+        topk.into_sorted()
+            .into_iter()
+            .map(|(s, i)| (self.refs[i as usize], s))
+            .collect()
+    }
+
+    /// Columns passing a Jaccard threshold, retrieved through a banding
+    /// LSH tuned for that threshold (built on the fly — the baseline
+    /// configuration E02 measures against LSH Ensemble).
+    #[must_use]
+    pub fn lsh_threshold_query(&self, query: &Column, threshold: f64) -> Vec<(ColumnRef, f64)> {
+        let mut lsh = MinHashLsh::with_threshold(self.k_hashes, threshold);
+        for (i, sig) in self.signatures.iter().enumerate() {
+            lsh.insert(i as u32, sig);
+        }
+        let q = self.sign(query);
+        let mut out: Vec<(ColumnRef, f64)> = lsh
+            .query(&q)
+            .into_iter()
+            .map(|i| (self.refs[i as usize], q.jaccard(&self.signatures[i as usize])))
+            .filter(|&(_, j)| j >= threshold)
+            .collect();
+        out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use td_table::gen::bench_join::{JoinBenchConfig, JoinBenchmark};
+    use td_table::TableId;
+
+    fn bench() -> JoinBenchmark {
+        JoinBenchmark::generate(&JoinBenchConfig {
+            query_size: 200,
+            num_relevant: 30,
+            num_noise: 10,
+            card_range: (40, 8_000),
+            seed: 5,
+            ..JoinBenchConfig::default()
+        })
+    }
+
+    #[test]
+    fn jaccard_ranking_tracks_true_jaccard() {
+        let b = bench();
+        let s = JaccardJoinSearch::build(&b.lake, 256);
+        let hits = s.top_k_jaccard(&b.query.columns[0], 5);
+        let truth: Vec<TableId> = {
+            let mut t = b.truth.clone();
+            t.sort_by(|x, y| y.jaccard.total_cmp(&x.jaccard));
+            t.into_iter().take(5).map(|x| x.table).collect()
+        };
+        let got: HashSet<TableId> = hits.iter().map(|(c, _)| c.table).collect();
+        let agree = truth.iter().filter(|t| got.contains(t)).count();
+        assert!(agree >= 3, "only {agree}/5 of the true top-5 retrieved");
+    }
+
+    #[test]
+    fn jaccard_is_biased_against_large_supersets() {
+        // The headline bias: a high-containment large set ranks lower by
+        // Jaccard than a small set with mediocre containment.
+        let b = bench();
+        let s = JaccardJoinSearch::build(&b.lake, 256);
+        let jacc_rank: Vec<TableId> = s
+            .top_k_jaccard(&b.query.columns[0], b.truth.len())
+            .into_iter()
+            .map(|(c, _)| c.table)
+            .collect();
+        // Find a truth entry with high containment but large cardinality.
+        let victim = b
+            .truth
+            .iter()
+            .filter(|t| t.containment > 0.8)
+            .max_by(|x, y| {
+                let ca = b_card(&b, x.table);
+                let cb = b_card(&b, y.table);
+                ca.cmp(&cb)
+            })
+            .copied();
+        if let Some(v) = victim {
+            let cont_rank: Vec<TableId> = s
+                .top_k_containment(&b.query.columns[0], b.truth.len())
+                .into_iter()
+                .map(|(c, _)| c.table)
+                .collect();
+            let pos_j = jacc_rank.iter().position(|&t| t == v.table);
+            let pos_c = cont_rank.iter().position(|&t| t == v.table);
+            if let (Some(pj), Some(pc)) = (pos_j, pos_c) {
+                assert!(
+                    pc <= pj,
+                    "containment rank {pc} should be no worse than jaccard rank {pj}"
+                );
+            }
+        }
+        fn b_card(b: &JoinBenchmark, t: TableId) -> usize {
+            b.lake.table(t).columns[0].num_distinct()
+        }
+    }
+
+    #[test]
+    fn lsh_threshold_query_filters() {
+        let b = bench();
+        let s = JaccardJoinSearch::build(&b.lake, 256);
+        let strict = s.lsh_threshold_query(&b.query.columns[0], 0.7);
+        let loose = s.lsh_threshold_query(&b.query.columns[0], 0.1);
+        assert!(loose.len() >= strict.len());
+        for (_, j) in &strict {
+            assert!(*j >= 0.7);
+        }
+    }
+
+    #[test]
+    fn containment_finds_high_containment_tables() {
+        let b = bench();
+        let s = JaccardJoinSearch::build(&b.lake, 256);
+        let hits = s.top_k_containment(&b.query.columns[0], 5);
+        let best_truth = b.by_containment();
+        // The top containment hit should be among the truly best few.
+        let top_tables: HashSet<TableId> =
+            best_truth.iter().take(5).map(|t| t.table).collect();
+        assert!(top_tables.contains(&hits[0].0.table));
+    }
+}

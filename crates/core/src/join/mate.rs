@@ -1,0 +1,319 @@
+//! Multi-attribute (composite-key) joinable search — MATE (Esmailoghli et
+//! al., VLDB 2022; tutorial §2.4).
+//!
+//! Single-attribute indices cannot tell whether a table joins on the
+//! *combination* (person, city): every value may match while no row does.
+//! MATE indexes rows, not values: each row carries a hash-aggregated
+//! *super key* over its cells; a candidate row survives only if the super
+//! key contains all query attributes' bits, and survivors are verified
+//! exactly. We reproduce that design: a posting list on one probe
+//! attribute, a 64-bit XASH-style row fingerprint filter, then exact
+//! verification.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use td_index::topk::TopK;
+use td_sketch::hash::hash_str;
+use td_table::{DataLake, Table, TableId};
+
+const CELL_SEED: u64 = 0x3A7E;
+
+/// Filter-effectiveness statistics (experiment E08).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MateStats {
+    /// Candidate rows fetched from the probe posting list.
+    pub rows_fetched: usize,
+    /// Rows surviving the super-key filter.
+    pub rows_after_superkey: usize,
+    /// Rows that verified exactly.
+    pub rows_verified: usize,
+}
+
+/// One indexed row: its table, row number, cell hashes, and super key.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct RowEntry {
+    table: u32,
+    cells: Vec<u64>,
+    super_key: u64,
+}
+
+/// Row-level index for multi-attribute joins.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MateSearch {
+    /// cell-value hash → row entry indices.
+    postings: HashMap<u64, Vec<u32>>,
+    rows: Vec<RowEntry>,
+    tables: Vec<TableId>,
+}
+
+/// The super key of a row: one bit per cell hash (XASH-style OR-fold).
+fn super_key(cells: &[u64]) -> u64 {
+    cells.iter().fold(0u64, |acc, &h| acc | (1 << (h % 64)))
+}
+
+impl MateSearch {
+    /// Index every row of every table (textual cells only).
+    #[must_use]
+    pub fn build(lake: &DataLake) -> Self {
+        let mut postings: HashMap<u64, Vec<u32>> = HashMap::new();
+        let mut rows = Vec::new();
+        let mut tables = Vec::with_capacity(lake.len());
+        for (ti, (id, table)) in lake.iter().enumerate() {
+            tables.push(id);
+            for r in 0..table.num_rows() {
+                let cells: Vec<u64> = table
+                    .columns
+                    .iter()
+                    .filter_map(|c| c.values[r].join_token())
+                    .map(|t| hash_str(&t, CELL_SEED))
+                    .collect();
+                if cells.is_empty() {
+                    continue;
+                }
+                let entry_id = rows.len() as u32;
+                let sk = super_key(&cells);
+                for &h in &cells {
+                    postings.entry(h).or_default().push(entry_id);
+                }
+                rows.push(RowEntry { table: ti as u32, cells, super_key: sk });
+            }
+        }
+        MateSearch { postings, rows, tables }
+    }
+
+    /// Number of indexed rows.
+    #[must_use]
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if nothing was indexed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Top-k tables by the fraction of query rows whose *composite* key
+    /// (the given query columns) appears together in some row.
+    ///
+    /// `key_cols` indexes columns of `query`. Returns `(table, fraction)`
+    /// descending plus filter statistics.
+    #[must_use]
+    pub fn search(
+        &self,
+        query: &Table,
+        key_cols: &[usize],
+        k: usize,
+    ) -> (Vec<(TableId, f64)>, MateStats) {
+        assert!(!key_cols.is_empty(), "need at least one key column");
+        let mut stats = MateStats::default();
+        let nrows = query.num_rows();
+        // matched[table] = number of query rows with a full composite match.
+        let mut matched: HashMap<u32, usize> = HashMap::new();
+        for r in 0..nrows {
+            let key_hashes: Option<Vec<u64>> = key_cols
+                .iter()
+                .map(|&c| {
+                    query.columns[c].values[r]
+                        .join_token()
+                        .map(|t| hash_str(&t, CELL_SEED))
+                })
+                .collect();
+            let Some(key_hashes) = key_hashes else { continue };
+            // Probe on the rarest attribute's posting list.
+            let probe = key_hashes
+                .iter()
+                .min_by_key(|h| self.postings.get(h).map_or(0, Vec::len))
+                .expect("non-empty key");
+            let Some(candidates) = self.postings.get(probe) else { continue };
+            let needed_sk = super_key(&key_hashes);
+            let mut hit_tables: Vec<u32> = Vec::new();
+            for &entry_id in candidates {
+                let row = &self.rows[entry_id as usize];
+                if hit_tables.contains(&row.table) {
+                    continue; // this query row already matched that table
+                }
+                stats.rows_fetched += 1;
+                // Super-key filter: all needed bits must be present.
+                if row.super_key & needed_sk != needed_sk {
+                    continue;
+                }
+                stats.rows_after_superkey += 1;
+                // Exact verification: every key hash among the row's cells.
+                if key_hashes.iter().all(|h| row.cells.contains(h)) {
+                    stats.rows_verified += 1;
+                    hit_tables.push(row.table);
+                }
+            }
+            for t in hit_tables {
+                *matched.entry(t).or_insert(0) += 1;
+            }
+        }
+        let mut topk = TopK::new(k.max(1));
+        for (t, m) in matched {
+            topk.push(m as f64 / nrows.max(1) as f64, t);
+        }
+        (
+            topk.into_sorted()
+                .into_iter()
+                .map(|(s, t)| (self.tables[t as usize], s))
+                .collect(),
+            stats,
+        )
+    }
+
+    /// Baseline: score tables by the *minimum single-attribute* value
+    /// containment over the key columns — the composition of
+    /// single-attribute searches that MATE's row-wise design replaces.
+    /// Cannot distinguish aligned tuples from coincidental value overlap.
+    #[must_use]
+    pub fn search_single_attribute(
+        &self,
+        query: &Table,
+        key_cols: &[usize],
+        lake: &DataLake,
+        k: usize,
+    ) -> Vec<(TableId, f64)> {
+        let mut topk = TopK::new(k.max(1));
+        for (id, table) in lake.iter() {
+            // For each key column, best value containment into any column.
+            let mut min_cont = f64::INFINITY;
+            for &qc in key_cols {
+                let qset = query.columns[qc].token_set();
+                if qset.is_empty() {
+                    min_cont = 0.0;
+                    break;
+                }
+                let best = table
+                    .columns
+                    .iter()
+                    .map(|c| {
+                        let cset = c.token_set();
+                        qset.intersection(&cset).count() as f64 / qset.len() as f64
+                    })
+                    .fold(0.0f64, f64::max);
+                min_cont = min_cont.min(best);
+            }
+            if min_cont.is_finite() {
+                topk.push(min_cont, id.0);
+            }
+        }
+        topk.into_sorted()
+            .into_iter()
+            .map(|(s, t)| (TableId(t), s))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use td_table::gen::bench_join::{MultiJoinBenchmark, MultiJoinConfig};
+
+    fn bench() -> MultiJoinBenchmark {
+        MultiJoinBenchmark::generate(&MultiJoinConfig {
+            query_rows: 80,
+            key_arity: 2,
+            num_relevant: 8,
+            num_single_attr: 8,
+            ..MultiJoinConfig::default()
+        })
+    }
+
+    #[test]
+    fn composite_search_rejects_single_attribute_decoys() {
+        let b = bench();
+        let s = MateSearch::build(&b.lake);
+        let (hits, _) = s.search(&b.query, &[0, 1], 16);
+        let decoys: HashSet<TableId> = b
+            .truth
+            .iter()
+            .filter(|t| t.single_attr_only)
+            .map(|t| t.table)
+            .collect();
+        for (t, score) in &hits {
+            if decoys.contains(t) {
+                assert_eq!(*score, 0.0, "decoy {t} scored {score}");
+            }
+        }
+        // All hits with positive scores are true composites.
+        assert!(hits.iter().all(|(t, s)| *s == 0.0 || !decoys.contains(t)));
+    }
+
+    #[test]
+    fn composite_scores_match_ground_truth() {
+        let b = bench();
+        let s = MateSearch::build(&b.lake);
+        let (hits, _) = s.search(&b.query, &[0, 1], 8);
+        for (t, score) in &hits {
+            let truth = b.truth.iter().find(|x| x.table == *t).unwrap();
+            assert!(
+                (score - truth.row_containment).abs() < 1e-9,
+                "table {t}: got {score}, truth {}",
+                truth.row_containment
+            );
+        }
+    }
+
+    #[test]
+    fn single_attribute_baseline_is_fooled_by_decoys() {
+        let b = bench();
+        let s = MateSearch::build(&b.lake);
+        let single = s.search_single_attribute(&b.query, &[0, 1], &b.lake, 16);
+        let decoys: HashSet<TableId> = b
+            .truth
+            .iter()
+            .filter(|t| t.single_attr_only)
+            .map(|t| t.table)
+            .collect();
+        // Decoys have 100% per-attribute containment: they score 1.0.
+        let fooled = single
+            .iter()
+            .filter(|(t, s)| decoys.contains(t) && *s > 0.9)
+            .count();
+        assert!(fooled > 0, "baseline unexpectedly resisted the decoys");
+    }
+
+    #[test]
+    fn super_key_filter_prunes() {
+        let b = bench();
+        let s = MateSearch::build(&b.lake);
+        let (_, stats) = s.search(&b.query, &[0, 1], 8);
+        assert!(stats.rows_fetched > 0);
+        assert!(stats.rows_after_superkey <= stats.rows_fetched);
+        assert!(stats.rows_verified <= stats.rows_after_superkey);
+    }
+
+    #[test]
+    fn triple_key_search_works() {
+        let b = MultiJoinBenchmark::generate(&MultiJoinConfig {
+            query_rows: 50,
+            key_arity: 3,
+            num_relevant: 4,
+            num_single_attr: 4,
+            ..MultiJoinConfig::default()
+        });
+        let s = MateSearch::build(&b.lake);
+        let (hits, _) = s.search(&b.query, &[0, 1, 2], 8);
+        let positives: HashSet<TableId> = b
+            .truth
+            .iter()
+            .filter(|t| !t.single_attr_only)
+            .map(|t| t.table)
+            .collect();
+        let found = hits
+            .iter()
+            .filter(|(t, s)| positives.contains(t) && *s > 0.0)
+            .count();
+        assert_eq!(found, positives.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one key column")]
+    fn rejects_empty_key() {
+        let b = bench();
+        let s = MateSearch::build(&b.lake);
+        let _ = s.search(&b.query, &[], 5);
+    }
+}

@@ -1,0 +1,28 @@
+//! Joinable table search (tutorial §2.4): six approaches spanning the
+//! design space the survey covers.
+//!
+//! | Module | System | Idea |
+//! |---|---|---|
+//! | [`exact`] | JOSIE | exact top-k by overlap on posting lists |
+//! | [`jaccard`] | early work | MinHash Jaccard top-k + threshold LSH |
+//! | [`containment`] | LSH Ensemble | cardinality-partitioned containment |
+//! | [`fuzzy`] | PEXESO | embedding similarity predicates + pivots |
+//! | [`mate`] | MATE | composite keys via row super-key filters |
+//! | [`correlated`] | QCR index | join-and-correlate without joining |
+//! | [`schema`] | InfoGather-era | attribute-name matching (the baseline) |
+
+pub mod containment;
+pub mod correlated;
+pub mod exact;
+pub mod fuzzy;
+pub mod jaccard;
+pub mod mate;
+pub mod schema;
+
+pub use containment::ContainmentJoinSearch;
+pub use correlated::{exact_join_correlation, CorrelatedHit, CorrelatedSearch};
+pub use exact::{ExactJoinSearch, ExactStrategy, OverlapHit};
+pub use fuzzy::{FuzzyJoinSearch, FuzzyStats};
+pub use jaccard::JaccardJoinSearch;
+pub use mate::{MateSearch, MateStats};
+pub use schema::{SchemaJoinConfig, SchemaJoinSearch};

@@ -1,0 +1,259 @@
+//! Schema-based joinable search — the metadata-driven early generation
+//! (InfoGather, SIGMOD 2012; Das Sarma et al., SIGMOD 2012; tutorial §2.4).
+//!
+//! Before value-based search, joinability was inferred from *schemas*:
+//! attribute names are matched (here by character-trigram Jaccard over
+//! normalized headers) gated by primitive-type compatibility. This is the
+//! baseline whose failure on lake-quality headers — missing, renamed,
+//! abbreviated — motivates every data-driven method in this crate; the
+//! contrast is part of experiment E12's story.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use td_index::topk::TopK;
+use td_table::{Column, ColumnRef, DataLake, PrimitiveType, TableId};
+
+/// Configuration for [`SchemaJoinSearch`].
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SchemaJoinConfig {
+    /// Minimum header-similarity for a hit.
+    pub min_similarity: f64,
+    /// Require primitive-type compatibility (numeric↔numeric,
+    /// text↔text).
+    pub require_type_match: bool,
+}
+
+impl Default for SchemaJoinConfig {
+    fn default() -> Self {
+        SchemaJoinConfig { min_similarity: 0.3, require_type_match: true }
+    }
+}
+
+/// An indexed column's schema profile.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct SchemaEntry {
+    r: ColumnRef,
+    trigrams: HashSet<u32>,
+    ty: PrimitiveType,
+}
+
+/// Header-driven joinable-column search.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SchemaJoinSearch {
+    entries: Vec<SchemaEntry>,
+    cfg: SchemaJoinConfig,
+}
+
+/// Normalize a header: lowercase, alphanumeric only.
+fn normalize(h: &str) -> String {
+    h.chars()
+        .filter(|c| c.is_alphanumeric())
+        .flat_map(char::to_lowercase)
+        .collect()
+}
+
+/// Character trigrams (with boundary padding) hashed to u32.
+fn trigrams(h: &str) -> HashSet<u32> {
+    let n = normalize(h);
+    if n.is_empty() {
+        return HashSet::new();
+    }
+    let padded: Vec<char> = std::iter::once('^')
+        .chain(n.chars())
+        .chain(std::iter::once('$'))
+        .collect();
+    if padded.len() < 3 {
+        return std::iter::once(td_sketch::hash_str(&n, 0x5c) as u32).collect();
+    }
+    padded
+        .windows(3)
+        .map(|w| {
+            let s: String = w.iter().collect();
+            td_sketch::hash_str(&s, 0x5c) as u32
+        })
+        .collect()
+}
+
+/// Jaccard of two trigram sets.
+fn trigram_jaccard(a: &HashSet<u32>, b: &HashSet<u32>) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let inter = a.intersection(b).count();
+    inter as f64 / (a.len() + b.len() - inter) as f64
+}
+
+/// Coarse type bucket for compatibility gating.
+fn type_bucket(ty: PrimitiveType) -> u8 {
+    if ty.is_numeric() {
+        0
+    } else {
+        1
+    }
+}
+
+impl SchemaJoinSearch {
+    /// Index every column's header and primitive type.
+    #[must_use]
+    pub fn build(lake: &DataLake, cfg: SchemaJoinConfig) -> Self {
+        let entries = lake
+            .columns()
+            .map(|(r, c)| SchemaEntry {
+                r,
+                trigrams: trigrams(&c.name),
+                ty: c.primitive_type(),
+            })
+            .collect();
+        SchemaJoinSearch { entries, cfg }
+    }
+
+    /// Number of indexed columns.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing was indexed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Top-k columns whose headers match the query column's header.
+    #[must_use]
+    pub fn search(&self, query: &Column, k: usize) -> Vec<(ColumnRef, f64)> {
+        let qtri = trigrams(&query.name);
+        let qty = type_bucket(query.primitive_type());
+        let mut topk = TopK::new(k.max(1));
+        for (i, e) in self.entries.iter().enumerate() {
+            if self.cfg.require_type_match && type_bucket(e.ty) != qty {
+                continue;
+            }
+            let sim = trigram_jaccard(&qtri, &e.trigrams);
+            if sim >= self.cfg.min_similarity {
+                topk.push(sim, i as u32);
+            }
+        }
+        topk.into_sorted()
+            .into_iter()
+            .map(|(s, i)| (self.entries[i as usize].r, s))
+            .collect()
+    }
+
+    /// Top-k tables by best header match.
+    #[must_use]
+    pub fn search_tables(&self, query: &Column, k: usize) -> Vec<(TableId, f64)> {
+        let mut best: Vec<(TableId, f64)> = Vec::new();
+        for (c, s) in self.search(query, k * 4 + 8) {
+            match best.iter_mut().find(|(t, _)| *t == c.table) {
+                Some((_, e)) => *e = e.max(s),
+                None => best.push((c.table, s)),
+            }
+        }
+        best.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        best.truncate(k);
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_table::{Column, Table};
+
+    fn lake() -> DataLake {
+        let mut lake = DataLake::new();
+        lake.add(
+            Table::new(
+                "a",
+                vec![
+                    Column::from_strings("city_name", &["boston", "lyon"]),
+                    Column::from_strings("population", &["1", "2"]),
+                ],
+            )
+            .unwrap(),
+        );
+        lake.add(
+            Table::new(
+                "b",
+                vec![Column::from_strings("CityName", &["austin"])], // variant casing
+            )
+            .unwrap(),
+        );
+        lake.add(
+            Table::new(
+                "c",
+                vec![Column::from_strings("col_17", &["boston"])], // corrupted header
+            )
+            .unwrap(),
+        );
+        lake
+    }
+
+    #[test]
+    fn matches_header_variants() {
+        let s = SchemaJoinSearch::build(&lake(), SchemaJoinConfig::default());
+        let q = Column::from_strings("city name", &["nantes"]);
+        let hits = s.search(&q, 5);
+        let tables: Vec<TableId> = hits.iter().map(|(c, _)| c.table).collect();
+        assert!(tables.contains(&TableId(0)), "city_name missed");
+        assert!(tables.contains(&TableId(1)), "CityName missed");
+    }
+
+    #[test]
+    fn corrupted_headers_are_unfindable() {
+        // The value overlap with table c is perfect, but schema search
+        // cannot see it — the motivating failure of metadata-driven joins.
+        let s = SchemaJoinSearch::build(&lake(), SchemaJoinConfig::default());
+        let q = Column::from_strings("city name", &["boston"]);
+        let hits = s.search(&q, 10);
+        assert!(hits.iter().all(|(c, _)| c.table != TableId(2)));
+    }
+
+    #[test]
+    fn type_gate_excludes_numeric_columns() {
+        let s = SchemaJoinSearch::build(&lake(), SchemaJoinConfig::default());
+        // "population" header-matches itself, but a *numeric* query named
+        // "population" must not match textual columns, and vice versa.
+        let qnum = Column::from_strings("population", &["3", "4"]);
+        let hits = s.search(&qnum, 5);
+        for (c, _) in &hits {
+            assert_eq!(*c, td_table::ColumnRef::new(TableId(0), 1));
+        }
+        let no_gate = SchemaJoinSearch::build(
+            &lake(),
+            SchemaJoinConfig { require_type_match: false, ..Default::default() },
+        );
+        assert!(no_gate.search(&qnum, 5).len() >= hits.len());
+    }
+
+    #[test]
+    fn similarity_threshold_filters_weak_matches() {
+        let strict = SchemaJoinSearch::build(
+            &lake(),
+            SchemaJoinConfig { min_similarity: 0.95, ..Default::default() },
+        );
+        let q = Column::from_strings("city", &["x"]); // prefix only
+        assert!(strict.search(&q, 5).is_empty());
+    }
+
+    #[test]
+    fn empty_headers_never_match() {
+        let mut l = lake();
+        l.add(
+            Table::new("d", vec![Column::from_strings("", &["boston"])]).unwrap(),
+        );
+        let s = SchemaJoinSearch::build(&l, SchemaJoinConfig::default());
+        let q = Column::from_strings("", &["boston"]);
+        assert!(s.search(&q, 5).is_empty());
+    }
+
+    #[test]
+    fn table_aggregation_ranks_by_best_column() {
+        let s = SchemaJoinSearch::build(&lake(), SchemaJoinConfig::default());
+        let q = Column::from_strings("city_name", &["z"]);
+        let tables = s.search_tables(&q, 3);
+        assert_eq!(tables[0].0, TableId(0));
+        assert!((tables[0].1 - 1.0).abs() < 1e-9, "exact header match scores 1");
+    }
+}

@@ -1,0 +1,159 @@
+//! Keyword / metadata search over a lake (tutorial §2.3).
+//!
+//! Indexes each table's metadata (title, description, tags, source) plus
+//! its schema (header names) with BM25 — the Google-Dataset-Search-style
+//! path that works exactly as well as the metadata is good, which is the
+//! tutorial's motivation for the data-driven methods in §2.4–2.5
+//! (experiment E12 sweeps metadata corruption).
+
+use serde::{Deserialize, Serialize};
+use td_index::bm25::{Bm25Index, Bm25Params};
+use td_table::{DataLake, TableId};
+
+/// What goes into the keyword index.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct KeywordConfig {
+    /// Include metadata text.
+    pub index_metadata: bool,
+    /// Include column headers.
+    pub index_schema: bool,
+    /// BM25 parameters.
+    pub bm25: Bm25Params,
+}
+
+impl Default for KeywordConfig {
+    fn default() -> Self {
+        KeywordConfig { index_metadata: true, index_schema: true, bm25: Bm25Params::default() }
+    }
+}
+
+/// BM25 keyword search over table metadata and schema.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KeywordSearch {
+    index: Bm25Index,
+    tables: Vec<TableId>,
+}
+
+impl KeywordSearch {
+    /// Index every table of a lake.
+    #[must_use]
+    pub fn build(lake: &DataLake, cfg: &KeywordConfig) -> Self {
+        let mut index = Bm25Index::new(cfg.bm25);
+        let mut tables = Vec::with_capacity(lake.len());
+        for (id, t) in lake.iter() {
+            let mut doc = String::new();
+            if cfg.index_metadata {
+                doc.push_str(&t.meta.full_text());
+            }
+            if cfg.index_schema {
+                for h in t.headers() {
+                    doc.push(' ');
+                    doc.push_str(h);
+                }
+            }
+            index.add_document(&doc);
+            tables.push(id);
+        }
+        KeywordSearch { index, tables }
+    }
+
+    /// Top-k tables for a keyword query, `(table, score)` descending.
+    #[must_use]
+    pub fn search(&self, query: &str, k: usize) -> Vec<(TableId, f64)> {
+        self.index
+            .search(query, k)
+            .into_iter()
+            .map(|(doc, s)| (self.tables[doc as usize], s))
+            .collect()
+    }
+
+    /// Number of indexed tables.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True if no tables are indexed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_table::{Column, Table, TableMeta};
+
+    fn lake() -> DataLake {
+        let mut lake = DataLake::new();
+        let mut t1 = Table::new(
+            "budget.csv",
+            vec![Column::from_strings("department", &["fire", "police"])],
+        )
+        .unwrap();
+        t1.meta = TableMeta {
+            title: "City budget 2023".into(),
+            description: "annual municipal finance".into(),
+            tags: vec!["finance".into()],
+            source: "portal".into(),
+        };
+        lake.add(t1);
+        let mut t2 = Table::new(
+            "wildlife.csv",
+            vec![Column::from_strings("species", &["wolf", "lynx"])],
+        )
+        .unwrap();
+        t2.meta = TableMeta {
+            title: "Wildlife sightings".into(),
+            description: "animal observations".into(),
+            tags: vec!["nature".into()],
+            source: "portal".into(),
+        };
+        lake.add(t2);
+        lake
+    }
+
+    #[test]
+    fn finds_by_metadata_topic() {
+        let ks = KeywordSearch::build(&lake(), &KeywordConfig::default());
+        let r = ks.search("municipal finance budget", 2);
+        assert_eq!(r[0].0, TableId(0));
+    }
+
+    #[test]
+    fn finds_by_schema_header() {
+        let ks = KeywordSearch::build(&lake(), &KeywordConfig::default());
+        let r = ks.search("species", 2);
+        assert_eq!(r[0].0, TableId(1));
+    }
+
+    #[test]
+    fn metadata_only_config_ignores_schema() {
+        let ks = KeywordSearch::build(
+            &lake(),
+            &KeywordConfig { index_schema: false, ..Default::default() },
+        );
+        assert!(ks.search("species", 2).is_empty());
+        assert!(!ks.search("wildlife", 2).is_empty());
+    }
+
+    #[test]
+    fn missing_metadata_makes_tables_unfindable() {
+        // The tutorial's point: metadata search fails exactly where
+        // metadata is missing.
+        let mut lake = DataLake::new();
+        lake.add(
+            Table::new(
+                "anon.csv",
+                vec![Column::from_strings("c1", &["fire", "police"])],
+            )
+            .unwrap(),
+        );
+        let ks = KeywordSearch::build(
+            &lake,
+            &KeywordConfig { index_schema: false, ..Default::default() },
+        );
+        assert!(ks.search("fire", 1).is_empty());
+    }
+}

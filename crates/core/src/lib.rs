@@ -1,0 +1,20 @@
+//! # td-core — the table-discovery engine
+//!
+//! The center of the tutorial's Figure 1: query-driven discovery over a
+//! [`td_table::DataLake`] — keyword search over metadata ([`keyword`]),
+//! joinable table search ([`join`]), unionable table search ([`union`]) —
+//! plus the retrieval metrics every experiment scores with ([`metrics`])
+//! and an end-to-end pipeline ([`pipeline`]) wiring understanding,
+//! indexing, and search together.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod join;
+pub mod keyword;
+pub mod metrics;
+pub mod pipeline;
+pub mod union;
+
+pub use keyword::{KeywordConfig, KeywordSearch};
+pub use pipeline::{DiscoveryPipeline, PipelineConfig};

@@ -1,0 +1,184 @@
+//! Retrieval-quality metrics used by every experiment: P@k, R@k, AP/MAP,
+//! and graded NDCG@k.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::Hash;
+
+/// Precision at `k`: fraction of the first `k` results that are relevant.
+/// If fewer than `k` results were returned, the denominator is still `k`
+/// (missing results count as misses).
+#[must_use]
+pub fn precision_at_k<T: Eq + Hash>(results: &[T], relevant: &HashSet<T>, k: usize) -> f64 {
+    if k == 0 {
+        return 0.0;
+    }
+    let hits = results
+        .iter()
+        .take(k)
+        .filter(|r| relevant.contains(r))
+        .count();
+    hits as f64 / k as f64
+}
+
+/// Recall at `k`: fraction of all relevant items found in the first `k`.
+#[must_use]
+pub fn recall_at_k<T: Eq + Hash>(results: &[T], relevant: &HashSet<T>, k: usize) -> f64 {
+    if relevant.is_empty() {
+        return 0.0;
+    }
+    let hits = results
+        .iter()
+        .take(k)
+        .filter(|r| relevant.contains(r))
+        .count();
+    hits as f64 / relevant.len() as f64
+}
+
+/// Average precision over the full ranking (AP), the per-query summand of
+/// MAP. Normalized by `min(|relevant|, results.len())`.
+#[must_use]
+pub fn average_precision<T: Eq + Hash>(results: &[T], relevant: &HashSet<T>) -> f64 {
+    if relevant.is_empty() {
+        return 0.0;
+    }
+    let mut hits = 0usize;
+    let mut sum = 0.0;
+    for (i, r) in results.iter().enumerate() {
+        if relevant.contains(r) {
+            hits += 1;
+            sum += hits as f64 / (i + 1) as f64;
+        }
+    }
+    let denom = relevant.len().min(results.len().max(1));
+    sum / denom as f64
+}
+
+/// Mean average precision across queries.
+#[must_use]
+pub fn mean_average_precision<T: Eq + Hash>(
+    runs: &[(Vec<T>, HashSet<T>)],
+) -> f64 {
+    if runs.is_empty() {
+        return 0.0;
+    }
+    runs.iter()
+        .map(|(res, rel)| average_precision(res, rel))
+        .sum::<f64>()
+        / runs.len() as f64
+}
+
+/// NDCG@k with graded relevance (gain `2^grade - 1`, log2 discount).
+#[must_use]
+pub fn ndcg_at_k<T: Eq + Hash>(results: &[T], grades: &HashMap<T, u8>, k: usize) -> f64 {
+    if k == 0 || grades.is_empty() {
+        return 0.0;
+    }
+    let gain = |g: u8| (1u64 << g) as f64 - 1.0;
+    let dcg: f64 = results
+        .iter()
+        .take(k)
+        .enumerate()
+        .map(|(i, r)| {
+            grades.get(r).map_or(0.0, |&g| gain(g) / ((i + 2) as f64).log2())
+        })
+        .sum();
+    let mut ideal: Vec<f64> = grades.values().map(|&g| gain(g)).collect();
+    ideal.sort_by(|a, b| b.total_cmp(a));
+    let idcg: f64 = ideal
+        .into_iter()
+        .take(k)
+        .enumerate()
+        .map(|(i, g)| g / ((i + 2) as f64).log2())
+        .sum();
+    if idcg == 0.0 {
+        0.0
+    } else {
+        dcg / idcg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(items: &[u32]) -> HashSet<u32> {
+        items.iter().copied().collect()
+    }
+
+    #[test]
+    fn precision_basics() {
+        let results = vec![1u32, 2, 3, 4];
+        let relevant = rel(&[1, 3, 9]);
+        assert_eq!(precision_at_k(&results, &relevant, 2), 0.5);
+        assert_eq!(precision_at_k(&results, &relevant, 4), 0.5);
+        assert_eq!(precision_at_k(&results, &relevant, 0), 0.0);
+    }
+
+    #[test]
+    fn short_result_lists_penalize_precision() {
+        let results = vec![1u32];
+        let relevant = rel(&[1, 2]);
+        assert_eq!(precision_at_k(&results, &relevant, 4), 0.25);
+    }
+
+    #[test]
+    fn recall_basics() {
+        let results = vec![1u32, 2, 3];
+        let relevant = rel(&[1, 3, 9, 10]);
+        assert_eq!(recall_at_k(&results, &relevant, 3), 0.5);
+        assert_eq!(recall_at_k(&results, &rel(&[]), 3), 0.0);
+    }
+
+    #[test]
+    fn ap_perfect_ranking_is_one() {
+        let results = vec![1u32, 2, 3];
+        let relevant = rel(&[1, 2, 3]);
+        assert!((average_precision(&results, &relevant) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ap_rewards_early_hits() {
+        let early = vec![1u32, 9, 9, 9];
+        let late = vec![9u32, 9, 9, 1];
+        let relevant = rel(&[1]);
+        assert!(average_precision(&early, &relevant) > average_precision(&late, &relevant));
+    }
+
+    #[test]
+    fn map_averages_queries() {
+        let runs = vec![
+            (vec![1u32], rel(&[1])),
+            (vec![2u32], rel(&[3])),
+        ];
+        assert!((mean_average_precision(&runs) - 0.5).abs() < 1e-12);
+        assert_eq!(mean_average_precision::<u32>(&[]), 0.0);
+    }
+
+    #[test]
+    fn ndcg_perfect_is_one() {
+        let mut grades = HashMap::new();
+        grades.insert(1u32, 2u8);
+        grades.insert(2, 1);
+        let results = vec![1u32, 2, 3];
+        assert!((ndcg_at_k(&results, &grades, 3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ndcg_prefers_high_grades_first() {
+        let mut grades = HashMap::new();
+        grades.insert(1u32, 2u8);
+        grades.insert(2, 1);
+        let good = vec![1u32, 2];
+        let bad = vec![2u32, 1];
+        assert!(ndcg_at_k(&good, &grades, 2) > ndcg_at_k(&bad, &grades, 2));
+    }
+
+    #[test]
+    fn ndcg_handles_unknown_results() {
+        let mut grades = HashMap::new();
+        grades.insert(1u32, 1u8);
+        let results = vec![99u32, 1];
+        let v = ndcg_at_k(&results, &grades, 2);
+        assert!(v > 0.0 && v < 1.0);
+    }
+}

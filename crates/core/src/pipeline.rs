@@ -1,0 +1,241 @@
+//! The end-to-end discovery pipeline: Figure 1 of the tutorial as one
+//! object.
+//!
+//! `DiscoveryPipeline::build` runs the offline passes a data-lake
+//! management system performs — profiling, understanding (annotation),
+//! indexing for every search family — and then serves the online
+//! operations: keyword search, joinable search (exact / containment /
+//! fuzzy / multi-attribute / correlated), and unionable search
+//! (TUS / SANTOS / Starmie).
+
+use crate::join::{
+    ContainmentJoinSearch, CorrelatedSearch, ExactJoinSearch, ExactStrategy, FuzzyJoinSearch,
+    MateSearch,
+};
+use crate::keyword::{KeywordConfig, KeywordSearch};
+use crate::union::{MeasureContext, SantosConfig, SantosSearch, StarmieConfig, StarmieSearch,
+    TusSearch, UnionMeasure};
+use td_embed::model::{DomainEmbedder, NGramEmbedder};
+use td_table::gen::domains::DomainRegistry;
+use td_table::{Column, DataLake, LakeProfile, Table, TableId};
+use td_understand::kb::{KbConfig, KnowledgeBase};
+
+/// Pipeline construction parameters.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// MinHash functions per signature.
+    pub minhash_k: usize,
+    /// LSH Ensemble partitions.
+    pub partitions: usize,
+    /// Embedding dimension.
+    pub dim: usize,
+    /// Values sampled per column when embedding.
+    pub sample: usize,
+    /// QCR sketch budget.
+    pub qcr_k: usize,
+    /// Fuzzy-join pivot count.
+    pub pivots: usize,
+    /// Starmie configuration.
+    pub starmie: StarmieConfig,
+    /// KB construction (coverage etc.).
+    pub kb: KbConfig,
+    /// Keyword index configuration.
+    pub keyword: KeywordConfig,
+    /// Seed for the embedding models.
+    pub seed: u64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            minhash_k: 128,
+            partitions: 8,
+            dim: 64,
+            sample: 48,
+            qcr_k: 256,
+            pivots: 8,
+            starmie: StarmieConfig::default(),
+            kb: KbConfig::default(),
+            keyword: KeywordConfig::default(),
+            seed: 7,
+        }
+    }
+}
+
+/// All offline state of a discovery system over one lake.
+pub struct DiscoveryPipeline {
+    /// Column/table statistics.
+    pub profile: LakeProfile,
+    /// Metadata keyword search.
+    pub keyword: KeywordSearch,
+    /// Exact top-k overlap (JOSIE).
+    pub exact_join: ExactJoinSearch,
+    /// Containment search (LSH Ensemble).
+    pub containment_join: ContainmentJoinSearch,
+    /// Fuzzy embedding join (PEXESO).
+    pub fuzzy_join: FuzzyJoinSearch<NGramEmbedder>,
+    /// Multi-attribute join (MATE).
+    pub mate: MateSearch,
+    /// Correlated search (QCR sketches).
+    pub correlated: CorrelatedSearch,
+    /// TUS union search.
+    pub tus: TusSearch,
+    /// SANTOS union search.
+    pub santos: SantosSearch,
+    /// Starmie union search.
+    pub starmie: StarmieSearch<DomainEmbedder>,
+}
+
+impl DiscoveryPipeline {
+    /// Run every offline pass over the lake.
+    ///
+    /// `registry` supplies the ontology/embedding world (for generated
+    /// lakes, pass the generator's registry so embeddings and the KB align
+    /// with the data); `relations` are the KB's known relation specs.
+    #[must_use]
+    pub fn build(
+        lake: &DataLake,
+        registry: &DomainRegistry,
+        relations: &[td_table::gen::bench_union::RelationSpec],
+        cfg: &PipelineConfig,
+    ) -> Self {
+        let profile = LakeProfile::of(lake);
+        let keyword = KeywordSearch::build(lake, &cfg.keyword);
+        let exact_join = ExactJoinSearch::build(lake);
+        let containment_join = ContainmentJoinSearch::build(lake, cfg.minhash_k, cfg.partitions);
+        let fuzzy_join = FuzzyJoinSearch::build(
+            lake,
+            NGramEmbedder::new(cfg.dim, 3, cfg.seed ^ 0xF0),
+            cfg.pivots,
+            cfg.sample,
+        );
+        let mate = MateSearch::build(lake);
+        let correlated = CorrelatedSearch::build(lake, cfg.qcr_k);
+        let domain_emb = || DomainEmbedder::from_registry(registry, 2_048, cfg.dim, 0.4, cfg.seed);
+        let tus = TusSearch::build(
+            lake,
+            MeasureContext {
+                domain_emb: domain_emb(),
+                ngram_emb: NGramEmbedder::new(cfg.dim, 3, cfg.seed ^ 0xF0),
+                sample: cfg.sample,
+            },
+        );
+        let kb = KnowledgeBase::build(registry, relations, &cfg.kb);
+        let santos = SantosSearch::build(lake, kb, SantosConfig::default());
+        let starmie = StarmieSearch::build(lake, domain_emb(), cfg.starmie);
+        DiscoveryPipeline {
+            profile,
+            keyword,
+            exact_join,
+            containment_join,
+            fuzzy_join,
+            mate,
+            correlated,
+            tus,
+            starmie,
+            santos,
+        }
+    }
+
+    /// Keyword search over metadata/schema.
+    #[must_use]
+    pub fn search_keyword(&self, query: &str, k: usize) -> Vec<(TableId, f64)> {
+        self.keyword.search(query, k)
+    }
+
+    /// Exact top-k joinable tables on a query column.
+    #[must_use]
+    pub fn search_joinable(&self, query: &Column, k: usize) -> Vec<(TableId, usize)> {
+        self.exact_join.search_tables(query, k, ExactStrategy::Adaptive)
+    }
+
+    /// Unionable tables by the ensemble TUS measure.
+    #[must_use]
+    pub fn search_unionable(&self, query: &Table, k: usize) -> Vec<(TableId, f64)> {
+        self.tus.search(query, k, UnionMeasure::Ensemble)
+    }
+
+    /// Unionable tables by Starmie's contextual-embedding ranking.
+    #[must_use]
+    pub fn search_unionable_semantic(&self, query: &Table, k: usize) -> Vec<(TableId, f64)> {
+        self.starmie.search(query, k)
+    }
+
+    /// Unionable tables by SANTOS's relationship-aware ranking.
+    #[must_use]
+    pub fn search_unionable_relationship(&self, query: &Table, k: usize) -> Vec<(TableId, f64)> {
+        self.santos.search(query, k)
+    }
+
+    /// Fuzzily joinable tables (embedding similarity predicate `tau`).
+    #[must_use]
+    pub fn search_fuzzy_joinable(
+        &self,
+        query: &Column,
+        tau: f32,
+        k: usize,
+    ) -> Vec<(TableId, f64)> {
+        self.fuzzy_join.search_tables(query, tau, k)
+    }
+
+    /// Tables joinable on a composite key (MATE-style row matching).
+    #[must_use]
+    pub fn search_multi_joinable(
+        &self,
+        query: &Table,
+        key_cols: &[usize],
+        k: usize,
+    ) -> Vec<(TableId, f64)> {
+        self.mate.search(query, key_cols, k).0
+    }
+
+    /// Tables whose numeric column correlates with the query's, reachable
+    /// through a key join (QCR sketches).
+    #[must_use]
+    pub fn search_correlated(
+        &self,
+        query_key: &Column,
+        query_num: &Column,
+        k: usize,
+    ) -> Vec<crate::join::CorrelatedHit> {
+        self.correlated.search(query_key, query_num, k, 8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_table::gen::lakegen::{LakeGenConfig, LakeGenerator};
+
+    #[test]
+    fn pipeline_builds_and_serves_all_families() {
+        let gl = LakeGenerator::standard().generate(&LakeGenConfig {
+            num_tables: 30,
+            rows: (20, 60),
+            cols: (2, 4),
+            seed: 3,
+            ..LakeGenConfig::default()
+        });
+        let p = DiscoveryPipeline::build(
+            &gl.lake,
+            &gl.registry,
+            &[],
+            &PipelineConfig::default(),
+        );
+        assert_eq!(p.profile.len(), gl.lake.num_columns());
+        assert_eq!(p.keyword.len(), 30);
+        assert!(!p.exact_join.is_empty());
+        assert!(!p.containment_join.is_empty());
+        assert!(!p.mate.is_empty());
+        // Serve a query derived from a lake table.
+        let (qid, qt) = gl.lake.iter().next().map(|(i, t)| (i, t.clone())).unwrap();
+        let joinable = p.search_joinable(&qt.columns[0], 5);
+        if !qt.columns[0].is_numeric() {
+            assert_eq!(joinable[0].0, qid, "self-join should rank first");
+        }
+        let unionable = p.search_unionable(&qt, 5);
+        assert_eq!(unionable[0].0, qid, "self-union should rank first");
+        let kw = p.search_keyword("dataset", 5);
+        assert!(kw.len() <= 5);
+    }
+}

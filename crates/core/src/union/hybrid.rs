@@ -1,0 +1,217 @@
+//! Hybrid KB + embedding union search — the tutorial's §3 challenge
+//! ("find synergies between knowledge-based and ML-based approaches").
+//!
+//! Knowledge bases answer with high precision but abstain wherever their
+//! coverage ends; embeddings never abstain but admit semantic false
+//! positives (same-domain/wrong-relationship tables). The hybrid uses the
+//! KB verdict wherever the KB has *evidence* and falls back to the
+//! embedding ranking elsewhere, so its quality tracks the better of the
+//! two at every coverage level (experiment E18).
+
+use crate::union::santos::{SantosSearch, TableSignature};
+use crate::union::starmie::StarmieSearch;
+use serde::{Deserialize, Serialize};
+use td_embed::model::Embedder;
+use td_table::{Table, TableId};
+
+/// How a hybrid hit was scored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HybridEvidence {
+    /// The KB asserted relationship/type overlap.
+    KnowledgeBase,
+    /// The KB abstained; the embedding ranking supplied the score.
+    Embedding,
+}
+
+/// A hybrid search result.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HybridHit {
+    /// The candidate table.
+    pub table: TableId,
+    /// Combined score (KB hits are lifted above every embedding hit).
+    pub score: f64,
+    /// Which path scored it.
+    pub evidence: HybridEvidence,
+}
+
+/// Minimum SANTOS score for the KB path to claim a candidate.
+const KB_EVIDENCE_FLOOR: f64 = 0.05;
+
+/// Hybrid union search over a SANTOS index and a Starmie index built on
+/// the same lake.
+pub struct HybridUnionSearch<'a, E: Embedder> {
+    santos: &'a SantosSearch,
+    starmie: &'a StarmieSearch<E>,
+}
+
+impl<'a, E: Embedder> HybridUnionSearch<'a, E> {
+    /// Combine two already-built indexes (they share the lake, not state).
+    #[must_use]
+    pub fn new(santos: &'a SantosSearch, starmie: &'a StarmieSearch<E>) -> Self {
+        HybridUnionSearch { santos, starmie }
+    }
+
+    /// Top-k unionable tables: KB-scored candidates first (descending
+    /// SANTOS score), embedding-ranked candidates fill the remainder.
+    #[must_use]
+    pub fn search(&self, query: &Table, k: usize) -> Vec<HybridHit> {
+        let mut out: Vec<HybridHit> = Vec::with_capacity(k);
+        for (t, s) in self.santos.search(query, k) {
+            if s > KB_EVIDENCE_FLOOR {
+                out.push(HybridHit {
+                    table: t,
+                    // Lift KB hits above the embedding range [0, 1].
+                    score: 1.0 + s,
+                    evidence: HybridEvidence::KnowledgeBase,
+                });
+            }
+        }
+        if out.len() < k {
+            for (t, s) in self.starmie.search(query, k * 2) {
+                if out.len() >= k {
+                    break;
+                }
+                if out.iter().any(|h| h.table == t) {
+                    continue;
+                }
+                out.push(HybridHit { table: t, score: s, evidence: HybridEvidence::Embedding });
+            }
+        }
+        out.truncate(k);
+        out
+    }
+
+    /// The query's KB signature (diagnostics: an empty triple set explains
+    /// why everything fell back to embeddings).
+    #[must_use]
+    pub fn query_signature(&self, query: &Table) -> TableSignature {
+        SantosSearch::signature_of(
+            query,
+            self.santos.kb_ref(),
+            &crate::union::santos::SantosConfig::default(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::union::{SantosConfig, StarmieConfig, VectorBackend};
+    use std::collections::HashSet;
+    use td_embed::column::ContextualEncoder;
+    use td_embed::model::DomainEmbedder;
+    use td_table::gen::bench_union::{UnionBenchConfig, UnionBenchmark};
+    use td_understand::kb::{KbConfig, KnowledgeBase};
+
+    fn setup(coverage: f64) -> (UnionBenchmark, SantosSearch, StarmieSearch<DomainEmbedder>) {
+        let b = UnionBenchmark::generate(&UnionBenchConfig {
+            num_queries: 2,
+            positives: 5,
+            partials: 0,
+            relation_decoys: 5,
+            homograph_decoys: 0,
+            noise: 10,
+            rows: 80,
+            key_slice: 150,
+            homograph_range: 1,
+            ..Default::default()
+        });
+        let kb = KnowledgeBase::build(
+            &b.registry,
+            &b.relations,
+            &KbConfig {
+                vocab_per_domain: 2_048,
+                facts_per_relation: 2_048,
+                type_coverage: coverage,
+                relation_coverage: coverage,
+                ..Default::default()
+            },
+        );
+        let santos = SantosSearch::build(&b.lake, kb, SantosConfig::default());
+        let starmie = StarmieSearch::build(
+            &b.lake,
+            DomainEmbedder::from_registry(&b.registry, 2_048, 64, 0.4, 3),
+            StarmieConfig {
+                encoder: ContextualEncoder { alpha: 0.4, sample: 48 },
+                backend: VectorBackend::Flat,
+                ..Default::default()
+            },
+        );
+        (b, santos, starmie)
+    }
+
+    #[test]
+    fn with_good_kb_the_kb_path_dominates() {
+        let (b, santos, starmie) = setup(0.9);
+        let h = HybridUnionSearch::new(&santos, &starmie);
+        let hits = h.search(&b.queries[0], 5);
+        assert_eq!(hits.len(), 5);
+        let kb_hits = hits
+            .iter()
+            .filter(|x| x.evidence == HybridEvidence::KnowledgeBase)
+            .count();
+        assert!(kb_hits >= 4, "only {kb_hits} KB-evidence hits");
+        let positives: HashSet<TableId> = b.tables_with_grade(0, 2).into_iter().collect();
+        let good = hits.iter().filter(|x| positives.contains(&x.table)).count();
+        assert!(good >= 4, "precision {good}/5");
+    }
+
+    #[test]
+    fn with_empty_kb_the_embedding_path_takes_over() {
+        let (b, santos, starmie) = setup(0.0);
+        let h = HybridUnionSearch::new(&santos, &starmie);
+        let hits = h.search(&b.queries[0], 5);
+        assert_eq!(hits.len(), 5);
+        assert!(hits.iter().all(|x| x.evidence == HybridEvidence::Embedding));
+        // The query signature explains the fallback.
+        let sig = h.query_signature(&b.queries[0]);
+        assert!(sig.triples.is_empty());
+    }
+
+    #[test]
+    fn hybrid_is_at_least_as_good_as_either_path() {
+        for coverage in [0.0, 0.5, 0.9] {
+            let (b, santos, starmie) = setup(coverage);
+            let h = HybridUnionSearch::new(&santos, &starmie);
+            for q in 0..b.queries.len() {
+                let positives: HashSet<TableId> =
+                    b.tables_with_grade(q, 2).into_iter().collect();
+                let prec = |ids: Vec<TableId>| {
+                    ids.iter().take(5).filter(|t| positives.contains(t)).count()
+                };
+                let hy = prec(h.search(&b.queries[q], 5).into_iter().map(|x| x.table).collect());
+                let kb = prec(
+                    santos
+                        .search(&b.queries[q], 5)
+                        .into_iter()
+                        .filter(|(_, s)| *s > KB_EVIDENCE_FLOOR)
+                        .map(|(t, _)| t)
+                        .collect(),
+                );
+                let em = prec(
+                    starmie.search(&b.queries[q], 5).into_iter().map(|(t, _)| t).collect(),
+                );
+                assert!(
+                    hy + 1 >= kb.max(em),
+                    "coverage {coverage} q{q}: hybrid {hy} vs kb {kb} / emb {em}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kb_hits_rank_above_embedding_hits() {
+        let (b, santos, starmie) = setup(0.5);
+        let h = HybridUnionSearch::new(&santos, &starmie);
+        let hits = h.search(&b.queries[0], 8);
+        let first_emb = hits
+            .iter()
+            .position(|x| x.evidence == HybridEvidence::Embedding);
+        if let Some(i) = first_emb {
+            assert!(
+                hits[i..].iter().all(|x| x.evidence == HybridEvidence::Embedding),
+                "KB hit after embedding hit"
+            );
+        }
+    }
+}

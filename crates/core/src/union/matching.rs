@@ -1,0 +1,251 @@
+//! Maximum-weight bipartite matching (Hungarian algorithm).
+//!
+//! TUS aggregates attribute-level unionability into a table-level score by
+//! solving a bipartite alignment between query and candidate columns; the
+//! same machinery serves Starmie's table-score aggregation and the table
+//! stitching application. This is the classic O(n³) potentials/shortest-
+//! augmenting-path formulation.
+
+/// Solve minimum-cost perfect assignment on a square `n x n` cost matrix.
+/// Returns `assignment[row] = col`.
+fn hungarian_min(cost: &[Vec<f64>]) -> Vec<usize> {
+    let n = cost.len();
+    // 1-indexed potentials algorithm (e-maxx formulation).
+    let inf = f64::INFINITY;
+    let mut u = vec![0.0f64; n + 1];
+    let mut v = vec![0.0f64; n + 1];
+    let mut p = vec![0usize; n + 1]; // p[col] = row matched to col (1-indexed)
+    let mut way = vec![0usize; n + 1];
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![inf; n + 1];
+        let mut used = vec![false; n + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = inf;
+            let mut j1 = 0usize;
+            for j in 1..=n {
+                if used[j] {
+                    continue;
+                }
+                let cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for j in 0..=n {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+    let mut assignment = vec![0usize; n];
+    for j in 1..=n {
+        if p[j] != 0 {
+            assignment[p[j] - 1] = j - 1;
+        }
+    }
+    assignment
+}
+
+/// Maximum-weight bipartite matching on a (possibly rectangular)
+/// non-negative weight matrix `weights[row][col]`.
+///
+/// Returns `(total_weight, assignment)` where `assignment[row]` is the
+/// matched column or `None` (rows beyond the column count, or matched to a
+/// zero-weight dummy, stay unmatched). Because weights are non-negative,
+/// the returned matching is a maximum-weight matching over all matchings.
+///
+/// # Panics
+/// Panics if rows have inconsistent lengths or any weight is negative/NaN.
+#[must_use]
+pub fn max_weight_matching(weights: &[Vec<f64>]) -> (f64, Vec<Option<usize>>) {
+    let n = weights.len();
+    if n == 0 {
+        return (0.0, Vec::new());
+    }
+    let m = weights[0].len();
+    for row in weights {
+        assert_eq!(row.len(), m, "ragged weight matrix");
+        for &w in row {
+            assert!(w >= 0.0 && w.is_finite(), "weights must be non-negative finite");
+        }
+    }
+    if m == 0 {
+        return (0.0, vec![None; n]);
+    }
+    let size = n.max(m);
+    let maxw = weights
+        .iter()
+        .flat_map(|r| r.iter().copied())
+        .fold(0.0f64, f64::max);
+    // Pad to square; dummy cells carry weight 0 (cost = maxw).
+    let cost: Vec<Vec<f64>> = (0..size)
+        .map(|i| {
+            (0..size)
+                .map(|j| {
+                    let w = if i < n && j < m { weights[i][j] } else { 0.0 };
+                    maxw - w
+                })
+                .collect()
+        })
+        .collect();
+    let assignment = hungarian_min(&cost);
+    let mut total = 0.0;
+    let mut out = vec![None; n];
+    for (i, &j) in assignment.iter().enumerate().take(n) {
+        if j < m && weights[i][j] > 0.0 {
+            out[i] = Some(j);
+            total += weights[i][j];
+        }
+    }
+    (total, out)
+}
+
+/// Brute-force optimal matching for tiny instances (test oracle).
+#[cfg(test)]
+fn brute_force(weights: &[Vec<f64>]) -> f64 {
+    let _n = weights.len();
+    let m = weights.first().map_or(0, Vec::len);
+    fn rec(weights: &[Vec<f64>], row: usize, used: &mut Vec<bool>) -> f64 {
+        if row == weights.len() {
+            return 0.0;
+        }
+        // Skip this row entirely, or match it to any free column.
+        let mut best = rec(weights, row + 1, used);
+        for j in 0..used.len() {
+            if !used[j] {
+                used[j] = true;
+                best = best.max(weights[row][j] + rec(weights, row + 1, used));
+                used[j] = false;
+            }
+        }
+        best
+    }
+    let mut used = vec![false; m];
+    rec(weights, 0, &mut used)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_square_case() {
+        let w = vec![
+            vec![3.0, 1.0],
+            vec![1.0, 3.0],
+        ];
+        let (total, a) = max_weight_matching(&w);
+        assert_eq!(total, 6.0);
+        assert_eq!(a, vec![Some(0), Some(1)]);
+    }
+
+    #[test]
+    fn anti_greedy_case() {
+        // Greedy picks (0,0)=5 then (1,1)=1: total 6; optimal is 4+4=8.
+        let w = vec![
+            vec![5.0, 4.0],
+            vec![4.0, 1.0],
+        ];
+        let (total, a) = max_weight_matching(&w);
+        assert_eq!(total, 8.0);
+        assert_eq!(a, vec![Some(1), Some(0)]);
+    }
+
+    #[test]
+    fn rectangular_more_rows() {
+        let w = vec![
+            vec![2.0],
+            vec![5.0],
+            vec![3.0],
+        ];
+        let (total, a) = max_weight_matching(&w);
+        assert_eq!(total, 5.0);
+        assert_eq!(a, vec![None, Some(0), None]);
+    }
+
+    #[test]
+    fn rectangular_more_cols() {
+        let w = vec![vec![1.0, 9.0, 2.0]];
+        let (total, a) = max_weight_matching(&w);
+        assert_eq!(total, 9.0);
+        assert_eq!(a, vec![Some(1)]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(max_weight_matching(&[]).0, 0.0);
+        let (t, a) = max_weight_matching(&[vec![], vec![]]);
+        assert_eq!(t, 0.0);
+        assert_eq!(a, vec![None, None]);
+    }
+
+    #[test]
+    fn zero_weights_stay_unmatched() {
+        let w = vec![vec![0.0, 0.0], vec![0.0, 7.0]];
+        let (total, a) = max_weight_matching(&w);
+        assert_eq!(total, 7.0);
+        assert_eq!(a[0], None);
+        assert_eq!(a[1], Some(1));
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_instances() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(31);
+        for trial in 0..50 {
+            let n = rng.gen_range(1..6);
+            let m = rng.gen_range(1..6);
+            let w: Vec<Vec<f64>> = (0..n)
+                .map(|_| (0..m).map(|_| (rng.gen::<f64>() * 10.0).round()).collect())
+                .collect();
+            let (total, assignment) = max_weight_matching(&w);
+            let expected = brute_force(&w);
+            assert!(
+                (total - expected).abs() < 1e-9,
+                "trial {trial}: got {total}, optimal {expected}, w={w:?}"
+            );
+            // Assignment must be consistent with the reported total.
+            let mut sum = 0.0;
+            let mut used = std::collections::HashSet::new();
+            for (i, a) in assignment.iter().enumerate() {
+                if let Some(j) = a {
+                    assert!(used.insert(*j), "column {j} used twice");
+                    sum += w[i][*j];
+                }
+            }
+            assert!((sum - total).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_weights() {
+        let _ = max_weight_matching(&[vec![-1.0]]);
+    }
+}

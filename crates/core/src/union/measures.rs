@@ -1,0 +1,204 @@
+//! Attribute-unionability measures (TUS; Nargesian et al., VLDB 2018).
+//!
+//! TUS scores how likely two attributes draw from the same domain with
+//! three signals — set overlap, ontology classes, and word embeddings —
+//! and takes the best-evidence ensemble. We mirror that trio:
+//!
+//! * **Syntactic**: Jaccard of the value token sets.
+//! * **Semantic**: cosine of [`DomainEmbedder`] column vectors (the
+//!   ontology-class signal; our registry plays the ontology).
+//! * **Natural language**: cosine of [`NGramEmbedder`] column vectors
+//!   (the distributional word-vector signal).
+//! * **Ensemble**: the maximum of the three (TUS's goodness takes the
+//!   strongest evidence).
+
+use serde::{Deserialize, Serialize};
+use td_embed::column::embed_column;
+use td_embed::model::{DomainEmbedder, NGramEmbedder};
+use td_embed::vector::cosine;
+use td_table::Column;
+
+/// Which unionability measure to use (the E04 ablation axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UnionMeasure {
+    /// Set-overlap (Jaccard) only.
+    Syntactic,
+    /// Domain-embedding cosine only.
+    Semantic,
+    /// N-gram-embedding cosine only.
+    NaturalLanguage,
+    /// Max of the three.
+    Ensemble,
+}
+
+/// Precomputed per-column evidence for unionability scoring.
+#[derive(Debug, Clone)]
+pub struct ColumnEvidence {
+    /// Distinct value tokens.
+    pub tokens: std::collections::HashSet<String>,
+    /// Domain-embedding column vector.
+    pub semantic: Vec<f32>,
+    /// N-gram-embedding column vector.
+    pub nl: Vec<f32>,
+}
+
+/// Shared measure context: the two embedding models plus sampling budget.
+pub struct MeasureContext {
+    /// Ontology-like embedder.
+    pub domain_emb: DomainEmbedder,
+    /// Distributional embedder.
+    pub ngram_emb: NGramEmbedder,
+    /// Distinct values sampled per column for the embeddings.
+    pub sample: usize,
+}
+
+impl MeasureContext {
+    /// Build the evidence for one column.
+    #[must_use]
+    pub fn evidence(&self, column: &Column) -> ColumnEvidence {
+        ColumnEvidence {
+            tokens: column.token_set(),
+            semantic: embed_column(&self.domain_emb, column, self.sample),
+            nl: embed_column(&self.ngram_emb, column, self.sample),
+        }
+    }
+}
+
+/// Jaccard of two token sets.
+#[must_use]
+pub fn token_jaccard(
+    a: &std::collections::HashSet<String>,
+    b: &std::collections::HashSet<String>,
+) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    let inter = a.intersection(b).count();
+    let union = a.len() + b.len() - inter;
+    inter as f64 / union.max(1) as f64
+}
+
+/// Attribute unionability of two columns under a measure, in `[0, 1]`.
+#[must_use]
+pub fn attribute_unionability(
+    a: &ColumnEvidence,
+    b: &ColumnEvidence,
+    measure: UnionMeasure,
+) -> f64 {
+    let syn = || token_jaccard(&a.tokens, &b.tokens);
+    let sem = || f64::from(cosine(&a.semantic, &b.semantic)).max(0.0);
+    let nl = || f64::from(cosine(&a.nl, &b.nl)).max(0.0);
+    match measure {
+        UnionMeasure::Syntactic => syn(),
+        UnionMeasure::Semantic => sem(),
+        UnionMeasure::NaturalLanguage => nl(),
+        UnionMeasure::Ensemble => syn().max(sem()).max(nl()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_table::gen::domains::DomainRegistry;
+
+    fn ctx(r: &DomainRegistry) -> MeasureContext {
+        MeasureContext {
+            domain_emb: DomainEmbedder::from_registry(r, 2_000, 64, 0.4, 3),
+            ngram_emb: NGramEmbedder::new(64, 3, 3),
+            sample: 64,
+        }
+    }
+
+    fn col(r: &DomainRegistry, name: &str, range: std::ops::Range<u64>) -> Column {
+        let d = r.id(name).unwrap();
+        Column::new(name, range.map(|i| r.value(d, i)).collect())
+    }
+
+    #[test]
+    fn syntactic_needs_overlap() {
+        let r = DomainRegistry::standard();
+        let c = ctx(&r);
+        let a = c.evidence(&col(&r, "city", 0..50));
+        let b = c.evidence(&col(&r, "city", 25..75)); // 50% overlap
+        let d = c.evidence(&col(&r, "city", 1000..1050)); // disjoint
+        let sab = attribute_unionability(&a, &b, UnionMeasure::Syntactic);
+        let sad = attribute_unionability(&a, &d, UnionMeasure::Syntactic);
+        assert!((sab - 1.0 / 3.0).abs() < 1e-9, "jaccard {sab}");
+        assert_eq!(sad, 0.0);
+    }
+
+    #[test]
+    fn semantic_survives_disjoint_slices_of_one_domain() {
+        // The TUS motivation: same domain, zero overlap — syntactic fails,
+        // semantic succeeds.
+        let r = DomainRegistry::standard();
+        let c = ctx(&r);
+        let a = c.evidence(&col(&r, "city", 0..50));
+        let d = c.evidence(&col(&r, "city", 1000..1050));
+        let sem = attribute_unionability(&a, &d, UnionMeasure::Semantic);
+        assert!(sem > 0.8, "semantic {sem}");
+        let syn = attribute_unionability(&a, &d, UnionMeasure::Syntactic);
+        assert_eq!(syn, 0.0);
+    }
+
+    #[test]
+    fn semantic_separates_domains() {
+        let r = DomainRegistry::standard();
+        let c = ctx(&r);
+        let a = c.evidence(&col(&r, "city", 0..50));
+        let g = c.evidence(&col(&r, "gene", 0..50));
+        let sem = attribute_unionability(&a, &g, UnionMeasure::Semantic);
+        assert!(sem < 0.4, "semantic across domains {sem}");
+    }
+
+    #[test]
+    fn ensemble_takes_best_evidence() {
+        let r = DomainRegistry::standard();
+        let c = ctx(&r);
+        let a = c.evidence(&col(&r, "city", 0..50));
+        let d = c.evidence(&col(&r, "city", 1000..1050));
+        let e = attribute_unionability(&a, &d, UnionMeasure::Ensemble);
+        let best = [
+            attribute_unionability(&a, &d, UnionMeasure::Syntactic),
+            attribute_unionability(&a, &d, UnionMeasure::Semantic),
+            attribute_unionability(&a, &d, UnionMeasure::NaturalLanguage),
+        ]
+        .into_iter()
+        .fold(0.0f64, f64::max);
+        assert_eq!(e, best);
+    }
+
+    #[test]
+    fn measures_are_symmetric() {
+        let r = DomainRegistry::standard();
+        let c = ctx(&r);
+        let a = c.evidence(&col(&r, "city", 0..40));
+        let b = c.evidence(&col(&r, "country", 0..40));
+        for m in [
+            UnionMeasure::Syntactic,
+            UnionMeasure::Semantic,
+            UnionMeasure::NaturalLanguage,
+            UnionMeasure::Ensemble,
+        ] {
+            let ab = attribute_unionability(&a, &b, m);
+            let ba = attribute_unionability(&b, &a, m);
+            assert!((ab - ba).abs() < 1e-6, "{m:?} asymmetric");
+        }
+    }
+
+    #[test]
+    fn empty_columns_score_zero() {
+        let r = DomainRegistry::standard();
+        let c = ctx(&r);
+        let e = c.evidence(&Column::new("e", vec![]));
+        let a = c.evidence(&col(&r, "city", 0..10));
+        for m in [
+            UnionMeasure::Syntactic,
+            UnionMeasure::Semantic,
+            UnionMeasure::NaturalLanguage,
+            UnionMeasure::Ensemble,
+        ] {
+            assert_eq!(attribute_unionability(&e, &a, m), 0.0, "{m:?}");
+        }
+    }
+}

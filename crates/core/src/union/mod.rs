@@ -1,0 +1,25 @@
+//! Unionable table search (tutorial §2.5): the TUS → SANTOS → Starmie
+//! progression.
+//!
+//! | Module | System | Idea |
+//! |---|---|---|
+//! | [`measures`] | TUS | attribute unionability (syntactic/semantic/NL) |
+//! | [`matching`] | — | Hungarian aggregation of column scores |
+//! | [`tus`] | TUS | ensemble measures + bipartite alignment |
+//! | [`santos`] | SANTOS | KB relationship triples kill same-domain decoys |
+//! | [`starmie`] | Starmie | contextual column embeddings + vector index |
+//! | [`hybrid`] | §3 challenge | KB evidence first, embeddings as fallback |
+
+pub mod hybrid;
+pub mod matching;
+pub mod measures;
+pub mod santos;
+pub mod starmie;
+pub mod tus;
+
+pub use hybrid::{HybridEvidence, HybridHit, HybridUnionSearch};
+pub use matching::max_weight_matching;
+pub use measures::{attribute_unionability, ColumnEvidence, MeasureContext, UnionMeasure};
+pub use santos::{SantosConfig, SantosSearch, TableSignature};
+pub use starmie::{StarmieConfig, StarmieSearch, VectorBackend};
+pub use tus::TusSearch;

@@ -1,0 +1,291 @@
+//! Relationship-based semantic union search (SANTOS; Khatiwada et al.,
+//! SIGMOD 2023; tutorial §2.5).
+//!
+//! Column-level unionability accepts tables whose columns merely share
+//! domains — even when the *relationship between the columns* differs
+//! (born-in vs died-in). SANTOS annotates each table's column pairs with
+//! KB relations and scores candidates by shared `(subject type, relation,
+//! object type)` triples, cutting exactly those false positives. The
+//! column-only score is kept as the baseline the experiment (E05)
+//! contrasts against.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use td_index::topk::TopK;
+use td_table::gen::domains::DomainId;
+use td_table::{DataLake, Table, TableId};
+use td_understand::annotate::{annotate_table, AnnotateConfig};
+use td_understand::kb::KnowledgeBase;
+
+/// The semantic signature SANTOS compares: column types and relationship
+/// triples.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TableSignature {
+    /// Annotated column types (deduplicated).
+    pub types: HashSet<DomainId>,
+    /// `(subject type, relation, object type)` triples.
+    pub triples: HashSet<(DomainId, u32, DomainId)>,
+}
+
+/// How the candidate score mixes triple and type evidence.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SantosConfig {
+    /// Weight of the relationship-triple containment (the SANTOS signal).
+    pub triple_weight: f64,
+    /// Weight of the column-type containment (the column-only signal).
+    pub type_weight: f64,
+    /// Annotation thresholds.
+    pub annotate: AnnotateConfig,
+}
+
+impl Default for SantosConfig {
+    fn default() -> Self {
+        SantosConfig {
+            triple_weight: 0.7,
+            type_weight: 0.3,
+            annotate: AnnotateConfig::default(),
+        }
+    }
+}
+
+/// SANTOS-style union search over KB-annotated tables.
+pub struct SantosSearch {
+    kb: KnowledgeBase,
+    cfg: SantosConfig,
+    signatures: Vec<(TableId, TableSignature)>,
+}
+
+/// Containment of set `a` in set `b` (`|a ∩ b| / |a|`, 0 for empty `a`).
+fn containment<T: Eq + std::hash::Hash>(a: &HashSet<T>, b: &HashSet<T>) -> f64 {
+    if a.is_empty() {
+        return 0.0;
+    }
+    a.iter().filter(|x| b.contains(x)).count() as f64 / a.len() as f64
+}
+
+impl SantosSearch {
+    /// Annotate every lake table offline.
+    #[must_use]
+    pub fn build(lake: &DataLake, kb: KnowledgeBase, cfg: SantosConfig) -> Self {
+        let signatures = lake
+            .iter()
+            .map(|(id, t)| (id, Self::signature_of(t, &kb, &cfg)))
+            .collect();
+        SantosSearch { kb, cfg, signatures }
+    }
+
+    /// The semantic signature of one table.
+    ///
+    /// Ambiguous columns carry several candidate types (homographs); the
+    /// signature keeps them all and expands relation triples over every
+    /// candidate combination, so two tables annotated with different
+    /// tie-breaks still share their true triples.
+    #[must_use]
+    pub fn signature_of(table: &Table, kb: &KnowledgeBase, cfg: &SantosConfig) -> TableSignature {
+        let ann = annotate_table(table, kb, &cfg.annotate);
+        let types: HashSet<DomainId> = ann
+            .column_types
+            .iter()
+            .flat_map(|cands| cands.iter().map(|a| a.ty))
+            .collect();
+        let mut triples = HashSet::new();
+        for rel in &ann.relations {
+            for st in &ann.column_types[rel.subject] {
+                for ot in &ann.column_types[rel.object] {
+                    triples.insert((st.ty, rel.relation, ot.ty));
+                }
+            }
+        }
+        TableSignature { types, triples }
+    }
+
+    /// Number of annotated tables.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.signatures.len()
+    }
+
+    /// The knowledge base this search annotates against.
+    #[must_use]
+    pub fn kb_ref(&self) -> &KnowledgeBase {
+        &self.kb
+    }
+
+    /// The precomputed signature of an annotated lake table.
+    #[must_use]
+    pub fn signature(&self, table: TableId) -> Option<&TableSignature> {
+        self.signatures
+            .iter()
+            .find(|(id, _)| *id == table)
+            .map(|(_, s)| s)
+    }
+
+    /// True if no tables were annotated.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.signatures.is_empty()
+    }
+
+    /// SANTOS score: weighted containment of query triples and types in
+    /// the candidate.
+    #[must_use]
+    pub fn score(&self, query: &TableSignature, candidate: &TableSignature) -> f64 {
+        self.cfg.triple_weight * containment(&query.triples, &candidate.triples)
+            + self.cfg.type_weight * containment(&query.types, &candidate.types)
+    }
+
+    /// Column-only baseline score (types, ignoring relationships).
+    #[must_use]
+    pub fn score_column_only(&self, query: &TableSignature, candidate: &TableSignature) -> f64 {
+        containment(&query.types, &candidate.types)
+    }
+
+    /// Top-k by the SANTOS (relationship-aware) score.
+    #[must_use]
+    pub fn search(&self, query: &Table, k: usize) -> Vec<(TableId, f64)> {
+        self.search_impl(query, k, false)
+    }
+
+    /// Top-k by the column-only baseline.
+    #[must_use]
+    pub fn search_column_only(&self, query: &Table, k: usize) -> Vec<(TableId, f64)> {
+        self.search_impl(query, k, true)
+    }
+
+    fn search_impl(&self, query: &Table, k: usize, column_only: bool) -> Vec<(TableId, f64)> {
+        let qsig = Self::signature_of(query, &self.kb, &self.cfg);
+        let mut topk = TopK::new(k.max(1));
+        for (i, (_, sig)) in self.signatures.iter().enumerate() {
+            let s = if column_only {
+                self.score_column_only(&qsig, sig)
+            } else {
+                self.score(&qsig, sig)
+            };
+            topk.push(s, i as u32);
+        }
+        topk.into_sorted()
+            .into_iter()
+            .map(|(s, i)| (self.signatures[i as usize].0, s))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::precision_at_k;
+    use td_table::gen::bench_union::{CandidateKind, UnionBenchConfig, UnionBenchmark};
+    use td_understand::kb::KbConfig;
+
+    fn setup() -> (UnionBenchmark, SantosSearch) {
+        let b = UnionBenchmark::generate(&UnionBenchConfig {
+            num_queries: 3,
+            positives: 5,
+            partials: 0,
+            relation_decoys: 5,
+            homograph_decoys: 0,
+            noise: 10,
+            rows: 80,
+            key_slice: 150,
+            homograph_range: 1,
+            ..UnionBenchConfig::default()
+        });
+        let kb = KnowledgeBase::build(
+            &b.registry,
+            &b.relations,
+            &KbConfig {
+                vocab_per_domain: 2_048,
+                facts_per_relation: 2_048,
+                type_coverage: 0.95,
+                relation_coverage: 0.9,
+                ..Default::default()
+            },
+        );
+        let s = SantosSearch::build(&b.lake, kb, SantosConfig::default());
+        (b, s)
+    }
+
+    #[test]
+    fn relationship_score_rejects_relation_decoys() {
+        let (b, s) = setup();
+        for q in 0..b.queries.len() {
+            let results: Vec<TableId> = s
+                .search(&b.queries[q], 5)
+                .into_iter()
+                .map(|(t, _)| t)
+                .collect();
+            let relevant: std::collections::HashSet<TableId> =
+                b.tables_with_grade(q, 2).into_iter().collect();
+            let p = precision_at_k(&results, &relevant, 5);
+            assert!(p >= 0.8, "query {q}: SANTOS P@5 = {p}");
+        }
+    }
+
+    #[test]
+    fn column_only_baseline_is_fooled_by_relation_decoys() {
+        let (b, s) = setup();
+        // Decoys share all column types with the query: the column-only
+        // score cannot separate them from true positives.
+        let q = 0;
+        let qsig = SantosSearch::signature_of(&b.queries[q], &s.kb, &s.cfg);
+        let decoys: Vec<TableId> = b
+            .truth_for(q)
+            .into_iter()
+            .filter(|t| t.kind == CandidateKind::RelationDecoy)
+            .map(|t| t.table)
+            .collect();
+        let mut fooled = 0;
+        for d in &decoys {
+            let dsig = s
+                .signatures
+                .iter()
+                .find(|(id, _)| id == d)
+                .map(|(_, sig)| sig)
+                .unwrap();
+            let col_score = s.score_column_only(&qsig, dsig);
+            let rel_score = s.score(&qsig, dsig);
+            if col_score > 0.8 {
+                fooled += 1;
+            }
+            // The relationship-aware score must punish the decoy.
+            assert!(
+                rel_score < col_score,
+                "decoy {d}: rel {rel_score} !< col {col_score}"
+            );
+        }
+        assert!(fooled > 0, "decoys failed to fool the column-only score");
+    }
+
+    #[test]
+    fn positives_carry_query_triples() {
+        let (b, s) = setup();
+        let qsig = SantosSearch::signature_of(&b.queries[0], &s.kb, &s.cfg);
+        assert!(!qsig.triples.is_empty(), "query has no annotated triples");
+        let pos = b.tables_with_grade(0, 2);
+        let mut with_shared = 0;
+        for p in &pos {
+            let sig = s
+                .signatures
+                .iter()
+                .find(|(id, _)| id == p)
+                .map(|(_, sig)| sig)
+                .unwrap();
+            if qsig.triples.intersection(&sig.triples).count() > 0 {
+                with_shared += 1;
+            }
+        }
+        assert!(
+            with_shared * 2 >= pos.len(),
+            "only {with_shared}/{} positives share triples",
+            pos.len()
+        );
+    }
+
+    #[test]
+    fn scores_are_bounded() {
+        let (b, s) = setup();
+        for (_, score) in s.search(&b.queries[0], 10) {
+            assert!((0.0..=1.0 + 1e-9).contains(&score));
+        }
+    }
+}

@@ -1,0 +1,371 @@
+//! Contextualized-embedding union search (Starmie; Fan et al., 2022;
+//! tutorial §2.5).
+//!
+//! Starmie encodes each column *in the context of its table* and retrieves
+//! unionable tables through a vector index over column embeddings, then
+//! aggregates column similarities into table scores. Context is the
+//! point: a homograph-heavy column is ambiguous on its own, but the rest
+//! of its table pins down its sense, suppressing the false positives a
+//! context-free encoder admits (experiment E06). The vector-index backend
+//! is pluggable (exact flat scan vs HNSW) to expose the recall/latency
+//! trade-off (experiments E06/E17).
+
+use crate::union::matching::max_weight_matching;
+use serde::{Deserialize, Serialize};
+use td_embed::column::ContextualEncoder;
+use td_embed::model::Embedder;
+use td_embed::vector::{cosine, dot, normalize};
+use td_index::flat::FlatIndex;
+use td_index::hnsw::{Hnsw, HnswParams};
+use td_index::topk::TopK;
+use td_table::{ColumnRef, DataLake, Table, TableId};
+
+/// Vector-index backend for column retrieval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VectorBackend {
+    /// Exact brute-force scan.
+    Flat,
+    /// Approximate HNSW graph.
+    Hnsw,
+}
+
+/// Starmie configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct StarmieConfig {
+    /// Column encoder (set `alpha = 0` for the context-free ablation).
+    pub encoder: ContextualEncoder,
+    /// Index backend.
+    pub backend: VectorBackend,
+    /// Columns retrieved per query column before table aggregation.
+    pub fanout: usize,
+    /// HNSW beam width at query time.
+    pub ef_search: usize,
+}
+
+impl Default for StarmieConfig {
+    fn default() -> Self {
+        StarmieConfig {
+            encoder: ContextualEncoder::default(),
+            backend: VectorBackend::Hnsw,
+            fanout: 32,
+            ef_search: 64,
+        }
+    }
+}
+
+enum Backend {
+    Flat(FlatIndex),
+    Hnsw(Box<Hnsw>),
+}
+
+/// Starmie-style union search.
+pub struct StarmieSearch<E: Embedder> {
+    embedder: E,
+    cfg: StarmieConfig,
+    refs: Vec<ColumnRef>,
+    vectors: Vec<Vec<f32>>,
+    /// Per table: the range of `refs` indices belonging to it.
+    table_cols: Vec<(TableId, std::ops::Range<usize>)>,
+    backend: Backend,
+}
+
+impl<E: Embedder> StarmieSearch<E> {
+    /// Encode every table's columns (contextually) and index them.
+    #[must_use]
+    pub fn build(lake: &DataLake, embedder: E, cfg: StarmieConfig) -> Self {
+        let mut refs = Vec::new();
+        let mut vectors: Vec<Vec<f32>> = Vec::new();
+        let mut table_cols = Vec::with_capacity(lake.len());
+        for (id, t) in lake.iter() {
+            let start = refs.len();
+            let encoded = cfg.encoder.encode_table(&embedder, t);
+            for (ci, mut v) in encoded.into_iter().enumerate() {
+                normalize(&mut v);
+                refs.push(ColumnRef::new(id, ci));
+                vectors.push(v);
+            }
+            table_cols.push((id, start..refs.len()));
+        }
+        let backend = match cfg.backend {
+            VectorBackend::Flat => {
+                let mut f = FlatIndex::new(embedder.dim());
+                for v in &vectors {
+                    f.insert(v.clone());
+                }
+                Backend::Flat(f)
+            }
+            VectorBackend::Hnsw => {
+                let mut h = Hnsw::new(embedder.dim(), HnswParams::default());
+                for v in &vectors {
+                    h.insert(v.clone());
+                }
+                Backend::Hnsw(Box::new(h))
+            }
+        };
+        StarmieSearch { embedder, cfg, refs, vectors, table_cols, backend }
+    }
+
+    /// Number of indexed columns.
+    #[must_use]
+    pub fn num_columns(&self) -> usize {
+        self.refs.len()
+    }
+
+    /// Encode a query table's columns the same way the lake was encoded.
+    #[must_use]
+    pub fn encode_query(&self, query: &Table) -> Vec<Vec<f32>> {
+        self.cfg
+            .encoder
+            .encode_table(&self.embedder, query)
+            .into_iter()
+            .map(|mut v| {
+                normalize(&mut v);
+                v
+            })
+            .collect()
+    }
+
+    fn retrieve(&self, v: &[f32], k: usize) -> Vec<u32> {
+        match &self.backend {
+            Backend::Flat(f) => f.search(v, k).into_iter().map(|(i, _)| i).collect(),
+            Backend::Hnsw(h) => h
+                .search(v, k, self.cfg.ef_search.max(k))
+                .into_iter()
+                .map(|(i, _)| i)
+                .collect(),
+        }
+    }
+
+    /// Top-k unionable tables: per-query-column retrieval, then bipartite
+    /// aggregation of cosine similarities over candidate tables.
+    #[must_use]
+    pub fn search(&self, query: &Table, k: usize) -> Vec<(TableId, f64)> {
+        let qvecs = self.encode_query(query);
+        if qvecs.is_empty() {
+            return Vec::new();
+        }
+        // Gather candidate tables from per-column retrieval.
+        let mut candidates: std::collections::HashSet<usize> =
+            std::collections::HashSet::new();
+        for qv in &qvecs {
+            for cid in self.retrieve(qv, self.cfg.fanout) {
+                let col = self.refs[cid as usize];
+                // Find the table slot (table_cols is in table order).
+                let slot = self
+                    .table_cols
+                    .binary_search_by(|(id, _)| id.cmp(&col.table))
+                    .expect("indexed column belongs to an indexed table");
+                candidates.insert(slot);
+            }
+        }
+        let mut topk = TopK::new(k.max(1));
+        for slot in candidates {
+            let (_, range) = &self.table_cols[slot];
+            let weights: Vec<Vec<f64>> = qvecs
+                .iter()
+                .map(|q| {
+                    range
+                        .clone()
+                        .map(|ci| f64::from(cosine(q, &self.vectors[ci])).max(0.0))
+                        .collect()
+                })
+                .collect();
+            let (total, _) = max_weight_matching(&weights);
+            topk.push(total / qvecs.len() as f64, slot as u32);
+        }
+        topk.into_sorted()
+            .into_iter()
+            .map(|(s, slot)| (self.table_cols[slot as usize].0, s))
+            .collect()
+    }
+
+    /// Column-centric search: unionable candidates for *one column* of the
+    /// query table, encoded in the query table's context. This is where
+    /// contextualization earns its keep: an ambiguous (homograph) query
+    /// column retrieves its own spelling-twins under a context-free
+    /// encoder, while the table context pins down the intended sense.
+    #[must_use]
+    pub fn search_column(&self, query: &Table, col: usize, k: usize) -> Vec<(ColumnRef, f32)> {
+        let qvecs = self.encode_query(query);
+        let Some(qv) = qvecs.get(col) else {
+            return Vec::new();
+        };
+        self.retrieve(qv, k)
+            .into_iter()
+            .map(|cid| {
+                let r = self.refs[cid as usize];
+                (r, cosine(qv, &self.vectors[cid as usize]))
+            })
+            .collect()
+    }
+
+    /// Exact best-cosine neighbors of one column vector (diagnostics).
+    #[must_use]
+    pub fn nearest_columns(&self, v: &[f32], k: usize) -> Vec<(ColumnRef, f32)> {
+        let mut topk = TopK::new(k.max(1));
+        for (i, cv) in self.vectors.iter().enumerate() {
+            topk.push(f64::from(dot(cv, v)), i as u32);
+        }
+        topk.into_sorted()
+            .into_iter()
+            .map(|(s, i)| (self.refs[i as usize], s as f32))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{mean_average_precision, precision_at_k};
+    use std::collections::HashSet;
+    use td_embed::model::DomainEmbedder;
+    use td_table::gen::bench_union::{UnionBenchConfig, UnionBenchmark};
+
+    fn bench() -> UnionBenchmark {
+        UnionBenchmark::generate(&UnionBenchConfig {
+            num_queries: 3,
+            positives: 5,
+            partials: 0,
+            relation_decoys: 0,
+            homograph_decoys: 5,
+            noise: 15,
+            rows: 80,
+            key_slice: 150,
+            homograph_range: 400,
+            ..UnionBenchConfig::default()
+        })
+    }
+
+    fn search(b: &UnionBenchmark, alpha: f32, backend: VectorBackend) -> StarmieSearch<DomainEmbedder> {
+        let emb = DomainEmbedder::from_registry(&b.registry, 2_048, 64, 0.4, 3);
+        StarmieSearch::build(
+            &b.lake,
+            emb,
+            StarmieConfig {
+                encoder: ContextualEncoder { alpha, sample: 48 },
+                backend,
+                ..Default::default()
+            },
+        )
+    }
+
+    fn runs(
+        b: &UnionBenchmark,
+        s: &StarmieSearch<DomainEmbedder>,
+        k: usize,
+    ) -> Vec<(Vec<TableId>, HashSet<TableId>)> {
+        (0..b.queries.len())
+            .map(|q| {
+                let res: Vec<TableId> = s
+                    .search(&b.queries[q], k)
+                    .into_iter()
+                    .map(|(t, _)| t)
+                    .collect();
+                let rel: HashSet<TableId> =
+                    b.tables_with_grade(q, 2).into_iter().collect();
+                (res, rel)
+            })
+            .collect()
+    }
+
+    /// Column-level precision of retrieving positive-table columns over
+    /// homograph-decoy columns for the (ambiguous) query key column.
+    fn column_precision(
+        s: &StarmieSearch<DomainEmbedder>,
+        b: &UnionBenchmark,
+        q: usize,
+        k: usize,
+    ) -> f64 {
+        use td_table::gen::bench_union::CandidateKind;
+        let pos: HashSet<TableId> = b.tables_with_grade(q, 2).into_iter().collect();
+        let decoys: HashSet<TableId> = b
+            .truth_for(q)
+            .into_iter()
+            .filter(|t| t.kind == CandidateKind::HomographDecoy)
+            .map(|t| t.table)
+            .collect();
+        let _ = decoys; // decoys occupy top ranks iff context fails
+        // Query column 0 is the key column (queries are unshuffled).
+        let hits = s.search_column(&b.queries[q], 0, k);
+        let good = hits
+            .iter()
+            .take(k)
+            .filter(|(c, _)| pos.contains(&c.table))
+            .count();
+        good as f64 / k as f64
+    }
+
+    #[test]
+    fn contextual_encoding_beats_context_free_on_homographs() {
+        // The query key column's spellings are shared with another domain
+        // (homographs), so a context-free encoder cannot tell positive key
+        // columns from decoy columns; the table context can.
+        let b = bench();
+        let ctx = search(&b, 0.5, VectorBackend::Flat);
+        let cf = search(&b, 0.0, VectorBackend::Flat);
+        let avg = |s: &StarmieSearch<DomainEmbedder>| {
+            (0..b.queries.len())
+                .map(|q| column_precision(s, &b, q, 5))
+                .sum::<f64>()
+                / b.queries.len() as f64
+        };
+        let p_ctx = avg(&ctx);
+        let p_cf = avg(&cf);
+        assert!(
+            p_ctx > p_cf + 0.1,
+            "contextual precision {p_ctx} should clearly beat context-free {p_cf}"
+        );
+        assert!(p_ctx > 0.75, "contextual precision {p_ctx}");
+        assert!(p_cf < 0.85, "context-free unexpectedly strong: {p_cf}");
+    }
+
+    #[test]
+    fn finds_positives_with_high_precision() {
+        let b = bench();
+        let s = search(&b, 0.5, VectorBackend::Flat);
+        for q in 0..b.queries.len() {
+            let res: Vec<TableId> = s
+                .search(&b.queries[q], 5)
+                .into_iter()
+                .map(|(t, _)| t)
+                .collect();
+            let rel: HashSet<TableId> = b.tables_with_grade(q, 2).into_iter().collect();
+            let p = precision_at_k(&res, &rel, 5);
+            assert!(p >= 0.6, "query {q}: P@5 = {p}");
+        }
+    }
+
+    #[test]
+    fn hnsw_backend_approximates_flat() {
+        let b = bench();
+        let flat = search(&b, 0.5, VectorBackend::Flat);
+        let hnsw = search(&b, 0.5, VectorBackend::Hnsw);
+        let map_flat = mean_average_precision(&runs(&b, &flat, 10));
+        let map_hnsw = mean_average_precision(&runs(&b, &hnsw, 10));
+        assert!(
+            map_hnsw >= map_flat - 0.15,
+            "HNSW MAP {map_hnsw} far below flat {map_flat}"
+        );
+    }
+
+    #[test]
+    fn empty_query_returns_nothing() {
+        let b = bench();
+        let s = search(&b, 0.5, VectorBackend::Flat);
+        let empty = Table::new("empty", vec![]).unwrap();
+        assert!(s.search(&empty, 5).is_empty());
+    }
+
+    #[test]
+    fn scores_are_sorted_and_bounded() {
+        let b = bench();
+        let s = search(&b, 0.5, VectorBackend::Flat);
+        let res = s.search(&b.queries[0], 10);
+        for w in res.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        for (_, score) in &res {
+            assert!((0.0..=1.0 + 1e-6).contains(score));
+        }
+    }
+}

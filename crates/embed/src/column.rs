@@ -1,0 +1,238 @@
+//! Column encoders: from cell embeddings to column (and table) vectors.
+//!
+//! Two encoders, mirroring the contrast Starmie drew (tutorial §2.5):
+//!
+//! * [`embed_column`] — *context-free*: the mean of the column's own value
+//!   embeddings (what TUS's NL measure and most pre-Starmie systems used).
+//! * [`ContextualEncoder`] — *contextualized*: each column's vector is
+//!   blended with the aggregate of its table's other columns, the way
+//!   Starmie's contrastive table encoder lets surrounding columns
+//!   disambiguate a column's meaning. A homograph-heavy column embedded
+//!   alone is ambiguous; embedded in context it moves toward the sense its
+//!   table actually uses.
+
+use crate::model::Embedder;
+use crate::vector::{add_scaled, normalize};
+use td_table::{Column, Table};
+
+/// Context-free column embedding: the normalized mean of the embeddings of
+/// up to `sample` distinct non-null values (deterministic: first-seen order
+/// of distinct values).
+#[must_use]
+pub fn embed_column(emb: &dyn Embedder, column: &Column, sample: usize) -> Vec<f32> {
+    let mut acc = vec![0.0f32; emb.dim()];
+    let mut seen = std::collections::HashSet::new();
+    let mut n = 0usize;
+    for v in &column.values {
+        if n >= sample {
+            break;
+        }
+        let Some(text) = v.join_token() else { continue };
+        if !seen.insert(text.clone()) {
+            continue;
+        }
+        add_scaled(&mut acc, &emb.embed(&text), 1.0);
+        n += 1;
+    }
+    normalize(&mut acc);
+    acc
+}
+
+/// Starmie-style contextual column encoder.
+#[derive(Debug, Clone, Copy, serde::Serialize, serde::Deserialize)]
+pub struct ContextualEncoder {
+    /// Context mixing weight in `[0, 1]`: 0 = context-free, 1 = context
+    /// only. Starmie's benefit shows around 0.3–0.5.
+    pub alpha: f32,
+    /// Max distinct values sampled per column.
+    pub sample: usize,
+}
+
+impl Default for ContextualEncoder {
+    fn default() -> Self {
+        ContextualEncoder { alpha: 0.4, sample: 64 }
+    }
+}
+
+impl ContextualEncoder {
+    /// Encode every column of a table with table context mixed in.
+    ///
+    /// Column `i`'s vector is `normalize((1-α)·own_i + α·mean(own_j, j≠i))`.
+    /// Single-column tables get their context-free vector.
+    #[must_use]
+    pub fn encode_table(&self, emb: &dyn Embedder, table: &Table) -> Vec<Vec<f32>> {
+        let own: Vec<Vec<f32>> = table
+            .columns
+            .iter()
+            .map(|c| embed_column(emb, c, self.sample))
+            .collect();
+        if own.len() <= 1 {
+            return own;
+        }
+        let dim = emb.dim();
+        // Sum of all column vectors, so context of column i = (sum - own_i) / (n-1).
+        let mut sum = vec![0.0f32; dim];
+        for v in &own {
+            add_scaled(&mut sum, v, 1.0);
+        }
+        let n1 = (own.len() - 1) as f32;
+        own.iter()
+            .map(|v| {
+                let mut ctx = sum.clone();
+                add_scaled(&mut ctx, v, -1.0);
+                for x in &mut ctx {
+                    *x /= n1;
+                }
+                let mut out = vec![0.0f32; dim];
+                add_scaled(&mut out, v, 1.0 - self.alpha);
+                add_scaled(&mut out, &ctx, self.alpha);
+                normalize(&mut out);
+                out
+            })
+            .collect()
+    }
+
+    /// Encode one table into a single vector (mean of contextual column
+    /// vectors) — used for whole-table similarity and navigation.
+    #[must_use]
+    pub fn encode_table_vector(&self, emb: &dyn Embedder, table: &Table) -> Vec<f32> {
+        let cols = self.encode_table(emb, table);
+        let mut acc = vec![0.0f32; emb.dim()];
+        for v in &cols {
+            add_scaled(&mut acc, v, 1.0);
+        }
+        normalize(&mut acc);
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::DomainEmbedder;
+    use crate::vector::cosine;
+    use td_table::gen::domains::DomainRegistry;
+    use td_table::Table;
+
+    fn setup() -> (DomainRegistry, DomainEmbedder) {
+        let mut r = DomainRegistry::standard();
+        let a = r.id("animal").unwrap();
+        let c = r.id("city").unwrap();
+        r.add_homograph_pair(a, c, 100);
+        let emb = DomainEmbedder::from_registry(&r, 500, 64, 0.4, 3);
+        (r, emb)
+    }
+
+    fn domain_column(r: &DomainRegistry, name: &str, range: std::ops::Range<u64>) -> Column {
+        let d = r.id(name).unwrap();
+        Column::new(name, range.map(|i| r.value(d, i)).collect())
+    }
+
+    #[test]
+    fn same_domain_columns_embed_close() {
+        let (r, emb) = setup();
+        let a = embed_column(&emb, &domain_column(&r, "country", 0..40), 64);
+        let b = embed_column(&emb, &domain_column(&r, "country", 100..140), 64);
+        assert!(cosine(&a, &b) > 0.85, "cos {}", cosine(&a, &b));
+    }
+
+    #[test]
+    fn different_domain_columns_embed_apart() {
+        let (r, emb) = setup();
+        let a = embed_column(&emb, &domain_column(&r, "country", 0..40), 64);
+        let g = embed_column(&emb, &domain_column(&r, "gene", 0..40), 64);
+        assert!(cosine(&a, &g) < 0.4, "cos {}", cosine(&a, &g));
+    }
+
+    #[test]
+    fn sampling_caps_work() {
+        let (r, emb) = setup();
+        let col = domain_column(&r, "country", 0..500);
+        let full = embed_column(&emb, &col, 500);
+        let sampled = embed_column(&emb, &col, 16);
+        // Sampled mean still points at the domain anchor.
+        assert!(cosine(&full, &sampled) > 0.8);
+    }
+
+    #[test]
+    fn context_disambiguates_homograph_columns() {
+        let (r, emb) = setup();
+        // Homograph column: indices 0..50 shared between city and animal.
+        let homo_as_city = domain_column(&r, "city", 0..50);
+        let homo_as_animal = {
+            let d = r.id("animal").unwrap();
+            Column::new("animal", (0..50).map(|i| r.value(d, i)).collect())
+        };
+        // Tables: identical ambiguous key column, different worlds around it.
+        let city_table = Table::new(
+            "cities",
+            vec![homo_as_city.clone(), domain_column(&r, "country", 0..50)],
+        )
+        .unwrap();
+        let animal_table = Table::new(
+            "animals",
+            vec![homo_as_animal, domain_column(&r, "food", 0..50)],
+        )
+        .unwrap();
+        let enc = ContextualEncoder { alpha: 0.5, sample: 64 };
+        let ctx_city = enc.encode_table(&emb, &city_table);
+        let ctx_animal = enc.encode_table(&emb, &animal_table);
+        // Context-free: the two key columns are literally identical strings.
+        let cf_city = embed_column(&emb, &city_table.columns[0], 64);
+        let cf_animal = embed_column(&emb, &animal_table.columns[0], 64);
+        let cf_sim = cosine(&cf_city, &cf_animal);
+        let ctx_sim = cosine(&ctx_city[0], &ctx_animal[0]);
+        assert!(cf_sim > 0.95, "context-free should confuse: {cf_sim}");
+        assert!(
+            ctx_sim < cf_sim - 0.1,
+            "context failed to separate: ctx {ctx_sim} vs cf {cf_sim}"
+        );
+    }
+
+    #[test]
+    fn single_column_table_is_context_free() {
+        let (r, emb) = setup();
+        let col = domain_column(&r, "country", 0..20);
+        let t = Table::new("t", vec![col.clone()]).unwrap();
+        let enc = ContextualEncoder::default();
+        let ctx = enc.encode_table(&emb, &t);
+        let cf = embed_column(&emb, &col, enc.sample);
+        assert_eq!(ctx[0], cf);
+    }
+
+    #[test]
+    fn alpha_zero_equals_context_free() {
+        let (r, emb) = setup();
+        let t = Table::new(
+            "t",
+            vec![
+                domain_column(&r, "country", 0..20),
+                domain_column(&r, "sport", 0..20),
+            ],
+        )
+        .unwrap();
+        let enc = ContextualEncoder { alpha: 0.0, sample: 64 };
+        let ctx = enc.encode_table(&emb, &t);
+        for (i, c) in t.columns.iter().enumerate() {
+            let cf = embed_column(&emb, c, 64);
+            assert!(cosine(&ctx[i], &cf) > 0.999);
+        }
+    }
+
+    #[test]
+    fn table_vector_is_unit() {
+        let (r, emb) = setup();
+        let t = Table::new("t", vec![domain_column(&r, "country", 0..20)]).unwrap();
+        let v = ContextualEncoder::default().encode_table_vector(&emb, &t);
+        let n: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((n - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn empty_column_embeds_to_zero() {
+        let (_, emb) = setup();
+        let c = Column::new("e", vec![]);
+        let v = embed_column(&emb, &c, 10);
+        assert!(v.iter().all(|&x| x == 0.0));
+    }
+}

@@ -1,0 +1,20 @@
+//! # td-embed — deterministic embeddings for table discovery
+//!
+//! Pseudo-embedding models reproducing the *geometry* of the pre-trained
+//! models the surveyed systems use (fastText, BERT, fine-tuned PLMs)
+//! without model files: [`NGramEmbedder`] for subword/typo proximity,
+//! [`DomainEmbedder`] for semantic-domain clustering with honest homograph
+//! ambiguity, and [`ContextualEncoder`] for Starmie-style contextualized
+//! column vectors. See DESIGN.md "Substitutions" for why this preserves
+//! the surveyed systems' behaviour.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod column;
+pub mod model;
+pub mod vector;
+
+pub use column::{embed_column, ContextualEncoder};
+pub use model::{seeded_unit_vector, DomainEmbedder, Embedder, NGramEmbedder};
+pub use vector::{add_scaled, cosine, dot, l2_sq, mean, norm, normalize};

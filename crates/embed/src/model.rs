@@ -1,0 +1,324 @@
+//! Deterministic pseudo-embedding models.
+//!
+//! The surveyed systems consume pre-trained word/column embeddings
+//! (fastText, BERT, fine-tuned PLMs). Downstream search code only depends
+//! on the *geometry* those models induce: values of one semantic domain
+//! cluster, different domains separate, misspellings land near their
+//! originals, and homographs sit between their senses. The two models here
+//! construct exactly that geometry, deterministically and without model
+//! files (see DESIGN.md, "Substitutions"):
+//!
+//! * [`NGramEmbedder`] — character-n-gram hash projections (fastText-style
+//!   subword bags). Typos share most n-grams with the original, so edit
+//!   proximity becomes cosine proximity — the property PEXESO-style fuzzy
+//!   join search needs.
+//! * [`DomainEmbedder`] — registry-aware: each semantic domain gets a
+//!   random unit *anchor*; an in-vocabulary value embeds as its domain
+//!   anchor plus a value-specific spread; a homograph (a spelling shared
+//!   by two domains) embeds as the normalized *mixture* of both anchors,
+//!   exactly the ambiguity real distributional embeddings exhibit. OOV
+//!   strings fall back to n-grams (far from every anchor).
+
+use crate::vector::normalize;
+use std::collections::HashMap;
+use td_sketch::hash::{hash_str, hash_u64};
+use td_table::gen::domains::DomainRegistry;
+
+/// Anything that can embed a string into a fixed-dimension vector.
+pub trait Embedder: Send + Sync {
+    /// Embedding dimension.
+    fn dim(&self) -> usize;
+    /// Embed one string.
+    fn embed(&self, text: &str) -> Vec<f32>;
+}
+
+/// Deterministic standard-normal-ish sample from a seed (Box–Muller over
+/// two hashed uniforms).
+#[must_use]
+fn gauss(seed: u64) -> f32 {
+    let u1 = (hash_u64(seed, 0xAA) as f64 + 1.0) / (u64::MAX as f64 + 2.0);
+    let u2 = (hash_u64(seed, 0xBB) as f64 + 1.0) / (u64::MAX as f64 + 2.0);
+    ((-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()) as f32
+}
+
+/// A deterministic random unit vector identified by a seed.
+#[must_use]
+pub fn seeded_unit_vector(seed: u64, dim: usize) -> Vec<f32> {
+    let mut v: Vec<f32> = (0..dim as u64)
+        .map(|j| gauss(seed.wrapping_mul(0x9E37_79B9).wrapping_add(j)))
+        .collect();
+    normalize(&mut v);
+    v
+}
+
+/// Character-n-gram hash embedder (fastText-style subword bag).
+#[derive(Debug, Clone)]
+pub struct NGramEmbedder {
+    dim: usize,
+    n: usize,
+    seed: u64,
+}
+
+impl NGramEmbedder {
+    /// Create an embedder with `dim` dimensions over character `n`-grams
+    /// (with `<`/`>` boundary markers, lower-cased input).
+    ///
+    /// # Panics
+    /// Panics if `dim == 0` or `n == 0`.
+    #[must_use]
+    pub fn new(dim: usize, n: usize, seed: u64) -> Self {
+        assert!(dim > 0 && n > 0);
+        NGramEmbedder { dim, n, seed }
+    }
+
+    fn ngrams(&self, text: &str) -> Vec<u64> {
+        let padded: Vec<char> = std::iter::once('<')
+            .chain(text.to_lowercase().chars())
+            .chain(std::iter::once('>'))
+            .collect();
+        if padded.len() < self.n {
+            return vec![hash_str(&padded.iter().collect::<String>(), self.seed)];
+        }
+        padded
+            .windows(self.n)
+            .map(|w| hash_str(&w.iter().collect::<String>(), self.seed))
+            .collect()
+    }
+}
+
+impl Embedder for NGramEmbedder {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn embed(&self, text: &str) -> Vec<f32> {
+        let mut acc = vec![0.0f32; self.dim];
+        for g in self.ngrams(text) {
+            for (j, a) in acc.iter_mut().enumerate() {
+                *a += gauss(g.wrapping_add((j as u64) << 32));
+            }
+        }
+        normalize(&mut acc);
+        acc
+    }
+}
+
+/// Registry-aware embedder with per-domain anchors.
+#[derive(Debug, Clone)]
+pub struct DomainEmbedder {
+    dim: usize,
+    /// Anchor unit vector per domain (index = `DomainId.0`).
+    anchors: Vec<Vec<f32>>,
+    /// Value spelling → domains it belongs to (more than one = homograph).
+    membership: HashMap<String, Vec<u16>>,
+    /// Intra-domain spread: scale of the value-specific noise added to the
+    /// anchor (0 = all values of a domain embed identically).
+    spread: f32,
+    fallback: NGramEmbedder,
+    seed: u64,
+}
+
+impl DomainEmbedder {
+    /// Build from a registry, materializing the first `vocab_per_domain`
+    /// values of every *categorical* domain into the membership dictionary.
+    ///
+    /// `spread` controls how tightly a domain's values cluster around the
+    /// anchor (0.4 mimics word-embedding clusters well).
+    #[must_use]
+    pub fn from_registry(
+        registry: &DomainRegistry,
+        vocab_per_domain: u64,
+        dim: usize,
+        spread: f32,
+        seed: u64,
+    ) -> Self {
+        let mut anchors = Vec::with_capacity(registry.len());
+        for (id, _) in registry.iter() {
+            anchors.push(seeded_unit_vector(
+                seed ^ 0xA0C0_0000 ^ (id.0 as u64) << 8,
+                dim,
+            ));
+        }
+        let mut membership: HashMap<String, Vec<u16>> = HashMap::new();
+        for (id, dom) in registry.iter() {
+            if dom.format.is_numeric() {
+                continue;
+            }
+            for i in 0..vocab_per_domain {
+                let v = registry.value(id, i).to_string().to_lowercase();
+                let entry = membership.entry(v).or_default();
+                if !entry.contains(&id.0) {
+                    entry.push(id.0);
+                }
+            }
+        }
+        DomainEmbedder {
+            dim,
+            anchors,
+            membership,
+            spread,
+            fallback: NGramEmbedder::new(dim, 3, seed ^ 0xFA11),
+            seed,
+        }
+    }
+
+    /// The anchor vector of a domain.
+    #[must_use]
+    pub fn anchor(&self, domain: u16) -> &[f32] {
+        &self.anchors[domain as usize]
+    }
+
+    /// Domains a spelling belongs to (empty = OOV).
+    #[must_use]
+    pub fn domains_of(&self, text: &str) -> &[u16] {
+        self.membership
+            .get(&text.to_lowercase())
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// True if a spelling belongs to more than one domain.
+    #[must_use]
+    pub fn is_homograph(&self, text: &str) -> bool {
+        self.domains_of(text).len() > 1
+    }
+}
+
+impl Embedder for DomainEmbedder {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn embed(&self, text: &str) -> Vec<f32> {
+        let key = text.to_lowercase();
+        let Some(domains) = self.membership.get(&key) else {
+            return self.fallback.embed(text);
+        };
+        let mut acc = vec![0.0f32; self.dim];
+        for &d in domains {
+            crate::vector::add_scaled(&mut acc, &self.anchors[d as usize], 1.0);
+        }
+        // Anchor mixture first (unit length), then a value-specific unit
+        // noise direction scaled by `spread` — so spread is the ratio of
+        // noise to signal regardless of dimension.
+        normalize(&mut acc);
+        let vseed = hash_str(&key, self.seed ^ 0x5EED);
+        let noise = seeded_unit_vector(vseed, self.dim);
+        crate::vector::add_scaled(&mut acc, &noise, self.spread);
+        normalize(&mut acc);
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::cosine;
+    use td_table::gen::domains::DomainRegistry;
+
+    fn registry_with_homographs() -> DomainRegistry {
+        let mut r = DomainRegistry::standard();
+        let a = r.id("animal").unwrap();
+        let c = r.id("city").unwrap();
+        r.add_homograph_pair(a, c, 50);
+        r
+    }
+
+    #[test]
+    fn embeddings_are_deterministic_unit_vectors() {
+        let e = NGramEmbedder::new(64, 3, 1);
+        let a = e.embed("boston");
+        let b = e.embed("boston");
+        assert_eq!(a, b);
+        let n: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((n - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn ngram_embedder_puts_typos_near_originals() {
+        let e = NGramEmbedder::new(64, 3, 1);
+        let orig = e.embed("bostonia");
+        let typo = e.embed("bostonla");
+        let unrelated = e.embed("quartz");
+        assert!(cosine(&orig, &typo) > 0.5, "typo cos {}", cosine(&orig, &typo));
+        assert!(
+            cosine(&orig, &typo) > cosine(&orig, &unrelated) + 0.3,
+            "typo {} unrelated {}",
+            cosine(&orig, &typo),
+            cosine(&orig, &unrelated)
+        );
+    }
+
+    #[test]
+    fn ngram_handles_short_and_empty_strings() {
+        let e = NGramEmbedder::new(32, 3, 1);
+        assert_eq!(e.embed("a").len(), 32);
+        assert_eq!(e.embed("").len(), 32);
+    }
+
+    #[test]
+    fn domain_values_cluster_around_anchor() {
+        let r = DomainRegistry::standard();
+        let emb = DomainEmbedder::from_registry(&r, 500, 64, 0.4, 7);
+        let city = r.id("city").unwrap();
+        let a = emb.embed(&r.value(city, 1).to_string());
+        let b = emb.embed(&r.value(city, 2).to_string());
+        assert!(cosine(&a, &b) > 0.6, "same-domain cos {}", cosine(&a, &b));
+        let anchor = emb.anchor(city.0);
+        assert!(cosine(&a, anchor) > 0.7);
+    }
+
+    #[test]
+    fn different_domains_separate() {
+        let r = DomainRegistry::standard();
+        let emb = DomainEmbedder::from_registry(&r, 500, 64, 0.4, 7);
+        let city = r.id("city").unwrap();
+        let gene = r.id("gene").unwrap();
+        let a = emb.embed(&r.value(city, 1).to_string());
+        let g = emb.embed(&r.value(gene, 1).to_string());
+        assert!(cosine(&a, &g) < 0.35, "cross-domain cos {}", cosine(&a, &g));
+    }
+
+    #[test]
+    fn homographs_sit_between_their_senses() {
+        let r = registry_with_homographs();
+        let emb = DomainEmbedder::from_registry(&r, 500, 64, 0.4, 7);
+        let animal = r.id("animal").unwrap();
+        let city = r.id("city").unwrap();
+        let homograph = r.value(animal, 3).to_string(); // index < 50: shared
+        assert!(emb.is_homograph(&homograph), "{homograph} not detected");
+        let h = emb.embed(&homograph);
+        let ca = cosine(&h, emb.anchor(animal.0));
+        let cc = cosine(&h, emb.anchor(city.0));
+        assert!(ca > 0.4 && cc > 0.4, "mixture broke: animal {ca}, city {cc}");
+    }
+
+    #[test]
+    fn oov_falls_back_far_from_anchors() {
+        let r = DomainRegistry::standard();
+        let emb = DomainEmbedder::from_registry(&r, 200, 64, 0.4, 7);
+        let v = emb.embed("zzz-completely-unknown-token-123");
+        assert!(emb.domains_of("zzz-completely-unknown-token-123").is_empty());
+        for (id, _) in r.iter() {
+            assert!(
+                cosine(&v, emb.anchor(id.0)) < 0.4,
+                "OOV too close to anchor {id:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn membership_is_case_insensitive() {
+        let r = DomainRegistry::standard();
+        let emb = DomainEmbedder::from_registry(&r, 100, 32, 0.4, 7);
+        let city = r.id("city").unwrap();
+        let v = r.value(city, 1).to_string();
+        assert_eq!(emb.domains_of(&v.to_uppercase()), emb.domains_of(&v));
+    }
+
+    #[test]
+    fn seeded_unit_vectors_are_nearly_orthogonal_in_high_dim() {
+        let a = seeded_unit_vector(1, 128);
+        let b = seeded_unit_vector(2, 128);
+        assert!(cosine(&a, &b).abs() < 0.3);
+    }
+}

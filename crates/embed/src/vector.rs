@@ -1,0 +1,128 @@
+//! Dense-vector primitives (f32, row-major `Vec`s).
+
+/// Dot product.
+///
+/// # Panics
+/// Panics on dimension mismatch.
+#[must_use]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dimension mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean norm.
+#[must_use]
+pub fn norm(a: &[f32]) -> f32 {
+    dot(a, a).sqrt()
+}
+
+/// Cosine similarity in `[-1, 1]`; 0 if either vector is zero.
+#[must_use]
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    let na = norm(a);
+    let nb = norm(b);
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    (dot(a, b) / (na * nb)).clamp(-1.0, 1.0)
+}
+
+/// Squared Euclidean distance.
+#[must_use]
+pub fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dimension mismatch");
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Normalize in place to unit length (no-op for the zero vector).
+pub fn normalize(a: &mut [f32]) {
+    let n = norm(a);
+    if n > 0.0 {
+        for x in a.iter_mut() {
+            *x /= n;
+        }
+    }
+}
+
+/// `acc += scale * v`.
+///
+/// # Panics
+/// Panics on dimension mismatch.
+pub fn add_scaled(acc: &mut [f32], v: &[f32], scale: f32) {
+    assert_eq!(acc.len(), v.len(), "dimension mismatch");
+    for (a, x) in acc.iter_mut().zip(v) {
+        *a += scale * x;
+    }
+}
+
+/// Mean of a non-empty slice of equal-length vectors; `None` if empty.
+#[must_use]
+pub fn mean(vectors: &[Vec<f32>]) -> Option<Vec<f32>> {
+    let first = vectors.first()?;
+    let mut acc = vec![0.0f32; first.len()];
+    for v in vectors {
+        add_scaled(&mut acc, v, 1.0);
+    }
+    let n = vectors.len() as f32;
+    for x in &mut acc {
+        *x /= n;
+    }
+    Some(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert_eq!(norm(&[3.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    fn cosine_basics() {
+        assert!((cosine(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-6);
+        assert!(cosine(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-6);
+        assert!((cosine(&[1.0, 0.0], &[-1.0, 0.0]) + 1.0).abs() < 1e-6);
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn cosine_is_scale_invariant() {
+        let a = [0.3, -0.7, 0.2];
+        let b: Vec<f32> = a.iter().map(|x| x * 17.0).collect();
+        assert!((cosine(&a, &b) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normalize_makes_unit() {
+        let mut v = vec![3.0, 4.0];
+        normalize(&mut v);
+        assert!((norm(&v) - 1.0).abs() < 1e-6);
+        let mut z = vec![0.0, 0.0];
+        normalize(&mut z);
+        assert_eq!(z, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn l2_and_add_scaled() {
+        assert_eq!(l2_sq(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        let mut acc = vec![1.0, 1.0];
+        add_scaled(&mut acc, &[2.0, -2.0], 0.5);
+        assert_eq!(acc, vec![2.0, 0.0]);
+    }
+
+    #[test]
+    fn mean_of_vectors() {
+        let m = mean(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(m, vec![2.0, 3.0]);
+        assert!(mean(&[]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dot_rejects_mismatch() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+}

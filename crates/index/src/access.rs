@@ -1,0 +1,297 @@
+//! Cost-based, distribution-aware access-method selection — the tutorial's
+//! §3 vision ("more effective cost-based and distribution-aware access
+//! methods that optimize access based on the data distribution").
+//!
+//! A discovery system holds several index families for the same column
+//! vectors; which one should serve a given query stream? The selector
+//! *calibrates* per-method cost models from a handful of measured probes
+//! (flat scan: linear in `n`; HNSW: logarithmic-ish; plus build cost
+//! amortized over the expected query count) and picks the method with the
+//! lowest predicted total cost, re-deciding as the corpus grows or the
+//! workload changes — a small, honest instance of the self-designing
+//! access methods the tutorial points at.
+
+use crate::flat::FlatIndex;
+use crate::hnsw::{Hnsw, HnswParams};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// The vector access methods under selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AccessMethod {
+    /// Exact brute-force scan — free to build, O(n) to query.
+    Flat,
+    /// HNSW graph — expensive to build, near-O(log n) to query.
+    Hnsw,
+}
+
+/// Workload description the decision is conditioned on.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Workload {
+    /// Vectors currently in the corpus.
+    pub corpus_size: usize,
+    /// Queries expected before the index would be rebuilt anyway.
+    pub expected_queries: usize,
+    /// Results per query.
+    pub k: usize,
+}
+
+/// Calibrated per-element costs (nanoseconds), measured on this machine.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Flat scan cost per corpus vector per query.
+    pub flat_ns_per_vector: f64,
+    /// HNSW query cost per *log2(n)* step (amortizes beam width).
+    pub hnsw_ns_per_log_step: f64,
+    /// HNSW insert cost per vector (build).
+    pub hnsw_build_ns_per_vector: f64,
+}
+
+impl CostModel {
+    /// Calibrate by timing small probes at the given dimension.
+    ///
+    /// Uses a few hundred synthetic vectors — milliseconds of work — and
+    /// returns per-element costs that extrapolate across corpus sizes.
+    #[must_use]
+    pub fn calibrate(dim: usize) -> CostModel {
+        let n = 600usize;
+        let vectors: Vec<Vec<f32>> = (0..n as u64)
+            .map(|i| td_embed::model::seeded_unit_vector(i, dim))
+            .collect();
+        let q = td_embed::model::seeded_unit_vector(999, dim);
+
+        let mut flat = FlatIndex::new(dim);
+        for v in &vectors {
+            flat.insert(v.clone());
+        }
+        let reps = 50;
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            let _ = flat.search(&q, 10);
+        }
+        let flat_ns_per_vector =
+            t0.elapsed().as_nanos() as f64 / (reps as f64 * n as f64);
+
+        let t1 = Instant::now();
+        let mut hnsw = Hnsw::new(dim, HnswParams::default());
+        for v in &vectors {
+            hnsw.insert(v.clone());
+        }
+        let hnsw_build_ns_per_vector = t1.elapsed().as_nanos() as f64 / n as f64;
+
+        let t2 = Instant::now();
+        for _ in 0..reps {
+            let _ = hnsw.search(&q, 10, 64);
+        }
+        let hnsw_ns_per_log_step = t2.elapsed().as_nanos() as f64
+            / (reps as f64 * (n as f64).log2().max(1.0));
+
+        CostModel { flat_ns_per_vector, hnsw_ns_per_log_step, hnsw_build_ns_per_vector }
+    }
+
+    /// Predicted total cost (ns) of serving the workload with a method,
+    /// including build cost where the method has one.
+    #[must_use]
+    pub fn predict(&self, method: AccessMethod, w: &Workload) -> f64 {
+        let n = w.corpus_size.max(1) as f64;
+        let q = w.expected_queries.max(1) as f64;
+        match method {
+            AccessMethod::Flat => q * n * self.flat_ns_per_vector,
+            AccessMethod::Hnsw => {
+                n * self.hnsw_build_ns_per_vector
+                    + q * n.log2().max(1.0) * self.hnsw_ns_per_log_step
+            }
+        }
+    }
+
+    /// The cheaper method for a workload.
+    #[must_use]
+    pub fn choose(&self, w: &Workload) -> AccessMethod {
+        if self.predict(AccessMethod::Flat, w) <= self.predict(AccessMethod::Hnsw, w) {
+            AccessMethod::Flat
+        } else {
+            AccessMethod::Hnsw
+        }
+    }
+
+    /// The corpus size at which HNSW starts paying off for a given query
+    /// budget (the crossover the tutorial's scalability discussion is
+    /// about). Returns `None` if flat wins everywhere up to `max_n`.
+    #[must_use]
+    pub fn crossover(&self, expected_queries: usize, k: usize, max_n: usize) -> Option<usize> {
+        let mut n = 64usize;
+        while n <= max_n {
+            let w = Workload { corpus_size: n, expected_queries, k };
+            if self.choose(&w) == AccessMethod::Hnsw {
+                return Some(n);
+            }
+            n *= 2;
+        }
+        None
+    }
+}
+
+/// A self-selecting vector index: routes inserts to both representations
+/// lazily and serves queries through the currently-cheapest method.
+pub struct AdaptiveVectorIndex {
+    dim: usize,
+    model: CostModel,
+    expected_queries: usize,
+    vectors: Vec<Vec<f32>>,
+    /// Built lazily the first time the selector picks HNSW.
+    hnsw: Option<Box<Hnsw>>,
+    flat: FlatIndex,
+    queries_served: usize,
+}
+
+impl AdaptiveVectorIndex {
+    /// Create with a calibrated (or injected) cost model.
+    #[must_use]
+    pub fn new(dim: usize, model: CostModel, expected_queries: usize) -> Self {
+        AdaptiveVectorIndex {
+            dim,
+            model,
+            expected_queries,
+            vectors: Vec::new(),
+            hnsw: None,
+            flat: FlatIndex::new(dim),
+            queries_served: 0,
+        }
+    }
+
+    /// Insert a vector.
+    pub fn insert(&mut self, v: Vec<f32>) {
+        self.flat.insert(v.clone());
+        if let Some(h) = &mut self.hnsw {
+            h.insert(v.clone());
+        }
+        self.vectors.push(v);
+    }
+
+    /// Number of indexed vectors.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// True if empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.vectors.is_empty()
+    }
+
+    /// The method the selector would use right now.
+    #[must_use]
+    pub fn current_method(&self) -> AccessMethod {
+        self.model.choose(&Workload {
+            corpus_size: self.vectors.len(),
+            expected_queries: self.expected_queries.saturating_sub(self.queries_served).max(1),
+            k: 10,
+        })
+    }
+
+    /// Query through the currently-cheapest method (building HNSW on first
+    /// use if the selector calls for it).
+    pub fn search(&mut self, query: &[f32], k: usize) -> Vec<(u32, f32)> {
+        self.queries_served += 1;
+        match self.current_method() {
+            AccessMethod::Flat => self.flat.search(query, k),
+            AccessMethod::Hnsw => {
+                if self.hnsw.is_none() {
+                    let mut h = Hnsw::new(self.dim, HnswParams::default());
+                    for v in &self.vectors {
+                        h.insert(v.clone());
+                    }
+                    self.hnsw = Some(Box::new(h));
+                }
+                self.hnsw
+                    .as_ref()
+                    .expect("just built")
+                    .search(query, k, 64.max(k))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deterministic model (no machine timing) for unit tests.
+    fn fixed_model() -> CostModel {
+        CostModel {
+            flat_ns_per_vector: 10.0,
+            hnsw_ns_per_log_step: 500.0,
+            hnsw_build_ns_per_vector: 5_000.0,
+        }
+    }
+
+    #[test]
+    fn flat_wins_small_corpora_and_few_queries() {
+        let m = fixed_model();
+        let w = Workload { corpus_size: 100, expected_queries: 10, k: 10 };
+        assert_eq!(m.choose(&w), AccessMethod::Flat);
+    }
+
+    #[test]
+    fn hnsw_wins_large_corpora_with_many_queries() {
+        let m = fixed_model();
+        let w = Workload { corpus_size: 1_000_000, expected_queries: 100_000, k: 10 };
+        assert_eq!(m.choose(&w), AccessMethod::Hnsw);
+    }
+
+    #[test]
+    fn crossover_moves_with_query_budget() {
+        let m = fixed_model();
+        let few = m.crossover(10, 10, 1 << 26);
+        let many = m.crossover(100_000, 10, 1 << 26);
+        let many_n = many.expect("many queries must cross");
+        match few {
+            // More queries amortize the build: crossover at smaller n.
+            Some(few_n) => assert!(many_n <= few_n, "few {few_n} many {many_n}"),
+            None => {} // flat wins everywhere for 10 queries: consistent
+        }
+    }
+
+    #[test]
+    fn predictions_are_monotone_in_corpus_size() {
+        let m = fixed_model();
+        for method in [AccessMethod::Flat, AccessMethod::Hnsw] {
+            let small = m.predict(method, &Workload { corpus_size: 1_000, expected_queries: 100, k: 10 });
+            let large = m.predict(method, &Workload { corpus_size: 100_000, expected_queries: 100, k: 10 });
+            assert!(large > small);
+        }
+    }
+
+    #[test]
+    fn calibration_produces_positive_costs() {
+        let m = CostModel::calibrate(16);
+        assert!(m.flat_ns_per_vector > 0.0);
+        assert!(m.hnsw_ns_per_log_step > 0.0);
+        assert!(m.hnsw_build_ns_per_vector > 0.0);
+    }
+
+    #[test]
+    fn adaptive_index_serves_correct_results_through_both_methods() {
+        use td_embed::model::seeded_unit_vector;
+        // Model rigged so the method flips from Flat to HNSW as the
+        // remaining query budget is consumed... actually flips with size:
+        // start small (flat), grow (hnsw).
+        let m = fixed_model();
+        let mut idx = AdaptiveVectorIndex::new(16, m, 10_000);
+        for i in 0..50u64 {
+            idx.insert(seeded_unit_vector(i, 16));
+        }
+        assert_eq!(idx.current_method(), AccessMethod::Flat);
+        let q = seeded_unit_vector(7, 16);
+        let r = idx.search(&q, 1);
+        assert_eq!(r[0].0, 7);
+        for i in 50..3_000u64 {
+            idx.insert(seeded_unit_vector(i, 16));
+        }
+        assert_eq!(idx.current_method(), AccessMethod::Hnsw);
+        let r = idx.search(&q, 1);
+        assert_eq!(r[0].0, 7, "HNSW path must find the exact match");
+        assert_eq!(idx.len(), 3_000);
+    }
+}

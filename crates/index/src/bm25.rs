@@ -1,0 +1,212 @@
+//! BM25 full-text index for keyword/metadata search (tutorial §2.3).
+
+use crate::topk::TopK;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// BM25 ranking parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Bm25Params {
+    /// Term-frequency saturation (`k1`, typically 1.2–2.0).
+    pub k1: f64,
+    /// Length normalization (`b`, typically 0.75).
+    pub b: f64,
+}
+
+impl Default for Bm25Params {
+    fn default() -> Self {
+        Bm25Params { k1: 1.2, b: 0.75 }
+    }
+}
+
+/// Lower-cased alphanumeric tokenization (runs of `[a-z0-9]`).
+#[must_use]
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for c in text.chars() {
+        if c.is_alphanumeric() {
+            cur.extend(c.to_lowercase());
+        } else if !cur.is_empty() {
+            out.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// An inverted BM25 index over documents identified by `u32` ids.
+/// ```
+/// use td_index::{Bm25Index, Bm25Params};
+///
+/// let mut idx = Bm25Index::new(Bm25Params::default());
+/// idx.add_document("city budget finance 2023");
+/// idx.add_document("wildlife sightings dataset");
+/// let hits = idx.search("municipal budget", 2);
+/// assert_eq!(hits[0].0, 0);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Bm25Index {
+    params: Bm25Params,
+    /// term → (doc id, term frequency).
+    postings: HashMap<String, Vec<(u32, u32)>>,
+    doc_len: Vec<u32>,
+    total_len: u64,
+}
+
+impl Bm25Index {
+    /// An empty index.
+    #[must_use]
+    pub fn new(params: Bm25Params) -> Self {
+        Bm25Index { params, postings: HashMap::new(), doc_len: Vec::new(), total_len: 0 }
+    }
+
+    /// Add a document; returns its id (dense, insertion order).
+    pub fn add_document(&mut self, text: &str) -> u32 {
+        let id = self.doc_len.len() as u32;
+        let tokens = tokenize(text);
+        let mut tf: HashMap<String, u32> = HashMap::new();
+        for t in &tokens {
+            *tf.entry(t.clone()).or_insert(0) += 1;
+        }
+        for (term, f) in tf {
+            self.postings.entry(term).or_default().push((id, f));
+        }
+        self.doc_len.push(tokens.len() as u32);
+        self.total_len += tokens.len() as u64;
+        id
+    }
+
+    /// Number of documents.
+    #[must_use]
+    pub fn num_docs(&self) -> usize {
+        self.doc_len.len()
+    }
+
+    /// True if no documents are indexed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.doc_len.is_empty()
+    }
+
+    /// BM25 idf with the standard +1 smoothing (never negative).
+    fn idf(&self, df: usize) -> f64 {
+        let n = self.num_docs() as f64;
+        (((n - df as f64 + 0.5) / (df as f64 + 0.5)) + 1.0).ln()
+    }
+
+    /// Top-k documents for a free-text query, `(doc, score)` descending.
+    /// Documents matching no query term are not returned.
+    #[must_use]
+    pub fn search(&self, query: &str, k: usize) -> Vec<(u32, f64)> {
+        if self.doc_len.is_empty() || k == 0 {
+            return Vec::new();
+        }
+        let avg_len = self.total_len as f64 / self.doc_len.len() as f64;
+        let mut scores: HashMap<u32, f64> = HashMap::new();
+        let mut qterms = tokenize(query);
+        qterms.dedup();
+        for term in qterms {
+            let Some(pl) = self.postings.get(&term) else { continue };
+            let idf = self.idf(pl.len());
+            for &(doc, f) in pl {
+                let f = f as f64;
+                let len_norm = 1.0 - self.params.b
+                    + self.params.b * self.doc_len[doc as usize] as f64 / avg_len.max(1e-9);
+                let s = idf * (f * (self.params.k1 + 1.0))
+                    / (f + self.params.k1 * len_norm);
+                *scores.entry(doc).or_insert(0.0) += s;
+            }
+        }
+        let mut topk = TopK::new(k);
+        for (doc, s) in scores {
+            topk.push(s, doc);
+        }
+        topk.into_sorted().into_iter().map(|(s, d)| (d, s)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idx(docs: &[&str]) -> Bm25Index {
+        let mut i = Bm25Index::new(Bm25Params::default());
+        for d in docs {
+            i.add_document(d);
+        }
+        i
+    }
+
+    #[test]
+    fn tokenize_splits_and_lowercases() {
+        assert_eq!(tokenize("City Budgets, FY-2023!"), vec!["city", "budgets", "fy", "2023"]);
+        assert!(tokenize("  ,,  ").is_empty());
+    }
+
+    #[test]
+    fn exact_topic_match_ranks_first() {
+        let i = idx(&[
+            "city budget annual finance",
+            "wildlife animals habitat",
+            "city population census",
+        ]);
+        let r = i.search("city budget", 3);
+        assert_eq!(r[0].0, 0);
+    }
+
+    #[test]
+    fn rare_terms_outweigh_common_ones() {
+        let i = idx(&[
+            "data data data zebra",
+            "data survey",
+            "data report",
+            "data analysis",
+        ]);
+        // "zebra" appears in one doc: it should dominate the ubiquitous "data".
+        let r = i.search("data zebra", 4);
+        assert_eq!(r[0].0, 0);
+        assert!(r[0].1 > r[1].1 * 1.5);
+    }
+
+    #[test]
+    fn unmatched_documents_are_absent() {
+        let i = idx(&["apples oranges", "trains planes"]);
+        let r = i.search("apples", 10);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].0, 0);
+    }
+
+    #[test]
+    fn no_hits_for_unknown_terms() {
+        let i = idx(&["apples oranges"]);
+        assert!(i.search("quantum chromodynamics", 5).is_empty());
+    }
+
+    #[test]
+    fn length_normalization_prefers_concise_docs() {
+        let long: String = std::iter::repeat_n("filler", 200).collect::<Vec<_>>().join(" ")
+            + " target";
+        let i = idx(&[&long, "short target doc"]);
+        let r = i.search("target", 2);
+        assert_eq!(r[0].0, 1, "short doc should outrank padded doc");
+    }
+
+    #[test]
+    fn empty_query_and_empty_index() {
+        let i = idx(&["a b c"]);
+        assert!(i.search("", 3).is_empty());
+        let e = Bm25Index::new(Bm25Params::default());
+        assert!(e.search("a", 3).is_empty());
+    }
+
+    #[test]
+    fn duplicate_query_terms_count_once() {
+        let i = idx(&["apple pie", "apple apple apple tart"]);
+        let once = i.search("apple", 2);
+        let thrice = i.search("apple apple apple", 2);
+        assert_eq!(once, thrice);
+    }
+}

@@ -1,0 +1,400 @@
+//! HNSW: Hierarchical Navigable Small World graphs for approximate
+//! nearest-neighbor search over dense vectors (Malkov & Yashunin, 2020) —
+//! the graph index Starmie uses for column-embedding retrieval.
+//!
+//! Similarity is cosine; inserted vectors are L2-normalized so cosine
+//! reduces to dot product. Level assignment is derived from the item id
+//! through the crate's seeded hash, so builds are deterministic.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+use td_embed::vector::{dot, normalize};
+use td_sketch::hash::hash_u64;
+
+/// Construction/search parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct HnswParams {
+    /// Max neighbors per node on layers > 0 (`M`).
+    pub m: usize,
+    /// Max neighbors on layer 0 (`M0`, conventionally `2M`).
+    pub m0: usize,
+    /// Beam width during construction.
+    pub ef_construction: usize,
+    /// Seed for level assignment.
+    pub seed: u64,
+}
+
+impl Default for HnswParams {
+    fn default() -> Self {
+        HnswParams { m: 16, m0: 32, ef_construction: 100, seed: 42 }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Candidate {
+    sim: f32,
+    id: u32,
+}
+
+impl Eq for Candidate {}
+
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.sim.total_cmp(&other.sim).then(other.id.cmp(&self.id))
+    }
+}
+
+/// An HNSW index over unit vectors with cosine similarity.
+/// ```
+/// use td_index::{Hnsw, HnswParams};
+/// use td_embed::seeded_unit_vector;
+///
+/// let mut index = Hnsw::new(32, HnswParams::default());
+/// for i in 0..200 {
+///     index.insert(seeded_unit_vector(i, 32));
+/// }
+/// let query = seeded_unit_vector(42, 32);
+/// let hits = index.search(&query, 3, 32);
+/// assert_eq!(hits[0].0, 42); // the vector itself is its own neighbor
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Hnsw {
+    params: HnswParams,
+    dim: usize,
+    vectors: Vec<Vec<f32>>,
+    /// `neighbors[node][level]` — adjacency per level (level 0 first).
+    neighbors: Vec<Vec<Vec<u32>>>,
+    entry: Option<u32>,
+    max_level: usize,
+    /// `1 / ln(M)`.
+    level_mult: f64,
+}
+
+impl Hnsw {
+    /// An empty index for vectors of dimension `dim`.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0` or `params.m == 0`.
+    #[must_use]
+    pub fn new(dim: usize, params: HnswParams) -> Self {
+        assert!(dim > 0 && params.m > 0);
+        Hnsw {
+            params,
+            dim,
+            vectors: Vec::new(),
+            neighbors: Vec::new(),
+            entry: None,
+            max_level: 0,
+            level_mult: 1.0 / (params.m as f64).ln().max(f64::MIN_POSITIVE),
+        }
+    }
+
+    /// Number of indexed vectors.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// True if empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.vectors.is_empty()
+    }
+
+    /// Deterministic geometric level from the node id.
+    fn assign_level(&self, id: u32) -> usize {
+        let u = (hash_u64(id as u64, self.params.seed) as f64 + 1.0)
+            / (u64::MAX as f64 + 2.0);
+        ((-u.ln()) * self.level_mult).floor() as usize
+    }
+
+    #[inline]
+    fn sim(&self, a: u32, v: &[f32]) -> f32 {
+        dot(&self.vectors[a as usize], v)
+    }
+
+    /// Greedy best-first beam search on one level; returns up to `ef`
+    /// closest nodes as a min-heap-extracted sorted vec (descending sim).
+    fn search_level(&self, query: &[f32], entry: u32, ef: usize, level: usize) -> Vec<Candidate> {
+        let mut visited: HashSet<u32> = HashSet::new();
+        visited.insert(entry);
+        let e = Candidate { sim: self.sim(entry, query), id: entry };
+        // `frontier`: max-heap by sim (explore best first).
+        let mut frontier = BinaryHeap::new();
+        frontier.push(e);
+        // `best`: bounded min-set of current ef best (implemented as
+        // max-heap of Reverse-like by negated ordering via peek-min trick:
+        // keep a Vec-backed BinaryHeap of Candidate with custom compare by
+        // -sim using Reverse wrapper).
+        let mut best: BinaryHeap<std::cmp::Reverse<Candidate>> = BinaryHeap::new();
+        best.push(std::cmp::Reverse(e));
+        while let Some(cur) = frontier.pop() {
+            let worst = best.peek().expect("non-empty").0.sim;
+            if cur.sim < worst && best.len() >= ef {
+                break;
+            }
+            for &nb in &self.neighbors[cur.id as usize][level] {
+                if !visited.insert(nb) {
+                    continue;
+                }
+                let s = self.sim(nb, query);
+                let worst = best.peek().expect("non-empty").0.sim;
+                if best.len() < ef || s > worst {
+                    let c = Candidate { sim: s, id: nb };
+                    frontier.push(c);
+                    best.push(std::cmp::Reverse(c));
+                    if best.len() > ef {
+                        best.pop();
+                    }
+                }
+            }
+        }
+        let mut out: Vec<Candidate> = best.into_iter().map(|r| r.0).collect();
+        out.sort_by(|a, b| b.cmp(a));
+        out
+    }
+
+    /// Insert a vector; it is normalized internally. Returns the node id.
+    pub fn insert(&mut self, vector: Vec<f32>) -> u32 {
+        assert_eq!(vector.len(), self.dim, "dimension mismatch");
+        let mut v = vector;
+        normalize(&mut v);
+        let id = self.vectors.len() as u32;
+        let level = self.assign_level(id);
+        self.vectors.push(v);
+        self.neighbors.push(vec![Vec::new(); level + 1]);
+
+        let Some(mut cur) = self.entry else {
+            self.entry = Some(id);
+            self.max_level = level;
+            return id;
+        };
+
+        let query = self.vectors[id as usize].clone();
+        // Greedy descent through levels above the new node's level.
+        for l in ((level + 1)..=self.max_level).rev() {
+            loop {
+                let mut improved = false;
+                let cur_sim = self.sim(cur, &query);
+                for &nb in &self.neighbors[cur as usize][l] {
+                    if self.sim(nb, &query) > cur_sim {
+                        cur = nb;
+                        improved = true;
+                        break;
+                    }
+                }
+                if !improved {
+                    break;
+                }
+            }
+        }
+        // Beam search + connect on each level from min(level, max_level) down.
+        for l in (0..=level.min(self.max_level)).rev() {
+            let found = self.search_level(&query, cur, self.params.ef_construction, l);
+            cur = found.first().map_or(cur, |c| c.id);
+            let m_max = if l == 0 { self.params.m0 } else { self.params.m };
+            let selected: Vec<u32> =
+                found.iter().take(self.params.m).map(|c| c.id).collect();
+            self.neighbors[id as usize][l] = selected.clone();
+            for nb in selected {
+                let list = &mut self.neighbors[nb as usize][l];
+                list.push(id);
+                if list.len() > m_max {
+                    // Prune: keep the m_max most similar to nb.
+                    let base = self.vectors[nb as usize].clone();
+                    let mut scored: Vec<(f32, u32)> = self.neighbors[nb as usize][l]
+                        .iter()
+                        .map(|&x| (dot(&self.vectors[x as usize], &base), x))
+                        .collect();
+                    scored.sort_by(|a, b| b.0.total_cmp(&a.0));
+                    scored.truncate(m_max);
+                    self.neighbors[nb as usize][l] =
+                        scored.into_iter().map(|(_, x)| x).collect();
+                }
+            }
+        }
+        if level > self.max_level {
+            self.max_level = level;
+            self.entry = Some(id);
+        }
+        id
+    }
+
+    /// Approximate top-k by cosine similarity with beam width `ef`
+    /// (`ef >= k` recommended). Returns `(id, similarity)` descending.
+    #[must_use]
+    pub fn search(&self, query: &[f32], k: usize, ef: usize) -> Vec<(u32, f32)> {
+        assert_eq!(query.len(), self.dim, "dimension mismatch");
+        let Some(mut cur) = self.entry else {
+            return Vec::new();
+        };
+        let mut q = query.to_vec();
+        normalize(&mut q);
+        for l in (1..=self.max_level).rev() {
+            loop {
+                let mut improved = false;
+                let cur_sim = self.sim(cur, &q);
+                for &nb in &self.neighbors[cur as usize][l] {
+                    if self.sim(nb, &q) > cur_sim {
+                        cur = nb;
+                        improved = true;
+                        break;
+                    }
+                }
+                if !improved {
+                    break;
+                }
+            }
+        }
+        self.search_level(&q, cur, ef.max(k).max(1), 0)
+            .into_iter()
+            .take(k)
+            .map(|c| (c.id, c.sim))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_embed::model::seeded_unit_vector;
+
+    fn clustered_vectors(clusters: usize, per: usize, dim: usize) -> Vec<Vec<f32>> {
+        // `per` noisy copies of each of `clusters` anchor directions.
+        let mut out = Vec::with_capacity(clusters * per);
+        for c in 0..clusters {
+            let anchor = seeded_unit_vector(c as u64 + 1, dim);
+            for i in 0..per {
+                let noise = seeded_unit_vector((c * per + i) as u64 + 10_000, dim);
+                let mut v = anchor.clone();
+                td_embed::vector::add_scaled(&mut v, &noise, 0.3);
+                out.push(v);
+            }
+        }
+        out
+    }
+
+    fn brute_force(vectors: &[Vec<f32>], q: &[f32], k: usize) -> Vec<u32> {
+        let mut qn = q.to_vec();
+        normalize(&mut qn);
+        let mut scored: Vec<(f32, u32)> = vectors
+            .iter()
+            .enumerate()
+            .map(|(i, v)| {
+                let mut vn = v.clone();
+                normalize(&mut vn);
+                (dot(&vn, &qn), i as u32)
+            })
+            .collect();
+        scored.sort_by(|a, b| b.0.total_cmp(&a.0));
+        scored.into_iter().take(k).map(|(_, i)| i).collect()
+    }
+
+    #[test]
+    fn empty_index_returns_nothing() {
+        let h = Hnsw::new(8, HnswParams::default());
+        assert!(h.search(&[1.0; 8], 5, 10).is_empty());
+    }
+
+    #[test]
+    fn single_item() {
+        let mut h = Hnsw::new(4, HnswParams::default());
+        h.insert(vec![1.0, 0.0, 0.0, 0.0]);
+        let r = h.search(&[1.0, 0.0, 0.0, 0.0], 1, 10);
+        assert_eq!(r[0].0, 0);
+        assert!((r[0].1 - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn exact_match_is_found() {
+        let vecs = clustered_vectors(5, 40, 32);
+        let mut h = Hnsw::new(32, HnswParams::default());
+        for v in &vecs {
+            h.insert(v.clone());
+        }
+        for probe in [0usize, 57, 123, 199] {
+            let r = h.search(&vecs[probe], 1, 50);
+            assert_eq!(r[0].0, probe as u32, "probe {probe}");
+        }
+    }
+
+    #[test]
+    fn recall_against_brute_force() {
+        let vecs = clustered_vectors(8, 50, 32);
+        let mut h = Hnsw::new(32, HnswParams::default());
+        for v in &vecs {
+            h.insert(v.clone());
+        }
+        let mut hits = 0usize;
+        let mut total = 0usize;
+        for c in 0..8u64 {
+            let q = seeded_unit_vector(c + 1, 32); // the cluster anchors
+            let truth: HashSet<u32> = brute_force(&vecs, &q, 10).into_iter().collect();
+            let got = h.search(&q, 10, 80);
+            hits += got.iter().filter(|(id, _)| truth.contains(id)).count();
+            total += 10;
+        }
+        let recall = hits as f64 / total as f64;
+        assert!(recall >= 0.9, "recall {recall}");
+    }
+
+    #[test]
+    fn higher_ef_does_not_reduce_recall() {
+        let vecs = clustered_vectors(6, 40, 24);
+        let mut h = Hnsw::new(24, HnswParams::default());
+        for v in &vecs {
+            h.insert(v.clone());
+        }
+        let q = seeded_unit_vector(3, 24);
+        let truth: HashSet<u32> = brute_force(&vecs, &q, 10).into_iter().collect();
+        let recall = |ef: usize| {
+            h.search(&q, 10, ef)
+                .iter()
+                .filter(|(id, _)| truth.contains(id))
+                .count()
+        };
+        assert!(recall(120) >= recall(12));
+    }
+
+    #[test]
+    fn results_are_sorted_descending() {
+        let vecs = clustered_vectors(4, 30, 16);
+        let mut h = Hnsw::new(16, HnswParams::default());
+        for v in &vecs {
+            h.insert(v.clone());
+        }
+        let r = h.search(&seeded_unit_vector(2, 16), 20, 64);
+        for w in r.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let vecs = clustered_vectors(3, 20, 16);
+        let build = || {
+            let mut h = Hnsw::new(16, HnswParams::default());
+            for v in &vecs {
+                h.insert(v.clone());
+            }
+            h.search(&seeded_unit_vector(1, 16), 5, 30)
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn rejects_wrong_dimension() {
+        let mut h = Hnsw::new(8, HnswParams::default());
+        h.insert(vec![1.0; 4]);
+    }
+
+    use std::collections::HashSet;
+}

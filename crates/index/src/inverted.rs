@@ -1,0 +1,470 @@
+//! Inverted index over token sets with exact top-k overlap search.
+//!
+//! This is the substrate of JOSIE (Zhu et al., SIGMOD 2019): columns are
+//! token sets, the index maps token → posting list of set ids, and top-k
+//! equi-joinability search means *exact* top-k by overlap `|Q ∩ X|`.
+//!
+//! Three search strategies expose the trade-off JOSIE's cost model
+//! navigates (ablated in experiment E03):
+//!
+//! * [`InvertedSetIndex::top_k_merge`] — read **every** posting list of the
+//!   query's tokens and count (cheap per element, reads everything).
+//! * [`InvertedSetIndex::top_k_probe`] — read lists rare-token-first,
+//!   verifying candidates *exactly* against the query set, with the
+//!   position upper bound (`unseen tokens`) used to stop early.
+//! * [`InvertedSetIndex::top_k_adaptive`] — JOSIE-style: at each step
+//!   compare the estimated cost of continuing to read posting lists with
+//!   the cost of verifying the current candidates, and switch when
+//!   verification becomes cheaper.
+
+use crate::topk::TopK;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+use td_sketch::hash::hash_str;
+
+/// Identifier of an indexed set (dense, insertion order).
+pub type SetId = u32;
+
+const TOKEN_SEED: u64 = 0x10_5E7;
+
+/// Search-strategy statistics (for the E03 cost ablation).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SearchStats {
+    /// Posting-list elements read.
+    pub postings_read: usize,
+    /// Candidate sets exactly verified.
+    pub sets_verified: usize,
+    /// Total tokens touched during verification.
+    pub verify_tokens_read: usize,
+}
+
+/// Builder for [`InvertedSetIndex`].
+#[derive(Debug, Default)]
+pub struct InvertedSetIndexBuilder {
+    /// Token-hash → interned token id.
+    token_ids: HashMap<u64, u32>,
+    /// Per-set interned token ids (unsorted during build).
+    sets: Vec<Vec<u32>>,
+    /// Per-token global frequency.
+    freq: Vec<u32>,
+}
+
+impl InvertedSetIndexBuilder {
+    /// New empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a set of string tokens; returns its id. Duplicate tokens within
+    /// a set are collapsed.
+    pub fn add_set<'a, I>(&mut self, tokens: I) -> SetId
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        let id = self.sets.len() as SetId;
+        let mut ids: Vec<u32> = Vec::new();
+        let mut seen = HashSet::new();
+        for t in tokens {
+            let h = hash_str(t, TOKEN_SEED);
+            if !seen.insert(h) {
+                continue;
+            }
+            let next = self.token_ids.len() as u32;
+            let tid = *self.token_ids.entry(h).or_insert(next);
+            if tid as usize == self.freq.len() {
+                self.freq.push(0);
+            }
+            self.freq[tid as usize] += 1;
+            ids.push(tid);
+        }
+        self.sets.push(ids);
+        id
+    }
+
+    /// Finish building: computes the global rare-first token order and the
+    /// posting lists.
+    #[must_use]
+    pub fn build(self) -> InvertedSetIndex {
+        let InvertedSetIndexBuilder { token_ids, mut sets, freq } = self;
+        // Sort each set's tokens rare-first (frequency asc, id tiebreak):
+        // this is the canonical prefix-filter ordering.
+        for s in &mut sets {
+            s.sort_unstable_by_key(|&t| (freq[t as usize], t));
+        }
+        let mut postings: Vec<Vec<SetId>> = vec![Vec::new(); freq.len()];
+        for (sid, s) in sets.iter().enumerate() {
+            for &t in s {
+                postings[t as usize].push(sid as SetId);
+            }
+        }
+        InvertedSetIndex { token_ids, postings, sets, freq }
+    }
+}
+
+/// An immutable inverted index over token sets.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InvertedSetIndex {
+    token_ids: HashMap<u64, u32>,
+    postings: Vec<Vec<SetId>>,
+    /// Per-set token ids, rare-first.
+    sets: Vec<Vec<u32>>,
+    freq: Vec<u32>,
+}
+
+impl InvertedSetIndex {
+    /// Number of indexed sets.
+    #[must_use]
+    pub fn num_sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Number of distinct tokens.
+    #[must_use]
+    pub fn num_tokens(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Size (distinct tokens) of an indexed set.
+    #[must_use]
+    pub fn set_size(&self, id: SetId) -> usize {
+        self.sets[id as usize].len()
+    }
+
+    /// Intern a query's tokens: known token ids sorted rare-first
+    /// (unknown tokens can't contribute overlap and are dropped).
+    fn intern_query<'a, I>(&self, tokens: I) -> Vec<u32>
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        let mut ids: Vec<u32> = tokens
+            .into_iter()
+            .filter_map(|t| self.token_ids.get(&hash_str(t, TOKEN_SEED)).copied())
+            .collect();
+        ids.sort_unstable_by_key(|&t| (self.freq[t as usize], t));
+        ids.dedup();
+        ids
+    }
+
+    /// Exact top-k by overlap, full-merge strategy.
+    pub fn top_k_merge<'a, I>(&self, tokens: I, k: usize) -> (Vec<(SetId, usize)>, SearchStats)
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        let q = self.intern_query(tokens);
+        let mut stats = SearchStats::default();
+        let mut counts: HashMap<SetId, usize> = HashMap::new();
+        for &t in &q {
+            let pl = &self.postings[t as usize];
+            stats.postings_read += pl.len();
+            for &sid in pl {
+                *counts.entry(sid).or_insert(0) += 1;
+            }
+        }
+        let mut topk = TopK::new(k.max(1));
+        for (sid, c) in counts {
+            topk.push(c as f64, sid);
+        }
+        let out = topk
+            .into_sorted()
+            .into_iter()
+            .map(|(s, id)| (id, s as usize))
+            .collect();
+        (out, stats)
+    }
+
+    /// Exact overlap of an indexed set with an interned query (given as a
+    /// hash set of token ids).
+    fn verify(&self, sid: SetId, qset: &HashSet<u32>, stats: &mut SearchStats) -> usize {
+        let s = &self.sets[sid as usize];
+        stats.sets_verified += 1;
+        stats.verify_tokens_read += s.len();
+        s.iter().filter(|t| qset.contains(t)).count()
+    }
+
+    /// Exact top-k by overlap, probe strategy: posting lists rare-first,
+    /// exact verification of first-seen candidates, early exit when the
+    /// number of unread query tokens can no longer beat the k-th best.
+    pub fn top_k_probe<'a, I>(&self, tokens: I, k: usize) -> (Vec<(SetId, usize)>, SearchStats)
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        let q = self.intern_query(tokens);
+        let qset: HashSet<u32> = q.iter().copied().collect();
+        let mut stats = SearchStats::default();
+        let mut topk = TopK::new(k.max(1));
+        let mut seen: HashSet<SetId> = HashSet::new();
+        for (i, &t) in q.iter().enumerate() {
+            // Any set first appearing now shares none of the earlier (rarer)
+            // tokens we've read... it may still share them (we only read a
+            // prefix of ITS tokens implicitly) — the sound bound is the
+            // number of query tokens not yet processed:
+            let remaining = q.len() - i;
+            if let Some(th) = topk.threshold() {
+                if (remaining as f64) <= th {
+                    break; // no unseen set can beat the k-th best
+                }
+            }
+            let pl = &self.postings[t as usize];
+            stats.postings_read += pl.len();
+            for &sid in pl {
+                if seen.insert(sid) {
+                    let ov = self.verify(sid, &qset, &mut stats);
+                    topk.push(ov as f64, sid);
+                }
+            }
+        }
+        let out = topk
+            .into_sorted()
+            .into_iter()
+            .map(|(s, id)| (id, s as usize))
+            .collect();
+        (out, stats)
+    }
+
+    /// Exact top-k by overlap, JOSIE-style adaptive strategy.
+    ///
+    /// Reads posting lists rare-first while *counting* partial overlaps.
+    /// Before each list it compares the cost of reading the remaining
+    /// lists (`sum of their lengths`) against the cost of verifying the
+    /// outstanding candidates (`sum of their unread set sizes`), and
+    /// switches to verification when that becomes cheaper. The final
+    /// verification pass only touches candidates whose upper bound
+    /// (`partial + unread query tokens`) can still beat the k-th best.
+    pub fn top_k_adaptive<'a, I>(
+        &self,
+        tokens: I,
+        k: usize,
+    ) -> (Vec<(SetId, usize)>, SearchStats)
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        let q = self.intern_query(tokens);
+        let qset: HashSet<u32> = q.iter().copied().collect();
+        let mut stats = SearchStats::default();
+        let mut topk = TopK::new(k.max(1));
+        // Partial counts of unsettled candidates (sound upper bound for a
+        // candidate at boundary i: partial + unread tokens).
+        let mut partial: HashMap<SetId, usize> = HashMap::new();
+        // Sets whose exact overlap is settled (verified, or soundly pruned
+        // forever — the threshold only rises).
+        let mut settled: HashSet<SetId> = HashSet::new();
+        let mut remaining_list_cost: usize =
+            q.iter().map(|&t| self.postings[t as usize].len()).sum();
+        let mut merged_all = true;
+        for (i, &t) in q.iter().enumerate() {
+            let unread = q.len() - i;
+            let th = topk.threshold();
+            // Global stop: no unseen set (≤ unread) nor any outstanding
+            // candidate (≤ partial + unread) can beat the k-th best.
+            if let Some(th) = th {
+                let max_partial = partial.values().copied().max().unwrap_or(0);
+                if (unread as f64) <= th && ((max_partial + unread) as f64) <= th {
+                    merged_all = false;
+                    break;
+                }
+            }
+            // Incremental verification: settle the few most promising
+            // candidates (highest partial count, upper bound above the
+            // threshold) so the threshold rises early and the global stop
+            // can fire — without committing to verify every candidate the
+            // remaining heavy lists will spawn (which is what makes naive
+            // probing lose to merging on skewed token distributions).
+            let _ = th;
+            const VERIFY_PER_ROUND: usize = 2;
+            for _ in 0..VERIFY_PER_ROUND {
+                let th = topk.threshold();
+                let best = partial
+                    .iter()
+                    .filter(|&(_, &p)| {
+                        th.is_none_or(|t| ((p + unread) as f64) > t)
+                    })
+                    .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
+                    .map(|(&sid, &p)| (sid, p));
+                let Some((sid, _)) = best else { break };
+                // Verifying this candidate must be cheaper than just
+                // finishing the merge.
+                if self.sets[sid as usize].len() >= remaining_list_cost {
+                    break;
+                }
+                partial.remove(&sid);
+                settled.insert(sid);
+                let ov = self.verify(sid, &qset, &mut stats);
+                topk.push(ov as f64, sid);
+            }
+            if let Some(th) = topk.threshold() {
+                let max_partial = partial.values().copied().max().unwrap_or(0);
+                if (unread as f64) <= th && ((max_partial + unread) as f64) <= th {
+                    merged_all = false;
+                    break;
+                }
+            }
+            let pl = &self.postings[t as usize];
+            remaining_list_cost -= pl.len();
+            stats.postings_read += pl.len();
+            for &sid in pl {
+                if !settled.contains(&sid) {
+                    *partial.entry(sid).or_insert(0) += 1;
+                }
+            }
+        }
+        // Leftover candidates. If every list was merged, the partial counts
+        // are exact. If we broke early, the break condition guaranteed that
+        // every outstanding candidate's upper bound (partial + unread) was
+        // at or below the k-th best — nothing left can matter.
+        if merged_all {
+            for (sid, p) in partial {
+                topk.push(p as f64, sid);
+            }
+        }
+        let out = topk
+            .into_sorted()
+            .into_iter()
+            .map(|(s, id)| (id, s as usize))
+            .collect();
+        (out, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Sets: s0 = {a..j} (10), s1 = {a..e} (5), s2 = {f..o} (10), s3 = {x,y,z}.
+    fn toy() -> InvertedSetIndex {
+        let mut b = InvertedSetIndexBuilder::new();
+        let t = |r: std::ops::Range<u8>| -> Vec<String> {
+            r.map(|c| ((b'a' + c) as char).to_string()).collect()
+        };
+        let s0 = t(0..10);
+        let s1 = t(0..5);
+        let s2 = t(5..15);
+        b.add_set(s0.iter().map(String::as_str));
+        b.add_set(s1.iter().map(String::as_str));
+        b.add_set(s2.iter().map(String::as_str));
+        b.add_set(["x", "y", "z"]);
+        b.build()
+    }
+
+    fn query() -> Vec<String> {
+        // q = {a..h}: overlap s0=8, s1=5, s2=3, s3=0.
+        (0..8u8).map(|c| ((b'a' + c) as char).to_string()).collect()
+    }
+
+    #[test]
+    fn merge_finds_exact_topk() {
+        let idx = toy();
+        let q = query();
+        let (r, _) = idx.top_k_merge(q.iter().map(String::as_str), 2);
+        assert_eq!(r, vec![(0, 8), (1, 5)]);
+    }
+
+    #[test]
+    fn probe_matches_merge() {
+        let idx = toy();
+        let q = query();
+        let (m, _) = idx.top_k_merge(q.iter().map(String::as_str), 3);
+        let (p, _) = idx.top_k_probe(q.iter().map(String::as_str), 3);
+        assert_eq!(m, p);
+    }
+
+    #[test]
+    fn adaptive_matches_merge() {
+        let idx = toy();
+        let q = query();
+        let (m, _) = idx.top_k_merge(q.iter().map(String::as_str), 3);
+        let (a, _) = idx.top_k_adaptive(q.iter().map(String::as_str), 3);
+        assert_eq!(m, a);
+    }
+
+    #[test]
+    fn unknown_tokens_are_ignored() {
+        let idx = toy();
+        let (r, _) = idx.top_k_merge(["a", "zzz-not-indexed"], 1);
+        assert_eq!(r[0].1, 1);
+    }
+
+    #[test]
+    fn empty_query_returns_nothing() {
+        let idx = toy();
+        let (r, s) = idx.top_k_merge(std::iter::empty(), 5);
+        assert!(r.is_empty());
+        assert_eq!(s.postings_read, 0);
+    }
+
+    #[test]
+    fn duplicate_query_tokens_count_once() {
+        let idx = toy();
+        let (r, _) = idx.top_k_merge(["a", "a", "a", "b"], 1);
+        // s0 and s1 both contain {a, b}: overlap 2, either may win the tie.
+        assert_eq!(r[0].1, 2);
+        assert!(r[0].0 == 0 || r[0].0 == 1);
+    }
+
+    #[test]
+    fn duplicate_set_tokens_count_once() {
+        let mut b = InvertedSetIndexBuilder::new();
+        b.add_set(["a", "a", "b"]);
+        let idx = b.build();
+        assert_eq!(idx.set_size(0), 2);
+    }
+
+    #[test]
+    fn probe_early_exit_reads_fewer_postings_on_skew() {
+        // One huge common token shared by everyone + rare discriminative
+        // tokens: probe should finish before touching the huge list.
+        let mut b = InvertedSetIndexBuilder::new();
+        let common: Vec<String> = (0..50).map(|i| format!("common{i}")).collect();
+        for s in 0..200u32 {
+            let mut toks: Vec<String> = common.clone();
+            toks.push(format!("rare-{s}"));
+            b.add_set(toks.iter().map(String::as_str));
+        }
+        let idx = b.build();
+        let mut q: Vec<String> = common.clone();
+        q.push("rare-7".to_string());
+        let (m, sm) = idx.top_k_merge(q.iter().map(String::as_str), 1);
+        let (p, sp) = idx.top_k_probe(q.iter().map(String::as_str), 1);
+        assert_eq!(m[0], p[0]);
+        assert_eq!(m[0], (7, 51));
+        assert!(
+            sp.postings_read < sm.postings_read,
+            "probe {} vs merge {}",
+            sp.postings_read,
+            sm.postings_read
+        );
+    }
+
+    #[test]
+    fn strategies_agree_on_random_sets() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut b = InvertedSetIndexBuilder::new();
+        let mut raw_sets = Vec::new();
+        for _ in 0..120 {
+            let n = rng.gen_range(3..40);
+            let s: Vec<String> =
+                (0..n).map(|_| format!("t{}", rng.gen_range(0..200))).collect();
+            raw_sets.push(s);
+        }
+        for s in &raw_sets {
+            b.add_set(s.iter().map(String::as_str));
+        }
+        let idx = b.build();
+        for qi in [0usize, 5, 17, 60] {
+            let q = &raw_sets[qi];
+            let (m, _) = idx.top_k_merge(q.iter().map(String::as_str), 5);
+            let (p, _) = idx.top_k_probe(q.iter().map(String::as_str), 5);
+            let (a, _) = idx.top_k_adaptive(q.iter().map(String::as_str), 5);
+            // Overlap multisets must agree (ties may order differently).
+            let ov = |v: &Vec<(SetId, usize)>| -> Vec<usize> {
+                v.iter().map(|&(_, o)| o).collect()
+            };
+            assert_eq!(ov(&m), ov(&p), "query {qi}");
+            assert_eq!(ov(&m), ov(&a), "query {qi}");
+            // The query set itself must rank first with full overlap.
+            assert_eq!(m[0].1, idx.set_size(qi as SetId));
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! MinHash LSH: banding index for Jaccard-threshold candidate retrieval.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+use td_sketch::hash::hash_u64;
+use td_sketch::minhash::MinHashSignature;
+
+/// Probability that two sets with Jaccard `j` collide in at least one of
+/// `b` bands of `r` rows: `1 - (1 - j^r)^b`.
+#[must_use]
+pub fn collision_probability(j: f64, b: usize, r: usize) -> f64 {
+    1.0 - (1.0 - j.powi(r as i32)).powi(b as i32)
+}
+
+/// Choose `(bands, rows)` with `bands * rows <= k` minimizing the sum of
+/// false-positive and false-negative areas around `threshold` (the classic
+/// S-curve tuning used by MinHash-LSH implementations).
+#[must_use]
+pub fn tune_bands(k: usize, threshold: f64) -> (usize, usize) {
+    let mut best = (1, k.max(1));
+    let mut best_err = f64::INFINITY;
+    for r in 1..=k.max(1) {
+        let b = k / r;
+        if b == 0 {
+            break;
+        }
+        // Integrate the S-curve error on both sides of the threshold.
+        const STEPS: usize = 50;
+        let mut fp = 0.0;
+        let mut fn_ = 0.0;
+        for s in 0..STEPS {
+            let x = (s as f64 + 0.5) / STEPS as f64;
+            let p = collision_probability(x, b, r);
+            if x < threshold {
+                fp += p;
+            } else {
+                fn_ += 1.0 - p;
+            }
+        }
+        let err = (fp + fn_) / STEPS as f64;
+        if err < best_err {
+            best_err = err;
+            best = (b, r);
+        }
+    }
+    best
+}
+
+/// A MinHash LSH index with `b` bands of `r` rows.
+///
+/// Keys are `u32` item ids assigned by the caller; signatures must all come
+/// from the same `MinHasher` with at least `b*r` hash functions.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MinHashLsh {
+    bands: usize,
+    rows: usize,
+    /// One hash table per band: band-bucket hash → item ids.
+    tables: Vec<HashMap<u64, Vec<u32>>>,
+    len: usize,
+}
+
+impl MinHashLsh {
+    /// Create an index with explicit banding.
+    ///
+    /// # Panics
+    /// Panics if `bands == 0 || rows == 0`.
+    #[must_use]
+    pub fn new(bands: usize, rows: usize) -> Self {
+        assert!(bands > 0 && rows > 0);
+        MinHashLsh { bands, rows, tables: vec![HashMap::new(); bands], len: 0 }
+    }
+
+    /// Create an index tuned for a Jaccard `threshold` given signature
+    /// length `k`.
+    #[must_use]
+    pub fn with_threshold(k: usize, threshold: f64) -> Self {
+        let (b, r) = tune_bands(k, threshold);
+        Self::new(b, r)
+    }
+
+    /// Banding parameters `(bands, rows)`.
+    #[must_use]
+    pub fn params(&self) -> (usize, usize) {
+        (self.bands, self.rows)
+    }
+
+    /// Number of indexed items.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn band_key(&self, sig: &MinHashSignature, band: usize) -> u64 {
+        let start = band * self.rows;
+        let mut h = 0xB4_5Du64 ^ band as u64;
+        for &v in &sig.values[start..start + self.rows] {
+            h = hash_u64(v, h);
+        }
+        h
+    }
+
+    /// Insert a signature under an id.
+    ///
+    /// # Panics
+    /// Panics if the signature is shorter than `bands * rows`.
+    pub fn insert(&mut self, id: u32, sig: &MinHashSignature) {
+        assert!(
+            sig.values.len() >= self.bands * self.rows,
+            "signature too short for banding"
+        );
+        for band in 0..self.bands {
+            let key = self.band_key(sig, band);
+            self.tables[band].entry(key).or_default().push(id);
+        }
+        self.len += 1;
+    }
+
+    /// Candidate ids colliding with the query in at least one band,
+    /// deduplicated, in arbitrary order.
+    #[must_use]
+    pub fn query(&self, sig: &MinHashSignature) -> Vec<u32> {
+        self.query_bands(sig, self.bands)
+    }
+
+    /// Candidates using only the first `use_bands` bands — LSH Ensemble's
+    /// dynamic thresholding queries fewer bands for stricter (higher)
+    /// Jaccard thresholds.
+    #[must_use]
+    pub fn query_bands(&self, sig: &MinHashSignature, use_bands: usize) -> Vec<u32> {
+        assert!(
+            sig.values.len() >= self.bands * self.rows,
+            "signature too short for banding"
+        );
+        let mut out = HashSet::new();
+        for band in 0..use_bands.min(self.bands) {
+            let key = self.band_key(sig, band);
+            if let Some(bucket) = self.tables[band].get(&key) {
+                out.extend(bucket.iter().copied());
+            }
+        }
+        out.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_sketch::minhash::MinHasher;
+
+    fn sig(h: &MinHasher, range: std::ops::Range<u32>) -> MinHashSignature {
+        let toks: Vec<String> = range.map(|i| format!("v{i}")).collect();
+        h.sign(toks.iter().map(String::as_str))
+    }
+
+    #[test]
+    fn collision_probability_is_monotone() {
+        let p1 = collision_probability(0.2, 16, 8);
+        let p2 = collision_probability(0.8, 16, 8);
+        assert!(p2 > p1);
+        assert!(collision_probability(1.0, 4, 4) > 0.999);
+        assert!(collision_probability(0.0, 4, 4) < 1e-9);
+    }
+
+    #[test]
+    fn tune_bands_targets_threshold() {
+        let (b, r) = tune_bands(128, 0.5);
+        assert!(b * r <= 128);
+        // The 50%-collision point (1/b)^(1/r) should be near 0.5.
+        let mid = (1.0 / b as f64).powf(1.0 / r as f64);
+        assert!((mid - 0.5).abs() < 0.15, "mid {mid} for b={b} r={r}");
+        // Higher threshold -> more rows per band.
+        let (_, r_strict) = tune_bands(128, 0.9);
+        assert!(r_strict >= r);
+    }
+
+    #[test]
+    fn identical_sets_always_collide() {
+        let h = MinHasher::new(128, 1);
+        let mut lsh = MinHashLsh::with_threshold(128, 0.5);
+        let s = sig(&h, 0..100);
+        lsh.insert(0, &s);
+        assert_eq!(lsh.query(&s), vec![0]);
+    }
+
+    #[test]
+    fn high_jaccard_pairs_are_retrieved() {
+        let h = MinHasher::new(128, 1);
+        let mut lsh = MinHashLsh::with_threshold(128, 0.5);
+        // 90% overlap with the query.
+        lsh.insert(7, &sig(&h, 10..110));
+        let q = sig(&h, 0..100);
+        assert!(lsh.query(&q).contains(&7));
+    }
+
+    #[test]
+    fn low_jaccard_pairs_are_mostly_filtered() {
+        let h = MinHasher::new(128, 3);
+        let mut lsh = MinHashLsh::with_threshold(128, 0.6);
+        // Insert 100 sets with ~5% Jaccard vs the query.
+        for i in 0..100u32 {
+            lsh.insert(i, &sig(&h, (1000 + i * 200)..(1100 + i * 200)));
+        }
+        let q = sig(&h, 0..100);
+        let cands = lsh.query(&q);
+        assert!(cands.len() < 15, "too many false positives: {}", cands.len());
+    }
+
+    #[test]
+    fn fewer_bands_is_stricter() {
+        let h = MinHasher::new(128, 5);
+        let mut lsh = MinHashLsh::new(32, 4);
+        for i in 0..50u32 {
+            // ~50% overlap sets.
+            lsh.insert(i, &sig(&h, (i * 2)..(i * 2 + 100)));
+        }
+        let q = sig(&h, 0..100);
+        let all = lsh.query_bands(&q, 32).len();
+        let few = lsh.query_bands(&q, 4).len();
+        assert!(few <= all, "few {few} all {all}");
+    }
+
+    #[test]
+    #[should_panic(expected = "signature too short")]
+    fn rejects_short_signatures() {
+        let h = MinHasher::new(16, 1);
+        let mut lsh = MinHashLsh::new(8, 4); // needs 32
+        lsh.insert(0, &sig(&h, 0..10));
+    }
+
+    #[test]
+    fn empty_index_returns_nothing() {
+        let h = MinHasher::new(64, 1);
+        let lsh = MinHashLsh::new(16, 4);
+        assert!(lsh.query(&sig(&h, 0..10)).is_empty());
+        assert!(lsh.is_empty());
+    }
+}

@@ -1,0 +1,145 @@
+//! Bounded top-k collection by score.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An item with an `f64` score, ordered so a max-heap pops the *smallest*
+/// score first (for bounded top-k keeping the largest).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Scored<T> {
+    score: f64,
+    item: T,
+}
+
+impl<T: PartialEq> Eq for Scored<T> {}
+
+impl<T: PartialEq> PartialOrd for Scored<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T: PartialEq> Ord for Scored<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap; we want the weakest on top.
+        other.score.total_cmp(&self.score)
+    }
+}
+
+/// Keeps the `k` highest-scoring items seen.
+#[derive(Debug, Clone)]
+pub struct TopK<T> {
+    k: usize,
+    heap: BinaryHeap<Scored<T>>,
+}
+
+impl<T: PartialEq> TopK<T> {
+    /// A collector of capacity `k`.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    #[must_use]
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "top-k of zero");
+        TopK { k, heap: BinaryHeap::with_capacity(k + 1) }
+    }
+
+    /// Offer an item; it is kept only if it beats the current k-th best.
+    pub fn push(&mut self, score: f64, item: T) {
+        if self.heap.len() < self.k {
+            self.heap.push(Scored { score, item });
+        } else if let Some(weakest) = self.heap.peek() {
+            if score > weakest.score {
+                self.heap.pop();
+                self.heap.push(Scored { score, item });
+            }
+        }
+    }
+
+    /// Current number of kept items.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if nothing was kept.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The k-th best score so far (the admission bar), if `k` items are
+    /// already held.
+    #[must_use]
+    pub fn threshold(&self) -> Option<f64> {
+        if self.heap.len() == self.k {
+            self.heap.peek().map(|s| s.score)
+        } else {
+            None
+        }
+    }
+
+    /// Consume into `(score, item)` pairs sorted by descending score.
+    #[must_use]
+    pub fn into_sorted(self) -> Vec<(f64, T)> {
+        let mut v: Vec<(f64, T)> =
+            self.heap.into_iter().map(|s| (s.score, s.item)).collect();
+        v.sort_by(|a, b| b.0.total_cmp(&a.0));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_top_k_sorted() {
+        let mut t = TopK::new(3);
+        for (s, i) in [(1.0, "a"), (5.0, "b"), (3.0, "c"), (4.0, "d"), (2.0, "e")] {
+            t.push(s, i);
+        }
+        let out = t.into_sorted();
+        assert_eq!(
+            out,
+            vec![(5.0, "b"), (4.0, "d"), (3.0, "c")]
+        );
+    }
+
+    #[test]
+    fn fewer_than_k_keeps_all() {
+        let mut t = TopK::new(10);
+        t.push(1.0, 1);
+        t.push(2.0, 2);
+        assert_eq!(t.len(), 2);
+        assert!(t.threshold().is_none());
+        assert_eq!(t.into_sorted(), vec![(2.0, 2), (1.0, 1)]);
+    }
+
+    #[test]
+    fn threshold_is_kth_best() {
+        let mut t = TopK::new(2);
+        t.push(1.0, 'x');
+        t.push(9.0, 'y');
+        assert_eq!(t.threshold(), Some(1.0));
+        t.push(5.0, 'z');
+        assert_eq!(t.threshold(), Some(5.0));
+    }
+
+    #[test]
+    fn equal_scores_do_not_evict() {
+        let mut t = TopK::new(1);
+        t.push(1.0, "first");
+        t.push(1.0, "second");
+        assert_eq!(t.into_sorted(), vec![(1.0, "first")]);
+    }
+
+    #[test]
+    fn handles_negative_and_nan_free_scores() {
+        let mut t = TopK::new(2);
+        t.push(-5.0, 1);
+        t.push(-1.0, 2);
+        t.push(-3.0, 3);
+        assert_eq!(t.into_sorted(), vec![(-1.0, 2), (-3.0, 3)]);
+    }
+}

@@ -1,0 +1,259 @@
+//! Homograph detection via graph centrality (DomainNet; Leventidis et
+//! al., EDBT 2021; tutorial §3).
+//!
+//! A data lake can be modeled as a bipartite graph between values and the
+//! columns containing them. A *homograph* — one spelling denoting two
+//! different concepts ("Jaguar" the animal and the car) — bridges
+//! otherwise-disconnected column communities, which makes its
+//! **betweenness centrality** anomalously high relative to unambiguous
+//! values of similar frequency. We build the bipartite graph and rank
+//! values by Brandes betweenness (with source sampling for scale).
+
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+use td_table::DataLake;
+
+/// A value node's centrality score.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ValueCentrality {
+    /// The value (lower-cased join token).
+    pub value: String,
+    /// Approximate betweenness centrality.
+    pub betweenness: f64,
+    /// Number of columns containing the value.
+    pub degree: usize,
+}
+
+/// Parameters for [`rank_homographs`].
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct HomographConfig {
+    /// Number of BFS sources sampled for Brandes (0 = all nodes).
+    pub sample_sources: usize,
+    /// Ignore values occurring in fewer columns than this (degree-1 values
+    /// can never bridge anything).
+    pub min_degree: usize,
+    /// Seed for source sampling.
+    pub seed: u64,
+}
+
+impl Default for HomographConfig {
+    fn default() -> Self {
+        HomographConfig { sample_sources: 64, min_degree: 2, seed: 3 }
+    }
+}
+
+/// Bipartite value–column graph in CSR-ish form.
+struct BipartiteGraph {
+    /// Node 0..nv are values; nv..nv+nc are columns.
+    nv: usize,
+    adj: Vec<Vec<u32>>,
+    values: Vec<String>,
+}
+
+fn build_graph(lake: &DataLake) -> BipartiteGraph {
+    let mut value_ids: HashMap<String, u32> = HashMap::new();
+    let mut values: Vec<String> = Vec::new();
+    let mut col_members: Vec<Vec<u32>> = Vec::new();
+    for (_, col) in lake.columns() {
+        if col.is_numeric() {
+            continue;
+        }
+        let mut members = Vec::new();
+        for t in col.token_set() {
+            let next = values.len() as u32;
+            let id = *value_ids.entry(t.clone()).or_insert_with(|| {
+                values.push(t);
+                next
+            });
+            members.push(id);
+        }
+        if !members.is_empty() {
+            col_members.push(members);
+        }
+    }
+    let nv = values.len();
+    let n = nv + col_members.len();
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (c, members) in col_members.iter().enumerate() {
+        let cnode = (nv + c) as u32;
+        for &v in members {
+            adj[v as usize].push(cnode);
+            adj[cnode as usize].push(v);
+        }
+    }
+    BipartiteGraph { nv, adj, values }
+}
+
+/// Rank values by approximate betweenness centrality, descending.
+///
+/// Homographs bridge column communities and surface at the top; the
+/// experiment (E14) checks planted homographs against this ranking.
+#[must_use]
+pub fn rank_homographs(lake: &DataLake, cfg: &HomographConfig) -> Vec<ValueCentrality> {
+    let g = build_graph(lake);
+    let n = g.adj.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut bc = vec![0.0f64; n];
+    // Brandes' algorithm from sampled sources.
+    let sources: Vec<usize> = if cfg.sample_sources == 0 || cfg.sample_sources >= n {
+        (0..n).collect()
+    } else {
+        (0..cfg.sample_sources)
+            .map(|i| (td_sketch::hash::hash_u64(i as u64, cfg.seed) % n as u64) as usize)
+            .collect()
+    };
+    let mut sigma = vec![0.0f64; n];
+    let mut dist = vec![-1i32; n];
+    let mut delta = vec![0.0f64; n];
+    let mut preds: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for &s in &sources {
+        // Reset state.
+        sigma.fill(0.0);
+        dist.fill(-1);
+        delta.fill(0.0);
+        for p in &mut preds {
+            p.clear();
+        }
+        sigma[s] = 1.0;
+        dist[s] = 0;
+        let mut order: Vec<u32> = Vec::new();
+        let mut queue = VecDeque::new();
+        queue.push_back(s as u32);
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            for &w in &g.adj[v as usize] {
+                if dist[w as usize] < 0 {
+                    dist[w as usize] = dist[v as usize] + 1;
+                    queue.push_back(w);
+                }
+                if dist[w as usize] == dist[v as usize] + 1 {
+                    sigma[w as usize] += sigma[v as usize];
+                    preds[w as usize].push(v);
+                }
+            }
+        }
+        for &w in order.iter().rev() {
+            for &v in &preds[w as usize] {
+                delta[v as usize] += sigma[v as usize] / sigma[w as usize]
+                    * (1.0 + delta[w as usize]);
+            }
+            if w as usize != s {
+                bc[w as usize] += delta[w as usize];
+            }
+        }
+    }
+    let mut out: Vec<ValueCentrality> = (0..g.nv)
+        .filter(|&v| g.adj[v].len() >= cfg.min_degree)
+        .map(|v| ValueCentrality {
+            value: g.values[v].clone(),
+            betweenness: bc[v],
+            degree: g.adj[v].len(),
+        })
+        .collect();
+    out.sort_by(|a, b| b.betweenness.total_cmp(&a.betweenness).then(a.value.cmp(&b.value)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_table::gen::domains::DomainRegistry;
+    use td_table::{Column, Table};
+
+    /// Lake with two worlds (cities, animals) sharing planted homograph
+    /// spellings, several columns per world so communities are dense.
+    fn lake_with_homographs(num_homographs: u64) -> (DataLake, Vec<String>) {
+        let mut r = DomainRegistry::standard();
+        let city = r.id("city").unwrap();
+        let animal = r.id("animal").unwrap();
+        r.add_homograph_pair(city, animal, num_homographs);
+        let mut lake = DataLake::new();
+        for w in 0..4u64 {
+            // City columns: indices [w*20, w*20+40) — includes homograph
+            // range [0, num_homographs) for small w.
+            let col = Column::new(
+                "city",
+                (w * 20..w * 20 + 40).map(|i| r.value(city, i)).collect(),
+            );
+            lake.add(Table::new(format!("city_{w}"), vec![col]).unwrap());
+            let col = Column::new(
+                "animal",
+                (w * 20..w * 20 + 40).map(|i| r.value(animal, i)).collect(),
+            );
+            lake.add(Table::new(format!("animal_{w}"), vec![col]).unwrap());
+        }
+        let homographs: Vec<String> = (0..num_homographs)
+            .map(|i| r.value(city, i).to_string().to_lowercase())
+            .collect();
+        (lake, homographs)
+    }
+
+    #[test]
+    fn homographs_rank_above_ordinary_values() {
+        let (lake, homographs) = lake_with_homographs(5);
+        let ranked = rank_homographs(
+            &lake,
+            &HomographConfig { sample_sources: 0, ..Default::default() },
+        );
+        assert!(!ranked.is_empty());
+        let topk: Vec<&str> = ranked.iter().take(8).map(|v| v.value.as_str()).collect();
+        let found = homographs
+            .iter()
+            .filter(|h| topk.contains(&h.as_str()))
+            .count();
+        assert!(
+            found >= 4,
+            "only {found}/5 homographs in top 8: {topk:?}"
+        );
+    }
+
+    #[test]
+    fn sampling_approximates_full_brandes() {
+        let (lake, homographs) = lake_with_homographs(5);
+        let sampled = rank_homographs(
+            &lake,
+            &HomographConfig { sample_sources: 40, ..Default::default() },
+        );
+        let top: Vec<&str> = sampled.iter().take(10).map(|v| v.value.as_str()).collect();
+        let found = homographs.iter().filter(|h| top.contains(&h.as_str())).count();
+        assert!(found >= 3, "sampled ranking lost the homographs: {top:?}");
+    }
+
+    #[test]
+    fn no_homographs_no_sharp_outliers() {
+        let (lake, _) = lake_with_homographs(0);
+        let ranked = rank_homographs(
+            &lake,
+            &HomographConfig { sample_sources: 0, ..Default::default() },
+        );
+        if ranked.len() > 10 {
+            // Without bridges, the top score should not dwarf the median.
+            let top = ranked[0].betweenness;
+            let median = ranked[ranked.len() / 2].betweenness;
+            assert!(
+                top < median * 50.0 + 1e-9,
+                "unexpected outlier: top {top}, median {median}"
+            );
+        }
+    }
+
+    #[test]
+    fn min_degree_filters_rare_values() {
+        let (lake, _) = lake_with_homographs(3);
+        let ranked = rank_homographs(
+            &lake,
+            &HomographConfig { min_degree: 3, sample_sources: 0, ..Default::default() },
+        );
+        for v in &ranked {
+            assert!(v.degree >= 3);
+        }
+    }
+
+    #[test]
+    fn empty_lake() {
+        let lake = DataLake::new();
+        assert!(rank_homographs(&lake, &HomographConfig::default()).is_empty());
+    }
+}

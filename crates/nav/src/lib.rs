@@ -1,0 +1,23 @@
+//! # td-nav — navigation support for data lakes
+//!
+//! The tutorial's §2.6 alternative to query-driven discovery: instead of a
+//! ranked list, give the user structure to explore. [`linkage`] builds an
+//! Aurum-style column linkage graph (content similarity + PK/FK
+//! candidates); [`organize`] builds navigable hierarchies with a
+//! probabilistic discovery model (Nargesian et al.); [`ronin`] groups
+//! search results into labeled clusters online; and [`homograph`] ranks
+//! ambiguous values by betweenness centrality on the value–column graph
+//! (DomainNet, the §3 graph-mining direction).
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod homograph;
+pub mod linkage;
+pub mod organize;
+pub mod ronin;
+
+pub use homograph::{rank_homographs, HomographConfig, ValueCentrality};
+pub use linkage::{Link, LinkKind, LinkageConfig, LinkageGraph};
+pub use organize::{Organization, OrganizeConfig, OrgNode};
+pub use ronin::{group_results, ResultGroup, RoninConfig};

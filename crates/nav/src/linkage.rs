@@ -1,0 +1,375 @@
+//! Enterprise linkage graphs (Aurum; Fernandez et al., ICDE 2018;
+//! tutorial §2.6).
+//!
+//! Aurum models a lake as a graph whose nodes are columns and whose edges
+//! assert relationships discovered from data: content similarity (high
+//! Jaccard between value sets) and candidate primary-key/foreign-key links
+//! (high containment into a key-like column). Discovery then becomes graph
+//! traversal: neighbors, two-hop context, join paths between tables.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet, VecDeque};
+use td_sketch::minhash::MinHasher;
+use td_table::{ColumnRef, DataLake, LakeProfile, TableId};
+
+/// Why two columns are linked.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LinkKind {
+    /// Value sets are similar (estimated Jaccard above threshold).
+    ContentSimilarity {
+        /// Estimated Jaccard.
+        jaccard: f64,
+    },
+    /// Source column's values are contained in a key-like target column.
+    PkFkCandidate {
+        /// Estimated containment of source in target.
+        containment: f64,
+    },
+}
+
+/// A directed edge of the linkage graph.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Link {
+    /// Source column.
+    pub from: ColumnRef,
+    /// Target column.
+    pub to: ColumnRef,
+    /// Relationship kind and strength.
+    pub kind: LinkKind,
+}
+
+/// Construction thresholds.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LinkageConfig {
+    /// Jaccard threshold for content-similarity edges.
+    pub jaccard_threshold: f64,
+    /// Containment threshold for PK/FK candidate edges.
+    pub containment_threshold: f64,
+    /// MinHash functions per signature.
+    pub minhash_k: usize,
+}
+
+impl Default for LinkageConfig {
+    fn default() -> Self {
+        LinkageConfig {
+            jaccard_threshold: 0.5,
+            containment_threshold: 0.8,
+            minhash_k: 128,
+        }
+    }
+}
+
+/// The linkage graph over a lake's columns.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LinkageGraph {
+    edges: Vec<Link>,
+    adjacency: HashMap<ColumnRef, Vec<usize>>,
+}
+
+impl LinkageGraph {
+    /// Build the graph: signatures for every textual column, pairwise
+    /// estimation (quadratic in columns — Aurum's profile stage; fine at
+    /// our scale), edges above thresholds.
+    #[must_use]
+    pub fn build(lake: &DataLake, cfg: &LinkageConfig) -> Self {
+        let profile = LakeProfile::of(lake);
+        let hasher = MinHasher::new(cfg.minhash_k, 0x11_4B);
+        let mut cols: Vec<ColumnRef> = Vec::new();
+        let mut sigs = Vec::new();
+        for (r, col) in lake.columns() {
+            if col.is_numeric() {
+                continue;
+            }
+            let tokens = col.token_set();
+            if tokens.is_empty() {
+                continue;
+            }
+            sigs.push(hasher.sign(tokens.iter().map(String::as_str)));
+            cols.push(r);
+        }
+        let mut graph = LinkageGraph::default();
+        for i in 0..cols.len() {
+            for j in (i + 1)..cols.len() {
+                if cols[i].table == cols[j].table {
+                    continue; // intra-table links are schema, not discovery
+                }
+                let jac = sigs[i].jaccard(&sigs[j]);
+                if jac >= cfg.jaccard_threshold {
+                    graph.add_edge(Link {
+                        from: cols[i],
+                        to: cols[j],
+                        kind: LinkKind::ContentSimilarity { jaccard: jac },
+                    });
+                    graph.add_edge(Link {
+                        from: cols[j],
+                        to: cols[i],
+                        kind: LinkKind::ContentSimilarity { jaccard: jac },
+                    });
+                    continue;
+                }
+                // PK/FK: containment of one side into a key-like other.
+                for (a, b) in [(i, j), (j, i)] {
+                    let cont = sigs[a].containment_in(&sigs[b]);
+                    let target_is_key =
+                        profile.get(cols[b]).is_some_and(|p| p.is_key_like());
+                    if cont >= cfg.containment_threshold && target_is_key {
+                        graph.add_edge(Link {
+                            from: cols[a],
+                            to: cols[b],
+                            kind: LinkKind::PkFkCandidate { containment: cont },
+                        });
+                    }
+                }
+            }
+        }
+        graph
+    }
+
+    fn add_edge(&mut self, link: Link) {
+        let idx = self.edges.len();
+        self.adjacency.entry(link.from).or_default().push(idx);
+        self.edges.push(link);
+    }
+
+    /// Total directed edges.
+    #[must_use]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Outgoing links of a column.
+    #[must_use]
+    pub fn neighbors(&self, c: ColumnRef) -> Vec<&Link> {
+        self.adjacency
+            .get(&c)
+            .map(|idxs| idxs.iter().map(|&i| &self.edges[i]).collect())
+            .unwrap_or_default()
+    }
+
+    /// Tables reachable from a table within `hops` link steps (excluding
+    /// itself) — Aurum's "related datasets" primitive.
+    #[must_use]
+    pub fn related_tables(&self, lake: &DataLake, start: TableId, hops: usize) -> Vec<TableId> {
+        let mut visited: HashSet<ColumnRef> = HashSet::new();
+        let mut out: HashSet<TableId> = HashSet::new();
+        let mut queue: VecDeque<(ColumnRef, usize)> = VecDeque::new();
+        let t = lake.table(start);
+        for ci in 0..t.num_cols() {
+            let r = ColumnRef::new(start, ci);
+            visited.insert(r);
+            queue.push_back((r, 0));
+        }
+        while let Some((r, d)) = queue.pop_front() {
+            if d >= hops {
+                continue;
+            }
+            for link in self.neighbors(r) {
+                if visited.insert(link.to) {
+                    if link.to.table != start {
+                        out.insert(link.to.table);
+                    }
+                    // Continue through the *table*: sibling columns of the
+                    // reached column are reachable at the same hop count.
+                    let reached = lake.table(link.to.table);
+                    for ci in 0..reached.num_cols() {
+                        let sib = ColumnRef::new(link.to.table, ci);
+                        if visited.insert(sib) {
+                            queue.push_back((sib, d + 1));
+                        }
+                    }
+                    queue.push_back((link.to, d + 1));
+                }
+            }
+        }
+        let mut v: Vec<TableId> = out.into_iter().collect();
+        v.sort();
+        v
+    }
+
+    /// A join path between two tables (sequence of links), if one exists
+    /// within `max_hops`.
+    #[must_use]
+    pub fn join_path(
+        &self,
+        lake: &DataLake,
+        from: TableId,
+        to: TableId,
+        max_hops: usize,
+    ) -> Option<Vec<Link>> {
+        let mut visited: HashSet<ColumnRef> = HashSet::new();
+        let mut parent: HashMap<ColumnRef, Link> = HashMap::new();
+        let mut queue: VecDeque<(ColumnRef, usize)> = VecDeque::new();
+        let t = lake.table(from);
+        for ci in 0..t.num_cols() {
+            let r = ColumnRef::new(from, ci);
+            visited.insert(r);
+            queue.push_back((r, 0));
+        }
+        while let Some((r, d)) = queue.pop_front() {
+            if d >= max_hops {
+                continue;
+            }
+            for link in self.neighbors(r) {
+                if !visited.insert(link.to) {
+                    continue;
+                }
+                parent.insert(link.to, *link);
+                if link.to.table == to {
+                    // Reconstruct.
+                    let mut path = vec![*link];
+                    let mut cur = link.from;
+                    while let Some(l) = parent.get(&cur) {
+                        path.push(*l);
+                        cur = l.from;
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                let reached = lake.table(link.to.table);
+                for ci in 0..reached.num_cols() {
+                    let sib = ColumnRef::new(link.to.table, ci);
+                    if visited.insert(sib) {
+                        // Hopping within a table is free of a link but
+                        // counts as progress toward max_hops.
+                        queue.push_back((sib, d + 1));
+                        if parent.contains_key(&link.to) {
+                            parent.entry(sib).or_insert(*link);
+                        }
+                    }
+                }
+                queue.push_back((link.to, d + 1));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_table::gen::domains::DomainRegistry;
+    use td_table::{Column, Table};
+
+    /// Three tables: orders(city_fk, qty) → cities(city_pk, country),
+    /// and a near-duplicate of cities.
+    fn lake() -> (DataLake, DomainRegistry) {
+        let r = DomainRegistry::standard();
+        let city = r.id("city").unwrap();
+        let country = r.id("country").unwrap();
+        let mut lake = DataLake::new();
+        // cities: key-like city column 0..100.
+        lake.add(
+            Table::new(
+                "cities",
+                vec![
+                    Column::new("city", (0..100).map(|i| r.value(city, i)).collect()),
+                    Column::new("country", (0..100).map(|i| r.value(country, i % 20)).collect()),
+                ],
+            )
+            .unwrap(),
+        );
+        // orders: fk drawn from cities' range with repeats.
+        lake.add(
+            Table::new(
+                "orders",
+                vec![
+                    Column::new("city", (0..150).map(|i| r.value(city, i % 30)).collect()),
+                    Column::from_strings(
+                        "qty",
+                        &(0..150).map(|i| i.to_string()).collect::<Vec<_>>(),
+                    ),
+                ],
+            )
+            .unwrap(),
+        );
+        // cities_copy: 80% same values.
+        lake.add(
+            Table::new(
+                "cities_copy",
+                vec![Column::new(
+                    "town",
+                    (20..120).map(|i| r.value(city, i)).collect(),
+                )],
+            )
+            .unwrap(),
+        );
+        (lake, r)
+    }
+
+    #[test]
+    fn detects_content_similarity_edges() {
+        let (lake, _) = lake();
+        let g = LinkageGraph::build(&lake, &LinkageConfig::default());
+        // cities.city ↔ cities_copy.town share 80 of 120 values (J = 2/3).
+        let c = ColumnRef::new(TableId(0), 0);
+        let hits: Vec<_> = g
+            .neighbors(c)
+            .into_iter()
+            .filter(|l| l.to.table == TableId(2))
+            .collect();
+        assert!(!hits.is_empty(), "no similarity edge to the copy");
+        assert!(matches!(hits[0].kind, LinkKind::ContentSimilarity { jaccard } if jaccard > 0.4));
+    }
+
+    #[test]
+    fn detects_pk_fk_candidates() {
+        let (lake, _) = lake();
+        let g = LinkageGraph::build(&lake, &LinkageConfig::default());
+        // orders.city (30 distinct) ⊆ cities.city (100 distinct, key-like):
+        // Jaccard 0.3 is below the similarity threshold, containment is 1.
+        let fk = ColumnRef::new(TableId(1), 0);
+        let links = g.neighbors(fk);
+        let pkfk: Vec<_> = links
+            .iter()
+            .filter(|l| matches!(l.kind, LinkKind::PkFkCandidate { .. }))
+            .collect();
+        assert!(!pkfk.is_empty(), "no PK/FK edge from orders.city: {links:?}");
+        assert_eq!(pkfk[0].to, ColumnRef::new(TableId(0), 0));
+    }
+
+    #[test]
+    fn related_tables_walks_the_graph() {
+        let (lake, _) = lake();
+        let g = LinkageGraph::build(&lake, &LinkageConfig::default());
+        let related = g.related_tables(&lake, TableId(1), 2);
+        assert!(related.contains(&TableId(0)), "orders should relate to cities");
+        // Two hops: orders → cities → cities_copy.
+        assert!(related.contains(&TableId(2)), "two-hop neighbor missing: {related:?}");
+        let one_hop = g.related_tables(&lake, TableId(1), 1);
+        assert!(one_hop.contains(&TableId(0)));
+    }
+
+    #[test]
+    fn join_path_connects_tables() {
+        let (lake, _) = lake();
+        let g = LinkageGraph::build(&lake, &LinkageConfig::default());
+        let p = g.join_path(&lake, TableId(1), TableId(0), 3).unwrap();
+        assert!(!p.is_empty());
+        assert_eq!(p.last().unwrap().to.table, TableId(0));
+        assert!(g.join_path(&lake, TableId(1), TableId(0), 0).is_none());
+    }
+
+    #[test]
+    fn unrelated_columns_get_no_edges() {
+        let r = DomainRegistry::standard();
+        let gene = r.id("gene").unwrap();
+        let food = r.id("food").unwrap();
+        let mut lake = DataLake::new();
+        lake.add(
+            Table::new(
+                "a",
+                vec![Column::new("g", (0..50).map(|i| r.value(gene, i)).collect())],
+            )
+            .unwrap(),
+        );
+        lake.add(
+            Table::new(
+                "b",
+                vec![Column::new("f", (0..50).map(|i| r.value(food, i)).collect())],
+            )
+            .unwrap(),
+        );
+        let g = LinkageGraph::build(&lake, &LinkageConfig::default());
+        assert_eq!(g.num_edges(), 0);
+    }
+}

@@ -1,0 +1,488 @@
+//! Data-lake organization (Nargesian et al., SIGMOD 2020 / TKDE 2023;
+//! tutorial §2.6).
+//!
+//! An *organization* is a hierarchy over the lake's tables that a user
+//! navigates top-down: at each node they pick the child whose concept
+//! looks most like what they want. The original work optimizes the
+//! expected probability of discovering tables under a probabilistic
+//! navigation model; we reproduce that model — children are chosen with
+//! probability proportional to the similarity between the child's
+//! centroid and the target table — and build organizations by recursive
+//! k-means over table embedding vectors, so the experiment (E13) can
+//! compare an organization's expected discovery probability against flat
+//! scanning.
+
+use serde::{Deserialize, Serialize};
+use td_embed::vector::{add_scaled, cosine, normalize};
+use td_table::TableId;
+
+/// One node of an organization.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OrgNode {
+    /// Centroid of the table vectors below this node.
+    pub centroid: Vec<f32>,
+    /// Child node indices (empty for leaves).
+    pub children: Vec<usize>,
+    /// Tables at this node (non-empty only for leaves).
+    pub tables: Vec<TableId>,
+}
+
+/// A navigable hierarchy over tables.
+/// ```
+/// use td_nav::{Organization, OrganizeConfig};
+/// use td_embed::seeded_unit_vector;
+/// use td_table::TableId;
+///
+/// let items: Vec<(TableId, Vec<f32>)> = (0..20)
+///     .map(|i| (TableId(i), seeded_unit_vector(u64::from(i % 4), 16)))
+///     .collect();
+/// let org = Organization::build(&items, &OrganizeConfig::default());
+/// // Every table is reachable by navigation:
+/// assert_eq!(org.tables_below(org.root()).len(), 20);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Organization {
+    nodes: Vec<OrgNode>,
+    root: usize,
+}
+
+/// Construction parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct OrganizeConfig {
+    /// Children per internal node.
+    pub branching: usize,
+    /// Tables per leaf before splitting stops.
+    pub leaf_size: usize,
+    /// k-means iterations per split.
+    pub kmeans_iters: usize,
+    /// Softmax sharpness of the navigation model.
+    pub beta: f32,
+    /// Seed for centroid initialization.
+    pub seed: u64,
+}
+
+impl Default for OrganizeConfig {
+    fn default() -> Self {
+        OrganizeConfig { branching: 4, leaf_size: 4, kmeans_iters: 8, beta: 8.0, seed: 5 }
+    }
+}
+
+/// Spherical k-means into `k` clusters; returns cluster assignment.
+/// Deterministic in `seed`. Empty clusters are re-seeded with the point
+/// farthest from its centroid.
+pub(crate) fn kmeans(vectors: &[&[f32]], k: usize, iters: usize, seed: u64) -> Vec<usize> {
+    let n = vectors.len();
+    if n == 0 || k <= 1 {
+        return vec![0; n];
+    }
+    let k = k.min(n);
+    let dim = vectors[0].len();
+    // Farthest-first initialization from a seeded start.
+    let start = (td_sketch::hash::hash_u64(n as u64, seed) % n as u64) as usize;
+    let mut centroids: Vec<Vec<f32>> = vec![vectors[start].to_vec()];
+    while centroids.len() < k {
+        let far = (0..n)
+            .max_by(|&a, &b| {
+                let da = centroids
+                    .iter()
+                    .map(|c| 1.0 - cosine(vectors[a], c))
+                    .fold(f32::INFINITY, f32::min);
+                let db = centroids
+                    .iter()
+                    .map(|c| 1.0 - cosine(vectors[b], c))
+                    .fold(f32::INFINITY, f32::min);
+                da.total_cmp(&db)
+            })
+            .expect("non-empty");
+        centroids.push(vectors[far].to_vec());
+    }
+    let mut assign = vec![0usize; n];
+    for _ in 0..iters {
+        // Assign.
+        for (i, v) in vectors.iter().enumerate() {
+            assign[i] = centroids
+                .iter()
+                .enumerate()
+                .max_by(|(_, a), (_, b)| cosine(v, a).total_cmp(&cosine(v, b)))
+                .map(|(c, _)| c)
+                .expect("k >= 1");
+        }
+        // Update.
+        let mut sums = vec![vec![0.0f32; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (i, v) in vectors.iter().enumerate() {
+            add_scaled(&mut sums[assign[i]], v, 1.0);
+            counts[assign[i]] += 1;
+        }
+        for (c, sum) in sums.iter_mut().enumerate() {
+            if counts[c] == 0 {
+                // Re-seed with the worst-fit point.
+                let worst = (0..n)
+                    .min_by(|&a, &b| {
+                        cosine(vectors[a], &centroids[assign[a]])
+                            .total_cmp(&cosine(vectors[b], &centroids[assign[b]]))
+                    })
+                    .expect("non-empty");
+                *sum = vectors[worst].to_vec();
+            }
+            normalize(sum);
+            centroids[c] = std::mem::take(sum);
+        }
+    }
+    // Final assignment against the last centroids.
+    for (i, v) in vectors.iter().enumerate() {
+        assign[i] = centroids
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| cosine(v, a).total_cmp(&cosine(v, b)))
+            .map(|(c, _)| c)
+            .expect("k >= 1");
+    }
+    assign
+}
+
+impl Organization {
+    /// Build an organization over `(table, vector)` pairs by recursive
+    /// spherical k-means.
+    ///
+    /// # Panics
+    /// Panics if `items` is empty or vectors have inconsistent dimensions.
+    #[must_use]
+    pub fn build(items: &[(TableId, Vec<f32>)], cfg: &OrganizeConfig) -> Self {
+        assert!(!items.is_empty(), "cannot organize an empty lake");
+        let mut org = Organization { nodes: Vec::new(), root: 0 };
+        let idxs: Vec<usize> = (0..items.len()).collect();
+        org.root = org.split(items, &idxs, cfg, 0);
+        org
+    }
+
+    fn centroid_of(items: &[(TableId, Vec<f32>)], idxs: &[usize]) -> Vec<f32> {
+        let dim = items[idxs[0]].1.len();
+        let mut c = vec![0.0f32; dim];
+        for &i in idxs {
+            add_scaled(&mut c, &items[i].1, 1.0);
+        }
+        normalize(&mut c);
+        c
+    }
+
+    fn split(
+        &mut self,
+        items: &[(TableId, Vec<f32>)],
+        idxs: &[usize],
+        cfg: &OrganizeConfig,
+        depth: usize,
+    ) -> usize {
+        let centroid = Self::centroid_of(items, idxs);
+        if idxs.len() <= cfg.leaf_size || depth > 12 {
+            let node = OrgNode {
+                centroid,
+                children: Vec::new(),
+                tables: idxs.iter().map(|&i| items[i].0).collect(),
+            };
+            self.nodes.push(node);
+            return self.nodes.len() - 1;
+        }
+        let vectors: Vec<&[f32]> = idxs.iter().map(|&i| items[i].1.as_slice()).collect();
+        let assign = kmeans(&vectors, cfg.branching, cfg.kmeans_iters, cfg.seed + depth as u64);
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); cfg.branching];
+        for (pos, &i) in idxs.iter().enumerate() {
+            groups[assign[pos]].push(i);
+        }
+        let groups: Vec<Vec<usize>> = groups.into_iter().filter(|g| !g.is_empty()).collect();
+        if groups.len() <= 1 {
+            // Degenerate split: make a leaf.
+            let node = OrgNode {
+                centroid,
+                children: Vec::new(),
+                tables: idxs.iter().map(|&i| items[i].0).collect(),
+            };
+            self.nodes.push(node);
+            return self.nodes.len() - 1;
+        }
+        let children: Vec<usize> = groups
+            .iter()
+            .map(|g| self.split(items, g, cfg, depth + 1))
+            .collect();
+        self.nodes.push(OrgNode { centroid, children, tables: Vec::new() });
+        self.nodes.len() - 1
+    }
+
+    /// Node accessor.
+    #[must_use]
+    pub fn node(&self, i: usize) -> &OrgNode {
+        &self.nodes[i]
+    }
+
+    /// Root node index.
+    #[must_use]
+    pub fn root(&self) -> usize {
+        self.root
+    }
+
+    /// Total node count.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// All tables below a node.
+    #[must_use]
+    pub fn tables_below(&self, node: usize) -> Vec<TableId> {
+        let mut out = Vec::new();
+        let mut stack = vec![node];
+        while let Some(n) = stack.pop() {
+            out.extend(self.nodes[n].tables.iter().copied());
+            stack.extend(self.nodes[n].children.iter().copied());
+        }
+        out
+    }
+
+    /// Local-search refinement (the optimization pass of the organization
+    /// papers): each table is reassigned to the leaf whose centroid it is
+    /// most similar to, then all centroids are rebuilt bottom-up from the
+    /// table vectors. Repeats up to `rounds` times or until no move helps.
+    /// Returns the number of moves made.
+    ///
+    /// `items` must be the same `(table, vector)` pairs the organization
+    /// was built from.
+    pub fn refine(&mut self, items: &[(TableId, Vec<f32>)], rounds: usize) -> usize {
+        use std::collections::HashMap;
+        let vec_of: HashMap<TableId, &Vec<f32>> =
+            items.iter().map(|(t, v)| (*t, v)).collect();
+        let leaves: Vec<usize> = (0..self.nodes.len())
+            .filter(|&n| self.nodes[n].children.is_empty())
+            .collect();
+        if leaves.len() <= 1 {
+            return 0;
+        }
+        let mut total_moves = 0usize;
+        for _ in 0..rounds {
+            let mut moves = 0usize;
+            // Current leaf of each table.
+            let mut leaf_of: HashMap<TableId, usize> = HashMap::new();
+            for &l in &leaves {
+                for &t in &self.nodes[l].tables {
+                    leaf_of.insert(t, l);
+                }
+            }
+            for (t, v) in items {
+                let Some(&cur) = leaf_of.get(t) else { continue };
+                let best = leaves
+                    .iter()
+                    .copied()
+                    .max_by(|&a, &b| {
+                        cosine(&self.nodes[a].centroid, v)
+                            .total_cmp(&cosine(&self.nodes[b].centroid, v))
+                    })
+                    .expect("non-empty leaves");
+                if best != cur && self.nodes[cur].tables.len() > 1 {
+                    self.nodes[cur].tables.retain(|x| x != t);
+                    self.nodes[best].tables.push(*t);
+                    leaf_of.insert(*t, best);
+                    moves += 1;
+                }
+            }
+            if moves == 0 {
+                break;
+            }
+            total_moves += moves;
+            self.rebuild_centroids(&vec_of);
+        }
+        total_moves
+    }
+
+    /// Recompute every node's centroid as the normalized mean of the table
+    /// vectors below it.
+    fn rebuild_centroids(
+        &mut self,
+        vec_of: &std::collections::HashMap<TableId, &Vec<f32>>,
+    ) {
+        for n in 0..self.nodes.len() {
+            let below = self.tables_below(n);
+            let dim = self.nodes[n].centroid.len();
+            let mut c = vec![0.0f32; dim];
+            for t in below {
+                if let Some(v) = vec_of.get(&t) {
+                    add_scaled(&mut c, v, 1.0);
+                }
+            }
+            normalize(&mut c);
+            if c.iter().any(|&x| x != 0.0) {
+                self.nodes[n].centroid = c;
+            }
+        }
+    }
+
+    /// The navigation model's probability of *discovering* `target` (whose
+    /// embedding is `target_vec`): at each internal node the user picks a
+    /// child with probability softmax(β · cos(child centroid, target)),
+    /// and at a leaf inspects every table (finding the target iff it is
+    /// there).
+    #[must_use]
+    pub fn discovery_probability(&self, target: TableId, target_vec: &[f32], beta: f32) -> f64 {
+        self.discover_from(self.root, target, target_vec, beta)
+    }
+
+    fn discover_from(&self, node: usize, target: TableId, tv: &[f32], beta: f32) -> f64 {
+        let n = &self.nodes[node];
+        if n.children.is_empty() {
+            return if n.tables.contains(&target) { 1.0 } else { 0.0 };
+        }
+        // Softmax over children similarities.
+        let sims: Vec<f64> = n
+            .children
+            .iter()
+            .map(|&c| f64::from(beta * cosine(&self.nodes[c].centroid, tv)))
+            .collect();
+        let m = sims.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let exps: Vec<f64> = sims.iter().map(|s| (s - m).exp()).collect();
+        let z: f64 = exps.iter().sum();
+        n.children
+            .iter()
+            .zip(&exps)
+            .map(|(&c, e)| (e / z) * self.discover_from(c, target, tv, beta))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_embed::model::seeded_unit_vector;
+
+    /// Clustered table vectors: `per` tables around each of `k` anchors.
+    fn clustered(k: usize, per: usize, dim: usize) -> Vec<(TableId, Vec<f32>)> {
+        let mut out = Vec::new();
+        for c in 0..k {
+            let anchor = seeded_unit_vector(c as u64 + 1, dim);
+            for i in 0..per {
+                let mut v = anchor.clone();
+                let noise = seeded_unit_vector((c * per + i + 999) as u64, dim);
+                add_scaled(&mut v, &noise, 0.25);
+                normalize(&mut v);
+                out.push((TableId((c * per + i) as u32), v));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn kmeans_recovers_clusters() {
+        let items = clustered(3, 20, 32);
+        let vectors: Vec<&[f32]> = items.iter().map(|(_, v)| v.as_slice()).collect();
+        let assign = kmeans(&vectors, 3, 10, 1);
+        // All members of a true cluster should share a label.
+        for c in 0..3 {
+            let labels: std::collections::HashSet<usize> =
+                (0..20).map(|i| assign[c * 20 + i]).collect();
+            assert_eq!(labels.len(), 1, "cluster {c} split: {labels:?}");
+        }
+    }
+
+    #[test]
+    fn organization_contains_all_tables() {
+        let items = clustered(4, 10, 32);
+        let org = Organization::build(&items, &OrganizeConfig::default());
+        let mut below = org.tables_below(org.root());
+        below.sort();
+        let mut all: Vec<TableId> = items.iter().map(|(t, _)| *t).collect();
+        all.sort();
+        assert_eq!(below, all);
+    }
+
+    #[test]
+    fn navigation_beats_random_descent() {
+        let items = clustered(4, 12, 32);
+        let org = Organization::build(&items, &OrganizeConfig::default());
+        // Expected discovery probability under the informed model vs an
+        // uninformed one (beta = 0 → uniform child choice).
+        let avg = |beta: f32| {
+            items
+                .iter()
+                .map(|(t, v)| org.discovery_probability(*t, v, beta))
+                .sum::<f64>()
+                / items.len() as f64
+        };
+        let informed = avg(8.0);
+        let uninformed = avg(0.0);
+        // Within a topical cluster the model cannot discriminate siblings,
+        // so the informed probability is far from 1 — but it should beat
+        // uniform descent by a wide factor (the paper's claim).
+        assert!(
+            informed > 3.0 * uninformed,
+            "informed {informed} vs uninformed {uninformed}"
+        );
+        assert!(informed > 0.15, "informed discovery probability {informed}");
+    }
+
+    #[test]
+    fn probabilities_are_valid() {
+        let items = clustered(3, 8, 16);
+        let org = Organization::build(&items, &OrganizeConfig::default());
+        for (t, v) in &items {
+            let p = org.discovery_probability(*t, v, 4.0);
+            assert!((0.0..=1.0 + 1e-9).contains(&p), "p = {p}");
+        }
+    }
+
+    #[test]
+    fn absent_table_has_zero_probability() {
+        let items = clustered(2, 5, 16);
+        let org = Organization::build(&items, &OrganizeConfig::default());
+        let ghost_vec = seeded_unit_vector(777, 16);
+        assert_eq!(org.discovery_probability(TableId(9999), &ghost_vec, 4.0), 0.0);
+    }
+
+    #[test]
+    fn refinement_never_loses_tables_and_helps_poor_builds() {
+        // Build with an adversarial seed (poor initial clustering), then
+        // refine; expected discovery probability must not get worse and
+        // no table may vanish.
+        let items = clustered(4, 12, 32);
+        let mut org = Organization::build(
+            &items,
+            &OrganizeConfig { kmeans_iters: 1, seed: 999, ..Default::default() },
+        );
+        let avg = |o: &Organization| {
+            items
+                .iter()
+                .map(|(t, v)| o.discovery_probability(*t, v, 8.0))
+                .sum::<f64>()
+                / items.len() as f64
+        };
+        let before = avg(&org);
+        let moves = org.refine(&items, 5);
+        let after = avg(&org);
+        let mut below = org.tables_below(org.root());
+        below.sort();
+        let mut all: Vec<TableId> = items.iter().map(|(t, _)| *t).collect();
+        all.sort();
+        assert_eq!(below, all, "refinement lost tables");
+        assert!(
+            after >= before - 1e-9,
+            "refinement hurt: {before} -> {after} ({moves} moves)"
+        );
+    }
+
+    #[test]
+    fn refinement_converges() {
+        let items = clustered(3, 10, 16);
+        let mut org = Organization::build(&items, &OrganizeConfig::default());
+        let _ = org.refine(&items, 10);
+        // A second refinement pass has nothing left to move.
+        let moves = org.refine(&items, 10);
+        assert_eq!(moves, 0, "refinement did not converge");
+    }
+
+    #[test]
+    fn single_table_lake() {
+        let items = vec![(TableId(0), seeded_unit_vector(1, 8))];
+        let org = Organization::build(&items, &OrganizeConfig::default());
+        assert_eq!(org.num_nodes(), 1);
+        assert_eq!(
+            org.discovery_probability(TableId(0), &items[0].1, 4.0),
+            1.0
+        );
+    }
+}

@@ -1,0 +1,155 @@
+//! Online hierarchies over search results (RONIN; Ouellette et al., VLDB
+//! 2021; tutorial §2.6 & §3).
+//!
+//! RONIN's insight is that organizations need not be offline artifacts:
+//! given the result set of a search query, a small hierarchy can be built
+//! *online* so the user explores a few labeled groups instead of a flat
+//! ranked list. We cluster the result tables' embedding vectors (spherical
+//! k-means, same machinery as [`crate::organize`]) and label each group
+//! with its most central table.
+
+use crate::organize::kmeans;
+use serde::{Deserialize, Serialize};
+use td_embed::vector::{add_scaled, cosine, normalize};
+use td_table::{DataLake, TableId};
+
+/// One group of an online exploration view.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ResultGroup {
+    /// Group label: the name of the most central member table.
+    pub label: String,
+    /// The most central member.
+    pub representative: TableId,
+    /// Members, most-central first.
+    pub tables: Vec<TableId>,
+}
+
+/// Parameters for online grouping.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RoninConfig {
+    /// Number of groups to show.
+    pub groups: usize,
+    /// k-means iterations.
+    pub iters: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for RoninConfig {
+    fn default() -> Self {
+        RoninConfig { groups: 4, iters: 8, seed: 9 }
+    }
+}
+
+/// Group a search-result set into labeled clusters for exploration.
+///
+/// `results` pairs each table with its embedding vector. Returns at most
+/// `cfg.groups` non-empty groups ordered by size.
+#[must_use]
+pub fn group_results(
+    lake: &DataLake,
+    results: &[(TableId, Vec<f32>)],
+    cfg: &RoninConfig,
+) -> Vec<ResultGroup> {
+    if results.is_empty() {
+        return Vec::new();
+    }
+    let vectors: Vec<&[f32]> = results.iter().map(|(_, v)| v.as_slice()).collect();
+    let assign = kmeans(&vectors, cfg.groups, cfg.iters, cfg.seed);
+    let k = assign.iter().copied().max().unwrap_or(0) + 1;
+    let mut groups: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (i, &g) in assign.iter().enumerate() {
+        groups[g].push(i);
+    }
+    let mut out = Vec::new();
+    for members in groups.into_iter().filter(|g| !g.is_empty()) {
+        // Centroid and centrality ordering.
+        let dim = vectors[0].len();
+        let mut centroid = vec![0.0f32; dim];
+        for &m in &members {
+            add_scaled(&mut centroid, vectors[m], 1.0);
+        }
+        normalize(&mut centroid);
+        let mut ordered = members.clone();
+        ordered.sort_by(|&a, &b| {
+            cosine(vectors[b], &centroid).total_cmp(&cosine(vectors[a], &centroid))
+        });
+        let rep = results[ordered[0]].0;
+        out.push(ResultGroup {
+            label: lake.table(rep).name.clone(),
+            representative: rep,
+            tables: ordered.into_iter().map(|m| results[m].0).collect(),
+        });
+    }
+    out.sort_by_key(|g| std::cmp::Reverse(g.tables.len()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_embed::model::seeded_unit_vector;
+    use td_table::{Column, Table};
+
+    fn setup(k: usize, per: usize) -> (DataLake, Vec<(TableId, Vec<f32>)>) {
+        let mut lake = DataLake::new();
+        let mut results = Vec::new();
+        for c in 0..k {
+            let anchor = seeded_unit_vector(c as u64 + 1, 32);
+            for i in 0..per {
+                let id = lake.add(
+                    Table::new(
+                        format!("cluster{c}_table{i}.csv"),
+                        vec![Column::from_strings("x", &["1"])],
+                    )
+                    .unwrap(),
+                );
+                let mut v = anchor.clone();
+                add_scaled(&mut v, &seeded_unit_vector((c * per + i + 500) as u64, 32), 0.25);
+                normalize(&mut v);
+                results.push((id, v));
+            }
+        }
+        (lake, results)
+    }
+
+    #[test]
+    fn groups_respect_clusters() {
+        let (lake, results) = setup(3, 8);
+        let groups = group_results(&lake, &results, &RoninConfig { groups: 3, ..Default::default() });
+        assert_eq!(groups.len(), 3);
+        // Every group should be pure: all members share the cluster prefix.
+        for g in &groups {
+            let prefix = |t: TableId| {
+                lake.table(t).name.split('_').next().unwrap().to_string()
+            };
+            let p0 = prefix(g.tables[0]);
+            assert!(g.tables.iter().all(|&t| prefix(t) == p0), "mixed group: {g:?}");
+        }
+    }
+
+    #[test]
+    fn representative_is_a_member_and_labels_match() {
+        let (lake, results) = setup(2, 6);
+        let groups = group_results(&lake, &results, &RoninConfig { groups: 2, ..Default::default() });
+        for g in &groups {
+            assert!(g.tables.contains(&g.representative));
+            assert_eq!(g.label, lake.table(g.representative).name);
+            assert_eq!(g.tables[0], g.representative, "representative leads the list");
+        }
+    }
+
+    #[test]
+    fn empty_results_yield_no_groups() {
+        let (lake, _) = setup(1, 1);
+        assert!(group_results(&lake, &[], &RoninConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn more_groups_than_results_collapses() {
+        let (lake, results) = setup(1, 2);
+        let groups = group_results(&lake, &results, &RoninConfig { groups: 10, ..Default::default() });
+        let total: usize = groups.iter().map(|g| g.tables.len()).sum();
+        assert_eq!(total, 2);
+    }
+}

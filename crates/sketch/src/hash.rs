@@ -1,0 +1,164 @@
+//! Seeded 64-bit hashing primitives shared by all sketches.
+//!
+//! Sketch quality depends on hash independence, and reproducibility depends
+//! on the hash being ours (not `std`'s randomly-keyed SipHash). We use an
+//! FNV-1a core whiskered through a SplitMix64 finalizer, which passes the
+//! avalanche sanity checks below and is plenty for MinHash/LSH workloads.
+
+/// SplitMix64 finalizer (public-domain constants).
+#[inline]
+#[must_use]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// Seeded hash of a byte slice.
+#[inline]
+#[must_use]
+pub fn hash_bytes(bytes: &[u8], seed: u64) -> u64 {
+    let mut h = FNV_OFFSET ^ splitmix64(seed);
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    splitmix64(h)
+}
+
+/// Seeded hash of a string.
+#[inline]
+#[must_use]
+pub fn hash_str(s: &str, seed: u64) -> u64 {
+    hash_bytes(s.as_bytes(), seed)
+}
+
+/// Seeded hash of a `u64` (one SplitMix64 round over the xor).
+#[inline]
+#[must_use]
+pub fn hash_u64(x: u64, seed: u64) -> u64 {
+    splitmix64(x ^ splitmix64(seed ^ 0xA076_1D64_78BD_642F))
+}
+
+/// A family of pairwise-independent-ish hash functions derived from one
+/// base hash via multiply-shift re-randomization.
+///
+/// `f_i(x) = splitmix64(a_i * x + b_i)` where `(a_i, b_i)` are derived from
+/// the family seed. Used by MinHash so that `k` permutations need only one
+/// pass over the input tokens.
+#[derive(Debug, Clone)]
+pub struct HashFamily {
+    params: Vec<(u64, u64)>,
+}
+
+impl HashFamily {
+    /// Create a family of `k` functions.
+    #[must_use]
+    pub fn new(k: usize, seed: u64) -> Self {
+        let params = (0..k as u64)
+            .map(|i| {
+                // Odd multiplier for multiply-shift.
+                let a = splitmix64(seed.wrapping_add(i).wrapping_mul(2) + 1) | 1;
+                let b = splitmix64(seed ^ (i.wrapping_mul(0x9E37_79B9)) ^ 0x5151);
+                (a, b)
+            })
+            .collect();
+        HashFamily { params }
+    }
+
+    /// Number of functions in the family.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// True if the family is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Apply function `i` to an already-hashed 64-bit token.
+    #[inline]
+    #[must_use]
+    pub fn apply(&self, i: usize, token_hash: u64) -> u64 {
+        let (a, b) = self.params[i];
+        splitmix64(a.wrapping_mul(token_hash).wrapping_add(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn hashes_are_deterministic() {
+        assert_eq!(hash_str("boston", 1), hash_str("boston", 1));
+        assert_ne!(hash_str("boston", 1), hash_str("boston", 2));
+        assert_ne!(hash_str("boston", 1), hash_str("austin", 1));
+    }
+
+    #[test]
+    fn hash_u64_avalanches() {
+        // Flipping one input bit should flip roughly half the output bits.
+        let mut total = 0u32;
+        for bit in 0..64 {
+            let a = hash_u64(0xDEAD_BEEF, 7);
+            let b = hash_u64(0xDEAD_BEEF ^ (1 << bit), 7);
+            total += (a ^ b).count_ones();
+        }
+        let avg = total as f64 / 64.0;
+        assert!((24.0..40.0).contains(&avg), "poor avalanche: {avg}");
+    }
+
+    #[test]
+    fn string_hash_has_few_collisions() {
+        let mut seen = HashSet::new();
+        for i in 0..100_000u64 {
+            seen.insert(hash_str(&format!("value-{i}"), 0));
+        }
+        assert_eq!(seen.len(), 100_000);
+    }
+
+    #[test]
+    fn family_functions_are_distinct() {
+        let f = HashFamily::new(16, 9);
+        assert_eq!(f.len(), 16);
+        let x = hash_str("token", 0);
+        let outs: HashSet<u64> = (0..16).map(|i| f.apply(i, x)).collect();
+        assert_eq!(outs.len(), 16);
+    }
+
+    #[test]
+    fn family_is_deterministic_in_seed() {
+        let a = HashFamily::new(4, 3);
+        let b = HashFamily::new(4, 3);
+        let c = HashFamily::new(4, 4);
+        let x = 12345;
+        for i in 0..4 {
+            assert_eq!(a.apply(i, x), b.apply(i, x));
+            assert_ne!(a.apply(i, x), c.apply(i, x));
+        }
+    }
+
+    #[test]
+    fn family_ranks_tokens_independently_per_function() {
+        // The argmin token should differ across functions for a decent
+        // fraction of functions — this is what makes MinHash work.
+        let f = HashFamily::new(32, 11);
+        let tokens: Vec<u64> = (0..50).map(|i| hash_str(&format!("t{i}"), 0)).collect();
+        let mins: HashSet<usize> = (0..32)
+            .map(|i| {
+                (0..tokens.len())
+                    .min_by_key(|&t| f.apply(i, tokens[t]))
+                    .unwrap()
+            })
+            .collect();
+        assert!(mins.len() > 10, "argmins not diverse: {}", mins.len());
+    }
+}

@@ -1,0 +1,280 @@
+//! Bottom-k (KMV, "k minimum values") sketches.
+//!
+//! A KMV sketch keeps the `k` smallest hash values of a set. It yields
+//! unbiased distinct-count estimates and — because the union of two KMV
+//! sketches is computable — direct estimates of intersection size,
+//! containment, and Jaccard. JOSIE-style cost models and containment
+//! pre-filters use these.
+
+use crate::hash::hash_str;
+use serde::{Deserialize, Serialize};
+
+/// A bottom-k sketch of a set of string tokens.
+/// ```
+/// use td_sketch::KmvSketch;
+///
+/// let tokens: Vec<String> = (0..500).map(|i| format!("t{i}")).collect();
+/// let sketch = KmvSketch::from_tokens(128, 7, tokens.iter().map(String::as_str));
+/// let est = sketch.estimate_distinct();
+/// assert!((est - 500.0).abs() / 500.0 < 0.3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KmvSketch {
+    k: usize,
+    /// Sorted ascending, length <= k, no duplicates.
+    values: Vec<u64>,
+    /// Exact count of distinct hashes observed (exact while <= k is not
+    /// full; retained for small sets).
+    exact_if_small: usize,
+    seed: u64,
+}
+
+impl KmvSketch {
+    /// An empty sketch of capacity `k`.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    #[must_use]
+    pub fn new(k: usize, seed: u64) -> Self {
+        assert!(k > 0, "KMV needs k >= 1");
+        KmvSketch { k, values: Vec::with_capacity(k), exact_if_small: 0, seed }
+    }
+
+    /// Build a sketch from tokens.
+    pub fn from_tokens<'a, I>(k: usize, seed: u64, tokens: I) -> Self
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        let mut s = KmvSketch::new(k, seed);
+        for t in tokens {
+            s.insert(t);
+        }
+        s
+    }
+
+    /// Insert a token.
+    pub fn insert(&mut self, token: &str) {
+        self.insert_hash(hash_str(token, self.seed));
+    }
+
+    /// Insert a pre-hashed token (must use the same seed).
+    pub fn insert_hash(&mut self, h: u64) {
+        match self.values.binary_search(&h) {
+            Ok(_) => {}
+            Err(pos) => {
+                if self.values.len() < self.k {
+                    self.values.insert(pos, h);
+                    self.exact_if_small += 1;
+                } else if pos < self.k {
+                    self.values.insert(pos, h);
+                    self.values.pop();
+                    self.exact_if_small += 1;
+                }
+                // h larger than the current k-th minimum: ignored (we still
+                // saw a new distinct hash only if it wasn't recorded before,
+                // which we can't know — exact_if_small is only trusted while
+                // the sketch is not full).
+            }
+        }
+    }
+
+    /// Capacity `k`.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of stored minima.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if no tokens were inserted.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Whether the sketch saturated (>= k distinct tokens seen).
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.values.len() == self.k
+    }
+
+    /// Estimated number of distinct tokens.
+    ///
+    /// Exact while fewer than `k` distinct tokens were seen; otherwise the
+    /// standard KMV estimator `(k - 1) / U(k)` where `U(k)` is the k-th
+    /// minimum normalized to `(0, 1]`.
+    #[must_use]
+    pub fn estimate_distinct(&self) -> f64 {
+        if !self.is_full() {
+            return self.values.len() as f64;
+        }
+        let kth = *self.values.last().expect("full sketch") as f64;
+        let u = (kth + 1.0) / (u64::MAX as f64 + 1.0);
+        (self.k as f64 - 1.0) / u
+    }
+
+    /// Merge (set union) two sketches built with the same `k` and seed.
+    ///
+    /// # Panics
+    /// Panics on mismatched `k` or seed.
+    #[must_use]
+    pub fn union(&self, other: &KmvSketch) -> KmvSketch {
+        assert_eq!(self.k, other.k, "k mismatch");
+        assert_eq!(self.seed, other.seed, "seed mismatch");
+        let mut merged = Vec::with_capacity(self.k);
+        let (mut i, mut j) = (0, 0);
+        while merged.len() < self.k && (i < self.values.len() || j < other.values.len()) {
+            let take_left = match (self.values.get(i), other.values.get(j)) {
+                (Some(a), Some(b)) => a <= b,
+                (Some(_), None) => true,
+                _ => false,
+            };
+            if take_left {
+                let v = self.values[i];
+                i += 1;
+                if j < other.values.len() && other.values[j] == v {
+                    j += 1;
+                }
+                merged.push(v);
+            } else {
+                merged.push(other.values[j]);
+                j += 1;
+            }
+        }
+        let exact = if merged.len() < self.k { merged.len() } else { 0 };
+        KmvSketch { k: self.k, values: merged, exact_if_small: exact, seed: self.seed }
+    }
+
+    /// Estimated intersection size via inclusion–exclusion on the union
+    /// sketch: `|A ∩ B| = |A| + |B| - |A ∪ B|`, floored at 0.
+    #[must_use]
+    pub fn estimate_intersection(&self, other: &KmvSketch) -> f64 {
+        let u = self.union(other).estimate_distinct();
+        (self.estimate_distinct() + other.estimate_distinct() - u).max(0.0)
+    }
+
+    /// Estimated Jaccard similarity.
+    #[must_use]
+    pub fn estimate_jaccard(&self, other: &KmvSketch) -> f64 {
+        let u = self.union(other).estimate_distinct();
+        if u == 0.0 {
+            return 0.0;
+        }
+        (self.estimate_intersection(other) / u).clamp(0.0, 1.0)
+    }
+
+    /// Estimated containment of `self` in `other` (`|A ∩ B| / |A|`).
+    #[must_use]
+    pub fn estimate_containment_in(&self, other: &KmvSketch) -> f64 {
+        let a = self.estimate_distinct();
+        if a == 0.0 {
+            return 0.0;
+        }
+        (self.estimate_intersection(other) / a).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sk(range: std::ops::Range<u32>, k: usize) -> KmvSketch {
+        let toks: Vec<String> = range.map(|i| format!("v{i}")).collect();
+        KmvSketch::from_tokens(k, 7, toks.iter().map(String::as_str))
+    }
+
+    #[test]
+    fn small_sets_are_exact() {
+        let s = sk(0..50, 128);
+        assert!(!s.is_full());
+        assert_eq!(s.estimate_distinct(), 50.0);
+    }
+
+    #[test]
+    fn duplicates_do_not_inflate() {
+        let mut s = KmvSketch::new(64, 1);
+        for _ in 0..10 {
+            s.insert("same");
+        }
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.estimate_distinct(), 1.0);
+    }
+
+    #[test]
+    fn distinct_estimate_within_relative_error() {
+        let s = sk(0..20_000, 256);
+        let est = s.estimate_distinct();
+        let rel = (est - 20_000.0).abs() / 20_000.0;
+        // RSE of KMV is ~ 1/sqrt(k-2) ≈ 6.3% for k=256; allow 4 sigma.
+        assert!(rel < 0.25, "relative error {rel}");
+    }
+
+    #[test]
+    fn union_estimate_is_sane() {
+        let a = sk(0..5_000, 256);
+        let b = sk(2_500..7_500, 256);
+        let u = a.union(&b).estimate_distinct();
+        let rel = (u - 7_500.0).abs() / 7_500.0;
+        assert!(rel < 0.25, "union error {rel}");
+    }
+
+    #[test]
+    fn union_with_disjoint_small_sets_is_exact() {
+        let a = sk(0..10, 64);
+        let b = sk(100..110, 64);
+        assert_eq!(a.union(&b).estimate_distinct(), 20.0);
+    }
+
+    #[test]
+    fn intersection_and_jaccard() {
+        let a = sk(0..6_000, 512);
+        let b = sk(3_000..9_000, 512);
+        // truth: intersection 3000, union 9000, jaccard 1/3.
+        let i = a.estimate_intersection(&b);
+        assert!((i - 3_000.0).abs() / 3_000.0 < 0.4, "intersection {i}");
+        let j = a.estimate_jaccard(&b);
+        assert!((j - 1.0 / 3.0).abs() < 0.12, "jaccard {j}");
+    }
+
+    #[test]
+    fn containment_asymmetry() {
+        // A ⊂ B: containment(A in B) = 1, containment(B in A) = 0.1.
+        let a = sk(0..500, 256);
+        let b = sk(0..5_000, 256);
+        let cab = a.estimate_containment_in(&b);
+        let cba = b.estimate_containment_in(&a);
+        assert!(cab > 0.7, "containment A in B: {cab}");
+        assert!(cba < 0.35, "containment B in A: {cba}");
+    }
+
+    #[test]
+    fn disjoint_sets_have_zero_ish_overlap() {
+        let a = sk(0..2_000, 256);
+        let b = sk(50_000..52_000, 256);
+        assert!(a.estimate_jaccard(&b) < 0.08);
+    }
+
+    #[test]
+    #[should_panic(expected = "k mismatch")]
+    fn union_rejects_mismatched_k() {
+        let a = sk(0..10, 32);
+        let b = sk(0..10, 64);
+        let _ = a.union(&b);
+    }
+
+    #[test]
+    fn insert_hash_matches_insert() {
+        let mut a = KmvSketch::new(32, 3);
+        let mut b = KmvSketch::new(32, 3);
+        for i in 0..100 {
+            let t = format!("x{i}");
+            a.insert(&t);
+            b.insert_hash(hash_str(&t, 3));
+        }
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,31 @@
+//! # td-sketch — sketches for table discovery
+//!
+//! Fixed-memory summaries of column value sets, built once offline and
+//! compared at query time without touching the raw data:
+//!
+//! * [`MinHasher`] / [`MinHashSignature`] — Jaccard/containment estimation;
+//!   the substrate of MinHash-LSH and LSH Ensemble indices.
+//! * [`KmvSketch`] — bottom-k sketches with unbiased distinct counts and
+//!   direct intersection/containment estimates.
+//! * [`HyperLogLog`] — mergeable cardinality estimation for lake profiling.
+//! * [`QcrSketch`] — quadrant-count-ratio sketches that estimate the
+//!   correlation of two *joined* numeric columns without joining them
+//!   (Santos et al., ICDE 2022).
+//!
+//! All sketches use the crate's own seeded hashing ([`hash`]) so results
+//! are reproducible across runs and platforms.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod hash;
+pub mod hll;
+pub mod kmv;
+pub mod minhash;
+pub mod qcr;
+
+pub use hash::{hash_bytes, hash_str, hash_u64, HashFamily};
+pub use hll::HyperLogLog;
+pub use kmv::KmvSketch;
+pub use minhash::{MinHashSignature, MinHasher};
+pub use qcr::QcrSketch;

@@ -1,0 +1,294 @@
+//! MinHash signatures for Jaccard estimation (the substrate of LSH and
+//! LSH Ensemble).
+
+use crate::hash::{hash_str, HashFamily};
+use serde::{Deserialize, Serialize};
+
+/// Builds MinHash signatures with a fixed number of hash functions.
+///
+/// All signatures produced by one `MinHasher` (same `k`, same seed) are
+/// comparable; signatures from different hashers are not.
+/// ```
+/// use td_sketch::MinHasher;
+///
+/// let hasher = MinHasher::new(256, 42);
+/// let a = hasher.sign(["red", "green", "blue"].into_iter());
+/// let b = hasher.sign(["red", "green", "yellow"].into_iter());
+/// let j = a.jaccard(&b); // true Jaccard = 2/4
+/// assert!((j - 0.5).abs() < 0.2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MinHasher {
+    family: HashFamily,
+    token_seed: u64,
+}
+
+/// A MinHash signature: `sig[i] = min over tokens of h_i(token)`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MinHashSignature {
+    /// Per-function minima.
+    pub values: Vec<u64>,
+    /// Exact distinct-token count observed while building (cheap to carry,
+    /// needed by containment conversion and LSH Ensemble partitioning).
+    pub set_size: usize,
+}
+
+impl MinHasher {
+    /// A hasher with `k` hash functions.
+    #[must_use]
+    pub fn new(k: usize, seed: u64) -> Self {
+        MinHasher { family: HashFamily::new(k, seed), token_seed: seed ^ 0x70C0 }
+    }
+
+    /// Number of hash functions.
+    #[must_use]
+    pub fn num_hashes(&self) -> usize {
+        self.family.len()
+    }
+
+    /// Signature of a set of string tokens (duplicates are harmless but
+    /// counted once in `set_size` only if the caller dedups; pass an
+    /// iterator over *distinct* tokens for an exact `set_size`).
+    pub fn sign<'a, I>(&self, tokens: I) -> MinHashSignature
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        let k = self.family.len();
+        let mut values = vec![u64::MAX; k];
+        let mut n = 0usize;
+        for t in tokens {
+            n += 1;
+            let th = hash_str(t, self.token_seed);
+            for (i, v) in values.iter_mut().enumerate() {
+                let h = self.family.apply(i, th);
+                if h < *v {
+                    *v = h;
+                }
+            }
+        }
+        MinHashSignature { values, set_size: n }
+    }
+
+    /// Signature of pre-hashed tokens.
+    pub fn sign_hashes<I>(&self, token_hashes: I) -> MinHashSignature
+    where
+        I: IntoIterator<Item = u64>,
+    {
+        let k = self.family.len();
+        let mut values = vec![u64::MAX; k];
+        let mut n = 0usize;
+        for th in token_hashes {
+            n += 1;
+            for (i, v) in values.iter_mut().enumerate() {
+                let h = self.family.apply(i, th);
+                if h < *v {
+                    *v = h;
+                }
+            }
+        }
+        MinHashSignature { values, set_size: n }
+    }
+
+    /// Hash a raw token the way [`MinHasher::sign`] does — for callers that
+    /// pre-hash and batch.
+    #[must_use]
+    pub fn token_hash(&self, token: &str) -> u64 {
+        hash_str(token, self.token_seed)
+    }
+}
+
+impl MinHashSignature {
+    /// Estimated Jaccard similarity: fraction of agreeing components.
+    ///
+    /// # Panics
+    /// Panics if the signatures have different lengths (different hashers).
+    #[must_use]
+    pub fn jaccard(&self, other: &MinHashSignature) -> f64 {
+        assert_eq!(self.values.len(), other.values.len(), "incompatible signatures");
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        let agree = self
+            .values
+            .iter()
+            .zip(&other.values)
+            .filter(|(a, b)| a == b)
+            .count();
+        agree as f64 / self.values.len() as f64
+    }
+
+    /// Estimated containment of `self` in `other`: `|A ∩ B| / |A|`,
+    /// converted from the Jaccard estimate using the exact set sizes
+    /// (`c = j (|A| + |B|) / (|A| (1 + j))`). This is the conversion LSH
+    /// Ensemble performs after retrieval.
+    #[must_use]
+    pub fn containment_in(&self, other: &MinHashSignature) -> f64 {
+        if self.set_size == 0 {
+            return 0.0;
+        }
+        let j = self.jaccard(other);
+        let est = j * (self.set_size + other.set_size) as f64
+            / (self.set_size as f64 * (1.0 + j));
+        est.clamp(0.0, 1.0)
+    }
+
+    /// Merge (union) another signature into this one (component-wise min).
+    ///
+    /// `set_size` becomes an upper bound after merging (unions may overlap).
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn merge(&mut self, other: &MinHashSignature) {
+        assert_eq!(self.values.len(), other.values.len(), "incompatible signatures");
+        for (a, b) in self.values.iter_mut().zip(&other.values) {
+            if *b < *a {
+                *a = *b;
+            }
+        }
+        self.set_size += other.set_size;
+    }
+
+    /// Number of hash functions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True for a zero-function signature.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn set(n: std::ops::Range<u32>) -> Vec<String> {
+        n.map(|i| format!("v{i}")).collect()
+    }
+
+    fn sig(h: &MinHasher, items: &[String]) -> MinHashSignature {
+        h.sign(items.iter().map(String::as_str))
+    }
+
+    #[test]
+    fn identical_sets_have_jaccard_one() {
+        let h = MinHasher::new(64, 1);
+        let a = sig(&h, &set(0..100));
+        let b = sig(&h, &set(0..100));
+        assert_eq!(a.jaccard(&b), 1.0);
+    }
+
+    #[test]
+    fn disjoint_sets_have_jaccard_near_zero() {
+        let h = MinHasher::new(128, 1);
+        let a = sig(&h, &set(0..100));
+        let b = sig(&h, &set(1000..1100));
+        assert!(a.jaccard(&b) < 0.05);
+    }
+
+    #[test]
+    fn jaccard_estimate_converges() {
+        // True Jaccard of [0,150) vs [50,200) = 100/200 = 0.5.
+        let h = MinHasher::new(512, 3);
+        let a = sig(&h, &set(0..150));
+        let b = sig(&h, &set(50..200));
+        let est = a.jaccard(&b);
+        assert!((est - 0.5).abs() < 0.08, "estimate {est}");
+    }
+
+    #[test]
+    fn containment_estimate_uses_set_sizes() {
+        // A = [0,100) fully contained in B = [0,1000): containment 1.0,
+        // Jaccard only 0.1 — this asymmetry is the whole LSH Ensemble story.
+        let h = MinHasher::new(512, 5);
+        let a = sig(&h, &set(0..100));
+        let b = sig(&h, &set(0..1000));
+        assert!(a.jaccard(&b) < 0.2);
+        let c = a.containment_in(&b);
+        assert!(c > 0.8, "containment estimate {c}");
+    }
+
+    #[test]
+    fn merge_equals_signature_of_union() {
+        let h = MinHasher::new(64, 9);
+        let mut a = sig(&h, &set(0..50));
+        let b = sig(&h, &set(50..100));
+        a.merge(&b);
+        let u = sig(&h, &set(0..100));
+        assert_eq!(a.values, u.values);
+        assert_eq!(a.set_size, 100);
+    }
+
+    #[test]
+    fn sign_hashes_matches_sign() {
+        let h = MinHasher::new(32, 2);
+        let items = set(0..40);
+        let a = sig(&h, &items);
+        let b = h.sign_hashes(items.iter().map(|s| h.token_hash(s)));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_set_signature() {
+        let h = MinHasher::new(16, 0);
+        let e = h.sign(std::iter::empty());
+        assert_eq!(e.set_size, 0);
+        assert!(e.values.iter().all(|&v| v == u64::MAX));
+        assert_eq!(e.containment_in(&e), 0.0);
+    }
+
+    #[test]
+    fn signatures_are_order_insensitive() {
+        let h = MinHasher::new(32, 4);
+        let fwd = set(0..30);
+        let mut rev = fwd.clone();
+        rev.reverse();
+        assert_eq!(sig(&h, &fwd).values, sig(&h, &rev).values);
+    }
+
+    #[test]
+    fn different_seeds_give_different_signatures() {
+        let items = set(0..30);
+        let a = sig(&MinHasher::new(32, 1), &items);
+        let b = sig(&MinHasher::new(32, 2), &items);
+        assert_ne!(a.values, b.values);
+    }
+
+    #[test]
+    fn estimation_error_shrinks_with_k() {
+        // Standard error ~ sqrt(j(1-j)/k): k=64 should usually beat k=16
+        // on average over several trials.
+        let truth = 0.5;
+        let mut err_small = 0.0;
+        let mut err_large = 0.0;
+        for seed in 0..10 {
+            let hs = MinHasher::new(16, seed);
+            let hl = MinHasher::new(256, seed);
+            let a16 = sig(&hs, &set(0..150));
+            let b16 = sig(&hs, &set(50..200));
+            let a256 = sig(&hl, &set(0..150));
+            let b256 = sig(&hl, &set(50..200));
+            err_small += (a16.jaccard(&b16) - truth).abs();
+            err_large += (a256.jaccard(&b256) - truth).abs();
+        }
+        assert!(
+            err_large < err_small,
+            "k=256 error {err_large} not below k=16 error {err_small}"
+        );
+    }
+
+    #[test]
+    fn distinct_sets_get_distinct_signatures_mostly() {
+        let h = MinHasher::new(64, 8);
+        let mut sigs = HashSet::new();
+        for start in 0..50u32 {
+            let s = sig(&h, &set(start * 100..start * 100 + 50));
+            sigs.insert(s.values);
+        }
+        assert_eq!(sigs.len(), 50);
+    }
+}

@@ -1,0 +1,242 @@
+//! QCR (Quadrant Count Ratio) sketches for correlated dataset search.
+//!
+//! Reproduces the sketch of Santos et al., *"A Sketch-based Index for
+//! Correlated Dataset Search"* (ICDE 2022): to find tables that are
+//! joinable with a query **and** whose numeric column correlates with a
+//! query numeric column, each (key column, numeric column) pair is reduced
+//! to a set of `(key, above/below column mean)` terms. Sampling keys by
+//! hash order (bottom-k) makes samples *coordinated* across tables, so two
+//! sketches can be intersected to estimate the quadrant count ratio — and
+//! through it the Pearson correlation — of the joined columns without ever
+//! joining them.
+
+use crate::hash::hash_str;
+use serde::{Deserialize, Serialize};
+
+/// A QCR sketch of one (join key, numeric value) column pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QcrSketch {
+    /// Sample budget (number of key hashes kept).
+    k: usize,
+    /// `(key_hash, value >= column mean)`, sorted ascending by hash;
+    /// bottom-k sample of the key universe.
+    entries: Vec<(u64, bool)>,
+    seed: u64,
+}
+
+impl QcrSketch {
+    /// Build a sketch from `(key, value)` pairs with sample budget `k`.
+    ///
+    /// The column mean is computed over the supplied pairs; duplicate keys
+    /// keep their first occurrence.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    #[must_use]
+    pub fn build<S: AsRef<str>>(k: usize, seed: u64, pairs: &[(S, f64)]) -> Self {
+        assert!(k > 0, "QCR needs k >= 1");
+        if pairs.is_empty() {
+            return QcrSketch { k, entries: Vec::new(), seed };
+        }
+        let mean = pairs.iter().map(|(_, v)| v).sum::<f64>() / pairs.len() as f64;
+        let mut entries: Vec<(u64, bool)> = Vec::with_capacity(pairs.len());
+        for (key, v) in pairs {
+            entries.push((hash_str(key.as_ref(), seed), *v >= mean));
+        }
+        entries.sort_unstable_by_key(|&(h, _)| h);
+        entries.dedup_by_key(|&mut (h, _)| h);
+        entries.truncate(k);
+        QcrSketch { k, entries, seed }
+    }
+
+    /// Number of sampled keys.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the sketch is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Sample budget.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// `(concordant, discordant)` counts over the keys sampled by *both*
+    /// sketches.
+    ///
+    /// # Panics
+    /// Panics on seed mismatch (sketches would sample different keys).
+    #[must_use]
+    pub fn quadrant_counts(&self, other: &QcrSketch) -> (usize, usize) {
+        assert_eq!(self.seed, other.seed, "seed mismatch");
+        let (mut i, mut j) = (0usize, 0usize);
+        let (mut conc, mut disc) = (0usize, 0usize);
+        while i < self.entries.len() && j < other.entries.len() {
+            let (ha, sa) = self.entries[i];
+            let (hb, sb) = other.entries[j];
+            match ha.cmp(&hb) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    if sa == sb {
+                        conc += 1;
+                    } else {
+                        disc += 1;
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        (conc, disc)
+    }
+
+    /// The quadrant count ratio `(c - d) / (c + d)` in `[-1, 1]`;
+    /// 0 when the samples share no keys.
+    #[must_use]
+    pub fn qcr(&self, other: &QcrSketch) -> f64 {
+        let (c, d) = self.quadrant_counts(other);
+        let n = c + d;
+        if n == 0 {
+            0.0
+        } else {
+            (c as f64 - d as f64) / n as f64
+        }
+    }
+
+    /// Estimated Pearson correlation. For bivariate normal data the
+    /// quadrant probability satisfies `P(conc) - P(disc) = (2/π) asin(ρ)`,
+    /// so `ρ ≈ sin(π/2 · qcr)`.
+    #[must_use]
+    pub fn estimate_pearson(&self, other: &QcrSketch) -> f64 {
+        (std::f64::consts::FRAC_PI_2 * self.qcr(other)).sin()
+    }
+
+    /// Number of shared sampled keys — the effective sample size behind a
+    /// correlation estimate (callers should distrust tiny values).
+    #[must_use]
+    pub fn shared_keys(&self, other: &QcrSketch) -> usize {
+        let (c, d) = self.quadrant_counts(other);
+        c + d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Paired columns over the same keys with controlled correlation:
+    /// y = rho * x + sqrt(1-rho^2) * noise, deterministic noise.
+    #[allow(clippy::type_complexity)]
+    fn paired(n: usize, rho: f64) -> (Vec<(String, f64)>, Vec<(String, f64)>) {
+        let mut xs = Vec::with_capacity(n);
+        let mut ys = Vec::with_capacity(n);
+        for i in 0..n {
+            // Deterministic pseudo-gaussians from hashed uniforms.
+            let u1 = (crate::hash::hash_u64(i as u64, 1) as f64 + 1.0)
+                / (u64::MAX as f64 + 2.0);
+            let u2 = (crate::hash::hash_u64(i as u64, 2) as f64 + 1.0)
+                / (u64::MAX as f64 + 2.0);
+            let g1 = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+            let g2 = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).sin();
+            let x = g1;
+            let y = rho * g1 + (1.0 - rho * rho).max(0.0).sqrt() * g2;
+            let key = format!("k{i}");
+            xs.push((key.clone(), x));
+            ys.push((key, y));
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn perfect_positive_correlation() {
+        let (xs, ys) = paired(2_000, 1.0);
+        let a = QcrSketch::build(512, 9, &xs);
+        let b = QcrSketch::build(512, 9, &ys);
+        assert!(a.qcr(&b) > 0.95, "qcr {}", a.qcr(&b));
+        assert!(a.estimate_pearson(&b) > 0.95);
+    }
+
+    #[test]
+    fn perfect_negative_correlation() {
+        let (xs, ys) = paired(2_000, -1.0);
+        let a = QcrSketch::build(512, 9, &xs);
+        let b = QcrSketch::build(512, 9, &ys);
+        assert!(a.qcr(&b) < -0.95, "qcr {}", a.qcr(&b));
+    }
+
+    #[test]
+    fn independent_columns_near_zero() {
+        let (xs, ys) = paired(4_000, 0.0);
+        let a = QcrSketch::build(1024, 9, &xs);
+        let b = QcrSketch::build(1024, 9, &ys);
+        assert!(a.qcr(&b).abs() < 0.12, "qcr {}", a.qcr(&b));
+    }
+
+    #[test]
+    fn moderate_correlation_is_recovered() {
+        for &rho in &[0.8, 0.5, -0.6] {
+            let (xs, ys) = paired(4_000, rho);
+            let a = QcrSketch::build(1024, 9, &xs);
+            let b = QcrSketch::build(1024, 9, &ys);
+            let est = a.estimate_pearson(&b);
+            assert!((est - rho).abs() < 0.2, "rho {rho}, estimate {est}");
+        }
+    }
+
+    #[test]
+    fn sampling_is_coordinated() {
+        // Two sketches of the same keys sample the same subset, so the
+        // shared-key count should be ~k even though each table has n >> k.
+        let (xs, ys) = paired(10_000, 0.3);
+        let a = QcrSketch::build(256, 9, &xs);
+        let b = QcrSketch::build(256, 9, &ys);
+        assert!(a.shared_keys(&b) >= 200, "shared {}", a.shared_keys(&b));
+    }
+
+    #[test]
+    fn disjoint_keys_share_nothing() {
+        let xs: Vec<(String, f64)> = (0..500).map(|i| (format!("a{i}"), i as f64)).collect();
+        let ys: Vec<(String, f64)> = (0..500).map(|i| (format!("b{i}"), i as f64)).collect();
+        let a = QcrSketch::build(256, 9, &xs);
+        let b = QcrSketch::build(256, 9, &ys);
+        assert_eq!(a.shared_keys(&b), 0);
+        assert_eq!(a.qcr(&b), 0.0);
+    }
+
+    #[test]
+    fn bigger_k_reduces_estimate_variance() {
+        let (xs, ys) = paired(20_000, 0.6);
+        let small = QcrSketch::build(64, 9, &xs).estimate_pearson(&QcrSketch::build(64, 9, &ys));
+        let large =
+            QcrSketch::build(4096, 9, &xs).estimate_pearson(&QcrSketch::build(4096, 9, &ys));
+        assert!(
+            (large - 0.6).abs() <= (small - 0.6).abs() + 0.05,
+            "k=4096 err {} vs k=64 err {}",
+            (large - 0.6).abs(),
+            (small - 0.6).abs()
+        );
+    }
+
+    #[test]
+    fn empty_input_is_harmless() {
+        let e = QcrSketch::build::<&str>(64, 9, &[]);
+        assert!(e.is_empty());
+        let (xs, _) = paired(100, 0.5);
+        let a = QcrSketch::build(64, 9, &xs);
+        assert_eq!(e.qcr(&a), 0.0);
+    }
+
+    #[test]
+    fn duplicate_keys_keep_first() {
+        let pairs = vec![("k", 10.0), ("k", -10.0), ("j", 0.0)];
+        let s = QcrSketch::build(64, 9, &pairs);
+        assert_eq!(s.len(), 2);
+    }
+}

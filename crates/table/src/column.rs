@@ -1,0 +1,165 @@
+//! Typed, named columns.
+
+use crate::value::{PrimitiveType, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// A named column of values.
+///
+/// Columns are the unit of table discovery: joinability and unionability are
+/// defined column-to-column and only then aggregated to tables.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Column {
+    /// Header name. Data-lake headers are unreliable; may be empty.
+    pub name: String,
+    /// Cell values, one per row.
+    pub values: Vec<Value>,
+}
+
+impl Column {
+    /// Create a column from a name and values.
+    #[must_use]
+    pub fn new(name: impl Into<String>, values: Vec<Value>) -> Self {
+        Column { name: name.into(), values }
+    }
+
+    /// Create a column by parsing raw string cells.
+    #[must_use]
+    pub fn from_strings<S: AsRef<str>>(name: impl Into<String>, cells: &[S]) -> Self {
+        Column {
+            name: name.into(),
+            values: cells.iter().map(|c| Value::parse(c.as_ref())).collect(),
+        }
+    }
+
+    /// Number of rows (including nulls).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if the column has no rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The unified primitive type of the column's non-null values.
+    #[must_use]
+    pub fn primitive_type(&self) -> PrimitiveType {
+        self.values
+            .iter()
+            .map(Value::primitive_type)
+            .fold(PrimitiveType::Null, PrimitiveType::unify)
+    }
+
+    /// Count of null cells.
+    #[must_use]
+    pub fn null_count(&self) -> usize {
+        self.values.iter().filter(|v| v.is_null()).count()
+    }
+
+    /// The set of distinct non-null values.
+    #[must_use]
+    pub fn distinct_values(&self) -> HashSet<&Value> {
+        self.values.iter().filter(|v| !v.is_null()).collect()
+    }
+
+    /// Number of distinct non-null values.
+    #[must_use]
+    pub fn num_distinct(&self) -> usize {
+        self.distinct_values().len()
+    }
+
+    /// Canonical join tokens (lower-cased text renderings) of the distinct
+    /// non-null values. This is the set that joinable-table search operates
+    /// on.
+    #[must_use]
+    pub fn token_set(&self) -> HashSet<String> {
+        self.values.iter().filter_map(Value::join_token).collect()
+    }
+
+    /// Non-null numeric values, in row order, paired with their row index.
+    #[must_use]
+    pub fn numeric_values(&self) -> Vec<(usize, f64)> {
+        self.values
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| v.as_f64().map(|f| (i, f)))
+            .collect()
+    }
+
+    /// True if the column is predominantly numeric (>= 80% of non-null
+    /// values are `Int`/`Float`).
+    #[must_use]
+    pub fn is_numeric(&self) -> bool {
+        let non_null = self.len() - self.null_count();
+        if non_null == 0 {
+            return false;
+        }
+        let numeric = self
+            .values
+            .iter()
+            .filter(|v| v.primitive_type().is_numeric())
+            .count();
+        numeric * 5 >= non_null * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col(vals: &[&str]) -> Column {
+        Column::from_strings("c", vals)
+    }
+
+    #[test]
+    fn from_strings_parses_cells() {
+        let c = col(&["1", "2.5", "x", ""]);
+        assert_eq!(c.values[0], Value::Int(1));
+        assert_eq!(c.values[1], Value::Float(2.5));
+        assert_eq!(c.values[2], Value::Text("x".into()));
+        assert!(c.values[3].is_null());
+    }
+
+    #[test]
+    fn primitive_type_unifies_over_cells() {
+        assert_eq!(col(&["1", "2"]).primitive_type(), PrimitiveType::Int);
+        assert_eq!(col(&["1", "2.5"]).primitive_type(), PrimitiveType::Float);
+        assert_eq!(col(&["1", "x"]).primitive_type(), PrimitiveType::Text);
+        assert_eq!(col(&["", ""]).primitive_type(), PrimitiveType::Null);
+    }
+
+    #[test]
+    fn distinct_ignores_nulls_and_duplicates() {
+        let c = col(&["a", "a", "b", ""]);
+        assert_eq!(c.num_distinct(), 2);
+        assert_eq!(c.null_count(), 1);
+    }
+
+    #[test]
+    fn token_set_lowercases() {
+        let c = Column::new(
+            "c",
+            vec![Value::Text("Boston".into()), Value::Text("BOSTON".into()), Value::Int(3)],
+        );
+        let t = c.token_set();
+        assert_eq!(t.len(), 2);
+        assert!(t.contains("boston"));
+        assert!(t.contains("3"));
+    }
+
+    #[test]
+    fn numeric_detection_uses_majority() {
+        assert!(col(&["1", "2", "3", "4", "x"]).is_numeric());
+        assert!(!col(&["1", "x", "y", "z"]).is_numeric());
+        assert!(!col(&["", ""]).is_numeric());
+    }
+
+    #[test]
+    fn numeric_values_keep_row_indices() {
+        let c = col(&["10", "x", "3.5"]);
+        assert_eq!(c.numeric_values(), vec![(0, 10.0), (2, 3.5)]);
+    }
+}

@@ -1,0 +1,293 @@
+//! A small, dependency-free CSV reader/writer (RFC 4180 subset).
+//!
+//! Data lakes overwhelmingly share tables as CSV, so ingestion needs a
+//! parser; we implement the subset that matters — quoted fields, embedded
+//! separators/newlines, doubled-quote escapes, CRLF — rather than pulling in
+//! a crate outside the approved dependency set.
+
+use crate::column::Column;
+use crate::table::{Table, TableError};
+use std::fmt;
+
+/// CSV parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsvError {
+    /// A quoted field was never closed.
+    UnterminatedQuote {
+        /// 1-based line where the field started.
+        line: usize,
+    },
+    /// A record had a different field count than the header.
+    RaggedRecord {
+        /// 1-based record number (header = 1).
+        record: usize,
+        /// Expected field count.
+        expected: usize,
+        /// Observed field count.
+        actual: usize,
+    },
+    /// The input contained no header record.
+    Empty,
+    /// Column lengths disagreed when building the table (internal).
+    Table(TableError),
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::UnterminatedQuote { line } => {
+                write!(f, "unterminated quoted field starting on line {line}")
+            }
+            CsvError::RaggedRecord { record, expected, actual } => write!(
+                f,
+                "record {record} has {actual} fields, expected {expected}"
+            ),
+            CsvError::Empty => f.write_str("empty CSV input"),
+            CsvError::Table(e) => write!(f, "table construction failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Split CSV text into records of raw string fields.
+///
+/// Handles `"`-quoted fields with `""` escapes, embedded commas and
+/// newlines, and both `\n` and `\r\n` terminators. A trailing newline does
+/// not produce an empty record.
+pub fn parse_records(input: &str) -> Result<Vec<Vec<String>>, CsvError> {
+    let mut records = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut chars = input.chars().peekable();
+    let mut in_quotes = false;
+    let mut line = 1usize;
+    let mut quote_start_line = 1usize;
+    // Track whether we've consumed anything on the current record so a
+    // trailing newline doesn't emit a phantom empty record.
+    let mut record_dirty = false;
+
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                '\n' => {
+                    line += 1;
+                    field.push('\n');
+                }
+                other => field.push(other),
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_quotes = true;
+                quote_start_line = line;
+                record_dirty = true;
+            }
+            ',' => {
+                record.push(std::mem::take(&mut field));
+                record_dirty = true;
+            }
+            '\r' => {
+                if chars.peek() == Some(&'\n') {
+                    // handled by the \n branch
+                } else {
+                    field.push('\r');
+                    record_dirty = true;
+                }
+            }
+            '\n' => {
+                line += 1;
+                if record_dirty || !field.is_empty() {
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                    record_dirty = false;
+                }
+            }
+            other => {
+                field.push(other);
+                record_dirty = true;
+            }
+        }
+    }
+    if in_quotes {
+        return Err(CsvError::UnterminatedQuote { line: quote_start_line });
+    }
+    if record_dirty || !field.is_empty() {
+        record.push(field);
+        records.push(record);
+    }
+    Ok(records)
+}
+
+/// Parse CSV text (first record = header) into a [`Table`].
+///
+/// Cell values are type-inferred via [`crate::Value::parse`]. Records with a
+/// field count different from the header are rejected.
+pub fn read_table(name: impl Into<String>, input: &str) -> Result<Table, CsvError> {
+    let records = parse_records(input)?;
+    let mut it = records.into_iter();
+    let header = it.next().ok_or(CsvError::Empty)?;
+    let ncols = header.len();
+    let mut cells: Vec<Vec<String>> = vec![Vec::new(); ncols];
+    for (i, rec) in it.enumerate() {
+        if rec.len() != ncols {
+            return Err(CsvError::RaggedRecord {
+                record: i + 2,
+                expected: ncols,
+                actual: rec.len(),
+            });
+        }
+        for (c, cell) in rec.into_iter().enumerate() {
+            cells[c].push(cell);
+        }
+    }
+    let columns: Vec<Column> = header
+        .into_iter()
+        .zip(cells)
+        .map(|(name, col_cells)| Column::from_strings(name, &col_cells))
+        .collect();
+    Table::new(name, columns).map_err(CsvError::Table)
+}
+
+/// Quote a field if it contains a separator, quote, or newline.
+fn write_field(out: &mut String, field: &str) {
+    if field.contains(['"', ',', '\n', '\r']) {
+        out.push('"');
+        for c in field.chars() {
+            if c == '"' {
+                out.push('"');
+            }
+            out.push(c);
+        }
+        out.push('"');
+    } else {
+        out.push_str(field);
+    }
+}
+
+/// Serialize a [`Table`] to CSV text (header + rows, `\n` line endings).
+#[must_use]
+pub fn write_table(table: &Table) -> String {
+    let mut out = String::new();
+    for (i, c) in table.columns.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_field(&mut out, &c.name);
+    }
+    out.push('\n');
+    for r in 0..table.num_rows() {
+        // A single-column null row would render as an empty line, which
+        // readers (including ours) treat as no record at all; quote it.
+        if table.num_cols() == 1 && table.columns[0].values[r].is_null() {
+            out.push_str("\"\"\n");
+            continue;
+        }
+        for (i, c) in table.columns.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_field(&mut out, &c.values[r].to_string());
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn parses_simple_records() {
+        let r = parse_records("a,b\n1,2\n").unwrap();
+        assert_eq!(r, vec![vec!["a", "b"], vec!["1", "2"]]);
+    }
+
+    #[test]
+    fn handles_crlf() {
+        let r = parse_records("a,b\r\n1,2\r\n").unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[1], vec!["1", "2"]);
+    }
+
+    #[test]
+    fn quoted_fields_with_commas_and_newlines() {
+        let r = parse_records("a,b\n\"x,y\",\"line1\nline2\"\n").unwrap();
+        assert_eq!(r[1][0], "x,y");
+        assert_eq!(r[1][1], "line1\nline2");
+    }
+
+    #[test]
+    fn doubled_quotes_escape() {
+        let r = parse_records("a\n\"say \"\"hi\"\"\"\n").unwrap();
+        assert_eq!(r[1][0], "say \"hi\"");
+    }
+
+    #[test]
+    fn unterminated_quote_is_error() {
+        let e = parse_records("a\n\"oops\n").unwrap_err();
+        assert!(matches!(e, CsvError::UnterminatedQuote { line: 2 }));
+    }
+
+    #[test]
+    fn trailing_newline_no_phantom_record() {
+        assert_eq!(parse_records("a,b\n1,2").unwrap().len(), 2);
+        assert_eq!(parse_records("a,b\n1,2\n").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn empty_trailing_field_is_kept() {
+        let r = parse_records("a,b\n1,\n").unwrap();
+        assert_eq!(r[1], vec!["1", ""]);
+    }
+
+    #[test]
+    fn read_table_infers_types() {
+        let t = read_table("t", "id,city\n1,boston\n2,seattle\n").unwrap();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.column("id").unwrap().values[0], Value::Int(1));
+        assert_eq!(t.column("city").unwrap().values[1], Value::Text("seattle".into()));
+    }
+
+    #[test]
+    fn read_table_rejects_ragged() {
+        let e = read_table("t", "a,b\n1\n").unwrap_err();
+        assert!(matches!(e, CsvError::RaggedRecord { record: 2, expected: 2, actual: 1 }));
+    }
+
+    #[test]
+    fn read_table_rejects_empty() {
+        assert_eq!(read_table("t", "").unwrap_err(), CsvError::Empty);
+    }
+
+    #[test]
+    fn single_column_null_rows_survive_roundtrip() {
+        let t = Table::new(
+            "t",
+            vec![Column::from_strings("only", &["a", "", "b"])],
+        )
+        .unwrap();
+        let t2 = read_table("t", &write_table(&t)).unwrap();
+        assert_eq!(t2.num_rows(), 3);
+        assert!(t2.columns[0].values[1].is_null());
+    }
+
+    #[test]
+    fn roundtrip_write_read() {
+        let t = read_table("t", "name,qty\n\"a,b\",3\n\"with \"\"q\"\"\",4\n").unwrap();
+        let csv = write_table(&t);
+        let t2 = read_table("t", &csv).unwrap();
+        assert_eq!(t.columns, t2.columns);
+    }
+}

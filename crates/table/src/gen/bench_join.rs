@@ -1,0 +1,630 @@
+//! Join-search benchmark generators (experiments E02, E03, E07, E08, E09).
+//!
+//! Each builder plants a query table and a corpus with *known* overlap
+//! statistics, then records exact ground truth (containment, Jaccard,
+//! n-ary containment, correlation) so search results can be scored.
+
+use super::domains::{DomainId, DomainRegistry};
+
+use crate::column::Column;
+use crate::lake::{DataLake, TableId};
+use crate::table::Table;
+use crate::value::Value;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Ground truth for one corpus table of a join benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JoinTruth {
+    /// Corpus table.
+    pub table: TableId,
+    /// Index of the joinable column in that table.
+    pub column: usize,
+    /// Exact set containment `|Q ∩ X| / |Q|` of the query key in the column.
+    pub containment: f64,
+    /// Exact Jaccard `|Q ∩ X| / |Q ∪ X|`.
+    pub jaccard: f64,
+    /// Exact overlap `|Q ∩ X|`.
+    pub overlap: usize,
+}
+
+/// Configuration for [`JoinBenchmark::generate`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JoinBenchConfig {
+    /// Distinct values in the query key column.
+    pub query_size: usize,
+    /// Number of corpus tables that share values with the query.
+    pub num_relevant: usize,
+    /// Number of corpus tables from unrelated domains (pure noise).
+    pub num_noise: usize,
+    /// Corpus column cardinalities are log-uniform in this range — the
+    /// skew that makes Jaccard biased and motivates containment search.
+    pub card_range: (usize, usize),
+    /// Containment of relevant tables is uniform in this range.
+    pub containment_range: (f64, f64),
+    /// Extra non-key attribute columns per corpus table.
+    pub extra_cols: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for JoinBenchConfig {
+    fn default() -> Self {
+        JoinBenchConfig {
+            query_size: 500,
+            num_relevant: 60,
+            num_noise: 40,
+            card_range: (50, 20_000),
+            containment_range: (0.05, 1.0),
+            extra_cols: 2,
+            seed: 11,
+        }
+    }
+}
+
+/// A joinable-table-search benchmark: query table, corpus lake, exact truth.
+#[derive(Debug, Clone)]
+pub struct JoinBenchmark {
+    /// The corpus.
+    pub lake: DataLake,
+    /// Registry used to render values.
+    pub registry: DomainRegistry,
+    /// The query table (not part of the lake).
+    pub query: Table,
+    /// Index of the key column in `query`.
+    pub query_key: usize,
+    /// Ground truth for every relevant corpus table.
+    pub truth: Vec<JoinTruth>,
+}
+
+impl JoinBenchmark {
+    /// Generate a benchmark per `cfg` over the standard registry's `city`
+    /// domain (keys) with `person`/`company` noise.
+    #[must_use]
+    pub fn generate(cfg: &JoinBenchConfig) -> Self {
+        let registry = DomainRegistry::standard();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let key_dom = registry.id("city").expect("standard domain");
+        let noise_doms = [
+            registry.id("person").expect("standard domain"),
+            registry.id("company").expect("standard domain"),
+            registry.id("product").expect("standard domain"),
+        ];
+        let q = cfg.query_size as u64;
+
+        // Query key = domain indices [0, q); non-query pool starts at q.
+        let query_key_col = Column::new(
+            "city",
+            registry.vocab(key_dom, q),
+        );
+        let pop_dom = registry.id("population").expect("standard domain");
+        let query_pop = Column::new(
+            "population",
+            (0..q).map(|i| registry.value(pop_dom, i)).collect(),
+        );
+        let query = Table::new("query", vec![query_key_col, query_pop]).expect("equal len");
+
+        let mut lake = DataLake::new();
+        let mut truth = Vec::with_capacity(cfg.num_relevant);
+        let mut fresh = q; // next never-used vocabulary index
+
+        for t in 0..cfg.num_relevant {
+            let c: f64 = rng.gen_range(cfg.containment_range.0..=cfg.containment_range.1);
+            let lo = cfg.card_range.0.max(1) as f64;
+            let hi = cfg.card_range.1.max(cfg.card_range.0 + 1) as f64;
+            let card = (lo * (hi / lo).powf(rng.gen::<f64>())).round() as usize;
+            let overlap = ((c * cfg.query_size as f64).round() as usize)
+                .min(cfg.query_size)
+                .min(card);
+            // `overlap` query values + (card - overlap) fresh values.
+            let mut idx: Vec<u64> = {
+                let mut from_q: Vec<u64> = (0..q).collect();
+                from_q.shuffle(&mut rng);
+                from_q.truncate(overlap);
+                from_q
+            };
+            for _ in overlap..card {
+                idx.push(fresh);
+                fresh += 1;
+            }
+            idx.shuffle(&mut rng);
+            let values: Vec<Value> = idx.iter().map(|&i| registry.value(key_dom, i)).collect();
+            let n = values.len();
+            let mut cols = vec![Column::new("city", values)];
+            for e in 0..cfg.extra_cols {
+                let d = noise_doms[(t + e) % noise_doms.len()];
+                cols.push(Column::new(
+                    registry.domain(d).name.clone(),
+                    (0..n).map(|i| registry.value(d, (t * 1000 + i) as u64)).collect(),
+                ));
+            }
+            let table = Table::new(format!("relevant_{t:04}.csv"), cols).expect("equal len");
+            let id = lake.add(table);
+            let union = cfg.query_size + card - overlap;
+            truth.push(JoinTruth {
+                table: id,
+                column: 0,
+                containment: overlap as f64 / cfg.query_size as f64,
+                jaccard: overlap as f64 / union as f64,
+                overlap,
+            });
+        }
+
+        for t in 0..cfg.num_noise {
+            let d = noise_doms[t % noise_doms.len()];
+            let n = rng.gen_range(cfg.card_range.0..=cfg.card_range.0 * 4 + 1);
+            let col = Column::new(
+                registry.domain(d).name.clone(),
+                (0..n as u64).map(|i| registry.value(d, (t as u64) * 10_000 + i)).collect(),
+            );
+            let table = Table::new(format!("noise_{t:04}.csv"), vec![col]).expect("one col");
+            lake.add(table);
+        }
+
+        JoinBenchmark { lake, registry, query, query_key: 0, truth }
+    }
+
+    /// Truth sorted by descending containment.
+    #[must_use]
+    pub fn by_containment(&self) -> Vec<JoinTruth> {
+        let mut v = self.truth.clone();
+        v.sort_by(|a, b| b.containment.total_cmp(&a.containment));
+        v
+    }
+
+    /// Truth sorted by descending overlap.
+    #[must_use]
+    pub fn by_overlap(&self) -> Vec<JoinTruth> {
+        let mut v = self.truth.clone();
+        v.sort_by_key(|t| std::cmp::Reverse(t.overlap));
+        v
+    }
+}
+
+/// Ground truth for a multi-attribute (composite-key) join benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MultiJoinTruth {
+    /// Corpus table.
+    pub table: TableId,
+    /// Fraction of query *rows* whose full composite key appears in the
+    /// corpus table.
+    pub row_containment: f64,
+    /// True if the table only matches on individual attributes, never on
+    /// the full composite key (the false positives MATE's super-key kills).
+    pub single_attr_only: bool,
+}
+
+/// Configuration for [`MultiJoinBenchmark::generate`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MultiJoinConfig {
+    /// Rows in the query table.
+    pub query_rows: usize,
+    /// Number of key attributes (n-ary key), >= 2.
+    pub key_arity: usize,
+    /// Corpus tables sharing full composite keys.
+    pub num_relevant: usize,
+    /// Corpus tables sharing attribute values but never full key tuples.
+    pub num_single_attr: usize,
+    /// Row containment range for relevant tables.
+    pub containment_range: (f64, f64),
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MultiJoinConfig {
+    fn default() -> Self {
+        MultiJoinConfig {
+            query_rows: 300,
+            key_arity: 2,
+            num_relevant: 20,
+            num_single_attr: 20,
+            containment_range: (0.2, 0.9),
+            seed: 13,
+        }
+    }
+}
+
+/// Multi-attribute join benchmark (MATE, experiment E08).
+#[derive(Debug, Clone)]
+pub struct MultiJoinBenchmark {
+    /// The corpus.
+    pub lake: DataLake,
+    /// Value registry.
+    pub registry: DomainRegistry,
+    /// Query table; key columns are `0..key_arity`.
+    pub query: Table,
+    /// Number of leading key columns.
+    pub key_arity: usize,
+    /// Ground truth per corpus table.
+    pub truth: Vec<MultiJoinTruth>,
+}
+
+impl MultiJoinBenchmark {
+    /// Generate per `cfg`. Query rows pair person `i` with city `i` (and
+    /// further attributes `i`); single-attribute decoys pair person `i`
+    /// with city `perm(i)`, so every attribute value matches but no tuple
+    /// does.
+    #[must_use]
+    pub fn generate(cfg: &MultiJoinConfig) -> Self {
+        assert!(cfg.key_arity >= 2, "composite key needs arity >= 2");
+        let registry = DomainRegistry::standard();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let key_doms: Vec<DomainId> = ["person", "city", "company", "product"]
+            .iter()
+            .take(cfg.key_arity)
+            .map(|n| registry.id(n).expect("standard domain"))
+            .collect();
+        let n = cfg.query_rows as u64;
+
+        let mk_cols = |indices: &dyn Fn(usize, u64) -> u64, rows: u64| -> Vec<Column> {
+            key_doms
+                .iter()
+                .enumerate()
+                .map(|(k, &d)| {
+                    Column::new(
+                        registry.domain(d).name.clone(),
+                        (0..rows).map(|i| registry.value(d, indices(k, i))).collect(),
+                    )
+                })
+                .collect()
+        };
+
+        // Query: aligned tuples (person i, city i, ...).
+        let mut qcols = mk_cols(&|_, i| i, n);
+        let sal = registry.id("salary").expect("standard domain");
+        qcols.push(Column::new(
+            "salary",
+            (0..n).map(|i| registry.value(sal, i)).collect(),
+        ));
+        let query = Table::new("query", qcols).expect("equal len");
+
+        let mut lake = DataLake::new();
+        let mut truth = Vec::new();
+
+        for t in 0..cfg.num_relevant {
+            let c: f64 = rng.gen_range(cfg.containment_range.0..=cfg.containment_range.1);
+            let hit = ((c * n as f64).round() as u64).min(n);
+            // Rows [0, hit) aligned with query tuples; remainder uses fresh
+            // row ids far outside the query range (still aligned tuples).
+            let base = 1_000_000 + (t as u64) * 100_000;
+            let rows = n; // same size for simplicity
+            let cols = mk_cols(
+                &move |_, i| if i < hit { i } else { base + i },
+                rows,
+            );
+            let id = lake.add(
+                Table::new(format!("multikey_{t:04}.csv"), cols).expect("equal len"),
+            );
+            truth.push(MultiJoinTruth {
+                table: id,
+                row_containment: hit as f64 / n as f64,
+                single_attr_only: false,
+            });
+        }
+
+        for t in 0..cfg.num_single_attr {
+            // Derangement-style shift per attribute: attribute k pairs
+            // value i with value (i + (k+1) * shift) mod n — individual
+            // values all come from the query's value sets, but no composite
+            // tuple matches.
+            let shift = 1 + (t as u64 % (n - 1).max(1));
+            let cols = mk_cols(
+                &move |k, i| (i + (k as u64) * shift) % n,
+                n,
+            );
+            let id = lake.add(
+                Table::new(format!("singleattr_{t:04}.csv"), cols).expect("equal len"),
+            );
+            truth.push(MultiJoinTruth {
+                table: id,
+                row_containment: 0.0,
+                single_attr_only: true,
+            });
+        }
+
+        MultiJoinBenchmark { lake, registry, query, key_arity: cfg.key_arity, truth }
+    }
+}
+
+/// Ground truth for the correlated-search benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CorrelationTruth {
+    /// Corpus table.
+    pub table: TableId,
+    /// Index of the numeric column.
+    pub numeric_column: usize,
+    /// Planted Pearson correlation (on joined rows) with the query numeric
+    /// column. Approximate: noise makes the realized value differ slightly.
+    pub rho: f64,
+    /// Exact realized Pearson correlation on the joined rows.
+    pub realized_rho: f64,
+    /// Fraction of query keys present in the table (join coverage).
+    pub key_containment: f64,
+}
+
+/// Configuration for [`CorrelationBenchmark::generate`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CorrelationConfig {
+    /// Rows in the query table.
+    pub query_rows: usize,
+    /// Planted correlations for the corpus tables.
+    pub rhos: Vec<f64>,
+    /// Key containment of every corpus table.
+    pub key_containment: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CorrelationConfig {
+    fn default() -> Self {
+        CorrelationConfig {
+            query_rows: 400,
+            rhos: vec![0.95, 0.8, 0.6, 0.4, 0.2, 0.0, -0.2, -0.5, -0.8, -0.95],
+            key_containment: 0.9,
+            seed: 17,
+        }
+    }
+}
+
+/// Correlated-dataset-search benchmark (QCR sketches, experiment E09).
+///
+/// The query has a key column and a numeric column `x`; each corpus table
+/// has the same key (at configured containment) and a numeric column `y`
+/// with a planted correlation to `x` over the join.
+#[derive(Debug, Clone)]
+pub struct CorrelationBenchmark {
+    /// The corpus.
+    pub lake: DataLake,
+    /// Value registry.
+    pub registry: DomainRegistry,
+    /// Query table: key column 0, numeric column 1.
+    pub query: Table,
+    /// Ground truth per corpus table.
+    pub truth: Vec<CorrelationTruth>,
+}
+
+/// Exact Pearson correlation of two equal-length slices.
+#[must_use]
+pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len());
+    let n = x.len() as f64;
+    if n < 2.0 {
+        return 0.0;
+    }
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (a, b) in x.iter().zip(y) {
+        let dx = a - mx;
+        let dy = b - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        0.0
+    } else {
+        sxy / (sxx * syy).sqrt()
+    }
+}
+
+impl CorrelationBenchmark {
+    /// Generate per `cfg`.
+    #[must_use]
+    pub fn generate(cfg: &CorrelationConfig) -> Self {
+        let registry = DomainRegistry::standard();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let key_dom = registry.id("city").expect("standard domain");
+        let n = cfg.query_rows;
+
+        // Query x values: standard normal-ish via sum of uniforms.
+        let x: Vec<f64> = (0..n)
+            .map(|_| {
+                let s: f64 = (0..12).map(|_| rng.gen::<f64>()).sum();
+                s - 6.0
+            })
+            .collect();
+        let query = Table::new(
+            "query",
+            vec![
+                Column::new("city", registry.vocab(key_dom, n as u64)),
+                Column::new("x", x.iter().map(|&v| Value::Float(v)).collect()),
+            ],
+        )
+        .expect("equal len");
+
+        let mut lake = DataLake::new();
+        let mut truth = Vec::with_capacity(cfg.rhos.len());
+        let keep = ((cfg.key_containment * n as f64).round() as usize).min(n);
+
+        for (t, &rho) in cfg.rhos.iter().enumerate() {
+            // y = rho * x + sqrt(1 - rho^2) * noise, on the joined keys.
+            let mut keys = Vec::with_capacity(keep);
+            let mut xs = Vec::with_capacity(keep);
+            let mut ys = Vec::with_capacity(keep);
+            let mut order: Vec<usize> = (0..n).collect();
+            order.shuffle(&mut rng);
+            for &i in order.iter().take(keep) {
+                let noise: f64 = {
+                    let s: f64 = (0..12).map(|_| rng.gen::<f64>()).sum();
+                    s - 6.0
+                };
+                let y = rho * x[i] + (1.0 - rho * rho).max(0.0).sqrt() * noise;
+                keys.push(registry.value(key_dom, i as u64));
+                xs.push(x[i]);
+                ys.push(y);
+            }
+            let realized = pearson(&xs, &ys);
+            let id = lake.add(
+                Table::new(
+                    format!("corr_{t:02}.csv"),
+                    vec![
+                        Column::new("city", keys),
+                        Column::new("y", ys.iter().map(|&v| Value::Float(v)).collect()),
+                    ],
+                )
+                .expect("equal len"),
+            );
+            truth.push(CorrelationTruth {
+                table: id,
+                numeric_column: 1,
+                rho,
+                realized_rho: realized,
+                key_containment: keep as f64 / n as f64,
+            });
+        }
+
+        CorrelationBenchmark { lake, registry, query, truth }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn token_set(c: &Column) -> HashSet<String> {
+        c.token_set()
+    }
+
+    #[test]
+    fn join_truth_matches_measured_overlap() {
+        let b = JoinBenchmark::generate(&JoinBenchConfig {
+            query_size: 200,
+            num_relevant: 15,
+            num_noise: 5,
+            ..JoinBenchConfig::default()
+        });
+        let qset = token_set(&b.query.columns[b.query_key]);
+        assert_eq!(qset.len(), 200);
+        for t in &b.truth {
+            let col = &b.lake.table(t.table).columns[t.column];
+            let cset = token_set(col);
+            let overlap = qset.intersection(&cset).count();
+            assert_eq!(overlap, t.overlap, "table {}", t.table);
+            let cont = overlap as f64 / qset.len() as f64;
+            assert!((cont - t.containment).abs() < 1e-9);
+            let jac = overlap as f64 / qset.union(&cset).count() as f64;
+            assert!((jac - t.jaccard).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn join_noise_tables_have_zero_overlap() {
+        let b = JoinBenchmark::generate(&JoinBenchConfig {
+            query_size: 100,
+            num_relevant: 5,
+            num_noise: 10,
+            ..JoinBenchConfig::default()
+        });
+        let qset = token_set(&b.query.columns[0]);
+        let relevant: HashSet<TableId> = b.truth.iter().map(|t| t.table).collect();
+        for (id, table) in b.lake.iter() {
+            if relevant.contains(&id) {
+                continue;
+            }
+            for c in &table.columns {
+                assert_eq!(qset.intersection(&token_set(c)).count(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn join_cardinalities_are_skewed() {
+        let b = JoinBenchmark::generate(&JoinBenchConfig::default());
+        let cards: Vec<usize> = b
+            .truth
+            .iter()
+            .map(|t| b.lake.table(t.table).columns[t.column].num_distinct())
+            .collect();
+        let min = *cards.iter().min().unwrap();
+        let max = *cards.iter().max().unwrap();
+        assert!(max > min * 20, "not skewed: {min}..{max}");
+    }
+
+    #[test]
+    fn multi_join_single_attr_decoys_never_match_tuples() {
+        let b = MultiJoinBenchmark::generate(&MultiJoinConfig {
+            query_rows: 50,
+            ..MultiJoinConfig::default()
+        });
+        // Build the query's composite-key set.
+        let qkeys: HashSet<Vec<String>> = (0..b.query.num_rows())
+            .map(|r| {
+                (0..b.key_arity)
+                    .map(|k| b.query.columns[k].values[r].to_string())
+                    .collect()
+            })
+            .collect();
+        for t in &b.truth {
+            let table = b.lake.table(t.table);
+            let hits = (0..table.num_rows())
+                .filter(|&r| {
+                    let key: Vec<String> = (0..b.key_arity)
+                        .map(|k| table.columns[k].values[r].to_string())
+                        .collect();
+                    qkeys.contains(&key)
+                })
+                .count();
+            let measured = hits as f64 / b.query.num_rows() as f64;
+            if t.single_attr_only {
+                assert_eq!(hits, 0, "decoy {} matched tuples", t.table);
+            } else {
+                assert!((measured - t.row_containment).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn multi_join_decoys_share_single_attribute_values() {
+        let b = MultiJoinBenchmark::generate(&MultiJoinConfig {
+            query_rows: 50,
+            ..MultiJoinConfig::default()
+        });
+        let q0 = token_set(&b.query.columns[0]);
+        let decoy = b.truth.iter().find(|t| t.single_attr_only).unwrap();
+        let d0 = token_set(&b.lake.table(decoy.table).columns[0]);
+        assert_eq!(q0.intersection(&d0).count(), q0.len());
+    }
+
+    #[test]
+    fn pearson_basics() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        assert!((pearson(&x, &x) - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = x.iter().map(|v| -v).collect();
+        assert!((pearson(&x, &neg) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&x, &[5.0, 5.0, 5.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn correlation_truth_realized_close_to_planted() {
+        let b = CorrelationBenchmark::generate(&CorrelationConfig::default());
+        for t in &b.truth {
+            assert!(
+                (t.rho - t.realized_rho).abs() < 0.15,
+                "rho {} realized {}",
+                t.rho,
+                t.realized_rho
+            );
+        }
+    }
+
+    #[test]
+    fn correlation_tables_join_on_key() {
+        let b = CorrelationBenchmark::generate(&CorrelationConfig {
+            query_rows: 100,
+            key_containment: 0.5,
+            ..CorrelationConfig::default()
+        });
+        let qset = token_set(&b.query.columns[0]);
+        for t in &b.truth {
+            let kset = token_set(&b.lake.table(t.table).columns[0]);
+            let cont = qset.intersection(&kset).count() as f64 / qset.len() as f64;
+            assert!((cont - t.key_containment).abs() < 0.02);
+        }
+    }
+}

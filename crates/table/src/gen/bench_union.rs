@@ -1,0 +1,657 @@
+//! Union-search benchmark generator (experiments E04, E05, E06, E18).
+//!
+//! Tables are instantiated from *patterns*: a key domain plus attribute
+//! domains, each attribute tied to the key through an explicit *relation
+//! map* (`attr_index = f(rel_id, key_index)`). This makes "same columns,
+//! same relationships" (truly unionable), "same columns, different
+//! relationships" (the false positives SANTOS targets), and "same
+//! spellings, different semantics" (the homograph decoys Starmie's
+//! contextual encoders target) all constructible with exact ground truth.
+
+use super::domains::{DomainId, DomainRegistry};
+use super::words::mix2;
+use crate::column::Column;
+use crate::lake::{DataLake, TableId};
+use crate::table::{Table, TableMeta};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Vocabulary cap used by relation maps for attribute domains.
+pub const ATTR_CAP: u64 = 2_000;
+
+/// A binary relation between a key domain and an attribute domain.
+///
+/// The relation is the *function* `key index -> attribute index`; two
+/// tables expressing the same `rel_id` pair the same values together.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RelationSpec {
+    /// Key (subject) domain.
+    pub key_dom: DomainId,
+    /// Attribute (object) domain.
+    pub attr_dom: DomainId,
+    /// Which mapping function relates them.
+    pub rel_id: u32,
+}
+
+impl RelationSpec {
+    /// The attribute index paired with `key_index` under this relation.
+    #[must_use]
+    pub fn attr_index(&self, key_index: u64) -> u64 {
+        mix2(
+            0x5EA1_0000_0000_0000
+                ^ ((self.rel_id as u64) << 32)
+                ^ ((self.key_dom.0 as u64) << 16)
+                ^ self.attr_dom.0 as u64,
+            key_index,
+        ) % ATTR_CAP
+    }
+}
+
+/// Why a candidate table was generated; drives per-method analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CandidateKind {
+    /// Same domains, same relations: fully unionable.
+    Positive,
+    /// Shares only a subset of the query's attribute domains.
+    Partial,
+    /// Same domains but at least one attribute under a different relation.
+    RelationDecoy,
+    /// Key values spelled identically (homographs) but from a different
+    /// domain, with context columns from that other domain's world.
+    HomographDecoy,
+    /// Unrelated table.
+    Noise,
+}
+
+/// Ground-truth relevance of one candidate for one query.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UnionTruth {
+    /// Index into [`UnionBenchmark::queries`].
+    pub query: usize,
+    /// Candidate table.
+    pub table: TableId,
+    /// Relevance grade: 2 fully unionable, 1 partially, 0 not.
+    pub grade: u8,
+    /// Generation provenance.
+    pub kind: CandidateKind,
+}
+
+/// Configuration for [`UnionBenchmark::generate`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UnionBenchConfig {
+    /// Number of query tables (each gets its own candidate cluster).
+    pub num_queries: usize,
+    /// Attribute columns per table (plus one key column).
+    pub attrs_per_table: usize,
+    /// Fully unionable candidates per query.
+    pub positives: usize,
+    /// Partially unionable candidates per query.
+    pub partials: usize,
+    /// Relation decoys per query.
+    pub relation_decoys: usize,
+    /// Homograph decoys per query.
+    pub homograph_decoys: usize,
+    /// Unrelated noise tables in the lake.
+    pub noise: usize,
+    /// Rows per table.
+    pub rows: usize,
+    /// Size of the key-index slice each table draws from.
+    pub key_slice: u64,
+    /// Fraction of the query's key slice each positive overlaps.
+    pub key_overlap: f64,
+    /// Probability a candidate header is renamed away from the domain name.
+    pub header_noise: f64,
+    /// Number of leading key indices planted as homographs.
+    pub homograph_range: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for UnionBenchConfig {
+    fn default() -> Self {
+        UnionBenchConfig {
+            num_queries: 5,
+            attrs_per_table: 3,
+            positives: 8,
+            partials: 4,
+            relation_decoys: 4,
+            homograph_decoys: 4,
+            noise: 30,
+            rows: 120,
+            key_slice: 400,
+            key_overlap: 0.3,
+            header_noise: 0.5,
+            homograph_range: 600,
+            seed: 23,
+        }
+    }
+}
+
+/// One query's pattern: key domain + related attributes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TablePattern {
+    /// Key domain.
+    pub key_dom: DomainId,
+    /// Attribute relations (domain + relation id each).
+    pub attrs: Vec<RelationSpec>,
+}
+
+/// Union-table-search benchmark with relationship and homograph ground truth.
+#[derive(Debug, Clone)]
+pub struct UnionBenchmark {
+    /// The corpus.
+    pub lake: DataLake,
+    /// Registry (contains the homograph plants).
+    pub registry: DomainRegistry,
+    /// Query tables (not in the lake).
+    pub queries: Vec<Table>,
+    /// Per-query column domains (ground truth; index 0 = key column).
+    pub query_domains: Vec<Vec<DomainId>>,
+    /// The pattern each query instantiates.
+    pub query_patterns: Vec<TablePattern>,
+    /// All relation specs used anywhere (input for KB construction).
+    pub relations: Vec<RelationSpec>,
+    /// Relevance ground truth (noise tables are absent = grade 0).
+    pub truth: Vec<UnionTruth>,
+}
+
+impl UnionBenchmark {
+    /// Generate per `cfg` over the standard registry.
+    ///
+    /// Query `q` uses key domain cycling through
+    /// `[city, person, company, movie, gene]` with a homograph partner
+    /// (`animal`, `product`, `river`, `book`, `drug` respectively).
+    #[must_use]
+    pub fn generate(cfg: &UnionBenchConfig) -> Self {
+        let mut registry = DomainRegistry::standard();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+        let key_names = ["city", "person", "company", "movie", "gene"];
+        let partner_names = ["animal", "product", "river", "book", "drug"];
+        let attr_pool = [
+            "country", "occupation", "language", "sport", "color", "food",
+            "disease", "element", "currency_code",
+        ];
+
+        // Plant homographs for every key/partner pair we will use.
+        for (k, p) in key_names.iter().zip(partner_names) {
+            let a = registry.id(k).expect("standard domain");
+            let b = registry.id(p).expect("standard domain");
+            registry.add_homograph_pair(a, b, cfg.homograph_range);
+        }
+
+        let mut lake = DataLake::new();
+        let mut queries = Vec::with_capacity(cfg.num_queries);
+        let mut query_domains = Vec::with_capacity(cfg.num_queries);
+        let mut query_patterns = Vec::with_capacity(cfg.num_queries);
+        let mut relations = Vec::new();
+        let mut truth = Vec::new();
+        let mut next_rel_id = 0u32;
+
+        for q in 0..cfg.num_queries {
+            let key_dom = registry.id(key_names[q % key_names.len()]).expect("domain");
+            let partner_dom =
+                registry.id(partner_names[q % partner_names.len()]).expect("domain");
+            // Pick attribute domains for this query's pattern.
+            let mut pool: Vec<&str> = attr_pool.to_vec();
+            pool.shuffle(&mut rng);
+            let attrs: Vec<RelationSpec> = pool
+                .iter()
+                .take(cfg.attrs_per_table)
+                .map(|n| {
+                    let spec = RelationSpec {
+                        key_dom,
+                        attr_dom: registry.id(n).expect("domain"),
+                        rel_id: next_rel_id,
+                    };
+                    next_rel_id += 1;
+                    spec
+                })
+                .collect();
+            relations.extend(attrs.iter().copied());
+            let pattern = TablePattern { key_dom, attrs: attrs.clone() };
+
+            // Query instance: key indices [0, key_slice) — inside the
+            // homograph range so homograph decoys bite.
+            let q_keys: Vec<u64> = (0..cfg.key_slice).collect();
+            let (qt, qd) = instantiate(
+                &registry,
+                &pattern,
+                &q_keys,
+                cfg.rows,
+                0.0, // query headers are clean
+                false,
+                format!("query_{q:02}"),
+                &mut rng,
+            );
+            queries.push(qt);
+            query_domains.push(qd);
+            query_patterns.push(pattern.clone());
+
+            // Positives: same pattern, key slice overlapping by key_overlap.
+            for p in 0..cfg.positives {
+                let start =
+                    ((1.0 - cfg.key_overlap) * cfg.key_slice as f64) as u64 + (p as u64) * 7;
+                let keys: Vec<u64> = (start..start + cfg.key_slice).collect();
+                let (t, _) = instantiate(
+                    &registry,
+                    &pattern,
+                    &keys,
+                    cfg.rows,
+                    cfg.header_noise,
+                    true,
+                    format!("q{q}_pos_{p:02}.csv"),
+                    &mut rng,
+                );
+                let id = lake.add(t);
+                truth.push(UnionTruth { query: q, table: id, grade: 2, kind: CandidateKind::Positive });
+            }
+
+            // Partials: keep the key + a strict subset of attrs, replace the
+            // rest with fresh domains under fresh relations.
+            for p in 0..cfg.partials {
+                let keep = 1 + (p % cfg.attrs_per_table.saturating_sub(1).max(1));
+                let mut attrs2: Vec<RelationSpec> =
+                    pattern.attrs.iter().take(keep).copied().collect();
+                for extra in pool.iter().rev().take(cfg.attrs_per_table - keep) {
+                    let spec = RelationSpec {
+                        key_dom,
+                        attr_dom: registry.id(extra).expect("domain"),
+                        rel_id: next_rel_id,
+                    };
+                    next_rel_id += 1;
+                    relations.push(spec);
+                    attrs2.push(spec);
+                }
+                let pat2 = TablePattern { key_dom, attrs: attrs2 };
+                let start = (p as u64) * 13;
+                let keys: Vec<u64> = (start..start + cfg.key_slice).collect();
+                let (t, _) = instantiate(
+                    &registry,
+                    &pat2,
+                    &keys,
+                    cfg.rows,
+                    cfg.header_noise,
+                    true,
+                    format!("q{q}_part_{p:02}.csv"),
+                    &mut rng,
+                );
+                let id = lake.add(t);
+                truth.push(UnionTruth { query: q, table: id, grade: 1, kind: CandidateKind::Partial });
+            }
+
+            // Relation decoys: identical domains, every attribute re-related.
+            for p in 0..cfg.relation_decoys {
+                let attrs2: Vec<RelationSpec> = pattern
+                    .attrs
+                    .iter()
+                    .map(|a| {
+                        let spec = RelationSpec {
+                            key_dom: a.key_dom,
+                            attr_dom: a.attr_dom,
+                            rel_id: next_rel_id,
+                        };
+                        next_rel_id += 1;
+                        spec
+                    })
+                    .collect();
+                relations.extend(attrs2.iter().copied());
+                let pat2 = TablePattern { key_dom, attrs: attrs2 };
+                let start = (p as u64) * 11;
+                let keys: Vec<u64> = (start..start + cfg.key_slice).collect();
+                let (t, _) = instantiate(
+                    &registry,
+                    &pat2,
+                    &keys,
+                    cfg.rows,
+                    cfg.header_noise,
+                    true,
+                    format!("q{q}_reldecoy_{p:02}.csv"),
+                    &mut rng,
+                );
+                let id = lake.add(t);
+                truth.push(UnionTruth {
+                    query: q,
+                    table: id,
+                    grade: 0,
+                    kind: CandidateKind::RelationDecoy,
+                });
+            }
+
+            // Homograph decoys: key column from the partner domain using the
+            // shared (homograph) index range — identical spellings — with
+            // attribute columns from the partner's own world.
+            for p in 0..cfg.homograph_decoys {
+                let partner_attrs: Vec<RelationSpec> = ["animal", "food", "color"]
+                    .iter()
+                    .take(cfg.attrs_per_table)
+                    .map(|n| {
+                        let spec = RelationSpec {
+                            key_dom: partner_dom,
+                            attr_dom: registry.id(n).expect("domain"),
+                            rel_id: next_rel_id,
+                        };
+                        next_rel_id += 1;
+                        spec
+                    })
+                    .collect();
+                relations.extend(partner_attrs.iter().copied());
+                let pat2 = TablePattern { key_dom: partner_dom, attrs: partner_attrs };
+                let start = (p as u64) * 5;
+                let span = cfg.key_slice.min(cfg.homograph_range.saturating_sub(start));
+                let keys: Vec<u64> = (start..start + span.max(1)).collect();
+                let (t, _) = instantiate(
+                    &registry,
+                    &pat2,
+                    &keys,
+                    cfg.rows,
+                    cfg.header_noise,
+                    true,
+                    format!("q{q}_homodecoy_{p:02}.csv"),
+                    &mut rng,
+                );
+                let id = lake.add(t);
+                truth.push(UnionTruth {
+                    query: q,
+                    table: id,
+                    grade: 0,
+                    kind: CandidateKind::HomographDecoy,
+                });
+            }
+        }
+
+        // Global noise tables.
+        let noise_doms = ["airport_code", "stock_ticker", "email", "phone"];
+        for t in 0..cfg.noise {
+            let d = registry.id(noise_doms[t % noise_doms.len()]).expect("domain");
+            let rows = cfg.rows;
+            let col = Column::new(
+                registry.domain(d).name.clone(),
+                (0..rows as u64)
+                    .map(|i| registry.value(d, 50_000 + (t as u64) * 10_000 + i))
+                    .collect(),
+            );
+            lake.add(Table::new(format!("noise_{t:03}.csv"), vec![col]).expect("one col"));
+        }
+
+        UnionBenchmark {
+            lake,
+            registry,
+            queries,
+            query_domains,
+            query_patterns,
+            relations,
+            truth,
+        }
+    }
+
+    /// Ground truth for one query, keyed by table.
+    #[must_use]
+    pub fn truth_for(&self, query: usize) -> Vec<UnionTruth> {
+        self.truth.iter().filter(|t| t.query == query).copied().collect()
+    }
+
+    /// Tables with the given grade for a query.
+    #[must_use]
+    pub fn tables_with_grade(&self, query: usize, grade: u8) -> Vec<TableId> {
+        self.truth_for(query)
+            .into_iter()
+            .filter(|t| t.grade == grade)
+            .map(|t| t.table)
+            .collect()
+    }
+}
+
+/// Instantiate a pattern over the given key indices.
+///
+/// Rows cycle through `key_indices` (so `rows` may exceed the slice), each
+/// row pairing `key[i]` with its relation-mapped attribute values. Returns
+/// the table plus per-column ground-truth domains.
+#[allow(clippy::too_many_arguments)]
+fn instantiate(
+    registry: &DomainRegistry,
+    pattern: &TablePattern,
+    key_indices: &[u64],
+    rows: usize,
+    header_noise: f64,
+    shuffle_cols: bool,
+    name: String,
+    rng: &mut StdRng,
+) -> (Table, Vec<DomainId>) {
+    let mut key_vals = Vec::with_capacity(rows);
+    let mut attr_vals: Vec<Vec<crate::value::Value>> =
+        vec![Vec::with_capacity(rows); pattern.attrs.len()];
+    for r in 0..rows {
+        // Cycle when rows exceed the slice; spread evenly when they don't,
+        // so the whole slice is represented either way.
+        let len = key_indices.len();
+        let pos = if rows >= len { r % len } else { r * len / rows };
+        let k = key_indices[pos];
+        key_vals.push(registry.value(pattern.key_dom, k));
+        for (a, spec) in pattern.attrs.iter().enumerate() {
+            attr_vals[a].push(registry.value(spec.attr_dom, spec.attr_index(k)));
+        }
+    }
+    let header = |dom: DomainId, rng: &mut StdRng| -> String {
+        let base = registry.domain(dom).name.clone();
+        if rng.gen::<f64>() < header_noise {
+            match rng.gen_range(0..3) {
+                0 => format!("{base}_{}", rng.gen_range(1..9)),
+                1 => base.to_uppercase(),
+                _ => String::new(),
+            }
+        } else {
+            base
+        }
+    };
+    let mut cols = Vec::with_capacity(1 + pattern.attrs.len());
+    let mut doms = Vec::with_capacity(1 + pattern.attrs.len());
+    cols.push(Column::new(header(pattern.key_dom, rng), key_vals));
+    doms.push(pattern.key_dom);
+    for (a, spec) in pattern.attrs.iter().enumerate() {
+        cols.push(Column::new(header(spec.attr_dom, rng), std::mem::take(&mut attr_vals[a])));
+        doms.push(spec.attr_dom);
+    }
+    if shuffle_cols {
+        let mut order: Vec<usize> = (0..cols.len()).collect();
+        order.shuffle(rng);
+        let cols2: Vec<Column> = order.iter().map(|&i| cols[i].clone()).collect();
+        let doms2: Vec<DomainId> = order.iter().map(|&i| doms[i]).collect();
+        cols = cols2;
+        doms = doms2;
+    }
+    let meta = TableMeta {
+        title: name.clone(),
+        description: String::new(),
+        tags: vec![registry.domain(pattern.key_dom).category.clone()],
+        source: "synthetic".into(),
+    };
+    (Table::with_meta(name, cols, meta).expect("equal len"), doms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn small() -> UnionBenchmark {
+        UnionBenchmark::generate(&UnionBenchConfig {
+            num_queries: 2,
+            positives: 3,
+            partials: 2,
+            relation_decoys: 2,
+            homograph_decoys: 2,
+            noise: 5,
+            rows: 60,
+            key_slice: 100,
+            homograph_range: 200,
+            ..UnionBenchConfig::default()
+        })
+    }
+
+    #[test]
+    fn relation_map_is_deterministic_and_distinct() {
+        let r = DomainRegistry::standard();
+        let a = RelationSpec {
+            key_dom: r.id("city").unwrap(),
+            attr_dom: r.id("country").unwrap(),
+            rel_id: 1,
+        };
+        let b = RelationSpec { rel_id: 2, ..a };
+        assert_eq!(a.attr_index(5), a.attr_index(5));
+        let diff = (0..100).filter(|&i| a.attr_index(i) != b.attr_index(i)).count();
+        assert!(diff > 90, "relations too similar: {diff}");
+    }
+
+    #[test]
+    fn cluster_sizes_match_config() {
+        let b = small();
+        for q in 0..2 {
+            let t = b.truth_for(q);
+            assert_eq!(t.iter().filter(|x| x.kind == CandidateKind::Positive).count(), 3);
+            assert_eq!(t.iter().filter(|x| x.kind == CandidateKind::Partial).count(), 2);
+            assert_eq!(
+                t.iter().filter(|x| x.kind == CandidateKind::RelationDecoy).count(),
+                2
+            );
+            assert_eq!(
+                t.iter().filter(|x| x.kind == CandidateKind::HomographDecoy).count(),
+                2
+            );
+        }
+    }
+
+    #[test]
+    fn positives_share_value_pairs_with_query() {
+        let b = small();
+        // The query and a positive instantiate the same relations over
+        // overlapping keys, so some (key, attr) value pairs must co-occur.
+        let q = &b.queries[0];
+        let qpairs: HashSet<(String, String)> = (0..q.num_rows())
+            .map(|r| {
+                (
+                    q.columns[0].values[r].to_string(),
+                    q.columns[1].values[r].to_string(),
+                )
+            })
+            .collect();
+        let pos = b
+            .truth_for(0)
+            .into_iter()
+            .find(|t| t.kind == CandidateKind::Positive)
+            .unwrap();
+        let pt = b.lake.table(pos.table);
+        // Columns are shuffled in candidates; check all column pairs.
+        let mut found = 0;
+        for a in 0..pt.num_cols() {
+            for c in 0..pt.num_cols() {
+                if a == c {
+                    continue;
+                }
+                for r in 0..pt.num_rows() {
+                    let pair = (
+                        pt.columns[a].values[r].to_string(),
+                        pt.columns[c].values[r].to_string(),
+                    );
+                    if qpairs.contains(&pair) {
+                        found += 1;
+                    }
+                }
+            }
+        }
+        assert!(found > 0, "no co-occurring value pairs between query and positive");
+    }
+
+    #[test]
+    fn relation_decoys_share_domains_but_not_pairs() {
+        let b = small();
+        let q = &b.queries[0];
+        // Query pairs (key value -> first attr value).
+        let qpairs: HashSet<(String, String)> = (0..q.num_rows())
+            .map(|r| {
+                (
+                    q.columns[0].values[r].to_string(),
+                    q.columns[1].values[r].to_string(),
+                )
+            })
+            .collect();
+        let decoy = b
+            .truth_for(0)
+            .into_iter()
+            .find(|t| t.kind == CandidateKind::RelationDecoy)
+            .unwrap();
+        let dt = b.lake.table(decoy.table);
+        let mut found = 0;
+        for a in 0..dt.num_cols() {
+            for c in 0..dt.num_cols() {
+                if a == c {
+                    continue;
+                }
+                for r in 0..dt.num_rows() {
+                    let pair = (
+                        dt.columns[a].values[r].to_string(),
+                        dt.columns[c].values[r].to_string(),
+                    );
+                    if qpairs.contains(&pair) {
+                        found += 1;
+                    }
+                }
+            }
+        }
+        // A different relation map makes pair collisions essentially
+        // impossible (ATTR_CAP is large).
+        assert!(found <= 2, "relation decoy shares {found} pairs");
+    }
+
+    #[test]
+    fn homograph_decoys_share_key_spellings() {
+        let b = small();
+        let q = &b.queries[0];
+        let qkeys: HashSet<String> =
+            q.columns[0].values.iter().map(|v| v.to_string()).collect();
+        let decoy = b
+            .truth_for(0)
+            .into_iter()
+            .find(|t| t.kind == CandidateKind::HomographDecoy)
+            .unwrap();
+        let dt = b.lake.table(decoy.table);
+        let best_overlap = dt
+            .columns
+            .iter()
+            .map(|c| {
+                c.values
+                    .iter()
+                    .filter(|v| qkeys.contains(&v.to_string()))
+                    .count()
+            })
+            .max()
+            .unwrap();
+        assert!(
+            best_overlap * 2 >= dt.num_rows(),
+            "homograph decoy shares too few spellings: {best_overlap}/{}",
+            dt.num_rows()
+        );
+    }
+
+    #[test]
+    fn queries_are_not_in_lake() {
+        let b = small();
+        let names: HashSet<&str> = b.lake.iter().map(|(_, t)| t.name.as_str()).collect();
+        for q in &b.queries {
+            assert!(!names.contains(q.name.as_str()));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = UnionBenchConfig { num_queries: 1, ..UnionBenchConfig::default() };
+        let a = UnionBenchmark::generate(&cfg);
+        let b = UnionBenchmark::generate(&cfg);
+        assert_eq!(a.lake.len(), b.lake.len());
+        for (id, t) in a.lake.iter() {
+            assert_eq!(t.columns, b.lake.table(id).columns);
+        }
+    }
+}

@@ -1,0 +1,461 @@
+//! Semantic domains: the ground-truth vocabularies behind the synthetic lake.
+//!
+//! A *domain* is a set of values that denote instances of one semantic
+//! concept ("city", "gene", "currency code"). The generator draws column
+//! values from domains, so every generated column carries a ground-truth
+//! semantic type — the label real corpora (Open Data, WebDataCommons) lack.
+//!
+//! Each domain renders values in a characteristic *format* (proper nouns,
+//! alphanumeric codes, emails, phone numbers, ...), which is what gives
+//! feature-based semantic type detection (Sherlock-style, experiment E10)
+//! genuine signal, and each domain belongs to a *category* used for topical
+//! metadata and navigation benchmarks.
+//!
+//! Homographs (the DomainNet experiment, E14) are planted explicitly: a
+//! homograph pair `(a, b, n)` makes the first `n` values of domains `a` and
+//! `b` share the same spelling.
+
+use super::words::{capitalize, mix2, seeded_range, vocab_word};
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a domain within a [`DomainRegistry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DomainId(pub u16);
+
+/// How a domain renders its values.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ValueFormat {
+    /// Capitalized pseudo-word, e.g. `Brimola` (entities: cities, people).
+    Proper {
+        /// Syllable count of the stem.
+        syllables: usize,
+    },
+    /// Lower-case pseudo-word, e.g. `veristan` (common nouns).
+    Lower {
+        /// Syllable count of the stem.
+        syllables: usize,
+    },
+    /// Two capitalized words, e.g. `Kira Solvend` (person names).
+    FullName,
+    /// Uppercase code with digits, e.g. `KRT-2931` (tickers, gene symbols).
+    Code {
+        /// Number of leading letters.
+        letters: usize,
+        /// Number of trailing digits.
+        digits: usize,
+    },
+    /// `stem.stem@host.dom` email addresses.
+    Email,
+    /// `+1-NNN-NNNN` phone numbers.
+    Phone,
+    /// ISO-style date `YYYY-MM-DD`.
+    Date,
+    /// Integer drawn deterministically from `[lo, hi)`.
+    IntRange {
+        /// Inclusive lower bound.
+        lo: i64,
+        /// Exclusive upper bound.
+        hi: i64,
+    },
+    /// Float drawn deterministically from `[lo, hi)`, 2 decimals.
+    FloatRange {
+        /// Inclusive lower bound.
+        lo: f64,
+        /// Exclusive upper bound.
+        hi: f64,
+    },
+}
+
+impl ValueFormat {
+    /// True if the format produces numeric values.
+    #[must_use]
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, ValueFormat::IntRange { .. } | ValueFormat::FloatRange { .. })
+    }
+}
+
+/// One semantic domain.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Domain {
+    /// Domain name, e.g. `"city"`. Used as the default column header.
+    pub name: String,
+    /// Rendering format.
+    pub format: ValueFormat,
+    /// Topical category, e.g. `"geography"`. Drives metadata and navigation.
+    pub category: String,
+    salt: u64,
+}
+
+/// A homograph plant: values `0..count` of `a` and `b` share spellings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HomographPair {
+    /// First domain.
+    pub a: DomainId,
+    /// Second domain.
+    pub b: DomainId,
+    /// How many leading indices are shared.
+    pub count: u64,
+}
+
+/// The registry of all domains known to a generated lake.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DomainRegistry {
+    domains: Vec<Domain>,
+    homographs: Vec<HomographPair>,
+}
+
+/// Salt namespace for the shared homograph vocabulary.
+const HOMOGRAPH_SALT: u64 = 0x4845_5845_5845;
+
+impl DomainRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The standard registry: 24 categorical + 8 numeric domains across six
+    /// categories, enough to drive every experiment in DESIGN.md.
+    #[must_use]
+    pub fn standard() -> Self {
+        let mut r = DomainRegistry::new();
+        let specs: &[(&str, &str, ValueFormat)] = &[
+            // geography
+            ("city", "geography", ValueFormat::Proper { syllables: 2 }),
+            ("country", "geography", ValueFormat::Proper { syllables: 3 }),
+            ("river", "geography", ValueFormat::Proper { syllables: 2 }),
+            ("airport_code", "geography", ValueFormat::Code { letters: 3, digits: 0 }),
+            // people
+            ("person", "people", ValueFormat::FullName),
+            ("occupation", "people", ValueFormat::Lower { syllables: 3 }),
+            ("email", "people", ValueFormat::Email),
+            ("phone", "people", ValueFormat::Phone),
+            // business
+            ("company", "business", ValueFormat::Proper { syllables: 3 }),
+            ("product", "business", ValueFormat::Lower { syllables: 2 }),
+            ("stock_ticker", "business", ValueFormat::Code { letters: 4, digits: 0 }),
+            ("currency_code", "business", ValueFormat::Code { letters: 3, digits: 0 }),
+            // science
+            ("gene", "science", ValueFormat::Code { letters: 3, digits: 2 }),
+            ("disease", "science", ValueFormat::Lower { syllables: 4 }),
+            ("drug", "science", ValueFormat::Lower { syllables: 3 }),
+            ("element", "science", ValueFormat::Proper { syllables: 2 }),
+            // culture
+            ("movie", "culture", ValueFormat::Proper { syllables: 3 }),
+            ("book", "culture", ValueFormat::Proper { syllables: 3 }),
+            ("sport", "culture", ValueFormat::Lower { syllables: 2 }),
+            ("language", "culture", ValueFormat::Proper { syllables: 2 }),
+            // misc categorical
+            ("animal", "nature", ValueFormat::Lower { syllables: 2 }),
+            ("color", "nature", ValueFormat::Lower { syllables: 2 }),
+            ("food", "nature", ValueFormat::Lower { syllables: 2 }),
+            ("event_date", "time", ValueFormat::Date),
+            // numeric
+            ("population", "numeric", ValueFormat::IntRange { lo: 1_000, hi: 10_000_000 }),
+            ("price", "numeric", ValueFormat::FloatRange { lo: 0.5, hi: 5_000.0 }),
+            ("rating", "numeric", ValueFormat::FloatRange { lo: 0.0, hi: 10.0 }),
+            ("year", "numeric", ValueFormat::IntRange { lo: 1900, hi: 2024 }),
+            ("salary", "numeric", ValueFormat::IntRange { lo: 20_000, hi: 400_000 }),
+            ("temperature", "numeric", ValueFormat::FloatRange { lo: -40.0, hi: 45.0 }),
+            ("quantity", "numeric", ValueFormat::IntRange { lo: 0, hi: 100_000 }),
+            ("percentage", "numeric", ValueFormat::FloatRange { lo: 0.0, hi: 100.0 }),
+        ];
+        for (name, cat, fmt) in specs {
+            r.add(name, cat, *fmt);
+        }
+        r
+    }
+
+    /// Add a domain; the salt is derived from its registry position and
+    /// name so vocabularies are stable.
+    pub fn add(&mut self, name: &str, category: &str, format: ValueFormat) -> DomainId {
+        let id = DomainId(self.domains.len() as u16);
+        let salt = name
+            .bytes()
+            .fold(0xD0_u64.wrapping_add(id.0 as u64), |acc, b| {
+                mix2(acc, b as u64)
+            });
+        self.domains.push(Domain {
+            name: name.to_string(),
+            format,
+            category: category.to_string(),
+            salt,
+        });
+        id
+    }
+
+    /// Plant a homograph pair.
+    pub fn add_homograph_pair(&mut self, a: DomainId, b: DomainId, count: u64) {
+        assert_ne!(a, b, "homograph pair must span two domains");
+        self.homographs.push(HomographPair { a, b, count });
+    }
+
+    /// All planted homograph pairs.
+    #[must_use]
+    pub fn homograph_pairs(&self) -> &[HomographPair] {
+        &self.homographs
+    }
+
+    /// Number of domains.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// True if no domains are registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.domains.is_empty()
+    }
+
+    /// Domain metadata.
+    ///
+    /// # Panics
+    /// Panics on a foreign id.
+    #[must_use]
+    pub fn domain(&self, id: DomainId) -> &Domain {
+        &self.domains[id.0 as usize]
+    }
+
+    /// Look up a domain id by name.
+    #[must_use]
+    pub fn id(&self, name: &str) -> Option<DomainId> {
+        self.domains
+            .iter()
+            .position(|d| d.name == name)
+            .map(|i| DomainId(i as u16))
+    }
+
+    /// Iterate `(id, domain)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (DomainId, &Domain)> {
+        self.domains
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (DomainId(i as u16), d))
+    }
+
+    /// Ids of all non-numeric (categorical) domains.
+    #[must_use]
+    pub fn categorical_ids(&self) -> Vec<DomainId> {
+        self.iter()
+            .filter(|(_, d)| !d.format.is_numeric())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Ids of all numeric domains.
+    #[must_use]
+    pub fn numeric_ids(&self) -> Vec<DomainId> {
+        self.iter()
+            .filter(|(_, d)| d.format.is_numeric())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// If `(d, i)` falls in a homograph plant, the shared salt+index to
+    /// render from instead.
+    fn homograph_redirect(&self, d: DomainId, i: u64) -> Option<u64> {
+        self.homographs.iter().find_map(|h| {
+            if (h.a == d || h.b == d) && i < h.count {
+                // Shared spelling is a function of the *pair* and index, so
+                // both sides render identically.
+                Some(mix2(
+                    HOMOGRAPH_SALT ^ ((h.a.0 as u64) << 32 | h.b.0 as u64),
+                    i,
+                ))
+            } else {
+                None
+            }
+        })
+    }
+
+    /// The `i`-th value of domain `d`.
+    ///
+    /// Deterministic in `(registry, d, i)`; distinct `i` yield distinct
+    /// values within a categorical domain (numeric ranges may repeat).
+    #[must_use]
+    pub fn value(&self, d: DomainId, i: u64) -> Value {
+        let dom = self.domain(d);
+        if let Some(shared_seed) = self.homograph_redirect(d, i) {
+            // Homographs are always rendered as proper words regardless of
+            // either domain's own format: the point is identical spelling.
+            return Value::Text(capitalize(&vocab_word(shared_seed, i, 2)));
+        }
+        let salt = dom.salt;
+        match dom.format {
+            ValueFormat::Proper { syllables } => {
+                Value::Text(capitalize(&vocab_word(salt, i, syllables)))
+            }
+            ValueFormat::Lower { syllables } => Value::Text(vocab_word(salt, i, syllables)),
+            ValueFormat::FullName => {
+                let first = capitalize(&vocab_word(salt, i, 2));
+                let last = capitalize(&vocab_word(salt ^ 0xF00D, i, 2));
+                Value::Text(format!("{first} {last}"))
+            }
+            ValueFormat::Code { letters, digits } => {
+                let mut s = String::with_capacity(letters + digits + 1);
+                for k in 0..letters {
+                    let c = b'A' + (seeded_range(mix2(salt, i * 31 + k as u64), 0, 26)) as u8;
+                    s.push(c as char);
+                }
+                if digits > 0 {
+                    s.push('-');
+                    for k in 0..digits {
+                        let c = b'0'
+                            + (seeded_range(mix2(salt ^ 0xD1, i * 37 + k as u64), 0, 10)) as u8;
+                        s.push(c as char);
+                    }
+                }
+                // Guarantee uniqueness: short codes collide, so suffix with
+                // the base-26 index rendering uppercased.
+                s.push_str(&super::words::alpha_suffix(i).to_uppercase());
+                Value::Text(s)
+            }
+            ValueFormat::Email => {
+                let user = vocab_word(salt, i, 2);
+                let host = vocab_word(salt ^ 0xBEEF, i / 7, 2);
+                Value::Text(format!("{user}.{}@{host}.com", super::words::alpha_suffix(i)))
+            }
+            ValueFormat::Phone => {
+                let area = seeded_range(mix2(salt, i), 200, 999);
+                Value::Text(format!("+1-{area}-{:07}", i % 10_000_000))
+            }
+            ValueFormat::Date => {
+                let year = 1990 + (seeded_range(mix2(salt, i), 0, 35)) as i64;
+                let month = 1 + (seeded_range(mix2(salt ^ 0x11, i), 0, 12)) as i64;
+                let day = 1 + (seeded_range(mix2(salt ^ 0x22, i), 0, 28)) as i64;
+                Value::Text(format!("{year:04}-{month:02}-{day:02}"))
+            }
+            ValueFormat::IntRange { lo, hi } => {
+                Value::Int(lo + (seeded_range(mix2(salt, i), 0, (hi - lo) as u64)) as i64)
+            }
+            ValueFormat::FloatRange { lo, hi } => {
+                let u = seeded_range(mix2(salt, i), 0, 1_000_000) as f64 / 1_000_000.0;
+                let v = lo + u * (hi - lo);
+                Value::Float((v * 100.0).round() / 100.0)
+            }
+        }
+    }
+
+    /// Materialize the first `n` values of a domain.
+    #[must_use]
+    pub fn vocab(&self, d: DomainId, n: u64) -> Vec<Value> {
+        (0..n).map(|i| self.value(d, i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn standard_registry_has_both_kinds() {
+        let r = DomainRegistry::standard();
+        assert!(r.len() >= 30);
+        assert!(r.categorical_ids().len() >= 20);
+        assert!(r.numeric_ids().len() >= 6);
+    }
+
+    #[test]
+    fn values_are_deterministic() {
+        let r = DomainRegistry::standard();
+        let d = r.id("city").unwrap();
+        assert_eq!(r.value(d, 5), r.value(d, 5));
+        assert_ne!(r.value(d, 5), r.value(d, 6));
+    }
+
+    #[test]
+    fn categorical_vocab_is_distinct() {
+        let r = DomainRegistry::standard();
+        for name in ["city", "person", "gene", "email", "stock_ticker"] {
+            let d = r.id(name).unwrap();
+            let v: HashSet<String> = r
+                .vocab(d, 2000)
+                .into_iter()
+                .map(|v| v.to_string())
+                .collect();
+            assert_eq!(v.len(), 2000, "collisions in {name}");
+        }
+    }
+
+    #[test]
+    fn domains_rarely_collide_with_each_other() {
+        let r = DomainRegistry::standard();
+        let city: HashSet<String> = r
+            .vocab(r.id("city").unwrap(), 1000)
+            .iter()
+            .map(|v| v.to_string())
+            .collect();
+        let animal: HashSet<String> = r
+            .vocab(r.id("animal").unwrap(), 1000)
+            .iter()
+            .map(|v| v.to_string())
+            .collect();
+        assert!(city.intersection(&animal).count() < 5);
+    }
+
+    #[test]
+    fn formats_look_right() {
+        let r = DomainRegistry::standard();
+        let email = r.value(r.id("email").unwrap(), 3).to_string();
+        assert!(email.contains('@') && email.ends_with(".com"), "{email}");
+        let phone = r.value(r.id("phone").unwrap(), 3).to_string();
+        assert!(phone.starts_with("+1-"), "{phone}");
+        let date = r.value(r.id("event_date").unwrap(), 3).to_string();
+        assert_eq!(date.len(), 10);
+        assert_eq!(&date[4..5], "-");
+        let gene = r.value(r.id("gene").unwrap(), 3).to_string();
+        assert!(gene.chars().next().unwrap().is_ascii_uppercase(), "{gene}");
+    }
+
+    #[test]
+    fn numeric_domains_produce_numbers_in_range() {
+        let r = DomainRegistry::standard();
+        let d = r.id("year").unwrap();
+        for i in 0..200 {
+            match r.value(d, i) {
+                Value::Int(y) => assert!((1900..2024).contains(&y)),
+                other => panic!("expected int, got {other:?}"),
+            }
+        }
+        let p = r.id("rating").unwrap();
+        for i in 0..200 {
+            let f = r.value(p, i).as_f64().unwrap();
+            assert!((0.0..=10.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn homograph_pair_shares_spellings() {
+        let mut r = DomainRegistry::standard();
+        let a = r.id("animal").unwrap();
+        let c = r.id("city").unwrap();
+        r.add_homograph_pair(a, c, 10);
+        for i in 0..10 {
+            assert_eq!(r.value(a, i), r.value(c, i), "index {i}");
+        }
+        assert_ne!(r.value(a, 10), r.value(c, 10));
+    }
+
+    #[test]
+    fn homograph_does_not_leak_into_other_domains() {
+        let mut r = DomainRegistry::standard();
+        let a = r.id("animal").unwrap();
+        let c = r.id("city").unwrap();
+        let g = r.id("gene").unwrap();
+        r.add_homograph_pair(a, c, 10);
+        assert_ne!(r.value(g, 3), r.value(a, 3));
+    }
+
+    #[test]
+    fn id_lookup() {
+        let r = DomainRegistry::standard();
+        assert!(r.id("city").is_some());
+        assert!(r.id("nope").is_none());
+        let d = r.id("price").unwrap();
+        assert_eq!(r.domain(d).name, "price");
+        assert!(r.domain(d).format.is_numeric());
+    }
+}

@@ -1,0 +1,25 @@
+//! Synthetic data-lake generation with ground truth.
+//!
+//! Real table-discovery corpora (Open Data, WebDataCommons) are huge and —
+//! crucially for evaluation — unlabeled. This module substitutes a seeded
+//! generator whose lakes have *exact* ground truth: the semantic domain of
+//! every column, the topical category of every table, and per-benchmark
+//! relevance labels (containment, unionability grade, planted correlation).
+//! See DESIGN.md, "Substitutions".
+
+pub mod bench_join;
+pub mod bench_union;
+pub mod domains;
+pub mod lakegen;
+pub mod words;
+
+pub use bench_join::{
+    pearson, CorrelationBenchmark, CorrelationConfig, CorrelationTruth, JoinBenchConfig,
+    JoinBenchmark, JoinTruth, MultiJoinBenchmark, MultiJoinConfig, MultiJoinTruth,
+};
+pub use bench_union::{
+    CandidateKind, RelationSpec, TablePattern, UnionBenchConfig, UnionBenchmark, UnionTruth,
+    ATTR_CAP,
+};
+pub use domains::{Domain, DomainId, DomainRegistry, HomographPair, ValueFormat};
+pub use lakegen::{GeneratedLake, LakeGenConfig, LakeGenerator, Zipf};

@@ -1,0 +1,161 @@
+//! Deterministic pseudo-word generation.
+//!
+//! The synthetic lake needs unbounded, collision-free, *pronounceable*
+//! vocabularies whose `i`-th element is a pure function of `(salt, i)` —
+//! stable across runs and independent of generation order. We derive all
+//! randomness from a local SplitMix64 so the vocabulary does not depend on
+//! the `rand` crate's stream layout.
+
+/// SplitMix64: tiny, high-quality 64-bit mixer (public-domain algorithm).
+#[inline]
+#[must_use]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Combine a salt and an index into one mixed 64-bit stream seed.
+#[inline]
+#[must_use]
+pub fn mix2(salt: u64, i: u64) -> u64 {
+    splitmix64(splitmix64(salt).wrapping_add(splitmix64(i ^ 0xA5A5_A5A5_A5A5_A5A5)))
+}
+
+const ONSETS: &[&str] = &[
+    "b", "br", "c", "ch", "d", "dr", "f", "g", "gr", "h", "j", "k", "kl", "l", "m", "n", "p",
+    "pr", "r", "s", "st", "t", "tr", "v", "w", "z",
+];
+const VOWELS: &[&str] = &["a", "e", "i", "o", "u", "ai", "ea", "ou"];
+const CODAS: &[&str] = &["", "n", "r", "s", "l", "m", "k", "t", "nd", "st"];
+
+/// A pronounceable pseudo-word with `syllables` syllables, deterministic in
+/// `seed`.
+#[must_use]
+pub fn pseudo_word(seed: u64, syllables: usize) -> String {
+    let mut s = String::with_capacity(syllables * 4);
+    let mut state = seed;
+    for k in 0..syllables {
+        state = splitmix64(state.wrapping_add(k as u64));
+        let onset = ONSETS[(state % ONSETS.len() as u64) as usize];
+        let vowel = VOWELS[((state >> 16) % VOWELS.len() as u64) as usize];
+        // Only the final syllable gets a coda; keeps words pronounceable.
+        let coda = if k + 1 == syllables {
+            CODAS[((state >> 32) % CODAS.len() as u64) as usize]
+        } else {
+            ""
+        };
+        s.push_str(onset);
+        s.push_str(vowel);
+        s.push_str(coda);
+    }
+    s
+}
+
+/// Capitalize the first letter (proper-noun style).
+#[must_use]
+pub fn capitalize(s: &str) -> String {
+    let mut c = s.chars();
+    match c.next() {
+        None => String::new(),
+        Some(f) => f.to_uppercase().collect::<String>() + c.as_str(),
+    }
+}
+
+/// The `i`-th *unique* pseudo-word of a salted vocabulary.
+///
+/// Uniqueness within a salt is guaranteed by suffixing the base word with a
+/// base-26 alphabetic rendering of `i`, so two distinct indices can never
+/// collide even if their pseudo-word stems do.
+#[must_use]
+pub fn vocab_word(salt: u64, i: u64, syllables: usize) -> String {
+    let mut w = pseudo_word(mix2(salt, i), syllables);
+    w.push_str(&alpha_suffix(i));
+    w
+}
+
+/// Base-26 lower-alpha rendering of an index (`0 -> "a"`, `25 -> "z"`,
+/// `26 -> "ba"`, ...). Prefix-free enough for our purposes and keeps values
+/// looking like words rather than numbered artifacts.
+#[must_use]
+pub fn alpha_suffix(mut i: u64) -> String {
+    let mut out = Vec::new();
+    loop {
+        out.push(b'a' + (i % 26) as u8);
+        i /= 26;
+        if i == 0 {
+            break;
+        }
+    }
+    out.reverse();
+    String::from_utf8(out).expect("ascii")
+}
+
+/// Uniform integer in `[lo, hi)` derived from a seed (for value formatting,
+/// not statistics).
+#[inline]
+#[must_use]
+pub fn seeded_range(seed: u64, lo: u64, hi: u64) -> u64 {
+    assert!(hi > lo);
+    lo + splitmix64(seed) % (hi - lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn splitmix_is_deterministic_and_mixing() {
+        assert_eq!(splitmix64(1), splitmix64(1));
+        assert_ne!(splitmix64(1), splitmix64(2));
+        // Avalanche sanity: single-bit input change flips many output bits.
+        let d = (splitmix64(7) ^ splitmix64(7 | 1 << 40)).count_ones();
+        assert!(d > 16, "weak mixing: {d} bits");
+    }
+
+    #[test]
+    fn pseudo_words_are_pronounceable_ascii() {
+        for i in 0..100 {
+            let w = pseudo_word(i, 2);
+            assert!(!w.is_empty());
+            assert!(w.bytes().all(|b| b.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn vocab_words_are_unique_within_salt() {
+        let words: HashSet<String> = (0..5000).map(|i| vocab_word(42, i, 2)).collect();
+        assert_eq!(words.len(), 5000);
+    }
+
+    #[test]
+    fn vocab_words_differ_across_salts() {
+        let a: HashSet<String> = (0..1000).map(|i| vocab_word(1, i, 2)).collect();
+        let b: HashSet<String> = (0..1000).map(|i| vocab_word(2, i, 2)).collect();
+        // Salted stems make cross-salt collisions vanishingly rare.
+        assert!(a.intersection(&b).count() < 5);
+    }
+
+    #[test]
+    fn alpha_suffix_rolls_over() {
+        assert_eq!(alpha_suffix(0), "a");
+        assert_eq!(alpha_suffix(25), "z");
+        assert_eq!(alpha_suffix(26), "ba");
+    }
+
+    #[test]
+    fn capitalize_handles_empty() {
+        assert_eq!(capitalize(""), "");
+        assert_eq!(capitalize("boston"), "Boston");
+    }
+
+    #[test]
+    fn seeded_range_in_bounds() {
+        for s in 0..200 {
+            let v = seeded_range(s, 10, 20);
+            assert!((10..20).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Lake persistence: a directory of CSV files plus a JSON metadata
+//! sidecar — the on-disk shape real lakes (open-data portals, shared
+//! folders) actually have.
+
+use crate::csv;
+use crate::lake::DataLake;
+use crate::table::TableMeta;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::path::Path;
+
+/// Errors while loading or saving a lake directory.
+#[derive(Debug)]
+pub enum LakeIoError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// A CSV file failed to parse.
+    Csv {
+        /// Offending file name.
+        file: String,
+        /// Parse error.
+        error: csv::CsvError,
+    },
+    /// The metadata sidecar failed to parse.
+    Meta(String),
+}
+
+impl fmt::Display for LakeIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LakeIoError::Io(e) => write!(f, "io error: {e}"),
+            LakeIoError::Csv { file, error } => write!(f, "csv error in {file}: {error}"),
+            LakeIoError::Meta(e) => write!(f, "metadata sidecar error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LakeIoError {}
+
+impl From<std::io::Error> for LakeIoError {
+    fn from(e: std::io::Error) -> Self {
+        LakeIoError::Io(e)
+    }
+}
+
+/// The sidecar format: table name → metadata.
+#[derive(Debug, Default, Serialize, Deserialize)]
+struct MetaSidecar {
+    tables: std::collections::BTreeMap<String, TableMeta>,
+}
+
+/// Name of the metadata sidecar file inside a lake directory.
+pub const META_FILE: &str = "_lake_meta.json";
+
+/// Save every table of a lake as `<name>.csv` (the table's own name if it
+/// already ends in `.csv`) plus a `_lake_meta.json` sidecar carrying the
+/// non-empty metadata.
+pub fn save_dir(lake: &DataLake, dir: &Path) -> Result<(), LakeIoError> {
+    std::fs::create_dir_all(dir)?;
+    let mut sidecar = MetaSidecar::default();
+    for (_, t) in lake.iter() {
+        let file = if t.name.ends_with(".csv") {
+            t.name.clone()
+        } else {
+            format!("{}.csv", t.name)
+        };
+        // Keep paths flat and safe.
+        let file = file.replace(['/', '\\'], "_");
+        std::fs::write(dir.join(&file), csv::write_table(t))?;
+        if !t.meta.is_empty() {
+            sidecar.tables.insert(file, t.meta.clone());
+        }
+    }
+    let json = serde_json::to_string_pretty(&sidecar)
+        .map_err(|e| LakeIoError::Meta(e.to_string()))?;
+    std::fs::write(dir.join(META_FILE), json)?;
+    Ok(())
+}
+
+/// Load a lake from a directory of CSVs (plus the optional sidecar).
+/// Files are loaded in sorted name order so table ids are deterministic.
+pub fn load_dir(dir: &Path) -> Result<DataLake, LakeIoError> {
+    let sidecar: MetaSidecar = match std::fs::read_to_string(dir.join(META_FILE)) {
+        Ok(json) => {
+            serde_json::from_str(&json).map_err(|e| LakeIoError::Meta(e.to_string()))?
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => MetaSidecar::default(),
+        Err(e) => return Err(e.into()),
+    };
+    let mut files: Vec<String> = std::fs::read_dir(dir)?
+        .filter_map(Result::ok)
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|n| n.ends_with(".csv"))
+        .collect();
+    files.sort();
+    let mut lake = DataLake::new();
+    for file in files {
+        let text = std::fs::read_to_string(dir.join(&file))?;
+        let mut table = csv::read_table(file.clone(), &text)
+            .map_err(|error| LakeIoError::Csv { file: file.clone(), error })?;
+        if let Some(meta) = sidecar.tables.get(&file) {
+            table.meta = meta.clone();
+        }
+        lake.add(table);
+    }
+    Ok(lake)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+    use crate::table::Table;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("td_lake_io_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn sample_lake() -> DataLake {
+        let mut lake = DataLake::new();
+        let mut t1 = Table::new(
+            "cities.csv",
+            vec![
+                Column::from_strings("city", &["Boston", "Lyon"]),
+                Column::from_strings("pop", &["650000", "520000"]),
+            ],
+        )
+        .unwrap();
+        t1.meta = TableMeta {
+            title: "Cities".into(),
+            description: "pop by city".into(),
+            tags: vec!["geo".into()],
+            source: "test".into(),
+        };
+        lake.add(t1);
+        lake.add(
+            Table::new(
+                "notes", // no .csv suffix, no metadata
+                vec![Column::from_strings("text", &["a,b", "line\nbreak", "\"quoted\""])],
+            )
+            .unwrap(),
+        );
+        lake
+    }
+
+    #[test]
+    fn roundtrip_preserves_tables_and_metadata() {
+        let dir = tmpdir("roundtrip");
+        let lake = sample_lake();
+        save_dir(&lake, &dir).unwrap();
+        let loaded = load_dir(&dir).unwrap();
+        assert_eq!(loaded.len(), 2);
+        let (_, cities) = loaded.get_by_name("cities.csv").unwrap();
+        assert_eq!(cities.meta.title, "Cities");
+        assert_eq!(cities.columns, lake.get_by_name("cities.csv").unwrap().1.columns);
+        // Tricky CSV content survives.
+        let (_, notes) = loaded.get_by_name("notes.csv").unwrap();
+        assert_eq!(
+            notes.columns[0].values,
+            lake.get_by_name("notes").unwrap().1.columns[0].values
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_without_sidecar_defaults_metadata() {
+        let dir = tmpdir("nosidecar");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("t.csv"), "a,b\n1,2\n").unwrap();
+        let lake = load_dir(&dir).unwrap();
+        assert_eq!(lake.len(), 1);
+        assert!(lake.table(crate::lake::TableId(0)).meta.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_order_is_deterministic() {
+        let dir = tmpdir("order");
+        std::fs::create_dir_all(&dir).unwrap();
+        for name in ["zz.csv", "aa.csv", "mm.csv"] {
+            std::fs::write(dir.join(name), "x\n1\n").unwrap();
+        }
+        let lake = load_dir(&dir).unwrap();
+        let names: Vec<&str> = lake.iter().map(|(_, t)| t.name.as_str()).collect();
+        assert_eq!(names, vec!["aa.csv", "mm.csv", "zz.csv"]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bad_csv_reports_the_file() {
+        let dir = tmpdir("bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("broken.csv"), "a,b\n1\n").unwrap();
+        let err = load_dir(&dir).unwrap_err();
+        match err {
+            LakeIoError::Csv { file, .. } => assert_eq!(file, "broken.csv"),
+            other => panic!("unexpected error {other}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_dir_is_io_error() {
+        let err = load_dir(Path::new("/definitely/not/a/dir")).unwrap_err();
+        assert!(matches!(err, LakeIoError::Io(_)));
+    }
+}

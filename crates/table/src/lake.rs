@@ -1,0 +1,205 @@
+//! The data lake: a catalog of tables with stable identifiers.
+
+use crate::table::Table;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Stable identifier of a table within a lake (dense, insertion-ordered).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TableId(pub u32);
+
+impl fmt::Display for TableId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Identifier of one column of one table in a lake.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ColumnRef {
+    /// Owning table.
+    pub table: TableId,
+    /// Column index within the table.
+    pub column: u32,
+}
+
+impl ColumnRef {
+    /// Construct from a table id and column index.
+    #[must_use]
+    pub fn new(table: TableId, column: usize) -> Self {
+        ColumnRef { table, column: column as u32 }
+    }
+}
+
+impl fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.c{}", self.table, self.column)
+    }
+}
+
+/// A collection of tables with stable ids — the object every discovery
+/// component (understanding, indexing, search, navigation) operates over.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DataLake {
+    tables: Vec<Table>,
+    by_name: HashMap<String, TableId>,
+}
+
+impl DataLake {
+    /// An empty lake.
+    #[must_use]
+    pub fn new() -> Self {
+        DataLake::default()
+    }
+
+    /// Add a table, returning its id. Duplicate names are allowed (lakes
+    /// have them); `get_by_name` returns the first.
+    pub fn add(&mut self, table: Table) -> TableId {
+        let id = TableId(self.tables.len() as u32);
+        self.by_name.entry(table.name.clone()).or_insert(id);
+        self.tables.push(table);
+        id
+    }
+
+    /// Number of tables.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True if the lake has no tables.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Total number of columns across all tables.
+    #[must_use]
+    pub fn num_columns(&self) -> usize {
+        self.tables.iter().map(Table::num_cols).sum()
+    }
+
+    /// Look up a table by id.
+    ///
+    /// # Panics
+    /// Panics if the id was not issued by this lake.
+    #[must_use]
+    pub fn table(&self, id: TableId) -> &Table {
+        &self.tables[id.0 as usize]
+    }
+
+    /// Look up a table by id, returning `None` for foreign ids.
+    #[must_use]
+    pub fn get(&self, id: TableId) -> Option<&Table> {
+        self.tables.get(id.0 as usize)
+    }
+
+    /// First table with the given name.
+    #[must_use]
+    pub fn get_by_name(&self, name: &str) -> Option<(TableId, &Table)> {
+        self.by_name.get(name).map(|&id| (id, self.table(id)))
+    }
+
+    /// Resolve a column reference.
+    ///
+    /// # Panics
+    /// Panics on a foreign reference.
+    #[must_use]
+    pub fn column(&self, r: ColumnRef) -> &crate::column::Column {
+        &self.table(r.table).columns[r.column as usize]
+    }
+
+    /// Iterate `(id, table)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (TableId, &Table)> {
+        self.tables.iter().enumerate().map(|(i, t)| (TableId(i as u32), t))
+    }
+
+    /// All table ids.
+    pub fn ids(&self) -> impl Iterator<Item = TableId> {
+        (0..self.tables.len() as u32).map(TableId)
+    }
+
+    /// Iterate every column of every table.
+    pub fn columns(&self) -> impl Iterator<Item = (ColumnRef, &crate::column::Column)> {
+        self.iter().flat_map(|(id, t)| {
+            t.columns
+                .iter()
+                .enumerate()
+                .map(move |(ci, c)| (ColumnRef::new(id, ci), c))
+        })
+    }
+}
+
+impl std::ops::Index<TableId> for DataLake {
+    type Output = Table;
+    fn index(&self, id: TableId) -> &Table {
+        self.table(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+
+    fn small_lake() -> DataLake {
+        let mut lake = DataLake::new();
+        lake.add(
+            Table::new("a", vec![Column::from_strings("x", &["1", "2"])]).unwrap(),
+        );
+        lake.add(
+            Table::new(
+                "b",
+                vec![
+                    Column::from_strings("y", &["3"]),
+                    Column::from_strings("z", &["4"]),
+                ],
+            )
+            .unwrap(),
+        );
+        lake
+    }
+
+    #[test]
+    fn ids_are_dense_and_stable() {
+        let lake = small_lake();
+        assert_eq!(lake.len(), 2);
+        assert_eq!(lake.table(TableId(0)).name, "a");
+        assert_eq!(lake.table(TableId(1)).name, "b");
+    }
+
+    #[test]
+    fn lookup_by_name_returns_first() {
+        let mut lake = small_lake();
+        let dup = Table::new("a", vec![Column::from_strings("x", &["9"])]).unwrap();
+        lake.add(dup);
+        let (id, _) = lake.get_by_name("a").unwrap();
+        assert_eq!(id, TableId(0));
+        assert!(lake.get_by_name("zzz").is_none());
+    }
+
+    #[test]
+    fn column_ref_resolution() {
+        let lake = small_lake();
+        let r = ColumnRef::new(TableId(1), 1);
+        assert_eq!(lake.column(r).name, "z");
+        assert_eq!(r.to_string(), "T1.c1");
+    }
+
+    #[test]
+    fn columns_iterates_all() {
+        let lake = small_lake();
+        assert_eq!(lake.num_columns(), 3);
+        let refs: Vec<ColumnRef> = lake.columns().map(|(r, _)| r).collect();
+        assert_eq!(refs.len(), 3);
+        assert_eq!(refs[0], ColumnRef::new(TableId(0), 0));
+        assert_eq!(refs[2], ColumnRef::new(TableId(1), 1));
+    }
+
+    #[test]
+    fn index_operator() {
+        let lake = small_lake();
+        assert_eq!(lake[TableId(0)].name, "a");
+    }
+}

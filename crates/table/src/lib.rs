@@ -1,0 +1,53 @@
+//! # td-table — the data-lake substrate
+//!
+//! Tables, typed values, CSV ingestion, a lake catalog, column/table
+//! profiling, and a synthetic lake generator with exact ground truth.
+//!
+//! This crate is the foundation of the `lakehouse-discovery` workspace,
+//! which reproduces the architecture of *"Table Discovery in Data Lakes:
+//! State-of-the-art and Future Directions"* (Fan, Wang, Li, Miller,
+//! SIGMOD-Companion 2023). Every higher layer — sketches, indices,
+//! understanding, search, navigation, applications — operates on the types
+//! defined here.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use td_table::{csv, DataLake};
+//!
+//! let table = csv::read_table("cities.csv", "city,population\nBoston,650000\n").unwrap();
+//! let mut lake = DataLake::new();
+//! let id = lake.add(table);
+//! assert_eq!(lake.table(id).num_rows(), 1);
+//! ```
+//!
+//! ## Synthetic lakes
+//!
+//! ```
+//! use td_table::gen::{LakeGenConfig, LakeGenerator};
+//!
+//! let gl = LakeGenerator::standard()
+//!     .generate(&LakeGenConfig { num_tables: 10, ..LakeGenConfig::default() });
+//! assert_eq!(gl.lake.len(), 10);
+//! // Every generated column has a ground-truth semantic domain:
+//! let (col_ref, _) = gl.lake.columns().next().unwrap();
+//! assert!(gl.domain_of(col_ref).is_some());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod column;
+pub mod csv;
+pub mod gen;
+pub mod io;
+pub mod lake;
+pub mod profile;
+pub mod table;
+pub mod value;
+
+pub use column::Column;
+pub use lake::{ColumnRef, DataLake, TableId};
+pub use profile::{ColumnProfile, LakeProfile, TableProfile};
+pub use table::{Table, TableError, TableMeta};
+pub use value::{PrimitiveType, Value};

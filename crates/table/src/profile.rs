@@ -1,0 +1,271 @@
+//! Column and table profiles (statistics).
+//!
+//! Profiling is the first offline pass a data-lake management system runs
+//! over raw tables; downstream components (annotation, indexing, search
+//! cost models) consume these statistics instead of rescanning values.
+
+use crate::column::Column;
+use crate::lake::{ColumnRef, DataLake};
+use crate::table::Table;
+use crate::value::PrimitiveType;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Summary statistics for one column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColumnProfile {
+    /// Header name.
+    pub name: String,
+    /// Unified primitive type.
+    pub ty: PrimitiveType,
+    /// Total rows.
+    pub rows: usize,
+    /// Null cells.
+    pub nulls: usize,
+    /// Exact number of distinct non-null values.
+    pub distinct: usize,
+    /// Mean of numeric values (0 if none).
+    pub mean: f64,
+    /// Standard deviation of numeric values (0 if fewer than 2).
+    pub std_dev: f64,
+    /// Min of numeric values.
+    pub min: Option<f64>,
+    /// Max of numeric values.
+    pub max: Option<f64>,
+    /// Mean text length over non-null values rendered as text.
+    pub mean_text_len: f64,
+}
+
+impl ColumnProfile {
+    /// Profile a column with an exact distinct count.
+    #[must_use]
+    pub fn of(column: &Column) -> Self {
+        let rows = column.len();
+        let nulls = column.null_count();
+        let distinct = column.num_distinct();
+        let nums: Vec<f64> = column.numeric_values().into_iter().map(|(_, v)| v).collect();
+        let (mean, std_dev, min, max) = if nums.is_empty() {
+            (0.0, 0.0, None, None)
+        } else {
+            let n = nums.len() as f64;
+            let mean = nums.iter().sum::<f64>() / n;
+            let var = nums.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
+                / if nums.len() > 1 { n - 1.0 } else { 1.0 };
+            let min = nums.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = nums.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            (mean, var.sqrt(), Some(min), Some(max))
+        };
+        let mut text_len_sum = 0usize;
+        let mut text_n = 0usize;
+        for v in &column.values {
+            if let Some(t) = v.as_text() {
+                text_len_sum += t.chars().count();
+                text_n += 1;
+            }
+        }
+        let mean_text_len = if text_n == 0 { 0.0 } else { text_len_sum as f64 / text_n as f64 };
+        ColumnProfile {
+            name: column.name.clone(),
+            ty: column.primitive_type(),
+            rows,
+            nulls,
+            distinct,
+            mean,
+            std_dev,
+            min,
+            max,
+            mean_text_len,
+        }
+    }
+
+    /// Fraction of non-null cells (0 for an empty column).
+    #[must_use]
+    pub fn completeness(&self) -> f64 {
+        if self.rows == 0 {
+            0.0
+        } else {
+            (self.rows - self.nulls) as f64 / self.rows as f64
+        }
+    }
+
+    /// Distinct ratio: distinct / non-null rows. 1.0 means key-like.
+    #[must_use]
+    pub fn uniqueness(&self) -> f64 {
+        let non_null = self.rows - self.nulls;
+        if non_null == 0 {
+            0.0
+        } else {
+            self.distinct as f64 / non_null as f64
+        }
+    }
+
+    /// Heuristic: looks like a candidate key (distinct, complete, non-empty).
+    #[must_use]
+    pub fn is_key_like(&self) -> bool {
+        self.rows > 0 && self.uniqueness() >= 0.999 && self.completeness() >= 0.95
+    }
+}
+
+/// Profile for one table: shape plus per-column profiles.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableProfile {
+    /// Table name.
+    pub name: String,
+    /// Row count.
+    pub rows: usize,
+    /// Per-column profiles.
+    pub columns: Vec<ColumnProfile>,
+}
+
+impl TableProfile {
+    /// Profile every column of a table.
+    #[must_use]
+    pub fn of(table: &Table) -> Self {
+        TableProfile {
+            name: table.name.clone(),
+            rows: table.num_rows(),
+            columns: table.columns.iter().map(ColumnProfile::of).collect(),
+        }
+    }
+
+    /// Indices of key-like columns.
+    #[must_use]
+    pub fn key_candidates(&self) -> Vec<usize> {
+        self.columns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.is_key_like())
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Profiles for every column of every table in a lake.
+///
+/// Serialized as a list of `(column, profile)` pairs so text formats with
+/// string-only map keys (JSON) can carry it.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[serde(
+    from = "Vec<(ColumnRef, ColumnProfile)>",
+    into = "Vec<(ColumnRef, ColumnProfile)>"
+)]
+pub struct LakeProfile {
+    profiles: HashMap<ColumnRef, ColumnProfile>,
+}
+
+impl From<Vec<(ColumnRef, ColumnProfile)>> for LakeProfile {
+    fn from(pairs: Vec<(ColumnRef, ColumnProfile)>) -> Self {
+        LakeProfile { profiles: pairs.into_iter().collect() }
+    }
+}
+
+impl From<LakeProfile> for Vec<(ColumnRef, ColumnProfile)> {
+    fn from(p: LakeProfile) -> Self {
+        let mut v: Vec<(ColumnRef, ColumnProfile)> = p.profiles.into_iter().collect();
+        v.sort_by_key(|(r, _)| *r);
+        v
+    }
+}
+
+impl LakeProfile {
+    /// Profile the whole lake.
+    #[must_use]
+    pub fn of(lake: &DataLake) -> Self {
+        let mut profiles = HashMap::with_capacity(lake.num_columns());
+        for (r, c) in lake.columns() {
+            profiles.insert(r, ColumnProfile::of(c));
+        }
+        LakeProfile { profiles }
+    }
+
+    /// Profile of a single column.
+    #[must_use]
+    pub fn get(&self, r: ColumnRef) -> Option<&ColumnProfile> {
+        self.profiles.get(&r)
+    }
+
+    /// Number of profiled columns.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// True if nothing was profiled.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+
+    /// Iterate all `(column, profile)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ColumnRef, &ColumnProfile)> {
+        self.profiles.iter().map(|(&r, p)| (r, p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_stats() {
+        let c = Column::from_strings("n", &["1", "2", "3", "4"]);
+        let p = ColumnProfile::of(&c);
+        assert_eq!(p.mean, 2.5);
+        assert!((p.std_dev - 1.2909944).abs() < 1e-6);
+        assert_eq!(p.min, Some(1.0));
+        assert_eq!(p.max, Some(4.0));
+        assert_eq!(p.ty, PrimitiveType::Int);
+    }
+
+    #[test]
+    fn text_stats_and_completeness() {
+        let c = Column::from_strings("t", &["ab", "abcd", ""]);
+        let p = ColumnProfile::of(&c);
+        assert_eq!(p.nulls, 1);
+        assert!((p.completeness() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(p.mean_text_len, 3.0);
+        assert_eq!(p.min, None);
+    }
+
+    #[test]
+    fn key_detection() {
+        let key = Column::from_strings("id", &["1", "2", "3", "4", "5"]);
+        assert!(ColumnProfile::of(&key).is_key_like());
+        let dup = Column::from_strings("id", &["1", "1", "2", "3", "4"]);
+        assert!(!ColumnProfile::of(&dup).is_key_like());
+    }
+
+    #[test]
+    fn table_profile_finds_key_candidates() {
+        let t = Table::new(
+            "t",
+            vec![
+                Column::from_strings("id", &["1", "2", "3"]),
+                Column::from_strings("city", &["a", "a", "b"]),
+            ],
+        )
+        .unwrap();
+        let p = TableProfile::of(&t);
+        assert_eq!(p.key_candidates(), vec![0]);
+        assert_eq!(p.rows, 3);
+    }
+
+    #[test]
+    fn lake_profile_covers_all_columns() {
+        let mut lake = DataLake::new();
+        let t = Table::new("t", vec![Column::from_strings("a", &["1"])]).unwrap();
+        let id = lake.add(t);
+        let lp = LakeProfile::of(&lake);
+        assert_eq!(lp.len(), 1);
+        assert!(lp.get(ColumnRef::new(id, 0)).is_some());
+    }
+
+    #[test]
+    fn empty_column_profile_is_sane() {
+        let c = Column::new("e", vec![]);
+        let p = ColumnProfile::of(&c);
+        assert_eq!(p.completeness(), 0.0);
+        assert_eq!(p.uniqueness(), 0.0);
+        assert!(!p.is_key_like());
+    }
+}

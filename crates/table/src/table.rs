@@ -1,0 +1,311 @@
+//! Tables and table metadata.
+
+use crate::column::Column;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Free-form table metadata.
+///
+/// Data-lake metadata is notoriously unreliable (the tutorial's Section 2.1
+/// motivation for data-driven discovery): any field may be missing,
+/// inconsistent, or wrong. Keyword search operates on this; value-based
+/// search deliberately does not.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableMeta {
+    /// Human-readable title, possibly empty.
+    pub title: String,
+    /// Longer description, possibly empty.
+    pub description: String,
+    /// Topic tags, possibly empty.
+    pub tags: Vec<String>,
+    /// Originating source/portal, possibly empty.
+    pub source: String,
+}
+
+impl TableMeta {
+    /// All metadata text concatenated for keyword indexing.
+    #[must_use]
+    pub fn full_text(&self) -> String {
+        let mut s = String::with_capacity(
+            self.title.len() + self.description.len() + self.source.len() + 16,
+        );
+        s.push_str(&self.title);
+        s.push(' ');
+        s.push_str(&self.description);
+        for t in &self.tags {
+            s.push(' ');
+            s.push_str(t);
+        }
+        s.push(' ');
+        s.push_str(&self.source);
+        s
+    }
+
+    /// True if every metadata field is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.title.is_empty()
+            && self.description.is_empty()
+            && self.tags.is_empty()
+            && self.source.is_empty()
+    }
+}
+
+/// A relational table: named columns of equal length plus metadata.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    /// Table name (file name in a lake).
+    pub name: String,
+    /// Columns; all must share the same row count.
+    pub columns: Vec<Column>,
+    /// Optional metadata.
+    pub meta: TableMeta,
+}
+
+/// Errors constructing or manipulating tables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableError {
+    /// Columns with differing lengths were supplied.
+    RaggedColumns {
+        /// Length of the first column.
+        expected: usize,
+        /// Offending column name.
+        column: String,
+        /// Its length.
+        actual: usize,
+    },
+    /// A referenced column name does not exist.
+    NoSuchColumn(String),
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableError::RaggedColumns { expected, column, actual } => write!(
+                f,
+                "column {column:?} has {actual} rows, expected {expected}"
+            ),
+            TableError::NoSuchColumn(c) => write!(f, "no such column: {c:?}"),
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+impl Table {
+    /// Create a table, validating that all columns have equal length.
+    pub fn new(name: impl Into<String>, columns: Vec<Column>) -> Result<Self, TableError> {
+        let expected = columns.first().map_or(0, Column::len);
+        for c in &columns {
+            if c.len() != expected {
+                return Err(TableError::RaggedColumns {
+                    expected,
+                    column: c.name.clone(),
+                    actual: c.len(),
+                });
+            }
+        }
+        Ok(Table { name: name.into(), columns, meta: TableMeta::default() })
+    }
+
+    /// Create a table and attach metadata.
+    pub fn with_meta(
+        name: impl Into<String>,
+        columns: Vec<Column>,
+        meta: TableMeta,
+    ) -> Result<Self, TableError> {
+        let mut t = Table::new(name, columns)?;
+        t.meta = meta;
+        Ok(t)
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn num_rows(&self) -> usize {
+        self.columns.first().map_or(0, Column::len)
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn num_cols(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column header names in order.
+    #[must_use]
+    pub fn headers(&self) -> Vec<&str> {
+        self.columns.iter().map(|c| c.name.as_str()).collect()
+    }
+
+    /// Look up a column by name (first match).
+    #[must_use]
+    pub fn column(&self, name: &str) -> Option<&Column> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+
+    /// Index of a column by name (first match).
+    #[must_use]
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// One row as a vector of value references.
+    ///
+    /// # Panics
+    /// Panics if `row >= num_rows()`.
+    #[must_use]
+    pub fn row(&self, row: usize) -> Vec<&Value> {
+        self.columns.iter().map(|c| &c.values[row]).collect()
+    }
+
+    /// Iterate over rows.
+    pub fn rows(&self) -> impl Iterator<Item = Vec<&Value>> + '_ {
+        (0..self.num_rows()).map(move |r| self.row(r))
+    }
+
+    /// Project a subset of columns by index, preserving order.
+    ///
+    /// Out-of-range indices are an error in the caller; this panics.
+    #[must_use]
+    pub fn project(&self, cols: &[usize]) -> Table {
+        Table {
+            name: self.name.clone(),
+            columns: cols.iter().map(|&i| self.columns[i].clone()).collect(),
+            meta: self.meta.clone(),
+        }
+    }
+
+    /// Select a subset of rows by index, preserving order.
+    #[must_use]
+    pub fn select_rows(&self, rows: &[usize]) -> Table {
+        Table {
+            name: self.name.clone(),
+            columns: self
+                .columns
+                .iter()
+                .map(|c| Column {
+                    name: c.name.clone(),
+                    values: rows.iter().map(|&r| c.values[r].clone()).collect(),
+                })
+                .collect(),
+            meta: self.meta.clone(),
+        }
+    }
+
+    /// Vertically concatenate another table with an explicit column
+    /// alignment: `alignment[i] = Some(j)` maps our column `i` to the other
+    /// table's column `j`; `None` pads with nulls.
+    ///
+    /// This is the primitive behind union-table materialization and table
+    /// stitching.
+    #[must_use]
+    pub fn union_with(&self, other: &Table, alignment: &[Option<usize>]) -> Table {
+        assert_eq!(alignment.len(), self.num_cols(), "alignment must cover all columns");
+        let mut columns = Vec::with_capacity(self.num_cols());
+        for (i, col) in self.columns.iter().enumerate() {
+            let mut values = col.values.clone();
+            match alignment[i] {
+                Some(j) => values.extend(other.columns[j].values.iter().cloned()),
+                None => values.extend(std::iter::repeat_n(Value::Null, other.num_rows())),
+            }
+            columns.push(Column { name: col.name.clone(), values });
+        }
+        Table { name: format!("{}+{}", self.name, other.name), columns, meta: self.meta.clone() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> Table {
+        Table::new(
+            "t",
+            vec![
+                Column::from_strings("id", &["1", "2", "3"]),
+                Column::from_strings("city", &["boston", "seattle", "austin"]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn new_rejects_ragged_columns() {
+        let err = Table::new(
+            "bad",
+            vec![
+                Column::from_strings("a", &["1"]),
+                Column::from_strings("b", &["1", "2"]),
+            ],
+        )
+        .unwrap_err();
+        assert!(matches!(err, TableError::RaggedColumns { expected: 1, actual: 2, .. }));
+    }
+
+    #[test]
+    fn shape_accessors() {
+        let t = t();
+        assert_eq!(t.num_rows(), 3);
+        assert_eq!(t.num_cols(), 2);
+        assert_eq!(t.headers(), vec!["id", "city"]);
+    }
+
+    #[test]
+    fn column_lookup_by_name() {
+        let t = t();
+        assert_eq!(t.column("city").unwrap().values[0], Value::Text("boston".into()));
+        assert!(t.column("nope").is_none());
+        assert_eq!(t.column_index("city"), Some(1));
+    }
+
+    #[test]
+    fn row_access() {
+        let t = t();
+        let r = t.row(1);
+        assert_eq!(*r[0], Value::Int(2));
+        assert_eq!(*r[1], Value::Text("seattle".into()));
+        assert_eq!(t.rows().count(), 3);
+    }
+
+    #[test]
+    fn project_and_select() {
+        let t = t();
+        let p = t.project(&[1]);
+        assert_eq!(p.headers(), vec!["city"]);
+        let s = t.select_rows(&[2, 0]);
+        assert_eq!(*s.row(0)[0], Value::Int(3));
+        assert_eq!(*s.row(1)[0], Value::Int(1));
+    }
+
+    #[test]
+    fn union_with_alignment_and_null_padding() {
+        let a = t();
+        let b = Table::new(
+            "b",
+            vec![Column::from_strings("town", &["nyc"])],
+        )
+        .unwrap();
+        // align city -> town, id -> nothing
+        let u = a.union_with(&b, &[None, Some(0)]);
+        assert_eq!(u.num_rows(), 4);
+        assert!(u.columns[0].values[3].is_null());
+        assert_eq!(u.columns[1].values[3], Value::Text("nyc".into()));
+    }
+
+    #[test]
+    fn meta_full_text_concatenates() {
+        let m = TableMeta {
+            title: "City budgets".into(),
+            description: "annual".into(),
+            tags: vec!["finance".into()],
+            source: "portal".into(),
+        };
+        let ft = m.full_text();
+        for w in ["City", "annual", "finance", "portal"] {
+            assert!(ft.contains(w));
+        }
+        assert!(!m.is_empty());
+        assert!(TableMeta::default().is_empty());
+    }
+}

@@ -1,0 +1,339 @@
+//! Cell values and primitive type inference.
+//!
+//! Data-lake tables arrive in primitive formats (most often CSV), so every
+//! cell starts life as a string. [`Value::parse`] performs the light-weight
+//! syntactic type inference that a lake ingestion pipeline applies before any
+//! semantic understanding happens (semantic types are the job of
+//! `td-understand`).
+
+use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// The primitive (syntactic) type of a cell or column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PrimitiveType {
+    /// No non-null cell observed.
+    Null,
+    /// Boolean-like (`true`/`false`, `yes`/`no`, `0`/`1` when declared).
+    Bool,
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// Anything else.
+    Text,
+}
+
+impl PrimitiveType {
+    /// The most specific type that can represent both inputs.
+    ///
+    /// Used to fold per-cell types into a column type: `Int` and `Float`
+    /// unify to `Float`, anything else involving `Text` unifies to `Text`,
+    /// and `Null` is the identity.
+    #[must_use]
+    pub fn unify(self, other: PrimitiveType) -> PrimitiveType {
+        use PrimitiveType::*;
+        match (self, other) {
+            (Null, t) | (t, Null) => t,
+            (a, b) if a == b => a,
+            (Int, Float) | (Float, Int) => Float,
+            _ => Text,
+        }
+    }
+
+    /// True if the type is numeric (`Int` or `Float`).
+    #[must_use]
+    pub fn is_numeric(self) -> bool {
+        matches!(self, PrimitiveType::Int | PrimitiveType::Float)
+    }
+}
+
+impl fmt::Display for PrimitiveType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PrimitiveType::Null => "null",
+            PrimitiveType::Bool => "bool",
+            PrimitiveType::Int => "int",
+            PrimitiveType::Float => "float",
+            PrimitiveType::Text => "text",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single cell value.
+///
+/// `Value` implements `Eq` and `Hash` (floats compare by their bit pattern,
+/// with `-0.0` normalized to `0.0` and all NaNs collapsed to one bit
+/// pattern), so values can be used directly as set elements in overlap
+/// computations and sketches.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    /// Missing / empty cell.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Integer.
+    Int(i64),
+    /// Float.
+    Float(f64),
+    /// Free text.
+    Text(String),
+}
+
+impl Value {
+    /// Parse a raw string cell into a typed value.
+    ///
+    /// Empty strings and the common null spellings (`na`, `n/a`, `null`,
+    /// `none`, `-`, case-insensitive) become [`Value::Null`]. Integers are
+    /// preferred over floats; `true`/`false` (case-insensitive) become
+    /// booleans. Leading/trailing whitespace is ignored for inference but
+    /// preserved in the `Text` fallback only after trimming (lake CSVs are
+    /// routinely padded).
+    #[must_use]
+    pub fn parse(raw: &str) -> Value {
+        let s = raw.trim();
+        if s.is_empty() {
+            return Value::Null;
+        }
+        match s.to_ascii_lowercase().as_str() {
+            "na" | "n/a" | "null" | "none" | "-" | "nan" => return Value::Null,
+            "true" => return Value::Bool(true),
+            "false" => return Value::Bool(false),
+            _ => {}
+        }
+        if let Ok(i) = s.parse::<i64>() {
+            return Value::Int(i);
+        }
+        // Reject float spellings like "inf" that are usually text in tables.
+        if s.bytes()
+            .all(|b| b.is_ascii_digit() || matches!(b, b'.' | b'-' | b'+' | b'e' | b'E'))
+        {
+            if let Ok(f) = s.parse::<f64>() {
+                if f.is_finite() {
+                    return Value::Float(f);
+                }
+            }
+        }
+        Value::Text(s.to_string())
+    }
+
+    /// The primitive type of this value.
+    #[must_use]
+    pub fn primitive_type(&self) -> PrimitiveType {
+        match self {
+            Value::Null => PrimitiveType::Null,
+            Value::Bool(_) => PrimitiveType::Bool,
+            Value::Int(_) => PrimitiveType::Int,
+            Value::Float(_) => PrimitiveType::Float,
+            Value::Text(_) => PrimitiveType::Text,
+        }
+    }
+
+    /// True for [`Value::Null`].
+    #[must_use]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view (`Int` widened to `f64`), or `None`.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Text view: borrowed for `Text`, rendered for everything else,
+    /// `None` for `Null`.
+    #[must_use]
+    pub fn as_text(&self) -> Option<Cow<'_, str>> {
+        match self {
+            Value::Null => None,
+            Value::Text(s) => Some(Cow::Borrowed(s)),
+            other => Some(Cow::Owned(other.to_string())),
+        }
+    }
+
+    /// Canonical token used by set-overlap search and sketches: the value
+    /// rendered to text, lower-cased. `None` for nulls (nulls never join).
+    #[must_use]
+    pub fn join_token(&self) -> Option<String> {
+        self.as_text().map(|t| t.to_lowercase())
+    }
+
+    /// Normalized float bits: `-0.0 → 0.0`, all NaNs to one pattern.
+    fn float_key(f: f64) -> u64 {
+        if f.is_nan() {
+            f64::NAN.to_bits()
+        } else if f == 0.0 {
+            0.0_f64.to_bits()
+        } else {
+            f.to_bits()
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => {
+                Value::float_key(*a) == Value::float_key(*b)
+            }
+            (Value::Text(a), Value::Text(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        core::mem::discriminant(self).hash(state);
+        match self {
+            Value::Null => {}
+            Value::Bool(b) => b.hash(state),
+            Value::Int(i) => i.hash(state),
+            Value::Float(f) => Value::float_key(*f).hash(state),
+            Value::Text(s) => s.hash(state),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => Ok(()),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Text(s) => f.write_str(s),
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Text(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Text(s)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::Float(f)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn parse_infers_null_spellings() {
+        for s in ["", "  ", "NA", "n/a", "NULL", "none", "-", "NaN"] {
+            assert_eq!(Value::parse(s), Value::Null, "input {s:?}");
+        }
+    }
+
+    #[test]
+    fn parse_infers_bool() {
+        assert_eq!(Value::parse("true"), Value::Bool(true));
+        assert_eq!(Value::parse("FALSE"), Value::Bool(false));
+    }
+
+    #[test]
+    fn parse_prefers_int_over_float() {
+        assert_eq!(Value::parse("42"), Value::Int(42));
+        assert_eq!(Value::parse("-7"), Value::Int(-7));
+        assert_eq!(Value::parse("42.5"), Value::Float(42.5));
+        assert_eq!(Value::parse("1e3"), Value::Float(1000.0));
+    }
+
+    #[test]
+    fn parse_rejects_textual_float_spellings() {
+        assert_eq!(Value::parse("inf"), Value::Text("inf".into()));
+        assert_eq!(Value::parse("infinity"), Value::Text("infinity".into()));
+    }
+
+    #[test]
+    fn parse_trims_whitespace() {
+        assert_eq!(Value::parse("  12 "), Value::Int(12));
+        assert_eq!(Value::parse(" boston "), Value::Text("boston".into()));
+    }
+
+    #[test]
+    fn float_equality_normalizes_zero_and_nan() {
+        assert_eq!(Value::Float(0.0), Value::Float(-0.0));
+        assert_eq!(Value::Float(f64::NAN), Value::Float(-f64::NAN));
+        assert_eq!(hash_of(&Value::Float(0.0)), hash_of(&Value::Float(-0.0)));
+    }
+
+    #[test]
+    fn int_and_float_are_distinct_values() {
+        assert_ne!(Value::Int(1), Value::Float(1.0));
+    }
+
+    #[test]
+    fn unify_widens_toward_text() {
+        use PrimitiveType::*;
+        assert_eq!(Int.unify(Float), Float);
+        assert_eq!(Null.unify(Bool), Bool);
+        assert_eq!(Bool.unify(Int), Text);
+        assert_eq!(Text.unify(Null), Text);
+        assert_eq!(Int.unify(Int), Int);
+    }
+
+    #[test]
+    fn join_token_lowercases_and_skips_null() {
+        assert_eq!(Value::Text("Boston".into()).join_token().unwrap(), "boston");
+        assert_eq!(Value::Int(5).join_token().unwrap(), "5");
+        assert!(Value::Null.join_token().is_none());
+    }
+
+    #[test]
+    fn as_f64_widens_ints() {
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Float(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::Text("x".into()).as_f64(), None);
+    }
+
+    #[test]
+    fn display_roundtrips_through_parse_for_scalars() {
+        for v in [Value::Int(12), Value::Float(3.25), Value::Bool(true)] {
+            assert_eq!(Value::parse(&v.to_string()), v);
+        }
+    }
+}

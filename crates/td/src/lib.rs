@@ -1,0 +1,45 @@
+//! # td — table discovery in data lakes
+//!
+//! The facade crate of the `lakehouse-discovery` workspace, a from-scratch
+//! Rust reproduction of the system architecture surveyed in *"Table
+//! Discovery in Data Lakes: State-of-the-art and Future Directions"*
+//! (Fan, Wang, Li, Miller; SIGMOD-Companion 2023).
+//!
+//! Re-exports every layer:
+//!
+//! * [`table`] — the data-lake substrate (tables, CSV, catalog, profiles,
+//!   synthetic lake generation with ground truth).
+//! * [`sketch`] — MinHash, bottom-k, HyperLogLog, QCR correlation sketches.
+//! * [`index`] — inverted lists, MinHash LSH, LSH Ensemble, HNSW, BM25.
+//! * [`embed`] — deterministic pseudo-embeddings and column encoders.
+//! * [`understand`] — type detection, domain discovery, KB, annotation.
+//! * [`core`] — the search engine: keyword, joinable, unionable search.
+//! * [`nav`] — linkage graphs, organizations, online hierarchies,
+//!   homograph detection.
+//! * [`apps`] — feature augmentation, training-set discovery, stitching.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use td::table::gen::{LakeGenConfig, LakeGenerator};
+//! use td::core::{DiscoveryPipeline, PipelineConfig};
+//!
+//! let gl = LakeGenerator::standard()
+//!     .generate(&LakeGenConfig { num_tables: 20, ..Default::default() });
+//! let pipeline = DiscoveryPipeline::build(
+//!     &gl.lake, &gl.registry, &[], &PipelineConfig::default());
+//! let hits = pipeline.search_keyword("geography dataset", 5);
+//! assert!(hits.len() <= 5);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub use td_apps as apps;
+pub use td_core as core;
+pub use td_embed as embed;
+pub use td_index as index;
+pub use td_nav as nav;
+pub use td_sketch as sketch;
+pub use td_table as table;
+pub use td_understand as understand;

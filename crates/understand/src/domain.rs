@@ -1,0 +1,309 @@
+//! Data-driven domain discovery (tutorial §2.2; Ota et al. VLDB 2020,
+//! Li et al. KDD 2017).
+//!
+//! Rather than labeling columns with types, domain discovery collects the
+//! *values* that belong to one semantic domain by clustering columns whose
+//! value sets overlap. The implementation is unsupervised: an inverted
+//! index proposes column pairs that share values, exact Jaccard gates an
+//! edge, and union-find components become domains.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+use td_table::{ColumnRef, DataLake};
+
+/// Configuration for [`discover_domains`].
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DomainDiscoveryConfig {
+    /// Minimum Jaccard between two columns' value sets to link them.
+    pub jaccard_threshold: f64,
+    /// Minimum columns per reported domain.
+    pub min_columns: usize,
+    /// Skip columns with fewer distinct values than this (too little
+    /// evidence to cluster on).
+    pub min_distinct: usize,
+}
+
+impl Default for DomainDiscoveryConfig {
+    fn default() -> Self {
+        DomainDiscoveryConfig { jaccard_threshold: 0.1, min_columns: 2, min_distinct: 3 }
+    }
+}
+
+/// A discovered domain: member columns and the union of their values.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DiscoveredDomain {
+    /// Columns assigned to this domain.
+    pub columns: Vec<ColumnRef>,
+    /// All values observed across the member columns.
+    pub values: HashSet<String>,
+    /// A representative value (the most frequent across member columns),
+    /// in the spirit of Li et al.'s domain representatives.
+    pub representative: String,
+}
+
+/// Union-find with path compression.
+#[derive(Debug)]
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind { parent: (0..n).collect() }
+    }
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+/// Discover value domains across a lake's textual columns.
+#[must_use]
+pub fn discover_domains(lake: &DataLake, cfg: &DomainDiscoveryConfig) -> Vec<DiscoveredDomain> {
+    // Collect eligible columns with their token sets.
+    let mut refs: Vec<ColumnRef> = Vec::new();
+    let mut sets: Vec<HashSet<String>> = Vec::new();
+    for (r, col) in lake.columns() {
+        if col.is_numeric() {
+            continue;
+        }
+        let tokens = col.token_set();
+        if tokens.len() < cfg.min_distinct {
+            continue;
+        }
+        refs.push(r);
+        sets.push(tokens);
+    }
+
+    // Inverted index value → column positions, to propose overlapping pairs.
+    let mut by_value: HashMap<&str, Vec<usize>> = HashMap::new();
+    for (i, s) in sets.iter().enumerate() {
+        for v in s {
+            by_value.entry(v.as_str()).or_default().push(i);
+        }
+    }
+    let mut pair_overlap: HashMap<(usize, usize), usize> = HashMap::new();
+    for cols in by_value.values() {
+        for (a_idx, &a) in cols.iter().enumerate() {
+            for &b in &cols[a_idx + 1..] {
+                *pair_overlap.entry((a.min(b), a.max(b))).or_insert(0) += 1;
+            }
+        }
+    }
+
+    let mut uf = UnionFind::new(sets.len());
+    for (&(a, b), &ov) in &pair_overlap {
+        let union = sets[a].len() + sets[b].len() - ov;
+        if union > 0 && ov as f64 / union as f64 >= cfg.jaccard_threshold {
+            uf.union(a, b);
+        }
+    }
+
+    let mut clusters: HashMap<usize, Vec<usize>> = HashMap::new();
+    for i in 0..sets.len() {
+        let root = uf.find(i);
+        clusters.entry(root).or_default().push(i);
+    }
+
+    let mut out = Vec::new();
+    for members in clusters.into_values() {
+        if members.len() < cfg.min_columns {
+            continue;
+        }
+        let mut values: HashSet<String> = HashSet::new();
+        let mut freq: HashMap<&str, usize> = HashMap::new();
+        for &m in &members {
+            for v in &sets[m] {
+                *freq.entry(v.as_str()).or_insert(0) += 1;
+            }
+        }
+        let representative = freq
+            .iter()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
+            .map(|(v, _)| (*v).to_string())
+            .unwrap_or_default();
+        for &m in &members {
+            values.extend(sets[m].iter().cloned());
+        }
+        out.push(DiscoveredDomain {
+            columns: members.into_iter().map(|m| refs[m]).collect(),
+            values,
+            representative,
+        });
+    }
+    // Deterministic order: largest first, then by first column.
+    out.sort_by(|a, b| {
+        b.columns
+            .len()
+            .cmp(&a.columns.len())
+            .then(a.columns.first().cmp(&b.columns.first()))
+    });
+    out
+}
+
+/// Pairwise clustering precision/recall/F1 of a discovered clustering
+/// against ground-truth labels.
+///
+/// A pair of columns is a true positive if they share a cluster in both
+/// the prediction and the truth. Columns absent from `predicted` count as
+/// singletons.
+#[must_use]
+pub fn pairwise_f1<L: Eq + std::hash::Hash>(
+    predicted: &[Vec<ColumnRef>],
+    truth: &HashMap<ColumnRef, L>,
+) -> (f64, f64, f64) {
+    let mut pred_cluster: HashMap<ColumnRef, usize> = HashMap::new();
+    for (ci, cluster) in predicted.iter().enumerate() {
+        for &c in cluster {
+            pred_cluster.insert(c, ci);
+        }
+    }
+    let cols: Vec<ColumnRef> = truth.keys().copied().collect();
+    let (mut tp, mut fp, mut fn_) = (0usize, 0usize, 0usize);
+    for i in 0..cols.len() {
+        for j in (i + 1)..cols.len() {
+            let (a, b) = (cols[i], cols[j]);
+            let same_truth = truth[&a] == truth[&b];
+            let same_pred = match (pred_cluster.get(&a), pred_cluster.get(&b)) {
+                (Some(x), Some(y)) => x == y,
+                _ => false,
+            };
+            match (same_pred, same_truth) {
+                (true, true) => tp += 1,
+                (true, false) => fp += 1,
+                (false, true) => fn_ += 1,
+                (false, false) => {}
+            }
+        }
+    }
+    let p = if tp + fp == 0 { 0.0 } else { tp as f64 / (tp + fp) as f64 };
+    let r = if tp + fn_ == 0 { 0.0 } else { tp as f64 / (tp + fn_) as f64 };
+    let f1 = if p + r == 0.0 { 0.0 } else { 2.0 * p * r / (p + r) };
+    (p, r, f1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_table::gen::domains::DomainRegistry;
+    use td_table::{Column, Table};
+
+    /// A lake with `cols_per_domain` columns from each named domain, each
+    /// drawing an overlapping slice of the domain vocabulary.
+    fn lake_with_domains(
+        r: &DomainRegistry,
+        names: &[&str],
+        cols_per_domain: usize,
+    ) -> (DataLake, HashMap<ColumnRef, String>) {
+        let mut lake = DataLake::new();
+        let mut truth = HashMap::new();
+        for (di, name) in names.iter().enumerate() {
+            let d = r.id(name).unwrap();
+            for c in 0..cols_per_domain {
+                // Slices [0+10c, 60+10c): consecutive columns overlap ~83%.
+                let lo = (c * 10) as u64;
+                let col = Column::new(
+                    format!("col_{di}_{c}"),
+                    (lo..lo + 60).map(|i| r.value(d, i)).collect(),
+                );
+                let t = Table::new(format!("t_{di}_{c}"), vec![col]).unwrap();
+                let id = lake.add(t);
+                truth.insert(ColumnRef::new(id, 0), (*name).to_string());
+            }
+        }
+        (lake, truth)
+    }
+
+    #[test]
+    fn recovers_planted_domains() {
+        let r = DomainRegistry::standard();
+        let (lake, truth) =
+            lake_with_domains(&r, &["city", "gene", "animal", "company"], 5);
+        let domains = discover_domains(&lake, &DomainDiscoveryConfig::default());
+        assert_eq!(domains.len(), 4, "expected 4 domains, got {}", domains.len());
+        let clusters: Vec<Vec<ColumnRef>> =
+            domains.iter().map(|d| d.columns.clone()).collect();
+        let (p, rec, f1) = pairwise_f1(&clusters, &truth);
+        assert!(p > 0.95, "precision {p}");
+        assert!(rec > 0.95, "recall {rec}");
+        assert!(f1 > 0.95, "f1 {f1}");
+    }
+
+    #[test]
+    fn domain_values_are_unioned() {
+        let r = DomainRegistry::standard();
+        let (lake, _) = lake_with_domains(&r, &["city"], 3);
+        let domains = discover_domains(&lake, &DomainDiscoveryConfig::default());
+        assert_eq!(domains.len(), 1);
+        // 3 columns with slices [0,60), [10,70), [20,80): union = 80 values.
+        assert_eq!(domains[0].values.len(), 80);
+        assert!(!domains[0].representative.is_empty());
+    }
+
+    #[test]
+    fn disjoint_columns_stay_apart() {
+        let r = DomainRegistry::standard();
+        let d = r.id("city").unwrap();
+        let mut lake = DataLake::new();
+        for c in 0..3u64 {
+            let col = Column::new(
+                "city",
+                (c * 1000..c * 1000 + 50).map(|i| r.value(d, i)).collect(),
+            );
+            lake.add(Table::new(format!("t{c}"), vec![col]).unwrap());
+        }
+        let domains = discover_domains(&lake, &DomainDiscoveryConfig::default());
+        // No overlap: no multi-column domain is formed.
+        assert!(domains.is_empty());
+    }
+
+    #[test]
+    fn numeric_and_tiny_columns_are_skipped() {
+        let mut lake = DataLake::new();
+        let num = Column::from_strings("n", &["1", "2", "3", "4", "5"]);
+        let tiny = Column::from_strings("t", &["a", "b"]);
+        lake.add(Table::new("t1", vec![num]).unwrap());
+        lake.add(Table::new("t2", vec![tiny]).unwrap());
+        let domains = discover_domains(&lake, &DomainDiscoveryConfig::default());
+        assert!(domains.is_empty());
+    }
+
+    #[test]
+    fn threshold_controls_merging() {
+        let r = DomainRegistry::standard();
+        let (lake, _) = lake_with_domains(&r, &["city"], 4);
+        let strict = discover_domains(
+            &lake,
+            &DomainDiscoveryConfig { jaccard_threshold: 0.95, ..Default::default() },
+        );
+        let loose = discover_domains(&lake, &DomainDiscoveryConfig::default());
+        // At 95% Jaccard the ~83%-overlap slices do not merge.
+        assert!(strict.is_empty());
+        assert_eq!(loose.len(), 1);
+    }
+
+    #[test]
+    fn pairwise_f1_perfect_and_empty() {
+        let a = ColumnRef::new(td_table::TableId(0), 0);
+        let b = ColumnRef::new(td_table::TableId(1), 0);
+        let c = ColumnRef::new(td_table::TableId(2), 0);
+        let mut truth = HashMap::new();
+        truth.insert(a, "x");
+        truth.insert(b, "x");
+        truth.insert(c, "y");
+        let (p, r, f1) = pairwise_f1(&[vec![a, b], vec![c]], &truth);
+        assert_eq!((p, r, f1), (1.0, 1.0, 1.0));
+        let (p2, r2, _) = pairwise_f1(&[], &truth);
+        assert_eq!(p2, 0.0);
+        assert_eq!(r2, 0.0);
+    }
+}

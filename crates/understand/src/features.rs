@@ -1,0 +1,180 @@
+//! Column feature extraction for semantic type detection.
+//!
+//! A fixed-length numeric description of a column — character-class
+//! distributions, shape statistics, cardinality ratios — in the spirit of
+//! Sherlock's feature set (Hulsebos et al., KDD 2019), scaled down to the
+//! features that carry signal for our synthetic domains.
+
+use td_table::Column;
+
+/// Number of features produced by [`column_features`].
+pub const NUM_FEATURES: usize = 16;
+
+/// Human-readable names of the feature dimensions (for reports).
+pub const FEATURE_NAMES: [&str; NUM_FEATURES] = [
+    "frac_digit_chars",
+    "frac_alpha_chars",
+    "frac_upper_chars",
+    "frac_punct_chars",
+    "frac_space_chars",
+    "mean_len",
+    "std_len",
+    "min_len",
+    "max_len",
+    "distinct_ratio",
+    "null_ratio",
+    "frac_numeric_cells",
+    "mean_tokens_per_cell",
+    "frac_leading_upper",
+    "frac_contains_at",
+    "frac_contains_dash",
+];
+
+/// Extract the feature vector of a column.
+///
+/// All features are finite and scale-free (fractions, ratios, or lengths),
+/// so they compose into centroid/Gaussian classifiers without further
+/// normalization. An all-null column yields all zeros.
+#[must_use]
+pub fn column_features(column: &Column) -> [f64; NUM_FEATURES] {
+    let mut f = [0.0f64; NUM_FEATURES];
+    let mut chars_total = 0usize;
+    let (mut digits, mut alphas, mut uppers, mut puncts, mut spaces) = (0, 0, 0, 0, 0);
+    let mut lens: Vec<f64> = Vec::new();
+    let mut numeric_cells = 0usize;
+    let mut tokens_total = 0usize;
+    let mut leading_upper = 0usize;
+    let mut has_at = 0usize;
+    let mut has_dash = 0usize;
+    let mut non_null = 0usize;
+
+    for v in &column.values {
+        let Some(text) = v.as_text() else { continue };
+        non_null += 1;
+        if v.as_f64().is_some() {
+            numeric_cells += 1;
+        }
+        let mut len = 0usize;
+        for c in text.chars() {
+            len += 1;
+            chars_total += 1;
+            if c.is_ascii_digit() {
+                digits += 1;
+            } else if c.is_alphabetic() {
+                alphas += 1;
+                if c.is_uppercase() {
+                    uppers += 1;
+                }
+            } else if c.is_whitespace() {
+                spaces += 1;
+            } else {
+                puncts += 1;
+            }
+        }
+        lens.push(len as f64);
+        tokens_total += text.split_whitespace().count();
+        if text.chars().next().is_some_and(char::is_uppercase) {
+            leading_upper += 1;
+        }
+        if text.contains('@') {
+            has_at += 1;
+        }
+        if text.contains('-') {
+            has_dash += 1;
+        }
+    }
+
+    if non_null == 0 {
+        return f;
+    }
+    let ct = chars_total.max(1) as f64;
+    f[0] = digits as f64 / ct;
+    f[1] = alphas as f64 / ct;
+    f[2] = uppers as f64 / ct;
+    f[3] = puncts as f64 / ct;
+    f[4] = spaces as f64 / ct;
+    let n = lens.len() as f64;
+    let mean = lens.iter().sum::<f64>() / n;
+    f[5] = mean;
+    f[6] = (lens.iter().map(|l| (l - mean).powi(2)).sum::<f64>() / n).sqrt();
+    f[7] = lens.iter().cloned().fold(f64::INFINITY, f64::min);
+    f[8] = lens.iter().cloned().fold(0.0, f64::max);
+    f[9] = column.num_distinct() as f64 / non_null as f64;
+    f[10] = column.null_count() as f64 / column.len().max(1) as f64;
+    f[11] = numeric_cells as f64 / non_null as f64;
+    f[12] = tokens_total as f64 / non_null as f64;
+    f[13] = leading_upper as f64 / non_null as f64;
+    f[14] = has_at as f64 / non_null as f64;
+    f[15] = has_dash as f64 / non_null as f64;
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn email_columns_light_up_the_at_feature() {
+        let c = Column::from_strings("e", &["a@b.com", "c@d.org"]);
+        let f = column_features(&c);
+        assert_eq!(f[14], 1.0);
+        assert!(f[3] > 0.0); // punctuation from @ and .
+    }
+
+    #[test]
+    fn numeric_columns_have_high_digit_fraction() {
+        let c = Column::from_strings("n", &["123", "456", "789"]);
+        let f = column_features(&c);
+        assert_eq!(f[0], 1.0);
+        assert_eq!(f[11], 1.0);
+        assert_eq!(f[1], 0.0);
+    }
+
+    #[test]
+    fn proper_nouns_have_leading_upper() {
+        let c = Column::from_strings("p", &["Boston", "Seattle"]);
+        let f = column_features(&c);
+        assert_eq!(f[13], 1.0);
+        assert!(f[2] > 0.0 && f[2] < 0.5);
+    }
+
+    #[test]
+    fn full_names_have_two_tokens() {
+        let c = Column::from_strings("p", &["Ada Byron", "Alan Turing"]);
+        let f = column_features(&c);
+        assert!((f[12] - 2.0).abs() < 1e-9);
+        assert!(f[4] > 0.0);
+    }
+
+    #[test]
+    fn length_stats() {
+        let c = Column::from_strings("l", &["ab", "abcd"]);
+        let f = column_features(&c);
+        assert_eq!(f[5], 3.0);
+        assert_eq!(f[7], 2.0);
+        assert_eq!(f[8], 4.0);
+        assert_eq!(f[6], 1.0);
+    }
+
+    #[test]
+    fn null_and_distinct_ratios() {
+        let c = Column::from_strings("d", &["x", "x", "y", ""]);
+        let f = column_features(&c);
+        assert!((f[9] - 2.0 / 3.0).abs() < 1e-9);
+        assert!((f[10] - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_null_column_is_zero_vector() {
+        let c = Column::from_strings("z", &["", ""]);
+        assert_eq!(column_features(&c), [0.0; NUM_FEATURES]);
+    }
+
+    #[test]
+    fn features_are_always_finite() {
+        for cells in [vec![""], vec!["a"], vec!["1", "2", ""]] {
+            let f = column_features(&Column::from_strings("c", &cells));
+            assert!(f.iter().all(|x| x.is_finite()), "{cells:?}");
+        }
+    }
+}

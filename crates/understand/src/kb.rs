@@ -1,0 +1,348 @@
+//! A synthetic knowledge base (the YAGO stand-in; see DESIGN.md
+//! "Substitutions").
+//!
+//! SANTOS-style discovery needs two lookups: `value → semantic types` and
+//! `(value, value) → binary relations`. Real KBs provide both with high
+//! precision but *partial coverage* — the precision/recall trade-off the
+//! tutorial's Section 3 discusses. This KB is materialized from the
+//! generator's [`DomainRegistry`] and [`RelationSpec`]s with explicit,
+//! independently tunable coverage knobs, so experiments can sweep
+//! KB completeness (experiment E18).
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use td_sketch::hash::{hash_str, hash_u64};
+use td_table::gen::bench_union::RelationSpec;
+use td_table::gen::domains::{DomainId, DomainRegistry};
+
+/// A binary relation label.
+pub type RelationId = u32;
+
+/// The synthetic knowledge base.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct KnowledgeBase {
+    /// Lower-cased value → types (domains) it instantiates.
+    value_types: HashMap<String, Vec<DomainId>>,
+    /// Hashed `(subject, object)` pair → relations asserting it.
+    pair_relations: HashMap<(u64, u64), Vec<RelationId>>,
+    /// Type id → human-readable name.
+    type_names: HashMap<DomainId, String>,
+    /// Type id → category (one-level hierarchy).
+    type_categories: HashMap<DomainId, String>,
+}
+
+const PAIR_SEED: u64 = 0x4B_5EED;
+
+/// Construction parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct KbConfig {
+    /// How many values per categorical domain enter the type dictionary.
+    pub vocab_per_domain: u64,
+    /// Fraction of those values actually covered (simulated incompleteness).
+    pub type_coverage: f64,
+    /// How many key indices per relation are materialized as fact pairs.
+    pub facts_per_relation: u64,
+    /// Fraction of those facts actually covered.
+    pub relation_coverage: f64,
+    /// Seed for the coverage subsampling.
+    pub seed: u64,
+}
+
+impl Default for KbConfig {
+    fn default() -> Self {
+        KbConfig {
+            vocab_per_domain: 2_000,
+            type_coverage: 0.9,
+            facts_per_relation: 2_000,
+            relation_coverage: 0.8,
+            seed: 77,
+        }
+    }
+}
+
+impl KnowledgeBase {
+    /// Build from a registry and the relation specs known to the world.
+    #[must_use]
+    pub fn build(
+        registry: &DomainRegistry,
+        relations: &[RelationSpec],
+        cfg: &KbConfig,
+    ) -> Self {
+        let mut kb = KnowledgeBase::default();
+        for (id, dom) in registry.iter() {
+            kb.type_names.insert(id, dom.name.clone());
+            kb.type_categories.insert(id, dom.category.clone());
+            if dom.format.is_numeric() {
+                continue;
+            }
+            for i in 0..cfg.vocab_per_domain {
+                if !covered(cfg.seed ^ 0x7F9E, id.0 as u64, i, cfg.type_coverage) {
+                    continue;
+                }
+                let v = registry.value(id, i).to_string().to_lowercase();
+                let entry = kb.value_types.entry(v).or_default();
+                if !entry.contains(&id) {
+                    entry.push(id);
+                }
+            }
+        }
+        for spec in relations {
+            for i in 0..cfg.facts_per_relation {
+                if !covered(cfg.seed ^ 0xFAC7, spec.rel_id as u64, i, cfg.relation_coverage)
+                {
+                    continue;
+                }
+                let subj = registry.value(spec.key_dom, i).to_string();
+                let obj = registry
+                    .value(spec.attr_dom, spec.attr_index(i))
+                    .to_string();
+                let key = pair_key(&subj, &obj);
+                let entry = kb.pair_relations.entry(key).or_default();
+                if !entry.contains(&spec.rel_id) {
+                    entry.push(spec.rel_id);
+                }
+            }
+        }
+        kb
+    }
+
+    /// Types asserted for a value (empty slice if unknown).
+    #[must_use]
+    pub fn types_of(&self, value: &str) -> &[DomainId] {
+        self.value_types
+            .get(&value.to_lowercase())
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Relations asserted for an ordered `(subject, object)` pair.
+    #[must_use]
+    pub fn relations_of(&self, subject: &str, object: &str) -> &[RelationId] {
+        self.pair_relations
+            .get(&pair_key(subject, object))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Human-readable name of a type.
+    #[must_use]
+    pub fn type_name(&self, t: DomainId) -> Option<&str> {
+        self.type_names.get(&t).map(String::as_str)
+    }
+
+    /// Category (parent in the one-level hierarchy) of a type.
+    #[must_use]
+    pub fn type_category(&self, t: DomainId) -> Option<&str> {
+        self.type_categories.get(&t).map(String::as_str)
+    }
+
+    /// Number of typed values.
+    #[must_use]
+    pub fn num_values(&self) -> usize {
+        self.value_types.len()
+    }
+
+    /// Number of fact pairs.
+    #[must_use]
+    pub fn num_facts(&self) -> usize {
+        self.pair_relations.len()
+    }
+
+    /// Merge facts and types discovered elsewhere (e.g. SANTOS's
+    /// lake-synthesized KB) into this one.
+    pub fn absorb(&mut self, other: &KnowledgeBase) {
+        for (v, types) in &other.value_types {
+            let entry = self.value_types.entry(v.clone()).or_default();
+            for t in types {
+                if !entry.contains(t) {
+                    entry.push(*t);
+                }
+            }
+        }
+        for (k, rels) in &other.pair_relations {
+            let entry = self.pair_relations.entry(*k).or_default();
+            for r in rels {
+                if !entry.contains(r) {
+                    entry.push(*r);
+                }
+            }
+        }
+        for (t, n) in &other.type_names {
+            self.type_names.entry(*t).or_insert_with(|| n.clone());
+        }
+        for (t, c) in &other.type_categories {
+            self.type_categories.entry(*t).or_insert_with(|| c.clone());
+        }
+    }
+
+    /// Record a synthesized fact (used by the lake-derived KB path).
+    pub fn assert_fact(&mut self, subject: &str, object: &str, rel: RelationId) {
+        let entry = self.pair_relations.entry(pair_key(subject, object)).or_default();
+        if !entry.contains(&rel) {
+            entry.push(rel);
+        }
+    }
+}
+
+/// Hash key of an ordered value pair (case-insensitive).
+fn pair_key(subject: &str, object: &str) -> (u64, u64) {
+    (
+        hash_str(&subject.to_lowercase(), PAIR_SEED),
+        hash_str(&object.to_lowercase(), PAIR_SEED ^ 0x0B),
+    )
+}
+
+/// Deterministic coverage decision for item `i` of stream `(salt, group)`.
+fn covered(salt: u64, group: u64, i: u64, coverage: f64) -> bool {
+    let h = hash_u64(i ^ (group << 32), salt);
+    (h as f64 / u64::MAX as f64) < coverage
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world() -> (DomainRegistry, Vec<RelationSpec>) {
+        let r = DomainRegistry::standard();
+        let rels = vec![
+            RelationSpec {
+                key_dom: r.id("city").unwrap(),
+                attr_dom: r.id("country").unwrap(),
+                rel_id: 1,
+            },
+            RelationSpec {
+                key_dom: r.id("city").unwrap(),
+                attr_dom: r.id("country").unwrap(),
+                rel_id: 2,
+            },
+        ];
+        (r, rels)
+    }
+
+    #[test]
+    fn full_coverage_knows_everything() {
+        let (r, rels) = world();
+        let kb = KnowledgeBase::build(
+            &r,
+            &rels,
+            &KbConfig {
+                type_coverage: 1.0,
+                relation_coverage: 1.0,
+                vocab_per_domain: 100,
+                facts_per_relation: 100,
+                ..Default::default()
+            },
+        );
+        let city = r.id("city").unwrap();
+        for i in 0..100u64 {
+            let v = r.value(city, i).to_string();
+            assert!(kb.types_of(&v).contains(&city), "{v}");
+        }
+        // Every fact of relation 1 resolvable.
+        let spec = rels[0];
+        for i in 0..100u64 {
+            let s = r.value(spec.key_dom, i).to_string();
+            let o = r.value(spec.attr_dom, spec.attr_index(i)).to_string();
+            assert!(kb.relations_of(&s, &o).contains(&1));
+        }
+    }
+
+    #[test]
+    fn different_relations_are_distinguished() {
+        let (r, rels) = world();
+        let kb = KnowledgeBase::build(
+            &r,
+            &rels,
+            &KbConfig {
+                relation_coverage: 1.0,
+                facts_per_relation: 50,
+                ..Default::default()
+            },
+        );
+        let s1 = rels[0];
+        let s2 = rels[1];
+        let subj = r.value(s1.key_dom, 3).to_string();
+        let o1 = r.value(s1.attr_dom, s1.attr_index(3)).to_string();
+        let o2 = r.value(s2.attr_dom, s2.attr_index(3)).to_string();
+        assert!(kb.relations_of(&subj, &o1).contains(&1));
+        assert!(kb.relations_of(&subj, &o2).contains(&2));
+        assert!(!kb.relations_of(&subj, &o1).contains(&2));
+    }
+
+    #[test]
+    fn coverage_thins_the_kb() {
+        let (r, rels) = world();
+        let full = KnowledgeBase::build(
+            &r,
+            &rels,
+            &KbConfig { type_coverage: 1.0, relation_coverage: 1.0, ..Default::default() },
+        );
+        let half = KnowledgeBase::build(
+            &r,
+            &rels,
+            &KbConfig { type_coverage: 0.5, relation_coverage: 0.5, ..Default::default() },
+        );
+        assert!(half.num_values() < full.num_values());
+        assert!(half.num_facts() < full.num_facts());
+        let ratio = half.num_facts() as f64 / full.num_facts() as f64;
+        assert!((0.4..0.6).contains(&ratio), "fact ratio {ratio}");
+    }
+
+    #[test]
+    fn unknown_values_return_empty() {
+        let (r, rels) = world();
+        let kb = KnowledgeBase::build(&r, &rels, &KbConfig::default());
+        assert!(kb.types_of("definitely-not-a-value").is_empty());
+        assert!(kb.relations_of("nope", "nada").is_empty());
+    }
+
+    #[test]
+    fn lookups_are_case_insensitive() {
+        let (r, rels) = world();
+        let kb = KnowledgeBase::build(
+            &r,
+            &rels,
+            &KbConfig { type_coverage: 1.0, ..Default::default() },
+        );
+        let city = r.id("city").unwrap();
+        let v = r.value(city, 5).to_string();
+        assert_eq!(kb.types_of(&v.to_uppercase()), kb.types_of(&v));
+    }
+
+    #[test]
+    fn absorb_merges_without_duplicates() {
+        let (r, rels) = world();
+        let mut a = KnowledgeBase::build(
+            &r,
+            &rels[..1],
+            &KbConfig { relation_coverage: 1.0, facts_per_relation: 20, ..Default::default() },
+        );
+        let b = KnowledgeBase::build(
+            &r,
+            &rels,
+            &KbConfig { relation_coverage: 1.0, facts_per_relation: 20, ..Default::default() },
+        );
+        let before = a.num_facts();
+        a.absorb(&b);
+        assert!(a.num_facts() > before);
+        let again = a.num_facts();
+        a.absorb(&b);
+        assert_eq!(a.num_facts(), again, "absorb must be idempotent");
+    }
+
+    #[test]
+    fn assert_fact_records_synthesized_knowledge() {
+        let mut kb = KnowledgeBase::default();
+        kb.assert_fact("Paris", "France", 9);
+        assert_eq!(kb.relations_of("paris", "france"), &[9]);
+        kb.assert_fact("Paris", "France", 9);
+        assert_eq!(kb.relations_of("Paris", "France").len(), 1);
+    }
+
+    #[test]
+    fn type_metadata_is_available() {
+        let (r, rels) = world();
+        let kb = KnowledgeBase::build(&r, &rels, &KbConfig::default());
+        let city = r.id("city").unwrap();
+        assert_eq!(kb.type_name(city), Some("city"));
+        assert_eq!(kb.type_category(city), Some("geography"));
+    }
+}

@@ -1,0 +1,25 @@
+//! # td-understand — table understanding
+//!
+//! The offline semantic-recovery layer of the discovery architecture
+//! (tutorial §2.2): feature-based and context-aware semantic type detection
+//! (Sherlock → Sato), unsupervised domain discovery (D4-style), a synthetic
+//! knowledge base with tunable coverage (the YAGO stand-in), and KB-driven
+//! table annotation of column types and binary relations (the substrate of
+//! SANTOS-style union search).
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod annotate;
+pub mod synthesize;
+pub mod domain;
+pub mod features;
+pub mod kb;
+pub mod types;
+
+pub use annotate::{annotate_table, AnnotateConfig, RelationAnnotation, TableAnnotation};
+pub use synthesize::{synthesize_kb, SynthesizeConfig, SynthesizeReport, SYNTH_REL_BASE};
+pub use domain::{discover_domains, pairwise_f1, DiscoveredDomain, DomainDiscoveryConfig};
+pub use features::{column_features, FEATURE_NAMES, NUM_FEATURES};
+pub use kb::{KbConfig, KnowledgeBase, RelationId};
+pub use types::{ContextTypeClassifier, FeatureTypeClassifier, TypeId};

@@ -1,0 +1,366 @@
+//! Synthesizing knowledge from the lake itself (tutorial §3: "view the
+//! data lake as a source of knowledge that can be utilized to verify and
+//! augment knowledge graphs"; SANTOS's synthesized KG).
+//!
+//! Where the curated KB's coverage ends, the lake still carries evidence:
+//! value pairs that co-occur in the same row across *many independent
+//! tables* very likely express a real relationship. This module mines
+//! those pairs, groups them by the co-occurrence pattern of their column
+//! pair, assigns synthesized relation ids, and emits a [`KnowledgeBase`]
+//! that can be [`KnowledgeBase::absorb`]ed into the curated one —
+//! recovering SANTOS-style triple evidence on lakes the curated KB barely
+//! covers.
+
+use crate::kb::{KnowledgeBase, RelationId};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+use td_table::{ColumnRef, DataLake};
+
+/// Relation ids synthesized from the lake start here, far above curated
+/// ids, so the two spaces never collide.
+pub const SYNTH_REL_BASE: RelationId = 1_000_000;
+
+/// Mining thresholds.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SynthesizeConfig {
+    /// A value pair becomes a candidate fact when it co-occurs in at least
+    /// this many distinct tables.
+    pub min_tables: usize,
+    /// A column pair (and hence its synthesized relation) is kept when at
+    /// least this fraction of its rows are candidate facts.
+    pub min_pair_support: f64,
+    /// Two column pairs merge into one synthesized relation only when they
+    /// share at least this many candidate facts — one shared pair can be a
+    /// value collision between genuinely different relations.
+    pub min_shared_facts: usize,
+    /// Rows sampled per table.
+    pub max_rows: usize,
+}
+
+impl Default for SynthesizeConfig {
+    fn default() -> Self {
+        SynthesizeConfig { min_tables: 2, min_pair_support: 0.3, min_shared_facts: 3, max_rows: 256 }
+    }
+}
+
+/// Statistics of a synthesis run.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SynthesizeReport {
+    /// Column pairs examined.
+    pub column_pairs: usize,
+    /// Column pairs that became synthesized relations.
+    pub relations_created: usize,
+    /// Facts asserted into the synthesized KB.
+    pub facts_asserted: usize,
+}
+
+/// Mine a synthesized KB from row-wise value-pair co-occurrence.
+///
+/// Two column pairs (possibly in different tables) share a synthesized
+/// relation id when their *fact sets* overlap — computed by grouping
+/// column pairs through a union-find over shared candidate facts, exactly
+/// the evidence SANTOS's lake-derived KG uses.
+#[must_use]
+pub fn synthesize_kb(
+    lake: &DataLake,
+    cfg: &SynthesizeConfig,
+) -> (KnowledgeBase, SynthesizeReport) {
+    // Pass 1: count, for each (subject, object) value pair, the distinct
+    // tables it appears in, remembering which column pairs produced it.
+    type Pair = (String, String);
+    let mut pair_tables: HashMap<Pair, HashSet<u32>> = HashMap::new();
+    let mut pair_sources: HashMap<Pair, Vec<usize>> = HashMap::new();
+    let mut col_pairs: Vec<(ColumnRef, ColumnRef)> = Vec::new();
+    let mut col_pair_rows: Vec<usize> = Vec::new();
+
+    for (tid, table) in lake.iter() {
+        let rows = table.num_rows().min(cfg.max_rows);
+        for s in 0..table.num_cols() {
+            if table.columns[s].is_numeric() {
+                continue;
+            }
+            for o in 0..table.num_cols() {
+                if s == o || table.columns[o].is_numeric() {
+                    continue;
+                }
+                let cp_idx = col_pairs.len();
+                col_pairs.push((ColumnRef::new(tid, s), ColumnRef::new(tid, o)));
+                let mut considered = 0usize;
+                for r in 0..rows {
+                    let (Some(sv), Some(ov)) = (
+                        table.columns[s].values[r].join_token(),
+                        table.columns[o].values[r].join_token(),
+                    ) else {
+                        continue;
+                    };
+                    considered += 1;
+                    let key = (sv, ov);
+                    pair_tables.entry(key.clone()).or_default().insert(tid.0);
+                    pair_sources.entry(key).or_default().push(cp_idx);
+                }
+                col_pair_rows.push(considered);
+            }
+        }
+    }
+
+    // Candidate facts: pairs seen in enough distinct tables.
+    let candidates: HashSet<Pair> = pair_tables
+        .iter()
+        .filter(|(_, tables)| tables.len() >= cfg.min_tables)
+        .map(|(p, _)| p.clone())
+        .collect();
+
+    // Per column pair: how many of its rows are candidate facts.
+    let mut cp_candidate_rows = vec![0usize; col_pairs.len()];
+    for p in &candidates {
+        if let Some(sources) = pair_sources.get(p) {
+            let mut seen = HashSet::new();
+            for &cp in sources {
+                if seen.insert(cp) {
+                    cp_candidate_rows[cp] += 1;
+                }
+            }
+        }
+    }
+    let qualified: Vec<bool> = (0..col_pairs.len())
+        .map(|cp| {
+            col_pair_rows[cp] > 0
+                && cp_candidate_rows[cp] as f64 / col_pair_rows[cp] as f64
+                    >= cfg.min_pair_support
+        })
+        .collect();
+
+    // Union-find over qualified column pairs, linked by shared facts:
+    // column pairs expressing the same relationship collapse to one id.
+    let mut parent: Vec<usize> = (0..col_pairs.len()).collect();
+    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+        if parent[x] != x {
+            let r = find(parent, parent[x]);
+            parent[x] = r;
+        }
+        parent[x]
+    }
+    // Count shared candidate facts per qualified column-pair pair, then
+    // union only the pairs sharing enough evidence (a single shared fact
+    // can be a value collision between genuinely different relations).
+    let mut link_counts: HashMap<(usize, usize), usize> = HashMap::new();
+    for p in &candidates {
+        if let Some(sources) = pair_sources.get(p) {
+            let mut qs: Vec<usize> = sources
+                .iter()
+                .copied()
+                .filter(|&cp| qualified[cp])
+                .collect();
+            qs.sort_unstable();
+            qs.dedup();
+            for i in 0..qs.len() {
+                for j in (i + 1)..qs.len() {
+                    *link_counts.entry((qs[i], qs[j])).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+    for (&(a, b), &n) in &link_counts {
+        if n >= cfg.min_shared_facts {
+            let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+            if ra != rb {
+                parent[ra] = rb;
+            }
+        }
+    }
+
+    // Assign synthesized relation ids per component and assert facts.
+    let mut rel_of_root: HashMap<usize, RelationId> = HashMap::new();
+    let mut kb = KnowledgeBase::default();
+    let mut report = SynthesizeReport {
+        column_pairs: col_pairs.len(),
+        ..Default::default()
+    };
+    let mut asserted: HashSet<(Pair, RelationId)> = HashSet::new();
+    for p in &candidates {
+        let Some(sources) = pair_sources.get(p) else { continue };
+        for &cp in sources {
+            if !qualified[cp] {
+                continue;
+            }
+            let root = find(&mut parent, cp);
+            let next = SYNTH_REL_BASE + rel_of_root.len() as RelationId;
+            let rel = *rel_of_root.entry(root).or_insert(next);
+            if asserted.insert((p.clone(), rel)) {
+                kb.assert_fact(&p.0, &p.1, rel);
+                report.facts_asserted += 1;
+            }
+        }
+    }
+    report.relations_created = rel_of_root.len();
+    (kb, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_table::gen::bench_union::RelationSpec;
+    use td_table::gen::domains::DomainRegistry;
+    use td_table::{Column, Table};
+
+    /// Lake of tables instantiating one relation (overlapping key slices)
+    /// plus tables of a *different* relation over the same domains.
+    fn lake_with_relations() -> (DataLake, DomainRegistry, RelationSpec, RelationSpec) {
+        let r = DomainRegistry::standard();
+        let rel_a = RelationSpec {
+            key_dom: r.id("city").unwrap(),
+            attr_dom: r.id("country").unwrap(),
+            rel_id: 1,
+        };
+        let rel_b = RelationSpec { rel_id: 2, ..rel_a };
+        let mut lake = DataLake::new();
+        for (spec, tag) in [(rel_a, "a"), (rel_b, "b")] {
+            for t in 0..4u64 {
+                let lo = t * 20; // consecutive tables overlap by 20 keys? no: slices
+                let keys: Vec<u64> = (lo..lo + 40).collect();
+                lake.add(
+                    Table::new(
+                        format!("{tag}_{t}.csv"),
+                        vec![
+                            Column::new(
+                                "city",
+                                keys.iter().map(|&i| r.value(spec.key_dom, i)).collect(),
+                            ),
+                            Column::new(
+                                "country",
+                                keys.iter()
+                                    .map(|&i| r.value(spec.attr_dom, spec.attr_index(i)))
+                                    .collect(),
+                            ),
+                        ],
+                    )
+                    .unwrap(),
+                );
+            }
+        }
+        (lake, r, rel_a, rel_b)
+    }
+
+    #[test]
+    fn synthesizes_facts_for_recurring_pairs() {
+        let (lake, r, rel_a, _) = lake_with_relations();
+        let (kb, report) = synthesize_kb(&lake, &SynthesizeConfig::default());
+        assert!(report.facts_asserted > 0);
+        assert!(report.relations_created >= 1);
+        // A pair appearing in two overlapping rel_a tables must be known.
+        let subj = r.value(rel_a.key_dom, 25).to_string(); // in tables 0..2
+        let obj = r
+            .value(rel_a.attr_dom, rel_a.attr_index(25))
+            .to_string();
+        assert!(!kb.relations_of(&subj, &obj).is_empty(), "{subj} -> {obj} missing");
+    }
+
+    #[test]
+    fn different_relations_get_different_synthesized_ids() {
+        let (lake, r, rel_a, rel_b) = lake_with_relations();
+        let (kb, _) = synthesize_kb(&lake, &SynthesizeConfig::default());
+        let fact = |spec: &RelationSpec, i: u64| {
+            let s = r.value(spec.key_dom, i).to_string();
+            let o = r.value(spec.attr_dom, spec.attr_index(i)).to_string();
+            kb.relations_of(&s, &o).to_vec()
+        };
+        let ra = fact(&rel_a, 25);
+        let rb = fact(&rel_b, 25);
+        assert!(!ra.is_empty() && !rb.is_empty());
+        assert_ne!(ra, rb, "distinct relations collapsed");
+    }
+
+    #[test]
+    fn same_relation_across_tables_shares_one_id() {
+        let (lake, r, rel_a, _) = lake_with_relations();
+        let (kb, _) = synthesize_kb(&lake, &SynthesizeConfig::default());
+        // Keys 25 (tables 0,1) and 45 (tables 1,2): same relation, should
+        // carry the same synthesized id via the shared-fact linkage.
+        let id_of = |i: u64| {
+            let s = r.value(rel_a.key_dom, i).to_string();
+            let o = r.value(rel_a.attr_dom, rel_a.attr_index(i)).to_string();
+            kb.relations_of(&s, &o).to_vec()
+        };
+        let a = id_of(25);
+        let b = id_of(45);
+        assert!(!a.is_empty() && !b.is_empty());
+        assert_eq!(a, b, "one relation split into several ids");
+    }
+
+    #[test]
+    fn singleton_pairs_are_not_asserted() {
+        let r = DomainRegistry::standard();
+        let city = r.id("city").unwrap();
+        let country = r.id("country").unwrap();
+        let mut lake = DataLake::new();
+        // One table only: no pair recurs across tables.
+        lake.add(
+            Table::new(
+                "solo.csv",
+                vec![
+                    Column::new("city", (0..30u64).map(|i| r.value(city, i)).collect()),
+                    Column::new("country", (0..30u64).map(|i| r.value(country, i)).collect()),
+                ],
+            )
+            .unwrap(),
+        );
+        let (kb, report) = synthesize_kb(&lake, &SynthesizeConfig::default());
+        assert_eq!(report.facts_asserted, 0);
+        assert_eq!(kb.num_facts(), 0);
+    }
+
+    #[test]
+    fn synthesized_kb_augments_a_sparse_curated_kb() {
+        use crate::kb::KbConfig;
+        let (lake, r, rel_a, rel_b) = lake_with_relations();
+        let mut curated = KnowledgeBase::build(
+            &r,
+            &[rel_a, rel_b],
+            &KbConfig {
+                vocab_per_domain: 2_048,
+                facts_per_relation: 2_048,
+                type_coverage: 1.0,
+                relation_coverage: 0.1, // nearly empty
+                ..Default::default()
+            },
+        );
+        // Coverage of the lake's recurring rel_a pairs (keys in >= 2
+        // tables: indices 20..80) before and after absorbing the
+        // synthesized KB.
+        let coverage = |kb: &KnowledgeBase| {
+            (20..80u64)
+                .filter(|&i| {
+                    let s = r.value(rel_a.key_dom, i).to_string();
+                    let o = r.value(rel_a.attr_dom, rel_a.attr_index(i)).to_string();
+                    !kb.relations_of(&s, &o).is_empty()
+                })
+                .count()
+        };
+        let before = coverage(&curated);
+        let (synth, _) = synthesize_kb(&lake, &SynthesizeConfig::default());
+        curated.absorb(&synth);
+        let after = coverage(&curated);
+        assert!(before < 20, "curated KB unexpectedly dense: {before}/60");
+        assert_eq!(after, 60, "absorption left gaps: {after}/60");
+    }
+
+    #[test]
+    fn synthesized_ids_never_collide_with_curated_ids() {
+        let (lake, _, _, _) = lake_with_relations();
+        let (kb, report) = synthesize_kb(&lake, &SynthesizeConfig::default());
+        assert!(report.relations_created > 0);
+        // All ids at or above the base.
+        // (Probe a few known facts.)
+        let r = DomainRegistry::standard();
+        let rel_a = RelationSpec {
+            key_dom: r.id("city").unwrap(),
+            attr_dom: r.id("country").unwrap(),
+            rel_id: 1,
+        };
+        let s = r.value(rel_a.key_dom, 25).to_string();
+        let o = r.value(rel_a.attr_dom, rel_a.attr_index(25)).to_string();
+        for &id in kb.relations_of(&s, &o) {
+            assert!(id >= SYNTH_REL_BASE);
+        }
+    }
+}

@@ -1,0 +1,424 @@
+//! Semantic type detection (tutorial §2.2).
+//!
+//! Two detectors reproducing the Sherlock → Sato progression:
+//!
+//! * [`FeatureTypeClassifier`] — Sherlock-style: a diagonal-Gaussian
+//!   (naive-Bayes) model over [`crate::features::column_features`],
+//!   classifying each column *independently*.
+//! * [`ContextTypeClassifier`] — Sato-style: wraps the feature model and
+//!   re-scores each column using a type co-occurrence "topic" prior learned
+//!   from the training tables, so the rest of the table disambiguates
+//!   columns whose surface features are ambiguous (e.g. every 3-syllable
+//!   capitalized domain looks alike to the feature model).
+
+use crate::features::{column_features, NUM_FEATURES};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use td_table::{Column, Table};
+
+/// A semantic type label (index into the classifier's label list).
+pub type TypeId = u16;
+
+/// Per-class diagonal Gaussian.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ClassModel {
+    mean: [f64; NUM_FEATURES],
+    var: [f64; NUM_FEATURES],
+    log_prior: f64,
+}
+
+/// Sherlock-style per-column feature classifier.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FeatureTypeClassifier {
+    labels: Vec<String>,
+    classes: Vec<ClassModel>,
+}
+
+/// Variance floor to keep log-densities finite on constant features.
+const VAR_FLOOR: f64 = 1e-4;
+
+impl FeatureTypeClassifier {
+    /// Train from `(column, label)` pairs.
+    ///
+    /// # Panics
+    /// Panics if `examples` is empty.
+    #[must_use]
+    pub fn train(examples: &[(&Column, &str)]) -> Self {
+        assert!(!examples.is_empty(), "no training data");
+        let mut label_ids: HashMap<&str, usize> = HashMap::new();
+        let mut labels: Vec<String> = Vec::new();
+        let mut feats: Vec<(usize, [f64; NUM_FEATURES])> = Vec::with_capacity(examples.len());
+        for (col, label) in examples {
+            let next = labels.len();
+            let id = *label_ids.entry(label).or_insert_with(|| {
+                labels.push((*label).to_string());
+                next
+            });
+            feats.push((id, column_features(col)));
+        }
+        let n_classes = labels.len();
+        let mut counts = vec![0usize; n_classes];
+        let mut means = vec![[0.0f64; NUM_FEATURES]; n_classes];
+        for (id, f) in &feats {
+            counts[*id] += 1;
+            for j in 0..NUM_FEATURES {
+                means[*id][j] += f[j];
+            }
+        }
+        for (c, m) in means.iter_mut().enumerate() {
+            for x in m.iter_mut() {
+                *x /= counts[c].max(1) as f64;
+            }
+        }
+        let mut vars = vec![[VAR_FLOOR; NUM_FEATURES]; n_classes];
+        for (id, f) in &feats {
+            for j in 0..NUM_FEATURES {
+                let d = f[j] - means[*id][j];
+                vars[*id][j] += d * d / counts[*id].max(1) as f64;
+            }
+        }
+        let total = feats.len() as f64;
+        let classes = (0..n_classes)
+            .map(|c| ClassModel {
+                mean: means[c],
+                var: vars[c],
+                log_prior: (counts[c] as f64 / total).ln(),
+            })
+            .collect();
+        FeatureTypeClassifier { labels, classes }
+    }
+
+    /// The label list (TypeId = index).
+    #[must_use]
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// Resolve a label to its id.
+    #[must_use]
+    pub fn type_id(&self, label: &str) -> Option<TypeId> {
+        self.labels.iter().position(|l| l == label).map(|i| i as TypeId)
+    }
+
+    /// Log-likelihood scores per type for one column.
+    #[must_use]
+    pub fn scores(&self, column: &Column) -> Vec<f64> {
+        let f = column_features(column);
+        self.classes
+            .iter()
+            .map(|c| {
+                let mut ll = c.log_prior;
+                for ((x, m), v) in f.iter().zip(&c.mean).zip(&c.var) {
+                    let d = x - m;
+                    ll -= 0.5 * (d * d / v + v.ln());
+                }
+                ll
+            })
+            .collect()
+    }
+
+    /// Most likely type of a column.
+    #[must_use]
+    pub fn predict(&self, column: &Column) -> TypeId {
+        argmax(&self.scores(column)) as TypeId
+    }
+
+    /// Predicted label string.
+    #[must_use]
+    pub fn predict_label(&self, column: &Column) -> &str {
+        &self.labels[self.predict(column) as usize]
+    }
+}
+
+/// Numerically stable log-softmax.
+fn log_softmax(v: &[f64]) -> Vec<f64> {
+    let m = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let lse = m + v.iter().map(|x| (x - m).exp()).sum::<f64>().ln();
+    v.iter().map(|x| x - lse).collect()
+}
+
+fn argmax(v: &[f64]) -> usize {
+    v.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map_or(0, |(i, _)| i)
+}
+
+/// Sato-style context-aware classifier.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ContextTypeClassifier {
+    /// The per-column feature model.
+    pub base: FeatureTypeClassifier,
+    /// `log P(type_a co-occurs with type_b)` (symmetric, Laplace-smoothed).
+    cooc: Vec<Vec<f64>>,
+    /// Weight of the context term.
+    lambda: f64,
+}
+
+impl ContextTypeClassifier {
+    /// Train from labeled tables: `(table, per-column labels)`.
+    ///
+    /// Trains the feature model on all columns and estimates the type
+    /// co-occurrence prior from which types appear together in a table.
+    ///
+    /// # Panics
+    /// Panics if `tables` is empty or labels don't match column counts.
+    #[must_use]
+    pub fn train(tables: &[(&Table, Vec<&str>)], lambda: f64) -> Self {
+        let mut examples: Vec<(&Column, &str)> = Vec::new();
+        for (t, labels) in tables {
+            assert_eq!(t.num_cols(), labels.len(), "label/column mismatch");
+            for (c, l) in t.columns.iter().zip(labels) {
+                examples.push((c, l));
+            }
+        }
+        let base = FeatureTypeClassifier::train(&examples);
+        let n = base.labels.len();
+        // Laplace-smoothed co-occurrence counts.
+        let mut counts = vec![vec![1.0f64; n]; n];
+        for (_, labels) in tables {
+            let ids: Vec<usize> = labels
+                .iter()
+                .map(|l| base.type_id(l).expect("trained label") as usize)
+                .collect();
+            for (i, &a) in ids.iter().enumerate() {
+                for &b in &ids[i + 1..] {
+                    counts[a][b] += 1.0;
+                    counts[b][a] += 1.0;
+                }
+            }
+        }
+        let cooc = counts
+            .into_iter()
+            .map(|row| {
+                let total: f64 = row.iter().sum();
+                row.into_iter().map(|c| (c / total).ln()).collect()
+            })
+            .collect();
+        ContextTypeClassifier { base, cooc, lambda }
+    }
+
+    /// Jointly predict the types of all columns in a table.
+    ///
+    /// One round of iterated conditional modes: initialize with the feature
+    /// model's argmax, then re-score each column with the co-occurrence
+    /// prior of the other columns' current labels.
+    #[must_use]
+    pub fn predict_table(&self, table: &Table) -> Vec<TypeId> {
+        // Log-softmax the feature scores per column: raw Gaussian
+        // log-likelihood *gaps* are unboundedly overconfident (tiny
+        // variances), which would drown the context prior; posteriors keep
+        // confusable types within a few nats of each other while leaving
+        // clearly-distinct types unreachable.
+        let per_col_scores: Vec<Vec<f64>> = table
+            .columns
+            .iter()
+            .map(|c| log_softmax(&self.base.scores(c)))
+            .collect();
+        let mut current: Vec<usize> =
+            per_col_scores.iter().map(|s| argmax(s)).collect();
+        for _round in 0..2 {
+            for i in 0..current.len() {
+                let mut best = (f64::NEG_INFINITY, current[i]);
+                for (t, base_score) in per_col_scores[i].iter().enumerate() {
+                    let mut s = *base_score;
+                    for (j, &other) in current.iter().enumerate() {
+                        if j != i {
+                            s += self.lambda * self.cooc[t][other];
+                        }
+                    }
+                    if s > best.0 {
+                        best = (s, t);
+                    }
+                }
+                current[i] = best.1;
+            }
+        }
+        current.into_iter().map(|t| t as TypeId).collect()
+    }
+
+    /// Predicted label strings for a table.
+    #[must_use]
+    pub fn predict_table_labels(&self, table: &Table) -> Vec<&str> {
+        self.predict_table(table)
+            .into_iter()
+            .map(|t| self.base.labels[t as usize].as_str())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_table::gen::domains::DomainRegistry;
+    use td_table::Table;
+
+    fn domain_column(r: &DomainRegistry, name: &str, lo: u64, n: u64) -> Column {
+        let d = r.id(name).unwrap();
+        Column::new(name, (lo..lo + n).map(|i| r.value(d, i)).collect())
+    }
+
+    fn training_columns(r: &DomainRegistry) -> Vec<(Column, String)> {
+        let mut out = Vec::new();
+        for name in ["city", "email", "phone", "gene", "person", "price"] {
+            for rep in 0..6u64 {
+                out.push((domain_column(r, name, rep * 50, 30), name.to_string()));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn classifies_distinct_formats_well() {
+        let r = DomainRegistry::standard();
+        let train = training_columns(&r);
+        let refs: Vec<(&Column, &str)> =
+            train.iter().map(|(c, l)| (c, l.as_str())).collect();
+        let clf = FeatureTypeClassifier::train(&refs);
+        let mut correct = 0;
+        let mut total = 0;
+        for name in ["city", "email", "phone", "gene", "person", "price"] {
+            for rep in 0..4u64 {
+                let c = domain_column(&r, name, 1000 + rep * 40, 30);
+                if clf.predict_label(&c) == name {
+                    correct += 1;
+                }
+                total += 1;
+            }
+        }
+        let acc = correct as f64 / total as f64;
+        assert!(acc >= 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn scores_align_with_prediction() {
+        let r = DomainRegistry::standard();
+        let train = training_columns(&r);
+        let refs: Vec<(&Column, &str)> =
+            train.iter().map(|(c, l)| (c, l.as_str())).collect();
+        let clf = FeatureTypeClassifier::train(&refs);
+        let c = domain_column(&r, "email", 999, 20);
+        let scores = clf.scores(&c);
+        let best = scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        assert_eq!(best as TypeId, clf.predict(&c));
+    }
+
+    #[test]
+    fn ambiguous_formats_confuse_the_feature_model() {
+        // country / company / movie / book all render as Proper{3}: the
+        // feature model cannot reliably separate them. This is the premise
+        // of the Sato experiment (E10).
+        let r = DomainRegistry::standard();
+        let mut train: Vec<(Column, String)> = Vec::new();
+        for name in ["country", "company", "movie", "book"] {
+            for rep in 0..8u64 {
+                train.push((domain_column(&r, name, rep * 60, 30), name.to_string()));
+            }
+        }
+        let refs: Vec<(&Column, &str)> =
+            train.iter().map(|(c, l)| (c, l.as_str())).collect();
+        let clf = FeatureTypeClassifier::train(&refs);
+        let mut correct = 0;
+        let mut total = 0;
+        for name in ["country", "company", "movie", "book"] {
+            for rep in 0..5u64 {
+                let c = domain_column(&r, name, 2000 + rep * 40, 30);
+                if clf.predict_label(&c) == name {
+                    correct += 1;
+                }
+                total += 1;
+            }
+        }
+        let acc = correct as f64 / total as f64;
+        assert!(acc < 0.8, "feature model unexpectedly strong: {acc}");
+    }
+
+    /// Tables pairing an ambiguous column with a disambiguating companion.
+    fn context_tables(
+        r: &DomainRegistry,
+        lo: u64,
+    ) -> Vec<(Table, Vec<String>)> {
+        let mut out = Vec::new();
+        // Each ambiguous Proper{3} domain is paired with a context column
+        // whose surface format is unmistakable (codes, names, emails,
+        // phones), so the co-occurrence prior has an unambiguous handle.
+        let worlds: [(&str, &str); 4] = [
+            ("country", "phone"),
+            ("company", "stock_ticker"),
+            ("movie", "person"),
+            ("book", "email"),
+        ];
+        for rep in 0..8u64 {
+            for (amb, ctx) in worlds {
+                let t = Table::new(
+                    format!("{amb}_{rep}"),
+                    vec![
+                        domain_column(r, amb, lo + rep * 40, 25),
+                        domain_column(r, ctx, lo + rep * 40, 25),
+                    ],
+                )
+                .unwrap();
+                out.push((t, vec![amb.to_string(), ctx.to_string()]));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn context_model_beats_feature_model_on_ambiguous_columns() {
+        let r = DomainRegistry::standard();
+        let train = context_tables(&r, 0);
+        let train_refs: Vec<(&Table, Vec<&str>)> = train
+            .iter()
+            .map(|(t, l)| (t, l.iter().map(String::as_str).collect()))
+            .collect();
+        let ctx_clf = ContextTypeClassifier::train(&train_refs, 2.0);
+        let test = context_tables(&r, 10_000);
+        let mut base_ok = 0usize;
+        let mut ctx_ok = 0usize;
+        let mut total = 0usize;
+        for (t, labels) in &test {
+            let base_pred: Vec<&str> =
+                t.columns.iter().map(|c| ctx_clf.base.predict_label(c)).collect();
+            let ctx_pred = ctx_clf.predict_table_labels(t);
+            // Only grade the ambiguous first column.
+            total += 1;
+            if base_pred[0] == labels[0] {
+                base_ok += 1;
+            }
+            if ctx_pred[0] == labels[0] {
+                ctx_ok += 1;
+            }
+        }
+        let base_acc = base_ok as f64 / total as f64;
+        let ctx_acc = ctx_ok as f64 / total as f64;
+        assert!(
+            ctx_acc >= base_acc,
+            "context {ctx_acc} should not trail features {base_acc}"
+        );
+        assert!(ctx_acc > 0.7, "context accuracy {ctx_acc}");
+    }
+
+    #[test]
+    #[should_panic(expected = "no training data")]
+    fn rejects_empty_training() {
+        let _ = FeatureTypeClassifier::train(&[]);
+    }
+
+    #[test]
+    fn type_id_roundtrip() {
+        let r = DomainRegistry::standard();
+        let train = training_columns(&r);
+        let refs: Vec<(&Column, &str)> =
+            train.iter().map(|(c, l)| (c, l.as_str())).collect();
+        let clf = FeatureTypeClassifier::train(&refs);
+        let id = clf.type_id("gene").unwrap();
+        assert_eq!(clf.labels()[id as usize], "gene");
+        assert!(clf.type_id("nope").is_none());
+    }
+}

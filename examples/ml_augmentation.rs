@@ -1,0 +1,146 @@
+//! Discovery in service of machine learning: ARDA-style feature
+//! augmentation, training-set harvesting, and KB completion via table
+//! stitching.
+//!
+//! ```sh
+//! cargo run --example ml_augmentation
+//! ```
+
+use td::apps::{
+    augment_regression, discover_training_set, kb_completion, AugmentConfig, TrainsetConfig,
+};
+use td::embed::DomainEmbedder;
+use td::table::gen::bench_union::RelationSpec;
+use td::table::gen::domains::DomainRegistry;
+use td::table::{Column, DataLake, Table, Value};
+use td::understand::annotate::AnnotateConfig;
+use td::understand::kb::{KbConfig, KnowledgeBase};
+
+fn main() {
+    let registry = DomainRegistry::standard();
+    let city = registry.id("city").unwrap();
+
+    // ---- ARDA-style augmentation ----------------------------------------
+    // Base table predicts y; the informative features live in other tables.
+    let n = 200usize;
+    let det = |i: usize, salt: u64| {
+        (td::sketch::hash_u64(i as u64, salt) % 1000) as f64 / 500.0 - 1.0
+    };
+    let keys: Vec<Value> = (0..n as u64).map(|i| registry.value(city, i)).collect();
+    let f1: Vec<f64> = (0..n).map(|i| det(i, 1)).collect();
+    let y: Vec<f64> = (0..n).map(|i| 3.0 * f1[i] + det(i, 4) * 0.1).collect();
+    let base = Table::new(
+        "base",
+        vec![
+            Column::new("city", keys.clone()),
+            Column::new("y", y.iter().map(|&v| Value::Float(v)).collect()),
+        ],
+    )
+    .unwrap();
+    let mut lake = DataLake::new();
+    lake.add(
+        Table::new(
+            "indicators",
+            vec![
+                Column::new("city", keys.clone()),
+                Column::new("f1", f1.iter().map(|&v| Value::Float(v)).collect()),
+                Column::new("junk", (0..n).map(|i| Value::Float(det(i, 9))).collect()),
+            ],
+        )
+        .unwrap(),
+    );
+    let outcome = augment_regression(&lake, &base, 0, 1, &AugmentConfig::default());
+    println!("== feature augmentation (ARDA-style) ==");
+    println!("  base-only test R²:          {:6.3}", outcome.base_r2);
+    println!("  join-all test R²:           {:6.3}", outcome.join_all_r2);
+    println!("  selected-features test R²:  {:6.3}", outcome.selected_r2);
+    for c in &outcome.candidates {
+        println!(
+            "  candidate {} (|corr| {:.2}) selected: {}",
+            lake.table(c.column.table).columns[c.column.column as usize].name,
+            c.relevance,
+            c.selected
+        );
+    }
+
+    // ---- Training-set discovery -------------------------------------------
+    println!("\n== training-set harvesting ==");
+    let gene = registry.id("gene").unwrap();
+    let mut tl = DataLake::new();
+    for (name, d, lo) in [("cities", city, 0u64), ("genes", gene, 0)] {
+        tl.add(
+            Table::new(
+                name,
+                vec![Column::new(
+                    name,
+                    (lo..lo + 60).map(|i| registry.value(d, i)).collect(),
+                )],
+            )
+            .unwrap(),
+        );
+    }
+    let emb = DomainEmbedder::from_registry(&registry, 1_000, 64, 0.4, 13);
+    let seeds = vec![
+        (500..505u64).map(|i| registry.value(city, i).to_string()).collect(),
+        (500..505u64).map(|i| registry.value(gene, i).to_string()).collect(),
+    ];
+    let harvested = discover_training_set(&tl, &seeds, &emb, &TrainsetConfig::default());
+    println!("  harvested {} labeled examples from 5+5 seeds", harvested.len());
+    for h in harvested.iter().take(4) {
+        println!("  {:<16} class {} (confidence {:.2})", h.value, h.label, h.confidence);
+    }
+
+    // ---- KB completion via stitching ----------------------------------------
+    println!("\n== KB completion via table stitching ==");
+    let spec = RelationSpec {
+        key_dom: city,
+        attr_dom: registry.id("country").unwrap(),
+        rel_id: 6,
+    };
+    let kb = KnowledgeBase::build(
+        &registry,
+        &[spec],
+        &KbConfig {
+            vocab_per_domain: 2_048,
+            facts_per_relation: 2_048,
+            type_coverage: 1.0,
+            relation_coverage: 0.35,
+            ..Default::default()
+        },
+    );
+    let mut frag_lake = DataLake::new();
+    for f in 0..25u64 {
+        let lo = f * 4;
+        frag_lake.add(
+            Table::new(
+                format!("frag_{f:02}.csv"),
+                vec![
+                    Column::new(
+                        "city",
+                        (lo..lo + 4).map(|i| registry.value(spec.key_dom, i)).collect(),
+                    ),
+                    Column::new(
+                        "country",
+                        (lo..lo + 4)
+                            .map(|i| registry.value(spec.attr_dom, spec.attr_index(i)))
+                            .collect(),
+                    ),
+                ],
+            )
+            .unwrap(),
+        );
+    }
+    let report = kb_completion(
+        &frag_lake,
+        &kb,
+        &AnnotateConfig { min_relation_support: 0.25, ..Default::default() },
+    );
+    println!(
+        "  fragments annotated: {}/{}; new facts from fragments: {}",
+        report.fragments_annotated, report.fragments_total, report.facts_from_fragments
+    );
+    println!(
+        "  stitched groups annotated: {}/{}; new facts from stitched: {}",
+        report.stitched_annotated, report.stitched_total, report.facts_from_stitched
+    );
+}

@@ -1,0 +1,94 @@
+//! Data-lake navigation: the Aurum-style linkage graph, a navigable
+//! organization with its probabilistic discovery model, RONIN-style
+//! online grouping of search results, and DomainNet homograph detection.
+//!
+//! ```sh
+//! cargo run --example navigation
+//! ```
+
+use td::embed::{ContextualEncoder, DomainEmbedder};
+use td::nav::{
+    group_results, rank_homographs, HomographConfig, LinkageConfig, LinkageGraph,
+    Organization, OrganizeConfig, RoninConfig,
+};
+use td::table::gen::domains::DomainRegistry;
+use td::table::gen::lakegen::{LakeGenConfig, LakeGenerator};
+use td::table::TableId;
+
+fn main() {
+    // A topical lake with ground-truth categories.
+    let mut registry = DomainRegistry::standard();
+    let city = registry.id("city").unwrap();
+    let animal = registry.id("animal").unwrap();
+    registry.add_homograph_pair(city, animal, 40);
+    let gl = LakeGenerator::with_registry(registry.clone()).generate(&LakeGenConfig {
+        num_tables: 60,
+        rows: (30, 80),
+        cols: (2, 4),
+        header_noise: 0.1,
+        seed: 11,
+        ..Default::default()
+    });
+
+    // ---- Linkage graph ---------------------------------------------------
+    let graph = LinkageGraph::build(&gl.lake, &LinkageConfig::default());
+    println!("linkage graph: {} directed edges", graph.num_edges());
+    let start = TableId(0);
+    let related = graph.related_tables(&gl.lake, start, 2);
+    println!(
+        "tables related to {} within 2 hops: {}",
+        gl.lake.table(start).name,
+        related.len()
+    );
+    for t in related.iter().take(5) {
+        println!("  {}", gl.lake.table(*t).name);
+    }
+
+    // ---- Organization + discovery probability ----------------------------
+    let emb = DomainEmbedder::from_registry(&registry, 2_048, 64, 0.4, 5);
+    let enc = ContextualEncoder::default();
+    let items: Vec<(TableId, Vec<f32>)> = gl
+        .lake
+        .iter()
+        .map(|(id, t)| (id, enc.encode_table_vector(&emb, t)))
+        .collect();
+    let org = Organization::build(&items, &OrganizeConfig::default());
+    println!("\norganization: {} nodes over {} tables", org.num_nodes(), items.len());
+    let avg_p: f64 = items
+        .iter()
+        .map(|(t, v)| org.discovery_probability(*t, v, 8.0))
+        .sum::<f64>()
+        / items.len() as f64;
+    let uniform_p: f64 = items
+        .iter()
+        .map(|(t, v)| org.discovery_probability(*t, v, 0.0))
+        .sum::<f64>()
+        / items.len() as f64;
+    println!("expected discovery probability: informed {avg_p:.3} vs uniform descent {uniform_p:.3}");
+
+    // ---- RONIN: group a result set online ---------------------------------
+    let results: Vec<(TableId, Vec<f32>)> = items.iter().take(24).cloned().collect();
+    let groups = group_results(&gl.lake, &results, &RoninConfig { groups: 4, ..Default::default() });
+    println!("\nonline exploration groups over the first 24 results:");
+    for g in &groups {
+        println!("  [{}] {} tables, e.g. {}", g.label, g.tables.len(), {
+            let names: Vec<&str> = g
+                .tables
+                .iter()
+                .take(3)
+                .map(|t| gl.lake.table(*t).name.as_str())
+                .collect();
+            names.join(", ")
+        });
+    }
+
+    // ---- Homograph detection ----------------------------------------------
+    let ranked = rank_homographs(&gl.lake, &HomographConfig::default());
+    println!("\ntop candidate homographs by betweenness centrality:");
+    for v in ranked.iter().take(8) {
+        println!(
+            "  {:<18} betweenness {:>10.1}, in {} columns",
+            v.value, v.betweenness, v.degree
+        );
+    }
+}

@@ -1,0 +1,80 @@
+//! Quickstart: ingest CSVs into a lake, build the discovery pipeline, and
+//! run one query of every family.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use td::core::{DiscoveryPipeline, PipelineConfig};
+use td::table::csv;
+use td::table::gen::domains::DomainRegistry;
+use td::table::{DataLake, TableMeta};
+
+fn main() {
+    // 1. Ingest: a handful of CSVs, as they would arrive in a lake.
+    let mut lake = DataLake::new();
+    let mut cities = csv::read_table(
+        "city_stats.csv",
+        "city,population,country\n\
+         Boston,650000,USA\n\
+         Seattle,740000,USA\n\
+         Austin,960000,USA\n\
+         Lyon,520000,France\n\
+         Nantes,320000,France\n",
+    )
+    .expect("valid csv");
+    cities.meta = TableMeta {
+        title: "City statistics".into(),
+        description: "Population by city".into(),
+        tags: vec!["geography".into()],
+        source: "quickstart".into(),
+    };
+    lake.add(cities);
+
+    let budgets = csv::read_table(
+        "budgets.csv",
+        "city,budget\n\
+         Boston,4200\n\
+         Seattle,6100\n\
+         Austin,4800\n\
+         Lyon,900\n",
+    )
+    .expect("valid csv");
+    lake.add(budgets);
+
+    let more_cities = csv::read_table(
+        "more_cities.csv",
+        "town,mayor\n\
+         Porto,Silva\n\
+         Lyon,Martin\n\
+         Ghent,Peeters\n\
+         Austin,Watson\n",
+    )
+    .expect("valid csv");
+    lake.add(more_cities);
+
+    // 2. Offline: profile, understand, index — one call.
+    let registry = DomainRegistry::standard();
+    let pipeline = DiscoveryPipeline::build(&lake, &registry, &[], &PipelineConfig::default());
+    println!("lake: {} tables, {} columns profiled", lake.len(), pipeline.profile.len());
+
+    // 3. Keyword search over metadata.
+    println!("\nkeyword search: \"city population\"");
+    for (t, score) in pipeline.search_keyword("city population", 3) {
+        println!("  {score:6.2}  {}", lake.table(t).name);
+    }
+
+    // 4. Joinable search: which tables join with city_stats.city?
+    let query = lake.table(td::table::TableId(0));
+    let key = &query.columns[0];
+    println!("\njoinable search on {}.city:", query.name);
+    for (t, overlap) in pipeline.search_joinable(key, 3) {
+        println!("  overlap {overlap:2}  {}", lake.table(t).name);
+    }
+
+    // 5. Unionable search: which tables extend city_stats with new rows?
+    println!("\nunionable search for {}:", query.name);
+    for (t, score) in pipeline.search_unionable(query, 3) {
+        println!("  score {score:5.2}  {}", lake.table(t).name);
+    }
+}

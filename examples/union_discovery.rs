@@ -1,0 +1,162 @@
+//! Unionable-table search through the TUS → SANTOS → Starmie progression,
+//! on a benchmark with relationship decoys and homograph decoys.
+//!
+//! ```sh
+//! cargo run --example union_discovery
+//! ```
+
+use std::collections::HashSet;
+use td::core::metrics::precision_at_k;
+use td::core::union::{
+    MeasureContext, SantosConfig, SantosSearch, StarmieConfig, StarmieSearch, TusSearch,
+    UnionMeasure, VectorBackend,
+};
+use td::embed::{ContextualEncoder, DomainEmbedder, NGramEmbedder};
+use td::table::gen::bench_union::{UnionBenchConfig, UnionBenchmark};
+use td::table::TableId;
+use td::understand::kb::{KbConfig, KnowledgeBase};
+
+fn main() {
+    let bench = UnionBenchmark::generate(&UnionBenchConfig {
+        num_queries: 3,
+        positives: 5,
+        partials: 3,
+        relation_decoys: 4,
+        homograph_decoys: 4,
+        noise: 20,
+        rows: 100,
+        key_slice: 200,
+        homograph_range: 500,
+        ..Default::default()
+    });
+    println!(
+        "benchmark: {} queries, {} corpus tables",
+        bench.queries.len(),
+        bench.lake.len()
+    );
+
+    // ---- TUS: measure ablation -----------------------------------------
+    let tus = TusSearch::build(
+        &bench.lake,
+        MeasureContext {
+            domain_emb: DomainEmbedder::from_registry(&bench.registry, 2_048, 64, 0.4, 3),
+            ngram_emb: NGramEmbedder::new(64, 3, 3),
+            sample: 48,
+        },
+    );
+    println!("\n== TUS attribute-unionability measures (mean P@5) ==");
+    for measure in [
+        UnionMeasure::Syntactic,
+        UnionMeasure::Semantic,
+        UnionMeasure::NaturalLanguage,
+        UnionMeasure::Ensemble,
+    ] {
+        let p = mean_p_at_5(&bench, |q| {
+            tus.search(&bench.queries[q], 5, measure)
+                .into_iter()
+                .map(|(t, _)| t)
+                .collect()
+        });
+        println!("  {measure:?}: {p:.2}");
+    }
+
+    // ---- SANTOS: relationships vs columns only --------------------------
+    let kb = KnowledgeBase::build(
+        &bench.registry,
+        &bench.relations,
+        &KbConfig {
+            vocab_per_domain: 2_048,
+            facts_per_relation: 2_048,
+            type_coverage: 0.95,
+            relation_coverage: 0.9,
+            ..Default::default()
+        },
+    );
+    let santos = SantosSearch::build(&bench.lake, kb, SantosConfig::default());
+    println!("\n== SANTOS: relationship-aware vs column-only ==");
+    println!("  (margin = mean positive score − mean relation-decoy score;");
+    println!("   zero means the scorer cannot tell them apart)");
+    let (m_rel, m_col) = santos_margins(&bench, &santos);
+    println!("  relationship-aware margin: {m_rel:.2}");
+    println!("  column-only margin:        {m_col:.2}");
+
+    // ---- Starmie: contextual vs context-free ----------------------------
+    println!("\n== Starmie: contextual vs context-free encoders ==");
+    println!("  (P@5 of positive-table columns when querying the ambiguous");
+    println!("   homograph key column — context must disambiguate it)");
+    for (label, alpha) in [("contextual (α=0.5)", 0.5f32), ("context-free (α=0)", 0.0)] {
+        let starmie = StarmieSearch::build(
+            &bench.lake,
+            DomainEmbedder::from_registry(&bench.registry, 2_048, 64, 0.4, 3),
+            StarmieConfig {
+                encoder: ContextualEncoder { alpha, sample: 48 },
+                backend: VectorBackend::Hnsw,
+                ..Default::default()
+            },
+        );
+        let p_col = (0..bench.queries.len())
+            .map(|q| {
+                let pos: HashSet<TableId> =
+                    bench.tables_with_grade(q, 2).into_iter().collect();
+                let hits = starmie.search_column(&bench.queries[q], 0, 5);
+                hits.iter().filter(|(c, _)| pos.contains(&c.table)).count() as f64 / 5.0
+            })
+            .sum::<f64>()
+            / bench.queries.len() as f64;
+        let p_table = mean_p_at_5(&bench, |q| {
+            starmie
+                .search(&bench.queries[q], 5)
+                .into_iter()
+                .map(|(t, _)| t)
+                .collect()
+        });
+        println!("  {label}: column-level P@5 {p_col:.2}, table-level P@5 {p_table:.2}");
+    }
+}
+
+/// Mean score margins (positives minus relation decoys) for SANTOS's two
+/// scorers.
+fn santos_margins(bench: &UnionBenchmark, santos: &SantosSearch) -> (f64, f64) {
+    use td::table::gen::bench_union::CandidateKind;
+    let cfg = SantosConfig::default();
+    let (mut rel, mut col) = (0.0, 0.0);
+    for q in 0..bench.queries.len() {
+        let qsig = SantosSearch::signature_of(&bench.queries[q], santos.kb_ref(), &cfg);
+        let mean_score = |kind: CandidateKind, column_only: bool| {
+            let tables: Vec<TableId> = bench
+                .truth_for(q)
+                .into_iter()
+                .filter(|t| t.kind == kind)
+                .map(|t| t.table)
+                .collect();
+            tables
+                .iter()
+                .map(|t| {
+                    let sig = santos.signature(*t).expect("annotated");
+                    if column_only {
+                        santos.score_column_only(&qsig, sig)
+                    } else {
+                        santos.score(&qsig, sig)
+                    }
+                })
+                .sum::<f64>()
+                / tables.len().max(1) as f64
+        };
+        rel += mean_score(CandidateKind::Positive, false)
+            - mean_score(CandidateKind::RelationDecoy, false);
+        col += mean_score(CandidateKind::Positive, true)
+            - mean_score(CandidateKind::RelationDecoy, true);
+    }
+    let n = bench.queries.len() as f64;
+    (rel / n, col / n)
+}
+
+fn mean_p_at_5(bench: &UnionBenchmark, f: impl Fn(usize) -> Vec<TableId>) -> f64 {
+    (0..bench.queries.len())
+        .map(|q| {
+            let relevant: HashSet<TableId> = bench.tables_with_grade(q, 2).into_iter().collect();
+            precision_at_k(&f(q), &relevant, 5)
+        })
+        .sum::<f64>()
+        / bench.queries.len() as f64
+}

@@ -1,0 +1,133 @@
+//! Cross-crate consistency: approximate methods (sketches, LSH, HNSW)
+//! must agree with their exact counterparts within principled error
+//! bounds, on the same benchmark data the experiments use.
+
+use std::collections::HashSet;
+use td::core::join::{ContainmentJoinSearch, ExactJoinSearch, ExactStrategy, JaccardJoinSearch};
+use td::index::{FlatIndex, Hnsw, HnswParams};
+use td::sketch::{KmvSketch, MinHasher};
+use td::table::gen::bench_join::{JoinBenchConfig, JoinBenchmark};
+use td::table::TableId;
+
+fn bench() -> JoinBenchmark {
+    JoinBenchmark::generate(&JoinBenchConfig {
+        query_size: 250,
+        num_relevant: 40,
+        num_noise: 20,
+        card_range: (40, 10_000),
+        seed: 123,
+        ..Default::default()
+    })
+}
+
+#[test]
+fn minhash_and_kmv_agree_with_exact_jaccard() {
+    let b = bench();
+    let hasher = MinHasher::new(512, 4);
+    let qtokens = b.query.columns[0].token_set();
+    let qsig = hasher.sign(qtokens.iter().map(String::as_str));
+    let qkmv = KmvSketch::from_tokens(512, 4, qtokens.iter().map(String::as_str));
+    for t in b.truth.iter().take(15) {
+        let col = &b.lake.table(t.table).columns[t.column];
+        let ctokens = col.token_set();
+        let csig = hasher.sign(ctokens.iter().map(String::as_str));
+        let ckmv = KmvSketch::from_tokens(512, 4, ctokens.iter().map(String::as_str));
+        let mh_err = (qsig.jaccard(&csig) - t.jaccard).abs();
+        assert!(mh_err < 0.12, "minhash err {mh_err} at true {}", t.jaccard);
+        let kmv_err = (qkmv.estimate_jaccard(&ckmv) - t.jaccard).abs();
+        assert!(kmv_err < 0.2, "kmv err {kmv_err} at true {}", t.jaccard);
+        // The Jaccard→containment conversion amplifies estimator noise by
+        // (|A|+|B|)/|A|, so the tolerance must scale with the size ratio:
+        // sigma_c ≈ sqrt(j(1-j)/k) · (|A|+|B|)/|A|; allow 5 sigma + slack.
+        let ratio = (qtokens.len() + ctokens.len()) as f64 / qtokens.len() as f64;
+        let sigma = (t.jaccard * (1.0 - t.jaccard) / 512.0).sqrt() * ratio;
+        let tol = 0.05 + 5.0 * sigma;
+        let cont_err = (qsig.containment_in(&csig) - t.containment).abs();
+        assert!(
+            cont_err < tol,
+            "containment err {cont_err} (tol {tol}) at true {}",
+            t.containment
+        );
+    }
+}
+
+#[test]
+fn exact_join_strategies_are_interchangeable() {
+    let b = bench();
+    let s = ExactJoinSearch::build(&b.lake);
+    let q = &b.query.columns[0];
+    for k in [1, 5, 20] {
+        let ov = |st| {
+            let (h, _) = s.search(q, k, st);
+            h.into_iter().map(|x| x.overlap).collect::<Vec<_>>()
+        };
+        let m = ov(ExactStrategy::Merge);
+        assert_eq!(m, ov(ExactStrategy::Probe), "k={k}");
+        assert_eq!(m, ov(ExactStrategy::Adaptive), "k={k}");
+    }
+}
+
+#[test]
+fn ensemble_recall_against_exact_containment() {
+    let b = bench();
+    let s = ContainmentJoinSearch::build(&b.lake, 256, 8);
+    let hits = s.query_threshold(&b.query.columns[0], 0.7);
+    let got: HashSet<TableId> = hits.iter().map(|(c, _)| c.table).collect();
+    // Exact truth: tables with containment comfortably above threshold.
+    let should: Vec<TableId> = b
+        .truth
+        .iter()
+        .filter(|t| t.containment >= 0.8)
+        .map(|t| t.table)
+        .collect();
+    let found = should.iter().filter(|t| got.contains(t)).count();
+    assert!(
+        found as f64 >= 0.85 * should.len() as f64,
+        "ensemble recall {found}/{}",
+        should.len()
+    );
+}
+
+#[test]
+fn jaccard_linear_scan_matches_exact_ranking_roughly() {
+    let b = bench();
+    let s = JaccardJoinSearch::build(&b.lake, 512);
+    let approx: Vec<TableId> = s
+        .top_k_jaccard(&b.query.columns[0], 10)
+        .into_iter()
+        .map(|(c, _)| c.table)
+        .collect();
+    let mut truth = b.truth.clone();
+    truth.sort_by(|a, b| b.jaccard.total_cmp(&a.jaccard));
+    let exact: HashSet<TableId> = truth.iter().take(10).map(|t| t.table).collect();
+    let agree = approx.iter().filter(|t| exact.contains(t)).count();
+    assert!(agree >= 7, "only {agree}/10 agreement");
+}
+
+#[test]
+fn hnsw_recall_against_flat_on_column_embeddings() {
+    use td::embed::{embed_column, DomainEmbedder};
+    let b = bench();
+    let emb = DomainEmbedder::from_registry(&b.registry, 2_048, 64, 0.4, 3);
+    let mut flat = FlatIndex::new(64);
+    let mut hnsw = Hnsw::new(64, HnswParams::default());
+    let mut count = 0;
+    for (_, col) in b.lake.columns() {
+        if col.is_numeric() {
+            continue;
+        }
+        let v = embed_column(&emb, col, 32);
+        if v.iter().all(|&x| x == 0.0) {
+            continue;
+        }
+        flat.insert(v.clone());
+        hnsw.insert(v);
+        count += 1;
+    }
+    assert!(count > 50);
+    let q = embed_column(&emb, &b.query.columns[0], 32);
+    let exact: HashSet<u32> = flat.search(&q, 10).into_iter().map(|(i, _)| i).collect();
+    let approx = hnsw.search(&q, 10, 80);
+    let recall = approx.iter().filter(|(i, _)| exact.contains(i)).count();
+    assert!(recall >= 8, "hnsw recall {recall}/10");
+}

@@ -1,0 +1,276 @@
+//! Every search family must recover its benchmark's planted ground truth
+//! — the integration-level contract behind the experiment suite.
+
+use std::collections::HashSet;
+use td::core::join::{CorrelatedSearch, ExactJoinSearch, ExactStrategy, MateSearch};
+use td::core::metrics::precision_at_k;
+use td::core::union::{
+    MeasureContext, SantosConfig, SantosSearch, TusSearch, UnionMeasure,
+};
+use td::embed::{DomainEmbedder, NGramEmbedder};
+use td::nav::{rank_homographs, HomographConfig};
+use td::table::gen::bench_join::{
+    CorrelationBenchmark, CorrelationConfig, JoinBenchConfig, JoinBenchmark,
+    MultiJoinBenchmark, MultiJoinConfig,
+};
+use td::table::gen::bench_union::{UnionBenchConfig, UnionBenchmark};
+use td::table::gen::domains::DomainRegistry;
+use td::table::gen::lakegen::{LakeGenConfig, LakeGenerator};
+use td::table::TableId;
+use td::understand::domain::{discover_domains, pairwise_f1, DomainDiscoveryConfig};
+use td::understand::kb::{KbConfig, KnowledgeBase};
+
+#[test]
+fn exact_join_recovers_overlap_ordering() {
+    let b = JoinBenchmark::generate(&JoinBenchConfig::default());
+    let s = ExactJoinSearch::build(&b.lake);
+    let (hits, _) = s.search(&b.query.columns[0], 10, ExactStrategy::Adaptive);
+    let truth = b.by_overlap();
+    for (h, t) in hits.iter().zip(&truth) {
+        assert_eq!(h.overlap, t.overlap);
+    }
+}
+
+#[test]
+fn mate_recovers_composite_join_ground_truth() {
+    let b = MultiJoinBenchmark::generate(&MultiJoinConfig::default());
+    let s = MateSearch::build(&b.lake);
+    let (hits, _) = s.search(&b.query, &[0, 1], 30);
+    let decoys: HashSet<TableId> = b
+        .truth
+        .iter()
+        .filter(|t| t.single_attr_only)
+        .map(|t| t.table)
+        .collect();
+    for (t, score) in &hits {
+        if *score > 0.0 {
+            assert!(!decoys.contains(t), "decoy {t} got positive score {score}");
+        }
+    }
+}
+
+#[test]
+fn correlated_search_recovers_extreme_rhos_first() {
+    let b = CorrelationBenchmark::generate(&CorrelationConfig::default());
+    let s = CorrelatedSearch::build(&b.lake, 1024);
+    let hits = s.search(&b.query.columns[0], &b.query.columns[1], 4, 20);
+    for h in hits.iter().take(2) {
+        let t = b
+            .truth
+            .iter()
+            .find(|t| t.table == h.numeric_column.table)
+            .unwrap();
+        assert!(t.rho.abs() >= 0.6, "top hit planted rho {}", t.rho);
+    }
+}
+
+#[test]
+fn union_families_recover_their_targets() {
+    let b = UnionBenchmark::generate(&UnionBenchConfig {
+        num_queries: 2,
+        positives: 5,
+        partials: 2,
+        relation_decoys: 4,
+        homograph_decoys: 0,
+        noise: 15,
+        rows: 80,
+        key_slice: 150,
+        homograph_range: 1,
+        ..Default::default()
+    });
+    // TUS on a decoy-free relevant set (positives + decoys share domains,
+    // so grade-2 ∪ decoys is TUS-relevant; SANTOS must separate them).
+    let tus = TusSearch::build(
+        &b.lake,
+        MeasureContext {
+            domain_emb: DomainEmbedder::from_registry(&b.registry, 2_048, 64, 0.4, 3),
+            ngram_emb: NGramEmbedder::new(64, 3, 3),
+            sample: 48,
+        },
+    );
+    let kb = KnowledgeBase::build(
+        &b.registry,
+        &b.relations,
+        &KbConfig {
+            vocab_per_domain: 2_048,
+            facts_per_relation: 2_048,
+            type_coverage: 0.95,
+            relation_coverage: 0.9,
+            ..Default::default()
+        },
+    );
+    let santos = SantosSearch::build(&b.lake, kb, SantosConfig::default());
+    for q in 0..b.queries.len() {
+        let positives: HashSet<TableId> = b.tables_with_grade(q, 2).into_iter().collect();
+        // SANTOS: positives only.
+        let res: Vec<TableId> = santos
+            .search(&b.queries[q], 5)
+            .into_iter()
+            .map(|(t, _)| t)
+            .collect();
+        let p = precision_at_k(&res, &positives, 5);
+        assert!(p >= 0.8, "query {q}: SANTOS P@5 {p}");
+        // TUS: same-domain tables (positives + relation decoys) rank high.
+        let mut tus_relevant = positives.clone();
+        tus_relevant.extend(
+            b.truth_for(q)
+                .into_iter()
+                .filter(|t| {
+                    t.kind == td::table::gen::bench_union::CandidateKind::RelationDecoy
+                })
+                .map(|t| t.table),
+        );
+        let res: Vec<TableId> = tus
+            .search(&b.queries[q], 5, UnionMeasure::Ensemble)
+            .into_iter()
+            .map(|(t, _)| t)
+            .collect();
+        let p = precision_at_k(&res, &tus_relevant, 5);
+        assert!(p >= 0.8, "query {q}: TUS P@5 {p}");
+    }
+}
+
+#[test]
+fn domain_discovery_recovers_generator_domains() {
+    let gl = LakeGenerator::standard().generate(&LakeGenConfig {
+        num_tables: 40,
+        rows: (60, 120),
+        cols: (1, 2),
+        zipf_s: 0.6,
+        max_card: 300,
+        min_card: 80,
+        header_noise: 1.0, // headers are useless: values must carry the day
+        seed: 31,
+        ..Default::default()
+    });
+    let domains = discover_domains(
+        &gl.lake,
+        &DomainDiscoveryConfig { jaccard_threshold: 0.08, ..Default::default() },
+    );
+    assert!(!domains.is_empty());
+    let clusters: Vec<Vec<td::table::ColumnRef>> =
+        domains.iter().map(|d| d.columns.clone()).collect();
+    // Truth restricted to categorical columns.
+    let truth: std::collections::HashMap<td::table::ColumnRef, u16> = gl
+        .column_domains
+        .iter()
+        .filter(|(r, d)| {
+            !gl.registry.domain(**d).format.is_numeric()
+                && gl.lake.column(**r).num_distinct() >= 3
+        })
+        .map(|(r, d)| (*r, d.0))
+        .collect();
+    let (p, _r, _f1) = pairwise_f1(&clusters, &truth);
+    assert!(p > 0.9, "domain discovery precision {p}");
+}
+
+#[test]
+fn homograph_detection_recovers_planted_homographs() {
+    let mut registry = DomainRegistry::standard();
+    let city = registry.id("city").unwrap();
+    let animal = registry.id("animal").unwrap();
+    registry.add_homograph_pair(city, animal, 8);
+    let mut lake = td::table::DataLake::new();
+    for w in 0..4u64 {
+        for (name, d) in [("city", city), ("animal", animal)] {
+            let col = td::table::Column::new(
+                name,
+                (w * 15..w * 15 + 40).map(|i| registry.value(d, i)).collect::<Vec<_>>(),
+            );
+            lake.add(
+                td::table::Table::new(format!("{name}_{w}"), vec![col]).unwrap(),
+            );
+        }
+    }
+    let ranked = rank_homographs(
+        &lake,
+        &HomographConfig { sample_sources: 0, ..Default::default() },
+    );
+    let homographs: HashSet<String> = (0..8u64)
+        .map(|i| registry.value(city, i).to_string().to_lowercase())
+        .collect();
+    let top: Vec<&str> = ranked.iter().take(12).map(|v| v.value.as_str()).collect();
+    let found = homographs.iter().filter(|h| top.contains(&h.as_str())).count();
+    assert!(found >= 6, "found only {found}/8 planted homographs in top 12");
+}
+
+#[test]
+fn feature_classifier_recovers_generator_domains() {
+    // Train on half of a generated lake's columns (labels from the
+    // generator's ground truth), evaluate on the other half — restricted
+    // to domains with distinctive formats, which is the feature model's
+    // home turf (ambiguous formats are E10's subject).
+    let gl = LakeGenerator::standard().generate(&LakeGenConfig {
+        num_tables: 120,
+        rows: (30, 80),
+        cols: (1, 3),
+        header_noise: 1.0,
+        null_rate: 0.0,
+        seed: 55,
+        ..Default::default()
+    });
+    let friendly = ["email", "phone", "gene", "person", "event_date", "city"];
+    let mut labeled: Vec<(td::table::ColumnRef, &str)> = Vec::new();
+    for (r, d) in &gl.column_domains {
+        let name = &gl.registry.domain(*d).name;
+        if friendly.contains(&name.as_str()) && gl.lake.column(*r).num_distinct() >= 5 {
+            labeled.push((*r, friendly.iter().find(|f| *f == name).unwrap()));
+        }
+    }
+    labeled.sort_by_key(|(r, _)| *r);
+    assert!(labeled.len() >= 40, "too few labeled columns: {}", labeled.len());
+    let (train, test): (Vec<_>, Vec<_>) =
+        labeled.iter().enumerate().partition(|(i, _)| i % 2 == 0);
+    let train_refs: Vec<(&td::table::Column, &str)> = train
+        .iter()
+        .map(|(_, (r, l))| (gl.lake.column(*r), *l))
+        .collect();
+    let clf = td::understand::FeatureTypeClassifier::train(&train_refs);
+    let correct = test
+        .iter()
+        .filter(|(_, (r, l))| clf.predict_label(gl.lake.column(*r)) == *l)
+        .count();
+    let acc = correct as f64 / test.len() as f64;
+    assert!(acc >= 0.85, "accuracy {acc} over {} test columns", test.len());
+}
+
+#[test]
+fn kb_annotation_recovers_generator_domains() {
+    use td::understand::annotate::{annotate_table, AnnotateConfig};
+    let gl = LakeGenerator::standard().generate(&LakeGenConfig {
+        num_tables: 40,
+        rows: (20, 60),
+        cols: (1, 3),
+        max_card: 1_000,
+        null_rate: 0.0,
+        seed: 66,
+        ..Default::default()
+    });
+    let kb = KnowledgeBase::build(
+        &gl.registry,
+        &[],
+        &KbConfig {
+            vocab_per_domain: 2_048,
+            type_coverage: 1.0,
+            ..Default::default()
+        },
+    );
+    let mut correct = 0usize;
+    let mut graded = 0usize;
+    for (id, table) in gl.lake.iter() {
+        let ann = annotate_table(table, &kb, &AnnotateConfig::default());
+        for ci in 0..table.num_cols() {
+            let truth = gl.column_domains[&td::table::ColumnRef::new(id, ci)];
+            if gl.registry.domain(truth).format.is_numeric() {
+                continue; // the KB types categorical values only
+            }
+            graded += 1;
+            if ann.best_type(ci).map(|a| a.ty) == Some(truth) {
+                correct += 1;
+            }
+        }
+    }
+    assert!(graded >= 30);
+    let acc = correct as f64 / graded as f64;
+    assert!(acc >= 0.95, "annotation accuracy {acc} over {graded} columns");
+}

@@ -1,0 +1,218 @@
+//! Additional property tests across the higher layers: vector indices,
+//! ensembles, organizations, stitching, and the access-method cost model.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+use td::embed::seeded_unit_vector;
+use td::index::{
+    AccessMethod, CostModel, FlatIndex, Hnsw, HnswParams, LshEnsemble, Workload,
+};
+use td::nav::{Organization, OrganizeConfig};
+use td::sketch::{MinHasher, QcrSketch};
+use td::table::{Column, DataLake, Table, TableId};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn hnsw_always_finds_the_query_vector_itself(
+        n in 5usize..120,
+        probe in 0usize..120,
+        dim in 8usize..24,
+    ) {
+        prop_assume!(probe < n);
+        let mut h = Hnsw::new(dim, HnswParams::default());
+        for i in 0..n as u64 {
+            h.insert(seeded_unit_vector(i * 7 + 1, dim));
+        }
+        let q = seeded_unit_vector(probe as u64 * 7 + 1, dim);
+        let r = h.search(&q, 1, 48);
+        prop_assert_eq!(r[0].0, probe as u32);
+        prop_assert!(r[0].1 > 0.999);
+    }
+
+    #[test]
+    fn flat_results_are_sorted_and_unique(
+        n in 1usize..80,
+        k in 1usize..20,
+        dim in 4usize..16,
+    ) {
+        let mut f = FlatIndex::new(dim);
+        for i in 0..n as u64 {
+            f.insert(seeded_unit_vector(i + 3, dim));
+        }
+        let q = seeded_unit_vector(1_000_000, dim);
+        let r = f.search(&q, k);
+        prop_assert_eq!(r.len(), k.min(n));
+        let ids: HashSet<u32> = r.iter().map(|(i, _)| *i).collect();
+        prop_assert_eq!(ids.len(), r.len());
+        for w in r.windows(2) {
+            prop_assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn ensemble_hits_respect_their_own_threshold(
+        sizes in prop::collection::vec(5usize..400, 4..20),
+        t in 0.2f64..0.95,
+    ) {
+        let hasher = MinHasher::new(128, 1);
+        let items: Vec<(u32, td::sketch::MinHashSignature)> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &sz)| {
+                let toks: Vec<String> =
+                    (0..sz).map(|j| format!("v{}", i * 1000 + j)).collect();
+                (i as u32, hasher.sign(toks.iter().map(String::as_str)))
+            })
+            .collect();
+        let ens = LshEnsemble::build(items, 4);
+        let qtoks: Vec<String> = (0..50).map(|j| format!("q{j}")).collect();
+        let q = hasher.sign(qtoks.iter().map(String::as_str));
+        // Every returned estimate must clear the threshold, and results
+        // must be sorted descending.
+        let hits = ens.query_containment(&q, t);
+        for w in hits.windows(2) {
+            prop_assert!(w[0].1 >= w[1].1);
+        }
+        for (_, est) in hits {
+            prop_assert!(est >= t);
+        }
+    }
+
+    #[test]
+    fn qcr_estimate_stays_in_range(
+        n in 10usize..300,
+        scale in 0.1f64..100.0,
+    ) {
+        let xs: Vec<(String, f64)> = (0..n)
+            .map(|i| (format!("k{i}"), (i as f64 * 0.7).sin() * scale))
+            .collect();
+        let ys: Vec<(String, f64)> = (0..n)
+            .map(|i| (format!("k{i}"), (i as f64 * 0.7 + 1.0).sin() * scale))
+            .collect();
+        let a = QcrSketch::build(128, 3, &xs);
+        let b = QcrSketch::build(128, 3, &ys);
+        let est = a.estimate_pearson(&b);
+        prop_assert!((-1.0..=1.0).contains(&est));
+        prop_assert!((-1.0..=1.0).contains(&a.qcr(&b)));
+    }
+
+    #[test]
+    fn organizations_partition_their_tables(
+        per in 1usize..10,
+        clusters in 1usize..5,
+        branching in 2usize..6,
+    ) {
+        let items: Vec<(TableId, Vec<f32>)> = (0..clusters)
+            .flat_map(|c| {
+                (0..per).map(move |i| {
+                    let mut v = seeded_unit_vector(c as u64 + 1, 16);
+                    let noise = seeded_unit_vector((c * per + i) as u64 + 99, 16);
+                    td::embed::add_scaled(&mut v, &noise, 0.3);
+                    (TableId((c * per + i) as u32), v)
+                })
+            })
+            .collect();
+        let org = Organization::build(
+            &items,
+            &OrganizeConfig { branching, leaf_size: 3, ..Default::default() },
+        );
+        let mut below = org.tables_below(org.root());
+        below.sort();
+        below.dedup();
+        prop_assert_eq!(below.len(), items.len(), "duplicate or lost tables");
+        // Probabilities sum to <= 1 over disjoint targets is not a law of
+        // this model, but each must be a probability:
+        for (t, v) in &items {
+            let p = org.discovery_probability(*t, v, 6.0);
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&p));
+        }
+    }
+
+    #[test]
+    fn stitch_groups_cover_every_table_exactly_once(
+        arities in prop::collection::vec(1usize..4, 2..12),
+    ) {
+        let mut lake = DataLake::new();
+        for (i, &a) in arities.iter().enumerate() {
+            let cols: Vec<Column> = (0..a)
+                .map(|c| Column::from_strings(format!("h{c}"), &["x", "y"]))
+                .collect();
+            lake.add(Table::new(format!("t{i}"), cols).unwrap());
+        }
+        let groups = td::apps::stitchable_groups(&lake);
+        let mut seen = HashSet::new();
+        for g in &groups {
+            for t in g {
+                prop_assert!(seen.insert(*t), "table in two groups");
+            }
+            // All members share arity.
+            let a0 = lake.table(g[0]).num_cols();
+            for t in g {
+                prop_assert_eq!(lake.table(*t).num_cols(), a0);
+            }
+            // Stitching a group produces the row sum.
+            let stitched = td::apps::stitch_group(&lake, g);
+            let rows: usize = g.iter().map(|t| lake.table(*t).num_rows()).sum();
+            prop_assert_eq!(stitched.num_rows(), rows);
+        }
+        prop_assert_eq!(seen.len(), lake.len());
+    }
+
+    #[test]
+    fn cost_model_choice_is_consistent_with_predictions(
+        flat_ns in 1.0f64..100.0,
+        hnsw_step_ns in 10.0f64..10_000.0,
+        build_ns in 100.0f64..100_000.0,
+        n in 10usize..1_000_000,
+        q in 1usize..100_000,
+    ) {
+        let m = CostModel {
+            flat_ns_per_vector: flat_ns,
+            hnsw_ns_per_log_step: hnsw_step_ns,
+            hnsw_build_ns_per_vector: build_ns,
+        };
+        let w = Workload { corpus_size: n, expected_queries: q, k: 10 };
+        let chosen = m.choose(&w);
+        let other = match chosen {
+            AccessMethod::Flat => AccessMethod::Hnsw,
+            AccessMethod::Hnsw => AccessMethod::Flat,
+        };
+        prop_assert!(m.predict(chosen, &w) <= m.predict(other, &w));
+    }
+}
+
+#[test]
+fn lake_dir_roundtrip_on_generated_lake() {
+    use td::table::gen::lakegen::{LakeGenConfig, LakeGenerator};
+    use td::table::io::{load_dir, save_dir};
+    let gl = LakeGenerator::standard().generate(&LakeGenConfig {
+        num_tables: 12,
+        rows: (5, 20),
+        cols: (1, 4),
+        seed: 77,
+        ..Default::default()
+    });
+    let dir = std::env::temp_dir().join(format!("td_roundtrip_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    save_dir(&gl.lake, &dir).unwrap();
+    let loaded = load_dir(&dir).unwrap();
+    assert_eq!(loaded.len(), gl.lake.len());
+    // Content equality by (sorted) table name.
+    for (_, t) in gl.lake.iter() {
+        let name = if t.name.ends_with(".csv") { t.name.clone() } else { format!("{}.csv", t.name) };
+        let (_, l) = loaded.get_by_name(&name).unwrap_or_else(|| panic!("{name} missing"));
+        assert_eq!(l.num_rows(), t.num_rows());
+        assert_eq!(l.num_cols(), t.num_cols());
+        assert_eq!(l.meta, t.meta);
+        // Values may change primitive type only through the documented
+        // parse normalization; compare rendered text.
+        for (ca, cb) in t.columns.iter().zip(&l.columns) {
+            for (va, vb) in ca.values.iter().zip(&cb.values) {
+                assert_eq!(va.to_string().to_lowercase(), vb.to_string().to_lowercase());
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

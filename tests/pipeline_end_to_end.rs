@@ -1,0 +1,101 @@
+//! End-to-end integration: the full Figure-1 pipeline over a generated
+//! lake, exercising every component through the public facade API.
+
+use td::core::join::ExactStrategy;
+use td::core::{DiscoveryPipeline, PipelineConfig};
+use td::embed::{ContextualEncoder, DomainEmbedder};
+use td::nav::{group_results, LinkageConfig, LinkageGraph, Organization, OrganizeConfig,
+    RoninConfig};
+use td::table::gen::lakegen::{LakeGenConfig, LakeGenerator};
+use td::table::TableId;
+
+fn generated() -> td::table::gen::lakegen::GeneratedLake {
+    LakeGenerator::standard().generate(&LakeGenConfig {
+        num_tables: 50,
+        rows: (20, 80),
+        cols: (2, 5),
+        seed: 99,
+        ..Default::default()
+    })
+}
+
+#[test]
+fn full_pipeline_over_a_generated_lake() {
+    let gl = generated();
+    let pipeline =
+        DiscoveryPipeline::build(&gl.lake, &gl.registry, &[], &PipelineConfig::default());
+
+    // Profiling covered everything.
+    assert_eq!(pipeline.profile.len(), gl.lake.num_columns());
+
+    // Each search family answers a self-query sensibly.
+    let (qid, qt) = gl.lake.iter().next().map(|(i, t)| (i, t.clone())).unwrap();
+    let textual = qt.columns.iter().position(|c| !c.is_numeric() && !c.token_set().is_empty());
+    if let Some(ci) = textual {
+        let joins = pipeline.search_joinable(&qt.columns[ci], 5);
+        assert!(!joins.is_empty());
+        assert_eq!(joins[0].0, qid, "self-join must rank first");
+        let (hits, _) = pipeline.exact_join.search(&qt.columns[ci], 5, ExactStrategy::Probe);
+        assert_eq!(hits[0].overlap, qt.columns[ci].token_set().len());
+    }
+    let unions = pipeline.search_unionable(&qt, 5);
+    assert_eq!(unions[0].0, qid, "self-union must rank first");
+    assert!(unions[0].1 > 0.95);
+
+    // Keyword search returns only indexed tables.
+    for (t, _) in pipeline.search_keyword("dataset records", 10) {
+        assert!(gl.lake.get(t).is_some());
+    }
+}
+
+#[test]
+fn navigation_layers_compose_with_the_pipeline() {
+    let gl = generated();
+    let graph = LinkageGraph::build(&gl.lake, &LinkageConfig::default());
+    // A generated topical lake must contain *some* cross-table structure.
+    assert!(graph.num_edges() > 0, "no linkage edges in a topical lake");
+
+    let emb = DomainEmbedder::from_registry(&gl.registry, 2_048, 64, 0.4, 5);
+    let enc = ContextualEncoder::default();
+    let items: Vec<(TableId, Vec<f32>)> = gl
+        .lake
+        .iter()
+        .map(|(id, t)| (id, enc.encode_table_vector(&emb, t)))
+        .collect();
+    let org = Organization::build(&items, &OrganizeConfig::default());
+    let mut below = org.tables_below(org.root());
+    below.sort();
+    let mut all: Vec<TableId> = gl.lake.ids().collect();
+    all.sort();
+    assert_eq!(below, all, "organization must cover the whole lake");
+
+    // Informed navigation beats uniform descent on average.
+    let avg = |beta: f32| {
+        items
+            .iter()
+            .map(|(t, v)| org.discovery_probability(*t, v, beta))
+            .sum::<f64>()
+            / items.len() as f64
+    };
+    assert!(avg(8.0) > avg(0.0));
+
+    // RONIN groups any result slice without losing tables.
+    let results: Vec<(TableId, Vec<f32>)> = items.into_iter().take(20).collect();
+    let groups = group_results(&gl.lake, &results, &RoninConfig::default());
+    let total: usize = groups.iter().map(|g| g.tables.len()).sum();
+    assert_eq!(total, 20);
+}
+
+#[test]
+fn pipeline_is_deterministic() {
+    let gl = generated();
+    let p1 = DiscoveryPipeline::build(&gl.lake, &gl.registry, &[], &PipelineConfig::default());
+    let p2 = DiscoveryPipeline::build(&gl.lake, &gl.registry, &[], &PipelineConfig::default());
+    let (_, qt) = gl.lake.iter().next().unwrap();
+    let a = p1.search_unionable(qt, 5);
+    let b = p2.search_unionable(qt, 5);
+    assert_eq!(a, b);
+    let ka = p1.search_keyword("geography", 5);
+    let kb = p2.search_keyword("geography", 5);
+    assert_eq!(ka, kb);
+}

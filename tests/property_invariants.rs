@@ -1,0 +1,192 @@
+//! Property-based tests (proptest) on core invariants: sketch estimates
+//! track exact statistics, indices agree with brute force, CSV round-trips,
+//! matching is optimal, and metrics respect their definitional bounds.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+use td::core::metrics::{average_precision, ndcg_at_k, precision_at_k, recall_at_k};
+use td::core::union::max_weight_matching;
+use td::index::{InvertedSetIndexBuilder, TopK};
+use td::sketch::{HyperLogLog, KmvSketch, MinHasher};
+use td::table::{csv, Column, Table, Value};
+
+/// Strategy: a set of small-alphabet tokens.
+fn token_set(max: u32) -> impl Strategy<Value = HashSet<u32>> {
+    prop::collection::hash_set(0..max, 0..120)
+}
+
+fn to_strings(s: &HashSet<u32>) -> Vec<String> {
+    s.iter().map(|i| format!("tok{i}")).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn minhash_jaccard_tracks_exact(a in token_set(300), b in token_set(300)) {
+        prop_assume!(!a.is_empty() || !b.is_empty());
+        let exact = {
+            let inter = a.intersection(&b).count() as f64;
+            let uni = a.union(&b).count() as f64;
+            if uni == 0.0 { 0.0 } else { inter / uni }
+        };
+        let h = MinHasher::new(256, 7);
+        let sa = to_strings(&a);
+        let sb = to_strings(&b);
+        let ja = h.sign(sa.iter().map(String::as_str));
+        let jb = h.sign(sb.iter().map(String::as_str));
+        let est = ja.jaccard(&jb);
+        // 256 hashes: sigma <= 0.032; allow 6 sigma.
+        prop_assert!((est - exact).abs() < 0.2, "est {est} exact {exact}");
+    }
+
+    #[test]
+    fn kmv_distinct_is_exact_below_k(s in token_set(300)) {
+        prop_assume!(s.len() < 128);
+        let toks = to_strings(&s);
+        let k = KmvSketch::from_tokens(128, 3, toks.iter().map(String::as_str));
+        prop_assert_eq!(k.estimate_distinct(), s.len() as f64);
+    }
+
+    #[test]
+    fn kmv_union_commutes(a in token_set(300), b in token_set(300)) {
+        let sa = to_strings(&a);
+        let sb = to_strings(&b);
+        let ka = KmvSketch::from_tokens(64, 3, sa.iter().map(String::as_str));
+        let kb = KmvSketch::from_tokens(64, 3, sb.iter().map(String::as_str));
+        prop_assert_eq!(ka.union(&kb), kb.union(&ka));
+    }
+
+    #[test]
+    fn hll_never_negative_and_duplicates_free(s in token_set(500), dups in 1usize..5) {
+        let toks = to_strings(&s);
+        let mut h1 = HyperLogLog::new(10, 1);
+        let mut hd = HyperLogLog::new(10, 1);
+        for t in &toks {
+            h1.insert(t);
+            for _ in 0..dups {
+                hd.insert(t);
+            }
+        }
+        prop_assert!(h1.estimate() >= 0.0);
+        // Duplicate insertion changes nothing.
+        prop_assert_eq!(h1.estimate(), hd.estimate());
+    }
+
+    #[test]
+    fn inverted_topk_matches_brute_force(
+        sets in prop::collection::vec(token_set(80), 2..25),
+        qidx in 0usize..25,
+    ) {
+        prop_assume!(qidx < sets.len());
+        prop_assume!(!sets[qidx].is_empty());
+        let mut b = InvertedSetIndexBuilder::new();
+        for s in &sets {
+            let toks = to_strings(s);
+            b.add_set(toks.iter().map(String::as_str));
+        }
+        let idx = b.build();
+        let q = &sets[qidx];
+        let qtoks = to_strings(q);
+        let (hits, _) = idx.top_k_merge(qtoks.iter().map(String::as_str), 3);
+        // Brute force.
+        let mut brute: Vec<usize> = sets.iter().map(|s| s.intersection(q).count()).collect();
+        brute.sort_unstable_by(|a, b| b.cmp(a));
+        let got: Vec<usize> = hits.iter().map(|&(_, o)| o).collect();
+        let expected: Vec<usize> = brute.into_iter().take(got.len()).collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn csv_roundtrip_preserves_values(
+        rows in prop::collection::vec(
+            (any::<i32>(), "[a-zA-Z ,\"\n]{0,12}", proptest::option::of(any::<bool>())),
+            1..20,
+        )
+    ) {
+        let cols = vec![
+            Column::new("i", rows.iter().map(|(i, _, _)| Value::Int(*i as i64)).collect()),
+            Column::new(
+                "s",
+                rows.iter()
+                    .map(|(_, s, _)| {
+                        // Normalize the way ingestion would: parse() output.
+                        Value::parse(s)
+                    })
+                    .collect(),
+            ),
+            Column::new(
+                "b",
+                rows.iter()
+                    .map(|(_, _, b)| b.map_or(Value::Null, Value::Bool))
+                    .collect(),
+            ),
+        ];
+        let t = Table::new("t", cols).unwrap();
+        let text = csv::write_table(&t);
+        let t2 = csv::read_table("t", &text).unwrap();
+        prop_assert_eq!(t.columns, t2.columns);
+    }
+
+    #[test]
+    fn hungarian_total_matches_assignment_sum(
+        w in prop::collection::vec(prop::collection::vec(0.0f64..10.0, 1..6), 1..6)
+    ) {
+        let m = w[0].len();
+        prop_assume!(w.iter().all(|r| r.len() == m));
+        let (total, assignment) = max_weight_matching(&w);
+        let mut sum = 0.0;
+        let mut used = HashSet::new();
+        for (i, a) in assignment.iter().enumerate() {
+            if let Some(j) = a {
+                prop_assert!(used.insert(*j));
+                sum += w[i][*j];
+            }
+        }
+        prop_assert!((sum - total).abs() < 1e-9);
+        // Any single swap must not improve (local optimality sanity).
+        prop_assert!(total >= w.iter().map(|r| r[0]).fold(0.0, f64::max) - 1e-9);
+    }
+
+    #[test]
+    fn topk_returns_the_true_maxima(scores in prop::collection::vec(-100.0f64..100.0, 1..60), k in 1usize..10) {
+        let mut topk = TopK::new(k);
+        for (i, &s) in scores.iter().enumerate() {
+            topk.push(s, i);
+        }
+        let got: Vec<f64> = topk.into_sorted().into_iter().map(|(s, _)| s).collect();
+        let mut expected = scores.clone();
+        expected.sort_by(|a, b| b.total_cmp(a));
+        expected.truncate(k.min(scores.len()));
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn metric_bounds_hold(
+        results in prop::collection::vec(0u32..40, 0..30),
+        relevant in prop::collection::hash_set(0u32..40, 0..20),
+        k in 1usize..15,
+    ) {
+        let p = precision_at_k(&results, &relevant, k);
+        let r = recall_at_k(&results, &relevant, k);
+        let ap = average_precision(&results, &relevant);
+        prop_assert!((0.0..=1.0).contains(&p));
+        prop_assert!((0.0..=1.0).contains(&r));
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&ap));
+        let grades: std::collections::HashMap<u32, u8> =
+            relevant.iter().map(|&x| (x, 1u8)).collect();
+        let n = ndcg_at_k(&results, &grades, k);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&n));
+    }
+
+    #[test]
+    fn value_parse_display_roundtrip_for_numbers(i in any::<i64>(), f in -1e15f64..1e15) {
+        prop_assert_eq!(Value::parse(&Value::Int(i).to_string()), Value::Int(i));
+        let shown = Value::Float(f).to_string();
+        match Value::parse(&shown) {
+            Value::Float(g) => prop_assert!((g - f).abs() <= f.abs() * 1e-12),
+            Value::Int(g) => prop_assert_eq!(g as f64, f),
+            other => prop_assert!(false, "unexpected {:?}", other),
+        }
+    }
+}

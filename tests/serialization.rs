@@ -1,0 +1,158 @@
+//! Serde round-trips of the persistent artifacts a deployment would save:
+//! tables, catalogs, profiles, sketches, signatures, annotations,
+//! organizations.
+
+use td::index::{Bm25Index, Bm25Params, InvertedSetIndexBuilder};
+use td::sketch::{HyperLogLog, KmvSketch, MinHasher, QcrSketch};
+use td::table::gen::lakegen::{LakeGenConfig, LakeGenerator};
+use td::table::{csv, Column, DataLake, LakeProfile, Table, TableMeta};
+
+fn roundtrip<T>(value: &T) -> T
+where
+    T: serde::Serialize + serde::de::DeserializeOwned,
+{
+    let json = serde_json::to_string(value).expect("serialize");
+    serde_json::from_str(&json).expect("deserialize")
+}
+
+#[test]
+fn table_and_lake_roundtrip() {
+    let mut t = csv::read_table("t.csv", "a,b\n1,x\n2.5,\ntrue,z\n").unwrap();
+    t.meta = TableMeta {
+        title: "T".into(),
+        description: "d".into(),
+        tags: vec!["x".into()],
+        source: "s".into(),
+    };
+    let t2: Table = roundtrip(&t);
+    assert_eq!(t, t2);
+
+    let mut lake = DataLake::new();
+    lake.add(t);
+    let lake2: DataLake = roundtrip(&lake);
+    assert_eq!(lake.len(), lake2.len());
+    assert_eq!(
+        lake.table(td::table::TableId(0)).columns,
+        lake2.table(td::table::TableId(0)).columns
+    );
+}
+
+#[test]
+fn profile_roundtrip() {
+    let gl = LakeGenerator::standard()
+        .generate(&LakeGenConfig { num_tables: 5, ..Default::default() });
+    let p = LakeProfile::of(&gl.lake);
+    let p2: LakeProfile = roundtrip(&p);
+    assert_eq!(p.len(), p2.len());
+    for (r, prof) in p.iter() {
+        // JSON may lose the last ulp of a float: compare fields with
+        // tolerance rather than bitwise.
+        let q = p2.get(r).expect("column present");
+        assert_eq!(prof.name, q.name);
+        assert_eq!((prof.ty, prof.rows, prof.nulls, prof.distinct), (q.ty, q.rows, q.nulls, q.distinct));
+        for (a, b) in [
+            (prof.mean, q.mean),
+            (prof.std_dev, q.std_dev),
+            (prof.mean_text_len, q.mean_text_len),
+        ] {
+            assert!((a - b).abs() <= a.abs() * 1e-12 + 1e-12);
+        }
+        assert_eq!(prof.min.is_some(), q.min.is_some());
+        assert_eq!(prof.max.is_some(), q.max.is_some());
+    }
+}
+
+#[test]
+fn sketches_roundtrip_and_still_estimate() {
+    let tokens: Vec<String> = (0..500).map(|i| format!("v{i}")).collect();
+    let hasher = MinHasher::new(128, 1);
+    let sig = hasher.sign(tokens.iter().map(String::as_str));
+    let sig2 = roundtrip(&sig);
+    assert_eq!(sig, sig2);
+
+    let kmv = KmvSketch::from_tokens(64, 2, tokens.iter().map(String::as_str));
+    let kmv2: KmvSketch = roundtrip(&kmv);
+    assert_eq!(kmv.estimate_distinct(), kmv2.estimate_distinct());
+
+    let mut hll = HyperLogLog::new(10, 3);
+    for t in &tokens {
+        hll.insert(t);
+    }
+    let hll2: HyperLogLog = roundtrip(&hll);
+    assert_eq!(hll.estimate(), hll2.estimate());
+
+    let pairs: Vec<(String, f64)> =
+        (0..200).map(|i| (format!("k{i}"), i as f64)).collect();
+    let qcr = QcrSketch::build(64, 5, &pairs);
+    let qcr2: QcrSketch = roundtrip(&qcr);
+    assert_eq!(qcr, qcr2);
+}
+
+#[test]
+fn inverted_index_roundtrip_preserves_search() {
+    let mut b = InvertedSetIndexBuilder::new();
+    let sets: Vec<Vec<String>> = (0..30)
+        .map(|s| (0..20).map(|i| format!("t{}", (s * 7 + i) % 60)).collect())
+        .collect();
+    for s in &sets {
+        b.add_set(s.iter().map(String::as_str));
+    }
+    let idx = b.build();
+    let idx2 = roundtrip(&idx);
+    let q = &sets[3];
+    let (r1, _) = idx.top_k_merge(q.iter().map(String::as_str), 5);
+    let (r2, _) = idx2.top_k_merge(q.iter().map(String::as_str), 5);
+    assert_eq!(r1, r2);
+}
+
+#[test]
+fn bm25_roundtrip_preserves_ranking() {
+    let mut i = Bm25Index::new(Bm25Params::default());
+    i.add_document("city budget finance");
+    i.add_document("wildlife habitat");
+    let i2: Bm25Index = roundtrip(&i);
+    assert_eq!(i.search("budget", 2), i2.search("budget", 2));
+}
+
+#[test]
+fn annotations_and_organizations_roundtrip() {
+    use td::nav::{Organization, OrganizeConfig};
+    use td::understand::annotate::{annotate_table, AnnotateConfig, TableAnnotation};
+    use td::understand::kb::{KbConfig, KnowledgeBase};
+
+    let registry = td::table::gen::domains::DomainRegistry::standard();
+    let city = registry.id("city").unwrap();
+    let kb = KnowledgeBase::build(
+        &registry,
+        &[],
+        &KbConfig { type_coverage: 1.0, vocab_per_domain: 100, ..Default::default() },
+    );
+    let t = Table::new(
+        "t",
+        vec![Column::new(
+            "c",
+            (0..20u64).map(|i| registry.value(city, i)).collect::<Vec<_>>(),
+        )],
+    )
+    .unwrap();
+    let ann = annotate_table(&t, &kb, &AnnotateConfig::default());
+    let ann2: TableAnnotation = roundtrip(&ann);
+    assert_eq!(ann.column_types, ann2.column_types);
+
+    let items: Vec<(td::table::TableId, Vec<f32>)> = (0..10u32)
+        .map(|i| {
+            (
+                td::table::TableId(i),
+                td::embed::seeded_unit_vector(i as u64, 16),
+            )
+        })
+        .collect();
+    let org = Organization::build(&items, &OrganizeConfig::default());
+    let org2: Organization = roundtrip(&org);
+    assert_eq!(org.num_nodes(), org2.num_nodes());
+    let (t0, v0) = &items[0];
+    assert_eq!(
+        org.discovery_probability(*t0, v0, 4.0),
+        org2.discovery_probability(*t0, v0, 4.0)
+    );
+}
