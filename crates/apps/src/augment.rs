@@ -119,8 +119,7 @@ pub fn augment_regression(
         .iter()
         .map(td_table::Value::join_token)
         .collect();
-    let base_key_set: std::collections::HashSet<&String> =
-        key_tokens.iter().flatten().collect();
+    let base_key_set: std::collections::HashSet<&String> = key_tokens.iter().flatten().collect();
     let ys: Vec<f64> = base.columns[target_col]
         .values
         .iter()
@@ -133,7 +132,10 @@ pub fn augment_regression(
         if ci == key_col || ci == target_col || !col.is_numeric() {
             continue;
         }
-        features.push((None, col.values.iter().map(td_table::Value::as_f64).collect()));
+        features.push((
+            None,
+            col.values.iter().map(td_table::Value::as_f64).collect(),
+        ));
     }
     let num_base_features = features.len();
 
@@ -207,15 +209,17 @@ pub fn augment_regression(
         if feats.is_empty() {
             // Mean-only model.
             let mean = ys_of(train_rows).iter().sum::<f64>() / train_rows.len() as f64;
-            let m = LinearModel { weights: vec![], bias: mean };
+            let m = LinearModel {
+                weights: vec![],
+                bias: mean,
+            };
             let xs: Vec<Vec<f64>> = test_rows.iter().map(|_| vec![]).collect();
             return r_squared(&m, &xs, &ys_of(test_rows));
         }
         let means: Vec<f64> = feats
             .iter()
             .map(|f| {
-                let train_vals: Vec<Option<f64>> =
-                    train_rows.iter().map(|&r| f[r]).collect();
+                let train_vals: Vec<Option<f64>> = train_rows.iter().map(|&r| f[r]).collect();
                 mean_of(&train_vals)
             })
             .collect();
@@ -227,8 +231,7 @@ pub fn augment_regression(
         }
     };
 
-    let base_feats: Vec<&Vec<Option<f64>>> =
-        features.iter().map(|(_, f)| f).collect();
+    let base_feats: Vec<&Vec<Option<f64>>> = features.iter().map(|(_, f)| f).collect();
     let base_r2 = evaluate(base_feats.clone());
 
     let mut all_feats = base_feats.clone();
@@ -275,7 +278,12 @@ pub fn augment_regression(
 
     let _ = num_base_features;
     let _: Vec<TableId> = Vec::new();
-    AugmentOutcome { base_r2, join_all_r2, selected_r2, candidates }
+    AugmentOutcome {
+        base_r2,
+        join_all_r2,
+        selected_r2,
+        candidates,
+    }
 }
 
 #[cfg(test)]
@@ -328,10 +336,7 @@ mod tests {
                 vec![
                     Column::new("city", keys.clone()),
                     Column::new("f2", f2.iter().map(|&v| Value::Float(v)).collect()),
-                    Column::new(
-                        "junk",
-                        (0..n).map(|i| Value::Float(det(i, 99))).collect(),
-                    ),
+                    Column::new("junk", (0..n).map(|i| Value::Float(det(i, 99))).collect()),
                 ],
             )
             .unwrap(),
@@ -342,14 +347,8 @@ mod tests {
                 "noise",
                 vec![
                     Column::new("city", keys),
-                    Column::new(
-                        "n1",
-                        (0..n).map(|i| Value::Float(det(i, 7))).collect(),
-                    ),
-                    Column::new(
-                        "n2",
-                        (0..n).map(|i| Value::Float(det(i, 8))).collect(),
-                    ),
+                    Column::new("n1", (0..n).map(|i| Value::Float(det(i, 7))).collect()),
+                    Column::new("n2", (0..n).map(|i| Value::Float(det(i, 8))).collect()),
                 ],
             )
             .unwrap(),
@@ -400,7 +399,10 @@ mod tests {
             .iter()
             .filter(|n| by_name(n)[0].selected)
             .count();
-        assert!(noise_selected <= 1, "{noise_selected} noise features survived");
+        assert!(
+            noise_selected <= 1,
+            "{noise_selected} noise features survived"
+        );
     }
 
     #[test]
@@ -434,10 +436,7 @@ mod tests {
                 "half",
                 vec![
                     Column::new("city", (0..75u64).map(|i| r.value(city, i)).collect()),
-                    Column::new(
-                        "h",
-                        (0..75).map(|i| Value::Float(i as f64)).collect(),
-                    ),
+                    Column::new("h", (0..75).map(|i| Value::Float(i as f64)).collect()),
                 ],
             )
             .unwrap(),

@@ -92,7 +92,10 @@ impl LinearModel {
             row[i] += lambda;
         }
         let w = solve(xtx, xty)?;
-        Some(LinearModel { weights: w[..d].to_vec(), bias: w[d] })
+        Some(LinearModel {
+            weights: w[..d].to_vec(),
+            bias: w[d],
+        })
     }
 
     /// Fit logistic regression (labels in {0,1}) by full-batch gradient
@@ -129,7 +132,10 @@ impl LinearModel {
             }
             b -= lr * gb / n;
         }
-        Some(LinearModel { weights: w, bias: b })
+        Some(LinearModel {
+            weights: w,
+            bias: b,
+        })
     }
 
     /// Raw linear score `w · x + b`.
@@ -239,7 +245,11 @@ mod tests {
             ys.push(if x > 0.1 { 1.0 } else { 0.0 });
         }
         let m = LinearModel::fit_logistic(&xs, &ys, 1e-4, 0.5, 2000).unwrap();
-        assert!(accuracy(&m, &xs, &ys) > 0.93, "acc {}", accuracy(&m, &xs, &ys));
+        assert!(
+            accuracy(&m, &xs, &ys) > 0.93,
+            "acc {}",
+            accuracy(&m, &xs, &ys)
+        );
         assert!(m.predict_proba(&[1.0]) > 0.8);
         assert!(m.predict_proba(&[-1.0]) < 0.2);
     }
@@ -258,7 +268,10 @@ mod tests {
     fn r_squared_of_mean_model_is_zero() {
         let ys = vec![1.0, 2.0, 3.0];
         let xs = vec![vec![0.0], vec![0.0], vec![0.0]];
-        let m = LinearModel { weights: vec![0.0], bias: 2.0 };
+        let m = LinearModel {
+            weights: vec![0.0],
+            bias: 2.0,
+        };
         assert!(r_squared(&m, &xs, &ys).abs() < 1e-12);
     }
 

@@ -51,7 +51,11 @@ pub fn stitch_group(lake: &DataLake, group: &[TableId]) -> Table {
     let mut acc = first.clone();
     for &id in &group[1..] {
         let t = lake.table(id);
-        assert_eq!(t.num_cols(), acc.num_cols(), "arity mismatch in stitch group");
+        assert_eq!(
+            t.num_cols(),
+            acc.num_cols(),
+            "arity mismatch in stitch group"
+        );
         let alignment: Vec<Option<usize>> = (0..acc.num_cols()).map(Some).collect();
         acc = acc.union_with(t, &alignment);
     }
@@ -177,7 +181,9 @@ mod tests {
                 vec![
                     Column::new(
                         "city",
-                        (lo..lo + fragment_rows).map(|i| r.value(spec.key_dom, i)).collect(),
+                        (lo..lo + fragment_rows)
+                            .map(|i| r.value(spec.key_dom, i))
+                            .collect(),
                     ),
                     Column::new(
                         "country",

@@ -36,7 +36,10 @@ pub struct TrainsetConfig {
 
 impl Default for TrainsetConfig {
     fn default() -> Self {
-        TrainsetConfig { min_confidence: 0.05, max_examples: 500 }
+        TrainsetConfig {
+            min_confidence: 0.05,
+            max_examples: 500,
+        }
     }
 }
 
@@ -68,11 +71,7 @@ pub fn discover_training_set(
         centroids.iter().any(|c| c.iter().any(|&x| x != 0.0)),
         "at least one non-empty seed class required"
     );
-    let seed_set: HashSet<String> = seeds
-        .iter()
-        .flatten()
-        .map(|s| s.to_lowercase())
-        .collect();
+    let seed_set: HashSet<String> = seeds.iter().flatten().map(|s| s.to_lowercase()).collect();
 
     let mut seen: HashSet<String> = HashSet::new();
     let mut out = Vec::new();
@@ -95,11 +94,19 @@ pub fn discover_training_set(
             let second = sims.get(1).map_or(0.0, |s| s.1);
             let confidence = best_sim - second;
             if confidence >= cfg.min_confidence {
-                out.push(HarvestedExample { value: t, label: best, confidence });
+                out.push(HarvestedExample {
+                    value: t,
+                    label: best,
+                    confidence,
+                });
             }
         }
     }
-    out.sort_by(|a, b| b.confidence.total_cmp(&a.confidence).then(a.value.cmp(&b.value)));
+    out.sort_by(|a, b| {
+        b.confidence
+            .total_cmp(&a.confidence)
+            .then(a.value.cmp(&b.value))
+    });
     out.truncate(cfg.max_examples);
     out
 }
@@ -116,10 +123,7 @@ mod tests {
         let mut lake = DataLake::new();
         for (name, lo) in [("city", 0u64), ("city", 200), ("gene", 0), ("gene", 200)] {
             let d = r.id(name).unwrap();
-            let col = Column::new(
-                name,
-                (lo..lo + 50).map(|i| r.value(d, i)).collect(),
-            );
+            let col = Column::new(name, (lo..lo + 50).map(|i| r.value(d, i)).collect());
             lake.add(Table::new(format!("{name}_{lo}"), vec![col]).unwrap());
         }
         let emb = DomainEmbedder::from_registry(&r, 1_000, 64, 0.4, 13);
@@ -130,16 +134,19 @@ mod tests {
         let city = r.id("city").unwrap();
         let gene = r.id("gene").unwrap();
         vec![
-            (500..505u64).map(|i| r.value(city, i).to_string()).collect(),
-            (500..505u64).map(|i| r.value(gene, i).to_string()).collect(),
+            (500..505u64)
+                .map(|i| r.value(city, i).to_string())
+                .collect(),
+            (500..505u64)
+                .map(|i| r.value(gene, i).to_string())
+                .collect(),
         ]
     }
 
     #[test]
     fn harvested_labels_match_ground_truth() {
         let (lake, r, emb) = setup();
-        let harvested =
-            discover_training_set(&lake, &seeds(&r), &emb, &TrainsetConfig::default());
+        let harvested = discover_training_set(&lake, &seeds(&r), &emb, &TrainsetConfig::default());
         assert!(harvested.len() >= 150, "harvested {}", harvested.len());
         // Ground truth: which domain vocabulary the value belongs to.
         let city_vocab: HashSet<String> = r
@@ -182,7 +189,10 @@ mod tests {
             &lake,
             &seeds(&r),
             &emb,
-            &TrainsetConfig { max_examples: 20, ..Default::default() },
+            &TrainsetConfig {
+                max_examples: 20,
+                ..Default::default()
+            },
         );
         assert!(harvested.len() <= 20);
         for w in harvested.windows(2) {
@@ -197,13 +207,19 @@ mod tests {
             &lake,
             &seeds(&r),
             &emb,
-            &TrainsetConfig { min_confidence: 0.9, ..Default::default() },
+            &TrainsetConfig {
+                min_confidence: 0.9,
+                ..Default::default()
+            },
         );
         let loose = discover_training_set(
             &lake,
             &seeds(&r),
             &emb,
-            &TrainsetConfig { min_confidence: 0.0, ..Default::default() },
+            &TrainsetConfig {
+                min_confidence: 0.0,
+                ..Default::default()
+            },
         );
         assert!(strict.len() <= loose.len());
     }

@@ -4,9 +4,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use td::embed::seeded_unit_vector;
-use td::index::{
-    FlatIndex, Hnsw, HnswParams, InvertedSetIndexBuilder, LshEnsemble, MinHashLsh,
-};
+use td::index::{FlatIndex, Hnsw, HnswParams, InvertedSetIndexBuilder, LshEnsemble, MinHashLsh};
 use td::sketch::{MinHashSignature, MinHasher};
 
 fn random_sets(n: usize, avg: usize) -> Vec<Vec<String>> {
@@ -15,7 +13,10 @@ fn random_sets(n: usize, avg: usize) -> Vec<Vec<String>> {
             let len = avg / 2 + (td::sketch::hash_u64(s as u64, 1) as usize) % avg;
             (0..len)
                 .map(|i| {
-                    format!("v{}", td::sketch::hash_u64((s * 1000 + i) as u64, 2) % 50_000)
+                    format!(
+                        "v{}",
+                        td::sketch::hash_u64((s * 1000 + i) as u64, 2) % 50_000
+                    )
                 })
                 .collect()
         })
@@ -60,7 +61,10 @@ fn bench_lsh_vs_ensemble(c: &mut Criterion) {
         lsh.insert(i as u32, s);
     }
     let ens = LshEnsemble::build(
-        sigs.iter().enumerate().map(|(i, s)| (i as u32, s.clone())).collect(),
+        sigs.iter()
+            .enumerate()
+            .map(|(i, s)| (i as u32, s.clone()))
+            .collect(),
         8,
     );
     let q = &sigs[3];

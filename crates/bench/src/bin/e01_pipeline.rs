@@ -6,13 +6,15 @@
 
 use td::core::{DiscoveryPipeline, PipelineConfig};
 use td::embed::{ContextualEncoder, DomainEmbedder};
-use td::nav::{rank_homographs, HomographConfig, LinkageConfig, LinkageGraph, Organization,
-    OrganizeConfig};
+use td::nav::{
+    rank_homographs, HomographConfig, LinkageConfig, LinkageGraph, Organization, OrganizeConfig,
+};
 use td::table::gen::lakegen::{LakeGenConfig, LakeGenerator};
 use td::table::TableId;
-use td_bench::{ms, print_table, record, time};
+use td_bench::{ms, print_table, record, time, BenchReport};
 
 fn main() {
+    let mut report = BenchReport::new("e01_pipeline");
     let (gl, t_gen) = time(|| {
         LakeGenerator::standard().generate(&LakeGenConfig {
             num_tables: 1000,
@@ -29,9 +31,8 @@ fn main() {
         ms(t_gen)
     );
 
-    let (pipeline, t_build) = time(|| {
-        DiscoveryPipeline::build(&gl.lake, &gl.registry, &[], &PipelineConfig::default())
-    });
+    let (pipeline, t_build) =
+        time(|| DiscoveryPipeline::build(&gl.lake, &gl.registry, &[], &PipelineConfig::default()));
 
     let (graph, t_graph) = time(|| LinkageGraph::build(&gl.lake, &LinkageConfig::default()));
     let emb = DomainEmbedder::from_registry(&gl.registry, 2_048, 64, 0.4, 5);
@@ -44,11 +45,13 @@ fn main() {
             .collect();
         Organization::build(&items, &OrganizeConfig::default())
     });
-    let (homographs, t_homo) =
-        time(|| rank_homographs(&gl.lake, &HomographConfig::default()));
+    let (homographs, t_homo) = time(|| rank_homographs(&gl.lake, &HomographConfig::default()));
 
     let mut rows = vec![
-        vec!["offline pipeline (profile+understand+index)".into(), ms(t_build)],
+        vec![
+            "offline pipeline (profile+understand+index)".into(),
+            ms(t_build),
+        ],
         vec!["linkage graph".into(), ms(t_graph)],
         vec!["organization".into(), ms(t_org)],
         vec!["homograph ranking".into(), ms(t_homo)],
@@ -61,10 +64,16 @@ fn main() {
     rows.push(vec![format!("keyword query ({} hits)", kw.len()), ms(t_kw)]);
     if let Some(ci) = qt.columns.iter().position(|c| !c.is_numeric()) {
         let (join, t_join) = time(|| pipeline.search_joinable(&qt.columns[ci], 10));
-        rows.push(vec![format!("joinable query ({} hits)", join.len()), ms(t_join)]);
+        rows.push(vec![
+            format!("joinable query ({} hits)", join.len()),
+            ms(t_join),
+        ]);
     }
     let (un, t_un) = time(|| pipeline.search_unionable(&qt, 10));
-    rows.push(vec![format!("unionable query ({} hits)", un.len()), ms(t_un)]);
+    rows.push(vec![
+        format!("unionable query ({} hits)", un.len()),
+        ms(t_un),
+    ]);
 
     print_table("component timings", &["component", "time (ms)"], &rows);
     println!(
@@ -73,11 +82,22 @@ fn main() {
         org.num_nodes(),
         homographs.len()
     );
-    record("e01_pipeline", &serde_json::json!({
+    let payload = serde_json::json!({
         "tables": gl.lake.len(),
         "columns": gl.lake.num_columns(),
         "build_ms": t_build.as_secs_f64() * 1e3,
         "linkage_edges": graph.num_edges(),
         "org_nodes": org.num_nodes(),
-    }));
+    });
+    record("e01_pipeline", &payload);
+    report
+        .stage("generate", t_gen)
+        .stage("pipeline_build", t_build)
+        .stage("linkage_graph", t_graph)
+        .stage("organization", t_org)
+        .stage("homograph_ranking", t_homo)
+        .stage("query_keyword", t_kw)
+        .stage("query_unionable", t_un)
+        .merge(&payload);
+    report.finish();
 }

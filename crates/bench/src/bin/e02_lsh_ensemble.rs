@@ -10,22 +10,24 @@ use std::collections::HashSet;
 use td::core::join::{ContainmentJoinSearch, JaccardJoinSearch};
 use td::table::gen::bench_join::{JoinBenchConfig, JoinBenchmark};
 use td::table::TableId;
-use td_bench::{print_table, record};
+use td_bench::{print_table, record, BenchReport};
 
-fn recall_precision(
-    hits: &[TableId],
-    relevant: &HashSet<TableId>,
-) -> (f64, f64) {
+fn recall_precision(hits: &[TableId], relevant: &HashSet<TableId>) -> (f64, f64) {
     if relevant.is_empty() {
         return (0.0, 0.0);
     }
     let tp = hits.iter().filter(|t| relevant.contains(t)).count();
     let recall = tp as f64 / relevant.len() as f64;
-    let precision = if hits.is_empty() { 1.0 } else { tp as f64 / hits.len() as f64 };
+    let precision = if hits.is_empty() {
+        1.0
+    } else {
+        tp as f64 / hits.len() as f64
+    };
     (recall, precision)
 }
 
 fn main() {
+    let mut report = BenchReport::new("e02_lsh_ensemble");
     let bench = JoinBenchmark::generate(&JoinBenchConfig {
         query_size: 400,
         num_relevant: 80,
@@ -43,9 +45,14 @@ fn main() {
     );
 
     // --- Part 1: containment thresholds, ensemble vs Jaccard-LSH --------
-    let jaccard = JaccardJoinSearch::build(&bench.lake, 256);
-    let ensemble = ContainmentJoinSearch::build(&bench.lake, 256, 16);
+    let jaccard = report.measure("jaccard_build", || {
+        JaccardJoinSearch::build(&bench.lake, 256)
+    });
+    let ensemble = report.measure("ensemble_build", || {
+        ContainmentJoinSearch::build(&bench.lake, 256, 16)
+    });
     let mut rows = Vec::new();
+    let mut sweep = Vec::new();
     for &t in &[0.25, 0.5, 0.7, 0.9] {
         let relevant: HashSet<TableId> = bench
             .truth
@@ -73,14 +80,22 @@ fn main() {
             format!("{jr:.2}"),
             format!("{jp:.2}"),
         ]);
-        record("e02_lsh_ensemble", &serde_json::json!({
+        let payload = serde_json::json!({
             "threshold": t, "ensemble_recall": er, "ensemble_precision": ep,
             "jaccard_lsh_recall": jr, "jaccard_lsh_precision": jp,
-        }));
+        });
+        record("e02_lsh_ensemble", &payload);
+        sweep.push(payload);
     }
     print_table(
         "containment threshold sweep (relevant = containment ≥ t+0.05)",
-        &["t", "ens recall", "ens prec", "jacc-LSH recall", "jacc-LSH prec"],
+        &[
+            "t",
+            "ens recall",
+            "ens prec",
+            "jacc-LSH recall",
+            "jacc-LSH prec",
+        ],
         &rows,
     );
 
@@ -93,6 +108,7 @@ fn main() {
         .map(|x| x.table)
         .collect();
     let mut rows = Vec::new();
+    let mut ablation = Vec::new();
     for &parts in &[1usize, 2, 4, 8, 16, 32] {
         let ens = ContainmentJoinSearch::build(&bench.lake, 256, parts);
         let (hits_scored, raw) = ens.query_threshold_with_stats(query, t);
@@ -104,9 +120,11 @@ fn main() {
             format!("{p:.2}"),
             raw.to_string(),
         ]);
-        record("e02_partitions", &serde_json::json!({
+        let payload = serde_json::json!({
             "partitions": parts, "recall": r, "precision": p, "raw_candidates": raw,
-        }));
+        });
+        record("e02_partitions", &payload);
+        ablation.push(payload);
     }
     print_table(
         &format!("partition ablation at t = {t} (raw candidates = pre-verification work)"),
@@ -115,4 +133,8 @@ fn main() {
     );
     println!("\nexpected shape: ensemble recall >> Jaccard-LSH recall at high t;");
     println!("raw candidate work shrinks as partitions grow, at equal recall.");
+    report
+        .field("threshold_sweep", &sweep)
+        .field("partition_ablation", &ablation);
+    report.finish();
 }

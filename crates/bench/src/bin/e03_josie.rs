@@ -17,7 +17,7 @@
 use td::core::join::{ExactJoinSearch, ExactStrategy};
 use td::table::gen::lakegen::Zipf;
 use td::table::{Column, DataLake, Table, Value};
-use td_bench::{ms, print_table, record, time};
+use td_bench::{ms, print_table, record, time, BenchReport};
 
 /// Corpus whose sets draw tokens from a Zipf(s) vocabulary.
 fn zipf_lake(num_sets: usize, set_size: usize, vocab: usize, s: f64, seed: u64) -> DataLake {
@@ -38,8 +38,10 @@ fn zipf_lake(num_sets: usize, set_size: usize, vocab: usize, s: f64, seed: u64) 
     lake
 }
 
-fn run_workload(name: &str, lake: &DataLake, query: &Column) {
+fn run_workload(name: &str, lake: &DataLake, query: &Column, report: &mut BenchReport) {
     let (search, t_build) = time(|| ExactJoinSearch::build(lake));
+    report.stage(&format!("build[{name}]"), t_build);
+    let mut runs = Vec::new();
     println!(
         "\n--- workload: {name} ({} sets, index in {} ms) ---",
         search.len(),
@@ -65,14 +67,16 @@ fn run_workload(name: &str, lake: &DataLake, query: &Column) {
             }
             let cost = stats.postings_read + stats.verify_tokens_read;
             cells.push(format!("{cost} ({} ms)", ms(t)));
-            record("e03_josie", &serde_json::json!({
+            let payload = serde_json::json!({
                 "workload": name, "k": k, "strategy": sname,
                 "postings_read": stats.postings_read,
                 "sets_verified": stats.sets_verified,
                 "verify_tokens": stats.verify_tokens_read,
                 "total_cost": cost,
                 "ms": t.as_secs_f64() * 1e3,
-            }));
+            });
+            record("e03_josie", &payload);
+            runs.push(payload);
         }
         rows.push(cells);
     }
@@ -81,22 +85,30 @@ fn run_workload(name: &str, lake: &DataLake, query: &Column) {
         &["k", "merge", "probe", "adaptive"],
         &rows,
     );
+    report.field(&format!("runs[{name}]"), &runs);
 }
 
 fn main() {
+    let mut report = BenchReport::new("e03_josie");
     println!("E03: exact top-k overlap (JOSIE) — cost-model ablation");
 
     // Web-table-like: heavy-hitter tokens shared by most sets.
     let zl = zipf_lake(3_000, 80, 2_000, 1.1, 7);
     let zq = zl.table(td::table::TableId(42)).columns[0].clone();
-    run_workload("zipf tokens (heavy posting lists)", &zl, &zq);
+    run_workload("zipf tokens (heavy posting lists)", &zl, &zq, &mut report);
 
     // Entity-id-like: wide vocabulary, almost disjoint sets.
     let dl = zipf_lake(3_000, 80, 2_000_000, 0.0, 9);
     let dq = dl.table(td::table::TableId(42)).columns[0].clone();
-    run_workload("near-disjoint tokens (short posting lists)", &dl, &dq);
+    run_workload(
+        "near-disjoint tokens (short posting lists)",
+        &dl,
+        &dq,
+        &mut report,
+    );
 
     println!("\nexpected shape: identical answers everywhere; under Zipf tokens");
     println!("probe/adaptive touch far fewer elements than merge at small k;");
     println!("under disjoint tokens merge is near-free and adaptive follows it.");
+    report.finish();
 }

@@ -12,9 +12,10 @@ use td::core::union::{MeasureContext, TusSearch, UnionMeasure};
 use td::embed::{DomainEmbedder, NGramEmbedder};
 use td::table::gen::bench_union::{UnionBenchConfig, UnionBenchmark};
 use td::table::TableId;
-use td_bench::{print_table, record};
+use td_bench::{print_table, record, BenchReport};
 
 fn main() {
+    let mut report = BenchReport::new("e04_tus");
     // Decoy-free benchmark: TUS's column-level definition of unionability
     // (relation decoys are SANTOS's experiment, E05).
     let bench = UnionBenchmark::generate(&UnionBenchConfig {
@@ -35,16 +36,19 @@ fn main() {
         bench.queries.len(),
         bench.lake.len()
     );
-    let tus = TusSearch::build(
-        &bench.lake,
-        MeasureContext {
-            domain_emb: DomainEmbedder::from_registry(&bench.registry, 4_096, 64, 0.4, 3),
-            ngram_emb: NGramEmbedder::new(64, 3, 3),
-            sample: 48,
-        },
-    );
+    let tus = report.measure("tus_build", || {
+        TusSearch::build(
+            &bench.lake,
+            MeasureContext {
+                domain_emb: DomainEmbedder::from_registry(&bench.registry, 4_096, 64, 0.4, 3),
+                ngram_emb: NGramEmbedder::new(64, 3, 3),
+                sample: 48,
+            },
+        )
+    });
 
     let mut rows = Vec::new();
+    let mut measures = Vec::new();
     for measure in [
         UnionMeasure::Syntactic,
         UnionMeasure::Semantic,
@@ -58,8 +62,7 @@ fn main() {
                     .into_iter()
                     .map(|(t, _)| t)
                     .collect();
-                let rel: HashSet<TableId> =
-                    bench.tables_with_grade(q, 2).into_iter().collect();
+                let rel: HashSet<TableId> = bench.tables_with_grade(q, 2).into_iter().collect();
                 (res, rel)
             })
             .collect();
@@ -86,9 +89,11 @@ fn main() {
             .sum::<f64>()
             / bench.queries.len() as f64;
         cells.push(format!("{ndcg:.3}"));
-        record("e04_tus", &serde_json::json!({
+        let payload = serde_json::json!({
             "measure": format!("{measure:?}"), "map": map, "ndcg10": ndcg,
-        }));
+        });
+        record("e04_tus", &payload);
+        measures.push(payload);
         rows.push(cells);
     }
     print_table(
@@ -99,4 +104,6 @@ fn main() {
     println!("  (* P@k capped at the number of relevant tables)");
     println!("\nexpected shape: Ensemble >= max(single measures); Syntactic weakest");
     println!("under low value overlap; Semantic carries most of the signal.");
+    report.field("measures", &measures);
+    report.finish();
 }

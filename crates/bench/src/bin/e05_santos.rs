@@ -11,9 +11,10 @@ use td::core::union::{SantosConfig, SantosSearch};
 use td::table::gen::bench_union::{CandidateKind, UnionBenchConfig, UnionBenchmark};
 use td::table::TableId;
 use td::understand::kb::{KbConfig, KnowledgeBase};
-use td_bench::{print_table, record};
+use td_bench::{print_table, record, BenchReport};
 
 fn main() {
+    let mut report = BenchReport::new("e05_santos");
     let bench = UnionBenchmark::generate(&UnionBenchConfig {
         num_queries: 5,
         positives: 6,
@@ -26,18 +27,22 @@ fn main() {
         homograph_range: 1,
         ..Default::default()
     });
-    let kb = KnowledgeBase::build(
-        &bench.registry,
-        &bench.relations,
-        &KbConfig {
-            vocab_per_domain: 4_096,
-            facts_per_relation: 4_096,
-            type_coverage: 0.95,
-            relation_coverage: 0.9,
-            ..Default::default()
-        },
-    );
-    let santos = SantosSearch::build(&bench.lake, kb, SantosConfig::default());
+    let kb = report.measure("kb_build", || {
+        KnowledgeBase::build(
+            &bench.registry,
+            &bench.relations,
+            &KbConfig {
+                vocab_per_domain: 4_096,
+                facts_per_relation: 4_096,
+                type_coverage: 0.95,
+                relation_coverage: 0.9,
+                ..Default::default()
+            },
+        )
+    });
+    let santos = report.measure("santos_build", || {
+        SantosSearch::build(&bench.lake, kb, SantosConfig::default())
+    });
     println!(
         "E05: relationship-aware union search, {} queries, {} decoys each",
         bench.queries.len(),
@@ -46,6 +51,7 @@ fn main() {
 
     let cfg = SantosConfig::default();
     let mut rows = Vec::new();
+    let mut queries = Vec::new();
     let mut sum_margin_rel = 0.0;
     let mut sum_margin_col = 0.0;
     for q in 0..bench.queries.len() {
@@ -85,15 +91,25 @@ fn main() {
             format!("{dec_col:.2}"),
             format!("{:.2}", pos_col - dec_col),
         ]);
-        record("e05_santos", &serde_json::json!({
+        let payload = serde_json::json!({
             "query": q,
             "rel_positive": pos_rel, "rel_decoy": dec_rel,
             "col_positive": pos_col, "col_decoy": dec_col,
-        }));
+        });
+        record("e05_santos", &payload);
+        queries.push(payload);
     }
     print_table(
         "mean scores: positives vs relation decoys",
-        &["query", "rel pos", "rel decoy", "rel margin", "col pos", "col decoy", "col margin"],
+        &[
+            "query",
+            "rel pos",
+            "rel decoy",
+            "rel margin",
+            "col pos",
+            "col decoy",
+            "col margin",
+        ],
         &rows,
     );
     let n = bench.queries.len() as f64;
@@ -104,4 +120,9 @@ fn main() {
     );
     println!("expected shape: relationship margin >> column-only margin (≈ 0:");
     println!("decoys share every column domain with the query by construction).");
+    report
+        .field("queries", &queries)
+        .field("margin_rel", &(sum_margin_rel / n))
+        .field("margin_col", &(sum_margin_col / n));
+    report.finish();
 }

@@ -11,7 +11,7 @@ use td::core::union::{StarmieConfig, StarmieSearch, VectorBackend};
 use td::embed::{ContextualEncoder, DomainEmbedder};
 use td::table::gen::bench_union::{CandidateKind, UnionBenchConfig, UnionBenchmark};
 use td::table::TableId;
-use td_bench::{ms, print_table, record, time};
+use td_bench::{ms, print_table, record, time, BenchReport};
 
 fn column_precision(
     s: &StarmieSearch<DomainEmbedder>,
@@ -28,11 +28,15 @@ fn column_precision(
         .collect();
     let hits = s.search_column(&bench.queries[q], 0, k);
     let good = hits.iter().filter(|(c, _)| pos.contains(&c.table)).count();
-    let fooled = hits.iter().filter(|(c, _)| decoys.contains(&c.table)).count();
+    let fooled = hits
+        .iter()
+        .filter(|(c, _)| decoys.contains(&c.table))
+        .count();
     (good as f64 / k as f64, fooled)
 }
 
 fn main() {
+    let mut report = BenchReport::new("e06_starmie");
     let bench = UnionBenchmark::generate(&UnionBenchConfig {
         num_queries: 5,
         positives: 6,
@@ -52,6 +56,7 @@ fn main() {
 
     // --- Part 1: context mixing weight ablation --------------------------
     let mut rows = Vec::new();
+    let mut alphas = Vec::new();
     for &alpha in &[0.0f32, 0.2, 0.4, 0.6, 0.8] {
         let s = StarmieSearch::build(
             &bench.lake,
@@ -75,25 +80,38 @@ fn main() {
             format!("{p:.2}"),
             fooled_sum.to_string(),
         ]);
-        record("e06_alpha", &serde_json::json!({
+        let payload = serde_json::json!({
             "alpha": alpha, "column_p_at_6": p, "decoys_in_top6": fooled_sum,
-        }));
+        });
+        record("e06_alpha", &payload);
+        alphas.push(payload);
     }
     print_table(
         "context weight α vs column-retrieval quality (query = homograph key column)",
-        &["alpha", "P@6 (positives)", "decoy columns in top-6 (all queries)"],
+        &[
+            "alpha",
+            "P@6 (positives)",
+            "decoy columns in top-6 (all queries)",
+        ],
         &rows,
     );
 
     // --- Part 2: flat vs HNSW backends ------------------------------------
     let mut rows = Vec::new();
-    for (name, backend) in [("flat (exact)", VectorBackend::Flat), ("HNSW", VectorBackend::Hnsw)] {
+    let mut backends = Vec::new();
+    for (name, backend) in [
+        ("flat (exact)", VectorBackend::Flat),
+        ("HNSW", VectorBackend::Hnsw),
+    ] {
         let (s, t_build) = time(|| {
             StarmieSearch::build(
                 &bench.lake,
                 DomainEmbedder::from_registry(&bench.registry, 4_096, 64, 0.4, 3),
                 StarmieConfig {
-                    encoder: ContextualEncoder { alpha: 0.5, sample: 48 },
+                    encoder: ContextualEncoder {
+                        alpha: 0.5,
+                        sample: 48,
+                    },
                     backend,
                     ..Default::default()
                 },
@@ -113,11 +131,13 @@ fn main() {
             ms(t_build),
             ms(t_query),
         ]);
-        record("e06_backend", &serde_json::json!({
+        let payload = serde_json::json!({
             "backend": name, "column_p_at_6": p,
             "build_ms": t_build.as_secs_f64() * 1e3,
             "query_ms": t_query.as_secs_f64() * 1e3,
-        }));
+        });
+        record("e06_backend", &payload);
+        backends.push(payload);
     }
     print_table(
         "vector backend at α = 0.5",
@@ -126,4 +146,8 @@ fn main() {
     );
     println!("\nexpected shape: P@6 rises steeply from α=0 (decoys dominate) and");
     println!("saturates; HNSW quality ≈ flat. Latency separation appears at scale (E17).");
+    report
+        .field("alpha_sweep", &alphas)
+        .field("backends", &backends);
+    report.finish();
 }

@@ -9,7 +9,7 @@ use td::core::join::FuzzyJoinSearch;
 use td::embed::NGramEmbedder;
 use td::table::gen::words::vocab_word;
 use td::table::{Column, DataLake, Table};
-use td_bench::{ms, print_table, record, time};
+use td_bench::{ms, print_table, record, time, BenchReport};
 
 /// Swap two interior characters (one deterministic typo).
 fn typo(s: &str, salt: u64) -> String {
@@ -22,6 +22,7 @@ fn typo(s: &str, salt: u64) -> String {
 }
 
 fn main() {
+    let mut report = BenchReport::new("e07_pexeso");
     // Corpus: one dirty copy of the query values (every value typo'd),
     // one half-dirty copy, and unrelated columns.
     let n = 120u64;
@@ -36,33 +37,45 @@ fn main() {
     let half: Vec<String> = originals
         .iter()
         .enumerate()
-        .map(|(i, s)| if i % 2 == 0 { typo(s, i as u64) } else { vocab_word(0xAB, i as u64 + 900, 3) })
+        .map(|(i, s)| {
+            if i % 2 == 0 {
+                typo(s, i as u64)
+            } else {
+                vocab_word(0xAB, i as u64 + 900, 3)
+            }
+        })
         .collect();
     lake.add(Table::new("dirty_half.csv", vec![Column::from_strings("w", &half)]).unwrap());
     for u in 0..4u64 {
-        let other: Vec<String> =
-            (0..n).map(|i| vocab_word(0x99 + u, i + 5_000, 3)).collect();
+        let other: Vec<String> = (0..n).map(|i| vocab_word(0x99 + u, i + 5_000, 3)).collect();
         lake.add(
-            Table::new(format!("unrelated_{u}.csv"), vec![Column::from_strings("w", &other)])
-                .unwrap(),
+            Table::new(
+                format!("unrelated_{u}.csv"),
+                vec![Column::from_strings("w", &other)],
+            )
+            .unwrap(),
         );
     }
     let query = Column::from_strings("w", &originals);
-    println!("E07: fuzzy join over typo'd values, {} corpus columns", lake.num_columns());
+    println!(
+        "E07: fuzzy join over typo'd values, {} corpus columns",
+        lake.num_columns()
+    );
 
     // Exact equi-join baseline: zero overlap with the dirty copies.
     let qset = query.token_set();
-    let exact_overlap = lake
-        .table(td::table::TableId(0))
-        .columns[0]
+    let exact_overlap = lake.table(td::table::TableId(0)).columns[0]
         .token_set()
         .intersection(&qset)
         .count();
     println!("exact equi-join overlap with the fully dirty copy: {exact_overlap}");
 
     // --- Part 1: tau sweep -------------------------------------------------
-    let search = FuzzyJoinSearch::build(&lake, NGramEmbedder::new(64, 3, 7), 8, 128);
+    let search = report.measure("fuzzy_build", || {
+        FuzzyJoinSearch::build(&lake, NGramEmbedder::new(64, 3, 7), 8, 128)
+    });
     let mut rows = Vec::new();
+    let mut tau_sweep = Vec::new();
     for &tau in &[0.4f32, 0.5, 0.6, 0.7, 0.8] {
         let (hits, _) = search.search(&query, tau, 6);
         let score_of = |name: &str| {
@@ -76,12 +89,14 @@ fn main() {
             format!("{:.2}", score_of("dirty_half.csv")),
             format!("{:.2}", score_of("unrelated_0.csv")),
         ]);
-        record("e07_tau", &serde_json::json!({
+        let payload = serde_json::json!({
             "tau": tau,
             "dirty_full": score_of("dirty_full.csv"),
             "dirty_half": score_of("dirty_half.csv"),
             "unrelated": score_of("unrelated_0.csv"),
-        }));
+        });
+        record("e07_tau", &payload);
+        tau_sweep.push(payload);
     }
     print_table(
         "fuzzy containment by similarity threshold τ",
@@ -91,6 +106,7 @@ fn main() {
 
     // --- Part 2: pivot-count ablation ---------------------------------------
     let mut rows = Vec::new();
+    let mut pivot_sweep = Vec::new();
     let mut reference: Option<Vec<String>> = None;
     for &pivots in &[0usize, 2, 4, 8, 16] {
         let s = FuzzyJoinSearch::build(&lake, NGramEmbedder::new(64, 3, 7), pivots, 128);
@@ -106,19 +122,30 @@ fn main() {
             pivots.to_string(),
             stats.pairs_verified.to_string(),
             stats.pairs_pruned.to_string(),
-            format!("{:.0}%", 100.0 * stats.pairs_pruned as f64 / total.max(1) as f64),
+            format!(
+                "{:.0}%",
+                100.0 * stats.pairs_pruned as f64 / total.max(1) as f64
+            ),
             ms(t),
         ]);
-        record("e07_pivots", &serde_json::json!({
+        let payload = serde_json::json!({
             "pivots": pivots,
             "verified": stats.pairs_verified,
             "pruned": stats.pairs_pruned,
             "ms": t.as_secs_f64() * 1e3,
-        }));
+        });
+        record("e07_pivots", &payload);
+        pivot_sweep.push(payload);
     }
     print_table(
         "pivot filtering at τ = 0.6, n-gram embeddings (identical results across rows)",
-        &["pivots", "pairs verified", "pairs pruned", "pruned %", "time (ms)"],
+        &[
+            "pivots",
+            "pairs verified",
+            "pairs pruned",
+            "pruned %",
+            "time (ms)",
+        ],
         &rows,
     );
 
@@ -130,9 +157,13 @@ fn main() {
     use td::table::gen::domains::DomainRegistry;
     let r = DomainRegistry::standard();
     let mut clake = DataLake::new();
-    for (name, lo) in
-        [("city", 0u64), ("gene", 0), ("animal", 0), ("company", 0), ("city", 500)]
-    {
+    for (name, lo) in [
+        ("city", 0u64),
+        ("gene", 0),
+        ("animal", 0),
+        ("company", 0),
+        ("city", 500),
+    ] {
         let d = r.id(name).unwrap();
         let col = Column::new(
             name,
@@ -147,6 +178,7 @@ fn main() {
             .collect::<Vec<_>>(),
     );
     let mut rows = Vec::new();
+    let mut clustered_sweep = Vec::new();
     let mut reference: Option<Vec<String>> = None;
     for &pivots in &[0usize, 2, 4, 8, 16] {
         let emb = DomainEmbedder::from_registry(&r, 2_048, 64, 0.3, 11);
@@ -163,22 +195,39 @@ fn main() {
             pivots.to_string(),
             stats.pairs_verified.to_string(),
             stats.pairs_pruned.to_string(),
-            format!("{:.0}%", 100.0 * stats.pairs_pruned as f64 / total.max(1) as f64),
+            format!(
+                "{:.0}%",
+                100.0 * stats.pairs_pruned as f64 / total.max(1) as f64
+            ),
             ms(t),
         ]);
-        record("e07_pivots_clustered", &serde_json::json!({
+        let payload = serde_json::json!({
             "pivots": pivots,
             "verified": stats.pairs_verified,
             "pruned": stats.pairs_pruned,
             "ms": t.as_secs_f64() * 1e3,
-        }));
+        });
+        record("e07_pivots_clustered", &payload);
+        clustered_sweep.push(payload);
     }
     print_table(
         "pivot filtering at τ = 0.6, clustered (domain) embeddings",
-        &["pivots", "pairs verified", "pairs pruned", "pruned %", "time (ms)"],
+        &[
+            "pivots",
+            "pairs verified",
+            "pairs pruned",
+            "pruned %",
+            "time (ms)",
+        ],
         &rows,
     );
     println!("\nexpected shape: dirty_full ≈ 1.0 at moderate τ and falls as τ → 1;");
     println!("dirty_half ≈ 0.5; unrelated ≈ 0; pruning grows with pivot count and");
     println!("is far stronger on clustered embeddings (PEXESO's regime).");
+    report
+        .field("exact_overlap", &exact_overlap)
+        .field("tau_sweep", &tau_sweep)
+        .field("pivot_sweep", &pivot_sweep)
+        .field("pivot_sweep_clustered", &clustered_sweep);
+    report.finish();
 }

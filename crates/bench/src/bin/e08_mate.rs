@@ -10,12 +10,14 @@ use std::collections::HashSet;
 use td::core::join::MateSearch;
 use td::table::gen::bench_join::{MultiJoinBenchmark, MultiJoinConfig};
 use td::table::TableId;
-use td_bench::{ms, print_table, record, time};
+use td_bench::{ms, print_table, record, time, BenchReport};
 
 fn main() {
+    let mut report = BenchReport::new("e08_mate");
     println!("E08: multi-attribute joinable search (composite keys)");
     let mut rows_quality = Vec::new();
     let mut rows_filter = Vec::new();
+    let mut arities = Vec::new();
     for &arity in &[2usize, 3, 4] {
         let bench = MultiJoinBenchmark::generate(&MultiJoinConfig {
             query_rows: 250,
@@ -35,8 +37,10 @@ fn main() {
             .collect();
 
         let ((hits, stats), t_query) = time(|| search.search(&bench.query, &key_cols, 30));
-        let composite_decoys_passing =
-            hits.iter().filter(|(t, s)| decoys.contains(t) && *s > 0.0).count();
+        let composite_decoys_passing = hits
+            .iter()
+            .filter(|(t, s)| decoys.contains(t) && *s > 0.0)
+            .count();
         let single = search.search_single_attribute(&bench.query, &key_cols, &bench.lake, 30);
         let single_decoys_passing = single
             .iter()
@@ -61,8 +65,7 @@ fn main() {
             format!("{max_err:.3}"),
             ms(t_query),
         ]);
-        let sk_rate = 100.0
-            * (stats.rows_fetched - stats.rows_after_superkey) as f64
+        let sk_rate = 100.0 * (stats.rows_fetched - stats.rows_after_superkey) as f64
             / stats.rows_fetched.max(1) as f64;
         let fp_after_sk = stats.rows_after_superkey - stats.rows_verified;
         rows_filter.push(vec![
@@ -73,7 +76,7 @@ fn main() {
             format!("{sk_rate:.0}%"),
             fp_after_sk.to_string(),
         ]);
-        record("e08_mate", &serde_json::json!({
+        let payload = serde_json::json!({
             "arity": arity,
             "composite_decoys_passing": composite_decoys_passing,
             "single_attr_decoys_passing": single_decoys_passing,
@@ -81,18 +84,35 @@ fn main() {
             "rows_fetched": stats.rows_fetched,
             "rows_after_superkey": stats.rows_after_superkey,
             "rows_verified": stats.rows_verified,
-        }));
+        });
+        record("e08_mate", &payload);
+        arities.push(payload);
     }
     print_table(
         "decoy rejection (15 decoys each) and score accuracy",
-        &["arity", "decoys passing composite", "decoys fooling single-attr", "max |score error|", "query (ms)"],
+        &[
+            "arity",
+            "decoys passing composite",
+            "decoys fooling single-attr",
+            "max |score error|",
+            "query (ms)",
+        ],
         &rows_quality,
     );
     print_table(
         "super-key filter effectiveness",
-        &["arity", "rows fetched", "after super-key", "verified", "filtered %", "false positives after filter"],
+        &[
+            "arity",
+            "rows fetched",
+            "after super-key",
+            "verified",
+            "filtered %",
+            "false positives after filter",
+        ],
         &rows_filter,
     );
     println!("\nexpected shape: composite rejects all decoys that fool the single-");
     println!("attribute baseline; the 64-bit super-key filters most fetched rows.");
+    report.field("arities", &arities);
+    report.finish();
 }

@@ -7,9 +7,10 @@
 
 use td::core::join::{exact_join_correlation, CorrelatedSearch};
 use td::table::gen::bench_join::{CorrelationBenchmark, CorrelationConfig};
-use td_bench::{ms, print_table, record, time};
+use td_bench::{ms, print_table, record, time, BenchReport};
 
 fn main() {
+    let mut report = BenchReport::new("e09_qcr");
     let bench = CorrelationBenchmark::generate(&CorrelationConfig {
         query_rows: 2_000,
         rhos: vec![0.95, 0.8, 0.6, 0.4, 0.2, 0.0, -0.2, -0.4, -0.6, -0.8, -0.95],
@@ -24,6 +25,7 @@ fn main() {
 
     // --- Part 1: sketch budget vs estimation error -------------------------
     let mut rows = Vec::new();
+    let mut budget_sweep = Vec::new();
     for &k in &[32usize, 64, 128, 256, 512, 1024, 4096] {
         let (search, t_build) = time(|| CorrelatedSearch::build(&bench.lake, k));
         let hits = search.search(&bench.query.columns[0], &bench.query.columns[1], 20, 5);
@@ -40,9 +42,11 @@ fn main() {
         }
         let mae = err_sum / n.max(1) as f64;
         rows.push(vec![k.to_string(), format!("{mae:.3}"), ms(t_build)]);
-        record("e09_budget", &serde_json::json!({
+        let payload = serde_json::json!({
             "sketch_k": k, "mae": mae, "build_ms": t_build.as_secs_f64() * 1e3,
-        }));
+        });
+        record("e09_budget", &payload);
+        budget_sweep.push(payload);
     }
     print_table(
         "sketch budget vs mean |estimate − realized ρ|",
@@ -51,9 +55,10 @@ fn main() {
     );
 
     // --- Part 2: top-k retrieval vs the exact oracle ------------------------
-    let search = CorrelatedSearch::build(&bench.lake, 1024);
+    let search = report.measure("final_build", || CorrelatedSearch::build(&bench.lake, 1024));
     let hits = search.search(&bench.query.columns[0], &bench.query.columns[1], 6, 20);
     let mut rows = Vec::new();
+    let mut topk = Vec::new();
     for h in &hits {
         let cand = bench.lake.table(h.numeric_column.table);
         let exact = exact_join_correlation(
@@ -75,16 +80,28 @@ fn main() {
             format!("{:+.3}", h.estimated_correlation),
             h.shared_keys.to_string(),
         ]);
-        record("e09_topk", &serde_json::json!({
+        let payload = serde_json::json!({
             "table": cand.name, "planted": t.rho, "exact": exact,
             "estimated": h.estimated_correlation, "shared_keys": h.shared_keys,
-        }));
+        });
+        record("e09_topk", &payload);
+        topk.push(payload);
     }
     print_table(
         "top-6 by |estimated correlation| (k = 1024)",
-        &["table", "planted ρ", "exact join ρ", "sketch estimate", "shared sample"],
+        &[
+            "table",
+            "planted ρ",
+            "exact join ρ",
+            "sketch estimate",
+            "shared sample",
+        ],
         &rows,
     );
     println!("\nexpected shape: MAE decreases monotonically-ish with sketch k;");
     println!("the top hits are the ±0.95/±0.8 plants with matching signs.");
+    report
+        .field("budget_sweep", &budget_sweep)
+        .field("topk", &topk);
+    report.finish();
 }

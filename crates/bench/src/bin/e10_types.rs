@@ -10,7 +10,7 @@
 use td::table::gen::domains::DomainRegistry;
 use td::table::{Column, Table};
 use td::understand::types::ContextTypeClassifier;
-use td_bench::{print_table, record};
+use td_bench::{print_table, record, BenchReport};
 
 fn domain_column(r: &DomainRegistry, name: &str, lo: u64, n: u64) -> Column {
     let d = r.id(name).expect("standard domain");
@@ -50,7 +50,10 @@ fn accuracy_on(
     let mut total = 0usize;
     for (t, labels) in test {
         let preds: Vec<String> = if contextual {
-            clf.predict_table_labels(t).iter().map(|s| (*s).to_string()).collect()
+            clf.predict_table_labels(t)
+                .iter()
+                .map(|s| (*s).to_string())
+                .collect()
         } else {
             t.columns
                 .iter()
@@ -67,6 +70,7 @@ fn accuracy_on(
 }
 
 fn main() {
+    let mut report = BenchReport::new("e10_types");
     let r = DomainRegistry::standard();
     println!("E10: semantic type detection, feature model vs table context");
 
@@ -86,7 +90,11 @@ fn main() {
     ];
 
     let mut rows = Vec::new();
-    for (name, worlds) in [("distinct formats", &distinct), ("ambiguous formats", &ambiguous)] {
+    let mut settings = Vec::new();
+    for (name, worlds) in [
+        ("distinct formats", &distinct),
+        ("ambiguous formats", &ambiguous),
+    ] {
         let train = world_tables(&r, worlds, 0, 10);
         let train_refs: Vec<(&Table, Vec<&str>)> = train
             .iter()
@@ -101,15 +109,23 @@ fn main() {
             format!("{feat_acc:.2}"),
             format!("{ctx_acc:.2}"),
         ]);
-        record("e10_types", &serde_json::json!({
+        let payload = serde_json::json!({
             "setting": name, "feature_accuracy": feat_acc, "context_accuracy": ctx_acc,
-        }));
+        });
+        record("e10_types", &payload);
+        settings.push(payload);
     }
     print_table(
         "target-column accuracy (40 test tables each)",
-        &["setting", "features only (Sherlock-like)", "with context (Sato-like)"],
+        &[
+            "setting",
+            "features only (Sherlock-like)",
+            "with context (Sato-like)",
+        ],
         &rows,
     );
     println!("\nexpected shape: both near-perfect on distinct formats; on ambiguous");
     println!("formats features ≈ random among 4 confusables, context recovers most.");
+    report.field("settings", &settings);
+    report.finish();
 }

@@ -9,8 +9,8 @@
 use std::collections::HashMap;
 use td::table::gen::domains::DomainRegistry;
 use td::table::{Column, ColumnRef, DataLake, Table};
-use td_bench::{print_table, record};
 use td::understand::domain::{discover_domains, pairwise_f1, DomainDiscoveryConfig};
+use td_bench::{print_table, record, BenchReport};
 
 /// Lake with `cols` columns per named domain (overlapping slices) plus
 /// `noise` columns mixing values from ALL domains (the bridging hazard).
@@ -45,26 +45,28 @@ fn build_lake(
                 r.value(d, td::sketch::hash_u64(i + nz as u64 * 100, seed) % 60)
             })
             .collect();
-        lake.add(
-            Table::new(format!("noise_{nz}"), vec![Column::new("mix", values)]).unwrap(),
-        );
+        lake.add(Table::new(format!("noise_{nz}"), vec![Column::new("mix", values)]).unwrap());
     }
     (lake, truth)
 }
 
 fn main() {
+    let mut report = BenchReport::new("e11_domains");
     let r = DomainRegistry::standard();
     let names = ["city", "gene", "animal", "company", "disease", "movie"];
-    println!("E11: domain discovery over {} domains x 6 columns", names.len());
+    println!(
+        "E11: domain discovery over {} domains x 6 columns",
+        names.len()
+    );
 
     // --- Part 1: noise sweep ------------------------------------------------
     let mut rows = Vec::new();
+    let mut noise_sweep = Vec::new();
     for &noise_pct in &[0usize, 10, 20, 30, 40] {
         let noise = names.len() * 6 * noise_pct / 100;
         let (lake, truth) = build_lake(&r, &names, 6, noise, 13);
         let domains = discover_domains(&lake, &DomainDiscoveryConfig::default());
-        let clusters: Vec<Vec<ColumnRef>> =
-            domains.iter().map(|d| d.columns.clone()).collect();
+        let clusters: Vec<Vec<ColumnRef>> = domains.iter().map(|d| d.columns.clone()).collect();
         let (p, rec, f1) = pairwise_f1(&clusters, &truth);
         rows.push(vec![
             format!("{noise_pct}%"),
@@ -73,10 +75,12 @@ fn main() {
             format!("{rec:.2}"),
             format!("{f1:.2}"),
         ]);
-        record("e11_noise", &serde_json::json!({
+        let payload = serde_json::json!({
             "noise_pct": noise_pct, "domains_found": domains.len(),
             "precision": p, "recall": rec, "f1": f1,
-        }));
+        });
+        record("e11_noise", &payload);
+        noise_sweep.push(payload);
     }
     print_table(
         "noise sweep (noise = mixture columns bridging domains)",
@@ -87,13 +91,16 @@ fn main() {
     // --- Part 2: threshold sweep ---------------------------------------------
     let (lake, truth) = build_lake(&r, &names, 6, 7, 13);
     let mut rows = Vec::new();
+    let mut threshold_sweep = Vec::new();
     for &thr in &[0.02f64, 0.05, 0.1, 0.2, 0.4, 0.8] {
         let domains = discover_domains(
             &lake,
-            &DomainDiscoveryConfig { jaccard_threshold: thr, ..Default::default() },
+            &DomainDiscoveryConfig {
+                jaccard_threshold: thr,
+                ..Default::default()
+            },
         );
-        let clusters: Vec<Vec<ColumnRef>> =
-            domains.iter().map(|d| d.columns.clone()).collect();
+        let clusters: Vec<Vec<ColumnRef>> = domains.iter().map(|d| d.columns.clone()).collect();
         let (p, rec, f1) = pairwise_f1(&clusters, &truth);
         rows.push(vec![
             format!("{thr:.2}"),
@@ -102,9 +109,11 @@ fn main() {
             format!("{rec:.2}"),
             format!("{f1:.2}"),
         ]);
-        record("e11_threshold", &serde_json::json!({
+        let payload = serde_json::json!({
             "threshold": thr, "precision": p, "recall": rec, "f1": f1,
-        }));
+        });
+        record("e11_threshold", &payload);
+        threshold_sweep.push(payload);
     }
     print_table(
         "Jaccard-gate sweep at 20% noise",
@@ -113,4 +122,8 @@ fn main() {
     );
     println!("\nexpected shape: F1 ≈ 1 without noise, degrading with bridges;");
     println!("low thresholds over-merge (precision drops), high ones shatter (recall drops).");
+    report
+        .field("noise_sweep", &noise_sweep)
+        .field("threshold_sweep", &threshold_sweep);
+    report.finish();
 }

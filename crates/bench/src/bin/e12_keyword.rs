@@ -12,9 +12,10 @@ use td::core::join::ExactStrategy;
 use td::core::{KeywordConfig, KeywordSearch};
 use td::table::gen::lakegen::{LakeGenConfig, LakeGenerator};
 use td::table::{DataLake, TableId, TableMeta};
-use td_bench::{print_table, record};
+use td_bench::{print_table, record, BenchReport};
 
 fn main() {
+    let mut report = BenchReport::new("e12_keyword");
     let gl = LakeGenerator::standard().generate(&LakeGenConfig {
         num_tables: 300,
         rows: (30, 100),
@@ -36,6 +37,7 @@ fn main() {
     };
 
     let mut rows = Vec::new();
+    let mut missing_sweep = Vec::new();
     for &missing_pct in &[0usize, 20, 40, 60, 80, 100] {
         // Corrupt: drop metadata of the first missing_pct% of tables.
         let mut lake = DataLake::new();
@@ -48,22 +50,26 @@ fn main() {
         }
         let ks = KeywordSearch::build(
             &lake,
-            &KeywordConfig { index_schema: false, ..Default::default() },
+            &KeywordConfig {
+                index_schema: false,
+                ..Default::default()
+            },
         );
         let mut recall_sum = 0.0;
         for cat in categories {
             let relevant = relevant_of(cat);
             let k = relevant.len();
-            let hits: Vec<TableId> =
-                ks.search(cat, k).into_iter().map(|(t, _)| t).collect();
+            let hits: Vec<TableId> = ks.search(cat, k).into_iter().map(|(t, _)| t).collect();
             let found = hits.iter().filter(|t| relevant.contains(t)).count();
             recall_sum += found as f64 / relevant.len().max(1) as f64;
         }
         let recall = recall_sum / categories.len() as f64;
         rows.push(vec![format!("{missing_pct}%"), format!("{recall:.2}")]);
-        record("e12_keyword", &serde_json::json!({
+        let payload = serde_json::json!({
             "missing_pct": missing_pct, "recall_at_nrel": recall,
-        }));
+        });
+        record("e12_keyword", &payload);
+        missing_sweep.push(payload);
     }
     print_table(
         "metadata keyword search: recall@|relevant| vs missing metadata",
@@ -98,12 +104,16 @@ fn main() {
             "\nzero metadata + corrupted headers: value-based self-join ranks #1: \
              {value_hit}; schema-based join finds {schema_hits} tables"
         );
-        record("e12_data_driven", &serde_json::json!({
+        let payload = serde_json::json!({
             "value_self_join_rank1": value_hit,
             "schema_join_hits": schema_hits,
-        }));
+        });
+        record("e12_data_driven", &payload);
+        report.field("data_driven", &payload);
     }
     println!("\nexpected shape: keyword recall falls roughly linearly to 0 as");
     println!("metadata disappears; schema-based joins find nothing on corrupted");
     println!("headers; value-based search is entirely unaffected.");
+    report.field("missing_sweep", &missing_sweep);
+    report.finish();
 }

@@ -10,9 +10,10 @@ use td::embed::{ContextualEncoder, DomainEmbedder};
 use td::nav::{group_results, Organization, OrganizeConfig, RoninConfig};
 use td::table::gen::lakegen::{LakeGenConfig, LakeGenerator};
 use td::table::TableId;
-use td_bench::{ms, print_table, record, time};
+use td_bench::{ms, print_table, record, time, BenchReport};
 
 fn main() {
+    let mut report = BenchReport::new("e13_navigation");
     let gl = LakeGenerator::standard().generate(&LakeGenConfig {
         num_tables: 2_000,
         rows: (20, 80),
@@ -35,13 +36,20 @@ fn main() {
         ms(t_embed)
     );
 
+    report.stage("embed", t_embed);
+
     // --- Part 1: branching-factor sweep -------------------------------------
     let mut rows = Vec::new();
+    let mut branching_sweep = Vec::new();
     for &branching in &[2usize, 4, 8, 16] {
         let (org, t_build) = time(|| {
             Organization::build(
                 &items,
-                &OrganizeConfig { branching, leaf_size: 8, ..Default::default() },
+                &OrganizeConfig {
+                    branching,
+                    leaf_size: 8,
+                    ..Default::default()
+                },
             )
         });
         let sample: Vec<&(TableId, Vec<f32>)> = items.iter().step_by(10).collect();
@@ -62,21 +70,35 @@ fn main() {
             format!("{:.1}x", informed / uniform.max(1e-9)),
             ms(t_build),
         ]);
-        record("e13_branching", &serde_json::json!({
+        let payload = serde_json::json!({
             "branching": branching, "nodes": org.num_nodes(),
             "informed": informed, "uniform": uniform,
-        }));
+        });
+        record("e13_branching", &payload);
+        branching_sweep.push(payload);
     }
     print_table(
         "expected discovery probability by branching factor (200-table sample)",
-        &["branching", "nodes", "informed", "uniform descent", "gain", "build (ms)"],
+        &[
+            "branching",
+            "nodes",
+            "informed",
+            "uniform descent",
+            "gain",
+            "build (ms)",
+        ],
         &rows,
     );
 
     // --- Part 1b: local-search refinement ablation ---------------------------
     let mut org = Organization::build(
         &items,
-        &OrganizeConfig { branching: 4, leaf_size: 8, kmeans_iters: 1, ..Default::default() },
+        &OrganizeConfig {
+            branching: 4,
+            leaf_size: 8,
+            kmeans_iters: 1,
+            ..Default::default()
+        },
     );
     let sample: Vec<&(TableId, Vec<f32>)> = items.iter().step_by(10).collect();
     let avg = |o: &Organization| {
@@ -99,9 +121,12 @@ fn main() {
          local optimum of the navigation objective — refinement is the safety \
          net for degenerate builds, not a free win)"
     );
-    record("e13_refine", &serde_json::json!({
+    report.stage("refine", t_refine);
+    let refine_payload = serde_json::json!({
         "before": before, "after": after, "moves": moves,
-    }));
+    });
+    record("e13_refine", &refine_payload);
+    report.field("refine", &refine_payload);
 
     // --- Part 2: RONIN online grouping purity --------------------------------
     // Result set: the first 40 tables from four ground-truth categories.
@@ -118,7 +143,10 @@ fn main() {
     let groups = group_results(
         &gl.lake,
         &result_set,
-        &RoninConfig { groups: 4, ..Default::default() },
+        &RoninConfig {
+            groups: 4,
+            ..Default::default()
+        },
     );
     let mut rows = Vec::new();
     let mut purity_sum = 0.0;
@@ -127,7 +155,12 @@ fn main() {
         let mut counts: std::collections::HashMap<&str, usize> = Default::default();
         for t in &g.tables {
             *counts
-                .entry(gl.table_categories.get(t).map(String::as_str).unwrap_or("?"))
+                .entry(
+                    gl.table_categories
+                        .get(t)
+                        .map(String::as_str)
+                        .unwrap_or("?"),
+                )
                 .or_insert(0) += 1;
         }
         let (maj, n) = counts.iter().max_by_key(|(_, n)| **n).unwrap();
@@ -147,7 +180,11 @@ fn main() {
         &rows,
     );
     println!("\nweighted purity: {weighted_purity:.2}");
-    record("e13_ronin", &serde_json::json!({ "weighted_purity": weighted_purity }));
+    let ronin_payload = serde_json::json!({ "weighted_purity": weighted_purity });
+    record("e13_ronin", &ronin_payload);
+    report.field("ronin", &ronin_payload);
     println!("expected shape: informed navigation many times better than uniform;");
     println!("online groups align with ground-truth topical categories.");
+    report.field("branching_sweep", &branching_sweep);
+    report.finish();
 }

@@ -10,7 +10,7 @@ use std::collections::HashSet;
 use td::nav::{rank_homographs, HomographConfig};
 use td::table::gen::domains::DomainRegistry;
 use td::table::{Column, DataLake, Table};
-use td_bench::{ms, print_table, record, time};
+use td_bench::{ms, print_table, record, time, BenchReport};
 
 fn build_lake(num_homographs: u64, cols_per_domain: u64) -> (DataLake, HashSet<String>) {
     let mut r = DomainRegistry::standard();
@@ -23,7 +23,9 @@ fn build_lake(num_homographs: u64, cols_per_domain: u64) -> (DataLake, HashSet<S
         for (name, d) in [("city", city), ("animal", animal), ("gene", gene)] {
             let col = Column::new(
                 name,
-                (w * 20..w * 20 + 50).map(|i| r.value(d, i)).collect::<Vec<_>>(),
+                (w * 20..w * 20 + 50)
+                    .map(|i| r.value(d, i))
+                    .collect::<Vec<_>>(),
             );
             lake.add(Table::new(format!("{name}_{w}"), vec![col]).unwrap());
         }
@@ -35,6 +37,7 @@ fn build_lake(num_homographs: u64, cols_per_domain: u64) -> (DataLake, HashSet<S
 }
 
 fn main() {
+    let mut report = BenchReport::new("e14_homograph");
     let (lake, homographs) = build_lake(10, 6);
     println!(
         "E14: homograph detection, {} planted homographs across {} columns",
@@ -44,7 +47,13 @@ fn main() {
 
     // --- Part 1: full Brandes, centrality vs degree ranking ------------------
     let (ranked, t_full) = time(|| {
-        rank_homographs(&lake, &HomographConfig { sample_sources: 0, ..Default::default() })
+        rank_homographs(
+            &lake,
+            &HomographConfig {
+                sample_sources: 0,
+                ..Default::default()
+            },
+        )
     });
     let k = homographs.len();
     let p_centrality = ranked
@@ -65,21 +74,36 @@ fn main() {
         "precision@10 of homograph rankings",
         &["signal", "P@10", "time (ms)"],
         &[
-            vec!["betweenness centrality".into(), format!("{p_centrality:.2}"), ms(t_full)],
-            vec!["degree (baseline)".into(), format!("{p_degree:.2}"), "-".into()],
+            vec![
+                "betweenness centrality".into(),
+                format!("{p_centrality:.2}"),
+                ms(t_full),
+            ],
+            vec![
+                "degree (baseline)".into(),
+                format!("{p_degree:.2}"),
+                "-".into(),
+            ],
         ],
     );
-    record("e14_ranking", &serde_json::json!({
+    report.stage("brandes_full", t_full);
+    let ranking_payload = serde_json::json!({
         "p_centrality": p_centrality, "p_degree": p_degree,
-    }));
+    });
+    record("e14_ranking", &ranking_payload);
+    report.field("ranking", &ranking_payload);
 
     // --- Part 2: source sampling --------------------------------------------
     let mut rows = Vec::new();
+    let mut sampling_sweep = Vec::new();
     for &sources in &[16usize, 64, 256, 0] {
         let (ranked_s, t) = time(|| {
             rank_homographs(
                 &lake,
-                &HomographConfig { sample_sources: sources, ..Default::default() },
+                &HomographConfig {
+                    sample_sources: sources,
+                    ..Default::default()
+                },
             )
         });
         let p = ranked_s
@@ -88,11 +112,17 @@ fn main() {
             .filter(|v| homographs.contains(&v.value))
             .count() as f64
             / k as f64;
-        let label = if sources == 0 { "all".to_string() } else { sources.to_string() };
+        let label = if sources == 0 {
+            "all".to_string()
+        } else {
+            sources.to_string()
+        };
         rows.push(vec![label, format!("{p:.2}"), ms(t)]);
-        record("e14_sampling", &serde_json::json!({
+        let payload = serde_json::json!({
             "sources": sources, "p_at_10": p, "ms": t.as_secs_f64() * 1e3,
-        }));
+        });
+        record("e14_sampling", &payload);
+        sampling_sweep.push(payload);
     }
     print_table(
         "Brandes source sampling",
@@ -101,4 +131,6 @@ fn main() {
     );
     println!("\nexpected shape: centrality P@10 ≈ 1 and >> degree baseline;");
     println!("sampling reaches full-Brandes quality well before using all sources.");
+    report.field("sampling_sweep", &sampling_sweep);
+    report.finish();
 }

@@ -9,7 +9,7 @@
 use td::apps::{augment_regression, AugmentConfig};
 use td::table::gen::domains::DomainRegistry;
 use td::table::{Column, DataLake, Table, Value};
-use td_bench::{print_table, record};
+use td_bench::{print_table, record, BenchReport};
 
 /// Deterministic pseudo-uniform in [-1, 1).
 fn det(i: usize, salt: u64) -> f64 {
@@ -22,7 +22,9 @@ fn build(n: usize, noise_tables: usize) -> (DataLake, Table) {
     let r = DomainRegistry::standard();
     let city = r.id("city").unwrap();
     let keys: Vec<Value> = (0..n as u64).map(|i| r.value(city, i)).collect();
-    let f: Vec<Vec<f64>> = (0..3).map(|s| (0..n).map(|i| det(i, s as u64 + 1)).collect()).collect();
+    let f: Vec<Vec<f64>> = (0..3)
+        .map(|s| (0..n).map(|i| det(i, s as u64 + 1)).collect())
+        .collect();
     let y: Vec<f64> = (0..n)
         .map(|i| 2.0 * f[0][i] - f[1][i] + 0.5 * f[2][i] + det(i, 44) * 0.05)
         .collect();
@@ -58,11 +60,15 @@ fn build(n: usize, noise_tables: usize) -> (DataLake, Table) {
                     Column::new("city", keys.clone()),
                     Column::new(
                         "n1",
-                        (0..n).map(|i| Value::Float(det(i, 100 + nz as u64))).collect(),
+                        (0..n)
+                            .map(|i| Value::Float(det(i, 100 + nz as u64)))
+                            .collect(),
                     ),
                     Column::new(
                         "n2",
-                        (0..n).map(|i| Value::Float(det(i, 200 + nz as u64))).collect(),
+                        (0..n)
+                            .map(|i| Value::Float(det(i, 200 + nz as u64)))
+                            .collect(),
                     ),
                 ],
             )
@@ -73,8 +79,10 @@ fn build(n: usize, noise_tables: usize) -> (DataLake, Table) {
 }
 
 fn main() {
+    let mut report = BenchReport::new("e15_arda");
     println!("E15: ARDA-style feature augmentation (regression)");
     let mut rows = Vec::new();
+    let mut noise_sweep = Vec::new();
     for &noise_tables in &[0usize, 5, 15, 30, 60, 120] {
         let (lake, base) = build(280, noise_tables);
         let out = augment_regression(&lake, &base, 0, 1, &AugmentConfig::default());
@@ -82,10 +90,7 @@ fn main() {
         let junk_kept = out
             .candidates
             .iter()
-            .filter(|c| {
-                c.selected
-                    && lake.table(c.column.table).name.starts_with("noise")
-            })
+            .filter(|c| c.selected && lake.table(c.column.table).name.starts_with("noise"))
             .count();
         rows.push(vec![
             noise_tables.to_string(),
@@ -95,7 +100,7 @@ fn main() {
             format!("{kept} ({junk_kept} junk)"),
             out.candidates.len().to_string(),
         ]);
-        record("e15_arda", &serde_json::json!({
+        let payload = serde_json::json!({
             "noise_tables": noise_tables,
             "base_r2": out.base_r2,
             "join_all_r2": out.join_all_r2,
@@ -103,14 +108,25 @@ fn main() {
             "features_kept": kept,
             "junk_kept": junk_kept,
             "candidates": out.candidates.len(),
-        }));
+        });
+        record("e15_arda", &payload);
+        noise_sweep.push(payload);
     }
     print_table(
         "test R² by noise-table count (3 signal features planted)",
-        &["noise tables", "base only", "join all", "selected", "features kept", "candidates"],
+        &[
+            "noise tables",
+            "base only",
+            "join all",
+            "selected",
+            "features kept",
+            "candidates",
+        ],
         &rows,
     );
     println!("\nexpected shape: base ≈ 0 (no features), selected ≈ join-all ≈ 1 with");
     println!("few noise tables; as junk grows, join-all degrades while selection");
     println!("keeps the 3 signals and stays high.");
+    report.field("noise_sweep", &noise_sweep);
+    report.finish();
 }

@@ -7,20 +7,15 @@
 //! restores annotation and multiplies the completed facts. The effect
 //! grows as fragments shrink and as the KB's prior coverage drops.
 
+use td::apps::kb_completion;
 use td::table::gen::bench_union::RelationSpec;
 use td::table::gen::domains::DomainRegistry;
 use td::table::{Column, DataLake, Table};
 use td::understand::annotate::AnnotateConfig;
 use td::understand::kb::{KbConfig, KnowledgeBase};
-use td_bench::{print_table, record};
-use td::apps::kb_completion;
+use td_bench::{print_table, record, BenchReport};
 
-fn build(
-    r: &DomainRegistry,
-    spec: &RelationSpec,
-    fragment_rows: u64,
-    total_rows: u64,
-) -> DataLake {
+fn build(r: &DomainRegistry, spec: &RelationSpec, fragment_rows: u64, total_rows: u64) -> DataLake {
     let mut lake = DataLake::new();
     let mut f = 0u64;
     let mut lo = 0u64;
@@ -30,10 +25,7 @@ fn build(
             Table::new(
                 format!("frag_{f:03}.csv"),
                 vec![
-                    Column::new(
-                        "city",
-                        (lo..hi).map(|i| r.value(spec.key_dom, i)).collect(),
-                    ),
+                    Column::new("city", (lo..hi).map(|i| r.value(spec.key_dom, i)).collect()),
                     Column::new(
                         "country",
                         (lo..hi)
@@ -51,6 +43,7 @@ fn build(
 }
 
 fn main() {
+    let mut bench_report = BenchReport::new("e16_stitching");
     let r = DomainRegistry::standard();
     let spec = RelationSpec {
         key_dom: r.id("city").unwrap(),
@@ -61,10 +54,14 @@ fn main() {
     // Support threshold safely below the lowest swept KB coverage (including
     // its binomial sampling noise), so the *stitched*
     // table always clears it and the contrast isolates fragment size.
-    let cfg = AnnotateConfig { min_relation_support: 0.10, ..Default::default() };
+    let cfg = AnnotateConfig {
+        min_relation_support: 0.10,
+        ..Default::default()
+    };
 
     // --- Part 1: fragment-size sweep at fixed KB coverage --------------------
     let mut rows = Vec::new();
+    let mut fragment_sweep = Vec::new();
     for &frag in &[3u64, 5, 10, 25, 100] {
         let kb = KnowledgeBase::build(
             &r,
@@ -85,22 +82,30 @@ fn main() {
             report.facts_from_fragments.to_string(),
             report.facts_from_stitched.to_string(),
         ]);
-        record("e16_fragment_size", &serde_json::json!({
+        let payload = serde_json::json!({
             "fragment_rows": frag,
             "fragments_annotated": report.fragments_annotated,
             "fragments_total": report.fragments_total,
             "facts_fragments": report.facts_from_fragments,
             "facts_stitched": report.facts_from_stitched,
-        }));
+        });
+        record("e16_fragment_size", &payload);
+        fragment_sweep.push(payload);
     }
     print_table(
         "fragment-size sweep (100 rows total, KB relation coverage 35%)",
-        &["rows/fragment", "fragments annotated", "facts w/o stitching", "facts w/ stitching"],
+        &[
+            "rows/fragment",
+            "fragments annotated",
+            "facts w/o stitching",
+            "facts w/ stitching",
+        ],
         &rows,
     );
 
     // --- Part 2: KB coverage sweep at tiny fragments --------------------------
     let mut rows = Vec::new();
+    let mut coverage_sweep = Vec::new();
     for &coverage in &[0.2f64, 0.35, 0.5, 0.7, 0.9] {
         let kb = KnowledgeBase::build(
             &r,
@@ -121,18 +126,29 @@ fn main() {
             report.facts_from_fragments.to_string(),
             report.facts_from_stitched.to_string(),
         ]);
-        record("e16_coverage", &serde_json::json!({
+        let payload = serde_json::json!({
             "kb_coverage": coverage,
             "facts_fragments": report.facts_from_fragments,
             "facts_stitched": report.facts_from_stitched,
-        }));
+        });
+        record("e16_coverage", &payload);
+        coverage_sweep.push(payload);
     }
     print_table(
         "KB-coverage sweep (4-row fragments)",
-        &["KB coverage", "fragments annotated", "facts w/o stitching", "facts w/ stitching"],
+        &[
+            "KB coverage",
+            "fragments annotated",
+            "facts w/o stitching",
+            "facts w/ stitching",
+        ],
         &rows,
     );
     println!("\nexpected shape: stitched facts ≈ all uncovered pairs regardless of");
     println!("fragment size; unstitched facts collapse as fragments shrink or");
     println!("coverage drops (fragments stop clearing the annotation threshold).");
+    bench_report
+        .field("fragment_sweep", &fragment_sweep)
+        .field("coverage_sweep", &coverage_sweep);
+    bench_report.finish();
 }

@@ -7,28 +7,32 @@
 //! million-table lakes.
 
 use td::embed::seeded_unit_vector;
-use td::index::{
-    FlatIndex, Hnsw, HnswParams, InvertedSetIndexBuilder, LshEnsemble, MinHashLsh,
-};
+use td::index::{FlatIndex, Hnsw, HnswParams, InvertedSetIndexBuilder, LshEnsemble, MinHashLsh};
 use td::sketch::MinHasher;
-use td_bench::{print_table, record, time};
+use td_bench::{print_table, record, time, BenchReport};
 
 fn main() {
+    let mut report = BenchReport::new("e17_index_scaling");
     println!("E17: index scaling (columns = indexed sets/vectors)");
     let dim = 64;
     let hasher = MinHasher::new(128, 1);
     let mut rows = Vec::new();
+    let mut scaling = Vec::new();
     for &n in &[1_000usize, 5_000, 20_000, 100_000] {
         // Shared synthetic columns: token sets + embedding vectors.
         let sets: Vec<Vec<String>> = (0..n)
             .map(|s| {
                 (0..40)
-                    .map(|i| format!("v{}", td::sketch::hash_u64((s * 40 + i) as u64, 3) % 200_000))
+                    .map(|i| {
+                        format!(
+                            "v{}",
+                            td::sketch::hash_u64((s * 40 + i) as u64, 3) % 200_000
+                        )
+                    })
                     .collect()
             })
             .collect();
-        let vectors: Vec<Vec<f32>> =
-            (0..n as u64).map(|i| seeded_unit_vector(i, dim)).collect();
+        let vectors: Vec<Vec<f32>> = (0..n as u64).map(|i| seeded_unit_vector(i, dim)).collect();
         let sigs: Vec<_> = sets
             .iter()
             .map(|s| hasher.sign(s.iter().map(String::as_str)))
@@ -51,7 +55,10 @@ fn main() {
         });
         let (ens, t_ens) = time(|| {
             LshEnsemble::build(
-                sigs.iter().enumerate().map(|(i, s)| (i as u32, s.clone())).collect(),
+                sigs.iter()
+                    .enumerate()
+                    .map(|(i, s)| (i as u32, s.clone()))
+                    .collect(),
                 8,
             )
         });
@@ -114,7 +121,7 @@ fn main() {
             format!("{:.0}", t_flat.as_secs_f64() * 1e3),
             per(t_qflat),
         ]);
-        record("e17_scaling", &serde_json::json!({
+        let payload = serde_json::json!({
             "n": n,
             "inverted_build_ms": t_inv.as_secs_f64() * 1e3,
             "inverted_query_ms": t_qinv.as_secs_f64() * 1e3 / reps as f64,
@@ -126,17 +133,30 @@ fn main() {
             "hnsw_query_ms": t_qhnsw.as_secs_f64() * 1e3 / reps as f64,
             "flat_build_ms": t_flat.as_secs_f64() * 1e3,
             "flat_query_ms": t_qflat.as_secs_f64() * 1e3 / reps as f64,
-        }));
+        });
+        record("e17_scaling", &payload);
+        scaling.push(payload);
     }
     print_table(
         "build (ms) and per-query (ms) by corpus size",
         &[
-            "n", "inv build", "inv q", "LSH build", "LSH q", "ens build", "ens q",
-            "HNSW build", "HNSW q", "flat build", "flat q",
+            "n",
+            "inv build",
+            "inv q",
+            "LSH build",
+            "LSH q",
+            "ens build",
+            "ens q",
+            "HNSW build",
+            "HNSW q",
+            "flat build",
+            "flat q",
         ],
         &rows,
     );
     println!("\nexpected shape: all builds roughly linear (HNSW superlinear-ish);");
     println!("flat query grows linearly with n while HNSW stays near-constant —");
     println!("the crossover that motivates graph indices for lake-scale search.");
+    report.field("scaling", &scaling);
+    report.finish();
 }

@@ -8,14 +8,12 @@
 //! (KB score where available, embeddings as fallback) dominates both ends.
 
 use std::collections::HashSet;
-use td::core::union::{
-    SantosConfig, SantosSearch, StarmieConfig, StarmieSearch, VectorBackend,
-};
+use td::core::union::{SantosConfig, SantosSearch, StarmieConfig, StarmieSearch, VectorBackend};
 use td::embed::{ContextualEncoder, DomainEmbedder};
 use td::table::gen::bench_union::{UnionBenchConfig, UnionBenchmark};
 use td::table::TableId;
 use td::understand::kb::{KbConfig, KnowledgeBase};
-use td_bench::{print_table, record};
+use td_bench::{print_table, record, BenchReport};
 
 fn f1(p: f64, r: f64) -> f64 {
     if p + r == 0.0 {
@@ -26,6 +24,7 @@ fn f1(p: f64, r: f64) -> f64 {
 }
 
 fn main() {
+    let mut bench_report = BenchReport::new("e18_kb_vs_embedding");
     // Benchmark with BOTH decoy kinds: relation decoys punish embeddings'
     // column-level semantics; missing KB facts punish the KB path.
     let bench = UnionBenchmark::generate(&UnionBenchConfig {
@@ -45,15 +44,20 @@ fn main() {
         bench.queries.len()
     );
 
-    let starmie = StarmieSearch::build(
-        &bench.lake,
-        DomainEmbedder::from_registry(&bench.registry, 4_096, 64, 0.4, 3),
-        StarmieConfig {
-            encoder: ContextualEncoder { alpha: 0.4, sample: 48 },
-            backend: VectorBackend::Flat,
-            ..Default::default()
-        },
-    );
+    let starmie = bench_report.measure("starmie_build", || {
+        StarmieSearch::build(
+            &bench.lake,
+            DomainEmbedder::from_registry(&bench.registry, 4_096, 64, 0.4, 3),
+            StarmieConfig {
+                encoder: ContextualEncoder {
+                    alpha: 0.4,
+                    sample: 48,
+                },
+                backend: VectorBackend::Flat,
+                ..Default::default()
+            },
+        )
+    });
 
     let eval = |ranked_per_q: Vec<Vec<TableId>>| -> (f64, f64) {
         // Precision@6 and recall@6 against the 6 positives.
@@ -70,6 +74,7 @@ fn main() {
     };
 
     let mut rows = Vec::new();
+    let mut tradeoff = Vec::new();
     for &coverage in &[0.1f64, 0.3, 0.5, 0.7, 0.9] {
         let kb = KnowledgeBase::build(
             &bench.registry,
@@ -129,16 +134,23 @@ fn main() {
             format!("{ep:.2}/{er:.2}/{:.2}", f1(ep, er)),
             format!("{hp:.2}/{hr:.2}/{:.2}", f1(hp, hr)),
         ]);
-        record("e18_tradeoff", &serde_json::json!({
+        let payload = serde_json::json!({
             "coverage": coverage,
             "kb": {"p": kp, "r": kr},
             "embedding": {"p": ep, "r": er},
             "hybrid": {"p": hp, "r": hr},
-        }));
+        });
+        record("e18_tradeoff", &payload);
+        tradeoff.push(payload);
     }
     print_table(
         "P@6 / R@6 / F1 by KB coverage",
-        &["KB coverage", "KB only (SANTOS)", "embeddings only (Starmie)", "hybrid"],
+        &[
+            "KB coverage",
+            "KB only (SANTOS)",
+            "embeddings only (Starmie)",
+            "hybrid",
+        ],
         &rows,
     );
 
@@ -147,6 +159,7 @@ fn main() {
     // the lake, absorb them into the curated KB, re-run the KB path.
     use td::understand::synthesize::{synthesize_kb, SynthesizeConfig};
     let mut rows = Vec::new();
+    let mut synthesized = Vec::new();
     for &coverage in &[0.1f64, 0.3] {
         let build_kb = || {
             KnowledgeBase::build(
@@ -165,8 +178,7 @@ fn main() {
         let (synth, report) = synthesize_kb(&bench.lake, &SynthesizeConfig::default());
         let mut augmented_kb = build_kb();
         augmented_kb.absorb(&synth);
-        let augmented =
-            SantosSearch::build(&bench.lake, augmented_kb, SantosConfig::default());
+        let augmented = SantosSearch::build(&bench.lake, augmented_kb, SantosConfig::default());
         let ranked = |s: &SantosSearch| -> Vec<Vec<TableId>> {
             (0..bench.queries.len())
                 .map(|q| {
@@ -187,20 +199,32 @@ fn main() {
             report.facts_asserted.to_string(),
             report.relations_created.to_string(),
         ]);
-        record("e18_synthesized", &serde_json::json!({
+        let payload = serde_json::json!({
             "coverage": coverage,
             "sparse": {"p": sp, "r": sr},
             "augmented": {"p": ap, "r": ar},
             "facts_synthesized": report.facts_asserted,
-        }));
+        });
+        record("e18_synthesized", &payload);
+        synthesized.push(payload);
     }
     print_table(
         "sparse KB vs lake-augmented KB (P@6 / R@6)",
-        &["curated coverage", "sparse KB", "after lake synthesis", "facts mined", "relations mined"],
+        &[
+            "curated coverage",
+            "sparse KB",
+            "after lake synthesis",
+            "facts mined",
+            "relations mined",
+        ],
         &rows,
     );
     println!("\nexpected shape: KB column tracks coverage (recall rises with it,");
     println!("precision stays high); embeddings are flat but decoy-limited;");
     println!("hybrid ≈ max of both; lake-synthesized facts restore a sparse KB's");
     println!("recall without importing the decoys (they mine *actual* relations).");
+    bench_report
+        .field("tradeoff", &tradeoff)
+        .field("synthesized", &synthesized);
+    bench_report.finish();
 }

@@ -1,10 +1,17 @@
 //! Harness support for the experiment binaries: aligned-table printing,
-//! wall-clock timing, and JSON result records (consumed by EXPERIMENTS.md).
+//! timing (re-exported from `td-obs`), JSONL result records, and the
+//! [`BenchReport`] emitter that writes machine-readable `BENCH_<exp>.json`
+//! telemetry alongside each experiment's stdout table.
 
 #![warn(missing_docs)]
 
-use serde::Serialize;
-use std::time::{Duration, Instant};
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::Duration;
+
+pub use td_obs::{time, ScopedTimer, Timer};
+
+use serde_json::Value;
 
 /// Print an aligned text table.
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
@@ -20,7 +27,11 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     let line = |cells: &[String]| {
         let mut s = String::from("  ");
         for (i, c) in cells.iter().enumerate() {
-            s.push_str(&format!("{:<w$}  ", c, w = widths.get(i).copied().unwrap_or(8)));
+            s.push_str(&format!(
+                "{:<w$}  ",
+                c,
+                w = widths.get(i).copied().unwrap_or(8)
+            ));
         }
         println!("{}", s.trim_end());
     };
@@ -31,13 +42,6 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     }
 }
 
-/// Time a closure.
-pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
-    let start = Instant::now();
-    let out = f();
-    (out, start.elapsed())
-}
-
 /// Milliseconds with two decimals.
 #[must_use]
 pub fn ms(d: Duration) -> String {
@@ -46,23 +50,125 @@ pub fn ms(d: Duration) -> String {
 
 /// Append a JSON result record to `target/experiments.jsonl` (best-effort;
 /// printing remains the primary output).
-pub fn record<T: Serialize>(experiment: &str, payload: &T) {
-    #[derive(Serialize)]
-    struct Record<'a, T> {
-        experiment: &'a str,
-        payload: &'a T,
-    }
-    let rec = Record { experiment, payload };
+pub fn record(experiment: &str, payload: &Value) {
+    let rec = serde_json::json!({ "experiment": experiment, "payload": payload });
     if let Ok(json) = serde_json::to_string(&rec) {
         let path = std::path::Path::new("target");
         let _ = std::fs::create_dir_all(path);
-        use std::io::Write;
         if let Ok(mut f) = std::fs::OpenOptions::new()
             .create(true)
             .append(true)
             .open(path.join("experiments.jsonl"))
         {
             let _ = writeln!(f, "{json}");
+        }
+    }
+}
+
+/// Accumulates one experiment's telemetry — wall time, named stage
+/// timings, scalar result fields, and the `td-obs` global metrics
+/// snapshot (span histograms, query counters) — and writes it as
+/// `BENCH_<experiment>.json` in the working directory.
+///
+/// ```no_run
+/// let mut report = td_bench::BenchReport::new("e99_demo");
+/// let sum = report.measure("build", || (0..1000u64).sum::<u64>());
+/// report.field("sum", &sum);
+/// report.finish();
+/// ```
+pub struct BenchReport {
+    experiment: String,
+    wall: Timer,
+    stages: Vec<(String, f64)>,
+    fields: Vec<(String, Value)>,
+}
+
+impl BenchReport {
+    /// Start a report; wall-clock measurement begins now.
+    #[must_use]
+    pub fn new(experiment: &str) -> Self {
+        BenchReport {
+            experiment: experiment.to_string(),
+            wall: Timer::start(),
+            stages: Vec::new(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Record a named stage duration (milliseconds in the report).
+    pub fn stage(&mut self, name: &str, d: Duration) -> &mut Self {
+        self.stages.push((name.to_string(), d.as_secs_f64() * 1e3));
+        self
+    }
+
+    /// Run `f`, record its duration as a stage, and return its result.
+    pub fn measure<T>(&mut self, name: &str, f: impl FnOnce() -> T) -> T {
+        let (out, d) = time(f);
+        self.stage(name, d);
+        out
+    }
+
+    /// Attach a scalar or structured result field (P@k, MAP, sizes, …).
+    pub fn field<T: serde::Serialize + ?Sized>(&mut self, key: &str, value: &T) -> &mut Self {
+        self.fields
+            .push((key.to_string(), serde_json::to_value(value)));
+        self
+    }
+
+    /// Merge every key of a `json!({...})` object into the result fields.
+    pub fn merge(&mut self, payload: &Value) -> &mut Self {
+        if let Some(map) = payload.as_map() {
+            for (k, v) in map {
+                if let Some(key) = k.as_str() {
+                    self.fields.push((key.to_string(), v.clone()));
+                }
+            }
+        }
+        self
+    }
+
+    /// The report as a JSON value: `experiment`, `wall_ms`, `stages`,
+    /// `fields`, and the `td-obs` global registry snapshot under
+    /// `metrics`.
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        let stages = Value::Map(
+            self.stages
+                .iter()
+                .map(|(k, v)| (Value::Str(k.clone()), serde_json::to_value(v)))
+                .collect(),
+        );
+        let fields = Value::Map(
+            self.fields
+                .iter()
+                .map(|(k, v)| (Value::Str(k.clone()), v.clone()))
+                .collect(),
+        );
+        let metrics = serde_json::from_str(&td_obs::global().export_json()).unwrap_or(Value::Null);
+        serde_json::json!({
+            "experiment": self.experiment,
+            "wall_ms": self.wall.elapsed_ms(),
+            "stages": stages,
+            "fields": fields,
+            "metrics": metrics,
+        })
+    }
+
+    /// Write `BENCH_<experiment>.json` (pretty-printed) in the working
+    /// directory, returning the path.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        let path = PathBuf::from(format!("BENCH_{}.json", self.experiment));
+        let json = serde_json::to_string_pretty(&self.to_json())
+            .map_err(|e| std::io::Error::other(format!("{e:?}")))?;
+        std::fs::write(&path, json + "\n")?;
+        Ok(path)
+    }
+
+    /// Write the report, logging the path (or the error) to stdout.
+    pub fn finish(&self) {
+        match self.write() {
+            Ok(path) => println!("\nwrote {}", path.display()),
+            Err(e) => eprintln!("\nfailed to write bench report: {e}"),
         }
     }
 }
@@ -80,6 +186,29 @@ mod tests {
     fn time_returns_value() {
         let (v, d) = time(|| 41 + 1);
         assert_eq!(v, 42);
-        assert!(d.as_nanos() > 0);
+        assert!(d.as_nanos() < u128::from(u64::MAX));
+    }
+
+    #[test]
+    fn report_round_trips_through_serde_json() {
+        let mut report = BenchReport::new("unit_test");
+        report.stage("build", Duration::from_millis(12));
+        report.field("tables", &30u64);
+        report.merge(&serde_json::json!({ "p_at_10": 0.75 }));
+        let text = serde_json::to_string_pretty(&report.to_json()).unwrap();
+        let back: Value = serde_json::from_str(&text).unwrap();
+        let map = back.as_map().expect("report is an object");
+        let get = |key: &str| {
+            map.iter()
+                .find(|(k, _)| k.as_str() == Some(key))
+                .map(|(_, v)| v.clone())
+        };
+        assert!(get("experiment").is_some());
+        assert!(get("wall_ms").is_some());
+        assert!(get("stages").is_some());
+        let fields = get("fields").unwrap();
+        let fields = fields.as_map().unwrap();
+        assert!(fields.iter().any(|(k, _)| k.as_str() == Some("p_at_10")));
+        assert!(fields.iter().any(|(k, _)| k.as_str() == Some("tables")));
     }
 }

@@ -126,7 +126,11 @@ mod tests {
         assert!(!should.is_empty());
         let found = should.iter().filter(|t| got.contains(t)).count();
         let recall = found as f64 / should.len() as f64;
-        assert!(recall >= 0.8, "recall {recall} over {} targets", should.len());
+        assert!(
+            recall >= 0.8,
+            "recall {recall} over {} targets",
+            should.len()
+        );
     }
 
     #[test]
@@ -142,7 +146,10 @@ mod tests {
             .collect();
         let leaked = hits.iter().filter(|(c, _)| low.contains(&c.table)).count();
         // Estimation noise may leak a couple of borderline sets, not many.
-        assert!(leaked <= low.len() / 4 + 1, "{leaked} low-containment leaks");
+        assert!(
+            leaked <= low.len() / 4 + 1,
+            "{leaked} low-containment leaks"
+        );
     }
 
     #[test]
@@ -156,7 +163,11 @@ mod tests {
         }
         // Best hit is truly high-containment.
         let t0 = b.truth.iter().find(|t| t.table == top[0].0).unwrap();
-        assert!(t0.containment > 0.7, "top hit containment {}", t0.containment);
+        assert!(
+            t0.containment > 0.7,
+            "top hit containment {}",
+            t0.containment
+        );
     }
 
     #[test]

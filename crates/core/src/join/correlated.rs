@@ -270,6 +270,9 @@ mod tests {
         };
         let small = err(32);
         let large = err(2048);
-        assert!(large <= small + 0.05, "k=2048 err {large} vs k=32 err {small}");
+        assert!(
+            large <= small + 0.05,
+            "k=2048 err {large} vs k=32 err {small}"
+        );
     }
 }

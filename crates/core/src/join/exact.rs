@@ -48,7 +48,10 @@ impl ExactJoinSearch {
             b.add_set(tokens.iter().map(String::as_str));
             refs.push(r);
         }
-        ExactJoinSearch { index: b.build(), refs }
+        ExactJoinSearch {
+            index: b.build(),
+            refs,
+        }
     }
 
     /// Number of indexed columns.
@@ -80,7 +83,10 @@ impl ExactJoinSearch {
         };
         (
             hits.into_iter()
-                .map(|(sid, overlap)| OverlapHit { column: self.refs[sid as usize], overlap })
+                .map(|(sid, overlap)| OverlapHit {
+                    column: self.refs[sid as usize],
+                    overlap,
+                })
                 .collect(),
             stats,
         )

@@ -67,7 +67,11 @@ impl<E: Embedder> FuzzyJoinSearch<E> {
             if vectors.is_empty() {
                 continue;
             }
-            columns.push(FuzzyColumn { r, vectors, angles: Vec::new() });
+            columns.push(FuzzyColumn {
+                r,
+                vectors,
+                angles: Vec::new(),
+            });
         }
         // Farthest-first pivot selection over a subsample of all vectors.
         let pool: Vec<&Vec<f32>> = columns
@@ -113,7 +117,12 @@ impl<E: Embedder> FuzzyJoinSearch<E> {
                 .map(|v| pivots.iter().map(|p| angle(v, p)).collect())
                 .collect();
         }
-        FuzzyJoinSearch { embedder, pivots, columns, sample }
+        FuzzyJoinSearch {
+            embedder,
+            pivots,
+            columns,
+            sample,
+        }
     }
 
     /// Number of indexed columns.
@@ -132,7 +141,12 @@ impl<E: Embedder> FuzzyJoinSearch<E> {
     /// fraction of query values with at least one candidate value at
     /// cosine ≥ `tau`. Returns top-k `(column, fuzzy containment)`.
     #[must_use]
-    pub fn search(&self, query: &Column, tau: f32, k: usize) -> (Vec<(ColumnRef, f64)>, FuzzyStats) {
+    pub fn search(
+        &self,
+        query: &Column,
+        tau: f32,
+        k: usize,
+    ) -> (Vec<(ColumnRef, f64)>, FuzzyStats) {
         let qvecs = embed_distinct(&self.embedder, query, self.sample);
         let qangles: Vec<Vec<f32>> = qvecs
             .iter()
@@ -244,12 +258,8 @@ mod tests {
         let dirty: Vec<String> = originals.iter().map(|s| typo(s)).collect();
         let unrelated: Vec<String> = (1000..1030).map(word).collect();
         let mut lake = DataLake::new();
-        lake.add(
-            Table::new("dirty.csv", vec![Column::from_strings("w", &dirty)]).unwrap(),
-        );
-        lake.add(
-            Table::new("other.csv", vec![Column::from_strings("w", &unrelated)]).unwrap(),
-        );
+        lake.add(Table::new("dirty.csv", vec![Column::from_strings("w", &dirty)]).unwrap());
+        lake.add(Table::new("other.csv", vec![Column::from_strings("w", &unrelated)]).unwrap());
         (lake, Column::from_strings("q", &originals))
     }
 
@@ -299,10 +309,7 @@ mod tests {
         let gene = r.id("gene").unwrap();
         let mut lake = DataLake::new();
         for (name, d) in [("cities", city), ("genes", gene)] {
-            let col = Column::new(
-                name,
-                (0..40u64).map(|i| r.value(d, i)).collect::<Vec<_>>(),
-            );
+            let col = Column::new(name, (0..40u64).map(|i| r.value(d, i)).collect::<Vec<_>>());
             lake.add(Table::new(format!("{name}.csv"), vec![col]).unwrap());
         }
         let q = Column::new(

@@ -36,7 +36,12 @@ impl JaccardJoinSearch {
             signatures.push(hasher.sign(tokens.iter().map(String::as_str)));
             refs.push(r);
         }
-        JaccardJoinSearch { hasher, signatures, refs, k_hashes }
+        JaccardJoinSearch {
+            hasher,
+            signatures,
+            refs,
+            k_hashes,
+        }
     }
 
     /// Signature of a query column, comparable with the stored ones.
@@ -117,7 +122,12 @@ impl JaccardJoinSearch {
         let mut out: Vec<(ColumnRef, f64)> = lsh
             .query(&q)
             .into_iter()
-            .map(|i| (self.refs[i as usize], q.jaccard(&self.signatures[i as usize])))
+            .map(|i| {
+                (
+                    self.refs[i as usize],
+                    q.jaccard(&self.signatures[i as usize]),
+                )
+            })
             .filter(|&(_, j)| j >= threshold)
             .collect();
         out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
@@ -219,8 +229,7 @@ mod tests {
         let hits = s.top_k_containment(&b.query.columns[0], 5);
         let best_truth = b.by_containment();
         // The top containment hit should be among the truly best few.
-        let top_tables: HashSet<TableId> =
-            best_truth.iter().take(5).map(|t| t.table).collect();
+        let top_tables: HashSet<TableId> = best_truth.iter().take(5).map(|t| t.table).collect();
         assert!(top_tables.contains(&hits[0].0.table));
     }
 }

@@ -75,10 +75,18 @@ impl MateSearch {
                 for &h in &cells {
                     postings.entry(h).or_default().push(entry_id);
                 }
-                rows.push(RowEntry { table: ti as u32, cells, super_key: sk });
+                rows.push(RowEntry {
+                    table: ti as u32,
+                    cells,
+                    super_key: sk,
+                });
             }
         }
-        MateSearch { postings, rows, tables }
+        MateSearch {
+            postings,
+            rows,
+            tables,
+        }
     }
 
     /// Number of indexed rows.
@@ -119,13 +127,17 @@ impl MateSearch {
                         .map(|t| hash_str(&t, CELL_SEED))
                 })
                 .collect();
-            let Some(key_hashes) = key_hashes else { continue };
+            let Some(key_hashes) = key_hashes else {
+                continue;
+            };
             // Probe on the rarest attribute's posting list.
             let probe = key_hashes
                 .iter()
                 .min_by_key(|h| self.postings.get(h).map_or(0, Vec::len))
                 .expect("non-empty key");
-            let Some(candidates) = self.postings.get(probe) else { continue };
+            let Some(candidates) = self.postings.get(probe) else {
+                continue;
+            };
             let needed_sk = super_key(&key_hashes);
             let mut hit_tables: Vec<u32> = Vec::new();
             for &entry_id in candidates {

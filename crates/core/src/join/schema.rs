@@ -25,7 +25,10 @@ pub struct SchemaJoinConfig {
 
 impl Default for SchemaJoinConfig {
     fn default() -> Self {
-        SchemaJoinConfig { min_similarity: 0.3, require_type_match: true }
+        SchemaJoinConfig {
+            min_similarity: 0.3,
+            require_type_match: true,
+        }
     }
 }
 
@@ -222,7 +225,10 @@ mod tests {
         }
         let no_gate = SchemaJoinSearch::build(
             &lake(),
-            SchemaJoinConfig { require_type_match: false, ..Default::default() },
+            SchemaJoinConfig {
+                require_type_match: false,
+                ..Default::default()
+            },
         );
         assert!(no_gate.search(&qnum, 5).len() >= hits.len());
     }
@@ -231,7 +237,10 @@ mod tests {
     fn similarity_threshold_filters_weak_matches() {
         let strict = SchemaJoinSearch::build(
             &lake(),
-            SchemaJoinConfig { min_similarity: 0.95, ..Default::default() },
+            SchemaJoinConfig {
+                min_similarity: 0.95,
+                ..Default::default()
+            },
         );
         let q = Column::from_strings("city", &["x"]); // prefix only
         assert!(strict.search(&q, 5).is_empty());
@@ -240,9 +249,7 @@ mod tests {
     #[test]
     fn empty_headers_never_match() {
         let mut l = lake();
-        l.add(
-            Table::new("d", vec![Column::from_strings("", &["boston"])]).unwrap(),
-        );
+        l.add(Table::new("d", vec![Column::from_strings("", &["boston"])]).unwrap());
         let s = SchemaJoinSearch::build(&l, SchemaJoinConfig::default());
         let q = Column::from_strings("", &["boston"]);
         assert!(s.search(&q, 5).is_empty());
@@ -254,6 +261,9 @@ mod tests {
         let q = Column::from_strings("city_name", &["z"]);
         let tables = s.search_tables(&q, 3);
         assert_eq!(tables[0].0, TableId(0));
-        assert!((tables[0].1 - 1.0).abs() < 1e-9, "exact header match scores 1");
+        assert!(
+            (tables[0].1 - 1.0).abs() < 1e-9,
+            "exact header match scores 1"
+        );
     }
 }

@@ -23,7 +23,11 @@ pub struct KeywordConfig {
 
 impl Default for KeywordConfig {
     fn default() -> Self {
-        KeywordConfig { index_metadata: true, index_schema: true, bm25: Bm25Params::default() }
+        KeywordConfig {
+            index_metadata: true,
+            index_schema: true,
+            bm25: Bm25Params::default(),
+        }
     }
 }
 
@@ -132,7 +136,10 @@ mod tests {
     fn metadata_only_config_ignores_schema() {
         let ks = KeywordSearch::build(
             &lake(),
-            &KeywordConfig { index_schema: false, ..Default::default() },
+            &KeywordConfig {
+                index_schema: false,
+                ..Default::default()
+            },
         );
         assert!(ks.search("species", 2).is_empty());
         assert!(!ks.search("wildlife", 2).is_empty());
@@ -152,7 +159,10 @@ mod tests {
         );
         let ks = KeywordSearch::build(
             &lake,
-            &KeywordConfig { index_schema: false, ..Default::default() },
+            &KeywordConfig {
+                index_schema: false,
+                ..Default::default()
+            },
         );
         assert!(ks.search("fire", 1).is_empty());
     }

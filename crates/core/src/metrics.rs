@@ -55,9 +55,7 @@ pub fn average_precision<T: Eq + Hash>(results: &[T], relevant: &HashSet<T>) -> 
 
 /// Mean average precision across queries.
 #[must_use]
-pub fn mean_average_precision<T: Eq + Hash>(
-    runs: &[(Vec<T>, HashSet<T>)],
-) -> f64 {
+pub fn mean_average_precision<T: Eq + Hash>(runs: &[(Vec<T>, HashSet<T>)]) -> f64 {
     if runs.is_empty() {
         return 0.0;
     }
@@ -79,7 +77,9 @@ pub fn ndcg_at_k<T: Eq + Hash>(results: &[T], grades: &HashMap<T, u8>, k: usize)
         .take(k)
         .enumerate()
         .map(|(i, r)| {
-            grades.get(r).map_or(0.0, |&g| gain(g) / ((i + 2) as f64).log2())
+            grades
+                .get(r)
+                .map_or(0.0, |&g| gain(g) / ((i + 2) as f64).log2())
         })
         .sum();
     let mut ideal: Vec<f64> = grades.values().map(|&g| gain(g)).collect();
@@ -146,10 +146,7 @@ mod tests {
 
     #[test]
     fn map_averages_queries() {
-        let runs = vec![
-            (vec![1u32], rel(&[1])),
-            (vec![2u32], rel(&[3])),
-        ];
+        let runs = vec![(vec![1u32], rel(&[1])), (vec![2u32], rel(&[3]))];
         assert!((mean_average_precision(&runs) - 0.5).abs() < 1e-12);
         assert_eq!(mean_average_precision::<u32>(&[]), 0.0);
     }

@@ -13,8 +13,10 @@ use crate::join::{
     MateSearch,
 };
 use crate::keyword::{KeywordConfig, KeywordSearch};
-use crate::union::{MeasureContext, SantosConfig, SantosSearch, StarmieConfig, StarmieSearch,
-    TusSearch, UnionMeasure};
+use crate::union::{
+    MeasureContext, SantosConfig, SantosSearch, StarmieConfig, StarmieSearch, TusSearch,
+    UnionMeasure,
+};
 use td_embed::model::{DomainEmbedder, NGramEmbedder};
 use td_table::gen::domains::DomainRegistry;
 use td_table::{Column, DataLake, LakeProfile, Table, TableId};
@@ -99,30 +101,70 @@ impl DiscoveryPipeline {
         relations: &[td_table::gen::bench_union::RelationSpec],
         cfg: &PipelineConfig,
     ) -> Self {
-        let profile = LakeProfile::of(lake);
-        let keyword = KeywordSearch::build(lake, &cfg.keyword);
-        let exact_join = ExactJoinSearch::build(lake);
-        let containment_join = ContainmentJoinSearch::build(lake, cfg.minhash_k, cfg.partitions);
-        let fuzzy_join = FuzzyJoinSearch::build(
-            lake,
-            NGramEmbedder::new(cfg.dim, 3, cfg.seed ^ 0xF0),
-            cfg.pivots,
-            cfg.sample,
-        );
-        let mate = MateSearch::build(lake);
-        let correlated = CorrelatedSearch::build(lake, cfg.qcr_k);
+        let _build = td_obs::span!("pipeline.build");
+        td_obs::global()
+            .gauge("pipeline.lake.tables")
+            .set(lake.len() as f64);
+        td_obs::global()
+            .gauge("pipeline.lake.columns")
+            .set(lake.num_columns() as f64);
+        let profile = {
+            let _s = td_obs::span!("pipeline.profile");
+            LakeProfile::of(lake)
+        };
+        let keyword = {
+            let _s = td_obs::span!("pipeline.keyword.build");
+            KeywordSearch::build(lake, &cfg.keyword)
+        };
+        let exact_join = {
+            let _s = td_obs::span!("pipeline.exact_join.build");
+            ExactJoinSearch::build(lake)
+        };
+        let containment_join = {
+            let _s = td_obs::span!("pipeline.containment.build");
+            ContainmentJoinSearch::build(lake, cfg.minhash_k, cfg.partitions)
+        };
+        let fuzzy_join = {
+            let _s = td_obs::span!("pipeline.fuzzy.build");
+            FuzzyJoinSearch::build(
+                lake,
+                NGramEmbedder::new(cfg.dim, 3, cfg.seed ^ 0xF0),
+                cfg.pivots,
+                cfg.sample,
+            )
+        };
+        let mate = {
+            let _s = td_obs::span!("pipeline.mate.build");
+            MateSearch::build(lake)
+        };
+        let correlated = {
+            let _s = td_obs::span!("pipeline.correlated.build");
+            CorrelatedSearch::build(lake, cfg.qcr_k)
+        };
         let domain_emb = || DomainEmbedder::from_registry(registry, 2_048, cfg.dim, 0.4, cfg.seed);
-        let tus = TusSearch::build(
-            lake,
-            MeasureContext {
-                domain_emb: domain_emb(),
-                ngram_emb: NGramEmbedder::new(cfg.dim, 3, cfg.seed ^ 0xF0),
-                sample: cfg.sample,
-            },
-        );
-        let kb = KnowledgeBase::build(registry, relations, &cfg.kb);
-        let santos = SantosSearch::build(lake, kb, SantosConfig::default());
-        let starmie = StarmieSearch::build(lake, domain_emb(), cfg.starmie);
+        let tus = {
+            let _s = td_obs::span!("pipeline.tus.build");
+            TusSearch::build(
+                lake,
+                MeasureContext {
+                    domain_emb: domain_emb(),
+                    ngram_emb: NGramEmbedder::new(cfg.dim, 3, cfg.seed ^ 0xF0),
+                    sample: cfg.sample,
+                },
+            )
+        };
+        let kb = {
+            let _s = td_obs::span!("pipeline.kb.build");
+            KnowledgeBase::build(registry, relations, &cfg.kb)
+        };
+        let santos = {
+            let _s = td_obs::span!("pipeline.santos.build");
+            SantosSearch::build(lake, kb, SantosConfig::default())
+        };
+        let starmie = {
+            let _s = td_obs::span!("pipeline.starmie.build");
+            StarmieSearch::build(lake, domain_emb(), cfg.starmie)
+        };
         DiscoveryPipeline {
             profile,
             keyword,
@@ -140,42 +182,44 @@ impl DiscoveryPipeline {
     /// Keyword search over metadata/schema.
     #[must_use]
     pub fn search_keyword(&self, query: &str, k: usize) -> Vec<(TableId, f64)> {
-        self.keyword.search(query, k)
+        observe_query("keyword", || self.keyword.search(query, k))
     }
 
     /// Exact top-k joinable tables on a query column.
     #[must_use]
     pub fn search_joinable(&self, query: &Column, k: usize) -> Vec<(TableId, usize)> {
-        self.exact_join.search_tables(query, k, ExactStrategy::Adaptive)
+        observe_query("joinable", || {
+            self.exact_join
+                .search_tables(query, k, ExactStrategy::Adaptive)
+        })
     }
 
     /// Unionable tables by the ensemble TUS measure.
     #[must_use]
     pub fn search_unionable(&self, query: &Table, k: usize) -> Vec<(TableId, f64)> {
-        self.tus.search(query, k, UnionMeasure::Ensemble)
+        observe_query("unionable", || {
+            self.tus.search(query, k, UnionMeasure::Ensemble)
+        })
     }
 
     /// Unionable tables by Starmie's contextual-embedding ranking.
     #[must_use]
     pub fn search_unionable_semantic(&self, query: &Table, k: usize) -> Vec<(TableId, f64)> {
-        self.starmie.search(query, k)
+        observe_query("unionable_semantic", || self.starmie.search(query, k))
     }
 
     /// Unionable tables by SANTOS's relationship-aware ranking.
     #[must_use]
     pub fn search_unionable_relationship(&self, query: &Table, k: usize) -> Vec<(TableId, f64)> {
-        self.santos.search(query, k)
+        observe_query("unionable_relationship", || self.santos.search(query, k))
     }
 
     /// Fuzzily joinable tables (embedding similarity predicate `tau`).
     #[must_use]
-    pub fn search_fuzzy_joinable(
-        &self,
-        query: &Column,
-        tau: f32,
-        k: usize,
-    ) -> Vec<(TableId, f64)> {
-        self.fuzzy_join.search_tables(query, tau, k)
+    pub fn search_fuzzy_joinable(&self, query: &Column, tau: f32, k: usize) -> Vec<(TableId, f64)> {
+        observe_query("fuzzy_joinable", || {
+            self.fuzzy_join.search_tables(query, tau, k)
+        })
     }
 
     /// Tables joinable on a composite key (MATE-style row matching).
@@ -186,7 +230,7 @@ impl DiscoveryPipeline {
         key_cols: &[usize],
         k: usize,
     ) -> Vec<(TableId, f64)> {
-        self.mate.search(query, key_cols, k).0
+        observe_query("multi_joinable", || self.mate.search(query, key_cols, k).0)
     }
 
     /// Tables whose numeric column correlates with the query's, reachable
@@ -198,8 +242,20 @@ impl DiscoveryPipeline {
         query_num: &Column,
         k: usize,
     ) -> Vec<crate::join::CorrelatedHit> {
-        self.correlated.search(query_key, query_num, k, 8)
+        observe_query("correlated", || {
+            self.correlated.search(query_key, query_num, k, 8)
+        })
     }
+}
+
+/// Record one online query against the global registry: a
+/// `query.<family>.count` counter and a `query.<family>.latency_ns`
+/// histogram.
+fn observe_query<T>(family: &str, f: impl FnOnce() -> T) -> T {
+    let reg = td_obs::global();
+    reg.counter(&format!("query.{family}.count")).inc();
+    let _t = td_obs::ScopedTimer::new(reg.histogram(&format!("query.{family}.latency_ns")));
+    f()
 }
 
 #[cfg(test)]
@@ -216,12 +272,7 @@ mod tests {
             seed: 3,
             ..LakeGenConfig::default()
         });
-        let p = DiscoveryPipeline::build(
-            &gl.lake,
-            &gl.registry,
-            &[],
-            &PipelineConfig::default(),
-        );
+        let p = DiscoveryPipeline::build(&gl.lake, &gl.registry, &[], &PipelineConfig::default());
         assert_eq!(p.profile.len(), gl.lake.num_columns());
         assert_eq!(p.keyword.len(), 30);
         assert!(!p.exact_join.is_empty());

@@ -74,7 +74,11 @@ impl<'a, E: Embedder> HybridUnionSearch<'a, E> {
                 if out.iter().any(|h| h.table == t) {
                     continue;
                 }
-                out.push(HybridHit { table: t, score: s, evidence: HybridEvidence::Embedding });
+                out.push(HybridHit {
+                    table: t,
+                    score: s,
+                    evidence: HybridEvidence::Embedding,
+                });
             }
         }
         out.truncate(k);
@@ -132,7 +136,10 @@ mod tests {
             &b.lake,
             DomainEmbedder::from_registry(&b.registry, 2_048, 64, 0.4, 3),
             StarmieConfig {
-                encoder: ContextualEncoder { alpha: 0.4, sample: 48 },
+                encoder: ContextualEncoder {
+                    alpha: 0.4,
+                    sample: 48,
+                },
                 backend: VectorBackend::Flat,
                 ..Default::default()
             },
@@ -174,12 +181,16 @@ mod tests {
             let (b, santos, starmie) = setup(coverage);
             let h = HybridUnionSearch::new(&santos, &starmie);
             for q in 0..b.queries.len() {
-                let positives: HashSet<TableId> =
-                    b.tables_with_grade(q, 2).into_iter().collect();
+                let positives: HashSet<TableId> = b.tables_with_grade(q, 2).into_iter().collect();
                 let prec = |ids: Vec<TableId>| {
                     ids.iter().take(5).filter(|t| positives.contains(t)).count()
                 };
-                let hy = prec(h.search(&b.queries[q], 5).into_iter().map(|x| x.table).collect());
+                let hy = prec(
+                    h.search(&b.queries[q], 5)
+                        .into_iter()
+                        .map(|x| x.table)
+                        .collect(),
+                );
                 let kb = prec(
                     santos
                         .search(&b.queries[q], 5)
@@ -189,7 +200,11 @@ mod tests {
                         .collect(),
                 );
                 let em = prec(
-                    starmie.search(&b.queries[q], 5).into_iter().map(|(t, _)| t).collect(),
+                    starmie
+                        .search(&b.queries[q], 5)
+                        .into_iter()
+                        .map(|(t, _)| t)
+                        .collect(),
                 );
                 assert!(
                     hy + 1 >= kb.max(em),
@@ -209,7 +224,9 @@ mod tests {
             .position(|x| x.evidence == HybridEvidence::Embedding);
         if let Some(i) = first_emb {
             assert!(
-                hits[i..].iter().all(|x| x.evidence == HybridEvidence::Embedding),
+                hits[i..]
+                    .iter()
+                    .all(|x| x.evidence == HybridEvidence::Embedding),
                 "KB hit after embedding hit"
             );
         }

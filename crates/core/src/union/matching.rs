@@ -91,7 +91,10 @@ pub fn max_weight_matching(weights: &[Vec<f64>]) -> (f64, Vec<Option<usize>>) {
     for row in weights {
         assert_eq!(row.len(), m, "ragged weight matrix");
         for &w in row {
-            assert!(w >= 0.0 && w.is_finite(), "weights must be non-negative finite");
+            assert!(
+                w >= 0.0 && w.is_finite(),
+                "weights must be non-negative finite"
+            );
         }
     }
     if m == 0 {
@@ -155,10 +158,7 @@ mod tests {
 
     #[test]
     fn simple_square_case() {
-        let w = vec![
-            vec![3.0, 1.0],
-            vec![1.0, 3.0],
-        ];
+        let w = vec![vec![3.0, 1.0], vec![1.0, 3.0]];
         let (total, a) = max_weight_matching(&w);
         assert_eq!(total, 6.0);
         assert_eq!(a, vec![Some(0), Some(1)]);
@@ -167,10 +167,7 @@ mod tests {
     #[test]
     fn anti_greedy_case() {
         // Greedy picks (0,0)=5 then (1,1)=1: total 6; optimal is 4+4=8.
-        let w = vec![
-            vec![5.0, 4.0],
-            vec![4.0, 1.0],
-        ];
+        let w = vec![vec![5.0, 4.0], vec![4.0, 1.0]];
         let (total, a) = max_weight_matching(&w);
         assert_eq!(total, 8.0);
         assert_eq!(a, vec![Some(1), Some(0)]);
@@ -178,11 +175,7 @@ mod tests {
 
     #[test]
     fn rectangular_more_rows() {
-        let w = vec![
-            vec![2.0],
-            vec![5.0],
-            vec![3.0],
-        ];
+        let w = vec![vec![2.0], vec![5.0], vec![3.0]];
         let (total, a) = max_weight_matching(&w);
         assert_eq!(total, 5.0);
         assert_eq!(a, vec![None, Some(0), None]);

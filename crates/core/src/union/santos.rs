@@ -71,7 +71,11 @@ impl SantosSearch {
             .iter()
             .map(|(id, t)| (id, Self::signature_of(t, &kb, &cfg)))
             .collect();
-        SantosSearch { kb, cfg, signatures }
+        SantosSearch {
+            kb,
+            cfg,
+            signatures,
+        }
     }
 
     /// The semantic signature of one table.

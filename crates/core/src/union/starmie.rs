@@ -102,7 +102,14 @@ impl<E: Embedder> StarmieSearch<E> {
                 Backend::Hnsw(Box::new(h))
             }
         };
-        StarmieSearch { embedder, cfg, refs, vectors, table_cols, backend }
+        StarmieSearch {
+            embedder,
+            cfg,
+            refs,
+            vectors,
+            table_cols,
+            backend,
+        }
     }
 
     /// Number of indexed columns.
@@ -145,8 +152,7 @@ impl<E: Embedder> StarmieSearch<E> {
             return Vec::new();
         }
         // Gather candidate tables from per-column retrieval.
-        let mut candidates: std::collections::HashSet<usize> =
-            std::collections::HashSet::new();
+        let mut candidates: std::collections::HashSet<usize> = std::collections::HashSet::new();
         for qv in &qvecs {
             for cid in self.retrieve(qv, self.cfg.fanout) {
                 let col = self.refs[cid as usize];
@@ -236,7 +242,11 @@ mod tests {
         })
     }
 
-    fn search(b: &UnionBenchmark, alpha: f32, backend: VectorBackend) -> StarmieSearch<DomainEmbedder> {
+    fn search(
+        b: &UnionBenchmark,
+        alpha: f32,
+        backend: VectorBackend,
+    ) -> StarmieSearch<DomainEmbedder> {
         let emb = DomainEmbedder::from_registry(&b.registry, 2_048, 64, 0.4, 3);
         StarmieSearch::build(
             &b.lake,
@@ -261,8 +271,7 @@ mod tests {
                     .into_iter()
                     .map(|(t, _)| t)
                     .collect();
-                let rel: HashSet<TableId> =
-                    b.tables_with_grade(q, 2).into_iter().collect();
+                let rel: HashSet<TableId> = b.tables_with_grade(q, 2).into_iter().collect();
                 (res, rel)
             })
             .collect()
@@ -285,7 +294,7 @@ mod tests {
             .map(|t| t.table)
             .collect();
         let _ = decoys; // decoys occupy top ranks iff context fails
-        // Query column 0 is the key column (queries are unshuffled).
+                        // Query column 0 is the key column (queries are unshuffled).
         let hits = s.search_column(&b.queries[q], 0, k);
         let good = hits
             .iter()

@@ -24,9 +24,7 @@ impl TusSearch {
     pub fn build(lake: &DataLake, ctx: MeasureContext) -> Self {
         let tables = lake
             .iter()
-            .map(|(id, t)| {
-                (id, t.columns.iter().map(|c| ctx.evidence(c)).collect())
-            })
+            .map(|(id, t)| (id, t.columns.iter().map(|c| ctx.evidence(c)).collect()))
             .collect();
         TusSearch { ctx, tables }
     }
@@ -133,8 +131,7 @@ mod tests {
                 .into_iter()
                 .map(|(t, _)| t)
                 .collect();
-            let relevant: HashSet<TableId> =
-                b.tables_with_grade(q, 2).into_iter().collect();
+            let relevant: HashSet<TableId> = b.tables_with_grade(q, 2).into_iter().collect();
             let p = precision_at_k(&results, &relevant, 5);
             assert!(p >= 0.8, "query {q}: P@5 = {p}, results {results:?}");
         }
@@ -155,8 +152,7 @@ mod tests {
                         .into_iter()
                         .map(|(t, _)| t)
                         .collect();
-                    let rel: HashSet<TableId> =
-                        b.tables_with_grade(q, 2).into_iter().collect();
+                    let rel: HashSet<TableId> = b.tables_with_grade(q, 2).into_iter().collect();
                     (res, rel)
                 })
                 .collect::<Vec<_>>()
@@ -178,12 +174,17 @@ mod tests {
         let rank_of = |t: TableId| results.iter().position(|&(x, _)| x == t).unwrap();
         let positives = b.tables_with_grade(0, 2);
         let partials = b.tables_with_grade(0, 1);
-        let avg = |ts: &[TableId]| {
-            ts.iter().map(|&t| rank_of(t)).sum::<usize>() as f64 / ts.len() as f64
-        };
+        let avg =
+            |ts: &[TableId]| ts.iter().map(|&t| rank_of(t)).sum::<usize>() as f64 / ts.len() as f64;
         let noise_avg = (0..results.len()).sum::<usize>() as f64 / results.len() as f64;
-        assert!(avg(&positives) < avg(&partials), "positives should outrank partials");
-        assert!(avg(&partials) < noise_avg, "partials should outrank average");
+        assert!(
+            avg(&positives) < avg(&partials),
+            "positives should outrank partials"
+        );
+        assert!(
+            avg(&partials) < noise_avg,
+            "partials should outrank average"
+        );
     }
 
     #[test]

@@ -50,7 +50,10 @@ pub struct ContextualEncoder {
 
 impl Default for ContextualEncoder {
     fn default() -> Self {
-        ContextualEncoder { alpha: 0.4, sample: 64 }
+        ContextualEncoder {
+            alpha: 0.4,
+            sample: 64,
+        }
     }
 }
 
@@ -174,7 +177,10 @@ mod tests {
             vec![homo_as_animal, domain_column(&r, "food", 0..50)],
         )
         .unwrap();
-        let enc = ContextualEncoder { alpha: 0.5, sample: 64 };
+        let enc = ContextualEncoder {
+            alpha: 0.5,
+            sample: 64,
+        };
         let ctx_city = enc.encode_table(&emb, &city_table);
         let ctx_animal = enc.encode_table(&emb, &animal_table);
         // Context-free: the two key columns are literally identical strings.
@@ -211,7 +217,10 @@ mod tests {
             ],
         )
         .unwrap();
-        let enc = ContextualEncoder { alpha: 0.0, sample: 64 };
+        let enc = ContextualEncoder {
+            alpha: 0.0,
+            sample: 64,
+        };
         let ctx = enc.encode_table(&emb, &t);
         for (i, c) in t.columns.iter().enumerate() {
             let cf = embed_column(&emb, c, 64);

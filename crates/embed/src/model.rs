@@ -239,7 +239,11 @@ mod tests {
         let orig = e.embed("bostonia");
         let typo = e.embed("bostonla");
         let unrelated = e.embed("quartz");
-        assert!(cosine(&orig, &typo) > 0.5, "typo cos {}", cosine(&orig, &typo));
+        assert!(
+            cosine(&orig, &typo) > 0.5,
+            "typo cos {}",
+            cosine(&orig, &typo)
+        );
         assert!(
             cosine(&orig, &typo) > cosine(&orig, &unrelated) + 0.3,
             "typo {} unrelated {}",
@@ -289,7 +293,10 @@ mod tests {
         let h = emb.embed(&homograph);
         let ca = cosine(&h, emb.anchor(animal.0));
         let cc = cosine(&h, emb.anchor(city.0));
-        assert!(ca > 0.4 && cc > 0.4, "mixture broke: animal {ca}, city {cc}");
+        assert!(
+            ca > 0.4 && cc > 0.4,
+            "mixture broke: animal {ca}, city {cc}"
+        );
     }
 
     #[test]
@@ -297,7 +304,9 @@ mod tests {
         let r = DomainRegistry::standard();
         let emb = DomainEmbedder::from_registry(&r, 200, 64, 0.4, 7);
         let v = emb.embed("zzz-completely-unknown-token-123");
-        assert!(emb.domains_of("zzz-completely-unknown-token-123").is_empty());
+        assert!(emb
+            .domains_of("zzz-completely-unknown-token-123")
+            .is_empty());
         for (id, _) in r.iter() {
             assert!(
                 cosine(&v, emb.anchor(id.0)) < 0.4,

@@ -14,7 +14,7 @@
 use crate::flat::FlatIndex;
 use crate::hnsw::{Hnsw, HnswParams};
 use serde::{Deserialize, Serialize};
-use std::time::Instant;
+use td_obs::ScopedTimer;
 
 /// The vector access methods under selection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -48,13 +48,40 @@ pub struct CostModel {
 }
 
 impl CostModel {
-    /// Calibrate by timing small probes at the given dimension.
+    /// Calibrate by probing at the given dimension, with every probe
+    /// recorded through `td-obs` histograms (a fresh registry, so repeated
+    /// calibrations never contaminate each other). The derived per-element
+    /// costs are published as gauges on the global registry
+    /// (`access.cost.*`) for inspection.
     ///
     /// Uses a few hundred synthetic vectors — milliseconds of work — and
     /// returns per-element costs that extrapolate across corpus sizes.
     #[must_use]
     pub fn calibrate(dim: usize) -> CostModel {
+        let reg = td_obs::Registry::new();
+        let model = Self::calibrate_with(dim, &reg);
+        let global = td_obs::global();
+        global
+            .gauge("access.cost.flat_ns_per_vector")
+            .set(model.flat_ns_per_vector);
+        global
+            .gauge("access.cost.hnsw_ns_per_log_step")
+            .set(model.hnsw_ns_per_log_step);
+        global
+            .gauge("access.cost.hnsw_build_ns_per_vector")
+            .set(model.hnsw_build_ns_per_vector);
+        model
+    }
+
+    /// Calibrate against an explicit registry: probe latencies land in the
+    /// `access.calibrate.{flat_query,hnsw_insert,hnsw_query}_ns`
+    /// histograms and the per-element costs are derived from their
+    /// snapshots — the median for query probes (robust to scheduler
+    /// hiccups), the exact mean for the insert stream.
+    #[must_use]
+    pub fn calibrate_with(dim: usize, reg: &td_obs::Registry) -> CostModel {
         let n = 600usize;
+        let reps = 50usize;
         let vectors: Vec<Vec<f32>> = (0..n as u64)
             .map(|i| td_embed::model::seeded_unit_vector(i, dim))
             .collect();
@@ -64,29 +91,34 @@ impl CostModel {
         for v in &vectors {
             flat.insert(v.clone());
         }
-        let reps = 50;
-        let t0 = Instant::now();
+        let flat_hist = reg.histogram("access.calibrate.flat_query_ns");
         for _ in 0..reps {
+            let _t = ScopedTimer::new(flat_hist.clone());
             let _ = flat.search(&q, 10);
         }
-        let flat_ns_per_vector =
-            t0.elapsed().as_nanos() as f64 / (reps as f64 * n as f64);
 
-        let t1 = Instant::now();
+        let insert_hist = reg.histogram("access.calibrate.hnsw_insert_ns");
         let mut hnsw = Hnsw::new(dim, HnswParams::default());
         for v in &vectors {
+            let _t = ScopedTimer::new(insert_hist.clone());
             hnsw.insert(v.clone());
         }
-        let hnsw_build_ns_per_vector = t1.elapsed().as_nanos() as f64 / n as f64;
 
-        let t2 = Instant::now();
+        let hnsw_hist = reg.histogram("access.calibrate.hnsw_query_ns");
         for _ in 0..reps {
+            let _t = ScopedTimer::new(hnsw_hist.clone());
             let _ = hnsw.search(&q, 10, 64);
         }
-        let hnsw_ns_per_log_step = t2.elapsed().as_nanos() as f64
-            / (reps as f64 * (n as f64).log2().max(1.0));
 
-        CostModel { flat_ns_per_vector, hnsw_ns_per_log_step, hnsw_build_ns_per_vector }
+        let flat_ns_per_vector = flat_hist.quantile(0.5).max(1.0) / n as f64;
+        let hnsw_build_ns_per_vector = insert_hist.mean().max(1.0);
+        let hnsw_ns_per_log_step = hnsw_hist.quantile(0.5).max(1.0) / (n as f64).log2().max(1.0);
+
+        CostModel {
+            flat_ns_per_vector,
+            hnsw_ns_per_log_step,
+            hnsw_build_ns_per_vector,
+        }
     }
 
     /// Predicted total cost (ns) of serving the workload with a method,
@@ -121,7 +153,11 @@ impl CostModel {
     pub fn crossover(&self, expected_queries: usize, k: usize, max_n: usize) -> Option<usize> {
         let mut n = 64usize;
         while n <= max_n {
-            let w = Workload { corpus_size: n, expected_queries, k };
+            let w = Workload {
+                corpus_size: n,
+                expected_queries,
+                k,
+            };
             if self.choose(&w) == AccessMethod::Hnsw {
                 return Some(n);
             }
@@ -185,7 +221,10 @@ impl AdaptiveVectorIndex {
     pub fn current_method(&self) -> AccessMethod {
         self.model.choose(&Workload {
             corpus_size: self.vectors.len(),
-            expected_queries: self.expected_queries.saturating_sub(self.queries_served).max(1),
+            expected_queries: self
+                .expected_queries
+                .saturating_sub(self.queries_served)
+                .max(1),
             k: 10,
         })
     }
@@ -229,14 +268,22 @@ mod tests {
     #[test]
     fn flat_wins_small_corpora_and_few_queries() {
         let m = fixed_model();
-        let w = Workload { corpus_size: 100, expected_queries: 10, k: 10 };
+        let w = Workload {
+            corpus_size: 100,
+            expected_queries: 10,
+            k: 10,
+        };
         assert_eq!(m.choose(&w), AccessMethod::Flat);
     }
 
     #[test]
     fn hnsw_wins_large_corpora_with_many_queries() {
         let m = fixed_model();
-        let w = Workload { corpus_size: 1_000_000, expected_queries: 100_000, k: 10 };
+        let w = Workload {
+            corpus_size: 1_000_000,
+            expected_queries: 100_000,
+            k: 10,
+        };
         assert_eq!(m.choose(&w), AccessMethod::Hnsw);
     }
 
@@ -246,10 +293,10 @@ mod tests {
         let few = m.crossover(10, 10, 1 << 26);
         let many = m.crossover(100_000, 10, 1 << 26);
         let many_n = many.expect("many queries must cross");
-        match few {
-            // More queries amortize the build: crossover at smaller n.
-            Some(few_n) => assert!(many_n <= few_n, "few {few_n} many {many_n}"),
-            None => {} // flat wins everywhere for 10 queries: consistent
+        // More queries amortize the build: crossover at smaller n. (`few`
+        // may be None — flat wins everywhere for 10 queries: consistent.)
+        if let Some(few_n) = few {
+            assert!(many_n <= few_n, "few {few_n} many {many_n}");
         }
     }
 
@@ -257,8 +304,22 @@ mod tests {
     fn predictions_are_monotone_in_corpus_size() {
         let m = fixed_model();
         for method in [AccessMethod::Flat, AccessMethod::Hnsw] {
-            let small = m.predict(method, &Workload { corpus_size: 1_000, expected_queries: 100, k: 10 });
-            let large = m.predict(method, &Workload { corpus_size: 100_000, expected_queries: 100, k: 10 });
+            let small = m.predict(
+                method,
+                &Workload {
+                    corpus_size: 1_000,
+                    expected_queries: 100,
+                    k: 10,
+                },
+            );
+            let large = m.predict(
+                method,
+                &Workload {
+                    corpus_size: 100_000,
+                    expected_queries: 100,
+                    k: 10,
+                },
+            );
             assert!(large > small);
         }
     }
@@ -268,6 +329,35 @@ mod tests {
         let m = CostModel::calibrate(16);
         assert!(m.flat_ns_per_vector > 0.0);
         assert!(m.hnsw_ns_per_log_step > 0.0);
+        assert!(m.hnsw_build_ns_per_vector > 0.0);
+        // The derived costs are published for inspection.
+        let snap = td_obs::global().snapshot();
+        assert!(snap.gauge("access.cost.flat_ns_per_vector").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn calibration_probes_flow_through_the_registry() {
+        let reg = td_obs::Registry::new();
+        let m = CostModel::calibrate_with(16, &reg);
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.histogram("access.calibrate.flat_query_ns")
+                .unwrap()
+                .count,
+            50
+        );
+        assert_eq!(
+            snap.histogram("access.calibrate.hnsw_insert_ns")
+                .unwrap()
+                .count,
+            600
+        );
+        assert_eq!(
+            snap.histogram("access.calibrate.hnsw_query_ns")
+                .unwrap()
+                .count,
+            50
+        );
         assert!(m.hnsw_build_ns_per_vector > 0.0);
     }
 

@@ -60,7 +60,12 @@ impl Bm25Index {
     /// An empty index.
     #[must_use]
     pub fn new(params: Bm25Params) -> Self {
-        Bm25Index { params, postings: HashMap::new(), doc_len: Vec::new(), total_len: 0 }
+        Bm25Index {
+            params,
+            postings: HashMap::new(),
+            doc_len: Vec::new(),
+            total_len: 0,
+        }
     }
 
     /// Add a document; returns its id (dense, insertion order).
@@ -109,14 +114,15 @@ impl Bm25Index {
         let mut qterms = tokenize(query);
         qterms.dedup();
         for term in qterms {
-            let Some(pl) = self.postings.get(&term) else { continue };
+            let Some(pl) = self.postings.get(&term) else {
+                continue;
+            };
             let idf = self.idf(pl.len());
             for &(doc, f) in pl {
                 let f = f as f64;
                 let len_norm = 1.0 - self.params.b
                     + self.params.b * self.doc_len[doc as usize] as f64 / avg_len.max(1e-9);
-                let s = idf * (f * (self.params.k1 + 1.0))
-                    / (f + self.params.k1 * len_norm);
+                let s = idf * (f * (self.params.k1 + 1.0)) / (f + self.params.k1 * len_norm);
                 *scores.entry(doc).or_insert(0.0) += s;
             }
         }
@@ -124,7 +130,10 @@ impl Bm25Index {
         for (doc, s) in scores {
             topk.push(s, doc);
         }
-        topk.into_sorted().into_iter().map(|(s, d)| (d, s)).collect()
+        topk.into_sorted()
+            .into_iter()
+            .map(|(s, d)| (d, s))
+            .collect()
     }
 }
 
@@ -142,7 +151,10 @@ mod tests {
 
     #[test]
     fn tokenize_splits_and_lowercases() {
-        assert_eq!(tokenize("City Budgets, FY-2023!"), vec!["city", "budgets", "fy", "2023"]);
+        assert_eq!(
+            tokenize("City Budgets, FY-2023!"),
+            vec!["city", "budgets", "fy", "2023"]
+        );
         assert!(tokenize("  ,,  ").is_empty());
     }
 
@@ -187,7 +199,9 @@ mod tests {
 
     #[test]
     fn length_normalization_prefers_concise_docs() {
-        let long: String = std::iter::repeat_n("filler", 200).collect::<Vec<_>>().join(" ")
+        let long: String = std::iter::repeat_n("filler", 200)
+            .collect::<Vec<_>>()
+            .join(" ")
             + " target";
         let i = idx(&[&long, "short target doc"]);
         let r = i.search("target", 2);

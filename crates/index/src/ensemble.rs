@@ -99,9 +99,17 @@ impl LshEnsemble {
             for (id, sig) in chunk {
                 signatures.insert(*id, sig.clone());
             }
-            partitions.push(Partition { upper, tables, members });
+            partitions.push(Partition {
+                upper,
+                tables,
+                members,
+            });
         }
-        LshEnsemble { partitions, signatures, k }
+        LshEnsemble {
+            partitions,
+            signatures,
+            k,
+        }
     }
 
     /// Number of indexed sets.
@@ -142,11 +150,7 @@ impl LshEnsemble {
     /// that partition's Jaccard threshold, then verified against their
     /// stored signatures (`containment_in` conversion).
     #[must_use]
-    pub fn query_containment(
-        &self,
-        query: &MinHashSignature,
-        t: f64,
-    ) -> Vec<(u32, f64)> {
+    pub fn query_containment(&self, query: &MinHashSignature, t: f64) -> Vec<(u32, f64)> {
         self.query_containment_with_stats(query, t).0
     }
 
@@ -194,6 +198,14 @@ impl LshEnsemble {
         }
         let mut v: Vec<(u32, f64)> = out.into_iter().collect();
         v.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        let reg = td_obs::global();
+        reg.counter("index.ensemble.queries").inc();
+        reg.counter("index.ensemble.partition_probes")
+            .add(self.partitions.len() as u64);
+        reg.counter("index.ensemble.raw_candidates")
+            .add(raw_candidates as u64);
+        reg.counter("index.ensemble.verified_hits")
+            .add(v.len() as u64);
         (v, raw_candidates)
     }
 

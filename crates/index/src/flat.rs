@@ -20,7 +20,10 @@ impl FlatIndex {
     #[must_use]
     pub fn new(dim: usize) -> Self {
         assert!(dim > 0);
-        FlatIndex { dim, vectors: Vec::new() }
+        FlatIndex {
+            dim,
+            vectors: Vec::new(),
+        }
     }
 
     /// Insert a vector (normalized internally); returns its id.

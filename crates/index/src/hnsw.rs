@@ -27,7 +27,12 @@ pub struct HnswParams {
 
 impl Default for HnswParams {
     fn default() -> Self {
-        HnswParams { m: 16, m0: 32, ef_construction: 100, seed: 42 }
+        HnswParams {
+            m: 16,
+            m0: 32,
+            ef_construction: 100,
+            seed: 42,
+        }
     }
 }
 
@@ -110,8 +115,7 @@ impl Hnsw {
 
     /// Deterministic geometric level from the node id.
     fn assign_level(&self, id: u32) -> usize {
-        let u = (hash_u64(id as u64, self.params.seed) as f64 + 1.0)
-            / (u64::MAX as f64 + 2.0);
+        let u = (hash_u64(id as u64, self.params.seed) as f64 + 1.0) / (u64::MAX as f64 + 2.0);
         ((-u.ln()) * self.level_mult).floor() as usize
     }
 
@@ -121,11 +125,21 @@ impl Hnsw {
     }
 
     /// Greedy best-first beam search on one level; returns up to `ef`
-    /// closest nodes as a min-heap-extracted sorted vec (descending sim).
-    fn search_level(&self, query: &[f32], entry: u32, ef: usize, level: usize) -> Vec<Candidate> {
+    /// closest nodes as a min-heap-extracted sorted vec (descending sim),
+    /// plus the number of nodes visited (= distance evaluations).
+    fn search_level(
+        &self,
+        query: &[f32],
+        entry: u32,
+        ef: usize,
+        level: usize,
+    ) -> (Vec<Candidate>, usize) {
         let mut visited: HashSet<u32> = HashSet::new();
         visited.insert(entry);
-        let e = Candidate { sim: self.sim(entry, query), id: entry };
+        let e = Candidate {
+            sim: self.sim(entry, query),
+            id: entry,
+        };
         // `frontier`: max-heap by sim (explore best first).
         let mut frontier = BinaryHeap::new();
         frontier.push(e);
@@ -156,9 +170,10 @@ impl Hnsw {
                 }
             }
         }
+        let visited_count = visited.len();
         let mut out: Vec<Candidate> = best.into_iter().map(|r| r.0).collect();
         out.sort_by(|a, b| b.cmp(a));
-        out
+        (out, visited_count)
     }
 
     /// Insert a vector; it is normalized internally. Returns the node id.
@@ -197,11 +212,14 @@ impl Hnsw {
         }
         // Beam search + connect on each level from min(level, max_level) down.
         for l in (0..=level.min(self.max_level)).rev() {
-            let found = self.search_level(&query, cur, self.params.ef_construction, l);
+            let (found, _) = self.search_level(&query, cur, self.params.ef_construction, l);
             cur = found.first().map_or(cur, |c| c.id);
-            let m_max = if l == 0 { self.params.m0 } else { self.params.m };
-            let selected: Vec<u32> =
-                found.iter().take(self.params.m).map(|c| c.id).collect();
+            let m_max = if l == 0 {
+                self.params.m0
+            } else {
+                self.params.m
+            };
+            let selected: Vec<u32> = found.iter().take(self.params.m).map(|c| c.id).collect();
             self.neighbors[id as usize][l] = selected.clone();
             for nb in selected {
                 let list = &mut self.neighbors[nb as usize][l];
@@ -215,8 +233,7 @@ impl Hnsw {
                         .collect();
                     scored.sort_by(|a, b| b.0.total_cmp(&a.0));
                     scored.truncate(m_max);
-                    self.neighbors[nb as usize][l] =
-                        scored.into_iter().map(|(_, x)| x).collect();
+                    self.neighbors[nb as usize][l] = scored.into_iter().map(|(_, x)| x).collect();
                 }
             }
         }
@@ -237,6 +254,7 @@ impl Hnsw {
         };
         let mut q = query.to_vec();
         normalize(&mut q);
+        let mut descent_hops = 0u64;
         for l in (1..=self.max_level).rev() {
             loop {
                 let mut improved = false;
@@ -245,6 +263,7 @@ impl Hnsw {
                     if self.sim(nb, &q) > cur_sim {
                         cur = nb;
                         improved = true;
+                        descent_hops += 1;
                         break;
                     }
                 }
@@ -253,11 +272,12 @@ impl Hnsw {
                 }
             }
         }
-        self.search_level(&q, cur, ef.max(k).max(1), 0)
-            .into_iter()
-            .take(k)
-            .map(|c| (c.id, c.sim))
-            .collect()
+        let (found, visited) = self.search_level(&q, cur, ef.max(k).max(1), 0);
+        let reg = td_obs::global();
+        reg.counter("index.hnsw.queries").inc();
+        reg.counter("index.hnsw.nodes_visited")
+            .add(visited as u64 + descent_hops);
+        found.into_iter().take(k).map(|c| (c.id, c.sim)).collect()
     }
 }
 

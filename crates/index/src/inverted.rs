@@ -38,6 +38,20 @@ pub struct SearchStats {
     pub verify_tokens_read: usize,
 }
 
+impl SearchStats {
+    /// Fold this query's work into the global `td-obs` counters under
+    /// `index.inverted.<strategy>.*`.
+    fn publish(&self, strategy: &str) {
+        let reg = td_obs::global();
+        reg.counter(&format!("index.inverted.{strategy}.queries"))
+            .inc();
+        reg.counter(&format!("index.inverted.{strategy}.postings_read"))
+            .add(self.postings_read as u64);
+        reg.counter(&format!("index.inverted.{strategy}.sets_verified"))
+            .add(self.sets_verified as u64);
+    }
+}
+
 /// Builder for [`InvertedSetIndex`].
 #[derive(Debug, Default)]
 pub struct InvertedSetIndexBuilder {
@@ -86,7 +100,11 @@ impl InvertedSetIndexBuilder {
     /// posting lists.
     #[must_use]
     pub fn build(self) -> InvertedSetIndex {
-        let InvertedSetIndexBuilder { token_ids, mut sets, freq } = self;
+        let InvertedSetIndexBuilder {
+            token_ids,
+            mut sets,
+            freq,
+        } = self;
         // Sort each set's tokens rare-first (frequency asc, id tiebreak):
         // this is the canonical prefix-filter ordering.
         for s in &mut sets {
@@ -98,7 +116,12 @@ impl InvertedSetIndexBuilder {
                 postings[t as usize].push(sid as SetId);
             }
         }
-        InvertedSetIndex { token_ids, postings, sets, freq }
+        InvertedSetIndex {
+            token_ids,
+            postings,
+            sets,
+            freq,
+        }
     }
 }
 
@@ -170,6 +193,7 @@ impl InvertedSetIndex {
             .into_iter()
             .map(|(s, id)| (id, s as usize))
             .collect();
+        stats.publish("merge");
         (out, stats)
     }
 
@@ -219,6 +243,7 @@ impl InvertedSetIndex {
             .into_iter()
             .map(|(s, id)| (id, s as usize))
             .collect();
+        stats.publish("probe");
         (out, stats)
     }
 
@@ -231,11 +256,7 @@ impl InvertedSetIndex {
     /// switches to verification when that becomes cheaper. The final
     /// verification pass only touches candidates whose upper bound
     /// (`partial + unread query tokens`) can still beat the k-th best.
-    pub fn top_k_adaptive<'a, I>(
-        &self,
-        tokens: I,
-        k: usize,
-    ) -> (Vec<(SetId, usize)>, SearchStats)
+    pub fn top_k_adaptive<'a, I>(&self, tokens: I, k: usize) -> (Vec<(SetId, usize)>, SearchStats)
     where
         I: IntoIterator<Item = &'a str>,
     {
@@ -276,9 +297,7 @@ impl InvertedSetIndex {
                 let th = topk.threshold();
                 let best = partial
                     .iter()
-                    .filter(|&(_, &p)| {
-                        th.is_none_or(|t| ((p + unread) as f64) > t)
-                    })
+                    .filter(|&(_, &p)| th.is_none_or(|t| ((p + unread) as f64) > t))
                     .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
                     .map(|(&sid, &p)| (sid, p));
                 let Some((sid, _)) = best else { break };
@@ -322,6 +341,7 @@ impl InvertedSetIndex {
             .into_iter()
             .map(|(s, id)| (id, s as usize))
             .collect();
+        stats.publish("adaptive");
         (out, stats)
     }
 }
@@ -444,8 +464,9 @@ mod tests {
         let mut raw_sets = Vec::new();
         for _ in 0..120 {
             let n = rng.gen_range(3..40);
-            let s: Vec<String> =
-                (0..n).map(|_| format!("t{}", rng.gen_range(0..200))).collect();
+            let s: Vec<String> = (0..n)
+                .map(|_| format!("t{}", rng.gen_range(0..200)))
+                .collect();
             raw_sets.push(s);
         }
         for s in &raw_sets {
@@ -458,9 +479,8 @@ mod tests {
             let (p, _) = idx.top_k_probe(q.iter().map(String::as_str), 5);
             let (a, _) = idx.top_k_adaptive(q.iter().map(String::as_str), 5);
             // Overlap multisets must agree (ties may order differently).
-            let ov = |v: &Vec<(SetId, usize)>| -> Vec<usize> {
-                v.iter().map(|&(_, o)| o).collect()
-            };
+            let ov =
+                |v: &Vec<(SetId, usize)>| -> Vec<usize> { v.iter().map(|&(_, o)| o).collect() };
             assert_eq!(ov(&m), ov(&p), "query {qi}");
             assert_eq!(ov(&m), ov(&a), "query {qi}");
             // The query set itself must rank first with full overlap.

@@ -67,7 +67,12 @@ impl MinHashLsh {
     #[must_use]
     pub fn new(bands: usize, rows: usize) -> Self {
         assert!(bands > 0 && rows > 0);
-        MinHashLsh { bands, rows, tables: vec![HashMap::new(); bands], len: 0 }
+        MinHashLsh {
+            bands,
+            rows,
+            tables: vec![HashMap::new(); bands],
+            len: 0,
+        }
     }
 
     /// Create an index tuned for a Jaccard `threshold` given signature
@@ -137,13 +142,19 @@ impl MinHashLsh {
             sig.values.len() >= self.bands * self.rows,
             "signature too short for banding"
         );
+        let reg = td_obs::global();
+        reg.counter("index.lsh.queries").inc();
+        let mut probes = 0u64;
         let mut out = HashSet::new();
         for band in 0..use_bands.min(self.bands) {
             let key = self.band_key(sig, band);
+            probes += 1;
             if let Some(bucket) = self.tables[band].get(&key) {
                 out.extend(bucket.iter().copied());
             }
         }
+        reg.counter("index.lsh.band_probes").add(probes);
+        reg.counter("index.lsh.candidates").add(out.len() as u64);
         out.into_iter().collect()
     }
 }
@@ -208,7 +219,11 @@ mod tests {
         }
         let q = sig(&h, 0..100);
         let cands = lsh.query(&q);
-        assert!(cands.len() < 15, "too many false positives: {}", cands.len());
+        assert!(
+            cands.len() < 15,
+            "too many false positives: {}",
+            cands.len()
+        );
     }
 
     #[test]

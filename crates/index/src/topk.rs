@@ -41,7 +41,10 @@ impl<T: PartialEq> TopK<T> {
     #[must_use]
     pub fn new(k: usize) -> Self {
         assert!(k > 0, "top-k of zero");
-        TopK { k, heap: BinaryHeap::with_capacity(k + 1) }
+        TopK {
+            k,
+            heap: BinaryHeap::with_capacity(k + 1),
+        }
     }
 
     /// Offer an item; it is kept only if it beats the current k-th best.
@@ -82,8 +85,7 @@ impl<T: PartialEq> TopK<T> {
     /// Consume into `(score, item)` pairs sorted by descending score.
     #[must_use]
     pub fn into_sorted(self) -> Vec<(f64, T)> {
-        let mut v: Vec<(f64, T)> =
-            self.heap.into_iter().map(|s| (s.score, s.item)).collect();
+        let mut v: Vec<(f64, T)> = self.heap.into_iter().map(|s| (s.score, s.item)).collect();
         v.sort_by(|a, b| b.0.total_cmp(&a.0));
         v
     }
@@ -100,10 +102,7 @@ mod tests {
             t.push(s, i);
         }
         let out = t.into_sorted();
-        assert_eq!(
-            out,
-            vec![(5.0, "b"), (4.0, "d"), (3.0, "c")]
-        );
+        assert_eq!(out, vec![(5.0, "b"), (4.0, "d"), (3.0, "c")]);
     }
 
     #[test]

@@ -38,7 +38,11 @@ pub struct HomographConfig {
 
 impl Default for HomographConfig {
     fn default() -> Self {
-        HomographConfig { sample_sources: 64, min_degree: 2, seed: 3 }
+        HomographConfig {
+            sample_sources: 64,
+            min_degree: 2,
+            seed: 3,
+        }
     }
 }
 
@@ -136,8 +140,8 @@ pub fn rank_homographs(lake: &DataLake, cfg: &HomographConfig) -> Vec<ValueCentr
         }
         for &w in order.iter().rev() {
             for &v in &preds[w as usize] {
-                delta[v as usize] += sigma[v as usize] / sigma[w as usize]
-                    * (1.0 + delta[w as usize]);
+                delta[v as usize] +=
+                    sigma[v as usize] / sigma[w as usize] * (1.0 + delta[w as usize]);
             }
             if w as usize != s {
                 bc[w as usize] += delta[w as usize];
@@ -152,7 +156,11 @@ pub fn rank_homographs(lake: &DataLake, cfg: &HomographConfig) -> Vec<ValueCentr
             degree: g.adj[v].len(),
         })
         .collect();
-    out.sort_by(|a, b| b.betweenness.total_cmp(&a.betweenness).then(a.value.cmp(&b.value)));
+    out.sort_by(|a, b| {
+        b.betweenness
+            .total_cmp(&a.betweenness)
+            .then(a.value.cmp(&b.value))
+    });
     out
 }
 
@@ -195,7 +203,10 @@ mod tests {
         let (lake, homographs) = lake_with_homographs(5);
         let ranked = rank_homographs(
             &lake,
-            &HomographConfig { sample_sources: 0, ..Default::default() },
+            &HomographConfig {
+                sample_sources: 0,
+                ..Default::default()
+            },
         );
         assert!(!ranked.is_empty());
         let topk: Vec<&str> = ranked.iter().take(8).map(|v| v.value.as_str()).collect();
@@ -203,10 +214,7 @@ mod tests {
             .iter()
             .filter(|h| topk.contains(&h.as_str()))
             .count();
-        assert!(
-            found >= 4,
-            "only {found}/5 homographs in top 8: {topk:?}"
-        );
+        assert!(found >= 4, "only {found}/5 homographs in top 8: {topk:?}");
     }
 
     #[test]
@@ -214,10 +222,16 @@ mod tests {
         let (lake, homographs) = lake_with_homographs(5);
         let sampled = rank_homographs(
             &lake,
-            &HomographConfig { sample_sources: 40, ..Default::default() },
+            &HomographConfig {
+                sample_sources: 40,
+                ..Default::default()
+            },
         );
         let top: Vec<&str> = sampled.iter().take(10).map(|v| v.value.as_str()).collect();
-        let found = homographs.iter().filter(|h| top.contains(&h.as_str())).count();
+        let found = homographs
+            .iter()
+            .filter(|h| top.contains(&h.as_str()))
+            .count();
         assert!(found >= 3, "sampled ranking lost the homographs: {top:?}");
     }
 
@@ -226,7 +240,10 @@ mod tests {
         let (lake, _) = lake_with_homographs(0);
         let ranked = rank_homographs(
             &lake,
-            &HomographConfig { sample_sources: 0, ..Default::default() },
+            &HomographConfig {
+                sample_sources: 0,
+                ..Default::default()
+            },
         );
         if ranked.len() > 10 {
             // Without bridges, the top score should not dwarf the median.
@@ -244,7 +261,11 @@ mod tests {
         let (lake, _) = lake_with_homographs(3);
         let ranked = rank_homographs(
             &lake,
-            &HomographConfig { min_degree: 3, sample_sources: 0, ..Default::default() },
+            &HomographConfig {
+                min_degree: 3,
+                sample_sources: 0,
+                ..Default::default()
+            },
         );
         for v in &ranked {
             assert!(v.degree >= 3);

@@ -19,5 +19,5 @@ pub mod ronin;
 
 pub use homograph::{rank_homographs, HomographConfig, ValueCentrality};
 pub use linkage::{Link, LinkKind, LinkageConfig, LinkageGraph};
-pub use organize::{Organization, OrganizeConfig, OrgNode};
+pub use organize::{OrgNode, Organization, OrganizeConfig};
 pub use ronin::{group_results, ResultGroup, RoninConfig};

@@ -110,8 +110,7 @@ impl LinkageGraph {
                 // PK/FK: containment of one side into a key-like other.
                 for (a, b) in [(i, j), (j, i)] {
                     let cont = sigs[a].containment_in(&sigs[b]);
-                    let target_is_key =
-                        profile.get(cols[b]).is_some_and(|p| p.is_key_like());
+                    let target_is_key = profile.get(cols[b]).is_some_and(|p| p.is_key_like());
                     if cont >= cfg.containment_threshold && target_is_key {
                         graph.add_edge(Link {
                             from: cols[a],
@@ -263,7 +262,10 @@ mod tests {
                 "cities",
                 vec![
                     Column::new("city", (0..100).map(|i| r.value(city, i)).collect()),
-                    Column::new("country", (0..100).map(|i| r.value(country, i % 20)).collect()),
+                    Column::new(
+                        "country",
+                        (0..100).map(|i| r.value(country, i % 20)).collect(),
+                    ),
                 ],
             )
             .unwrap(),
@@ -323,7 +325,10 @@ mod tests {
             .iter()
             .filter(|l| matches!(l.kind, LinkKind::PkFkCandidate { .. }))
             .collect();
-        assert!(!pkfk.is_empty(), "no PK/FK edge from orders.city: {links:?}");
+        assert!(
+            !pkfk.is_empty(),
+            "no PK/FK edge from orders.city: {links:?}"
+        );
         assert_eq!(pkfk[0].to, ColumnRef::new(TableId(0), 0));
     }
 
@@ -332,9 +337,15 @@ mod tests {
         let (lake, _) = lake();
         let g = LinkageGraph::build(&lake, &LinkageConfig::default());
         let related = g.related_tables(&lake, TableId(1), 2);
-        assert!(related.contains(&TableId(0)), "orders should relate to cities");
+        assert!(
+            related.contains(&TableId(0)),
+            "orders should relate to cities"
+        );
         // Two hops: orders → cities → cities_copy.
-        assert!(related.contains(&TableId(2)), "two-hop neighbor missing: {related:?}");
+        assert!(
+            related.contains(&TableId(2)),
+            "two-hop neighbor missing: {related:?}"
+        );
         let one_hop = g.related_tables(&lake, TableId(1), 1);
         assert!(one_hop.contains(&TableId(0)));
     }
@@ -358,14 +369,20 @@ mod tests {
         lake.add(
             Table::new(
                 "a",
-                vec![Column::new("g", (0..50).map(|i| r.value(gene, i)).collect())],
+                vec![Column::new(
+                    "g",
+                    (0..50).map(|i| r.value(gene, i)).collect(),
+                )],
             )
             .unwrap(),
         );
         lake.add(
             Table::new(
                 "b",
-                vec![Column::new("f", (0..50).map(|i| r.value(food, i)).collect())],
+                vec![Column::new(
+                    "f",
+                    (0..50).map(|i| r.value(food, i)).collect(),
+                )],
             )
             .unwrap(),
         );

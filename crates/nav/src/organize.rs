@@ -63,7 +63,13 @@ pub struct OrganizeConfig {
 
 impl Default for OrganizeConfig {
     fn default() -> Self {
-        OrganizeConfig { branching: 4, leaf_size: 4, kmeans_iters: 8, beta: 8.0, seed: 5 }
+        OrganizeConfig {
+            branching: 4,
+            leaf_size: 4,
+            kmeans_iters: 8,
+            beta: 8.0,
+            seed: 5,
+        }
     }
 }
 
@@ -150,7 +156,10 @@ impl Organization {
     #[must_use]
     pub fn build(items: &[(TableId, Vec<f32>)], cfg: &OrganizeConfig) -> Self {
         assert!(!items.is_empty(), "cannot organize an empty lake");
-        let mut org = Organization { nodes: Vec::new(), root: 0 };
+        let mut org = Organization {
+            nodes: Vec::new(),
+            root: 0,
+        };
         let idxs: Vec<usize> = (0..items.len()).collect();
         org.root = org.split(items, &idxs, cfg, 0);
         org
@@ -184,7 +193,12 @@ impl Organization {
             return self.nodes.len() - 1;
         }
         let vectors: Vec<&[f32]> = idxs.iter().map(|&i| items[i].1.as_slice()).collect();
-        let assign = kmeans(&vectors, cfg.branching, cfg.kmeans_iters, cfg.seed + depth as u64);
+        let assign = kmeans(
+            &vectors,
+            cfg.branching,
+            cfg.kmeans_iters,
+            cfg.seed + depth as u64,
+        );
         let mut groups: Vec<Vec<usize>> = vec![Vec::new(); cfg.branching];
         for (pos, &i) in idxs.iter().enumerate() {
             groups[assign[pos]].push(i);
@@ -204,7 +218,11 @@ impl Organization {
             .iter()
             .map(|g| self.split(items, g, cfg, depth + 1))
             .collect();
-        self.nodes.push(OrgNode { centroid, children, tables: Vec::new() });
+        self.nodes.push(OrgNode {
+            centroid,
+            children,
+            tables: Vec::new(),
+        });
         self.nodes.len() - 1
     }
 
@@ -248,8 +266,7 @@ impl Organization {
     /// was built from.
     pub fn refine(&mut self, items: &[(TableId, Vec<f32>)], rounds: usize) -> usize {
         use std::collections::HashMap;
-        let vec_of: HashMap<TableId, &Vec<f32>> =
-            items.iter().map(|(t, v)| (*t, v)).collect();
+        let vec_of: HashMap<TableId, &Vec<f32>> = items.iter().map(|(t, v)| (*t, v)).collect();
         let leaves: Vec<usize> = (0..self.nodes.len())
             .filter(|&n| self.nodes[n].children.is_empty())
             .collect();
@@ -294,10 +311,7 @@ impl Organization {
 
     /// Recompute every node's centroid as the normalized mean of the table
     /// vectors below it.
-    fn rebuild_centroids(
-        &mut self,
-        vec_of: &std::collections::HashMap<TableId, &Vec<f32>>,
-    ) {
+    fn rebuild_centroids(&mut self, vec_of: &std::collections::HashMap<TableId, &Vec<f32>>) {
         for n in 0..self.nodes.len() {
             let below = self.tables_below(n);
             let dim = self.nodes[n].centroid.len();
@@ -431,7 +445,10 @@ mod tests {
         let items = clustered(2, 5, 16);
         let org = Organization::build(&items, &OrganizeConfig::default());
         let ghost_vec = seeded_unit_vector(777, 16);
-        assert_eq!(org.discovery_probability(TableId(9999), &ghost_vec, 4.0), 0.0);
+        assert_eq!(
+            org.discovery_probability(TableId(9999), &ghost_vec, 4.0),
+            0.0
+        );
     }
 
     #[test]
@@ -442,7 +459,11 @@ mod tests {
         let items = clustered(4, 12, 32);
         let mut org = Organization::build(
             &items,
-            &OrganizeConfig { kmeans_iters: 1, seed: 999, ..Default::default() },
+            &OrganizeConfig {
+                kmeans_iters: 1,
+                seed: 999,
+                ..Default::default()
+            },
         );
         let avg = |o: &Organization| {
             items
@@ -480,9 +501,6 @@ mod tests {
         let items = vec![(TableId(0), seeded_unit_vector(1, 8))];
         let org = Organization::build(&items, &OrganizeConfig::default());
         assert_eq!(org.num_nodes(), 1);
-        assert_eq!(
-            org.discovery_probability(TableId(0), &items[0].1, 4.0),
-            1.0
-        );
+        assert_eq!(org.discovery_probability(TableId(0), &items[0].1, 4.0), 1.0);
     }
 }

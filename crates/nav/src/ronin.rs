@@ -37,7 +37,11 @@ pub struct RoninConfig {
 
 impl Default for RoninConfig {
     fn default() -> Self {
-        RoninConfig { groups: 4, iters: 8, seed: 9 }
+        RoninConfig {
+            groups: 4,
+            iters: 8,
+            seed: 9,
+        }
     }
 }
 
@@ -105,7 +109,11 @@ mod tests {
                     .unwrap(),
                 );
                 let mut v = anchor.clone();
-                add_scaled(&mut v, &seeded_unit_vector((c * per + i + 500) as u64, 32), 0.25);
+                add_scaled(
+                    &mut v,
+                    &seeded_unit_vector((c * per + i + 500) as u64, 32),
+                    0.25,
+                );
                 normalize(&mut v);
                 results.push((id, v));
             }
@@ -116,26 +124,44 @@ mod tests {
     #[test]
     fn groups_respect_clusters() {
         let (lake, results) = setup(3, 8);
-        let groups = group_results(&lake, &results, &RoninConfig { groups: 3, ..Default::default() });
+        let groups = group_results(
+            &lake,
+            &results,
+            &RoninConfig {
+                groups: 3,
+                ..Default::default()
+            },
+        );
         assert_eq!(groups.len(), 3);
         // Every group should be pure: all members share the cluster prefix.
         for g in &groups {
-            let prefix = |t: TableId| {
-                lake.table(t).name.split('_').next().unwrap().to_string()
-            };
+            let prefix = |t: TableId| lake.table(t).name.split('_').next().unwrap().to_string();
             let p0 = prefix(g.tables[0]);
-            assert!(g.tables.iter().all(|&t| prefix(t) == p0), "mixed group: {g:?}");
+            assert!(
+                g.tables.iter().all(|&t| prefix(t) == p0),
+                "mixed group: {g:?}"
+            );
         }
     }
 
     #[test]
     fn representative_is_a_member_and_labels_match() {
         let (lake, results) = setup(2, 6);
-        let groups = group_results(&lake, &results, &RoninConfig { groups: 2, ..Default::default() });
+        let groups = group_results(
+            &lake,
+            &results,
+            &RoninConfig {
+                groups: 2,
+                ..Default::default()
+            },
+        );
         for g in &groups {
             assert!(g.tables.contains(&g.representative));
             assert_eq!(g.label, lake.table(g.representative).name);
-            assert_eq!(g.tables[0], g.representative, "representative leads the list");
+            assert_eq!(
+                g.tables[0], g.representative,
+                "representative leads the list"
+            );
         }
     }
 
@@ -148,7 +174,14 @@ mod tests {
     #[test]
     fn more_groups_than_results_collapses() {
         let (lake, results) = setup(1, 2);
-        let groups = group_results(&lake, &results, &RoninConfig { groups: 10, ..Default::default() });
+        let groups = group_results(
+            &lake,
+            &results,
+            &RoninConfig {
+                groups: 10,
+                ..Default::default()
+            },
+        );
         let total: usize = groups.iter().map(|g| g.tables.len()).sum();
         assert_eq!(total, 2);
     }

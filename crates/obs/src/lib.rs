@@ -1,0 +1,75 @@
+//! # td-obs — zero-dependency tracing and metrics for table discovery
+//!
+//! The tutorial's §3 calls for *cost-based and distribution-aware access
+//! methods*; you cannot be distribution-aware without measuring the
+//! distribution. This crate is the workspace's single measurement
+//! substrate:
+//!
+//! * [`Registry`] — lock-free counters, gauges, and log-bucketed latency
+//!   [`Histogram`]s (p50/p95/p99 readout), shared across threads through
+//!   `&'static` ([`global`]) or `Arc`. Exports Prometheus text
+//!   ([`Registry::export_prometheus`]) and JSON
+//!   ([`Registry::export_json`]).
+//! * [`span!`] — RAII span guards with parent/child nesting recorded
+//!   per-thread, feeding a pluggable [`Subscriber`] (default: an in-memory
+//!   [`RingRecorder`]) *and* a latency histogram named `span.<name>` in
+//!   the registry, so build passes and queries show up in one snapshot.
+//! * [`Timer`] / [`ScopedTimer`] — the one-liner timing helpers the bench
+//!   binaries use instead of scattering `Instant::now()` pairs.
+//!
+//! Metric mutation is wait-free (atomic adds); name registration takes a
+//! short `RwLock` only on first use — hot paths should hold on to the
+//! returned `Arc` handles.
+//!
+//! ```
+//! let reg = td_obs::Registry::new();
+//! let hits = reg.counter("query.hits");
+//! hits.add(3);
+//! let lat = reg.histogram("query.latency_ns");
+//! lat.record(1_500);
+//! let snap = reg.snapshot();
+//! assert_eq!(snap.counter("query.hits"), Some(3));
+//! assert_eq!(snap.histogram("query.latency_ns").unwrap().count, 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod registry;
+mod span;
+mod timer;
+
+pub use registry::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry};
+pub use span::{RingRecorder, SpanGuard, SpanRecord, Subscriber};
+pub use timer::ScopedTimer;
+pub use timer::{time, Timer};
+
+use std::sync::OnceLock;
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+/// The process-wide registry. All [`span!`] guards and the pipeline's
+/// built-in instrumentation record here.
+pub fn global() -> &'static Registry {
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Open an RAII span on the [`global`] registry: the span closes (and its
+/// duration is recorded) when the returned guard drops.
+///
+/// ```
+/// {
+///     let _span = td_obs::span!("pipeline.profile");
+///     // ... measured work ...
+/// }
+/// assert!(td_obs::global().snapshot().histogram("span.pipeline.profile").is_some());
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::global().span($name)
+    };
+    ($registry:expr, $name:expr) => {
+        ($registry).span($name)
+    };
+}

@@ -1,0 +1,572 @@
+//! The metrics registry: counters, gauges, log-bucketed histograms, and
+//! the Prometheus-text / JSON exporters.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Duration;
+
+/// A monotonically increasing `u64` counter (wait-free).
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable `f64` gauge (stored as bit pattern in an atomic).
+#[derive(Debug)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge {
+            bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+}
+
+impl Gauge {
+    /// Set the gauge.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Sub-buckets per power of two. 4 gives ≤ ~19% relative quantile error,
+/// plenty for latency percentiles, with a fixed 256-slot table.
+const SUBS: usize = 4;
+const BUCKETS: usize = 64 * SUBS;
+
+/// A log-bucketed histogram of non-negative `u64` observations
+/// (conventionally nanoseconds). Recording is wait-free.
+pub struct Histogram {
+    buckets: Box<[AtomicU64; BUCKETS]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    /// Max observed value (monotonic CAS).
+    max: AtomicU64,
+    /// Min observed value (monotonic CAS); `u64::MAX` when empty.
+    min: AtomicU64,
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .field("sum", &self.sum())
+            .finish()
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        // `AtomicU64` is not `Copy`; build the array explicitly.
+        let buckets: Vec<AtomicU64> = (0..BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        let buckets: Box<[AtomicU64; BUCKETS]> =
+            buckets.into_boxed_slice().try_into().expect("fixed size");
+        Histogram {
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+        }
+    }
+}
+
+/// Index of the log bucket for a value.
+fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        return 0;
+    }
+    let exp = 63 - v.leading_zeros() as usize; // floor(log2 v)
+    let frac = if exp == 0 {
+        0
+    } else {
+        // Top `log2(SUBS)` bits below the leading one.
+        ((v >> (exp.saturating_sub(2))) & (SUBS as u64 - 1)) as usize
+    };
+    (exp * SUBS + frac).min(BUCKETS - 1)
+}
+
+/// Geometric midpoint of a bucket, the value reported for quantiles.
+fn bucket_mid(idx: usize) -> f64 {
+    let exp = idx / SUBS;
+    let frac = idx % SUBS;
+    let lo = (1u64 << exp) as f64 * (1.0 + frac as f64 / SUBS as f64);
+    let hi = (1u64 << exp) as f64 * (1.0 + (frac as f64 + 1.0) / SUBS as f64);
+    (lo * hi).sqrt()
+}
+
+impl Histogram {
+    /// Record one observation.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+    }
+
+    /// Record a duration in nanoseconds.
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean observation, or 0 when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Approximate quantile (`q` in `[0, 1]`) from the log buckets, or 0
+    /// when empty. Exact min/max are substituted at the extremes.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        let n = self.count.load(Ordering::Relaxed);
+        if n == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        if q <= 0.0 {
+            return self.min.load(Ordering::Relaxed) as f64;
+        }
+        if q >= 1.0 {
+            return self.max.load(Ordering::Relaxed) as f64;
+        }
+        let rank = (q * n as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                // Clamp into the true observed range so approximation
+                // error never violates min/max bounds.
+                let min = self.min.load(Ordering::Relaxed) as f64;
+                let max = self.max.load(Ordering::Relaxed) as f64;
+                return bucket_mid(i).clamp(min, max);
+            }
+        }
+        self.max.load(Ordering::Relaxed) as f64
+    }
+
+    /// Point-in-time copy of the derived statistics.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count();
+        HistogramSnapshot {
+            count,
+            sum: self.sum(),
+            mean: self.mean(),
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Derived statistics of a [`Histogram`] at one point in time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Observation count.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Mean observation.
+    pub mean: f64,
+    /// Approximate median.
+    pub p50: f64,
+    /// Approximate 95th percentile.
+    pub p95: f64,
+    /// Approximate 99th percentile.
+    pub p99: f64,
+    /// Exact minimum observation (0 when empty).
+    pub min: u64,
+    /// Exact maximum observation.
+    pub max: u64,
+}
+
+/// Point-in-time copy of every metric in a [`Registry`], sorted by name.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Counter values.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram statistics.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// Value of a counter, if present.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Value of a gauge, if present.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Statistics of a histogram, if present.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v)
+    }
+
+    /// Names of histograms whose name starts with `prefix`.
+    #[must_use]
+    pub fn histograms_with_prefix(&self, prefix: &str) -> Vec<&str> {
+        self.histograms
+            .iter()
+            .filter(|(n, _)| n.starts_with(prefix))
+            .map(|(n, _)| n.as_str())
+            .collect()
+    }
+}
+
+/// The registry: a name-keyed store of counters, gauges, and histograms
+/// plus the span subscriber (see [`crate::span!`]).
+pub struct Registry {
+    counters: RwLock<HashMap<String, Arc<Counter>>>,
+    gauges: RwLock<HashMap<String, Arc<Gauge>>>,
+    histograms: RwLock<HashMap<String, Arc<Histogram>>>,
+    pub(crate) subscriber: RwLock<Arc<dyn crate::Subscriber>>,
+    pub(crate) span_seq: AtomicU64,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// An empty registry with the default ring-buffer span recorder.
+    #[must_use]
+    pub fn new() -> Self {
+        Registry {
+            counters: RwLock::new(HashMap::new()),
+            gauges: RwLock::new(HashMap::new()),
+            histograms: RwLock::new(HashMap::new()),
+            subscriber: RwLock::new(Arc::new(crate::RingRecorder::new(4096))),
+            span_seq: AtomicU64::new(0),
+        }
+    }
+
+    /// Get or create a counter. Hold on to the handle on hot paths.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        get_or_insert(&self.counters, name)
+    }
+
+    /// Get or create a gauge.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        get_or_insert(&self.gauges, name)
+    }
+
+    /// Get or create a histogram. Hold on to the handle on hot paths.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        get_or_insert(&self.histograms, name)
+    }
+
+    /// Swap the span subscriber (the default is a [`crate::RingRecorder`]).
+    pub fn set_subscriber(&self, sub: Arc<dyn crate::Subscriber>) {
+        *self.subscriber.write().expect("subscriber lock") = sub;
+    }
+
+    /// Current span subscriber.
+    #[must_use]
+    pub fn subscriber(&self) -> Arc<dyn crate::Subscriber> {
+        self.subscriber.read().expect("subscriber lock").clone()
+    }
+
+    /// Point-in-time snapshot of every metric, names sorted.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut counters: Vec<(String, u64)> = self
+            .counters
+            .read()
+            .expect("counters lock")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        counters.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut gauges: Vec<(String, f64)> = self
+            .gauges
+            .read()
+            .expect("gauges lock")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut histograms: Vec<(String, HistogramSnapshot)> = self
+            .histograms
+            .read()
+            .expect("histograms lock")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect();
+        histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+
+    /// Remove every metric (testing / between bench stages).
+    pub fn reset(&self) {
+        self.counters.write().expect("counters lock").clear();
+        self.gauges.write().expect("gauges lock").clear();
+        self.histograms.write().expect("histograms lock").clear();
+    }
+
+    /// Render the registry in the Prometheus text exposition format.
+    /// Histograms are exposed as summaries (`{quantile="..."}` series plus
+    /// `_sum` and `_count`). Metric names are sanitized (`.` and `-` to
+    /// `_`).
+    #[must_use]
+    pub fn export_prometheus(&self) -> String {
+        let snap = self.snapshot();
+        let mut out = String::new();
+        for (name, v) in &snap.counters {
+            let n = prom_name(name);
+            out.push_str(&format!("# TYPE {n} counter\n{n} {v}\n"));
+        }
+        for (name, v) in &snap.gauges {
+            let n = prom_name(name);
+            out.push_str(&format!("# TYPE {n} gauge\n{n} {v}\n"));
+        }
+        for (name, h) in &snap.histograms {
+            let n = prom_name(name);
+            out.push_str(&format!("# TYPE {n} summary\n"));
+            for (q, v) in [(0.5, h.p50), (0.95, h.p95), (0.99, h.p99)] {
+                out.push_str(&format!("{n}{{quantile=\"{q}\"}} {v}\n"));
+            }
+            out.push_str(&format!("{n}_sum {}\n{n}_count {}\n", h.sum, h.count));
+        }
+        out
+    }
+
+    /// Render the registry as a JSON object:
+    /// `{"counters": {...}, "gauges": {...}, "histograms": {name: {count,
+    /// sum, mean, p50, p95, p99, min, max}}}`. Written by hand so td-obs
+    /// keeps zero dependencies; the test suite round-trips it through the
+    /// workspace `serde_json`.
+    #[must_use]
+    pub fn export_json(&self) -> String {
+        snapshot_to_json(&self.snapshot())
+    }
+}
+
+/// JSON rendering of a snapshot (also used by `td-bench`'s reports).
+#[must_use]
+pub fn snapshot_to_json(snap: &MetricsSnapshot) -> String {
+    let mut out = String::from("{\"counters\":{");
+    for (i, (name, v)) in snap.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json_str(name, &mut out);
+        out.push_str(&format!(":{v}"));
+    }
+    out.push_str("},\"gauges\":{");
+    for (i, (name, v)) in snap.gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json_str(name, &mut out);
+        out.push(':');
+        out.push_str(&json_f64(*v));
+    }
+    out.push_str("},\"histograms\":{");
+    for (i, (name, h)) in snap.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json_str(name, &mut out);
+        out.push_str(&format!(
+            ":{{\"count\":{},\"sum\":{},\"mean\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"min\":{},\"max\":{}}}",
+            h.count,
+            h.sum,
+            json_f64(h.mean),
+            json_f64(h.p50),
+            json_f64(h.p95),
+            json_f64(h.p99),
+            h.min,
+            h.max,
+        ));
+    }
+    out.push_str("}}");
+    out
+}
+
+/// Escape and append a JSON string literal.
+pub(crate) fn json_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// JSON-safe float rendering (non-finite becomes `null`).
+pub(crate) fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        // Ensure the token parses as a number either way.
+        v.to_string()
+    } else {
+        "null".to_string()
+    }
+}
+
+fn prom_name(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+fn get_or_insert<T: Default>(map: &RwLock<HashMap<String, Arc<T>>>, name: &str) -> Arc<T> {
+    if let Some(v) = map.read().expect("metrics lock").get(name) {
+        return Arc::clone(v);
+    }
+    let mut w = map.write().expect("metrics lock");
+    Arc::clone(w.entry(name.to_string()).or_default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges() {
+        let r = Registry::new();
+        r.counter("c").inc();
+        r.counter("c").add(4);
+        r.gauge("g").set(2.5);
+        let s = r.snapshot();
+        assert_eq!(s.counter("c"), Some(5));
+        assert_eq!(s.gauge("g"), Some(2.5));
+        assert_eq!(s.counter("missing"), None);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_ordered_and_bounded() {
+        let h = Histogram::default();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 10_000);
+        assert!(s.p50 <= s.p95 && s.p95 <= s.p99, "{s:?}");
+        assert!(s.p50 >= s.min as f64 && s.p99 <= s.max as f64, "{s:?}");
+        // Log-bucket approximation: within ~20% relative error.
+        assert!((s.p50 - 5_000.0).abs() / 5_000.0 < 0.25, "p50 {}", s.p50);
+        assert!((s.p99 - 9_900.0).abs() / 9_900.0 < 0.25, "p99 {}", s.p99);
+    }
+
+    #[test]
+    fn histogram_handles_zero_and_extremes() {
+        let h = Histogram::default();
+        h.record(0);
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, u64::MAX);
+        assert!(s.p50 >= 0.0);
+    }
+
+    #[test]
+    fn prometheus_export_has_all_series() {
+        let r = Registry::new();
+        r.counter("probe.count").add(7);
+        r.gauge("corpus.size").set(100.0);
+        r.histogram("query.ns").record(1000);
+        let text = r.export_prometheus();
+        assert!(text.contains("# TYPE probe_count counter"));
+        assert!(text.contains("probe_count 7"));
+        assert!(text.contains("# TYPE corpus_size gauge"));
+        assert!(text.contains("query_ns{quantile=\"0.5\"}"));
+        assert!(text.contains("query_ns_count 1"));
+    }
+
+    #[test]
+    fn bucket_round_trip_is_monotone() {
+        let mut last = 0usize;
+        for v in [1u64, 2, 3, 7, 8, 100, 1000, 1 << 20, 1 << 40, u64::MAX] {
+            let b = bucket_of(v);
+            assert!(b >= last, "bucket({v}) = {b} < {last}");
+            last = b;
+        }
+    }
+}

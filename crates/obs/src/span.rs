@@ -1,0 +1,230 @@
+//! RAII spans with per-thread parent/child nesting, a pluggable
+//! [`Subscriber`], and the default in-memory [`RingRecorder`].
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::atomic::Ordering;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::Registry;
+
+/// A closed span as delivered to a [`Subscriber`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span id, unique within the registry (assigned at open).
+    pub id: u64,
+    /// Id of the enclosing span on the same thread, if any.
+    pub parent: Option<u64>,
+    /// Nesting depth: 0 for a root span.
+    pub depth: usize,
+    /// Span name, e.g. `pipeline.containment.build`.
+    pub name: String,
+    /// Wall-clock duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// Receives every closed span from a [`Registry`]. Implementations must be
+/// cheap: `on_close` runs inline in the instrumented thread.
+pub trait Subscriber: Send + Sync {
+    /// Called once per span, at close (guard drop).
+    fn on_close(&self, span: &SpanRecord);
+}
+
+/// Default subscriber: keeps the most recent `capacity` closed spans in a
+/// bounded ring buffer.
+pub struct RingRecorder {
+    buf: Mutex<VecDeque<SpanRecord>>,
+    capacity: usize,
+}
+
+impl RingRecorder {
+    /// A recorder holding at most `capacity` spans (oldest evicted first).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        RingRecorder {
+            buf: Mutex::new(VecDeque::new()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The retained spans, oldest first.
+    #[must_use]
+    pub fn recent(&self) -> Vec<SpanRecord> {
+        self.buf
+            .lock()
+            .expect("ring lock")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Number of retained spans.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.lock().expect("ring lock").len()
+    }
+
+    /// Whether the recorder holds no spans.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop all retained spans.
+    pub fn clear(&self) {
+        self.buf.lock().expect("ring lock").clear();
+    }
+}
+
+impl Subscriber for RingRecorder {
+    fn on_close(&self, span: &SpanRecord) {
+        let mut buf = self.buf.lock().expect("ring lock");
+        if buf.len() == self.capacity {
+            buf.pop_front();
+        }
+        buf.push_back(span.clone());
+    }
+}
+
+thread_local! {
+    /// Stack of (registry address, span id) for the open spans on this
+    /// thread; the registry address keeps nesting scoped per registry.
+    static SPAN_STACK: RefCell<Vec<(usize, u64)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard returned by [`Registry::span`] / the [`crate::span!`] macro.
+/// On drop it records the duration into the `span.<name>` histogram and
+/// hands a [`SpanRecord`] to the registry's subscriber.
+pub struct SpanGuard<'r> {
+    registry: &'r Registry,
+    id: u64,
+    parent: Option<u64>,
+    depth: usize,
+    name: String,
+    start: Instant,
+}
+
+impl Registry {
+    /// Open a named span; it closes when the returned guard drops.
+    pub fn span(&self, name: &str) -> SpanGuard<'_> {
+        let id = self.span_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let key = self as *const Registry as usize;
+        let (parent, depth) = SPAN_STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            let parent = s.iter().rev().find(|(k, _)| *k == key).map(|(_, id)| *id);
+            let depth = s.iter().filter(|(k, _)| *k == key).count();
+            s.push((key, id));
+            (parent, depth)
+        });
+        SpanGuard {
+            registry: self,
+            id,
+            parent,
+            depth,
+            name: name.to_string(),
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let dur_ns = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let key = self.registry as *const Registry as usize;
+        SPAN_STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            if let Some(pos) = s.iter().rposition(|e| *e == (key, self.id)) {
+                s.remove(pos);
+            }
+        });
+        self.registry
+            .histogram(&format!("span.{}", self.name))
+            .record(dur_ns);
+        let record = SpanRecord {
+            id: self.id,
+            parent: self.parent,
+            depth: self.depth,
+            name: std::mem::take(&mut self.name),
+            dur_ns,
+        };
+        self.registry.subscriber().on_close(&record);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn span_records_histogram_and_ring() {
+        let reg = Registry::new();
+        let ring = Arc::new(RingRecorder::new(16));
+        reg.set_subscriber(ring.clone());
+        {
+            let _s = reg.span("build.profile");
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.histogram("span.build.profile").unwrap().count, 1);
+        let spans = ring.recent();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "build.profile");
+        assert_eq!(spans[0].parent, None);
+        assert_eq!(spans[0].depth, 0);
+    }
+
+    #[test]
+    fn nesting_tracks_parent_and_depth() {
+        let reg = Registry::new();
+        let ring = Arc::new(RingRecorder::new(16));
+        reg.set_subscriber(ring.clone());
+        {
+            let _outer = reg.span("outer");
+            {
+                let _inner = reg.span("inner");
+            }
+        }
+        let spans = ring.recent();
+        // Spans close innermost-first.
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "inner");
+        assert_eq!(spans[0].depth, 1);
+        assert_eq!(spans[1].name, "outer");
+        assert_eq!(spans[1].depth, 0);
+        assert_eq!(spans[0].parent, Some(spans[1].id));
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let ring = RingRecorder::new(2);
+        for i in 0..4u64 {
+            ring.on_close(&SpanRecord {
+                id: i,
+                parent: None,
+                depth: 0,
+                name: format!("s{i}"),
+                dur_ns: 1,
+            });
+        }
+        let spans = ring.recent();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "s2");
+        assert_eq!(spans[1].name, "s3");
+    }
+
+    #[test]
+    fn sibling_registries_do_not_share_nesting() {
+        let a = Registry::new();
+        let b = Registry::new();
+        let ring_b = Arc::new(RingRecorder::new(4));
+        b.set_subscriber(ring_b.clone());
+        let _outer_a = a.span("a.outer");
+        {
+            let _in_b = b.span("b.root");
+        }
+        let spans = ring_b.recent();
+        assert_eq!(spans[0].parent, None, "b's span must not nest under a's");
+        assert_eq!(spans[0].depth, 0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Timing helpers: [`Timer`], [`time`], and the drop-to-histogram
+//! [`ScopedTimer`] the bench binaries use instead of manual
+//! `Instant::now()` pairs.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::Histogram;
+
+/// A started stopwatch.
+#[derive(Debug, Clone, Copy)]
+pub struct Timer {
+    start: Instant,
+}
+
+impl Default for Timer {
+    fn default() -> Self {
+        Self::start()
+    }
+}
+
+impl Timer {
+    /// Start timing now.
+    #[must_use]
+    pub fn start() -> Self {
+        Timer {
+            start: Instant::now(),
+        }
+    }
+
+    /// Elapsed wall-clock time.
+    #[must_use]
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Elapsed time in whole nanoseconds (saturating).
+    #[must_use]
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Elapsed time in fractional milliseconds.
+    #[must_use]
+    pub fn elapsed_ms(&self) -> f64 {
+        self.start.elapsed().as_secs_f64() * 1e3
+    }
+
+    /// Restart the stopwatch, returning the lap's duration.
+    pub fn lap(&mut self) -> Duration {
+        let d = self.start.elapsed();
+        self.start = Instant::now();
+        d
+    }
+}
+
+/// Run `f`, returning its result and how long it took.
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let t = Timer::start();
+    let out = f();
+    (out, t.elapsed())
+}
+
+/// Records its lifetime into a [`Histogram`] when dropped.
+///
+/// ```
+/// let reg = td_obs::Registry::new();
+/// {
+///     let _t = td_obs::ScopedTimer::new(reg.histogram("stage.ns"));
+///     // ... measured work ...
+/// }
+/// assert_eq!(reg.snapshot().histogram("stage.ns").unwrap().count, 1);
+/// ```
+pub struct ScopedTimer {
+    hist: Arc<Histogram>,
+    start: Instant,
+}
+
+impl ScopedTimer {
+    /// Start a timer that will record into `hist` on drop.
+    #[must_use]
+    pub fn new(hist: Arc<Histogram>) -> Self {
+        ScopedTimer {
+            hist,
+            start: Instant::now(),
+        }
+    }
+
+    /// Start a timer recording into the named histogram of the
+    /// [`crate::global`] registry on drop.
+    #[must_use]
+    pub fn global(name: &str) -> Self {
+        Self::new(crate::global().histogram(name))
+    }
+}
+
+impl Drop for ScopedTimer {
+    fn drop(&mut self) {
+        self.hist.record_duration(self.start.elapsed());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    #[test]
+    fn time_returns_value_and_duration() {
+        let (v, d) = time(|| 21 * 2);
+        assert_eq!(v, 42);
+        assert!(d.as_nanos() > 0 || d.as_nanos() == 0); // non-negative by type
+    }
+
+    #[test]
+    fn scoped_timer_records_on_drop() {
+        let reg = Registry::new();
+        {
+            let _t = ScopedTimer::new(reg.histogram("work.ns"));
+            std::hint::black_box((0..100).sum::<u64>());
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.histogram("work.ns").unwrap().count, 1);
+    }
+
+    #[test]
+    fn lap_restarts() {
+        let mut t = Timer::start();
+        let first = t.lap();
+        let second = t.elapsed();
+        assert!(second <= first + Duration::from_secs(1));
+    }
+}

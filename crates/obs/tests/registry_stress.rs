@@ -1,0 +1,172 @@
+//! Integration tests for the td-obs registry: exactness under thread
+//! contention, quantile ordering, and (via proptest) that the hand-rolled
+//! JSON exporter always emits something the workspace `serde_json` parses
+//! back to the same numbers.
+
+use proptest::prelude::*;
+use serde::{content_get, Content};
+use std::sync::Arc;
+use std::thread;
+use td_obs::Registry;
+
+const THREADS: usize = 8;
+const OPS: usize = 10_000;
+
+#[test]
+fn counters_are_exact_under_contention() {
+    let reg = Arc::new(Registry::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let reg = Arc::clone(&reg);
+            thread::spawn(move || {
+                // Every thread hits one shared counter, one per-thread
+                // counter, and one shared histogram, 10k times each.
+                let shared = reg.counter("stress.shared");
+                let own = reg.counter(&format!("stress.thread_{t}"));
+                let hist = reg.histogram("stress.latency");
+                for i in 0..OPS {
+                    shared.inc();
+                    own.add(2);
+                    hist.record((i % 1_000) as u64 + 1);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let snap = reg.snapshot();
+    assert_eq!(snap.counter("stress.shared"), Some((THREADS * OPS) as u64));
+    for t in 0..THREADS {
+        assert_eq!(
+            snap.counter(&format!("stress.thread_{t}")),
+            Some(2 * OPS as u64),
+            "per-thread counter {t}"
+        );
+    }
+    let h = snap
+        .histogram("stress.latency")
+        .expect("histogram registered");
+    assert_eq!(h.count, (THREADS * OPS) as u64);
+    // Sum of 1..=1000 repeated 10 times per thread, exactly.
+    let per_thread: u64 = (1..=1_000u64).sum::<u64>() * (OPS as u64 / 1_000);
+    assert_eq!(h.sum, per_thread * THREADS as u64);
+    assert_eq!(h.min, 1);
+    assert_eq!(h.max, 1_000);
+}
+
+#[test]
+fn gauges_settle_under_contention() {
+    let reg = Arc::new(Registry::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let reg = Arc::clone(&reg);
+            thread::spawn(move || {
+                let g = reg.gauge("stress.level");
+                for i in 0..OPS {
+                    g.set((t * OPS + i) as f64);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    // Last-writer-wins: the final value is one of the written values.
+    let v = reg.snapshot().gauge("stress.level").unwrap();
+    assert!(v >= 0.0 && v < (THREADS * OPS) as f64);
+    assert_eq!(v.fract(), 0.0);
+}
+
+#[test]
+fn histogram_quantiles_are_monotone() {
+    let reg = Registry::new();
+    let h = reg.histogram("mono");
+    // A heavy-tailed stream exercising many buckets.
+    for i in 1..=10_000u64 {
+        h.record(i * i % 65_536 + 1);
+    }
+    let s = h.snapshot();
+    assert!(s.min as f64 <= s.p50, "min {} p50 {}", s.min, s.p50);
+    assert!(s.p50 <= s.p95, "p50 {} p95 {}", s.p50, s.p95);
+    assert!(s.p95 <= s.p99, "p95 {} p99 {}", s.p95, s.p99);
+    assert!(s.p99 <= s.max as f64, "p99 {} max {}", s.p99, s.max);
+    // Quantile estimates stay within the recorded range even at the edges.
+    for q in [0.0, 0.001, 0.25, 0.5, 0.75, 0.999, 1.0] {
+        let v = h.quantile(q);
+        assert!(
+            v >= s.min as f64 && v <= s.max as f64,
+            "q{q} = {v} outside [{}, {}]",
+            s.min,
+            s.max
+        );
+    }
+}
+
+fn lookup<'a>(root: &'a Content, section: &str, name: &str) -> &'a Content {
+    let m = root.as_map().expect("root object");
+    let sec = content_get(m, section).expect("section present");
+    content_get(sec.as_map().expect("section object"), name).expect("entry present")
+}
+
+fn as_u64(c: &Content) -> u64 {
+    match c {
+        Content::I64(v) => u64::try_from(*v).expect("non-negative"),
+        Content::U64(v) => *v,
+        other => panic!("expected integer, got {other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The hand-written exporter vs the workspace JSON parser: every
+    /// registry state (odd metric names included) must round-trip with
+    /// counters and histogram counts intact.
+    #[test]
+    fn json_export_round_trips_through_serde_json(
+        names in prop::collection::hash_set("[a-zA-Z0-9_.\" \\\\-]{1,16}", 1..8),
+        counts in prop::collection::vec(0u64..50_000, 8..9),
+        samples in prop::collection::vec(1u64..1_000_000, 0..64),
+    ) {
+        let reg = Registry::new();
+        for (i, name) in names.iter().enumerate() {
+            let c = reg.counter(name);
+            c.add(counts[i % counts.len()]);
+            let g = reg.gauge(name);
+            g.set(counts[(i + 1) % counts.len()] as f64 / 3.0);
+            let h = reg.histogram(name);
+            for &s in &samples {
+                h.record(s);
+            }
+        }
+
+        let text = reg.export_json();
+        let parsed: serde_json::Value =
+            serde_json::from_str(&text).expect("exporter emits valid JSON");
+        let snap = reg.snapshot();
+        for name in &names {
+            prop_assert_eq!(
+                as_u64(lookup(&parsed, "counters", name)),
+                snap.counter(name).unwrap()
+            );
+            let hist = lookup(&parsed, "histograms", name);
+            let m = hist.as_map().expect("histogram object");
+            prop_assert_eq!(
+                as_u64(content_get(m, "count").expect("count")),
+                samples.len() as u64
+            );
+            if !samples.is_empty() {
+                prop_assert_eq!(
+                    as_u64(content_get(m, "min").expect("min")),
+                    *samples.iter().min().unwrap()
+                );
+                prop_assert_eq!(
+                    as_u64(content_get(m, "max").expect("max")),
+                    *samples.iter().max().unwrap()
+                );
+            }
+        }
+    }
+}

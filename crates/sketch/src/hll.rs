@@ -33,7 +33,11 @@ impl HyperLogLog {
     #[must_use]
     pub fn new(precision: u8, seed: u64) -> Self {
         assert!((4..=16).contains(&precision), "precision must be in [4,16]");
-        HyperLogLog { precision, registers: vec![0; 1 << precision], seed }
+        HyperLogLog {
+            precision,
+            registers: vec![0; 1 << precision],
+            seed,
+        }
     }
 
     /// Number of registers.

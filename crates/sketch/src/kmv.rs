@@ -37,7 +37,12 @@ impl KmvSketch {
     #[must_use]
     pub fn new(k: usize, seed: u64) -> Self {
         assert!(k > 0, "KMV needs k >= 1");
-        KmvSketch { k, values: Vec::with_capacity(k), exact_if_small: 0, seed }
+        KmvSketch {
+            k,
+            values: Vec::with_capacity(k),
+            exact_if_small: 0,
+            seed,
+        }
     }
 
     /// Build a sketch from tokens.
@@ -145,8 +150,17 @@ impl KmvSketch {
                 j += 1;
             }
         }
-        let exact = if merged.len() < self.k { merged.len() } else { 0 };
-        KmvSketch { k: self.k, values: merged, exact_if_small: exact, seed: self.seed }
+        let exact = if merged.len() < self.k {
+            merged.len()
+        } else {
+            0
+        };
+        KmvSketch {
+            k: self.k,
+            values: merged,
+            exact_if_small: exact,
+            seed: self.seed,
+        }
     }
 
     /// Estimated intersection size via inclusion–exclusion on the union

@@ -37,7 +37,10 @@ impl MinHasher {
     /// A hasher with `k` hash functions.
     #[must_use]
     pub fn new(k: usize, seed: u64) -> Self {
-        MinHasher { family: HashFamily::new(k, seed), token_seed: seed ^ 0x70C0 }
+        MinHasher {
+            family: HashFamily::new(k, seed),
+            token_seed: seed ^ 0x70C0,
+        }
     }
 
     /// Number of hash functions.
@@ -66,7 +69,10 @@ impl MinHasher {
                 }
             }
         }
-        MinHashSignature { values, set_size: n }
+        MinHashSignature {
+            values,
+            set_size: n,
+        }
     }
 
     /// Signature of pre-hashed tokens.
@@ -86,7 +92,10 @@ impl MinHasher {
                 }
             }
         }
-        MinHashSignature { values, set_size: n }
+        MinHashSignature {
+            values,
+            set_size: n,
+        }
     }
 
     /// Hash a raw token the way [`MinHasher::sign`] does — for callers that
@@ -104,7 +113,11 @@ impl MinHashSignature {
     /// Panics if the signatures have different lengths (different hashers).
     #[must_use]
     pub fn jaccard(&self, other: &MinHashSignature) -> f64 {
-        assert_eq!(self.values.len(), other.values.len(), "incompatible signatures");
+        assert_eq!(
+            self.values.len(),
+            other.values.len(),
+            "incompatible signatures"
+        );
         if self.values.is_empty() {
             return 0.0;
         }
@@ -127,8 +140,7 @@ impl MinHashSignature {
             return 0.0;
         }
         let j = self.jaccard(other);
-        let est = j * (self.set_size + other.set_size) as f64
-            / (self.set_size as f64 * (1.0 + j));
+        let est = j * (self.set_size + other.set_size) as f64 / (self.set_size as f64 * (1.0 + j));
         est.clamp(0.0, 1.0)
     }
 
@@ -139,7 +151,11 @@ impl MinHashSignature {
     /// # Panics
     /// Panics on length mismatch.
     pub fn merge(&mut self, other: &MinHashSignature) {
-        assert_eq!(self.values.len(), other.values.len(), "incompatible signatures");
+        assert_eq!(
+            self.values.len(),
+            other.values.len(),
+            "incompatible signatures"
+        );
         for (a, b) in self.values.iter_mut().zip(&other.values) {
             if *b < *a {
                 *a = *b;

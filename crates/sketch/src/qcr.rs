@@ -36,7 +36,11 @@ impl QcrSketch {
     pub fn build<S: AsRef<str>>(k: usize, seed: u64, pairs: &[(S, f64)]) -> Self {
         assert!(k > 0, "QCR needs k >= 1");
         if pairs.is_empty() {
-            return QcrSketch { k, entries: Vec::new(), seed };
+            return QcrSketch {
+                k,
+                entries: Vec::new(),
+                seed,
+            };
         }
         let mean = pairs.iter().map(|(_, v)| v).sum::<f64>() / pairs.len() as f64;
         let mut entries: Vec<(u64, bool)> = Vec::with_capacity(pairs.len());
@@ -139,10 +143,8 @@ mod tests {
         let mut ys = Vec::with_capacity(n);
         for i in 0..n {
             // Deterministic pseudo-gaussians from hashed uniforms.
-            let u1 = (crate::hash::hash_u64(i as u64, 1) as f64 + 1.0)
-                / (u64::MAX as f64 + 2.0);
-            let u2 = (crate::hash::hash_u64(i as u64, 2) as f64 + 1.0)
-                / (u64::MAX as f64 + 2.0);
+            let u1 = (crate::hash::hash_u64(i as u64, 1) as f64 + 1.0) / (u64::MAX as f64 + 2.0);
+            let u2 = (crate::hash::hash_u64(i as u64, 2) as f64 + 1.0) / (u64::MAX as f64 + 2.0);
             let g1 = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
             let g2 = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).sin();
             let x = g1;

@@ -20,7 +20,10 @@ impl Column {
     /// Create a column from a name and values.
     #[must_use]
     pub fn new(name: impl Into<String>, values: Vec<Value>) -> Self {
-        Column { name: name.into(), values }
+        Column {
+            name: name.into(),
+            values,
+        }
     }
 
     /// Create a column by parsing raw string cells.
@@ -142,7 +145,11 @@ mod tests {
     fn token_set_lowercases() {
         let c = Column::new(
             "c",
-            vec![Value::Text("Boston".into()), Value::Text("BOSTON".into()), Value::Int(3)],
+            vec![
+                Value::Text("Boston".into()),
+                Value::Text("BOSTON".into()),
+                Value::Int(3),
+            ],
         );
         let t = c.token_set();
         assert_eq!(t.len(), 2);

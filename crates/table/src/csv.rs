@@ -38,7 +38,11 @@ impl fmt::Display for CsvError {
             CsvError::UnterminatedQuote { line } => {
                 write!(f, "unterminated quoted field starting on line {line}")
             }
-            CsvError::RaggedRecord { record, expected, actual } => write!(
+            CsvError::RaggedRecord {
+                record,
+                expected,
+                actual,
+            } => write!(
                 f,
                 "record {record} has {actual} fields, expected {expected}"
             ),
@@ -119,7 +123,9 @@ pub fn parse_records(input: &str) -> Result<Vec<Vec<String>>, CsvError> {
         }
     }
     if in_quotes {
-        return Err(CsvError::UnterminatedQuote { line: quote_start_line });
+        return Err(CsvError::UnterminatedQuote {
+            line: quote_start_line,
+        });
     }
     if record_dirty || !field.is_empty() {
         record.push(field);
@@ -178,19 +184,28 @@ fn write_field(out: &mut String, field: &str) {
 #[must_use]
 pub fn write_table(table: &Table) -> String {
     let mut out = String::new();
-    for (i, c) in table.columns.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
+    // A single-column record whose field renders empty (empty header name,
+    // null value) would be an empty line, which readers (including ours)
+    // treat as no record at all; quote it.
+    let single = table.num_cols() == 1;
+    if single && table.columns[0].name.is_empty() {
+        out.push_str("\"\"\n");
+    } else {
+        for (i, c) in table.columns.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_field(&mut out, &c.name);
         }
-        write_field(&mut out, &c.name);
+        out.push('\n');
     }
-    out.push('\n');
     for r in 0..table.num_rows() {
-        // A single-column null row would render as an empty line, which
-        // readers (including ours) treat as no record at all; quote it.
-        if table.num_cols() == 1 && table.columns[0].values[r].is_null() {
-            out.push_str("\"\"\n");
-            continue;
+        if single {
+            let text = table.columns[0].values[r].to_string();
+            if text.is_empty() {
+                out.push_str("\"\"\n");
+                continue;
+            }
         }
         for (i, c) in table.columns.iter().enumerate() {
             if i > 0 {
@@ -257,13 +272,23 @@ mod tests {
         let t = read_table("t", "id,city\n1,boston\n2,seattle\n").unwrap();
         assert_eq!(t.num_rows(), 2);
         assert_eq!(t.column("id").unwrap().values[0], Value::Int(1));
-        assert_eq!(t.column("city").unwrap().values[1], Value::Text("seattle".into()));
+        assert_eq!(
+            t.column("city").unwrap().values[1],
+            Value::Text("seattle".into())
+        );
     }
 
     #[test]
     fn read_table_rejects_ragged() {
         let e = read_table("t", "a,b\n1\n").unwrap_err();
-        assert!(matches!(e, CsvError::RaggedRecord { record: 2, expected: 2, actual: 1 }));
+        assert!(matches!(
+            e,
+            CsvError::RaggedRecord {
+                record: 2,
+                expected: 2,
+                actual: 1
+            }
+        ));
     }
 
     #[test]
@@ -273,14 +298,23 @@ mod tests {
 
     #[test]
     fn single_column_null_rows_survive_roundtrip() {
-        let t = Table::new(
-            "t",
-            vec![Column::from_strings("only", &["a", "", "b"])],
-        )
-        .unwrap();
+        let t = Table::new("t", vec![Column::from_strings("only", &["a", "", "b"])]).unwrap();
         let t2 = read_table("t", &write_table(&t)).unwrap();
         assert_eq!(t2.num_rows(), 3);
         assert!(t2.columns[0].values[1].is_null());
+    }
+
+    #[test]
+    fn single_column_empty_header_survives_roundtrip() {
+        let t = Table::new(
+            "t",
+            vec![Column::from_strings("", &["QHF-87JV", "OKH-11J"])],
+        )
+        .unwrap();
+        let t2 = read_table("t", &write_table(&t)).unwrap();
+        assert_eq!(t2.num_rows(), 2);
+        assert_eq!(t2.columns[0].name, "");
+        assert_eq!(t2.columns[0].values, t.columns[0].values);
     }
 
     #[test]

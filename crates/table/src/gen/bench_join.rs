@@ -95,10 +95,7 @@ impl JoinBenchmark {
         let q = cfg.query_size as u64;
 
         // Query key = domain indices [0, q); non-query pool starts at q.
-        let query_key_col = Column::new(
-            "city",
-            registry.vocab(key_dom, q),
-        );
+        let query_key_col = Column::new("city", registry.vocab(key_dom, q));
         let pop_dom = registry.id("population").expect("standard domain");
         let query_pop = Column::new(
             "population",
@@ -137,7 +134,9 @@ impl JoinBenchmark {
                 let d = noise_doms[(t + e) % noise_doms.len()];
                 cols.push(Column::new(
                     registry.domain(d).name.clone(),
-                    (0..n).map(|i| registry.value(d, (t * 1000 + i) as u64)).collect(),
+                    (0..n)
+                        .map(|i| registry.value(d, (t * 1000 + i) as u64))
+                        .collect(),
                 ));
             }
             let table = Table::new(format!("relevant_{t:04}.csv"), cols).expect("equal len");
@@ -157,13 +156,21 @@ impl JoinBenchmark {
             let n = rng.gen_range(cfg.card_range.0..=cfg.card_range.0 * 4 + 1);
             let col = Column::new(
                 registry.domain(d).name.clone(),
-                (0..n as u64).map(|i| registry.value(d, (t as u64) * 10_000 + i)).collect(),
+                (0..n as u64)
+                    .map(|i| registry.value(d, (t as u64) * 10_000 + i))
+                    .collect(),
             );
             let table = Table::new(format!("noise_{t:04}.csv"), vec![col]).expect("one col");
             lake.add(table);
         }
 
-        JoinBenchmark { lake, registry, query, query_key: 0, truth }
+        JoinBenchmark {
+            lake,
+            registry,
+            query,
+            query_key: 0,
+            truth,
+        }
     }
 
     /// Truth sorted by descending containment.
@@ -265,7 +272,9 @@ impl MultiJoinBenchmark {
                 .map(|(k, &d)| {
                     Column::new(
                         registry.domain(d).name.clone(),
-                        (0..rows).map(|i| registry.value(d, indices(k, i))).collect(),
+                        (0..rows)
+                            .map(|i| registry.value(d, indices(k, i)))
+                            .collect(),
                     )
                 })
                 .collect()
@@ -290,13 +299,8 @@ impl MultiJoinBenchmark {
             // row ids far outside the query range (still aligned tuples).
             let base = 1_000_000 + (t as u64) * 100_000;
             let rows = n; // same size for simplicity
-            let cols = mk_cols(
-                &move |_, i| if i < hit { i } else { base + i },
-                rows,
-            );
-            let id = lake.add(
-                Table::new(format!("multikey_{t:04}.csv"), cols).expect("equal len"),
-            );
+            let cols = mk_cols(&move |_, i| if i < hit { i } else { base + i }, rows);
+            let id = lake.add(Table::new(format!("multikey_{t:04}.csv"), cols).expect("equal len"));
             truth.push(MultiJoinTruth {
                 table: id,
                 row_containment: hit as f64 / n as f64,
@@ -310,13 +314,9 @@ impl MultiJoinBenchmark {
             // values all come from the query's value sets, but no composite
             // tuple matches.
             let shift = 1 + (t as u64 % (n - 1).max(1));
-            let cols = mk_cols(
-                &move |k, i| (i + (k as u64) * shift) % n,
-                n,
-            );
-            let id = lake.add(
-                Table::new(format!("singleattr_{t:04}.csv"), cols).expect("equal len"),
-            );
+            let cols = mk_cols(&move |k, i| (i + (k as u64) * shift) % n, n);
+            let id =
+                lake.add(Table::new(format!("singleattr_{t:04}.csv"), cols).expect("equal len"));
             truth.push(MultiJoinTruth {
                 table: id,
                 row_containment: 0.0,
@@ -324,7 +324,13 @@ impl MultiJoinBenchmark {
             });
         }
 
-        MultiJoinBenchmark { lake, registry, query, key_arity: cfg.key_arity, truth }
+        MultiJoinBenchmark {
+            lake,
+            registry,
+            query,
+            key_arity: cfg.key_arity,
+            truth,
+        }
     }
 }
 
@@ -478,7 +484,12 @@ impl CorrelationBenchmark {
             });
         }
 
-        CorrelationBenchmark { lake, registry, query, truth }
+        CorrelationBenchmark {
+            lake,
+            registry,
+            query,
+            truth,
+        }
     }
 }
 

@@ -171,8 +171,15 @@ impl UnionBenchmark {
         let key_names = ["city", "person", "company", "movie", "gene"];
         let partner_names = ["animal", "product", "river", "book", "drug"];
         let attr_pool = [
-            "country", "occupation", "language", "sport", "color", "food",
-            "disease", "element", "currency_code",
+            "country",
+            "occupation",
+            "language",
+            "sport",
+            "color",
+            "food",
+            "disease",
+            "element",
+            "currency_code",
         ];
 
         // Plant homographs for every key/partner pair we will use.
@@ -192,8 +199,9 @@ impl UnionBenchmark {
 
         for q in 0..cfg.num_queries {
             let key_dom = registry.id(key_names[q % key_names.len()]).expect("domain");
-            let partner_dom =
-                registry.id(partner_names[q % partner_names.len()]).expect("domain");
+            let partner_dom = registry
+                .id(partner_names[q % partner_names.len()])
+                .expect("domain");
             // Pick attribute domains for this query's pattern.
             let mut pool: Vec<&str> = attr_pool.to_vec();
             pool.shuffle(&mut rng);
@@ -211,7 +219,10 @@ impl UnionBenchmark {
                 })
                 .collect();
             relations.extend(attrs.iter().copied());
-            let pattern = TablePattern { key_dom, attrs: attrs.clone() };
+            let pattern = TablePattern {
+                key_dom,
+                attrs: attrs.clone(),
+            };
 
             // Query instance: key indices [0, key_slice) — inside the
             // homograph range so homograph decoys bite.
@@ -246,7 +257,12 @@ impl UnionBenchmark {
                     &mut rng,
                 );
                 let id = lake.add(t);
-                truth.push(UnionTruth { query: q, table: id, grade: 2, kind: CandidateKind::Positive });
+                truth.push(UnionTruth {
+                    query: q,
+                    table: id,
+                    grade: 2,
+                    kind: CandidateKind::Positive,
+                });
             }
 
             // Partials: keep the key + a strict subset of attrs, replace the
@@ -265,7 +281,10 @@ impl UnionBenchmark {
                     relations.push(spec);
                     attrs2.push(spec);
                 }
-                let pat2 = TablePattern { key_dom, attrs: attrs2 };
+                let pat2 = TablePattern {
+                    key_dom,
+                    attrs: attrs2,
+                };
                 let start = (p as u64) * 13;
                 let keys: Vec<u64> = (start..start + cfg.key_slice).collect();
                 let (t, _) = instantiate(
@@ -279,7 +298,12 @@ impl UnionBenchmark {
                     &mut rng,
                 );
                 let id = lake.add(t);
-                truth.push(UnionTruth { query: q, table: id, grade: 1, kind: CandidateKind::Partial });
+                truth.push(UnionTruth {
+                    query: q,
+                    table: id,
+                    grade: 1,
+                    kind: CandidateKind::Partial,
+                });
             }
 
             // Relation decoys: identical domains, every attribute re-related.
@@ -298,7 +322,10 @@ impl UnionBenchmark {
                     })
                     .collect();
                 relations.extend(attrs2.iter().copied());
-                let pat2 = TablePattern { key_dom, attrs: attrs2 };
+                let pat2 = TablePattern {
+                    key_dom,
+                    attrs: attrs2,
+                };
                 let start = (p as u64) * 11;
                 let keys: Vec<u64> = (start..start + cfg.key_slice).collect();
                 let (t, _) = instantiate(
@@ -338,7 +365,10 @@ impl UnionBenchmark {
                     })
                     .collect();
                 relations.extend(partner_attrs.iter().copied());
-                let pat2 = TablePattern { key_dom: partner_dom, attrs: partner_attrs };
+                let pat2 = TablePattern {
+                    key_dom: partner_dom,
+                    attrs: partner_attrs,
+                };
                 let start = (p as u64) * 5;
                 let span = cfg.key_slice.min(cfg.homograph_range.saturating_sub(start));
                 let keys: Vec<u64> = (start..start + span.max(1)).collect();
@@ -365,7 +395,9 @@ impl UnionBenchmark {
         // Global noise tables.
         let noise_doms = ["airport_code", "stock_ticker", "email", "phone"];
         for t in 0..cfg.noise {
-            let d = registry.id(noise_doms[t % noise_doms.len()]).expect("domain");
+            let d = registry
+                .id(noise_doms[t % noise_doms.len()])
+                .expect("domain");
             let rows = cfg.rows;
             let col = Column::new(
                 registry.domain(d).name.clone(),
@@ -390,7 +422,11 @@ impl UnionBenchmark {
     /// Ground truth for one query, keyed by table.
     #[must_use]
     pub fn truth_for(&self, query: usize) -> Vec<UnionTruth> {
-        self.truth.iter().filter(|t| t.query == query).copied().collect()
+        self.truth
+            .iter()
+            .filter(|t| t.query == query)
+            .copied()
+            .collect()
     }
 
     /// Tables with the given grade for a query.
@@ -451,7 +487,10 @@ fn instantiate(
     cols.push(Column::new(header(pattern.key_dom, rng), key_vals));
     doms.push(pattern.key_dom);
     for (a, spec) in pattern.attrs.iter().enumerate() {
-        cols.push(Column::new(header(spec.attr_dom, rng), std::mem::take(&mut attr_vals[a])));
+        cols.push(Column::new(
+            header(spec.attr_dom, rng),
+            std::mem::take(&mut attr_vals[a]),
+        ));
         doms.push(spec.attr_dom);
     }
     if shuffle_cols {
@@ -501,7 +540,9 @@ mod tests {
         };
         let b = RelationSpec { rel_id: 2, ..a };
         assert_eq!(a.attr_index(5), a.attr_index(5));
-        let diff = (0..100).filter(|&i| a.attr_index(i) != b.attr_index(i)).count();
+        let diff = (0..100)
+            .filter(|&i| a.attr_index(i) != b.attr_index(i))
+            .count();
         assert!(diff > 90, "relations too similar: {diff}");
     }
 
@@ -510,14 +551,28 @@ mod tests {
         let b = small();
         for q in 0..2 {
             let t = b.truth_for(q);
-            assert_eq!(t.iter().filter(|x| x.kind == CandidateKind::Positive).count(), 3);
-            assert_eq!(t.iter().filter(|x| x.kind == CandidateKind::Partial).count(), 2);
             assert_eq!(
-                t.iter().filter(|x| x.kind == CandidateKind::RelationDecoy).count(),
+                t.iter()
+                    .filter(|x| x.kind == CandidateKind::Positive)
+                    .count(),
+                3
+            );
+            assert_eq!(
+                t.iter()
+                    .filter(|x| x.kind == CandidateKind::Partial)
+                    .count(),
                 2
             );
             assert_eq!(
-                t.iter().filter(|x| x.kind == CandidateKind::HomographDecoy).count(),
+                t.iter()
+                    .filter(|x| x.kind == CandidateKind::RelationDecoy)
+                    .count(),
+                2
+            );
+            assert_eq!(
+                t.iter()
+                    .filter(|x| x.kind == CandidateKind::HomographDecoy)
+                    .count(),
                 2
             );
         }
@@ -561,7 +616,10 @@ mod tests {
                 }
             }
         }
-        assert!(found > 0, "no co-occurring value pairs between query and positive");
+        assert!(
+            found > 0,
+            "no co-occurring value pairs between query and positive"
+        );
     }
 
     #[test]
@@ -609,8 +667,7 @@ mod tests {
     fn homograph_decoys_share_key_spellings() {
         let b = small();
         let q = &b.queries[0];
-        let qkeys: HashSet<String> =
-            q.columns[0].values.iter().map(|v| v.to_string()).collect();
+        let qkeys: HashSet<String> = q.columns[0].values.iter().map(|v| v.to_string()).collect();
         let decoy = b
             .truth_for(0)
             .into_iter()
@@ -646,7 +703,10 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let cfg = UnionBenchConfig { num_queries: 1, ..UnionBenchConfig::default() };
+        let cfg = UnionBenchConfig {
+            num_queries: 1,
+            ..UnionBenchConfig::default()
+        };
         let a = UnionBenchmark::generate(&cfg);
         let b = UnionBenchmark::generate(&cfg);
         assert_eq!(a.lake.len(), b.lake.len());

@@ -71,7 +71,10 @@ impl ValueFormat {
     /// True if the format produces numeric values.
     #[must_use]
     pub fn is_numeric(&self) -> bool {
-        matches!(self, ValueFormat::IntRange { .. } | ValueFormat::FloatRange { .. })
+        matches!(
+            self,
+            ValueFormat::IntRange { .. } | ValueFormat::FloatRange { .. }
+        )
     }
 }
 
@@ -125,7 +128,14 @@ impl DomainRegistry {
             ("city", "geography", ValueFormat::Proper { syllables: 2 }),
             ("country", "geography", ValueFormat::Proper { syllables: 3 }),
             ("river", "geography", ValueFormat::Proper { syllables: 2 }),
-            ("airport_code", "geography", ValueFormat::Code { letters: 3, digits: 0 }),
+            (
+                "airport_code",
+                "geography",
+                ValueFormat::Code {
+                    letters: 3,
+                    digits: 0,
+                },
+            ),
             // people
             ("person", "people", ValueFormat::FullName),
             ("occupation", "people", ValueFormat::Lower { syllables: 3 }),
@@ -134,10 +144,31 @@ impl DomainRegistry {
             // business
             ("company", "business", ValueFormat::Proper { syllables: 3 }),
             ("product", "business", ValueFormat::Lower { syllables: 2 }),
-            ("stock_ticker", "business", ValueFormat::Code { letters: 4, digits: 0 }),
-            ("currency_code", "business", ValueFormat::Code { letters: 3, digits: 0 }),
+            (
+                "stock_ticker",
+                "business",
+                ValueFormat::Code {
+                    letters: 4,
+                    digits: 0,
+                },
+            ),
+            (
+                "currency_code",
+                "business",
+                ValueFormat::Code {
+                    letters: 3,
+                    digits: 0,
+                },
+            ),
             // science
-            ("gene", "science", ValueFormat::Code { letters: 3, digits: 2 }),
+            (
+                "gene",
+                "science",
+                ValueFormat::Code {
+                    letters: 3,
+                    digits: 2,
+                },
+            ),
             ("disease", "science", ValueFormat::Lower { syllables: 4 }),
             ("drug", "science", ValueFormat::Lower { syllables: 3 }),
             ("element", "science", ValueFormat::Proper { syllables: 2 }),
@@ -152,14 +183,58 @@ impl DomainRegistry {
             ("food", "nature", ValueFormat::Lower { syllables: 2 }),
             ("event_date", "time", ValueFormat::Date),
             // numeric
-            ("population", "numeric", ValueFormat::IntRange { lo: 1_000, hi: 10_000_000 }),
-            ("price", "numeric", ValueFormat::FloatRange { lo: 0.5, hi: 5_000.0 }),
-            ("rating", "numeric", ValueFormat::FloatRange { lo: 0.0, hi: 10.0 }),
-            ("year", "numeric", ValueFormat::IntRange { lo: 1900, hi: 2024 }),
-            ("salary", "numeric", ValueFormat::IntRange { lo: 20_000, hi: 400_000 }),
-            ("temperature", "numeric", ValueFormat::FloatRange { lo: -40.0, hi: 45.0 }),
-            ("quantity", "numeric", ValueFormat::IntRange { lo: 0, hi: 100_000 }),
-            ("percentage", "numeric", ValueFormat::FloatRange { lo: 0.0, hi: 100.0 }),
+            (
+                "population",
+                "numeric",
+                ValueFormat::IntRange {
+                    lo: 1_000,
+                    hi: 10_000_000,
+                },
+            ),
+            (
+                "price",
+                "numeric",
+                ValueFormat::FloatRange {
+                    lo: 0.5,
+                    hi: 5_000.0,
+                },
+            ),
+            (
+                "rating",
+                "numeric",
+                ValueFormat::FloatRange { lo: 0.0, hi: 10.0 },
+            ),
+            (
+                "year",
+                "numeric",
+                ValueFormat::IntRange { lo: 1900, hi: 2024 },
+            ),
+            (
+                "salary",
+                "numeric",
+                ValueFormat::IntRange {
+                    lo: 20_000,
+                    hi: 400_000,
+                },
+            ),
+            (
+                "temperature",
+                "numeric",
+                ValueFormat::FloatRange {
+                    lo: -40.0,
+                    hi: 45.0,
+                },
+            ),
+            (
+                "quantity",
+                "numeric",
+                ValueFormat::IntRange { lo: 0, hi: 100_000 },
+            ),
+            (
+                "percentage",
+                "numeric",
+                ValueFormat::FloatRange { lo: 0.0, hi: 100.0 },
+            ),
         ];
         for (name, cat, fmt) in specs {
             r.add(name, cat, *fmt);
@@ -315,7 +390,10 @@ impl DomainRegistry {
             ValueFormat::Email => {
                 let user = vocab_word(salt, i, 2);
                 let host = vocab_word(salt ^ 0xBEEF, i / 7, 2);
-                Value::Text(format!("{user}.{}@{host}.com", super::words::alpha_suffix(i)))
+                Value::Text(format!(
+                    "{user}.{}@{host}.com",
+                    super::words::alpha_suffix(i)
+                ))
             }
             ValueFormat::Phone => {
                 let area = seeded_range(mix2(salt, i), 200, 999);

@@ -136,7 +136,9 @@ impl LakeGenerator {
     /// Generator over the standard registry.
     #[must_use]
     pub fn standard() -> Self {
-        LakeGenerator { registry: DomainRegistry::standard() }
+        LakeGenerator {
+            registry: DomainRegistry::standard(),
+        }
     }
 
     /// Generator over a custom registry (e.g. with homograph plants).
@@ -230,8 +232,7 @@ impl LakeGenerator {
             let mut columns = Vec::with_capacity(ncols);
             let mut domains = Vec::with_capacity(ncols);
             for _ in 0..ncols {
-                let from_topic = !in_category.is_empty()
-                    && rng.gen::<f64>() < cfg.topical_fraction;
+                let from_topic = !in_category.is_empty() && rng.gen::<f64>() < cfg.topical_fraction;
                 let d = if from_topic {
                     in_category[rng.gen_range(0..in_category.len())]
                 } else {
@@ -247,15 +248,8 @@ impl LakeGenerator {
                 let lo = (cfg.min_card.max(1)) as f64;
                 let hi = (cfg.max_card.max(cfg.min_card + 1)) as f64;
                 let card = (lo * (hi / lo).powf(rng.gen::<f64>())).round() as u64;
-                let col = self.gen_column(
-                    d,
-                    header,
-                    nrows,
-                    card,
-                    cfg.zipf_s,
-                    cfg.null_rate,
-                    &mut rng,
-                );
+                let col =
+                    self.gen_column(d, header, nrows, card, cfg.zipf_s, cfg.null_rate, &mut rng);
                 domains.push(d);
                 columns.push(col);
             }
@@ -326,7 +320,11 @@ mod tests {
     #[test]
     fn generate_is_deterministic_in_seed() {
         let g = LakeGenerator::standard();
-        let cfg = LakeGenConfig { num_tables: 5, seed: 42, ..LakeGenConfig::default() };
+        let cfg = LakeGenConfig {
+            num_tables: 5,
+            seed: 42,
+            ..LakeGenConfig::default()
+        };
         let a = g.generate(&cfg);
         let b = g.generate(&cfg);
         assert_eq!(a.lake.len(), b.lake.len());
@@ -338,7 +336,10 @@ mod tests {
     #[test]
     fn ground_truth_covers_every_column() {
         let g = LakeGenerator::standard();
-        let cfg = LakeGenConfig { num_tables: 10, ..LakeGenConfig::default() };
+        let cfg = LakeGenConfig {
+            num_tables: 10,
+            ..LakeGenConfig::default()
+        };
         let gl = g.generate(&cfg);
         assert_eq!(gl.column_domains.len(), gl.lake.num_columns());
         for (r, _) in gl.lake.columns() {
@@ -367,7 +368,11 @@ mod tests {
     #[test]
     fn generated_columns_match_declared_domain() {
         let g = LakeGenerator::standard();
-        let cfg = LakeGenConfig { num_tables: 6, null_rate: 0.0, ..LakeGenConfig::default() };
+        let cfg = LakeGenConfig {
+            num_tables: 6,
+            null_rate: 0.0,
+            ..LakeGenConfig::default()
+        };
         let gl = g.generate(&cfg);
         // Every non-null value of a column must appear in its domain's
         // (large) vocabulary prefix.
@@ -389,7 +394,11 @@ mod tests {
     #[test]
     fn header_noise_zero_keeps_domain_names() {
         let g = LakeGenerator::standard();
-        let cfg = LakeGenConfig { num_tables: 5, header_noise: 0.0, ..LakeGenConfig::default() };
+        let cfg = LakeGenConfig {
+            num_tables: 5,
+            header_noise: 0.0,
+            ..LakeGenConfig::default()
+        };
         let gl = g.generate(&cfg);
         for (r, col) in gl.lake.columns() {
             let d = gl.domain_of(r).unwrap();

@@ -24,8 +24,8 @@ pub fn mix2(salt: u64, i: u64) -> u64 {
 }
 
 const ONSETS: &[&str] = &[
-    "b", "br", "c", "ch", "d", "dr", "f", "g", "gr", "h", "j", "k", "kl", "l", "m", "n", "p",
-    "pr", "r", "s", "st", "t", "tr", "v", "w", "z",
+    "b", "br", "c", "ch", "d", "dr", "f", "g", "gr", "h", "j", "k", "kl", "l", "m", "n", "p", "pr",
+    "r", "s", "st", "t", "tr", "v", "w", "z",
 ];
 const VOWELS: &[&str] = &["a", "e", "i", "o", "u", "ai", "ea", "ou"];
 const CODAS: &[&str] = &["", "n", "r", "s", "l", "m", "k", "t", "nd", "st"];

@@ -71,8 +71,8 @@ pub fn save_dir(lake: &DataLake, dir: &Path) -> Result<(), LakeIoError> {
             sidecar.tables.insert(file, t.meta.clone());
         }
     }
-    let json = serde_json::to_string_pretty(&sidecar)
-        .map_err(|e| LakeIoError::Meta(e.to_string()))?;
+    let json =
+        serde_json::to_string_pretty(&sidecar).map_err(|e| LakeIoError::Meta(e.to_string()))?;
     std::fs::write(dir.join(META_FILE), json)?;
     Ok(())
 }
@@ -81,9 +81,7 @@ pub fn save_dir(lake: &DataLake, dir: &Path) -> Result<(), LakeIoError> {
 /// Files are loaded in sorted name order so table ids are deterministic.
 pub fn load_dir(dir: &Path) -> Result<DataLake, LakeIoError> {
     let sidecar: MetaSidecar = match std::fs::read_to_string(dir.join(META_FILE)) {
-        Ok(json) => {
-            serde_json::from_str(&json).map_err(|e| LakeIoError::Meta(e.to_string()))?
-        }
+        Ok(json) => serde_json::from_str(&json).map_err(|e| LakeIoError::Meta(e.to_string()))?,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => MetaSidecar::default(),
         Err(e) => return Err(e.into()),
     };
@@ -96,8 +94,10 @@ pub fn load_dir(dir: &Path) -> Result<DataLake, LakeIoError> {
     let mut lake = DataLake::new();
     for file in files {
         let text = std::fs::read_to_string(dir.join(&file))?;
-        let mut table = csv::read_table(file.clone(), &text)
-            .map_err(|error| LakeIoError::Csv { file: file.clone(), error })?;
+        let mut table = csv::read_table(file.clone(), &text).map_err(|error| LakeIoError::Csv {
+            file: file.clone(),
+            error,
+        })?;
         if let Some(meta) = sidecar.tables.get(&file) {
             table.meta = meta.clone();
         }
@@ -138,7 +138,10 @@ mod tests {
         lake.add(
             Table::new(
                 "notes", // no .csv suffix, no metadata
-                vec![Column::from_strings("text", &["a,b", "line\nbreak", "\"quoted\""])],
+                vec![Column::from_strings(
+                    "text",
+                    &["a,b", "line\nbreak", "\"quoted\""],
+                )],
             )
             .unwrap(),
         );
@@ -154,7 +157,10 @@ mod tests {
         assert_eq!(loaded.len(), 2);
         let (_, cities) = loaded.get_by_name("cities.csv").unwrap();
         assert_eq!(cities.meta.title, "Cities");
-        assert_eq!(cities.columns, lake.get_by_name("cities.csv").unwrap().1.columns);
+        assert_eq!(
+            cities.columns,
+            lake.get_by_name("cities.csv").unwrap().1.columns
+        );
         // Tricky CSV content survives.
         let (_, notes) = loaded.get_by_name("notes.csv").unwrap();
         assert_eq!(

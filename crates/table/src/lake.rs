@@ -28,7 +28,10 @@ impl ColumnRef {
     /// Construct from a table id and column index.
     #[must_use]
     pub fn new(table: TableId, column: usize) -> Self {
-        ColumnRef { table, column: column as u32 }
+        ColumnRef {
+            table,
+            column: column as u32,
+        }
     }
 }
 
@@ -112,7 +115,10 @@ impl DataLake {
 
     /// Iterate `(id, table)` pairs in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = (TableId, &Table)> {
-        self.tables.iter().enumerate().map(|(i, t)| (TableId(i as u32), t))
+        self.tables
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TableId(i as u32), t))
     }
 
     /// All table ids.
@@ -145,9 +151,7 @@ mod tests {
 
     fn small_lake() -> DataLake {
         let mut lake = DataLake::new();
-        lake.add(
-            Table::new("a", vec![Column::from_strings("x", &["1", "2"])]).unwrap(),
-        );
+        lake.add(Table::new("a", vec![Column::from_strings("x", &["1", "2"])]).unwrap());
         lake.add(
             Table::new(
                 "b",

@@ -43,7 +43,11 @@ impl ColumnProfile {
         let rows = column.len();
         let nulls = column.null_count();
         let distinct = column.num_distinct();
-        let nums: Vec<f64> = column.numeric_values().into_iter().map(|(_, v)| v).collect();
+        let nums: Vec<f64> = column
+            .numeric_values()
+            .into_iter()
+            .map(|(_, v)| v)
+            .collect();
         let (mean, std_dev, min, max) = if nums.is_empty() {
             (0.0, 0.0, None, None)
         } else {
@@ -63,7 +67,11 @@ impl ColumnProfile {
                 text_n += 1;
             }
         }
-        let mean_text_len = if text_n == 0 { 0.0 } else { text_len_sum as f64 / text_n as f64 };
+        let mean_text_len = if text_n == 0 {
+            0.0
+        } else {
+            text_len_sum as f64 / text_n as f64
+        };
         ColumnProfile {
             name: column.name.clone(),
             ty: column.primitive_type(),
@@ -155,7 +163,9 @@ pub struct LakeProfile {
 
 impl From<Vec<(ColumnRef, ColumnProfile)>> for LakeProfile {
     fn from(pairs: Vec<(ColumnRef, ColumnProfile)>) -> Self {
-        LakeProfile { profiles: pairs.into_iter().collect() }
+        LakeProfile {
+            profiles: pairs.into_iter().collect(),
+        }
     }
 }
 

@@ -82,7 +82,11 @@ pub enum TableError {
 impl fmt::Display for TableError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            TableError::RaggedColumns { expected, column, actual } => write!(
+            TableError::RaggedColumns {
+                expected,
+                column,
+                actual,
+            } => write!(
                 f,
                 "column {column:?} has {actual} rows, expected {expected}"
             ),
@@ -106,7 +110,11 @@ impl Table {
                 });
             }
         }
-        Ok(Table { name: name.into(), columns, meta: TableMeta::default() })
+        Ok(Table {
+            name: name.into(),
+            columns,
+            meta: TableMeta::default(),
+        })
     }
 
     /// Create a table and attach metadata.
@@ -201,7 +209,11 @@ impl Table {
     /// stitching.
     #[must_use]
     pub fn union_with(&self, other: &Table, alignment: &[Option<usize>]) -> Table {
-        assert_eq!(alignment.len(), self.num_cols(), "alignment must cover all columns");
+        assert_eq!(
+            alignment.len(),
+            self.num_cols(),
+            "alignment must cover all columns"
+        );
         let mut columns = Vec::with_capacity(self.num_cols());
         for (i, col) in self.columns.iter().enumerate() {
             let mut values = col.values.clone();
@@ -209,9 +221,16 @@ impl Table {
                 Some(j) => values.extend(other.columns[j].values.iter().cloned()),
                 None => values.extend(std::iter::repeat_n(Value::Null, other.num_rows())),
             }
-            columns.push(Column { name: col.name.clone(), values });
+            columns.push(Column {
+                name: col.name.clone(),
+                values,
+            });
         }
-        Table { name: format!("{}+{}", self.name, other.name), columns, meta: self.meta.clone() }
+        Table {
+            name: format!("{}+{}", self.name, other.name),
+            columns,
+            meta: self.meta.clone(),
+        }
     }
 }
 
@@ -240,7 +259,14 @@ mod tests {
             ],
         )
         .unwrap_err();
-        assert!(matches!(err, TableError::RaggedColumns { expected: 1, actual: 2, .. }));
+        assert!(matches!(
+            err,
+            TableError::RaggedColumns {
+                expected: 1,
+                actual: 2,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -254,7 +280,10 @@ mod tests {
     #[test]
     fn column_lookup_by_name() {
         let t = t();
-        assert_eq!(t.column("city").unwrap().values[0], Value::Text("boston".into()));
+        assert_eq!(
+            t.column("city").unwrap().values[0],
+            Value::Text("boston".into())
+        );
         assert!(t.column("nope").is_none());
         assert_eq!(t.column_index("city"), Some(1));
     }
@@ -281,11 +310,7 @@ mod tests {
     #[test]
     fn union_with_alignment_and_null_padding() {
         let a = t();
-        let b = Table::new(
-            "b",
-            vec![Column::from_strings("town", &["nyc"])],
-        )
-        .unwrap();
+        let b = Table::new("b", vec![Column::from_strings("town", &["nyc"])]).unwrap();
         // align city -> town, id -> nothing
         let u = a.union_with(&b, &[None, Some(0)]);
         assert_eq!(u.num_rows(), 4);

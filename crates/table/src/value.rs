@@ -184,9 +184,7 @@ impl PartialEq for Value {
             (Value::Null, Value::Null) => true,
             (Value::Bool(a), Value::Bool(b)) => a == b,
             (Value::Int(a), Value::Int(b)) => a == b,
-            (Value::Float(a), Value::Float(b)) => {
-                Value::float_key(*a) == Value::float_key(*b)
-            }
+            (Value::Float(a), Value::Float(b)) => Value::float_key(*a) == Value::float_key(*b),
             (Value::Text(a), Value::Text(b)) => a == b,
             _ => false,
         }

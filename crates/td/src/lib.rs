@@ -17,6 +17,8 @@
 //! * [`nav`] — linkage graphs, organizations, online hierarchies,
 //!   homograph detection.
 //! * [`apps`] — feature augmentation, training-set discovery, stitching.
+//! * [`obs`] — zero-dependency metrics registry, spans, and exporters
+//!   wired through every layer above.
 //!
 //! ## Quickstart
 //!
@@ -40,6 +42,7 @@ pub use td_core as core;
 pub use td_embed as embed;
 pub use td_index as index;
 pub use td_nav as nav;
+pub use td_obs as obs;
 pub use td_sketch as sketch;
 pub use td_table as table;
 pub use td_understand as understand;

@@ -49,7 +49,9 @@ impl TableAnnotation {
     /// The best (highest-support) type of a column, if any.
     #[must_use]
     pub fn best_type(&self, column: usize) -> Option<ColumnTypeAnnotation> {
-        self.column_types.get(column).and_then(|c| c.first().copied())
+        self.column_types
+            .get(column)
+            .and_then(|c| c.first().copied())
     }
 }
 
@@ -67,7 +69,11 @@ pub struct AnnotateConfig {
 
 impl Default for AnnotateConfig {
     fn default() -> Self {
-        AnnotateConfig { min_type_support: 0.3, min_relation_support: 0.2, max_rows: 256 }
+        AnnotateConfig {
+            min_type_support: 0.3,
+            min_relation_support: 0.2,
+            max_rows: 256,
+        }
     }
 }
 
@@ -91,7 +97,12 @@ pub fn annotate_table(table: &Table, kb: &KnowledgeBase, cfg: &AnnotateConfig) -
                 }
             }
         }
-        let non_null = col.values.iter().take(rows).filter(|v| !v.is_null()).count();
+        let non_null = col
+            .values
+            .iter()
+            .take(rows)
+            .filter(|v| !v.is_null())
+            .count();
         let mut candidates: Vec<ColumnTypeAnnotation> = votes
             .into_iter()
             .map(|(ty, n)| ColumnTypeAnnotation {
@@ -100,9 +111,7 @@ pub fn annotate_table(table: &Table, kb: &KnowledgeBase, cfg: &AnnotateConfig) -
             })
             .filter(|a| a.support >= cfg.min_type_support && resolved > 0)
             .collect();
-        candidates.sort_by(|a, b| {
-            b.support.total_cmp(&a.support).then(a.ty.0.cmp(&b.ty.0))
-        });
+        candidates.sort_by(|a, b| b.support.total_cmp(&a.support).then(a.ty.0.cmp(&b.ty.0)));
         column_types.push(candidates);
     }
 
@@ -134,13 +143,21 @@ pub fn annotate_table(table: &Table, kb: &KnowledgeBase, cfg: &AnnotateConfig) -
             {
                 let support = n as f64 / considered as f64;
                 if support >= cfg.min_relation_support {
-                    relations.push(RelationAnnotation { subject: s, object: o, relation: rel, support });
+                    relations.push(RelationAnnotation {
+                        subject: s,
+                        object: o,
+                        relation: rel,
+                        support,
+                    });
                 }
             }
         }
     }
 
-    TableAnnotation { column_types, relations }
+    TableAnnotation {
+        column_types,
+        relations,
+    }
 }
 
 #[cfg(test)]
@@ -176,10 +193,7 @@ mod tests {
         Table::new(
             "t",
             vec![
-                Column::new(
-                    "place",
-                    (0..n).map(|i| r.value(spec.key_dom, i)).collect(),
-                ),
+                Column::new("place", (0..n).map(|i| r.value(spec.key_dom, i)).collect()),
                 Column::new(
                     "in",
                     (0..n)
@@ -217,7 +231,10 @@ mod tests {
         assert_eq!(fwd[0].relation, 4);
         assert!(fwd[0].support > 0.9);
         // Reverse direction asserts nothing.
-        assert!(!ann.relations.iter().any(|x| x.subject == 1 && x.object == 0));
+        assert!(!ann
+            .relations
+            .iter()
+            .any(|x| x.subject == 1 && x.object == 0));
     }
 
     #[test]
@@ -239,11 +256,7 @@ mod tests {
     #[test]
     fn oov_column_gets_no_type() {
         let (_, kb, _) = setup();
-        let t = Table::new(
-            "t",
-            vec![Column::from_strings("x", &["zz1", "zz2", "zz3"])],
-        )
-        .unwrap();
+        let t = Table::new("t", vec![Column::from_strings("x", &["zz1", "zz2", "zz3"])]).unwrap();
         let ann = annotate_table(&t, &kb, &AnnotateConfig::default());
         assert!(ann.best_type(0).is_none());
     }
@@ -256,17 +269,16 @@ mod tests {
         let mut cells: Vec<String> = (0..18).map(|i| format!("junk{i}")).collect();
         cells.push(r.value(city, 0).to_string());
         cells.push(r.value(city, 1).to_string());
-        let t = Table::new(
-            "t",
-            vec![Column::from_strings("x", &cells)],
-        )
-        .unwrap();
+        let t = Table::new("t", vec![Column::from_strings("x", &cells)]).unwrap();
         let ann = annotate_table(&t, &kb, &AnnotateConfig::default());
         assert!(ann.best_type(0).is_none());
         let loose = annotate_table(
             &t,
             &kb,
-            &AnnotateConfig { min_type_support: 0.05, ..Default::default() },
+            &AnnotateConfig {
+                min_type_support: 0.05,
+                ..Default::default()
+            },
         );
         assert_eq!(loose.best_type(0).unwrap().ty, city);
     }

@@ -25,7 +25,11 @@ pub struct DomainDiscoveryConfig {
 
 impl Default for DomainDiscoveryConfig {
     fn default() -> Self {
-        DomainDiscoveryConfig { jaccard_threshold: 0.1, min_columns: 2, min_distinct: 3 }
+        DomainDiscoveryConfig {
+            jaccard_threshold: 0.1,
+            min_columns: 2,
+            min_distinct: 3,
+        }
     }
 }
 
@@ -49,7 +53,9 @@ struct UnionFind {
 
 impl UnionFind {
     fn new(n: usize) -> Self {
-        UnionFind { parent: (0..n).collect() }
+        UnionFind {
+            parent: (0..n).collect(),
+        }
     }
     fn find(&mut self, x: usize) -> usize {
         if self.parent[x] != x {
@@ -185,9 +191,21 @@ pub fn pairwise_f1<L: Eq + std::hash::Hash>(
             }
         }
     }
-    let p = if tp + fp == 0 { 0.0 } else { tp as f64 / (tp + fp) as f64 };
-    let r = if tp + fn_ == 0 { 0.0 } else { tp as f64 / (tp + fn_) as f64 };
-    let f1 = if p + r == 0.0 { 0.0 } else { 2.0 * p * r / (p + r) };
+    let p = if tp + fp == 0 {
+        0.0
+    } else {
+        tp as f64 / (tp + fp) as f64
+    };
+    let r = if tp + fn_ == 0 {
+        0.0
+    } else {
+        tp as f64 / (tp + fn_) as f64
+    };
+    let f1 = if p + r == 0.0 {
+        0.0
+    } else {
+        2.0 * p * r / (p + r)
+    };
     (p, r, f1)
 }
 
@@ -226,12 +244,15 @@ mod tests {
     #[test]
     fn recovers_planted_domains() {
         let r = DomainRegistry::standard();
-        let (lake, truth) =
-            lake_with_domains(&r, &["city", "gene", "animal", "company"], 5);
+        let (lake, truth) = lake_with_domains(&r, &["city", "gene", "animal", "company"], 5);
         let domains = discover_domains(&lake, &DomainDiscoveryConfig::default());
-        assert_eq!(domains.len(), 4, "expected 4 domains, got {}", domains.len());
-        let clusters: Vec<Vec<ColumnRef>> =
-            domains.iter().map(|d| d.columns.clone()).collect();
+        assert_eq!(
+            domains.len(),
+            4,
+            "expected 4 domains, got {}",
+            domains.len()
+        );
+        let clusters: Vec<Vec<ColumnRef>> = domains.iter().map(|d| d.columns.clone()).collect();
         let (p, rec, f1) = pairwise_f1(&clusters, &truth);
         assert!(p > 0.95, "precision {p}");
         assert!(rec > 0.95, "recall {rec}");
@@ -283,7 +304,10 @@ mod tests {
         let (lake, _) = lake_with_domains(&r, &["city"], 4);
         let strict = discover_domains(
             &lake,
-            &DomainDiscoveryConfig { jaccard_threshold: 0.95, ..Default::default() },
+            &DomainDiscoveryConfig {
+                jaccard_threshold: 0.95,
+                ..Default::default()
+            },
         );
         let loose = discover_domains(&lake, &DomainDiscoveryConfig::default());
         // At 95% Jaccard the ~83%-overlap slices do not merge.

@@ -63,11 +63,7 @@ impl Default for KbConfig {
 impl KnowledgeBase {
     /// Build from a registry and the relation specs known to the world.
     #[must_use]
-    pub fn build(
-        registry: &DomainRegistry,
-        relations: &[RelationSpec],
-        cfg: &KbConfig,
-    ) -> Self {
+    pub fn build(registry: &DomainRegistry, relations: &[RelationSpec], cfg: &KbConfig) -> Self {
         let mut kb = KnowledgeBase::default();
         for (id, dom) in registry.iter() {
             kb.type_names.insert(id, dom.name.clone());
@@ -88,8 +84,12 @@ impl KnowledgeBase {
         }
         for spec in relations {
             for i in 0..cfg.facts_per_relation {
-                if !covered(cfg.seed ^ 0xFAC7, spec.rel_id as u64, i, cfg.relation_coverage)
-                {
+                if !covered(
+                    cfg.seed ^ 0xFAC7,
+                    spec.rel_id as u64,
+                    i,
+                    cfg.relation_coverage,
+                ) {
                     continue;
                 }
                 let subj = registry.value(spec.key_dom, i).to_string();
@@ -175,7 +175,10 @@ impl KnowledgeBase {
 
     /// Record a synthesized fact (used by the lake-derived KB path).
     pub fn assert_fact(&mut self, subject: &str, object: &str, rel: RelationId) {
-        let entry = self.pair_relations.entry(pair_key(subject, object)).or_default();
+        let entry = self
+            .pair_relations
+            .entry(pair_key(subject, object))
+            .or_default();
         if !entry.contains(&rel) {
             entry.push(rel);
         }
@@ -273,12 +276,20 @@ mod tests {
         let full = KnowledgeBase::build(
             &r,
             &rels,
-            &KbConfig { type_coverage: 1.0, relation_coverage: 1.0, ..Default::default() },
+            &KbConfig {
+                type_coverage: 1.0,
+                relation_coverage: 1.0,
+                ..Default::default()
+            },
         );
         let half = KnowledgeBase::build(
             &r,
             &rels,
-            &KbConfig { type_coverage: 0.5, relation_coverage: 0.5, ..Default::default() },
+            &KbConfig {
+                type_coverage: 0.5,
+                relation_coverage: 0.5,
+                ..Default::default()
+            },
         );
         assert!(half.num_values() < full.num_values());
         assert!(half.num_facts() < full.num_facts());
@@ -300,7 +311,10 @@ mod tests {
         let kb = KnowledgeBase::build(
             &r,
             &rels,
-            &KbConfig { type_coverage: 1.0, ..Default::default() },
+            &KbConfig {
+                type_coverage: 1.0,
+                ..Default::default()
+            },
         );
         let city = r.id("city").unwrap();
         let v = r.value(city, 5).to_string();
@@ -313,12 +327,20 @@ mod tests {
         let mut a = KnowledgeBase::build(
             &r,
             &rels[..1],
-            &KbConfig { relation_coverage: 1.0, facts_per_relation: 20, ..Default::default() },
+            &KbConfig {
+                relation_coverage: 1.0,
+                facts_per_relation: 20,
+                ..Default::default()
+            },
         );
         let b = KnowledgeBase::build(
             &r,
             &rels,
-            &KbConfig { relation_coverage: 1.0, facts_per_relation: 20, ..Default::default() },
+            &KbConfig {
+                relation_coverage: 1.0,
+                facts_per_relation: 20,
+                ..Default::default()
+            },
         );
         let before = a.num_facts();
         a.absorb(&b);

@@ -11,15 +11,15 @@
 #![warn(clippy::all)]
 
 pub mod annotate;
-pub mod synthesize;
 pub mod domain;
 pub mod features;
 pub mod kb;
+pub mod synthesize;
 pub mod types;
 
 pub use annotate::{annotate_table, AnnotateConfig, RelationAnnotation, TableAnnotation};
-pub use synthesize::{synthesize_kb, SynthesizeConfig, SynthesizeReport, SYNTH_REL_BASE};
 pub use domain::{discover_domains, pairwise_f1, DiscoveredDomain, DomainDiscoveryConfig};
 pub use features::{column_features, FEATURE_NAMES, NUM_FEATURES};
 pub use kb::{KbConfig, KnowledgeBase, RelationId};
+pub use synthesize::{synthesize_kb, SynthesizeConfig, SynthesizeReport, SYNTH_REL_BASE};
 pub use types::{ContextTypeClassifier, FeatureTypeClassifier, TypeId};

@@ -39,7 +39,12 @@ pub struct SynthesizeConfig {
 
 impl Default for SynthesizeConfig {
     fn default() -> Self {
-        SynthesizeConfig { min_tables: 2, min_pair_support: 0.3, min_shared_facts: 3, max_rows: 256 }
+        SynthesizeConfig {
+            min_tables: 2,
+            min_pair_support: 0.3,
+            min_shared_facts: 3,
+            max_rows: 256,
+        }
     }
 }
 
@@ -61,10 +66,7 @@ pub struct SynthesizeReport {
 /// column pairs through a union-find over shared candidate facts, exactly
 /// the evidence SANTOS's lake-derived KG uses.
 #[must_use]
-pub fn synthesize_kb(
-    lake: &DataLake,
-    cfg: &SynthesizeConfig,
-) -> (KnowledgeBase, SynthesizeReport) {
+pub fn synthesize_kb(lake: &DataLake, cfg: &SynthesizeConfig) -> (KnowledgeBase, SynthesizeReport) {
     // Pass 1: count, for each (subject, object) value pair, the distinct
     // tables it appears in, remembering which column pairs produced it.
     type Pair = (String, String);
@@ -125,8 +127,7 @@ pub fn synthesize_kb(
     let qualified: Vec<bool> = (0..col_pairs.len())
         .map(|cp| {
             col_pair_rows[cp] > 0
-                && cp_candidate_rows[cp] as f64 / col_pair_rows[cp] as f64
-                    >= cfg.min_pair_support
+                && cp_candidate_rows[cp] as f64 / col_pair_rows[cp] as f64 >= cfg.min_pair_support
         })
         .collect();
 
@@ -178,7 +179,9 @@ pub fn synthesize_kb(
     };
     let mut asserted: HashSet<(Pair, RelationId)> = HashSet::new();
     for p in &candidates {
-        let Some(sources) = pair_sources.get(p) else { continue };
+        let Some(sources) = pair_sources.get(p) else {
+            continue;
+        };
         for &cp in sources {
             if !qualified[cp] {
                 continue;
@@ -249,10 +252,11 @@ mod tests {
         assert!(report.relations_created >= 1);
         // A pair appearing in two overlapping rel_a tables must be known.
         let subj = r.value(rel_a.key_dom, 25).to_string(); // in tables 0..2
-        let obj = r
-            .value(rel_a.attr_dom, rel_a.attr_index(25))
-            .to_string();
-        assert!(!kb.relations_of(&subj, &obj).is_empty(), "{subj} -> {obj} missing");
+        let obj = r.value(rel_a.attr_dom, rel_a.attr_index(25)).to_string();
+        assert!(
+            !kb.relations_of(&subj, &obj).is_empty(),
+            "{subj} -> {obj} missing"
+        );
     }
 
     #[test]

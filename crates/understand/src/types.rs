@@ -97,7 +97,10 @@ impl FeatureTypeClassifier {
     /// Resolve a label to its id.
     #[must_use]
     pub fn type_id(&self, label: &str) -> Option<TypeId> {
-        self.labels.iter().position(|l| l == label).map(|i| i as TypeId)
+        self.labels
+            .iter()
+            .position(|l| l == label)
+            .map(|i| i as TypeId)
     }
 
     /// Log-likelihood scores per type for one column.
@@ -215,8 +218,7 @@ impl ContextTypeClassifier {
             .iter()
             .map(|c| log_softmax(&self.base.scores(c)))
             .collect();
-        let mut current: Vec<usize> =
-            per_col_scores.iter().map(|s| argmax(s)).collect();
+        let mut current: Vec<usize> = per_col_scores.iter().map(|s| argmax(s)).collect();
         for _round in 0..2 {
             for i in 0..current.len() {
                 let mut best = (f64::NEG_INFINITY, current[i]);
@@ -272,8 +274,7 @@ mod tests {
     fn classifies_distinct_formats_well() {
         let r = DomainRegistry::standard();
         let train = training_columns(&r);
-        let refs: Vec<(&Column, &str)> =
-            train.iter().map(|(c, l)| (c, l.as_str())).collect();
+        let refs: Vec<(&Column, &str)> = train.iter().map(|(c, l)| (c, l.as_str())).collect();
         let clf = FeatureTypeClassifier::train(&refs);
         let mut correct = 0;
         let mut total = 0;
@@ -294,8 +295,7 @@ mod tests {
     fn scores_align_with_prediction() {
         let r = DomainRegistry::standard();
         let train = training_columns(&r);
-        let refs: Vec<(&Column, &str)> =
-            train.iter().map(|(c, l)| (c, l.as_str())).collect();
+        let refs: Vec<(&Column, &str)> = train.iter().map(|(c, l)| (c, l.as_str())).collect();
         let clf = FeatureTypeClassifier::train(&refs);
         let c = domain_column(&r, "email", 999, 20);
         let scores = clf.scores(&c);
@@ -320,8 +320,7 @@ mod tests {
                 train.push((domain_column(&r, name, rep * 60, 30), name.to_string()));
             }
         }
-        let refs: Vec<(&Column, &str)> =
-            train.iter().map(|(c, l)| (c, l.as_str())).collect();
+        let refs: Vec<(&Column, &str)> = train.iter().map(|(c, l)| (c, l.as_str())).collect();
         let clf = FeatureTypeClassifier::train(&refs);
         let mut correct = 0;
         let mut total = 0;
@@ -339,10 +338,7 @@ mod tests {
     }
 
     /// Tables pairing an ambiguous column with a disambiguating companion.
-    fn context_tables(
-        r: &DomainRegistry,
-        lo: u64,
-    ) -> Vec<(Table, Vec<String>)> {
+    fn context_tables(r: &DomainRegistry, lo: u64) -> Vec<(Table, Vec<String>)> {
         let mut out = Vec::new();
         // Each ambiguous Proper{3} domain is paired with a context column
         // whose surface format is unmistakable (codes, names, emails,
@@ -383,8 +379,11 @@ mod tests {
         let mut ctx_ok = 0usize;
         let mut total = 0usize;
         for (t, labels) in &test {
-            let base_pred: Vec<&str> =
-                t.columns.iter().map(|c| ctx_clf.base.predict_label(c)).collect();
+            let base_pred: Vec<&str> = t
+                .columns
+                .iter()
+                .map(|c| ctx_clf.base.predict_label(c))
+                .collect();
             let ctx_pred = ctx_clf.predict_table_labels(t);
             // Only grade the ambiguous first column.
             total += 1;
@@ -414,8 +413,7 @@ mod tests {
     fn type_id_roundtrip() {
         let r = DomainRegistry::standard();
         let train = training_columns(&r);
-        let refs: Vec<(&Column, &str)> =
-            train.iter().map(|(c, l)| (c, l.as_str())).collect();
+        let refs: Vec<(&Column, &str)> = train.iter().map(|(c, l)| (c, l.as_str())).collect();
         let clf = FeatureTypeClassifier::train(&refs);
         let id = clf.type_id("gene").unwrap();
         assert_eq!(clf.labels()[id as usize], "gene");

@@ -14,8 +14,8 @@ use td::core::join::{
 };
 use td::embed::NGramEmbedder;
 use td::table::gen::bench_join::{
-    CorrelationBenchmark, CorrelationConfig, JoinBenchConfig, JoinBenchmark,
-    MultiJoinBenchmark, MultiJoinConfig,
+    CorrelationBenchmark, CorrelationConfig, JoinBenchConfig, JoinBenchmark, MultiJoinBenchmark,
+    MultiJoinConfig,
 };
 
 fn main() {
@@ -32,7 +32,11 @@ fn main() {
     let exact = ExactJoinSearch::build(&bench.lake);
     let (hits, stats) = exact.search(query, 5, ExactStrategy::Adaptive);
     for h in &hits {
-        println!("  overlap {:4}  {}", h.overlap, bench.lake.table(h.column.table).name);
+        println!(
+            "  overlap {:4}  {}",
+            h.overlap,
+            bench.lake.table(h.column.table).name
+        );
     }
     println!(
         "  (postings read: {}, sets verified: {})",
@@ -42,7 +46,11 @@ fn main() {
     println!("\n== containment search at t = 0.8 (LSH Ensemble) ==");
     let cont = ContainmentJoinSearch::build(&bench.lake, 256, 8);
     for (c, est) in cont.query_threshold(query, 0.8).into_iter().take(5) {
-        let truth = bench.truth.iter().find(|t| t.table == c.table).map(|t| t.containment);
+        let truth = bench
+            .truth
+            .iter()
+            .find(|t| t.table == c.table)
+            .map(|t| t.containment);
         println!(
             "  est {est:4.2} (true {:4.2})  {}",
             truth.unwrap_or(0.0),
@@ -58,8 +66,9 @@ fn main() {
 
     // ---- Fuzzy join on dirty values ------------------------------------
     println!("\n== fuzzy join over typo'd values (PEXESO-style) ==");
-    let originals: Vec<String> =
-        (0..40u64).map(|i| td::table::gen::words::vocab_word(0xD1, i, 3)).collect();
+    let originals: Vec<String> = (0..40u64)
+        .map(|i| td::table::gen::words::vocab_word(0xD1, i, 3))
+        .collect();
     let dirty: Vec<String> = originals
         .iter()
         .map(|s| {

@@ -28,7 +28,11 @@ fn main() {
 
     // 2. Load it back — ids are assigned in sorted-file order.
     let lake = load_dir(&dir).expect("load lake");
-    println!("loaded {} tables, {} columns", lake.len(), lake.num_columns());
+    println!(
+        "loaded {} tables, {} columns",
+        lake.len(),
+        lake.num_columns()
+    );
 
     // 3. Calibrate the access-method cost model on this machine and ask it
     //    where the flat-scan → HNSW crossover sits for a busy workload.
@@ -65,11 +69,18 @@ fn main() {
          (workload: {:?})",
         index.len(),
         index.current_method(),
-        Workload { corpus_size: index.len(), expected_queries: 50_000, k: 10 }
+        Workload {
+            corpus_size: index.len(),
+            expected_queries: 50_000,
+            k: 10
+        }
     );
     if let Some(q) = first_vec {
         let hits = index.search(&q, 3);
-        println!("top-3 self-query similarities: {:?}", hits.iter().map(|(_, s)| *s).collect::<Vec<_>>());
+        println!(
+            "top-3 self-query similarities: {:?}",
+            hits.iter().map(|(_, s)| *s).collect::<Vec<_>>()
+        );
     }
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -23,9 +23,8 @@ fn main() {
     // ---- ARDA-style augmentation ----------------------------------------
     // Base table predicts y; the informative features live in other tables.
     let n = 200usize;
-    let det = |i: usize, salt: u64| {
-        (td::sketch::hash_u64(i as u64, salt) % 1000) as f64 / 500.0 - 1.0
-    };
+    let det =
+        |i: usize, salt: u64| (td::sketch::hash_u64(i as u64, salt) % 1000) as f64 / 500.0 - 1.0;
     let keys: Vec<Value> = (0..n as u64).map(|i| registry.value(city, i)).collect();
     let f1: Vec<f64> = (0..n).map(|i| det(i, 1)).collect();
     let y: Vec<f64> = (0..n).map(|i| 3.0 * f1[i] + det(i, 4) * 0.1).collect();
@@ -81,13 +80,23 @@ fn main() {
     }
     let emb = DomainEmbedder::from_registry(&registry, 1_000, 64, 0.4, 13);
     let seeds = vec![
-        (500..505u64).map(|i| registry.value(city, i).to_string()).collect(),
-        (500..505u64).map(|i| registry.value(gene, i).to_string()).collect(),
+        (500..505u64)
+            .map(|i| registry.value(city, i).to_string())
+            .collect(),
+        (500..505u64)
+            .map(|i| registry.value(gene, i).to_string())
+            .collect(),
     ];
     let harvested = discover_training_set(&tl, &seeds, &emb, &TrainsetConfig::default());
-    println!("  harvested {} labeled examples from 5+5 seeds", harvested.len());
+    println!(
+        "  harvested {} labeled examples from 5+5 seeds",
+        harvested.len()
+    );
     for h in harvested.iter().take(4) {
-        println!("  {:<16} class {} (confidence {:.2})", h.value, h.label, h.confidence);
+        println!(
+            "  {:<16} class {} (confidence {:.2})",
+            h.value, h.label, h.confidence
+        );
     }
 
     // ---- KB completion via stitching ----------------------------------------
@@ -117,7 +126,9 @@ fn main() {
                 vec![
                     Column::new(
                         "city",
-                        (lo..lo + 4).map(|i| registry.value(spec.key_dom, i)).collect(),
+                        (lo..lo + 4)
+                            .map(|i| registry.value(spec.key_dom, i))
+                            .collect(),
                     ),
                     Column::new(
                         "country",
@@ -133,7 +144,10 @@ fn main() {
     let report = kb_completion(
         &frag_lake,
         &kb,
-        &AnnotateConfig { min_relation_support: 0.25, ..Default::default() },
+        &AnnotateConfig {
+            min_relation_support: 0.25,
+            ..Default::default()
+        },
     );
     println!(
         "  fragments annotated: {}/{}; new facts from fragments: {}",

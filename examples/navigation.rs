@@ -8,8 +8,8 @@
 
 use td::embed::{ContextualEncoder, DomainEmbedder};
 use td::nav::{
-    group_results, rank_homographs, HomographConfig, LinkageConfig, LinkageGraph,
-    Organization, OrganizeConfig, RoninConfig,
+    group_results, rank_homographs, HomographConfig, LinkageConfig, LinkageGraph, Organization,
+    OrganizeConfig, RoninConfig,
 };
 use td::table::gen::domains::DomainRegistry;
 use td::table::gen::lakegen::{LakeGenConfig, LakeGenerator};
@@ -53,7 +53,11 @@ fn main() {
         .map(|(id, t)| (id, enc.encode_table_vector(&emb, t)))
         .collect();
     let org = Organization::build(&items, &OrganizeConfig::default());
-    println!("\norganization: {} nodes over {} tables", org.num_nodes(), items.len());
+    println!(
+        "\norganization: {} nodes over {} tables",
+        org.num_nodes(),
+        items.len()
+    );
     let avg_p: f64 = items
         .iter()
         .map(|(t, v)| org.discovery_probability(*t, v, 8.0))
@@ -64,11 +68,20 @@ fn main() {
         .map(|(t, v)| org.discovery_probability(*t, v, 0.0))
         .sum::<f64>()
         / items.len() as f64;
-    println!("expected discovery probability: informed {avg_p:.3} vs uniform descent {uniform_p:.3}");
+    println!(
+        "expected discovery probability: informed {avg_p:.3} vs uniform descent {uniform_p:.3}"
+    );
 
     // ---- RONIN: group a result set online ---------------------------------
     let results: Vec<(TableId, Vec<f32>)> = items.iter().take(24).cloned().collect();
-    let groups = group_results(&gl.lake, &results, &RoninConfig { groups: 4, ..Default::default() });
+    let groups = group_results(
+        &gl.lake,
+        &results,
+        &RoninConfig {
+            groups: 4,
+            ..Default::default()
+        },
+    );
     println!("\nonline exploration groups over the first 24 results:");
     for g in &groups {
         println!("  [{}] {} tables, e.g. {}", g.label, g.tables.len(), {

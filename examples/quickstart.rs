@@ -56,7 +56,11 @@ fn main() {
     // 2. Offline: profile, understand, index — one call.
     let registry = DomainRegistry::standard();
     let pipeline = DiscoveryPipeline::build(&lake, &registry, &[], &PipelineConfig::default());
-    println!("lake: {} tables, {} columns profiled", lake.len(), pipeline.profile.len());
+    println!(
+        "lake: {} tables, {} columns profiled",
+        lake.len(),
+        pipeline.profile.len()
+    );
 
     // 3. Keyword search over metadata.
     println!("\nkeyword search: \"city population\"");

@@ -96,8 +96,7 @@ fn main() {
         );
         let p_col = (0..bench.queries.len())
             .map(|q| {
-                let pos: HashSet<TableId> =
-                    bench.tables_with_grade(q, 2).into_iter().collect();
+                let pos: HashSet<TableId> = bench.tables_with_grade(q, 2).into_iter().collect();
                 let hits = starmie.search_column(&bench.queries[q], 0, 5);
                 hits.iter().filter(|(c, _)| pos.contains(&c.table)).count() as f64 / 5.0
             })

@@ -4,14 +4,12 @@
 use std::collections::HashSet;
 use td::core::join::{CorrelatedSearch, ExactJoinSearch, ExactStrategy, MateSearch};
 use td::core::metrics::precision_at_k;
-use td::core::union::{
-    MeasureContext, SantosConfig, SantosSearch, TusSearch, UnionMeasure,
-};
+use td::core::union::{MeasureContext, SantosConfig, SantosSearch, TusSearch, UnionMeasure};
 use td::embed::{DomainEmbedder, NGramEmbedder};
 use td::nav::{rank_homographs, HomographConfig};
 use td::table::gen::bench_join::{
-    CorrelationBenchmark, CorrelationConfig, JoinBenchConfig, JoinBenchmark,
-    MultiJoinBenchmark, MultiJoinConfig,
+    CorrelationBenchmark, CorrelationConfig, JoinBenchConfig, JoinBenchmark, MultiJoinBenchmark,
+    MultiJoinConfig,
 };
 use td::table::gen::bench_union::{UnionBenchConfig, UnionBenchmark};
 use td::table::gen::domains::DomainRegistry;
@@ -115,9 +113,7 @@ fn union_families_recover_their_targets() {
         tus_relevant.extend(
             b.truth_for(q)
                 .into_iter()
-                .filter(|t| {
-                    t.kind == td::table::gen::bench_union::CandidateKind::RelationDecoy
-                })
+                .filter(|t| t.kind == td::table::gen::bench_union::CandidateKind::RelationDecoy)
                 .map(|t| t.table),
         );
         let res: Vec<TableId> = tus
@@ -145,7 +141,10 @@ fn domain_discovery_recovers_generator_domains() {
     });
     let domains = discover_domains(
         &gl.lake,
-        &DomainDiscoveryConfig { jaccard_threshold: 0.08, ..Default::default() },
+        &DomainDiscoveryConfig {
+            jaccard_threshold: 0.08,
+            ..Default::default()
+        },
     );
     assert!(!domains.is_empty());
     let clusters: Vec<Vec<td::table::ColumnRef>> =
@@ -155,8 +154,7 @@ fn domain_discovery_recovers_generator_domains() {
         .column_domains
         .iter()
         .filter(|(r, d)| {
-            !gl.registry.domain(**d).format.is_numeric()
-                && gl.lake.column(**r).num_distinct() >= 3
+            !gl.registry.domain(**d).format.is_numeric() && gl.lake.column(**r).num_distinct() >= 3
         })
         .map(|(r, d)| (*r, d.0))
         .collect();
@@ -175,23 +173,32 @@ fn homograph_detection_recovers_planted_homographs() {
         for (name, d) in [("city", city), ("animal", animal)] {
             let col = td::table::Column::new(
                 name,
-                (w * 15..w * 15 + 40).map(|i| registry.value(d, i)).collect::<Vec<_>>(),
+                (w * 15..w * 15 + 40)
+                    .map(|i| registry.value(d, i))
+                    .collect::<Vec<_>>(),
             );
-            lake.add(
-                td::table::Table::new(format!("{name}_{w}"), vec![col]).unwrap(),
-            );
+            lake.add(td::table::Table::new(format!("{name}_{w}"), vec![col]).unwrap());
         }
     }
     let ranked = rank_homographs(
         &lake,
-        &HomographConfig { sample_sources: 0, ..Default::default() },
+        &HomographConfig {
+            sample_sources: 0,
+            ..Default::default()
+        },
     );
     let homographs: HashSet<String> = (0..8u64)
         .map(|i| registry.value(city, i).to_string().to_lowercase())
         .collect();
     let top: Vec<&str> = ranked.iter().take(12).map(|v| v.value.as_str()).collect();
-    let found = homographs.iter().filter(|h| top.contains(&h.as_str())).count();
-    assert!(found >= 6, "found only {found}/8 planted homographs in top 12");
+    let found = homographs
+        .iter()
+        .filter(|h| top.contains(&h.as_str()))
+        .count();
+    assert!(
+        found >= 6,
+        "found only {found}/8 planted homographs in top 12"
+    );
 }
 
 #[test]
@@ -218,9 +225,12 @@ fn feature_classifier_recovers_generator_domains() {
         }
     }
     labeled.sort_by_key(|(r, _)| *r);
-    assert!(labeled.len() >= 40, "too few labeled columns: {}", labeled.len());
-    let (train, test): (Vec<_>, Vec<_>) =
-        labeled.iter().enumerate().partition(|(i, _)| i % 2 == 0);
+    assert!(
+        labeled.len() >= 40,
+        "too few labeled columns: {}",
+        labeled.len()
+    );
+    let (train, test): (Vec<_>, Vec<_>) = labeled.iter().enumerate().partition(|(i, _)| i % 2 == 0);
     let train_refs: Vec<(&td::table::Column, &str)> = train
         .iter()
         .map(|(_, (r, l))| (gl.lake.column(*r), *l))
@@ -231,7 +241,11 @@ fn feature_classifier_recovers_generator_domains() {
         .filter(|(_, (r, l))| clf.predict_label(gl.lake.column(*r)) == *l)
         .count();
     let acc = correct as f64 / test.len() as f64;
-    assert!(acc >= 0.85, "accuracy {acc} over {} test columns", test.len());
+    assert!(
+        acc >= 0.85,
+        "accuracy {acc} over {} test columns",
+        test.len()
+    );
 }
 
 #[test]
@@ -272,5 +286,8 @@ fn kb_annotation_recovers_generator_domains() {
     }
     assert!(graded >= 30);
     let acc = correct as f64 / graded as f64;
-    assert!(acc >= 0.95, "annotation accuracy {acc} over {graded} columns");
+    assert!(
+        acc >= 0.95,
+        "annotation accuracy {acc} over {graded} columns"
+    );
 }

@@ -4,9 +4,7 @@
 use proptest::prelude::*;
 use std::collections::HashSet;
 use td::embed::seeded_unit_vector;
-use td::index::{
-    AccessMethod, CostModel, FlatIndex, Hnsw, HnswParams, LshEnsemble, Workload,
-};
+use td::index::{AccessMethod, CostModel, FlatIndex, Hnsw, HnswParams, LshEnsemble, Workload};
 use td::nav::{Organization, OrganizeConfig};
 use td::sketch::{MinHasher, QcrSketch};
 use td::table::{Column, DataLake, Table, TableId};
@@ -201,8 +199,14 @@ fn lake_dir_roundtrip_on_generated_lake() {
     assert_eq!(loaded.len(), gl.lake.len());
     // Content equality by (sorted) table name.
     for (_, t) in gl.lake.iter() {
-        let name = if t.name.ends_with(".csv") { t.name.clone() } else { format!("{}.csv", t.name) };
-        let (_, l) = loaded.get_by_name(&name).unwrap_or_else(|| panic!("{name} missing"));
+        let name = if t.name.ends_with(".csv") {
+            t.name.clone()
+        } else {
+            format!("{}.csv", t.name)
+        };
+        let (_, l) = loaded
+            .get_by_name(&name)
+            .unwrap_or_else(|| panic!("{name} missing"));
         assert_eq!(l.num_rows(), t.num_rows());
         assert_eq!(l.num_cols(), t.num_cols());
         assert_eq!(l.meta, t.meta);

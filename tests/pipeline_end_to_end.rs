@@ -4,8 +4,9 @@
 use td::core::join::ExactStrategy;
 use td::core::{DiscoveryPipeline, PipelineConfig};
 use td::embed::{ContextualEncoder, DomainEmbedder};
-use td::nav::{group_results, LinkageConfig, LinkageGraph, Organization, OrganizeConfig,
-    RoninConfig};
+use td::nav::{
+    group_results, LinkageConfig, LinkageGraph, Organization, OrganizeConfig, RoninConfig,
+};
 use td::table::gen::lakegen::{LakeGenConfig, LakeGenerator};
 use td::table::TableId;
 
@@ -30,12 +31,17 @@ fn full_pipeline_over_a_generated_lake() {
 
     // Each search family answers a self-query sensibly.
     let (qid, qt) = gl.lake.iter().next().map(|(i, t)| (i, t.clone())).unwrap();
-    let textual = qt.columns.iter().position(|c| !c.is_numeric() && !c.token_set().is_empty());
+    let textual = qt
+        .columns
+        .iter()
+        .position(|c| !c.is_numeric() && !c.token_set().is_empty());
     if let Some(ci) = textual {
         let joins = pipeline.search_joinable(&qt.columns[ci], 5);
         assert!(!joins.is_empty());
         assert_eq!(joins[0].0, qid, "self-join must rank first");
-        let (hits, _) = pipeline.exact_join.search(&qt.columns[ci], 5, ExactStrategy::Probe);
+        let (hits, _) = pipeline
+            .exact_join
+            .search(&qt.columns[ci], 5, ExactStrategy::Probe);
         assert_eq!(hits[0].overlap, qt.columns[ci].token_set().len());
     }
     let unions = pipeline.search_unionable(&qt, 5);

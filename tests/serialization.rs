@@ -39,8 +39,10 @@ fn table_and_lake_roundtrip() {
 
 #[test]
 fn profile_roundtrip() {
-    let gl = LakeGenerator::standard()
-        .generate(&LakeGenConfig { num_tables: 5, ..Default::default() });
+    let gl = LakeGenerator::standard().generate(&LakeGenConfig {
+        num_tables: 5,
+        ..Default::default()
+    });
     let p = LakeProfile::of(&gl.lake);
     let p2: LakeProfile = roundtrip(&p);
     assert_eq!(p.len(), p2.len());
@@ -49,7 +51,10 @@ fn profile_roundtrip() {
         // tolerance rather than bitwise.
         let q = p2.get(r).expect("column present");
         assert_eq!(prof.name, q.name);
-        assert_eq!((prof.ty, prof.rows, prof.nulls, prof.distinct), (q.ty, q.rows, q.nulls, q.distinct));
+        assert_eq!(
+            (prof.ty, prof.rows, prof.nulls, prof.distinct),
+            (q.ty, q.rows, q.nulls, q.distinct)
+        );
         for (a, b) in [
             (prof.mean, q.mean),
             (prof.std_dev, q.std_dev),
@@ -81,8 +86,7 @@ fn sketches_roundtrip_and_still_estimate() {
     let hll2: HyperLogLog = roundtrip(&hll);
     assert_eq!(hll.estimate(), hll2.estimate());
 
-    let pairs: Vec<(String, f64)> =
-        (0..200).map(|i| (format!("k{i}"), i as f64)).collect();
+    let pairs: Vec<(String, f64)> = (0..200).map(|i| (format!("k{i}"), i as f64)).collect();
     let qcr = QcrSketch::build(64, 5, &pairs);
     let qcr2: QcrSketch = roundtrip(&qcr);
     assert_eq!(qcr, qcr2);
@@ -125,13 +129,19 @@ fn annotations_and_organizations_roundtrip() {
     let kb = KnowledgeBase::build(
         &registry,
         &[],
-        &KbConfig { type_coverage: 1.0, vocab_per_domain: 100, ..Default::default() },
+        &KbConfig {
+            type_coverage: 1.0,
+            vocab_per_domain: 100,
+            ..Default::default()
+        },
     );
     let t = Table::new(
         "t",
         vec![Column::new(
             "c",
-            (0..20u64).map(|i| registry.value(city, i)).collect::<Vec<_>>(),
+            (0..20u64)
+                .map(|i| registry.value(city, i))
+                .collect::<Vec<_>>(),
         )],
     )
     .unwrap();

@@ -1,0 +1,190 @@
+//! Offline stand-in for `criterion`: same macro/builder shape, simple
+//! wall-clock measurement (median of N samples, one iteration batch per
+//! sample), plain-text report to stdout. No statistics, plots, or saved
+//! baselines — the real `cargo bench` numbers for the repo's history live
+//! in `BENCH_*.json` via `td-bench`'s reporting instead.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Builder: number of samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run a named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(name, self.sample_size, &mut f);
+        self
+    }
+
+    /// Run a benchmark parameterized by an input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_bench(&id.label, self.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _c: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run a named benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&format!("{}/{}", self.name, name), self.sample_size, &mut f);
+        self
+    }
+
+    /// Run a parameterized benchmark within the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_bench(
+            &format!("{}/{}", self.name, id.label),
+            self.sample_size,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Finish the group (no-op in the stand-in).
+    pub fn finish(self) {}
+}
+
+/// Identifier for a parameterized benchmark.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Identifier from the parameter alone (group name gives the context).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Passed to the benchmark closure; `iter` times the workload.
+pub struct Bencher {
+    /// Nanoseconds per iteration measured by the most recent `iter` call.
+    last_ns: f64,
+}
+
+impl Bencher {
+    /// Time the closure. Runs a small warmup, then a measured batch.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        black_box(f());
+        // Batch size chosen so the measured region is ≥ ~1ms or 10 iters.
+        let probe = Instant::now();
+        black_box(f());
+        let one = probe.elapsed().as_secs_f64();
+        let iters = if one > 0.0 {
+            (1e-3 / one).ceil().clamp(1.0, 1e6) as u64
+        } else {
+            1000
+        };
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.last_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+    }
+}
+
+fn run_bench(name: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut results = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher { last_ns: 0.0 };
+        f(&mut b);
+        results.push(b.last_ns);
+    }
+    results.sort_by(f64::total_cmp);
+    let median = results[results.len() / 2];
+    let (lo, hi) = (results[0], results[results.len() - 1]);
+    println!(
+        "bench {name:<44} {:>12.1} ns/iter (min {lo:.1}, max {hi:.1})",
+        median
+    );
+}
+
+/// Declare a benchmark group: plain list or `name/config/targets` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running every declared group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench`/`cargo test` pass harness flags; this stand-in
+            // has none. In test mode (`--test`), skip the actual work so
+            // `cargo test` stays fast.
+            if ::std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}

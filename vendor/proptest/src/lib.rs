@@ -1,0 +1,573 @@
+//! Offline stand-in for `proptest`: deterministic randomized testing with
+//! the subset of the strategy combinators this workspace uses.
+//!
+//! Differences from upstream: no shrinking (a failing case panics with its
+//! inputs' debug representation), a fixed per-test seed derived from the
+//! test name, and string "regex" strategies limited to the
+//! `literal`/`[class]{m,n}` shapes that appear in the test suite.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use std::collections::HashSet;
+use std::fmt::Debug;
+use std::hash::Hash;
+use std::ops::Range;
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// The generated type.
+    type Value: Debug;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+/// Uniform strategy over a type's "arbitrary" distribution.
+pub trait Arbitrary: Sized + Debug {
+    /// Draw one arbitrary value (with a bias toward edge cases).
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! arb_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                // 1-in-8 edge case, otherwise uniform bits.
+                if rng.gen_range(0..8) == 0 {
+                    *[0 as $t, 1 as $t, <$t>::MIN, <$t>::MAX]
+                        .get(rng.gen_range(0..4usize))
+                        .expect("edge table")
+                } else {
+                    rng.next_u64() as $t
+                }
+            }
+        }
+    )*};
+}
+
+arb_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.gen::<bool>()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        // Finite floats spanning magnitudes; no NaN/inf (matches common
+        // proptest usage in assertions).
+        let mag = rng.gen_range(-300.0..300.0f64);
+        let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+        sign * rng.gen::<f64>() * 10f64.powf(mag / 10.0)
+    }
+}
+
+/// `any::<T>()` — the arbitrary strategy for `T`.
+#[must_use]
+pub fn any_strategy<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// Strategy returned by [`any`](crate::prelude::any).
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize, f32, f64);
+
+/// Pattern strategies: `&str` generates strings matching the (tiny)
+/// supported pattern subset.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+/// Generate a string from a pattern of literal chars, escapes, and
+/// `[class]{m,n}` repetitions (the shapes used in this repo's tests).
+fn generate_from_pattern(pat: &str, rng: &mut StdRng) -> String {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut out = String::new();
+    let mut i = 0usize;
+    while i < chars.len() {
+        // One atom: a char class or a single (possibly escaped) char.
+        let alphabet: Vec<char> = if chars[i] == '[' {
+            let close = find_class_end(&chars, i);
+            let alpha = expand_class(&chars[i + 1..close]);
+            i = close + 1;
+            alpha
+        } else if chars[i] == '\\' && i + 1 < chars.len() {
+            let c = unescape(chars[i + 1]);
+            i += 2;
+            vec![c]
+        } else {
+            let c = chars[i];
+            i += 1;
+            vec![c]
+        };
+        // Optional quantifier.
+        let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| i + p)
+                .unwrap_or_else(|| panic!("unclosed quantifier in pattern {pat:?}"));
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((a, b)) => (
+                    a.trim().parse().expect("quantifier lower bound"),
+                    b.trim().parse().expect("quantifier upper bound"),
+                ),
+                None => {
+                    let n: usize = body.trim().parse().expect("quantifier count");
+                    (n, n)
+                }
+            }
+        } else if i < chars.len() && (chars[i] == '*' || chars[i] == '+' || chars[i] == '?') {
+            let q = chars[i];
+            i += 1;
+            match q {
+                '*' => (0, 8),
+                '+' => (1, 8),
+                _ => (0, 1),
+            }
+        } else {
+            (1, 1)
+        };
+        let n = if lo == hi { lo } else { rng.gen_range(lo..=hi) };
+        for _ in 0..n {
+            if let Some(&c) = alphabet.get(rng.gen_range(0..alphabet.len().max(1))) {
+                out.push(c);
+            }
+        }
+    }
+    out
+}
+
+fn find_class_end(chars: &[char], open: usize) -> usize {
+    let mut j = open + 1;
+    while j < chars.len() {
+        match chars[j] {
+            '\\' => j += 2,
+            ']' => return j,
+            _ => j += 1,
+        }
+    }
+    panic!("unclosed character class");
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        'r' => '\r',
+        't' => '\t',
+        other => other,
+    }
+}
+
+fn expand_class(body: &[char]) -> Vec<char> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < body.len() {
+        if body[i] == '\\' && i + 1 < body.len() {
+            out.push(unescape(body[i + 1]));
+            i += 2;
+        } else if i + 2 < body.len() && body[i + 1] == '-' && body[i + 2] != ']' {
+            let (a, b) = (body[i], body[i + 2]);
+            for c in a..=b {
+                out.push(c);
+            }
+            i += 3;
+        } else {
+            out.push(body[i]);
+            i += 1;
+        }
+    }
+    out
+}
+
+macro_rules! tuple_strategy {
+    ($(($($n:tt $t:ident),+))+) => {$(
+        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$n.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Collection strategies (`prop::collection::*`).
+pub mod collection {
+    use super::{Hash, HashSet, Range, Rng, StdRng, Strategy};
+
+    /// Strategy for `Vec<T>` with a size range.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    /// A `Vec` of values from `elem`, length drawn from `size`.
+    pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let n = rng.gen_range(self.size.clone());
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `HashSet<T>` with a size range.
+    pub struct HashSetStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    /// A `HashSet` of values from `elem`; duplicates collapse, so the
+    /// realized size may be below the draw.
+    pub fn hash_set<S>(elem: S, size: Range<usize>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        HashSetStrategy { elem, size }
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        type Value = HashSet<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let n = rng.gen_range(self.size.clone());
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Option strategies (`proptest::option::of`).
+pub mod option {
+    use super::{Rng, StdRng, Strategy};
+
+    /// Strategy yielding `None` ~25% of the time, else `Some(inner)`.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Wrap a strategy in `Option`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            if rng.gen_range(0..4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+/// Test-runner machinery used by the [`proptest!`] macro expansion.
+pub mod test_runner {
+    use super::{SeedableRng, StdRng, Strategy};
+    use std::fmt::Debug;
+
+    /// Per-test configuration.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 128 }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs; draw again.
+        Reject,
+        /// An assertion failed.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// A failed assertion with a message.
+        #[must_use]
+        pub fn fail(msg: String) -> Self {
+            TestCaseError::Fail(msg)
+        }
+    }
+
+    /// Drives a strategy and a test closure through N cases.
+    pub struct TestRunner {
+        config: ProptestConfig,
+        rng: StdRng,
+    }
+
+    impl TestRunner {
+        /// A runner with a deterministic seed derived from the test name.
+        #[must_use]
+        pub fn new(config: ProptestConfig, test_name: &str) -> Self {
+            let mut seed = 0xDA7A_CAFE_0B5E_55EDu64;
+            for b in test_name.bytes() {
+                seed = seed.wrapping_mul(0x100000001B3).wrapping_add(u64::from(b));
+            }
+            TestRunner {
+                config,
+                rng: StdRng::seed_from_u64(seed),
+            }
+        }
+
+        /// Run the closure over generated cases; panics on the first
+        /// failing case (no shrinking).
+        pub fn run<S, F>(&mut self, strategy: &S, mut test: F)
+        where
+            S: Strategy,
+            S::Value: Debug,
+            F: FnMut(S::Value) -> Result<(), TestCaseError>,
+        {
+            let mut executed = 0u32;
+            let mut attempts = 0u32;
+            let max_attempts = self.config.cases.saturating_mul(20).max(100);
+            while executed < self.config.cases && attempts < max_attempts {
+                attempts += 1;
+                let value = strategy.generate(&mut self.rng);
+                let shown = format!("{value:?}");
+                match test(value) {
+                    Ok(()) => executed += 1,
+                    Err(TestCaseError::Reject) => {}
+                    Err(TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest case failed after {executed} passing cases:\n  \
+                             inputs: {shown}\n  {msg}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Everything a test file needs in scope.
+pub mod prelude {
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::{Arbitrary, Strategy};
+
+    /// Draw an arbitrary `T`.
+    #[must_use]
+    pub fn any<T: crate::Arbitrary>() -> crate::AnyStrategy<T> {
+        crate::any_strategy::<T>()
+    }
+
+    /// `prop::` namespace (collection strategies).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// The main macro: a block of property test functions.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            cfg = $crate::test_runner::ProptestConfig::default(); $($rest)*
+        }
+    };
+}
+
+/// Internal per-function muncher for [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (cfg = $cfg:expr;) => {};
+    (cfg = $cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let mut runner =
+                $crate::test_runner::TestRunner::new($cfg, stringify!($name));
+            runner.run(&($($strat,)+), |($($arg,)+)| {
+                $body
+                Ok(())
+            });
+        }
+        $crate::__proptest_fns! { cfg = $cfg; $($rest)* }
+    };
+}
+
+/// Reject the current case (resample).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Assert within a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+/// Assert equality within a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {} == {}\n  left: {:?}\n  right: {:?}",
+                    stringify!($a), stringify!($b), left, right),
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$a, &$b);
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {} == {} ({})\n  left: {:?}\n  right: {:?}",
+                    stringify!($a), stringify!($b), format!($($fmt)+), left, right),
+            ));
+        }
+    }};
+}
+
+/// Assert inequality within a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        if *left == *right {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($a),
+                stringify!($b),
+                left
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respected(x in 3usize..10, f in -1.0f64..1.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn strings_match_class(s in "[a-c]{2,4}") {
+            prop_assert!(s.len() >= 2 && s.len() <= 4, "len {}", s.len());
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+
+        #[test]
+        fn collections_sized(v in prop::collection::vec(0u32..5, 1..6)) {
+            prop_assert!(!v.is_empty() && v.len() < 6);
+        }
+
+        #[test]
+        fn assume_rejects(n in 0usize..10) {
+            prop_assume!(n > 4);
+            prop_assert!(n > 4);
+        }
+    }
+}

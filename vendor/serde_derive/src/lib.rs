@@ -1,0 +1,525 @@
+//! Offline stand-in for `serde_derive`: hand-rolled `#[derive(Serialize)]`
+//! and `#[derive(Deserialize)]` that target the vendored `serde` facade's
+//! content model (`serde::Content`) instead of upstream serde's
+//! `Serializer`/`Deserializer` traits.
+//!
+//! Supported shapes — exactly what this workspace derives:
+//! named structs, tuple structs (incl. newtypes), unit structs, and enums
+//! with unit / tuple / struct variants. The container attribute
+//! `#[serde(from = "T", into = "T")]` is honoured. Generic containers are
+//! rejected with a compile error (the workspace has none).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What we learned about the annotated type.
+struct Container {
+    name: String,
+    kind: Kind,
+    /// `#[serde(from = "...")]` proxy type, if any.
+    from: Option<String>,
+    /// `#[serde(into = "...")]` proxy type, if any.
+    into: Option<String>,
+}
+
+enum Kind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Derive `serde::Serialize` (content-model flavour).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse(input) {
+        Ok(c) => gen_serialize(&c).parse().expect("generated impl parses"),
+        Err(e) => error(&e),
+    }
+}
+
+/// Derive `serde::Deserialize` (content-model flavour).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse(input) {
+        Ok(c) => gen_deserialize(&c).parse().expect("generated impl parses"),
+        Err(e) => error(&e),
+    }
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("error tokens parse")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse(input: TokenStream) -> Result<Container, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+    let mut from = None;
+    let mut into = None;
+
+    // Outer attributes: `#[...]`, capturing `#[serde(from/into = "...")]`.
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    parse_serde_attr(g.stream(), &mut from, &mut into);
+                    i += 2;
+                } else {
+                    return Err("malformed attribute".into());
+                }
+            }
+            _ => break,
+        }
+    }
+
+    // Visibility.
+    if matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1; // pub(crate) etc.
+        }
+    }
+
+    let keyword = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        _ => return Err("expected `struct` or `enum`".into()),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        _ => return Err("expected type name".into()),
+    };
+    i += 1;
+
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "vendored serde_derive does not support generic type `{name}`; \
+             write the impls by hand"
+        ));
+    }
+
+    let kind = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::UnitStruct,
+            _ => return Err("unrecognized struct body".into()),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream())?)
+            }
+            _ => return Err("unrecognized enum body".into()),
+        },
+        other => return Err(format!("cannot derive for `{other}`")),
+    };
+
+    Ok(Container {
+        name,
+        kind,
+        from,
+        into,
+    })
+}
+
+/// If `attr_body` is `[serde(...)]`, pull out `from = "T"` / `into = "T"`.
+fn parse_serde_attr(body: TokenStream, from: &mut Option<String>, into: &mut Option<String>) {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let [TokenTree::Ident(id), TokenTree::Group(args)] = &toks[..] else {
+        return;
+    };
+    if id.to_string() != "serde" {
+        return;
+    }
+    let inner: Vec<TokenTree> = args.stream().into_iter().collect();
+    let mut j = 0usize;
+    while j < inner.len() {
+        if let TokenTree::Ident(key) = &inner[j] {
+            let key = key.to_string();
+            if matches!(&inner.get(j + 1), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+                if let Some(TokenTree::Literal(lit)) = inner.get(j + 2) {
+                    let raw = lit.to_string();
+                    let ty = raw.trim_matches('"').to_string();
+                    match key.as_str() {
+                        "from" => *from = Some(ty),
+                        "into" => *into = Some(ty),
+                        _ => {}
+                    }
+                    j += 3;
+                    continue;
+                }
+            }
+        }
+        j += 1;
+    }
+}
+
+/// Skip a run of `#[...]` attributes starting at `i`; returns the next index.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        i += 2; // '#' + bracket group
+    }
+    i
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        if matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        let TokenTree::Ident(field) = &tokens[i] else {
+            return Err("expected field name".into());
+        };
+        fields.push(field.to_string());
+        i += 1;
+        // Skip `: Type` up to the next top-level comma. Generic angle
+        // brackets contain no commas at *token tree* top level only inside
+        // groups, so track `<`/`>` depth explicitly.
+        let mut angle = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1usize;
+    let mut angle = 0i32;
+    let mut trailing_comma = false;
+    for (idx, t) in tokens.iter().enumerate() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                if idx + 1 == tokens.len() {
+                    trailing_comma = true;
+                } else {
+                    count += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    let _ = trailing_comma;
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let TokenTree::Ident(name) = &tokens[i] else {
+            return Err("expected variant name".into());
+        };
+        let name = name.to_string();
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Named(parse_named_fields(g.stream())?)
+            }
+            _ => VariantShape::Unit,
+        };
+        variants.push(Variant { name, shape });
+        // Skip optional discriminant and the separating comma.
+        while i < tokens.len() {
+            if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+    }
+    Ok(variants)
+}
+
+// ------------------------------------------------------------- generation
+
+fn gen_serialize(c: &Container) -> String {
+    let name = &c.name;
+    if let Some(into_ty) = &c.into {
+        return format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_content(&self) -> ::serde::Content {{\n\
+                     let proxy: {into_ty} = ::std::clone::Clone::clone(self).into();\n\
+                     ::serde::Serialize::to_content(&proxy)\n\
+                 }}\n\
+             }}"
+        );
+    }
+    let body = match &c.kind {
+        Kind::NamedStruct(fields) => {
+            let mut s = String::from("let mut m = ::std::vec::Vec::new();\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "m.push((::serde::Content::Str(::std::string::String::from({f:?})), \
+                     ::serde::Serialize::to_content(&self.{f})));\n"
+                ));
+            }
+            s.push_str("::serde::Content::Map(m)");
+            s
+        }
+        Kind::TupleStruct(1) => "::serde::Serialize::to_content(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let mut s = String::from("let mut v = ::std::vec::Vec::new();\n");
+            for idx in 0..*n {
+                s.push_str(&format!(
+                    "v.push(::serde::Serialize::to_content(&self.{idx}));\n"
+                ));
+            }
+            s.push_str("::serde::Content::Seq(v)");
+            s
+        }
+        Kind::UnitStruct => "::serde::Content::Null".to_string(),
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Content::Str(\
+                         ::std::string::String::from({vn:?})),\n"
+                    )),
+                    VariantShape::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(x0) => ::serde::Content::Map(vec![(\
+                         ::serde::Content::Str(::std::string::String::from({vn:?})), \
+                         ::serde::Serialize::to_content(x0))]),\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("x{k}")).collect();
+                        let pushes: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_content({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Content::Map(vec![(\
+                             ::serde::Content::Str(::std::string::String::from({vn:?})), \
+                             ::serde::Content::Seq(vec![{}]))]),\n",
+                            binds.join(", "),
+                            pushes.join(", ")
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let pushes: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::serde::Content::Str(::std::string::String::from({f:?})), \
+                                     ::serde::Serialize::to_content({f}))"
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => ::serde::Content::Map(vec![(\
+                             ::serde::Content::Str(::std::string::String::from({vn:?})), \
+                             ::serde::Content::Map(vec![{}]))]),\n",
+                            pushes.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> ::serde::Content {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(c: &Container) -> String {
+    let name = &c.name;
+    if let Some(from_ty) = &c.from {
+        return format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_content(c: &::serde::Content) -> \
+                     ::std::result::Result<Self, ::serde::DeError> {{\n\
+                     let proxy: {from_ty} = ::serde::Deserialize::from_content(c)?;\n\
+                     ::std::result::Result::Ok(<{name}>::from(proxy))\n\
+                 }}\n\
+             }}"
+        );
+    }
+    let body = match &c.kind {
+        Kind::NamedStruct(fields) => {
+            let mut s = format!(
+                "let m = c.as_map().ok_or_else(|| \
+                 ::serde::DeError::new(concat!(\"expected map for struct \", {name:?})))?;\n"
+            );
+            for f in fields {
+                s.push_str(&format!(
+                    "let f_{f} = ::serde::Deserialize::from_content(\
+                     ::serde::content_get(m, {f:?}).ok_or_else(|| \
+                     ::serde::DeError::new(concat!(\"missing field \", {f:?})))?)?;\n"
+                ));
+            }
+            let inits: Vec<String> = fields.iter().map(|f| format!("{f}: f_{f}")).collect();
+            s.push_str(&format!(
+                "::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            ));
+            s
+        }
+        Kind::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_content(c)?))")
+        }
+        Kind::TupleStruct(n) => {
+            let mut s = format!(
+                "let v = c.as_seq().ok_or_else(|| \
+                 ::serde::DeError::new(concat!(\"expected seq for tuple struct \", {name:?})))?;\n\
+                 if v.len() != {n} {{ return ::std::result::Result::Err(\
+                 ::serde::DeError::new(\"tuple struct arity mismatch\")); }}\n"
+            );
+            let inits: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::from_content(&v[{k}])?"))
+                .collect();
+            s.push_str(&format!(
+                "::std::result::Result::Ok({name}({}))",
+                inits.join(", ")
+            ));
+            s
+        }
+        Kind::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Kind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        unit_arms.push_str(&format!(
+                            "{vn:?} => return ::std::result::Result::Ok({name}::{vn}),\n"
+                        ));
+                    }
+                    VariantShape::Tuple(1) => {
+                        data_arms.push_str(&format!(
+                            "{vn:?} => return ::std::result::Result::Ok(\
+                             {name}::{vn}(::serde::Deserialize::from_content(inner)?)),\n"
+                        ));
+                    }
+                    VariantShape::Tuple(n) => {
+                        let inits: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Deserialize::from_content(&sv[{k}])?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "{vn:?} => {{\n\
+                                 let sv = inner.as_seq().ok_or_else(|| \
+                                 ::serde::DeError::new(\"expected seq for tuple variant\"))?;\n\
+                                 if sv.len() != {n} {{ return ::std::result::Result::Err(\
+                                 ::serde::DeError::new(\"tuple variant arity mismatch\")); }}\n\
+                                 return ::std::result::Result::Ok({name}::{vn}({}));\n\
+                             }}\n",
+                            inits.join(", ")
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let mut inner_s = String::from(
+                            "let fm = inner.as_map().ok_or_else(|| \
+                             ::serde::DeError::new(\"expected map for struct variant\"))?;\n",
+                        );
+                        for f in fields {
+                            inner_s.push_str(&format!(
+                                "let f_{f} = ::serde::Deserialize::from_content(\
+                                 ::serde::content_get(fm, {f:?}).ok_or_else(|| \
+                                 ::serde::DeError::new(concat!(\"missing field \", {f:?})))?)?;\n"
+                            ));
+                        }
+                        let inits: Vec<String> =
+                            fields.iter().map(|f| format!("{f}: f_{f}")).collect();
+                        data_arms.push_str(&format!(
+                            "{vn:?} => {{\n{inner_s}\
+                             return ::std::result::Result::Ok({name}::{vn} {{ {} }});\n}}\n",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match c {{\n\
+                     ::serde::Content::Str(s) => {{\n\
+                         match s.as_str() {{\n{unit_arms}\
+                             other => return ::std::result::Result::Err(\
+                             ::serde::DeError::new(&format!(\
+                             \"unknown unit variant {{other}} for {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     ::serde::Content::Map(entries) if entries.len() == 1 => {{\n\
+                         let (tag, inner) = &entries[0];\n\
+                         let ::serde::Content::Str(tag) = tag else {{\n\
+                             return ::std::result::Result::Err(\
+                             ::serde::DeError::new(\"enum tag must be a string\"));\n\
+                         }};\n\
+                         match tag.as_str() {{\n{data_arms}\
+                             other => return ::std::result::Result::Err(\
+                             ::serde::DeError::new(&format!(\
+                             \"unknown variant {{other}} for {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     _ => ::std::result::Result::Err(::serde::DeError::new(\
+                     concat!(\"unexpected content for enum \", {name:?}))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_content(c: &::serde::Content) -> \
+                 ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+}

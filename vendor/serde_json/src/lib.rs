@@ -1,0 +1,595 @@
+//! Offline stand-in for `serde_json`, rendering the vendored `serde`
+//! facade's [`Content`] tree to and from JSON text.
+//!
+//! Covers the surface this workspace uses: [`to_string`],
+//! [`to_string_pretty`], [`from_str`], [`to_value`], [`json!`], and
+//! [`Value`] (an alias for [`serde::Content`]). Map keys that are not
+//! strings are stringified on output exactly as upstream serde_json does
+//! for integer keys.
+
+#![warn(missing_docs)]
+
+use serde::{Content, DeError, Deserialize, Serialize};
+use std::fmt;
+
+/// JSON value — the vendored serde facade's content tree.
+pub type Value = Content;
+
+/// Serialization / deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+/// Convert any serializable value to a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.to_content()
+}
+
+/// Serialize to compact JSON text.
+///
+/// # Errors
+/// Fails if a map key cannot be represented as a JSON object key.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_content(), &mut out, None, 0)?;
+    Ok(out)
+}
+
+/// Serialize to pretty-printed JSON text (two-space indent).
+///
+/// # Errors
+/// Fails if a map key cannot be represented as a JSON object key.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_content(), &mut out, Some(2), 0)?;
+    Ok(out)
+}
+
+/// Parse JSON text into any deserializable type.
+///
+/// # Errors
+/// Fails on malformed JSON or on a shape mismatch with `T`.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let v = parse_value(s)?;
+    Ok(T::from_content(&v)?)
+}
+
+// ------------------------------------------------------------------ emit
+
+fn write_value(
+    v: &Content,
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+) -> Result<(), Error> {
+    match v {
+        Content::Null => out.push_str("null"),
+        Content::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Content::I64(i) => out.push_str(&i.to_string()),
+        Content::U64(u) => out.push_str(&u.to_string()),
+        Content::F64(f) => {
+            if f.is_finite() {
+                // Rust's float Display is shortest-round-trip; force a
+                // fractional or exponent marker so the token re-parses as
+                // a float-typed number only when precision demands it
+                // (serde_json itself emits `5.0` as `5.0`; our content
+                // model does not distinguish, and integer re-parse is
+                // accepted by the float deserializer).
+                out.push_str(&f.to_string());
+            } else {
+                out.push_str("null");
+            }
+        }
+        Content::Str(s) => write_json_string(s, out),
+        Content::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(item, out, indent, depth + 1)?;
+            }
+            if !items.is_empty() {
+                newline_indent(out, indent, depth);
+            }
+            out.push(']');
+        }
+        Content::Map(entries) => {
+            out.push('{');
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_key(k, out)?;
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(val, out, indent, depth + 1)?;
+            }
+            if !entries.is_empty() {
+                newline_indent(out, indent, depth);
+            }
+            out.push('}');
+        }
+    }
+    Ok(())
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(w) = indent {
+        out.push('\n');
+        for _ in 0..w * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_key(k: &Content, out: &mut String) -> Result<(), Error> {
+    match k {
+        Content::Str(s) => write_json_string(s, out),
+        Content::I64(i) => write_json_string(&i.to_string(), out),
+        Content::U64(u) => write_json_string(&u.to_string(), out),
+        Content::Bool(b) => write_json_string(if *b { "true" } else { "false" }, out),
+        other => return Err(Error::new(format!("unsupported map key {other:?}"))),
+    }
+    Ok(())
+}
+
+fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ----------------------------------------------------------------- parse
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+/// Parse JSON text into a [`Value`] tree.
+///
+/// # Errors
+/// Fails on malformed JSON or trailing non-whitespace.
+pub fn parse_value(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::new(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, Error> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| Error::new("unexpected end of input"))
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected {:?} at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek()? {
+            b'n' => self.literal("null", Value::Null),
+            b't' => self.literal("true", Value::Bool(true)),
+            b'f' => self.literal("false", Value::Bool(false)),
+            b'"' => self.string().map(Value::Str),
+            b'[' => self.array(),
+            b'{' => self.object(),
+            _ => self.number(),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(Error::new(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected ',' or ']' at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Value::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            let val = self.value()?;
+            entries.push((Value::Str(key), val));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected ',' or '}}' at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err(Error::new("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return Err(Error::new("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0C}'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair.
+                                if self.bytes.get(self.pos) == Some(&b'\\')
+                                    && self.bytes.get(self.pos + 1) == Some(&b'u')
+                                {
+                                    self.pos += 2;
+                                    let lo = self.hex4()?;
+                                    0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                                } else {
+                                    return Err(Error::new("lone high surrogate"));
+                                }
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::new("invalid \\u escape"))?,
+                            );
+                        }
+                        other => {
+                            return Err(Error::new(format!("invalid escape '\\{}'", other as char)))
+                        }
+                    }
+                }
+                _ => {
+                    // Step back and take the full UTF-8 char.
+                    self.pos -= 1;
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| Error::new("invalid UTF-8"))?;
+                    let ch = s.chars().next().expect("non-empty");
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(Error::new("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| Error::new("invalid \\u escape"))?;
+        let v = u32::from_str_radix(hex, 16).map_err(|_| Error::new("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        let start = self.pos;
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' | b'-' | b'+' => self.pos += 1,
+                b'.' | b'e' | b'E' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::new("invalid number"))?;
+        if text.is_empty() {
+            return Err(Error::new(format!("expected value at byte {start}")));
+        }
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::I64(i));
+            }
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::U64(u));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error::new(format!("invalid number {text:?}")))
+    }
+}
+
+// ----------------------------------------------------------------- json!
+
+/// Build a [`Value`] from JSON-like syntax, interpolating any serializable
+/// Rust expression in value position.
+#[macro_export]
+macro_rules! json {
+    ($($tt:tt)+) => {
+        $crate::json_internal!($($tt)+)
+    };
+}
+
+/// Internal muncher for [`json!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal {
+    // Arrays: delegate element munching to json_seq.
+    ([]) => { $crate::Value::Seq(::std::vec::Vec::new()) };
+    ([ $($tt:tt)+ ]) => {
+        $crate::Value::Seq($crate::json_seq!([] $($tt)+))
+    };
+
+    // Objects: delegate entry munching to json_map.
+    ({}) => { $crate::Value::Map(::std::vec::Vec::new()) };
+    ({ $($tt:tt)+ }) => {
+        $crate::Value::Map($crate::json_map!([] () $($tt)+))
+    };
+
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+/// Internal array-element muncher; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_seq {
+    // Done.
+    ([ $($elems:expr,)* ]) => { vec![$($elems,)*] };
+    // Trailing comma.
+    ([ $($elems:expr,)* ] ,) => { vec![$($elems,)*] };
+    // Next element is a structured literal.
+    ([ $($elems:expr,)* ] null $($rest:tt)*) => {
+        $crate::json_seq!([ $($elems,)* $crate::json_internal!(null), ] $($rest)*)
+    };
+    ([ $($elems:expr,)* ] true $($rest:tt)*) => {
+        $crate::json_seq!([ $($elems,)* $crate::json_internal!(true), ] $($rest)*)
+    };
+    ([ $($elems:expr,)* ] false $($rest:tt)*) => {
+        $crate::json_seq!([ $($elems,)* $crate::json_internal!(false), ] $($rest)*)
+    };
+    ([ $($elems:expr,)* ] [ $($inner:tt)* ] $($rest:tt)*) => {
+        $crate::json_seq!([ $($elems,)* $crate::json_internal!([ $($inner)* ]), ] $($rest)*)
+    };
+    ([ $($elems:expr,)* ] { $($inner:tt)* } $($rest:tt)*) => {
+        $crate::json_seq!([ $($elems,)* $crate::json_internal!({ $($inner)* }), ] $($rest)*)
+    };
+    // Plain expression element (consume up to the next top-level comma).
+    ([ $($elems:expr,)* ] $next:expr , $($rest:tt)*) => {
+        $crate::json_seq!([ $($elems,)* $crate::to_value(&$next), ] $($rest)*)
+    };
+    ([ $($elems:expr,)* ] $last:expr) => {
+        vec![$($elems,)* $crate::to_value(&$last)]
+    };
+    // Leading comma between elements.
+    ([ $($elems:expr,)* ] , $($rest:tt)*) => {
+        $crate::json_seq!([ $($elems,)* ] $($rest)*)
+    };
+}
+
+/// Internal object-entry muncher; not public API. State:
+/// `[ entries ] ( current-key-tokens ) rest...`
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_map {
+    // Done (empty rest, no pending key).
+    ([ $($entries:expr,)* ] ()) => { vec![$($entries,)*] };
+    // Trailing comma.
+    ([ $($entries:expr,)* ] () ,) => { vec![$($entries,)*] };
+    // Capture the key (a literal) and the colon.
+    ([ $($entries:expr,)* ] () $key:literal : $($rest:tt)*) => {
+        $crate::json_map!([ $($entries,)* ] ($key) $($rest)*)
+    };
+    // Value is a structured literal.
+    ([ $($entries:expr,)* ] ($key:literal) null $($rest:tt)*) => {
+        $crate::json_map!([ $($entries,)*
+            ($crate::to_value(&$key), $crate::json_internal!(null)), ] () $($rest)*)
+    };
+    ([ $($entries:expr,)* ] ($key:literal) true $($rest:tt)*) => {
+        $crate::json_map!([ $($entries,)*
+            ($crate::to_value(&$key), $crate::json_internal!(true)), ] () $($rest)*)
+    };
+    ([ $($entries:expr,)* ] ($key:literal) false $($rest:tt)*) => {
+        $crate::json_map!([ $($entries,)*
+            ($crate::to_value(&$key), $crate::json_internal!(false)), ] () $($rest)*)
+    };
+    ([ $($entries:expr,)* ] ($key:literal) [ $($inner:tt)* ] $($rest:tt)*) => {
+        $crate::json_map!([ $($entries,)*
+            ($crate::to_value(&$key), $crate::json_internal!([ $($inner)* ])), ] () $($rest)*)
+    };
+    ([ $($entries:expr,)* ] ($key:literal) { $($inner:tt)* } $($rest:tt)*) => {
+        $crate::json_map!([ $($entries,)*
+            ($crate::to_value(&$key), $crate::json_internal!({ $($inner)* })), ] () $($rest)*)
+    };
+    // Value is a plain expression up to the next top-level comma.
+    ([ $($entries:expr,)* ] ($key:literal) $value:expr , $($rest:tt)*) => {
+        $crate::json_map!([ $($entries,)*
+            ($crate::to_value(&$key), $crate::to_value(&$value)), ] () $($rest)*)
+    };
+    ([ $($entries:expr,)* ] ($key:literal) $value:expr) => {
+        vec![$($entries,)* ($crate::to_value(&$key), $crate::to_value(&$value))]
+    };
+    // Comma between entries.
+    ([ $($entries:expr,)* ] () , $($rest:tt)*) => {
+        $crate::json_map!([ $($entries,)* ] () $($rest)*)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_escapes() {
+        let s = "a\"b\\c\nd\te\u{1F600}";
+        let json = to_string(&s.to_string()).unwrap();
+        let back: String = from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn roundtrip_numbers() {
+        for f in [0.1, -1.5e300, 3.0, f64::MIN_POSITIVE, 12345.6789] {
+            let json = to_string(&f).unwrap();
+            let back: f64 = from_str(&json).unwrap();
+            assert_eq!(back, f, "via {json}");
+        }
+        let json = to_string(&u64::MAX).unwrap();
+        let back: u64 = from_str(&json).unwrap();
+        assert_eq!(back, u64::MAX);
+        let json = to_string(&i64::MIN).unwrap();
+        let back: i64 = from_str(&json).unwrap();
+        assert_eq!(back, i64::MIN);
+    }
+
+    #[test]
+    fn json_macro_shapes() {
+        let v = json!({
+            "a": 1,
+            "nested": {"x": [1, 2.5, "s"], "y": null},
+            "flag": true,
+            "expr": 2 + 3,
+        });
+        let text = to_string(&v).unwrap();
+        let back = parse_value(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn integer_map_keys_stringify() {
+        use std::collections::HashMap;
+        let mut m = HashMap::new();
+        m.insert(7u64, vec![1u32, 2]);
+        let text = to_string(&m).unwrap();
+        assert!(text.contains("\"7\""), "{text}");
+        let back: HashMap<u64, Vec<u32>> = from_str(&text).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn pretty_output_parses() {
+        let v = json!({"k": [1, 2, 3], "m": {"inner": "v"}});
+        let text = to_string_pretty(&v).unwrap();
+        assert!(text.contains('\n'));
+        assert_eq!(parse_value(&text).unwrap(), v);
+    }
+}
