@@ -8,6 +8,8 @@
 //! knowledge-base completion boost stitching provides; [`ml`] supplies the
 //! dependency-free ridge/logistic models those experiments train.
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 

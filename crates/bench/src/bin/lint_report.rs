@@ -1,0 +1,65 @@
+//! Lint telemetry — runs the td-lint workspace scan and emits
+//! `BENCH_lint.json` through the standard bench-report machinery:
+//! files scanned, per-code unwaived/waived counts, and scan latency.
+//!
+//! Exits non-zero if any unwaived diagnostic remains, so it doubles as
+//! the gate: `cargo run -p td-bench --bin lint_report`.
+
+use std::path::Path;
+use std::process::ExitCode;
+use td_bench::{print_table, BenchReport};
+use td_lint::{scan_workspace, ALL_CODES};
+
+fn main() -> ExitCode {
+    let mut report = BenchReport::new("lint");
+    // Prefer the cwd when it is a workspace root (so the gate also works on
+    // a checkout this binary wasn't built from), else fall back to the
+    // workspace this binary was compiled in — like the other bench bins,
+    // it must run correctly from any directory.
+    let compiled_root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let root = if Path::new("crates").is_dir() {
+        Path::new(".").to_path_buf()
+    } else {
+        compiled_root
+    };
+    let scan = report.measure("scan", || scan_workspace(&root));
+    let scan = match scan {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("lint scan failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut rows = Vec::new();
+    for code in ALL_CODES {
+        let (unwaived, waived) = scan.count(code);
+        rows.push(vec![
+            code.as_str().to_string(),
+            unwaived.to_string(),
+            waived.to_string(),
+            code.summary().to_string(),
+        ]);
+        report.field(&format!("{}_unwaived", code.as_str()), &(unwaived as u64));
+        report.field(&format!("{}_waived", code.as_str()), &(waived as u64));
+    }
+    print_table(
+        "lint summary",
+        &["code", "unwaived", "waived", "rule"],
+        &rows,
+    );
+
+    report
+        .field("files_scanned", &(scan.files_scanned as u64))
+        .field("waived_total", &(scan.waived_total() as u64))
+        .field("unwaived_total", &(scan.unwaived_total() as u64));
+    report.finish();
+
+    if scan.unwaived_total() > 0 {
+        for d in scan.unwaived() {
+            eprintln!("{}", d.render_text());
+        }
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

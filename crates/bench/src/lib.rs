@@ -3,6 +3,8 @@
 //! [`BenchReport`] emitter that writes machine-readable `BENCH_<exp>.json`
 //! telemetry alongside each experiment's stdout table.
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 
 use std::io::Write as _;
@@ -15,6 +17,7 @@ use serde_json::Value;
 
 /// Print an aligned text table.
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    // td-lint: allow(TD004) the harness's job is printing human-readable tables
     println!("\n{title}");
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
     for row in rows {
@@ -33,6 +36,7 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
                 w = widths.get(i).copied().unwrap_or(8)
             ));
         }
+        // td-lint: allow(TD004) the harness's job is printing human-readable tables
         println!("{}", s.trim_end());
     };
     line(&headers.iter().map(|h| (*h).to_string()).collect::<Vec<_>>());
@@ -167,7 +171,9 @@ impl BenchReport {
     /// Write the report, logging the path (or the error) to stdout.
     pub fn finish(&self) {
         match self.write() {
+            // td-lint: allow(TD004) finish() reports to the experiment's stdout by contract
             Ok(path) => println!("\nwrote {}", path.display()),
+            // td-lint: allow(TD004) finish() reports to the experiment's stdout by contract
             Err(e) => eprintln!("\nfailed to write bench report: {e}"),
         }
     }

@@ -130,11 +130,14 @@ impl MateSearch {
             let Some(key_hashes) = key_hashes else {
                 continue;
             };
-            // Probe on the rarest attribute's posting list.
-            let probe = key_hashes
+            // Probe on the rarest attribute's posting list. (`key_hashes`
+            // mirrors `key_cols`, which the entry assert keeps non-empty.)
+            let Some(probe) = key_hashes
                 .iter()
                 .min_by_key(|h| self.postings.get(h).map_or(0, Vec::len))
-                .expect("non-empty key");
+            else {
+                continue;
+            };
             let Some(candidates) = self.postings.get(probe) else {
                 continue;
             };
@@ -161,6 +164,11 @@ impl MateSearch {
                 *matched.entry(t).or_insert(0) += 1;
             }
         }
+        // Drain in table order: HashMap iteration order is random per
+        // process, and TopK breaks score ties by insertion order, so an
+        // unsorted drain makes tied candidates rank nondeterministically.
+        let mut matched: Vec<(u32, usize)> = matched.into_iter().collect();
+        matched.sort_unstable_by_key(|&(t, _)| t);
         let mut topk = TopK::new(k.max(1));
         for (t, m) in matched {
             topk.push(m as f64 / nrows.max(1) as f64, t);

@@ -7,6 +7,8 @@
 //! and an end-to-end pipeline ([`pipeline`]) wiring understanding,
 //! indexing, and search together.
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 

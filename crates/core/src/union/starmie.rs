@@ -156,14 +156,22 @@ impl<E: Embedder> StarmieSearch<E> {
         for qv in &qvecs {
             for cid in self.retrieve(qv, self.cfg.fanout) {
                 let col = self.refs[cid as usize];
-                // Find the table slot (table_cols is in table order).
-                let slot = self
+                // Find the table slot (table_cols is in table order; a
+                // retrieved column always belongs to an indexed table, so
+                // the lookup cannot miss — but stay panic-free).
+                let Ok(slot) = self
                     .table_cols
                     .binary_search_by(|(id, _)| id.cmp(&col.table))
-                    .expect("indexed column belongs to an indexed table");
+                else {
+                    continue;
+                };
                 candidates.insert(slot);
             }
         }
+        // Sorted drain: candidate sets come out of a HashSet, and TopK
+        // breaks ties by insertion order — sort for deterministic ranks.
+        let mut candidates: Vec<usize> = candidates.into_iter().collect();
+        candidates.sort_unstable();
         let mut topk = TopK::new(k.max(1));
         for slot in candidates {
             let (_, range) = &self.table_cols[slot];

@@ -1,0 +1,46 @@
+//! Regression test for run-to-run determinism of MATE composite-join
+//! rankings (TD005): the per-query-row match counts are accumulated in
+//! a `HashMap`, and before the sorted drain landed, tables tied on
+//! row-containment ranked in hash-iteration order — different on every
+//! index build.
+
+use td_core::join::mate::MateSearch;
+use td_table::{csv, DataLake};
+
+/// A lake where several tables contain exactly the query's (city,
+/// person) pairs — all tie at row-containment 1.0.
+fn tied_lake() -> (DataLake, td_table::Table) {
+    let rows = "city,person\nboston,alice\nseattle,bob\nportland,carol\n";
+    let mut lake = DataLake::new();
+    for i in 0..8 {
+        let t = csv::read_table(format!("dup_{i}.csv"), rows).expect("valid csv");
+        lake.add(t);
+    }
+    // One decoy that can never match the composite key.
+    let decoy = csv::read_table("decoy.csv", "city,person\nboston,zed\n").expect("valid csv");
+    lake.add(decoy);
+    let query = csv::read_table("query.csv", rows).expect("valid csv");
+    (lake, query)
+}
+
+#[test]
+fn mate_rankings_are_byte_identical_across_builds() {
+    let render = || {
+        let (lake, query) = tied_lake();
+        let s = MateSearch::build(&lake);
+        let (hits, _) = s.search(&query, &[0, 1], 8);
+        let mut out = String::new();
+        for (t, score) in hits {
+            out.push_str(&format!("{t}={score:.6};"));
+        }
+        out
+    };
+    let first = render();
+    assert!(
+        first.contains("=1.000000"),
+        "expected full-containment ties"
+    );
+    for _ in 0..4 {
+        assert_eq!(first, render(), "tied rankings drifted between builds");
+    }
+}

@@ -8,6 +8,8 @@
 //! column vectors. See DESIGN.md "Substitutions" for why this preserves
 //! the surveyed systems' behaviour.
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 

@@ -236,16 +236,16 @@ impl AdaptiveVectorIndex {
         match self.current_method() {
             AccessMethod::Flat => self.flat.search(query, k),
             AccessMethod::Hnsw => {
-                if self.hnsw.is_none() {
-                    let mut h = Hnsw::new(self.dim, HnswParams::default());
-                    for v in &self.vectors {
-                        h.insert(v.clone());
-                    }
-                    self.hnsw = Some(Box::new(h));
-                }
+                let dim = self.dim;
+                let vectors = &self.vectors;
                 self.hnsw
-                    .as_ref()
-                    .expect("just built")
+                    .get_or_insert_with(|| {
+                        let mut h = Hnsw::new(dim, HnswParams::default());
+                        for v in vectors {
+                            h.insert(v.clone());
+                        }
+                        Box::new(h)
+                    })
                     .search(query, k, 64.max(k))
             }
         }

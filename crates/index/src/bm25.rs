@@ -76,6 +76,10 @@ impl Bm25Index {
         for t in &tokens {
             *tf.entry(t.clone()).or_insert(0) += 1;
         }
+        // Sorted drain keeps the posting-list layout (and anything
+        // serialized from it) identical across runs.
+        let mut tf: Vec<(String, u32)> = tf.into_iter().collect();
+        tf.sort_unstable_by(|a, b| a.0.cmp(&b.0));
         for (term, f) in tf {
             self.postings.entry(term).or_default().push((id, f));
         }
@@ -126,6 +130,9 @@ impl Bm25Index {
                 *scores.entry(doc).or_insert(0.0) += s;
             }
         }
+        // Sorted drain: tied BM25 scores must rank deterministically.
+        let mut scores: Vec<(u32, f64)> = scores.into_iter().collect();
+        scores.sort_unstable_by_key(|&(doc, _)| doc);
         let mut topk = TopK::new(k);
         for (doc, s) in scores {
             topk.push(s, doc);

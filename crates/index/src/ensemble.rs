@@ -82,7 +82,8 @@ impl LshEnsemble {
         let mut partitions = Vec::with_capacity(num_partitions);
         let mut signatures = HashMap::with_capacity(n);
         for chunk in sorted.chunks(per) {
-            let upper = chunk.last().expect("non-empty chunk").1.set_size.max(1);
+            let Some(last) = chunk.last() else { continue };
+            let upper = last.1.set_size.max(1);
             let mut tables = Vec::new();
             for &r in &ROW_CHOICES {
                 let bands = k / r;
@@ -181,12 +182,14 @@ impl LshEnsemble {
             // Nothing reaches target recall: fall back to the most
             // forgiving table with all its bands.
             let (rows, bands) = choice.unwrap_or((ROW_CHOICES[0], self.k));
-            let table = p
+            let Some(table) = p
                 .tables
                 .iter()
                 .find(|&&(r, _)| r == rows)
                 .map(|(_, lsh)| lsh)
-                .expect("row choice comes from p.tables");
+            else {
+                continue;
+            };
             for id in table.query_bands(query, bands) {
                 raw_candidates += 1;
                 let sig = &self.signatures[&id];

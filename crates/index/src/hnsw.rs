@@ -150,7 +150,7 @@ impl Hnsw {
         let mut best: BinaryHeap<std::cmp::Reverse<Candidate>> = BinaryHeap::new();
         best.push(std::cmp::Reverse(e));
         while let Some(cur) = frontier.pop() {
-            let worst = best.peek().expect("non-empty").0.sim;
+            let worst = best.peek().map_or(f32::NEG_INFINITY, |r| r.0.sim);
             if cur.sim < worst && best.len() >= ef {
                 break;
             }
@@ -159,7 +159,7 @@ impl Hnsw {
                     continue;
                 }
                 let s = self.sim(nb, query);
-                let worst = best.peek().expect("non-empty").0.sim;
+                let worst = best.peek().map_or(f32::NEG_INFINITY, |r| r.0.sim);
                 if best.len() < ef || s > worst {
                     let c = Candidate { sim: s, id: nb };
                     frontier.push(c);

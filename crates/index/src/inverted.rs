@@ -184,6 +184,10 @@ impl InvertedSetIndex {
                 *counts.entry(sid).or_insert(0) += 1;
             }
         }
+        // Sorted drain: hash order + TopK's insertion-order tie-breaking
+        // would otherwise make equal-overlap sets rank nondeterministically.
+        let mut counts: Vec<(SetId, usize)> = counts.into_iter().collect();
+        counts.sort_unstable_by_key(|&(sid, _)| sid);
         let mut topk = TopK::new(k.max(1));
         for (sid, c) in counts {
             topk.push(c as f64, sid);
@@ -332,6 +336,9 @@ impl InvertedSetIndex {
         // every outstanding candidate's upper bound (partial + unread) was
         // at or below the k-th best — nothing left can matter.
         if merged_all {
+            // Sorted drain for run-to-run deterministic tie order.
+            let mut partial: Vec<(SetId, usize)> = partial.into_iter().collect();
+            partial.sort_unstable_by_key(|&(sid, _)| sid);
             for (sid, p) in partial {
                 topk.push(p as f64, sid);
             }

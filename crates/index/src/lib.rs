@@ -14,6 +14,8 @@
 //! * [`FlatIndex`] — exact brute-force vector baseline.
 //! * [`Bm25Index`] — metadata keyword search.
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 

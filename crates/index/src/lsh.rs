@@ -155,7 +155,11 @@ impl MinHashLsh {
         }
         reg.counter("index.lsh.band_probes").add(probes);
         reg.counter("index.lsh.candidates").add(out.len() as u64);
-        out.into_iter().collect()
+        // Candidate ids in sorted order: the HashSet's iteration order
+        // is process-random, and callers treat this Vec as output.
+        let mut ids: Vec<u32> = out.into_iter().collect();
+        ids.sort_unstable();
+        ids
     }
 }
 

@@ -1,0 +1,81 @@
+//! Regression tests for run-to-run determinism of search rankings
+//! (TD005): two independently built indexes over the same data must
+//! return byte-identical result lists, even when scores tie.
+//!
+//! `std::collections::HashMap` seeds its hasher per instance, so two
+//! builds in one process iterate in different orders — exactly the
+//! nondeterminism a fresh process would exhibit. Before the sorted
+//! drains landed, tied candidates ranked in hash order and these tests
+//! flaked across runs.
+
+use td_index::bm25::{Bm25Index, Bm25Params};
+use td_index::inverted::InvertedSetIndexBuilder;
+use td_index::lsh::MinHashLsh;
+use td_sketch::minhash::MinHasher;
+
+/// Many sets with identical token overlap against the query, so every
+/// candidate ties and only deterministic tie-breaking can order them.
+fn build_tied_inverted() -> td_index::inverted::InvertedSetIndex {
+    let mut b = InvertedSetIndexBuilder::new();
+    for i in 0..12u32 {
+        // All sets share {q0, q1, q2}; each adds unique filler.
+        let mut toks: Vec<String> = (0..3).map(|j| format!("q{j}")).collect();
+        toks.push(format!("filler_{i}"));
+        b.add_set(toks.iter().map(String::as_str));
+    }
+    b.build()
+}
+
+#[test]
+fn inverted_merge_rankings_are_byte_identical_across_builds() {
+    let q: Vec<&str> = vec!["q0", "q1", "q2"];
+    let run = || {
+        let idx = build_tied_inverted();
+        let (hits, _) = idx.top_k_merge(q.iter().copied(), 8);
+        format!("{hits:?}")
+    };
+    assert_eq!(run(), run(), "tied overlap scores must rank identically");
+}
+
+#[test]
+fn inverted_adaptive_rankings_are_byte_identical_across_builds() {
+    let q: Vec<&str> = vec!["q0", "q1", "q2"];
+    let run = || {
+        let idx = build_tied_inverted();
+        let (hits, _) = idx.top_k_adaptive(q.iter().copied(), 8);
+        format!("{hits:?}")
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn bm25_rankings_are_byte_identical_across_builds() {
+    let run = || {
+        let mut idx = Bm25Index::new(Bm25Params::default());
+        // Identical documents -> identical scores -> pure tie-breaking.
+        for _ in 0..10 {
+            idx.add_document("customer city population country");
+        }
+        idx.add_document("unrelated words entirely");
+        format!("{:?}", idx.search("city population", 8))
+    };
+    assert_eq!(run(), run(), "tied BM25 scores must rank identically");
+}
+
+#[test]
+fn lsh_candidates_are_sorted_and_stable_across_builds() {
+    let h = MinHasher::new(64, 7);
+    let toks: Vec<String> = (0..40).map(|i| format!("v{i}")).collect();
+    let sig = h.sign(toks.iter().map(String::as_str));
+    let run = || {
+        let mut lsh = MinHashLsh::with_threshold(64, 0.5);
+        // Same signature under many ids: all collide in every band.
+        for id in [9u32, 3, 11, 0, 7, 5] {
+            lsh.insert(id, &sig);
+        }
+        lsh.query(&sig)
+    };
+    let first = run();
+    assert_eq!(first, vec![0, 3, 5, 7, 9, 11], "candidates must be sorted");
+    assert_eq!(first, run());
+}

@@ -1,0 +1,193 @@
+//! Diagnostics: stable lint codes, span-accurate locations, waiver
+//! state, and text/JSON rendering (hand-rolled — this crate has no
+//! dependencies, serde included).
+
+use std::fmt::Write as _;
+
+/// The project lint codes, stable across releases. Adding a code is
+/// backward compatible; renumbering is not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Code {
+    /// `unwrap()` / `expect()` / `panic!` in non-test library code.
+    Td001,
+    /// `Instant::now` / `SystemTime::now` timing outside `crates/obs`.
+    Td002,
+    /// `unsafe` anywhere in the workspace.
+    Td003,
+    /// `println!` / `eprintln!` / `dbg!` in library code.
+    Td004,
+    /// Hash-order iteration feeding ordered output without a sort.
+    Td005,
+    /// Undocumented `pub fn` in a crate root.
+    Td006,
+}
+
+/// Every code, in report order.
+pub const ALL_CODES: [Code; 6] = [
+    Code::Td001,
+    Code::Td002,
+    Code::Td003,
+    Code::Td004,
+    Code::Td005,
+    Code::Td006,
+];
+
+impl Code {
+    /// The stable code string (`"TD001"`).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::Td001 => "TD001",
+            Code::Td002 => "TD002",
+            Code::Td003 => "TD003",
+            Code::Td004 => "TD004",
+            Code::Td005 => "TD005",
+            Code::Td006 => "TD006",
+        }
+    }
+
+    /// Parse `"TD001"` (case-insensitive) into a code.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Code> {
+        ALL_CODES
+            .iter()
+            .copied()
+            .find(|c| c.as_str().eq_ignore_ascii_case(s.trim()))
+    }
+
+    /// One-line rule summary for reports.
+    #[must_use]
+    pub fn summary(self) -> &'static str {
+        match self {
+            Code::Td001 => "no unwrap()/expect()/panic! in non-test library code",
+            Code::Td002 => "no Instant::now/SystemTime::now outside crates/obs",
+            Code::Td003 => "no unsafe code anywhere",
+            Code::Td004 => "no println!/eprintln!/dbg! in library code (route through td-obs)",
+            Code::Td005 => "no hash-order iteration feeding ordered output without a sort",
+            Code::Td006 => "every pub fn in a crate root must be documented",
+        }
+    }
+}
+
+/// One lint finding: where, what, and whether a waiver covers it.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Which rule fired.
+    pub code: Code,
+    /// Workspace-relative path of the offending file.
+    pub path: String,
+    /// 1-based line of the finding.
+    pub line: u32,
+    /// 1-based byte column of the finding.
+    pub col: u32,
+    /// Human-readable description of this specific finding.
+    pub message: String,
+    /// The full source line the finding sits on (trimmed of newline).
+    pub excerpt: String,
+    /// The reason text of the waiver covering this finding, if any.
+    pub waive_reason: Option<String>,
+}
+
+impl Diagnostic {
+    /// True when an inline waiver covers this finding.
+    #[must_use]
+    pub fn is_waived(&self) -> bool {
+        self.waive_reason.is_some()
+    }
+
+    /// Render in a rustc-like two-line format with a caret marker.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let mut s = String::new();
+        let status = if self.is_waived() { "waived" } else { "error" };
+        let _ = writeln!(s, "{status}[{}]: {}", self.code.as_str(), self.message);
+        let _ = writeln!(s, "  --> {}:{}:{}", self.path, self.line, self.col);
+        let gutter = format!("{}", self.line);
+        let _ = writeln!(s, "{} | {}", gutter, self.excerpt);
+        let pad = " ".repeat(gutter.len() + 3 + self.col.saturating_sub(1) as usize);
+        let _ = writeln!(s, "{pad}^");
+        if let Some(reason) = &self.waive_reason {
+            let _ = writeln!(s, "   = waived: {reason}");
+        }
+        s
+    }
+}
+
+/// Escape a string for inclusion in a JSON document.
+#[must_use]
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Diagnostic {
+    /// Render as one JSON object (no trailing newline).
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        let reason = match &self.waive_reason {
+            Some(r) => format!("\"{}\"", json_escape(r)),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"code\":\"{}\",\"path\":\"{}\",\"line\":{},\"col\":{},\"message\":\"{}\",\"excerpt\":\"{}\",\"waived\":{},\"waive_reason\":{}}}",
+            self.code.as_str(),
+            json_escape(&self.path),
+            self.line,
+            self.col,
+            json_escape(&self.message),
+            json_escape(&self.excerpt),
+            self.is_waived(),
+            reason,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_round_trips() {
+        for c in ALL_CODES {
+            assert_eq!(Code::parse(c.as_str()), Some(c));
+            assert_eq!(Code::parse(&c.as_str().to_lowercase()), Some(c));
+        }
+        assert_eq!(Code::parse("TD999"), None);
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("tab\there"), "tab\\there");
+    }
+
+    #[test]
+    fn render_json_is_parseable_shape() {
+        let d = Diagnostic {
+            code: Code::Td001,
+            path: "crates/x/src/lib.rs".into(),
+            line: 3,
+            col: 7,
+            message: "call to `unwrap()`".into(),
+            excerpt: "    x.unwrap();".into(),
+            waive_reason: None,
+        };
+        let j = d.render_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"code\":\"TD001\""));
+        assert!(j.contains("\"waived\":false"));
+    }
+}

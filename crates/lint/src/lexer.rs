@@ -1,0 +1,418 @@
+//! A lightweight Rust lexer: just enough tokenization for lint rules.
+//!
+//! Splits a source file into identifiers, literals, punctuation,
+//! lifetimes, and comments, each carrying a byte span and a line/column
+//! position. String, char, raw-string, and byte-string literals are
+//! consumed atomically so rule patterns never match inside them; line and
+//! block comments (including nested block comments and doc comments) are
+//! kept as tokens so the waiver scanner can read them. This is *not* a
+//! full lexer — numeric literal shapes are approximated — but every
+//! construct that could hide a false match (strings, comments, chars) is
+//! handled exactly.
+
+/// What a token is; the lint rules mostly pattern-match on [`Ident`]
+/// and [`Punct`] runs.
+///
+/// [`Ident`]: TokenKind::Ident
+/// [`Punct`]: TokenKind::Punct
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`unwrap`, `unsafe`, `fn`, ...).
+    Ident,
+    /// A lifetime such as `'a` (distinguished from char literals).
+    Lifetime,
+    /// A string/char/numeric/byte literal, consumed atomically.
+    Literal,
+    /// One punctuation character (`.`, `!`, `::` arrives as two tokens).
+    Punct,
+    /// `// ...` — `doc` is true for `///` and `//!`.
+    LineComment {
+        /// True for `///` and `//!` doc comments.
+        doc: bool,
+    },
+    /// `/* ... */` (nesting-aware) — `doc` is true for `/**` and `/*!`.
+    BlockComment {
+        /// True for `/**` and `/*!` doc comments.
+        doc: bool,
+    },
+}
+
+/// One lexed token: kind, byte span, and 1-based source position.
+#[derive(Debug, Clone, Copy)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Byte offset of the token's first character.
+    pub start: usize,
+    /// Byte offset one past the token's last character.
+    pub end: usize,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in bytes) of the token's first character.
+    pub col: u32,
+}
+
+impl Token {
+    /// The token's text within `src`.
+    #[must_use]
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        src.get(self.start..self.end).unwrap_or("")
+    }
+
+    /// True for line or block comments.
+    #[must_use]
+    pub fn is_comment(&self) -> bool {
+        matches!(
+            self.kind,
+            TokenKind::LineComment { .. } | TokenKind::BlockComment { .. }
+        )
+    }
+
+    /// True for doc comments (`///`, `//!`, `/**`, `/*!`).
+    #[must_use]
+    pub fn is_doc_comment(&self) -> bool {
+        matches!(
+            self.kind,
+            TokenKind::LineComment { doc: true } | TokenKind::BlockComment { doc: true }
+        )
+    }
+}
+
+struct Cursor<'s> {
+    src: &'s [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'s> Cursor<'s> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lex `src` into a token stream. Never fails: unrecognized bytes become
+/// single [`TokenKind::Punct`] tokens, and unterminated literals or
+/// comments simply run to end-of-file.
+#[must_use]
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut c = Cursor {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Vec::new();
+    while let Some(b) = c.peek() {
+        let (start, line, col) = (c.pos, c.line, c.col);
+        if b.is_ascii_whitespace() {
+            c.bump();
+            continue;
+        }
+        let kind = if b == b'/' && c.peek_at(1) == Some(b'/') {
+            lex_line_comment(&mut c)
+        } else if b == b'/' && c.peek_at(1) == Some(b'*') {
+            lex_block_comment(&mut c)
+        } else if b == b'"' {
+            lex_string(&mut c);
+            TokenKind::Literal
+        } else if b == b'\'' {
+            lex_char_or_lifetime(&mut c)
+        } else if is_ident_start(b) {
+            lex_ident_or_prefixed_literal(&mut c, src)
+        } else if b.is_ascii_digit() {
+            lex_number(&mut c);
+            TokenKind::Literal
+        } else {
+            c.bump();
+            TokenKind::Punct
+        };
+        out.push(Token {
+            kind,
+            start,
+            end: c.pos,
+            line,
+            col,
+        });
+    }
+    out
+}
+
+fn lex_line_comment(c: &mut Cursor<'_>) -> TokenKind {
+    let start = c.pos;
+    while let Some(b) = c.peek() {
+        if b == b'\n' {
+            break;
+        }
+        c.bump();
+    }
+    let text = &c.src[start..c.pos];
+    // `///` or `//!` but not the common `////....` separator line.
+    let doc = (text.starts_with(b"///") && !text.starts_with(b"////")) || text.starts_with(b"//!");
+    TokenKind::LineComment { doc }
+}
+
+fn lex_block_comment(c: &mut Cursor<'_>) -> TokenKind {
+    let start = c.pos;
+    c.bump(); // '/'
+    c.bump(); // '*'
+    let head = &c.src[start..(start + 4).min(c.src.len())];
+    let doc = (head.starts_with(b"/**") && head != b"/**/") || head.starts_with(b"/*!");
+    let mut depth = 1usize;
+    while depth > 0 {
+        match (c.peek(), c.peek_at(1)) {
+            (Some(b'/'), Some(b'*')) => {
+                depth += 1;
+                c.bump();
+                c.bump();
+            }
+            (Some(b'*'), Some(b'/')) => {
+                depth -= 1;
+                c.bump();
+                c.bump();
+            }
+            (Some(_), _) => {
+                c.bump();
+            }
+            (None, _) => break,
+        }
+    }
+    TokenKind::BlockComment { doc }
+}
+
+/// Consume a `"..."` body; the opening quote is at the cursor.
+fn lex_string(c: &mut Cursor<'_>) {
+    c.bump(); // opening quote
+    while let Some(b) = c.bump() {
+        match b {
+            b'\\' => {
+                c.bump(); // escaped char (possibly a quote)
+            }
+            b'"' => break,
+            _ => {}
+        }
+    }
+}
+
+/// Consume `r"..."` / `r#"..."#` with any number of `#` guards; the
+/// cursor sits on the first `#` or quote (after the `r`/`br` prefix).
+fn lex_raw_string(c: &mut Cursor<'_>) {
+    let mut hashes = 0usize;
+    while c.peek() == Some(b'#') {
+        hashes += 1;
+        c.bump();
+    }
+    if c.peek() != Some(b'"') {
+        return; // not actually a raw string; leave the rest to the lexer
+    }
+    c.bump(); // opening quote
+    'outer: while let Some(b) = c.bump() {
+        if b == b'"' {
+            for _ in 0..hashes {
+                if c.peek() != Some(b'#') {
+                    continue 'outer;
+                }
+                c.bump();
+            }
+            break;
+        }
+    }
+}
+
+fn lex_char_or_lifetime(c: &mut Cursor<'_>) -> TokenKind {
+    // Lifetime: 'ident not followed by a closing quote. Char literal:
+    // anything else ('x', '\n', '\u{1F600}').
+    let next = c.peek_at(1);
+    let after = c.peek_at(2);
+    let is_lifetime = match next {
+        Some(b) if is_ident_start(b) => after != Some(b'\''),
+        _ => false,
+    };
+    c.bump(); // the quote
+    if is_lifetime {
+        while let Some(b) = c.peek() {
+            if !is_ident_continue(b) {
+                break;
+            }
+            c.bump();
+        }
+        return TokenKind::Lifetime;
+    }
+    // Char literal: consume until the closing quote, honoring escapes.
+    while let Some(b) = c.bump() {
+        match b {
+            b'\\' => {
+                c.bump();
+            }
+            b'\'' => break,
+            b'\n' => break, // malformed; don't swallow the file
+            _ => {}
+        }
+    }
+    TokenKind::Literal
+}
+
+fn lex_ident_or_prefixed_literal(c: &mut Cursor<'_>, src: &str) -> TokenKind {
+    let start = c.pos;
+    while let Some(b) = c.peek() {
+        if !is_ident_continue(b) {
+            break;
+        }
+        c.bump();
+    }
+    let ident = &src[start..c.pos];
+    // Raw / byte string prefixes: r"", r#""#, b"", br"", rb is invalid,
+    // c"" and cr"" (C strings) for completeness.
+    match c.peek() {
+        Some(b'"') if matches!(ident, "b" | "c") => {
+            lex_string(c);
+            return TokenKind::Literal;
+        }
+        Some(b'"') | Some(b'#') if matches!(ident, "r" | "br" | "cr") => {
+            lex_raw_string(c);
+            return TokenKind::Literal;
+        }
+        _ => {}
+    }
+    // Raw identifiers (`r#match`) arrive as ident "r", punct '#', ident
+    // "match" — harmless for our rules.
+    TokenKind::Ident
+}
+
+fn lex_number(c: &mut Cursor<'_>) {
+    // Digits, `_`, type suffixes, hex/oct/bin prefixes, exponents, and a
+    // decimal point only when followed by a digit (so `0..10` stays three
+    // tokens).
+    while let Some(b) = c.peek() {
+        if b.is_ascii_alphanumeric() || b == b'_' {
+            c.bump();
+            // e-/E- exponent sign.
+            if (b == b'e' || b == b'E')
+                && matches!(c.peek(), Some(b'+') | Some(b'-'))
+                && c.peek_at(1).is_some_and(|d| d.is_ascii_digit())
+            {
+                c.bump();
+            }
+        } else if b == b'.' && c.peek_at(1).is_some_and(|d| d.is_ascii_digit()) {
+            c.bump();
+        } else {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let toks = kinds("let x = a.unwrap();");
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Ident)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(idents, vec!["let", "x", "a", "unwrap"]);
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = kinds(r#"call("x.unwrap() // not a comment");"#);
+        assert!(toks
+            .iter()
+            .all(|(k, t)| *k != TokenKind::Ident || t != "unwrap"));
+        assert!(!toks.iter().any(|(k, _)| matches!(
+            k,
+            TokenKind::LineComment { .. } | TokenKind::BlockComment { .. }
+        )));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r####"let s = r#"quote " inside"#; x.unwrap()"####;
+        let toks = kinds(src);
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Ident)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(idents, vec!["let", "s", "x", "unwrap"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let toks = kinds("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Lifetime && t == "'a"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Literal && t == "'x'"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* outer /* inner */ still comment */ ident");
+        assert_eq!(toks.len(), 2);
+        assert!(matches!(toks[0].0, TokenKind::BlockComment { doc: false }));
+        assert_eq!(toks[1].1, "ident");
+    }
+
+    #[test]
+    fn doc_comments_flagged() {
+        let toks = kinds("/// docs\n//! inner\n// plain\nfn f() {}");
+        assert!(matches!(toks[0].0, TokenKind::LineComment { doc: true }));
+        assert!(matches!(toks[1].0, TokenKind::LineComment { doc: true }));
+        assert!(matches!(toks[2].0, TokenKind::LineComment { doc: false }));
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let toks = lex("a\n  b");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn float_vs_range() {
+        let toks = kinds("1.5 0..10");
+        let lits: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Literal)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(lits, vec!["1.5", "0", "10"]);
+    }
+}

@@ -1,0 +1,305 @@
+//! # td-lint — the workspace's own static-analysis gate
+//!
+//! A zero-dependency lint driver (no syn, no regex — crates.io is not
+//! assumed) that walks `crates/*/{src,tests,benches,examples}` with a
+//! lightweight Rust lexer and enforces the project invariants that make
+//! discovery results reproducible and observable:
+//!
+//! | code  | rule |
+//! |-------|------|
+//! | TD001 | no `unwrap()`/`expect()`/`panic!` in non-test library code |
+//! | TD002 | no `Instant::now`/`SystemTime::now` outside `crates/obs` |
+//! | TD003 | no `unsafe` anywhere |
+//! | TD004 | no `println!`/`eprintln!`/`dbg!` in library code |
+//! | TD005 | no hash-order iteration feeding ordered output without a sort |
+//! | TD006 | every `pub fn` in a crate root is documented |
+//!
+//! Any diagnostic can be waived inline with a justified comment on the
+//! same line or the line above:
+//!
+//! ```text
+//! // td-lint: allow(TD004) harness prints human-readable tables by design
+//! println!("{report}");
+//! ```
+//!
+//! A waiver without a reason is ignored. Run `cargo run -p td-lint`
+//! (add `-- --format json` for the machine-readable report); the
+//! process exits non-zero if any unwaived diagnostic remains.
+
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+
+pub use diag::{Code, Diagnostic, ALL_CODES};
+pub use rules::{FileClass, FileCtx};
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The outcome of a workspace scan.
+#[derive(Debug, Clone)]
+pub struct LintReport {
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Every finding, waived or not, in (path, line, col) order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// Findings not covered by a waiver — the CI-failing set.
+    pub fn unwaived(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| !d.is_waived())
+    }
+
+    /// `(unwaived, waived)` counts for one code.
+    #[must_use]
+    pub fn count(&self, code: Code) -> (usize, usize) {
+        let mut fired = 0usize;
+        let mut waived = 0usize;
+        for d in self.diagnostics.iter().filter(|d| d.code == code) {
+            if d.is_waived() {
+                waived += 1;
+            } else {
+                fired += 1;
+            }
+        }
+        (fired, waived)
+    }
+
+    /// Total waived findings.
+    #[must_use]
+    pub fn waived_total(&self) -> usize {
+        self.diagnostics.iter().filter(|d| d.is_waived()).count()
+    }
+
+    /// Total unwaived findings (non-zero fails the gate).
+    #[must_use]
+    pub fn unwaived_total(&self) -> usize {
+        self.unwaived().count()
+    }
+
+    /// The machine-readable report: per-code summary plus every
+    /// diagnostic, as one JSON document.
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        let mut s = String::from("{\n  \"tool\": \"td-lint\",\n");
+        let _ = writeln!(s, "  \"files_scanned\": {},", self.files_scanned);
+        s.push_str("  \"summary\": {\n");
+        for (i, code) in ALL_CODES.iter().enumerate() {
+            let (fired, waived) = self.count(*code);
+            let _ = write!(
+                s,
+                "    \"{}\": {{\"unwaived\": {fired}, \"waived\": {waived}}}",
+                code.as_str()
+            );
+            s.push_str(if i + 1 < ALL_CODES.len() { ",\n" } else { "\n" });
+        }
+        s.push_str("  },\n");
+        let _ = writeln!(s, "  \"waived_total\": {},", self.waived_total());
+        let _ = writeln!(s, "  \"unwaived_total\": {},", self.unwaived_total());
+        s.push_str("  \"diagnostics\": [\n");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            s.push_str("    ");
+            s.push_str(&d.render_json());
+            s.push_str(if i + 1 < self.diagnostics.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// The human-readable report: every finding rendered rustc-style,
+    /// then a per-code summary table.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let mut s = String::new();
+        for d in &self.diagnostics {
+            s.push_str(&d.render_text());
+            s.push('\n');
+        }
+        let _ = writeln!(s, "td-lint: {} files scanned", self.files_scanned);
+        for code in ALL_CODES {
+            let (fired, waived) = self.count(code);
+            if fired + waived > 0 {
+                let _ = writeln!(
+                    s,
+                    "  {}: {fired} unwaived, {waived} waived — {}",
+                    code.as_str(),
+                    code.summary()
+                );
+            }
+        }
+        let _ = writeln!(
+            s,
+            "  total: {} unwaived, {} waived",
+            self.unwaived_total(),
+            self.waived_total()
+        );
+        s
+    }
+}
+
+/// Classify a workspace-relative path (`crates/<name>/...`). Returns
+/// `(crate_name, class, is_crate_root)`, or `None` for files td-lint
+/// does not scan (lint fixtures, vendored stand-ins, non-Rust files).
+#[must_use]
+pub fn classify(rel: &str) -> Option<(String, FileClass, bool)> {
+    let rel = rel.replace('\\', "/");
+    if !rel.ends_with(".rs") || rel.contains("/fixtures/") {
+        return None;
+    }
+    let rest = rel.strip_prefix("crates/")?;
+    let (crate_name, tail) = rest.split_once('/')?;
+    let class = if tail.starts_with("tests/") {
+        FileClass::Test
+    } else if tail.starts_with("benches/")
+        || tail.starts_with("examples/")
+        || tail.starts_with("src/bin/")
+        || tail == "src/main.rs"
+    {
+        FileClass::Binary
+    } else if tail.starts_with("src/") {
+        FileClass::Library
+    } else {
+        return None;
+    };
+    let is_root = tail == "src/lib.rs";
+    Some((crate_name.to_string(), class, is_root))
+}
+
+/// Lint one file's source given its workspace-relative path; paths
+/// outside the scan scope produce no diagnostics.
+#[must_use]
+pub fn scan_str(rel_path: &str, src: &str) -> Vec<Diagnostic> {
+    let Some((crate_name, class, is_root)) = classify(rel_path) else {
+        return Vec::new();
+    };
+    FileCtx::new(rel_path, &crate_name, class, is_root, src).run()
+}
+
+/// Recursively collect `.rs` files under `dir`, sorted for determinism.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            collect_rs(&p, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Scan every crate under `<root>/crates` and produce the full report.
+/// `vendor/` (API stand-ins for crates.io) and lint-test fixtures are
+/// out of scope by design.
+pub fn scan_workspace(root: &Path) -> io::Result<LintReport> {
+    let crates_dir = root.join("crates");
+    let mut files = Vec::new();
+    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for crate_dir in crate_dirs {
+        for sub in ["src", "tests", "benches", "examples"] {
+            collect_rs(&crate_dir.join(sub), &mut files)?;
+        }
+    }
+    let mut diagnostics = Vec::new();
+    let mut files_scanned = 0usize;
+    for path in &files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        if classify(&rel).is_none() {
+            continue;
+        }
+        let src = std::fs::read_to_string(path)?;
+        files_scanned += 1;
+        diagnostics.extend(scan_str(&rel, &src));
+    }
+    diagnostics.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.code).cmp(&(b.path.as_str(), b.line, b.col, b.code))
+    });
+    Ok(LintReport {
+        files_scanned,
+        diagnostics,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_paths() {
+        assert_eq!(
+            classify("crates/core/src/lib.rs"),
+            Some(("core".into(), FileClass::Library, true))
+        );
+        assert_eq!(
+            classify("crates/core/src/pipeline.rs"),
+            Some(("core".into(), FileClass::Library, false))
+        );
+        assert_eq!(
+            classify("crates/bench/src/bin/e01_pipeline.rs"),
+            Some(("bench".into(), FileClass::Binary, false))
+        );
+        assert_eq!(
+            classify("crates/bench/benches/sketches.rs"),
+            Some(("bench".into(), FileClass::Binary, false))
+        );
+        assert_eq!(
+            classify("crates/core/tests/acceptance.rs"),
+            Some(("core".into(), FileClass::Test, false))
+        );
+        assert_eq!(classify("crates/lint/tests/fixtures/td001_fire.rs"), None);
+        assert_eq!(classify("vendor/serde/src/lib.rs"), None);
+        assert_eq!(classify("crates/core/Cargo.toml"), None);
+    }
+
+    #[test]
+    fn scan_str_fires_and_waives() {
+        let src = "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        let diags = scan_str("crates/demo/src/x.rs", src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, Code::Td001);
+        assert!(!diags[0].is_waived());
+
+        let src = "// td-lint: allow(TD001) checked by caller\npub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        let diags = scan_str("crates/demo/src/x.rs", src);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].is_waived());
+    }
+
+    #[test]
+    fn json_report_shape() {
+        let r = LintReport {
+            files_scanned: 2,
+            diagnostics: scan_str("crates/demo/src/x.rs", "pub fn f() { println!(\"hi\"); }\n"),
+        };
+        let j = r.render_json();
+        assert!(j.contains("\"TD004\": {\"unwaived\": 1, \"waived\": 0}"));
+        assert!(j.contains("\"unwaived_total\": 1"));
+    }
+}

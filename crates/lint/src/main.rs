@@ -1,0 +1,66 @@
+//! CLI for td-lint: scan the workspace, print the report, and exit
+//! non-zero when any unwaived diagnostic remains.
+//!
+//! ```text
+//! cargo run -p td-lint                      # human-readable
+//! cargo run -p td-lint -- --format json     # machine-readable
+//! cargo run -p td-lint -- --root /path/to/workspace
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut format = String::from("text");
+    let mut root = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--format" => {
+                if let Some(f) = args.next() {
+                    format = f;
+                }
+            }
+            "--root" => {
+                if let Some(r) = args.next() {
+                    root = PathBuf::from(r);
+                }
+            }
+            "--help" | "-h" => {
+                println!(
+                    "td-lint: workspace lint driver\n\n  --format text|json   output format (default text)\n  --root PATH          workspace root (default .)\n\nExits 1 if any unwaived diagnostic remains.\nWaive a finding with: // td-lint: allow(TD00x) reason"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("td-lint: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    // Fall back from the crate dir to the workspace root so both
+    // `cargo run -p td-lint` (runs at workspace root) and direct
+    // invocation from `crates/lint` work.
+    if !root.join("crates").is_dir() && root.join("../../crates").is_dir() {
+        root = root.join("../..");
+    }
+    let report = match td_lint::scan_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("td-lint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match format.as_str() {
+        "json" => print!("{}", report.render_json()),
+        _ => print!("{}", report.render_text()),
+    }
+    if report.unwaived_total() > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,840 @@
+//! The lint rules (TD001–TD006) and the per-file analysis context they
+//! share: the token stream, a test-code mask (`#[cfg(test)]` modules and
+//! `#[test]` functions are exempt from most rules), and the inline
+//! waiver table parsed from `// td-lint: allow(CODE) reason` comments.
+
+use crate::diag::{Code, Diagnostic};
+use crate::lexer::{lex, Token, TokenKind};
+
+/// How a file participates in the build; rules apply per class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileClass {
+    /// Ordinary library source (`src/**` outside `bin/`).
+    Library,
+    /// Executable or harness code: `src/bin/**`, `src/main.rs`,
+    /// `benches/**`, `examples/**`. Allowed to print and to panic.
+    Binary,
+    /// Integration-test code (`tests/**`). Only TD003 applies.
+    Test,
+}
+
+/// One parsed waiver comment.
+#[derive(Debug, Clone)]
+struct Waiver {
+    line: u32,
+    codes: Vec<Code>,
+    reason: String,
+}
+
+/// Per-file analysis context handed to each rule.
+pub struct FileCtx<'s> {
+    src: &'s str,
+    path: &'s str,
+    crate_name: &'s str,
+    class: FileClass,
+    is_crate_root: bool,
+    toks: Vec<Token>,
+    /// Indices into `toks` of non-comment tokens.
+    code: Vec<usize>,
+    /// Per-token flag: inside a `#[cfg(test)]` item or `#[test]` fn.
+    is_test: Vec<bool>,
+    lines: Vec<&'s str>,
+    waivers: Vec<Waiver>,
+}
+
+impl<'s> FileCtx<'s> {
+    /// Lex and pre-analyze one source file.
+    #[must_use]
+    pub fn new(
+        path: &'s str,
+        crate_name: &'s str,
+        class: FileClass,
+        is_crate_root: bool,
+        src: &'s str,
+    ) -> Self {
+        let toks = lex(src);
+        let code: Vec<usize> = (0..toks.len()).filter(|&i| !toks[i].is_comment()).collect();
+        let is_test = test_mask(src, &toks, &code);
+        let lines = src.lines().collect();
+        let waivers = parse_waivers(src, &toks);
+        FileCtx {
+            src,
+            path,
+            crate_name,
+            class,
+            is_crate_root,
+            toks,
+            code,
+            is_test,
+            lines,
+            waivers,
+        }
+    }
+
+    /// Run every applicable rule and attach waivers. Diagnostics arrive
+    /// in (line, col) order.
+    #[must_use]
+    pub fn run(&self) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        let lib = self.class == FileClass::Library;
+        if lib {
+            td001_no_panics(self, &mut out);
+            td004_no_prints(self, &mut out);
+            td005_hash_order(self, &mut out);
+            if self.is_crate_root {
+                td006_pub_fn_docs(self, &mut out);
+            }
+        }
+        if self.class != FileClass::Test && self.crate_name != "obs" {
+            td002_no_raw_timing(self, &mut out);
+        }
+        td003_no_unsafe(self, &mut out);
+        out.sort_by_key(|d| (d.line, d.col, d.code));
+        for d in &mut out {
+            d.waive_reason = self.waiver_for(d.code, d.line);
+        }
+        out
+    }
+
+    /// The text of code token `ci` (an index into `self.code`), if it is
+    /// an identifier.
+    fn ident(&self, ci: usize) -> Option<&'s str> {
+        let t = self.toks.get(*self.code.get(ci)?)?;
+        (t.kind == TokenKind::Ident).then(|| t.text(self.src))
+    }
+
+    /// The punctuation character of code token `ci`, if any.
+    fn punct(&self, ci: usize) -> Option<char> {
+        let t = self.toks.get(*self.code.get(ci)?)?;
+        (t.kind == TokenKind::Punct).then(|| t.text(self.src).chars().next())?
+    }
+
+    fn tok(&self, ci: usize) -> Option<&Token> {
+        self.toks.get(*self.code.get(ci)?)
+    }
+
+    fn in_test(&self, ci: usize) -> bool {
+        self.code
+            .get(ci)
+            .is_some_and(|&ti| self.is_test.get(ti).copied().unwrap_or(false))
+    }
+
+    fn diag(&self, code: Code, ci: usize, message: String) -> Option<Diagnostic> {
+        let t = self.tok(ci)?;
+        let excerpt = self
+            .lines
+            .get(t.line as usize - 1)
+            .map(|l| l.trim_end().to_string())
+            .unwrap_or_default();
+        Some(Diagnostic {
+            code,
+            path: self.path.to_string(),
+            line: t.line,
+            col: t.col,
+            message,
+            excerpt,
+            waive_reason: None,
+        })
+    }
+
+    /// A waiver on line L covers findings on L (trailing comment) and
+    /// L+1 (comment on its own line above the code).
+    fn waiver_for(&self, code: Code, line: u32) -> Option<String> {
+        self.waivers
+            .iter()
+            .find(|w| w.codes.contains(&code) && (w.line == line || w.line + 1 == line))
+            .map(|w| w.reason.clone())
+    }
+}
+
+/// Parse `td-lint: allow(CODE[, CODE...]) reason` out of every comment.
+/// A waiver with no reason text is invalid and ignored — the underlying
+/// diagnostic still fires, which is the safe default.
+fn parse_waivers(src: &str, toks: &[Token]) -> Vec<Waiver> {
+    let mut out = Vec::new();
+    for t in toks.iter().filter(|t| t.is_comment()) {
+        let text = t.text(src);
+        let Some(at) = text.find("td-lint:") else {
+            continue;
+        };
+        let rest = text[at + "td-lint:".len()..].trim_start();
+        let Some(rest) = rest.strip_prefix("allow") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let Some(rest) = rest.strip_prefix('(') else {
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        let codes: Vec<Code> = rest[..close].split(',').filter_map(Code::parse).collect();
+        let reason = rest[close + 1..]
+            .trim()
+            .trim_end_matches("*/")
+            .trim()
+            .to_string();
+        if codes.is_empty() || reason.is_empty() {
+            continue;
+        }
+        out.push(Waiver {
+            line: t.line,
+            codes,
+            reason,
+        });
+    }
+    out
+}
+
+/// Mark every token inside a `#[cfg(test)]` item (typically the trailing
+/// test module) or a `#[test]`-attributed function. `#![cfg(test)]` as an
+/// inner attribute marks the whole file.
+fn test_mask(src: &str, toks: &[Token], code: &[usize]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let ident = |ci: usize| -> Option<&str> {
+        let t = toks.get(*code.get(ci)?)?;
+        (t.kind == TokenKind::Ident).then(|| t.text(src))
+    };
+    let punct = |ci: usize| -> Option<char> {
+        let t = toks.get(*code.get(ci)?)?;
+        (t.kind == TokenKind::Punct).then(|| t.text(src).chars().next())?
+    };
+    let mut ci = 0usize;
+    while ci < code.len() {
+        if punct(ci) != Some('#') {
+            ci += 1;
+            continue;
+        }
+        let attr_start = ci;
+        let mut j = ci + 1;
+        let inner = punct(j) == Some('!');
+        if inner {
+            j += 1;
+        }
+        if punct(j) != Some('[') {
+            ci += 1;
+            continue;
+        }
+        // Find the matching `]`.
+        let mut depth = 0i32;
+        let mut k = j;
+        let mut attr_end = None;
+        while k < code.len() {
+            match punct(k) {
+                Some('[') => depth += 1,
+                Some(']') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        attr_end = Some(k);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        let Some(attr_end) = attr_end else { break };
+        // Test-gating? `#[test]`, `#[cfg(test)]`, `#[foo::test]`.
+        let idents: Vec<&str> = (j + 1..attr_end).filter_map(ident).collect();
+        let gating = match idents.first() {
+            Some(&"cfg") => idents.contains(&"test"),
+            _ => idents.last() == Some(&"test"),
+        };
+        if !gating {
+            ci = attr_end + 1;
+            continue;
+        }
+        if inner {
+            // `#![cfg(test)]`: the entire file is test code.
+            mask.fill(true);
+            return mask;
+        }
+        // Skip further attributes, then find the item's extent: first
+        // `;` at depth 0, or the matching `}` of its first `{`.
+        let mut p = attr_end + 1;
+        while punct(p) == Some('#') {
+            let mut d = 0i32;
+            let mut q = p + 1;
+            while q < code.len() {
+                match punct(q) {
+                    Some('[') => d += 1,
+                    Some(']') => {
+                        d -= 1;
+                        if d == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                q += 1;
+            }
+            p = q + 1;
+        }
+        let mut d = 0i32;
+        let mut end = code.len().saturating_sub(1);
+        let mut q = p;
+        while q < code.len() {
+            match punct(q) {
+                Some('{') | Some('(') | Some('[') => d += 1,
+                Some('}') | Some(')') | Some(']') => {
+                    d -= 1;
+                    if d == 0 && punct(q) == Some('}') {
+                        end = q;
+                        break;
+                    }
+                }
+                Some(';') if d == 0 => {
+                    end = q;
+                    break;
+                }
+                _ => {}
+            }
+            q += 1;
+        }
+        let (lo, hi) = (code[attr_start], code[end.min(code.len() - 1)]);
+        for m in mask.iter_mut().take(hi + 1).skip(lo) {
+            *m = true;
+        }
+        ci = end + 1;
+    }
+    mask
+}
+
+/// TD001 — `unwrap()` / `expect()` / `panic!` in non-test library code.
+fn td001_no_panics(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    for ci in 0..ctx.code.len() {
+        if ctx.in_test(ci) {
+            continue;
+        }
+        let Some(name) = ctx.ident(ci) else { continue };
+        let fired = match name {
+            "unwrap" | "expect" => {
+                ctx.punct(ci.wrapping_sub(1)) == Some('.') && ctx.punct(ci + 1) == Some('(')
+            }
+            "panic" => ctx.punct(ci + 1) == Some('!'),
+            _ => false,
+        };
+        if fired {
+            let what = if name == "panic" {
+                "`panic!` in non-test library code".to_string()
+            } else {
+                format!("`.{name}()` in non-test library code")
+            };
+            out.extend(ctx.diag(
+                Code::Td001,
+                ci,
+                format!("{what}; return a typed error or restructure to make the panic impossible"),
+            ));
+        }
+    }
+}
+
+/// TD002 — raw `Instant::now` / `SystemTime::now` outside `crates/obs`.
+fn td002_no_raw_timing(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    for ci in 0..ctx.code.len() {
+        if ctx.in_test(ci) {
+            continue;
+        }
+        let Some(name) = ctx.ident(ci) else { continue };
+        if !matches!(name, "Instant" | "SystemTime") {
+            continue;
+        }
+        if ctx.punct(ci + 1) == Some(':')
+            && ctx.punct(ci + 2) == Some(':')
+            && ctx.ident(ci + 3) == Some("now")
+        {
+            out.extend(ctx.diag(
+                Code::Td002,
+                ci,
+                format!(
+                    "raw `{name}::now()` outside crates/obs; use `td_obs::time`, `Timer`, or a span so the measurement reaches the metrics registry"
+                ),
+            ));
+        }
+    }
+}
+
+/// TD003 — no `unsafe` anywhere (the workspace is unsafe-free; keep it so).
+fn td003_no_unsafe(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    for ci in 0..ctx.code.len() {
+        if ctx.ident(ci) == Some("unsafe") {
+            out.extend(ctx.diag(
+                Code::Td003,
+                ci,
+                "`unsafe` code; the workspace is unsafe-free by policy".to_string(),
+            ));
+        }
+    }
+    // Crate roots must also carry the compiler-enforced backstop.
+    if ctx.is_crate_root && !has_forbid_unsafe(ctx) {
+        out.push(Diagnostic {
+            code: Code::Td003,
+            path: ctx.path.to_string(),
+            line: 1,
+            col: 1,
+            message: "crate root lacks `#![forbid(unsafe_code)]`".to_string(),
+            excerpt: ctx
+                .lines
+                .first()
+                .map(|l| l.trim_end().to_string())
+                .unwrap_or_default(),
+            waive_reason: None,
+        });
+    }
+}
+
+/// Whether the token stream contains `forbid ( unsafe_code )` — the body
+/// of a `#![forbid(unsafe_code)]` inner attribute.
+fn has_forbid_unsafe(ctx: &FileCtx<'_>) -> bool {
+    (0..ctx.code.len()).any(|ci| {
+        ctx.ident(ci) == Some("forbid")
+            && ctx.punct(ci + 1) == Some('(')
+            && ctx.ident(ci + 2) == Some("unsafe_code")
+            && ctx.punct(ci + 3) == Some(')')
+    })
+}
+
+/// TD004 — `println!` / `eprintln!` / `print!` / `eprint!` / `dbg!` in
+/// library code; route output through td-obs or return it to the caller.
+fn td004_no_prints(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    for ci in 0..ctx.code.len() {
+        if ctx.in_test(ci) {
+            continue;
+        }
+        let Some(name) = ctx.ident(ci) else { continue };
+        if !matches!(name, "println" | "eprintln" | "print" | "eprint" | "dbg") {
+            continue;
+        }
+        if ctx.punct(ci + 1) == Some('!') {
+            out.extend(ctx.diag(
+                Code::Td004,
+                ci,
+                format!(
+                    "`{name}!` in library code; emit a td-obs metric/span or return the text to the caller"
+                ),
+            ));
+        }
+    }
+}
+
+/// The iterator-source methods whose order is the hash map's.
+const HASH_ITER_METHODS: [&str; 7] = [
+    "iter",
+    "into_iter",
+    "keys",
+    "values",
+    "into_keys",
+    "into_values",
+    "drain",
+];
+
+/// Collect targets that make hash-order irrelevant again.
+const ORDER_FREE_SINKS: [&str; 5] = ["HashMap", "HashSet", "BTreeMap", "BTreeSet", "BinaryHeap"];
+
+/// TD005 — iterating a `HashMap`/`HashSet` local straight into ordered
+/// output (a `Vec` collect or a `.push(..)` loop) without a sort.
+///
+/// Heuristic, by design: it tracks `let`-bound locals whose initializer
+/// or type annotation names `HashMap`/`HashSet`, then flags (a) `for ..
+/// in binding`-style loops whose body pushes or extends an accumulator
+/// and (b) `binding.iter()/keys()/..` chains that `collect` into
+/// anything ordered, unless the collected binding is sorted later in
+/// the file. Sorting the drained entries (or collecting into a BTree
+/// container) is both the fix and the suppression.
+fn td005_hash_order(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    let bindings = hash_bindings(ctx);
+    if bindings.iter().all(|b| !b.is_hash) {
+        return;
+    }
+    // Shadowing-aware: the most recent `let name` before the use site
+    // decides, so the sorted-`Vec` rebind idiom
+    // (`let mut xs: Vec<_> = xs.into_iter().collect(); xs.sort...`)
+    // clears the hash flag for everything after it.
+    let is_hash_at = |name: Option<&str>, use_ci: usize| {
+        name.is_some_and(|n| {
+            bindings
+                .iter()
+                .rev()
+                .find(|b| b.name == n && b.stmt_end < use_ci)
+                .is_some_and(|b| b.is_hash)
+        })
+    };
+
+    for ci in 0..ctx.code.len() {
+        if ctx.in_test(ci) {
+            continue;
+        }
+        // (a) `for pat in [&][mut] binding { .. body with .push/.extend .. }`
+        if ctx.ident(ci) == Some("for") {
+            let Some(in_ci) = find_at_depth(ctx, ci + 1, |c, j| c.ident(j) == Some("in")) else {
+                continue;
+            };
+            let mut j = in_ci + 1;
+            while ctx.punct(j) == Some('&') || ctx.ident(j) == Some("mut") {
+                j += 1;
+            }
+            if !is_hash_at(ctx.ident(j), j) {
+                continue;
+            }
+            let name = ctx.ident(j).unwrap_or_default();
+            // Direct iteration (`{` next) or an explicit hash-order
+            // iterator chain.
+            let direct = ctx.punct(j + 1) == Some('{');
+            let chained = ctx.punct(j + 1) == Some('.')
+                && ctx
+                    .ident(j + 2)
+                    .is_some_and(|m| HASH_ITER_METHODS.contains(&m));
+            if !(direct || chained) {
+                continue;
+            }
+            let Some(body_open) = find_at_depth(ctx, in_ci + 1, |c, k| c.punct(k) == Some('{'))
+            else {
+                continue;
+            };
+            let Some(body_close) = matching_close(ctx, body_open) else {
+                continue;
+            };
+            // A push/extend into an ordered accumulator leaks the hash
+            // order — unless that accumulator is itself a hash container
+            // (order-free) or is sorted after the loop.
+            let order_leaks = (body_open..body_close).any(|k| {
+                if ctx.punct(k) != Some('.')
+                    || !matches!(ctx.ident(k + 1), Some("push") | Some("extend"))
+                    || ctx.punct(k + 2) != Some('(')
+                {
+                    return false;
+                }
+                let acc = ctx.ident(k.wrapping_sub(1));
+                if is_hash_at(acc, k) {
+                    return false;
+                }
+                let sorted_later = acc.is_some_and(|a| {
+                    (body_close..ctx.code.len().saturating_sub(2)).any(|m| {
+                        ctx.ident(m) == Some(a)
+                            && ctx.punct(m + 1) == Some('.')
+                            && ctx.ident(m + 2).is_some_and(|s| s.starts_with("sort"))
+                    })
+                });
+                !sorted_later
+            });
+            if order_leaks {
+                out.extend(ctx.diag(
+                    Code::Td005,
+                    j,
+                    format!(
+                        "iterating hash-ordered `{name}` into an ordered accumulator; sort the entries first (e.g. collect and `sort_unstable_by_key`) so results are run-to-run deterministic"
+                    ),
+                ));
+            }
+            continue;
+        }
+        // (b) `binding.iter()...collect()` in one statement.
+        if is_hash_at(ctx.ident(ci), ci)
+            && ctx.punct(ci + 1) == Some('.')
+            && ctx
+                .ident(ci + 2)
+                .is_some_and(|m| HASH_ITER_METHODS.contains(&m))
+        {
+            let name = ctx.ident(ci).unwrap_or_default();
+            if collect_without_sort(ctx, ci) {
+                out.extend(ctx.diag(
+                    Code::Td005,
+                    ci,
+                    format!(
+                        "collecting hash-ordered `{name}` into ordered output without a sort; sort the result or collect into a BTree container"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// One `let` binding: its name, where its statement ends (uses after
+/// this point resolve to it), and whether it is hash-typed.
+struct LetBinding {
+    name: String,
+    stmt_end: usize,
+    is_hash: bool,
+}
+
+/// Every `let`-bound local in the file, in order, with hash-typing
+/// decided by the *outermost* type of its annotation or initializer.
+fn hash_bindings(ctx: &FileCtx<'_>) -> Vec<LetBinding> {
+    let mut out = Vec::new();
+    let mut ci = 0usize;
+    while ci < ctx.code.len() {
+        if ctx.ident(ci) != Some("let") {
+            ci += 1;
+            continue;
+        }
+        let mut j = ci + 1;
+        if ctx.ident(j) == Some("mut") {
+            j += 1;
+        }
+        let Some(name) = ctx.ident(j) else {
+            ci += 1;
+            continue;
+        };
+        // Hash-typed when the *outermost* type of the annotation (`let x:
+        // HashMap<..>`) or the head path of the initializer (`=
+        // HashMap::new()`, `= std::collections::HashSet::from(..)`) names
+        // a hash container. `Vec<HashSet<..>>` is a Vec, not a hash.
+        let mut mentions_hash = false;
+        if ctx.punct(j + 1) == Some(':') && ctx.punct(j + 2) != Some(':') {
+            mentions_hash = head_path_is_hash(ctx, j + 2);
+        }
+        // Find `=` at depth 0 to inspect the initializer head.
+        let mut depth = 0i32;
+        let mut k = j + 1;
+        while k < ctx.code.len() {
+            match ctx.punct(k) {
+                Some('(') | Some('[') | Some('{') => depth += 1,
+                Some(')') | Some(']') | Some('}') => {
+                    if depth == 0 {
+                        break;
+                    }
+                    depth -= 1;
+                }
+                Some(';') if depth == 0 => break,
+                Some('=')
+                    if depth == 0
+                        && ctx.punct(k + 1) != Some('=')
+                        && head_path_is_hash(ctx, k + 1) =>
+                {
+                    mentions_hash = true;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        out.push(LetBinding {
+            name: name.to_string(),
+            stmt_end: k,
+            is_hash: mentions_hash,
+        });
+        ci = k.max(ci + 1);
+    }
+    out
+}
+
+/// Does the path starting at code index `from` (after skipping `&`,
+/// `mut`, and lifetime-free qualifiers) have `HashMap`/`HashSet` as a
+/// segment of its head path — before any `<` generic opens or a call
+/// begins? `HashMap<..>` and `std::collections::HashMap::with_capacity`
+/// qualify; `Vec<HashSet<..>>` and `foo(HashMap::new())` do not.
+fn head_path_is_hash(ctx: &FileCtx<'_>, from: usize) -> bool {
+    let mut j = from;
+    while ctx.punct(j) == Some('&') || ctx.ident(j) == Some("mut") {
+        j += 1;
+    }
+    loop {
+        match ctx.ident(j) {
+            Some("HashMap") | Some("HashSet") => return true,
+            // Continue only through `::` path separators.
+            Some(_) if ctx.punct(j + 1) == Some(':') && ctx.punct(j + 2) == Some(':') => {
+                j += 3;
+            }
+            Some(_) => return false,
+            None => return false,
+        }
+    }
+}
+
+/// Find the first code token at delimiter depth 0 (relative to `from`)
+/// satisfying `pred`, stopping at statement/block boundaries.
+fn find_at_depth(
+    ctx: &FileCtx<'_>,
+    from: usize,
+    pred: impl Fn(&FileCtx<'_>, usize) -> bool,
+) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut j = from;
+    while j < ctx.code.len() {
+        if depth == 0 && pred(ctx, j) {
+            return Some(j);
+        }
+        match ctx.punct(j) {
+            Some('(') | Some('[') | Some('{') => depth += 1,
+            Some(')') | Some(']') | Some('}') => {
+                if depth == 0 {
+                    return None;
+                }
+                depth -= 1;
+            }
+            Some(';') if depth == 0 => return None,
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Index of the `}` matching the `{` at code index `open`.
+fn matching_close(ctx: &FileCtx<'_>, open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for j in open..ctx.code.len() {
+        match ctx.punct(j) {
+            Some('{') => depth += 1,
+            Some('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// For a hash-iteration chain starting at code index `ci`, decide
+/// whether it collects into ordered output with no later sort.
+fn collect_without_sort(ctx: &FileCtx<'_>, ci: usize) -> bool {
+    // Statement start: walk back to the previous `;`, `{`, or `}`.
+    let mut start = ci;
+    while start > 0 {
+        match ctx.punct(start - 1) {
+            Some(';') | Some('{') | Some('}') => break,
+            _ => start -= 1,
+        }
+    }
+    // Statement end: forward to `;` at depth 0 (or block open/close —
+    // a depth-0 `{` means this chain is a loop/if header, not a
+    // collect expression).
+    let mut depth = 0i32;
+    let mut end = ci;
+    while end < ctx.code.len() {
+        match ctx.punct(end) {
+            Some('{') if depth == 0 => break,
+            Some('(') | Some('[') | Some('{') => depth += 1,
+            Some(')') | Some(']') | Some('}') => {
+                if depth == 0 {
+                    break;
+                }
+                depth -= 1;
+            }
+            Some(';') if depth == 0 => break,
+            _ => {}
+        }
+        end += 1;
+    }
+    // Does the chain collect at all?
+    let Some(collect_ci) = (ci..end).find(|&j| ctx.ident(j) == Some("collect")) else {
+        return false;
+    };
+    // Collecting back into an order-free container is fine; check the
+    // turbofish and any `let` type annotation in this statement.
+    let sink_ok = (collect_ci..end)
+        .chain(start..ci)
+        .filter_map(|j| ctx.ident(j))
+        .any(|n| ORDER_FREE_SINKS.contains(&n));
+    if sink_ok {
+        return false;
+    }
+    // `let name = ...` — a later `name.sort*(..)` anywhere downstream
+    // counts as the required sort.
+    if ctx.ident(start) == Some("let") {
+        let mut j = start + 1;
+        if ctx.ident(j) == Some("mut") {
+            j += 1;
+        }
+        if let Some(bound) = ctx.ident(j) {
+            let sorted_later = (end..ctx.code.len().saturating_sub(2)).any(|k| {
+                ctx.ident(k) == Some(bound)
+                    && ctx.punct(k + 1) == Some('.')
+                    && ctx.ident(k + 2).is_some_and(|m| m.starts_with("sort"))
+            });
+            if sorted_later {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// TD006 — every `pub fn` in a crate root (`src/lib.rs`) carries a doc
+/// comment. `pub(crate)`/`pub(super)` functions are not public API and
+/// are exempt.
+fn td006_pub_fn_docs(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    for ci in 0..ctx.code.len() {
+        if ctx.in_test(ci) || ctx.ident(ci) != Some("fn") {
+            continue;
+        }
+        // Walk back over fn qualifiers to find `pub`.
+        let mut j = ci;
+        while j > 0
+            && matches!(
+                ctx.ident(j - 1),
+                Some("async") | Some("unsafe") | Some("const") | Some("extern")
+            )
+        {
+            j -= 1;
+        }
+        if j == 0 || ctx.ident(j - 1) != Some("pub") {
+            // `pub(crate) fn` ends with `)` before the qualifiers; exempt.
+            continue;
+        }
+        let pub_ci = j - 1;
+        if has_doc_before(ctx, pub_ci) {
+            continue;
+        }
+        let name = ctx.ident(ci + 1).unwrap_or("?");
+        out.extend(ctx.diag(
+            Code::Td006,
+            pub_ci,
+            format!("undocumented `pub fn {name}` in crate root; add a `///` doc comment"),
+        ));
+    }
+}
+
+/// Is the item whose first code token is `pub_ci` preceded by a doc
+/// comment (skipping attributes such as `#[must_use]`)?
+fn has_doc_before(ctx: &FileCtx<'_>, pub_ci: usize) -> bool {
+    let Some(&pub_ti) = ctx.code.get(pub_ci) else {
+        return false;
+    };
+    let mut ti = pub_ti;
+    loop {
+        if ti == 0 {
+            return false;
+        }
+        ti -= 1;
+        let t = &ctx.toks[ti];
+        if t.is_doc_comment() {
+            return true;
+        }
+        if t.is_comment() {
+            continue;
+        }
+        match t.kind {
+            // Attribute group: skip back over `#[...]`.
+            TokenKind::Punct if t.text(ctx.src) == "]" => {
+                let mut depth = 0i32;
+                loop {
+                    let u = &ctx.toks[ti];
+                    if u.kind == TokenKind::Punct {
+                        match u.text(ctx.src) {
+                            "]" => depth += 1,
+                            "[" => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                    if ti == 0 {
+                        return false;
+                    }
+                    ti -= 1;
+                }
+                // `ti` now sits on `[`; the `#` (and maybe `!`) precede.
+                if ti > 0 && ctx.toks[ti - 1].text(ctx.src) == "#" {
+                    ti -= 1;
+                }
+            }
+            _ => return false,
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Fixture-driven fire / no-fire / waiver coverage for every lint code,
+//! plus the workspace self-check: td-lint must run clean on this repo.
+//!
+//! Fixture sources live under `tests/fixtures/` (excluded from both the
+//! cargo build and the workspace scan) and are lexed through the public
+//! [`td_lint::scan_str`] entry point under synthetic workspace paths, so
+//! each case also exercises path classification.
+
+use std::path::Path;
+use td_lint::{scan_str, scan_workspace, Code};
+
+/// A library file that is not the crate root.
+const LIB: &str = "crates/demo/src/util.rs";
+/// The crate root (TD006 and the TD003 forbid-attr check apply).
+const ROOT: &str = "crates/demo/src/lib.rs";
+/// A binary target (printing and panicking allowed).
+const BIN: &str = "crates/demo/src/bin/tool.rs";
+
+fn fixture(name: &str) -> String {
+    let p = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("read {}: {e}", p.display()))
+}
+
+/// `(unwaived, waived)` counts of `code` when `src` is scanned as
+/// `rel_path`.
+fn counts(code: Code, rel_path: &str, src: &str) -> (usize, usize) {
+    let diags = scan_str(rel_path, src);
+    let unwaived = diags
+        .iter()
+        .filter(|d| d.code == code && !d.is_waived())
+        .count();
+    let waived = diags
+        .iter()
+        .filter(|d| d.code == code && d.is_waived())
+        .count();
+    (unwaived, waived)
+}
+
+#[test]
+fn td001_fires_on_unwrap_expect_panic() {
+    assert_eq!(counts(Code::Td001, LIB, &fixture("td001_fire.rs")), (3, 0));
+}
+
+#[test]
+fn td001_spares_typed_errors_and_tests() {
+    assert_eq!(
+        counts(Code::Td001, LIB, &fixture("td001_no_fire.rs")),
+        (0, 0)
+    );
+}
+
+#[test]
+fn td001_spares_binaries() {
+    assert_eq!(counts(Code::Td001, BIN, &fixture("td001_fire.rs")), (0, 0));
+}
+
+#[test]
+fn td001_waiver_needs_a_reason() {
+    // One justified waiver; the reason-less one does not suppress.
+    assert_eq!(
+        counts(Code::Td001, LIB, &fixture("td001_waived.rs")),
+        (1, 1)
+    );
+}
+
+#[test]
+fn td002_fires_on_raw_clock_reads() {
+    assert_eq!(counts(Code::Td002, LIB, &fixture("td002_fire.rs")), (2, 0));
+}
+
+#[test]
+fn td002_spares_type_mentions_and_tests() {
+    assert_eq!(
+        counts(Code::Td002, LIB, &fixture("td002_no_fire.rs")),
+        (0, 0)
+    );
+}
+
+#[test]
+fn td002_spares_the_obs_crate() {
+    let src = fixture("td002_fire.rs");
+    assert_eq!(counts(Code::Td002, "crates/obs/src/timer.rs", &src), (0, 0));
+}
+
+#[test]
+fn td002_waiver() {
+    assert_eq!(
+        counts(Code::Td002, LIB, &fixture("td002_waived.rs")),
+        (0, 1)
+    );
+}
+
+#[test]
+fn td003_fires_on_unsafe_and_missing_forbid() {
+    // The unsafe block plus the crate-root missing-attribute check.
+    assert_eq!(counts(Code::Td003, ROOT, &fixture("td003_fire.rs")), (2, 0));
+    // As a non-root file only the unsafe block fires.
+    assert_eq!(counts(Code::Td003, LIB, &fixture("td003_fire.rs")), (1, 0));
+}
+
+#[test]
+fn td003_applies_even_to_tests() {
+    let rel = "crates/demo/tests/acceptance.rs";
+    assert_eq!(
+        counts(Code::Td003, rel, &fixture("td003_waived.rs")),
+        (0, 1)
+    );
+}
+
+#[test]
+fn td003_spares_clean_roots() {
+    assert_eq!(
+        counts(Code::Td003, ROOT, &fixture("td003_no_fire.rs")),
+        (0, 0)
+    );
+}
+
+#[test]
+fn td003_waiver() {
+    assert_eq!(
+        counts(Code::Td003, LIB, &fixture("td003_waived.rs")),
+        (0, 1)
+    );
+}
+
+#[test]
+fn td004_fires_on_prints_in_library_code() {
+    assert_eq!(counts(Code::Td004, LIB, &fixture("td004_fire.rs")), (3, 0));
+}
+
+#[test]
+fn td004_spares_binaries_and_tests() {
+    assert_eq!(counts(Code::Td004, BIN, &fixture("td004_fire.rs")), (0, 0));
+    assert_eq!(
+        counts(Code::Td004, LIB, &fixture("td004_no_fire.rs")),
+        (0, 0)
+    );
+}
+
+#[test]
+fn td004_waiver() {
+    assert_eq!(
+        counts(Code::Td004, LIB, &fixture("td004_waived.rs")),
+        (0, 1)
+    );
+}
+
+#[test]
+fn td005_fires_on_unsorted_hash_drain() {
+    assert_eq!(counts(Code::Td005, LIB, &fixture("td005_fire.rs")), (1, 0));
+}
+
+#[test]
+fn td005_spares_sorted_drains_and_order_free_sinks() {
+    assert_eq!(
+        counts(Code::Td005, LIB, &fixture("td005_no_fire.rs")),
+        (0, 0)
+    );
+}
+
+#[test]
+fn td005_waiver() {
+    assert_eq!(
+        counts(Code::Td005, LIB, &fixture("td005_waived.rs")),
+        (0, 1)
+    );
+}
+
+#[test]
+fn td006_fires_on_undocumented_root_pub_fn() {
+    assert_eq!(counts(Code::Td006, ROOT, &fixture("td006_fire.rs")), (1, 0));
+    // Outside the crate root the rule does not apply.
+    assert_eq!(counts(Code::Td006, LIB, &fixture("td006_fire.rs")), (0, 0));
+}
+
+#[test]
+fn td006_spares_documented_and_non_public() {
+    assert_eq!(
+        counts(Code::Td006, ROOT, &fixture("td006_no_fire.rs")),
+        (0, 0)
+    );
+}
+
+#[test]
+fn td006_waiver() {
+    assert_eq!(
+        counts(Code::Td006, ROOT, &fixture("td006_waived.rs")),
+        (0, 1)
+    );
+}
+
+/// The gate itself: the workspace must be lint-clean. This is the same
+/// check CI runs via `cargo run -p td-lint`.
+#[test]
+fn workspace_self_check_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = scan_workspace(&root).expect("workspace scan");
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned: {}",
+        report.files_scanned
+    );
+    let unwaived: Vec<String> = report.unwaived().map(|d| d.render_text()).collect();
+    assert!(
+        unwaived.is_empty(),
+        "workspace has unwaived diagnostics:\n{}",
+        unwaived.join("\n")
+    );
+}

@@ -1,0 +1,10 @@
+//! TD001 fixture: three panicking constructs in library code.
+
+pub fn parse(x: Option<u32>, y: Option<u32>) -> u32 {
+    let v = x.unwrap();
+    let w = y.expect("present");
+    if v + w == u32::MAX {
+        panic!("overflow");
+    }
+    v + w
+}

@@ -1,0 +1,14 @@
+//! TD001 fixture: typed errors in library code; unwrap stays legal in
+//! the test module.
+
+pub fn parse(x: Option<u32>) -> Result<u32, String> {
+    x.ok_or_else(|| "missing".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        assert_eq!(super::parse(Some(1)).unwrap(), 1);
+    }
+}

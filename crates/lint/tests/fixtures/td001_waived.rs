@@ -1,0 +1,12 @@
+//! TD001 fixture: a justified waiver on a provable invariant, and one
+//! reason-less waiver that must NOT suppress the diagnostic.
+
+pub fn kth(values: &[u64]) -> u64 {
+    // td-lint: allow(TD001) caller fills `values` from a non-empty range
+    *values.last().expect("non-empty by construction")
+}
+
+pub fn bad_waiver(x: Option<u32>) -> u32 {
+    // td-lint: allow(TD001)
+    x.unwrap()
+}

@@ -1,0 +1,7 @@
+//! TD002 fixture: raw clock reads outside crates/obs.
+
+pub fn stamp() -> (std::time::Instant, std::time::SystemTime) {
+    let a = std::time::Instant::now();
+    let b = std::time::SystemTime::now();
+    (a, b)
+}

@@ -1,0 +1,14 @@
+//! TD002 fixture: mentioning the types without calling `now()` is fine,
+//! and tests may read the clock directly.
+
+pub fn describe(t: std::time::Instant) -> String {
+    format!("{t:?}")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_read_the_clock() {
+        let _ = std::time::Instant::now();
+    }
+}

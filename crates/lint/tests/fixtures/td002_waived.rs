@@ -1,0 +1,11 @@
+//! TD002 fixture: a justified waiver for a wall-clock read that is not a
+//! measurement.
+
+pub fn wall_clock_seed() -> u64 {
+    use std::time::{SystemTime, UNIX_EPOCH};
+    // td-lint: allow(TD002) seed entropy, not a latency measurement
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or_default()
+}

@@ -1,0 +1,6 @@
+//! TD003 fixture: an `unsafe` block in a crate root that also lacks
+//! `#![forbid(unsafe_code)]` — two findings.
+
+pub fn peek(p: *const u8) -> u8 {
+    unsafe { *p }
+}

@@ -1,0 +1,8 @@
+//! TD003 fixture: a clean crate root with the compiler backstop.
+
+#![forbid(unsafe_code)]
+
+/// Nothing scary here.
+pub fn safe() -> u8 {
+    0
+}

@@ -1,0 +1,6 @@
+//! TD003 fixture: a waived `unsafe` in a non-root library file.
+
+pub fn reinterpret(x: u64) -> i64 {
+    // td-lint: allow(TD003) bit-pattern cast audited in review
+    unsafe { std::mem::transmute(x) }
+}

@@ -1,0 +1,8 @@
+//! TD004 fixture: direct printing from library code. The same source
+//! scanned under a `src/bin/` path must produce no findings.
+
+pub fn report(n: usize) {
+    println!("{n} tables");
+    eprintln!("warning: {n}");
+    let _ = dbg!(n);
+}

@@ -1,0 +1,14 @@
+//! TD004 fixture: library code that returns text instead of printing,
+//! and a test that prints.
+
+pub fn render(n: usize) -> String {
+    format!("{n} tables")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_print() {
+        println!("{}", super::render(3));
+    }
+}

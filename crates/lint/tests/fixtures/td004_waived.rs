@@ -1,0 +1,6 @@
+//! TD004 fixture: a justified waiver on a deliberate print.
+
+pub fn banner() {
+    // td-lint: allow(TD004) startup banner is this helper's whole job
+    println!("td starting");
+}

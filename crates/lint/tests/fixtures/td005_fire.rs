@@ -1,0 +1,13 @@
+//! TD005 fixture: hash-order iteration feeding the returned Vec with no
+//! intervening sort — the ranking drifts run to run.
+
+use std::collections::HashMap;
+
+pub fn ranked(pairs: &[(u32, f64)]) -> Vec<(u32, f64)> {
+    let mut scores: HashMap<u32, f64> = HashMap::new();
+    for &(k, v) in pairs {
+        *scores.entry(k).or_insert(0.0) += v;
+    }
+    let out: Vec<(u32, f64)> = scores.into_iter().collect();
+    out
+}

@@ -1,0 +1,22 @@
+//! TD005 fixture: the same accumulation with a sorted drain — clean.
+
+use std::collections::HashMap;
+
+pub fn ranked(pairs: &[(u32, f64)]) -> Vec<(u32, f64)> {
+    let mut scores: HashMap<u32, f64> = HashMap::new();
+    for &(k, v) in pairs {
+        *scores.entry(k).or_insert(0.0) += v;
+    }
+    let mut out: Vec<(u32, f64)> = scores.into_iter().collect();
+    out.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    out
+}
+
+/// Collecting into an order-free sink is also fine.
+pub fn distinct(pairs: &[(u32, f64)]) -> std::collections::HashSet<u32> {
+    let mut scores: HashMap<u32, f64> = HashMap::new();
+    for &(k, v) in pairs {
+        *scores.entry(k).or_insert(0.0) += v;
+    }
+    scores.keys().copied().collect::<std::collections::HashSet<u32>>()
+}

@@ -1,0 +1,12 @@
+//! TD005 fixture: a waived hash-order drain (order genuinely ignored by
+//! the one caller).
+
+use std::collections::HashMap;
+
+pub fn sample(counts: &HashMap<u32, u64>) -> Vec<u32> {
+    let mut counts2: HashMap<u32, u64> = counts.clone();
+    counts2.retain(|_, v| *v > 0);
+    // td-lint: allow(TD005) diagnostic dump; the only caller sorts downstream
+    let out: Vec<u32> = counts2.keys().copied().collect();
+    out
+}

@@ -1,0 +1,7 @@
+//! TD006 fixture: an undocumented `pub fn` in a crate root.
+
+#![forbid(unsafe_code)]
+
+pub fn mystery() -> u32 {
+    42
+}

@@ -1,0 +1,18 @@
+//! TD006 fixture: documented public API; `pub(crate)` and private items
+//! are exempt.
+
+#![forbid(unsafe_code)]
+
+/// Answers the question.
+#[must_use]
+pub fn answer() -> u32 {
+    42
+}
+
+pub(crate) fn helper() -> u32 {
+    7
+}
+
+fn private() -> u32 {
+    1
+}

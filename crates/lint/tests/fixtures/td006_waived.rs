@@ -1,0 +1,8 @@
+//! TD006 fixture: a waived undocumented `pub fn`.
+
+#![forbid(unsafe_code)]
+
+// td-lint: allow(TD006) generated trampoline, documented at the macro site
+pub fn trampoline() -> u32 {
+    0
+}

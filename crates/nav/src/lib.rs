@@ -9,6 +9,8 @@
 //! ambiguous values by betweenness centrality on the value–column graph
 //! (DomainNet, the §3 graph-mining direction).
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 

@@ -99,7 +99,7 @@ pub(crate) fn kmeans(vectors: &[&[f32]], k: usize, iters: usize, seed: u64) -> V
                     .fold(f32::INFINITY, f32::min);
                 da.total_cmp(&db)
             })
-            .expect("non-empty");
+            .unwrap_or(start);
         centroids.push(vectors[far].to_vec());
     }
     let mut assign = vec![0usize; n];
@@ -110,8 +110,7 @@ pub(crate) fn kmeans(vectors: &[&[f32]], k: usize, iters: usize, seed: u64) -> V
                 .iter()
                 .enumerate()
                 .max_by(|(_, a), (_, b)| cosine(v, a).total_cmp(&cosine(v, b)))
-                .map(|(c, _)| c)
-                .expect("k >= 1");
+                .map_or(0, |(c, _)| c);
         }
         // Update.
         let mut sums = vec![vec![0.0f32; dim]; k];
@@ -128,7 +127,7 @@ pub(crate) fn kmeans(vectors: &[&[f32]], k: usize, iters: usize, seed: u64) -> V
                         cosine(vectors[a], &centroids[assign[a]])
                             .total_cmp(&cosine(vectors[b], &centroids[assign[b]]))
                     })
-                    .expect("non-empty");
+                    .unwrap_or(start);
                 *sum = vectors[worst].to_vec();
             }
             normalize(sum);
@@ -141,8 +140,7 @@ pub(crate) fn kmeans(vectors: &[&[f32]], k: usize, iters: usize, seed: u64) -> V
             .iter()
             .enumerate()
             .max_by(|(_, a), (_, b)| cosine(v, a).total_cmp(&cosine(v, b)))
-            .map(|(c, _)| c)
-            .expect("k >= 1");
+            .map_or(0, |(c, _)| c);
     }
     assign
 }
@@ -285,14 +283,12 @@ impl Organization {
             }
             for (t, v) in items {
                 let Some(&cur) = leaf_of.get(t) else { continue };
-                let best = leaves
-                    .iter()
-                    .copied()
-                    .max_by(|&a, &b| {
-                        cosine(&self.nodes[a].centroid, v)
-                            .total_cmp(&cosine(&self.nodes[b].centroid, v))
-                    })
-                    .expect("non-empty leaves");
+                let Some(best) = leaves.iter().copied().max_by(|&a, &b| {
+                    cosine(&self.nodes[a].centroid, v)
+                        .total_cmp(&cosine(&self.nodes[b].centroid, v))
+                }) else {
+                    continue;
+                };
                 if best != cur && self.nodes[cur].tables.len() > 1 {
                     self.nodes[cur].tables.retain(|x| x != t);
                     self.nodes[best].tables.push(*t);

@@ -32,6 +32,8 @@
 //! assert_eq!(snap.histogram("query.latency_ns").unwrap().count, 1);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 

@@ -3,8 +3,15 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, LockResult, RwLock};
 use std::time::Duration;
+
+/// Recover the guard from a poisoned lock: metrics are plain atomics, so
+/// a panic mid-update cannot leave them in a state worse than a torn
+/// read, and observability must never take the process down.
+fn relock<G>(r: LockResult<G>) -> G {
+    r.unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// A monotonically increasing `u64` counter (wait-free).
 #[derive(Debug, Default)]
@@ -85,12 +92,9 @@ impl std::fmt::Debug for Histogram {
 
 impl Default for Histogram {
     fn default() -> Self {
-        // `AtomicU64` is not `Copy`; build the array explicitly.
-        let buckets: Vec<AtomicU64> = (0..BUCKETS).map(|_| AtomicU64::new(0)).collect();
-        let buckets: Box<[AtomicU64; BUCKETS]> =
-            buckets.into_boxed_slice().try_into().expect("fixed size");
         Histogram {
-            buckets,
+            // `AtomicU64` is not `Copy`; build the array element-wise.
+            buckets: Box::new(std::array::from_fn(|_| AtomicU64::new(0))),
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
             max: AtomicU64::new(0),
@@ -326,38 +330,29 @@ impl Registry {
 
     /// Swap the span subscriber (the default is a [`crate::RingRecorder`]).
     pub fn set_subscriber(&self, sub: Arc<dyn crate::Subscriber>) {
-        *self.subscriber.write().expect("subscriber lock") = sub;
+        *relock(self.subscriber.write()) = sub;
     }
 
     /// Current span subscriber.
     #[must_use]
     pub fn subscriber(&self) -> Arc<dyn crate::Subscriber> {
-        self.subscriber.read().expect("subscriber lock").clone()
+        relock(self.subscriber.read()).clone()
     }
 
     /// Point-in-time snapshot of every metric, names sorted.
     #[must_use]
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let mut counters: Vec<(String, u64)> = self
-            .counters
-            .read()
-            .expect("counters lock")
+        let mut counters: Vec<(String, u64)> = relock(self.counters.read())
             .iter()
             .map(|(k, v)| (k.clone(), v.get()))
             .collect();
         counters.sort_by(|a, b| a.0.cmp(&b.0));
-        let mut gauges: Vec<(String, f64)> = self
-            .gauges
-            .read()
-            .expect("gauges lock")
+        let mut gauges: Vec<(String, f64)> = relock(self.gauges.read())
             .iter()
             .map(|(k, v)| (k.clone(), v.get()))
             .collect();
         gauges.sort_by(|a, b| a.0.cmp(&b.0));
-        let mut histograms: Vec<(String, HistogramSnapshot)> = self
-            .histograms
-            .read()
-            .expect("histograms lock")
+        let mut histograms: Vec<(String, HistogramSnapshot)> = relock(self.histograms.read())
             .iter()
             .map(|(k, v)| (k.clone(), v.snapshot()))
             .collect();
@@ -371,9 +366,9 @@ impl Registry {
 
     /// Remove every metric (testing / between bench stages).
     pub fn reset(&self) {
-        self.counters.write().expect("counters lock").clear();
-        self.gauges.write().expect("gauges lock").clear();
-        self.histograms.write().expect("histograms lock").clear();
+        relock(self.counters.write()).clear();
+        relock(self.gauges.write()).clear();
+        relock(self.histograms.write()).clear();
     }
 
     /// Render the registry in the Prometheus text exposition format.
@@ -496,10 +491,10 @@ fn prom_name(name: &str) -> String {
 }
 
 fn get_or_insert<T: Default>(map: &RwLock<HashMap<String, Arc<T>>>, name: &str) -> Arc<T> {
-    if let Some(v) = map.read().expect("metrics lock").get(name) {
+    if let Some(v) = relock(map.read()).get(name) {
         return Arc::clone(v);
     }
-    let mut w = map.write().expect("metrics lock");
+    let mut w = relock(map.write());
     Arc::clone(w.entry(name.to_string()).or_default())
 }
 

@@ -4,7 +4,7 @@
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::sync::atomic::Ordering;
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
 use std::time::Instant;
 
 use crate::Registry;
@@ -39,6 +39,17 @@ pub struct RingRecorder {
 }
 
 impl RingRecorder {
+    /// Lock the ring, recovering from poison: the buffer only ever holds
+    /// fully written records, and tracing must never take the process
+    /// down.
+    fn buf(&self) -> MutexGuard<'_, VecDeque<SpanRecord>> {
+        self.buf
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+impl RingRecorder {
     /// A recorder holding at most `capacity` spans (oldest evicted first).
     #[must_use]
     pub fn new(capacity: usize) -> Self {
@@ -51,18 +62,13 @@ impl RingRecorder {
     /// The retained spans, oldest first.
     #[must_use]
     pub fn recent(&self) -> Vec<SpanRecord> {
-        self.buf
-            .lock()
-            .expect("ring lock")
-            .iter()
-            .cloned()
-            .collect()
+        self.buf().iter().cloned().collect()
     }
 
     /// Number of retained spans.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.buf.lock().expect("ring lock").len()
+        self.buf().len()
     }
 
     /// Whether the recorder holds no spans.
@@ -73,13 +79,13 @@ impl RingRecorder {
 
     /// Drop all retained spans.
     pub fn clear(&self) {
-        self.buf.lock().expect("ring lock").clear();
+        self.buf().clear();
     }
 }
 
 impl Subscriber for RingRecorder {
     fn on_close(&self, span: &SpanRecord) {
-        let mut buf = self.buf.lock().expect("ring lock");
+        let mut buf = self.buf();
         if buf.len() == self.capacity {
             buf.pop_front();
         }

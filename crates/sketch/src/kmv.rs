@@ -117,7 +117,9 @@ impl KmvSketch {
         if !self.is_full() {
             return self.values.len() as f64;
         }
-        let kth = *self.values.last().expect("full sketch") as f64;
+        // A full sketch holds k ≥ 1 values; fall back to the largest
+        // possible k-th minimum (estimate k - 1) rather than panic.
+        let kth = self.values.last().copied().unwrap_or(u64::MAX) as f64;
         let u = (kth + 1.0) / (u64::MAX as f64 + 1.0);
         (self.k as f64 - 1.0) / u
     }

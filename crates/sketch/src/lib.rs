@@ -15,6 +15,8 @@
 //! All sketches use the crate's own seeded hashing ([`hash`]) so results
 //! are reproducible across runs and platforms.
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 

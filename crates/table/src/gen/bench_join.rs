@@ -86,22 +86,22 @@ impl JoinBenchmark {
     pub fn generate(cfg: &JoinBenchConfig) -> Self {
         let registry = DomainRegistry::standard();
         let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let key_dom = registry.id("city").expect("standard domain");
+        let key_dom = registry.must_id("city");
         let noise_doms = [
-            registry.id("person").expect("standard domain"),
-            registry.id("company").expect("standard domain"),
-            registry.id("product").expect("standard domain"),
+            registry.must_id("person"),
+            registry.must_id("company"),
+            registry.must_id("product"),
         ];
         let q = cfg.query_size as u64;
 
         // Query key = domain indices [0, q); non-query pool starts at q.
         let query_key_col = Column::new("city", registry.vocab(key_dom, q));
-        let pop_dom = registry.id("population").expect("standard domain");
+        let pop_dom = registry.must_id("population");
         let query_pop = Column::new(
             "population",
             (0..q).map(|i| registry.value(pop_dom, i)).collect(),
         );
-        let query = Table::new("query", vec![query_key_col, query_pop]).expect("equal len");
+        let query = super::must_table("query", vec![query_key_col, query_pop]);
 
         let mut lake = DataLake::new();
         let mut truth = Vec::with_capacity(cfg.num_relevant);
@@ -139,7 +139,7 @@ impl JoinBenchmark {
                         .collect(),
                 ));
             }
-            let table = Table::new(format!("relevant_{t:04}.csv"), cols).expect("equal len");
+            let table = super::must_table(format!("relevant_{t:04}.csv"), cols);
             let id = lake.add(table);
             let union = cfg.query_size + card - overlap;
             truth.push(JoinTruth {
@@ -160,7 +160,7 @@ impl JoinBenchmark {
                     .map(|i| registry.value(d, (t as u64) * 10_000 + i))
                     .collect(),
             );
-            let table = Table::new(format!("noise_{t:04}.csv"), vec![col]).expect("one col");
+            let table = super::must_table(format!("noise_{t:04}.csv"), vec![col]);
             lake.add(table);
         }
 
@@ -261,7 +261,7 @@ impl MultiJoinBenchmark {
         let key_doms: Vec<DomainId> = ["person", "city", "company", "product"]
             .iter()
             .take(cfg.key_arity)
-            .map(|n| registry.id(n).expect("standard domain"))
+            .map(|n| registry.must_id(n))
             .collect();
         let n = cfg.query_rows as u64;
 
@@ -282,12 +282,12 @@ impl MultiJoinBenchmark {
 
         // Query: aligned tuples (person i, city i, ...).
         let mut qcols = mk_cols(&|_, i| i, n);
-        let sal = registry.id("salary").expect("standard domain");
+        let sal = registry.must_id("salary");
         qcols.push(Column::new(
             "salary",
             (0..n).map(|i| registry.value(sal, i)).collect(),
         ));
-        let query = Table::new("query", qcols).expect("equal len");
+        let query = super::must_table("query", qcols);
 
         let mut lake = DataLake::new();
         let mut truth = Vec::new();
@@ -300,7 +300,7 @@ impl MultiJoinBenchmark {
             let base = 1_000_000 + (t as u64) * 100_000;
             let rows = n; // same size for simplicity
             let cols = mk_cols(&move |_, i| if i < hit { i } else { base + i }, rows);
-            let id = lake.add(Table::new(format!("multikey_{t:04}.csv"), cols).expect("equal len"));
+            let id = lake.add(super::must_table(format!("multikey_{t:04}.csv"), cols));
             truth.push(MultiJoinTruth {
                 table: id,
                 row_containment: hit as f64 / n as f64,
@@ -315,8 +315,7 @@ impl MultiJoinBenchmark {
             // tuple matches.
             let shift = 1 + (t as u64 % (n - 1).max(1));
             let cols = mk_cols(&move |k, i| (i + (k as u64) * shift) % n, n);
-            let id =
-                lake.add(Table::new(format!("singleattr_{t:04}.csv"), cols).expect("equal len"));
+            let id = lake.add(super::must_table(format!("singleattr_{t:04}.csv"), cols));
             truth.push(MultiJoinTruth {
                 table: id,
                 row_containment: 0.0,
@@ -424,7 +423,7 @@ impl CorrelationBenchmark {
     pub fn generate(cfg: &CorrelationConfig) -> Self {
         let registry = DomainRegistry::standard();
         let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let key_dom = registry.id("city").expect("standard domain");
+        let key_dom = registry.must_id("city");
         let n = cfg.query_rows;
 
         // Query x values: standard normal-ish via sum of uniforms.
@@ -434,14 +433,13 @@ impl CorrelationBenchmark {
                 s - 6.0
             })
             .collect();
-        let query = Table::new(
+        let query = super::must_table(
             "query",
             vec![
                 Column::new("city", registry.vocab(key_dom, n as u64)),
                 Column::new("x", x.iter().map(|&v| Value::Float(v)).collect()),
             ],
-        )
-        .expect("equal len");
+        );
 
         let mut lake = DataLake::new();
         let mut truth = Vec::with_capacity(cfg.rhos.len());
@@ -465,16 +463,13 @@ impl CorrelationBenchmark {
                 ys.push(y);
             }
             let realized = pearson(&xs, &ys);
-            let id = lake.add(
-                Table::new(
-                    format!("corr_{t:02}.csv"),
-                    vec![
-                        Column::new("city", keys),
-                        Column::new("y", ys.iter().map(|&v| Value::Float(v)).collect()),
-                    ],
-                )
-                .expect("equal len"),
-            );
+            let id = lake.add(super::must_table(
+                format!("corr_{t:02}.csv"),
+                vec![
+                    Column::new("city", keys),
+                    Column::new("y", ys.iter().map(|&v| Value::Float(v)).collect()),
+                ],
+            ));
             truth.push(CorrelationTruth {
                 table: id,
                 numeric_column: 1,

@@ -184,8 +184,8 @@ impl UnionBenchmark {
 
         // Plant homographs for every key/partner pair we will use.
         for (k, p) in key_names.iter().zip(partner_names) {
-            let a = registry.id(k).expect("standard domain");
-            let b = registry.id(p).expect("standard domain");
+            let a = registry.must_id(k);
+            let b = registry.must_id(p);
             registry.add_homograph_pair(a, b, cfg.homograph_range);
         }
 
@@ -198,10 +198,8 @@ impl UnionBenchmark {
         let mut next_rel_id = 0u32;
 
         for q in 0..cfg.num_queries {
-            let key_dom = registry.id(key_names[q % key_names.len()]).expect("domain");
-            let partner_dom = registry
-                .id(partner_names[q % partner_names.len()])
-                .expect("domain");
+            let key_dom = registry.must_id(key_names[q % key_names.len()]);
+            let partner_dom = registry.must_id(partner_names[q % partner_names.len()]);
             // Pick attribute domains for this query's pattern.
             let mut pool: Vec<&str> = attr_pool.to_vec();
             pool.shuffle(&mut rng);
@@ -211,7 +209,7 @@ impl UnionBenchmark {
                 .map(|n| {
                     let spec = RelationSpec {
                         key_dom,
-                        attr_dom: registry.id(n).expect("domain"),
+                        attr_dom: registry.must_id(n),
                         rel_id: next_rel_id,
                     };
                     next_rel_id += 1;
@@ -274,7 +272,7 @@ impl UnionBenchmark {
                 for extra in pool.iter().rev().take(cfg.attrs_per_table - keep) {
                     let spec = RelationSpec {
                         key_dom,
-                        attr_dom: registry.id(extra).expect("domain"),
+                        attr_dom: registry.must_id(extra),
                         rel_id: next_rel_id,
                     };
                     next_rel_id += 1;
@@ -357,7 +355,7 @@ impl UnionBenchmark {
                     .map(|n| {
                         let spec = RelationSpec {
                             key_dom: partner_dom,
-                            attr_dom: registry.id(n).expect("domain"),
+                            attr_dom: registry.must_id(n),
                             rel_id: next_rel_id,
                         };
                         next_rel_id += 1;
@@ -395,9 +393,7 @@ impl UnionBenchmark {
         // Global noise tables.
         let noise_doms = ["airport_code", "stock_ticker", "email", "phone"];
         for t in 0..cfg.noise {
-            let d = registry
-                .id(noise_doms[t % noise_doms.len()])
-                .expect("domain");
+            let d = registry.must_id(noise_doms[t % noise_doms.len()]);
             let rows = cfg.rows;
             let col = Column::new(
                 registry.domain(d).name.clone(),
@@ -405,7 +401,7 @@ impl UnionBenchmark {
                     .map(|i| registry.value(d, 50_000 + (t as u64) * 10_000 + i))
                     .collect(),
             );
-            lake.add(Table::new(format!("noise_{t:03}.csv"), vec![col]).expect("one col"));
+            lake.add(super::must_table(format!("noise_{t:03}.csv"), vec![col]));
         }
 
         UnionBenchmark {
@@ -507,7 +503,7 @@ fn instantiate(
         tags: vec![registry.domain(pattern.key_dom).category.clone()],
         source: "synthetic".into(),
     };
-    (Table::with_meta(name, cols, meta).expect("equal len"), doms)
+    (super::must_table_with_meta(name, cols, meta), doms)
 }
 
 #[cfg(test)]

@@ -302,6 +302,17 @@ impl DomainRegistry {
             .map(|i| DomainId(i as u16))
     }
 
+    /// Look up a built-in domain by name, for generator code that names
+    /// domains with compile-time string constants.
+    ///
+    /// # Panics
+    /// Panics if `name` is not registered.
+    #[must_use]
+    pub fn must_id(&self, name: &str) -> DomainId {
+        // td-lint: allow(TD001) generator domain names are compile-time constants
+        self.id(name).expect("domain registered in this registry")
+    }
+
     /// Iterate `(id, domain)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (DomainId, &Domain)> {
         self.domains

@@ -10,7 +10,7 @@
 use super::domains::{DomainId, DomainRegistry};
 use crate::column::Column;
 use crate::lake::{ColumnRef, DataLake, TableId};
-use crate::table::{Table, TableMeta};
+use crate::table::TableMeta;
 use crate::value::Value;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -44,7 +44,9 @@ impl Zipf {
 
     /// Sample a rank.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
-        let total = *self.cum.last().expect("non-empty");
+        let Some(&total) = self.cum.last() else {
+            return 0; // unreachable: `new` rejects an empty support
+        };
         let u = rng.gen::<f64>() * total;
         self.cum.partition_point(|&c| c < u).min(self.cum.len() - 1)
     }
@@ -268,7 +270,7 @@ impl LakeGenerator {
                     source: "synthetic-portal".to_string(),
                 }
             };
-            let table = Table::with_meta(name, columns, meta).expect("equal lengths");
+            let table = super::must_table_with_meta(name, columns, meta);
             let id = lake.add(table);
             table_categories.insert(id, category);
             for (ci, d) in domains.into_iter().enumerate() {

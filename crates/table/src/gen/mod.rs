@@ -23,3 +23,21 @@ pub use bench_union::{
 };
 pub use domains::{Domain, DomainId, DomainRegistry, HomographPair, ValueFormat};
 pub use lakegen::{GeneratedLake, LakeGenConfig, LakeGenerator, Zipf};
+
+/// [`crate::Table::new`] for generator output. Every generator fills its
+/// columns from one row loop, so ragged columns are a bug in the
+/// generator itself, not a recoverable input condition.
+pub(crate) fn must_table(name: impl Into<String>, columns: Vec<crate::Column>) -> crate::Table {
+    // td-lint: allow(TD001) generators build equal-length columns by construction
+    crate::Table::new(name, columns).expect("generator columns are equal-length")
+}
+
+/// [`crate::Table::with_meta`] for generator output; see [`must_table`].
+pub(crate) fn must_table_with_meta(
+    name: impl Into<String>,
+    columns: Vec<crate::Column>,
+    meta: crate::TableMeta,
+) -> crate::Table {
+    // td-lint: allow(TD001) generators build equal-length columns by construction
+    crate::Table::with_meta(name, columns, meta).expect("generator columns are equal-length")
+}

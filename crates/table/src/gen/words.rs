@@ -89,7 +89,7 @@ pub fn alpha_suffix(mut i: u64) -> String {
         }
     }
     out.reverse();
-    String::from_utf8(out).expect("ascii")
+    out.into_iter().map(char::from).collect()
 }
 
 /// Uniform integer in `[lo, hi)` derived from a seed (for value formatting,

@@ -34,6 +34,8 @@
 //! assert!(gl.domain_of(col_ref).is_some());
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 

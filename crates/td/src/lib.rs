@@ -34,6 +34,8 @@
 //! assert!(hits.len() <= 5);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 

@@ -173,7 +173,8 @@ pub fn pairwise_f1<L: Eq + std::hash::Hash>(
             pred_cluster.insert(c, ci);
         }
     }
-    let cols: Vec<ColumnRef> = truth.keys().copied().collect();
+    let mut cols: Vec<ColumnRef> = truth.keys().copied().collect();
+    cols.sort_unstable();
     let (mut tp, mut fp, mut fn_) = (0usize, 0usize, 0usize);
     for i in 0..cols.len() {
         for j in (i + 1)..cols.len() {

@@ -7,6 +7,8 @@
 //! table annotation of column types and binary relations (the substrate of
 //! SANTOS-style union search).
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 

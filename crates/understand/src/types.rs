@@ -180,9 +180,12 @@ impl ContextTypeClassifier {
         // Laplace-smoothed co-occurrence counts.
         let mut counts = vec![vec![1.0f64; n]; n];
         for (_, labels) in tables {
+            // Every label was just fed to `FeatureTypeClassifier::train`,
+            // so lookup cannot miss; `filter_map` keeps that invariant
+            // panic-free regardless.
             let ids: Vec<usize> = labels
                 .iter()
-                .map(|l| base.type_id(l).expect("trained label") as usize)
+                .filter_map(|l| base.type_id(l).map(|t| t as usize))
                 .collect();
             for (i, &a) in ids.iter().enumerate() {
                 for &b in &ids[i + 1..] {
