@@ -263,6 +263,17 @@ mod tests {
     use super::*;
     use td_table::gen::lakegen::{LakeGenConfig, LakeGenerator};
 
+    /// Compile-time proof that the pipeline can be shared across server
+    /// worker threads behind an `Arc` (td-serve depends on this). If any
+    /// component regresses to interior mutability that is not
+    /// thread-safe, this test stops compiling.
+    #[test]
+    fn pipeline_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DiscoveryPipeline>();
+        assert_send_sync::<td_index::AdaptiveVectorIndex>();
+    }
+
     #[test]
     fn pipeline_builds_and_serves_all_families() {
         let gl = LakeGenerator::standard().generate(&LakeGenConfig {

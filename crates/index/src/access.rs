@@ -14,6 +14,8 @@
 use crate::flat::FlatIndex;
 use crate::hnsw::{Hnsw, HnswParams};
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 use td_obs::ScopedTimer;
 
 /// The vector access methods under selection.
@@ -169,15 +171,22 @@ impl CostModel {
 
 /// A self-selecting vector index: routes inserts to both representations
 /// lazily and serves queries through the currently-cheapest method.
+///
+/// Queries take `&self`: the lazy HNSW build is a thread-safe
+/// [`OnceLock::get_or_init`], so one index can serve concurrent query
+/// threads behind an `Arc` (the serving tier depends on this — see
+/// `td-serve`). The first thread to need HNSW builds it; racers block on
+/// the same cell and reuse the result.
 pub struct AdaptiveVectorIndex {
     dim: usize,
     model: CostModel,
     expected_queries: usize,
     vectors: Vec<Vec<f32>>,
-    /// Built lazily the first time the selector picks HNSW.
-    hnsw: Option<Box<Hnsw>>,
+    /// Built lazily (and exactly once) the first time the selector picks
+    /// HNSW while serving a query.
+    hnsw: OnceLock<Box<Hnsw>>,
     flat: FlatIndex,
-    queries_served: usize,
+    queries_served: AtomicUsize,
 }
 
 impl AdaptiveVectorIndex {
@@ -189,16 +198,16 @@ impl AdaptiveVectorIndex {
             model,
             expected_queries,
             vectors: Vec::new(),
-            hnsw: None,
+            hnsw: OnceLock::new(),
             flat: FlatIndex::new(dim),
-            queries_served: 0,
+            queries_served: AtomicUsize::new(0),
         }
     }
 
     /// Insert a vector.
     pub fn insert(&mut self, v: Vec<f32>) {
         self.flat.insert(v.clone());
-        if let Some(h) = &mut self.hnsw {
+        if let Some(h) = self.hnsw.get_mut() {
             h.insert(v.clone());
         }
         self.vectors.push(v);
@@ -223,31 +232,28 @@ impl AdaptiveVectorIndex {
             corpus_size: self.vectors.len(),
             expected_queries: self
                 .expected_queries
-                .saturating_sub(self.queries_served)
+                .saturating_sub(self.queries_served.load(Ordering::Relaxed))
                 .max(1),
             k: 10,
         })
     }
 
-    /// Query through the currently-cheapest method (building HNSW on first
-    /// use if the selector calls for it).
-    pub fn search(&mut self, query: &[f32], k: usize) -> Vec<(u32, f32)> {
-        self.queries_served += 1;
+    /// Query through the currently-cheapest method, building HNSW exactly
+    /// once across all threads on first use if the selector calls for it.
+    pub fn search(&self, query: &[f32], k: usize) -> Vec<(u32, f32)> {
+        self.queries_served.fetch_add(1, Ordering::Relaxed);
         match self.current_method() {
             AccessMethod::Flat => self.flat.search(query, k),
-            AccessMethod::Hnsw => {
-                let dim = self.dim;
-                let vectors = &self.vectors;
-                self.hnsw
-                    .get_or_insert_with(|| {
-                        let mut h = Hnsw::new(dim, HnswParams::default());
-                        for v in vectors {
-                            h.insert(v.clone());
-                        }
-                        Box::new(h)
-                    })
-                    .search(query, k, 64.max(k))
-            }
+            AccessMethod::Hnsw => self
+                .hnsw
+                .get_or_init(|| {
+                    let mut h = Hnsw::new(self.dim, HnswParams::default());
+                    for v in &self.vectors {
+                        h.insert(v.clone());
+                    }
+                    Box::new(h)
+                })
+                .search(query, k, 64.max(k)),
         }
     }
 }
@@ -383,5 +389,32 @@ mod tests {
         let r = idx.search(&q, 1);
         assert_eq!(r[0].0, 7, "HNSW path must find the exact match");
         assert_eq!(idx.len(), 3_000);
+    }
+
+    #[test]
+    fn adaptive_index_is_shareable_across_threads() {
+        use std::sync::Arc;
+        use td_embed::model::seeded_unit_vector;
+        let m = fixed_model();
+        let mut idx = AdaptiveVectorIndex::new(16, m, 10_000);
+        for i in 0..3_000u64 {
+            idx.insert(seeded_unit_vector(i, 16));
+        }
+        assert_eq!(idx.current_method(), AccessMethod::Hnsw);
+        let idx = Arc::new(idx);
+        // All threads race the lazy HNSW build through the OnceLock; each
+        // must see the exact self-match.
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                let idx = Arc::clone(&idx);
+                std::thread::spawn(move || {
+                    let q = seeded_unit_vector(t * 100, 16);
+                    idx.search(&q, 1)[0].0
+                })
+            })
+            .collect();
+        for (t, h) in handles.into_iter().enumerate() {
+            assert_eq!(h.join().unwrap() as u64, t as u64 * 100);
+        }
     }
 }

@@ -276,6 +276,55 @@ mod tests {
         assert_eq!(classify("crates/lint/tests/fixtures/td001_fire.rs"), None);
         assert_eq!(classify("vendor/serde/src/lib.rs"), None);
         assert_eq!(classify("crates/core/Cargo.toml"), None);
+        // The serving layer is ordinary library code: every rule applies.
+        assert_eq!(
+            classify("crates/serve/src/lib.rs"),
+            Some(("serve".into(), FileClass::Library, true))
+        );
+        assert_eq!(
+            classify("crates/serve/src/server.rs"),
+            Some(("serve".into(), FileClass::Library, false))
+        );
+        assert_eq!(
+            classify("crates/serve/tests/concurrent.rs"),
+            Some(("serve".into(), FileClass::Test, false))
+        );
+    }
+
+    #[test]
+    fn serve_library_code_is_held_to_every_rule() {
+        // TD001: a bare unwrap in the serving layer fires like anywhere
+        // else — connection handling must be panic-free.
+        let diags = scan_str(
+            "crates/serve/src/server.rs",
+            "pub fn f(s: Option<u32>) -> u32 { s.unwrap() }\n",
+        );
+        assert!(diags
+            .iter()
+            .any(|d| d.code == Code::Td001 && !d.is_waived()));
+
+        // TD002: serve must take time through td-obs, not Instant::now.
+        let diags = scan_str(
+            "crates/serve/src/server.rs",
+            "pub fn f() { let _t = std::time::Instant::now(); }\n",
+        );
+        assert!(diags
+            .iter()
+            .any(|d| d.code == Code::Td002 && !d.is_waived()));
+
+        // TD004: prints in serve library code fire unwaived...
+        let diags = scan_str(
+            "crates/serve/src/server.rs",
+            "pub fn f() { eprintln!(\"oops\"); }\n",
+        );
+        assert!(diags
+            .iter()
+            .any(|d| d.code == Code::Td004 && !d.is_waived()));
+
+        // ...and the accept-loop's justified waiver is honored.
+        let src = "pub fn f() {\n    // td-lint: allow(TD004) accept-loop diagnostics have no other channel\n    eprintln!(\"accept error\");\n}\n";
+        let diags = scan_str("crates/serve/src/server.rs", src);
+        assert!(diags.iter().all(|d| d.code != Code::Td004 || d.is_waived()));
     }
 
     #[test]

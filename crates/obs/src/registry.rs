@@ -62,6 +62,34 @@ impl Gauge {
     pub fn get(&self) -> f64 {
         f64::from_bits(self.bits.load(Ordering::Relaxed))
     }
+
+    /// Add `delta` atomically (CAS loop on the f64 bit pattern) — the
+    /// primitive behind level gauges such as queue depth and in-flight
+    /// request counts, where many threads move the same gauge up and
+    /// down concurrently and `set(get() + d)` would lose updates.
+    pub fn add(&self, delta: f64) {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + delta).to_bits();
+            match self
+                .bits
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Increment by one (see [`Gauge::add`]).
+    pub fn inc(&self) {
+        self.add(1.0);
+    }
+
+    /// Decrement by one (see [`Gauge::add`]).
+    pub fn dec(&self) {
+        self.add(-1.0);
+    }
 }
 
 /// Sub-buckets per power of two. 4 gives ≤ ~19% relative quantile error,
@@ -512,6 +540,32 @@ mod tests {
         assert_eq!(s.counter("c"), Some(5));
         assert_eq!(s.gauge("g"), Some(2.5));
         assert_eq!(s.counter("missing"), None);
+    }
+
+    #[test]
+    fn gauge_deltas_do_not_lose_updates_across_threads() {
+        let r = Registry::new();
+        let g = r.gauge("level");
+        g.set(10.0);
+        g.inc();
+        g.dec();
+        g.add(-3.0);
+        assert_eq!(g.get(), 7.0);
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let g = Arc::clone(&g);
+                std::thread::spawn(move || {
+                    for _ in 0..1_000 {
+                        g.inc();
+                        g.dec();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("gauge thread");
+        }
+        assert_eq!(g.get(), 7.0, "balanced inc/dec must return to baseline");
     }
 
     #[test]

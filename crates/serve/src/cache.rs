@@ -1,0 +1,376 @@
+//! Sharded, byte-bounded LRU result cache.
+//!
+//! Keys are canonical request bytes (see
+//! [`crate::protocol::canonical_bytes`]); values are whatever the caller
+//! wants to share between identical queries (the server stores the
+//! computed [`crate::protocol::Reply`]). Each shard is an independent
+//! mutex-guarded LRU, so concurrent workers contend only when their
+//! keys hash to the same shard. Capacity is a *byte* budget — each entry
+//! is charged its key length plus a caller-supplied cost (the server
+//! uses the serialized reply length) — because discovery replies vary
+//! from a handful of bytes (`k=1`) to whole ranked tables.
+//!
+//! Recency is tracked with a lazy queue: every touch pushes a fresh
+//! `(sequence, key)` ticket and stamps the entry; eviction pops tickets
+//! and ignores stale ones. This keeps `get`/`put` O(1) amortized with no
+//! intrusive lists, at the price of transiently duplicated tickets.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Cache construction parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct CacheConfig {
+    /// Number of independent shards (rounded up to at least 1).
+    pub shards: usize,
+    /// Total byte budget across all shards.
+    pub capacity_bytes: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            shards: 8,
+            capacity_bytes: 8 << 20,
+        }
+    }
+}
+
+/// Point-in-time cache statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a live entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries removed to enforce the byte budget.
+    pub evictions: u64,
+    /// Successful inserts (including overwrites).
+    pub insertions: u64,
+    /// Inserts skipped because one entry alone exceeds a shard budget.
+    pub rejected: u64,
+    /// Live entries right now.
+    pub entries: usize,
+    /// Charged bytes right now.
+    pub bytes: usize,
+}
+
+impl CacheStats {
+    /// Hit fraction in `[0, 1]`; `0` before any lookup.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Entry<V> {
+    value: Arc<V>,
+    /// Charged bytes: key length + caller-declared value cost.
+    charge: usize,
+    /// Ticket stamp; only the newest ticket for a key is live.
+    seq: u64,
+}
+
+struct Shard<V> {
+    map: HashMap<Vec<u8>, Entry<V>>,
+    /// Lazy recency queue of `(seq, key)` tickets, oldest first.
+    order: VecDeque<(u64, Vec<u8>)>,
+    bytes: usize,
+    next_seq: u64,
+}
+
+impl<V> Shard<V> {
+    fn new() -> Self {
+        Shard {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            bytes: 0,
+            next_seq: 0,
+        }
+    }
+
+    fn touch(&mut self, key: &[u8]) -> Option<Arc<V>> {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let entry = self.map.get_mut(key)?;
+        entry.seq = seq;
+        self.order.push_back((seq, key.to_vec()));
+        Some(Arc::clone(&entry.value))
+    }
+
+    /// Pop stale tickets until the oldest live entry is evicted.
+    fn evict_one(&mut self) -> bool {
+        while let Some((seq, key)) = self.order.pop_front() {
+            let live = self.map.get(&key).is_some_and(|e| e.seq == seq);
+            if live {
+                if let Some(e) = self.map.remove(&key) {
+                    self.bytes = self.bytes.saturating_sub(e.charge);
+                }
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// The sharded LRU cache. `V` is the shared value type; the server uses
+/// the decoded reply so cached and freshly computed responses serialize
+/// identically.
+pub struct ResultCache<V> {
+    shards: Vec<Mutex<Shard<V>>>,
+    per_shard_budget: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    insertions: AtomicU64,
+    rejected: AtomicU64,
+}
+
+/// Recover from a poisoned shard lock: the shard's invariants (byte
+/// accounting, ticket queue) tolerate a torn update at worst as an
+/// accounting error, and the cache must never take the server down.
+fn relock<G>(r: Result<G, PoisonError<G>>) -> G {
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
+/// FNV-1a over the key bytes — stable across runs (no `RandomState`), so
+/// shard placement is deterministic and testable.
+fn shard_hash(key: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in key {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl<V> ResultCache<V> {
+    /// Create a cache with the given shard count and byte budget.
+    #[must_use]
+    pub fn new(cfg: CacheConfig) -> Self {
+        let shards = cfg.shards.max(1);
+        ResultCache {
+            shards: (0..shards).map(|_| Mutex::new(Shard::new())).collect(),
+            per_shard_budget: (cfg.capacity_bytes / shards).max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &[u8]) -> &Mutex<Shard<V>> {
+        let idx = (shard_hash(key) % self.shards.len() as u64) as usize;
+        &self.shards[idx]
+    }
+
+    /// Look up a key, refreshing its recency on hit.
+    pub fn get(&self, key: &[u8]) -> Option<Arc<V>> {
+        let found = relock(self.shard(key).lock()).touch(key);
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// Insert (or overwrite) a value whose cost is `value_cost` bytes,
+    /// evicting least-recently-used entries until the shard fits its
+    /// budget. An entry that alone exceeds the shard budget is rejected
+    /// rather than wiping the shard.
+    pub fn put(&self, key: Vec<u8>, value: Arc<V>, value_cost: usize) {
+        let charge = key.len().saturating_add(value_cost);
+        if charge > self.per_shard_budget {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let mut evicted = 0u64;
+        {
+            let mut shard = relock(self.shard(&key).lock());
+            let seq = shard.next_seq;
+            shard.next_seq += 1;
+            if let Some(old) = shard.map.insert(key.clone(), Entry { value, charge, seq }) {
+                shard.bytes = shard.bytes.saturating_sub(old.charge);
+            }
+            shard.bytes += charge;
+            shard.order.push_back((seq, key));
+            while shard.bytes > self.per_shard_budget {
+                if !shard.evict_one() {
+                    break;
+                }
+                evicted += 1;
+            }
+        }
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+    }
+
+    /// Point-in-time statistics across all shards.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        let mut entries = 0usize;
+        let mut bytes = 0usize;
+        for s in &self.shards {
+            let s = relock(s.lock());
+            entries += s.map.len();
+            bytes += s.bytes;
+        }
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            entries,
+            bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn single_shard(capacity: usize) -> ResultCache<Vec<u8>> {
+        ResultCache::new(CacheConfig {
+            shards: 1,
+            capacity_bytes: capacity,
+        })
+    }
+
+    fn put(c: &ResultCache<Vec<u8>>, key: &str, val: &str) {
+        c.put(
+            key.as_bytes().to_vec(),
+            Arc::new(val.as_bytes().to_vec()),
+            val.len(),
+        );
+    }
+
+    #[test]
+    fn get_put_and_counters() {
+        let c = single_shard(1024);
+        assert!(c.get(b"a").is_none());
+        put(&c, "a", "value-a");
+        let got = c.get(b"a").expect("hit");
+        assert_eq!(&*got, b"value-a");
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.insertions), (1, 1, 1));
+        assert_eq!(s.entries, 1);
+        assert!(s.bytes >= "a".len() + "value-a".len());
+        assert!((c.stats().hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_first() {
+        // Each entry charges key(1) + value(7) = 8 bytes; budget fits 3.
+        let c = single_shard(24);
+        put(&c, "a", "value-a");
+        put(&c, "b", "value-b");
+        put(&c, "c", "value-c");
+        // Touch `a` so `b` becomes the LRU entry.
+        assert!(c.get(b"a").is_some());
+        put(&c, "d", "value-d");
+        assert!(c.get(b"b").is_none(), "LRU entry must be evicted");
+        assert!(c.get(b"a").is_some(), "recently touched entry survives");
+        assert!(c.get(b"c").is_some());
+        assert!(c.get(b"d").is_some());
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.stats().entries, 3);
+    }
+
+    #[test]
+    fn eviction_order_follows_successive_touches() {
+        let c = single_shard(24);
+        put(&c, "a", "value-a");
+        put(&c, "b", "value-b");
+        put(&c, "c", "value-c");
+        // Recency order now a < b < c; touch a, then b: order c < a < b.
+        assert!(c.get(b"a").is_some());
+        assert!(c.get(b"b").is_some());
+        put(&c, "d", "value-d"); // evicts c
+        put(&c, "e", "value-e"); // evicts a
+        assert!(c.get(b"c").is_none());
+        assert!(c.get(b"a").is_none());
+        assert!(c.get(b"b").is_some());
+        assert_eq!(c.stats().evictions, 2);
+    }
+
+    #[test]
+    fn overwrite_replaces_charge_not_duplicates() {
+        let c = single_shard(1024);
+        put(&c, "a", "short");
+        let before = c.stats().bytes;
+        put(&c, "a", "a-much-longer-value-than-before");
+        let after = c.stats();
+        assert_eq!(after.entries, 1);
+        assert!(after.bytes > before);
+        assert_eq!(
+            &**c.get(b"a").expect("hit"),
+            b"a-much-longer-value-than-before"
+        );
+    }
+
+    #[test]
+    fn oversized_entries_are_rejected_not_cached() {
+        let c = single_shard(16);
+        put(&c, "k", "this-value-alone-exceeds-the-whole-budget");
+        assert!(c.get(b"k").is_none());
+        assert_eq!(c.stats().rejected, 1);
+        assert_eq!(c.stats().entries, 0);
+    }
+
+    #[test]
+    fn byte_budget_is_enforced_across_shards() {
+        let c: ResultCache<Vec<u8>> = ResultCache::new(CacheConfig {
+            shards: 4,
+            capacity_bytes: 4 * 24,
+        });
+        for i in 0..100 {
+            let key = format!("key-{i}");
+            c.put(
+                key.clone().into_bytes(),
+                Arc::new(b"0123456789".to_vec()),
+                10,
+            );
+        }
+        let s = c.stats();
+        assert!(s.bytes <= 4 * 24, "bytes {} over budget", s.bytes);
+        assert!(s.evictions > 0);
+    }
+
+    #[test]
+    fn concurrent_access_keeps_accounting_sane() {
+        let c = Arc::new(single_shard(512));
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for i in 0..200 {
+                        let key = format!("k{}", (t * 7 + i) % 32);
+                        if i % 3 == 0 {
+                            c.put(key.clone().into_bytes(), Arc::new(vec![0u8; 8]), 8);
+                        } else {
+                            let _ = c.get(key.as_bytes());
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("cache thread");
+        }
+        let s = c.stats();
+        assert!(s.bytes <= 512);
+        assert_eq!(s.hits + s.misses, 8 * 200 - s.insertions);
+    }
+}

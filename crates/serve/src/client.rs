@@ -1,0 +1,71 @@
+//! A minimal blocking client for the td-serve protocol.
+//!
+//! One request in flight per connection: `call` writes a frame and
+//! blocks for the matching response. `call_raw` exposes the response
+//! payload bytes untouched, so tests can compare a served answer
+//! byte-for-byte against [`crate::server::execute`] encoded locally.
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::protocol::{
+    decode_response, read_frame, write_frame, ProtocolError, RequestEnvelope, ResponseEnvelope,
+    MAX_FRAME_BYTES,
+};
+
+/// A connected client.
+pub struct Client {
+    stream: TcpStream,
+    max_frame: usize,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connect to a server.
+    ///
+    /// # Errors
+    /// Propagates connection failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            max_frame: MAX_FRAME_BYTES,
+            next_id: 1,
+        })
+    }
+
+    /// A fresh correlation id (monotonic per connection).
+    pub fn next_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Send one envelope and return the raw response payload bytes.
+    ///
+    /// # Errors
+    /// Fails on socket errors, oversized frames, or a server that
+    /// closes the connection before responding.
+    pub fn call_raw(&mut self, env: &RequestEnvelope) -> Result<Vec<u8>, ProtocolError> {
+        let payload = serde_json::to_string(env)
+            .map_err(|e| ProtocolError::Decode(e.to_string()))?
+            .into_bytes();
+        write_frame(&mut self.stream, &payload)?;
+        read_frame(&mut self.stream, self.max_frame)?.ok_or_else(|| {
+            ProtocolError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed before response",
+            ))
+        })
+    }
+
+    /// Send one envelope and decode the response.
+    ///
+    /// # Errors
+    /// Same conditions as [`Client::call_raw`] plus decode failures.
+    pub fn call(&mut self, env: &RequestEnvelope) -> Result<ResponseEnvelope, ProtocolError> {
+        let raw = self.call_raw(env)?;
+        decode_response(&raw)
+    }
+}

@@ -1,0 +1,66 @@
+//! # td-serve — the concurrent query-serving layer
+//!
+//! The tutorial's architecture ends where most reproductions stop: a
+//! library of discovery operators. A data lake's discovery service is a
+//! *server* — many analysts, notebooks, and catalog UIs issuing
+//! joinability/unionability probes concurrently against one immutable
+//! set of indexes. This crate is that layer, std-only (no tokio, no
+//! hyper): a multi-threaded TCP server exposing every
+//! `DiscoveryPipeline::search_*` entry point over a length-prefixed
+//! JSON protocol.
+//!
+//! The load-bearing pieces, each its own module:
+//!
+//! * [`protocol`] — framing, typed envelopes, and the canonical request
+//!   encoder cache keys derive from (byte-stable across client float
+//!   formatting).
+//! * [`queue`] — the bounded admission queue: full ⇒ the request is
+//!   shed with an immediate `Overloaded` response instead of joining an
+//!   unbounded backlog.
+//! * [`cache`] — a sharded, byte-bounded LRU over canonical request
+//!   bytes, so repeated queries skip the pipeline entirely.
+//! * [`server`] — accept loop, connection threads, worker pool sharing
+//!   one `Arc<DiscoveryPipeline>`, per-request deadlines, and graceful
+//!   drain-then-shutdown.
+//! * [`client`] — a minimal blocking client.
+//! * [`workload`] — seeded deterministic query streams for the
+//!   `serve_report` load generator.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use td_serve::{Client, Reply, Request, RequestEnvelope, Server, ServerConfig};
+//! # let pipeline: Arc<td_core::DiscoveryPipeline> = unimplemented!();
+//! let mut server = Server::start(pipeline, ServerConfig::default())?;
+//! let mut client = Client::connect(server.local_addr())?;
+//! let resp = client.call(&RequestEnvelope {
+//!     id: 1,
+//!     deadline_ms: 0,
+//!     req: Request::Keyword { query: "census".into(), k: 5 },
+//! })?;
+//! assert!(matches!(resp.reply, Some(Reply::Scores(_))));
+//! server.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod cache;
+pub mod client;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+pub mod workload;
+
+pub use cache::{CacheConfig, CacheStats, ResultCache};
+pub use client::Client;
+pub use protocol::{
+    canonical_bytes, decode_request, decode_response, encode_response, read_frame, write_frame,
+    FramePoll, FrameReader, ProtocolError, Reply, Request, RequestEnvelope, ResponseEnvelope,
+    Status, MAX_FRAME_BYTES,
+};
+pub use queue::{AdmissionQueue, PushError};
+pub use server::{execute, Server, ServerConfig, ServerStats};
+pub use workload::{Workload, WorkloadConfig};

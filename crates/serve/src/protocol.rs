@@ -1,0 +1,576 @@
+//! The wire protocol: length-prefixed JSON frames carrying typed
+//! request/response envelopes, plus the canonical request encoder that
+//! cache keys are derived from.
+//!
+//! ## Framing
+//!
+//! Every message is one *frame*: a 4-byte big-endian payload length
+//! followed by that many bytes of UTF-8 JSON. Frames longer than the
+//! receiver's configured maximum are rejected without buffering.
+//!
+//! ## Canonicalization
+//!
+//! Cache keys must be byte-stable across client-side formatting noise:
+//! `{"tau":0.5}`, `{"tau":5e-1}`, and `{"k":10.0}` versus `{"k":10}` all
+//! describe the same query. The server therefore never keys a cache on
+//! raw request bytes — it parses the request into [`Request`] and
+//! re-serializes it with the single canonical encoder
+//! ([`canonical_bytes`]): struct fields in declaration order, floats in
+//! Rust's shortest-round-trip rendering, integers as integers.
+
+use serde::{Deserialize, Serialize};
+use std::io::{self, Read, Write};
+use td_core::join::CorrelatedHit;
+use td_table::{Column, Table, TableId};
+
+/// Hard ceiling on accepted frame payloads (32 MiB) unless a tighter
+/// limit is configured.
+pub const MAX_FRAME_BYTES: usize = 32 << 20;
+
+/// One discovery query, covering every `DiscoveryPipeline::search_*`
+/// entry point plus a `Ping` health check.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Liveness probe; answered inline, never queued.
+    Ping,
+    /// Keyword search over table metadata.
+    Keyword {
+        /// Query text.
+        query: String,
+        /// Results requested.
+        k: usize,
+    },
+    /// Exact top-k joinable tables on a query column.
+    Joinable {
+        /// Query column.
+        column: Column,
+        /// Results requested.
+        k: usize,
+    },
+    /// Unionable tables by the ensemble TUS measure.
+    Unionable {
+        /// Query table.
+        table: Table,
+        /// Results requested.
+        k: usize,
+    },
+    /// Unionable tables by Starmie's contextual-embedding ranking.
+    UnionableSemantic {
+        /// Query table.
+        table: Table,
+        /// Results requested.
+        k: usize,
+    },
+    /// Unionable tables by SANTOS's relationship-aware ranking.
+    UnionableRelationship {
+        /// Query table.
+        table: Table,
+        /// Results requested.
+        k: usize,
+    },
+    /// Fuzzily joinable tables under similarity threshold `tau`.
+    FuzzyJoinable {
+        /// Query column.
+        column: Column,
+        /// Embedding similarity predicate.
+        tau: f32,
+        /// Results requested.
+        k: usize,
+    },
+    /// Tables joinable on a composite key (MATE-style row matching).
+    MultiJoinable {
+        /// Query table.
+        table: Table,
+        /// Key column indices within the query table.
+        key_cols: Vec<usize>,
+        /// Results requested.
+        k: usize,
+    },
+    /// Numeric columns correlated with the query's, reachable through a
+    /// key join (QCR sketches).
+    Correlated {
+        /// Query key column.
+        key: Column,
+        /// Query numeric column.
+        numeric: Column,
+        /// Results requested.
+        k: usize,
+    },
+}
+
+impl Request {
+    /// Stable endpoint name, used for per-endpoint metrics
+    /// (`serve.<endpoint>.latency_ns`) and bench breakdowns.
+    #[must_use]
+    pub fn endpoint(&self) -> &'static str {
+        match self {
+            Request::Ping => "ping",
+            Request::Keyword { .. } => "keyword",
+            Request::Joinable { .. } => "joinable",
+            Request::Unionable { .. } => "unionable",
+            Request::UnionableSemantic { .. } => "unionable_semantic",
+            Request::UnionableRelationship { .. } => "unionable_relationship",
+            Request::FuzzyJoinable { .. } => "fuzzy_joinable",
+            Request::MultiJoinable { .. } => "multi_joinable",
+            Request::Correlated { .. } => "correlated",
+        }
+    }
+
+    /// Every search endpoint name, in protocol order (excludes `ping`).
+    #[must_use]
+    pub fn search_endpoints() -> [&'static str; 8] {
+        [
+            "keyword",
+            "joinable",
+            "unionable",
+            "unionable_semantic",
+            "unionable_relationship",
+            "fuzzy_joinable",
+            "multi_joinable",
+            "correlated",
+        ]
+    }
+}
+
+/// A client-to-server frame payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestEnvelope {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: u64,
+    /// Per-request deadline in milliseconds from arrival; `0` disables.
+    /// A request still queued when its deadline passes is answered
+    /// `DeadlineExceeded` without executing.
+    pub deadline_ms: u64,
+    /// The query.
+    pub req: Request,
+}
+
+/// Terminal status of one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Status {
+    /// Executed; `reply` carries the result.
+    Ok,
+    /// Shed at admission: the bounded queue was full. Retry later.
+    Overloaded,
+    /// The request's deadline passed before execution.
+    DeadlineExceeded,
+    /// The frame parsed as JSON but not as a valid request envelope.
+    BadRequest,
+    /// The server is draining; no new work is admitted.
+    ShuttingDown,
+}
+
+/// A successful query result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Reply {
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// Score-ranked tables (keyword, unionable family, fuzzy/multi join).
+    Scores(Vec<(TableId, f64)>),
+    /// Overlap-ranked tables (exact join).
+    Overlaps(Vec<(TableId, usize)>),
+    /// Correlated-column hits.
+    Correlated(Vec<CorrelatedHit>),
+}
+
+/// A server-to-client frame payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResponseEnvelope {
+    /// Correlation id copied from the request (`0` when the envelope
+    /// could not be parsed far enough to recover one).
+    pub id: u64,
+    /// Terminal status.
+    pub status: Status,
+    /// Result when `status` is `Ok`, absent otherwise.
+    pub reply: Option<Reply>,
+    /// Human-readable diagnostic for non-`Ok` statuses.
+    pub error: Option<String>,
+}
+
+impl ResponseEnvelope {
+    /// A successful response.
+    #[must_use]
+    pub fn ok(id: u64, reply: Reply) -> Self {
+        ResponseEnvelope {
+            id,
+            status: Status::Ok,
+            reply: Some(reply),
+            error: None,
+        }
+    }
+
+    /// A failure response with a diagnostic.
+    #[must_use]
+    pub fn fail(id: u64, status: Status, error: impl Into<String>) -> Self {
+        ResponseEnvelope {
+            id,
+            status,
+            reply: None,
+            error: Some(error.into()),
+        }
+    }
+}
+
+/// Protocol-level failure.
+#[derive(Debug)]
+pub enum ProtocolError {
+    /// Underlying socket/file error.
+    Io(io::Error),
+    /// A frame exceeded the configured maximum payload size.
+    FrameTooLarge {
+        /// Declared payload length.
+        declared: usize,
+        /// Configured ceiling.
+        max: usize,
+    },
+    /// Payload was not valid JSON for the expected envelope type.
+    Decode(String),
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::Io(e) => write!(f, "i/o error: {e}"),
+            ProtocolError::FrameTooLarge { declared, max } => {
+                write!(f, "frame of {declared} bytes exceeds the {max}-byte limit")
+            }
+            ProtocolError::Decode(m) => write!(f, "decode error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<io::Error> for ProtocolError {
+    fn from(e: io::Error) -> Self {
+        ProtocolError::Io(e)
+    }
+}
+
+/// Serialize a request with the canonical encoder. Two semantically
+/// equal requests — regardless of how the client formatted floats or
+/// ordered JSON text — produce identical bytes, so these are the cache
+/// key.
+///
+/// # Errors
+/// Fails only if the value cannot be rendered as JSON (unrepresentable
+/// map keys — impossible for [`Request`]'s types, kept as a `Result`
+/// rather than a hidden panic).
+pub fn canonical_bytes(req: &Request) -> Result<Vec<u8>, ProtocolError> {
+    serde_json::to_string(req)
+        .map(String::into_bytes)
+        .map_err(|e| ProtocolError::Decode(e.to_string()))
+}
+
+/// Serialize a response envelope with the canonical encoder (the same
+/// deterministic rendering clients can reproduce for byte-for-byte
+/// comparison against direct in-process calls).
+///
+/// # Errors
+/// Same (practically unreachable) condition as [`canonical_bytes`].
+pub fn encode_response(resp: &ResponseEnvelope) -> Result<Vec<u8>, ProtocolError> {
+    serde_json::to_string(resp)
+        .map(String::into_bytes)
+        .map_err(|e| ProtocolError::Decode(e.to_string()))
+}
+
+/// Parse a request envelope from frame payload bytes.
+///
+/// # Errors
+/// Fails on non-UTF-8 payloads, malformed JSON, or a shape mismatch.
+pub fn decode_request(payload: &[u8]) -> Result<RequestEnvelope, ProtocolError> {
+    let text = std::str::from_utf8(payload)
+        .map_err(|e| ProtocolError::Decode(format!("not UTF-8: {e}")))?;
+    serde_json::from_str(text).map_err(|e| ProtocolError::Decode(e.to_string()))
+}
+
+/// Parse a response envelope from frame payload bytes.
+///
+/// # Errors
+/// Fails on non-UTF-8 payloads, malformed JSON, or a shape mismatch.
+pub fn decode_response(payload: &[u8]) -> Result<ResponseEnvelope, ProtocolError> {
+    let text = std::str::from_utf8(payload)
+        .map_err(|e| ProtocolError::Decode(format!("not UTF-8: {e}")))?;
+    serde_json::from_str(text).map_err(|e| ProtocolError::Decode(e.to_string()))
+}
+
+/// Write one frame: 4-byte big-endian length, then the payload.
+///
+/// # Errors
+/// Propagates socket errors; rejects payloads over [`MAX_FRAME_BYTES`].
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), ProtocolError> {
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(ProtocolError::FrameTooLarge {
+            declared: payload.len(),
+            max: MAX_FRAME_BYTES,
+        });
+    }
+    let len = u32::try_from(payload.len()).unwrap_or(u32::MAX); // bounded by MAX_FRAME_BYTES above
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Outcome of one [`FrameReader::poll`] call.
+#[derive(Debug)]
+pub enum FramePoll {
+    /// A complete frame payload.
+    Frame(Vec<u8>),
+    /// The peer closed the connection cleanly (EOF between frames).
+    Eof,
+    /// No complete frame yet (the socket's read timeout elapsed);
+    /// partial state is retained — call `poll` again.
+    Pending,
+}
+
+/// Incremental frame reader that survives read timeouts mid-frame.
+///
+/// Server connection threads read with a socket timeout so they can
+/// observe the shutdown flag between frames; a timeout must not discard
+/// partially received bytes, so the reader keeps its progress across
+/// `poll` calls.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    len_buf: [u8; 4],
+    len_got: usize,
+    body: Vec<u8>,
+    body_need: Option<usize>,
+}
+
+impl FrameReader {
+    /// A reader with no buffered state.
+    #[must_use]
+    pub fn new() -> Self {
+        FrameReader::default()
+    }
+
+    /// Advance the in-progress frame with bytes from `r`.
+    ///
+    /// # Errors
+    /// Propagates socket errors, EOF mid-frame, and frames whose
+    /// declared length exceeds `max_payload`.
+    pub fn poll(
+        &mut self,
+        r: &mut impl Read,
+        max_payload: usize,
+    ) -> Result<FramePoll, ProtocolError> {
+        // Phase 1: the 4-byte length prefix.
+        while self.body_need.is_none() {
+            match r.read(&mut self.len_buf[self.len_got..]) {
+                Ok(0) => {
+                    if self.len_got == 0 {
+                        return Ok(FramePoll::Eof);
+                    }
+                    return Err(ProtocolError::Io(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "EOF inside frame header",
+                    )));
+                }
+                Ok(n) => {
+                    self.len_got += n;
+                    if self.len_got == 4 {
+                        let declared = u32::from_be_bytes(self.len_buf) as usize;
+                        if declared > max_payload {
+                            return Err(ProtocolError::FrameTooLarge {
+                                declared,
+                                max: max_payload,
+                            });
+                        }
+                        self.body = Vec::with_capacity(declared);
+                        self.body_need = Some(declared);
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return Ok(FramePoll::Pending);
+                }
+                Err(e) => return Err(ProtocolError::Io(e)),
+            }
+        }
+        // Phase 2: the payload.
+        let need = self.body_need.unwrap_or(0);
+        let mut chunk = [0u8; 8192];
+        while self.body.len() < need {
+            let want = (need - self.body.len()).min(chunk.len());
+            match r.read(&mut chunk[..want]) {
+                Ok(0) => {
+                    return Err(ProtocolError::Io(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "EOF inside frame payload",
+                    )));
+                }
+                Ok(n) => self.body.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return Ok(FramePoll::Pending);
+                }
+                Err(e) => return Err(ProtocolError::Io(e)),
+            }
+        }
+        let payload = std::mem::take(&mut self.body);
+        self.len_got = 0;
+        self.body_need = None;
+        Ok(FramePoll::Frame(payload))
+    }
+}
+
+/// Read frames until one completes or the stream ends — the blocking
+/// convenience used by clients (whose sockets have no read timeout).
+///
+/// # Errors
+/// Propagates the same conditions as [`FrameReader::poll`].
+pub fn read_frame(r: &mut impl Read, max_payload: usize) -> Result<Option<Vec<u8>>, ProtocolError> {
+    let mut reader = FrameReader::new();
+    loop {
+        match reader.poll(r, max_payload)? {
+            FramePoll::Frame(p) => return Ok(Some(p)),
+            FramePoll::Eof => return Ok(None),
+            FramePoll::Pending => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_table::Column;
+
+    fn fuzzy(tau_text: &str, k_text: &str) -> RequestEnvelope {
+        let text = format!(
+            "{{\"deadline_ms\":0,\"id\":9,\"req\":{{\"FuzzyJoinable\":{{\"column\":{{\"name\":\"c\",\"values\":[{{\"Text\":\"x\"}}]}},\"tau\":{tau_text},\"k\":{k_text}}}}}}}"
+        );
+        decode_request(text.as_bytes()).expect("parse")
+    }
+
+    #[test]
+    fn canonical_bytes_are_stable_across_float_formatting() {
+        // `5e-1` vs `0.5`, `10.0` vs `10`: same query, same cache slot.
+        let a = fuzzy("0.5", "10");
+        let b = fuzzy("5e-1", "10.0");
+        assert_eq!(a.req, b.req);
+        assert_eq!(
+            canonical_bytes(&a.req).expect("canonical"),
+            canonical_bytes(&b.req).expect("canonical"),
+        );
+    }
+
+    #[test]
+    fn canonical_bytes_distinguish_different_requests() {
+        let a = fuzzy("0.5", "10");
+        let b = fuzzy("0.25", "10");
+        assert_ne!(
+            canonical_bytes(&a.req).expect("canonical"),
+            canonical_bytes(&b.req).expect("canonical"),
+        );
+    }
+
+    #[test]
+    fn envelopes_round_trip() {
+        let env = RequestEnvelope {
+            id: 42,
+            deadline_ms: 250,
+            req: Request::Keyword {
+                query: "census".into(),
+                k: 5,
+            },
+        };
+        let bytes = serde_json::to_string(&env).expect("encode").into_bytes();
+        let back = decode_request(&bytes).expect("decode");
+        assert_eq!(back, env);
+
+        let resp = ResponseEnvelope::ok(42, Reply::Scores(vec![(TableId(3), 0.75)]));
+        let bytes = encode_response(&resp).expect("encode");
+        let back = decode_response(&bytes).expect("decode");
+        assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn frames_round_trip_and_enforce_limits() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").expect("write");
+        write_frame(&mut buf, b"").expect("write");
+        let mut r = &buf[..];
+        assert_eq!(
+            read_frame(&mut r, MAX_FRAME_BYTES).expect("frame 1"),
+            Some(b"hello".to_vec())
+        );
+        assert_eq!(
+            read_frame(&mut r, MAX_FRAME_BYTES).expect("frame 2"),
+            Some(Vec::new())
+        );
+        assert_eq!(read_frame(&mut r, MAX_FRAME_BYTES).expect("eof"), None);
+
+        // A frame whose declared length exceeds the receiver limit is
+        // rejected before any payload is buffered.
+        let mut oversized = Vec::new();
+        write_frame(&mut oversized, &[0u8; 128]).expect("write");
+        let mut r = &oversized[..];
+        assert!(matches!(
+            read_frame(&mut r, 64),
+            Err(ProtocolError::FrameTooLarge {
+                declared: 128,
+                max: 64
+            })
+        ));
+    }
+
+    #[test]
+    fn frame_reader_survives_split_reads() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"abcdef").expect("write");
+        // Feed one byte at a time through a reader that times out after
+        // every byte, as a socket with a short read timeout would.
+        struct OneByte<'a>(&'a [u8], usize, bool);
+        impl Read for OneByte<'_> {
+            fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+                if self.2 {
+                    self.2 = false;
+                    return Err(io::Error::new(io::ErrorKind::WouldBlock, "timeout"));
+                }
+                self.2 = true;
+                if self.1 >= self.0.len() {
+                    return Ok(0);
+                }
+                out[0] = self.0[self.1];
+                self.1 += 1;
+                Ok(1)
+            }
+        }
+        let mut src = OneByte(&buf, 0, false);
+        let mut reader = FrameReader::new();
+        let mut pendings = 0;
+        loop {
+            match reader.poll(&mut src, MAX_FRAME_BYTES).expect("poll") {
+                FramePoll::Frame(p) => {
+                    assert_eq!(p, b"abcdef");
+                    break;
+                }
+                FramePoll::Pending => pendings += 1,
+                FramePoll::Eof => panic!("EOF before frame completed"),
+            }
+        }
+        assert!(pendings >= 9, "every byte should hit a timeout first");
+    }
+
+    #[test]
+    fn endpoint_names_are_stable() {
+        let col = Column::from_strings("c", &["a"]);
+        assert_eq!(
+            Request::Joinable { column: col, k: 1 }.endpoint(),
+            "joinable"
+        );
+        assert_eq!(Request::Ping.endpoint(), "ping");
+        assert_eq!(Request::search_endpoints().len(), 8);
+    }
+}

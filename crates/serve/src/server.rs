@@ -1,0 +1,503 @@
+//! The concurrent query server: accept loop, per-connection reader
+//! threads, a worker pool behind the admission queue, and graceful
+//! drain-then-shutdown.
+//!
+//! ## Thread topology
+//!
+//! ```text
+//! accept loop ──spawns──▶ conn thread (one per client)
+//!                            │  decode, canonicalize, cache lookup
+//!                            │  hit → reply inline (bypasses the queue)
+//!                            ▼  miss
+//!                      AdmissionQueue (bounded; full → Overloaded)
+//!                            │
+//!                            ▼
+//!                      worker pool (shares one Arc<DiscoveryPipeline>)
+//!                            │  deadline check → execute → cache fill
+//!                            ▼
+//!                      client socket (mutex-serialized frame writes)
+//! ```
+//!
+//! Responses are written under a per-connection mutex, so workers and
+//! the connection thread can interleave replies safely; clients match
+//! responses to requests by envelope id.
+//!
+//! ## Shutdown
+//!
+//! [`Server::shutdown`] flips the drain flag, wakes the accept loop,
+//! waits for connection threads to stop reading, closes the queue (new
+//! work is refused with `ShuttingDown`), and joins the workers — which
+//! first finish every already-admitted job. No admitted request is
+//! dropped.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use td_core::DiscoveryPipeline;
+use td_obs::{Counter, Gauge, Histogram, Timer};
+
+use crate::cache::{CacheConfig, CacheStats, ResultCache};
+use crate::protocol::{
+    canonical_bytes, decode_request, encode_response, write_frame, FramePoll, FrameReader, Reply,
+    Request, ResponseEnvelope, Status, MAX_FRAME_BYTES,
+};
+use crate::queue::{AdmissionQueue, PushError};
+
+/// Server construction parameters.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port `0` for an ephemeral port.
+    pub addr: String,
+    /// Worker threads executing queries.
+    pub workers: usize,
+    /// Admission queue bound; a full queue sheds with `Overloaded`.
+    pub queue_capacity: usize,
+    /// Result cache shape.
+    pub cache: CacheConfig,
+    /// Per-frame payload ceiling.
+    pub max_frame_bytes: usize,
+    /// Socket read timeout; bounds how fast connection threads observe
+    /// the shutdown flag.
+    pub poll_interval: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_capacity: 64,
+            cache: CacheConfig::default(),
+            max_frame_bytes: MAX_FRAME_BYTES,
+            poll_interval: Duration::from_millis(25),
+        }
+    }
+}
+
+/// Point-in-time server statistics (all monotonic except `cache`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServerStats {
+    /// Decoded request envelopes (every endpoint, including `ping`).
+    pub requests: u64,
+    /// Requests answered `Ok` (cache hits and executed queries).
+    pub served_ok: u64,
+    /// Requests shed at admission (`Overloaded`).
+    pub shed: u64,
+    /// Requests expired in the queue (`DeadlineExceeded`).
+    pub deadline_expired: u64,
+    /// Frames that failed to decode (`BadRequest`).
+    pub bad_requests: u64,
+    /// Result-cache counters.
+    pub cache: CacheStats,
+}
+
+/// One admitted unit of work.
+struct Job {
+    id: u64,
+    req: Request,
+    key: Vec<u8>,
+    endpoint: &'static str,
+    deadline_ms: u64,
+    /// Started at admission; workers check it against `deadline_ms`.
+    admitted: Timer,
+    out: Arc<Mutex<TcpStream>>,
+}
+
+/// Registry handles held for the server's lifetime (hot paths must not
+/// re-resolve metric names).
+struct Metrics {
+    queue_depth: Arc<Gauge>,
+    inflight: Arc<Gauge>,
+    shed: Arc<Counter>,
+    deadline_expired: Arc<Counter>,
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+    latency: HashMap<&'static str, Arc<Histogram>>,
+}
+
+impl Metrics {
+    fn new() -> Self {
+        let reg = td_obs::global();
+        let mut latency = HashMap::new();
+        latency.insert("ping", reg.histogram("serve.ping.latency_ns"));
+        for ep in Request::search_endpoints() {
+            latency.insert(ep, reg.histogram(&format!("serve.{ep}.latency_ns")));
+        }
+        Metrics {
+            queue_depth: reg.gauge("serve.queue.depth"),
+            inflight: reg.gauge("serve.inflight"),
+            shed: reg.counter("serve.shed"),
+            deadline_expired: reg.counter("serve.deadline_expired"),
+            cache_hits: reg.counter("serve.cache.hits"),
+            cache_misses: reg.counter("serve.cache.misses"),
+            latency,
+        }
+    }
+
+    fn record_latency(&self, endpoint: &str, elapsed: Duration) {
+        if let Some(h) = self.latency.get(endpoint) {
+            h.record_duration(elapsed);
+        }
+    }
+}
+
+struct Shared {
+    pipeline: Arc<DiscoveryPipeline>,
+    queue: AdmissionQueue<Job>,
+    cache: ResultCache<Reply>,
+    shutting_down: AtomicBool,
+    metrics: Metrics,
+    requests: AtomicU64,
+    served_ok: AtomicU64,
+    shed: AtomicU64,
+    deadline_expired: AtomicU64,
+    bad_requests: AtomicU64,
+}
+
+fn relock<G>(r: Result<G, PoisonError<G>>) -> G {
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Execute one request against the pipeline. Public so tests and
+/// benches can compute the *direct in-process* answer and compare it
+/// byte-for-byte against the served response.
+#[must_use]
+pub fn execute(pipeline: &DiscoveryPipeline, req: &Request) -> Reply {
+    match req {
+        Request::Ping => Reply::Pong,
+        Request::Keyword { query, k } => Reply::Scores(pipeline.search_keyword(query, *k)),
+        Request::Joinable { column, k } => Reply::Overlaps(pipeline.search_joinable(column, *k)),
+        Request::Unionable { table, k } => Reply::Scores(pipeline.search_unionable(table, *k)),
+        Request::UnionableSemantic { table, k } => {
+            Reply::Scores(pipeline.search_unionable_semantic(table, *k))
+        }
+        Request::UnionableRelationship { table, k } => {
+            Reply::Scores(pipeline.search_unionable_relationship(table, *k))
+        }
+        Request::FuzzyJoinable { column, tau, k } => {
+            Reply::Scores(pipeline.search_fuzzy_joinable(column, *tau, *k))
+        }
+        Request::MultiJoinable { table, key_cols, k } => {
+            Reply::Scores(pipeline.search_multi_joinable(table, key_cols, *k))
+        }
+        Request::Correlated { key, numeric, k } => {
+            Reply::Correlated(pipeline.search_correlated(key, numeric, *k))
+        }
+    }
+}
+
+/// Write a response frame; a failed write means the client is gone,
+/// which is not the server's error to surface.
+fn respond(out: &Arc<Mutex<TcpStream>>, resp: &ResponseEnvelope) {
+    if let Ok(payload) = encode_response(resp) {
+        let mut stream = relock(out.lock());
+        let _ = write_frame(&mut *stream, &payload);
+    }
+}
+
+/// A running server. Dropping it performs a full graceful shutdown.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    workers: Vec<JoinHandle<()>>,
+    down: bool,
+}
+
+impl Server {
+    /// Bind, start the worker pool, and begin accepting clients.
+    ///
+    /// # Errors
+    /// Fails if the listener cannot bind `cfg.addr`.
+    pub fn start(pipeline: Arc<DiscoveryPipeline>, cfg: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            pipeline,
+            queue: AdmissionQueue::new(cfg.queue_capacity),
+            cache: ResultCache::new(cfg.cache),
+            shutting_down: AtomicBool::new(false),
+            metrics: Metrics::new(),
+            requests: AtomicU64::new(0),
+            served_ok: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            deadline_expired: AtomicU64::new(0),
+            bad_requests: AtomicU64::new(0),
+        });
+
+        let workers = (0..cfg.workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let conns = Arc::clone(&conns);
+            let max_frame = cfg.max_frame_bytes;
+            let poll = cfg.poll_interval;
+            std::thread::spawn(move || accept_loop(&listener, &shared, &conns, max_frame, poll))
+        };
+
+        Ok(Server {
+            addr,
+            shared,
+            accept: Some(accept),
+            conns,
+            workers,
+            down: false,
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Point-in-time statistics.
+    #[must_use]
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            requests: self.shared.requests.load(Ordering::Relaxed),
+            served_ok: self.shared.served_ok.load(Ordering::Relaxed),
+            shed: self.shared.shed.load(Ordering::Relaxed),
+            deadline_expired: self.shared.deadline_expired.load(Ordering::Relaxed),
+            bad_requests: self.shared.bad_requests.load(Ordering::Relaxed),
+            cache: self.shared.cache.stats(),
+        }
+    }
+
+    /// Graceful drain-then-shutdown: stop accepting, let connection
+    /// threads finish their current frame, refuse new admissions, run
+    /// every already-admitted job to completion, then join all threads.
+    /// Idempotent.
+    pub fn shutdown(&mut self) {
+        if self.down {
+            return;
+        }
+        self.down = true;
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+        // The accept loop blocks in `accept()`; a throwaway connection
+        // wakes it so it can observe the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        let conns = std::mem::take(&mut *relock(self.conns.lock()));
+        for h in conns {
+            let _ = h.join();
+        }
+        // Connections are quiet: close the queue so workers drain the
+        // backlog and exit.
+        self.shared.queue.close();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    conns: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+    max_frame: usize,
+    poll: Duration,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    // The wake-up connection (or a late client): drop it.
+                    return;
+                }
+                let shared = Arc::clone(shared);
+                let handle =
+                    std::thread::spawn(move || connection_loop(stream, &shared, max_frame, poll));
+                relock(conns.lock()).push(handle);
+            }
+            Err(e) => {
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Transient accept failures (EMFILE, aborted handshakes)
+                // must not kill the server; surface them to the operator.
+                // td-lint: allow(TD004) accept-loop diagnostics have no other channel
+                eprintln!("td-serve: accept error: {e}");
+            }
+        }
+    }
+}
+
+fn connection_loop(stream: TcpStream, shared: &Arc<Shared>, max_frame: usize, poll: Duration) {
+    // The read timeout is what lets this thread observe shutdown between
+    // (or inside) frames; FrameReader keeps partial progress across
+    // timeouts.
+    if stream.set_read_timeout(Some(poll)).is_err() {
+        return;
+    }
+    let out = match stream.try_clone() {
+        Ok(w) => Arc::new(Mutex::new(w)),
+        Err(_) => return,
+    };
+    let mut read_half = stream;
+    let mut reader = FrameReader::new();
+    loop {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            return;
+        }
+        match reader.poll(&mut read_half, max_frame) {
+            Ok(FramePoll::Pending) => {}
+            Ok(FramePoll::Eof) => return,
+            Ok(FramePoll::Frame(payload)) => handle_frame(&payload, shared, &out),
+            Err(e) => {
+                // Framing is unrecoverable mid-stream: report and close.
+                shared.bad_requests.fetch_add(1, Ordering::Relaxed);
+                respond(
+                    &out,
+                    &ResponseEnvelope::fail(0, Status::BadRequest, e.to_string()),
+                );
+                return;
+            }
+        }
+    }
+}
+
+fn handle_frame(payload: &[u8], shared: &Arc<Shared>, out: &Arc<Mutex<TcpStream>>) {
+    let env = match decode_request(payload) {
+        Ok(env) => env,
+        Err(e) => {
+            shared.bad_requests.fetch_add(1, Ordering::Relaxed);
+            respond(
+                out,
+                &ResponseEnvelope::fail(0, Status::BadRequest, e.to_string()),
+            );
+            return;
+        }
+    };
+    shared.requests.fetch_add(1, Ordering::Relaxed);
+
+    // Liveness probes are answered inline — they must succeed even when
+    // the queue is saturated, or health checks flap exactly when the
+    // operator needs them.
+    if matches!(env.req, Request::Ping) {
+        let t = Timer::start();
+        shared.served_ok.fetch_add(1, Ordering::Relaxed);
+        respond(out, &ResponseEnvelope::ok(env.id, Reply::Pong));
+        shared.metrics.record_latency("ping", t.elapsed());
+        return;
+    }
+
+    if shared.shutting_down.load(Ordering::SeqCst) {
+        respond(
+            out,
+            &ResponseEnvelope::fail(env.id, Status::ShuttingDown, "server is draining"),
+        );
+        return;
+    }
+
+    let key = match canonical_bytes(&env.req) {
+        Ok(k) => k,
+        Err(e) => {
+            shared.bad_requests.fetch_add(1, Ordering::Relaxed);
+            respond(
+                out,
+                &ResponseEnvelope::fail(env.id, Status::BadRequest, e.to_string()),
+            );
+            return;
+        }
+    };
+
+    // Cache hits bypass admission entirely: they cost microseconds and
+    // consuming queue slots for them would shed real work.
+    if let Some(reply) = shared.cache.get(&key) {
+        let t = Timer::start();
+        shared.metrics.cache_hits.inc();
+        shared.served_ok.fetch_add(1, Ordering::Relaxed);
+        respond(out, &ResponseEnvelope::ok(env.id, (*reply).clone()));
+        shared
+            .metrics
+            .record_latency(env.req.endpoint(), t.elapsed());
+        return;
+    }
+    shared.metrics.cache_misses.inc();
+
+    let endpoint = env.req.endpoint();
+    let job = Job {
+        id: env.id,
+        req: env.req,
+        key,
+        endpoint,
+        deadline_ms: env.deadline_ms,
+        admitted: Timer::start(),
+        out: Arc::clone(out),
+    };
+    match shared.queue.try_push(job) {
+        Ok(()) => shared.metrics.queue_depth.inc(),
+        Err(PushError::Full) => {
+            shared.shed.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.shed.inc();
+            respond(
+                out,
+                &ResponseEnvelope::fail(
+                    env.id,
+                    Status::Overloaded,
+                    "admission queue full; retry later",
+                ),
+            );
+        }
+        Err(PushError::Closed) => {
+            respond(
+                out,
+                &ResponseEnvelope::fail(env.id, Status::ShuttingDown, "server is draining"),
+            );
+        }
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(job) = shared.queue.pop() {
+        shared.metrics.queue_depth.dec();
+        if job.deadline_ms > 0 && job.admitted.elapsed_ms() > job.deadline_ms as f64 {
+            shared.deadline_expired.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.deadline_expired.inc();
+            respond(
+                &job.out,
+                &ResponseEnvelope::fail(
+                    job.id,
+                    Status::DeadlineExceeded,
+                    "deadline passed while queued",
+                ),
+            );
+            continue;
+        }
+        shared.metrics.inflight.inc();
+        let t = Timer::start();
+        let reply = Arc::new(execute(&shared.pipeline, &job.req));
+        shared.metrics.record_latency(job.endpoint, t.elapsed());
+        shared.metrics.inflight.dec();
+        let resp = ResponseEnvelope::ok(job.id, (*reply).clone());
+        if let Ok(payload) = encode_response(&resp) {
+            // Charge the cache what the reply costs on the wire.
+            shared.cache.put(job.key, reply, payload.len());
+            shared.served_ok.fetch_add(1, Ordering::Relaxed);
+            let mut stream = relock(job.out.lock());
+            let _ = write_frame(&mut *stream, &payload);
+            let _ = stream.flush();
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! Seeded, deterministic query workloads for load generation.
+//!
+//! A [`Workload`] draws requests from a fixed *pool* built once from a
+//! [`DataLake`]; the pool is intentionally smaller than the request
+//! count so the stream repeats queries — exactly the locality a result
+//! cache exists to exploit. Everything is driven by a splitmix64 state
+//! seeded from [`WorkloadConfig::seed`], so two workloads with the same
+//! seed over the same lake produce byte-identical request sequences
+//! (the property the `--seed` flag of `serve_report` exposes and the
+//! integration tests assert).
+
+use td_table::{DataLake, Table};
+
+use crate::protocol::{Request, RequestEnvelope};
+
+/// Workload shape.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadConfig {
+    /// RNG seed; same seed + same lake = same request sequence.
+    pub seed: u64,
+    /// Distinct queries in the pool. Smaller pools repeat more and so
+    /// hit the cache more.
+    pub pool_size: usize,
+    /// `k` passed to every search.
+    pub k: usize,
+    /// Deadline stamped on every envelope (`0` = none).
+    pub deadline_ms: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            seed: 0x7D15_C0DE,
+            pool_size: 32,
+            k: 5,
+            deadline_ms: 0,
+        }
+    }
+}
+
+/// Deterministic counter-free PRNG step (splitmix64). Local rather than
+/// a `rand` dependency so the serving crate stays std-only.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn pick<'a, T>(state: &mut u64, items: &'a [T]) -> Option<&'a T> {
+    if items.is_empty() {
+        None
+    } else {
+        let idx = (splitmix64(state) % items.len() as u64) as usize;
+        Some(&items[idx])
+    }
+}
+
+/// A seeded stream of requests over a fixed pool.
+pub struct Workload {
+    pool: Vec<Request>,
+    state: u64,
+    deadline_ms: u64,
+}
+
+/// Build one pool entry for endpoint slot `which` (0..8) from `table`.
+/// Falls back to `Keyword` when the table lacks what the endpoint
+/// needs (e.g. no numeric column for `Correlated`).
+fn pool_request(which: u64, table: &Table, tau: f32, k: usize) -> Request {
+    let keyword = || Request::Keyword {
+        query: table.name.clone(),
+        k,
+    };
+    let text_col = || table.columns.iter().find(|c| !c.is_numeric());
+    match which {
+        0 => keyword(),
+        1 => match text_col() {
+            Some(c) => Request::Joinable {
+                column: c.clone(),
+                k,
+            },
+            None => keyword(),
+        },
+        2 => Request::Unionable {
+            table: table.clone(),
+            k,
+        },
+        3 => Request::UnionableSemantic {
+            table: table.clone(),
+            k,
+        },
+        4 => Request::UnionableRelationship {
+            table: table.clone(),
+            k,
+        },
+        5 => match text_col() {
+            Some(c) => Request::FuzzyJoinable {
+                column: c.clone(),
+                tau,
+                k,
+            },
+            None => keyword(),
+        },
+        6 => {
+            let key_cols: Vec<usize> = if table.num_cols() > 1 {
+                vec![0, 1]
+            } else {
+                vec![0]
+            };
+            Request::MultiJoinable {
+                table: table.clone(),
+                key_cols,
+                k,
+            }
+        }
+        _ => {
+            let key = text_col();
+            let numeric = table.columns.iter().find(|c| c.is_numeric());
+            match (key, numeric) {
+                (Some(key), Some(numeric)) => Request::Correlated {
+                    key: key.clone(),
+                    numeric: numeric.clone(),
+                    k,
+                },
+                _ => keyword(),
+            }
+        }
+    }
+}
+
+impl Workload {
+    /// Build the query pool from `lake` and seed the stream.
+    #[must_use]
+    pub fn new(lake: &DataLake, cfg: &WorkloadConfig) -> Self {
+        let tables: Vec<&Table> = lake.iter().map(|(_, t)| t).collect();
+        let mut state = cfg.seed;
+        let mut pool = Vec::with_capacity(cfg.pool_size.max(1));
+        const TAUS: [f32; 4] = [0.5, 0.6, 0.7, 0.8];
+        for _ in 0..cfg.pool_size.max(1) {
+            let Some(table) = pick(&mut state, &tables) else {
+                break;
+            };
+            let which = splitmix64(&mut state) % 8;
+            let tau = TAUS[(splitmix64(&mut state) % TAUS.len() as u64) as usize];
+            pool.push(pool_request(which, table, tau, cfg.k));
+        }
+        Workload {
+            pool,
+            state: cfg.seed ^ 0xA5A5_A5A5_A5A5_A5A5,
+            deadline_ms: cfg.deadline_ms,
+        }
+    }
+
+    /// Number of distinct pooled queries (0 only for an empty lake).
+    #[must_use]
+    pub fn pool_len(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Draw the next request (uniform over the pool).
+    pub fn next_request(&mut self) -> Option<Request> {
+        let state = &mut self.state;
+        pick(state, &self.pool).cloned()
+    }
+
+    /// Draw the next request wrapped in an envelope.
+    pub fn next_envelope(&mut self, id: u64) -> Option<RequestEnvelope> {
+        self.next_request().map(|req| RequestEnvelope {
+            id,
+            deadline_ms: self.deadline_ms,
+            req,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_table::gen::lakegen::{LakeGenConfig, LakeGenerator};
+
+    fn small_lake() -> DataLake {
+        LakeGenerator::standard()
+            .generate(&LakeGenConfig {
+                num_tables: 8,
+                rows: (5, 12),
+                cols: (2, 4),
+                seed: 11,
+                ..LakeGenConfig::default()
+            })
+            .lake
+    }
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let lake = small_lake();
+        let cfg = WorkloadConfig {
+            seed: 42,
+            pool_size: 16,
+            ..WorkloadConfig::default()
+        };
+        let mut a = Workload::new(&lake, &cfg);
+        let mut b = Workload::new(&lake, &cfg);
+        for _ in 0..64 {
+            assert_eq!(a.next_request(), b.next_request());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let lake = small_lake();
+        let mut cfg = WorkloadConfig {
+            seed: 1,
+            pool_size: 16,
+            ..WorkloadConfig::default()
+        };
+        let mut a = Workload::new(&lake, &cfg);
+        cfg.seed = 2;
+        let mut b = Workload::new(&lake, &cfg);
+        let same = (0..64)
+            .filter(|_| a.next_request() == b.next_request())
+            .count();
+        assert!(same < 64, "seeds 1 and 2 should not generate identically");
+    }
+
+    #[test]
+    fn pool_repeats_produce_duplicate_requests() {
+        // pool_size 4 with 64 draws must repeat — the cache-hit driver.
+        let lake = small_lake();
+        let cfg = WorkloadConfig {
+            seed: 7,
+            pool_size: 4,
+            ..WorkloadConfig::default()
+        };
+        let mut w = Workload::new(&lake, &cfg);
+        let draws: Vec<Request> = (0..64).filter_map(|_| w.next_request()).collect();
+        let mut seen = Vec::new();
+        for d in &draws {
+            if !seen.contains(d) {
+                seen.push(d.clone());
+            }
+        }
+        assert!(seen.len() <= 4);
+        assert!(draws.len() > seen.len());
+    }
+
+    #[test]
+    fn envelopes_carry_deadline_and_id() {
+        let lake = small_lake();
+        let cfg = WorkloadConfig {
+            deadline_ms: 250,
+            ..WorkloadConfig::default()
+        };
+        let mut w = Workload::new(&lake, &cfg);
+        let env = w.next_envelope(9).expect("non-empty pool");
+        assert_eq!(env.id, 9);
+        assert_eq!(env.deadline_ms, 250);
+    }
+}

@@ -19,6 +19,8 @@
 //! * [`apps`] — feature augmentation, training-set discovery, stitching.
 //! * [`obs`] — zero-dependency metrics registry, spans, and exporters
 //!   wired through every layer above.
+//! * [`serve`] — the concurrent query-serving layer: TCP protocol,
+//!   admission control, result caching over one shared pipeline.
 //!
 //! ## Quickstart
 //!
@@ -45,6 +47,7 @@ pub use td_embed as embed;
 pub use td_index as index;
 pub use td_nav as nav;
 pub use td_obs as obs;
+pub use td_serve as serve;
 pub use td_sketch as sketch;
 pub use td_table as table;
 pub use td_understand as understand;
