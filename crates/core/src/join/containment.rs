@@ -1,8 +1,11 @@
 //! Containment (domain) search via LSH Ensemble (tutorial §2.4).
 
 use crate::join::jaccard::JaccardJoinSearch;
+use crate::segment::{live_entries, ComponentSegment, IndexComponent, PipelineContext};
+use std::collections::BTreeSet;
 use td_index::ensemble::LshEnsemble;
-use td_table::{Column, ColumnRef, DataLake, TableId};
+use td_sketch::minhash::MinHashSignature;
+use td_table::{Column, ColumnRef, DataLake, Table, TableId};
 
 /// Containment-threshold joinable search over all textual columns.
 #[derive(Debug, Clone)]
@@ -19,7 +22,15 @@ impl ContainmentJoinSearch {
     /// Panics if the lake has no indexable textual columns.
     #[must_use]
     pub fn build(lake: &DataLake, k_hashes: usize, partitions: usize) -> Self {
-        let base = JaccardJoinSearch::build(lake, k_hashes);
+        Self::assemble(JaccardJoinSearch::build(lake, k_hashes), partitions)
+    }
+
+    /// Derive the LSH Ensemble over an already-signed base index — shared
+    /// by [`Self::build`] and the segment merge path.
+    ///
+    /// # Panics
+    /// Panics if the base index is empty (LSH Ensemble needs ≥ 1 set).
+    fn assemble(base: JaccardJoinSearch, partitions: usize) -> Self {
         let ensemble = LshEnsemble::build(base.signatures(), partitions);
         ContainmentJoinSearch { base, ensemble }
     }
@@ -91,6 +102,41 @@ impl ContainmentJoinSearch {
         best.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         best.truncate(k);
         best
+    }
+}
+
+impl IndexComponent for ContainmentJoinSearch {
+    /// Per column: `(column index, MinHash signature)` — signatures are
+    /// order-insensitive over the token set, so extract-then-merge equals
+    /// the batch signing pass bit-for-bit.
+    type Artifact = Vec<(u32, MinHashSignature)>;
+    type Query<'q> = &'q Column;
+    type Hits = Vec<(TableId, f64)>;
+
+    fn extract(table: &Table, ctx: &PipelineContext) -> Self::Artifact {
+        JaccardJoinSearch::sign_columns(table, ctx.cfg.minhash_k)
+    }
+
+    fn merge(
+        segments: &[&ComponentSegment<Self::Artifact>],
+        tombstones: &BTreeSet<TableId>,
+        ctx: &PipelineContext,
+    ) -> Self {
+        let items = live_entries(segments, tombstones)
+            .into_iter()
+            .flat_map(|(id, cols)| {
+                cols.into_iter()
+                    .map(move |(ci, sig)| (ColumnRef::new(id, ci as usize), sig))
+            })
+            .collect();
+        Self::assemble(
+            JaccardJoinSearch::from_parts(ctx.cfg.minhash_k, items),
+            ctx.cfg.partitions,
+        )
+    }
+
+    fn search_merged(&self, query: Self::Query<'_>, k: usize) -> Self::Hits {
+        self.top_k_tables(query, k)
     }
 }
 

@@ -7,11 +7,13 @@
 //! pair in the lake is summarized offline by a [`QcrSketch`], and query
 //! sketches are intersected with them.
 
+use crate::segment::{live_entries, ArtifactOf, ComponentSegment, IndexComponent, PipelineContext};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
 use td_index::topk::TopK;
 use td_sketch::qcr::QcrSketch;
 use td_table::gen::bench_join::pearson;
-use td_table::{Column, ColumnRef, DataLake};
+use td_table::{Column, ColumnRef, DataLake, Table, TableId};
 
 /// A correlated-column hit.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -49,28 +51,55 @@ impl CorrelatedSearch {
     /// `sketch_k`.
     #[must_use]
     pub fn build(lake: &DataLake, sketch_k: usize) -> Self {
-        let mut sketches = Vec::new();
-        for (id, table) in lake.iter() {
-            for (ki, key) in table.columns.iter().enumerate() {
-                if key.is_numeric() || key.token_set().is_empty() {
+        Self::assemble(
+            sketch_k,
+            lake.iter()
+                .map(|(id, t)| (id, Self::sketch_table(t, sketch_k)))
+                .collect(),
+        )
+    }
+
+    /// Sketch every (textual key, numeric) column pair of one table —
+    /// `(key index, numeric index, sketch)` triples, the per-table
+    /// artifact of the segmented index.
+    fn sketch_table(table: &Table, sketch_k: usize) -> Vec<(u32, u32, QcrSketch)> {
+        let mut out = Vec::new();
+        for (ki, key) in table.columns.iter().enumerate() {
+            if key.is_numeric() || key.token_set().is_empty() {
+                continue;
+            }
+            for (ni, num) in table.columns.iter().enumerate() {
+                if ki == ni || !num.is_numeric() {
                     continue;
                 }
-                for (ni, num) in table.columns.iter().enumerate() {
-                    if ki == ni || !num.is_numeric() {
-                        continue;
-                    }
-                    let pairs = key_value_pairs(key, num);
-                    if pairs.len() < 2 {
-                        continue;
-                    }
-                    sketches.push((
-                        ColumnRef::new(id, ki),
-                        ColumnRef::new(id, ni),
-                        QcrSketch::build(sketch_k, QCR_SEED, &pairs),
-                    ));
+                let pairs = key_value_pairs(key, num);
+                if pairs.len() < 2 {
+                    continue;
                 }
+                out.push((
+                    ki as u32,
+                    ni as u32,
+                    QcrSketch::build(sketch_k, QCR_SEED, &pairs),
+                ));
             }
         }
+        out
+    }
+
+    /// Assemble from per-table sketch artifacts in ascending id order.
+    fn assemble(sketch_k: usize, items: Vec<(TableId, ArtifactOf<Self>)>) -> Self {
+        let sketches = items
+            .into_iter()
+            .flat_map(|(id, pairs)| {
+                pairs.into_iter().map(move |(ki, ni, sketch)| {
+                    (
+                        ColumnRef::new(id, ki as usize),
+                        ColumnRef::new(id, ni as usize),
+                        sketch,
+                    )
+                })
+            })
+            .collect();
         CorrelatedSearch { sketches, sketch_k }
     }
 
@@ -119,6 +148,31 @@ impl CorrelatedSearch {
                 }
             })
             .collect()
+    }
+}
+
+impl IndexComponent for CorrelatedSearch {
+    /// Per (key, numeric) column pair: `(key index, numeric index, QCR
+    /// sketch)`.
+    type Artifact = Vec<(u32, u32, QcrSketch)>;
+    type Query<'q> = (&'q Column, &'q Column);
+    type Hits = Vec<CorrelatedHit>;
+
+    fn extract(table: &Table, ctx: &PipelineContext) -> Self::Artifact {
+        Self::sketch_table(table, ctx.cfg.qcr_k)
+    }
+
+    fn merge(
+        segments: &[&ComponentSegment<Self::Artifact>],
+        tombstones: &BTreeSet<TableId>,
+        ctx: &PipelineContext,
+    ) -> Self {
+        Self::assemble(ctx.cfg.qcr_k, live_entries(segments, tombstones))
+    }
+
+    fn search_merged(&self, (query_key, query_num): Self::Query<'_>, k: usize) -> Self::Hits {
+        // min_shared mirrors DiscoveryPipeline::search_correlated.
+        self.search(query_key, query_num, k, 8)
     }
 }
 

@@ -1,8 +1,10 @@
 //! Exact top-k joinable-column search by overlap (JOSIE; tutorial §2.4).
 
+use crate::segment::{live_entries, ArtifactOf, ComponentSegment, IndexComponent, PipelineContext};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
 use td_index::inverted::{InvertedSetIndex, InvertedSetIndexBuilder, SearchStats};
-use td_table::{Column, ColumnRef, DataLake, TableId};
+use td_table::{Column, ColumnRef, DataLake, Table, TableId};
 
 /// Posting-list processing strategy (the E03 ablation).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -92,6 +94,23 @@ impl ExactJoinSearch {
         )
     }
 
+    /// Assemble from per-table `(column index, sorted tokens)` artifacts
+    /// in ascending table-id order.
+    fn assemble(items: Vec<(TableId, ArtifactOf<Self>)>) -> Self {
+        let mut b = InvertedSetIndexBuilder::new();
+        let mut refs = Vec::new();
+        for (id, cols) in &items {
+            for (ci, tokens) in cols {
+                b.add_set(tokens.iter().map(String::as_str));
+                refs.push(ColumnRef::new(*id, *ci as usize));
+            }
+        }
+        ExactJoinSearch {
+            index: b.build(),
+            refs,
+        }
+    }
+
     /// Top-k *tables* by their best column overlap.
     #[must_use]
     pub fn search_tables(
@@ -112,6 +131,44 @@ impl ExactJoinSearch {
         best.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         best.truncate(k);
         best
+    }
+}
+
+impl IndexComponent for ExactJoinSearch {
+    /// Per column: `(column index, sorted distinct tokens)` for each
+    /// indexable (non-numeric, non-empty) column. Tokens are sorted so the
+    /// artifact — unlike a `HashSet` drain — is deterministic.
+    type Artifact = Vec<(u32, Vec<String>)>;
+    type Query<'q> = &'q Column;
+    type Hits = Vec<(TableId, usize)>;
+
+    fn extract(table: &Table, _ctx: &PipelineContext) -> Self::Artifact {
+        let mut cols = Vec::new();
+        for (ci, col) in table.columns.iter().enumerate() {
+            if col.is_numeric() {
+                continue;
+            }
+            let tokens = col.token_set();
+            if tokens.is_empty() {
+                continue;
+            }
+            let mut tokens: Vec<String> = tokens.into_iter().collect();
+            tokens.sort_unstable();
+            cols.push((ci as u32, tokens));
+        }
+        cols
+    }
+
+    fn merge(
+        segments: &[&ComponentSegment<Self::Artifact>],
+        tombstones: &BTreeSet<TableId>,
+        _ctx: &PipelineContext,
+    ) -> Self {
+        Self::assemble(live_entries(segments, tombstones))
+    }
+
+    fn search_merged(&self, query: Self::Query<'_>, k: usize) -> Self::Hits {
+        self.search_tables(query, k, ExactStrategy::Adaptive)
     }
 }
 

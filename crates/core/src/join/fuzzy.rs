@@ -10,11 +10,13 @@
 //! vectors yield an upper bound on any pair's cosine (spherical triangle
 //! inequality), and pairs whose bound misses `τ` are pruned unverified.
 
+use crate::segment::{live_entries, ComponentSegment, IndexComponent, PipelineContext};
 use serde::{Deserialize, Serialize};
-use td_embed::model::{seeded_unit_vector, Embedder};
+use std::collections::BTreeSet;
+use td_embed::model::{seeded_unit_vector, Embedder, NGramEmbedder};
 use td_embed::vector::dot;
 use td_index::topk::TopK;
-use td_table::{Column, ColumnRef, DataLake, TableId};
+use td_table::{Column, ColumnRef, DataLake, Table, TableId};
 
 /// Filtering statistics (experiment E07's pruning ablation).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -58,21 +60,32 @@ impl<E: Embedder> FuzzyJoinSearch<E> {
     /// high dimension see every vector at ~90° and prune nothing.
     #[must_use]
     pub fn build(lake: &DataLake, embedder: E, num_pivots: usize, sample: usize) -> Self {
-        let mut columns = Vec::new();
-        for (r, col) in lake.columns() {
-            if col.is_numeric() {
-                continue;
-            }
-            let vectors = embed_distinct(&embedder, col, sample);
-            if vectors.is_empty() {
-                continue;
-            }
-            columns.push(FuzzyColumn {
+        let cols = lake
+            .columns()
+            .filter(|(_, col)| !col.is_numeric())
+            .map(|(r, col)| (r, embed_distinct(&embedder, col, sample)))
+            .filter(|(_, v)| !v.is_empty())
+            .collect();
+        Self::assemble(embedder, num_pivots, sample, cols)
+    }
+
+    /// Assemble from already-embedded columns in lake order: pivot
+    /// selection and angle precomputation — the single constructor both
+    /// batch build and segment merge go through.
+    fn assemble(
+        embedder: E,
+        num_pivots: usize,
+        sample: usize,
+        cols: Vec<(ColumnRef, Vec<Vec<f32>>)>,
+    ) -> Self {
+        let mut columns: Vec<FuzzyColumn> = cols
+            .into_iter()
+            .map(|(r, vectors)| FuzzyColumn {
                 r,
                 vectors,
                 angles: Vec::new(),
-            });
-        }
+            })
+            .collect();
         // Farthest-first pivot selection over a subsample of all vectors.
         let pool: Vec<&Vec<f32>> = columns
             .iter()
@@ -211,6 +224,49 @@ impl<E: Embedder> FuzzyJoinSearch<E> {
         best.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         best.truncate(k);
         best
+    }
+}
+
+impl IndexComponent for FuzzyJoinSearch<NGramEmbedder> {
+    /// Per column: `(column index, embedded distinct-value vectors)`.
+    /// Pivot selection is deferred to merge time because pivots are a
+    /// global (whole-lake) property.
+    type Artifact = Vec<(u32, Vec<Vec<f32>>)>;
+    type Query<'q> = (&'q Column, f32);
+    type Hits = Vec<(TableId, f64)>;
+
+    fn extract(table: &Table, ctx: &PipelineContext) -> Self::Artifact {
+        let mut cols = Vec::new();
+        for (ci, col) in table.columns.iter().enumerate() {
+            if col.is_numeric() {
+                continue;
+            }
+            let vectors = embed_distinct(&ctx.ngram_emb, col, ctx.cfg.sample);
+            if vectors.is_empty() {
+                continue;
+            }
+            cols.push((ci as u32, vectors));
+        }
+        cols
+    }
+
+    fn merge(
+        segments: &[&ComponentSegment<Self::Artifact>],
+        tombstones: &BTreeSet<TableId>,
+        ctx: &PipelineContext,
+    ) -> Self {
+        let cols = live_entries(segments, tombstones)
+            .into_iter()
+            .flat_map(|(id, cols)| {
+                cols.into_iter()
+                    .map(move |(ci, vectors)| (ColumnRef::new(id, ci as usize), vectors))
+            })
+            .collect();
+        Self::assemble(ctx.ngram_emb.clone(), ctx.cfg.pivots, ctx.cfg.sample, cols)
+    }
+
+    fn search_merged(&self, (query, tau): Self::Query<'_>, k: usize) -> Self::Hits {
+        self.search_tables(query, tau, k)
     }
 }
 

@@ -5,7 +5,7 @@
 use td_index::lsh::MinHashLsh;
 use td_index::topk::TopK;
 use td_sketch::minhash::{MinHashSignature, MinHasher};
-use td_table::{Column, ColumnRef, DataLake};
+use td_table::{Column, ColumnRef, DataLake, Table};
 
 /// MinHash-signature store with Jaccard top-k and Jaccard-LSH retrieval.
 #[derive(Debug, Clone)]
@@ -35,6 +35,43 @@ impl JaccardJoinSearch {
             }
             signatures.push(hasher.sign(tokens.iter().map(String::as_str)));
             refs.push(r);
+        }
+        JaccardJoinSearch {
+            hasher,
+            signatures,
+            refs,
+            k_hashes,
+        }
+    }
+
+    /// Sign every indexable (non-numeric, non-empty) column of one table:
+    /// `(column index, signature)` pairs, the per-table artifact of the
+    /// segmented containment index.
+    pub(crate) fn sign_columns(table: &Table, k_hashes: usize) -> Vec<(u32, MinHashSignature)> {
+        let hasher = MinHasher::new(k_hashes, SIG_SEED);
+        let mut out = Vec::new();
+        for (ci, col) in table.columns.iter().enumerate() {
+            if col.is_numeric() {
+                continue;
+            }
+            let tokens = col.token_set();
+            if tokens.is_empty() {
+                continue;
+            }
+            out.push((ci as u32, hasher.sign(tokens.iter().map(String::as_str))));
+        }
+        out
+    }
+
+    /// Reassemble from `(column, signature)` pairs in ascending column
+    /// order — the merge-side constructor matching [`Self::build`].
+    pub(crate) fn from_parts(k_hashes: usize, items: Vec<(ColumnRef, MinHashSignature)>) -> Self {
+        let hasher = MinHasher::new(k_hashes, SIG_SEED);
+        let mut signatures = Vec::with_capacity(items.len());
+        let mut refs = Vec::with_capacity(items.len());
+        for (r, sig) in items {
+            refs.push(r);
+            signatures.push(sig);
         }
         JaccardJoinSearch {
             hasher,

@@ -10,8 +10,9 @@
 //! attribute, a 64-bit XASH-style row fingerprint filter, then exact
 //! verification.
 
+use crate::segment::{live_entries, ArtifactOf, ComponentSegment, IndexComponent, PipelineContext};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use td_index::topk::TopK;
 use td_sketch::hash::hash_str;
 use td_table::{DataLake, Table, TableId};
@@ -55,23 +56,44 @@ impl MateSearch {
     /// Index every row of every table (textual cells only).
     #[must_use]
     pub fn build(lake: &DataLake) -> Self {
+        Self::assemble(
+            lake.iter()
+                .map(|(id, t)| (id, Self::row_artifacts(t)))
+                .collect(),
+        )
+    }
+
+    /// Hash one table's rows: `(cell hashes, super key)` per indexable
+    /// (non-empty) row — the per-table artifact of the segmented index.
+    fn row_artifacts(table: &Table) -> Vec<(Vec<u64>, u64)> {
+        let mut out = Vec::new();
+        for r in 0..table.num_rows() {
+            let cells: Vec<u64> = table
+                .columns
+                .iter()
+                .filter_map(|c| c.values[r].join_token())
+                .map(|t| hash_str(&t, CELL_SEED))
+                .collect();
+            if cells.is_empty() {
+                continue;
+            }
+            let sk = super_key(&cells);
+            out.push((cells, sk));
+        }
+        out
+    }
+
+    /// Assemble from per-table row artifacts in ascending id order.
+    /// Every table — even a rowless one — keeps a `tables` slot, matching
+    /// the batch pass.
+    fn assemble(items: Vec<(TableId, ArtifactOf<Self>)>) -> Self {
         let mut postings: HashMap<u64, Vec<u32>> = HashMap::new();
         let mut rows = Vec::new();
-        let mut tables = Vec::with_capacity(lake.len());
-        for (ti, (id, table)) in lake.iter().enumerate() {
+        let mut tables = Vec::with_capacity(items.len());
+        for (ti, (id, table_rows)) in items.into_iter().enumerate() {
             tables.push(id);
-            for r in 0..table.num_rows() {
-                let cells: Vec<u64> = table
-                    .columns
-                    .iter()
-                    .filter_map(|c| c.values[r].join_token())
-                    .map(|t| hash_str(&t, CELL_SEED))
-                    .collect();
-                if cells.is_empty() {
-                    continue;
-                }
+            for (cells, sk) in table_rows {
                 let entry_id = rows.len() as u32;
-                let sk = super_key(&cells);
                 for &h in &cells {
                     postings.entry(h).or_default().push(entry_id);
                 }
@@ -222,6 +244,30 @@ impl MateSearch {
             .into_iter()
             .map(|(s, t)| (TableId(t), s))
             .collect()
+    }
+}
+
+impl IndexComponent for MateSearch {
+    /// Per row: `(cell hashes, super key)`. An empty vec still claims a
+    /// table slot, mirroring the batch build.
+    type Artifact = Vec<(Vec<u64>, u64)>;
+    type Query<'q> = (&'q Table, &'q [usize]);
+    type Hits = Vec<(TableId, f64)>;
+
+    fn extract(table: &Table, _ctx: &PipelineContext) -> Self::Artifact {
+        Self::row_artifacts(table)
+    }
+
+    fn merge(
+        segments: &[&ComponentSegment<Self::Artifact>],
+        tombstones: &BTreeSet<TableId>,
+        _ctx: &PipelineContext,
+    ) -> Self {
+        Self::assemble(live_entries(segments, tombstones))
+    }
+
+    fn search_merged(&self, (query, key_cols): Self::Query<'_>, k: usize) -> Self::Hits {
+        self.search(query, key_cols, k).0
     }
 }
 

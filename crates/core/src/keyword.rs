@@ -6,9 +6,11 @@
 //! tutorial's motivation for the data-driven methods in §2.4–2.5
 //! (experiment E12 sweeps metadata corruption).
 
+use crate::segment::{live_entries, ComponentSegment, IndexComponent, PipelineContext};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
 use td_index::bm25::{Bm25Index, Bm25Params};
-use td_table::{DataLake, TableId};
+use td_table::{DataLake, Table, TableId};
 
 /// What goes into the keyword index.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -42,19 +44,36 @@ impl KeywordSearch {
     /// Index every table of a lake.
     #[must_use]
     pub fn build(lake: &DataLake, cfg: &KeywordConfig) -> Self {
+        Self::assemble(
+            cfg,
+            lake.iter()
+                .map(|(id, t)| (id, Self::doc_of(t, cfg)))
+                .collect(),
+        )
+    }
+
+    /// The BM25 document text for one table under a config.
+    fn doc_of(table: &Table, cfg: &KeywordConfig) -> String {
+        let mut doc = String::new();
+        if cfg.index_metadata {
+            doc.push_str(&table.meta.full_text());
+        }
+        if cfg.index_schema {
+            for h in table.headers() {
+                doc.push(' ');
+                doc.push_str(h);
+            }
+        }
+        doc
+    }
+
+    /// Assemble the index from per-table documents in ascending id order —
+    /// the single constructor both batch build and segment merge go
+    /// through.
+    fn assemble(cfg: &KeywordConfig, docs: Vec<(TableId, String)>) -> Self {
         let mut index = Bm25Index::new(cfg.bm25);
-        let mut tables = Vec::with_capacity(lake.len());
-        for (id, t) in lake.iter() {
-            let mut doc = String::new();
-            if cfg.index_metadata {
-                doc.push_str(&t.meta.full_text());
-            }
-            if cfg.index_schema {
-                for h in t.headers() {
-                    doc.push(' ');
-                    doc.push_str(h);
-                }
-            }
+        let mut tables = Vec::with_capacity(docs.len());
+        for (id, doc) in docs {
             index.add_document(&doc);
             tables.push(id);
         }
@@ -84,10 +103,32 @@ impl KeywordSearch {
     }
 }
 
+impl IndexComponent for KeywordSearch {
+    type Artifact = String;
+    type Query<'q> = &'q str;
+    type Hits = Vec<(TableId, f64)>;
+
+    fn extract(table: &Table, ctx: &PipelineContext) -> Self::Artifact {
+        Self::doc_of(table, &ctx.cfg.keyword)
+    }
+
+    fn merge(
+        segments: &[&ComponentSegment<Self::Artifact>],
+        tombstones: &BTreeSet<TableId>,
+        ctx: &PipelineContext,
+    ) -> Self {
+        Self::assemble(&ctx.cfg.keyword, live_entries(segments, tombstones))
+    }
+
+    fn search_merged(&self, query: Self::Query<'_>, k: usize) -> Self::Hits {
+        self.search(query, k)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use td_table::{Column, Table, TableMeta};
+    use td_table::{Column, TableMeta};
 
     fn lake() -> DataLake {
         let mut lake = DataLake::new();

@@ -16,7 +16,13 @@ pub mod join;
 pub mod keyword;
 pub mod metrics;
 pub mod pipeline;
+pub mod segment;
+pub mod segmented;
 pub mod union;
 
 pub use keyword::{KeywordConfig, KeywordSearch};
 pub use pipeline::{DiscoveryPipeline, PipelineConfig};
+pub use segment::{
+    ComponentSegment, IndexComponent, PipelineContext, PipelineSegment, SegmentView,
+};
+pub use segmented::SegmentedPipeline;

@@ -13,14 +13,15 @@ use crate::join::{
     MateSearch,
 };
 use crate::keyword::{KeywordConfig, KeywordSearch};
-use crate::union::{
-    MeasureContext, SantosConfig, SantosSearch, StarmieConfig, StarmieSearch, TusSearch,
-    UnionMeasure,
+use crate::segment::{
+    ArtifactOf, ComponentSegment, IndexComponent, PipelineContext, PipelineSegment, SegmentView,
 };
+use crate::union::{SantosSearch, StarmieConfig, StarmieSearch, TusSearch, UnionMeasure};
+use std::collections::BTreeSet;
 use td_embed::model::{DomainEmbedder, NGramEmbedder};
 use td_table::gen::domains::DomainRegistry;
 use td_table::{Column, DataLake, LakeProfile, Table, TableId};
-use td_understand::kb::{KbConfig, KnowledgeBase};
+use td_understand::kb::KbConfig;
 
 /// Pipeline construction parameters.
 #[derive(Debug, Clone)]
@@ -61,6 +62,16 @@ impl Default for PipelineConfig {
             keyword: KeywordConfig::default(),
             seed: 7,
         }
+    }
+}
+
+impl PipelineConfig {
+    /// The shared n-gram embedder (fuzzy join and the TUS natural-language
+    /// signal use the same model; constructing it in one place keeps the
+    /// two from drifting).
+    #[must_use]
+    pub fn ngram_embedder(&self) -> NGramEmbedder {
+        NGramEmbedder::new(self.dim, 3, self.seed ^ 0xF0)
     }
 }
 
@@ -108,74 +119,100 @@ impl DiscoveryPipeline {
         td_obs::global()
             .gauge("pipeline.lake.columns")
             .set(lake.num_columns() as f64);
-        let profile = {
-            let _s = td_obs::span!("pipeline.profile");
-            LakeProfile::of(lake)
-        };
-        let keyword = {
-            let _s = td_obs::span!("pipeline.keyword.build");
-            KeywordSearch::build(lake, &cfg.keyword)
-        };
-        let exact_join = {
-            let _s = td_obs::span!("pipeline.exact_join.build");
-            ExactJoinSearch::build(lake)
-        };
-        let containment_join = {
-            let _s = td_obs::span!("pipeline.containment.build");
-            ContainmentJoinSearch::build(lake, cfg.minhash_k, cfg.partitions)
-        };
-        let fuzzy_join = {
-            let _s = td_obs::span!("pipeline.fuzzy.build");
-            FuzzyJoinSearch::build(
-                lake,
-                NGramEmbedder::new(cfg.dim, 3, cfg.seed ^ 0xF0),
-                cfg.pivots,
-                cfg.sample,
-            )
-        };
-        let mate = {
-            let _s = td_obs::span!("pipeline.mate.build");
-            MateSearch::build(lake)
-        };
-        let correlated = {
-            let _s = td_obs::span!("pipeline.correlated.build");
-            CorrelatedSearch::build(lake, cfg.qcr_k)
-        };
-        let domain_emb = || DomainEmbedder::from_registry(registry, 2_048, cfg.dim, 0.4, cfg.seed);
-        let tus = {
-            let _s = td_obs::span!("pipeline.tus.build");
-            TusSearch::build(
-                lake,
-                MeasureContext {
-                    domain_emb: domain_emb(),
-                    ngram_emb: NGramEmbedder::new(cfg.dim, 3, cfg.seed ^ 0xF0),
-                    sample: cfg.sample,
-                },
-            )
-        };
-        let kb = {
-            let _s = td_obs::span!("pipeline.kb.build");
-            KnowledgeBase::build(registry, relations, &cfg.kb)
-        };
-        let santos = {
-            let _s = td_obs::span!("pipeline.santos.build");
-            SantosSearch::build(lake, kb, SantosConfig::default())
-        };
-        let starmie = {
-            let _s = td_obs::span!("pipeline.starmie.build");
-            StarmieSearch::build(lake, domain_emb(), cfg.starmie)
-        };
+        let ctx = PipelineContext::new(registry, relations, cfg);
+        let segment = PipelineSegment::build(&SegmentView::of_lake(lake), &ctx);
+        Self::from_segments(&ctx, &[&segment], &BTreeSet::new())
+    }
+
+    /// Assemble the searchable pipeline from a stack of segments (oldest
+    /// first) minus tombstones.
+    ///
+    /// This is the **only** construction path: [`Self::build`] calls it
+    /// with one whole-lake segment, and [`crate::SegmentedPipeline`] calls
+    /// it with however many segments its ingest history produced — so the
+    /// two cannot return different rankings for the same live tables.
+    #[must_use]
+    pub fn from_segments(
+        ctx: &PipelineContext,
+        segments: &[&PipelineSegment],
+        tombstones: &BTreeSet<TableId>,
+    ) -> Self {
+        fn project<'s, A>(
+            segments: &[&'s PipelineSegment],
+            f: impl Fn(&'s PipelineSegment) -> &'s ComponentSegment<A>,
+        ) -> Vec<&'s ComponentSegment<A>> {
+            segments.iter().map(|s| f(s)).collect()
+        }
+        fn merged<C: IndexComponent>(
+            span: &str,
+            segs: Vec<&ComponentSegment<ArtifactOf<C>>>,
+            tombstones: &BTreeSet<TableId>,
+            ctx: &PipelineContext,
+        ) -> C {
+            let _s = td_obs::global().span(span);
+            C::merge(&segs, tombstones, ctx)
+        }
         DiscoveryPipeline {
-            profile,
-            keyword,
-            exact_join,
-            containment_join,
-            fuzzy_join,
-            mate,
-            correlated,
-            tus,
-            starmie,
-            santos,
+            profile: merged(
+                "pipeline.profile",
+                project(segments, |s| &s.profile),
+                tombstones,
+                ctx,
+            ),
+            keyword: merged(
+                "pipeline.keyword.build",
+                project(segments, |s| &s.keyword),
+                tombstones,
+                ctx,
+            ),
+            exact_join: merged(
+                "pipeline.exact_join.build",
+                project(segments, |s| &s.exact_join),
+                tombstones,
+                ctx,
+            ),
+            containment_join: merged(
+                "pipeline.containment.build",
+                project(segments, |s| &s.containment_join),
+                tombstones,
+                ctx,
+            ),
+            fuzzy_join: merged(
+                "pipeline.fuzzy.build",
+                project(segments, |s| &s.fuzzy_join),
+                tombstones,
+                ctx,
+            ),
+            mate: merged(
+                "pipeline.mate.build",
+                project(segments, |s| &s.mate),
+                tombstones,
+                ctx,
+            ),
+            correlated: merged(
+                "pipeline.correlated.build",
+                project(segments, |s| &s.correlated),
+                tombstones,
+                ctx,
+            ),
+            tus: merged(
+                "pipeline.tus.build",
+                project(segments, |s| &s.tus),
+                tombstones,
+                ctx,
+            ),
+            santos: merged(
+                "pipeline.santos.build",
+                project(segments, |s| &s.santos),
+                tombstones,
+                ctx,
+            ),
+            starmie: merged(
+                "pipeline.starmie.build",
+                project(segments, |s| &s.starmie),
+                tombstones,
+                ctx,
+            ),
         }
     }
 

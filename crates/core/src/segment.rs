@@ -1,0 +1,472 @@
+//! Segmented offline layer: per-table artifacts, immutable segments, and
+//! the [`IndexComponent`] contract every search family implements.
+//!
+//! The batch [`crate::DiscoveryPipeline::build`] and the incremental
+//! [`crate::SegmentedPipeline`] both assemble their indices from the same
+//! per-table **artifacts** through the same `merge` code path, which is
+//! what makes "incremental == batch" hold byte-for-byte rather than
+//! approximately: there is no second implementation to drift.
+//!
+//! The shape is LSM-like. A [`PipelineSegment`] is an immutable bundle of
+//! per-table artifacts for all ten components; a lake is any stack of
+//! segments plus a tombstone set, flattened last-write-wins by
+//! [`live_entries`] before each component's `merge` rebuilds its
+//! searchable form.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use td_embed::model::{DomainEmbedder, NGramEmbedder};
+use td_table::gen::bench_union::RelationSpec;
+use td_table::gen::domains::DomainRegistry;
+use td_table::{ColumnProfile, ColumnRef, DataLake, LakeProfile, Table, TableId};
+use td_understand::kb::KnowledgeBase;
+
+use crate::join::{
+    ContainmentJoinSearch, CorrelatedSearch, ExactJoinSearch, FuzzyJoinSearch, MateSearch,
+};
+use crate::keyword::KeywordSearch;
+use crate::pipeline::PipelineConfig;
+use crate::union::{SantosConfig, SantosSearch, StarmieSearch, TusSearch};
+
+/// Shared expensive assets every component build draws from: the embedding
+/// models and the knowledge base. Built once per lake lifetime; table
+/// ingest and segment merges reuse it, which is most of what makes a
+/// single-table delta ingest cheap relative to a full rebuild.
+#[derive(Clone)]
+pub struct PipelineContext {
+    /// Construction parameters.
+    pub cfg: PipelineConfig,
+    /// Ontology-like embedder (TUS semantic signal, Starmie encoder).
+    pub domain_emb: DomainEmbedder,
+    /// Distributional n-gram embedder (fuzzy join, TUS NL signal).
+    pub ngram_emb: NGramEmbedder,
+    /// Knowledge base backing SANTOS annotation.
+    pub kb: KnowledgeBase,
+    /// SANTOS scoring/annotation configuration.
+    pub santos: SantosConfig,
+}
+
+impl PipelineContext {
+    /// Build the shared assets for a lake world. Same inputs as
+    /// [`crate::DiscoveryPipeline::build`]: the registry supplies the
+    /// embedding/ontology world, `relations` the KB relation specs.
+    #[must_use]
+    pub fn new(
+        registry: &DomainRegistry,
+        relations: &[RelationSpec],
+        cfg: &PipelineConfig,
+    ) -> Self {
+        let kb = {
+            let _s = td_obs::span!("pipeline.kb.build");
+            KnowledgeBase::build(registry, relations, &cfg.kb)
+        };
+        PipelineContext {
+            cfg: cfg.clone(),
+            domain_emb: DomainEmbedder::from_registry(registry, 2_048, cfg.dim, 0.4, cfg.seed),
+            ngram_emb: cfg.ngram_embedder(),
+            kb,
+            santos: SantosConfig::default(),
+        }
+    }
+}
+
+/// A borrowed, id-ordered slice of a lake: the unit a segment is built
+/// from. Ids are caller-assigned so an incremental ingest can mirror the
+/// ids a one-shot lake would have handed out.
+pub struct SegmentView<'a> {
+    entries: Vec<(TableId, &'a Table)>,
+}
+
+impl<'a> SegmentView<'a> {
+    /// View over explicit `(id, table)` pairs (sorted by id internally).
+    #[must_use]
+    pub fn new(mut entries: Vec<(TableId, &'a Table)>) -> Self {
+        entries.sort_by_key(|(id, _)| *id);
+        SegmentView { entries }
+    }
+
+    /// View over a whole lake.
+    #[must_use]
+    pub fn of_lake(lake: &'a DataLake) -> Self {
+        SegmentView {
+            entries: lake.iter().collect(),
+        }
+    }
+
+    /// Iterate the `(id, table)` pairs in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TableId, &'a Table)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Number of tables in the view.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the view holds no tables.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// One component's per-table artifacts for one segment, kept sorted by
+/// table id with at most one entry per table.
+#[derive(Debug, Clone, Default)]
+pub struct ComponentSegment<A> {
+    entries: Vec<(TableId, A)>,
+}
+
+impl<A> ComponentSegment<A> {
+    /// Empty segment.
+    #[must_use]
+    pub fn new() -> Self {
+        ComponentSegment {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Segment from `(id, artifact)` pairs (sorted by id internally; a
+    /// duplicated id keeps the later pair).
+    #[must_use]
+    pub fn from_entries(mut entries: Vec<(TableId, A)>) -> Self {
+        entries.sort_by_key(|(id, _)| *id);
+        entries.reverse();
+        let mut seen = BTreeSet::new();
+        entries.retain(|(id, _)| seen.insert(*id));
+        entries.reverse();
+        ComponentSegment { entries }
+    }
+
+    /// Insert or replace the artifact for one table.
+    pub fn upsert(&mut self, id: TableId, artifact: A) {
+        match self.entries.binary_search_by_key(&id, |(i, _)| *i) {
+            Ok(pos) => self.entries[pos].1 = artifact,
+            Err(pos) => self.entries.insert(pos, (id, artifact)),
+        }
+    }
+
+    /// Remove a table's artifact; true if one was present.
+    pub fn remove(&mut self, id: TableId) -> bool {
+        match self.entries.binary_search_by_key(&id, |(i, _)| *i) {
+            Ok(pos) => {
+                self.entries.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// The `(id, artifact)` pairs, ascending by id.
+    #[must_use]
+    pub fn entries(&self) -> &[(TableId, A)] {
+        &self.entries
+    }
+
+    /// Number of tables with an artifact.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the segment holds no artifacts.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Flatten a stack of segments (oldest first) into the live `(id,
+/// artifact)` list: for each table the **newest** segment's artifact wins,
+/// tombstoned tables are dropped, and the result is ascending by id —
+/// exactly the order a one-shot batch build would visit the lake in.
+#[must_use]
+pub fn live_entries<A: Clone>(
+    segments: &[&ComponentSegment<A>],
+    tombstones: &BTreeSet<TableId>,
+) -> Vec<(TableId, A)> {
+    let mut live: BTreeMap<TableId, &A> = BTreeMap::new();
+    for seg in segments {
+        for (id, artifact) in &seg.entries {
+            live.insert(*id, artifact);
+        }
+    }
+    live.into_iter()
+        .filter(|(id, _)| !tombstones.contains(id))
+        .map(|(id, artifact)| (id, artifact.clone()))
+        .collect()
+}
+
+/// The contract every search family implements to participate in the
+/// segmented pipeline: extract an immutable per-table artifact, bundle
+/// artifacts into segments, and merge any stack of segments back into the
+/// searchable form.
+///
+/// `merge` over a single whole-lake segment **is** the batch build — the
+/// pipeline has no other construction path — so incremental and one-shot
+/// results cannot drift apart.
+pub trait IndexComponent: Sized {
+    /// Immutable per-table artifact this component stores in a segment.
+    type Artifact: Clone + Send + Sync + 'static;
+    /// Borrowed query input for [`Self::search_merged`].
+    type Query<'q>;
+    /// Ranked hits returned by [`Self::search_merged`].
+    type Hits;
+
+    /// Extract one table's artifact. Pure per-table work — this is the
+    /// only part of the pipeline that touches raw table values.
+    fn extract(table: &Table, ctx: &PipelineContext) -> Self::Artifact;
+
+    /// Build a sealed segment over a view (default: map [`Self::extract`]
+    /// over the view's tables).
+    fn build_segment(
+        view: &SegmentView<'_>,
+        ctx: &PipelineContext,
+    ) -> ComponentSegment<Self::Artifact> {
+        ComponentSegment::from_entries(
+            view.iter()
+                .map(|(id, t)| (id, Self::extract(t, ctx)))
+                .collect(),
+        )
+    }
+
+    /// Merge a stack of segments (oldest first, minus tombstones) into the
+    /// searchable component.
+    fn merge(
+        segments: &[&ComponentSegment<Self::Artifact>],
+        tombstones: &BTreeSet<TableId>,
+        ctx: &PipelineContext,
+    ) -> Self;
+
+    /// Query the merged component.
+    fn search_merged(&self, query: Self::Query<'_>, k: usize) -> Self::Hits;
+}
+
+/// Convenient alias for a component's artifact type.
+pub type ArtifactOf<C> = <C as IndexComponent>::Artifact;
+
+impl IndexComponent for LakeProfile {
+    /// Per table: one [`ColumnProfile`] per column, in column order.
+    type Artifact = Vec<ColumnProfile>;
+    type Query<'q> = ColumnRef;
+    type Hits = Option<ColumnProfile>;
+
+    fn extract(table: &Table, _ctx: &PipelineContext) -> Self::Artifact {
+        table.columns.iter().map(ColumnProfile::of).collect()
+    }
+
+    fn merge(
+        segments: &[&ComponentSegment<Self::Artifact>],
+        tombstones: &BTreeSet<TableId>,
+        _ctx: &PipelineContext,
+    ) -> Self {
+        let pairs: Vec<(ColumnRef, ColumnProfile)> = live_entries(segments, tombstones)
+            .into_iter()
+            .flat_map(|(id, cols)| {
+                cols.into_iter()
+                    .enumerate()
+                    .map(move |(ci, p)| (ColumnRef::new(id, ci), p))
+            })
+            .collect();
+        LakeProfile::from(pairs)
+    }
+
+    fn search_merged(&self, query: Self::Query<'_>, _k: usize) -> Self::Hits {
+        self.get(query).cloned()
+    }
+}
+
+/// All ten components' artifacts for one set of tables — the unit the
+/// [`crate::SegmentedPipeline`] seals, stacks, and compacts.
+#[derive(Clone, Default)]
+pub struct PipelineSegment {
+    pub(crate) profile: ComponentSegment<ArtifactOf<LakeProfile>>,
+    pub(crate) keyword: ComponentSegment<ArtifactOf<KeywordSearch>>,
+    pub(crate) exact_join: ComponentSegment<ArtifactOf<ExactJoinSearch>>,
+    pub(crate) containment_join: ComponentSegment<ArtifactOf<ContainmentJoinSearch>>,
+    pub(crate) fuzzy_join: ComponentSegment<ArtifactOf<FuzzyJoinSearch<NGramEmbedder>>>,
+    pub(crate) mate: ComponentSegment<ArtifactOf<MateSearch>>,
+    pub(crate) correlated: ComponentSegment<ArtifactOf<CorrelatedSearch>>,
+    pub(crate) tus: ComponentSegment<ArtifactOf<TusSearch>>,
+    pub(crate) santos: ComponentSegment<ArtifactOf<SantosSearch>>,
+    pub(crate) starmie: ComponentSegment<ArtifactOf<StarmieSearch<DomainEmbedder>>>,
+}
+
+impl PipelineSegment {
+    /// Extract every component's artifacts for every table in the view.
+    #[must_use]
+    pub fn build(view: &SegmentView<'_>, ctx: &PipelineContext) -> Self {
+        let _s = td_obs::span!("pipeline.extract");
+        PipelineSegment {
+            profile: LakeProfile::build_segment(view, ctx),
+            keyword: KeywordSearch::build_segment(view, ctx),
+            exact_join: ExactJoinSearch::build_segment(view, ctx),
+            containment_join: ContainmentJoinSearch::build_segment(view, ctx),
+            fuzzy_join: FuzzyJoinSearch::<NGramEmbedder>::build_segment(view, ctx),
+            mate: MateSearch::build_segment(view, ctx),
+            correlated: CorrelatedSearch::build_segment(view, ctx),
+            tus: TusSearch::build_segment(view, ctx),
+            santos: SantosSearch::build_segment(view, ctx),
+            starmie: StarmieSearch::<DomainEmbedder>::build_segment(view, ctx),
+        }
+    }
+
+    /// Extract and upsert one table's artifacts into this segment.
+    pub fn insert(&mut self, id: TableId, table: &Table, ctx: &PipelineContext) {
+        let _s = td_obs::span!("pipeline.extract");
+        self.profile.upsert(id, LakeProfile::extract(table, ctx));
+        self.keyword.upsert(id, KeywordSearch::extract(table, ctx));
+        self.exact_join
+            .upsert(id, ExactJoinSearch::extract(table, ctx));
+        self.containment_join
+            .upsert(id, ContainmentJoinSearch::extract(table, ctx));
+        self.fuzzy_join
+            .upsert(id, FuzzyJoinSearch::<NGramEmbedder>::extract(table, ctx));
+        self.mate.upsert(id, MateSearch::extract(table, ctx));
+        self.correlated
+            .upsert(id, CorrelatedSearch::extract(table, ctx));
+        self.tus.upsert(id, TusSearch::extract(table, ctx));
+        self.santos.upsert(id, SantosSearch::extract(table, ctx));
+        self.starmie
+            .upsert(id, StarmieSearch::<DomainEmbedder>::extract(table, ctx));
+    }
+
+    /// Remove one table's artifacts; true if the table was present.
+    pub fn remove(&mut self, id: TableId) -> bool {
+        let present = self.keyword.remove(id);
+        self.profile.remove(id);
+        self.exact_join.remove(id);
+        self.containment_join.remove(id);
+        self.fuzzy_join.remove(id);
+        self.mate.remove(id);
+        self.correlated.remove(id);
+        self.tus.remove(id);
+        self.santos.remove(id);
+        self.starmie.remove(id);
+        present
+    }
+
+    /// Flatten a stack of segments into one (last write wins, tombstones
+    /// dropped) — pure artifact concatenation, no re-extraction.
+    #[must_use]
+    pub fn from_live(segments: &[&PipelineSegment], tombstones: &BTreeSet<TableId>) -> Self {
+        PipelineSegment {
+            profile: ComponentSegment::from_entries(live_entries(
+                &segments.iter().map(|s| &s.profile).collect::<Vec<_>>(),
+                tombstones,
+            )),
+            keyword: ComponentSegment::from_entries(live_entries(
+                &segments.iter().map(|s| &s.keyword).collect::<Vec<_>>(),
+                tombstones,
+            )),
+            exact_join: ComponentSegment::from_entries(live_entries(
+                &segments.iter().map(|s| &s.exact_join).collect::<Vec<_>>(),
+                tombstones,
+            )),
+            containment_join: ComponentSegment::from_entries(live_entries(
+                &segments
+                    .iter()
+                    .map(|s| &s.containment_join)
+                    .collect::<Vec<_>>(),
+                tombstones,
+            )),
+            fuzzy_join: ComponentSegment::from_entries(live_entries(
+                &segments.iter().map(|s| &s.fuzzy_join).collect::<Vec<_>>(),
+                tombstones,
+            )),
+            mate: ComponentSegment::from_entries(live_entries(
+                &segments.iter().map(|s| &s.mate).collect::<Vec<_>>(),
+                tombstones,
+            )),
+            correlated: ComponentSegment::from_entries(live_entries(
+                &segments.iter().map(|s| &s.correlated).collect::<Vec<_>>(),
+                tombstones,
+            )),
+            tus: ComponentSegment::from_entries(live_entries(
+                &segments.iter().map(|s| &s.tus).collect::<Vec<_>>(),
+                tombstones,
+            )),
+            santos: ComponentSegment::from_entries(live_entries(
+                &segments.iter().map(|s| &s.santos).collect::<Vec<_>>(),
+                tombstones,
+            )),
+            starmie: ComponentSegment::from_entries(live_entries(
+                &segments.iter().map(|s| &s.starmie).collect::<Vec<_>>(),
+                tombstones,
+            )),
+        }
+    }
+
+    /// Ids of tables carried by this segment (every component covers every
+    /// table, so the keyword component is representative).
+    #[must_use]
+    pub fn table_ids(&self) -> Vec<TableId> {
+        self.keyword.entries().iter().map(|(id, _)| *id).collect()
+    }
+
+    /// Number of tables in this segment.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.keyword.len()
+    }
+
+    /// True if the segment carries no tables.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.keyword.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_table::Column;
+
+    fn table(n: &str, vals: &[&str]) -> Table {
+        Table::new(n, vec![Column::from_strings("c", vals)]).expect("valid table")
+    }
+
+    #[test]
+    fn component_segment_upsert_remove_keeps_sorted_unique() {
+        let mut seg: ComponentSegment<u32> = ComponentSegment::new();
+        seg.upsert(TableId(3), 30);
+        seg.upsert(TableId(1), 10);
+        seg.upsert(TableId(3), 31);
+        assert_eq!(seg.entries(), &[(TableId(1), 10), (TableId(3), 31)]);
+        assert!(seg.remove(TableId(1)));
+        assert!(!seg.remove(TableId(1)));
+        assert_eq!(seg.len(), 1);
+    }
+
+    #[test]
+    fn from_entries_keeps_last_duplicate() {
+        let seg = ComponentSegment::from_entries(vec![
+            (TableId(2), 'a'),
+            (TableId(1), 'b'),
+            (TableId(2), 'c'),
+        ]);
+        assert_eq!(seg.entries(), &[(TableId(1), 'b'), (TableId(2), 'c')]);
+    }
+
+    #[test]
+    fn live_entries_last_write_wins_and_tombstones_drop() {
+        let old = ComponentSegment::from_entries(vec![(TableId(0), 1u8), (TableId(1), 1)]);
+        let new = ComponentSegment::from_entries(vec![(TableId(1), 2u8), (TableId(2), 2)]);
+        let mut tombs = BTreeSet::new();
+        tombs.insert(TableId(0));
+        let live = live_entries(&[&old, &new], &tombs);
+        assert_eq!(live, vec![(TableId(1), 2), (TableId(2), 2)]);
+    }
+
+    #[test]
+    fn segment_view_sorts_by_id() {
+        let a = table("a.csv", &["x"]);
+        let b = table("b.csv", &["y"]);
+        let v = SegmentView::new(vec![(TableId(5), &b), (TableId(2), &a)]);
+        let ids: Vec<TableId> = v.iter().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![TableId(2), TableId(5)]);
+        assert_eq!(v.len(), 2);
+        assert!(!v.is_empty());
+    }
+}

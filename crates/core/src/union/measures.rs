@@ -43,6 +43,7 @@ pub struct ColumnEvidence {
 }
 
 /// Shared measure context: the two embedding models plus sampling budget.
+#[derive(Clone)]
 pub struct MeasureContext {
     /// Ontology-like embedder.
     pub domain_emb: DomainEmbedder,
@@ -56,11 +57,22 @@ impl MeasureContext {
     /// Build the evidence for one column.
     #[must_use]
     pub fn evidence(&self, column: &Column) -> ColumnEvidence {
-        ColumnEvidence {
-            tokens: column.token_set(),
-            semantic: embed_column(&self.domain_emb, column, self.sample),
-            nl: embed_column(&self.ngram_emb, column, self.sample),
-        }
+        evidence_with(&self.domain_emb, &self.ngram_emb, self.sample, column)
+    }
+}
+
+/// Build the evidence for one column from borrowed embedders (lets
+/// callers that only hold shared models avoid cloning them per table).
+pub(crate) fn evidence_with(
+    domain_emb: &DomainEmbedder,
+    ngram_emb: &NGramEmbedder,
+    sample: usize,
+    column: &Column,
+) -> ColumnEvidence {
+    ColumnEvidence {
+        tokens: column.token_set(),
+        semantic: embed_column(domain_emb, column, sample),
+        nl: embed_column(ngram_emb, column, sample),
     }
 }
 

@@ -9,8 +9,9 @@
 //! column-only score is kept as the baseline the experiment (E05)
 //! contrasts against.
 
+use crate::segment::{live_entries, ComponentSegment, IndexComponent, PipelineContext};
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
+use std::collections::{BTreeSet, HashSet};
 use td_index::topk::TopK;
 use td_table::gen::domains::DomainId;
 use td_table::{DataLake, Table, TableId};
@@ -109,6 +110,19 @@ impl SantosSearch {
         self.signatures.len()
     }
 
+    /// Assemble from per-table signatures in ascending id order.
+    fn assemble(
+        kb: KnowledgeBase,
+        cfg: SantosConfig,
+        signatures: Vec<(TableId, TableSignature)>,
+    ) -> Self {
+        SantosSearch {
+            kb,
+            cfg,
+            signatures,
+        }
+    }
+
     /// The knowledge base this search annotates against.
     #[must_use]
     pub fn kb_ref(&self) -> &KnowledgeBase {
@@ -171,6 +185,33 @@ impl SantosSearch {
             .into_iter()
             .map(|(s, i)| (self.signatures[i as usize].0, s))
             .collect()
+    }
+}
+
+impl IndexComponent for SantosSearch {
+    /// Per table: the KB-annotated semantic signature.
+    type Artifact = TableSignature;
+    type Query<'q> = &'q Table;
+    type Hits = Vec<(TableId, f64)>;
+
+    fn extract(table: &Table, ctx: &PipelineContext) -> Self::Artifact {
+        Self::signature_of(table, &ctx.kb, &ctx.santos)
+    }
+
+    fn merge(
+        segments: &[&ComponentSegment<Self::Artifact>],
+        tombstones: &BTreeSet<TableId>,
+        ctx: &PipelineContext,
+    ) -> Self {
+        Self::assemble(
+            ctx.kb.clone(),
+            ctx.santos,
+            live_entries(segments, tombstones),
+        )
+    }
+
+    fn search_merged(&self, query: Self::Query<'_>, k: usize) -> Self::Hits {
+        self.search(query, k)
     }
 }
 

@@ -10,10 +10,12 @@
 //! is pluggable (exact flat scan vs HNSW) to expose the recall/latency
 //! trade-off (experiments E06/E17).
 
+use crate::segment::{live_entries, ComponentSegment, IndexComponent, PipelineContext};
 use crate::union::matching::max_weight_matching;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
 use td_embed::column::ContextualEncoder;
-use td_embed::model::Embedder;
+use td_embed::model::{DomainEmbedder, Embedder};
 use td_embed::vector::{cosine, dot, normalize};
 use td_index::flat::FlatIndex;
 use td_index::hnsw::{Hnsw, HnswParams};
@@ -73,14 +75,36 @@ impl<E: Embedder> StarmieSearch<E> {
     /// Encode every table's columns (contextually) and index them.
     #[must_use]
     pub fn build(lake: &DataLake, embedder: E, cfg: StarmieConfig) -> Self {
+        let items = lake
+            .iter()
+            .map(|(id, t)| {
+                (
+                    id,
+                    cfg.encoder
+                        .encode_table(&embedder, t)
+                        .into_iter()
+                        .map(|mut v| {
+                            normalize(&mut v);
+                            v
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        Self::assemble(embedder, cfg, items)
+    }
+
+    /// Assemble from per-table normalized column vectors in ascending id
+    /// order. The backend inserts vectors in exactly this order (HNSW is
+    /// insertion-order sensitive), so batch and merge paths index
+    /// identically.
+    fn assemble(embedder: E, cfg: StarmieConfig, items: Vec<(TableId, Vec<Vec<f32>>)>) -> Self {
         let mut refs = Vec::new();
         let mut vectors: Vec<Vec<f32>> = Vec::new();
-        let mut table_cols = Vec::with_capacity(lake.len());
-        for (id, t) in lake.iter() {
+        let mut table_cols = Vec::with_capacity(items.len());
+        for (id, encoded) in items {
             let start = refs.len();
-            let encoded = cfg.encoder.encode_table(&embedder, t);
-            for (ci, mut v) in encoded.into_iter().enumerate() {
-                normalize(&mut v);
+            for (ci, v) in encoded.into_iter().enumerate() {
                 refs.push(ColumnRef::new(id, ci));
                 vectors.push(v);
             }
@@ -224,6 +248,43 @@ impl<E: Embedder> StarmieSearch<E> {
             .into_iter()
             .map(|(s, i)| (self.refs[i as usize], s as f32))
             .collect()
+    }
+}
+
+impl IndexComponent for StarmieSearch<DomainEmbedder> {
+    /// Per table: the contextually-encoded, normalized column vectors.
+    /// Encoding is the expensive part; the merge only re-indexes vectors.
+    type Artifact = Vec<Vec<f32>>;
+    type Query<'q> = &'q Table;
+    type Hits = Vec<(TableId, f64)>;
+
+    fn extract(table: &Table, ctx: &PipelineContext) -> Self::Artifact {
+        ctx.cfg
+            .starmie
+            .encoder
+            .encode_table(&ctx.domain_emb, table)
+            .into_iter()
+            .map(|mut v| {
+                normalize(&mut v);
+                v
+            })
+            .collect()
+    }
+
+    fn merge(
+        segments: &[&ComponentSegment<Self::Artifact>],
+        tombstones: &BTreeSet<TableId>,
+        ctx: &PipelineContext,
+    ) -> Self {
+        Self::assemble(
+            ctx.domain_emb.clone(),
+            ctx.cfg.starmie,
+            live_entries(segments, tombstones),
+        )
+    }
+
+    fn search_merged(&self, query: Self::Query<'_>, k: usize) -> Self::Hits {
+        self.search(query, k)
     }
 }
 

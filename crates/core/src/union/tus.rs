@@ -5,10 +5,12 @@
 //! columns, normalized by the query column count — precisely the
 //! "alignment then aggregate" recipe of the original system.
 
+use crate::segment::{live_entries, ComponentSegment, IndexComponent, PipelineContext};
 use crate::union::matching::max_weight_matching;
 use crate::union::measures::{
-    attribute_unionability, ColumnEvidence, MeasureContext, UnionMeasure,
+    attribute_unionability, evidence_with, ColumnEvidence, MeasureContext, UnionMeasure,
 };
+use std::collections::BTreeSet;
 use td_index::topk::TopK;
 use td_table::{DataLake, Table, TableId};
 
@@ -83,6 +85,41 @@ impl TusSearch {
             .into_iter()
             .map(|(s, i)| (self.tables[i as usize].0, s))
             .collect()
+    }
+}
+
+impl IndexComponent for TusSearch {
+    /// Per column: the precomputed unionability evidence (token set plus
+    /// the two embedding vectors).
+    type Artifact = Vec<ColumnEvidence>;
+    type Query<'q> = &'q Table;
+    type Hits = Vec<(TableId, f64)>;
+
+    fn extract(table: &Table, ctx: &PipelineContext) -> Self::Artifact {
+        table
+            .columns
+            .iter()
+            .map(|c| evidence_with(&ctx.domain_emb, &ctx.ngram_emb, ctx.cfg.sample, c))
+            .collect()
+    }
+
+    fn merge(
+        segments: &[&ComponentSegment<Self::Artifact>],
+        tombstones: &BTreeSet<TableId>,
+        ctx: &PipelineContext,
+    ) -> Self {
+        TusSearch {
+            ctx: MeasureContext {
+                domain_emb: ctx.domain_emb.clone(),
+                ngram_emb: ctx.ngram_emb.clone(),
+                sample: ctx.cfg.sample,
+            },
+            tables: live_entries(segments, tombstones),
+        }
+    }
+
+    fn search_merged(&self, query: Self::Query<'_>, k: usize) -> Self::Hits {
+        self.search(query, k, UnionMeasure::Ensemble)
     }
 }
 

@@ -1,0 +1,203 @@
+//! The segmented pipeline's core invariant: any ingest history — any
+//! order, any segment boundaries, with or without interleaved `seal` /
+//! `compact` / `drop_table`+re-ingest — yields rankings **byte-identical**
+//! to a one-shot batch build over the same live tables, for all eight
+//! search families.
+//!
+//! The comparison renders every family's full output (ids and scores) via
+//! `Debug` formatting into one string; `Debug` on `f64` prints the
+//! shortest round-trip representation, so string equality is bit equality
+//! of every score.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::sync::OnceLock;
+use td_core::segment::{PipelineContext, PipelineSegment, SegmentView};
+use td_core::{DiscoveryPipeline, PipelineConfig, SegmentedPipeline};
+use td_table::gen::lakegen::{LakeGenConfig, LakeGenerator};
+use td_table::{Table, TableId};
+
+const K: usize = 8;
+
+/// Render every search family's complete response for a set of query
+/// tables. Byte-identical strings ⇔ byte-identical rankings.
+fn render(p: &DiscoveryPipeline, queries: &[(TableId, Table)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "keyword {:?}", p.search_keyword("dataset", K));
+    for (qid, qt) in queries {
+        let _ = writeln!(out, "== query {qid:?}");
+        for (ci, c) in qt.columns.iter().enumerate() {
+            let _ = writeln!(out, "joinable[{ci}] {:?}", p.search_joinable(c, K));
+            let _ = writeln!(out, "fuzzy[{ci}] {:?}", p.search_fuzzy_joinable(c, 0.8, K));
+        }
+        let _ = writeln!(out, "tus {:?}", p.search_unionable(qt, K));
+        let _ = writeln!(out, "starmie {:?}", p.search_unionable_semantic(qt, K));
+        let _ = writeln!(out, "santos {:?}", p.search_unionable_relationship(qt, K));
+        let _ = writeln!(out, "mate {:?}", p.search_multi_joinable(qt, &[0, 1], K));
+        let key = qt.columns.iter().find(|c| !c.is_numeric());
+        let num = qt.columns.iter().find(|c| c.is_numeric());
+        if let (Some(key), Some(num)) = (key, num) {
+            let _ = writeln!(out, "correlated {:?}", p.search_correlated(key, num, K));
+        }
+    }
+    out
+}
+
+struct Fixture {
+    tables: Vec<(TableId, Table)>,
+    queries: Vec<(TableId, Table)>,
+    ctx: PipelineContext,
+    /// Rendering of the one-shot `DiscoveryPipeline::build` over the lake.
+    expected: String,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let gl = LakeGenerator::standard().generate(&LakeGenConfig {
+            num_tables: 12,
+            rows: (12, 30),
+            cols: (2, 4),
+            seed: 20260806,
+            ..LakeGenConfig::default()
+        });
+        let cfg = PipelineConfig::default();
+        let tables: Vec<(TableId, Table)> = gl.lake.iter().map(|(id, t)| (id, t.clone())).collect();
+        let queries: Vec<(TableId, Table)> = tables[..3].to_vec();
+        let batch = DiscoveryPipeline::build(&gl.lake, &gl.registry, &[], &cfg);
+        let expected = render(&batch, &queries);
+        let ctx = PipelineContext::new(&gl.registry, &[], &cfg);
+        Fixture {
+            tables,
+            queries,
+            ctx,
+            expected,
+        }
+    })
+}
+
+/// Fixed-seed regression: a deliberately ugly history — shuffled ingest
+/// order, a stale-content ingest that a later ingest shadows, seals every
+/// third step, a drop/re-ingest cycle, and a mid-history compaction.
+#[test]
+fn weird_history_matches_batch_build() {
+    let f = fixture();
+    let mut sp = SegmentedPipeline::with_context(f.ctx.clone());
+
+    let mut order: Vec<usize> = (0..f.tables.len()).collect();
+    let mut rng = StdRng::seed_from_u64(42);
+    order.shuffle(&mut rng);
+
+    // Stale content first: table order[0]'s id ingested with order[1]'s
+    // rows. The correct ingest below must shadow it (last write wins).
+    sp.ingest_table(f.tables[order[0]].0, &f.tables[order[1]].1);
+    sp.seal();
+
+    for (step, &i) in order.iter().enumerate() {
+        sp.ingest_table(f.tables[i].0, &f.tables[i].1);
+        if step % 3 == 2 {
+            sp.seal();
+        }
+        if step == f.tables.len() / 2 {
+            let victim = order[0];
+            sp.drop_table(f.tables[victim].0);
+            sp.ingest_table(f.tables[victim].0, &f.tables[victim].1);
+            sp.compact();
+        }
+    }
+
+    assert!(sp.num_segments() >= 2, "history should span segments");
+    let got = render(&sp.snapshot(), &f.queries);
+    assert_eq!(got, f.expected, "incremental history diverged from batch");
+}
+
+/// Dropping a table without re-ingesting must equal a single-segment build
+/// over the remaining tables (same ids) — i.e. tombstones really remove a
+/// table from every family's ranking.
+#[test]
+fn drop_without_reingest_matches_rebuild_over_remaining() {
+    let f = fixture();
+    let victim = f.tables.len() - 1; // not a query table
+    let victim_id = f.tables[victim].0;
+
+    let mut sp = SegmentedPipeline::with_context(f.ctx.clone());
+    for (step, (id, t)) in f.tables.iter().enumerate() {
+        sp.ingest_table(*id, t);
+        if step % 4 == 3 {
+            sp.seal();
+        }
+    }
+    sp.seal();
+    assert!(sp.drop_table(victim_id));
+    assert_eq!(sp.num_tombstones(), 1);
+
+    let remaining: Vec<(TableId, &Table)> = f
+        .tables
+        .iter()
+        .filter(|(id, _)| *id != victim_id)
+        .map(|(id, t)| (*id, t))
+        .collect();
+    let seg = PipelineSegment::build(&SegmentView::new(remaining), &f.ctx);
+    let oneshot = DiscoveryPipeline::from_segments(&f.ctx, &[&seg], &BTreeSet::new());
+
+    let got = render(&sp.snapshot(), &f.queries);
+    assert_eq!(got, render(&oneshot, &f.queries));
+    assert!(!sp.table_ids().contains(&victim_id));
+
+    // Compaction garbage-collects the tombstone without changing results.
+    let mut sp = sp;
+    sp.compact();
+    assert_eq!(sp.num_tombstones(), 0);
+    assert_eq!(
+        render(&sp.snapshot(), &f.queries),
+        render(&oneshot, &f.queries)
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random ingest order, random segment boundaries, optional compaction
+    /// point, and an optional drop/re-ingest cycle: all byte-identical to
+    /// the batch build.
+    #[test]
+    fn random_history_matches_batch_build(
+        seed in any::<u64>(),
+        seal_mask in any::<u16>(),
+        // 12 (the table count) acts as "never" for both events.
+        compact_sel in 0usize..13,
+        drop_sel in 1usize..13,
+    ) {
+        let compact_at = (compact_sel < 12).then_some(compact_sel);
+        let drop_at = (drop_sel < 12).then_some(drop_sel);
+        let f = fixture();
+        let mut sp = SegmentedPipeline::with_context(f.ctx.clone());
+
+        let mut order: Vec<usize> = (0..f.tables.len()).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        order.shuffle(&mut rng);
+
+        for (step, &i) in order.iter().enumerate() {
+            sp.ingest_table(f.tables[i].0, &f.tables[i].1);
+            if seal_mask >> (step % 16) & 1 == 1 {
+                sp.seal();
+            }
+            if drop_at == Some(step) {
+                // Drop an already-ingested table, then bring it back.
+                let victim = order[step - 1];
+                sp.drop_table(f.tables[victim].0);
+                sp.ingest_table(f.tables[victim].0, &f.tables[victim].1);
+            }
+            if compact_at == Some(step) {
+                sp.compact();
+            }
+        }
+
+        let got = render(&sp.snapshot(), &f.queries);
+        prop_assert_eq!(&got, &f.expected);
+    }
+}

@@ -276,6 +276,24 @@ mod tests {
         assert_eq!(classify("crates/lint/tests/fixtures/td001_fire.rs"), None);
         assert_eq!(classify("vendor/serde/src/lib.rs"), None);
         assert_eq!(classify("crates/core/Cargo.toml"), None);
+        // The segmented incremental layer is ordinary library code too:
+        // every rule applies to it, same as the batch pipeline.
+        assert_eq!(
+            classify("crates/core/src/segment.rs"),
+            Some(("core".into(), FileClass::Library, false))
+        );
+        assert_eq!(
+            classify("crates/core/src/segmented.rs"),
+            Some(("core".into(), FileClass::Library, false))
+        );
+        assert_eq!(
+            classify("crates/core/tests/segmented.rs"),
+            Some(("core".into(), FileClass::Test, false))
+        );
+        assert_eq!(
+            classify("crates/serve/tests/reload.rs"),
+            Some(("serve".into(), FileClass::Test, false))
+        );
         // The serving layer is ordinary library code: every rule applies.
         assert_eq!(
             classify("crates/serve/src/lib.rs"),
@@ -325,6 +343,65 @@ mod tests {
         let src = "pub fn f() {\n    // td-lint: allow(TD004) accept-loop diagnostics have no other channel\n    eprintln!(\"accept error\");\n}\n";
         let diags = scan_str("crates/serve/src/server.rs", src);
         assert!(diags.iter().all(|d| d.code != Code::Td004 || d.is_waived()));
+    }
+
+    #[test]
+    fn segmented_pipeline_code_is_held_to_every_rule() {
+        // TD001: segment merge paths must be panic-free — a stray unwrap
+        // in artifact concatenation fires unwaived.
+        let diags = scan_str(
+            "crates/core/src/segmented.rs",
+            "pub fn f(s: Option<u32>) -> u32 { s.unwrap() }\n",
+        );
+        assert!(diags
+            .iter()
+            .any(|d| d.code == Code::Td001 && !d.is_waived()));
+
+        // TD002: ingest/compaction timing goes through td-obs spans, not
+        // raw clocks.
+        let diags = scan_str(
+            "crates/core/src/segment.rs",
+            "pub fn f() { let _t = std::time::Instant::now(); }\n",
+        );
+        assert!(diags
+            .iter()
+            .any(|d| d.code == Code::Td002 && !d.is_waived()));
+
+        // TD003: unsafe is banned even for "clever" segment swaps.
+        let diags = scan_str(
+            "crates/core/src/segmented.rs",
+            "pub fn f(p: *const u8) -> u8 { unsafe { *p } }\n",
+        );
+        assert!(diags
+            .iter()
+            .any(|d| d.code == Code::Td003 && !d.is_waived()));
+
+        // TD004: no prints from the incremental layer.
+        let diags = scan_str(
+            "crates/core/src/segment.rs",
+            "pub fn f() { println!(\"sealed\"); }\n",
+        );
+        assert!(diags
+            .iter()
+            .any(|d| d.code == Code::Td004 && !d.is_waived()));
+
+        // TD005: flattening segments into ranked output must sort, never
+        // trust hash-map iteration order.
+        let src = "pub fn f() -> Vec<(u32, f32)> {\n    let m: std::collections::HashMap<u32, f32> = std::collections::HashMap::new();\n    m.iter().map(|(k, v)| (*k, *v)).collect()\n}\n";
+        let diags = scan_str("crates/core/src/segmented.rs", src);
+        assert!(diags
+            .iter()
+            .any(|d| d.code == Code::Td005 && !d.is_waived()));
+
+        // TD006: new public surface in the core crate root stays
+        // documented.
+        let diags = scan_str(
+            "crates/core/src/lib.rs",
+            "pub fn ingest_undocumented() {}\n",
+        );
+        assert!(diags
+            .iter()
+            .any(|d| d.code == Code::Td006 && !d.is_waived()));
     }
 
     #[test]

@@ -215,6 +215,23 @@ impl<V> ResultCache<V> {
         }
     }
 
+    /// Drop every live entry (all shards), returning how many were
+    /// dropped. Monotonic counters (hits/misses/insertions/…) are kept —
+    /// only the live entries, recency tickets, and byte accounting reset.
+    /// The server calls this on a pipeline hot swap so no pre-swap result
+    /// can answer a post-swap request.
+    pub fn clear(&self) -> usize {
+        let mut dropped = 0;
+        for s in &self.shards {
+            let mut s = relock(s.lock());
+            dropped += s.map.len();
+            s.map.clear();
+            s.order.clear();
+            s.bytes = 0;
+        }
+        dropped
+    }
+
     /// Point-in-time statistics across all shards.
     #[must_use]
     pub fn stats(&self) -> CacheStats {

@@ -3,11 +3,14 @@
 //! The tutorial's architecture ends where most reproductions stop: a
 //! library of discovery operators. A data lake's discovery service is a
 //! *server* — many analysts, notebooks, and catalog UIs issuing
-//! joinability/unionability probes concurrently against one immutable
-//! set of indexes. This crate is that layer, std-only (no tokio, no
+//! joinability/unionability probes concurrently against one shared set
+//! of indexes. This crate is that layer, std-only (no tokio, no
 //! hyper): a multi-threaded TCP server exposing every
 //! `DiscoveryPipeline::search_*` entry point over a length-prefixed
-//! JSON protocol.
+//! JSON protocol. The served pipeline is epoch-versioned: a staged
+//! replacement (typically a [`td_core::SegmentedPipeline`] snapshot) is
+//! promoted by an admin `Request::Reload` while in-flight queries
+//! finish on the pipeline they were admitted under.
 //!
 //! The load-bearing pieces, each its own module:
 //!
@@ -20,7 +23,8 @@
 //! * [`cache`] — a sharded, byte-bounded LRU over canonical request
 //!   bytes, so repeated queries skip the pipeline entirely.
 //! * [`server`] — accept loop, connection threads, worker pool sharing
-//!   one `Arc<DiscoveryPipeline>`, per-request deadlines, and graceful
+//!   the epoch-versioned `Arc<DiscoveryPipeline>` slot, per-request
+//!   deadlines, hot swap via staged pipelines + `Reload`, and graceful
 //!   drain-then-shutdown.
 //! * [`client`] — a minimal blocking client.
 //! * [`workload`] — seeded deterministic query streams for the

@@ -96,6 +96,13 @@ pub enum Request {
         /// Results requested.
         k: usize,
     },
+    /// Administrative hot swap: atomically promote the staged pipeline
+    /// (see `Server::stage_pipeline`) to serving, bump the epoch, and
+    /// flush the result cache. With nothing staged it still bumps the
+    /// epoch and flushes — a cache-invalidation barrier. Answered inline
+    /// (never queued); in-flight queries finish on the pipeline they were
+    /// admitted with.
+    Reload,
 }
 
 impl Request {
@@ -113,6 +120,7 @@ impl Request {
             Request::FuzzyJoinable { .. } => "fuzzy_joinable",
             Request::MultiJoinable { .. } => "multi_joinable",
             Request::Correlated { .. } => "correlated",
+            Request::Reload => "reload",
         }
     }
 
@@ -171,6 +179,8 @@ pub enum Reply {
     Overlaps(Vec<(TableId, usize)>),
     /// Correlated-column hits.
     Correlated(Vec<CorrelatedHit>),
+    /// Answer to [`Request::Reload`]: the pipeline epoch now serving.
+    Reloaded(u64),
 }
 
 /// A server-to-client frame payload.

@@ -12,11 +12,21 @@
 //!                      AdmissionQueue (bounded; full → Overloaded)
 //!                            │
 //!                            ▼
-//!                      worker pool (shares one Arc<DiscoveryPipeline>)
+//!                      worker pool (pipeline Arc captured at admission)
 //!                            │  deadline check → execute → cache fill
 //!                            ▼
 //!                      client socket (mutex-serialized frame writes)
 //! ```
+//!
+//! ## Hot swap
+//!
+//! The serving pipeline lives in an epoch-versioned slot
+//! (`Mutex<PipelineSlot>`). [`Server::stage_pipeline`] parks a
+//! replacement; a [`Request::Reload`] promotes it, bumps the epoch, and
+//! flushes the result cache. Cache keys are prefixed with the epoch and
+//! each job captures its pipeline `Arc` at admission, so in-flight
+//! queries finish on the pipeline they started with and no pre-swap
+//! cache entry can answer a post-swap request.
 //!
 //! Responses are written under a per-connection mutex, so workers and
 //! the connection thread can interleave replies safely; clients match
@@ -105,7 +115,19 @@ struct Job {
     deadline_ms: u64,
     /// Started at admission; workers check it against `deadline_ms`.
     admitted: Timer,
+    /// The pipeline captured at admission: a hot swap between admission
+    /// and execution must not change what this request runs against.
+    pipeline: Arc<DiscoveryPipeline>,
     out: Arc<Mutex<TcpStream>>,
+}
+
+/// The epoch-versioned serving pipeline. Readers take the lock only long
+/// enough to clone the `Arc` and the epoch; a `Reload` replaces the
+/// pipeline and bumps the epoch while in-flight queries keep the `Arc`
+/// they were admitted with.
+struct PipelineSlot {
+    epoch: u64,
+    pipeline: Arc<DiscoveryPipeline>,
 }
 
 /// Registry handles held for the server's lifetime (hot paths must not
@@ -125,6 +147,7 @@ impl Metrics {
         let reg = td_obs::global();
         let mut latency = HashMap::new();
         latency.insert("ping", reg.histogram("serve.ping.latency_ns"));
+        latency.insert("reload", reg.histogram("serve.reload.latency_ns"));
         for ep in Request::search_endpoints() {
             latency.insert(ep, reg.histogram(&format!("serve.{ep}.latency_ns")));
         }
@@ -147,7 +170,10 @@ impl Metrics {
 }
 
 struct Shared {
-    pipeline: Arc<DiscoveryPipeline>,
+    slot: Mutex<PipelineSlot>,
+    /// Pipeline prepared offline (e.g. by a `SegmentedPipeline` snapshot)
+    /// waiting for a `Reload` to promote it.
+    staged: Mutex<Option<Arc<DiscoveryPipeline>>>,
     queue: AdmissionQueue<Job>,
     cache: ResultCache<Reply>,
     shutting_down: AtomicBool,
@@ -188,6 +214,10 @@ pub fn execute(pipeline: &DiscoveryPipeline, req: &Request) -> Reply {
         Request::Correlated { key, numeric, k } => {
             Reply::Correlated(pipeline.search_correlated(key, numeric, *k))
         }
+        // A direct in-process call has no swap machinery; the server
+        // answers `Reload` inline with the real epoch and never routes it
+        // here.
+        Request::Reload => Reply::Reloaded(0),
     }
 }
 
@@ -218,8 +248,10 @@ impl Server {
     pub fn start(pipeline: Arc<DiscoveryPipeline>, cfg: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
+        td_obs::global().gauge("serve.pipeline.epoch").set(0.0);
         let shared = Arc::new(Shared {
-            pipeline,
+            slot: Mutex::new(PipelineSlot { epoch: 0, pipeline }),
+            staged: Mutex::new(None),
             queue: AdmissionQueue::new(cfg.queue_capacity),
             cache: ResultCache::new(cfg.cache),
             shutting_down: AtomicBool::new(false),
@@ -261,6 +293,21 @@ impl Server {
     #[must_use]
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Stage a pipeline for the next [`Request::Reload`]. Staging is
+    /// side-effect free: queries keep running against the current epoch
+    /// until a `Reload` promotes the staged pipeline. Staging again
+    /// before a reload replaces the previously staged pipeline.
+    pub fn stage_pipeline(&self, pipeline: Arc<DiscoveryPipeline>) {
+        *relock(self.shared.staged.lock()) = Some(pipeline);
+    }
+
+    /// The pipeline epoch currently serving (starts at 0, bumped by every
+    /// [`Request::Reload`]).
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        relock(self.shared.slot.lock()).epoch
     }
 
     /// Point-in-time statistics.
@@ -410,8 +457,49 @@ fn handle_frame(payload: &[u8], shared: &Arc<Shared>, out: &Arc<Mutex<TcpStream>
         return;
     }
 
+    // Hot swap, answered inline: promote the staged pipeline (if any),
+    // bump the epoch, flush the cache. Ordering matters — the epoch/
+    // pipeline move under the slot lock first, the flush second: a racing
+    // query either carries the old epoch (its stale cache fill is keyed
+    // under the old epoch, unreachable by post-swap requests) or the new
+    // one (it executes against the new pipeline).
+    if matches!(env.req, Request::Reload) {
+        let t = Timer::start();
+        let staged = relock(shared.staged.lock()).take();
+        let epoch = {
+            let mut slot = relock(shared.slot.lock());
+            if let Some(p) = staged {
+                slot.pipeline = p;
+            }
+            slot.epoch += 1;
+            slot.epoch
+        };
+        shared.cache.clear();
+        td_obs::global()
+            .gauge("serve.pipeline.epoch")
+            .set(epoch as f64);
+        shared.served_ok.fetch_add(1, Ordering::Relaxed);
+        respond(out, &ResponseEnvelope::ok(env.id, Reply::Reloaded(epoch)));
+        shared.metrics.record_latency("reload", t.elapsed());
+        return;
+    }
+
+    // Epoch and pipeline are read under one lock so a request can never
+    // pair a new-epoch cache key with an old pipeline (or vice versa).
+    let (epoch, pipeline) = {
+        let slot = relock(shared.slot.lock());
+        (slot.epoch, Arc::clone(&slot.pipeline))
+    };
+
+    // Cache keys are epoch-prefixed: entries filled before a swap are
+    // unreachable afterwards even if a racing worker writes one after the
+    // flush.
     let key = match canonical_bytes(&env.req) {
-        Ok(k) => k,
+        Ok(k) => {
+            let mut key = epoch.to_be_bytes().to_vec();
+            key.extend_from_slice(&k);
+            key
+        }
         Err(e) => {
             shared.bad_requests.fetch_add(1, Ordering::Relaxed);
             respond(
@@ -444,6 +532,7 @@ fn handle_frame(payload: &[u8], shared: &Arc<Shared>, out: &Arc<Mutex<TcpStream>
         endpoint,
         deadline_ms: env.deadline_ms,
         admitted: Timer::start(),
+        pipeline,
         out: Arc::clone(out),
     };
     match shared.queue.try_push(job) {
@@ -487,7 +576,7 @@ fn worker_loop(shared: &Arc<Shared>) {
         }
         shared.metrics.inflight.inc();
         let t = Timer::start();
-        let reply = Arc::new(execute(&shared.pipeline, &job.req));
+        let reply = Arc::new(execute(&job.pipeline, &job.req));
         shared.metrics.record_latency(job.endpoint, t.elapsed());
         shared.metrics.inflight.dec();
         let resp = ResponseEnvelope::ok(job.id, (*reply).clone());

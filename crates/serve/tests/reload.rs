@@ -1,0 +1,255 @@
+//! Epoch-versioned hot swap: staging a new pipeline, promoting it with
+//! `Request::Reload`, and the cache-coherence guarantee that no pre-swap
+//! cached result ever answers a post-swap request.
+//!
+//! The staged pipeline comes from a [`SegmentedPipeline`] with one table
+//! dropped — the incremental path feeding the serving path, which is the
+//! intended production loop: ingest/drop offline, snapshot, stage,
+//! reload.
+
+use std::sync::{Arc, OnceLock};
+
+use td_core::{DiscoveryPipeline, PipelineConfig, SegmentedPipeline};
+use td_serve::{
+    encode_response, execute, Client, Reply, Request, RequestEnvelope, ResponseEnvelope, Server,
+    ServerConfig, Status, Workload, WorkloadConfig,
+};
+use td_table::gen::lakegen::{LakeGenConfig, LakeGenerator};
+use td_table::{DataLake, Table, TableId};
+
+struct Fixture {
+    lake: DataLake,
+    /// Batch pipeline over the whole lake (epoch 0).
+    old: Arc<DiscoveryPipeline>,
+    /// Snapshot of a `SegmentedPipeline` after dropping `victim`.
+    new: Arc<DiscoveryPipeline>,
+    victim: TableId,
+    victim_table: Table,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let gl = LakeGenerator::standard().generate(&LakeGenConfig {
+            num_tables: 12,
+            rows: (8, 24),
+            cols: (2, 5),
+            seed: 20260806,
+            ..LakeGenConfig::default()
+        });
+        let cfg = PipelineConfig::default();
+        let old = DiscoveryPipeline::build(&gl.lake, &gl.registry, &[], &cfg);
+        let (victim, victim_table) = gl
+            .lake
+            .iter()
+            .last()
+            .map(|(id, t)| (id, t.clone()))
+            .expect("non-empty lake");
+        let mut sp = SegmentedPipeline::new(&gl.registry, &[], &cfg);
+        for (id, t) in gl.lake.iter() {
+            sp.ingest_table(id, t);
+        }
+        sp.drop_table(victim);
+        let new = sp.snapshot();
+        Fixture {
+            lake: gl.lake,
+            old: Arc::new(old),
+            new,
+            victim,
+            victim_table,
+        }
+    })
+}
+
+/// A request whose answer must differ across the swap: self-union on the
+/// dropped table ranks it first before, and cannot return it after.
+fn victim_request() -> Request {
+    Request::Unionable {
+        table: fixture().victim_table.clone(),
+        k: 5,
+    }
+}
+
+fn env(id: u64, req: Request) -> RequestEnvelope {
+    RequestEnvelope {
+        id,
+        deadline_ms: 0,
+        req,
+    }
+}
+
+/// The satellite regression: warm the cache, reload, and verify the
+/// post-reload response is the new pipeline's answer — never the
+/// pre-reload cached bytes.
+#[test]
+fn post_reload_request_never_sees_pre_reload_cache() {
+    let fx = fixture();
+    let old_direct = encode_response(&ResponseEnvelope::ok(
+        1,
+        execute(&fx.old, &victim_request()),
+    ))
+    .expect("encode old");
+    let new_direct = encode_response(&ResponseEnvelope::ok(
+        1,
+        execute(&fx.new, &victim_request()),
+    ))
+    .expect("encode new");
+    assert_ne!(
+        old_direct, new_direct,
+        "fixture must make the swap observable"
+    );
+    match execute(&fx.new, &victim_request()) {
+        Reply::Scores(scores) => assert!(
+            scores.iter().all(|(id, _)| *id != fx.victim),
+            "dropped table must be absent from the new pipeline's ranking"
+        ),
+        other => panic!("unexpected reply shape {other:?}"),
+    }
+
+    let mut server = Server::start(Arc::clone(&fx.old), ServerConfig::default()).expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    // Warm the cache: two identical requests, the second a cache hit.
+    let cold = client.call_raw(&env(1, victim_request())).expect("cold");
+    let warm = client.call_raw(&env(1, victim_request())).expect("warm");
+    assert_eq!(cold, old_direct, "epoch 0 serves the old pipeline");
+    assert_eq!(warm, old_direct);
+    assert!(server.stats().cache.hits >= 1, "second call must hit");
+
+    server.stage_pipeline(Arc::clone(&fx.new));
+    assert_eq!(server.epoch(), 0, "staging alone must not swap");
+    let resp = client.call(&env(2, Request::Reload)).expect("reload");
+    assert_eq!(resp.status, Status::Ok);
+    assert_eq!(resp.reply, Some(Reply::Reloaded(1)));
+    assert_eq!(server.epoch(), 1);
+
+    // Same request, same connection: must be the new pipeline's answer.
+    let after = client.call_raw(&env(1, victim_request())).expect("after");
+    assert_eq!(
+        after, new_direct,
+        "post-reload response must come from the new pipeline"
+    );
+    assert_ne!(after, old_direct, "pre-reload cache must be unreachable");
+    server.shutdown();
+}
+
+/// A reload with nothing staged is a cache-invalidation barrier: the
+/// epoch bumps, cached entries die, and the same pipeline re-executes.
+#[test]
+fn reload_without_staged_pipeline_flushes_and_keeps_serving() {
+    let fx = fixture();
+    let mut server = Server::start(Arc::clone(&fx.old), ServerConfig::default()).expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    let before = client.call_raw(&env(1, victim_request())).expect("call");
+    let entries_before = server.stats().cache.entries;
+    assert!(entries_before >= 1);
+
+    let resp = client.call(&env(2, Request::Reload)).expect("reload");
+    assert_eq!(resp.reply, Some(Reply::Reloaded(1)));
+    assert_eq!(server.stats().cache.entries, 0, "reload must flush");
+
+    let after = client.call_raw(&env(1, victim_request())).expect("call");
+    assert_eq!(before, after, "same pipeline, same bytes");
+    server.shutdown();
+}
+
+/// The tentpole integration property: concurrent clients keep issuing a
+/// mixed workload while the server hot-swaps underneath them. Every Ok
+/// response must byte-match the old or the new pipeline's direct answer
+/// — no torn state, no stale cache — and once a client has observed a
+/// new-epoch answer to the probe request it must never see the old one
+/// again.
+#[test]
+fn concurrent_clients_survive_hot_swap_with_exact_answers() {
+    let fx = fixture();
+    let mut server = Server::start(
+        Arc::clone(&fx.old),
+        ServerConfig {
+            workers: 4,
+            queue_capacity: 512,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    server.stage_pipeline(Arc::clone(&fx.new));
+    let addr = server.local_addr();
+
+    let probe = victim_request();
+    let old_probe = encode_response(&ResponseEnvelope::ok(77, execute(&fx.old, &probe)))
+        .expect("encode old probe");
+    let new_probe = encode_response(&ResponseEnvelope::ok(77, execute(&fx.new, &probe)))
+        .expect("encode new probe");
+
+    let handles: Vec<_> = (0..6)
+        .map(|t| {
+            let old = Arc::clone(&fx.old);
+            let new = Arc::clone(&fx.new);
+            let probe = probe.clone();
+            let mut workload = Workload::new(
+                &fx.lake,
+                &WorkloadConfig {
+                    seed: 500 + t,
+                    pool_size: 12,
+                    k: 4,
+                    deadline_ms: 0,
+                },
+            );
+            let mut requests = Vec::new();
+            for i in 0..30u64 {
+                let mut e = workload.next_envelope(t * 1000 + i).expect("pool");
+                if i % 5 == 4 {
+                    // Interleave the swap-sensitive probe.
+                    e = RequestEnvelope {
+                        id: e.id,
+                        deadline_ms: 0,
+                        req: probe.clone(),
+                    };
+                }
+                requests.push(e);
+            }
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let mut saw_new_probe = false;
+                for e in requests {
+                    let served = client.call_raw(&e).expect("response");
+                    let from_old =
+                        encode_response(&ResponseEnvelope::ok(e.id, execute(&old, &e.req)))
+                            .expect("encode");
+                    let from_new =
+                        encode_response(&ResponseEnvelope::ok(e.id, execute(&new, &e.req)))
+                            .expect("encode");
+                    assert!(
+                        served == from_old || served == from_new,
+                        "response must exactly match one of the two pipelines ({:?})",
+                        e.req.endpoint()
+                    );
+                    if e.req == probe {
+                        if served == from_new {
+                            saw_new_probe = true;
+                        } else if saw_new_probe {
+                            panic!("old-epoch answer observed after a new-epoch one");
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+
+    // Let clients make progress on epoch 0, then swap mid-flight.
+    std::thread::sleep(std::time::Duration::from_millis(30));
+    let mut admin = Client::connect(addr).expect("connect admin");
+    let resp = admin.call(&env(9999, Request::Reload)).expect("reload");
+    assert_eq!(resp.reply, Some(Reply::Reloaded(1)));
+
+    for h in handles {
+        h.join().expect("client thread");
+    }
+
+    // After the dust settles the probe must be the new pipeline's answer.
+    let settled = admin.call_raw(&env(77, probe)).expect("settled probe");
+    assert_eq!(settled, new_probe);
+    assert_ne!(settled, old_probe);
+    assert_eq!(server.epoch(), 1);
+    server.shutdown();
+}
