@@ -81,6 +81,7 @@ impl ContainmentJoinSearch {
     /// Top-k columns by estimated containment.
     #[must_use]
     pub fn top_k(&self, query: &Column, k: usize) -> Vec<(ColumnRef, f64)> {
+        let _probe = td_obs::trace::probe("probe.containment");
         let q = self.base.sign(query);
         self.ensemble
             .top_k_containment(&q, k)
@@ -92,8 +93,10 @@ impl ContainmentJoinSearch {
     /// Top-k *tables* by best-column containment.
     #[must_use]
     pub fn top_k_tables(&self, query: &Column, k: usize) -> Vec<(TableId, f64)> {
+        let hits = self.top_k(query, k * 4 + 8);
+        let _rank = td_obs::trace::probe("rank.merge");
         let mut best: Vec<(TableId, f64)> = Vec::new();
-        for (c, est) in self.top_k(query, k * 4 + 8) {
+        for (c, est) in hits {
             match best.iter_mut().find(|(t, _)| *t == c.table) {
                 Some((_, e)) => *e = e.max(est),
                 None => best.push((c.table, est)),

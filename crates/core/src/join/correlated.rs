@@ -125,6 +125,7 @@ impl CorrelatedSearch {
         k: usize,
         min_shared: usize,
     ) -> Vec<CorrelatedHit> {
+        let _probe = td_obs::trace::probe("probe.correlated");
         let pairs = key_value_pairs(query_key, query_num);
         let qs = QcrSketch::build(self.sketch_k, QCR_SEED, &pairs);
         let mut topk = TopK::new(k.max(1));

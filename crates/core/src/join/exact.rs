@@ -76,6 +76,7 @@ impl ExactJoinSearch {
         k: usize,
         strategy: ExactStrategy,
     ) -> (Vec<OverlapHit>, SearchStats) {
+        let _probe = td_obs::trace::probe("probe.exact_join");
         let tokens = query.token_set();
         let toks: Vec<&str> = tokens.iter().map(String::as_str).collect();
         let (hits, stats) = match strategy {
@@ -121,6 +122,7 @@ impl ExactJoinSearch {
     ) -> Vec<(TableId, usize)> {
         // Over-fetch columns to survive multiple hits per table.
         let (hits, _) = self.search(query, k * 4 + 8, strategy);
+        let _rank = td_obs::trace::probe("rank.merge");
         let mut best: Vec<(TableId, usize)> = Vec::new();
         for h in hits {
             match best.iter_mut().find(|(t, _)| *t == h.column.table) {

@@ -160,6 +160,7 @@ impl<E: Embedder> FuzzyJoinSearch<E> {
         tau: f32,
         k: usize,
     ) -> (Vec<(ColumnRef, f64)>, FuzzyStats) {
+        let _probe = td_obs::trace::probe("probe.fuzzy_join");
         let qvecs = embed_distinct(&self.embedder, query, self.sample);
         let qangles: Vec<Vec<f32>> = qvecs
             .iter()
@@ -214,6 +215,7 @@ impl<E: Embedder> FuzzyJoinSearch<E> {
     #[must_use]
     pub fn search_tables(&self, query: &Column, tau: f32, k: usize) -> Vec<(TableId, f64)> {
         let (hits, _) = self.search(query, tau, k * 4 + 8);
+        let _rank = td_obs::trace::probe("rank.merge");
         let mut best: Vec<(TableId, f64)> = Vec::new();
         for (c, s) in hits {
             match best.iter_mut().find(|(t, _)| *t == c.table) {

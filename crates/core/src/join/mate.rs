@@ -135,6 +135,7 @@ impl MateSearch {
         key_cols: &[usize],
         k: usize,
     ) -> (Vec<(TableId, f64)>, MateStats) {
+        let _probe = td_obs::trace::probe("probe.mate");
         assert!(!key_cols.is_empty(), "need at least one key column");
         let mut stats = MateStats::default();
         let nrows = query.num_rows();

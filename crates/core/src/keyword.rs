@@ -83,6 +83,7 @@ impl KeywordSearch {
     /// Top-k tables for a keyword query, `(table, score)` descending.
     #[must_use]
     pub fn search(&self, query: &str, k: usize) -> Vec<(TableId, f64)> {
+        let _probe = td_obs::trace::probe("probe.keyword");
         self.index
             .search(query, k)
             .into_iter()

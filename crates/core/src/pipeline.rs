@@ -292,6 +292,10 @@ fn observe_query<T>(family: &str, f: impl FnOnce() -> T) -> T {
     let reg = td_obs::global();
     reg.counter(&format!("query.{family}.count")).inc();
     let _t = td_obs::ScopedTimer::new(reg.histogram(&format!("query.{family}.latency_ns")));
+    // Request-scoped view of the same event: when td-serve attached a
+    // trace to this worker thread, the family span becomes the parent of
+    // the component probe/rank spans recorded further down.
+    let _q = td_obs::trace::probe(&format!("query.{family}"));
     f()
 }
 

@@ -273,6 +273,7 @@ impl IndexComponent for LakeProfile {
     }
 
     fn search_merged(&self, query: Self::Query<'_>, _k: usize) -> Self::Hits {
+        let _probe = td_obs::trace::probe("probe.profile");
         self.get(query).cloned()
     }
 }

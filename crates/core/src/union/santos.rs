@@ -171,6 +171,7 @@ impl SantosSearch {
     }
 
     fn search_impl(&self, query: &Table, k: usize, column_only: bool) -> Vec<(TableId, f64)> {
+        let _probe = td_obs::trace::probe("probe.santos");
         let qsig = Self::signature_of(query, &self.kb, &self.cfg);
         let mut topk = TopK::new(k.max(1));
         for (i, (_, sig)) in self.signatures.iter().enumerate() {

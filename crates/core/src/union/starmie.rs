@@ -171,6 +171,7 @@ impl<E: Embedder> StarmieSearch<E> {
     /// aggregation of cosine similarities over candidate tables.
     #[must_use]
     pub fn search(&self, query: &Table, k: usize) -> Vec<(TableId, f64)> {
+        let _probe = td_obs::trace::probe("probe.starmie");
         let qvecs = self.encode_query(query);
         if qvecs.is_empty() {
             return Vec::new();

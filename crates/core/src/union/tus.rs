@@ -76,6 +76,7 @@ impl TusSearch {
     /// Top-k unionable tables, `(table, score)` descending.
     #[must_use]
     pub fn search(&self, query: &Table, k: usize, measure: UnionMeasure) -> Vec<(TableId, f64)> {
+        let _probe = td_obs::trace::probe("probe.tus");
         let qev = self.query_evidence(query);
         let mut topk = TopK::new(k.max(1));
         for (i, (_, ev)) in self.tables.iter().enumerate() {

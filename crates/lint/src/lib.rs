@@ -307,6 +307,91 @@ mod tests {
             classify("crates/serve/tests/concurrent.rs"),
             Some(("serve".into(), FileClass::Test, false))
         );
+        // The td-trace layer and the admin plane are ordinary library
+        // code in their respective crates; the trace integration test
+        // and overhead bench get the usual relaxed classes.
+        assert_eq!(
+            classify("crates/obs/src/trace.rs"),
+            Some(("obs".into(), FileClass::Library, false))
+        );
+        assert_eq!(
+            classify("crates/serve/src/admin.rs"),
+            Some(("serve".into(), FileClass::Library, false))
+        );
+        assert_eq!(
+            classify("crates/serve/tests/trace.rs"),
+            Some(("serve".into(), FileClass::Test, false))
+        );
+        assert_eq!(
+            classify("crates/bench/src/bin/trace_report.rs"),
+            Some(("bench".into(), FileClass::Binary, false))
+        );
+    }
+
+    #[test]
+    fn trace_and_admin_code_is_held_to_every_rule() {
+        // TD001: the admin plane answers inline on connection threads —
+        // a panic there kills the connection, so unwraps fire unwaived.
+        let diags = scan_str(
+            "crates/serve/src/admin.rs",
+            "pub fn f(s: Option<u32>) -> u32 { s.unwrap() }\n",
+        );
+        assert!(diags
+            .iter()
+            .any(|d| d.code == Code::Td001 && !d.is_waived()));
+
+        // TD002: trace timing in *serve* must flow through td-obs
+        // clocks (TraceClock / Timer), never a raw Instant::now...
+        let diags = scan_str(
+            "crates/serve/src/admin.rs",
+            "pub fn f() { let _t = std::time::Instant::now(); }\n",
+        );
+        assert!(diags
+            .iter()
+            .any(|d| d.code == Code::Td002 && !d.is_waived()));
+
+        // ...while crates/obs itself — where those clocks live — is the
+        // one place allowed to read the raw clock.
+        let diags = scan_str(
+            "crates/obs/src/trace.rs",
+            "pub fn f() { let _t = std::time::Instant::now(); }\n",
+        );
+        assert!(diags.iter().all(|d| d.code != Code::Td002));
+
+        // TD003: no unsafe in the trace ring, however lock-cheap it
+        // wants to be.
+        let diags = scan_str(
+            "crates/obs/src/trace.rs",
+            "pub fn f(p: *const u8) -> u8 { unsafe { *p } }\n",
+        );
+        assert!(diags
+            .iter()
+            .any(|d| d.code == Code::Td003 && !d.is_waived()));
+
+        // TD004: admin replies go over the wire, not to stdout.
+        let diags = scan_str(
+            "crates/serve/src/admin.rs",
+            "pub fn f() { println!(\"slow query\"); }\n",
+        );
+        assert!(diags
+            .iter()
+            .any(|d| d.code == Code::Td004 && !d.is_waived()));
+
+        // TD005: `SlowQueries` is ordered output — ranking worst traces
+        // out of a HashMap without sorting would make the admin plane
+        // nondeterministic, which the byte-identity tests forbid.
+        let src = "pub fn f() -> Vec<(u64, u64)> {\n    let m: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();\n    m.iter().map(|(k, v)| (*k, *v)).collect()\n}\n";
+        let diags = scan_str("crates/serve/src/admin.rs", src);
+        assert!(diags
+            .iter()
+            .any(|d| d.code == Code::Td005 && !d.is_waived()));
+
+        // TD006: new public trace surface in the obs crate root must be
+        // documented.
+        let diags = scan_str("crates/obs/src/lib.rs", "pub fn trace_undocumented() {}\n");
+        assert!(diags
+            .iter()
+            .any(|d| d.code == Code::Td006 && !d.is_waived()));
     }
 
     #[test]

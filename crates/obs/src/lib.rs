@@ -16,6 +16,12 @@
 //!   the registry, so build passes and queries show up in one snapshot.
 //! * [`Timer`] / [`ScopedTimer`] — the one-liner timing helpers the bench
 //!   binaries use instead of scattering `Instant::now()` pairs.
+//! * [`trace`] (td-trace) — *request-scoped* span trees: a [`Trace`] per
+//!   admitted request with deterministic [`TraceId`]s, cross-thread RAII
+//!   spans, thread-attached [`trace::probe`] instrumentation for library
+//!   code, sharded bounded [`TraceRing`] storage, and a [`SlowQueryLog`]
+//!   of the worst trees since boot. Aggregates tell you *that* p95 moved;
+//!   traces tell you *which* probe or queue wait moved it.
 //!
 //! Metric mutation is wait-free (atomic adds); name registration takes a
 //! short `RwLock` only on first use — hot paths should hold on to the
@@ -40,11 +46,16 @@
 mod registry;
 mod span;
 mod timer;
+pub mod trace;
 
 pub use registry::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry};
 pub use span::{RingRecorder, SpanGuard, SpanRecord, Subscriber};
 pub use timer::ScopedTimer;
 pub use timer::{time, Timer};
+pub use trace::{
+    ActiveSpan, AttachGuard, Ring, SlowQueryLog, Trace, TraceClock, TraceId, TraceNode, TraceRing,
+    TraceTree,
+};
 
 use std::sync::OnceLock;
 

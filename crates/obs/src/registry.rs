@@ -90,6 +90,32 @@ impl Gauge {
     pub fn dec(&self) {
         self.add(-1.0);
     }
+
+    /// Add `delta` atomically, clamping the result at `floor` inside the
+    /// same CAS loop. Level gauges (queue depth, in-flight) use this for
+    /// their decrements: under concurrent `add`/`dec` an unlucky
+    /// interleaving near zero could otherwise publish a transiently
+    /// negative level to a concurrent `Stats` snapshot. The clamp happens
+    /// on the value being CAS-published, so no reader can ever observe a
+    /// value below `floor` caused by this call.
+    pub fn add_floored(&self, delta: f64, floor: f64) {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + delta).max(floor).to_bits();
+            match self
+                .bits
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Decrement by one, never going below zero (see [`Gauge::add_floored`]).
+    pub fn dec_floored(&self) {
+        self.add_floored(-1.0, 0.0);
+    }
 }
 
 /// Sub-buckets per power of two. 4 gives ≤ ~19% relative quantile error,
@@ -566,6 +592,58 @@ mod tests {
             h.join().expect("gauge thread");
         }
         assert_eq!(g.get(), 7.0, "balanced inc/dec must return to baseline");
+    }
+
+    #[test]
+    fn floored_gauge_never_goes_negative_under_concurrent_add_dec() {
+        let r = Registry::new();
+        let g = r.gauge("queue.depth");
+        // Deliberately adversarial: every thread decrements *first*, so
+        // without the floor the gauge would routinely dip below zero and
+        // a concurrent Stats snapshot would publish a negative depth.
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let sampler = {
+            let g = Arc::clone(&g);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut min_seen = f64::INFINITY;
+                while !stop.load(Ordering::Relaxed) {
+                    let v = g.get();
+                    assert!(!v.is_nan(), "torn read produced NaN");
+                    min_seen = min_seen.min(v);
+                }
+                min_seen
+            })
+        };
+        let writers: Vec<_> = (0..8)
+            .map(|_| {
+                let g = Arc::clone(&g);
+                std::thread::spawn(move || {
+                    for _ in 0..2_000 {
+                        g.dec_floored();
+                        g.inc();
+                    }
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().expect("gauge writer");
+        }
+        stop.store(true, Ordering::Relaxed);
+        let min_seen = sampler.join().expect("gauge sampler");
+        assert!(
+            min_seen >= 0.0,
+            "snapshot observed a negative level: {min_seen}"
+        );
+        assert!(g.get() >= 0.0);
+        // A plain (unfloored) dec on an empty gauge *does* go negative —
+        // the behavior the floored variant exists to prevent.
+        let plain = r.gauge("plain");
+        plain.dec();
+        assert!(plain.get() < 0.0);
+        let floored = r.gauge("floored");
+        floored.dec_floored();
+        assert_eq!(floored.get(), 0.0);
     }
 
     #[test]

@@ -2,11 +2,10 @@
 //! [`Subscriber`], and the default in-memory [`RingRecorder`].
 
 use std::cell::RefCell;
-use std::collections::VecDeque;
 use std::sync::atomic::Ordering;
-use std::sync::{Mutex, MutexGuard};
 use std::time::Instant;
 
+use crate::trace::Ring;
 use crate::Registry;
 
 /// A closed span as delivered to a [`Subscriber`].
@@ -32,21 +31,10 @@ pub trait Subscriber: Send + Sync {
 }
 
 /// Default subscriber: keeps the most recent `capacity` closed spans in a
-/// bounded ring buffer.
+/// bounded [`Ring`] (the same primitive the td-trace [`crate::TraceRing`]
+/// shards are built on).
 pub struct RingRecorder {
-    buf: Mutex<VecDeque<SpanRecord>>,
-    capacity: usize,
-}
-
-impl RingRecorder {
-    /// Lock the ring, recovering from poison: the buffer only ever holds
-    /// fully written records, and tracing must never take the process
-    /// down.
-    fn buf(&self) -> MutexGuard<'_, VecDeque<SpanRecord>> {
-        self.buf
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-    }
+    ring: Ring<SpanRecord>,
 }
 
 impl RingRecorder {
@@ -54,42 +42,37 @@ impl RingRecorder {
     #[must_use]
     pub fn new(capacity: usize) -> Self {
         RingRecorder {
-            buf: Mutex::new(VecDeque::new()),
-            capacity: capacity.max(1),
+            ring: Ring::new(capacity),
         }
     }
 
     /// The retained spans, oldest first.
     #[must_use]
     pub fn recent(&self) -> Vec<SpanRecord> {
-        self.buf().iter().cloned().collect()
+        self.ring.snapshot()
     }
 
     /// Number of retained spans.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.buf().len()
+        self.ring.len()
     }
 
     /// Whether the recorder holds no spans.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.ring.is_empty()
     }
 
     /// Drop all retained spans.
     pub fn clear(&self) {
-        self.buf().clear();
+        self.ring.clear();
     }
 }
 
 impl Subscriber for RingRecorder {
     fn on_close(&self, span: &SpanRecord) {
-        let mut buf = self.buf();
-        if buf.len() == self.capacity {
-            buf.pop_front();
-        }
-        buf.push_back(span.clone());
+        self.ring.push(span.clone());
     }
 }
 

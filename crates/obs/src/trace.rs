@@ -1,0 +1,857 @@
+//! td-trace: request-scoped span trees with deterministic ids, a
+//! generic bounded [`Ring`], a sharded per-worker [`TraceRing`], and a
+//! bounded [`SlowQueryLog`] of the worst span trees since boot.
+//!
+//! The registry's [`crate::span!`] machinery answers "how long does
+//! *stage X* take in aggregate"; it cannot answer "where did *this*
+//! 40 ms `search_joinable` request go". td-trace fills that gap:
+//!
+//! * A [`Trace`] is one request's span tree. The serving layer starts
+//!   it at admission with a [`TraceId`] derived deterministically from
+//!   a server seed and the client's request id, then records explicit
+//!   phases (queue wait, cache lookup, execute) through RAII
+//!   [`ActiveSpan`] guards that may cross threads with the request.
+//! * Library code deeper in the stack (index-component probes, rank
+//!   merges) records into whatever trace is *attached* to the current
+//!   thread via [`attach`] + [`probe`] — a no-op costing one
+//!   thread-local read when no trace is active, so instrumentation can
+//!   stay on permanently.
+//! * Finished traces become immutable [`TraceTree`]s, collected in a
+//!   [`TraceRing`] (lock-cheap: one shard per worker, one short mutex
+//!   each, bounded count) and offered to a [`SlowQueryLog`] that keeps
+//!   the N worst trees over a latency threshold in a deterministic
+//!   order (duration descending, trace id ascending).
+//!
+//! ## Determinism
+//!
+//! Under [`TraceClock::Wall`] durations are wall-clock nanoseconds.
+//! Under [`TraceClock::Logical`] every clock read ticks a per-trace
+//! counter instead, so a request's span tree depends only on the
+//! sequence of instrumentation events it executes — two identical
+//! seeded runs produce byte-identical [`TraceTree::to_json`] output,
+//! which is what the serving layer's `SlowQueries` determinism tests
+//! pin.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, LockResult, Mutex};
+use std::time::Instant;
+
+use crate::registry::{json_f64, json_str};
+
+/// Recover the guard from a poisoned lock: trace state only ever holds
+/// fully written records, and tracing must never take the process down.
+fn relock<G>(r: LockResult<G>) -> G {
+    r.unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// The splitmix64 finalizer: a bijective avalanche mix on `u64`.
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A request's trace identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TraceId(pub u64);
+
+impl TraceId {
+    /// Derive a trace id from a server seed and a request id.
+    ///
+    /// The derivation is a bijection in `request_id` for any fixed
+    /// `seed` (odd-constant multiply, xor, then the splitmix64
+    /// finalizer — all invertible), so distinct request ids always get
+    /// distinct trace ids, and the same seeded workload gets the same
+    /// ids on every run.
+    #[must_use]
+    pub fn derive(seed: u64, request_id: u64) -> TraceId {
+        TraceId(mix64(seed ^ request_id.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+    }
+}
+
+/// Time source for a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceClock {
+    /// Wall-clock nanoseconds since the trace started (production).
+    Wall,
+    /// A per-trace event counter: every read ticks once. Durations
+    /// become "number of enclosed instrumentation events" — fully
+    /// deterministic for a deterministic request, which is what the
+    /// byte-identical trace tests rely on.
+    Logical,
+}
+
+/// One node of a finished span tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceNode {
+    /// Span name, e.g. `probe.exact_join`.
+    pub name: String,
+    /// Offset from the trace start (ns, or logical ticks).
+    pub start_ns: u64,
+    /// Span duration (ns, or logical ticks).
+    pub dur_ns: u64,
+    /// Child spans, in open order.
+    pub children: Vec<TraceNode>,
+}
+
+impl TraceNode {
+    /// End offset of this span.
+    #[must_use]
+    pub fn end_ns(&self) -> u64 {
+        self.start_ns.saturating_add(self.dur_ns)
+    }
+
+    fn well_formed_within(&self, lo: u64, hi: u64) -> bool {
+        self.start_ns >= lo
+            && self.end_ns() <= hi
+            && self
+                .children
+                .iter()
+                .all(|c| c.well_formed_within(self.start_ns, self.end_ns()))
+    }
+
+    fn render_json(&self, out: &mut String) {
+        out.push_str("{\"name\":");
+        json_str(&self.name, out);
+        out.push_str(&format!(
+            ",\"start_ns\":{},\"dur_ns\":{},\"children\":[",
+            self.start_ns, self.dur_ns
+        ));
+        for (i, c) in self.children.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            c.render_json(out);
+        }
+        out.push_str("]}");
+    }
+}
+
+/// A finished, immutable request trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceTree {
+    /// The trace id.
+    pub trace_id: TraceId,
+    /// Endpoint the request hit (e.g. `joinable`).
+    pub endpoint: String,
+    /// Pipeline epoch the request was admitted under.
+    pub epoch: u64,
+    /// Terminal status (`ok`, `deadline_exceeded`, …).
+    pub status: String,
+    /// Whether the result cache answered the request.
+    pub cache_hit: bool,
+    /// Total duration from trace start to finish.
+    pub dur_ns: u64,
+    /// Spans not recorded because the per-trace cap was reached.
+    pub dropped: u64,
+    /// Root spans, in open order.
+    pub spans: Vec<TraceNode>,
+}
+
+impl TraceTree {
+    /// True when every span lies within the trace bounds and every
+    /// child lies within its parent — the structural invariant the
+    /// concurrent integration tests assert.
+    #[must_use]
+    pub fn well_formed(&self) -> bool {
+        self.spans
+            .iter()
+            .all(|s| s.well_formed_within(0, self.dur_ns))
+    }
+
+    /// Every span name in the tree, depth-first in open order.
+    #[must_use]
+    pub fn span_names(&self) -> Vec<&str> {
+        fn walk<'a>(nodes: &'a [TraceNode], out: &mut Vec<&'a str>) {
+            for n in nodes {
+                out.push(&n.name);
+                walk(&n.children, out);
+            }
+        }
+        let mut out = Vec::new();
+        walk(&self.spans, &mut out);
+        out
+    }
+
+    /// Deterministic JSON rendering (fixed field order, hand-written so
+    /// td-obs keeps zero dependencies).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"trace_id\":");
+        out.push_str(&self.trace_id.0.to_string());
+        out.push_str(",\"endpoint\":");
+        json_str(&self.endpoint, &mut out);
+        out.push_str(&format!(",\"epoch\":{}", self.epoch));
+        out.push_str(",\"status\":");
+        json_str(&self.status, &mut out);
+        out.push_str(&format!(
+            ",\"cache_hit\":{},\"dur_ns\":{},\"dropped\":{},\"spans\":[",
+            self.cache_hit, self.dur_ns, self.dropped
+        ));
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            s.render_json(&mut out);
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// One in-progress span.
+struct FlatSpan {
+    name: String,
+    parent: Option<usize>,
+    start: u64,
+    end: Option<u64>,
+}
+
+struct TraceState {
+    spans: Vec<FlatSpan>,
+    open: Vec<usize>,
+    dropped: u64,
+    endpoint: String,
+    epoch: u64,
+    cache_hit: bool,
+    status: String,
+}
+
+struct TraceInner {
+    id: TraceId,
+    clock: TraceClock,
+    started: Instant,
+    tick: AtomicU64,
+    limit: usize,
+    state: Mutex<TraceState>,
+}
+
+/// A live request trace. Cloning is cheap (`Arc`); the serving layer
+/// clones the handle into the admitted job so spans recorded on the
+/// connection thread and the worker thread land in the same tree. A
+/// request is handled by one thread at a time, so the inner mutex is
+/// effectively uncontended.
+#[derive(Clone)]
+pub struct Trace {
+    inner: Arc<TraceInner>,
+}
+
+impl std::fmt::Debug for Trace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Trace").field("id", &self.inner.id).finish()
+    }
+}
+
+impl Trace {
+    /// Start a trace. `max_spans` bounds memory: spans opened past the
+    /// cap are counted in [`TraceTree::dropped`] instead of recorded.
+    #[must_use]
+    pub fn start(id: TraceId, clock: TraceClock, max_spans: usize) -> Trace {
+        Trace {
+            inner: Arc::new(TraceInner {
+                id,
+                clock,
+                started: Instant::now(),
+                tick: AtomicU64::new(0),
+                limit: max_spans.max(1),
+                state: Mutex::new(TraceState {
+                    spans: Vec::new(),
+                    open: Vec::new(),
+                    dropped: 0,
+                    endpoint: String::new(),
+                    epoch: 0,
+                    cache_hit: false,
+                    status: String::from("ok"),
+                }),
+            }),
+        }
+    }
+
+    /// The trace id.
+    #[must_use]
+    pub fn id(&self) -> TraceId {
+        self.inner.id
+    }
+
+    /// Current offset from the trace start (ns, or one fresh logical
+    /// tick).
+    fn now_ns(&self) -> u64 {
+        match self.inner.clock {
+            TraceClock::Wall => {
+                u64::try_from(self.inner.started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+            }
+            TraceClock::Logical => self.inner.tick.fetch_add(1, Ordering::Relaxed) + 1,
+        }
+    }
+
+    /// Record the endpoint name.
+    pub fn set_endpoint(&self, endpoint: &str) {
+        relock(self.inner.state.lock()).endpoint = endpoint.to_string();
+    }
+
+    /// Record the pipeline epoch the request was admitted under.
+    pub fn set_epoch(&self, epoch: u64) {
+        relock(self.inner.state.lock()).epoch = epoch;
+    }
+
+    /// Mark the request as answered from the result cache.
+    pub fn set_cache_hit(&self, hit: bool) {
+        relock(self.inner.state.lock()).cache_hit = hit;
+    }
+
+    /// Record the terminal status (`ok` is the default).
+    pub fn set_status(&self, status: &str) {
+        relock(self.inner.state.lock()).status = status.to_string();
+    }
+
+    /// Open a span; it closes when the returned guard drops. The guard
+    /// may travel to another thread with the request (queue wait).
+    #[must_use]
+    pub fn open(&self, name: &str) -> ActiveSpan {
+        let now = self.now_ns();
+        let mut st = relock(self.inner.state.lock());
+        if st.spans.len() >= self.inner.limit {
+            st.dropped += 1;
+            return ActiveSpan {
+                trace: self.clone(),
+                idx: None,
+            };
+        }
+        let parent = st.open.last().copied();
+        st.spans.push(FlatSpan {
+            name: name.to_string(),
+            parent,
+            start: now,
+            end: None,
+        });
+        let idx = st.spans.len() - 1;
+        st.open.push(idx);
+        ActiveSpan {
+            trace: self.clone(),
+            idx: Some(idx),
+        }
+    }
+
+    fn close(&self, idx: usize) {
+        let now = self.now_ns();
+        let mut st = relock(self.inner.state.lock());
+        if let Some(span) = st.spans.get_mut(idx) {
+            if span.end.is_none() {
+                span.end = Some(now);
+            }
+        }
+        if let Some(pos) = st.open.iter().rposition(|&i| i == idx) {
+            st.open.remove(pos);
+        }
+    }
+
+    /// Freeze the trace into an immutable tree. Spans still open are
+    /// closed at the finish instant. (The serving layer calls this once
+    /// per request; calling again re-renders the same state.)
+    #[must_use]
+    pub fn finish(&self) -> TraceTree {
+        let now = self.now_ns();
+        let mut st = relock(self.inner.state.lock());
+        for span in &mut st.spans {
+            if span.end.is_none() {
+                span.end = Some(now);
+            }
+        }
+        st.open.clear();
+        fn collect(spans: &[FlatSpan], parent: Option<usize>, finish: u64) -> Vec<TraceNode> {
+            let mut out = Vec::new();
+            for (i, s) in spans.iter().enumerate() {
+                if s.parent == parent {
+                    let end = s.end.unwrap_or(finish);
+                    out.push(TraceNode {
+                        name: s.name.clone(),
+                        start_ns: s.start,
+                        dur_ns: end.saturating_sub(s.start),
+                        children: collect(spans, Some(i), finish),
+                    });
+                }
+            }
+            out
+        }
+        TraceTree {
+            trace_id: self.inner.id,
+            endpoint: st.endpoint.clone(),
+            epoch: st.epoch,
+            status: st.status.clone(),
+            cache_hit: st.cache_hit,
+            dur_ns: now,
+            dropped: st.dropped,
+            spans: collect(&st.spans, None, now),
+        }
+    }
+}
+
+/// RAII guard for one open span of a [`Trace`]; closes on drop. `Send`,
+/// so the serving layer can open a `queue.wait` span on the connection
+/// thread and close it on the worker that dequeues the job.
+pub struct ActiveSpan {
+    trace: Trace,
+    idx: Option<usize>,
+}
+
+impl Drop for ActiveSpan {
+    fn drop(&mut self) {
+        if let Some(idx) = self.idx.take() {
+            self.trace.close(idx);
+        }
+    }
+}
+
+thread_local! {
+    /// The traces attached to this thread, innermost last.
+    static CURRENT: RefCell<Vec<Trace>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Attach a trace to the current thread until the returned guard drops.
+/// While attached, [`probe`] calls on this thread record into it; this
+/// is how instrumentation deep in the index components reaches the
+/// request's trace without threading a handle through every signature.
+#[must_use]
+pub fn attach(trace: &Trace) -> AttachGuard {
+    CURRENT.with(|c| c.borrow_mut().push(trace.clone()));
+    AttachGuard { _priv: () }
+}
+
+/// Guard returned by [`attach`]; detaches on drop.
+pub struct AttachGuard {
+    _priv: (),
+}
+
+impl Drop for AttachGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| {
+            c.borrow_mut().pop();
+        });
+    }
+}
+
+/// Open a span on the trace attached to this thread, if any. Costs one
+/// thread-local read when no trace is attached, so probe-level
+/// instrumentation stays on permanently.
+#[must_use]
+pub fn probe(name: &str) -> Option<ActiveSpan> {
+    CURRENT
+        .with(|c| c.borrow().last().cloned())
+        .map(|t| t.open(name))
+}
+
+/// A generic bounded ring buffer (oldest evicted first) — the shape
+/// shared by the span-record recorder and the per-worker trace rings.
+pub struct Ring<T> {
+    buf: Mutex<VecDeque<T>>,
+    capacity: usize,
+}
+
+impl<T> Ring<T> {
+    /// A ring holding at most `capacity` items.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Ring {
+            buf: Mutex::new(VecDeque::new()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Maximum retained items.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Append, evicting the oldest item at capacity.
+    pub fn push(&self, item: T) {
+        let mut buf = relock(self.buf.lock());
+        if buf.len() == self.capacity {
+            buf.pop_front();
+        }
+        buf.push_back(item);
+    }
+
+    /// Number of retained items.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        relock(self.buf.lock()).len()
+    }
+
+    /// True when nothing is retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every retained item.
+    pub fn clear(&self) {
+        relock(self.buf.lock()).clear();
+    }
+}
+
+impl<T: Clone> Ring<T> {
+    /// The retained items, oldest first.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<T> {
+        relock(self.buf.lock()).iter().cloned().collect()
+    }
+}
+
+/// Finished-trace storage: one bounded [`Ring`] per worker so the hot
+/// path takes a short, almost-always-uncontended per-shard mutex, never
+/// a global one. Memory is bounded by `shards × capacity ×` the
+/// per-trace span cap.
+pub struct TraceRing {
+    shards: Vec<Ring<TraceTree>>,
+}
+
+impl TraceRing {
+    /// A ring with `shards` shards of `capacity` traces each.
+    #[must_use]
+    pub fn new(shards: usize, capacity: usize) -> Self {
+        TraceRing {
+            shards: (0..shards.max(1)).map(|_| Ring::new(capacity)).collect(),
+        }
+    }
+
+    /// Record a finished trace. `shard_hint` picks the shard (workers
+    /// pass their index; other threads pass the trace id).
+    pub fn record(&self, shard_hint: u64, tree: TraceTree) {
+        let shard = (shard_hint % self.shards.len() as u64) as usize;
+        self.shards[shard].push(tree);
+    }
+
+    /// Total retained traces across shards.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(Ring::len).sum()
+    }
+
+    /// True when no trace is retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Every retained trace, sorted by trace id for deterministic
+    /// cross-shard ordering.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<TraceTree> {
+        let mut out: Vec<TraceTree> = self.shards.iter().flat_map(Ring::snapshot).collect();
+        out.sort_by_key(|t| t.trace_id);
+        out
+    }
+}
+
+/// The N worst span trees since boot, over a latency threshold.
+///
+/// Ordering is deterministic: duration descending, trace id ascending —
+/// so two identical seeded runs (under [`TraceClock::Logical`]) render
+/// byte-identical slow-query reports.
+pub struct SlowQueryLog {
+    entries: Mutex<Vec<TraceTree>>,
+    capacity: usize,
+    threshold_ns: AtomicU64,
+    observed: AtomicU64,
+    admitted: AtomicU64,
+}
+
+impl SlowQueryLog {
+    /// A log keeping at most `capacity` offenders at or over
+    /// `threshold_ns` (a threshold of 0 admits every offered trace).
+    #[must_use]
+    pub fn new(capacity: usize, threshold_ns: u64) -> Self {
+        SlowQueryLog {
+            entries: Mutex::new(Vec::new()),
+            capacity: capacity.max(1),
+            threshold_ns: AtomicU64::new(threshold_ns),
+            observed: AtomicU64::new(0),
+            admitted: AtomicU64::new(0),
+        }
+    }
+
+    /// Current latency threshold.
+    #[must_use]
+    pub fn threshold_ns(&self) -> u64 {
+        self.threshold_ns.load(Ordering::Relaxed)
+    }
+
+    /// Change the latency threshold (existing entries are kept).
+    pub fn set_threshold_ns(&self, t: u64) {
+        self.threshold_ns.store(t, Ordering::Relaxed);
+    }
+
+    /// Traces offered so far.
+    #[must_use]
+    pub fn observed(&self) -> u64 {
+        self.observed.load(Ordering::Relaxed)
+    }
+
+    /// Traces that crossed the threshold (whether or not still kept).
+    #[must_use]
+    pub fn admitted(&self) -> u64 {
+        self.admitted.load(Ordering::Relaxed)
+    }
+
+    /// Offer a finished trace; true if it crossed the threshold.
+    pub fn offer(&self, tree: &TraceTree) -> bool {
+        self.observed.fetch_add(1, Ordering::Relaxed);
+        if tree.dur_ns < self.threshold_ns.load(Ordering::Relaxed) {
+            return false;
+        }
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+        let mut entries = relock(self.entries.lock());
+        // Descending by duration, ascending trace id on ties.
+        let pos = entries.partition_point(|e| {
+            e.dur_ns > tree.dur_ns || (e.dur_ns == tree.dur_ns && e.trace_id <= tree.trace_id)
+        });
+        if pos >= self.capacity {
+            return true; // over threshold, but not among the worst N
+        }
+        entries.insert(pos, tree.clone());
+        entries.truncate(self.capacity);
+        true
+    }
+
+    /// The worst `n` traces (duration descending, trace id ascending).
+    #[must_use]
+    pub fn worst(&self, n: usize) -> Vec<TraceTree> {
+        let entries = relock(self.entries.lock());
+        entries.iter().take(n).cloned().collect()
+    }
+
+    /// Number of retained offenders.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        relock(self.entries.lock()).len()
+    }
+
+    /// True when no offender is retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Render the worst `n` traces as a deterministic JSON array.
+    #[must_use]
+    pub fn render_json(&self, n: usize) -> String {
+        let mut out = String::from("[");
+        for (i, t) in self.worst(n).iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&t.to_json());
+        }
+        out.push(']');
+        out
+    }
+}
+
+/// Render `(endpoint, count, p50, p95, p99)` latency rows as one JSON
+/// object — shared by exporter call sites that need a deterministic
+/// per-endpoint block without depending on serde.
+#[must_use]
+pub fn latency_rows_json(rows: &[(String, u64, f64, f64, f64)]) -> String {
+    let mut out = String::from("{");
+    for (i, (name, count, p50, p95, p99)) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json_str(name, &mut out);
+        out.push_str(&format!(
+            ":{{\"count\":{count},\"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{}}}",
+            json_f64(*p50),
+            json_f64(*p95),
+            json_f64(*p99)
+        ));
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn logical_trace(id: u64) -> Trace {
+        Trace::start(TraceId(id), TraceClock::Logical, 64)
+    }
+
+    #[test]
+    fn trace_ids_are_deterministic_and_distinct() {
+        let a = TraceId::derive(42, 1);
+        let b = TraceId::derive(42, 1);
+        assert_eq!(a, b);
+        let mut seen = std::collections::BTreeSet::new();
+        for id in 0..10_000u64 {
+            assert!(seen.insert(TraceId::derive(42, id)), "collision at {id}");
+        }
+        assert_ne!(TraceId::derive(1, 7), TraceId::derive(2, 7));
+    }
+
+    #[test]
+    fn logical_clock_trees_are_byte_identical_across_runs() {
+        let run = || {
+            let t = logical_trace(9);
+            t.set_endpoint("keyword");
+            {
+                let _cache = t.open("cache.lookup");
+            }
+            {
+                let _exec = t.open("execute");
+                let _probe = t.open("probe.keyword");
+            }
+            t.finish().to_json()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn tree_nesting_and_bounds_are_well_formed() {
+        let t = logical_trace(1);
+        {
+            let _outer = t.open("execute");
+            {
+                let _q = t.open("query.joinable");
+                let _p = t.open("probe.exact_join");
+            }
+            let _r = t.open("rank.merge");
+        }
+        let tree = t.finish();
+        assert!(tree.well_formed(), "{tree:?}");
+        assert_eq!(
+            tree.span_names(),
+            vec![
+                "execute",
+                "query.joinable",
+                "probe.exact_join",
+                "rank.merge"
+            ]
+        );
+        assert_eq!(tree.spans.len(), 1, "one root span");
+        assert_eq!(tree.spans[0].children.len(), 2);
+    }
+
+    #[test]
+    fn spans_cross_threads_with_the_guard() {
+        let t = logical_trace(2);
+        let queue_span = t.open("queue.wait");
+        let t2 = t.clone();
+        std::thread::spawn(move || {
+            drop(queue_span);
+            let _exec = t2.open("execute");
+        })
+        .join()
+        .expect("worker thread");
+        let tree = t.finish();
+        assert_eq!(tree.span_names(), vec!["queue.wait", "execute"]);
+        assert!(tree.well_formed());
+        // queue.wait closed before execute opened, so both are roots.
+        assert_eq!(tree.spans.len(), 2);
+    }
+
+    #[test]
+    fn span_cap_counts_dropped() {
+        let t = Trace::start(TraceId(3), TraceClock::Logical, 2);
+        let _a = t.open("a");
+        let _b = t.open("b");
+        let _c = t.open("c");
+        let tree = t.finish();
+        assert_eq!(tree.spans.len(), 1); // b nests under a
+        assert_eq!(tree.dropped, 1);
+    }
+
+    #[test]
+    fn attach_and_probe_record_into_the_current_trace() {
+        assert!(probe("orphan").is_none(), "no trace attached yet");
+        let t = logical_trace(4);
+        {
+            let _g = attach(&t);
+            let _p = probe("probe.tus");
+        }
+        assert!(probe("orphan").is_none(), "detached after guard drop");
+        let tree = t.finish();
+        assert_eq!(tree.span_names(), vec!["probe.tus"]);
+    }
+
+    #[test]
+    fn wall_clock_trace_is_well_formed() {
+        let t = Trace::start(TraceId(5), TraceClock::Wall, 64);
+        {
+            let _e = t.open("execute");
+            let _p = t.open("probe.keyword");
+            std::hint::black_box((0..1000u64).sum::<u64>());
+        }
+        let tree = t.finish();
+        assert!(tree.well_formed(), "{tree:?}");
+        assert!(tree.dur_ns > 0);
+    }
+
+    #[test]
+    fn ring_is_bounded_and_fifo() {
+        let r: Ring<u32> = Ring::new(2);
+        r.push(1);
+        r.push(2);
+        r.push(3);
+        assert_eq!(r.snapshot(), vec![2, 3]);
+        assert_eq!(r.len(), 2);
+        r.clear();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn trace_ring_shards_and_sorts_by_id() {
+        let ring = TraceRing::new(4, 8);
+        for id in [5u64, 1, 3] {
+            let t = logical_trace(id);
+            ring.record(id, t.finish());
+        }
+        let ids: Vec<u64> = ring.snapshot().iter().map(|t| t.trace_id.0).collect();
+        assert_eq!(ids, vec![1, 3, 5]);
+        assert_eq!(ring.len(), 3);
+    }
+
+    #[test]
+    fn slow_log_keeps_worst_n_in_deterministic_order() {
+        let log = SlowQueryLog::new(2, 10);
+        let tree_with = |id: u64, dur: u64| {
+            let t = logical_trace(id);
+            let mut tree = t.finish();
+            tree.dur_ns = dur;
+            tree
+        };
+        assert!(!log.offer(&tree_with(1, 5)), "below threshold");
+        assert!(log.offer(&tree_with(2, 50)));
+        assert!(log.offer(&tree_with(3, 100)));
+        assert!(log.offer(&tree_with(4, 75)));
+        let worst = log.worst(10);
+        let got: Vec<(u64, u64)> = worst.iter().map(|t| (t.dur_ns, t.trace_id.0)).collect();
+        assert_eq!(got, vec![(100, 3), (75, 4)]);
+        assert_eq!(log.observed(), 4);
+        assert_eq!(log.admitted(), 3);
+        // Equal durations tie-break by ascending trace id.
+        let log = SlowQueryLog::new(3, 0);
+        log.offer(&tree_with(9, 40));
+        log.offer(&tree_with(7, 40));
+        let got: Vec<u64> = log.worst(3).iter().map(|t| t.trace_id.0).collect();
+        assert_eq!(got, vec![7, 9]);
+    }
+
+    #[test]
+    fn trace_json_is_deterministic_and_parseable_shape() {
+        let t = logical_trace(6);
+        t.set_endpoint("joinable");
+        t.set_epoch(2);
+        {
+            let _e = t.open("execute");
+        }
+        let json = t.finish().to_json();
+        assert!(json.starts_with("{\"trace_id\":"));
+        assert!(json.contains("\"endpoint\":\"joinable\""));
+        assert!(json.contains("\"epoch\":2"));
+        assert!(json.contains("\"spans\":[{\"name\":\"execute\""));
+    }
+}

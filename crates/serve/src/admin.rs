@@ -1,0 +1,239 @@
+//! The td-trace layer of the server and the admin observability plane's
+//! data plumbing: per-request trace creation, finished-trace recording
+//! (ring + slow-query log + SLO error budget), and the conversion from
+//! `td_obs` span trees to the wire's [`TraceJson`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use td_obs::trace::{SlowQueryLog, Trace, TraceClock, TraceId, TraceNode, TraceRing, TraceTree};
+
+use crate::protocol::{SloStats, SpanNodeJson, TraceJson};
+
+/// Tracing and admin-plane parameters.
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Master switch. Off: no traces are created, `SlowQueries` answers
+    /// empty, and the request path pays only an `Option` check.
+    pub enabled: bool,
+    /// Seed for [`TraceId::derive`]: trace ids are a deterministic
+    /// function of `(seed, envelope id)`, so a seeded workload replayed
+    /// against a same-seeded server reproduces its trace ids exactly.
+    pub seed: u64,
+    /// Trace with a per-trace logical clock instead of wall time. Span
+    /// durations become deterministic event counts — the mode the
+    /// byte-identical `SlowQueries` tests run the server in. Production
+    /// keeps this off.
+    pub logical_clock: bool,
+    /// Per-trace span cap; spans past it are counted, not recorded.
+    pub max_spans: usize,
+    /// Finished traces retained per worker shard.
+    pub ring_capacity: usize,
+    /// Worst span trees retained since boot.
+    pub slow_capacity: usize,
+    /// Latency threshold for the slow-query log (same unit as trace
+    /// durations: nanoseconds, or ticks under the logical clock; `0`
+    /// admits every trace).
+    pub slow_threshold_ns: u64,
+    /// SLO latency objective in *wall* nanoseconds (always wall time,
+    /// even when tracing logically).
+    pub slo_threshold_ns: u64,
+    /// Allowed SLO violation fraction (error budget), e.g. `0.01`.
+    pub slo_budget: f64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            enabled: true,
+            seed: 0x7D15_7ACE,
+            logical_clock: false,
+            max_spans: 192,
+            ring_capacity: 64,
+            slow_capacity: 16,
+            slow_threshold_ns: 50_000_000, // 50 ms
+            slo_threshold_ns: 100_000_000, // 100 ms
+            slo_budget: 0.01,
+        }
+    }
+}
+
+/// Per-server trace state: the sharded ring of finished traces, the
+/// slow-query log, and the SLO error-budget counters. One instance per
+/// [`crate::Server`], so concurrent servers in one process (tests,
+/// benches) never share trace state the way they share the global
+/// metrics registry.
+pub(crate) struct TraceLayer {
+    pub(crate) cfg: TraceConfig,
+    pub(crate) ring: TraceRing,
+    pub(crate) slow: SlowQueryLog,
+    slo_total: AtomicU64,
+    slo_violations: AtomicU64,
+}
+
+impl TraceLayer {
+    pub(crate) fn new(cfg: TraceConfig, workers: usize) -> Self {
+        TraceLayer {
+            ring: TraceRing::new(workers.max(1), cfg.ring_capacity),
+            slow: SlowQueryLog::new(cfg.slow_capacity, cfg.slow_threshold_ns),
+            slo_total: AtomicU64::new(0),
+            slo_violations: AtomicU64::new(0),
+            cfg,
+        }
+    }
+
+    /// Start the trace for one admitted request.
+    pub(crate) fn start(&self, request_id: u64) -> Trace {
+        let clock = if self.cfg.logical_clock {
+            TraceClock::Logical
+        } else {
+            TraceClock::Wall
+        };
+        Trace::start(
+            TraceId::derive(self.cfg.seed, request_id),
+            clock,
+            self.cfg.max_spans,
+        )
+    }
+
+    /// Finish one request's trace: freeze it, retain it in the worker
+    /// shard's ring, offer it to the slow-query log, and charge the SLO
+    /// budget with the request's *wall* latency (`real_elapsed_ns` — the
+    /// admission timer, independent of the trace clock mode).
+    pub(crate) fn finish(&self, shard_hint: u64, trace: &Trace, real_elapsed_ns: u64) {
+        let tree = trace.finish();
+        self.slow.offer(&tree);
+        self.ring.record(shard_hint, tree);
+        self.slo_total.fetch_add(1, Ordering::Relaxed);
+        if real_elapsed_ns > self.cfg.slo_threshold_ns {
+            self.slo_violations.fetch_add(1, Ordering::Relaxed);
+            td_obs::global().counter("serve.slo.violations").inc();
+        }
+        td_obs::global().counter("serve.slo.total").inc();
+    }
+
+    /// Point-in-time SLO error-budget accounting.
+    pub(crate) fn slo_stats(&self) -> SloStats {
+        let total = self.slo_total.load(Ordering::Relaxed);
+        let violations = self.slo_violations.load(Ordering::Relaxed);
+        let budget = self.cfg.slo_budget;
+        // Remaining budget: 1 − (observed violation rate / allowed rate),
+        // clamped into [0, 1]. No traffic leaves the budget untouched.
+        let budget_remaining = if total == 0 || budget <= 0.0 {
+            1.0
+        } else {
+            (1.0 - (violations as f64 / total as f64) / budget).clamp(0.0, 1.0)
+        };
+        SloStats {
+            threshold_ns: self.cfg.slo_threshold_ns,
+            total,
+            violations,
+            budget,
+            budget_remaining,
+        }
+    }
+}
+
+fn node_to_json(node: &TraceNode) -> SpanNodeJson {
+    SpanNodeJson {
+        name: node.name.clone(),
+        start_ns: node.start_ns,
+        dur_ns: node.dur_ns,
+        children: node.children.iter().map(node_to_json).collect(),
+    }
+}
+
+/// Convert a finished obs trace into its wire representation. Field
+/// order is fixed by the struct declarations, so serializing the result
+/// is as deterministic as the tree itself.
+pub(crate) fn tree_to_json(tree: &TraceTree) -> TraceJson {
+    TraceJson {
+        trace_id: tree.trace_id.0,
+        endpoint: tree.endpoint.clone(),
+        epoch: tree.epoch,
+        status: tree.status.clone(),
+        cache_hit: tree.cache_hit,
+        dur_ns: tree.dur_ns,
+        dropped: tree.dropped,
+        spans: tree.spans.iter().map(node_to_json).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_records_and_orders_slow_queries() {
+        let layer = TraceLayer::new(
+            TraceConfig {
+                logical_clock: true,
+                slow_threshold_ns: 0,
+                ..TraceConfig::default()
+            },
+            2,
+        );
+        for (id, spans) in [(1u64, 1usize), (2, 3), (3, 2)] {
+            let trace = layer.start(id);
+            trace.set_endpoint("keyword");
+            for s in 0..spans {
+                let _g = trace.open(if s == 0 { "execute" } else { "probe.keyword" });
+            }
+            layer.finish(id, &trace, 5);
+        }
+        assert_eq!(layer.ring.len(), 3);
+        // Logical durations grow with span count: envelope 2 is slowest.
+        let worst = layer.slow.worst(3);
+        assert_eq!(worst[0].trace_id, TraceId::derive(layer.cfg.seed, 2));
+        assert!(worst.iter().all(TraceTree::well_formed));
+        let slo = layer.slo_stats();
+        assert_eq!(slo.total, 3);
+        assert_eq!(slo.violations, 0, "5ns wall latency is under 100ms");
+        assert_eq!(slo.budget_remaining, 1.0);
+    }
+
+    #[test]
+    fn slo_budget_drains_with_violations() {
+        let layer = TraceLayer::new(
+            TraceConfig {
+                slo_threshold_ns: 10,
+                slo_budget: 0.5,
+                ..TraceConfig::default()
+            },
+            1,
+        );
+        for (id, elapsed) in [(1u64, 5u64), (2, 50), (3, 5), (4, 50)] {
+            let trace = layer.start(id);
+            layer.finish(0, &trace, elapsed);
+        }
+        let slo = layer.slo_stats();
+        assert_eq!((slo.total, slo.violations), (4, 2));
+        // Violation rate 0.5 against a 0.5 budget: exactly exhausted.
+        assert_eq!(slo.budget_remaining, 0.0);
+    }
+
+    #[test]
+    fn tree_conversion_preserves_structure() {
+        let layer = TraceLayer::new(
+            TraceConfig {
+                logical_clock: true,
+                ..TraceConfig::default()
+            },
+            1,
+        );
+        let trace = layer.start(7);
+        trace.set_endpoint("joinable");
+        trace.set_epoch(3);
+        {
+            let _e = trace.open("execute");
+            let _p = trace.open("probe.exact_join");
+        }
+        let tree = trace.finish();
+        let json = tree_to_json(&tree);
+        assert_eq!(json.trace_id, tree.trace_id.0);
+        assert_eq!(json.endpoint, "joinable");
+        assert_eq!(json.epoch, 3);
+        assert_eq!(json.spans.len(), 1);
+        assert_eq!(json.spans[0].children[0].name, "probe.exact_join");
+        assert_eq!(json.spans[0].dur_ns, tree.spans[0].dur_ns);
+    }
+}

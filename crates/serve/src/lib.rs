@@ -26,6 +26,11 @@
 //!   the epoch-versioned `Arc<DiscoveryPipeline>` slot, per-request
 //!   deadlines, hot swap via staged pipelines + `Reload`, and graceful
 //!   drain-then-shutdown.
+//! * [`admin`] — the td-trace layer: per-request span trees (queue
+//!   wait, cache lookup, per-component probes, rank/merge) recorded
+//!   into per-worker rings, a slow-query log, and SLO error-budget
+//!   accounting behind the `Stats` / `MetricsDump` / `SlowQueries` /
+//!   `Health` admin endpoints.
 //! * [`client`] — a minimal blocking client.
 //! * [`workload`] — seeded deterministic query streams for the
 //!   `serve_report` load generator.
@@ -51,6 +56,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod admin;
 pub mod cache;
 pub mod client;
 pub mod protocol;
@@ -58,12 +64,14 @@ pub mod queue;
 pub mod server;
 pub mod workload;
 
+pub use admin::TraceConfig;
 pub use cache::{CacheConfig, CacheStats, ResultCache};
 pub use client::Client;
 pub use protocol::{
     canonical_bytes, decode_request, decode_response, encode_response, read_frame, write_frame,
-    FramePoll, FrameReader, ProtocolError, Reply, Request, RequestEnvelope, ResponseEnvelope,
-    Status, MAX_FRAME_BYTES,
+    EndpointStats, FramePoll, FrameReader, HealthReply, MetricsReply, ProtocolError, Reply,
+    Request, RequestEnvelope, ResponseEnvelope, SloStats, SpanNodeJson, StatsReply, Status,
+    TraceJson, MAX_FRAME_BYTES,
 };
 pub use queue::{AdmissionQueue, PushError};
 pub use server::{execute, Server, ServerConfig, ServerStats};

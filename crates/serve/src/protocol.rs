@@ -103,6 +103,23 @@ pub enum Request {
     /// (never queued); in-flight queries finish on the pipeline they were
     /// admitted with.
     Reload,
+    /// Admin: per-endpoint throughput/latency, shed/cache counters, and
+    /// SLO error-budget accounting. Answered inline, never queued.
+    Stats,
+    /// Admin: full metrics dump — Prometheus exposition text plus the
+    /// registry's JSON rendering. Answered inline, never queued.
+    MetricsDump,
+    /// Admin: the `n` worst request span trees since boot (over the
+    /// server's slow-query latency threshold), worst first. Answered
+    /// inline, never queued.
+    SlowQueries {
+        /// Maximum trees returned.
+        n: usize,
+    },
+    /// Admin: liveness plus topology — pipeline epoch, segment/tombstone
+    /// counts, queue depth, in-flight count, drain state. Answered
+    /// inline, never queued (health checks must not flap under load).
+    Health,
 }
 
 impl Request {
@@ -121,10 +138,15 @@ impl Request {
             Request::MultiJoinable { .. } => "multi_joinable",
             Request::Correlated { .. } => "correlated",
             Request::Reload => "reload",
+            Request::Stats => "stats",
+            Request::MetricsDump => "metrics_dump",
+            Request::SlowQueries { .. } => "slow_queries",
+            Request::Health => "health",
         }
     }
 
-    /// Every search endpoint name, in protocol order (excludes `ping`).
+    /// Every search endpoint name, in protocol order (excludes `ping`,
+    /// `reload`, and the admin plane).
     #[must_use]
     pub fn search_endpoints() -> [&'static str; 8] {
         [
@@ -137,6 +159,23 @@ impl Request {
             "multi_joinable",
             "correlated",
         ]
+    }
+
+    /// Every admin-plane endpoint name, in protocol order.
+    #[must_use]
+    pub fn admin_endpoints() -> [&'static str; 4] {
+        ["stats", "metrics_dump", "slow_queries", "health"]
+    }
+
+    /// True for the admin observability plane (`Stats`, `MetricsDump`,
+    /// `SlowQueries`, `Health`): answered inline from server state,
+    /// never queued, never cached, never routed to a pipeline.
+    #[must_use]
+    pub fn is_admin(&self) -> bool {
+        matches!(
+            self,
+            Request::Stats | Request::MetricsDump | Request::SlowQueries { .. } | Request::Health
+        )
     }
 }
 
@@ -181,6 +220,164 @@ pub enum Reply {
     Correlated(Vec<CorrelatedHit>),
     /// Answer to [`Request::Reload`]: the pipeline epoch now serving.
     Reloaded(u64),
+    /// Answer to [`Request::Stats`].
+    Stats(StatsReply),
+    /// Answer to [`Request::MetricsDump`].
+    Metrics(MetricsReply),
+    /// Answer to [`Request::SlowQueries`]: worst first (duration
+    /// descending, trace id ascending — a deterministic total order).
+    SlowQueries(Vec<TraceJson>),
+    /// Answer to [`Request::Health`].
+    Health(HealthReply),
+}
+
+/// Latency summary for one endpoint (from the `serve.<endpoint>.latency_ns`
+/// histogram; nanoseconds).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EndpointStats {
+    /// Endpoint name.
+    pub endpoint: String,
+    /// Requests recorded.
+    pub count: u64,
+    /// Approximate median latency.
+    pub p50_ns: f64,
+    /// Approximate 95th-percentile latency.
+    pub p95_ns: f64,
+    /// Approximate 99th-percentile latency.
+    pub p99_ns: f64,
+}
+
+/// SLO error-budget accounting: of the executed requests, how many blew
+/// the latency objective, against an allowed violation fraction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SloStats {
+    /// Latency objective in nanoseconds.
+    pub threshold_ns: u64,
+    /// Executed requests measured against the objective.
+    pub total: u64,
+    /// Requests that exceeded the objective.
+    pub violations: u64,
+    /// Allowed violation fraction (e.g. `0.01` = 1% error budget).
+    pub budget: f64,
+    /// Budget remaining in `[0, 1]`: `1` = untouched, `0` = exhausted.
+    pub budget_remaining: f64,
+}
+
+impl Default for SloStats {
+    /// The zero-traffic state: nothing measured, so the whole budget
+    /// remains (`budget_remaining` defaults to `1`, not `0`).
+    fn default() -> Self {
+        SloStats {
+            threshold_ns: 0,
+            total: 0,
+            violations: 0,
+            budget: 0.0,
+            budget_remaining: 1.0,
+        }
+    }
+}
+
+/// Answer to [`Request::Stats`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StatsReply {
+    /// Pipeline epoch currently serving.
+    pub epoch: u64,
+    /// Decoded request envelopes (every endpoint, including admin).
+    pub requests: u64,
+    /// Requests answered `Ok`.
+    pub served_ok: u64,
+    /// Requests shed at admission.
+    pub shed: u64,
+    /// Requests expired in the queue.
+    pub deadline_expired: u64,
+    /// Frames that failed to decode.
+    pub bad_requests: u64,
+    /// Result-cache hits.
+    pub cache_hits: u64,
+    /// Result-cache misses.
+    pub cache_misses: u64,
+    /// Result-cache evictions.
+    pub cache_evictions: u64,
+    /// Admission-queue depth at snapshot time.
+    pub queue_depth: u64,
+    /// Queries executing at snapshot time.
+    pub inflight: u64,
+    /// SLO error-budget accounting.
+    pub slo: SloStats,
+    /// Per-endpoint latency summaries in [`Request::search_endpoints`]
+    /// order — a deterministic rendering, never a hash-map drain.
+    pub endpoints: Vec<EndpointStats>,
+}
+
+/// Answer to [`Request::MetricsDump`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsReply {
+    /// Prometheus text exposition of the metrics registry.
+    pub prometheus: String,
+    /// JSON rendering of the same registry snapshot.
+    pub json: String,
+}
+
+/// Answer to [`Request::Health`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct HealthReply {
+    /// True unless the server is draining.
+    pub healthy: bool,
+    /// Pipeline epoch currently serving.
+    pub epoch: u64,
+    /// Live segments in the serving pipeline (from the
+    /// `pipeline.segments` gauge; `0` for a single-segment build).
+    pub segments: u64,
+    /// Tombstoned tables awaiting compaction (`pipeline.tombstones`).
+    pub tombstones: u64,
+    /// Admission-queue depth at snapshot time.
+    pub queue_depth: u64,
+    /// Queries executing at snapshot time.
+    pub inflight: u64,
+    /// Worker threads serving the queue.
+    pub workers: u64,
+    /// True once shutdown has begun.
+    pub draining: bool,
+    /// Finished traces currently retained in the trace ring.
+    pub traced: u64,
+}
+
+/// One span of a request trace on the wire (mirrors
+/// `td_obs::trace::TraceNode`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanNodeJson {
+    /// Span name, e.g. `probe.exact_join`.
+    pub name: String,
+    /// Offset from the trace start (nanoseconds, or logical ticks when
+    /// the server traces with the deterministic logical clock).
+    pub start_ns: u64,
+    /// Span duration (same unit as `start_ns`).
+    pub dur_ns: u64,
+    /// Child spans, in open order.
+    pub children: Vec<SpanNodeJson>,
+}
+
+/// One finished request trace on the wire (mirrors
+/// `td_obs::trace::TraceTree`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceJson {
+    /// Trace id (derived deterministically from the server's trace seed
+    /// and the request envelope id).
+    pub trace_id: u64,
+    /// Endpoint the request hit.
+    pub endpoint: String,
+    /// Pipeline epoch the request was admitted under.
+    pub epoch: u64,
+    /// Terminal status (`ok`, `deadline_exceeded`, …).
+    pub status: String,
+    /// Whether the result cache answered the request.
+    pub cache_hit: bool,
+    /// Total duration (same unit as the spans).
+    pub dur_ns: u64,
+    /// Spans dropped by the per-trace cap.
+    pub dropped: u64,
+    /// Root spans, in open order.
+    pub spans: Vec<SpanNodeJson>,
 }
 
 /// A server-to-client frame payload.

@@ -49,12 +49,15 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use td_core::DiscoveryPipeline;
+use td_obs::trace::{ActiveSpan, Trace};
 use td_obs::{Counter, Gauge, Histogram, Timer};
 
+use crate::admin::{tree_to_json, TraceConfig, TraceLayer};
 use crate::cache::{CacheConfig, CacheStats, ResultCache};
 use crate::protocol::{
-    canonical_bytes, decode_request, encode_response, write_frame, FramePoll, FrameReader, Reply,
-    Request, ResponseEnvelope, Status, MAX_FRAME_BYTES,
+    canonical_bytes, decode_request, encode_response, write_frame, EndpointStats, FramePoll,
+    FrameReader, HealthReply, MetricsReply, Reply, Request, ResponseEnvelope, StatsReply, Status,
+    MAX_FRAME_BYTES,
 };
 use crate::queue::{AdmissionQueue, PushError};
 
@@ -74,6 +77,8 @@ pub struct ServerConfig {
     /// Socket read timeout; bounds how fast connection threads observe
     /// the shutdown flag.
     pub poll_interval: Duration,
+    /// Request-scoped tracing and admin-plane shape (td-trace).
+    pub trace: TraceConfig,
 }
 
 impl Default for ServerConfig {
@@ -85,6 +90,7 @@ impl Default for ServerConfig {
             cache: CacheConfig::default(),
             max_frame_bytes: MAX_FRAME_BYTES,
             poll_interval: Duration::from_millis(25),
+            trace: TraceConfig::default(),
         }
     }
 }
@@ -119,6 +125,12 @@ struct Job {
     /// and execution must not change what this request runs against.
     pipeline: Arc<DiscoveryPipeline>,
     out: Arc<Mutex<TcpStream>>,
+    /// The request's trace (absent when tracing is disabled).
+    trace: Option<Trace>,
+    /// The open `queue.wait` span: opened by the connection thread at
+    /// admission, closed by the worker that dequeues the job — the guard
+    /// rides the queue with the request.
+    queue_span: Option<ActiveSpan>,
 }
 
 /// The epoch-versioned serving pipeline. Readers take the lock only long
@@ -149,6 +161,9 @@ impl Metrics {
         latency.insert("ping", reg.histogram("serve.ping.latency_ns"));
         latency.insert("reload", reg.histogram("serve.reload.latency_ns"));
         for ep in Request::search_endpoints() {
+            latency.insert(ep, reg.histogram(&format!("serve.{ep}.latency_ns")));
+        }
+        for ep in Request::admin_endpoints() {
             latency.insert(ep, reg.histogram(&format!("serve.{ep}.latency_ns")));
         }
         Metrics {
@@ -183,6 +198,10 @@ struct Shared {
     shed: AtomicU64,
     deadline_expired: AtomicU64,
     bad_requests: AtomicU64,
+    /// td-trace state; absent when tracing is disabled.
+    trace: Option<TraceLayer>,
+    /// Worker-pool size (reported by `Health`).
+    workers: u64,
 }
 
 fn relock<G>(r: Result<G, PoisonError<G>>) -> G {
@@ -218,6 +237,96 @@ pub fn execute(pipeline: &DiscoveryPipeline, req: &Request) -> Reply {
         // answers `Reload` inline with the real epoch and never routes it
         // here.
         Request::Reload => Reply::Reloaded(0),
+        // Likewise the admin plane: answered inline from server state
+        // (which a direct in-process call does not have), never routed
+        // here — these arms return empty shells.
+        Request::Stats => Reply::Stats(StatsReply::default()),
+        Request::MetricsDump => Reply::Metrics(MetricsReply::default()),
+        Request::SlowQueries { .. } => Reply::SlowQueries(Vec::new()),
+        Request::Health => Reply::Health(HealthReply::default()),
+    }
+}
+
+/// Assemble the [`Request::Stats`] answer from the server's own counters
+/// plus the global latency histograms. Endpoint rows are emitted in
+/// [`Request::search_endpoints`] order — a deterministic rendering.
+fn build_stats(shared: &Shared) -> StatsReply {
+    let snap = td_obs::global().snapshot();
+    let cache = shared.cache.stats();
+    let epoch = relock(shared.slot.lock()).epoch;
+    let slo = shared
+        .trace
+        .as_ref()
+        .map(TraceLayer::slo_stats)
+        .unwrap_or_default();
+    let endpoints = Request::search_endpoints()
+        .iter()
+        .map(|ep| {
+            let h = snap.histogram(&format!("serve.{ep}.latency_ns"));
+            EndpointStats {
+                endpoint: (*ep).to_string(),
+                count: h.map_or(0, |h| h.count),
+                p50_ns: h.map_or(0.0, |h| h.p50),
+                p95_ns: h.map_or(0.0, |h| h.p95),
+                p99_ns: h.map_or(0.0, |h| h.p99),
+            }
+        })
+        .collect();
+    StatsReply {
+        epoch,
+        requests: shared.requests.load(Ordering::Relaxed),
+        served_ok: shared.served_ok.load(Ordering::Relaxed),
+        shed: shared.shed.load(Ordering::Relaxed),
+        deadline_expired: shared.deadline_expired.load(Ordering::Relaxed),
+        bad_requests: shared.bad_requests.load(Ordering::Relaxed),
+        cache_hits: cache.hits,
+        cache_misses: cache.misses,
+        cache_evictions: cache.evictions,
+        queue_depth: shared.queue.depth() as u64,
+        inflight: shared.metrics.inflight.get().max(0.0) as u64,
+        slo,
+        endpoints,
+    }
+}
+
+/// Assemble the [`Request::Health`] answer. Segment/tombstone counts come
+/// from the `pipeline.*` gauges the segmented pipeline maintains; for a
+/// single-segment build they read zero.
+fn build_health(shared: &Shared) -> HealthReply {
+    let reg = td_obs::global();
+    let draining = shared.shutting_down.load(Ordering::SeqCst);
+    HealthReply {
+        healthy: !draining,
+        epoch: relock(shared.slot.lock()).epoch,
+        segments: reg.gauge("pipeline.segments").get().max(0.0) as u64,
+        tombstones: reg.gauge("pipeline.tombstones").get().max(0.0) as u64,
+        queue_depth: shared.queue.depth() as u64,
+        inflight: shared.metrics.inflight.get().max(0.0) as u64,
+        workers: shared.workers,
+        draining,
+        traced: shared.trace.as_ref().map_or(0, |l| l.ring.len() as u64),
+    }
+}
+
+/// Answer one admin-plane request from server state. The caller guards
+/// with [`Request::is_admin`], so the fallback arm is unreachable.
+fn answer_admin(shared: &Shared, req: &Request) -> Reply {
+    match req {
+        Request::Stats => Reply::Stats(build_stats(shared)),
+        Request::MetricsDump => {
+            let reg = td_obs::global();
+            Reply::Metrics(MetricsReply {
+                prometheus: reg.export_prometheus(),
+                json: reg.export_json(),
+            })
+        }
+        Request::SlowQueries { n } => {
+            let trees = shared.trace.as_ref().map_or_else(Vec::new, |l| {
+                l.slow.worst(*n).iter().map(tree_to_json).collect()
+            });
+            Reply::SlowQueries(trees)
+        }
+        _ => Reply::Health(build_health(shared)),
     }
 }
 
@@ -249,6 +358,11 @@ impl Server {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
         td_obs::global().gauge("serve.pipeline.epoch").set(0.0);
+        let worker_count = cfg.workers.max(1);
+        let trace = cfg
+            .trace
+            .enabled
+            .then(|| TraceLayer::new(cfg.trace.clone(), worker_count));
         let shared = Arc::new(Shared {
             slot: Mutex::new(PipelineSlot { epoch: 0, pipeline }),
             staged: Mutex::new(None),
@@ -261,12 +375,14 @@ impl Server {
             shed: AtomicU64::new(0),
             deadline_expired: AtomicU64::new(0),
             bad_requests: AtomicU64::new(0),
+            trace,
+            workers: worker_count as u64,
         });
 
-        let workers = (0..cfg.workers.max(1))
-            .map(|_| {
+        let workers = (0..worker_count)
+            .map(|idx| {
                 let shared = Arc::clone(&shared);
-                std::thread::spawn(move || worker_loop(&shared))
+                std::thread::spawn(move || worker_loop(&shared, idx as u64))
             })
             .collect();
 
@@ -449,6 +565,20 @@ fn handle_frame(payload: &[u8], shared: &Arc<Shared>, out: &Arc<Mutex<TcpStream>
         return;
     }
 
+    // The admin plane is likewise answered inline from server state —
+    // observability must keep working exactly when the queue is full or
+    // the server is draining.
+    if env.req.is_admin() {
+        let t = Timer::start();
+        let reply = answer_admin(shared, &env.req);
+        shared.served_ok.fetch_add(1, Ordering::Relaxed);
+        respond(out, &ResponseEnvelope::ok(env.id, reply));
+        shared
+            .metrics
+            .record_latency(env.req.endpoint(), t.elapsed());
+        return;
+    }
+
     if shared.shutting_down.load(Ordering::SeqCst) {
         respond(
             out,
@@ -491,6 +621,16 @@ fn handle_frame(payload: &[u8], shared: &Arc<Shared>, out: &Arc<Mutex<TcpStream>
         (slot.epoch, Arc::clone(&slot.pipeline))
     };
 
+    // The request's trace starts here — everything before this point is
+    // framing. The id is a pure function of (server seed, envelope id),
+    // so a seeded replay reproduces its trace ids.
+    let trace = shared.trace.as_ref().map(|l| {
+        let tr = l.start(env.id);
+        tr.set_endpoint(env.req.endpoint());
+        tr.set_epoch(epoch);
+        tr
+    });
+
     // Cache keys are epoch-prefixed: entries filled before a swap are
     // unreachable afterwards even if a racing worker writes one after the
     // flush.
@@ -512,10 +652,20 @@ fn handle_frame(payload: &[u8], shared: &Arc<Shared>, out: &Arc<Mutex<TcpStream>
 
     // Cache hits bypass admission entirely: they cost microseconds and
     // consuming queue slots for them would shed real work.
-    if let Some(reply) = shared.cache.get(&key) {
-        let t = Timer::start();
+    let t = Timer::start();
+    let cached = {
+        let _lookup = trace.as_ref().map(|tr| tr.open("cache.lookup"));
+        shared.cache.get(&key)
+    };
+    if let Some(reply) = cached {
         shared.metrics.cache_hits.inc();
         shared.served_ok.fetch_add(1, Ordering::Relaxed);
+        // Finish the trace before the response leaves: once the client
+        // has its reply, an admin probe must already see this request.
+        if let (Some(layer), Some(tr)) = (shared.trace.as_ref(), trace.as_ref()) {
+            tr.set_cache_hit(true);
+            layer.finish(tr.id().0, tr, t.elapsed_ns());
+        }
         respond(out, &ResponseEnvelope::ok(env.id, (*reply).clone()));
         shared
             .metrics
@@ -525,6 +675,9 @@ fn handle_frame(payload: &[u8], shared: &Arc<Shared>, out: &Arc<Mutex<TcpStream>
     shared.metrics.cache_misses.inc();
 
     let endpoint = env.req.endpoint();
+    // The queue-wait span opens on this thread and rides the queue inside
+    // the job; the worker that dequeues it drops the guard.
+    let queue_span = trace.as_ref().map(|tr| tr.open("queue.wait"));
     let job = Job {
         id: env.id,
         req: env.req,
@@ -534,10 +687,18 @@ fn handle_frame(payload: &[u8], shared: &Arc<Shared>, out: &Arc<Mutex<TcpStream>
         admitted: Timer::start(),
         pipeline,
         out: Arc::clone(out),
+        trace,
+        queue_span,
     };
+    // Raise the depth gauge *before* the push: once pushed, a worker can
+    // pop and decrement immediately, and inc-after-push would let the
+    // gauge go negative. The floored decrement on the error paths (and in
+    // the workers) keeps concurrent snapshots at zero or above.
+    shared.metrics.queue_depth.inc();
     match shared.queue.try_push(job) {
-        Ok(()) => shared.metrics.queue_depth.inc(),
+        Ok(()) => {}
         Err(PushError::Full) => {
+            shared.metrics.queue_depth.dec_floored();
             shared.shed.fetch_add(1, Ordering::Relaxed);
             shared.metrics.shed.inc();
             respond(
@@ -550,6 +711,7 @@ fn handle_frame(payload: &[u8], shared: &Arc<Shared>, out: &Arc<Mutex<TcpStream>
             );
         }
         Err(PushError::Closed) => {
+            shared.metrics.queue_depth.dec_floored();
             respond(
                 out,
                 &ResponseEnvelope::fail(env.id, Status::ShuttingDown, "server is draining"),
@@ -558,12 +720,18 @@ fn handle_frame(payload: &[u8], shared: &Arc<Shared>, out: &Arc<Mutex<TcpStream>
     }
 }
 
-fn worker_loop(shared: &Arc<Shared>) {
-    while let Some(job) = shared.queue.pop() {
-        shared.metrics.queue_depth.dec();
+fn worker_loop(shared: &Arc<Shared>, worker_idx: u64) {
+    while let Some(mut job) = shared.queue.pop() {
+        shared.metrics.queue_depth.dec_floored();
+        // The request is out of the queue: close its queue-wait span.
+        drop(job.queue_span.take());
         if job.deadline_ms > 0 && job.admitted.elapsed_ms() > job.deadline_ms as f64 {
             shared.deadline_expired.fetch_add(1, Ordering::Relaxed);
             shared.metrics.deadline_expired.inc();
+            if let (Some(layer), Some(tr)) = (shared.trace.as_ref(), job.trace.as_ref()) {
+                tr.set_status("deadline_exceeded");
+                layer.finish(worker_idx, tr, job.admitted.elapsed_ns());
+            }
             respond(
                 &job.out,
                 &ResponseEnvelope::fail(
@@ -576,9 +744,19 @@ fn worker_loop(shared: &Arc<Shared>) {
         }
         shared.metrics.inflight.inc();
         let t = Timer::start();
-        let reply = Arc::new(execute(&job.pipeline, &job.req));
+        let reply = {
+            // Attach the trace to this worker thread for the duration of
+            // the query: the pipeline's probe/rank instrumentation finds
+            // it through the thread-local and nests under `execute`.
+            let _attached = job.trace.as_ref().map(td_obs::trace::attach);
+            let _exec = job.trace.as_ref().map(|tr| tr.open("execute"));
+            Arc::new(execute(&job.pipeline, &job.req))
+        };
         shared.metrics.record_latency(job.endpoint, t.elapsed());
-        shared.metrics.inflight.dec();
+        shared.metrics.inflight.dec_floored();
+        if let (Some(layer), Some(tr)) = (shared.trace.as_ref(), job.trace.as_ref()) {
+            layer.finish(worker_idx, tr, job.admitted.elapsed_ns());
+        }
         let resp = ResponseEnvelope::ok(job.id, (*reply).clone());
         if let Ok(payload) = encode_response(&resp) {
             // Charge the cache what the reply costs on the wire.
