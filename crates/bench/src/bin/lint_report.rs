@@ -1,14 +1,22 @@
 //! Lint telemetry — runs the td-lint workspace scan and emits
 //! `BENCH_lint.json` through the standard bench-report machinery:
-//! files scanned, per-code unwaived/waived counts, and scan latency.
+//! files scanned, per-code unwaived/waived counts, symbol-graph sizes
+//! (items, call edges, lock/atomic sites), per-rule wall time, and
+//! total scan latency.
 //!
 //! Exits non-zero if any unwaived diagnostic remains, so it doubles as
-//! the gate: `cargo run -p td-bench --bin lint_report`.
+//! the gate: `cargo run -p td-bench --bin lint_report`. In release mode
+//! it additionally asserts the full-workspace analysis stays under the
+//! 5 s budget promised in EXPERIMENTS.md.
 
 use std::path::Path;
 use std::process::ExitCode;
+use std::time::Instant;
 use td_bench::{print_table, BenchReport};
-use td_lint::{scan_workspace, ALL_CODES};
+use td_lint::{scan_workspace_timed, ALL_CODES};
+
+/// Wall-time ceiling for the full-workspace v2 analysis (release mode).
+const BUDGET_NS: u64 = 5_000_000_000;
 
 fn main() -> ExitCode {
     let mut report = BenchReport::new("lint");
@@ -22,7 +30,12 @@ fn main() -> ExitCode {
     } else {
         compiled_root
     };
-    let scan = report.measure("scan", || scan_workspace(&root));
+    // The lint crate is deliberately clock-free (its own TD002); the
+    // harness injects the monotonic clock rule timings are measured with.
+    // td-lint: allow(TD002) this IS the injected clock the clock-free lint crate measures with
+    let epoch = Instant::now();
+    let clock = move || u64::try_from(epoch.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let scan = report.measure("scan", || scan_workspace_timed(&root, &clock));
     let scan = match scan {
         Ok(s) => s,
         Err(e) => {
@@ -49,16 +62,66 @@ fn main() -> ExitCode {
         &rows,
     );
 
+    let stats = &scan.stats;
+    let mut graph_rows = vec![
+        vec!["library files".to_string(), stats.files.to_string()],
+        vec!["items".to_string(), stats.items.to_string()],
+        vec!["call sites".to_string(), stats.call_sites.to_string()],
+        vec![
+            "resolved edges".to_string(),
+            stats.resolved_edges.to_string(),
+        ],
+        vec!["lock sites".to_string(), stats.lock_sites.to_string()],
+        vec!["atomic sites".to_string(), stats.atomic_sites.to_string()],
+        vec![
+            "mutation sites".to_string(),
+            stats.mutation_sites.to_string(),
+        ],
+    ];
+    for (name, ns) in &stats.rule_ns {
+        graph_rows.push(vec![
+            format!("{name} ms"),
+            format!("{:.3}", *ns as f64 / 1e6),
+        ]);
+    }
+    graph_rows.push(vec![
+        "total analysis ms".to_string(),
+        format!("{:.3}", stats.total_ns as f64 / 1e6),
+    ]);
+    print_table("symbol graph", &["metric", "value"], &graph_rows);
+
     report
         .field("files_scanned", &(scan.files_scanned as u64))
         .field("waived_total", &(scan.waived_total() as u64))
-        .field("unwaived_total", &(scan.unwaived_total() as u64));
+        .field("unwaived_total", &(scan.unwaived_total() as u64))
+        .field("graph_files", &(stats.files as u64))
+        .field("graph_items", &(stats.items as u64))
+        .field("graph_call_sites", &(stats.call_sites as u64))
+        .field("graph_resolved_edges", &(stats.resolved_edges as u64))
+        .field("graph_lock_sites", &(stats.lock_sites as u64))
+        .field("graph_atomic_sites", &(stats.atomic_sites as u64))
+        .field("graph_mutation_sites", &(stats.mutation_sites as u64))
+        .field("analysis_total_ns", &stats.total_ns);
+    for (name, ns) in &stats.rule_ns {
+        report.field(&format!("rule_ns_{name}"), ns);
+    }
     report.finish();
 
     if scan.unwaived_total() > 0 {
         for d in scan.unwaived() {
             eprintln!("{}", d.render_text());
         }
+        return ExitCode::FAILURE;
+    }
+
+    // Perf self-check: the v2 analysis must stay interactive. Debug
+    // builds are ~10x slower and noisy, so only release builds gate.
+    if !cfg!(debug_assertions) && stats.total_ns > BUDGET_NS {
+        eprintln!(
+            "lint analysis exceeded its {}s budget: {:.3}s",
+            BUDGET_NS / 1_000_000_000,
+            stats.total_ns as f64 / 1e9
+        );
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

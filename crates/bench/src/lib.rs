@@ -58,6 +58,7 @@ pub fn record(experiment: &str, payload: &Value) {
     let rec = serde_json::json!({ "experiment": experiment, "payload": payload });
     if let Ok(json) = serde_json::to_string(&rec) {
         let path = std::path::Path::new("target");
+        // td-lint: allow(TD011) best-effort: if the dir cannot be made the OpenOptions below reports the real error
         let _ = std::fs::create_dir_all(path);
         if let Ok(mut f) = std::fs::OpenOptions::new()
             .create(true)

@@ -20,16 +20,34 @@ pub enum Code {
     Td005,
     /// Undocumented `pub fn` in a crate root.
     Td006,
+    /// Lock-order cycle in the global acquisition graph.
+    Td007,
+    /// Blocking operation while a lock guard is live.
+    Td008,
+    /// Atomics-ordering audit: `Relaxed` beyond pure counters.
+    Td009,
+    /// Unbounded growth of long-lived server/obs state.
+    Td010,
+    /// Swallowed `Result` / unconsumed `#[must_use]` return.
+    Td011,
+    /// Crate-layering violation (manifest dependency outside the spec).
+    Td012,
 }
 
 /// Every code, in report order.
-pub const ALL_CODES: [Code; 6] = [
+pub const ALL_CODES: [Code; 12] = [
     Code::Td001,
     Code::Td002,
     Code::Td003,
     Code::Td004,
     Code::Td005,
     Code::Td006,
+    Code::Td007,
+    Code::Td008,
+    Code::Td009,
+    Code::Td010,
+    Code::Td011,
+    Code::Td012,
 ];
 
 impl Code {
@@ -43,6 +61,12 @@ impl Code {
             Code::Td004 => "TD004",
             Code::Td005 => "TD005",
             Code::Td006 => "TD006",
+            Code::Td007 => "TD007",
+            Code::Td008 => "TD008",
+            Code::Td009 => "TD009",
+            Code::Td010 => "TD010",
+            Code::Td011 => "TD011",
+            Code::Td012 => "TD012",
         }
     }
 
@@ -65,6 +89,104 @@ impl Code {
             Code::Td004 => "no println!/eprintln!/dbg! in library code (route through td-obs)",
             Code::Td005 => "no hash-order iteration feeding ordered output without a sort",
             Code::Td006 => "every pub fn in a crate root must be documented",
+            Code::Td007 => "no lock-order cycles in the global acquisition graph",
+            Code::Td008 => "no blocking operation (lock/recv/io/sleep/join) while a guard is live",
+            Code::Td009 => "Relaxed atomics only for pure counters; CAS and publish/consume need stronger orderings",
+            Code::Td010 => "push/insert into long-lived serve/obs state must be capacity-bounded",
+            Code::Td011 => "no swallowed Result (`let _ =`) or discarded #[must_use] return in library code",
+            Code::Td012 => "crate layering: core never depends on serve; obs and lint stay leaves",
+        }
+    }
+
+    /// The full rationale printed by `td-lint --explain TDxxx`: why the
+    /// rule exists, what it matches, and how to waive a finding.
+    #[must_use]
+    pub fn rationale(self) -> &'static str {
+        match self {
+            Code::Td001 => {
+                "A panic in library code tears down whichever thread happened to run the \
+                 discovery — in td-serve that is a connection or worker thread, and the peer \
+                 sees a silent hangup. Return a typed error, or restructure so the invariant \
+                 is established where it is checked."
+            }
+            Code::Td002 => {
+                "Raw Instant::now()/SystemTime::now() reads bypass the td-obs clock, so the \
+                 measurement never reaches the metrics registry and logical-clock test runs \
+                 stop being reproducible. Route timing through td_obs::Timer or a trace span; \
+                 crates/obs itself is the one place allowed to touch the raw clock."
+            }
+            Code::Td003 => {
+                "The workspace is unsafe-free by policy and every crate root carries \
+                 #![forbid(unsafe_code)] as the compiler-enforced backstop. There is no \
+                 performance story here worth a memory-safety proof obligation."
+            }
+            Code::Td004 => {
+                "Library code writing to stdout/stderr interleaves with the serving \
+                 protocol and the bench harness's own tables. Emit a td-obs metric or span, \
+                 or return the text to the caller who owns the terminal."
+            }
+            Code::Td005 => {
+                "HashMap/HashSet iteration order changes run to run, so any ordered output \
+                 fed from it (a collected Vec, a ranked reply) is nondeterministic — the \
+                 byte-identity tests and cached results both break. Sort the entries, or \
+                 collect into a BTree container."
+            }
+            Code::Td006 => {
+                "The crate root is the crate's public API surface; an undocumented pub fn \
+                 there is an API nobody agreed to support. Add a /// doc comment stating the \
+                 contract."
+            }
+            Code::Td007 => {
+                "Two code paths that acquire the same locks in opposite orders deadlock \
+                 under concurrency the moment both paths run at once. td-lint builds the \
+                 global acquisition graph (held-lock sets propagated through calls, across \
+                 crates) and flags every edge of any cycle. Fix by choosing one global \
+                 order, or narrow a guard's scope so the nesting disappears. Lock identity \
+                 is name-based (crate::Type.field), so distinct instances of one field can \
+                 alias — waive such a finding with the instance argument spelled out."
+            }
+            Code::Td008 => {
+                "Blocking while holding a guard (another lock, a channel recv, TCP/file \
+                 I/O, sleep, join) stretches the critical section over an unbounded wait \
+                 and stalls every thread queued on that mutex. Hoist the blocking call out \
+                 of the guard's scope, or drop() the guard first. Condvar::wait(guard) is \
+                 recognized and exempt for the guard it releases. Where the lock exists \
+                 precisely to serialize the blocking operation (e.g. a per-connection \
+                 write mutex), waive with that justification."
+            }
+            Code::Td009 => {
+                "Ordering::Relaxed is sound only when the atomic's value is the entire \
+                 story — pure counters and gauges. A compare-exchange loop or a \
+                 publish/consume pair (Release store observed by Acquire load) that drops \
+                 to Relaxed loses the happens-before edge and readers observe stale or \
+                 torn protected data. td-lint flags Relaxed success orderings in CAS \
+                 calls and mixed-ordering pairs on one field. If the CAS really protects \
+                 nothing but its own cell, waive with that argument."
+            }
+            Code::Td010 => {
+                "A server that runs for weeks cannot push into unbounded state: every \
+                 queue, log, and cache in crates/serve and crates/obs must enforce a \
+                 capacity the way Ring<T> does (drop-oldest), or shed load like the \
+                 admission queue. td-lint flags insertions into self-reachable state in \
+                 functions with no visible bound enforcement (capacity/limit/truncate/\
+                 pop_front/evict/retain/budget). If growth is bounded by construction \
+                 (e.g. a closed key set), waive with that reasoning."
+            }
+            Code::Td011 => {
+                "`let _ = fallible()` silently discards the error path, and a discarded \
+                 #[must_use] return is a computed value nobody consumed — both hide real \
+                 failures until they metastasize. Handle the Result, count it into a \
+                 metric, or waive with the reason the error is genuinely uninteresting. \
+                 (`let _ = write!(..)` into a String is exempt: fmt::Write to memory is \
+                 infallible.)"
+            }
+            Code::Td012 => {
+                "The dependency DAG is the architecture: td-core must never know about \
+                 td-serve, td-obs and td-lint stay leaf crates everything may use, and \
+                 each crate's allowed dependency set is pinned in the lint. A new edge is \
+                 an architectural decision — add it to the layering table deliberately, \
+                 or waive the manifest line with `# td-lint: allow(TD012) reason`."
+            }
         }
     }
 }

@@ -1,0 +1,145 @@
+//! Effect propagation over the symbol graph: which functions may
+//! block, and which locks each function may transitively acquire.
+//! Computed as a fixpoint over resolved call edges, so `a -> b -> c`
+//! where `c` locks makes both `a` and `b` may-lock (and may-block —
+//! acquiring a lock is a potential wait).
+
+use crate::graph::SymbolGraph;
+use crate::parser::CallSite;
+use std::collections::BTreeSet;
+
+/// Blocking primitives recognized by bare method/function name when the
+/// call has an empty argument list (which separates `RwLock::read()`
+/// from `io::Read::read(buf)`, and `JoinHandle::join()` from
+/// `slice::join(sep)`).
+const BLOCKING_NO_ARGS: [&str; 7] = ["lock", "read", "write", "recv", "join", "accept", "flush"];
+
+/// Blocking primitives recognized by name regardless of arguments.
+const BLOCKING_ANY_ARGS: [&str; 9] = [
+    "sleep",
+    "recv_timeout",
+    "wait_timeout",
+    "wait_while",
+    "read_exact",
+    "write_all",
+    "read_to_end",
+    "read_to_string",
+    "get_or_init",
+];
+
+/// Types whose path-qualified `connect` is a network dial.
+const DIAL_TYPES: [&str; 3] = ["TcpStream", "UnixStream", "UdpSocket"];
+
+/// Is this call a directly blocking primitive? `Condvar::wait(guard)`
+/// is handled separately by TD008 (it atomically releases the guard it
+/// is passed).
+#[must_use]
+pub fn is_blocking_primitive(c: &CallSite) -> bool {
+    if c.args_empty && BLOCKING_NO_ARGS.contains(&c.name.as_str()) {
+        return true;
+    }
+    if BLOCKING_ANY_ARGS.contains(&c.name.as_str()) {
+        return true;
+    }
+    c.name == "connect"
+        && c.path_prev
+            .as_deref()
+            .is_some_and(|p| DIAL_TYPES.contains(&p))
+}
+
+/// The fixpoint result, indexed by graph node.
+pub struct Effects {
+    /// Node may block (directly or transitively).
+    pub may_block: Vec<bool>,
+    /// Lock identities the node may acquire, transitively.
+    pub locks: Vec<BTreeSet<String>>,
+}
+
+/// Propagate effects until fixpoint. Cycles in the call graph (mutual
+/// recursion) converge because the per-node sets only grow.
+#[must_use]
+pub fn propagate(g: &SymbolGraph) -> Effects {
+    let n = g.nodes.len();
+    let mut may_block = vec![false; n];
+    let mut locks: Vec<BTreeSet<String>> = vec![BTreeSet::new(); n];
+
+    // Seed with direct effects.
+    for (i, f) in g.iter_fns() {
+        for l in &f.locks {
+            locks[i].insert(l.lock_id.clone());
+            may_block[i] = true;
+        }
+        if f.calls
+            .iter()
+            .any(|c| is_blocking_primitive(c) || (c.name == "wait" && !c.args_empty))
+        {
+            may_block[i] = true;
+        }
+    }
+
+    // Fixpoint over call edges.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in 0..n {
+            for targets in &g.edges[i] {
+                for &t in targets {
+                    if t == i {
+                        continue;
+                    }
+                    if may_block[t] && !may_block[i] {
+                        may_block[i] = true;
+                        changed = true;
+                    }
+                    if !locks[t].is_empty() && !locks[t].is_subset(&locks[i]) {
+                        let add: Vec<String> = locks[t].difference(&locks[i]).cloned().collect();
+                        for a in add {
+                            locks[i].insert(a);
+                        }
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+
+    Effects { may_block, locks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::SymbolGraph;
+    use crate::parser::parse_file;
+
+    #[test]
+    fn effects_propagate_transitively() {
+        let a = parse_file(
+            "crates/alpha/src/lib.rs",
+            "alpha",
+            "\
+pub struct S { m: std::sync::Mutex<u32> }
+impl S {
+    pub fn leaf(&self) { let _g = self.m.lock(); }
+}
+pub fn mid(s: &S) { s.leaf(); }
+pub fn top(s: &S) { mid(s); }
+pub fn pure(x: u32) -> u32 { x + 1 }
+",
+        );
+        let g = SymbolGraph::build(vec![a]);
+        let fx = propagate(&g);
+        let idx = |name: &str| {
+            g.iter_fns()
+                .find(|(_, f)| f.name == name)
+                .map(|(i, _)| i)
+                .unwrap()
+        };
+        assert!(fx.may_block[idx("leaf")]);
+        assert!(fx.may_block[idx("mid")]);
+        assert!(fx.may_block[idx("top")]);
+        assert!(!fx.may_block[idx("pure")]);
+        assert!(fx.locks[idx("top")].contains("alpha::S.m"));
+        assert!(fx.locks[idx("pure")].is_empty());
+    }
+}

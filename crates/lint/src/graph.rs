@@ -1,0 +1,321 @@
+//! The cross-crate symbol graph: every parsed function from every
+//! library file, with call edges resolved by name across the whole
+//! workspace. Resolution is deliberately conservative for method names
+//! that collide with std container/iterator vocabulary (`len`, `get`,
+//! `push`, ...) — linking those by bare name would wire `Vec::len` to
+//! `Ring::len` and poison the effect propagation with false may-lock
+//! edges, so they stay unresolved unless path-qualified.
+
+use crate::parser::{FileItems, FnItem};
+use std::collections::HashMap;
+
+/// Method names too generic to resolve by bare name: the std
+/// container/iterator/atomic vocabulary. A call to one of these only
+/// resolves when path-qualified (`Ring::len(..)`).
+const COMMON_METHODS: [&str; 96] = [
+    "new",
+    "default",
+    "clone",
+    "to_string",
+    "to_vec",
+    "to_owned",
+    "into",
+    "from",
+    "as_ref",
+    "as_mut",
+    "as_str",
+    "as_bytes",
+    "as_slice",
+    "len",
+    "is_empty",
+    "clear",
+    "get",
+    "get_mut",
+    "insert",
+    "remove",
+    "push",
+    "pop",
+    "push_back",
+    "push_front",
+    "pop_front",
+    "pop_back",
+    "extend",
+    "retain",
+    "truncate",
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "next",
+    "map",
+    "filter",
+    "filter_map",
+    "flat_map",
+    "and_then",
+    "or_else",
+    "unwrap_or",
+    "unwrap_or_else",
+    "unwrap_or_default",
+    "ok",
+    "err",
+    "take",
+    "replace",
+    "min",
+    "max",
+    "sum",
+    "count",
+    "collect",
+    "fold",
+    "any",
+    "all",
+    "find",
+    "position",
+    "rev",
+    "chain",
+    "zip",
+    "enumerate",
+    "last",
+    "first",
+    "contains",
+    "contains_key",
+    "keys",
+    "values",
+    "entry",
+    "or_default",
+    "or_insert",
+    "drain",
+    "split",
+    "trim",
+    "starts_with",
+    "ends_with",
+    "parse",
+    "fmt",
+    "cmp",
+    "partial_cmp",
+    "hash",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+    "binary_search",
+    "partition_point",
+    "load",
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_min",
+    "fetch_max",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+/// One node: `(file index, fn index)` into the owning [`SymbolGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FnId(pub usize, pub usize);
+
+/// Aggregate counters reported in BENCH_lint.json and `--format json`.
+#[derive(Debug, Clone, Default)]
+pub struct GraphStats {
+    /// Library files parsed into the graph.
+    pub files: usize,
+    /// Functions and impl-methods extracted.
+    pub items: usize,
+    /// Call sites recorded.
+    pub call_sites: usize,
+    /// Call sites resolved to at least one workspace function.
+    pub resolved_edges: usize,
+    /// Lock-acquisition sites.
+    pub lock_sites: usize,
+    /// Atomic operations carrying an `Ordering`.
+    pub atomic_sites: usize,
+    /// Collection-insertion sites.
+    pub mutation_sites: usize,
+    /// Per-rule wall time in nanoseconds, `(code, ns)`, zero when the
+    /// caller supplied no clock.
+    pub rule_ns: Vec<(&'static str, u64)>,
+    /// Total analysis wall time (lex+parse+graph+rules) in ns.
+    pub total_ns: u64,
+}
+
+/// The workspace symbol graph.
+pub struct SymbolGraph {
+    /// Parsed library files, in scan order.
+    pub files: Vec<FileItems>,
+    /// Flattened function nodes.
+    pub nodes: Vec<FnId>,
+    /// Bare name → node indices.
+    by_name: HashMap<String, Vec<usize>>,
+    /// Qualified `Type::name` → node indices.
+    by_qual: HashMap<String, Vec<usize>>,
+    /// Resolved callees per node (indices into `nodes`), parallel to
+    /// each fn's `calls` vector: `edges[node][call_idx]` lists targets.
+    pub edges: Vec<Vec<Vec<usize>>>,
+    /// Aggregate counters.
+    pub stats: GraphStats,
+}
+
+impl SymbolGraph {
+    /// Assemble the graph from parsed files and resolve call edges.
+    #[must_use]
+    pub fn build(files: Vec<FileItems>) -> SymbolGraph {
+        let mut nodes = Vec::new();
+        let mut by_name: HashMap<String, Vec<usize>> = HashMap::new();
+        let mut by_qual: HashMap<String, Vec<usize>> = HashMap::new();
+        for (fi, file) in files.iter().enumerate() {
+            for (gi, f) in file.fns.iter().enumerate() {
+                let id = nodes.len();
+                nodes.push(FnId(fi, gi));
+                by_name.entry(f.name.clone()).or_default().push(id);
+                by_qual.entry(f.qual.clone()).or_default().push(id);
+            }
+        }
+
+        let mut graph = SymbolGraph {
+            files,
+            nodes,
+            by_name,
+            by_qual,
+            edges: Vec::new(),
+            stats: GraphStats::default(),
+        };
+
+        let mut edges = Vec::with_capacity(graph.nodes.len());
+        let mut call_sites = 0usize;
+        let mut resolved = 0usize;
+        for &FnId(fi, gi) in &graph.nodes {
+            let crate_name = &graph.files[fi].crate_name;
+            let f = &graph.files[fi].fns[gi];
+            let mut per_call = Vec::with_capacity(f.calls.len());
+            call_sites += f.calls.len();
+            for c in &f.calls {
+                let targets = graph.resolve(crate_name, &c.name, c.path_prev.as_deref());
+                if !targets.is_empty() {
+                    resolved += 1;
+                }
+                per_call.push(targets);
+            }
+            edges.push(per_call);
+        }
+        let lock_sites = graph.iter_fns().map(|(_, f)| f.locks.len()).sum();
+        let atomic_sites = graph.iter_fns().map(|(_, f)| f.atomics.len()).sum();
+        let mutation_sites = graph.iter_fns().map(|(_, f)| f.mutations.len()).sum();
+        graph.stats = GraphStats {
+            files: graph.files.len(),
+            items: graph.nodes.len(),
+            call_sites,
+            resolved_edges: resolved,
+            lock_sites,
+            atomic_sites,
+            mutation_sites,
+            rule_ns: Vec::new(),
+            total_ns: 0,
+        };
+        graph.edges = edges;
+        graph
+    }
+
+    /// All `(node index, fn)` pairs.
+    pub fn iter_fns(&self) -> impl Iterator<Item = (usize, &FnItem)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(move |(i, &FnId(fi, gi))| (i, &self.files[fi].fns[gi]))
+    }
+
+    /// The fn behind a node index.
+    #[must_use]
+    pub fn fn_of(&self, node: usize) -> &FnItem {
+        let FnId(fi, gi) = self.nodes[node];
+        &self.files[fi].fns[gi]
+    }
+
+    /// The file behind a node index.
+    #[must_use]
+    pub fn file_of(&self, node: usize) -> &FileItems {
+        &self.files[self.nodes[node].0]
+    }
+
+    /// Resolve a call to candidate nodes. Path-qualified calls try
+    /// `Type::name` first; common std method names stay unresolved;
+    /// bare names prefer same-crate definitions, falling back to the
+    /// whole workspace (cross-crate edges).
+    fn resolve(&self, crate_name: &str, name: &str, path_prev: Option<&str>) -> Vec<usize> {
+        if let Some(prev) = path_prev {
+            if let Some(hits) = self.by_qual.get(&format!("{prev}::{name}")) {
+                return hits.clone();
+            }
+            // A path-qualified call whose type is not ours (e.g.
+            // `Arc::new`, `TcpStream::connect`) is std territory.
+            return Vec::new();
+        }
+        if COMMON_METHODS.contains(&name) {
+            return Vec::new();
+        }
+        let Some(hits) = self.by_name.get(name) else {
+            return Vec::new();
+        };
+        let same_crate: Vec<usize> = hits
+            .iter()
+            .copied()
+            .filter(|&n| self.file_of(n).crate_name == crate_name)
+            .collect();
+        if same_crate.is_empty() {
+            hits.clone()
+        } else {
+            same_crate
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_file;
+
+    #[test]
+    fn cross_crate_resolution() {
+        let a = parse_file(
+            "crates/alpha/src/lib.rs",
+            "alpha",
+            "pub fn caller() { helper_in_beta(); local(); }\npub fn local() {}\n",
+        );
+        let b = parse_file(
+            "crates/beta/src/lib.rs",
+            "beta",
+            "pub fn helper_in_beta() {}\n",
+        );
+        let g = SymbolGraph::build(vec![a, b]);
+        assert_eq!(g.stats.items, 3);
+        // caller resolves helper_in_beta cross-crate and local same-crate.
+        let caller = g
+            .iter_fns()
+            .find(|(_, f)| f.name == "caller")
+            .map(|(i, _)| i)
+            .unwrap();
+        let resolved: Vec<&str> = g.edges[caller]
+            .iter()
+            .flatten()
+            .map(|&t| g.fn_of(t).name.as_str())
+            .collect();
+        assert!(resolved.contains(&"helper_in_beta"));
+        assert!(resolved.contains(&"local"));
+    }
+
+    #[test]
+    fn common_method_names_stay_unresolved() {
+        let a = parse_file(
+            "crates/alpha/src/lib.rs",
+            "alpha",
+            "impl Ring { pub fn len(&self) -> usize { 0 } }\npub fn f(v: &[u8]) { v.len(); }\n",
+        );
+        let g = SymbolGraph::build(vec![a]);
+        let f = g
+            .iter_fns()
+            .find(|(_, f)| f.name == "f")
+            .map(|(i, _)| i)
+            .unwrap();
+        assert!(g.edges[f].iter().all(Vec::is_empty));
+    }
+}

@@ -1,0 +1,544 @@
+//! The cross-file rules TD007–TD012, run over the assembled
+//! [`SymbolGraph`] and the propagated [`Effects`].
+
+use crate::diag::{Code, Diagnostic};
+use crate::effects::{is_blocking_primitive, Effects};
+use crate::graph::SymbolGraph;
+use crate::parser::{FileItems, FnItem, Site};
+use crate::rules::Waiver;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The pinned crate-layering table: each crate's allowed `td-*`
+/// dependencies. Crates not listed (fixtures, future crates) are not
+/// checked. Adding an edge here is an architectural decision — TD012
+/// exists so it happens in review, not by accident.
+const LAYERS: [(&str, &[&str]); 13] = [
+    ("table", &[]),
+    ("sketch", &[]),
+    ("obs", &[]),
+    ("lint", &[]),
+    ("embed", &["table", "sketch"]),
+    ("index", &["sketch", "embed", "obs"]),
+    ("understand", &["table", "sketch", "embed"]),
+    (
+        "core",
+        &["table", "sketch", "index", "embed", "understand", "obs"],
+    ),
+    ("nav", &["table", "sketch", "index", "embed", "core", "obs"]),
+    (
+        "apps",
+        &["table", "sketch", "embed", "core", "understand", "obs"],
+    ),
+    ("serve", &["core", "table", "obs"]),
+    (
+        "td",
+        &[
+            "table",
+            "sketch",
+            "index",
+            "embed",
+            "understand",
+            "core",
+            "nav",
+            "apps",
+            "serve",
+            "obs",
+        ],
+    ),
+    ("bench", &["td", "obs", "lint", "serve"]),
+];
+
+/// Crates whose state is long-lived (server / observability planes);
+/// TD010 applies there.
+const LONG_LIVED_CRATES: [&str; 2] = ["serve", "obs"];
+
+/// One parsed workspace manifest (`crates/<name>/Cargo.toml`).
+pub(crate) struct Manifest {
+    pub(crate) path: String,
+    pub(crate) crate_name: String,
+    /// `(dep crate short name, 1-based line, raw line text)`.
+    pub(crate) deps: Vec<(String, u32, String)>,
+    pub(crate) waivers: Vec<Waiver>,
+}
+
+/// Parse a `Cargo.toml`'s `[dependencies]` section and its
+/// `# td-lint: allow(..)` waiver comments. Line-based on purpose: the
+/// manifests here are flat workspace-dep tables.
+pub(crate) fn parse_manifest(rel_path: &str, src: &str) -> Option<Manifest> {
+    let crate_name = rel_path
+        .strip_prefix("crates/")?
+        .split('/')
+        .next()?
+        .to_string();
+    let mut deps = Vec::new();
+    let mut waivers = Vec::new();
+    let mut in_deps = false;
+    for (i, line) in src.lines().enumerate() {
+        let ln = i as u32 + 1;
+        let t = line.trim();
+        if let Some(at) = t.find("# td-lint:") {
+            let rest = t[at + "# td-lint:".len()..].trim_start();
+            if let Some(rest) = rest.strip_prefix("allow") {
+                let rest = rest.trim_start();
+                if let Some(rest) = rest.strip_prefix('(') {
+                    if let Some(close) = rest.find(')') {
+                        let codes: Vec<Code> =
+                            rest[..close].split(',').filter_map(Code::parse).collect();
+                        let reason = rest[close + 1..].trim().to_string();
+                        if !codes.is_empty() && !reason.is_empty() {
+                            waivers.push(Waiver {
+                                line: ln,
+                                codes,
+                                reason,
+                            });
+                        }
+                    }
+                }
+            }
+            continue;
+        }
+        if t.starts_with('[') {
+            in_deps = t == "[dependencies]";
+            continue;
+        }
+        if !in_deps || t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let name: String = t
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '-' || *c == '_')
+            .collect();
+        if !name.is_empty() {
+            deps.push((name, ln, line.trim_end().to_string()));
+        }
+    }
+    Some(Manifest {
+        path: rel_path.to_string(),
+        crate_name,
+        deps,
+        waivers,
+    })
+}
+
+fn diag_at(file: &FileItems, code: Code, site: Site, message: String) -> Diagnostic {
+    Diagnostic {
+        code,
+        path: file.path.clone(),
+        line: site.line,
+        col: site.col,
+        message,
+        excerpt: file
+            .lines
+            .get(site.line.saturating_sub(1) as usize)
+            .cloned()
+            .unwrap_or_default(),
+        waive_reason: None,
+    }
+}
+
+/// Guards of `f` live at code index `ci`, excluding the acquisition at
+/// `ci` itself.
+fn live_guards_at(f: &FnItem, ci: usize) -> Vec<&crate::parser::LockSite> {
+    f.locks
+        .iter()
+        .filter(|l| l.live_from < ci && ci < l.live_to)
+        .collect()
+}
+
+/// TD007 — lock-order cycles over the global acquisition graph.
+pub(crate) fn td007(g: &SymbolGraph, fx: &Effects, out: &mut Vec<Diagnostic>) {
+    // Collect acquisition edges: held lock -> acquired lock, with the
+    // site that creates each edge.
+    struct Edge {
+        from: String,
+        to: String,
+        file: usize,
+        site: Site,
+        via: Option<String>,
+    }
+    let mut edges: Vec<Edge> = Vec::new();
+    for (i, f) in g.iter_fns() {
+        let fi = g.nodes[i].0;
+        for l in &f.locks {
+            for h in live_guards_at(f, l.live_from) {
+                edges.push(Edge {
+                    from: h.lock_id.clone(),
+                    to: l.lock_id.clone(),
+                    file: fi,
+                    site: l.site,
+                    via: None,
+                });
+            }
+        }
+        for (c_idx, c) in f.calls.iter().enumerate() {
+            let held = live_guards_at(f, c.site.ci);
+            if held.is_empty() {
+                continue;
+            }
+            // Bare-name resolution can be ambiguous; take the
+            // *intersection* of candidate locksets so a name collision
+            // with a lock-free overload cannot fabricate an edge.
+            let mut callee_locks: Option<BTreeSet<&String>> = None;
+            for &t in &g.edges[i][c_idx] {
+                if t == i {
+                    continue;
+                }
+                let ls: BTreeSet<&String> = fx.locks[t].iter().collect();
+                callee_locks = Some(match callee_locks {
+                    None => ls,
+                    Some(prev) => prev.intersection(&ls).copied().collect(),
+                });
+            }
+            let callee_locks = callee_locks.unwrap_or_default();
+            for to in callee_locks {
+                for h in &held {
+                    edges.push(Edge {
+                        from: h.lock_id.clone(),
+                        to: to.clone(),
+                        file: fi,
+                        site: c.site,
+                        via: Some(c.name.clone()),
+                    });
+                }
+            }
+        }
+    }
+
+    // Adjacency over lock identities.
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for e in &edges {
+        adj.entry(&e.from).or_default().insert(&e.to);
+    }
+    let reaches = |from: &str, to: &str| -> bool {
+        let mut seen: BTreeSet<&str> = BTreeSet::new();
+        let mut stack = vec![from];
+        while let Some(n) = stack.pop() {
+            if n == to {
+                return true;
+            }
+            if !seen.insert(n) {
+                continue;
+            }
+            if let Some(next) = adj.get(n) {
+                stack.extend(next.iter().copied());
+            }
+        }
+        false
+    };
+
+    // An edge a->b is part of a cycle iff b reaches a. Report each
+    // offending site once, deterministically ordered.
+    let mut fired: BTreeSet<(String, String, String, u32)> = BTreeSet::new();
+    for e in &edges {
+        if !reaches(&e.to, &e.from) {
+            continue;
+        }
+        let file = &g.files[e.file];
+        if !fired.insert((e.from.clone(), e.to.clone(), file.path.clone(), e.site.line)) {
+            continue;
+        }
+        let via = e
+            .via
+            .as_ref()
+            .map(|v| format!(" (via call to `{v}`)"))
+            .unwrap_or_default();
+        let kind = if e.from == e.to {
+            format!(
+                "re-acquiring `{}` while a guard on it is live{via}; std locks are not reentrant",
+                e.from
+            )
+        } else {
+            format!(
+                "acquiring `{}` while holding `{}`{via} completes a lock-order cycle `{}` -> `{}` -> .. -> `{}`; pick one global order or narrow the guard",
+                e.to, e.from, e.from, e.to, e.from
+            )
+        };
+        out.push(diag_at(file, Code::Td007, e.site, kind));
+    }
+}
+
+/// TD008 — no blocking operation while a guard is live.
+pub(crate) fn td008(g: &SymbolGraph, fx: &Effects, out: &mut Vec<Diagnostic>) {
+    for (i, f) in g.iter_fns() {
+        let file = g.file_of(i);
+        // Nested lock acquisitions block too.
+        for l in &f.locks {
+            let held = live_guards_at(f, l.live_from);
+            if let Some(h) = held.first() {
+                out.push(diag_at(
+                    file,
+                    Code::Td008,
+                    l.site,
+                    format!(
+                        "acquiring `{}` while guard on `{}` (line {}) is live; a contended inner lock stretches the outer critical section",
+                        l.lock_id, h.lock_id, h.site.line
+                    ),
+                ));
+            }
+        }
+        for (c_idx, c) in f.calls.iter().enumerate() {
+            let is_wait = c.name == "wait" && !c.args_empty;
+            let direct = is_blocking_primitive(c);
+            // Same ambiguity rule as TD007: every resolution candidate
+            // must block before we claim the call does.
+            let others: Vec<usize> = g.edges[i][c_idx]
+                .iter()
+                .copied()
+                .filter(|&t| t != i)
+                .collect();
+            let transitive =
+                !direct && !others.is_empty() && others.iter().all(|&t| fx.may_block[t]);
+            if !(direct || transitive || is_wait) {
+                continue;
+            }
+            let held: Vec<_> = live_guards_at(f, c.site.ci)
+                .into_iter()
+                // Condvar::wait(guard) atomically releases the guard it
+                // consumes; only *other* live guards are a finding.
+                .filter(|l| {
+                    !(is_wait
+                        && l.guard
+                            .as_ref()
+                            .is_some_and(|n| c.arg_idents.iter().any(|a| a == n)))
+                })
+                .collect();
+            let Some(h) = held.first() else { continue };
+            // Skip double-reporting nested lock acquisitions (handled
+            // above with a sharper message).
+            if c.args_empty && matches!(c.name.as_str(), "lock" | "read" | "write") {
+                continue;
+            }
+            let what = if direct || is_wait {
+                format!("blocking call `{}(..)`", c.name)
+            } else {
+                format!("call to `{}(..)`, which may block (transitively)", c.name)
+            };
+            out.push(diag_at(
+                file,
+                Code::Td008,
+                c.site,
+                format!(
+                    "{what} while guard on `{}` (line {}) is live; hoist it out of the critical section or drop the guard first",
+                    h.lock_id, h.site.line
+                ),
+            ));
+        }
+    }
+}
+
+/// Orderings that publish (for stores) or consume (for loads).
+fn publishes(o: &str) -> bool {
+    matches!(o, "Release" | "AcqRel" | "SeqCst")
+}
+fn consumes(o: &str) -> bool {
+    matches!(o, "Acquire" | "AcqRel" | "SeqCst")
+}
+
+/// TD009 — atomics-ordering audit.
+pub(crate) fn td009(g: &SymbolGraph, out: &mut Vec<Diagnostic>) {
+    // (a) CAS/fetch_update with a Relaxed success ordering.
+    for (i, f) in g.iter_fns() {
+        let file = g.file_of(i);
+        for a in &f.atomics {
+            if matches!(
+                a.method.as_str(),
+                "compare_exchange" | "compare_exchange_weak" | "fetch_update"
+            ) && a.orderings.first().is_some_and(|o| o == "Relaxed")
+            {
+                out.push(diag_at(
+                    file,
+                    Code::Td009,
+                    a.site,
+                    format!(
+                        "`{}` on `{}` with Relaxed success ordering; a CAS that publishes anything beyond its own cell needs AcqRel (or waive with the pure-value argument)",
+                        a.method, a.field
+                    ),
+                ));
+            }
+        }
+    }
+
+    // (b) Publish/consume mismatches per (crate, field): a field
+    // written with Release/SeqCst somewhere but read Relaxed elsewhere
+    // (or vice versa) has lost its happens-before edge.
+    let mut stores: BTreeMap<(String, String), BTreeSet<String>> = BTreeMap::new();
+    let mut loads: BTreeMap<(String, String), BTreeSet<String>> = BTreeMap::new();
+    for (i, f) in g.iter_fns() {
+        let crate_name = g.file_of(i).crate_name.clone();
+        for a in &f.atomics {
+            let key = (crate_name.clone(), a.field.clone());
+            match a.method.as_str() {
+                "store" | "swap" => {
+                    stores
+                        .entry(key)
+                        .or_default()
+                        .extend(a.orderings.iter().cloned());
+                }
+                "load" => {
+                    loads
+                        .entry(key)
+                        .or_default()
+                        .extend(a.orderings.iter().cloned());
+                }
+                _ => {}
+            }
+        }
+    }
+    for (i, f) in g.iter_fns() {
+        let crate_name = g.file_of(i).crate_name.clone();
+        let file = g.file_of(i);
+        for a in &f.atomics {
+            let key = (crate_name.clone(), a.field.clone());
+            let relaxed = a.orderings.iter().any(|o| o == "Relaxed");
+            if !relaxed {
+                continue;
+            }
+            if a.method == "load"
+                && stores
+                    .get(&key)
+                    .is_some_and(|s| s.iter().any(|o| publishes(o)))
+            {
+                out.push(diag_at(
+                    file,
+                    Code::Td009,
+                    a.site,
+                    format!(
+                        "Relaxed load of `{}`, which is stored with Release/SeqCst elsewhere in this crate; the consume side needs Acquire to keep the happens-before edge",
+                        a.field
+                    ),
+                ));
+            }
+            if matches!(a.method.as_str(), "store" | "swap")
+                && loads
+                    .get(&key)
+                    .is_some_and(|l| l.iter().any(|o| consumes(o)))
+            {
+                out.push(diag_at(
+                    file,
+                    Code::Td009,
+                    a.site,
+                    format!(
+                        "Relaxed store to `{}`, which is loaded with Acquire/SeqCst elsewhere in this crate; the publish side needs Release",
+                        a.field
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// TD010 — unbounded growth of long-lived serve/obs state.
+pub(crate) fn td010(g: &SymbolGraph, out: &mut Vec<Diagnostic>) {
+    for (i, f) in g.iter_fns() {
+        let file = g.file_of(i);
+        if !LONG_LIVED_CRATES.contains(&file.crate_name.as_str()) {
+            continue;
+        }
+        if f.has_bound_token {
+            continue;
+        }
+        for m in &f.mutations {
+            let self_reachable = m.recv_idents.iter().any(|r| {
+                r == "self"
+                    || f.ref_params.iter().any(|p| p == r)
+                    || f.derived_locals.iter().any(|d| d == r)
+            });
+            if !self_reachable {
+                continue;
+            }
+            out.push(diag_at(
+                file,
+                Code::Td010,
+                m.site,
+                format!(
+                    "`.{}(..)` grows long-lived state reachable from `{}` with no visible bound in `{}`; enforce a capacity (Ring-style drop-oldest, truncate, evict) or waive with the bounding argument",
+                    m.method,
+                    m.recv_idents.last().map_or("self", String::as_str),
+                    f.qual
+                ),
+            ));
+        }
+    }
+}
+
+/// TD011 — swallowed `Result` / discarded `#[must_use]` returns.
+pub(crate) fn td011(g: &SymbolGraph, out: &mut Vec<Diagnostic>) {
+    for (i, f) in g.iter_fns() {
+        let file = g.file_of(i);
+        for d in &f.discards {
+            if d.is_fmt_write {
+                continue;
+            }
+            out.push(diag_at(
+                file,
+                Code::Td011,
+                d.site,
+                format!(
+                    "`let _ = {}(..)` swallows the call's result; handle the error path, count it into a metric, or waive with why it is uninteresting",
+                    d.head
+                ),
+            ));
+        }
+        for (c_idx, c) in f.calls.iter().enumerate() {
+            if !c.stmt_position {
+                continue;
+            }
+            // Bare-name resolution can be ambiguous; only fire when
+            // *every* candidate is #[must_use] — a single plain-returning
+            // candidate means we may be looking at the wrong overload.
+            let targets = &g.edges[i][c_idx];
+            if targets.is_empty() || !targets.iter().all(|&t| g.fn_of(t).must_use) {
+                continue;
+            }
+            if let Some(&t) = targets.first() {
+                out.push(diag_at(
+                    file,
+                    Code::Td011,
+                    c.site,
+                    format!(
+                        "discarded `#[must_use]` return of `{}`; consume the value or drop the attribute",
+                        g.fn_of(t).qual
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// TD012 — crate-layering enforcement over workspace manifests.
+pub(crate) fn td012(manifests: &[Manifest], out: &mut Vec<Diagnostic>) {
+    for m in manifests {
+        let Some((_, allowed)) = LAYERS.iter().find(|(c, _)| *c == m.crate_name) else {
+            continue;
+        };
+        for (dep, line, excerpt) in &m.deps {
+            let Some(short) = dep.strip_prefix("td-") else {
+                continue; // vendored stand-ins are not layered
+            };
+            if allowed.contains(&short) {
+                continue;
+            }
+            let allowed_list = if allowed.is_empty() {
+                "nothing (leaf crate)".to_string()
+            } else {
+                allowed
+                    .iter()
+                    .map(|a| format!("td-{a}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            };
+            out.push(Diagnostic {
+                code: Code::Td012,
+                path: m.path.clone(),
+                line: *line,
+                col: 1,
+                message: format!(
+                    "`{}` may depend on {allowed_list}, not `{dep}`; layering is pinned in td-lint — add the edge to the table deliberately or remove the dependency",
+                    m.crate_name
+                ),
+                excerpt: excerpt.clone(),
+                waive_reason: None,
+            });
+        }
+    }
+}

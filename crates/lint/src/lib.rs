@@ -2,8 +2,10 @@
 //!
 //! A zero-dependency lint driver (no syn, no regex — crates.io is not
 //! assumed) that walks `crates/*/{src,tests,benches,examples}` with a
-//! lightweight Rust lexer and enforces the project invariants that make
-//! discovery results reproducible and observable:
+//! lightweight Rust lexer, and — since v2 — assembles every library
+//! file into a cross-crate *symbol graph* (functions, call edges, lock
+//! acquisitions, guard lifetimes, atomics, collection mutations) so the
+//! concurrency rules can reason across files, not just within a line:
 //!
 //! | code  | rule |
 //! |-------|------|
@@ -13,9 +15,15 @@
 //! | TD004 | no `println!`/`eprintln!`/`dbg!` in library code |
 //! | TD005 | no hash-order iteration feeding ordered output without a sort |
 //! | TD006 | every `pub fn` in a crate root is documented |
+//! | TD007 | no lock-order cycles in the global acquisition graph |
+//! | TD008 | no blocking op (lock/recv/io/sleep/join) while a guard is live |
+//! | TD009 | Relaxed atomics only for pure counters; CAS/publish need more |
+//! | TD010 | growth of long-lived serve/obs state must be capacity-bounded |
+//! | TD011 | no swallowed `Result` / discarded `#[must_use]` in library code |
+//! | TD012 | crate layering: `core` never depends on `serve`; obs/lint leaves |
 //!
 //! Any diagnostic can be waived inline with a justified comment on the
-//! same line or the line above:
+//! same line or the line above (`#` comments in `Cargo.toml` for TD012):
 //!
 //! ```text
 //! // td-lint: allow(TD004) harness prints human-readable tables by design
@@ -23,8 +31,9 @@
 //! ```
 //!
 //! A waiver without a reason is ignored. Run `cargo run -p td-lint`
-//! (add `-- --format json` for the machine-readable report); the
-//! process exits non-zero if any unwaived diagnostic remains.
+//! (add `-- --format json` for the machine-readable report, or
+//! `-- --explain TD007` for a rule's rationale); the process exits
+//! non-zero if any unwaived diagnostic remains.
 
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
@@ -32,12 +41,19 @@
 #![warn(clippy::all)]
 
 pub mod diag;
+pub mod effects;
+pub mod graph;
+mod graph_rules;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
 
 pub use diag::{Code, Diagnostic, ALL_CODES};
+pub use graph::{GraphStats, SymbolGraph};
 pub use rules::{FileClass, FileCtx};
 
+use rules::waiver_in;
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -49,6 +65,8 @@ pub struct LintReport {
     pub files_scanned: usize,
     /// Every finding, waived or not, in (path, line, col) order.
     pub diagnostics: Vec<Diagnostic>,
+    /// Symbol-graph aggregates from the cross-file pass.
+    pub stats: GraphStats,
 }
 
 impl LintReport {
@@ -84,8 +102,8 @@ impl LintReport {
         self.unwaived().count()
     }
 
-    /// The machine-readable report: per-code summary plus every
-    /// diagnostic, as one JSON document.
+    /// The machine-readable report: per-code summary, symbol-graph
+    /// stats, plus every diagnostic, as one JSON document.
     #[must_use]
     pub fn render_json(&self) -> String {
         let mut s = String::from("{\n  \"tool\": \"td-lint\",\n");
@@ -100,6 +118,24 @@ impl LintReport {
             );
             s.push_str(if i + 1 < ALL_CODES.len() { ",\n" } else { "\n" });
         }
+        s.push_str("  },\n");
+        s.push_str("  \"graph\": {\n");
+        let _ = writeln!(s, "    \"files\": {},", self.stats.files);
+        let _ = writeln!(s, "    \"items\": {},", self.stats.items);
+        let _ = writeln!(s, "    \"call_sites\": {},", self.stats.call_sites);
+        let _ = writeln!(s, "    \"resolved_edges\": {},", self.stats.resolved_edges);
+        let _ = writeln!(s, "    \"lock_sites\": {},", self.stats.lock_sites);
+        let _ = writeln!(s, "    \"atomic_sites\": {},", self.stats.atomic_sites);
+        let _ = writeln!(s, "    \"mutation_sites\": {},", self.stats.mutation_sites);
+        s.push_str("    \"rule_ns\": {");
+        for (i, (name, ns)) in self.stats.rule_ns.iter().enumerate() {
+            let _ = write!(s, "\"{name}\": {ns}");
+            if i + 1 < self.stats.rule_ns.len() {
+                s.push_str(", ");
+            }
+        }
+        s.push_str("},\n");
+        let _ = writeln!(s, "    \"total_ns\": {}", self.stats.total_ns);
         s.push_str("  },\n");
         let _ = writeln!(s, "  \"waived_total\": {},", self.waived_total());
         let _ = writeln!(s, "  \"unwaived_total\": {},", self.unwaived_total());
@@ -127,6 +163,15 @@ impl LintReport {
             s.push('\n');
         }
         let _ = writeln!(s, "td-lint: {} files scanned", self.files_scanned);
+        let _ = writeln!(
+            s,
+            "  graph: {} items, {}/{} calls resolved, {} lock sites, {} atomic sites",
+            self.stats.items,
+            self.stats.resolved_edges,
+            self.stats.call_sites,
+            self.stats.lock_sites,
+            self.stats.atomic_sites
+        );
         for code in ALL_CODES {
             let (fired, waived) = self.count(code);
             if fired + waived > 0 {
@@ -177,13 +222,105 @@ pub fn classify(rel: &str) -> Option<(String, FileClass, bool)> {
 }
 
 /// Lint one file's source given its workspace-relative path; paths
-/// outside the scan scope produce no diagnostics.
+/// outside the scan scope produce no diagnostics. Per-file rules only —
+/// the cross-file rules (TD007–TD012) need a [`SourceSet`].
 #[must_use]
 pub fn scan_str(rel_path: &str, src: &str) -> Vec<Diagnostic> {
     let Some((crate_name, class, is_root)) = classify(rel_path) else {
         return Vec::new();
     };
     FileCtx::new(rel_path, &crate_name, class, is_root, src).run()
+}
+
+/// Everything one scan looks at: `.rs` sources and crate manifests,
+/// both as `(workspace-relative path, contents)`. In-memory so fixture
+/// tests can exercise cross-crate analysis without touching disk.
+#[derive(Debug, Default, Clone)]
+pub struct SourceSet {
+    /// Rust sources, `(rel path, source)`.
+    pub files: Vec<(String, String)>,
+    /// Crate manifests, `(rel path, toml text)`.
+    pub manifests: Vec<(String, String)>,
+}
+
+/// Run the full v2 analysis — per-file rules, then the cross-crate
+/// symbol graph and TD007–TD012 — over an in-memory source set.
+///
+/// `clock` supplies monotonic nanoseconds for the per-rule timing in
+/// [`GraphStats`]; td-lint itself never reads a clock (its own TD002
+/// applies), so callers inject one (`td_bench` passes a td-obs timer,
+/// the CLI passes `&|| 0`).
+#[must_use]
+pub fn scan_set(set: &SourceSet, clock: &dyn Fn() -> u64) -> LintReport {
+    let t0 = clock();
+    let mut diagnostics = Vec::new();
+    let mut files_scanned = 0usize;
+    let mut parsed: Vec<parser::FileItems> = Vec::new();
+
+    for (rel, src) in &set.files {
+        let Some((crate_name, class, is_root)) = classify(rel) else {
+            continue;
+        };
+        files_scanned += 1;
+        diagnostics.extend(FileCtx::new(rel, &crate_name, class, is_root, src).run());
+        if class == FileClass::Library {
+            parsed.push(parser::parse_file(rel, &crate_name, src));
+        }
+    }
+
+    let t_parse = clock();
+    let g = SymbolGraph::build(parsed);
+    let fx = effects::propagate(&g);
+    let t_graph = clock();
+
+    let mut rule_ns: Vec<(&'static str, u64)> =
+        vec![("parse", t_parse - t0), ("graph", t_graph - t_parse)];
+    let mut graph_diags = Vec::new();
+    let mut timed = |name: &'static str, f: &mut dyn FnMut(&mut Vec<Diagnostic>)| {
+        let s = clock();
+        f(&mut graph_diags);
+        rule_ns.push((name, clock() - s));
+    };
+    timed("TD007", &mut |out| graph_rules::td007(&g, &fx, out));
+    timed("TD008", &mut |out| graph_rules::td008(&g, &fx, out));
+    timed("TD009", &mut |out| graph_rules::td009(&g, out));
+    timed("TD010", &mut |out| graph_rules::td010(&g, out));
+    timed("TD011", &mut |out| graph_rules::td011(&g, out));
+
+    let manifests: Vec<graph_rules::Manifest> = set
+        .manifests
+        .iter()
+        .filter_map(|(rel, src)| graph_rules::parse_manifest(rel, src))
+        .collect();
+    timed("TD012", &mut |out| graph_rules::td012(&manifests, out));
+
+    // Attach waivers to the graph diagnostics (per-file rules attach
+    // their own through FileCtx).
+    let mut waiver_map: BTreeMap<&str, &[rules::Waiver]> = BTreeMap::new();
+    for f in &g.files {
+        waiver_map.insert(&f.path, &f.waivers);
+    }
+    for m in &manifests {
+        waiver_map.insert(&m.path, &m.waivers);
+    }
+    for d in &mut graph_diags {
+        if let Some(ws) = waiver_map.get(d.path.as_str()) {
+            d.waive_reason = waiver_in(ws, d.code, d.line);
+        }
+    }
+    diagnostics.append(&mut graph_diags);
+    diagnostics.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.code).cmp(&(b.path.as_str(), b.line, b.col, b.code))
+    });
+
+    let mut stats = g.stats.clone();
+    stats.rule_ns = rule_ns;
+    stats.total_ns = clock() - t0;
+    LintReport {
+        files_scanned,
+        diagnostics,
+        stats,
+    }
 }
 
 /// Recursively collect `.rs` files under `dir`, sorted for determinism.
@@ -206,12 +343,12 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     Ok(())
 }
 
-/// Scan every crate under `<root>/crates` and produce the full report.
-/// `vendor/` (API stand-ins for crates.io) and lint-test fixtures are
-/// out of scope by design.
-pub fn scan_workspace(root: &Path) -> io::Result<LintReport> {
+/// Load every crate under `<root>/crates` — sources and manifests —
+/// into a [`SourceSet`]. `vendor/` (API stand-ins for crates.io) and
+/// lint-test fixtures are out of scope by design.
+pub fn load_workspace(root: &Path) -> io::Result<SourceSet> {
     let crates_dir = root.join("crates");
-    let mut files = Vec::new();
+    let mut set = SourceSet::default();
     let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
         .filter_map(Result::ok)
         .map(|e| e.path())
@@ -219,32 +356,45 @@ pub fn scan_workspace(root: &Path) -> io::Result<LintReport> {
         .collect();
     crate_dirs.sort();
     for crate_dir in crate_dirs {
+        let mut files = Vec::new();
         for sub in ["src", "tests", "benches", "examples"] {
             collect_rs(&crate_dir.join(sub), &mut files)?;
         }
-    }
-    let mut diagnostics = Vec::new();
-    let mut files_scanned = 0usize;
-    for path in &files {
-        let rel = path
-            .strip_prefix(root)
-            .unwrap_or(path)
-            .to_string_lossy()
-            .replace('\\', "/");
-        if classify(&rel).is_none() {
-            continue;
+        let manifest = crate_dir.join("Cargo.toml");
+        if manifest.is_file() {
+            let rel = manifest
+                .strip_prefix(root)
+                .unwrap_or(&manifest)
+                .to_string_lossy()
+                .replace('\\', "/");
+            set.manifests
+                .push((rel, std::fs::read_to_string(&manifest)?));
         }
-        let src = std::fs::read_to_string(path)?;
-        files_scanned += 1;
-        diagnostics.extend(scan_str(&rel, &src));
+        for path in files {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            if classify(&rel).is_none() {
+                continue;
+            }
+            set.files.push((rel, std::fs::read_to_string(&path)?));
+        }
     }
-    diagnostics.sort_by(|a, b| {
-        (a.path.as_str(), a.line, a.col, a.code).cmp(&(b.path.as_str(), b.line, b.col, b.code))
-    });
-    Ok(LintReport {
-        files_scanned,
-        diagnostics,
-    })
+    Ok(set)
+}
+
+/// Scan every crate under `<root>/crates` and produce the full report,
+/// timing phases with the injected `clock` (monotonic nanoseconds).
+pub fn scan_workspace_timed(root: &Path, clock: &dyn Fn() -> u64) -> io::Result<LintReport> {
+    Ok(scan_set(&load_workspace(root)?, clock))
+}
+
+/// Scan every crate under `<root>/crates` and produce the full report
+/// (untimed — all `rule_ns` entries read zero).
+pub fn scan_workspace(root: &Path) -> io::Result<LintReport> {
+    scan_workspace_timed(root, &|| 0)
 }
 
 #[cfg(test)]
@@ -508,9 +658,39 @@ mod tests {
         let r = LintReport {
             files_scanned: 2,
             diagnostics: scan_str("crates/demo/src/x.rs", "pub fn f() { println!(\"hi\"); }\n"),
+            stats: GraphStats::default(),
         };
         let j = r.render_json();
         assert!(j.contains("\"TD004\": {\"unwaived\": 1, \"waived\": 0}"));
         assert!(j.contains("\"unwaived_total\": 1"));
+        assert!(j.contains("\"graph\""));
+    }
+
+    #[test]
+    fn scan_set_runs_graph_rules_and_attaches_waivers() {
+        let set = SourceSet {
+            files: vec![(
+                "crates/serve/src/x.rs".into(),
+                "\
+pub struct S { log: Vec<u32> }
+impl S {
+    // td-lint: allow(TD010) bounded by caller contract
+    pub fn record(&mut self, v: u32) { self.log.push(v); }
+    pub fn leak(&mut self, v: u32) { self.log.push(v); }
+}
+"
+                .into(),
+            )],
+            manifests: vec![(
+                "crates/core/Cargo.toml".into(),
+                "[package]\nname = \"td-core\"\n\n[dependencies]\ntd-serve = { path = \"../serve\" }\n"
+                    .into(),
+            )],
+        };
+        let r = scan_set(&set, &|| 0);
+        let (fired_10, waived_10) = r.count(Code::Td010);
+        assert_eq!((fired_10, waived_10), (1, 1), "report: {}", r.render_text());
+        let (fired_12, _) = r.count(Code::Td012);
+        assert_eq!(fired_12, 1, "core -> serve must violate layering");
     }
 }

@@ -5,6 +5,7 @@
 //! cargo run -p td-lint                      # human-readable
 //! cargo run -p td-lint -- --format json     # machine-readable
 //! cargo run -p td-lint -- --root /path/to/workspace
+//! cargo run -p td-lint -- --explain TD007   # rule rationale + waiver syntax
 //! ```
 
 #![forbid(unsafe_code)]
@@ -29,9 +30,32 @@ fn main() -> ExitCode {
                     root = PathBuf::from(r);
                 }
             }
+            "--explain" => {
+                let Some(raw) = args.next() else {
+                    eprintln!("td-lint: --explain needs a code (TD001..TD012)");
+                    return ExitCode::from(2);
+                };
+                let Some(code) = td_lint::Code::parse(&raw) else {
+                    eprintln!("td-lint: unknown code `{raw}` (TD001..TD012)");
+                    return ExitCode::from(2);
+                };
+                println!("{} — {}\n", code.as_str(), code.summary());
+                println!("{}\n", code.rationale());
+                if code == td_lint::Code::Td012 {
+                    println!(
+                        "Waive in the crate's Cargo.toml, on the dependency line or the line above:\n  # td-lint: allow(TD012) <why this edge is deliberate>"
+                    );
+                } else {
+                    println!(
+                        "Waive on the offending line or the line above:\n  // td-lint: allow({}) <why this finding is acceptable>",
+                        code.as_str()
+                    );
+                }
+                return ExitCode::SUCCESS;
+            }
             "--help" | "-h" => {
                 println!(
-                    "td-lint: workspace lint driver\n\n  --format text|json   output format (default text)\n  --root PATH          workspace root (default .)\n\nExits 1 if any unwaived diagnostic remains.\nWaive a finding with: // td-lint: allow(TD00x) reason"
+                    "td-lint: workspace lint driver\n\n  --format text|json   output format (default text)\n  --root PATH          workspace root (default .)\n  --explain TDxxx      print a rule's rationale and waiver syntax\n\nExits 1 if any unwaived diagnostic remains.\nWaive a finding with: // td-lint: allow(TD00x) reason"
                 );
                 return ExitCode::SUCCESS;
             }

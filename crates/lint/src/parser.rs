@@ -1,0 +1,1162 @@
+//! A lightweight item parser on top of the lexer: extracts, per file,
+//! the functions and impl-methods with everything the cross-crate rules
+//! need — call sites, lock-acquisition sites, guard lifetimes (binding
+//! to drop/end-of-scope at brace depth), atomic operations with their
+//! `Ordering` arguments, and collection-mutation sites. No `syn`, no
+//! type information: every extraction is a token-pattern over the
+//! existing [`lex`] stream, precise enough for the graph rules and
+//! honest about being a heuristic (lock identity is name-based).
+//!
+//! Test-masked code (`#[cfg(test)]` items, `#[test]` fns) is skipped
+//! entirely: the symbol graph models the production library surface.
+
+use crate::lexer::{lex, Token, TokenKind};
+use crate::rules::{parse_waivers, test_mask, Waiver};
+
+/// Atomic RMW/accessor methods whose `Ordering` arguments TD009 audits.
+const ATOMIC_METHODS: [&str; 13] = [
+    "load",
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_min",
+    "fetch_max",
+    "compare_exchange",
+    "compare_exchange_weak",
+    "fetch_update",
+];
+
+/// The five `std::sync::atomic::Ordering` variants.
+const ORDERINGS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Collection-insertion methods TD010 treats as growth sites.
+const GROWTH_METHODS: [&str; 7] = [
+    "push",
+    "push_back",
+    "push_front",
+    "insert",
+    "extend",
+    "entry",
+    "append",
+];
+
+/// Idents whose presence in a function body counts as visible bound
+/// enforcement for TD010 (prefix match for `evict*`).
+const BOUND_TOKENS: [&str; 10] = [
+    "capacity",
+    "limit",
+    "truncate",
+    "pop_front",
+    "pop_back",
+    "retain",
+    "budget",
+    "bounded",
+    "shed",
+    "drop_oldest",
+];
+
+/// Keywords that look like calls when followed by `(`.
+const CALL_KEYWORDS: [&str; 14] = [
+    "if", "while", "for", "match", "return", "loop", "in", "as", "let", "move", "break",
+    "continue", "where", "await",
+];
+
+/// How a lock is acquired; part of the lock identity shown in messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockKind {
+    /// `Mutex::lock()`.
+    Mutex,
+    /// `RwLock::read()`.
+    RwRead,
+    /// `RwLock::write()`.
+    RwWrite,
+    /// `OnceLock::get_or_init` / `get_or_try_init` (blocks other
+    /// initializers).
+    Once,
+}
+
+/// A source position shared by every event record.
+#[derive(Debug, Clone, Copy)]
+pub struct Site {
+    /// Index into the function body's code-token sequence (file-wide
+    /// code index, comparable across events of one file).
+    pub ci: usize,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based byte column.
+    pub col: u32,
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Callee name (last path segment / method name).
+    pub name: String,
+    /// The path segment before `::name`, if the call was path-qualified
+    /// (`AdmissionQueue::new` → `Some("AdmissionQueue")`).
+    pub path_prev: Option<String>,
+    /// True for `.name(..)` method calls.
+    pub is_method: bool,
+    /// True when the argument list is empty (`()`), which disambiguates
+    /// `RwLock::read()` from `io::Read::read(buf)`.
+    pub args_empty: bool,
+    /// Identifiers appearing anywhere in the argument list.
+    pub arg_idents: Vec<String>,
+    /// Whether this call is the entire statement (`foo(x);`) — its
+    /// return value is discarded.
+    pub stmt_position: bool,
+    /// Where.
+    pub site: Site,
+}
+
+/// One lock acquisition.
+#[derive(Debug, Clone)]
+pub struct LockSite {
+    /// Name-based lock identity, e.g. `serve::Shared.slot`.
+    pub lock_id: String,
+    /// Which primitive.
+    pub kind: LockKind,
+    /// Guard binding name when the acquisition is `let`-bound.
+    pub guard: Option<String>,
+    /// First code index at which the guard is live (the acquisition).
+    pub live_from: usize,
+    /// Code index one past which the guard is dead (end of statement
+    /// for temporaries, end of enclosing block or `drop()` for
+    /// bindings).
+    pub live_to: usize,
+    /// Where.
+    pub site: Site,
+}
+
+/// One atomic operation with its `Ordering` arguments.
+#[derive(Debug, Clone)]
+pub struct AtomicSite {
+    /// The receiver field/binding name (`self.bits.load(..)` → `bits`).
+    pub field: String,
+    /// The atomic method (`load`, `store`, `compare_exchange_weak`, ..).
+    pub method: String,
+    /// `Ordering` variant names in argument order.
+    pub orderings: Vec<String>,
+    /// Where.
+    pub site: Site,
+}
+
+/// One collection-insertion site.
+#[derive(Debug, Clone)]
+pub struct MutationSite {
+    /// The insertion method.
+    pub method: String,
+    /// Every identifier in the receiver chain (including through
+    /// wrapper calls such as `relock(self.inner.lock()).push(..)`).
+    pub recv_idents: Vec<String>,
+    /// Where.
+    pub site: Site,
+}
+
+/// A `let _ = <expr>;` statement whose expression contains a call.
+#[derive(Debug, Clone)]
+pub struct DiscardSite {
+    /// Head of the discarded expression, for the message.
+    pub head: String,
+    /// Whether the expression's head is a `write!`/`writeln!` macro
+    /// (infallible fmt::Write into a String — exempt).
+    pub is_fmt_write: bool,
+    /// Where.
+    pub site: Site,
+}
+
+/// One parsed function or impl-method.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Bare function name.
+    pub name: String,
+    /// Qualified name: `Type::name` inside an impl block, else `name`.
+    pub qual: String,
+    /// Whether the function carries `#[must_use]`.
+    pub must_use: bool,
+    /// Parameter names declared as references (`x: &T`), plus `self`
+    /// when the receiver is `&self`/`&mut self` — the "long-lived state
+    /// reachable from here" roots for TD010.
+    pub ref_params: Vec<String>,
+    /// Locals transitively derived from `self`/ref-params (via `let`
+    /// initializers), in declaration order.
+    pub derived_locals: Vec<String>,
+    /// Whether the body mentions any bound-enforcement token (TD010).
+    pub has_bound_token: bool,
+    /// Call sites, in order.
+    pub calls: Vec<CallSite>,
+    /// Lock acquisitions, in order.
+    pub locks: Vec<LockSite>,
+    /// Atomic operations, in order.
+    pub atomics: Vec<AtomicSite>,
+    /// Collection insertions, in order.
+    pub mutations: Vec<MutationSite>,
+    /// `let _ = call(..)` discards, in order.
+    pub discards: Vec<DiscardSite>,
+    /// Where the `fn` keyword sits.
+    pub site: Site,
+}
+
+/// Everything the graph needs from one library file.
+#[derive(Debug, Clone)]
+pub struct FileItems {
+    /// Workspace-relative path.
+    pub path: String,
+    /// Owning crate.
+    pub crate_name: String,
+    /// Parsed functions (test-masked items excluded).
+    pub fns: Vec<FnItem>,
+    /// The file's waiver table, for post-hoc attachment to graph
+    /// diagnostics.
+    pub(crate) waivers: Vec<Waiver>,
+    /// Source lines, for diagnostic excerpts.
+    pub lines: Vec<String>,
+}
+
+/// Token-walking state shared by the extraction passes.
+struct Walk<'s> {
+    src: &'s str,
+    toks: Vec<Token>,
+    code: Vec<usize>,
+    is_test: Vec<bool>,
+}
+
+impl<'s> Walk<'s> {
+    fn ident(&self, ci: usize) -> Option<&'s str> {
+        let t = self.toks.get(*self.code.get(ci)?)?;
+        (t.kind == TokenKind::Ident).then(|| t.text(self.src))
+    }
+
+    fn punct(&self, ci: usize) -> Option<char> {
+        let t = self.toks.get(*self.code.get(ci)?)?;
+        (t.kind == TokenKind::Punct).then(|| t.text(self.src).chars().next())?
+    }
+
+    fn site(&self, ci: usize) -> Site {
+        let t = self.code.get(ci).and_then(|&ti| self.toks.get(ti));
+        Site {
+            ci,
+            line: t.map_or(0, |t| t.line),
+            col: t.map_or(0, |t| t.col),
+        }
+    }
+
+    fn in_test(&self, ci: usize) -> bool {
+        self.code
+            .get(ci)
+            .is_some_and(|&ti| self.is_test.get(ti).copied().unwrap_or(false))
+    }
+
+    /// Index of the delimiter closing the one at `open` (`(`/`[`/`{`).
+    fn matching_close(&self, open: usize) -> Option<usize> {
+        let mut depth = 0i32;
+        for j in open..self.code.len() {
+            match self.punct(j) {
+                Some('(') | Some('[') | Some('{') => depth += 1,
+                Some(')') | Some(']') | Some('}') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(j);
+                    }
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+
+    /// Walk back from `ci` to the start of the enclosing statement: the
+    /// code index right after the previous `;`, `{`, or `}` at brace
+    /// depth zero. Parens and brackets are ignored so wrapper calls
+    /// (`relock(self.inner.lock())`) do not hide the `let` head.
+    fn stmt_start(&self, ci: usize) -> usize {
+        let mut j = ci;
+        while j > 0 {
+            match self.punct(j - 1) {
+                Some('{') | Some('}') | Some(';') => return j,
+                _ => {}
+            }
+            j -= 1;
+        }
+        j
+    }
+
+    /// Forward from `ci` to the end of the enclosing statement at brace
+    /// depth (parens ignored — wrapper calls like `relock(..)` must not
+    /// terminate the scan): the first `;` at depth 0, or the enclosing
+    /// `}`.
+    fn stmt_end_braces(&self, ci: usize) -> usize {
+        let mut depth = 0i32;
+        let mut j = ci;
+        while j < self.code.len() {
+            match self.punct(j) {
+                Some('{') => depth += 1,
+                Some('}') => {
+                    if depth == 0 {
+                        return j;
+                    }
+                    depth -= 1;
+                }
+                Some(';') if depth == 0 => return j,
+                _ => {}
+            }
+            j += 1;
+        }
+        j
+    }
+
+    /// First `{` at brace depth 0 after `ci` (a block opening within
+    /// the current statement).
+    fn first_block_open(&self, ci: usize) -> Option<usize> {
+        let mut depth = 0i32;
+        for j in ci..self.code.len() {
+            match self.punct(j) {
+                Some('(') | Some('[') => depth += 1,
+                // Clamp: scanning may start inside a group whose closers
+                // would otherwise drive the depth negative.
+                Some(')') | Some(']') => depth = (depth - 1).max(0),
+                Some('{') if depth == 0 => return Some(j),
+                Some(';') if depth == 0 => return None,
+                _ => {}
+            }
+        }
+        None
+    }
+
+    /// The identifiers of a receiver chain ending just before the `.`
+    /// at `dot_ci`, walking back through field accesses, indexing, path
+    /// segments, and wrapper calls (whose argument idents are included,
+    /// so `relock(self.inner.lock()).x` yields `relock, lock, inner,
+    /// self`). First element is the ident nearest the call.
+    fn receiver_idents(&self, dot_ci: usize) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut j = dot_ci; // points at `.`
+        loop {
+            if j == 0 {
+                break;
+            }
+            let prev = j - 1;
+            match self.punct(prev) {
+                Some(')') | Some(']') => {
+                    // Skip back over the balanced group, collecting
+                    // idents inside it.
+                    let close = if self.punct(prev) == Some(')') {
+                        ')'
+                    } else {
+                        ']'
+                    };
+                    let open = if close == ')' { '(' } else { '[' };
+                    let mut depth = 0i32;
+                    let mut k = prev;
+                    loop {
+                        match self.punct(k) {
+                            Some(c) if c == close => depth += 1,
+                            Some(c) if c == open => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {
+                                if let Some(id) = self.ident(k) {
+                                    out.push(id.to_string());
+                                }
+                            }
+                        }
+                        if k == 0 {
+                            break;
+                        }
+                        k -= 1;
+                    }
+                    if k == 0 {
+                        break;
+                    }
+                    j = k;
+                    // A callee name may precede the group.
+                    if let Some(id) = self.ident(j - 1) {
+                        out.push(id.to_string());
+                        j -= 1;
+                    } else {
+                        break;
+                    }
+                }
+                _ => {
+                    if let Some(id) = self.ident(prev) {
+                        out.push(id.to_string());
+                        j = prev;
+                    } else {
+                        break;
+                    }
+                }
+            }
+            // Continue only through `.` or `::` chains.
+            if j == 0 {
+                break;
+            }
+            if self.punct(j - 1) == Some('.') {
+                j -= 1;
+            } else if j >= 2 && self.punct(j - 1) == Some(':') && self.punct(j - 2) == Some(':') {
+                j -= 2;
+            } else {
+                break;
+            }
+        }
+        out
+    }
+}
+
+/// Parse one library file into its item set. `crate_name` scopes lock
+/// identities and call resolution.
+#[must_use]
+pub fn parse_file(path: &str, crate_name: &str, src: &str) -> FileItems {
+    let toks = lex(src);
+    let code: Vec<usize> = (0..toks.len()).filter(|&i| !toks[i].is_comment()).collect();
+    let is_test = test_mask(src, &toks, &code);
+    let waivers = parse_waivers(src, &toks);
+    let lines = src.lines().map(|l| l.trim_end().to_string()).collect();
+    let w = Walk {
+        src,
+        toks,
+        code,
+        is_test,
+    };
+
+    let mut fns = Vec::new();
+    // Impl extents: (body_open, body_close, type_name).
+    let impls = impl_extents(&w);
+    let mut ci = 0usize;
+    while ci < w.code.len() {
+        if w.ident(ci) != Some("fn") || w.in_test(ci) {
+            ci += 1;
+            continue;
+        }
+        let Some(name) = w.ident(ci + 1) else {
+            ci += 1;
+            continue;
+        };
+        // Parameter list.
+        let Some(params_open) = (ci + 1..w.code.len()).find(|&j| w.punct(j) == Some('(')) else {
+            break;
+        };
+        let Some(params_close) = w.matching_close(params_open) else {
+            break;
+        };
+        // Body: first `{` at depth 0 after the params (skipping return
+        // type and where clause), or `;` for a bodiless trait method.
+        let mut body_open = None;
+        let mut depth = 0i32;
+        let mut j = params_close + 1;
+        while j < w.code.len() {
+            match w.punct(j) {
+                Some('(') | Some('[') => depth += 1,
+                Some(')') | Some(']') => depth -= 1,
+                Some('{') if depth == 0 => {
+                    body_open = Some(j);
+                    break;
+                }
+                Some(';') if depth == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(body_open) = body_open else {
+            ci = j + 1;
+            continue;
+        };
+        let Some(body_close) = w.matching_close(body_open) else {
+            break;
+        };
+        let impl_type = impls
+            .iter()
+            .find(|(o, c, _)| *o < ci && ci < *c)
+            .map(|(_, _, t)| t.clone());
+        let qual = match &impl_type {
+            Some(t) => format!("{t}::{name}"),
+            None => name.to_string(),
+        };
+        let item = parse_fn(
+            &w,
+            crate_name,
+            name,
+            qual,
+            impl_type.as_deref(),
+            ci,
+            params_open,
+            params_close,
+            body_open,
+            body_close,
+        );
+        fns.push(item);
+        ci = body_open + 1; // descend: nested fns are parsed too
+    }
+
+    FileItems {
+        path: path.to_string(),
+        crate_name: crate_name.to_string(),
+        fns,
+        waivers,
+        lines,
+    }
+}
+
+/// `(body_open, body_close, type_name)` for every impl block.
+fn impl_extents(w: &Walk<'_>) -> Vec<(usize, usize, String)> {
+    let mut out = Vec::new();
+    for ci in 0..w.code.len() {
+        if w.ident(ci) != Some("impl") {
+            continue;
+        }
+        // Scan forward to the body `{`; the type is the first ident
+        // after `for` (trait impls) or after the generics, otherwise.
+        let mut j = ci + 1;
+        // Skip `<...>` generics (watch for `->` inside Fn bounds).
+        if w.punct(j) == Some('<') {
+            let mut angle = 0i32;
+            while j < w.code.len() {
+                match w.punct(j) {
+                    Some('<') => angle += 1,
+                    Some('>') if w.punct(j.wrapping_sub(1)) != Some('-') => {
+                        angle -= 1;
+                        if angle == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        let mut ty: Option<String> = None;
+        while j < w.code.len() {
+            if w.punct(j) == Some('{') {
+                break;
+            }
+            if w.ident(j) == Some("for") {
+                ty = None;
+            } else if let Some(id) = w.ident(j) {
+                if ty.is_none() {
+                    ty = Some(id.to_string());
+                }
+            }
+            j += 1;
+        }
+        let (Some(open), Some(ty)) = ((w.punct(j) == Some('{')).then_some(j), ty) else {
+            continue;
+        };
+        if let Some(close) = w.matching_close(open) {
+            out.push((open, close, ty));
+        }
+    }
+    out
+}
+
+/// Extract one function's events from its body token range.
+#[allow(clippy::too_many_arguments)]
+fn parse_fn(
+    w: &Walk<'_>,
+    crate_name: &str,
+    name: &str,
+    qual: String,
+    impl_type: Option<&str>,
+    fn_ci: usize,
+    params_open: usize,
+    params_close: usize,
+    body_open: usize,
+    body_close: usize,
+) -> FnItem {
+    let must_use = has_attr_before(w, fn_ci, "must_use");
+
+    // Shared-state params: `self` in any receiver form, plus params
+    // whose type names a shared container (`&Mutex<..>`, `Arc<..>`,
+    // `&RwLock<..>`, atomics). A plain `&mut String` out-param is a
+    // caller-owned buffer, not long-lived state, and does not root.
+    let mut ref_params = Vec::new();
+    {
+        let mut j = params_open + 1;
+        while j < params_close {
+            // Each param may start with `&`, a lifetime, or `mut`.
+            let mut p0 = j;
+            while w.punct(p0) == Some('&')
+                || w.ident(p0) == Some("mut")
+                || w.code
+                    .get(p0)
+                    .and_then(|&ti| w.toks.get(ti))
+                    .is_some_and(|t| t.kind == TokenKind::Lifetime)
+            {
+                p0 += 1;
+            }
+            // Find the param's end: the next comma at depth 0.
+            let mut depth = 0i32;
+            let mut end = params_close;
+            let mut k = j;
+            while k < params_close {
+                match w.punct(k) {
+                    Some('(') | Some('[') | Some('<') => depth += 1,
+                    Some(')') | Some(']') => depth -= 1,
+                    Some('>') if w.punct(k.wrapping_sub(1)) != Some('-') => depth -= 1,
+                    Some(',') if depth == 0 => {
+                        end = k;
+                        break;
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            if w.ident(p0) == Some("self") {
+                ref_params.push("self".to_string());
+            } else if let Some(p) = w.ident(p0) {
+                if w.punct(p0 + 1) == Some(':') && w.punct(p0 + 2) != Some(':') {
+                    let shared = (p0 + 2..end).any(|m| {
+                        w.ident(m).is_some_and(|t| {
+                            matches!(
+                                t,
+                                "Mutex"
+                                    | "RwLock"
+                                    | "OnceLock"
+                                    | "Condvar"
+                                    | "Arc"
+                                    | "Rc"
+                                    | "Cell"
+                                    | "RefCell"
+                            ) || t.starts_with("Atomic")
+                        })
+                    });
+                    if shared {
+                        ref_params.push(p.to_string());
+                    }
+                }
+            }
+            j = end + 1;
+        }
+        ref_params.dedup();
+    }
+
+    let mut item = FnItem {
+        name: name.to_string(),
+        qual,
+        must_use,
+        ref_params,
+        derived_locals: Vec::new(),
+        has_bound_token: false,
+        calls: Vec::new(),
+        locks: Vec::new(),
+        atomics: Vec::new(),
+        mutations: Vec::new(),
+        discards: Vec::new(),
+        site: w.site(fn_ci),
+    };
+
+    // `let NAME = <init>` bindings with the idents of their initializer,
+    // for derived-local computation, plus `drop(NAME)` sites for guard
+    // truncation.
+    let mut lets: Vec<(String, Vec<String>, usize)> = Vec::new();
+    let mut drops: Vec<(String, usize)> = Vec::new();
+
+    let mut j = body_open + 1;
+    while j < body_close {
+        let Some(id) = w.ident(j) else {
+            j += 1;
+            continue;
+        };
+        if BOUND_TOKENS.contains(&id) || id.starts_with("evict") {
+            item.has_bound_token = true;
+        }
+
+        // `let [mut] NAME [: ty] = init;`
+        if id == "let" {
+            let mut k = j + 1;
+            if w.ident(k) == Some("mut") {
+                k += 1;
+            }
+            if let Some(bound) = w.ident(k) {
+                if bound == "_" {
+                    // `let _ = expr;` — a discard candidate.
+                    if w.punct(k + 1) == Some('=') {
+                        let end = w.stmt_end_braces(k + 2);
+                        let head = w.ident(k + 2).unwrap_or("?").to_string();
+                        let is_fmt_write =
+                            matches!(w.ident(k + 2), Some("write") | Some("writeln"))
+                                && w.punct(k + 3) == Some('!');
+                        let has_call = (k + 2..end).any(|m| {
+                            w.ident(m).is_some()
+                                && !w.ident(m).is_some_and(|n| CALL_KEYWORDS.contains(&n))
+                                && (w.punct(m + 1) == Some('(')
+                                    || (w.punct(m + 1) == Some('!') && w.punct(m + 2) == Some('(')))
+                        });
+                        if has_call {
+                            item.discards.push(DiscardSite {
+                                head,
+                                is_fmt_write,
+                                site: w.site(k + 2),
+                            });
+                        }
+                    }
+                } else if w.punct(k + 1) != Some(':') || w.punct(k + 2) != Some(':') {
+                    let end = w.stmt_end_braces(k + 1);
+                    let init_idents: Vec<String> = (k + 1..end)
+                        .filter_map(|m| w.ident(m))
+                        .map(str::to_string)
+                        .collect();
+                    lets.push((bound.to_string(), init_idents, end));
+                }
+            }
+            j += 1;
+            continue;
+        }
+
+        // Calls: `ident (` that is not a macro or keyword.
+        if w.punct(j + 1) == Some('(')
+            && !CALL_KEYWORDS.contains(&id)
+            && w.punct(j.wrapping_sub(1)) != Some('#')
+        {
+            let Some(close) = w.matching_close(j + 1) else {
+                j += 1;
+                continue;
+            };
+            let is_method = w.punct(j.wrapping_sub(1)) == Some('.');
+            let path_prev = (w.punct(j.wrapping_sub(1)) == Some(':')
+                && w.punct(j.wrapping_sub(2)) == Some(':'))
+            .then(|| w.ident(j.wrapping_sub(3)))
+            .flatten()
+            .map(str::to_string);
+            let args_empty = close == j + 2;
+            let arg_idents: Vec<String> = (j + 2..close)
+                .filter_map(|m| w.ident(m))
+                .map(str::to_string)
+                .collect();
+            let start = w.stmt_start(j);
+            // Statement position: the statement is exactly this call —
+            // possibly path-qualified or a method on a plain receiver
+            // chain — and ends right after it.
+            let head_ok = start == j
+                || (start < j
+                    && (start..j).all(|m| {
+                        w.ident(m).is_some_and(|n| n != "let" && n != "return")
+                            || matches!(w.punct(m), Some(':') | Some('.'))
+                    }));
+            let stmt_position = head_ok && w.punct(close + 1) == Some(';');
+
+            if id == "drop" && !is_method {
+                if let Some(dropped) = w.ident(j + 2) {
+                    if close == j + 3 {
+                        drops.push((dropped.to_string(), j));
+                    }
+                }
+            }
+
+            // Lock acquisition?
+            let lock_kind = match id {
+                "lock" if is_method && args_empty => Some(LockKind::Mutex),
+                "read" if is_method && args_empty => Some(LockKind::RwRead),
+                "write" if is_method && args_empty => Some(LockKind::RwWrite),
+                "get_or_init" | "get_or_try_init" if is_method => Some(LockKind::Once),
+                _ => None,
+            };
+            if let Some(kind) = lock_kind {
+                let recv = w.receiver_idents(j - 1);
+                let field = recv.first().cloned().unwrap_or_else(|| "?".to_string());
+                let root_is_self = recv.last().is_some_and(|r| r == "self");
+                let lock_id = match (root_is_self, impl_type) {
+                    (true, Some(t)) => format!("{crate_name}::{t}.{field}"),
+                    _ => format!("{crate_name}::{field}"),
+                };
+                // Bound to a `let` guard? Only when the guard value
+                // itself reaches the binding — `let v = relock(m.read())
+                // .get(k).cloned();` binds the *lookup result*, and the
+                // guard temporary dies with the statement.
+                let start_ci = w.stmt_start(j);
+                let mut guard = None;
+                if w.ident(start_ci) == Some("let") && guard_reaches_binding(w, close) {
+                    let mut g = start_ci + 1;
+                    if w.ident(g) == Some("mut") {
+                        g += 1;
+                    }
+                    if let Some(gname) = w.ident(g) {
+                        if gname != "_" {
+                            guard = Some(gname.to_string());
+                        }
+                    }
+                }
+                let live_to = match &guard {
+                    Some(_) => {
+                        // End of the innermost enclosing block.
+                        enclosing_block_close(w, start_ci, body_open, body_close)
+                    }
+                    None => temp_guard_end(w, start_ci, j, body_close),
+                };
+                item.locks.push(LockSite {
+                    lock_id,
+                    kind,
+                    guard,
+                    live_from: j,
+                    live_to,
+                    site: w.site(j),
+                });
+            }
+
+            // Atomic op?
+            if is_method && ATOMIC_METHODS.contains(&id) {
+                let orderings: Vec<String> = (j + 2..close)
+                    .filter_map(|m| w.ident(m))
+                    .filter(|n| ORDERINGS.contains(n))
+                    .map(str::to_string)
+                    .collect();
+                if !orderings.is_empty() {
+                    let recv = w.receiver_idents(j - 1);
+                    let field = recv.first().cloned().unwrap_or_else(|| "?".to_string());
+                    item.atomics.push(AtomicSite {
+                        field,
+                        method: id.to_string(),
+                        orderings,
+                        site: w.site(j),
+                    });
+                }
+            }
+
+            // Growth site?
+            if is_method && GROWTH_METHODS.contains(&id) {
+                item.mutations.push(MutationSite {
+                    method: id.to_string(),
+                    recv_idents: w.receiver_idents(j - 1),
+                    site: w.site(j),
+                });
+            }
+
+            item.calls.push(CallSite {
+                name: id.to_string(),
+                path_prev,
+                is_method,
+                args_empty,
+                arg_idents,
+                stmt_position,
+                site: w.site(j),
+            });
+        }
+        j += 1;
+    }
+
+    // Truncate guard liveness at `drop(guard)`.
+    for lock in &mut item.locks {
+        if let Some(g) = &lock.guard {
+            if let Some(&(_, at)) = drops
+                .iter()
+                .find(|(n, at)| n == g && *at > lock.live_from && *at < lock.live_to)
+            {
+                lock.live_to = at;
+            }
+        }
+    }
+
+    // Derived locals: fixpoint over `let` initializers seeded by
+    // `self` and the reference params.
+    let mut derived: Vec<String> = Vec::new();
+    let roots: Vec<&str> = item.ref_params.iter().map(String::as_str).collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for (name, init, _) in &lets {
+            if derived.iter().any(|d| d == name) {
+                continue;
+            }
+            if init
+                .iter()
+                .any(|i| roots.contains(&i.as_str()) || derived.iter().any(|d| d == i))
+            {
+                derived.push(name.clone());
+                changed = true;
+            }
+        }
+    }
+    item.derived_locals = derived;
+    item
+}
+
+/// Does an attribute group `#[.. name ..]` directly precede the item at
+/// `fn_ci` (skipping `pub`, qualifiers, and other attributes)?
+fn has_attr_before(w: &Walk<'_>, fn_ci: usize, name: &str) -> bool {
+    let mut j = fn_ci;
+    // Walk back over qualifiers.
+    while j > 0
+        && matches!(
+            w.ident(j - 1),
+            Some("pub") | Some("async") | Some("const") | Some("extern") | Some("unsafe")
+        )
+    {
+        j -= 1;
+    }
+    // `pub(crate)` — skip the parenthesized restriction.
+    if j > 0 && w.punct(j - 1) == Some(')') {
+        let mut depth = 0i32;
+        let mut k = j - 1;
+        loop {
+            match w.punct(k) {
+                Some(')') => depth += 1,
+                Some('(') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            if k == 0 {
+                return false;
+            }
+            k -= 1;
+        }
+        if k > 0 && w.ident(k - 1) == Some("pub") {
+            j = k - 1;
+        }
+    }
+    // Walk back over attribute groups, checking each for `name`.
+    while j > 1 && w.punct(j - 1) == Some(']') {
+        let mut depth = 0i32;
+        let mut k = j - 1;
+        loop {
+            match w.punct(k) {
+                Some(']') => depth += 1,
+                Some('[') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            if k == 0 {
+                return false;
+            }
+            k -= 1;
+        }
+        if (k..j).any(|m| w.ident(m) == Some(name)) {
+            return true;
+        }
+        j = if k > 0 && w.punct(k - 1) == Some('#') {
+            k - 1
+        } else {
+            k
+        };
+    }
+    false
+}
+
+/// The code index closing the innermost block that encloses `at`
+/// (searched within the function body).
+fn enclosing_block_close(w: &Walk<'_>, at: usize, body_open: usize, body_close: usize) -> usize {
+    let mut stack = vec![body_close];
+    let mut j = body_open + 1;
+    while j < at {
+        match w.punct(j) {
+            Some('{') => {
+                if let Some(c) = w.matching_close(j) {
+                    stack.push(c);
+                }
+            }
+            Some('}') if stack.len() > 1 => {
+                stack.pop();
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    *stack.last().unwrap_or(&body_close)
+}
+
+/// Liveness end for an unbound (temporary) guard acquired at `at` in
+/// the statement starting at `start`: end of statement, extended to the
+/// block close for `if let`/`while let`/`match`/`for` heads, whose
+/// scrutinee temporaries live through the body (the classic extended-
+/// temporary footgun), and clipped to the condition for plain
+/// `if`/`while`.
+fn temp_guard_end(w: &Walk<'_>, start: usize, at: usize, body_close: usize) -> usize {
+    let head = w.ident(start);
+    let head_let = matches!(head, Some("if") | Some("while")) && w.ident(start + 1) == Some("let");
+    match head {
+        Some("match") | Some("for") => w
+            .first_block_open(start)
+            .and_then(|o| w.matching_close(o))
+            .unwrap_or(body_close),
+        Some("if") | Some("while") if head_let => w
+            .first_block_open(start)
+            .and_then(|o| w.matching_close(o))
+            .unwrap_or(body_close),
+        Some("if") | Some("while") => w.first_block_open(start).unwrap_or(body_close),
+        _ => w.stmt_end_braces(at),
+    }
+}
+
+/// Does the value produced by the call closing at `close` still reach
+/// the `let` binding as a *guard*? True only when the chain from the
+/// call to the statement's `;` passes exclusively through
+/// guard-preserving steps: a `relock(..)` wrapper closing, `?`, or
+/// `.unwrap()`/`.expect(..)`/`.unwrap_or_else(..)`. Anything else
+/// (`.iter()`, `.get(..)`, field access, `std::mem::take(..)`)
+/// consumes the guard, leaving a temporary that dies with the
+/// statement.
+fn guard_reaches_binding(w: &Walk<'_>, close: usize) -> bool {
+    let mut k = close + 1;
+    loop {
+        match w.punct(k) {
+            Some(';') => return true,
+            Some('?') => k += 1,
+            Some(')') => {
+                // Find the matching open and its callee ident.
+                let mut depth = 0i32;
+                let mut m = k;
+                let open = loop {
+                    if m == 0 {
+                        return false;
+                    }
+                    m -= 1;
+                    match w.punct(m) {
+                        Some(')') => depth += 1,
+                        Some('(') => {
+                            if depth == 0 {
+                                break m;
+                            }
+                            depth -= 1;
+                        }
+                        _ => {}
+                    }
+                };
+                if w.ident(open.wrapping_sub(1)) == Some("relock") {
+                    k += 1;
+                } else {
+                    return false;
+                }
+            }
+            Some('.') => {
+                if !matches!(
+                    w.ident(k + 1),
+                    Some("unwrap") | Some("expect") | Some("unwrap_or_else")
+                ) || w.punct(k + 2) != Some('(')
+                {
+                    return false;
+                }
+                let Some(c) = w.matching_close(k + 2) else {
+                    return false;
+                };
+                k = c + 1;
+            }
+            _ => return false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn items(src: &str) -> FileItems {
+        parse_file("crates/demo/src/x.rs", "demo", src)
+    }
+
+    #[test]
+    fn extracts_fns_and_impl_methods() {
+        let f = items("pub struct S;\nimpl S {\n    pub fn m(&self) {}\n}\npub fn free() {}\n");
+        let quals: Vec<&str> = f.fns.iter().map(|f| f.qual.as_str()).collect();
+        assert_eq!(quals, vec!["S::m", "free"]);
+        assert_eq!(f.fns[0].ref_params, vec!["self"]);
+    }
+
+    #[test]
+    fn lock_sites_and_guard_scopes() {
+        let src = "\
+use std::sync::Mutex;
+pub struct S { inner: Mutex<u32> }
+impl S {
+    pub fn bound(&self) {
+        let g = self.inner.lock();
+        helper();
+        drop(g);
+        helper2();
+    }
+    pub fn temp(&self) -> u32 {
+        *self.inner.lock().unwrap()
+    }
+}
+";
+        let f = items(src);
+        let bound = &f.fns[0];
+        assert_eq!(bound.locks.len(), 1);
+        let l = &bound.locks[0];
+        assert_eq!(l.lock_id, "demo::S.inner");
+        assert_eq!(l.kind, LockKind::Mutex);
+        assert_eq!(l.guard.as_deref(), Some("g"));
+        // helper() is inside the guard's liveness, helper2() is after
+        // the drop().
+        let helper = bound.calls.iter().find(|c| c.name == "helper").unwrap();
+        let helper2 = bound.calls.iter().find(|c| c.name == "helper2").unwrap();
+        assert!(l.live_from < helper.site.ci && helper.site.ci < l.live_to);
+        assert!(helper2.site.ci > l.live_to);
+        // The temporary in `temp` dies at the statement end.
+        let t = &f.fns[1].locks[0];
+        assert!(t.guard.is_none());
+        assert!(t.live_to > t.live_from);
+    }
+
+    #[test]
+    fn atomic_orderings_extracted() {
+        let src = "\
+impl G {
+    pub fn add(&self) {
+        self.bits.compare_exchange_weak(1, 2, Ordering::Relaxed, Ordering::Relaxed);
+        self.n.fetch_add(1, Ordering::SeqCst);
+    }
+}
+";
+        let f = items(src);
+        let a = &f.fns[0].atomics;
+        assert_eq!(a.len(), 2);
+        assert_eq!(a[0].field, "bits");
+        assert_eq!(a[0].orderings, vec!["Relaxed", "Relaxed"]);
+        assert_eq!(a[1].method, "fetch_add");
+    }
+
+    #[test]
+    fn test_code_is_skipped() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn helper() { x.lock(); }\n}\npub fn real() {}\n";
+        let f = items(src);
+        assert_eq!(f.fns.len(), 1);
+        assert_eq!(f.fns[0].name, "real");
+    }
+
+    #[test]
+    fn discards_and_fmt_exemption() {
+        let src = "\
+pub fn f(s: &mut String) {
+    let _ = fallible();
+    let _ = writeln!(s, \"x\");
+    let _ = s;
+}
+";
+        let f = items(src);
+        let d = &f.fns[0].discards;
+        assert_eq!(d.len(), 2); // `let _ = s;` has no call
+        assert!(!d[0].is_fmt_write);
+        assert!(d[1].is_fmt_write);
+    }
+
+    #[test]
+    fn derived_locals_follow_self() {
+        let src = "\
+impl S {
+    pub fn f(&self, other: u32) {
+        let a = self.field;
+        let b = a + 1;
+        let c = other;
+    }
+}
+";
+        let f = items(src);
+        let d = &f.fns[0].derived_locals;
+        assert!(d.contains(&"a".to_string()));
+        assert!(d.contains(&"b".to_string()));
+        assert!(!d.contains(&"c".to_string()));
+    }
+}

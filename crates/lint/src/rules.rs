@@ -20,10 +20,20 @@ pub enum FileClass {
 
 /// One parsed waiver comment.
 #[derive(Debug, Clone)]
-struct Waiver {
-    line: u32,
-    codes: Vec<Code>,
-    reason: String,
+pub(crate) struct Waiver {
+    pub(crate) line: u32,
+    pub(crate) codes: Vec<Code>,
+    pub(crate) reason: String,
+}
+
+/// Resolve a waiver for `code` at `line` against a parsed waiver table:
+/// a waiver on line L covers findings on L (trailing comment) and L+1
+/// (comment on its own line above the code).
+pub(crate) fn waiver_in(waivers: &[Waiver], code: Code, line: u32) -> Option<String> {
+    waivers
+        .iter()
+        .find(|w| w.codes.contains(&code) && (w.line == line || w.line + 1 == line))
+        .map(|w| w.reason.clone())
 }
 
 /// Per-file analysis context handed to each rule.
@@ -140,17 +150,14 @@ impl<'s> FileCtx<'s> {
     /// A waiver on line L covers findings on L (trailing comment) and
     /// L+1 (comment on its own line above the code).
     fn waiver_for(&self, code: Code, line: u32) -> Option<String> {
-        self.waivers
-            .iter()
-            .find(|w| w.codes.contains(&code) && (w.line == line || w.line + 1 == line))
-            .map(|w| w.reason.clone())
+        waiver_in(&self.waivers, code, line)
     }
 }
 
 /// Parse `td-lint: allow(CODE[, CODE...]) reason` out of every comment.
 /// A waiver with no reason text is invalid and ignored — the underlying
 /// diagnostic still fires, which is the safe default.
-fn parse_waivers(src: &str, toks: &[Token]) -> Vec<Waiver> {
+pub(crate) fn parse_waivers(src: &str, toks: &[Token]) -> Vec<Waiver> {
     let mut out = Vec::new();
     for t in toks.iter().filter(|t| t.is_comment()) {
         let text = t.text(src);
@@ -189,7 +196,7 @@ fn parse_waivers(src: &str, toks: &[Token]) -> Vec<Waiver> {
 /// Mark every token inside a `#[cfg(test)]` item (typically the trailing
 /// test module) or a `#[test]`-attributed function. `#![cfg(test)]` as an
 /// inner attribute marks the whole file.
-fn test_mask(src: &str, toks: &[Token], code: &[usize]) -> Vec<bool> {
+pub(crate) fn test_mask(src: &str, toks: &[Token], code: &[usize]) -> Vec<bool> {
     let mut mask = vec![false; toks.len()];
     let ident = |ci: usize| -> Option<&str> {
         let t = toks.get(*code.get(ci)?)?;

@@ -7,7 +7,7 @@
 //! each case also exercises path classification.
 
 use std::path::Path;
-use td_lint::{scan_str, scan_workspace, Code};
+use td_lint::{scan_set, scan_str, scan_workspace, Code, SourceSet};
 
 /// A library file that is not the crate root.
 const LIB: &str = "crates/demo/src/util.rs";
@@ -191,6 +191,177 @@ fn td006_waiver() {
     );
 }
 
+/// `(unwaived, waived)` counts of `code` over an in-memory source set —
+/// the entry point for the cross-file rules TD007–TD012.
+fn graph_counts(code: Code, files: &[(&str, &str)], manifests: &[(&str, &str)]) -> (usize, usize) {
+    let set = SourceSet {
+        files: files
+            .iter()
+            .map(|(p, s)| ((*p).to_string(), (*s).to_string()))
+            .collect(),
+        manifests: manifests
+            .iter()
+            .map(|(p, s)| ((*p).to_string(), (*s).to_string()))
+            .collect(),
+    };
+    let report = scan_set(&set, &|| 0);
+    let unwaived = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.code == code && !d.is_waived())
+        .count();
+    let waived = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.code == code && d.is_waived())
+        .count();
+    (unwaived, waived)
+}
+
+#[test]
+fn td007_detects_cross_crate_lock_cycle() {
+    // The two halves live in different crates; each one alone is
+    // cycle-free, so only the assembled symbol graph can see it.
+    let a = fixture("td007_fire_a.rs");
+    let b = fixture("td007_fire_b.rs");
+    let files = [
+        ("crates/alpha/src/lib.rs", a.as_str()),
+        ("crates/beta/src/lib.rs", b.as_str()),
+    ];
+    let (unwaived, _) = graph_counts(Code::Td007, &files, &[]);
+    assert_eq!(unwaived, 2, "one finding per edge of the m1 <-> m2 cycle");
+
+    // Either half on its own has no cycle.
+    let (alone, _) = graph_counts(Code::Td007, &files[..1], &[]);
+    assert_eq!(alone, 0);
+}
+
+#[test]
+fn td007_spares_consistent_lock_order() {
+    let src = fixture("td007_no_fire.rs");
+    let files = [("crates/demo/src/util.rs", src.as_str())];
+    assert_eq!(graph_counts(Code::Td007, &files, &[]), (0, 0));
+}
+
+#[test]
+fn td007_waiver() {
+    let src = fixture("td007_waived.rs");
+    let files = [("crates/demo/src/util.rs", src.as_str())];
+    assert_eq!(graph_counts(Code::Td007, &files, &[]), (0, 1));
+}
+
+#[test]
+fn td008_fires_on_blocking_under_guard() {
+    let src = fixture("td008_fire.rs");
+    let files = [("crates/demo/src/util.rs", src.as_str())];
+    assert_eq!(graph_counts(Code::Td008, &files, &[]), (1, 0));
+}
+
+#[test]
+fn td008_spares_scoped_guards_and_condvar_wait() {
+    let src = fixture("td008_no_fire.rs");
+    let files = [("crates/demo/src/util.rs", src.as_str())];
+    assert_eq!(graph_counts(Code::Td008, &files, &[]), (0, 0));
+}
+
+#[test]
+fn td008_waiver() {
+    let src = fixture("td008_waived.rs");
+    let files = [("crates/demo/src/util.rs", src.as_str())];
+    assert_eq!(graph_counts(Code::Td008, &files, &[]), (0, 1));
+}
+
+#[test]
+fn td009_fires_on_relaxed_cas_and_broken_publish_pair() {
+    let src = fixture("td009_fire.rs");
+    let files = [("crates/demo/src/util.rs", src.as_str())];
+    // One Relaxed-success CAS + one Relaxed load of a Release-stored flag.
+    assert_eq!(graph_counts(Code::Td009, &files, &[]), (2, 0));
+}
+
+#[test]
+fn td009_spares_pure_counters_and_proper_pairs() {
+    let src = fixture("td009_no_fire.rs");
+    let files = [("crates/demo/src/util.rs", src.as_str())];
+    assert_eq!(graph_counts(Code::Td009, &files, &[]), (0, 0));
+}
+
+#[test]
+fn td009_waiver() {
+    let src = fixture("td009_waived.rs");
+    let files = [("crates/demo/src/util.rs", src.as_str())];
+    assert_eq!(graph_counts(Code::Td009, &files, &[]), (0, 1));
+}
+
+#[test]
+fn td010_fires_on_unbounded_growth_in_serve() {
+    let src = fixture("td010_fire.rs");
+    let files = [("crates/serve/src/state.rs", src.as_str())];
+    assert_eq!(graph_counts(Code::Td010, &files, &[]), (1, 0));
+
+    // The same code outside the long-lived crates is not long-lived
+    // state; the rule scopes itself to serve/obs.
+    let elsewhere = [("crates/demo/src/util.rs", src.as_str())];
+    assert_eq!(graph_counts(Code::Td010, &elsewhere, &[]), (0, 0));
+}
+
+#[test]
+fn td010_spares_bounded_growth_and_locals() {
+    let src = fixture("td010_no_fire.rs");
+    let files = [("crates/serve/src/state.rs", src.as_str())];
+    assert_eq!(graph_counts(Code::Td010, &files, &[]), (0, 0));
+}
+
+#[test]
+fn td010_waiver() {
+    let src = fixture("td010_waived.rs");
+    let files = [("crates/obs/src/state.rs", src.as_str())];
+    assert_eq!(graph_counts(Code::Td010, &files, &[]), (0, 1));
+}
+
+#[test]
+fn td011_fires_on_swallowed_result_and_must_use() {
+    let src = fixture("td011_fire.rs");
+    let files = [("crates/demo/src/util.rs", src.as_str())];
+    assert_eq!(graph_counts(Code::Td011, &files, &[]), (2, 0));
+}
+
+#[test]
+fn td011_spares_fmt_writes_and_plain_values() {
+    let src = fixture("td011_no_fire.rs");
+    let files = [("crates/demo/src/util.rs", src.as_str())];
+    assert_eq!(graph_counts(Code::Td011, &files, &[]), (0, 0));
+}
+
+#[test]
+fn td011_waiver() {
+    let src = fixture("td011_waived.rs");
+    let files = [("crates/demo/src/util.rs", src.as_str())];
+    assert_eq!(graph_counts(Code::Td011, &files, &[]), (0, 1));
+}
+
+#[test]
+fn td012_fires_on_layering_violation() {
+    let src = fixture("td012_fire.toml");
+    let manifests = [("crates/core/Cargo.toml", src.as_str())];
+    // td-table is allowed for core; td-serve is the violation.
+    assert_eq!(graph_counts(Code::Td012, &[], &manifests), (1, 0));
+}
+
+#[test]
+fn td012_spares_allowed_edges() {
+    let src = fixture("td012_no_fire.toml");
+    let manifests = [("crates/serve/Cargo.toml", src.as_str())];
+    assert_eq!(graph_counts(Code::Td012, &[], &manifests), (0, 0));
+}
+
+#[test]
+fn td012_manifest_waiver() {
+    let src = fixture("td012_waived.toml");
+    let manifests = [("crates/obs/Cargo.toml", src.as_str())];
+    assert_eq!(graph_counts(Code::Td012, &[], &manifests), (0, 1));
+}
+
 /// The gate itself: the workspace must be lint-clean. This is the same
 /// check CI runs via `cargo run -p td-lint`.
 #[test]
@@ -207,5 +378,22 @@ fn workspace_self_check_is_clean() {
         unwaived.is_empty(),
         "workspace has unwaived diagnostics:\n{}",
         unwaived.join("\n")
+    );
+    // The symbol graph actually assembled: a refactor that silently
+    // stopped feeding files into the cross-file pass would zero these.
+    assert!(
+        report.stats.items > 100,
+        "suspiciously few graph items: {}",
+        report.stats.items
+    );
+    assert!(
+        report.stats.lock_sites > 10,
+        "suspiciously few lock sites: {}",
+        report.stats.lock_sites
+    );
+    assert!(
+        report.stats.resolved_edges > 100,
+        "suspiciously few resolved call edges: {}",
+        report.stats.resolved_edges
     );
 }

@@ -1,0 +1,21 @@
+//! Half of the cross-crate lock-order cycle: alpha locks `A.m1`, then
+//! calls into beta while holding it.
+
+pub struct A {
+    m1: std::sync::Mutex<u32>,
+}
+
+impl A {
+    pub fn alpha_then_beta(&self, b: &B) {
+        let _g = self.m1.lock();
+        grab_m2(b);
+    }
+
+    pub fn lock_m1_only(&self) {
+        let _g = self.m1.lock();
+    }
+}
+
+pub fn grab_m1(a: &A) {
+    a.lock_m1_only();
+}

@@ -1,0 +1,21 @@
+//! The other half: beta locks `B.m2`, then calls back into alpha while
+//! holding it — completing the m1 -> m2 -> m1 cycle across crates.
+
+pub struct B {
+    m2: std::sync::Mutex<u32>,
+}
+
+impl B {
+    pub fn beta_then_alpha(&self, a: &A) {
+        let _g = self.m2.lock();
+        grab_m1(a);
+    }
+
+    pub fn lock_m2_only(&self) {
+        let _g = self.m2.lock();
+    }
+}
+
+pub fn grab_m2(b: &B) {
+    b.lock_m2_only();
+}

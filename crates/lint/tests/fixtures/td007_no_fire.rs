@@ -1,0 +1,19 @@
+//! Two locks always taken in the same order: an acquisition graph with
+//! an a -> b edge only, hence no cycle.
+
+pub struct S {
+    a: std::sync::Mutex<u32>,
+    b: std::sync::Mutex<u32>,
+}
+
+impl S {
+    pub fn both(&self) {
+        let _x = self.a.lock();
+        let _y = self.b.lock();
+    }
+
+    pub fn also_both(&self) {
+        let _x = self.a.lock();
+        let _y = self.b.lock();
+    }
+}

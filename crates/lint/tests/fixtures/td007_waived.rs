@@ -1,0 +1,13 @@
+//! A deliberate same-lock re-acquisition, waived with a justification.
+
+pub struct S {
+    m: std::sync::Mutex<u32>,
+}
+
+impl S {
+    pub fn relocks(&self) {
+        let _g = self.m.lock();
+        // td-lint: allow(TD007) fixture: documents the reentrancy hazard on purpose
+        let _h = self.m.lock();
+    }
+}

@@ -1,0 +1,13 @@
+//! Sleeping while a mutex guard is live: every other thread contending
+//! for the lock waits out the nap too.
+
+pub struct S {
+    m: std::sync::Mutex<u32>,
+}
+
+impl S {
+    pub fn sleeps_under_guard(&self) {
+        let _g = self.m.lock();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+}

@@ -1,0 +1,22 @@
+//! Blocking is fine once the guard is gone, and `Condvar::wait(guard)`
+//! atomically releases the guard it consumes.
+
+pub struct Q {
+    m: std::sync::Mutex<u32>,
+    cv: std::sync::Condvar,
+}
+
+impl Q {
+    pub fn naps_after_guard(&self) {
+        {
+            let _g = self.m.lock();
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+
+    pub fn waits(&self) {
+        let mut g = self.m.lock().unwrap();
+        g = self.cv.wait(g).unwrap();
+        let _ = g;
+    }
+}

@@ -1,0 +1,13 @@
+//! A justified blocking call under a guard.
+
+pub struct S {
+    m: std::sync::Mutex<u32>,
+}
+
+impl S {
+    pub fn sleeps(&self) {
+        let _g = self.m.lock();
+        // td-lint: allow(TD008) fixture: the pause is part of the critical section by design
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+}

@@ -1,0 +1,25 @@
+//! A Relaxed-success CAS plus a Release-store / Relaxed-load pair: both
+//! lose the happens-before edge they look like they provide.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+pub struct S {
+    seq: AtomicU64,
+    ready: AtomicBool,
+}
+
+impl S {
+    pub fn cas_relaxed(&self) {
+        let _ = self
+            .seq
+            .compare_exchange(0, 1, Ordering::Relaxed, Ordering::Relaxed);
+    }
+
+    pub fn publish(&self) {
+        self.ready.store(true, Ordering::Release);
+    }
+
+    pub fn consume(&self) -> bool {
+        self.ready.load(Ordering::Relaxed)
+    }
+}

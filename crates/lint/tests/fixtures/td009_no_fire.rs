@@ -1,0 +1,27 @@
+//! Relaxed is correct for a pure counter, and the flag pairs Release
+//! with Acquire.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+pub struct S {
+    hits: AtomicU64,
+    ready: AtomicBool,
+}
+
+impl S {
+    pub fn count(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn total(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    pub fn publish(&self) {
+        self.ready.store(true, Ordering::Release);
+    }
+
+    pub fn consume(&self) -> bool {
+        self.ready.load(Ordering::Acquire)
+    }
+}

@@ -1,0 +1,16 @@
+//! A Relaxed CAS with the pure-value justification spelled out.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct S {
+    bits: AtomicU64,
+}
+
+impl S {
+    pub fn cas(&self) {
+        let _ = self
+            .bits
+            // td-lint: allow(TD009) fixture: the u64 bits are the entire payload, nothing else is published
+            .compare_exchange(0, 1, Ordering::Relaxed, Ordering::Relaxed);
+    }
+}

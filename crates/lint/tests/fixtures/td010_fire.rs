@@ -1,0 +1,12 @@
+//! Unbounded growth of server-held state: every call appends, nothing
+//! ever evicts.
+
+pub struct S {
+    log: Vec<u64>,
+}
+
+impl S {
+    pub fn remember(&mut self, v: u64) {
+        self.log.push(v);
+    }
+}

@@ -1,0 +1,20 @@
+//! Growth with a visible bound (truncate), and growth of a local that
+//! never outlives the call.
+
+pub struct S {
+    recent: Vec<u64>,
+    limit: usize,
+}
+
+impl S {
+    pub fn remember(&mut self, v: u64) {
+        self.recent.push(v);
+        self.recent.truncate(self.limit);
+    }
+
+    pub fn local_only(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        out.push(1);
+        out
+    }
+}

@@ -1,0 +1,12 @@
+//! Growth whose bound lives elsewhere, documented by a waiver.
+
+pub struct S {
+    log: Vec<u64>,
+}
+
+impl S {
+    pub fn remember(&mut self, v: u64) {
+        // td-lint: allow(TD010) fixture: the caller drains this vec every tick
+        self.log.push(v);
+    }
+}

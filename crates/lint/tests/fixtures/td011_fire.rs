@@ -1,0 +1,15 @@
+//! A swallowed Result and a discarded #[must_use] return.
+
+fn fallible() -> Result<(), std::io::Error> {
+    Ok(())
+}
+
+#[must_use]
+pub fn important() -> u32 {
+    7
+}
+
+pub fn f() {
+    let _ = fallible();
+    important();
+}

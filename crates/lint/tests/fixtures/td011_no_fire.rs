@@ -1,0 +1,13 @@
+//! Infallible fmt writes are exempt; discarding a plain value that
+//! involved no call is not a swallowed Result.
+
+pub fn render(s: &mut String) {
+    use std::fmt::Write;
+    let _ = write!(s, "x");
+    let n = compute();
+    let _ = n;
+}
+
+fn compute() -> u32 {
+    1
+}

@@ -1,0 +1,10 @@
+//! A justified discard.
+
+fn best_effort() -> Result<(), std::io::Error> {
+    Ok(())
+}
+
+pub fn f() {
+    // td-lint: allow(TD011) fixture: failure here is expected and uninteresting
+    let _ = best_effort();
+}

@@ -72,6 +72,7 @@ impl RingRecorder {
 
 impl Subscriber for RingRecorder {
     fn on_close(&self, span: &SpanRecord) {
+        // td-lint: allow(TD010) Ring<T> is drop-oldest bounded by construction
         self.ring.push(span.clone());
     }
 }

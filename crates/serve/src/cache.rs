@@ -100,8 +100,17 @@ impl<V> Shard<V> {
         self.next_seq += 1;
         let entry = self.map.get_mut(key)?;
         entry.seq = seq;
+        let value = Arc::clone(&entry.value);
         self.order.push_back((seq, key.to_vec()));
-        Some(Arc::clone(&entry.value))
+        // A hit-heavy workload mints a new ticket per hit without ever
+        // evicting, so the queue would grow without bound; compact the
+        // stale tickets once they dominate.
+        if self.order.len() > 8 * self.map.len().max(1) {
+            let map = &self.map;
+            self.order
+                .retain(|(seq, key)| map.get(key).is_some_and(|e| e.seq == *seq));
+        }
+        Some(value)
     }
 
     /// Pop stale tickets until the oldest live entry is evicted.
@@ -270,6 +279,35 @@ mod tests {
             key.as_bytes().to_vec(),
             Arc::new(val.as_bytes().to_vec()),
             val.len(),
+        );
+    }
+
+    #[test]
+    fn hit_heavy_workload_keeps_ticket_queue_bounded() {
+        // Every hit mints a recency ticket; without compaction a
+        // hit-heavy workload grows the queue forever even though the
+        // map holds a single entry.
+        let mut shard: Shard<Vec<u8>> = Shard::new();
+        let seq = shard.next_seq;
+        shard.next_seq += 1;
+        shard.map.insert(
+            b"k".to_vec(),
+            Entry {
+                value: Arc::new(vec![1u8]),
+                charge: 2,
+                seq,
+            },
+        );
+        shard.order.push_back((seq, b"k".to_vec()));
+        shard.bytes += 2;
+        for _ in 0..10_000 {
+            assert!(shard.touch(b"k").is_some());
+        }
+        assert!(
+            shard.order.len() <= 8 * shard.map.len() + 1,
+            "ticket queue grew unbounded: {} tickets for {} entries",
+            shard.order.len(),
+            shard.map.len()
         );
     }
 

@@ -295,9 +295,13 @@ fn build_stats(shared: &Shared) -> StatsReply {
 fn build_health(shared: &Shared) -> HealthReply {
     let reg = td_obs::global();
     let draining = shared.shutting_down.load(Ordering::SeqCst);
+    // Read the epoch in its own statement: inside the struct literal the
+    // slot guard (a temporary) would live until the literal completes,
+    // i.e. across the gauge/queue-depth lock acquisitions below.
+    let epoch = relock(shared.slot.lock()).epoch;
     HealthReply {
         healthy: !draining,
-        epoch: relock(shared.slot.lock()).epoch,
+        epoch,
         segments: reg.gauge("pipeline.segments").get().max(0.0) as u64,
         tombstones: reg.gauge("pipeline.tombstones").get().max(0.0) as u64,
         queue_depth: shared.queue.depth() as u64,
@@ -334,8 +338,14 @@ fn answer_admin(shared: &Shared, req: &Request) -> Reply {
 /// which is not the server's error to surface.
 fn respond(out: &Arc<Mutex<TcpStream>>, resp: &ResponseEnvelope) {
     if let Ok(payload) = encode_response(resp) {
-        let mut stream = relock(out.lock());
-        let _ = write_frame(&mut *stream, &payload);
+        let ok = {
+            let mut stream = relock(out.lock());
+            // td-lint: allow(TD008) the out-mutex exists to keep a whole frame contiguous on the shared stream; writing under it is the point
+            write_frame(&mut *stream, &payload).is_ok()
+        };
+        if !ok {
+            td_obs::global().counter("serve.io.write_errors").add(1);
+        }
     }
 }
 
@@ -451,19 +461,26 @@ impl Server {
         self.shared.shutting_down.store(true, Ordering::SeqCst);
         // The accept loop blocks in `accept()`; a throwaway connection
         // wakes it so it can observe the flag.
+        // td-lint: allow(TD011) best-effort wake-up dial: a refused connect means the accept loop already exited
         let _ = TcpStream::connect(self.addr);
+        let mut panicked = 0u64;
         if let Some(h) = self.accept.take() {
-            let _ = h.join();
+            panicked += u64::from(h.join().is_err());
         }
         let conns = std::mem::take(&mut *relock(self.conns.lock()));
         for h in conns {
-            let _ = h.join();
+            panicked += u64::from(h.join().is_err());
         }
         // Connections are quiet: close the queue so workers drain the
         // backlog and exit.
         self.shared.queue.close();
         for h in self.workers.drain(..) {
-            let _ = h.join();
+            panicked += u64::from(h.join().is_err());
+        }
+        if panicked > 0 {
+            td_obs::global()
+                .counter("serve.thread.panics")
+                .add(panicked);
         }
     }
 }
@@ -491,7 +508,11 @@ fn accept_loop(
                 let shared = Arc::clone(shared);
                 let handle =
                     std::thread::spawn(move || connection_loop(stream, &shared, max_frame, poll));
-                relock(conns.lock()).push(handle);
+                // Prune exited connection threads so the handle list is
+                // bounded by *live* connections, not by lifetime total.
+                let mut conns = relock(conns.lock());
+                conns.retain(|h| !h.is_finished());
+                conns.push(handle);
             }
             Err(e) => {
                 if shared.shutting_down.load(Ordering::SeqCst) {
@@ -762,9 +783,15 @@ fn worker_loop(shared: &Arc<Shared>, worker_idx: u64) {
             // Charge the cache what the reply costs on the wire.
             shared.cache.put(job.key, reply, payload.len());
             shared.served_ok.fetch_add(1, Ordering::Relaxed);
-            let mut stream = relock(job.out.lock());
-            let _ = write_frame(&mut *stream, &payload);
-            let _ = stream.flush();
+            let ok = {
+                let mut stream = relock(job.out.lock());
+                // td-lint: allow(TD008) frame serialization: the out-mutex is held across the write so concurrent workers cannot interleave frames
+                let wrote = write_frame(&mut *stream, &payload).is_ok();
+                wrote && stream.flush().is_ok() // td-lint: allow(TD008) same frame-serialization section as the write above
+            };
+            if !ok {
+                td_obs::global().counter("serve.io.write_errors").add(1);
+            }
         }
     }
 }
