@@ -1,0 +1,366 @@
+//! store_report — persistence telemetry for td-store, emitting
+//! `BENCH_store.json`.
+//!
+//! Four measurements over one synthetic lake:
+//!
+//! 1. **rebuild baseline** — one-shot `DiscoveryPipeline::build` wall
+//!    time over the whole lake: what every restart costs without
+//!    persistence.
+//! 2. **checkpoint + restore** — populate a [`td::store::DurablePipeline`],
+//!    checkpoint, drop every handle, and time the restore (snapshot
+//!    decode + `from_state`, no WAL replay). The report asserts restore
+//!    is **≥ 4× cheaper than the rebuild** — the point of the subsystem.
+//! 3. **WAL replay throughput** — a log of `--wal-records` (default
+//!    5000) ingest/seal records replays on a fresh open; replay is pure
+//!    deserialize + upsert (the logged record carries the extracted
+//!    artifact bundle). The first open pays a one-time cold disk read of
+//!    the log (reported separately); the report asserts the best of
+//!    three steady-state replays stays under `--replay-budget-ms`
+//!    (default 250 ms).
+//! 4. **corruption drill** — flip a byte in the newest snapshot and tear
+//!    the WAL tail mid-record; recovery must fall back to the older
+//!    snapshot, truncate the torn tail, and come up with the surviving
+//!    state — asserted, not just reported.
+//!
+//! Flags (all optional): `--seed N`, `--tables N`, `--wal-records N`,
+//! `--replay-budget-ms N`.
+
+use std::path::PathBuf;
+
+use td::core::{DiscoveryPipeline, PipelineConfig, PipelineContext, TableArtifacts};
+use td::store::{DurablePipeline, Store, Wal, WalRecord};
+use td::table::gen::lakegen::{LakeGenConfig, LakeGenerator};
+use td::table::{Table, TableId};
+use td_bench::{ms, print_table, time, BenchReport};
+
+struct Args {
+    seed: u64,
+    tables: usize,
+    wal_records: usize,
+    replay_budget_ms: f64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        seed: 42,
+        tables: 1000,
+        wal_records: 5000,
+        replay_budget_ms: 250.0,
+    };
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i + 1 < argv.len() {
+        let val = &argv[i + 1];
+        match argv[i].as_str() {
+            "--seed" => args.seed = val.parse().unwrap_or(args.seed),
+            "--tables" => args.tables = val.parse().unwrap_or(args.tables),
+            "--wal-records" => args.wal_records = val.parse().unwrap_or(args.wal_records),
+            "--replay-budget-ms" => {
+                args.replay_budget_ms = val.parse().unwrap_or(args.replay_budget_ms);
+            }
+            _ => {}
+        }
+        i += 2;
+    }
+    args
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("td-store-report-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn flip_byte(path: &std::path::Path, offset_from_end: u64) {
+    use std::io::{Read as _, Seek as _, SeekFrom, Write as _};
+    let mut f = std::fs::OpenOptions::new()
+        .read(true)
+        .write(true)
+        .open(path)
+        .expect("open for corruption");
+    let len = f.metadata().expect("metadata").len();
+    let pos = len.saturating_sub(offset_from_end);
+    f.seek(SeekFrom::Start(pos)).expect("seek");
+    let mut b = [0u8; 1];
+    f.read_exact(&mut b).expect("read");
+    f.seek(SeekFrom::Start(pos)).expect("seek back");
+    f.write_all(&[b[0] ^ 0xff]).expect("write flip");
+}
+
+fn main() {
+    let args = parse_args();
+    let mut report = BenchReport::new("store");
+
+    let (gl, t_gen) = time(|| {
+        LakeGenerator::standard().generate(&LakeGenConfig {
+            num_tables: args.tables,
+            rows: (10, 30),
+            cols: (2, 4),
+            seed: args.seed,
+            ..LakeGenConfig::default()
+        })
+    });
+    let cfg = PipelineConfig::default();
+    let tables: Vec<(TableId, Table)> = gl.lake.iter().map(|(id, t)| (id, t.clone())).collect();
+    println!(
+        "store_report: lake of {} tables (gen {} ms), seed {}",
+        tables.len(),
+        ms(t_gen),
+        args.seed
+    );
+
+    // 1. Rebuild baseline: the restart cost persistence removes.
+    let (batch, t_rebuild) = time(|| DiscoveryPipeline::build(&gl.lake, &gl.registry, &[], &cfg));
+    let rebuild_ms = t_rebuild.as_secs_f64() * 1e3;
+
+    // 2. Populate a durable pipeline, checkpoint, and restore.
+    let ctx = PipelineContext::new(&gl.registry, &[], &cfg);
+    let dir = scratch("main");
+    let (mut dp, _) =
+        DurablePipeline::open(Store::open(dir.clone()).expect("open store"), ctx.clone())
+            .expect("fresh open");
+    let (_, t_populate) = time(|| {
+        for (step, (id, t)) in tables.iter().enumerate() {
+            dp.ingest_table(*id, t).expect("ingest");
+            if (step + 1) % 256 == 0 {
+                dp.seal().expect("seal");
+            }
+        }
+    });
+    let (cp, t_checkpoint) = time(|| dp.checkpoint().expect("checkpoint"));
+    drop(dp);
+
+    let ((dp, restore_stats), t_restore) = time(|| {
+        DurablePipeline::open(Store::open(dir.clone()).expect("open store"), ctx.clone())
+            .expect("restore")
+    });
+    let restore_ms = t_restore.as_secs_f64() * 1e3;
+    assert_eq!(restore_stats.snapshot_seq, Some(1));
+    assert_eq!(restore_stats.wal_records_replayed, 0);
+    assert_eq!(dp.pipeline().len(), tables.len());
+
+    // Restored state must answer exactly like the batch build.
+    let restored = dp.pipeline().snapshot();
+    for (_, q) in &tables[..tables.len().min(3)] {
+        assert_eq!(
+            format!("{:?}", batch.search_unionable(q, 5)),
+            format!("{:?}", restored.search_unionable(q, 5)),
+            "restored pipeline diverged from the batch build"
+        );
+    }
+    let speedup = rebuild_ms / restore_ms.max(1e-9);
+
+    // 3. WAL replay throughput: a log of `wal_records` pre-extracted
+    // ingests (cycling the lake, plus a seal every 256) replayed on open.
+    let replay_dir = scratch("replay");
+    let replay_store = Store::open(replay_dir.clone()).expect("open replay store");
+    let artifacts: Vec<(TableId, TableArtifacts)> = tables
+        .iter()
+        .take(512)
+        .map(|(id, t)| (*id, TableArtifacts::extract(t, &ctx)))
+        .collect();
+    let mut wal = Wal::create(&replay_dir.join("pipeline.wal"), 1).expect("create wal");
+    let (_, t_append) = time(|| {
+        for i in 0..args.wal_records {
+            if (i + 1) % 256 == 0 {
+                wal.append(&WalRecord::Seal).expect("append seal");
+            } else {
+                let (id, a) = &artifacts[i % artifacts.len()];
+                wal.append(&WalRecord::Ingest {
+                    id: *id,
+                    artifacts: Box::new(a.clone()),
+                })
+                .expect("append ingest");
+            }
+        }
+        wal.sync().expect("sync");
+    });
+    let wal_bytes = std::fs::metadata(replay_dir.join("pipeline.wal"))
+        .expect("wal metadata")
+        .len();
+    drop(wal);
+    // The first restore pays a one-time cold read of the log from disk;
+    // replay cost proper (checksum + decode + apply) is the steady-state
+    // number, so report the cold open separately and assert on the best
+    // of three warm replays — single-shot wall timing on a shared 1-vCPU
+    // box otherwise measures the disk, not the subsystem.
+    let ((_, cold_wal, _), t_cold) = time(|| {
+        replay_store
+            .restore(ctx.clone())
+            .expect("cold replay restore")
+    });
+    drop(cold_wal);
+    let replay_cold_ms = t_cold.as_secs_f64() * 1e3;
+    let mut replay_runs_ms: Vec<f64> = Vec::new();
+    let mut replay_stats = None;
+    for _ in 0..3 {
+        let ((_, warm_wal, stats), t) =
+            time(|| replay_store.restore(ctx.clone()).expect("replay restore"));
+        drop(warm_wal);
+        replay_runs_ms.push(t.as_secs_f64() * 1e3);
+        replay_stats = Some(stats);
+    }
+    let replay_stats = replay_stats.expect("three warm replays ran");
+    let replay_ms = replay_runs_ms.iter().copied().fold(f64::INFINITY, f64::min);
+    assert_eq!(
+        replay_stats.wal_records_replayed, args.wal_records as u64,
+        "every appended record must replay"
+    );
+
+    // 4. Corruption drill: write a second checkpoint, log a few more
+    // records, then flip a byte in the newest snapshot *and* tear the
+    // WAL tail mid-record. Recovery must skip the corrupt snapshot, fall
+    // back to the older one, truncate the torn tail, and replay the
+    // surviving records — full state, no panic.
+    let mut dp = dp;
+    dp.checkpoint().expect("second checkpoint");
+    let post_checkpoint = 9usize;
+    for (id, t) in &tables[..post_checkpoint.min(tables.len())] {
+        dp.ingest_table(*id, t).expect("post-checkpoint ingest");
+    }
+    dp.sync().expect("sync");
+    drop(dp);
+    flip_byte(&dir.join("snapshot-00000002.tds"), 64);
+    let wal_path = dir.join("pipeline.wal");
+    let wal_len = std::fs::metadata(&wal_path).expect("wal metadata").len();
+    let f = std::fs::OpenOptions::new()
+        .write(true)
+        .open(&wal_path)
+        .expect("open wal");
+    f.set_len(wal_len - 5).expect("tear tail");
+    drop(f);
+    let ((dp, drill_stats), t_drill) = time(|| {
+        DurablePipeline::open(Store::open(dir.clone()).expect("open store"), ctx.clone())
+            .expect("corruption drill must recover, not panic")
+    });
+    assert_eq!(
+        drill_stats.corrupt_snapshots_skipped, 1,
+        "the flipped snapshot must be detected and skipped"
+    );
+    assert_eq!(drill_stats.snapshot_seq, Some(1), "older snapshot wins");
+    assert!(
+        drill_stats.wal_bytes_truncated > 0,
+        "the torn tail must be truncated"
+    );
+    assert_eq!(
+        drill_stats.wal_records_replayed,
+        post_checkpoint as u64 - 1,
+        "all but the torn record replay"
+    );
+    let drill_tables = dp.pipeline().len();
+    assert_eq!(
+        drill_tables,
+        tables.len(),
+        "recovered state must cover the whole lake (replays are re-ingests)"
+    );
+    drop(dp);
+
+    print_table(
+        "restore vs rebuild",
+        &["metric", "value"],
+        &[
+            vec!["tables".into(), tables.len().to_string()],
+            vec!["rebuild (ms)".into(), format!("{rebuild_ms:.2}")],
+            vec!["populate durable (ms)".into(), ms(t_populate)],
+            vec!["checkpoint (ms)".into(), ms(t_checkpoint)],
+            vec![
+                "snapshot size (bytes)".into(),
+                cp.snapshot_bytes.to_string(),
+            ],
+            vec!["restore (ms)".into(), format!("{restore_ms:.2}")],
+            vec![
+                "speedup (rebuild / restore)".into(),
+                format!("{speedup:.1}x"),
+            ],
+        ],
+    );
+    print_table(
+        "wal replay",
+        &["metric", "value"],
+        &[
+            vec!["records".into(), args.wal_records.to_string()],
+            vec!["wal size (bytes)".into(), wal_bytes.to_string()],
+            vec!["append+sync (ms)".into(), ms(t_append)],
+            vec![
+                "cold open incl. disk read (ms)".into(),
+                format!("{replay_cold_ms:.2}"),
+            ],
+            vec!["replay, best of 3 (ms)".into(), format!("{replay_ms:.2}")],
+            vec![
+                "torn tail truncated (bytes)".into(),
+                replay_stats.wal_bytes_truncated.to_string(),
+            ],
+        ],
+    );
+    print_table(
+        "corruption drill",
+        &["metric", "value"],
+        &[
+            vec![
+                "corrupt snapshots skipped".into(),
+                drill_stats.corrupt_snapshots_skipped.to_string(),
+            ],
+            vec![
+                "wal bytes truncated".into(),
+                drill_stats.wal_bytes_truncated.to_string(),
+            ],
+            vec![
+                "records replayed".into(),
+                drill_stats.wal_records_replayed.to_string(),
+            ],
+            vec!["tables recovered".into(), drill_tables.to_string()],
+            vec!["recovery (ms)".into(), ms(t_drill)],
+        ],
+    );
+
+    report
+        .stage("generate", t_gen)
+        .stage("rebuild", t_rebuild)
+        .stage("populate", t_populate)
+        .stage("checkpoint", t_checkpoint)
+        .stage("restore", t_restore)
+        .stage("wal_append", t_append)
+        .stage("wal_open_cold", t_cold)
+        .stage(
+            "wal_replay",
+            std::time::Duration::from_secs_f64(replay_ms / 1e3),
+        )
+        .stage("corruption_drill", t_drill)
+        .field("seed", &args.seed)
+        .field("tables", &tables.len())
+        .merge(&serde_json::json!({
+            "rebuild_ms": rebuild_ms,
+            "restore_ms": restore_ms,
+            "speedup_vs_rebuild": speedup,
+            "snapshot_bytes": cp.snapshot_bytes,
+            "wal": {
+                "records": args.wal_records,
+                "bytes": wal_bytes,
+                "replay_cold_ms": replay_cold_ms,
+                "replay_runs_ms": replay_runs_ms,
+                "replay_ms": replay_ms,
+                "replay_budget_ms": args.replay_budget_ms,
+            },
+            "corruption_drill": {
+                "corrupt_snapshots_skipped": drill_stats.corrupt_snapshots_skipped,
+                "wal_bytes_truncated": drill_stats.wal_bytes_truncated,
+                "tables_recovered": drill_tables,
+                "recovered": true,
+            },
+        }));
+    report.finish();
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&replay_dir);
+
+    assert!(
+        speedup >= 4.0,
+        "restore must be >= 4x cheaper than a full rebuild (got {speedup:.1}x)"
+    );
+    assert!(
+        replay_ms <= args.replay_budget_ms,
+        "WAL replay of {} records must stay under {} ms (got {replay_ms:.1} ms)",
+        args.wal_records,
+        args.replay_budget_ms
+    );
+}

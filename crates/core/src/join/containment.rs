@@ -26,10 +26,9 @@ impl ContainmentJoinSearch {
     }
 
     /// Derive the LSH Ensemble over an already-signed base index — shared
-    /// by [`Self::build`] and the segment merge path.
-    ///
-    /// # Panics
-    /// Panics if the base index is empty (LSH Ensemble needs ≥ 1 set).
+    /// by [`Self::build`] and the segment merge path. An empty base
+    /// yields an empty (query-nothing) ensemble, so a durable pipeline
+    /// can snapshot before its first ingest.
     fn assemble(base: JaccardJoinSearch, partitions: usize) -> Self {
         let ensemble = LshEnsemble::build(base.signatures(), partitions);
         ContainmentJoinSearch { base, ensemble }

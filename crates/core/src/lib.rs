@@ -23,6 +23,6 @@ pub mod union;
 pub use keyword::{KeywordConfig, KeywordSearch};
 pub use pipeline::{DiscoveryPipeline, PipelineConfig};
 pub use segment::{
-    ComponentSegment, IndexComponent, PipelineContext, PipelineSegment, SegmentView,
+    ComponentSegment, IndexComponent, PipelineContext, PipelineSegment, SegmentView, TableArtifacts,
 };
 pub use segmented::SegmentedPipeline;

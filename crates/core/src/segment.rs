@@ -278,6 +278,55 @@ impl IndexComponent for LakeProfile {
     }
 }
 
+/// One table's artifacts across all ten components — the unit a
+/// write-ahead log records and [`PipelineSegment::insert_artifacts`]
+/// replays. Extracting this bundle and upserting it is *the* ingest code
+/// path ([`PipelineSegment::insert`] goes through it), so an ingest
+/// replayed from a log carries value-identical artifacts by construction.
+#[derive(Clone)]
+pub struct TableArtifacts {
+    /// Per-column statistics ([`LakeProfile`] artifact).
+    pub profile: ArtifactOf<LakeProfile>,
+    /// Metadata/schema document ([`KeywordSearch`] artifact).
+    pub keyword: ArtifactOf<KeywordSearch>,
+    /// Sorted distinct tokens per column ([`ExactJoinSearch`] artifact).
+    pub exact_join: ArtifactOf<ExactJoinSearch>,
+    /// MinHash signatures per column ([`ContainmentJoinSearch`] artifact).
+    pub containment_join: ArtifactOf<ContainmentJoinSearch>,
+    /// Embedded value vectors per column ([`FuzzyJoinSearch`] artifact).
+    pub fuzzy_join: ArtifactOf<FuzzyJoinSearch<NGramEmbedder>>,
+    /// Row-hash postings ([`MateSearch`] artifact).
+    pub mate: ArtifactOf<MateSearch>,
+    /// QCR sketches per key/numeric column pair ([`CorrelatedSearch`]
+    /// artifact).
+    pub correlated: ArtifactOf<CorrelatedSearch>,
+    /// Per-column unionability evidence ([`TusSearch`] artifact).
+    pub tus: ArtifactOf<TusSearch>,
+    /// Annotated type/relationship signature ([`SantosSearch`] artifact).
+    pub santos: ArtifactOf<SantosSearch>,
+    /// Contextual column embeddings ([`StarmieSearch`] artifact).
+    pub starmie: ArtifactOf<StarmieSearch<DomainEmbedder>>,
+}
+
+impl TableArtifacts {
+    /// Extract every component's artifact for one table.
+    #[must_use]
+    pub fn extract(table: &Table, ctx: &PipelineContext) -> Self {
+        TableArtifacts {
+            profile: LakeProfile::extract(table, ctx),
+            keyword: KeywordSearch::extract(table, ctx),
+            exact_join: ExactJoinSearch::extract(table, ctx),
+            containment_join: ContainmentJoinSearch::extract(table, ctx),
+            fuzzy_join: FuzzyJoinSearch::<NGramEmbedder>::extract(table, ctx),
+            mate: MateSearch::extract(table, ctx),
+            correlated: CorrelatedSearch::extract(table, ctx),
+            tus: TusSearch::extract(table, ctx),
+            santos: SantosSearch::extract(table, ctx),
+            starmie: StarmieSearch::<DomainEmbedder>::extract(table, ctx),
+        }
+    }
+}
+
 /// All ten components' artifacts for one set of tables — the unit the
 /// [`crate::SegmentedPipeline`] seals, stacks, and compacts.
 #[derive(Clone, Default)]
@@ -316,21 +365,23 @@ impl PipelineSegment {
     /// Extract and upsert one table's artifacts into this segment.
     pub fn insert(&mut self, id: TableId, table: &Table, ctx: &PipelineContext) {
         let _s = td_obs::span!("pipeline.extract");
-        self.profile.upsert(id, LakeProfile::extract(table, ctx));
-        self.keyword.upsert(id, KeywordSearch::extract(table, ctx));
-        self.exact_join
-            .upsert(id, ExactJoinSearch::extract(table, ctx));
-        self.containment_join
-            .upsert(id, ContainmentJoinSearch::extract(table, ctx));
-        self.fuzzy_join
-            .upsert(id, FuzzyJoinSearch::<NGramEmbedder>::extract(table, ctx));
-        self.mate.upsert(id, MateSearch::extract(table, ctx));
-        self.correlated
-            .upsert(id, CorrelatedSearch::extract(table, ctx));
-        self.tus.upsert(id, TusSearch::extract(table, ctx));
-        self.santos.upsert(id, SantosSearch::extract(table, ctx));
-        self.starmie
-            .upsert(id, StarmieSearch::<DomainEmbedder>::extract(table, ctx));
+        self.insert_artifacts(id, TableArtifacts::extract(table, ctx));
+    }
+
+    /// Upsert one table's already-extracted artifact bundle — the replay
+    /// half of the ingest path: a persisted [`TableArtifacts`] inserted
+    /// here lands exactly where [`Self::insert`] would have put it.
+    pub fn insert_artifacts(&mut self, id: TableId, a: TableArtifacts) {
+        self.profile.upsert(id, a.profile);
+        self.keyword.upsert(id, a.keyword);
+        self.exact_join.upsert(id, a.exact_join);
+        self.containment_join.upsert(id, a.containment_join);
+        self.fuzzy_join.upsert(id, a.fuzzy_join);
+        self.mate.upsert(id, a.mate);
+        self.correlated.upsert(id, a.correlated);
+        self.tus.upsert(id, a.tus);
+        self.santos.upsert(id, a.santos);
+        self.starmie.upsert(id, a.starmie);
     }
 
     /// Remove one table's artifacts; true if the table was present.
@@ -397,6 +448,100 @@ impl PipelineSegment {
                 tombstones,
             )),
         }
+    }
+
+    /// Assemble a segment directly from its ten component segments — the
+    /// deserialization hook for `td-store`'s snapshot reader. Every
+    /// component is expected to cover the same table ids (the invariant
+    /// [`Self::insert_artifacts`] maintains); a mismatched set merges
+    /// last-write-wins like any other stack.
+    #[allow(clippy::too_many_arguments)]
+    #[must_use]
+    pub fn from_components(
+        profile: ComponentSegment<ArtifactOf<LakeProfile>>,
+        keyword: ComponentSegment<ArtifactOf<KeywordSearch>>,
+        exact_join: ComponentSegment<ArtifactOf<ExactJoinSearch>>,
+        containment_join: ComponentSegment<ArtifactOf<ContainmentJoinSearch>>,
+        fuzzy_join: ComponentSegment<ArtifactOf<FuzzyJoinSearch<NGramEmbedder>>>,
+        mate: ComponentSegment<ArtifactOf<MateSearch>>,
+        correlated: ComponentSegment<ArtifactOf<CorrelatedSearch>>,
+        tus: ComponentSegment<ArtifactOf<TusSearch>>,
+        santos: ComponentSegment<ArtifactOf<SantosSearch>>,
+        starmie: ComponentSegment<ArtifactOf<StarmieSearch<DomainEmbedder>>>,
+    ) -> Self {
+        PipelineSegment {
+            profile,
+            keyword,
+            exact_join,
+            containment_join,
+            fuzzy_join,
+            mate,
+            correlated,
+            tus,
+            santos,
+            starmie,
+        }
+    }
+
+    /// The profile component ([`LakeProfile`] artifacts), ascending by id.
+    #[must_use]
+    pub fn profile(&self) -> &ComponentSegment<ArtifactOf<LakeProfile>> {
+        &self.profile
+    }
+
+    /// The keyword component ([`KeywordSearch`] artifacts).
+    #[must_use]
+    pub fn keyword(&self) -> &ComponentSegment<ArtifactOf<KeywordSearch>> {
+        &self.keyword
+    }
+
+    /// The exact-join component ([`ExactJoinSearch`] artifacts).
+    #[must_use]
+    pub fn exact_join(&self) -> &ComponentSegment<ArtifactOf<ExactJoinSearch>> {
+        &self.exact_join
+    }
+
+    /// The containment-join component ([`ContainmentJoinSearch`]
+    /// artifacts).
+    #[must_use]
+    pub fn containment_join(&self) -> &ComponentSegment<ArtifactOf<ContainmentJoinSearch>> {
+        &self.containment_join
+    }
+
+    /// The fuzzy-join component ([`FuzzyJoinSearch`] artifacts).
+    #[must_use]
+    pub fn fuzzy_join(&self) -> &ComponentSegment<ArtifactOf<FuzzyJoinSearch<NGramEmbedder>>> {
+        &self.fuzzy_join
+    }
+
+    /// The MATE component ([`MateSearch`] artifacts).
+    #[must_use]
+    pub fn mate(&self) -> &ComponentSegment<ArtifactOf<MateSearch>> {
+        &self.mate
+    }
+
+    /// The correlated-search component ([`CorrelatedSearch`] artifacts).
+    #[must_use]
+    pub fn correlated(&self) -> &ComponentSegment<ArtifactOf<CorrelatedSearch>> {
+        &self.correlated
+    }
+
+    /// The TUS component ([`TusSearch`] artifacts).
+    #[must_use]
+    pub fn tus(&self) -> &ComponentSegment<ArtifactOf<TusSearch>> {
+        &self.tus
+    }
+
+    /// The SANTOS component ([`SantosSearch`] artifacts).
+    #[must_use]
+    pub fn santos(&self) -> &ComponentSegment<ArtifactOf<SantosSearch>> {
+        &self.santos
+    }
+
+    /// The Starmie component ([`StarmieSearch`] artifacts).
+    #[must_use]
+    pub fn starmie(&self) -> &ComponentSegment<ArtifactOf<StarmieSearch<DomainEmbedder>>> {
+        &self.starmie
     }
 
     /// Ids of tables carried by this segment (every component covers every

@@ -68,11 +68,54 @@ impl SegmentedPipeline {
         }
     }
 
+    /// Reassemble a pipeline from externally held state — the restore
+    /// hook for `td-store`: a snapshot file decodes into exactly these
+    /// four pieces, and queries over the result go through the same
+    /// [`DiscoveryPipeline::from_segments`] merge as a live pipeline.
+    #[must_use]
+    pub fn from_state(
+        ctx: PipelineContext,
+        sealed: Vec<PipelineSegment>,
+        delta: PipelineSegment,
+        tombstones: BTreeSet<TableId>,
+    ) -> Self {
+        let sp = SegmentedPipeline {
+            ctx,
+            sealed,
+            delta,
+            tombstones,
+            snapshot: Mutex::new(None),
+        };
+        sp.update_gauges();
+        sp
+    }
+
     /// The shared context (config, embedders, KB) this pipeline extracts
     /// with.
     #[must_use]
     pub fn context(&self) -> &PipelineContext {
         &self.ctx
+    }
+
+    /// The sealed, immutable segments (oldest first) — the persistence
+    /// hook a snapshot writer serializes.
+    #[must_use]
+    pub fn sealed_segments(&self) -> &[PipelineSegment] {
+        &self.sealed
+    }
+
+    /// The mutable delta segment (artifacts ingested since the last
+    /// [`Self::seal`]).
+    #[must_use]
+    pub fn delta_segment(&self) -> &PipelineSegment {
+        &self.delta
+    }
+
+    /// The outstanding tombstones (dropped tables still carried by a
+    /// sealed segment).
+    #[must_use]
+    pub fn tombstones(&self) -> &BTreeSet<TableId> {
+        &self.tombstones
     }
 
     /// Ingest (or replace) one table under a caller-assigned id.
@@ -84,6 +127,16 @@ impl SegmentedPipeline {
     pub fn ingest_table(&mut self, id: TableId, table: &Table) {
         self.tombstones.remove(&id);
         self.delta.insert(id, table, &self.ctx);
+        self.invalidate();
+        self.update_gauges();
+    }
+
+    /// Ingest one table from an already-extracted artifact bundle — the
+    /// WAL-replay half of [`Self::ingest_table`]: no extraction runs, the
+    /// bundle lands in the delta exactly as the original ingest's did.
+    pub fn ingest_artifacts(&mut self, id: TableId, artifacts: crate::segment::TableArtifacts) {
+        self.tombstones.remove(&id);
+        self.delta.insert_artifacts(id, artifacts);
         self.invalidate();
         self.update_gauges();
     }

@@ -64,20 +64,23 @@ fn bands_needed(j: f64, r: usize) -> f64 {
 impl LshEnsemble {
     /// Build from `(id, signature)` pairs with `num_partitions` equi-depth
     /// cardinality partitions. Signatures must share a `MinHasher`; longer
-    /// signatures allow stricter row counts.
+    /// signatures allow stricter row counts. An empty `items` builds an
+    /// empty ensemble (every query answers nothing) — the state a durable
+    /// pipeline restores into on its very first boot.
     ///
     /// # Panics
-    /// Panics if `num_partitions == 0` or `items` is empty.
+    /// Panics if `num_partitions == 0`.
     #[must_use]
     pub fn build(items: Vec<(u32, MinHashSignature)>, num_partitions: usize) -> Self {
         assert!(num_partitions > 0, "need at least one partition");
-        assert!(!items.is_empty(), "empty ensemble");
-        let k = items[0].1.values.len();
+        let k = items.first().map_or(0, |(_, s)| s.values.len());
 
         let mut sorted = items;
         sorted.sort_by_key(|(_, s)| s.set_size);
         let n = sorted.len();
-        let per = n.div_ceil(num_partitions);
+        // `chunks` rejects a zero size, which `n == 0` would produce; one
+        // is harmless there (no chunks to take).
+        let per = n.div_ceil(num_partitions).max(1);
 
         let mut partitions = Vec::with_capacity(num_partitions);
         let mut signatures = HashMap::with_capacity(n);
@@ -119,7 +122,7 @@ impl LshEnsemble {
         self.signatures.len()
     }
 
-    /// True if empty (cannot happen after `build`).
+    /// True if nothing was indexed.
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.signatures.is_empty()
@@ -325,8 +328,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "empty ensemble")]
-    fn rejects_empty_build() {
-        let _ = LshEnsemble::build(Vec::new(), 4);
+    fn empty_build_answers_nothing() {
+        let ens = LshEnsemble::build(Vec::new(), 4);
+        assert!(ens.is_empty());
+        let h = MinHasher::new(128, 7);
+        let probe = sig(&h, 0..10);
+        assert!(ens.query_containment(&probe, 0.0).is_empty());
+        assert!(ens.top_k_containment(&probe, 5).is_empty());
     }
 }

@@ -12,7 +12,7 @@ use std::collections::{BTreeMap, BTreeSet};
 /// dependencies. Crates not listed (fixtures, future crates) are not
 /// checked. Adding an edge here is an architectural decision — TD012
 /// exists so it happens in review, not by accident.
-const LAYERS: [(&str, &[&str]); 13] = [
+const LAYERS: [(&str, &[&str]); 14] = [
     ("table", &[]),
     ("sketch", &[]),
     ("obs", &[]),
@@ -29,7 +29,8 @@ const LAYERS: [(&str, &[&str]); 13] = [
         "apps",
         &["table", "sketch", "embed", "core", "understand", "obs"],
     ),
-    ("serve", &["core", "table", "obs"]),
+    ("store", &["core", "table", "sketch", "embed", "obs"]),
+    ("serve", &["core", "table", "obs", "store"]),
     (
         "td",
         &[
@@ -42,6 +43,7 @@ const LAYERS: [(&str, &[&str]); 13] = [
             "nav",
             "apps",
             "serve",
+            "store",
             "obs",
         ],
     ),

@@ -476,6 +476,24 @@ mod tests {
             classify("crates/bench/src/bin/trace_report.rs"),
             Some(("bench".into(), FileClass::Binary, false))
         );
+        // The persistence layer is ordinary library code: every rule
+        // applies, including the layering pin (store below serve).
+        assert_eq!(
+            classify("crates/store/src/lib.rs"),
+            Some(("store".into(), FileClass::Library, true))
+        );
+        assert_eq!(
+            classify("crates/store/src/wal.rs"),
+            Some(("store".into(), FileClass::Library, false))
+        );
+        assert_eq!(
+            classify("crates/store/tests/restore_equivalence.rs"),
+            Some(("store".into(), FileClass::Test, false))
+        );
+        assert_eq!(
+            classify("crates/bench/src/bin/store_report.rs"),
+            Some(("bench".into(), FileClass::Binary, false))
+        );
     }
 
     #[test]

@@ -356,6 +356,22 @@ fn td012_spares_allowed_edges() {
 }
 
 #[test]
+fn td012_fires_when_store_reaches_up_into_serve() {
+    // The persistence layer sits below the serving layer: serve may
+    // depend on store, never the reverse.
+    let src = fixture("td012_store_fire.toml");
+    let manifests = [("crates/store/Cargo.toml", src.as_str())];
+    assert_eq!(graph_counts(Code::Td012, &[], &manifests), (1, 0));
+}
+
+#[test]
+fn td012_spares_the_store_layer_dep_set() {
+    let src = fixture("td012_store_no_fire.toml");
+    let manifests = [("crates/store/Cargo.toml", src.as_str())];
+    assert_eq!(graph_counts(Code::Td012, &[], &manifests), (0, 0));
+}
+
+#[test]
 fn td012_manifest_waiver() {
     let src = fixture("td012_waived.toml");
     let manifests = [("crates/obs/Cargo.toml", src.as_str())];

@@ -31,6 +31,12 @@
 //!   into per-worker rings, a slow-query log, and SLO error-budget
 //!   accounting behind the `Stats` / `MetricsDump` / `SlowQueries` /
 //!   `Health` admin endpoints.
+//! * [`persist`] — restore-aware boot glue over `td-store`: a server
+//!   started with `Server::start_durable` restores its pipeline from a
+//!   snapshot + WAL directory instead of rebuilding, serves the persist
+//!   plane (`IngestTable` / `DropTable` / `Snapshot`) with every
+//!   mutation WAL-logged before it applies, and checkpoints without
+//!   blocking in-flight queries.
 //! * [`client`] — a minimal blocking client.
 //! * [`workload`] — seeded deterministic query streams for the
 //!   `serve_report` load generator.
@@ -59,6 +65,7 @@
 pub mod admin;
 pub mod cache;
 pub mod client;
+pub mod persist;
 pub mod protocol;
 pub mod queue;
 pub mod server;
@@ -67,11 +74,12 @@ pub mod workload;
 pub use admin::TraceConfig;
 pub use cache::{CacheConfig, CacheStats, ResultCache};
 pub use client::Client;
+pub use persist::{boot, serving_snapshot, DurablePipeline, RestoreStats, Store};
 pub use protocol::{
     canonical_bytes, decode_request, decode_response, encode_response, read_frame, write_frame,
-    EndpointStats, FramePoll, FrameReader, HealthReply, MetricsReply, ProtocolError, Reply,
-    Request, RequestEnvelope, ResponseEnvelope, SloStats, SpanNodeJson, StatsReply, Status,
-    TraceJson, MAX_FRAME_BYTES,
+    DropReply, EndpointStats, FramePoll, FrameReader, HealthReply, IngestReply, MetricsReply,
+    ProtocolError, Reply, Request, RequestEnvelope, ResponseEnvelope, SloStats, SnapshotReply,
+    SpanNodeJson, StatsReply, Status, TraceJson, MAX_FRAME_BYTES, MAX_FRAME_PREALLOC,
 };
 pub use queue::{AdmissionQueue, PushError};
 pub use server::{execute, Server, ServerConfig, ServerStats};

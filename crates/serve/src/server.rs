@@ -54,10 +54,11 @@ use td_obs::{Counter, Gauge, Histogram, Timer};
 
 use crate::admin::{tree_to_json, TraceConfig, TraceLayer};
 use crate::cache::{CacheConfig, CacheStats, ResultCache};
+use crate::persist::{serving_snapshot, DurablePipeline};
 use crate::protocol::{
-    canonical_bytes, decode_request, encode_response, write_frame, EndpointStats, FramePoll,
-    FrameReader, HealthReply, MetricsReply, Reply, Request, ResponseEnvelope, StatsReply, Status,
-    MAX_FRAME_BYTES,
+    canonical_bytes, decode_request, encode_response, write_frame, DropReply, EndpointStats,
+    FramePoll, FrameReader, HealthReply, IngestReply, MetricsReply, Reply, Request,
+    ResponseEnvelope, SnapshotReply, StatsReply, Status, MAX_FRAME_BYTES,
 };
 use crate::queue::{AdmissionQueue, PushError};
 
@@ -166,6 +167,9 @@ impl Metrics {
         for ep in Request::admin_endpoints() {
             latency.insert(ep, reg.histogram(&format!("serve.{ep}.latency_ns")));
         }
+        for ep in Request::persist_endpoints() {
+            latency.insert(ep, reg.histogram(&format!("serve.{ep}.latency_ns")));
+        }
         Metrics {
             queue_depth: reg.gauge("serve.queue.depth"),
             inflight: reg.gauge("serve.inflight"),
@@ -202,6 +206,11 @@ struct Shared {
     trace: Option<TraceLayer>,
     /// Worker-pool size (reported by `Health`).
     workers: u64,
+    /// The durable pipeline behind the persist plane (absent on servers
+    /// started without a store). Persist requests serialize on this
+    /// mutex; query workers never touch it, so a checkpoint cannot
+    /// block in-flight searches.
+    persist: Option<Mutex<DurablePipeline>>,
 }
 
 fn relock<G>(r: Result<G, PoisonError<G>>) -> G {
@@ -244,6 +253,11 @@ pub fn execute(pipeline: &DiscoveryPipeline, req: &Request) -> Reply {
         Request::MetricsDump => Reply::Metrics(MetricsReply::default()),
         Request::SlowQueries { .. } => Reply::SlowQueries(Vec::new()),
         Request::Health => Reply::Health(HealthReply::default()),
+        // And the persist plane: routed to the durable pipeline (which a
+        // direct in-process call does not have), never here.
+        Request::IngestTable { .. } => Reply::Ingested(IngestReply::default()),
+        Request::DropTable { .. } => Reply::Dropped(DropReply::default()),
+        Request::Snapshot => Reply::Snapshotted(SnapshotReply::default()),
     }
 }
 
@@ -334,6 +348,80 @@ fn answer_admin(shared: &Shared, req: &Request) -> Reply {
     }
 }
 
+/// Answer one persist-plane request against the durable pipeline.
+/// Mutations (`IngestTable`, `DropTable`) are WAL-logged before they are
+/// applied, then a fresh serving pipeline is staged for the next
+/// [`Request::Reload`] — queries keep running against the current epoch
+/// until the operator promotes it. `Snapshot` folds the WAL into a new
+/// checkpoint file without touching the epoch slot at all.
+///
+/// A persistence I/O failure answers `Status::Internal` and leaves the
+/// logical state unchanged (the WAL append happens first, so a failed
+/// append means nothing was applied).
+fn answer_persist(shared: &Shared, id: u64, req: &Request) -> ResponseEnvelope {
+    let Some(persist) = shared.persist.as_ref() else {
+        return ResponseEnvelope::fail(
+            id,
+            Status::BadRequest,
+            "persistence is not configured on this server",
+        );
+    };
+    let mut durable = relock(persist.lock());
+    match req {
+        Request::IngestTable {
+            id: table_id,
+            table,
+        } => {
+            // td-lint: allow(TD008) the persist mutex exists to serialize WAL append + apply; doing the mutation under it is the point
+            match durable.ingest_table(*table_id, table) {
+                Ok(()) => {
+                    // td-lint: allow(TD008) staging reads the durable pipeline, so it must happen under the persist mutex; the staged slot is held for one pointer swap
+                    *relock(shared.staged.lock()) = Some(serving_snapshot(&durable));
+                    ResponseEnvelope::ok(
+                        id,
+                        Reply::Ingested(IngestReply {
+                            tables: durable.pipeline().len() as u64,
+                            wal_records: durable.wal_records(),
+                            staged: true,
+                        }),
+                    )
+                }
+                Err(e) => ResponseEnvelope::fail(id, Status::Internal, e.to_string()),
+            }
+        }
+        // td-lint: allow(TD008) drop is WAL-logged under the persist mutex by design, same as ingest above
+        Request::DropTable { id: table_id } => match durable.drop_table(*table_id) {
+            Ok(existed) => {
+                // td-lint: allow(TD008) staging reads the durable pipeline, so it must happen under the persist mutex; the staged slot is held for one pointer swap
+                *relock(shared.staged.lock()) = Some(serving_snapshot(&durable));
+                ResponseEnvelope::ok(
+                    id,
+                    Reply::Dropped(DropReply {
+                        existed,
+                        wal_records: durable.wal_records(),
+                        staged: true,
+                    }),
+                )
+            }
+            Err(e) => ResponseEnvelope::fail(id, Status::Internal, e.to_string()),
+        },
+        // `answer_persist` is guarded by `Request::is_persist`, so the
+        // remaining persist variant is `Snapshot`.
+        // td-lint: allow(TD008) folding the WAL into a checkpoint must exclude concurrent mutations; the persist mutex is that exclusion
+        _ => match durable.checkpoint() {
+            Ok(cp) => ResponseEnvelope::ok(
+                id,
+                Reply::Snapshotted(SnapshotReply {
+                    seq: cp.snapshot_seq,
+                    bytes: cp.snapshot_bytes,
+                    wal_records_folded: cp.wal_records_folded,
+                }),
+            ),
+            Err(e) => ResponseEnvelope::fail(id, Status::Internal, e.to_string()),
+        },
+    }
+}
+
 /// Write a response frame; a failed write means the client is gone,
 /// which is not the server's error to surface.
 fn respond(out: &Arc<Mutex<TcpStream>>, resp: &ResponseEnvelope) {
@@ -365,6 +453,39 @@ impl Server {
     /// # Errors
     /// Fails if the listener cannot bind `cfg.addr`.
     pub fn start(pipeline: Arc<DiscoveryPipeline>, cfg: ServerConfig) -> std::io::Result<Server> {
+        Self::start_inner(pipeline, None, cfg)
+    }
+
+    /// Start a server whose state is backed by a td-store directory: the
+    /// initial serving pipeline is merged from the (restored) durable
+    /// pipeline, and the persist plane ([`Request::IngestTable`],
+    /// [`Request::DropTable`], [`Request::Snapshot`]) is enabled —
+    /// mutations are WAL-logged before they apply and stage fresh
+    /// serving pipelines for the next [`Request::Reload`].
+    ///
+    /// Restore-aware boot is `crate::persist::boot` + this:
+    ///
+    /// ```no_run
+    /// # use td_serve::{Server, ServerConfig};
+    /// # let ctx: td_core::segment::PipelineContext = unimplemented!();
+    /// let (durable, stats) = td_serve::persist::boot("/var/lib/td", ctx)?;
+    /// assert!(stats.restore_ms >= 0.0);
+    /// let server = Server::start_durable(durable, ServerConfig::default())?;
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    ///
+    /// # Errors
+    /// Fails if the listener cannot bind `cfg.addr`.
+    pub fn start_durable(durable: DurablePipeline, cfg: ServerConfig) -> std::io::Result<Server> {
+        let pipeline = serving_snapshot(&durable);
+        Self::start_inner(pipeline, Some(durable), cfg)
+    }
+
+    fn start_inner(
+        pipeline: Arc<DiscoveryPipeline>,
+        persist: Option<DurablePipeline>,
+        cfg: ServerConfig,
+    ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
         td_obs::global().gauge("serve.pipeline.epoch").set(0.0);
@@ -387,6 +508,7 @@ impl Server {
             bad_requests: AtomicU64::new(0),
             trace,
             workers: worker_count as u64,
+            persist: persist.map(Mutex::new),
         });
 
         let workers = (0..worker_count)
@@ -605,6 +727,23 @@ fn handle_frame(payload: &[u8], shared: &Arc<Shared>, out: &Arc<Mutex<TcpStream>
             out,
             &ResponseEnvelope::fail(env.id, Status::ShuttingDown, "server is draining"),
         );
+        return;
+    }
+
+    // The persist plane is answered inline on this connection thread:
+    // mutations serialize on the durable-pipeline mutex, which no query
+    // worker ever takes, so a slow checkpoint cannot stall searches. It
+    // sits after the drain check — a draining server refuses mutations.
+    if env.req.is_persist() {
+        let t = Timer::start();
+        let resp = answer_persist(shared, env.id, &env.req);
+        if resp.status == Status::Ok {
+            shared.served_ok.fetch_add(1, Ordering::Relaxed);
+        }
+        respond(out, &resp);
+        shared
+            .metrics
+            .record_latency(env.req.endpoint(), t.elapsed());
         return;
     }
 

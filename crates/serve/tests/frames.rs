@@ -1,0 +1,106 @@
+//! Malformed-length defense over a live socket: a client that declares
+//! an absurd frame length gets a clean `BadRequest` protocol error and a
+//! closed connection — the server neither buffers toward the declared
+//! length nor dies.
+
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::sync::{Arc, OnceLock};
+
+use td_core::{DiscoveryPipeline, PipelineConfig};
+use td_serve::{
+    decode_response, read_frame, Client, Request, RequestEnvelope, Server, ServerConfig, Status,
+    MAX_FRAME_BYTES,
+};
+use td_table::gen::lakegen::{LakeGenConfig, LakeGenerator};
+
+fn pipeline() -> Arc<DiscoveryPipeline> {
+    static P: OnceLock<Arc<DiscoveryPipeline>> = OnceLock::new();
+    Arc::clone(P.get_or_init(|| {
+        let gl = LakeGenerator::standard().generate(&LakeGenConfig {
+            num_tables: 4,
+            rows: (6, 12),
+            cols: (2, 3),
+            seed: 20260805,
+            ..LakeGenConfig::default()
+        });
+        Arc::new(DiscoveryPipeline::build(
+            &gl.lake,
+            &gl.registry,
+            &[],
+            &PipelineConfig::default(),
+        ))
+    }))
+}
+
+/// Declare a 4 GiB frame: the server answers `BadRequest` naming the
+/// limit and closes the connection, while other clients keep working.
+#[test]
+fn absurd_length_prefix_gets_clean_error_and_close() {
+    let mut server = Server::start(pipeline(), ServerConfig::default()).expect("bind");
+    let addr = server.local_addr();
+
+    let mut raw = TcpStream::connect(addr).expect("connect");
+    raw.write_all(&u32::MAX.to_be_bytes()).expect("send prefix");
+    raw.flush().expect("flush");
+
+    let payload = read_frame(&mut raw, MAX_FRAME_BYTES)
+        .expect("server must answer, not drop")
+        .expect("a response frame, not EOF");
+    let resp = decode_response(&payload).expect("decode");
+    assert_eq!(resp.status, Status::BadRequest);
+    let msg = resp.error.as_deref().unwrap_or("");
+    assert!(
+        msg.contains("exceeds") && msg.contains("limit"),
+        "diagnostic should name the limit: {msg:?}"
+    );
+    // The connection is closed after the protocol error.
+    assert_eq!(read_frame(&mut raw, MAX_FRAME_BYTES).expect("eof"), None);
+
+    // The server is unaffected: a fresh client gets served.
+    let mut client = Client::connect(addr).expect("connect");
+    let resp = client
+        .call(&RequestEnvelope {
+            id: 1,
+            deadline_ms: 0,
+            req: Request::Ping,
+        })
+        .expect("ping");
+    assert_eq!(resp.status, Status::Ok);
+
+    drop(client);
+    server.shutdown();
+}
+
+/// A tighter configured ceiling is enforced the same way: the declared
+/// length is judged against `max_frame_bytes`, not the protocol-wide
+/// maximum.
+#[test]
+fn configured_frame_ceiling_is_enforced() {
+    let mut server = Server::start(
+        pipeline(),
+        ServerConfig {
+            max_frame_bytes: 1024,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+
+    let mut raw = TcpStream::connect(addr).expect("connect");
+    raw.write_all(&4096u32.to_be_bytes()).expect("send prefix");
+    raw.flush().expect("flush");
+
+    let payload = read_frame(&mut raw, MAX_FRAME_BYTES)
+        .expect("server must answer")
+        .expect("a response frame");
+    let resp = decode_response(&payload).expect("decode");
+    assert_eq!(resp.status, Status::BadRequest);
+    assert!(
+        resp.error.as_deref().unwrap_or("").contains("4096"),
+        "diagnostic should echo the declared length: {:?}",
+        resp.error
+    );
+
+    server.shutdown();
+}

@@ -71,6 +71,23 @@ impl QcrSketch {
         self.k
     }
 
+    /// Decompose into `(k, entries, seed)` — the serialization hook for
+    /// persistent stores. `entries` is the bottom-k sample, ascending by
+    /// key hash.
+    #[must_use]
+    pub fn parts(&self) -> (usize, &[(u64, bool)], u64) {
+        (self.k, &self.entries, self.seed)
+    }
+
+    /// Rebuild a sketch from the pieces [`Self::parts`] produced.
+    /// `entries` must be ascending by hash with unique hashes and at most
+    /// `k` elements — true of any value that came out of `parts`; feeding
+    /// anything else voids the estimator's guarantees (but cannot panic).
+    #[must_use]
+    pub fn from_parts(k: usize, entries: Vec<(u64, bool)>, seed: u64) -> Self {
+        QcrSketch { k, entries, seed }
+    }
+
     /// `(concordant, discordant)` counts over the keys sampled by *both*
     /// sketches.
     ///

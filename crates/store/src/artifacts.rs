@@ -1,0 +1,545 @@
+//! Byte codecs for the ten per-table artifact types and the segment
+//! sections built from them.
+//!
+//! Two things make these encodings safe to diff and replay:
+//!
+//! 1. **Determinism** — hash-ordered collections ([`ColumnEvidence`]
+//!    token sets, [`TableSignature`] type/triple sets) are sorted before
+//!    encoding, so the same logical artifact always produces the same
+//!    bytes. Decoding rebuilds the sets; every consumer of those sets is
+//!    order-independent, so rankings are unaffected.
+//! 2. **Totality** — decoders never panic. Truncated buffers, implausible
+//!    length prefixes, and bad tags all surface as
+//!    [`crate::StoreError::Corrupt`].
+
+use std::collections::HashSet;
+
+use td_core::join::{
+    ContainmentJoinSearch, CorrelatedSearch, ExactJoinSearch, FuzzyJoinSearch, MateSearch,
+};
+use td_core::segment::ArtifactOf;
+use td_core::union::{ColumnEvidence, SantosSearch, StarmieSearch, TableSignature, TusSearch};
+use td_core::{KeywordSearch, PipelineSegment, TableArtifacts};
+use td_embed::model::{DomainEmbedder, NGramEmbedder};
+use td_sketch::minhash::MinHashSignature;
+use td_sketch::qcr::QcrSketch;
+use td_table::gen::domains::DomainId;
+use td_table::{ColumnProfile, LakeProfile, PrimitiveType, TableId};
+
+use crate::codec::{Reader, Writer};
+use crate::error::{Result, StoreError};
+
+/// Stable numeric identity of each component's section in a snapshot's
+/// table of contents. The discriminants are part of the on-disk format —
+/// append new components, never renumber.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u32)]
+pub enum ComponentId {
+    /// Per-column statistics ([`LakeProfile`]).
+    Profile = 0,
+    /// Metadata/schema document ([`KeywordSearch`]).
+    Keyword = 1,
+    /// Distinct tokens per column ([`ExactJoinSearch`]).
+    ExactJoin = 2,
+    /// MinHash signatures per column ([`ContainmentJoinSearch`]).
+    ContainmentJoin = 3,
+    /// Embedded value vectors per column ([`FuzzyJoinSearch`]).
+    FuzzyJoin = 4,
+    /// Row-hash postings ([`MateSearch`]).
+    Mate = 5,
+    /// QCR sketches per key/numeric pair ([`CorrelatedSearch`]).
+    Correlated = 6,
+    /// Per-column unionability evidence ([`TusSearch`]).
+    Tus = 7,
+    /// Annotated type/relationship signature ([`SantosSearch`]).
+    Santos = 8,
+    /// Contextual column embeddings ([`StarmieSearch`]).
+    Starmie = 9,
+}
+
+impl ComponentId {
+    /// Every component, in section order.
+    pub const ALL: [ComponentId; 10] = [
+        ComponentId::Profile,
+        ComponentId::Keyword,
+        ComponentId::ExactJoin,
+        ComponentId::ContainmentJoin,
+        ComponentId::FuzzyJoin,
+        ComponentId::Mate,
+        ComponentId::Correlated,
+        ComponentId::Tus,
+        ComponentId::Santos,
+        ComponentId::Starmie,
+    ];
+
+    /// Decode a TOC component tag.
+    pub fn from_u32(v: u32) -> Result<Self> {
+        Self::ALL
+            .into_iter()
+            .find(|c| *c as u32 == v)
+            .ok_or_else(|| StoreError::corrupt("toc", format!("unknown component id {v}")))
+    }
+
+    /// Section label used in corruption errors.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ComponentId::Profile => "section profile",
+            ComponentId::Keyword => "section keyword",
+            ComponentId::ExactJoin => "section exact_join",
+            ComponentId::ContainmentJoin => "section containment_join",
+            ComponentId::FuzzyJoin => "section fuzzy_join",
+            ComponentId::Mate => "section mate",
+            ComponentId::Correlated => "section correlated",
+            ComponentId::Tus => "section tus",
+            ComponentId::Santos => "section santos",
+            ComponentId::Starmie => "section starmie",
+        }
+    }
+}
+
+fn put_primitive_type(w: &mut Writer, ty: PrimitiveType) {
+    w.put_u8(match ty {
+        PrimitiveType::Null => 0,
+        PrimitiveType::Bool => 1,
+        PrimitiveType::Int => 2,
+        PrimitiveType::Float => 3,
+        PrimitiveType::Text => 4,
+    });
+}
+
+fn get_primitive_type(r: &mut Reader<'_>) -> Result<PrimitiveType> {
+    Ok(match r.get_u8()? {
+        0 => PrimitiveType::Null,
+        1 => PrimitiveType::Bool,
+        2 => PrimitiveType::Int,
+        3 => PrimitiveType::Float,
+        4 => PrimitiveType::Text,
+        b => {
+            return Err(StoreError::corrupt(
+                "column profile",
+                format!("bad type tag {b}"),
+            ))
+        }
+    })
+}
+
+fn put_profile(w: &mut Writer, cols: &ArtifactOf<LakeProfile>) {
+    w.put_len(cols.len());
+    for c in cols {
+        w.put_str(&c.name);
+        put_primitive_type(w, c.ty);
+        w.put_usize(c.rows);
+        w.put_usize(c.nulls);
+        w.put_usize(c.distinct);
+        w.put_f64(c.mean);
+        w.put_f64(c.std_dev);
+        w.put_opt_f64(c.min);
+        w.put_opt_f64(c.max);
+        w.put_f64(c.mean_text_len);
+    }
+}
+
+fn get_profile(r: &mut Reader<'_>) -> Result<ArtifactOf<LakeProfile>> {
+    let n = r.get_len(47)?; // name(4) + ty(1) + 3*usize + 3*f64 + 2 presence bytes
+    let mut cols = Vec::with_capacity(n);
+    for _ in 0..n {
+        cols.push(ColumnProfile {
+            name: r.get_str()?,
+            ty: get_primitive_type(r)?,
+            rows: r.get_usize()?,
+            nulls: r.get_usize()?,
+            distinct: r.get_usize()?,
+            mean: r.get_f64()?,
+            std_dev: r.get_f64()?,
+            min: r.get_opt_f64()?,
+            max: r.get_opt_f64()?,
+            mean_text_len: r.get_f64()?,
+        });
+    }
+    Ok(cols)
+}
+
+fn put_keyword(w: &mut Writer, doc: &ArtifactOf<KeywordSearch>) {
+    w.put_str(doc);
+}
+
+fn get_keyword(r: &mut Reader<'_>) -> Result<ArtifactOf<KeywordSearch>> {
+    r.get_str()
+}
+
+fn put_exact_join(w: &mut Writer, cols: &ArtifactOf<ExactJoinSearch>) {
+    w.put_len(cols.len());
+    for (ci, tokens) in cols {
+        w.put_u32(*ci);
+        w.put_len(tokens.len());
+        for t in tokens {
+            w.put_str(t);
+        }
+    }
+}
+
+fn get_exact_join(r: &mut Reader<'_>) -> Result<ArtifactOf<ExactJoinSearch>> {
+    let n = r.get_len(8)?;
+    let mut cols = Vec::with_capacity(n);
+    for _ in 0..n {
+        let ci = r.get_u32()?;
+        let m = r.get_len(4)?;
+        let mut tokens = Vec::with_capacity(m);
+        for _ in 0..m {
+            tokens.push(r.get_str()?);
+        }
+        cols.push((ci, tokens));
+    }
+    Ok(cols)
+}
+
+fn put_containment(w: &mut Writer, cols: &ArtifactOf<ContainmentJoinSearch>) {
+    w.put_len(cols.len());
+    for (ci, sig) in cols {
+        w.put_u32(*ci);
+        w.put_len(sig.values.len());
+        for v in &sig.values {
+            w.put_u64(*v);
+        }
+        w.put_usize(sig.set_size);
+    }
+}
+
+fn get_containment(r: &mut Reader<'_>) -> Result<ArtifactOf<ContainmentJoinSearch>> {
+    let n = r.get_len(16)?;
+    let mut cols = Vec::with_capacity(n);
+    for _ in 0..n {
+        let ci = r.get_u32()?;
+        let m = r.get_len(8)?;
+        let values = r.get_u64s(m)?;
+        let set_size = r.get_usize()?;
+        cols.push((ci, MinHashSignature { values, set_size }));
+    }
+    Ok(cols)
+}
+
+fn put_fuzzy(w: &mut Writer, cols: &ArtifactOf<FuzzyJoinSearch<NGramEmbedder>>) {
+    w.put_len(cols.len());
+    for (ci, vecs) in cols {
+        w.put_u32(*ci);
+        w.put_len(vecs.len());
+        for v in vecs {
+            w.put_len(v.len());
+            for x in v {
+                w.put_f32(*x);
+            }
+        }
+    }
+}
+
+fn get_fuzzy(r: &mut Reader<'_>) -> Result<ArtifactOf<FuzzyJoinSearch<NGramEmbedder>>> {
+    let n = r.get_len(8)?;
+    let mut cols = Vec::with_capacity(n);
+    for _ in 0..n {
+        let ci = r.get_u32()?;
+        let m = r.get_len(4)?;
+        let mut vecs = Vec::with_capacity(m);
+        for _ in 0..m {
+            let d = r.get_len(4)?;
+            vecs.push(r.get_f32s(d)?);
+        }
+        cols.push((ci, vecs));
+    }
+    Ok(cols)
+}
+
+fn put_mate(w: &mut Writer, rows: &ArtifactOf<MateSearch>) {
+    w.put_len(rows.len());
+    for (hashes, row_hash) in rows {
+        w.put_len(hashes.len());
+        for h in hashes {
+            w.put_u64(*h);
+        }
+        w.put_u64(*row_hash);
+    }
+}
+
+fn get_mate(r: &mut Reader<'_>) -> Result<ArtifactOf<MateSearch>> {
+    let n = r.get_len(12)?;
+    let mut rows = Vec::with_capacity(n);
+    for _ in 0..n {
+        let m = r.get_len(8)?;
+        let hashes = r.get_u64s(m)?;
+        let row_hash = r.get_u64()?;
+        rows.push((hashes, row_hash));
+    }
+    Ok(rows)
+}
+
+fn put_correlated(w: &mut Writer, pairs: &ArtifactOf<CorrelatedSearch>) {
+    w.put_len(pairs.len());
+    for (ki, ni, sketch) in pairs {
+        w.put_u32(*ki);
+        w.put_u32(*ni);
+        let (k, entries, seed) = sketch.parts();
+        w.put_usize(k);
+        w.put_u64(seed);
+        w.put_len(entries.len());
+        for (h, above) in entries {
+            w.put_u64(*h);
+            w.put_bool(*above);
+        }
+    }
+}
+
+fn get_correlated(r: &mut Reader<'_>) -> Result<ArtifactOf<CorrelatedSearch>> {
+    let n = r.get_len(28)?;
+    let mut pairs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let ki = r.get_u32()?;
+        let ni = r.get_u32()?;
+        let k = r.get_usize()?;
+        let seed = r.get_u64()?;
+        let m = r.get_len(9)?;
+        let mut entries = Vec::with_capacity(m);
+        for _ in 0..m {
+            let h = r.get_u64()?;
+            let above = r.get_bool()?;
+            entries.push((h, above));
+        }
+        pairs.push((ki, ni, QcrSketch::from_parts(k, entries, seed)));
+    }
+    Ok(pairs)
+}
+
+fn put_tus(w: &mut Writer, cols: &ArtifactOf<TusSearch>) {
+    w.put_len(cols.len());
+    for ev in cols {
+        let mut tokens: Vec<&String> = ev.tokens.iter().collect();
+        tokens.sort_unstable();
+        w.put_len(tokens.len());
+        for t in tokens {
+            w.put_str(t);
+        }
+        w.put_len(ev.semantic.len());
+        for x in &ev.semantic {
+            w.put_f32(*x);
+        }
+        w.put_len(ev.nl.len());
+        for x in &ev.nl {
+            w.put_f32(*x);
+        }
+    }
+}
+
+fn get_tus(r: &mut Reader<'_>) -> Result<ArtifactOf<TusSearch>> {
+    let n = r.get_len(12)?;
+    let mut cols = Vec::with_capacity(n);
+    for _ in 0..n {
+        let m = r.get_len(4)?;
+        let mut tokens = HashSet::with_capacity(m);
+        for _ in 0..m {
+            tokens.insert(r.get_str()?);
+        }
+        let d = r.get_len(4)?;
+        let semantic = r.get_f32s(d)?;
+        let d = r.get_len(4)?;
+        let nl = r.get_f32s(d)?;
+        cols.push(ColumnEvidence {
+            tokens,
+            semantic,
+            nl,
+        });
+    }
+    Ok(cols)
+}
+
+fn put_santos(w: &mut Writer, sig: &ArtifactOf<SantosSearch>) {
+    let mut types: Vec<u16> = sig.types.iter().map(|d| d.0).collect();
+    types.sort_unstable();
+    w.put_len(types.len());
+    for t in types {
+        w.put_u16(t);
+    }
+    let mut triples: Vec<(u16, u32, u16)> =
+        sig.triples.iter().map(|(s, r, o)| (s.0, *r, o.0)).collect();
+    triples.sort_unstable();
+    w.put_len(triples.len());
+    for (s, rel, o) in triples {
+        w.put_u16(s);
+        w.put_u32(rel);
+        w.put_u16(o);
+    }
+}
+
+fn get_santos(r: &mut Reader<'_>) -> Result<ArtifactOf<SantosSearch>> {
+    let n = r.get_len(2)?;
+    let mut types = HashSet::with_capacity(n);
+    for _ in 0..n {
+        types.insert(DomainId(r.get_u16()?));
+    }
+    let m = r.get_len(8)?;
+    let mut triples = HashSet::with_capacity(m);
+    for _ in 0..m {
+        let s = DomainId(r.get_u16()?);
+        let rel = r.get_u32()?;
+        let o = DomainId(r.get_u16()?);
+        triples.insert((s, rel, o));
+    }
+    Ok(TableSignature { types, triples })
+}
+
+fn put_starmie(w: &mut Writer, cols: &ArtifactOf<StarmieSearch<DomainEmbedder>>) {
+    w.put_len(cols.len());
+    for v in cols {
+        w.put_len(v.len());
+        for x in v {
+            w.put_f32(*x);
+        }
+    }
+}
+
+fn get_starmie(r: &mut Reader<'_>) -> Result<ArtifactOf<StarmieSearch<DomainEmbedder>>> {
+    let n = r.get_len(4)?;
+    let mut cols = Vec::with_capacity(n);
+    for _ in 0..n {
+        let d = r.get_len(4)?;
+        cols.push(r.get_f32s(d)?);
+    }
+    Ok(cols)
+}
+
+/// Encode one table's full artifact bundle (the WAL ingest payload).
+pub fn put_table_artifacts(w: &mut Writer, a: &TableArtifacts) {
+    put_profile(w, &a.profile);
+    put_keyword(w, &a.keyword);
+    put_exact_join(w, &a.exact_join);
+    put_containment(w, &a.containment_join);
+    put_fuzzy(w, &a.fuzzy_join);
+    put_mate(w, &a.mate);
+    put_correlated(w, &a.correlated);
+    put_tus(w, &a.tus);
+    put_santos(w, &a.santos);
+    put_starmie(w, &a.starmie);
+}
+
+/// Decode one table's full artifact bundle written by
+/// [`put_table_artifacts`].
+pub fn get_table_artifacts(r: &mut Reader<'_>) -> Result<TableArtifacts> {
+    Ok(TableArtifacts {
+        profile: get_profile(r)?,
+        keyword: get_keyword(r)?,
+        exact_join: get_exact_join(r)?,
+        containment_join: get_containment(r)?,
+        fuzzy_join: get_fuzzy(r)?,
+        mate: get_mate(r)?,
+        correlated: get_correlated(r)?,
+        tus: get_tus(r)?,
+        santos: get_santos(r)?,
+        starmie: get_starmie(r)?,
+    })
+}
+
+fn encode_entries<A>(entries: &[(TableId, A)], put: impl Fn(&mut Writer, &A)) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_len(entries.len());
+    for (id, a) in entries {
+        w.put_u32(id.0);
+        put(&mut w, a);
+    }
+    w.into_bytes()
+}
+
+fn decode_entries<A>(
+    bytes: &[u8],
+    what: &str,
+    mut get: impl FnMut(&mut Reader<'_>) -> Result<A>,
+) -> Result<Vec<(TableId, A)>> {
+    let mut r = Reader::new(bytes, what);
+    let n = r.get_len(4)?;
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        let id = TableId(r.get_u32()?);
+        entries.push((id, get(&mut r)?));
+    }
+    r.expect_end()?;
+    Ok(entries)
+}
+
+/// Encode one component's section of a segment: `u32` table count, then
+/// ascending `(table id, artifact)` pairs.
+#[must_use]
+pub fn encode_component(seg: &PipelineSegment, comp: ComponentId) -> Vec<u8> {
+    match comp {
+        ComponentId::Profile => encode_entries(seg.profile().entries(), put_profile),
+        ComponentId::Keyword => encode_entries(seg.keyword().entries(), put_keyword),
+        ComponentId::ExactJoin => encode_entries(seg.exact_join().entries(), put_exact_join),
+        ComponentId::ContainmentJoin => {
+            encode_entries(seg.containment_join().entries(), put_containment)
+        }
+        ComponentId::FuzzyJoin => encode_entries(seg.fuzzy_join().entries(), put_fuzzy),
+        ComponentId::Mate => encode_entries(seg.mate().entries(), put_mate),
+        ComponentId::Correlated => encode_entries(seg.correlated().entries(), put_correlated),
+        ComponentId::Tus => encode_entries(seg.tus().entries(), put_tus),
+        ComponentId::Santos => encode_entries(seg.santos().entries(), put_santos),
+        ComponentId::Starmie => encode_entries(seg.starmie().entries(), put_starmie),
+    }
+}
+
+/// Reassemble a [`PipelineSegment`] from its ten encoded sections;
+/// `read` supplies the verified bytes of each component's section.
+pub fn decode_segment(
+    mut read: impl FnMut(ComponentId) -> Result<Vec<u8>>,
+) -> Result<PipelineSegment> {
+    use td_core::ComponentSegment as Cs;
+    let profile = read(ComponentId::Profile)?;
+    let keyword = read(ComponentId::Keyword)?;
+    let exact = read(ComponentId::ExactJoin)?;
+    let containment = read(ComponentId::ContainmentJoin)?;
+    let fuzzy = read(ComponentId::FuzzyJoin)?;
+    let mate = read(ComponentId::Mate)?;
+    let correlated = read(ComponentId::Correlated)?;
+    let tus = read(ComponentId::Tus)?;
+    let santos = read(ComponentId::Santos)?;
+    let starmie = read(ComponentId::Starmie)?;
+    Ok(PipelineSegment::from_components(
+        Cs::from_entries(decode_entries(
+            &profile,
+            ComponentId::Profile.name(),
+            get_profile,
+        )?),
+        Cs::from_entries(decode_entries(
+            &keyword,
+            ComponentId::Keyword.name(),
+            get_keyword,
+        )?),
+        Cs::from_entries(decode_entries(
+            &exact,
+            ComponentId::ExactJoin.name(),
+            get_exact_join,
+        )?),
+        Cs::from_entries(decode_entries(
+            &containment,
+            ComponentId::ContainmentJoin.name(),
+            get_containment,
+        )?),
+        Cs::from_entries(decode_entries(
+            &fuzzy,
+            ComponentId::FuzzyJoin.name(),
+            get_fuzzy,
+        )?),
+        Cs::from_entries(decode_entries(&mate, ComponentId::Mate.name(), get_mate)?),
+        Cs::from_entries(decode_entries(
+            &correlated,
+            ComponentId::Correlated.name(),
+            get_correlated,
+        )?),
+        Cs::from_entries(decode_entries(&tus, ComponentId::Tus.name(), get_tus)?),
+        Cs::from_entries(decode_entries(
+            &santos,
+            ComponentId::Santos.name(),
+            get_santos,
+        )?),
+        Cs::from_entries(decode_entries(
+            &starmie,
+            ComponentId::Starmie.name(),
+            get_starmie,
+        )?),
+    ))
+}

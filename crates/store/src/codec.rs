@@ -1,0 +1,427 @@
+//! Endianness-stable primitive codec and the CRC-64 the formats checksum
+//! with.
+//!
+//! Every multi-byte integer is **little-endian fixed width**; floats are
+//! written as their raw IEEE-754 bit patterns (`to_bits`), so a snapshot
+//! round-trips NaN payloads and signed zeros bit-exactly and the same
+//! logical state always encodes to the same bytes on every platform.
+//! Collections are length-prefixed (`u32`), and anything hash-ordered is
+//! sorted by the callers in [`crate::artifacts`] before it reaches the
+//! encoder — decode order is therefore deterministic too.
+
+use crate::error::{Result, StoreError};
+
+/// CRC-64/XZ (ECMA-182 polynomial, reflected), slice-by-8.
+///
+/// Chosen over a simple sum because it catches the burst errors a torn
+/// write produces, and over CRC-32 because section payloads run to
+/// megabytes. Slice-by-8 processes a whole aligned word per step with
+/// eight independent table lookups — WAL replay checksums every record
+/// payload, so this sits on the restore hot path.
+#[must_use]
+pub fn crc64(bytes: &[u8]) -> u64 {
+    const TABLES: [[u64; 256]; 8] = crc64_tables();
+    let mut crc = !0u64;
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        crc ^= u64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]);
+        crc = TABLES[7][(crc & 0xff) as usize]
+            ^ TABLES[6][((crc >> 8) & 0xff) as usize]
+            ^ TABLES[5][((crc >> 16) & 0xff) as usize]
+            ^ TABLES[4][((crc >> 24) & 0xff) as usize]
+            ^ TABLES[3][((crc >> 32) & 0xff) as usize]
+            ^ TABLES[2][((crc >> 40) & 0xff) as usize]
+            ^ TABLES[1][((crc >> 48) & 0xff) as usize]
+            ^ TABLES[0][((crc >> 56) & 0xff) as usize];
+    }
+    for &b in chunks.remainder() {
+        crc = TABLES[0][((crc ^ u64::from(b)) & 0xff) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+const fn crc64_tables() -> [[u64; 256]; 8] {
+    // Reflected form of the ECMA-182 polynomial 0x42F0_E1EB_A9EA_3693.
+    const POLY: u64 = 0xC96C_5795_D787_0F42;
+    let mut tables = [[0u64; 256]; 8];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u64;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 == 1 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        tables[0][i] = crc;
+        i += 1;
+    }
+    // tables[t][v] advances the byte-at-a-time recurrence t extra bytes,
+    // letting eight lookups consume one 64-bit word.
+    let mut t = 1;
+    while t < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[t - 1][i];
+            tables[t][i] = tables[0][(prev & 0xff) as usize] ^ (prev >> 8);
+            i += 1;
+        }
+        t += 1;
+    }
+    tables
+}
+
+/// Append-only byte sink for the fixed-width little-endian encoding.
+#[derive(Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Empty writer.
+    #[must_use]
+    pub fn new() -> Self {
+        Writer::default()
+    }
+
+    /// Writer with a pre-sized buffer.
+    #[must_use]
+    pub fn with_capacity(n: usize) -> Self {
+        Writer {
+            buf: Vec::with_capacity(n),
+        }
+    }
+
+    /// Bytes written so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consume the writer, yielding the encoded bytes.
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Borrow the bytes written so far.
+    #[must_use]
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Append one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a `u16`, little-endian.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `u32`, little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `u64`, little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `usize` as a `u64` (stable across 32/64-bit hosts).
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Append a bool as one byte (0/1).
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(u8::from(v));
+    }
+
+    /// Append an `f32` as its raw bit pattern.
+    pub fn put_f32(&mut self, v: f32) {
+        self.put_u32(v.to_bits());
+    }
+
+    /// Append an `f64` as its raw bit pattern.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Append an optional `f64`: presence byte, then the bits if present.
+    pub fn put_opt_f64(&mut self, v: Option<f64>) {
+        match v {
+            Some(x) => {
+                self.put_u8(1);
+                self.put_f64(x);
+            }
+            None => self.put_u8(0),
+        }
+    }
+
+    /// Append raw bytes with no length prefix (for fixed-layout framing
+    /// where the caller owns the structure).
+    pub fn put_bytes_raw(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Append raw bytes with a `u32` length prefix.
+    pub fn put_bytes(&mut self, b: &[u8]) {
+        self.put_u32(b.len() as u32);
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Append a UTF-8 string with a `u32` length prefix.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_bytes(s.as_bytes());
+    }
+
+    /// Append a `u32` collection-length prefix.
+    pub fn put_len(&mut self, n: usize) {
+        self.put_u32(n as u32);
+    }
+}
+
+/// Cursor over an encoded byte slice; every accessor bounds-checks and
+/// returns [`StoreError::Corrupt`] instead of panicking on truncated or
+/// malformed input.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    /// Label woven into corruption errors ("wal record", "section tus"…).
+    what: &'a str,
+}
+
+impl<'a> Reader<'a> {
+    /// Cursor over `buf`; `what` labels corruption errors.
+    #[must_use]
+    pub fn new(buf: &'a [u8], what: &'a str) -> Self {
+        Reader { buf, pos: 0, what }
+    }
+
+    /// Bytes not yet consumed.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(StoreError::corrupt(
+                self.what,
+                format!("needed {n} bytes, {} remain", self.remaining()),
+            ));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read one byte.
+    pub fn get_u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u16`.
+    pub fn get_u16(&mut self) -> Result<u16> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Read a `usize` written by [`Writer::put_usize`], rejecting values
+    /// that overflow the host's pointer width.
+    pub fn get_usize(&mut self) -> Result<usize> {
+        let v = self.get_u64()?;
+        usize::try_from(v)
+            .map_err(|_| StoreError::corrupt(self.what, format!("usize out of range: {v}")))
+    }
+
+    /// Read a bool byte, rejecting anything but 0/1.
+    pub fn get_bool(&mut self) -> Result<bool> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(StoreError::corrupt(self.what, format!("bad bool byte {b}"))),
+        }
+    }
+
+    /// Read an `f32` from its raw bit pattern.
+    pub fn get_f32(&mut self) -> Result<f32> {
+        Ok(f32::from_bits(self.get_u32()?))
+    }
+
+    /// Read an `f64` from its raw bit pattern.
+    pub fn get_f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Read an optional `f64` written by [`Writer::put_opt_f64`].
+    pub fn get_opt_f64(&mut self) -> Result<Option<f64>> {
+        if self.get_bool()? {
+            Ok(Some(self.get_f64()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Read `n` consecutive little-endian `u64`s in one bounds check.
+    ///
+    /// Equivalent to `n` calls of [`Self::get_u64`]; the bulk form is for
+    /// the decode hot paths (signature and hash arrays dominate an
+    /// artifact bundle's bytes, and WAL replay decodes thousands of
+    /// bundles).
+    pub fn get_u64s(&mut self, n: usize) -> Result<Vec<u64>> {
+        let b = self.take(n.checked_mul(8).ok_or_else(|| {
+            StoreError::corrupt(self.what, format!("u64 run of {n} overflows"))
+        })?)?;
+        Ok(b.chunks_exact(8)
+            .map(|c| u64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]))
+            .collect())
+    }
+
+    /// Read `n` consecutive raw-bit `f32`s in one bounds check (bulk form
+    /// of [`Self::get_f32`], same rationale as [`Self::get_u64s`]).
+    pub fn get_f32s(&mut self, n: usize) -> Result<Vec<f32>> {
+        let b = self.take(n.checked_mul(4).ok_or_else(|| {
+            StoreError::corrupt(self.what, format!("f32 run of {n} overflows"))
+        })?)?;
+        Ok(b.chunks_exact(4)
+            .map(|c| f32::from_bits(u32::from_le_bytes([c[0], c[1], c[2], c[3]])))
+            .collect())
+    }
+
+    /// Read a `u32`-length-prefixed byte run.
+    pub fn get_bytes(&mut self) -> Result<&'a [u8]> {
+        let n = self.get_u32()? as usize;
+        self.take(n)
+    }
+
+    /// Read a `u32`-length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String> {
+        let b = self.get_bytes()?;
+        String::from_utf8(b.to_vec())
+            .map_err(|e| StoreError::corrupt(self.what, format!("invalid utf-8: {e}")))
+    }
+
+    /// Read a collection-length prefix, capped against the bytes actually
+    /// remaining (each element needs >= `min_elem_bytes`) so corrupt
+    /// lengths can't trigger absurd preallocations.
+    pub fn get_len(&mut self, min_elem_bytes: usize) -> Result<usize> {
+        let n = self.get_u32()? as usize;
+        let cap = self.remaining() / min_elem_bytes.max(1);
+        if n > cap {
+            return Err(StoreError::corrupt(
+                self.what,
+                format!("length {n} exceeds plausible {cap}"),
+            ));
+        }
+        Ok(n)
+    }
+
+    /// Assert the cursor consumed the whole buffer.
+    pub fn expect_end(&self) -> Result<()> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(StoreError::corrupt(
+                self.what,
+                format!("{} trailing bytes", self.remaining()),
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc64_matches_known_vector() {
+        // CRC-64/XZ check value for "123456789".
+        assert_eq!(crc64(b"123456789"), 0x995D_C9BB_DF19_39FA);
+        assert_eq!(crc64(b""), 0);
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = Writer::new();
+        w.put_u8(7);
+        w.put_u16(65_000);
+        w.put_u32(123_456_789);
+        w.put_u64(u64::MAX - 3);
+        w.put_usize(42);
+        w.put_bool(true);
+        w.put_f32(-0.0);
+        w.put_f64(f64::NAN);
+        w.put_opt_f64(Some(1.5));
+        w.put_opt_f64(None);
+        w.put_str("héllo");
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes, "test");
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u16().unwrap(), 65_000);
+        assert_eq!(r.get_u32().unwrap(), 123_456_789);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 3);
+        assert_eq!(r.get_usize().unwrap(), 42);
+        assert!(r.get_bool().unwrap());
+        assert_eq!(r.get_f32().unwrap().to_bits(), (-0.0f32).to_bits());
+        assert!(r.get_f64().unwrap().is_nan());
+        assert_eq!(r.get_opt_f64().unwrap(), Some(1.5));
+        assert_eq!(r.get_opt_f64().unwrap(), None);
+        assert_eq!(r.get_str().unwrap(), "héllo");
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn truncated_reads_error_instead_of_panicking() {
+        let mut w = Writer::new();
+        w.put_u32(9);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes[..2], "test");
+        assert!(r.get_u32().is_err());
+    }
+
+    #[test]
+    fn bad_bool_and_bad_utf8_are_corruption() {
+        let mut r = Reader::new(&[9], "test");
+        assert!(r.get_bool().is_err());
+        // length 2, bytes = invalid utf-8
+        let raw = [2, 0, 0, 0, 0xff, 0xfe];
+        let mut r = Reader::new(&raw, "test");
+        assert!(r.get_str().is_err());
+    }
+
+    #[test]
+    fn implausible_length_prefix_is_rejected() {
+        let mut w = Writer::new();
+        w.put_u32(u32::MAX); // claims 4 billion elements
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes, "test");
+        assert!(r.get_len(1).is_err());
+    }
+}

@@ -1,0 +1,100 @@
+//! Error type shared by every td-store surface.
+
+use std::fmt;
+
+/// Everything that can go wrong opening, writing, or restoring a store.
+///
+/// Corruption is a *value*, not a panic: torn WAL tails and flipped
+/// snapshot bytes are expected states after a crash, and recovery code
+/// branches on them (truncate the tail, fall back to an older snapshot)
+/// instead of unwinding.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// Bytes decoded to something impossible (bad magic, checksum
+    /// mismatch, truncated section, out-of-range tag…).
+    Corrupt {
+        /// Which file/section the corruption was detected in.
+        what: String,
+        /// What specifically failed to decode.
+        detail: String,
+    },
+    /// The file's format version is newer than this build understands.
+    Version {
+        /// Version found in the header.
+        found: u32,
+        /// Highest version this build can read.
+        supported: u32,
+    },
+    /// The snapshot was produced under a different pipeline configuration
+    /// than the caller restored with; merging would silently mix worlds.
+    ContextMismatch {
+        /// Fingerprint recorded in the snapshot header.
+        found: u64,
+        /// Fingerprint of the caller's context.
+        expected: u64,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store io error: {e}"),
+            StoreError::Corrupt { what, detail } => {
+                write!(f, "corrupt {what}: {detail}")
+            }
+            StoreError::Version { found, supported } => {
+                write!(
+                    f,
+                    "unsupported format version {found} (this build reads <= {supported})"
+                )
+            }
+            StoreError::ContextMismatch { found, expected } => {
+                write!(
+                    f,
+                    "snapshot context fingerprint {found:#018x} does not match \
+                     the restoring pipeline's {expected:#018x}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl StoreError {
+    /// Shorthand for a corruption error.
+    pub(crate) fn corrupt(what: impl Into<String>, detail: impl Into<String>) -> Self {
+        StoreError::Corrupt {
+            what: what.into(),
+            detail: detail.into(),
+        }
+    }
+
+    /// True if this error means "the bytes are bad" (as opposed to an
+    /// environment failure) — the class restore falls back on.
+    #[must_use]
+    pub fn is_corruption(&self) -> bool {
+        matches!(
+            self,
+            StoreError::Corrupt { .. } | StoreError::Version { .. }
+        )
+    }
+}
+
+/// Convenient result alias used across the crate.
+pub type Result<T> = std::result::Result<T, StoreError>;

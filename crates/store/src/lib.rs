@@ -1,0 +1,47 @@
+//! # td-store — restart a discovery pipeline without rebuilding it
+//!
+//! Building a [`td_core::DiscoveryPipeline`] pays per-table extraction
+//! (profiling, embedding, sketching, annotation) for every table in the
+//! lake; at thousands of tables that is seconds to minutes a process
+//! must spend before it can serve its first query. This crate removes
+//! the rebuild from the restart path with the classic pairing:
+//!
+//! * **snapshots** ([`snapshot`]) — a versioned, checksummed,
+//!   offset-indexed serialization of the segmented pipeline's sealed
+//!   state, written atomically at a checkpoint;
+//! * **a write-ahead log** ([`wal`]) — every `ingest`/`drop`/`seal`/
+//!   `compact` since the last checkpoint, framed with per-record
+//!   checksums; ingest records carry the *extracted artifact bundle*
+//!   ([`td_core::TableArtifacts`]), so replay never re-extracts.
+//!
+//! [`Store::restore`] loads the newest valid snapshot, truncates any
+//! torn WAL tail, replays the surviving records, and hands back a
+//! [`td_core::SegmentedPipeline`] whose merged rankings are
+//! **byte-identical** to one that lived through the same history in a
+//! single process — the segment/merge architecture makes that exact, not
+//! approximate, because restore and live ingest funnel through the same
+//! `from_segments` construction path.
+//!
+//! Everything here is dependency-free serialization: little-endian
+//! fixed-width integers, floats as raw bits, CRC-64 checksums, sorted
+//! encodings for hash-ordered sets ([`codec`], [`artifacts`]).
+//! Corruption is handled as data, not as panics: flipped bytes and torn
+//! writes surface as [`StoreError::Corrupt`] and recovery falls back
+//! (older snapshot, truncated tail) instead of unwinding.
+
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod artifacts;
+pub mod codec;
+pub mod error;
+pub mod snapshot;
+pub mod store;
+pub mod wal;
+
+pub use error::{Result, StoreError};
+pub use snapshot::{SnapshotHeader, SnapshotReader, FORMAT_VERSION};
+pub use store::{context_fingerprint, CheckpointStats, DurablePipeline, RestoreStats, Store};
+pub use wal::{Wal, WalRecord, WalReplay, WalScan};

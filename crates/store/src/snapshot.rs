@@ -1,0 +1,316 @@
+//! Versioned, offset-based snapshot files.
+//!
+//! ## Layout
+//!
+//! ```text
+//! file    := header toc toc_crc section*
+//! header  := magic "TDSNAP01" | version u32 | ctx_fingerprint u64
+//!          | wal_generation u64 | sealed_count u32 | toc_entries u32
+//!          | reserved u32 | crc64(header[0..40])
+//! toc     := entry{toc_entries}         (32 bytes each)
+//! entry   := segment u32 | component u32 | offset u64 | len u64 | crc64
+//! section := the component's encoded bytes (see crate::artifacts)
+//! ```
+//!
+//! The table of contents records **absolute byte offsets**, so a reader
+//! validates the ~48-byte header plus the TOC and then seeks straight to
+//! the sections it wants — nothing is deserialized until asked for, and
+//! a future partial restore (one component, one segment) needs no format
+//! change. Every section carries its own CRC-64; a flipped byte anywhere
+//! surfaces as [`StoreError::Corrupt`] on that read, never as a panic or
+//! a silently wrong index.
+//!
+//! Two pseudo-segment indices extend the TOC beyond the sealed stack:
+//! [`DELTA_SEGMENT`] for the mutable delta's ten sections and
+//! [`META_SEGMENT`] for the tombstone list.
+
+use std::collections::BTreeSet;
+use std::fs::File;
+use std::io::{Read as _, Seek as _, SeekFrom, Write as _};
+use std::path::Path;
+
+use td_core::PipelineSegment;
+use td_table::TableId;
+
+use crate::artifacts::{decode_segment, encode_component, ComponentId};
+use crate::codec::{crc64, Reader, Writer};
+use crate::error::{Result, StoreError};
+
+/// Magic bytes opening every snapshot file.
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"TDSNAP01";
+/// Highest snapshot format version this build reads and the one it
+/// writes.
+pub const FORMAT_VERSION: u32 = 1;
+/// Pseudo-segment index carrying the delta segment's sections.
+pub const DELTA_SEGMENT: u32 = u32::MAX - 1;
+/// Pseudo-segment index carrying store metadata (tombstones).
+pub const META_SEGMENT: u32 = u32::MAX;
+
+const HEADER_LEN: usize = 48;
+const TOC_ENTRY_LEN: usize = 32;
+
+/// Parsed, checksum-verified snapshot header.
+#[derive(Debug, Clone, Copy)]
+pub struct SnapshotHeader {
+    /// Format version the file was written with.
+    pub version: u32,
+    /// Fingerprint of the pipeline configuration that produced the
+    /// artifacts (see [`crate::store::context_fingerprint`]).
+    pub ctx_fingerprint: u64,
+    /// WAL generation whose records apply on top of this snapshot.
+    pub wal_generation: u64,
+    /// Number of sealed segments.
+    pub sealed_count: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct TocEntry {
+    segment: u32,
+    component: u32,
+    offset: u64,
+    len: u64,
+    crc: u64,
+}
+
+/// Everything a snapshot persists, borrowed from the live pipeline.
+pub struct SnapshotState<'a> {
+    /// Sealed segments, oldest first.
+    pub sealed: &'a [PipelineSegment],
+    /// The mutable delta segment (possibly empty).
+    pub delta: &'a PipelineSegment,
+    /// Outstanding tombstones.
+    pub tombstones: &'a BTreeSet<TableId>,
+}
+
+fn encode_tombstones(tombstones: &BTreeSet<TableId>) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_len(tombstones.len());
+    for id in tombstones {
+        w.put_u32(id.0);
+    }
+    w.into_bytes()
+}
+
+fn decode_tombstones(bytes: &[u8]) -> Result<BTreeSet<TableId>> {
+    let mut r = Reader::new(bytes, "section tombstones");
+    let n = r.get_len(4)?;
+    let mut set = BTreeSet::new();
+    for _ in 0..n {
+        set.insert(TableId(r.get_u32()?));
+    }
+    r.expect_end()?;
+    Ok(set)
+}
+
+/// Serialize `state` to `path` (created/truncated), fsynced before
+/// returning. Returns the file's total size in bytes.
+///
+/// Callers wanting crash-atomic publication write to a temp path and
+/// rename — [`crate::store::Store::checkpoint`] does exactly that.
+pub fn write_snapshot(
+    path: &Path,
+    ctx_fingerprint: u64,
+    wal_generation: u64,
+    state: &SnapshotState<'_>,
+) -> Result<u64> {
+    let _s = td_obs::span!("store.snapshot.write");
+
+    // Encode every section first so offsets are known before the header
+    // is laid down.
+    let mut sections: Vec<(u32, u32, Vec<u8>)> = Vec::new();
+    for (idx, seg) in state.sealed.iter().enumerate() {
+        for comp in ComponentId::ALL {
+            sections.push((idx as u32, comp as u32, encode_component(seg, comp)));
+        }
+    }
+    for comp in ComponentId::ALL {
+        sections.push((
+            DELTA_SEGMENT,
+            comp as u32,
+            encode_component(state.delta, comp),
+        ));
+    }
+    sections.push((META_SEGMENT, 0, encode_tombstones(state.tombstones)));
+
+    let toc_len = sections.len() * TOC_ENTRY_LEN;
+    let mut offset = (HEADER_LEN + toc_len + 8) as u64; // +8: toc crc
+
+    let mut header = Writer::with_capacity(HEADER_LEN);
+    header.put_bytes_raw(SNAPSHOT_MAGIC);
+    header.put_u32(FORMAT_VERSION);
+    header.put_u64(ctx_fingerprint);
+    header.put_u64(wal_generation);
+    header.put_u32(state.sealed.len() as u32);
+    header.put_u32(sections.len() as u32);
+    header.put_u32(0); // reserved
+    let hcrc = crc64(header.bytes());
+    header.put_u64(hcrc);
+
+    let mut toc = Writer::with_capacity(toc_len);
+    for (segment, component, bytes) in &sections {
+        toc.put_u32(*segment);
+        toc.put_u32(*component);
+        toc.put_u64(offset);
+        toc.put_u64(bytes.len() as u64);
+        toc.put_u64(crc64(bytes));
+        offset += bytes.len() as u64;
+    }
+    let tcrc = crc64(toc.bytes());
+
+    let mut f = File::create(path)?;
+    f.write_all(header.bytes())?;
+    f.write_all(toc.bytes())?;
+    f.write_all(&tcrc.to_le_bytes())?;
+    for (_, _, bytes) in &sections {
+        f.write_all(bytes)?;
+    }
+    f.sync_all()?;
+    let total = offset;
+    td_obs::global().counter("store.snapshot.bytes").add(total);
+    Ok(total)
+}
+
+/// Open snapshot with verified header + TOC; sections stay on disk until
+/// read.
+pub struct SnapshotReader {
+    file: File,
+    header: SnapshotHeader,
+    toc: Vec<TocEntry>,
+}
+
+impl SnapshotReader {
+    /// Open `path`, validating magic, version, and the header/TOC
+    /// checksums. Section payloads are *not* read or verified here.
+    pub fn open(path: &Path) -> Result<Self> {
+        let mut file = File::open(path)?;
+        let mut head = [0u8; HEADER_LEN];
+        file.read_exact(&mut head)
+            .map_err(|_| StoreError::corrupt("snapshot header", "file shorter than header"))?;
+        if &head[..8] != SNAPSHOT_MAGIC {
+            return Err(StoreError::corrupt("snapshot header", "bad magic"));
+        }
+        let stored_crc = u64::from_le_bytes([
+            head[40], head[41], head[42], head[43], head[44], head[45], head[46], head[47],
+        ]);
+        if crc64(&head[..40]) != stored_crc {
+            return Err(StoreError::corrupt("snapshot header", "checksum mismatch"));
+        }
+        let mut r = Reader::new(&head[8..40], "snapshot header");
+        let version = r.get_u32()?;
+        if version > FORMAT_VERSION {
+            return Err(StoreError::Version {
+                found: version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        let ctx_fingerprint = r.get_u64()?;
+        let wal_generation = r.get_u64()?;
+        let sealed_count = r.get_u32()?;
+        let toc_entries = r.get_u32()? as usize;
+
+        let file_len = file.metadata()?.len();
+        let toc_bytes_len = toc_entries
+            .checked_mul(TOC_ENTRY_LEN)
+            .filter(|n| (HEADER_LEN + n + 8) as u64 <= file_len)
+            .ok_or_else(|| StoreError::corrupt("snapshot toc", "implausible entry count"))?;
+        let mut toc_bytes = vec![0u8; toc_bytes_len + 8];
+        file.read_exact(&mut toc_bytes)
+            .map_err(|_| StoreError::corrupt("snapshot toc", "file shorter than toc"))?;
+        let stored_tcrc = u64::from_le_bytes([
+            toc_bytes[toc_bytes_len],
+            toc_bytes[toc_bytes_len + 1],
+            toc_bytes[toc_bytes_len + 2],
+            toc_bytes[toc_bytes_len + 3],
+            toc_bytes[toc_bytes_len + 4],
+            toc_bytes[toc_bytes_len + 5],
+            toc_bytes[toc_bytes_len + 6],
+            toc_bytes[toc_bytes_len + 7],
+        ]);
+        if crc64(&toc_bytes[..toc_bytes_len]) != stored_tcrc {
+            return Err(StoreError::corrupt("snapshot toc", "checksum mismatch"));
+        }
+        let mut r = Reader::new(&toc_bytes[..toc_bytes_len], "snapshot toc");
+        let mut toc = Vec::with_capacity(toc_entries);
+        for _ in 0..toc_entries {
+            let e = TocEntry {
+                segment: r.get_u32()?,
+                component: r.get_u32()?,
+                offset: r.get_u64()?,
+                len: r.get_u64()?,
+                crc: r.get_u64()?,
+            };
+            if e.offset.checked_add(e.len).is_none_or(|end| end > file_len) {
+                return Err(StoreError::corrupt(
+                    "snapshot toc",
+                    format!("section [{}, {}] out of bounds", e.segment, e.component),
+                ));
+            }
+            toc.push(e);
+        }
+
+        Ok(SnapshotReader {
+            file,
+            header: SnapshotHeader {
+                version,
+                ctx_fingerprint,
+                wal_generation,
+                sealed_count,
+            },
+            toc,
+        })
+    }
+
+    /// The verified header.
+    #[must_use]
+    pub fn header(&self) -> &SnapshotHeader {
+        &self.header
+    }
+
+    /// Seek to and read one section, verifying its checksum.
+    fn read_section(&mut self, segment: u32, component: u32) -> Result<Vec<u8>> {
+        let entry = self
+            .toc
+            .iter()
+            .find(|e| e.segment == segment && e.component == component)
+            .copied()
+            .ok_or_else(|| {
+                StoreError::corrupt(
+                    "snapshot toc",
+                    format!("missing section [{segment}, {component}]"),
+                )
+            })?;
+        self.file.seek(SeekFrom::Start(entry.offset))?;
+        let len = usize::try_from(entry.len)
+            .map_err(|_| StoreError::corrupt("snapshot section", "length overflows usize"))?;
+        let mut bytes = vec![0u8; len];
+        self.file
+            .read_exact(&mut bytes)
+            .map_err(|_| StoreError::corrupt("snapshot section", "short read"))?;
+        if crc64(&bytes) != entry.crc {
+            return Err(StoreError::corrupt(
+                "snapshot section",
+                format!("checksum mismatch in [{segment}, {component}]"),
+            ));
+        }
+        Ok(bytes)
+    }
+
+    fn read_segment(&mut self, segment: u32) -> Result<PipelineSegment> {
+        decode_segment(|comp| self.read_section(segment, comp as u32))
+    }
+
+    /// Decode the full persisted state: sealed segments (oldest first),
+    /// the delta segment, and the tombstone set.
+    #[allow(clippy::type_complexity)]
+    pub fn read_state(
+        &mut self,
+    ) -> Result<(Vec<PipelineSegment>, PipelineSegment, BTreeSet<TableId>)> {
+        let mut sealed = Vec::with_capacity(self.header.sealed_count as usize);
+        for idx in 0..self.header.sealed_count {
+            sealed.push(self.read_segment(idx)?);
+        }
+        let delta = self.read_segment(DELTA_SEGMENT)?;
+        let tombstones = decode_tombstones(&self.read_section(META_SEGMENT, 0)?)?;
+        Ok((sealed, delta, tombstones))
+    }
+}

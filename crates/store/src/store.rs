@@ -1,0 +1,396 @@
+//! The durable store: snapshot files + WAL under one directory, and the
+//! [`DurablePipeline`] wrapper that logs every mutation before applying
+//! it.
+//!
+//! ## Directory layout
+//!
+//! ```text
+//! <dir>/snapshot-00000001.tds   checkpoint files, newest wins
+//! <dir>/snapshot-00000002.tds
+//! <dir>/pipeline.wal            mutations since the newest checkpoint
+//! ```
+//!
+//! ## Crash safety
+//!
+//! A checkpoint publishes in two steps, each individually atomic:
+//!
+//! 1. the snapshot is written to a temp file, fsynced, and **renamed**
+//!    into place — it records the *next* WAL generation;
+//! 2. the WAL is replaced by an empty file of that next generation
+//!    (also temp + rename).
+//!
+//! A crash before (1) leaves the old snapshot + old WAL: nothing lost.
+//! A crash between (1) and (2) leaves the new snapshot + a WAL of the
+//! *previous* generation: restore sees `wal.generation <
+//! snapshot.wal_generation` and skips the log — those records are
+//! already baked into the snapshot, so nothing double-applies. After
+//! (2) the generations match and the (empty, then growing) log replays
+//! on top. Torn WAL tails are truncated by [`Wal::open`]; corrupt
+//! snapshots are skipped in favor of the next-oldest valid one.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use td_core::segment::PipelineContext;
+use td_core::{SegmentedPipeline, TableArtifacts};
+use td_table::{Table, TableId};
+
+use crate::codec::crc64;
+use crate::error::{Result, StoreError};
+use crate::snapshot::{write_snapshot, SnapshotReader, SnapshotState};
+use crate::wal::{Wal, WalRecord};
+
+/// Fingerprint of the configuration a pipeline context was built from.
+///
+/// Artifacts are deterministic functions of `(table, config, seed)`, so
+/// two contexts with the same fingerprint produce interchangeable
+/// artifacts; a snapshot restored under a different fingerprint would
+/// silently mix incompatible embedding spaces, which is why
+/// [`Store::restore`] rejects it with [`StoreError::ContextMismatch`].
+#[must_use]
+pub fn context_fingerprint(ctx: &PipelineContext) -> u64 {
+    // The Debug rendering of the config covers every construction
+    // parameter (dimensions, budgets, seeds) and is stable for equal
+    // values — a cheap structural hash without a serialization format.
+    crc64(format!("{:?}", ctx.cfg).as_bytes())
+}
+
+/// What one checkpoint did.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckpointStats {
+    /// Sequence number of the snapshot file written.
+    pub snapshot_seq: u64,
+    /// Total snapshot size in bytes.
+    pub snapshot_bytes: u64,
+    /// WAL records folded into the snapshot and dropped from the log.
+    pub wal_records_folded: u64,
+}
+
+/// What a restore found and did.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RestoreStats {
+    /// Sequence of the snapshot restored from (`None`: no usable
+    /// snapshot, state came from the WAL alone).
+    pub snapshot_seq: Option<u64>,
+    /// Corrupt/unreadable snapshots skipped before one validated.
+    pub corrupt_snapshots_skipped: u64,
+    /// WAL records replayed on top of the snapshot.
+    pub wal_records_replayed: u64,
+    /// Bytes cut from a torn WAL tail.
+    pub wal_bytes_truncated: u64,
+    /// Wall-clock milliseconds the whole restore took.
+    pub restore_ms: f64,
+}
+
+/// Handle to a store directory.
+pub struct Store {
+    dir: PathBuf,
+    keep_snapshots: usize,
+}
+
+impl Store {
+    /// Open (creating if needed) a store directory.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(Store {
+            dir,
+            keep_snapshots: 2,
+        })
+    }
+
+    /// How many newest snapshots to keep after a checkpoint (minimum 1;
+    /// default 2, so one corrupt newest file still leaves a fallback).
+    #[must_use]
+    pub fn with_retention(mut self, keep: usize) -> Self {
+        self.keep_snapshots = keep.max(1);
+        self
+    }
+
+    /// The store directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn wal_path(&self) -> PathBuf {
+        self.dir.join("pipeline.wal")
+    }
+
+    fn snapshot_path(&self, seq: u64) -> PathBuf {
+        self.dir.join(format!("snapshot-{seq:08}.tds"))
+    }
+
+    /// `(seq, path)` of every snapshot file present, ascending by seq.
+    fn snapshots(&self) -> Result<Vec<(u64, PathBuf)>> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let path = entry?.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            if let Some(seq) = name
+                .strip_prefix("snapshot-")
+                .and_then(|s| s.strip_suffix(".tds"))
+                .and_then(|s| s.parse::<u64>().ok())
+            {
+                out.push((seq, path));
+            }
+        }
+        out.sort_by_key(|(seq, _)| *seq);
+        Ok(out)
+    }
+
+    /// Write a checkpoint of `pipeline` and reset `wal` to an empty
+    /// next-generation log. See the module docs for the crash-safety
+    /// argument.
+    pub fn checkpoint(
+        &self,
+        pipeline: &SegmentedPipeline,
+        wal: &mut Wal,
+    ) -> Result<CheckpointStats> {
+        let _s = td_obs::span!("store.checkpoint");
+        let seq = self.snapshots()?.last().map_or(1, |(s, _)| s + 1);
+        let next_gen = wal.generation() + 1;
+        let folded = wal.record_count();
+
+        let final_path = self.snapshot_path(seq);
+        let tmp = self.dir.join(format!("snapshot-{seq:08}.tds.tmp"));
+        let state = SnapshotState {
+            sealed: pipeline.sealed_segments(),
+            delta: pipeline.delta_segment(),
+            tombstones: pipeline.tombstones(),
+        };
+        let bytes = write_snapshot(
+            &tmp,
+            context_fingerprint(pipeline.context()),
+            next_gen,
+            &state,
+        )?;
+        fs::rename(&tmp, &final_path)?;
+
+        // The snapshot is durable; folded records are now redundant.
+        *wal = Wal::create(&self.wal_path(), next_gen)?;
+
+        // Prune old snapshots, newest-first retention.
+        let snaps = self.snapshots()?;
+        if snaps.len() > self.keep_snapshots {
+            for (_, path) in &snaps[..snaps.len() - self.keep_snapshots] {
+                fs::remove_file(path)?;
+            }
+        }
+        td_obs::global().counter("store.checkpoints").inc();
+        Ok(CheckpointStats {
+            snapshot_seq: seq,
+            snapshot_bytes: bytes,
+            wal_records_folded: folded,
+        })
+    }
+
+    /// Rebuild pipeline state from disk: newest valid snapshot plus the
+    /// WAL records that postdate it, with corrupt snapshots skipped and
+    /// torn WAL tails truncated. Returns the pipeline, the WAL handle to
+    /// continue appending to, and what happened.
+    ///
+    /// The restored pipeline's merged rankings are byte-identical to a
+    /// pipeline that lived through the same history in one process —
+    /// enforced by `crates/store/tests/restore_equivalence.rs`.
+    pub fn restore(&self, ctx: PipelineContext) -> Result<(SegmentedPipeline, Wal, RestoreStats)> {
+        let _s = td_obs::span!("store.restore");
+        let timer = td_obs::Timer::start();
+        let mut stats = RestoreStats::default();
+        let expected_fp = context_fingerprint(&ctx);
+
+        // Newest valid snapshot wins; corruption falls back, a context
+        // mismatch is a hard error (older snapshots share the context).
+        let mut base: Option<(u64, u64, SegmentedPipeline)> = None; // (seq, wal_gen, state)
+        let mut snaps = self.snapshots()?;
+        snaps.reverse();
+        for (seq, path) in snaps {
+            match Self::try_read_snapshot(&path, expected_fp, &ctx) {
+                Ok((wal_gen, sp)) => {
+                    base = Some((seq, wal_gen, sp));
+                    break;
+                }
+                Err(e @ StoreError::ContextMismatch { .. }) => return Err(e),
+                Err(StoreError::Io(e)) => return Err(StoreError::Io(e)),
+                Err(_) => {
+                    stats.corrupt_snapshots_skipped += 1;
+                    td_obs::global().counter("store.snapshot.corrupt").inc();
+                }
+            }
+        }
+        if base.is_none() && stats.corrupt_snapshots_skipped > 0 {
+            td_obs::global()
+                .counter("store.restore.from_wal_only")
+                .inc();
+        }
+
+        let (snapshot_wal_gen, mut pipeline) = match base {
+            Some((seq, wal_gen, sp)) => {
+                stats.snapshot_seq = Some(seq);
+                (wal_gen, sp)
+            }
+            None => (0, SegmentedPipeline::with_context(ctx)),
+        };
+
+        let wal = match Wal::peek_generation(&self.wal_path())? {
+            Some(gen) if gen >= snapshot_wal_gen => {
+                // Log postdates the snapshot: stream-replay it — each
+                // record decodes and applies in place, so replay memory
+                // peaks at one bundle rather than the whole log.
+                match Wal::open_with(&self.wal_path(), |rec| apply_record(&mut pipeline, rec))? {
+                    Some((wal, replay)) => {
+                        stats.wal_bytes_truncated = replay.torn_bytes;
+                        stats.wal_records_replayed = replay.records;
+                        wal
+                    }
+                    None => Wal::create(&self.wal_path(), snapshot_wal_gen.max(1))?,
+                }
+            }
+            Some(_) => {
+                // Stale log from before the snapshot: every record is
+                // already baked in. Start a fresh current-generation log.
+                Wal::create(&self.wal_path(), snapshot_wal_gen)?
+            }
+            None => Wal::create(&self.wal_path(), snapshot_wal_gen.max(1))?,
+        };
+
+        td_obs::global()
+            .counter("store.wal.replayed")
+            .add(stats.wal_records_replayed);
+        let elapsed = timer.elapsed();
+        td_obs::global()
+            .histogram("store.restore.ns")
+            .record_duration(elapsed);
+        stats.restore_ms = elapsed.as_secs_f64() * 1_000.0;
+        Ok((pipeline, wal, stats))
+    }
+
+    fn try_read_snapshot(
+        path: &Path,
+        expected_fp: u64,
+        ctx: &PipelineContext,
+    ) -> Result<(u64, SegmentedPipeline)> {
+        let mut reader = SnapshotReader::open(path)?;
+        let header = *reader.header();
+        if header.ctx_fingerprint != expected_fp {
+            return Err(StoreError::ContextMismatch {
+                found: header.ctx_fingerprint,
+                expected: expected_fp,
+            });
+        }
+        let (sealed, delta, tombstones) = reader.read_state()?;
+        Ok((
+            header.wal_generation,
+            SegmentedPipeline::from_state(ctx.clone(), sealed, delta, tombstones),
+        ))
+    }
+}
+
+fn apply_record(pipeline: &mut SegmentedPipeline, rec: WalRecord) {
+    match rec {
+        WalRecord::Ingest { id, artifacts } => pipeline.ingest_artifacts(id, *artifacts),
+        WalRecord::Drop { id } => {
+            pipeline.drop_table(id);
+        }
+        WalRecord::Seal => pipeline.seal(),
+        WalRecord::Compact => pipeline.compact(),
+    }
+}
+
+/// A [`SegmentedPipeline`] whose every mutation is logged before it is
+/// applied — kill the process at any point and [`DurablePipeline::open`]
+/// resumes from the same logical state.
+pub struct DurablePipeline {
+    pipeline: SegmentedPipeline,
+    store: Store,
+    wal: Wal,
+}
+
+impl DurablePipeline {
+    /// Open the store and restore (or start empty if the directory holds
+    /// nothing).
+    pub fn open(store: Store, ctx: PipelineContext) -> Result<(Self, RestoreStats)> {
+        let (pipeline, wal, stats) = store.restore(ctx)?;
+        Ok((
+            DurablePipeline {
+                pipeline,
+                store,
+                wal,
+            },
+            stats,
+        ))
+    }
+
+    /// Extract, log, and apply one table ingest. Extraction runs once;
+    /// the logged record carries the finished artifact bundle, so a
+    /// replay skips straight to the upsert.
+    pub fn ingest_table(&mut self, id: TableId, table: &Table) -> Result<()> {
+        let artifacts = TableArtifacts::extract(table, self.pipeline.context());
+        self.ingest_artifacts(id, artifacts)
+    }
+
+    /// Log and apply an already-extracted bundle (the path `ingest_table`
+    /// and WAL replay share).
+    pub fn ingest_artifacts(&mut self, id: TableId, artifacts: TableArtifacts) -> Result<()> {
+        let rec = WalRecord::Ingest {
+            id,
+            artifacts: Box::new(artifacts),
+        };
+        self.wal.append(&rec)?;
+        if let WalRecord::Ingest { id, artifacts } = rec {
+            self.pipeline.ingest_artifacts(id, *artifacts);
+        }
+        Ok(())
+    }
+
+    /// Log and apply a table drop; true if the table was live.
+    pub fn drop_table(&mut self, id: TableId) -> Result<bool> {
+        self.wal.append(&WalRecord::Drop { id })?;
+        Ok(self.pipeline.drop_table(id))
+    }
+
+    /// Log and apply a seal of the delta segment.
+    pub fn seal(&mut self) -> Result<()> {
+        self.wal.append(&WalRecord::Seal)?;
+        self.pipeline.seal();
+        Ok(())
+    }
+
+    /// Log and apply a compaction of the segment stack.
+    pub fn compact(&mut self) -> Result<()> {
+        self.wal.append(&WalRecord::Compact)?;
+        self.pipeline.compact();
+        Ok(())
+    }
+
+    /// Checkpoint: fold the log into a fresh snapshot (see
+    /// [`Store::checkpoint`]).
+    pub fn checkpoint(&mut self) -> Result<CheckpointStats> {
+        self.store.checkpoint(&self.pipeline, &mut self.wal)
+    }
+
+    /// Force logged records to stable storage.
+    pub fn sync(&self) -> Result<()> {
+        self.wal.sync()
+    }
+
+    /// The live pipeline (reads and searches go through here).
+    #[must_use]
+    pub fn pipeline(&self) -> &SegmentedPipeline {
+        &self.pipeline
+    }
+
+    /// The underlying store directory handle.
+    #[must_use]
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// Records sitting in the WAL since the last checkpoint.
+    #[must_use]
+    pub fn wal_records(&self) -> u64 {
+        self.wal.record_count()
+    }
+}

@@ -1,0 +1,261 @@
+//! The store's core invariant, extending the segmented pipeline's
+//! "incremental == batch" proptest across process boundaries: any
+//! mutation history — interleaved with checkpoints and simulated
+//! restarts (drop every handle, restore from disk) at arbitrary points —
+//! yields rankings **byte-identical** to a one-shot batch build over the
+//! same live tables, for all eight search families.
+//!
+//! As in `crates/core/tests/segmented.rs`, every family's full response
+//! (ids and scores) is rendered via `Debug` into one string; `f64`'s
+//! `Debug` prints the shortest round-trip representation, so string
+//! equality is bit equality of every score.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use td_core::segment::PipelineContext;
+use td_core::{DiscoveryPipeline, PipelineConfig};
+use td_store::{DurablePipeline, RestoreStats, Store};
+use td_table::gen::lakegen::{LakeGenConfig, LakeGenerator};
+use td_table::{Table, TableId};
+
+const K: usize = 8;
+
+fn render(p: &DiscoveryPipeline, queries: &[(TableId, Table)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "keyword {:?}", p.search_keyword("dataset", K));
+    for (qid, qt) in queries {
+        let _ = writeln!(out, "== query {qid:?}");
+        for (ci, c) in qt.columns.iter().enumerate() {
+            let _ = writeln!(out, "joinable[{ci}] {:?}", p.search_joinable(c, K));
+            let _ = writeln!(out, "fuzzy[{ci}] {:?}", p.search_fuzzy_joinable(c, 0.8, K));
+        }
+        let _ = writeln!(out, "tus {:?}", p.search_unionable(qt, K));
+        let _ = writeln!(out, "starmie {:?}", p.search_unionable_semantic(qt, K));
+        let _ = writeln!(out, "santos {:?}", p.search_unionable_relationship(qt, K));
+        let _ = writeln!(out, "mate {:?}", p.search_multi_joinable(qt, &[0, 1], K));
+        let key = qt.columns.iter().find(|c| !c.is_numeric());
+        let num = qt.columns.iter().find(|c| c.is_numeric());
+        if let (Some(key), Some(num)) = (key, num) {
+            let _ = writeln!(out, "correlated {:?}", p.search_correlated(key, num, K));
+        }
+    }
+    out
+}
+
+struct Fixture {
+    tables: Vec<(TableId, Table)>,
+    queries: Vec<(TableId, Table)>,
+    ctx: PipelineContext,
+    expected: String,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let gl = LakeGenerator::standard().generate(&LakeGenConfig {
+            num_tables: 12,
+            rows: (12, 30),
+            cols: (2, 4),
+            seed: 20260806,
+            ..LakeGenConfig::default()
+        });
+        let cfg = PipelineConfig::default();
+        let tables: Vec<(TableId, Table)> = gl.lake.iter().map(|(id, t)| (id, t.clone())).collect();
+        let queries: Vec<(TableId, Table)> = tables[..3].to_vec();
+        let batch = DiscoveryPipeline::build(&gl.lake, &gl.registry, &[], &cfg);
+        let expected = render(&batch, &queries);
+        let ctx = PipelineContext::new(&gl.registry, &[], &cfg);
+        Fixture {
+            tables,
+            queries,
+            ctx,
+            expected,
+        }
+    })
+}
+
+/// Fresh scratch directory per test case.
+fn scratch() -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "td-store-equiv-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn reopen(dir: &Path, ctx: &PipelineContext) -> (DurablePipeline, RestoreStats) {
+    DurablePipeline::open(Store::open(dir).expect("open store"), ctx.clone()).expect("restore")
+}
+
+/// Fixed-seed regression: checkpoint mid-history, restart, keep writing
+/// (so the WAL replays on top of the snapshot), restart again, compare.
+#[test]
+fn checkpoint_restart_continue_matches_batch_build() {
+    let f = fixture();
+    let dir = scratch();
+
+    let (mut dp, stats) = reopen(&dir, &f.ctx);
+    assert!(stats.snapshot_seq.is_none(), "fresh dir has no snapshot");
+    let half = f.tables.len() / 2;
+    for (id, t) in &f.tables[..half] {
+        dp.ingest_table(*id, t).expect("ingest");
+    }
+    dp.seal().expect("seal");
+    let cp = dp.checkpoint().expect("checkpoint");
+    assert!(cp.snapshot_bytes > 0);
+    assert_eq!(cp.wal_records_folded, half as u64 + 1);
+    // Post-checkpoint writes land in the WAL only.
+    dp.ingest_table(f.tables[half].0, &f.tables[half].1)
+        .expect("ingest");
+    drop(dp);
+
+    // Restart #1: snapshot + one WAL record.
+    let (mut dp, stats) = reopen(&dir, &f.ctx);
+    assert_eq!(stats.snapshot_seq, Some(1));
+    assert_eq!(stats.wal_records_replayed, 1);
+    assert_eq!(stats.corrupt_snapshots_skipped, 0);
+    for (id, t) in &f.tables[half + 1..] {
+        dp.ingest_table(*id, t).expect("ingest");
+    }
+    // Exercise drop + re-ingest and compaction across the boundary too.
+    dp.drop_table(f.tables[0].0).expect("drop");
+    dp.ingest_table(f.tables[0].0, &f.tables[0].1)
+        .expect("re-ingest");
+    dp.compact().expect("compact");
+    drop(dp);
+
+    // Restart #2: everything after the checkpoint came from the WAL.
+    let (dp, stats) = reopen(&dir, &f.ctx);
+    assert!(stats.wal_records_replayed >= (f.tables.len() - half) as u64);
+    let got = render(&dp.pipeline().snapshot(), &f.queries);
+    assert_eq!(got, f.expected, "restored history diverged from batch");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// No checkpoint at all: the whole lake restores from the WAL alone.
+#[test]
+fn wal_only_restore_matches_batch_build() {
+    let f = fixture();
+    let dir = scratch();
+
+    let (mut dp, _) = reopen(&dir, &f.ctx);
+    for (id, t) in &f.tables {
+        dp.ingest_table(*id, t).expect("ingest");
+    }
+    drop(dp);
+
+    let (dp, stats) = reopen(&dir, &f.ctx);
+    assert!(stats.snapshot_seq.is_none());
+    assert_eq!(stats.wal_records_replayed, f.tables.len() as u64);
+    let got = render(&dp.pipeline().snapshot(), &f.queries);
+    assert_eq!(got, f.expected);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A pipeline with sealed segments, a dirty delta, and outstanding
+/// tombstones checkpoints and restores to identical rankings — i.e. the
+/// snapshot faithfully captures all four state pieces, not just a
+/// compacted view.
+#[test]
+fn snapshot_preserves_segment_structure_and_tombstones() {
+    let f = fixture();
+    let dir = scratch();
+
+    let (mut dp, _) = reopen(&dir, &f.ctx);
+    for (step, (id, t)) in f.tables.iter().enumerate() {
+        dp.ingest_table(*id, t).expect("ingest");
+        if step % 4 == 3 {
+            dp.seal().expect("seal");
+        }
+    }
+    // Tombstone a sealed table, leave the delta dirty.
+    let victim = f.tables[f.tables.len() - 1].0;
+    dp.drop_table(victim).expect("drop");
+    assert!(dp.pipeline().num_tombstones() > 0);
+    let live_before = dp.pipeline().table_ids();
+    let before = render(&dp.pipeline().snapshot(), &f.queries);
+    dp.checkpoint().expect("checkpoint");
+    let segs_before = dp.pipeline().num_segments();
+    drop(dp);
+
+    let (dp, stats) = reopen(&dir, &f.ctx);
+    assert_eq!(stats.wal_records_replayed, 0, "checkpoint emptied the log");
+    assert_eq!(dp.pipeline().num_segments(), segs_before);
+    assert_eq!(dp.pipeline().table_ids(), live_before);
+    assert!(dp.pipeline().num_tombstones() > 0, "tombstones persisted");
+    let after = render(&dp.pipeline().snapshot(), &f.queries);
+    assert_eq!(after, before);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random ingest order and segment boundaries, with checkpoints and
+    /// full restarts sprinkled at random steps (plus an optional
+    /// drop/re-ingest and compaction): the survivor of any such history
+    /// renders byte-identically to the batch build.
+    #[test]
+    fn random_history_with_restarts_matches_batch_build(
+        seed in any::<u64>(),
+        seal_mask in any::<u16>(),
+        checkpoint_mask in any::<u16>(),
+        restart_mask in any::<u16>(),
+        // Packed (compact step, drop step); 12 acts as "never" for both.
+        event_sel in 0usize..(13 * 12),
+    ) {
+        let compact_sel = event_sel % 13;
+        let drop_sel = 1 + event_sel / 13;
+        let compact_at = (compact_sel < 12).then_some(compact_sel);
+        let drop_at = (drop_sel < 12).then_some(drop_sel);
+        let f = fixture();
+        let dir = scratch();
+
+        let mut order: Vec<usize> = (0..f.tables.len()).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        order.shuffle(&mut rng);
+
+        let (mut dp, _) = reopen(&dir, &f.ctx);
+        for (step, &i) in order.iter().enumerate() {
+            dp.ingest_table(f.tables[i].0, &f.tables[i].1).expect("ingest");
+            if seal_mask >> (step % 16) & 1 == 1 {
+                dp.seal().expect("seal");
+            }
+            if drop_at == Some(step) {
+                let victim = order[step - 1];
+                dp.drop_table(f.tables[victim].0).expect("drop");
+                dp.ingest_table(f.tables[victim].0, &f.tables[victim].1).expect("re-ingest");
+            }
+            if compact_at == Some(step) {
+                dp.compact().expect("compact");
+            }
+            if checkpoint_mask >> (step % 16) & 1 == 1 {
+                dp.checkpoint().expect("checkpoint");
+            }
+            if restart_mask >> (step % 16) & 1 == 1 {
+                drop(dp);
+                dp = reopen(&dir, &f.ctx).0;
+            }
+        }
+
+        // Always end across a process boundary.
+        drop(dp);
+        let (dp, _) = reopen(&dir, &f.ctx);
+        let got = render(&dp.pipeline().snapshot(), &f.queries);
+        prop_assert_eq!(&got, &f.expected);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -19,6 +19,8 @@
 //! * [`apps`] — feature augmentation, training-set discovery, stitching.
 //! * [`obs`] — zero-dependency metrics registry, spans, and exporters
 //!   wired through every layer above.
+//! * [`store`] — persistent snapshots + write-ahead log: restart a
+//!   pipeline by restore + replay instead of rebuild.
 //! * [`serve`] — the concurrent query-serving layer: TCP protocol,
 //!   admission control, result caching over one shared pipeline.
 //!
@@ -49,5 +51,6 @@ pub use td_nav as nav;
 pub use td_obs as obs;
 pub use td_serve as serve;
 pub use td_sketch as sketch;
+pub use td_store as store;
 pub use td_table as table;
 pub use td_understand as understand;
