@@ -120,20 +120,38 @@ impl ExactJoinSearch {
         k: usize,
         strategy: ExactStrategy,
     ) -> Vec<(TableId, usize)> {
-        // Over-fetch columns to survive multiple hits per table.
-        let (hits, _) = self.search(query, k * 4 + 8, strategy);
-        let _rank = td_obs::trace::probe("rank.merge");
-        let mut best: Vec<(TableId, usize)> = Vec::new();
-        for h in hits {
-            match best.iter_mut().find(|(t, _)| *t == h.column.table) {
-                Some((_, ov)) => *ov = (*ov).max(h.overlap),
-                None => best.push((h.column.table, h.overlap)),
-            }
-        }
-        best.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-        best.truncate(k);
-        best
+        let (hits, _) = self.search(query, column_fetch_width(k), strategy);
+        aggregate_tables(hits, k)
     }
+}
+
+/// How many *columns* a top-k *table* search fetches: over-fetch so a
+/// table hiding several strong columns cannot crowd others out. Shared
+/// by the table aggregations here and in `fuzzy`, and by the td-shard
+/// coordinator, which must fetch exactly this many columns per shard to
+/// reproduce the single-process column window.
+#[must_use]
+pub fn column_fetch_width(k: usize) -> usize {
+    k * 4 + 8
+}
+
+/// Fold a column-level hit list (already in ranked order) into top-k
+/// tables by best column overlap. Split out of [`ExactJoinSearch::search_tables`]
+/// so a scatter-gather coordinator can merge per-shard *column* windows
+/// and then aggregate with byte-identical semantics.
+#[must_use]
+pub fn aggregate_tables(hits: Vec<OverlapHit>, k: usize) -> Vec<(TableId, usize)> {
+    let _rank = td_obs::trace::probe("rank.merge");
+    let mut best: Vec<(TableId, usize)> = Vec::new();
+    for h in hits {
+        match best.iter_mut().find(|(t, _)| *t == h.column.table) {
+            Some((_, ov)) => *ov = (*ov).max(h.overlap),
+            None => best.push((h.column.table, h.overlap)),
+        }
+    }
+    best.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    best.truncate(k);
+    best
 }
 
 impl IndexComponent for ExactJoinSearch {

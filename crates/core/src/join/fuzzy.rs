@@ -214,19 +214,29 @@ impl<E: Embedder> FuzzyJoinSearch<E> {
     /// Top-k tables by best-column fuzzy containment.
     #[must_use]
     pub fn search_tables(&self, query: &Column, tau: f32, k: usize) -> Vec<(TableId, f64)> {
-        let (hits, _) = self.search(query, tau, k * 4 + 8);
-        let _rank = td_obs::trace::probe("rank.merge");
-        let mut best: Vec<(TableId, f64)> = Vec::new();
-        for (c, s) in hits {
-            match best.iter_mut().find(|(t, _)| *t == c.table) {
-                Some((_, e)) => *e = e.max(s),
-                None => best.push((c.table, s)),
-            }
-        }
-        best.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
-        best.truncate(k);
-        best
+        let (hits, _) = self.search(query, tau, crate::join::exact::column_fetch_width(k));
+        aggregate_tables(hits, k)
     }
+}
+
+/// Fold a column-level fuzzy hit list (already in ranked order) into
+/// top-k tables by best-column containment. Split out of
+/// [`FuzzyJoinSearch::search_tables`] so a scatter-gather coordinator
+/// can merge per-shard *column* windows and then aggregate with
+/// byte-identical semantics.
+#[must_use]
+pub fn aggregate_tables(hits: Vec<(ColumnRef, f64)>, k: usize) -> Vec<(TableId, f64)> {
+    let _rank = td_obs::trace::probe("rank.merge");
+    let mut best: Vec<(TableId, f64)> = Vec::new();
+    for (c, s) in hits {
+        match best.iter_mut().find(|(t, _)| *t == c.table) {
+            Some((_, e)) => *e = e.max(s),
+            None => best.push((c.table, s)),
+        }
+    }
+    best.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    best.truncate(k);
+    best
 }
 
 impl IndexComponent for FuzzyJoinSearch<NGramEmbedder> {

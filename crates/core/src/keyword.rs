@@ -9,7 +9,7 @@
 use crate::segment::{live_entries, ComponentSegment, IndexComponent, PipelineContext};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
-use td_index::bm25::{Bm25Index, Bm25Params};
+use td_index::bm25::{Bm25Index, Bm25Params, Bm25Stats};
 use td_table::{DataLake, Table, TableId};
 
 /// What goes into the keyword index.
@@ -86,6 +86,31 @@ impl KeywordSearch {
         let _probe = td_obs::trace::probe("probe.keyword");
         self.index
             .search(query, k)
+            .into_iter()
+            .map(|(doc, s)| (self.tables[doc as usize], s))
+            .collect()
+    }
+
+    /// This index's own corpus statistics for `query` — phase one of
+    /// distributed keyword search (see [`Bm25Stats`]).
+    #[must_use]
+    pub fn term_stats(&self, query: &str) -> Bm25Stats {
+        self.index.term_stats(query)
+    }
+
+    /// [`Self::search`] scored with pinned corpus statistics — phase two
+    /// of distributed keyword search. With `stats == self.term_stats(query)`
+    /// this is bit-identical to `search`.
+    #[must_use]
+    pub fn search_with_stats(
+        &self,
+        query: &str,
+        k: usize,
+        stats: &Bm25Stats,
+    ) -> Vec<(TableId, f64)> {
+        let _probe = td_obs::trace::probe("probe.keyword");
+        self.index
+            .search_with_stats(query, k, stats)
             .into_iter()
             .map(|(doc, s)| (self.tables[doc as usize], s))
             .collect()

@@ -283,6 +283,88 @@ impl DiscoveryPipeline {
             self.correlated.search(query_key, query_num, k, 8)
         })
     }
+
+    // --- shard plane -----------------------------------------------------
+    //
+    // Entry points a scatter-gather coordinator (td-shard) uses to make a
+    // K-shard answer byte-identical to this pipeline's own answer. Three
+    // families need more than per-shard top-k merging: BM25 scores depend
+    // on whole-corpus statistics (two-phase: stats, then pinned-stats
+    // scoring), and the two column-aggregating join families must merge
+    // *column* windows before table aggregation.
+
+    /// This corpus's BM25 statistics for `query` — phase one of
+    /// distributed keyword search.
+    #[must_use]
+    pub fn keyword_term_stats(&self, query: &str) -> td_index::Bm25Stats {
+        self.keyword.term_stats(query)
+    }
+
+    /// Keyword search scored with pinned (merged) corpus statistics —
+    /// phase two of distributed keyword search.
+    #[must_use]
+    pub fn search_keyword_with_stats(
+        &self,
+        query: &str,
+        k: usize,
+        stats: &td_index::Bm25Stats,
+    ) -> Vec<(TableId, f64)> {
+        observe_query("keyword", || {
+            self.keyword.search_with_stats(query, k, stats)
+        })
+    }
+
+    /// Column-level exact-overlap window (before table aggregation).
+    /// `width` is normally [`crate::join::exact::column_fetch_width`] of
+    /// the final table `k`.
+    #[must_use]
+    pub fn search_joinable_columns(
+        &self,
+        query: &Column,
+        width: usize,
+    ) -> Vec<crate::join::OverlapHit> {
+        observe_query("joinable", || {
+            self.exact_join
+                .search(query, width, ExactStrategy::Adaptive)
+                .0
+        })
+    }
+
+    /// Column-level fuzzy-containment window (before table aggregation).
+    #[must_use]
+    pub fn search_fuzzy_columns(
+        &self,
+        query: &Column,
+        tau: f32,
+        width: usize,
+    ) -> Vec<(td_table::ColumnRef, f64)> {
+        observe_query("fuzzy_joinable", || {
+            self.fuzzy_join.search(query, tau, width).0
+        })
+    }
+
+    /// Per-query-column semantic candidate window — phase one of
+    /// distributed Starmie search.
+    #[must_use]
+    pub fn semantic_candidates(&self, query: &Table) -> Vec<Vec<(td_table::ColumnRef, f32)>> {
+        observe_query("unionable_semantic", || {
+            self.starmie.candidate_columns(query)
+        })
+    }
+
+    /// Starmie scoring restricted to a pinned candidate-table set —
+    /// phase two of distributed Starmie search.
+    #[must_use]
+    pub fn search_semantic_with_candidates(
+        &self,
+        query: &Table,
+        k: usize,
+        tables: &BTreeSet<TableId>,
+    ) -> Vec<(TableId, f64)> {
+        observe_query("unionable_semantic", || {
+            self.starmie.search_with_candidates(query, k, tables)
+        })
+    }
 }
 
 /// Record one online query against the global registry: a

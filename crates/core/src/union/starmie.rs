@@ -156,15 +156,92 @@ impl<E: Embedder> StarmieSearch<E> {
             .collect()
     }
 
-    fn retrieve(&self, v: &[f32], k: usize) -> Vec<u32> {
+    fn retrieve_scored(&self, v: &[f32], k: usize) -> Vec<(u32, f32)> {
         match &self.backend {
-            Backend::Flat(f) => f.search(v, k).into_iter().map(|(i, _)| i).collect(),
-            Backend::Hnsw(h) => h
-                .search(v, k, self.cfg.ef_search.max(k))
-                .into_iter()
-                .map(|(i, _)| i)
-                .collect(),
+            Backend::Flat(f) => f.search(v, k),
+            Backend::Hnsw(h) => h.search(v, k, self.cfg.ef_search.max(k)),
         }
+    }
+
+    fn retrieve(&self, v: &[f32], k: usize) -> Vec<u32> {
+        self.retrieve_scored(v, k)
+            .into_iter()
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Per-query-column backend retrieval with similarity scores — phase
+    /// one of distributed semantic union search. Each inner list is this
+    /// index's top-`fanout` columns for one query column, in backend
+    /// rank order. A coordinator merges per-shard lists under (similarity
+    /// descending, column ascending) and truncates to `fanout` to
+    /// reproduce the whole-lake candidate window; with the `Flat`
+    /// backend that reproduction is exact, with `Hnsw` the merged window
+    /// is at least as complete as any single shard's.
+    #[must_use]
+    pub fn candidate_columns(&self, query: &Table) -> Vec<Vec<(ColumnRef, f32)>> {
+        let qvecs = self.encode_query(query);
+        qvecs
+            .iter()
+            .map(|qv| {
+                self.retrieve_scored(qv, self.cfg.fanout)
+                    .into_iter()
+                    .map(|(cid, sim)| (self.refs[cid as usize], sim))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Score and rank exactly the given candidate tables — phase two of
+    /// distributed semantic union search. Tables not indexed here are
+    /// ignored, so a coordinator can broadcast the merged candidate set
+    /// to every shard. With `tables` equal to the candidate tables
+    /// [`Self::search`] derives from its own retrieval, this is
+    /// bit-identical to `search` (the per-table score depends only on
+    /// the query and that table's own vectors).
+    #[must_use]
+    pub fn search_with_candidates(
+        &self,
+        query: &Table,
+        k: usize,
+        tables: &BTreeSet<TableId>,
+    ) -> Vec<(TableId, f64)> {
+        let qvecs = self.encode_query(query);
+        if qvecs.is_empty() {
+            return Vec::new();
+        }
+        let slots = self
+            .table_cols
+            .iter()
+            .enumerate()
+            .filter(|(_, (id, _))| tables.contains(id))
+            .map(|(slot, _)| slot)
+            .collect();
+        self.score_slots(&qvecs, slots, k)
+    }
+
+    /// Rank the given table slots by bipartite-matching similarity.
+    /// `slots` must be ascending for deterministic tie-breaking.
+    fn score_slots(&self, qvecs: &[Vec<f32>], slots: Vec<usize>, k: usize) -> Vec<(TableId, f64)> {
+        let mut topk = TopK::new(k.max(1));
+        for slot in slots {
+            let (_, range) = &self.table_cols[slot];
+            let weights: Vec<Vec<f64>> = qvecs
+                .iter()
+                .map(|q| {
+                    range
+                        .clone()
+                        .map(|ci| f64::from(cosine(q, &self.vectors[ci])).max(0.0))
+                        .collect()
+                })
+                .collect();
+            let (total, _) = max_weight_matching(&weights);
+            topk.push(total / qvecs.len() as f64, slot as u32);
+        }
+        topk.into_sorted()
+            .into_iter()
+            .map(|(s, slot)| (self.table_cols[slot as usize].0, s))
+            .collect()
     }
 
     /// Top-k unionable tables: per-query-column retrieval, then bipartite
@@ -193,29 +270,11 @@ impl<E: Embedder> StarmieSearch<E> {
                 candidates.insert(slot);
             }
         }
-        // Sorted drain: candidate sets come out of a HashSet, and TopK
-        // breaks ties by insertion order — sort for deterministic ranks.
+        // Sorted drain: candidate sets come out of a HashSet — sort for
+        // deterministic scoring order.
         let mut candidates: Vec<usize> = candidates.into_iter().collect();
         candidates.sort_unstable();
-        let mut topk = TopK::new(k.max(1));
-        for slot in candidates {
-            let (_, range) = &self.table_cols[slot];
-            let weights: Vec<Vec<f64>> = qvecs
-                .iter()
-                .map(|q| {
-                    range
-                        .clone()
-                        .map(|ci| f64::from(cosine(q, &self.vectors[ci])).max(0.0))
-                        .collect()
-                })
-                .collect();
-            let (total, _) = max_weight_matching(&weights);
-            topk.push(total / qvecs.len() as f64, slot as u32);
-        }
-        topk.into_sorted()
-            .into_iter()
-            .map(|(s, slot)| (self.table_cols[slot as usize].0, s))
-            .collect()
+        self.score_slots(&qvecs, candidates, k)
     }
 
     /// Column-centric search: unionable candidates for *one column* of the

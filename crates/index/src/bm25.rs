@@ -37,6 +37,57 @@ pub fn tokenize(text: &str) -> Vec<String> {
     out
 }
 
+/// Corpus-level statistics BM25 scoring depends on: document count,
+/// summed document length, and per-query-term document frequencies.
+///
+/// Scores computed against a *subset* of the corpus (a shard) diverge
+/// from whole-corpus scores unless the scorer is pinned to whole-corpus
+/// statistics: idf derives from `df / num_docs` and length
+/// normalization from `total_len / num_docs`. A scatter-gather
+/// coordinator therefore runs keyword search in two phases — gather
+/// each shard's `term_stats`, [`Bm25Stats::merge`] them, and re-scatter
+/// the merged stats to [`Bm25Index::search_with_stats`].
+///
+/// `df` entries align index-wise with the deduplicated token sequence
+/// of the query that produced them (see [`Bm25Index::term_stats`]); the
+/// alignment is positional, so stats are only meaningful for the exact
+/// query string they were gathered for.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Bm25Stats {
+    /// Total number of indexed documents.
+    pub num_docs: u64,
+    /// Summed token length of all indexed documents.
+    pub total_len: u64,
+    /// Document frequency per deduplicated query term, positional.
+    pub df: Vec<u64>,
+}
+
+impl Bm25Stats {
+    /// Element-wise sum of per-shard statistics. Returns `None` when
+    /// the shards disagree on the query term count (stats gathered for
+    /// different queries), or when `parts` is empty.
+    #[must_use]
+    pub fn merge(parts: &[Bm25Stats]) -> Option<Bm25Stats> {
+        let first = parts.first()?;
+        let mut out = Bm25Stats {
+            num_docs: 0,
+            total_len: 0,
+            df: vec![0; first.df.len()],
+        };
+        for p in parts {
+            if p.df.len() != first.df.len() {
+                return None;
+            }
+            out.num_docs += p.num_docs;
+            out.total_len += p.total_len;
+            for (acc, d) in out.df.iter_mut().zip(&p.df) {
+                *acc += d;
+            }
+        }
+        Some(out)
+    }
+}
+
 /// An inverted BM25 index over documents identified by `u32` ids.
 /// ```
 /// use td_index::{Bm25Index, Bm25Params};
@@ -101,27 +152,59 @@ impl Bm25Index {
     }
 
     /// BM25 idf with the standard +1 smoothing (never negative).
-    fn idf(&self, df: usize) -> f64 {
-        let n = self.num_docs() as f64;
-        (((n - df as f64 + 0.5) / (df as f64 + 0.5)) + 1.0).ln()
+    fn idf(n: f64, df: f64) -> f64 {
+        (((n - df + 0.5) / (df + 0.5)) + 1.0).ln()
+    }
+
+    /// This index's own statistics for `query`'s terms — the exact
+    /// statistics [`Self::search`] scores with. Merge per-shard stats
+    /// with [`Bm25Stats::merge`] to score against a distributed corpus.
+    #[must_use]
+    pub fn term_stats(&self, query: &str) -> Bm25Stats {
+        let mut qterms = tokenize(query);
+        qterms.dedup();
+        Bm25Stats {
+            num_docs: self.doc_len.len() as u64,
+            total_len: self.total_len,
+            df: qterms
+                .iter()
+                .map(|t| self.postings.get(t).map_or(0, |pl| pl.len() as u64))
+                .collect(),
+        }
     }
 
     /// Top-k documents for a free-text query, `(doc, score)` descending.
     /// Documents matching no query term are not returned.
     #[must_use]
     pub fn search(&self, query: &str, k: usize) -> Vec<(u32, f64)> {
-        if self.doc_len.is_empty() || k == 0 {
+        self.search_with_stats(query, k, &self.term_stats(query))
+    }
+
+    /// [`Self::search`], but scored with pinned corpus statistics
+    /// instead of this index's own. With `stats == self.term_stats(query)`
+    /// this is bit-identical to `search`; with merged multi-shard stats
+    /// every shard scores its local documents on the global scale, so a
+    /// coordinator can merge per-shard top-k lists exactly. `stats.df`
+    /// must align with this query's deduplicated terms (same length);
+    /// mismatched stats return no hits rather than mis-scored ones.
+    #[must_use]
+    pub fn search_with_stats(&self, query: &str, k: usize, stats: &Bm25Stats) -> Vec<(u32, f64)> {
+        if self.doc_len.is_empty() || k == 0 || stats.num_docs == 0 {
             return Vec::new();
         }
-        let avg_len = self.total_len as f64 / self.doc_len.len() as f64;
+        let avg_len = stats.total_len as f64 / stats.num_docs as f64;
+        let n = stats.num_docs as f64;
         let mut scores: HashMap<u32, f64> = HashMap::new();
         let mut qterms = tokenize(query);
         qterms.dedup();
-        for term in qterms {
-            let Some(pl) = self.postings.get(&term) else {
+        if stats.df.len() != qterms.len() {
+            return Vec::new();
+        }
+        for (term, &df) in qterms.iter().zip(&stats.df) {
+            let Some(pl) = self.postings.get(term) else {
                 continue;
             };
-            let idf = self.idf(pl.len());
+            let idf = Self::idf(n, df as f64);
             for &(doc, f) in pl {
                 let f = f as f64;
                 let len_norm = 1.0 - self.params.b

@@ -229,8 +229,11 @@ impl InvertedSetIndex {
             // number of query tokens not yet processed:
             let remaining = q.len() - i;
             if let Some(th) = topk.threshold() {
-                if (remaining as f64) <= th {
-                    break; // no unseen set can beat the k-th best
+                // Strict: a set *tying* the k-th best can still displace a
+                // larger id under TopK's total order, so only a strictly
+                // lower bound is safe to stop on.
+                if (remaining as f64) < th {
+                    break; // no unseen set can beat or tie the k-th best
                 }
             }
             let pl = &self.postings[t as usize];
@@ -283,8 +286,10 @@ impl InvertedSetIndex {
             // Global stop: no unseen set (≤ unread) nor any outstanding
             // candidate (≤ partial + unread) can beat the k-th best.
             if let Some(th) = th {
+                // Strict bounds: ties can still displace under TopK's
+                // total order (see top_k_probe).
                 let max_partial = partial.values().copied().max().unwrap_or(0);
-                if (unread as f64) <= th && ((max_partial + unread) as f64) <= th {
+                if (unread as f64) < th && ((max_partial + unread) as f64) < th {
                     merged_all = false;
                     break;
                 }
@@ -301,7 +306,7 @@ impl InvertedSetIndex {
                 let th = topk.threshold();
                 let best = partial
                     .iter()
-                    .filter(|&(_, &p)| th.is_none_or(|t| ((p + unread) as f64) > t))
+                    .filter(|&(_, &p)| th.is_none_or(|t| ((p + unread) as f64) >= t))
                     .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
                     .map(|(&sid, &p)| (sid, p));
                 let Some((sid, _)) = best else { break };
@@ -317,7 +322,7 @@ impl InvertedSetIndex {
             }
             if let Some(th) = topk.threshold() {
                 let max_partial = partial.values().copied().max().unwrap_or(0);
-                if (unread as f64) <= th && ((max_partial + unread) as f64) <= th {
+                if (unread as f64) < th && ((max_partial + unread) as f64) < th {
                     merged_all = false;
                     break;
                 }
@@ -334,7 +339,7 @@ impl InvertedSetIndex {
         // Leftover candidates. If every list was merged, the partial counts
         // are exact. If we broke early, the break condition guaranteed that
         // every outstanding candidate's upper bound (partial + unread) was
-        // at or below the k-th best — nothing left can matter.
+        // strictly below the k-th best — nothing left can beat or tie it.
         if merged_all {
             // Sorted drain for run-to-run deterministic tie order.
             let mut partial: Vec<(SetId, usize)> = partial.into_iter().collect();

@@ -29,7 +29,7 @@ pub mod lsh;
 pub mod topk;
 
 pub use access::{AccessMethod, AdaptiveVectorIndex, CostModel, Workload};
-pub use bm25::{tokenize, Bm25Index, Bm25Params};
+pub use bm25::{tokenize, Bm25Index, Bm25Params, Bm25Stats};
 pub use ensemble::LshEnsemble;
 pub use flat::FlatIndex;
 pub use hnsw::{Hnsw, HnswParams};

@@ -1,39 +1,53 @@
-//! Bounded top-k collection by score.
+//! Bounded top-k collection by score with a *total* deterministic order.
+//!
+//! Ties on score are broken by the item's own `Ord` (ascending), so the
+//! kept set and the output order depend only on the (score, item) pairs
+//! offered — never on insertion order or heap internals. This is what
+//! makes distributed scatter-gather exact: an item's rank within any
+//! subset of the corpus is never better than its global rank, so the
+//! global top-k is always contained in the union of per-shard top-ks,
+//! and re-ranking that union reproduces the global answer byte for byte.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-/// An item with an `f64` score, ordered so a max-heap pops the *smallest*
-/// score first (for bounded top-k keeping the largest).
+/// An item with an `f64` score, ordered so a max-heap pops the *weakest*
+/// entry first (for bounded top-k keeping the strongest). "Weakest" is
+/// the entry that sorts last under (score descending, item ascending).
 #[derive(Debug, Clone, Copy, PartialEq)]
 struct Scored<T> {
     score: f64,
     item: T,
 }
 
-impl<T: PartialEq> Eq for Scored<T> {}
+impl<T: Ord> Eq for Scored<T> {}
 
-impl<T: PartialEq> PartialOrd for Scored<T> {
+impl<T: Ord> PartialOrd for Scored<T> {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
 
-impl<T: PartialEq> Ord for Scored<T> {
+impl<T: Ord> Ord for Scored<T> {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse: BinaryHeap is a max-heap; we want the weakest on top.
-        other.score.total_cmp(&self.score)
+        // Weakest = lowest score, ties broken by *largest* item (so the
+        // kept set prefers smaller items on equal scores).
+        other
+            .score
+            .total_cmp(&self.score)
+            .then_with(|| self.item.cmp(&other.item))
     }
 }
 
-/// Keeps the `k` highest-scoring items seen.
+/// Keeps the `k` best items seen under (score descending, item ascending).
 #[derive(Debug, Clone)]
 pub struct TopK<T> {
     k: usize,
     heap: BinaryHeap<Scored<T>>,
 }
 
-impl<T: PartialEq> TopK<T> {
+impl<T: Ord> TopK<T> {
     /// A collector of capacity `k`.
     ///
     /// # Panics
@@ -47,14 +61,18 @@ impl<T: PartialEq> TopK<T> {
         }
     }
 
-    /// Offer an item; it is kept only if it beats the current k-th best.
+    /// Offer an item; it is kept only if it beats the current weakest
+    /// entry under the total order (score descending, item ascending).
     pub fn push(&mut self, score: f64, item: T) {
+        let cand = Scored { score, item };
         if self.heap.len() < self.k {
-            self.heap.push(Scored { score, item });
+            self.heap.push(cand);
         } else if let Some(weakest) = self.heap.peek() {
-            if score > weakest.score {
+            // `cand > *weakest` in heap order means the candidate is
+            // *weaker*; admit only strictly stronger entries.
+            if cand < *weakest {
                 self.heap.pop();
-                self.heap.push(Scored { score, item });
+                self.heap.push(cand);
             }
         }
     }
@@ -72,7 +90,8 @@ impl<T: PartialEq> TopK<T> {
     }
 
     /// The k-th best score so far (the admission bar), if `k` items are
-    /// already held.
+    /// already held. Note: entries tying this score may still be
+    /// admitted when their item sorts before the current weakest item.
     #[must_use]
     pub fn threshold(&self) -> Option<f64> {
         if self.heap.len() == self.k {
@@ -82,11 +101,12 @@ impl<T: PartialEq> TopK<T> {
         }
     }
 
-    /// Consume into `(score, item)` pairs sorted by descending score.
+    /// Consume into `(score, item)` pairs sorted by descending score,
+    /// ties by ascending item.
     #[must_use]
     pub fn into_sorted(self) -> Vec<(f64, T)> {
         let mut v: Vec<(f64, T)> = self.heap.into_iter().map(|s| (s.score, s.item)).collect();
-        v.sort_by(|a, b| b.0.total_cmp(&a.0));
+        v.sort_by(|a, b| a.0.total_cmp(&b.0).reverse().then_with(|| a.1.cmp(&b.1)));
         v
     }
 }
@@ -126,11 +146,33 @@ mod tests {
     }
 
     #[test]
-    fn equal_scores_do_not_evict() {
+    fn equal_scores_keep_smallest_item() {
         let mut t = TopK::new(1);
         t.push(1.0, "first");
         t.push(1.0, "second");
         assert_eq!(t.into_sorted(), vec![(1.0, "first")]);
+
+        // And the symmetric case: a smaller item arriving later wins.
+        let mut t = TopK::new(1);
+        t.push(1.0, "second");
+        t.push(1.0, "first");
+        assert_eq!(t.into_sorted(), vec![(1.0, "first")]);
+    }
+
+    #[test]
+    fn order_is_insertion_invariant() {
+        let entries = [(2.0, 7u32), (2.0, 3), (1.0, 9), (2.0, 5), (1.0, 1)];
+        let mut fwd = TopK::new(3);
+        for &(s, i) in &entries {
+            fwd.push(s, i);
+        }
+        let mut rev = TopK::new(3);
+        for &(s, i) in entries.iter().rev() {
+            rev.push(s, i);
+        }
+        let expect = vec![(2.0, 3), (2.0, 5), (2.0, 7)];
+        assert_eq!(fwd.into_sorted(), expect);
+        assert_eq!(rev.into_sorted(), expect);
     }
 
     #[test]

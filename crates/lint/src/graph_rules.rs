@@ -12,7 +12,7 @@ use std::collections::{BTreeMap, BTreeSet};
 /// dependencies. Crates not listed (fixtures, future crates) are not
 /// checked. Adding an edge here is an architectural decision — TD012
 /// exists so it happens in review, not by accident.
-const LAYERS: [(&str, &[&str]); 14] = [
+const LAYERS: [(&str, &[&str]); 15] = [
     ("table", &[]),
     ("sketch", &[]),
     ("obs", &[]),
@@ -30,7 +30,8 @@ const LAYERS: [(&str, &[&str]); 14] = [
         &["table", "sketch", "embed", "core", "understand", "obs"],
     ),
     ("store", &["core", "table", "sketch", "embed", "obs"]),
-    ("serve", &["core", "table", "obs", "store"]),
+    ("shard", &["core", "index", "table", "obs", "store"]),
+    ("serve", &["core", "table", "obs", "store", "shard"]),
     (
         "td",
         &[
@@ -47,7 +48,7 @@ const LAYERS: [(&str, &[&str]); 14] = [
             "obs",
         ],
     ),
-    ("bench", &["td", "obs", "lint", "serve"]),
+    ("bench", &["td", "obs", "lint", "serve", "shard"]),
 ];
 
 /// Crates whose state is long-lived (server / observability planes);

@@ -372,6 +372,22 @@ fn td012_spares_the_store_layer_dep_set() {
 }
 
 #[test]
+fn td012_fires_when_shard_reaches_up_into_serve() {
+    // The shard merge algebra sits below the serving layer: serve's
+    // coordinator calls into td-shard, never the reverse.
+    let src = fixture("td012_shard_fire.toml");
+    let manifests = [("crates/shard/Cargo.toml", src.as_str())];
+    assert_eq!(graph_counts(Code::Td012, &[], &manifests), (1, 0));
+}
+
+#[test]
+fn td012_spares_the_shard_layer_dep_set() {
+    let src = fixture("td012_shard_no_fire.toml");
+    let manifests = [("crates/shard/Cargo.toml", src.as_str())];
+    assert_eq!(graph_counts(Code::Td012, &[], &manifests), (0, 0));
+}
+
+#[test]
 fn td012_manifest_waiver() {
     let src = fixture("td012_waived.toml");
     let manifests = [("crates/obs/Cargo.toml", src.as_str())];

@@ -4,14 +4,68 @@
 //! blocks for the matching response. `call_raw` exposes the response
 //! payload bytes untouched, so tests can compare a served answer
 //! byte-for-byte against [`crate::server::execute`] encoded locally.
+//!
+//! [`Client::connect_with_backoff`] retries a refused dial under a
+//! capped exponential backoff — the coordinator uses it to re-admit a
+//! shard that is restarting, and gives up cleanly after a bounded
+//! number of attempts instead of hanging a scatter forever.
 
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use crate::protocol::{
     decode_response, read_frame, write_frame, ProtocolError, RequestEnvelope, ResponseEnvelope,
     MAX_FRAME_BYTES,
 };
+
+/// Retry policy for [`Client::connect_with_backoff`]: up to `attempts`
+/// dials, sleeping `initial` after the first failure and doubling up to
+/// `max` between subsequent ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffConfig {
+    /// Total connection attempts before giving up (≥ 1; `0` is treated
+    /// as `1` — a config cannot ask for zero dials).
+    pub attempts: u32,
+    /// Sleep after the first failed attempt.
+    pub initial: Duration,
+    /// Ceiling on the per-attempt sleep.
+    pub max: Duration,
+}
+
+impl Default for BackoffConfig {
+    fn default() -> Self {
+        BackoffConfig {
+            attempts: 5,
+            initial: Duration::from_millis(10),
+            max: Duration::from_millis(250),
+        }
+    }
+}
+
+/// Dial with retries under `cfg`, generic over the dial function so the
+/// give-up-after-N contract is unit-testable without real sockets.
+fn dial_with_backoff<T>(
+    cfg: &BackoffConfig,
+    mut dial: impl FnMut() -> io::Result<T>,
+) -> io::Result<T> {
+    let attempts = cfg.attempts.max(1);
+    let mut sleep = cfg.initial;
+    let mut last_err = None;
+    for attempt in 0..attempts {
+        match dial() {
+            Ok(v) => return Ok(v),
+            Err(e) => last_err = Some(e),
+        }
+        // No sleep after the final failure — the caller gets the error
+        // immediately once the budget is spent.
+        if attempt + 1 < attempts {
+            std::thread::sleep(sleep);
+            sleep = (sleep * 2).min(cfg.max);
+        }
+    }
+    Err(last_err.unwrap_or_else(|| io::Error::other("no connection attempt made")))
+}
 
 /// A connected client.
 pub struct Client {
@@ -33,6 +87,20 @@ impl Client {
             max_frame: MAX_FRAME_BYTES,
             next_id: 1,
         })
+    }
+
+    /// Connect, retrying refused dials under `cfg`'s capped exponential
+    /// backoff; gives up with the last dial error after `cfg.attempts`
+    /// attempts.
+    ///
+    /// # Errors
+    /// The final attempt's connection error once the retry budget is
+    /// spent.
+    pub fn connect_with_backoff(
+        addr: impl ToSocketAddrs,
+        cfg: &BackoffConfig,
+    ) -> io::Result<Client> {
+        dial_with_backoff(cfg, || Client::connect(&addr))
     }
 
     /// A fresh correlation id (monotonic per connection).
@@ -67,5 +135,70 @@ impl Client {
     pub fn call(&mut self, env: &RequestEnvelope) -> Result<ResponseEnvelope, ProtocolError> {
         let raw = self.call_raw(env)?;
         decode_response(&raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn backoff_gives_up_after_n_attempts() {
+        let cfg = BackoffConfig {
+            attempts: 3,
+            initial: Duration::from_millis(1),
+            max: Duration::from_millis(2),
+        };
+        let mut dials = 0u32;
+        let r: io::Result<()> = dial_with_backoff(&cfg, || {
+            dials += 1;
+            Err(io::Error::new(io::ErrorKind::ConnectionRefused, "refused"))
+        });
+        assert_eq!(dials, 3, "must dial exactly `attempts` times");
+        assert_eq!(r.unwrap_err().kind(), io::ErrorKind::ConnectionRefused);
+    }
+
+    #[test]
+    fn backoff_stops_at_first_success() {
+        let cfg = BackoffConfig {
+            attempts: 5,
+            initial: Duration::from_millis(1),
+            max: Duration::from_millis(2),
+        };
+        let mut dials = 0u32;
+        let r = dial_with_backoff(&cfg, || {
+            dials += 1;
+            if dials < 3 {
+                Err(io::Error::new(io::ErrorKind::ConnectionRefused, "refused"))
+            } else {
+                Ok(dials)
+            }
+        });
+        assert_eq!(r.expect("third dial succeeds"), 3);
+        assert_eq!(dials, 3, "no dials after the first success");
+    }
+
+    #[test]
+    fn backoff_treats_zero_attempts_as_one() {
+        let cfg = BackoffConfig {
+            attempts: 0,
+            initial: Duration::from_millis(1),
+            max: Duration::from_millis(1),
+        };
+        let mut dials = 0u32;
+        let _: io::Result<()> = dial_with_backoff(&cfg, || {
+            dials += 1;
+            Err(io::Error::new(io::ErrorKind::ConnectionRefused, "refused"))
+        });
+        assert_eq!(dials, 1);
+    }
+
+    #[test]
+    fn connect_with_backoff_reaches_a_live_listener() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let c = Client::connect_with_backoff(addr, &BackoffConfig::default());
+        assert!(c.is_ok(), "live listener must be reachable on attempt 1");
     }
 }

@@ -1,0 +1,173 @@
+//! Spawning a shard fleet: K td-serve servers, each owning one hash
+//! partition of the lake, ready to sit behind a
+//! [`crate::coord::Coordinator`].
+//!
+//! The fleet is a deployment convenience, not a distributed-systems
+//! runtime: every server lives in this process on an ephemeral port.
+//! That is exactly what the equivalence tests and `shard_report` need —
+//! real sockets, real framing, real partial failure (a shard can be
+//! stopped and replaced) — without inventing process supervision.
+
+use std::io;
+use std::path::Path;
+use std::sync::Arc;
+
+use td_core::segment::PipelineContext;
+use td_core::{DiscoveryPipeline, SegmentedPipeline};
+use td_shard::{shard_dir, ShardMap};
+use td_table::{Table, TableId};
+
+use crate::coord::{CoordConfig, Coordinator};
+use crate::persist::boot;
+use crate::server::{Server, ServerConfig};
+
+/// K running shard servers. Index in `servers` is the shard id — the
+/// same index [`ShardMap::shard_of`] routes to.
+pub struct ShardFleet {
+    servers: Vec<Option<Server>>,
+}
+
+impl ShardFleet {
+    /// Start one server per pipeline, each on its own ephemeral port
+    /// (`cfg.addr` is used as given for a single shard; for more, the
+    /// port is forced to `0` so shards never collide).
+    ///
+    /// # Errors
+    /// Fails if any listener cannot bind.
+    pub fn start(
+        pipelines: Vec<Arc<DiscoveryPipeline>>,
+        cfg: &ServerConfig,
+    ) -> io::Result<ShardFleet> {
+        let servers = pipelines
+            .into_iter()
+            .map(|p| Server::start(p, cfg.clone()).map(Some))
+            .collect::<io::Result<Vec<_>>>()?;
+        Ok(ShardFleet { servers })
+    }
+
+    /// Partition `tables` with [`ShardMap`], build one
+    /// [`SegmentedPipeline`] per shard, and serve each. The shared
+    /// context guarantees a table's indexed form is identical whichever
+    /// shard owns it.
+    ///
+    /// # Errors
+    /// Fails if any listener cannot bind.
+    pub fn start_partitioned(
+        shards: usize,
+        ctx: &PipelineContext,
+        tables: &[(TableId, Table)],
+        cfg: &ServerConfig,
+    ) -> io::Result<ShardFleet> {
+        let map = ShardMap::new(shards);
+        let mut pipelines: Vec<SegmentedPipeline> = (0..shards)
+            .map(|_| SegmentedPipeline::with_context(ctx.clone()))
+            .collect();
+        for (id, t) in tables {
+            pipelines[map.shard_of(*id)].ingest_table(*id, t);
+        }
+        Self::start(
+            pipelines.iter().map(SegmentedPipeline::snapshot).collect(),
+            cfg,
+        )
+    }
+
+    /// Start `shards` durable servers under one store root: shard `i`
+    /// restores from (and persists to) `<root>/shard-<i>` — see
+    /// [`td_shard::shard_dir`] — so every shard's WAL, snapshots, and
+    /// corruption handling stay independent.
+    ///
+    /// # Errors
+    /// Fails on store open/restore errors or if a listener cannot bind.
+    pub fn start_durable(
+        shards: usize,
+        root: &Path,
+        ctx: &PipelineContext,
+        cfg: &ServerConfig,
+    ) -> io::Result<ShardFleet> {
+        let servers = (0..shards)
+            .map(|i| {
+                let (durable, _stats) =
+                    boot(shard_dir(root, i), ctx.clone()).map_err(io::Error::other)?;
+                Server::start_durable(durable, cfg.clone()).map(Some)
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+        Ok(ShardFleet { servers })
+    }
+
+    /// Number of shard slots (running or stopped).
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Shard addresses in shard order — the list a [`CoordConfig`] is
+    /// built from. Stopped shards keep their last address (the
+    /// coordinator will find them unreachable and degrade).
+    ///
+    /// # Panics
+    /// Panics if called before any shard has started (unreachable: the
+    /// constructors fail instead).
+    #[must_use]
+    pub fn addrs(&self) -> Vec<String> {
+        self.servers
+            .iter()
+            .map(|s| {
+                s.as_ref()
+                    .map_or_else(|| "127.0.0.1:1".to_string(), |s| s.local_addr().to_string())
+            })
+            .collect()
+    }
+
+    /// A coordinator over this fleet's current addresses.
+    #[must_use]
+    pub fn coordinator(&self) -> Coordinator {
+        Coordinator::new(CoordConfig::new(self.addrs()))
+    }
+
+    /// The running server for shard `i`, if it has not been stopped.
+    #[must_use]
+    pub fn server(&self, shard: usize) -> Option<&Server> {
+        self.servers[shard].as_ref()
+    }
+
+    /// Stop shard `i` (graceful drain), leaving its slot empty — the
+    /// partial-failure drill. Idempotent.
+    pub fn stop_shard(&mut self, shard: usize) {
+        if let Some(mut s) = self.servers[shard].take() {
+            s.shutdown();
+        }
+    }
+
+    /// Bring shard `i` back as a fresh durable server restored from its
+    /// own store directory (the rejoin half of the partial-failure
+    /// drill). Returns the new address; re-point the coordinator at it
+    /// with `Coordinator::set_shard_addr`.
+    ///
+    /// # Errors
+    /// Fails on store open/restore errors or if the listener cannot
+    /// bind.
+    pub fn restart_shard_durable(
+        &mut self,
+        shard: usize,
+        root: &Path,
+        ctx: &PipelineContext,
+        cfg: &ServerConfig,
+    ) -> io::Result<String> {
+        self.stop_shard(shard);
+        let (durable, _stats) =
+            boot(shard_dir(root, shard), ctx.clone()).map_err(io::Error::other)?;
+        let server = Server::start_durable(durable, cfg.clone())?;
+        let addr = server.local_addr().to_string();
+        self.servers[shard] = Some(server);
+        Ok(addr)
+    }
+
+    /// Shut the whole fleet down (graceful, idempotent).
+    pub fn shutdown(&mut self) {
+        for s in &mut self.servers {
+            if let Some(s) = s.as_mut() {
+                s.shutdown();
+            }
+        }
+    }
+}

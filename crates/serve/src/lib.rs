@@ -37,7 +37,16 @@
 //!   plane (`IngestTable` / `DropTable` / `Snapshot`) with every
 //!   mutation WAL-logged before it applies, and checkpoints without
 //!   blocking in-flight queries.
-//! * [`client`] — a minimal blocking client.
+//! * [`coord`] — the sharded deployment's front-end: a deterministic
+//!   scatter-gather coordinator fanning every search family out to K
+//!   shard servers and folding the answers with `td_shard::merge`, so
+//!   a K-shard reply is byte-identical to a 1-shard reply; unreachable
+//!   shards degrade the reply (the envelope's `degraded` field) instead
+//!   of failing it.
+//! * [`fleet`] — spawning K shard servers (hash-partitioned, optionally
+//!   each with its own td-store directory) behind one coordinator.
+//! * [`client`] — a minimal blocking client, with optional
+//!   reconnect-with-backoff dialing.
 //! * [`workload`] — seeded deterministic query streams for the
 //!   `serve_report` load generator.
 //!
@@ -65,6 +74,8 @@
 pub mod admin;
 pub mod cache;
 pub mod client;
+pub mod coord;
+pub mod fleet;
 pub mod persist;
 pub mod protocol;
 pub mod queue;
@@ -73,7 +84,9 @@ pub mod workload;
 
 pub use admin::TraceConfig;
 pub use cache::{CacheConfig, CacheStats, ResultCache};
-pub use client::Client;
+pub use client::{BackoffConfig, Client};
+pub use coord::{CoordConfig, CoordServer, CoordServerConfig, Coordinator};
+pub use fleet::ShardFleet;
 pub use persist::{boot, serving_snapshot, DurablePipeline, RestoreStats, Store};
 pub use protocol::{
     canonical_bytes, decode_request, decode_response, encode_response, read_frame, write_frame,

@@ -20,8 +20,9 @@
 
 use serde::{Deserialize, Serialize};
 use std::io::{self, Read, Write};
-use td_core::join::CorrelatedHit;
-use td_table::{Column, Table, TableId};
+use td_core::join::{CorrelatedHit, OverlapHit};
+use td_shard::Bm25Stats;
+use td_table::{Column, ColumnRef, Table, TableId};
 
 /// Hard ceiling on accepted frame payloads (32 MiB) unless a tighter
 /// limit is configured.
@@ -151,6 +152,60 @@ pub enum Request {
     /// queries (worker threads, epoch slot) are untouched. Answered
     /// inline; requires persistence.
     Snapshot,
+    /// Shard plane: per-shard BM25 statistics for a keyword query
+    /// (phase one of the coordinator's two-phase distributed keyword
+    /// search — see `td_shard::merge`).
+    KeywordStats {
+        /// Query text.
+        query: String,
+    },
+    /// Shard plane: keyword search scored against *pinned* corpus
+    /// statistics (phase two — every shard scores on the merged global
+    /// scale, so the coordinator's merge is byte-identical to a
+    /// one-shard answer).
+    KeywordScored {
+        /// Query text.
+        query: String,
+        /// Results requested.
+        k: usize,
+        /// Merged global corpus statistics from phase one.
+        stats: Bm25Stats,
+    },
+    /// Shard plane: the exact-join *column* window (`width` best
+    /// overlapping columns). The coordinator merges per-shard windows
+    /// and runs the shared table aggregation on the merged window.
+    JoinableColumns {
+        /// Query column.
+        column: Column,
+        /// Window width (`td_core::join::exact::column_fetch_width(k)`).
+        width: usize,
+    },
+    /// Shard plane: the fuzzy-join *column* window under threshold
+    /// `tau`.
+    FuzzyColumns {
+        /// Query column.
+        column: Column,
+        /// Embedding similarity predicate.
+        tau: f32,
+        /// Window width.
+        width: usize,
+    },
+    /// Shard plane: per-query-column semantic candidate windows (phase
+    /// one of two-phase Starmie search).
+    SemanticCandidates {
+        /// Query table.
+        table: Table,
+    },
+    /// Shard plane: semantic search restricted to a pinned candidate
+    /// table set (phase two).
+    SemanticScored {
+        /// Query table.
+        table: Table,
+        /// Results requested.
+        k: usize,
+        /// Merged candidate tables from phase one (sorted ascending).
+        tables: Vec<TableId>,
+    },
 }
 
 impl Request {
@@ -176,6 +231,12 @@ impl Request {
             Request::IngestTable { .. } => "ingest_table",
             Request::DropTable { .. } => "drop_table",
             Request::Snapshot => "snapshot",
+            Request::KeywordStats { .. } => "keyword_stats",
+            Request::KeywordScored { .. } => "keyword_scored",
+            Request::JoinableColumns { .. } => "joinable_columns",
+            Request::FuzzyColumns { .. } => "fuzzy_columns",
+            Request::SemanticCandidates { .. } => "semantic_candidates",
+            Request::SemanticScored { .. } => "semantic_scored",
         }
     }
 
@@ -205,6 +266,22 @@ impl Request {
     #[must_use]
     pub fn persist_endpoints() -> [&'static str; 3] {
         ["ingest_table", "drop_table", "snapshot"]
+    }
+
+    /// Every shard-plane endpoint name, in protocol order. These are the
+    /// per-shard halves of the coordinator's two-phase keyword/semantic
+    /// searches and the column-window fetches; they execute on the
+    /// serving pipeline like any search request (queued, cacheable).
+    #[must_use]
+    pub fn shard_endpoints() -> [&'static str; 6] {
+        [
+            "keyword_stats",
+            "keyword_scored",
+            "joinable_columns",
+            "fuzzy_columns",
+            "semantic_candidates",
+            "semantic_scored",
+        ]
     }
 
     /// True for the admin observability plane (`Stats`, `MetricsDump`,
@@ -290,6 +367,17 @@ pub enum Reply {
     Dropped(DropReply),
     /// Answer to [`Request::Snapshot`].
     Snapshotted(SnapshotReply),
+    /// Answer to [`Request::KeywordStats`].
+    KeywordStats(Bm25Stats),
+    /// Answer to [`Request::JoinableColumns`]: the shard's exact-join
+    /// column window (overlap descending, column ascending).
+    OverlapColumns(Vec<OverlapHit>),
+    /// Answer to [`Request::FuzzyColumns`]: the shard's fuzzy-join
+    /// column window (containment descending, column ascending).
+    FuzzyColumns(Vec<(ColumnRef, f64)>),
+    /// Answer to [`Request::SemanticCandidates`]: one candidate window
+    /// per query column (similarity descending, column ascending).
+    CandidateWindows(Vec<Vec<(ColumnRef, f32)>>),
 }
 
 /// Answer to [`Request::IngestTable`].
@@ -488,6 +576,11 @@ pub struct ResponseEnvelope {
     pub reply: Option<Reply>,
     /// Human-readable diagnostic for non-`Ok` statuses.
     pub error: Option<String>,
+    /// Shard ids whose answers are missing from `reply` because the
+    /// shard was unreachable — always empty from a single server;
+    /// non-empty only from a degraded coordinator, whose merged ranking
+    /// then covers the reachable shards only.
+    pub degraded: Vec<u32>,
 }
 
 impl ResponseEnvelope {
@@ -499,6 +592,20 @@ impl ResponseEnvelope {
             status: Status::Ok,
             reply: Some(reply),
             error: None,
+            degraded: Vec::new(),
+        }
+    }
+
+    /// A successful-but-degraded coordinator response: `reply` merges
+    /// the reachable shards; `degraded` names the missing ones.
+    #[must_use]
+    pub fn ok_degraded(id: u64, reply: Reply, degraded: Vec<u32>) -> Self {
+        ResponseEnvelope {
+            id,
+            status: Status::Ok,
+            reply: Some(reply),
+            error: None,
+            degraded,
         }
     }
 
@@ -510,6 +617,7 @@ impl ResponseEnvelope {
             status,
             reply: None,
             error: Some(error.into()),
+            degraded: Vec::new(),
         }
     }
 }

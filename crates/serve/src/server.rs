@@ -170,6 +170,9 @@ impl Metrics {
         for ep in Request::persist_endpoints() {
             latency.insert(ep, reg.histogram(&format!("serve.{ep}.latency_ns")));
         }
+        for ep in Request::shard_endpoints() {
+            latency.insert(ep, reg.histogram(&format!("serve.{ep}.latency_ns")));
+        }
         Metrics {
             queue_depth: reg.gauge("serve.queue.depth"),
             inflight: reg.gauge("serve.inflight"),
@@ -258,6 +261,25 @@ pub fn execute(pipeline: &DiscoveryPipeline, req: &Request) -> Reply {
         Request::IngestTable { .. } => Reply::Ingested(IngestReply::default()),
         Request::DropTable { .. } => Reply::Dropped(DropReply::default()),
         Request::Snapshot => Reply::Snapshotted(SnapshotReply::default()),
+        // The shard plane: the per-shard halves of the coordinator's
+        // scatter-gather. They run on the serving pipeline like any
+        // search (queued, cacheable, deterministic).
+        Request::KeywordStats { query } => Reply::KeywordStats(pipeline.keyword_term_stats(query)),
+        Request::KeywordScored { query, k, stats } => {
+            Reply::Scores(pipeline.search_keyword_with_stats(query, *k, stats))
+        }
+        Request::JoinableColumns { column, width } => {
+            Reply::OverlapColumns(pipeline.search_joinable_columns(column, *width))
+        }
+        Request::FuzzyColumns { column, tau, width } => {
+            Reply::FuzzyColumns(pipeline.search_fuzzy_columns(column, *tau, *width))
+        }
+        Request::SemanticCandidates { table } => {
+            Reply::CandidateWindows(pipeline.semantic_candidates(table))
+        }
+        Request::SemanticScored { table, k, tables } => Reply::Scores(
+            pipeline.search_semantic_with_candidates(table, *k, &tables.iter().copied().collect()),
+        ),
     }
 }
 

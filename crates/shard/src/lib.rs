@@ -1,0 +1,39 @@
+//! td-shard: sharded lake partitions with an exact scatter-gather
+//! merge algebra.
+//!
+//! One process, one pipeline is the wrong shape for a lake of millions
+//! of tables. This crate partitions a lake by hash of table id into K
+//! shards ([`ShardMap`]), each owning its own
+//! [`td_core::SegmentedPipeline`] (and, under a fleet store root, its
+//! own WAL/snapshot directory — [`shard_dir`]), and provides the merge
+//! algebra ([`merge`]) that folds per-shard answers for all eight
+//! `search_*` families into rankings **byte-identical** to a one-shard
+//! answer. [`ShardedPipeline`] is the in-process reference
+//! implementation of that scatter-gather; td-serve's coordinator runs
+//! the same algebra over the TCP protocol.
+//!
+//! Byte-identity rests on three properties, each enforced elsewhere and
+//! relied on here:
+//!
+//! 1. every ranking is a total order (score descending, id ascending —
+//!    `td_index::TopK`),
+//! 2. per-table scores are pairwise (query vs table), never
+//!    corpus-dependent — except BM25, which is re-based onto merged
+//!    global statistics, and the column-aggregating families, which
+//!    merge *column* windows before table aggregation,
+//! 3. artifact extraction is context-only, so a table's indexed form
+//!    does not depend on which shard owns it.
+
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
+pub mod merge;
+pub mod partition;
+pub mod sharded;
+
+pub use partition::ShardMap;
+pub use sharded::{shard_dir, ShardedPipeline};
+
+// Re-exported so higher layers (td-serve's coordinator) can name the
+// keyword statistics envelope without a direct td-index edge.
+pub use td_index::Bm25Stats;

@@ -1,0 +1,231 @@
+//! The exact scatter-gather merge algebra.
+//!
+//! Every ranking the pipeline produces is a *total order* — score
+//! descending, then id ascending (this is what `TopK` enforces and
+//! td-lint's TD005 polices). Under a total order, an item's rank within
+//! any subset of the corpus is never better than its global rank, so
+//! the global top-k is always contained in the union of per-shard
+//! top-ks, and re-sorting that union under the same order reproduces
+//! the global answer byte for byte.
+//!
+//! Three families need more than a plain top-k union:
+//!
+//! - **keyword** — BM25 scores depend on whole-corpus statistics (idf
+//!   and average document length). The coordinator gathers per-shard
+//!   [`Bm25Stats`], sums them, and re-scatters the merged stats so every
+//!   shard scores on the global scale (two network phases).
+//! - **joinable / fuzzy joinable** — the single-process implementations
+//!   aggregate tables from an over-fetched *column* window
+//!   (`column_fetch_width(k)` columns). The coordinator therefore merges
+//!   per-shard column windows first and runs the very same table
+//!   aggregation on the merged window.
+//! - **unionable semantic (Starmie)** — retrieval-then-score: the
+//!   coordinator merges per-shard candidate-column windows per query
+//!   column, broadcasts the merged candidate *table* set, and merges the
+//!   resulting scores. Exact for the `Flat` backend; with `Hnsw` the
+//!   merged candidate window is at least as complete as any one shard's.
+//!
+//! All functions here are pure: they see only shard replies, never
+//! sockets, so they are unit-testable against in-process pipelines.
+
+use std::collections::BTreeSet;
+use td_core::join::{CorrelatedHit, OverlapHit};
+use td_index::Bm25Stats;
+use td_table::{ColumnRef, TableId};
+
+/// Merge per-shard `(table, score)` rankings into the global top-k.
+/// Shards own disjoint tables, so no deduplication is needed.
+#[must_use]
+pub fn merge_scores(per_shard: Vec<Vec<(TableId, f64)>>, k: usize) -> Vec<(TableId, f64)> {
+    let mut all: Vec<(TableId, f64)> = per_shard.into_iter().flatten().collect();
+    all.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    all.truncate(k);
+    all
+}
+
+/// Merge per-shard `(table, overlap)` rankings into the global top-k
+/// (exact-join table aggregation order: overlap descending, id
+/// ascending).
+#[must_use]
+pub fn merge_overlaps(per_shard: Vec<Vec<(TableId, usize)>>, k: usize) -> Vec<(TableId, usize)> {
+    let mut all: Vec<(TableId, usize)> = per_shard.into_iter().flatten().collect();
+    all.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    all.truncate(k);
+    all
+}
+
+/// Merge per-shard exact-overlap *column* windows into the global
+/// column window of `width` columns (overlap descending, column
+/// ascending — the order the single-process inverted index emits).
+#[must_use]
+pub fn merge_overlap_columns(per_shard: Vec<Vec<OverlapHit>>, width: usize) -> Vec<OverlapHit> {
+    let mut all: Vec<OverlapHit> = per_shard.into_iter().flatten().collect();
+    all.sort_by(|a, b| b.overlap.cmp(&a.overlap).then(a.column.cmp(&b.column)));
+    all.truncate(width);
+    all
+}
+
+/// Merge per-shard fuzzy-containment *column* windows into the global
+/// column window (containment descending, column ascending).
+#[must_use]
+pub fn merge_fuzzy_columns(
+    per_shard: Vec<Vec<(ColumnRef, f64)>>,
+    width: usize,
+) -> Vec<(ColumnRef, f64)> {
+    let mut all: Vec<(ColumnRef, f64)> = per_shard.into_iter().flatten().collect();
+    all.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    all.truncate(width);
+    all
+}
+
+/// Merge per-shard semantic candidate windows (outer: shard; inner: one
+/// window per query column) into one global window per query column,
+/// each of `fanout` columns (similarity descending, column ascending).
+#[must_use]
+pub fn merge_candidate_windows(
+    per_shard: &[Vec<Vec<(ColumnRef, f32)>>],
+    fanout: usize,
+) -> Vec<Vec<(ColumnRef, f32)>> {
+    let ncols = per_shard.iter().map(Vec::len).max().unwrap_or(0);
+    (0..ncols)
+        .map(|qc| {
+            let mut all: Vec<(ColumnRef, f32)> = per_shard
+                .iter()
+                .filter_map(|shard| shard.get(qc))
+                .flatten()
+                .copied()
+                .collect();
+            all.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+            all.truncate(fanout);
+            all
+        })
+        .collect()
+}
+
+/// The candidate *table* set of merged semantic windows: every table
+/// owning a retrieved column.
+#[must_use]
+pub fn candidate_tables(windows: &[Vec<(ColumnRef, f32)>]) -> BTreeSet<TableId> {
+    windows.iter().flatten().map(|(c, _)| c.table).collect()
+}
+
+/// Sum per-shard BM25 statistics into global corpus statistics (phase
+/// one of distributed keyword search). `None` when shards disagree on
+/// the query's term count or no shard replied.
+#[must_use]
+pub fn merge_keyword_stats(per_shard: &[Bm25Stats]) -> Option<Bm25Stats> {
+    Bm25Stats::merge(per_shard)
+}
+
+/// Merge per-shard correlated-search hits into the global top-k. The
+/// single-process ranking orders by |estimated correlation| descending,
+/// ties by ascending sketch position — and sketches are laid out in
+/// ascending (table, key column, numeric column) order, so that tuple
+/// reproduces the tie order here.
+#[must_use]
+pub fn merge_correlated(per_shard: Vec<Vec<CorrelatedHit>>, k: usize) -> Vec<CorrelatedHit> {
+    let mut all: Vec<CorrelatedHit> = per_shard.into_iter().flatten().collect();
+    all.sort_by(|a, b| {
+        b.estimated_correlation
+            .abs()
+            .total_cmp(&a.estimated_correlation.abs())
+            .then((a.key_column, a.numeric_column).cmp(&(b.key_column, b.numeric_column)))
+    });
+    all.truncate(k);
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> TableId {
+        TableId(i)
+    }
+
+    #[test]
+    fn merge_scores_is_total_order() {
+        let merged = merge_scores(
+            vec![
+                vec![(t(5), 2.0), (t(1), 1.0)],
+                vec![(t(3), 2.0), (t(0), 2.0)],
+            ],
+            3,
+        );
+        assert_eq!(merged, vec![(t(0), 2.0), (t(3), 2.0), (t(5), 2.0)]);
+    }
+
+    #[test]
+    fn merge_scores_negative_zero_ties_break_by_sign() {
+        // total_cmp orders +0.0 above -0.0; the merge must agree with
+        // TopK, which uses the same comparator.
+        let merged = merge_scores(vec![vec![(t(1), -0.0)], vec![(t(2), 0.0)]], 2);
+        assert_eq!(merged, vec![(t(2), 0.0), (t(1), -0.0)]);
+    }
+
+    #[test]
+    fn merge_overlap_columns_orders_by_column_on_ties() {
+        let h = |table: u32, col: usize, ov: usize| OverlapHit {
+            column: ColumnRef::new(t(table), col),
+            overlap: ov,
+        };
+        let merged = merge_overlap_columns(vec![vec![h(4, 0, 7), h(4, 1, 3)], vec![h(2, 2, 7)]], 2);
+        assert_eq!(merged, vec![h(2, 2, 7), h(4, 0, 7)]);
+    }
+
+    #[test]
+    fn merge_candidate_windows_per_query_column() {
+        let c = |table: u32, col: usize, sim: f32| (ColumnRef::new(t(table), col), sim);
+        let shard_a = vec![vec![c(0, 0, 0.9), c(0, 1, 0.5)]];
+        let shard_b = vec![vec![c(7, 0, 0.7)]];
+        let merged = merge_candidate_windows(&[shard_a, shard_b], 2);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0], vec![c(0, 0, 0.9), c(7, 0, 0.7)]);
+        let tables = candidate_tables(&merged);
+        assert_eq!(tables.into_iter().collect::<Vec<_>>(), vec![t(0), t(7)]);
+    }
+
+    #[test]
+    fn merge_keyword_stats_sums() {
+        let a = Bm25Stats {
+            num_docs: 3,
+            total_len: 30,
+            df: vec![1, 0],
+        };
+        let b = Bm25Stats {
+            num_docs: 2,
+            total_len: 10,
+            df: vec![0, 2],
+        };
+        let m = merge_keyword_stats(&[a, b]).expect("merge");
+        assert_eq!(m.num_docs, 5);
+        assert_eq!(m.total_len, 40);
+        assert_eq!(m.df, vec![1, 2]);
+        let odd = Bm25Stats {
+            num_docs: 1,
+            total_len: 1,
+            df: vec![0],
+        };
+        assert!(merge_keyword_stats(&[m, odd]).is_none());
+        assert!(merge_keyword_stats(&[]).is_none());
+    }
+
+    #[test]
+    fn merge_correlated_orders_by_abs_then_columns() {
+        let hit = |table: u32, ki: usize, ni: usize, est: f64| CorrelatedHit {
+            key_column: ColumnRef::new(t(table), ki),
+            numeric_column: ColumnRef::new(t(table), ni),
+            estimated_correlation: est,
+            shared_keys: 4,
+        };
+        let merged = merge_correlated(
+            vec![
+                vec![hit(3, 0, 1, -0.8)],
+                vec![hit(1, 0, 1, 0.8), hit(2, 0, 1, 0.5)],
+            ],
+            2,
+        );
+        assert_eq!(merged[0].key_column.table, t(1));
+        assert_eq!(merged[1].key_column.table, t(3));
+    }
+}

@@ -1,0 +1,119 @@
+//! Deterministic hash partitioning of a lake into shards.
+//!
+//! Every placement decision in the sharded deployment — which shard
+//! indexes a table, which shard an `IngestTable`/`DropTable` is routed
+//! to, which shard's store directory persists it — goes through
+//! [`ShardMap::shard_of`]. The function is a pure splitmix64 mix of the
+//! table id, so coordinator and shards never have to exchange placement
+//! state: both sides compute it.
+
+use td_table::TableId;
+
+/// splitmix64 finalizer: a cheap, well-mixed 64-bit hash.
+#[inline]
+#[must_use]
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A fixed-size hash partition of table ids into `shards` shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardMap {
+    shards: usize,
+}
+
+impl ShardMap {
+    /// A map over `shards` shards.
+    ///
+    /// # Panics
+    /// Panics if `shards == 0`.
+    #[must_use]
+    pub fn new(shards: usize) -> Self {
+        assert!(shards > 0, "shard count of zero");
+        ShardMap { shards }
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning `id`.
+    #[must_use]
+    pub fn shard_of(&self, id: TableId) -> usize {
+        (splitmix64(u64::from(id.0)) % self.shards as u64) as usize
+    }
+
+    /// Partition `(id, item)` pairs into per-shard buckets, preserving
+    /// the input order within each bucket.
+    #[must_use]
+    pub fn partition<T>(
+        &self,
+        items: impl IntoIterator<Item = (TableId, T)>,
+    ) -> Vec<Vec<(TableId, T)>> {
+        let mut out: Vec<Vec<(TableId, T)>> = (0..self.shards).map(|_| Vec::new()).collect();
+        for (id, item) in items {
+            out[self.shard_of(id)].push((id, item));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_is_stable_and_total() {
+        let m = ShardMap::new(4);
+        for i in 0..1000 {
+            let s = m.shard_of(TableId(i));
+            assert!(s < 4);
+            assert_eq!(s, m.shard_of(TableId(i)), "routing must be pure");
+        }
+    }
+
+    #[test]
+    fn one_shard_owns_everything() {
+        let m = ShardMap::new(1);
+        for i in 0..100 {
+            assert_eq!(m.shard_of(TableId(i)), 0);
+        }
+    }
+
+    #[test]
+    fn hash_spreads_sequential_ids() {
+        // Sequential ids (the common case: dense lake ids) must not pile
+        // onto one shard. With 1000 ids over 7 shards, each shard should
+        // own a reasonable fraction.
+        let m = ShardMap::new(7);
+        let mut counts = [0usize; 7];
+        for i in 0..1000 {
+            counts[m.shard_of(TableId(i))] += 1;
+        }
+        for (s, &c) in counts.iter().enumerate() {
+            assert!(
+                (80..=220).contains(&c),
+                "shard {s} owns {c} of 1000 — poor spread: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn partition_preserves_order_within_buckets() {
+        let m = ShardMap::new(3);
+        let buckets = m.partition((0..50u32).map(|i| (TableId(i), i)));
+        assert_eq!(buckets.len(), 3);
+        let total: usize = buckets.iter().map(Vec::len).sum();
+        assert_eq!(total, 50);
+        for b in &buckets {
+            for w in b.windows(2) {
+                assert!(w[0].0 < w[1].0, "input order lost within bucket");
+            }
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! The tentpole invariant of td-shard: a K-shard scatter-gather answer
+//! is **byte-identical** to a one-shard answer, for all eight search
+//! families, for K ∈ {1, 2, 4, 7}, under any ingest history.
+//!
+//! This extends the segmented-pipeline equivalence suite one level up:
+//! where `crates/core/tests/segmented.rs` pins "any segment history ==
+//! batch build", this suite pins "any shard partition of that history ==
+//! batch build". Every family's full response (ids and scores) is
+//! rendered via `Debug` into one string; `Debug` on `f64`/`f32` prints
+//! the shortest round-trip representation, so string equality is bit
+//! equality of every score.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+use std::sync::OnceLock;
+use td_core::segment::PipelineContext;
+use td_core::union::starmie::VectorBackend;
+use td_core::{DiscoveryPipeline, PipelineConfig};
+use td_shard::ShardedPipeline;
+use td_table::gen::lakegen::{LakeGenConfig, LakeGenerator};
+use td_table::{Table, TableId};
+
+const K: usize = 8;
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 7];
+
+/// Render every family's complete response for a set of query tables.
+/// Duck-typed over the search surface so the same rendering covers both
+/// `DiscoveryPipeline` (the oracle) and `ShardedPipeline` (the system
+/// under test) — the two expose identical `search_*` signatures.
+macro_rules! render_with {
+    ($p:expr, $queries:expr) => {{
+        let p = $p;
+        let mut out = String::new();
+        let _ = writeln!(out, "keyword {:?}", p.search_keyword("dataset", K));
+        for (qid, qt) in $queries {
+            let _ = writeln!(out, "== query {qid:?}");
+            for (ci, c) in qt.columns.iter().enumerate() {
+                let _ = writeln!(out, "joinable[{ci}] {:?}", p.search_joinable(c, K));
+                let _ = writeln!(out, "fuzzy[{ci}] {:?}", p.search_fuzzy_joinable(c, 0.8, K));
+            }
+            let _ = writeln!(out, "tus {:?}", p.search_unionable(qt, K));
+            let _ = writeln!(out, "starmie {:?}", p.search_unionable_semantic(qt, K));
+            let _ = writeln!(out, "santos {:?}", p.search_unionable_relationship(qt, K));
+            let _ = writeln!(out, "mate {:?}", p.search_multi_joinable(qt, &[0, 1], K));
+            let key = qt.columns.iter().find(|c| !c.is_numeric());
+            let num = qt.columns.iter().find(|c| c.is_numeric());
+            if let (Some(key), Some(num)) = (key, num) {
+                let _ = writeln!(out, "correlated {:?}", p.search_correlated(key, num, K));
+            }
+        }
+        out
+    }};
+}
+
+struct Fixture {
+    tables: Vec<(TableId, Table)>,
+    queries: Vec<(TableId, Table)>,
+    ctx: PipelineContext,
+    /// Rendering of the one-shot `DiscoveryPipeline::build` over the lake.
+    expected: String,
+}
+
+fn build_fixture(num_tables: usize, seed: u64, cfg: PipelineConfig) -> Fixture {
+    let gl = LakeGenerator::standard().generate(&LakeGenConfig {
+        num_tables,
+        rows: (12, 30),
+        cols: (2, 4),
+        seed,
+        ..LakeGenConfig::default()
+    });
+    let tables: Vec<(TableId, Table)> = gl.lake.iter().map(|(id, t)| (id, t.clone())).collect();
+    let queries: Vec<(TableId, Table)> = tables[..3].to_vec();
+    let batch = DiscoveryPipeline::build(&gl.lake, &gl.registry, &[], &cfg);
+    let expected = render_with!(&batch, &queries);
+    let ctx = PipelineContext::new(&gl.registry, &[], &cfg);
+    Fixture {
+        tables,
+        queries,
+        ctx,
+        expected,
+    }
+}
+
+/// Default config (Hnsw semantic backend), 16 tables.
+fn fixture() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| build_fixture(16, 20260806, PipelineConfig::default()))
+}
+
+/// Flat semantic backend with a fanout much smaller than the lake's
+/// column count, so the candidate windows genuinely truncate and the
+/// two-phase candidate exchange is load-bearing (with Flat retrieval the
+/// merged window provably equals the global window).
+fn flat_fixture() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let mut cfg = PipelineConfig::default();
+        cfg.starmie.backend = VectorBackend::Flat;
+        cfg.starmie.fanout = 8;
+        build_fixture(40, 20260807, cfg)
+    })
+}
+
+fn sharded_over(f: &Fixture, shards: usize) -> ShardedPipeline {
+    let mut sp = ShardedPipeline::with_context(shards, &f.ctx);
+    for (id, t) in &f.tables {
+        sp.ingest_table(*id, t);
+    }
+    sp.seal_all();
+    sp
+}
+
+/// The headline pin: hash-partitioning the lake across K shards and
+/// scatter-gathering every family reproduces the single-pipeline batch
+/// build byte for byte, for every K.
+#[test]
+fn sharded_answers_match_batch_build_for_all_shard_counts() {
+    let f = fixture();
+    for shards in SHARD_COUNTS {
+        let sp = sharded_over(f, shards);
+        assert!(sp.len() == f.tables.len());
+        let got = render_with!(&sp, &f.queries);
+        assert_eq!(
+            got, f.expected,
+            "{shards}-shard scatter-gather diverged from the batch build"
+        );
+    }
+}
+
+/// Same pin under the Flat semantic backend with truncating fanout:
+/// exercises the candidate-window merge where it actually drops columns.
+#[test]
+fn flat_backend_truncating_fanout_matches_batch_build() {
+    let f = flat_fixture();
+    for shards in [2, 4, 7] {
+        let sp = sharded_over(f, shards);
+        let got = render_with!(&sp, &f.queries);
+        assert_eq!(
+            got, f.expected,
+            "{shards}-shard Flat-backend scatter-gather diverged"
+        );
+    }
+}
+
+/// Drops route to the owning shard and vanish from every family's
+/// ranking: a sharded lake minus one table equals a batch build over the
+/// remaining tables.
+#[test]
+fn drop_without_reingest_matches_rebuild_over_remaining() {
+    let f = fixture();
+    let victim_id = f.tables.last().expect("fixture tables").0; // not a query table
+
+    let mut sp = sharded_over(f, 4);
+    sp.drop_table(victim_id);
+    sp.seal_all();
+    assert_eq!(sp.len(), f.tables.len() - 1);
+
+    let remaining: Vec<(TableId, Table)> = f
+        .tables
+        .iter()
+        .filter(|(id, _)| *id != victim_id)
+        .cloned()
+        .collect();
+    let mut oneshot = ShardedPipeline::with_context(1, &f.ctx);
+    for (id, t) in &remaining {
+        oneshot.ingest_table(*id, t);
+    }
+
+    assert_eq!(
+        render_with!(&sp, &f.queries),
+        render_with!(&oneshot, &f.queries)
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random ingest order, random per-shard segment boundaries, an
+    /// optional drop/re-ingest cycle, and an optional compaction point —
+    /// across every shard count: all byte-identical to the batch build.
+    #[test]
+    fn random_history_matches_batch_build_across_shards(
+        seed in any::<u64>(),
+        seal_mask in any::<u16>(),
+        shard_sel in 0usize..SHARD_COUNTS.len(),
+        // 16 (the table count) acts as "never" for both events.
+        compact_sel in 0usize..17,
+        drop_sel in 1usize..17,
+    ) {
+        let shards = SHARD_COUNTS[shard_sel];
+        let compact_at = (compact_sel < 16).then_some(compact_sel);
+        let drop_at = (drop_sel < 16).then_some(drop_sel);
+        let f = fixture();
+        let mut sp = ShardedPipeline::with_context(shards, &f.ctx);
+
+        let mut order: Vec<usize> = (0..f.tables.len()).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        order.shuffle(&mut rng);
+
+        for (step, &i) in order.iter().enumerate() {
+            sp.ingest_table(f.tables[i].0, &f.tables[i].1);
+            if seal_mask >> (step % 16) & 1 == 1 {
+                sp.seal_all();
+            }
+            if drop_at == Some(step) {
+                // Drop an already-ingested table, then bring it back.
+                let victim = order[step - 1];
+                sp.drop_table(f.tables[victim].0);
+                sp.ingest_table(f.tables[victim].0, &f.tables[victim].1);
+            }
+            if compact_at == Some(step) {
+                sp.compact_all();
+            }
+        }
+
+        let got = render_with!(&sp, &f.queries);
+        prop_assert_eq!(got, f.expected.clone());
+    }
+}
