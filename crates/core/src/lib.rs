@@ -12,6 +12,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod batch;
 pub mod join;
 pub mod keyword;
 pub mod metrics;
@@ -20,6 +21,7 @@ pub mod segment;
 pub mod segmented;
 pub mod union;
 
+pub use batch::run_batch;
 pub use keyword::{KeywordConfig, KeywordSearch};
 pub use pipeline::{DiscoveryPipeline, PipelineConfig};
 pub use segment::{

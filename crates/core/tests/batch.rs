@@ -1,0 +1,352 @@
+//! The batched entry points' core invariant: `search_*_batch` over any
+//! workload returns rankings **byte-identical** to calling the
+//! one-at-a-time path on each query in order, for all eight search
+//! families, on both `DiscoveryPipeline` and `SegmentedPipeline`.
+//!
+//! The batch layer farms queries out to scoped threads, so this suite is
+//! also the proof that per-query probe state (epoch scratch, TopK heaps)
+//! never leaks across concurrently-running queries.
+//!
+//! Comparisons render full outputs (ids and scores) via `Debug`; `Debug`
+//! on `f64` prints the shortest round-trip representation, so string
+//! equality is bit equality of every score.
+
+use proptest::prelude::*;
+use std::sync::OnceLock;
+use td_core::{DiscoveryPipeline, PipelineConfig, SegmentedPipeline};
+use td_table::gen::lakegen::{LakeGenConfig, LakeGenerator};
+use td_table::{Table, TableId};
+
+struct Fixture {
+    pipeline: DiscoveryPipeline,
+    segmented: SegmentedPipeline,
+    queries: Vec<(TableId, Table)>,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let gl = LakeGenerator::standard().generate(&LakeGenConfig {
+            num_tables: 12,
+            rows: (12, 30),
+            cols: (2, 4),
+            seed: 20260808,
+            ..LakeGenConfig::default()
+        });
+        let cfg = PipelineConfig::default();
+        let pipeline = DiscoveryPipeline::build(&gl.lake, &gl.registry, &[], &cfg);
+        let ctx = td_core::segment::PipelineContext::new(&gl.registry, &[], &cfg);
+        let mut segmented = SegmentedPipeline::with_context(ctx);
+        for (step, (id, t)) in gl.lake.iter().enumerate() {
+            segmented.ingest_table(id, t);
+            if step % 5 == 4 {
+                segmented.seal();
+            }
+        }
+        let queries: Vec<(TableId, Table)> = gl
+            .lake
+            .iter()
+            .take(4)
+            .map(|(id, t)| (id, t.clone()))
+            .collect();
+        Fixture {
+            pipeline,
+            segmented,
+            queries,
+        }
+    })
+}
+
+/// Compare one family's batched answers against the sequential loop on
+/// the same pipeline. The `Debug` rendering of the whole `Vec<Vec<..>>`
+/// carries every id and every score bit.
+macro_rules! assert_batch_matches {
+    ($family:literal, $batch:expr, $sequential:expr) => {
+        assert_eq!(
+            format!("{:?}", $batch),
+            format!("{:?}", $sequential),
+            "{} batch diverged from sequential",
+            $family
+        );
+    };
+}
+
+/// Run every family over `workload` (pairs of query-table index and k)
+/// and assert batched == sequential on the given pipeline.
+fn check_all_families(
+    p: &DiscoveryPipeline,
+    queries: &[(TableId, Table)],
+    workload: &[(usize, usize)],
+) {
+    // Keyword: cycle through terms drawn from generated metadata.
+    let terms = ["dataset", "sensor", "city", "record"];
+    let kw: Vec<(&str, usize)> = workload
+        .iter()
+        .map(|&(qi, k)| (terms[qi % terms.len()], k))
+        .collect();
+    assert_batch_matches!(
+        "keyword",
+        p.search_keyword_batch(&kw),
+        kw.iter()
+            .map(|&(q, k)| p.search_keyword(q, k))
+            .collect::<Vec<_>>()
+    );
+
+    // Column families: first column of the selected query table.
+    let cols: Vec<(&td_table::Column, usize)> = workload
+        .iter()
+        .map(|&(qi, k)| (&queries[qi % queries.len()].1.columns[0], k))
+        .collect();
+    assert_batch_matches!(
+        "joinable",
+        p.search_joinable_batch(&cols),
+        cols.iter()
+            .map(|&(c, k)| p.search_joinable(c, k))
+            .collect::<Vec<_>>()
+    );
+    let fuzzy: Vec<(&td_table::Column, f32, usize)> =
+        cols.iter().map(|&(c, k)| (c, 0.8, k)).collect();
+    assert_batch_matches!(
+        "fuzzy",
+        p.search_fuzzy_joinable_batch(&fuzzy),
+        fuzzy
+            .iter()
+            .map(|&(c, tau, k)| p.search_fuzzy_joinable(c, tau, k))
+            .collect::<Vec<_>>()
+    );
+
+    // Table families.
+    let tabs: Vec<(&Table, usize)> = workload
+        .iter()
+        .map(|&(qi, k)| (&queries[qi % queries.len()].1, k))
+        .collect();
+    assert_batch_matches!(
+        "unionable",
+        p.search_unionable_batch(&tabs),
+        tabs.iter()
+            .map(|&(t, k)| p.search_unionable(t, k))
+            .collect::<Vec<_>>()
+    );
+    assert_batch_matches!(
+        "starmie",
+        p.search_unionable_semantic_batch(&tabs),
+        tabs.iter()
+            .map(|&(t, k)| p.search_unionable_semantic(t, k))
+            .collect::<Vec<_>>()
+    );
+    assert_batch_matches!(
+        "santos",
+        p.search_unionable_relationship_batch(&tabs),
+        tabs.iter()
+            .map(|&(t, k)| p.search_unionable_relationship(t, k))
+            .collect::<Vec<_>>()
+    );
+    let multi: Vec<(&Table, &[usize], usize)> = tabs
+        .iter()
+        .map(|&(t, k)| (t, &[0usize, 1][..], k))
+        .collect();
+    assert_batch_matches!(
+        "mate",
+        p.search_multi_joinable_batch(&multi),
+        multi
+            .iter()
+            .map(|&(t, key_cols, k)| p.search_multi_joinable(t, key_cols, k))
+            .collect::<Vec<_>>()
+    );
+
+    // Correlated: needs a categorical key and a numeric column.
+    let corr: Vec<(&td_table::Column, &td_table::Column, usize)> = workload
+        .iter()
+        .filter_map(|&(qi, k)| {
+            let t = &queries[qi % queries.len()].1;
+            let key = t.columns.iter().find(|c| !c.is_numeric())?;
+            let num = t.columns.iter().find(|c| c.is_numeric())?;
+            Some((key, num, k))
+        })
+        .collect();
+    assert_batch_matches!(
+        "correlated",
+        p.search_correlated_batch(&corr),
+        corr.iter()
+            .map(|&(key, num, k)| p.search_correlated(key, num, k))
+            .collect::<Vec<_>>()
+    );
+}
+
+/// Fixed workload spanning batch sizes around the probe-sweep width,
+/// duplicate queries, and k values from 1 up past the lake size.
+#[test]
+fn all_families_batch_matches_sequential() {
+    let f = fixture();
+    let workload: Vec<(usize, usize)> = (0..9).map(|i| (i % 4, [1, 4, 8, 20][i % 4])).collect();
+    check_all_families(&f.pipeline, &f.queries, &workload);
+}
+
+/// The segmented pipeline batches against one snapshot; its answers must
+/// still equal the one-at-a-time segmented path.
+#[test]
+fn segmented_batch_matches_sequential() {
+    let f = fixture();
+    let tabs: Vec<(&Table, usize)> = f.queries.iter().map(|(_, t)| (t, 8)).collect();
+    assert_batch_matches!(
+        "segmented unionable",
+        f.segmented.search_unionable_batch(&tabs),
+        tabs.iter()
+            .map(|&(t, k)| f.segmented.search_unionable(t, k))
+            .collect::<Vec<_>>()
+    );
+    assert_batch_matches!(
+        "segmented starmie",
+        f.segmented.search_unionable_semantic_batch(&tabs),
+        tabs.iter()
+            .map(|&(t, k)| f.segmented.search_unionable_semantic(t, k))
+            .collect::<Vec<_>>()
+    );
+    let kw: Vec<(&str, usize)> = vec![("dataset", 3), ("sensor", 8), ("dataset", 1)];
+    assert_batch_matches!(
+        "segmented keyword",
+        f.segmented.search_keyword_batch(&kw),
+        kw.iter()
+            .map(|&(q, k)| f.segmented.search_keyword(q, k))
+            .collect::<Vec<_>>()
+    );
+    let cols: Vec<(&td_table::Column, usize)> =
+        f.queries.iter().map(|(_, t)| (&t.columns[0], 5)).collect();
+    assert_batch_matches!(
+        "segmented joinable",
+        f.segmented.search_joinable_batch(&cols),
+        cols.iter()
+            .map(|&(c, k)| f.segmented.search_joinable(c, k))
+            .collect::<Vec<_>>()
+    );
+    let fuzzy: Vec<(&td_table::Column, f32, usize)> =
+        cols.iter().map(|&(c, k)| (c, 0.8, k)).collect();
+    assert_batch_matches!(
+        "segmented fuzzy",
+        f.segmented.search_fuzzy_joinable_batch(&fuzzy),
+        fuzzy
+            .iter()
+            .map(|&(c, tau, k)| f.segmented.search_fuzzy_joinable(c, tau, k))
+            .collect::<Vec<_>>()
+    );
+    assert_batch_matches!(
+        "segmented santos",
+        f.segmented.search_unionable_relationship_batch(&tabs),
+        tabs.iter()
+            .map(|&(t, k)| f.segmented.search_unionable_relationship(t, k))
+            .collect::<Vec<_>>()
+    );
+    let multi: Vec<(&Table, &[usize], usize)> = tabs
+        .iter()
+        .map(|&(t, k)| (t, &[0usize, 1][..], k))
+        .collect();
+    assert_batch_matches!(
+        "segmented mate",
+        f.segmented.search_multi_joinable_batch(&multi),
+        multi
+            .iter()
+            .map(|&(t, key_cols, k)| f.segmented.search_multi_joinable(t, key_cols, k))
+            .collect::<Vec<_>>()
+    );
+}
+
+/// The shard-plane batch entries (two-phase keyword and semantic, column
+/// windows) must also match their sequential counterparts — the
+/// distributed coordinator leans on these for its one-fanout batches.
+#[test]
+fn shard_plane_batch_matches_sequential() {
+    let f = fixture();
+    let p = &f.pipeline;
+    let terms = ["dataset", "sensor", "city"];
+    assert_batch_matches!(
+        "term stats",
+        p.keyword_term_stats_batch(&terms),
+        terms
+            .iter()
+            .map(|q| p.keyword_term_stats(q))
+            .collect::<Vec<_>>()
+    );
+    let stats: Vec<td_index::Bm25Stats> = terms.iter().map(|q| p.keyword_term_stats(q)).collect();
+    let scored: Vec<(&str, usize, &td_index::Bm25Stats)> =
+        terms.iter().zip(&stats).map(|(&q, s)| (q, 6, s)).collect();
+    assert_batch_matches!(
+        "keyword scored",
+        p.search_keyword_with_stats_batch(&scored),
+        scored
+            .iter()
+            .map(|&(q, k, s)| p.search_keyword_with_stats(q, k, s))
+            .collect::<Vec<_>>()
+    );
+    let cols: Vec<(&td_table::Column, usize)> =
+        f.queries.iter().map(|(_, t)| (&t.columns[0], 12)).collect();
+    assert_batch_matches!(
+        "joinable columns",
+        p.search_joinable_columns_batch(&cols),
+        cols.iter()
+            .map(|&(c, w)| p.search_joinable_columns(c, w))
+            .collect::<Vec<_>>()
+    );
+    let fuzzy: Vec<(&td_table::Column, f32, usize)> =
+        cols.iter().map(|&(c, w)| (c, 0.8, w)).collect();
+    assert_batch_matches!(
+        "fuzzy columns",
+        p.search_fuzzy_columns_batch(&fuzzy),
+        fuzzy
+            .iter()
+            .map(|&(c, tau, w)| p.search_fuzzy_columns(c, tau, w))
+            .collect::<Vec<_>>()
+    );
+    let qtabs: Vec<&Table> = f.queries.iter().map(|(_, t)| t).collect();
+    assert_batch_matches!(
+        "semantic candidates",
+        p.semantic_candidates_batch(&qtabs),
+        qtabs
+            .iter()
+            .map(|t| p.semantic_candidates(t))
+            .collect::<Vec<_>>()
+    );
+    let sets: Vec<std::collections::BTreeSet<TableId>> = qtabs
+        .iter()
+        .map(|t| td_shard_free_candidates(p, t))
+        .collect();
+    let semscored: Vec<(&Table, usize, &std::collections::BTreeSet<TableId>)> =
+        qtabs.iter().zip(&sets).map(|(&t, s)| (t, 7, s)).collect();
+    assert_batch_matches!(
+        "semantic scored",
+        p.search_semantic_with_candidates_batch(&semscored),
+        semscored
+            .iter()
+            .map(|&(t, k, s)| p.search_semantic_with_candidates(t, k, s))
+            .collect::<Vec<_>>()
+    );
+}
+
+/// Candidate table set for a query, derived from the pipeline's own
+/// candidate windows (what a one-shard coordinator would pin).
+fn td_shard_free_candidates(
+    p: &DiscoveryPipeline,
+    t: &Table,
+) -> std::collections::BTreeSet<TableId> {
+    p.semantic_candidates(t)
+        .into_iter()
+        .flatten()
+        .map(|(cref, _)| cref.table)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random workloads — any mix of query tables, duplicate queries,
+    /// k values, and batch sizes — stay byte-identical on both the
+    /// one-shot and the segmented pipeline.
+    #[test]
+    fn random_workload_matches_sequential(
+        workload in proptest::collection::vec((0usize..4, 1usize..16), 1..12),
+    ) {
+        let f = fixture();
+        check_all_families(&f.pipeline, &f.queries, &workload);
+        let snap = f.segmented.snapshot();
+        check_all_families(&snap, &f.queries, &workload);
+    }
+}

@@ -1,8 +1,15 @@
 //! BM25 full-text index for keyword/metadata search (tutorial §2.3).
+//!
+//! Terms are interned into dense `u32` symbols through the arena-backed
+//! [`Interner`] (see [`crate::intern`]), and posting lists are indexed
+//! by symbol in one flat `Vec` — no string-keyed `HashMap` on the query
+//! path. Score accumulation runs over a dense, epoch-marked scratch
+//! array reused across the queries of a batch.
 
+use crate::intern::Interner;
 use crate::topk::TopK;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::cell::RefCell;
 
 /// BM25 ranking parameters.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -88,6 +95,49 @@ impl Bm25Stats {
     }
 }
 
+/// Dense per-thread scoring scratch, epoch-reset between queries so a
+/// batch of searches re-zeroes nothing. Bounded by the largest corpus
+/// scored on this thread.
+#[derive(Debug, Default)]
+struct ScoreScratch {
+    epoch: u32,
+    mark: Vec<u32>,
+    score: Vec<f64>,
+    touched: Vec<u32>,
+}
+
+impl ScoreScratch {
+    fn begin(&mut self, n: usize) {
+        if self.mark.len() < n {
+            self.mark.resize(n, 0);
+            self.score.resize(n, 0.0);
+        }
+        if self.epoch == u32::MAX {
+            self.mark.iter_mut().for_each(|m| *m = 0);
+            self.epoch = 1;
+        } else {
+            self.epoch += 1;
+        }
+        self.touched.clear();
+    }
+
+    #[inline]
+    fn add(&mut self, doc: u32, s: f64) {
+        let i = doc as usize;
+        if self.mark[i] == self.epoch {
+            self.score[i] += s;
+        } else {
+            self.mark[i] = self.epoch;
+            self.score[i] = s;
+            self.touched.push(doc);
+        }
+    }
+}
+
+thread_local! {
+    static SCRATCH: RefCell<ScoreScratch> = RefCell::new(ScoreScratch::default());
+}
+
 /// An inverted BM25 index over documents identified by `u32` ids.
 /// ```
 /// use td_index::{Bm25Index, Bm25Params};
@@ -101,8 +151,10 @@ impl Bm25Stats {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Bm25Index {
     params: Bm25Params,
-    /// term → (doc id, term frequency).
-    postings: HashMap<String, Vec<(u32, u32)>>,
+    /// Term dictionary: string → dense symbol, arena-backed.
+    terms: Interner,
+    /// Symbol → (doc id, term frequency), docs ascending.
+    postings: Vec<Vec<(u32, u32)>>,
     doc_len: Vec<u32>,
     total_len: u64,
 }
@@ -113,7 +165,8 @@ impl Bm25Index {
     pub fn new(params: Bm25Params) -> Self {
         Bm25Index {
             params,
-            postings: HashMap::new(),
+            terms: Interner::new(),
+            postings: Vec::new(),
             doc_len: Vec::new(),
             total_len: 0,
         }
@@ -123,16 +176,29 @@ impl Bm25Index {
     pub fn add_document(&mut self, text: &str) -> u32 {
         let id = self.doc_len.len() as u32;
         let tokens = tokenize(text);
-        let mut tf: HashMap<String, u32> = HashMap::new();
+        // Intern in token order (first occurrence fixes the symbol), then
+        // count term frequencies over the sorted symbol run — fully
+        // deterministic, so the posting layout (and anything serialized
+        // from it) is identical across runs.
+        let mut syms: Vec<u32> = Vec::with_capacity(tokens.len());
         for t in &tokens {
-            *tf.entry(t.clone()).or_insert(0) += 1;
+            let sym = self.terms.intern(t);
+            if sym as usize == self.postings.len() {
+                self.postings.push(Vec::new());
+            }
+            syms.push(sym);
         }
-        // Sorted drain keeps the posting-list layout (and anything
-        // serialized from it) identical across runs.
-        let mut tf: Vec<(String, u32)> = tf.into_iter().collect();
-        tf.sort_unstable_by(|a, b| a.0.cmp(&b.0));
-        for (term, f) in tf {
-            self.postings.entry(term).or_default().push((id, f));
+        syms.sort_unstable();
+        let mut i = 0;
+        while i < syms.len() {
+            let sym = syms[i];
+            let mut f = 1u32;
+            while i + 1 < syms.len() && syms[i + 1] == sym {
+                f += 1;
+                i += 1;
+            }
+            self.postings[sym as usize].push((id, f));
+            i += 1;
         }
         self.doc_len.push(tokens.len() as u32);
         self.total_len += tokens.len() as u64;
@@ -156,6 +222,13 @@ impl Bm25Index {
         (((n - df + 0.5) / (df + 0.5)) + 1.0).ln()
     }
 
+    /// Posting list of a term string, if indexed.
+    fn postings_of(&self, term: &str) -> Option<&[(u32, u32)]> {
+        self.terms
+            .get(term)
+            .map(|sym| self.postings[sym as usize].as_slice())
+    }
+
     /// This index's own statistics for `query`'s terms — the exact
     /// statistics [`Self::search`] scores with. Merge per-shard stats
     /// with [`Bm25Stats::merge`] to score against a distributed corpus.
@@ -168,7 +241,7 @@ impl Bm25Index {
             total_len: self.total_len,
             df: qterms
                 .iter()
-                .map(|t| self.postings.get(t).map_or(0, |pl| pl.len() as u64))
+                .map(|t| self.postings_of(t).map_or(0, |pl| pl.len() as u64))
                 .collect(),
         }
     }
@@ -178,6 +251,14 @@ impl Bm25Index {
     #[must_use]
     pub fn search(&self, query: &str, k: usize) -> Vec<(u32, f64)> {
         self.search_with_stats(query, k, &self.term_stats(query))
+    }
+
+    /// [`Self::search`] over a batch of `(query, k)` pairs, answered in
+    /// input order over one shared scoring scratch — byte-identical to
+    /// calling `search` once per query.
+    #[must_use]
+    pub fn search_batch(&self, queries: &[(&str, usize)]) -> Vec<Vec<(u32, f64)>> {
+        queries.iter().map(|&(q, k)| self.search(q, k)).collect()
     }
 
     /// [`Self::search`], but scored with pinned corpus statistics
@@ -194,36 +275,38 @@ impl Bm25Index {
         }
         let avg_len = stats.total_len as f64 / stats.num_docs as f64;
         let n = stats.num_docs as f64;
-        let mut scores: HashMap<u32, f64> = HashMap::new();
         let mut qterms = tokenize(query);
         qterms.dedup();
         if stats.df.len() != qterms.len() {
             return Vec::new();
         }
-        for (term, &df) in qterms.iter().zip(&stats.df) {
-            let Some(pl) = self.postings.get(term) else {
-                continue;
-            };
-            let idf = Self::idf(n, df as f64);
-            for &(doc, f) in pl {
-                let f = f as f64;
-                let len_norm = 1.0 - self.params.b
-                    + self.params.b * self.doc_len[doc as usize] as f64 / avg_len.max(1e-9);
-                let s = idf * (f * (self.params.k1 + 1.0)) / (f + self.params.k1 * len_norm);
-                *scores.entry(doc).or_insert(0.0) += s;
+        SCRATCH.with(|cell| {
+            let s = &mut cell.borrow_mut();
+            s.begin(self.doc_len.len());
+            for (term, &df) in qterms.iter().zip(&stats.df) {
+                let Some(pl) = self.postings_of(term) else {
+                    continue;
+                };
+                let idf = Self::idf(n, df as f64);
+                for &(doc, f) in pl {
+                    let f = f as f64;
+                    let len_norm = 1.0 - self.params.b
+                        + self.params.b * f64::from(self.doc_len[doc as usize]) / avg_len.max(1e-9);
+                    let sc = idf * (f * (self.params.k1 + 1.0)) / (f + self.params.k1 * len_norm);
+                    s.add(doc, sc);
+                }
             }
-        }
-        // Sorted drain: tied BM25 scores must rank deterministically.
-        let mut scores: Vec<(u32, f64)> = scores.into_iter().collect();
-        scores.sort_unstable_by_key(|&(doc, _)| doc);
-        let mut topk = TopK::new(k);
-        for (doc, s) in scores {
-            topk.push(s, doc);
-        }
-        topk.into_sorted()
-            .into_iter()
-            .map(|(s, d)| (d, s))
-            .collect()
+            // Sorted drain: tied BM25 scores must rank deterministically.
+            s.touched.sort_unstable();
+            let mut topk = TopK::new(k);
+            for &doc in &s.touched {
+                topk.push(s.score[doc as usize], doc);
+            }
+            topk.into_sorted()
+                .into_iter()
+                .map(|(sc, d)| (d, sc))
+                .collect()
+        })
     }
 }
 
@@ -312,5 +395,30 @@ mod tests {
         let once = i.search("apple", 2);
         let thrice = i.search("apple apple apple", 2);
         assert_eq!(once, thrice);
+    }
+
+    #[test]
+    fn batch_matches_sequential_exactly() {
+        let i = idx(&[
+            "city budget annual finance report",
+            "city population census data",
+            "wildlife sightings dataset",
+            "annual wildlife census",
+            "finance data city",
+        ]);
+        let queries: Vec<(&str, usize)> = vec![
+            ("city budget", 3),
+            ("census", 2),
+            ("wildlife data", 5),
+            ("city budget", 1),
+            ("", 4),
+        ];
+        let batch = i.search_batch(&queries);
+        for (qi, &(q, k)) in queries.iter().enumerate() {
+            let single = i.search(q, k);
+            assert_eq!(batch[qi], single, "query {qi} diverged");
+            // Debug-render equality pins byte-identical float formatting.
+            assert_eq!(format!("{:?}", batch[qi]), format!("{single:?}"));
+        }
     }
 }

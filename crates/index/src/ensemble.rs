@@ -9,10 +9,13 @@
 //! `j(t) = t·q / (q + u − t·q)` for query size `q`. Each partition's LSH is
 //! then queried with a band count matched to its own threshold, and
 //! candidates are re-ranked by signature-estimated containment.
+//!
+//! Signatures live in one id-sorted flat array (binary-search lookup)
+//! rather than a hash map, and every banding table is frozen at build
+//! time, so the verification loop touches contiguous memory only.
 
 use crate::lsh::MinHashLsh;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use td_sketch::minhash::MinHashSignature;
 
 /// Row counts for which banding tables are precomputed. Low thresholds need
@@ -40,8 +43,10 @@ struct Partition {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct LshEnsemble {
     partitions: Vec<Partition>,
-    /// All signatures, for candidate verification (id → signature).
-    signatures: HashMap<u32, MinHashSignature>,
+    /// Ascending ids for all indexed sets; parallel to `sigs`.
+    ids: Vec<u32>,
+    /// Signature for `ids[i]`, for candidate verification.
+    sigs: Vec<MinHashSignature>,
     /// Signature length.
     k: usize,
 }
@@ -83,7 +88,7 @@ impl LshEnsemble {
         let per = n.div_ceil(num_partitions).max(1);
 
         let mut partitions = Vec::with_capacity(num_partitions);
-        let mut signatures = HashMap::with_capacity(n);
+        let mut store: Vec<(u32, MinHashSignature)> = Vec::with_capacity(n);
         for chunk in sorted.chunks(per) {
             let Some(last) = chunk.last() else { continue };
             let upper = last.1.set_size.max(1);
@@ -97,11 +102,14 @@ impl LshEnsemble {
                 for (id, sig) in chunk {
                     lsh.insert(*id, sig);
                 }
+                // Build-then-query: sort the band buckets once so every
+                // probe binary-searches contiguous memory.
+                lsh.freeze();
                 tables.push((r, lsh));
             }
             let members: Vec<u32> = chunk.iter().map(|(id, _)| *id).collect();
             for (id, sig) in chunk {
-                signatures.insert(*id, sig.clone());
+                store.push((*id, sig.clone()));
             }
             partitions.push(Partition {
                 upper,
@@ -109,9 +117,15 @@ impl LshEnsemble {
                 members,
             });
         }
+        // Id-sorted parallel arrays so verification does a binary search
+        // instead of a hash lookup per raw candidate.
+        store.sort_by_key(|&(id, _)| id);
+        let ids: Vec<u32> = store.iter().map(|&(id, _)| id).collect();
+        let sigs: Vec<MinHashSignature> = store.into_iter().map(|(_, s)| s).collect();
         LshEnsemble {
             partitions,
-            signatures,
+            ids,
+            sigs,
             k,
         }
     }
@@ -119,13 +133,13 @@ impl LshEnsemble {
     /// Number of indexed sets.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.signatures.len()
+        self.ids.len()
     }
 
     /// True if nothing was indexed.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.signatures.is_empty()
+        self.ids.is_empty()
     }
 
     /// Number of partitions.
@@ -169,7 +183,11 @@ impl LshEnsemble {
     ) -> (Vec<(u32, f64)>, usize) {
         let q = query.set_size.max(1);
         let mut raw_candidates = 0usize;
-        let mut out: HashMap<u32, f64> = HashMap::new();
+        // Each id lives in exactly one partition and `query_bands` already
+        // deduplicates within a table, so candidates are unique: a plain
+        // Vec replaces the old hash-map accumulator without changing the
+        // result set.
+        let mut v: Vec<(u32, f64)> = Vec::new();
         for p in &self.partitions {
             let j = Self::jaccard_threshold(t, q, p.upper);
             // Pick the largest row count whose target-recall band budget
@@ -195,14 +213,15 @@ impl LshEnsemble {
             };
             for id in table.query_bands(query, bands) {
                 raw_candidates += 1;
-                let sig = &self.signatures[&id];
-                let est = query.containment_in(sig);
+                let Ok(pos) = self.ids.binary_search(&id) else {
+                    continue;
+                };
+                let est = query.containment_in(&self.sigs[pos]);
                 if est >= t {
-                    out.entry(id).or_insert(est);
+                    v.push((id, est));
                 }
             }
         }
-        let mut v: Vec<(u32, f64)> = out.into_iter().collect();
         v.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         let reg = td_obs::global();
         reg.counter("index.ensemble.queries").inc();
@@ -213,6 +232,20 @@ impl LshEnsemble {
         reg.counter("index.ensemble.verified_hits")
             .add(v.len() as u64);
         (v, raw_candidates)
+    }
+
+    /// Batched [`Self::query_containment`]: one call answers every
+    /// `(query, threshold)` pair, results in input order. Answers are
+    /// byte-identical to issuing the singles sequentially.
+    #[must_use]
+    pub fn query_containment_batch(
+        &self,
+        queries: &[(&MinHashSignature, f64)],
+    ) -> Vec<Vec<(u32, f64)>> {
+        queries
+            .iter()
+            .map(|&(sig, t)| self.query_containment(sig, t))
+            .collect()
     }
 
     /// Top-k by estimated containment: runs a low-threshold containment
@@ -335,5 +368,21 @@ mod tests {
         let probe = sig(&h, 0..10);
         assert!(ens.query_containment(&probe, 0.0).is_empty());
         assert!(ens.top_k_containment(&probe, 5).is_empty());
+    }
+
+    #[test]
+    fn batch_matches_sequential_exactly() {
+        let h = MinHasher::new(256, 1);
+        let ens = LshEnsemble::build(corpus(&h), 8);
+        let qs = [sig(&h, 0..200), sig(&h, 40..140), sig(&h, 0..60)];
+        let reqs: Vec<(&MinHashSignature, f64)> = qs.iter().zip([0.8, 0.3, 0.05]).collect();
+        let batched = ens.query_containment_batch(&reqs);
+        for (i, &(q, t)) in reqs.iter().enumerate() {
+            assert_eq!(
+                format!("{:?}", batched[i]),
+                format!("{:?}", ens.query_containment(q, t)),
+                "query {i}"
+            );
+        }
     }
 }

@@ -1,5 +1,10 @@
 //! Flat (brute-force) vector index: the exact baseline every approximate
 //! index is measured against.
+//!
+//! Vectors are packed end-to-end in one `Vec<f32>` arena (`dim` stride)
+//! instead of a `Vec<Vec<f32>>` of separate heap allocations, so a scan
+//! walks one contiguous buffer. [`FlatIndex::search_batch`] answers many
+//! queries in a single corpus pass, amortizing that scan across the batch.
 
 use crate::topk::TopK;
 use serde::{Deserialize, Serialize};
@@ -9,7 +14,8 @@ use td_embed::vector::{dot, normalize};
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct FlatIndex {
     dim: usize,
-    vectors: Vec<Vec<f32>>,
+    /// All vectors, normalized, packed contiguously with stride `dim`.
+    data: Vec<f32>,
 }
 
 impl FlatIndex {
@@ -22,7 +28,7 @@ impl FlatIndex {
         assert!(dim > 0);
         FlatIndex {
             dim,
-            vectors: Vec::new(),
+            data: Vec::new(),
         }
     }
 
@@ -31,33 +37,34 @@ impl FlatIndex {
         assert_eq!(vector.len(), self.dim, "dimension mismatch");
         let mut v = vector;
         normalize(&mut v);
-        self.vectors.push(v);
-        (self.vectors.len() - 1) as u32
+        let id = (self.data.len() / self.dim) as u32;
+        self.data.extend_from_slice(&v);
+        id
     }
 
     /// Number of indexed vectors.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.vectors.len()
+        self.data.len() / self.dim
     }
 
     /// True if empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.vectors.is_empty()
+        self.data.is_empty()
     }
 
     /// Exact top-k by cosine similarity, `(id, similarity)` descending.
     #[must_use]
     pub fn search(&self, query: &[f32], k: usize) -> Vec<(u32, f32)> {
         assert_eq!(query.len(), self.dim, "dimension mismatch");
-        if self.vectors.is_empty() || k == 0 {
+        if self.data.is_empty() || k == 0 {
             return Vec::new();
         }
         let mut q = query.to_vec();
         normalize(&mut q);
         let mut topk = TopK::new(k);
-        for (i, v) in self.vectors.iter().enumerate() {
+        for (i, v) in self.data.chunks_exact(self.dim).enumerate() {
             topk.push(dot(v, &q) as f64, i as u32);
         }
         topk.into_sorted()
@@ -66,10 +73,54 @@ impl FlatIndex {
             .collect()
     }
 
+    /// Batched [`Self::search`]: all queries are answered in a single pass
+    /// over the packed corpus (each vector is loaded once and scored
+    /// against every query while cache-hot), results in input order and
+    /// byte-identical to the sequential path.
+    #[must_use]
+    pub fn search_batch(&self, queries: &[(&[f32], usize)]) -> Vec<Vec<(u32, f32)>> {
+        for &(q, _) in queries {
+            assert_eq!(q.len(), self.dim, "dimension mismatch");
+        }
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        let normed: Vec<Vec<f32>> = queries
+            .iter()
+            .map(|&(q, _)| {
+                let mut v = q.to_vec();
+                normalize(&mut v);
+                v
+            })
+            .collect();
+        let mut tops: Vec<TopK<u32>> = queries.iter().map(|&(_, k)| TopK::new(k.max(1))).collect();
+        if !self.data.is_empty() {
+            for (i, v) in self.data.chunks_exact(self.dim).enumerate() {
+                for (q, top) in normed.iter().zip(tops.iter_mut()) {
+                    top.push(dot(v, q) as f64, i as u32);
+                }
+            }
+        }
+        tops.into_iter()
+            .zip(queries)
+            .map(|(top, &(_, k))| {
+                if self.data.is_empty() || k == 0 {
+                    Vec::new()
+                } else {
+                    top.into_sorted()
+                        .into_iter()
+                        .map(|(s, id)| (id, s as f32))
+                        .collect()
+                }
+            })
+            .collect()
+    }
+
     /// Access a stored (normalized) vector.
     #[must_use]
     pub fn vector(&self, id: u32) -> &[f32] {
-        &self.vectors[id as usize]
+        let start = id as usize * self.dim;
+        &self.data[start..start + self.dim]
     }
 }
 
@@ -112,5 +163,47 @@ mod tests {
         let mut f2 = FlatIndex::new(2);
         f2.insert(vec![1.0, 0.0]);
         assert!(f2.search(&[1.0, 0.0], 0).is_empty());
+    }
+
+    #[test]
+    fn vector_accessor_round_trips() {
+        let mut f = FlatIndex::new(4);
+        let a = f.insert(vec![2.0, 0.0, 0.0, 0.0]);
+        let b = f.insert(vec![0.0, 0.0, 3.0, 0.0]);
+        assert_eq!(f.vector(a), &[1.0, 0.0, 0.0, 0.0]);
+        assert_eq!(f.vector(b), &[0.0, 0.0, 1.0, 0.0]);
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn batch_matches_sequential_exactly() {
+        let mut f = FlatIndex::new(3);
+        for i in 0..40u32 {
+            let x = (i % 7) as f32 + 0.25;
+            let y = (i % 5) as f32 - 1.5;
+            let z = (i % 3) as f32 * 0.5 + 0.1;
+            f.insert(vec![x, y, z]);
+        }
+        let queries: Vec<Vec<f32>> = vec![
+            vec![1.0, 0.0, 0.0],
+            vec![0.3, -0.7, 0.2],
+            vec![2.0, 2.0, 2.0],
+            vec![0.0, 1.0, 1.0],
+        ];
+        let reqs: Vec<(&[f32], usize)> = queries
+            .iter()
+            .zip([1usize, 4, 9, 0])
+            .map(|(q, k)| (q.as_slice(), k))
+            .collect();
+        let batched = f.search_batch(&reqs);
+        for (i, &(q, k)) in reqs.iter().enumerate() {
+            let single = f.search(q, k);
+            assert_eq!(
+                format!("{:?}", batched[i]),
+                format!("{single:?}"),
+                "query {i}"
+            );
+        }
+        assert!(f.search_batch(&[]).is_empty());
     }
 }

@@ -4,6 +4,15 @@
 //! token sets, the index maps token → posting list of set ids, and top-k
 //! equi-joinability search means *exact* top-k by overlap `|Q ∩ X|`.
 //!
+//! Storage is flat and arena-backed (see [`crate::intern`]): the token
+//! dictionary is an open-addressed [`FlatMap64`] over token hashes, and
+//! both the postings (token → set ids) and the sets (set → rare-first
+//! token ids) live in CSR [`PostingLists`] — one contiguous allocation
+//! each instead of a `Vec` of `Vec`s behind a `HashMap`. Query scratch
+//! (candidate counters, seen/settled marks) is dense and epoch-marked,
+//! reused across queries on the same thread, so a batched probe sweep
+//! allocates nothing per query.
+//!
 //! Three search strategies expose the trade-off JOSIE's cost model
 //! navigates (ablated in experiment E03):
 //!
@@ -16,10 +25,14 @@
 //!   compare the estimated cost of continuing to read posting lists with
 //!   the cost of verifying the current candidates, and switch when
 //!   verification becomes cheaper.
+//!
+//! Each strategy also has a `*_batch` twin answering many queries in one
+//! call over the shared scratch — byte-identical to the sequential loop.
 
+use crate::intern::{EpochCounters, FlatMap64, PostingLists};
 use crate::topk::TopK;
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
+use std::cell::RefCell;
 use td_sketch::hash::hash_str;
 
 /// Identifier of an indexed set (dense, insertion order).
@@ -52,11 +65,33 @@ impl SearchStats {
     }
 }
 
+/// Dense per-thread probe scratch: candidate counters and seen/settled
+/// marks sized to the index, epoch-reset between queries. Bounded by
+/// the largest index probed on this thread — build-time state, never
+/// query-volume state.
+#[derive(Debug, Default)]
+struct Scratch {
+    /// Merge counts / adaptive partial counts.
+    counts: EpochCounters,
+    /// Probe "seen" marks / adaptive "settled" marks.
+    marks: EpochCounters,
+    /// Set ids touched this query (drain order is re-sorted before any
+    /// ranking, so reuse cannot leak order across queries).
+    touched: Vec<SetId>,
+    /// Query token ids sorted ascending, for binary-search membership
+    /// during verification.
+    qsorted: Vec<u32>,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::default());
+}
+
 /// Builder for [`InvertedSetIndex`].
 #[derive(Debug, Default)]
 pub struct InvertedSetIndexBuilder {
     /// Token-hash → interned token id.
-    token_ids: HashMap<u64, u32>,
+    token_ids: FlatMap64,
     /// Per-set interned token ids (unsorted during build).
     sets: Vec<Vec<u32>>,
     /// Per-token global frequency.
@@ -78,26 +113,28 @@ impl InvertedSetIndexBuilder {
     {
         let id = self.sets.len() as SetId;
         let mut ids: Vec<u32> = Vec::new();
-        let mut seen = HashSet::new();
         for t in tokens {
             let h = hash_str(t, TOKEN_SEED);
-            if !seen.insert(h) {
-                continue;
-            }
             let next = self.token_ids.len() as u32;
-            let tid = *self.token_ids.entry(h).or_insert(next);
+            let tid = self.token_ids.get_or_insert(h, next);
             if tid as usize == self.freq.len() {
                 self.freq.push(0);
             }
-            self.freq[tid as usize] += 1;
             ids.push(tid);
+        }
+        // Collapse duplicates within the set (the final per-set order is
+        // established in `build`, so a sort here loses nothing).
+        ids.sort_unstable();
+        ids.dedup();
+        for &tid in &ids {
+            self.freq[tid as usize] += 1;
         }
         self.sets.push(ids);
         id
     }
 
     /// Finish building: computes the global rare-first token order and the
-    /// posting lists.
+    /// posting lists, packing both into contiguous CSR arenas.
     #[must_use]
     pub fn build(self) -> InvertedSetIndex {
         let InvertedSetIndexBuilder {
@@ -118,20 +155,21 @@ impl InvertedSetIndexBuilder {
         }
         InvertedSetIndex {
             token_ids,
-            postings,
-            sets,
+            postings: PostingLists::from_lists(postings),
+            sets: PostingLists::from_lists(sets),
             freq,
         }
     }
 }
 
-/// An immutable inverted index over token sets.
+/// An immutable inverted index over token sets, CSR-packed.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct InvertedSetIndex {
-    token_ids: HashMap<u64, u32>,
-    postings: Vec<Vec<SetId>>,
-    /// Per-set token ids, rare-first.
-    sets: Vec<Vec<u32>>,
+    token_ids: FlatMap64,
+    /// Token id → set ids (ascending).
+    postings: PostingLists,
+    /// Set id → token ids, rare-first.
+    sets: PostingLists,
     freq: Vec<u32>,
 }
 
@@ -139,19 +177,19 @@ impl InvertedSetIndex {
     /// Number of indexed sets.
     #[must_use]
     pub fn num_sets(&self) -> usize {
-        self.sets.len()
+        self.sets.num_lists()
     }
 
     /// Number of distinct tokens.
     #[must_use]
     pub fn num_tokens(&self) -> usize {
-        self.postings.len()
+        self.postings.num_lists()
     }
 
     /// Size (distinct tokens) of an indexed set.
     #[must_use]
     pub fn set_size(&self, id: SetId) -> usize {
-        self.sets[id as usize].len()
+        self.sets.list(id as usize).len()
     }
 
     /// Intern a query's tokens: known token ids sorted rare-first
@@ -162,7 +200,7 @@ impl InvertedSetIndex {
     {
         let mut ids: Vec<u32> = tokens
             .into_iter()
-            .filter_map(|t| self.token_ids.get(&hash_str(t, TOKEN_SEED)).copied())
+            .filter_map(|t| self.token_ids.get(hash_str(t, TOKEN_SEED)))
             .collect();
         ids.sort_unstable_by_key(|&t| (self.freq[t as usize], t));
         ids.dedup();
@@ -175,39 +213,55 @@ impl InvertedSetIndex {
         I: IntoIterator<Item = &'a str>,
     {
         let q = self.intern_query(tokens);
-        let mut stats = SearchStats::default();
-        let mut counts: HashMap<SetId, usize> = HashMap::new();
-        for &t in &q {
-            let pl = &self.postings[t as usize];
-            stats.postings_read += pl.len();
-            for &sid in pl {
-                *counts.entry(sid).or_insert(0) += 1;
-            }
-        }
-        // Sorted drain: hash order + TopK's insertion-order tie-breaking
-        // would otherwise make equal-overlap sets rank nondeterministically.
-        let mut counts: Vec<(SetId, usize)> = counts.into_iter().collect();
-        counts.sort_unstable_by_key(|&(sid, _)| sid);
-        let mut topk = TopK::new(k.max(1));
-        for (sid, c) in counts {
-            topk.push(c as f64, sid);
-        }
-        let out = topk
-            .into_sorted()
-            .into_iter()
-            .map(|(s, id)| (id, s as usize))
-            .collect();
+        let (out, stats) = SCRATCH.with(|s| self.merge_core(&q, k, &mut s.borrow_mut()));
         stats.publish("merge");
         (out, stats)
     }
 
-    /// Exact overlap of an indexed set with an interned query (given as a
-    /// hash set of token ids).
-    fn verify(&self, sid: SetId, qset: &HashSet<u32>, stats: &mut SearchStats) -> usize {
-        let s = &self.sets[sid as usize];
+    fn merge_core(
+        &self,
+        q: &[u32],
+        k: usize,
+        s: &mut Scratch,
+    ) -> (Vec<(SetId, usize)>, SearchStats) {
+        let mut stats = SearchStats::default();
+        s.counts.begin(self.num_sets());
+        s.touched.clear();
+        for &t in q {
+            let pl = self.postings.list(t as usize);
+            stats.postings_read += pl.len();
+            for &sid in pl {
+                if s.counts.bump(sid as usize) {
+                    s.touched.push(sid);
+                }
+            }
+        }
+        // Sorted drain: TopK's tie-breaking is insertion-invariant, but
+        // draining candidates in ascending set id keeps the offered
+        // sequence — and therefore every downstream byte — identical to
+        // the historical sorted HashMap drain.
+        s.touched.sort_unstable();
+        let mut topk = TopK::new(k.max(1));
+        for &sid in &s.touched {
+            topk.push(f64::from(s.counts.get(sid as usize)), sid);
+        }
+        let out = topk
+            .into_sorted()
+            .into_iter()
+            .map(|(sc, id)| (id, sc as usize))
+            .collect();
+        (out, stats)
+    }
+
+    /// Exact overlap of an indexed set with the query (given as token ids
+    /// sorted ascending, for binary-search membership).
+    fn verify(&self, sid: SetId, qsorted: &[u32], stats: &mut SearchStats) -> usize {
+        let set = self.sets.list(sid as usize);
         stats.sets_verified += 1;
-        stats.verify_tokens_read += s.len();
-        s.iter().filter(|t| qset.contains(t)).count()
+        stats.verify_tokens_read += set.len();
+        set.iter()
+            .filter(|t| qsorted.binary_search(t).is_ok())
+            .count()
     }
 
     /// Exact top-k by overlap, probe strategy: posting lists rare-first,
@@ -218,10 +272,23 @@ impl InvertedSetIndex {
         I: IntoIterator<Item = &'a str>,
     {
         let q = self.intern_query(tokens);
-        let qset: HashSet<u32> = q.iter().copied().collect();
+        let (out, stats) = SCRATCH.with(|s| self.probe_core(&q, k, &mut s.borrow_mut()));
+        stats.publish("probe");
+        (out, stats)
+    }
+
+    fn probe_core(
+        &self,
+        q: &[u32],
+        k: usize,
+        s: &mut Scratch,
+    ) -> (Vec<(SetId, usize)>, SearchStats) {
         let mut stats = SearchStats::default();
+        s.marks.begin(self.num_sets());
+        s.qsorted.clear();
+        s.qsorted.extend_from_slice(q);
+        s.qsorted.sort_unstable();
         let mut topk = TopK::new(k.max(1));
-        let mut seen: HashSet<SetId> = HashSet::new();
         for (i, &t) in q.iter().enumerate() {
             // Any set first appearing now shares none of the earlier (rarer)
             // tokens we've read... it may still share them (we only read a
@@ -236,11 +303,12 @@ impl InvertedSetIndex {
                     break; // no unseen set can beat or tie the k-th best
                 }
             }
-            let pl = &self.postings[t as usize];
+            let pl = self.postings.list(t as usize);
             stats.postings_read += pl.len();
             for &sid in pl {
-                if seen.insert(sid) {
-                    let ov = self.verify(sid, &qset, &mut stats);
+                if !s.marks.is_set(sid as usize) {
+                    s.marks.set(sid as usize, 1);
+                    let ov = self.verify(sid, &s.qsorted, &mut stats);
                     topk.push(ov as f64, sid);
                 }
             }
@@ -248,9 +316,8 @@ impl InvertedSetIndex {
         let out = topk
             .into_sorted()
             .into_iter()
-            .map(|(s, id)| (id, s as usize))
+            .map(|(sc, id)| (id, sc as usize))
             .collect();
-        stats.publish("probe");
         (out, stats)
     }
 
@@ -268,27 +335,43 @@ impl InvertedSetIndex {
         I: IntoIterator<Item = &'a str>,
     {
         let q = self.intern_query(tokens);
-        let qset: HashSet<u32> = q.iter().copied().collect();
+        let (out, stats) = SCRATCH.with(|s| self.adaptive_core(&q, k, &mut s.borrow_mut()));
+        stats.publish("adaptive");
+        (out, stats)
+    }
+
+    fn adaptive_core(
+        &self,
+        q: &[u32],
+        k: usize,
+        s: &mut Scratch,
+    ) -> (Vec<(SetId, usize)>, SearchStats) {
         let mut stats = SearchStats::default();
         let mut topk = TopK::new(k.max(1));
         // Partial counts of unsettled candidates (sound upper bound for a
-        // candidate at boundary i: partial + unread tokens).
-        let mut partial: HashMap<SetId, usize> = HashMap::new();
-        // Sets whose exact overlap is settled (verified, or soundly pruned
-        // forever — the threshold only rises).
-        let mut settled: HashSet<SetId> = HashSet::new();
-        let mut remaining_list_cost: usize =
-            q.iter().map(|&t| self.postings[t as usize].len()).sum();
+        // candidate at boundary i: partial + unread tokens). `counts` is
+        // the partial counter, `marks` flags sets whose exact overlap is
+        // settled (verified, or soundly pruned forever — the threshold
+        // only rises).
+        s.counts.begin(self.num_sets());
+        s.marks.begin(self.num_sets());
+        s.touched.clear();
+        s.qsorted.clear();
+        s.qsorted.extend_from_slice(q);
+        s.qsorted.sort_unstable();
+        let mut remaining_list_cost: usize = q
+            .iter()
+            .map(|&t| self.postings.list(t as usize).len())
+            .sum();
         let mut merged_all = true;
         for (i, &t) in q.iter().enumerate() {
             let unread = q.len() - i;
-            let th = topk.threshold();
             // Global stop: no unseen set (≤ unread) nor any outstanding
             // candidate (≤ partial + unread) can beat the k-th best.
-            if let Some(th) = th {
+            if let Some(th) = topk.threshold() {
                 // Strict bounds: ties can still displace under TopK's
                 // total order (see top_k_probe).
-                let max_partial = partial.values().copied().max().unwrap_or(0);
+                let max_partial = self.max_partial(s);
                 if (unread as f64) < th && ((max_partial + unread) as f64) < th {
                     merged_all = false;
                     break;
@@ -300,39 +383,51 @@ impl InvertedSetIndex {
             // can fire — without committing to verify every candidate the
             // remaining heavy lists will spawn (which is what makes naive
             // probing lose to merging on skewed token distributions).
-            let _ = th;
             const VERIFY_PER_ROUND: usize = 2;
             for _ in 0..VERIFY_PER_ROUND {
                 let th = topk.threshold();
-                let best = partial
-                    .iter()
-                    .filter(|&(_, &p)| th.is_none_or(|t| ((p + unread) as f64) >= t))
-                    .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
-                    .map(|(&sid, &p)| (sid, p));
-                let Some((sid, _)) = best else { break };
+                // Highest partial count wins, ties prefer the smaller set
+                // id — the same total order the historical HashMap
+                // `max_by` computed, so iteration order is irrelevant.
+                let mut best: Option<(u32, SetId)> = None;
+                for &sid in &s.touched {
+                    if s.marks.is_set(sid as usize) {
+                        continue; // settled
+                    }
+                    let p = s.counts.get(sid as usize);
+                    if let Some(t) = th {
+                        if ((p as usize + unread) as f64) < t {
+                            continue;
+                        }
+                    }
+                    best = match best {
+                        Some((bp, bs)) if p < bp || (p == bp && sid >= bs) => Some((bp, bs)),
+                        _ => Some((p, sid)),
+                    };
+                }
+                let Some((_, sid)) = best else { break };
                 // Verifying this candidate must be cheaper than just
                 // finishing the merge.
-                if self.sets[sid as usize].len() >= remaining_list_cost {
+                if self.sets.list(sid as usize).len() >= remaining_list_cost {
                     break;
                 }
-                partial.remove(&sid);
-                settled.insert(sid);
-                let ov = self.verify(sid, &qset, &mut stats);
+                s.marks.set(sid as usize, 1);
+                let ov = self.verify(sid, &s.qsorted, &mut stats);
                 topk.push(ov as f64, sid);
             }
             if let Some(th) = topk.threshold() {
-                let max_partial = partial.values().copied().max().unwrap_or(0);
+                let max_partial = self.max_partial(s);
                 if (unread as f64) < th && ((max_partial + unread) as f64) < th {
                     merged_all = false;
                     break;
                 }
             }
-            let pl = &self.postings[t as usize];
+            let pl = self.postings.list(t as usize);
             remaining_list_cost -= pl.len();
             stats.postings_read += pl.len();
             for &sid in pl {
-                if !settled.contains(&sid) {
-                    *partial.entry(sid).or_insert(0) += 1;
+                if !s.marks.is_set(sid as usize) && s.counts.bump(sid as usize) {
+                    s.touched.push(sid);
                 }
             }
         }
@@ -342,19 +437,72 @@ impl InvertedSetIndex {
         // strictly below the k-th best — nothing left can beat or tie it.
         if merged_all {
             // Sorted drain for run-to-run deterministic tie order.
-            let mut partial: Vec<(SetId, usize)> = partial.into_iter().collect();
-            partial.sort_unstable_by_key(|&(sid, _)| sid);
-            for (sid, p) in partial {
-                topk.push(p as f64, sid);
+            s.touched.sort_unstable();
+            for &sid in &s.touched {
+                if s.marks.is_set(sid as usize) {
+                    continue;
+                }
+                topk.push(f64::from(s.counts.get(sid as usize)), sid);
             }
         }
         let out = topk
             .into_sorted()
             .into_iter()
-            .map(|(s, id)| (id, s as usize))
+            .map(|(sc, id)| (id, sc as usize))
             .collect();
-        stats.publish("adaptive");
         (out, stats)
+    }
+
+    /// Largest partial count among unsettled candidates.
+    fn max_partial(&self, s: &Scratch) -> usize {
+        let mut max = 0u32;
+        for &sid in &s.touched {
+            if !s.marks.is_set(sid as usize) {
+                max = max.max(s.counts.get(sid as usize));
+            }
+        }
+        max as usize
+    }
+
+    /// [`Self::top_k_merge`] over a batch of queries: one scratch, one
+    /// sweep per query, results in input order — byte-identical to the
+    /// sequential loop.
+    #[must_use]
+    pub fn top_k_merge_batch(
+        &self,
+        queries: &[&[&str]],
+        k: usize,
+    ) -> Vec<(Vec<(SetId, usize)>, SearchStats)> {
+        queries
+            .iter()
+            .map(|q| self.top_k_merge(q.iter().copied(), k))
+            .collect()
+    }
+
+    /// [`Self::top_k_probe`] over a batch of queries (input order).
+    #[must_use]
+    pub fn top_k_probe_batch(
+        &self,
+        queries: &[&[&str]],
+        k: usize,
+    ) -> Vec<(Vec<(SetId, usize)>, SearchStats)> {
+        queries
+            .iter()
+            .map(|q| self.top_k_probe(q.iter().copied(), k))
+            .collect()
+    }
+
+    /// [`Self::top_k_adaptive`] over a batch of queries (input order).
+    #[must_use]
+    pub fn top_k_adaptive_batch(
+        &self,
+        queries: &[&[&str]],
+        k: usize,
+    ) -> Vec<(Vec<(SetId, usize)>, SearchStats)> {
+        queries
+            .iter()
+            .map(|q| self.top_k_adaptive(q.iter().copied(), k))
+            .collect()
     }
 }
 
@@ -497,6 +645,41 @@ mod tests {
             assert_eq!(ov(&m), ov(&a), "query {qi}");
             // The query set itself must rank first with full overlap.
             assert_eq!(m[0].1, idx.set_size(qi as SetId));
+        }
+    }
+
+    #[test]
+    fn batched_strategies_match_sequential_exactly() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut b = InvertedSetIndexBuilder::new();
+        let mut raw_sets = Vec::new();
+        for _ in 0..80 {
+            let n = rng.gen_range(3..30);
+            let s: Vec<String> = (0..n)
+                .map(|_| format!("t{}", rng.gen_range(0..150)))
+                .collect();
+            raw_sets.push(s);
+        }
+        for s in &raw_sets {
+            b.add_set(s.iter().map(String::as_str));
+        }
+        let idx = b.build();
+        let qsets: Vec<Vec<&str>> = [3usize, 11, 42, 60, 77]
+            .iter()
+            .map(|&qi| raw_sets[qi].iter().map(String::as_str).collect())
+            .collect();
+        let queries: Vec<&[&str]> = qsets.iter().map(Vec::as_slice).collect();
+        for k in [1usize, 4, 9] {
+            let merge_b = idx.top_k_merge_batch(&queries, k);
+            let probe_b = idx.top_k_probe_batch(&queries, k);
+            let adapt_b = idx.top_k_adaptive_batch(&queries, k);
+            for (qi, q) in queries.iter().enumerate() {
+                assert_eq!(merge_b[qi], idx.top_k_merge(q.iter().copied(), k));
+                assert_eq!(probe_b[qi], idx.top_k_probe(q.iter().copied(), k));
+                assert_eq!(adapt_b[qi], idx.top_k_adaptive(q.iter().copied(), k));
+            }
         }
     }
 }

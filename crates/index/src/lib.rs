@@ -13,6 +13,11 @@
 //!   embeddings (Malkov & Yashunin), as used by Starmie.
 //! * [`FlatIndex`] — exact brute-force vector baseline.
 //! * [`Bm25Index`] — metadata keyword search.
+//!
+//! All families share the flat arena substrate in [`intern`]: dense `u32`
+//! symbols from an [`Interner`], contiguous [`PostingLists`], and
+//! epoch-reset probe scratch — the cache-friendly layout that makes the
+//! `*_batch` entry points on each index worth batching for.
 
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
@@ -24,6 +29,7 @@ pub mod bm25;
 pub mod ensemble;
 pub mod flat;
 pub mod hnsw;
+pub mod intern;
 pub mod inverted;
 pub mod lsh;
 pub mod topk;
@@ -33,6 +39,7 @@ pub use bm25::{tokenize, Bm25Index, Bm25Params, Bm25Stats};
 pub use ensemble::LshEnsemble;
 pub use flat::FlatIndex;
 pub use hnsw::{Hnsw, HnswParams};
+pub use intern::{EpochCounters, FlatMap64, Interner, PostingLists};
 pub use inverted::{InvertedSetIndex, InvertedSetIndexBuilder, SearchStats, SetId};
 pub use lsh::{collision_probability, tune_bands, MinHashLsh};
 pub use topk::TopK;

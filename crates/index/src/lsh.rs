@@ -1,7 +1,16 @@
 //! MinHash LSH: banding index for Jaccard-threshold candidate retrieval.
+//!
+//! Band buckets are stored flat: each band keeps one contiguous array
+//! of `(bucket key, item id)` pairs, sorted by key after a
+//! [`MinHashLsh::freeze`] call so a probe is a binary search over one
+//! allocation instead of a `HashMap` chase per band. Inserts append to
+//! an unsorted tail that queries scan linearly, so the build-then-query
+//! pattern ([`crate::LshEnsemble`] freezes after its build) pays zero
+//! per-probe overhead while incremental use stays correct — candidate
+//! sets are deduplicated and sorted before they leave this module, so
+//! layout never changes answers.
 
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
 use td_sketch::hash::hash_u64;
 use td_sketch::minhash::MinHashSignature;
 
@@ -46,6 +55,43 @@ pub fn tune_bands(k: usize, threshold: f64) -> (usize, usize) {
     best
 }
 
+/// One band's flat bucket storage: `(bucket key, item id)` pairs where
+/// `pairs[..sorted]` is sorted by key (binary-searchable) and
+/// `pairs[sorted..]` is the unsorted insert tail.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct Band {
+    pairs: Vec<(u64, u32)>,
+    sorted: usize,
+}
+
+impl Band {
+    fn insert(&mut self, key: u64, id: u32) {
+        self.pairs.push((key, id));
+    }
+
+    fn freeze(&mut self) {
+        self.pairs.sort_unstable();
+        self.sorted = self.pairs.len();
+    }
+
+    /// Append every id bucketed under `key` to `out`.
+    fn collect_bucket(&self, key: u64, out: &mut Vec<u32>) {
+        let frozen = &self.pairs[..self.sorted];
+        let start = frozen.partition_point(|&(k, _)| k < key);
+        for &(k, id) in &frozen[start..] {
+            if k != key {
+                break;
+            }
+            out.push(id);
+        }
+        for &(k, id) in &self.pairs[self.sorted..] {
+            if k == key {
+                out.push(id);
+            }
+        }
+    }
+}
+
 /// A MinHash LSH index with `b` bands of `r` rows.
 ///
 /// Keys are `u32` item ids assigned by the caller; signatures must all come
@@ -54,8 +100,8 @@ pub fn tune_bands(k: usize, threshold: f64) -> (usize, usize) {
 pub struct MinHashLsh {
     bands: usize,
     rows: usize,
-    /// One hash table per band: band-bucket hash → item ids.
-    tables: Vec<HashMap<u64, Vec<u32>>>,
+    /// One flat bucket array per band.
+    tables: Vec<Band>,
     len: usize,
 }
 
@@ -70,7 +116,7 @@ impl MinHashLsh {
         MinHashLsh {
             bands,
             rows,
-            tables: vec![HashMap::new(); bands],
+            tables: vec![Band::default(); bands],
             len: 0,
         }
     }
@@ -121,13 +167,22 @@ impl MinHashLsh {
         );
         for band in 0..self.bands {
             let key = self.band_key(sig, band);
-            self.tables[band].entry(key).or_default().push(id);
+            self.tables[band].insert(key, id);
         }
         self.len += 1;
     }
 
+    /// Sort every band's bucket array so probes binary-search instead of
+    /// scanning the insert tail. Call once after bulk insertion; queries
+    /// are correct (just slower) without it.
+    pub fn freeze(&mut self) {
+        for band in &mut self.tables {
+            band.freeze();
+        }
+    }
+
     /// Candidate ids colliding with the query in at least one band,
-    /// deduplicated, in arbitrary order.
+    /// deduplicated, in ascending order.
     #[must_use]
     pub fn query(&self, sig: &MinHashSignature) -> Vec<u32> {
         self.query_bands(sig, self.bands)
@@ -145,20 +200,18 @@ impl MinHashLsh {
         let reg = td_obs::global();
         reg.counter("index.lsh.queries").inc();
         let mut probes = 0u64;
-        let mut out = HashSet::new();
+        let mut ids: Vec<u32> = Vec::new();
         for band in 0..use_bands.min(self.bands) {
             let key = self.band_key(sig, band);
             probes += 1;
-            if let Some(bucket) = self.tables[band].get(&key) {
-                out.extend(bucket.iter().copied());
-            }
+            self.tables[band].collect_bucket(key, &mut ids);
         }
-        reg.counter("index.lsh.band_probes").add(probes);
-        reg.counter("index.lsh.candidates").add(out.len() as u64);
-        // Candidate ids in sorted order: the HashSet's iteration order
-        // is process-random, and callers treat this Vec as output.
-        let mut ids: Vec<u32> = out.into_iter().collect();
+        // Candidate ids deduplicated in sorted order: callers treat this
+        // Vec as output, so it must not depend on band or bucket layout.
         ids.sort_unstable();
+        ids.dedup();
+        reg.counter("index.lsh.band_probes").add(probes);
+        reg.counter("index.lsh.candidates").add(ids.len() as u64);
         ids
     }
 }
@@ -242,6 +295,24 @@ mod tests {
         let all = lsh.query_bands(&q, 32).len();
         let few = lsh.query_bands(&q, 4).len();
         assert!(few <= all, "few {few} all {all}");
+    }
+
+    #[test]
+    fn frozen_answers_match_unfrozen() {
+        let h = MinHasher::new(128, 2);
+        let mut hot = MinHashLsh::new(16, 4);
+        for i in 0..60u32 {
+            hot.insert(i, &sig(&h, (i * 3)..(i * 3 + 80)));
+        }
+        let mut cold = hot.clone();
+        cold.freeze();
+        for probe in 0..10u32 {
+            let q = sig(&h, (probe * 7)..(probe * 7 + 80));
+            assert_eq!(hot.query(&q), cold.query(&q), "probe {probe}");
+        }
+        // Inserts after a freeze land in the scan tail and stay visible.
+        cold.insert(999, &sig(&h, 0..80));
+        assert!(cold.query(&sig(&h, 0..80)).contains(&999));
     }
 
     #[test]

@@ -1,0 +1,168 @@
+//! Fixture coverage for the flat-postings interner and batched-execution
+//! idioms introduced by the batch refactor: the lint rules must both
+//! catch the failure modes batching invites (request-path interner
+//! growth, unsorted per-query drains, swallowed per-job delivery
+//! Results, layering inversions) and stay quiet on the disciplined
+//! versions the workspace actually ships.
+
+use std::path::Path;
+use td_lint::{scan_set, scan_str, Code, SourceSet};
+
+/// Where the real batch fan-out lives — a plain library module.
+const BATCH: &str = "crates/core/src/batch.rs";
+/// A serve-crate module: TD010's long-lived-state scope applies.
+const SERVE: &str = "crates/serve/src/interner.rs";
+/// The real interner's home — *outside* TD010's long-lived scope.
+const INTERN: &str = "crates/index/src/intern.rs";
+
+fn fixture(name: &str) -> String {
+    let p = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("read {}: {e}", p.display()))
+}
+
+/// `(unwaived, waived)` counts of `code` when `src` is scanned as
+/// `rel_path` (single-file rules).
+fn counts(code: Code, rel_path: &str, src: &str) -> (usize, usize) {
+    let diags = scan_str(rel_path, src);
+    let unwaived = diags
+        .iter()
+        .filter(|d| d.code == code && !d.is_waived())
+        .count();
+    let waived = diags
+        .iter()
+        .filter(|d| d.code == code && d.is_waived())
+        .count();
+    (unwaived, waived)
+}
+
+/// `(unwaived, waived)` counts over an in-memory source set (cross-file
+/// rules TD007–TD012).
+fn graph_counts(code: Code, files: &[(&str, &str)], manifests: &[(&str, &str)]) -> (usize, usize) {
+    let set = SourceSet {
+        files: files
+            .iter()
+            .map(|(p, s)| ((*p).to_string(), (*s).to_string()))
+            .collect(),
+        manifests: manifests
+            .iter()
+            .map(|(p, s)| ((*p).to_string(), (*s).to_string()))
+            .collect(),
+    };
+    let report = scan_set(&set, &|| 0);
+    let unwaived = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.code == code && !d.is_waived())
+        .count();
+    let waived = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.code == code && d.is_waived())
+        .count();
+    (unwaived, waived)
+}
+
+// --- TD010: interner growth must be bounded by lake size -------------
+
+#[test]
+fn td010_fires_on_request_path_interner_growth() {
+    // An interner living in the serve crate that interns query terms on
+    // the request path: one finding per growth site (push + insert).
+    let src = fixture("td010_interner_fire.rs");
+    let files = [(SERVE, src.as_str())];
+    assert_eq!(graph_counts(Code::Td010, &files, &[]), (2, 0));
+}
+
+#[test]
+fn td010_spares_the_sealed_interner_discipline() {
+    // Growth gated on the lake-derived capacity, lookups on the request
+    // path: bounded by lake size, not request volume — no finding even
+    // inside the long-lived serve scope.
+    let src = fixture("td010_interner_no_fire.rs");
+    let files = [(SERVE, src.as_str())];
+    assert_eq!(graph_counts(Code::Td010, &files, &[]), (0, 0));
+}
+
+#[test]
+fn td010_interner_in_index_is_build_time_state() {
+    // The real interner lives in td-index, which is built once per lake
+    // and swapped whole — outside TD010's long-lived serve/obs scope, so
+    // even the unbounded pattern is not server-held growth there.
+    let src = fixture("td010_interner_fire.rs");
+    let files = [(INTERN, src.as_str())];
+    assert_eq!(graph_counts(Code::Td010, &files, &[]), (0, 0));
+}
+
+// --- TD005: batched merges must sort their drains --------------------
+
+#[test]
+fn td005_fires_on_unsorted_batch_merge() {
+    assert_eq!(
+        counts(Code::Td005, BATCH, &fixture("td005_batch_fire.rs")),
+        (1, 0)
+    );
+}
+
+#[test]
+fn td005_spares_the_sorted_batch_merge() {
+    assert_eq!(
+        counts(Code::Td005, BATCH, &fixture("td005_batch_no_fire.rs")),
+        (0, 0)
+    );
+}
+
+// --- TD001: the batch module classifies as library code --------------
+
+#[test]
+fn td001_batch_chunking_is_unwrap_free() {
+    assert_eq!(
+        counts(Code::Td001, BATCH, &fixture("td001_batch_no_fire.rs")),
+        (0, 0)
+    );
+}
+
+#[test]
+fn td001_still_fires_in_the_batch_module() {
+    // The new module path classifies as lib code, not a bin or test:
+    // the generic unwrap/expect/panic fixture fires there exactly as it
+    // does in any other library file.
+    assert_eq!(
+        counts(Code::Td001, BATCH, &fixture("td001_fire.rs")),
+        (3, 0)
+    );
+}
+
+// --- TD011: per-job delivery must not swallow write Results ----------
+
+#[test]
+fn td011_fires_on_swallowed_batch_delivery() {
+    let src = fixture("td011_batch_fire.rs");
+    let files = [(BATCH, src.as_str())];
+    assert_eq!(graph_counts(Code::Td011, &files, &[]), (1, 0));
+}
+
+#[test]
+fn td011_batch_delivery_waiver_needs_the_counting_argument() {
+    let src = fixture("td011_batch_waived.rs");
+    let files = [(BATCH, src.as_str())];
+    assert_eq!(graph_counts(Code::Td011, &files, &[]), (0, 1));
+}
+
+// --- TD012: the flat-postings refactor must not invert layering ------
+
+#[test]
+fn td012_fires_when_index_reaches_up_into_core() {
+    // The batch entry points thread core → index, never the reverse.
+    let src = fixture("td012_index_fire.toml");
+    let manifests = [("crates/index/Cargo.toml", src.as_str())];
+    assert_eq!(graph_counts(Code::Td012, &[], &manifests), (1, 0));
+}
+
+#[test]
+fn td012_spares_the_index_layer_dep_set() {
+    let src = fixture("td012_index_no_fire.toml");
+    let manifests = [("crates/index/Cargo.toml", src.as_str())];
+    assert_eq!(graph_counts(Code::Td012, &[], &manifests), (0, 0));
+}

@@ -1,0 +1,32 @@
+//! Batch slot distribution without a single unwrap: the scoped-thread
+//! chunking idiom hands each worker a disjoint `&mut [Option<R>]` via
+//! `split_at_mut`, and empty batches short-circuit instead of indexing.
+
+pub fn run_batch<T, R>(items: &[T], f: impl Fn(&T) -> R) -> Vec<R> {
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    for item in items {
+        slots.push(Some(f(item)));
+    }
+    let mut out = Vec::with_capacity(slots.len());
+    for slot in slots {
+        if let Some(r) = slot {
+            out.push(r);
+        }
+    }
+    out
+}
+
+pub fn chunk_bounds(len: usize, chunks: usize) -> Vec<(usize, usize)> {
+    if len == 0 || chunks == 0 {
+        return Vec::new();
+    }
+    let per = len.div_ceil(chunks);
+    let mut out = Vec::new();
+    let mut start = 0;
+    while start < len {
+        let end = (start + per).min(len);
+        out.push((start, end));
+        start = end;
+    }
+    out
+}

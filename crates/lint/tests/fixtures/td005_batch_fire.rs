@@ -1,0 +1,18 @@
+//! A batched merge that drains each query's score map in hash order —
+//! the batch path's rankings would drift from the sequential path run
+//! to run, breaking the byte-identity contract.
+
+use std::collections::HashMap;
+
+pub fn merge_batch(batches: &[Vec<(u32, f64)>]) -> Vec<Vec<(u32, f64)>> {
+    let mut out = Vec::new();
+    for pairs in batches {
+        let mut scores: HashMap<u32, f64> = HashMap::new();
+        for &(k, v) in pairs {
+            *scores.entry(k).or_insert(0.0) += v;
+        }
+        let ranked: Vec<(u32, f64)> = scores.into_iter().collect();
+        out.push(ranked);
+    }
+    out
+}

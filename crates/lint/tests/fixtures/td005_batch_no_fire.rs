@@ -1,0 +1,19 @@
+//! The batched merge done right: every per-query drain is sorted with
+//! the same total order the sequential path uses (score desc, id asc),
+//! so batching a workload cannot reorder any ranking.
+
+use std::collections::HashMap;
+
+pub fn merge_batch(batches: &[Vec<(u32, f64)>]) -> Vec<Vec<(u32, f64)>> {
+    let mut out = Vec::new();
+    for pairs in batches {
+        let mut scores: HashMap<u32, f64> = HashMap::new();
+        for &(k, v) in pairs {
+            *scores.entry(k).or_insert(0.0) += v;
+        }
+        let mut ranked: Vec<(u32, f64)> = scores.into_iter().collect();
+        ranked.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        out.push(ranked);
+    }
+    out
+}

@@ -1,0 +1,22 @@
+//! An interner that grows on the request path: every unseen query term
+//! is interned into server-held state with no visible bound, so memory
+//! scales with request volume instead of lake size.
+
+use std::collections::HashMap;
+
+pub struct QueryInterner {
+    index: HashMap<String, u32>,
+    symbols: Vec<String>,
+}
+
+impl QueryInterner {
+    pub fn intern(&mut self, term: &str) -> u32 {
+        if let Some(&sym) = self.index.get(term) {
+            return sym;
+        }
+        let sym = self.symbols.len() as u32;
+        self.symbols.push(term.to_string());
+        self.index.insert(term.to_string(), sym);
+        sym
+    }
+}

@@ -1,0 +1,33 @@
+//! The flat-postings interner discipline: the symbol table grows only
+//! during build, bounded by the lake's vocabulary (the explicit
+//! capacity), and the request path only *looks up* — an unseen query
+//! term resolves to None instead of growing server-held state.
+
+use std::collections::HashMap;
+
+pub struct SealedInterner {
+    index: HashMap<String, u32>,
+    symbols: Vec<String>,
+    capacity: usize,
+}
+
+impl SealedInterner {
+    /// Build-path insert: refuses past the lake-derived capacity.
+    pub fn intern_for_build(&mut self, term: &str) -> Option<u32> {
+        if let Some(&sym) = self.index.get(term) {
+            return Some(sym);
+        }
+        if self.symbols.len() >= self.capacity {
+            return None;
+        }
+        let sym = self.symbols.len() as u32;
+        self.symbols.push(term.to_string());
+        self.index.insert(term.to_string(), sym);
+        Some(sym)
+    }
+
+    /// Request-path lookup: never grows.
+    pub fn resolve(&self, term: &str) -> Option<u32> {
+        self.index.get(term).copied()
+    }
+}

@@ -1,0 +1,15 @@
+//! The same batched delivery with the justified waiver the serve layer
+//! uses: the error is already counted by the caller's write_errors
+//! counter, so the Result here is intentionally dropped.
+
+fn respond(frame: &[u8]) -> Result<(), std::io::Error> {
+    let _ = frame;
+    Ok(())
+}
+
+pub fn deliver_batch(frames: &[Vec<u8>]) {
+    for frame in frames {
+        // td-lint: allow(TD011) fixture: write errors are counted by the caller before delivery returns
+        let _ = respond(frame);
+    }
+}

@@ -443,6 +443,376 @@ impl Coordinator {
         )
     }
 
+    /// Unpack one shard's `Reply::Batch` answer, requiring exactly `n`
+    /// sub-replies — anything else counts as a missing shard.
+    fn batch_replies(r: Option<Reply>, n: usize) -> Option<Vec<Reply>> {
+        match r {
+            Some(Reply::Batch(rs)) if rs.len() == n => Some(rs),
+            _ => None,
+        }
+    }
+
+    /// Per-shard `Scores` sub-replies at query index `qi`; missing
+    /// shards (or unexpected reply shapes) contribute an empty list,
+    /// exactly like the one-at-a-time gather.
+    fn scores_at(shards: &[Option<Vec<Reply>>], qi: usize) -> Vec<Vec<(TableId, f64)>> {
+        shards
+            .iter()
+            .map(|s| match s {
+                Some(rs) => match &rs[qi] {
+                    Reply::Scores(v) => v.clone(),
+                    _ => Vec::new(),
+                },
+                None => Vec::new(),
+            })
+            .collect()
+    }
+
+    /// Per-request fallback for a batch the coalesced paths cannot
+    /// shape-match (unreachable after `validate_batch`, but a wrong
+    /// answer path must degrade to correctness, never panic).
+    fn batch_fallback(&self, requests: &[Request], dl: u64) -> (Reply, Vec<u32>) {
+        let mut degraded = Vec::new();
+        let mut out = Vec::with_capacity(requests.len());
+        for r in requests {
+            let (reply, d) = match r {
+                Request::Keyword { query, k } => self.keyword(query, *k, dl),
+                Request::Joinable { column, k } => self.joinable(column, *k, dl),
+                Request::FuzzyJoinable { column, tau, k } => {
+                    self.fuzzy_joinable(column, *tau, *k, dl)
+                }
+                Request::UnionableSemantic { table, k } => self.semantic(table, *k, dl),
+                Request::Unionable { k, .. }
+                | Request::UnionableRelationship { k, .. }
+                | Request::MultiJoinable { k, .. } => self.fan_scores(r, *k, dl),
+                Request::Correlated { k, .. } => self.correlated(r, *k, dl),
+                _ => (Reply::Scores(Vec::new()), Vec::new()),
+            };
+            out.push(reply);
+            degraded.extend(d);
+        }
+        degraded.sort_unstable();
+        degraded.dedup();
+        (Reply::Batch(out), degraded)
+    }
+
+    /// Batched scatter-gather: the whole client batch ships to every
+    /// shard as ONE `Request::Batch` frame per network phase (so a
+    /// 16-query batch over K shards costs the same round-trips as a
+    /// single query), and each query's per-shard answers are folded
+    /// with exactly the merge algebra of the one-at-a-time paths.
+    fn batch(&self, requests: &[Request], dl: u64) -> (Reply, Vec<u32>) {
+        let n = requests.len();
+        match &requests[0] {
+            // Plain top-k unions: one fanout, per-query `merge_scores`.
+            Request::Unionable { .. }
+            | Request::UnionableRelationship { .. }
+            | Request::MultiJoinable { .. } => {
+                let req = Request::Batch {
+                    requests: requests.to_vec(),
+                };
+                let replies = self.scatter_all(&req, dl);
+                let degraded = Self::missing(&vec![true; self.slots.len()], &replies);
+                let shards: Vec<Option<Vec<Reply>>> = replies
+                    .into_iter()
+                    .map(|r| Self::batch_replies(r, n))
+                    .collect();
+                let _span = td_obs::trace::probe("coord.gather");
+                let out = requests
+                    .iter()
+                    .enumerate()
+                    .map(|(qi, r)| {
+                        let k = match r {
+                            Request::Unionable { k, .. }
+                            | Request::UnionableRelationship { k, .. }
+                            | Request::MultiJoinable { k, .. } => *k,
+                            _ => 0,
+                        };
+                        Reply::Scores(merge::merge_scores(Self::scores_at(&shards, qi), k))
+                    })
+                    .collect();
+                (Reply::Batch(out), degraded)
+            }
+            Request::Correlated { .. } => {
+                let req = Request::Batch {
+                    requests: requests.to_vec(),
+                };
+                let replies = self.scatter_all(&req, dl);
+                let degraded = Self::missing(&vec![true; self.slots.len()], &replies);
+                let shards: Vec<Option<Vec<Reply>>> = replies
+                    .into_iter()
+                    .map(|r| Self::batch_replies(r, n))
+                    .collect();
+                let _span = td_obs::trace::probe("coord.gather");
+                let out = requests
+                    .iter()
+                    .enumerate()
+                    .map(|(qi, r)| {
+                        let k = match r {
+                            Request::Correlated { k, .. } => *k,
+                            _ => 0,
+                        };
+                        let per_shard = shards
+                            .iter()
+                            .map(|s| match s {
+                                Some(rs) => match &rs[qi] {
+                                    Reply::Correlated(h) => h.clone(),
+                                    _ => Vec::new(),
+                                },
+                                None => Vec::new(),
+                            })
+                            .collect();
+                        Reply::Correlated(merge::merge_correlated(per_shard, k))
+                    })
+                    .collect();
+                (Reply::Batch(out), degraded)
+            }
+            // Column-window families: one fanout of per-query window
+            // requests, then the shared table aggregation per query.
+            Request::Joinable { .. } => {
+                let mut cols = Vec::with_capacity(n);
+                for r in requests {
+                    let Request::Joinable { column, k } = r else {
+                        return self.batch_fallback(requests, dl);
+                    };
+                    cols.push((column, *k));
+                }
+                let sub: Vec<Request> = cols
+                    .iter()
+                    .map(|(c, k)| Request::JoinableColumns {
+                        column: (*c).clone(),
+                        width: td_core::join::exact::column_fetch_width(*k),
+                    })
+                    .collect();
+                let replies = self.scatter_all(&Request::Batch { requests: sub }, dl);
+                let degraded = Self::missing(&vec![true; self.slots.len()], &replies);
+                let shards: Vec<Option<Vec<Reply>>> = replies
+                    .into_iter()
+                    .map(|r| Self::batch_replies(r, n))
+                    .collect();
+                let _span = td_obs::trace::probe("coord.gather");
+                let out = cols
+                    .iter()
+                    .enumerate()
+                    .map(|(qi, (_, k))| {
+                        let width = td_core::join::exact::column_fetch_width(*k);
+                        let per_shard = shards
+                            .iter()
+                            .map(|s| match s {
+                                Some(rs) => match &rs[qi] {
+                                    Reply::OverlapColumns(w) => w.clone(),
+                                    _ => Vec::new(),
+                                },
+                                None => Vec::new(),
+                            })
+                            .collect();
+                        let window = merge::merge_overlap_columns(per_shard, width);
+                        Reply::Overlaps(td_core::join::exact::aggregate_tables(window, *k))
+                    })
+                    .collect();
+                (Reply::Batch(out), degraded)
+            }
+            Request::FuzzyJoinable { .. } => {
+                let mut cols = Vec::with_capacity(n);
+                for r in requests {
+                    let Request::FuzzyJoinable { column, tau, k } = r else {
+                        return self.batch_fallback(requests, dl);
+                    };
+                    cols.push((column, *tau, *k));
+                }
+                let sub: Vec<Request> = cols
+                    .iter()
+                    .map(|(c, tau, k)| Request::FuzzyColumns {
+                        column: (*c).clone(),
+                        tau: *tau,
+                        width: td_core::join::exact::column_fetch_width(*k),
+                    })
+                    .collect();
+                let replies = self.scatter_all(&Request::Batch { requests: sub }, dl);
+                let degraded = Self::missing(&vec![true; self.slots.len()], &replies);
+                let shards: Vec<Option<Vec<Reply>>> = replies
+                    .into_iter()
+                    .map(|r| Self::batch_replies(r, n))
+                    .collect();
+                let _span = td_obs::trace::probe("coord.gather");
+                let out = cols
+                    .iter()
+                    .enumerate()
+                    .map(|(qi, (_, _, k))| {
+                        let width = td_core::join::exact::column_fetch_width(*k);
+                        let per_shard = shards
+                            .iter()
+                            .map(|s| match s {
+                                Some(rs) => match &rs[qi] {
+                                    Reply::FuzzyColumns(w) => w.clone(),
+                                    _ => Vec::new(),
+                                },
+                                None => Vec::new(),
+                            })
+                            .collect();
+                        let window = merge::merge_fuzzy_columns(per_shard, width);
+                        Reply::Scores(td_core::join::fuzzy::aggregate_tables(window, *k))
+                    })
+                    .collect();
+                (Reply::Batch(out), degraded)
+            }
+            // Two-phase keyword: one batched stats fanout, one batched
+            // scoring fanout pinned to the merged global statistics.
+            Request::Keyword { .. } => {
+                let mut queries = Vec::with_capacity(n);
+                for r in requests {
+                    let Request::Keyword { query, k } = r else {
+                        return self.batch_fallback(requests, dl);
+                    };
+                    queries.push((query.clone(), *k));
+                }
+                let stats_batch = Request::Batch {
+                    requests: queries
+                        .iter()
+                        .map(|(q, _)| Request::KeywordStats { query: q.clone() })
+                        .collect(),
+                };
+                let replies = self.scatter_all(&stats_batch, dl);
+                let mut degraded = Self::missing(&vec![true; self.slots.len()], &replies);
+                let shards: Vec<Option<Vec<Reply>>> = replies
+                    .into_iter()
+                    .map(|r| Self::batch_replies(r, n))
+                    .collect();
+                let asked: Vec<bool> = shards.iter().map(Option::is_some).collect();
+                let globals: Vec<Option<Bm25Stats>> = (0..n)
+                    .map(|qi| {
+                        let live: Vec<Bm25Stats> = shards
+                            .iter()
+                            .flatten()
+                            .filter_map(|rs| match &rs[qi] {
+                                Reply::KeywordStats(s) => Some(s.clone()),
+                                _ => None,
+                            })
+                            .collect();
+                        merge::merge_keyword_stats(&live)
+                    })
+                    .collect();
+                // Queries with no statistics anywhere answer empty, the
+                // same as the single-query path.
+                let scored: Vec<(usize, Request)> = globals
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(qi, g)| {
+                        g.as_ref().map(|g| {
+                            (
+                                qi,
+                                Request::KeywordScored {
+                                    query: queries[qi].0.clone(),
+                                    k: queries[qi].1,
+                                    stats: g.clone(),
+                                },
+                            )
+                        })
+                    })
+                    .collect();
+                let mut out: Vec<Reply> = (0..n).map(|_| Reply::Scores(Vec::new())).collect();
+                if !scored.is_empty() {
+                    let m = scored.len();
+                    let scored_batch = Request::Batch {
+                        requests: scored.iter().map(|(_, r)| r.clone()).collect(),
+                    };
+                    let reqs: Vec<Option<Request>> = asked
+                        .iter()
+                        .map(|&a| a.then(|| scored_batch.clone()))
+                        .collect();
+                    let scored_replies = self.scatter(reqs, dl);
+                    degraded.extend(Self::missing(&asked, &scored_replies));
+                    let sshards: Vec<Option<Vec<Reply>>> = scored_replies
+                        .into_iter()
+                        .map(|r| Self::batch_replies(r, m))
+                        .collect();
+                    let _span = td_obs::trace::probe("coord.gather");
+                    for (ri, (qi, _)) in scored.iter().enumerate() {
+                        let per_shard = Self::scores_at(&sshards, ri);
+                        out[*qi] = Reply::Scores(merge::merge_scores(per_shard, queries[*qi].1));
+                    }
+                }
+                degraded.sort_unstable();
+                degraded.dedup();
+                (Reply::Batch(out), degraded)
+            }
+            // Two-phase semantic: one batched candidate fanout, one
+            // batched scoring fanout pinned to each query's merged
+            // candidate table set.
+            Request::UnionableSemantic { .. } => {
+                let mut queries = Vec::with_capacity(n);
+                for r in requests {
+                    let Request::UnionableSemantic { table, k } = r else {
+                        return self.batch_fallback(requests, dl);
+                    };
+                    queries.push((table, *k));
+                }
+                let cand_batch = Request::Batch {
+                    requests: queries
+                        .iter()
+                        .map(|(t, _)| Request::SemanticCandidates {
+                            table: (*t).clone(),
+                        })
+                        .collect(),
+                };
+                let replies = self.scatter_all(&cand_batch, dl);
+                let mut degraded = Self::missing(&vec![true; self.slots.len()], &replies);
+                let shards: Vec<Option<Vec<Reply>>> = replies
+                    .into_iter()
+                    .map(|r| Self::batch_replies(r, n))
+                    .collect();
+                let asked: Vec<bool> = shards.iter().map(Option::is_some).collect();
+                type Windows = Vec<Vec<(td_table::ColumnRef, f32)>>;
+                let tables_per_q: Vec<Vec<TableId>> = (0..n)
+                    .map(|qi| {
+                        let live: Vec<Windows> = shards
+                            .iter()
+                            .flatten()
+                            .filter_map(|rs| match &rs[qi] {
+                                Reply::CandidateWindows(w) => Some(w.clone()),
+                                _ => None,
+                            })
+                            .collect();
+                        let merged = merge::merge_candidate_windows(&live, self.cfg.fanout);
+                        merge::candidate_tables(&merged).into_iter().collect()
+                    })
+                    .collect();
+                let scored_batch = Request::Batch {
+                    requests: (0..n)
+                        .map(|qi| Request::SemanticScored {
+                            table: queries[qi].0.clone(),
+                            k: queries[qi].1,
+                            tables: tables_per_q[qi].clone(),
+                        })
+                        .collect(),
+                };
+                let reqs: Vec<Option<Request>> = asked
+                    .iter()
+                    .map(|&a| a.then(|| scored_batch.clone()))
+                    .collect();
+                let scored = self.scatter(reqs, dl);
+                degraded.extend(Self::missing(&asked, &scored));
+                let sshards: Vec<Option<Vec<Reply>>> = scored
+                    .into_iter()
+                    .map(|r| Self::batch_replies(r, n))
+                    .collect();
+                let _span = td_obs::trace::probe("coord.gather");
+                let out = (0..n)
+                    .map(|qi| {
+                        Reply::Scores(merge::merge_scores(
+                            Self::scores_at(&sshards, qi),
+                            queries[qi].1,
+                        ))
+                    })
+                    .collect();
+                degraded.sort_unstable();
+                degraded.dedup();
+                (Reply::Batch(out), degraded)
+            }
+            _ => self.batch_fallback(requests, dl),
+        }
+    }
+
     /// Rolling reload: shards are reloaded one at a time, in shard
     /// order, so K-1 shards keep serving at full capacity throughout.
     /// The reported epoch is the maximum across successful shards.
@@ -645,6 +1015,33 @@ impl Coordinator {
             }
             Request::SlowQueries { n } => {
                 let (r, d) = self.slow_queries(*n, dl);
+                (Some(r), d)
+            }
+            Request::Batch { requests } => {
+                if let Err(e) = Request::validate_batch(requests) {
+                    return ResponseEnvelope::fail(id, Status::BadRequest, e);
+                }
+                // `validate_batch` admits shard-plane kinds (they are the
+                // coordinator's *outbound* vocabulary), but clients may
+                // only batch the public search families.
+                if requests[0].endpoint().starts_with("shard.")
+                    || matches!(
+                        requests[0],
+                        Request::KeywordStats { .. }
+                            | Request::KeywordScored { .. }
+                            | Request::JoinableColumns { .. }
+                            | Request::FuzzyColumns { .. }
+                            | Request::SemanticCandidates { .. }
+                            | Request::SemanticScored { .. }
+                    )
+                {
+                    return ResponseEnvelope::fail(
+                        id,
+                        Status::BadRequest,
+                        "shard-plane requests are not part of the coordinator's public surface",
+                    );
+                }
+                let (r, d) = self.batch(requests, dl);
                 (Some(r), d)
             }
             Request::KeywordStats { .. }

@@ -92,8 +92,8 @@ pub use protocol::{
     canonical_bytes, decode_request, decode_response, encode_response, read_frame, write_frame,
     DropReply, EndpointStats, FramePoll, FrameReader, HealthReply, IngestReply, MetricsReply,
     ProtocolError, Reply, Request, RequestEnvelope, ResponseEnvelope, SloStats, SnapshotReply,
-    SpanNodeJson, StatsReply, Status, TraceJson, MAX_FRAME_BYTES, MAX_FRAME_PREALLOC,
+    SpanNodeJson, StatsReply, Status, TraceJson, MAX_BATCH, MAX_FRAME_BYTES, MAX_FRAME_PREALLOC,
 };
 pub use queue::{AdmissionQueue, PushError};
-pub use server::{execute, Server, ServerConfig, ServerStats};
+pub use server::{execute, execute_batch, Server, ServerConfig, ServerStats};
 pub use workload::{Workload, WorkloadConfig};

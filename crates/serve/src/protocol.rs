@@ -206,7 +206,25 @@ pub enum Request {
         /// Merged candidate tables from phase one (sorted ascending).
         tables: Vec<TableId>,
     },
+    /// A batch of same-family queries answered as one unit: admitted as
+    /// one queue entry, executed through the pipeline's `search_*_batch`
+    /// entry point, answered with [`Reply::Batch`] carrying one
+    /// sub-reply per sub-request in input order. Each sub-reply is
+    /// byte-identical to what the same request sent alone would return.
+    /// Constraints ([`Request::validate_batch`]): 1..=[`MAX_BATCH`]
+    /// sub-requests, all of one search or shard-plane family — nested
+    /// batches, pings, and the admin/persist planes are rejected as
+    /// `BadRequest`.
+    Batch {
+        /// The sub-requests, all of one family.
+        requests: Vec<Request>,
+    },
 }
+
+/// Ceiling on sub-requests per [`Request::Batch`] frame. Large client
+/// workloads split into multiple batches; one frame must stay bounded
+/// in queue residency and reply size.
+pub const MAX_BATCH: usize = 64;
 
 impl Request {
     /// Stable endpoint name, used for per-endpoint metrics
@@ -237,7 +255,66 @@ impl Request {
             Request::FuzzyColumns { .. } => "fuzzy_columns",
             Request::SemanticCandidates { .. } => "semantic_candidates",
             Request::SemanticScored { .. } => "semantic_scored",
+            Request::Batch { .. } => "batch",
         }
+    }
+
+    /// True for the request kinds a [`Request::Batch`] may carry: the
+    /// eight search families and the shard plane — read-only queries
+    /// answered from one pipeline snapshot. Everything stateful or
+    /// inline-answered (ping, reload, admin, persist, nested batches)
+    /// is excluded.
+    #[must_use]
+    pub fn is_batchable(&self) -> bool {
+        matches!(
+            self,
+            Request::Keyword { .. }
+                | Request::Joinable { .. }
+                | Request::Unionable { .. }
+                | Request::UnionableSemantic { .. }
+                | Request::UnionableRelationship { .. }
+                | Request::FuzzyJoinable { .. }
+                | Request::MultiJoinable { .. }
+                | Request::Correlated { .. }
+                | Request::KeywordStats { .. }
+                | Request::KeywordScored { .. }
+                | Request::JoinableColumns { .. }
+                | Request::FuzzyColumns { .. }
+                | Request::SemanticCandidates { .. }
+                | Request::SemanticScored { .. }
+        )
+    }
+
+    /// Validate a batch payload: non-empty, at most [`MAX_BATCH`]
+    /// sub-requests, every element batchable, and all of one family
+    /// (homogeneous endpoint).
+    ///
+    /// # Errors
+    /// Returns the diagnostic a server should attach to its
+    /// `BadRequest` response.
+    pub fn validate_batch(requests: &[Request]) -> Result<(), String> {
+        if requests.is_empty() {
+            return Err("empty batch".into());
+        }
+        if requests.len() > MAX_BATCH {
+            return Err(format!(
+                "batch of {} exceeds the {MAX_BATCH}-request limit",
+                requests.len()
+            ));
+        }
+        let family = requests[0].endpoint();
+        for r in requests {
+            if !r.is_batchable() {
+                return Err(format!("'{}' requests cannot be batched", r.endpoint()));
+            }
+            if r.endpoint() != family {
+                return Err(format!(
+                    "mixed-family batch: '{family}' and '{}'",
+                    r.endpoint()
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// Every search endpoint name, in protocol order (excludes `ping`,
@@ -378,6 +455,9 @@ pub enum Reply {
     /// Answer to [`Request::SemanticCandidates`]: one candidate window
     /// per query column (similarity descending, column ascending).
     CandidateWindows(Vec<Vec<(ColumnRef, f32)>>),
+    /// Answer to [`Request::Batch`]: one sub-reply per sub-request, in
+    /// input order, each byte-identical to the lone-request answer.
+    Batch(Vec<Reply>),
 }
 
 /// Answer to [`Request::IngestTable`].
@@ -1035,5 +1115,36 @@ mod tests {
         );
         assert_eq!(Request::Ping.endpoint(), "ping");
         assert_eq!(Request::search_endpoints().len(), 8);
+    }
+
+    #[test]
+    fn batch_validation_enforces_shape() {
+        let kw = |q: &str| Request::Keyword {
+            query: q.into(),
+            k: 3,
+        };
+        // Happy path: homogeneous search batch.
+        assert!(Request::validate_batch(&[kw("a"), kw("b")]).is_ok());
+        // Zero-length.
+        assert!(Request::validate_batch(&[]).is_err());
+        // Oversized.
+        let big: Vec<Request> = (0..=MAX_BATCH).map(|i| kw(&format!("q{i}"))).collect();
+        assert!(Request::validate_batch(&big).is_err());
+        // Mixed family.
+        let col = Column::from_strings("c", &["a"]);
+        let join = Request::Joinable { column: col, k: 2 };
+        assert!(Request::validate_batch(&[kw("a"), join]).is_err());
+        // Non-batchable kinds, including a nested batch.
+        assert!(Request::validate_batch(&[Request::Ping]).is_err());
+        assert!(Request::validate_batch(&[Request::Reload]).is_err());
+        assert!(Request::validate_batch(&[Request::Health]).is_err());
+        let nested = Request::Batch {
+            requests: vec![kw("a")],
+        };
+        assert!(Request::validate_batch(&[nested]).is_err());
+        assert!(!Request::Batch {
+            requests: Vec::new()
+        }
+        .is_batchable());
     }
 }

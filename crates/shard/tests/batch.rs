@@ -1,0 +1,231 @@
+//! Batched scatter-gather equivalence: for every shard count K ∈
+//! {1, 2, 4, 7}, `ShardedPipeline::search_*_batch` over a workload is
+//! **byte-identical** to (a) the one-at-a-time sharded path on each
+//! query in order, and (b) the unsharded `DiscoveryPipeline` batch
+//! path — i.e. batching commutes with sharding for all eight families.
+//!
+//! The batched paths do one scatter round per phase for the whole batch
+//! (two for keyword and semantic), so this suite is the proof that the
+//! per-query merge algebra survives the request fan-in unchanged.
+
+use proptest::prelude::*;
+use std::fmt::Write as _;
+use std::sync::OnceLock;
+use td_core::segment::PipelineContext;
+use td_core::union::starmie::VectorBackend;
+use td_core::{DiscoveryPipeline, PipelineConfig};
+use td_shard::ShardedPipeline;
+use td_table::gen::lakegen::{LakeGenConfig, LakeGenerator};
+use td_table::{Table, TableId};
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 7];
+
+struct Fixture {
+    tables: Vec<(TableId, Table)>,
+    queries: Vec<(TableId, Table)>,
+    ctx: PipelineContext,
+    /// The unsharded pipeline — the batch-of-one oracle.
+    oracle: DiscoveryPipeline,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        // Flat semantic backend with a truncating fanout, so the batched
+        // two-phase candidate exchange is load-bearing (with Flat
+        // retrieval the merged window provably equals the global window).
+        let mut cfg = PipelineConfig::default();
+        cfg.starmie.backend = VectorBackend::Flat;
+        cfg.starmie.fanout = 8;
+        let gl = LakeGenerator::standard().generate(&LakeGenConfig {
+            num_tables: 24,
+            rows: (12, 30),
+            cols: (2, 4),
+            seed: 20260808,
+            ..LakeGenConfig::default()
+        });
+        let tables: Vec<(TableId, Table)> = gl.lake.iter().map(|(id, t)| (id, t.clone())).collect();
+        let queries: Vec<(TableId, Table)> = tables[..4].to_vec();
+        let oracle = DiscoveryPipeline::build(&gl.lake, &gl.registry, &[], &cfg);
+        let ctx = PipelineContext::new(&gl.registry, &[], &cfg);
+        Fixture {
+            tables,
+            queries,
+            ctx,
+            oracle,
+        }
+    })
+}
+
+fn sharded_over(f: &Fixture, shards: usize) -> ShardedPipeline {
+    let mut sp = ShardedPipeline::with_context(shards, &f.ctx);
+    for (id, t) in &f.tables {
+        sp.ingest_table(*id, t);
+    }
+    sp.seal_all();
+    sp
+}
+
+/// Render one full batched workload for every family on a sharded
+/// pipeline, plus the sequential render of the same workload, and the
+/// oracle's batched render. All three strings must be equal.
+fn check_workload(f: &Fixture, sp: &ShardedPipeline, workload: &[(usize, usize)]) {
+    let terms = ["dataset", "sensor", "city", "record"];
+    let kw: Vec<(&str, usize)> = workload
+        .iter()
+        .map(|&(qi, k)| (terms[qi % terms.len()], k))
+        .collect();
+    let cols: Vec<(&td_table::Column, usize)> = workload
+        .iter()
+        .map(|&(qi, k)| (&f.queries[qi % f.queries.len()].1.columns[0], k))
+        .collect();
+    let fuzzy: Vec<(&td_table::Column, f32, usize)> =
+        cols.iter().map(|&(c, k)| (c, 0.8, k)).collect();
+    let tabs: Vec<(&Table, usize)> = workload
+        .iter()
+        .map(|&(qi, k)| (&f.queries[qi % f.queries.len()].1, k))
+        .collect();
+    let multi: Vec<(&Table, &[usize], usize)> = tabs
+        .iter()
+        .map(|&(t, k)| (t, &[0usize, 1][..], k))
+        .collect();
+    let corr: Vec<(&td_table::Column, &td_table::Column, usize)> = workload
+        .iter()
+        .filter_map(|&(qi, k)| {
+            let t = &f.queries[qi % f.queries.len()].1;
+            let key = t.columns.iter().find(|c| !c.is_numeric())?;
+            let num = t.columns.iter().find(|c| c.is_numeric())?;
+            Some((key, num, k))
+        })
+        .collect();
+
+    // Duck-typed render over anything exposing the batch surface.
+    macro_rules! render_batched {
+        ($p:expr) => {{
+            let p = $p;
+            let mut out = String::new();
+            let _ = writeln!(out, "keyword {:?}", p.search_keyword_batch(&kw));
+            let _ = writeln!(out, "joinable {:?}", p.search_joinable_batch(&cols));
+            let _ = writeln!(out, "fuzzy {:?}", p.search_fuzzy_joinable_batch(&fuzzy));
+            let _ = writeln!(out, "tus {:?}", p.search_unionable_batch(&tabs));
+            let _ = writeln!(
+                out,
+                "starmie {:?}",
+                p.search_unionable_semantic_batch(&tabs)
+            );
+            let _ = writeln!(
+                out,
+                "santos {:?}",
+                p.search_unionable_relationship_batch(&tabs)
+            );
+            let _ = writeln!(out, "mate {:?}", p.search_multi_joinable_batch(&multi));
+            let _ = writeln!(out, "correlated {:?}", p.search_correlated_batch(&corr));
+            out
+        }};
+    }
+    let batched = render_batched!(sp);
+
+    // (a) the one-at-a-time sharded path over the same workload.
+    let mut sequential = String::new();
+    let _ = writeln!(
+        sequential,
+        "keyword {:?}",
+        kw.iter()
+            .map(|&(q, k)| sp.search_keyword(q, k))
+            .collect::<Vec<_>>()
+    );
+    let _ = writeln!(
+        sequential,
+        "joinable {:?}",
+        cols.iter()
+            .map(|&(c, k)| sp.search_joinable(c, k))
+            .collect::<Vec<_>>()
+    );
+    let _ = writeln!(
+        sequential,
+        "fuzzy {:?}",
+        fuzzy
+            .iter()
+            .map(|&(c, tau, k)| sp.search_fuzzy_joinable(c, tau, k))
+            .collect::<Vec<_>>()
+    );
+    let _ = writeln!(
+        sequential,
+        "tus {:?}",
+        tabs.iter()
+            .map(|&(t, k)| sp.search_unionable(t, k))
+            .collect::<Vec<_>>()
+    );
+    let _ = writeln!(
+        sequential,
+        "starmie {:?}",
+        tabs.iter()
+            .map(|&(t, k)| sp.search_unionable_semantic(t, k))
+            .collect::<Vec<_>>()
+    );
+    let _ = writeln!(
+        sequential,
+        "santos {:?}",
+        tabs.iter()
+            .map(|&(t, k)| sp.search_unionable_relationship(t, k))
+            .collect::<Vec<_>>()
+    );
+    let _ = writeln!(
+        sequential,
+        "mate {:?}",
+        multi
+            .iter()
+            .map(|&(t, key_cols, k)| sp.search_multi_joinable(t, key_cols, k))
+            .collect::<Vec<_>>()
+    );
+    let _ = writeln!(
+        sequential,
+        "correlated {:?}",
+        corr.iter()
+            .map(|&(key, num, k)| sp.search_correlated(key, num, k))
+            .collect::<Vec<_>>()
+    );
+    assert_eq!(batched, sequential, "batched diverged from sequential");
+
+    // (b) the unsharded batch oracle.
+    let oracle = render_batched!(&f.oracle);
+    assert_eq!(batched, oracle, "batched sharded diverged from the oracle");
+}
+
+/// The headline pin: a mixed workload (duplicate queries, k from 1 past
+/// the lake size, batch wider than the coalescing window) commutes with
+/// sharding for every K.
+#[test]
+fn batched_scatter_gather_matches_sequential_and_oracle() {
+    let f = fixture();
+    let workload: Vec<(usize, usize)> = (0..9).map(|i| (i % 4, [1, 4, 8, 30][i % 4])).collect();
+    for shards in SHARD_COUNTS {
+        let sp = sharded_over(f, shards);
+        check_workload(f, &sp, &workload);
+    }
+}
+
+/// A batch of one must behave exactly like the single-query path — the
+/// degenerate case the serve layer hits when coalescing finds nothing.
+#[test]
+fn batch_of_one_matches_single() {
+    let f = fixture();
+    let sp = sharded_over(f, 4);
+    check_workload(f, &sp, &[(0, 8)]);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random workloads across random shard counts: batching always
+    /// commutes with sharding.
+    #[test]
+    fn random_workload_commutes_with_sharding(
+        shard_sel in 0usize..SHARD_COUNTS.len(),
+        workload in proptest::collection::vec((0usize..4, 1usize..16), 1..10),
+    ) {
+        let f = fixture();
+        let sp = sharded_over(f, SHARD_COUNTS[shard_sel]);
+        check_workload(f, &sp, &workload);
+    }
+}
